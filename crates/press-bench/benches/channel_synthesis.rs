@@ -1,0 +1,69 @@
+//! Criterion benches: propagation-engine hot paths.
+//!
+//! Channel synthesis is the inner loop of every campaign and search —
+//! a configuration evaluation is `trace + frequency_response`, and the
+//! controller's real-time budget (§2) is spent here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use press_core::Configuration;
+use press_propagation::{frequency_response, LabConfig, LabSetup};
+use std::hint::black_box;
+
+fn bench_scene_trace(c: &mut Criterion) {
+    let lab = LabSetup::generate(&LabConfig::default(), 1);
+    c.bench_function("scene_trace_full_office", |b| {
+        b.iter(|| black_box(lab.scene.paths(&lab.tx, &lab.rx)))
+    });
+}
+
+fn bench_frequency_response(c: &mut Criterion) {
+    let lab = LabSetup::generate(&LabConfig::default(), 1);
+    let paths = lab.scene.paths(&lab.tx, &lab.rx);
+    let mut group = c.benchmark_group("frequency_response");
+    for n_sc in [52usize, 102, 256] {
+        let freqs: Vec<f64> = (0..n_sc)
+            .map(|k| 2.462e9 + (k as f64 - n_sc as f64 / 2.0) * 312_500.0)
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n_sc), &freqs, |b, freqs| {
+            b.iter(|| black_box(frequency_response(&paths, freqs, 0.0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_config_evaluation(c: &mut Criterion) {
+    // One full configuration evaluation: element paths + oracle SNR, the
+    // unit the search-algorithm budgets count.
+    let rig = press::rig::fig4_rig(1);
+    let link = press_core::CachedLink::trace(
+        &rig.system,
+        rig.sounder.tx.node.clone(),
+        rig.sounder.rx.node.clone(),
+    );
+    let config = Configuration::new(vec![1, 2, 0]);
+    c.bench_function("config_evaluation_oracle", |b| {
+        b.iter(|| {
+            let paths = link.paths(&rig.system, black_box(&config));
+            black_box(rig.sounder.oracle_snr(&paths, 0.0))
+        })
+    });
+}
+
+fn bench_lab_generation(c: &mut Criterion) {
+    c.bench_function("lab_generation", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(LabSetup::generate(&LabConfig::default(), seed))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_scene_trace,
+    bench_frequency_response,
+    bench_config_evaluation,
+    bench_lab_generation
+);
+criterion_main!(benches);

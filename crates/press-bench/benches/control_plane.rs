@@ -1,0 +1,50 @@
+//! Criterion benches: control-plane codec and actuation simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use press_control::{actuate, AckPolicy, Message, Transport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_codec(c: &mut Criterion) {
+    let single = Message::SetState { seq: 9, element: 300, state: 2 };
+    let batch = Message::BatchSet {
+        seq: 10,
+        assignments: (0..64).map(|e| (e as u16, (e % 4) as u8)).collect(),
+    };
+    c.bench_function("codec_setstate_roundtrip", |b| {
+        b.iter(|| {
+            let frame = black_box(&single).encode();
+            black_box(Message::decode(&frame).unwrap())
+        })
+    });
+    c.bench_function("codec_batch64_roundtrip", |b| {
+        b.iter(|| {
+            let frame = black_box(&batch).encode();
+            black_box(Message::decode(&frame).unwrap())
+        })
+    });
+}
+
+fn bench_actuation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("actuation_sim");
+    for n in [64usize, 1024] {
+        let assignments: Vec<(u16, u8)> = (0..n as u16).map(|e| (e, 1)).collect();
+        group.bench_with_input(BenchmarkId::new("ism_acked", n), &assignments, |b, a| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(actuate(
+                    &Transport::ism(),
+                    a,
+                    15.0,
+                    AckPolicy::PerElement { max_retries: 8 },
+                    &mut rng,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_actuation);
+criterion_main!(benches);

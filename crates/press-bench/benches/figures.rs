@@ -1,0 +1,131 @@
+//! Criterion benches: the per-figure inner loops.
+//!
+//! One entry per figure of the paper's evaluation, timing the unit of work
+//! that figure's harness repeats (a full regeneration is the `fig*`
+//! binary; these keep `cargo bench` fast while still exercising every
+//! pipeline end to end).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use press_core::{run_campaign_over, CampaignConfig, CachedLink, Configuration};
+use press_math::Complex64;
+use press_phy::mimo::MimoChannel;
+use press_phy::snr::null_movement;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Figure 4 unit: one trial over 8 configurations (the harness does 10×64).
+fn bench_fig4_unit(c: &mut Criterion) {
+    let rig = press::rig::fig4_rig(1);
+    let space = rig.system.array.config_space();
+    let subset: Vec<Configuration> = (0..8).map(|i| space.config_at(i * 8)).collect();
+    let campaign = CampaignConfig {
+        n_trials: 1,
+        frames_per_config: 4,
+        seed: 1,
+        ..CampaignConfig::default()
+    };
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(20);
+    group.bench_function("fig4_trial_8_configs", |b| {
+        b.iter(|| black_box(run_campaign_over(&rig.system, &rig.sounder, &campaign, &subset)))
+    });
+    group.finish();
+}
+
+/// Figures 5/6 unit: pairwise null/min-SNR statistics over 64 profiles.
+fn bench_fig56_stats(c: &mut Criterion) {
+    let profiles: Vec<press_phy::SnrProfile> = (0..64)
+        .map(|i| {
+            press_phy::SnrProfile::new(
+                (0..52)
+                    .map(|k| 30.0 + 12.0 * ((k + i) as f64 * 0.37).sin())
+                    .collect(),
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("figures");
+    group.bench_function("fig5_null_movement_64sq_pairs", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for p in &profiles {
+                for q in &profiles {
+                    if null_movement(p, q, 5.0).is_some() {
+                        count += 1;
+                    }
+                }
+            }
+            black_box(count)
+        })
+    });
+    group.bench_function("fig6_extreme_pair_64", |b| {
+        b.iter(|| black_box(press_core::analysis::extreme_pair(&profiles)))
+    });
+    group.finish();
+}
+
+/// Figure 7 unit: half-band contrast over a wideband sweep of 64 configs.
+fn bench_fig7_unit(c: &mut Criterion) {
+    let rig = press::rig::fig7_rig(8);
+    let link = CachedLink::trace(
+        &rig.system,
+        rig.sounder.tx.node.clone(),
+        rig.sounder.rx.node.clone(),
+    );
+    let space = rig.system.array.config_space();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig7_contrast_sweep_64_oracle", |b| {
+        b.iter(|| {
+            let best = space
+                .iter()
+                .map(|cfg| {
+                    rig.sounder
+                        .oracle_snr(&link.paths(&rig.system, &cfg), 0.0)
+                        .half_band_contrast_db()
+                })
+                .fold(f64::NEG_INFINITY, f64::max);
+            black_box(best)
+        })
+    });
+    group.finish();
+}
+
+/// Figure 8 unit: one coherent 2×2 sounding + condition numbers.
+fn bench_fig8_unit(c: &mut Criterion) {
+    let rig = press::rig::fig8_rig(0);
+    let links: Vec<Vec<CachedLink>> = (0..2)
+        .map(|a| {
+            (0..2)
+                .map(|b| CachedLink::trace(&rig.system, rig.tx[a].clone(), rig.rx[b].clone()))
+                .collect()
+        })
+        .collect();
+    let config = Configuration::new(vec![1, 2, 0]);
+    let paths: Vec<Vec<Vec<_>>> = links
+        .iter()
+        .map(|row| row.iter().map(|l| l.paths(&rig.system, &config)).collect())
+        .collect();
+    let mut group = c.benchmark_group("figures");
+    group.bench_function("fig8_coherent_2x2_sounding", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let est = rig.sounder.sound_mimo(&paths, 0.0, 0.0, &mut rng).unwrap();
+            let h: Vec<Vec<Vec<Complex64>>> = (0..2)
+                .map(|bb| (0..2).map(|a| est[a][bb].h.clone()).collect())
+                .collect();
+            let ch = MimoChannel::from_scalar_channels(&h);
+            black_box(ch.median_condition_db().unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig4_unit,
+    bench_fig56_stats,
+    bench_fig7_unit,
+    bench_fig8_unit
+);
+criterion_main!(benches);

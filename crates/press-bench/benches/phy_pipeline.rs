@@ -1,0 +1,105 @@
+//! Criterion benches: OFDM PHY hot paths — FFT, modulation, channel
+//! estimation, SNR analysis, MIMO conditioning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use press_math::fft::{fft, ifft};
+use press_math::svd::{condition_number_db, singular_values};
+use press_math::{CMat, Complex64};
+use press_phy::channel_est::estimate_channel;
+use press_phy::frame::{training_sequence, OfdmModulator};
+use press_phy::modulation::Modulation;
+use press_phy::numerology::Numerology;
+use press_phy::snr::SnrProfile;
+use std::hint::black_box;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for n in [64usize, 128, 1024] {
+        let data: Vec<Complex64> = (0..n)
+            .map(|k| Complex64::cis(k as f64 * 0.1))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| {
+                let mut v = data.clone();
+                fft(&mut v).unwrap();
+                ifft(&mut v).unwrap();
+                black_box(v)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ofdm_modulator(c: &mut Criterion) {
+    let num = Numerology::wifi20(2.462e9);
+    let modulator = OfdmModulator::new(num);
+    let sym = training_sequence(52);
+    c.bench_function("ofdm_roundtrip_80_samples", |b| {
+        b.iter(|| {
+            let t = modulator.to_time(black_box(&sym));
+            black_box(modulator.to_freq(&t))
+        })
+    });
+}
+
+fn bench_modulation(c: &mut Criterion) {
+    let bits: Vec<bool> = (0..6).map(|i| i % 2 == 0).collect();
+    c.bench_function("qam64_map_demap", |b| {
+        b.iter(|| {
+            let s = Modulation::Qam64.map(black_box(&bits));
+            black_box(Modulation::Qam64.demap(s))
+        })
+    });
+}
+
+fn bench_channel_estimation(c: &mut Criterion) {
+    let t = training_sequence(52);
+    let h: Vec<Complex64> = (0..52)
+        .map(|k| Complex64::from_polar(1e-3, k as f64 * 0.3))
+        .collect();
+    let rx: Vec<Vec<Complex64>> = (0..2)
+        .map(|m| {
+            t.iter()
+                .zip(&h)
+                .map(|(tr, hh)| *tr * *hh + Complex64::new(1e-6 * m as f64, 0.0))
+                .collect()
+        })
+        .collect();
+    c.bench_function("channel_estimate_52sc_2ltf", |b| {
+        b.iter(|| black_box(estimate_channel(&t, black_box(&rx)).unwrap()))
+    });
+}
+
+fn bench_snr_analysis(c: &mut Criterion) {
+    let profile = SnrProfile::new((0..52).map(|k| 20.0 + 15.0 * (k as f64 * 0.4).sin()).collect());
+    c.bench_function("snr_null_and_effective", |b| {
+        b.iter(|| {
+            black_box(profile.most_significant_null(5.0));
+            black_box(profile.effective_snr_db(4.0))
+        })
+    });
+}
+
+fn bench_condition_number(c: &mut Criterion) {
+    let m2 = CMat::from_fn(2, 2, |i, j| Complex64::new(i as f64 + 0.3, j as f64 - 0.7));
+    let m4 = CMat::from_fn(4, 4, |i, j| {
+        Complex64::new((i * j) as f64 * 0.1 + 1.0, i as f64 - j as f64)
+    });
+    c.bench_function("condition_number_2x2_closed_form", |b| {
+        b.iter(|| black_box(condition_number_db(black_box(&m2)).unwrap()))
+    });
+    c.bench_function("singular_values_4x4_jacobi", |b| {
+        b.iter(|| black_box(singular_values(black_box(&m4)).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_ofdm_modulator,
+    bench_modulation,
+    bench_channel_estimation,
+    bench_snr_analysis,
+    bench_condition_number
+);
+criterion_main!(benches);

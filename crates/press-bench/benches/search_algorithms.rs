@@ -1,0 +1,119 @@
+//! Criterion benches: configuration-search algorithms (§4.2).
+//!
+//! Measured per full search on oracle channel evaluations, on the paper's
+//! 64-configuration prototype space and on an 8-element, 9-state space.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use press_core::{search, CachedLink, ConfigSpace, Configuration, GeneticParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn evaluator() -> (press_core::PressSystem, press_sdr::Sounder, CachedLink) {
+    let rig = press::rig::fig4_rig(1);
+    let link = CachedLink::trace(
+        &rig.system,
+        rig.sounder.tx.node.clone(),
+        rig.sounder.rx.node.clone(),
+    );
+    (rig.system, rig.sounder, link)
+}
+
+fn bench_small_space(c: &mut Criterion) {
+    let (system, sounder, link) = evaluator();
+    let space = system.array.config_space();
+    let eval =
+        |cfg: &Configuration| sounder.oracle_snr(&link.paths(&system, cfg), 0.0).min_db();
+
+    let mut group = c.benchmark_group("search_64_configs");
+    group.sample_size(20);
+    group.bench_function("exhaustive", |b| {
+        b.iter(|| black_box(search::exhaustive(&space, eval)))
+    });
+    group.bench_function("greedy", |b| {
+        b.iter(|| {
+            black_box(search::greedy_coordinate(
+                &space,
+                Configuration::zeros(3),
+                8,
+                eval,
+            ))
+        })
+    });
+    group.bench_function("annealing_60", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            black_box(search::simulated_annealing(&space, 60, 3.0, 0.05, &mut rng, eval))
+        })
+    });
+    group.finish();
+}
+
+fn bench_synthetic_large_space(c: &mut Criterion) {
+    // Pure algorithm overhead on a cheap synthetic objective, decoupled
+    // from channel evaluation cost.
+    let space = ConfigSpace::new(vec![9; 8]);
+    let target: Vec<usize> = vec![7, 0, 3, 5, 1, 6, 2, 4];
+    let eval = |cfg: &Configuration| -> f64 {
+        -cfg.states
+            .iter()
+            .zip(&target)
+            .map(|(&s, &t)| (s as f64 - t as f64).abs())
+            .sum::<f64>()
+    };
+    let mut group = c.benchmark_group("search_overhead_43M_space");
+    group.bench_function("greedy_sweep", |b| {
+        b.iter(|| {
+            black_box(search::greedy_coordinate(
+                &space,
+                Configuration::zeros(8),
+                5,
+                eval,
+            ))
+        })
+    });
+    group.bench_function("annealing_300", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(search::simulated_annealing(&space, 300, 3.0, 0.02, &mut rng, eval))
+        })
+    });
+    group.bench_function("genetic_default", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(search::genetic(&space, &GeneticParams::default(), &mut rng, eval))
+        })
+    });
+    group.finish();
+}
+
+fn bench_inverse_solver(c: &mut Criterion) {
+    let (system, sounder, _) = evaluator();
+    let freqs = sounder.num.active_freqs_hz();
+    let dict = press_core::PressDictionary::from_system(
+        &system,
+        &sounder.tx.node,
+        &sounder.rx.node,
+        &freqs,
+    );
+    let target = dict.channel(&Configuration::new(vec![2, 0, 1]));
+    let solver = press_core::InverseSolver::new(target.len());
+    let mut staged = press_core::InverseSolver::new(target.len());
+    staged.exhaustive_threshold = 0;
+    let mut group = c.benchmark_group("inverse_problem");
+    group.bench_function("exact_64", |b| {
+        b.iter(|| black_box(solver.solve(&dict, &target)))
+    });
+    group.bench_function("relax_project_refine", |b| {
+        b.iter(|| black_box(staged.solve(&dict, &target)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_small_space,
+    bench_synthetic_large_space,
+    bench_inverse_solver
+);
+criterion_main!(benches);

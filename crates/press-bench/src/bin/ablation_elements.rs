@@ -1,0 +1,90 @@
+//! Ablation (§4.1): element count and antenna directionality.
+//!
+//! "More directional antennas would have a larger effect on a given link,
+//! but are more selective… PRESS could use either few well-placed
+//! directional antennas or many randomly placed but less directional
+//! antennas, or anything in-between." This harness sweeps both axes:
+//! element count 1–8 and antenna pattern (omni / patch / parabolic), and
+//! reports the best achievable worst-subcarrier SNR.
+
+use press_bench::write_csv;
+use press_core::{search, CachedLink, Configuration, PlacedElement, PressArray, PressSystem};
+use press_elements::Element;
+use press_math::consts::WIFI_CHANNEL_11_HZ;
+use press_phy::Numerology;
+use press_propagation::antenna::{Antenna, Pattern};
+use press_propagation::{LabConfig, LabSetup};
+use press_sdr::{SdrRadio, Sounder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn pattern_of(name: &str) -> Pattern {
+    match name {
+        "omni" => Pattern::endpoint_omni(),
+        "patch" => Pattern::press_patch(),
+        "parabolic" => Pattern::press_parabolic(),
+        _ => unreachable!(),
+    }
+}
+
+fn bench(seed: u64, n_elements: usize, antenna: &str) -> f64 {
+    let lab = LabSetup::generate(&LabConfig::default(), seed);
+    let lambda = lab.scene.wavelength();
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E3779B97F4A7C15));
+    let positions = lab.random_element_positions(n_elements, &mut rng);
+    let aim = (lab.tx.position + lab.rx.position) * 0.5;
+    let elements: Vec<PlacedElement> = positions
+        .iter()
+        .map(|&p| PlacedElement {
+            element: Element::paper_passive(lambda),
+            position: p,
+            antenna: Antenna::new(pattern_of(antenna), aim - p),
+        })
+        .collect();
+    let system = PressSystem::new(lab.scene.clone(), PressArray::new(elements));
+    let sounder = Sounder::new(
+        Numerology::wifi20(WIFI_CHANNEL_11_HZ),
+        SdrRadio::warp(lab.tx.clone()),
+        SdrRadio::warp(lab.rx.clone()),
+    );
+    let link = CachedLink::trace(&system, sounder.tx.node.clone(), sounder.rx.node.clone());
+    let space = system.array.config_space();
+    let eval = |c: &Configuration| sounder.oracle_snr(&link.paths(&system, c), 0.0).min_db();
+    let result = if space.size() <= 4096 {
+        search::exhaustive(&space, eval)
+    } else {
+        let mut search_rng = StdRng::seed_from_u64(seed);
+        search::simulated_annealing(&space, 3000, 3.0, 0.02, &mut search_rng, eval)
+    };
+    result.score - eval(&Configuration::zeros(n_elements))
+}
+
+fn main() {
+    println!("# Ablation: element count x antenna directionality");
+    println!("# objective gain = best minSNR minus all-zero-phase baseline, mean of 3 benches\n");
+    println!(
+        "{:>10} {:>8} {:>8} {:>10}",
+        "elements", "omni", "patch", "parabolic"
+    );
+    let mut rows = Vec::new();
+    for n in [1usize, 2, 3, 4, 6, 8] {
+        let mut line = format!("{n:>10}");
+        let mut csv = format!("{n}");
+        for antenna in ["omni", "patch", "parabolic"] {
+            let gains: Vec<f64> = (0..3).map(|s| bench(s, n, antenna)).collect();
+            let mean = gains.iter().sum::<f64>() / gains.len() as f64;
+            let width = if antenna == "parabolic" { 10 } else { 8 };
+            line.push_str(&format!(" {mean:>width$.2}"));
+            csv.push_str(&format!(",{mean:.4}"));
+        }
+        println!("{line}");
+        rows.push(csv);
+    }
+    write_csv(
+        "ablation_elements.csv",
+        "n_elements,gain_omni_db,gain_patch_db,gain_parabolic_db",
+        &rows,
+    );
+    println!("\n# expectations: gains grow with element count; patch beats omni on this");
+    println!("# short link; the 21-degree parabolic cannot cover both endpoints and lags.");
+}

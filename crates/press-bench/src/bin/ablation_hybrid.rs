@@ -1,0 +1,110 @@
+//! Ablation (§3/§4.1): passive-active hybrid arrays on line-of-sight links.
+//!
+//! The paper's LOS experiments found passive elements "limited to less than
+//! 2 dB" because "the line-of-sight signal dominates over the reflection of
+//! much lower strength", and proposes hybrid arrays where "a small number
+//! of active PRESS elements might replace several more passive elements".
+//! This harness measures the achievable per-subcarrier SNR swing on a LOS
+//! link as active (PhyCloak-style) elements join a passive array, and
+//! reports the power/cost bill of each mix.
+
+use press::rig::fig4_los_rig;
+use press_bench::write_csv;
+use press_core::{CachedLink, Configuration, PressSystem};
+use press_elements::{deployment_budget, Element};
+
+/// Max |per-subcarrier channel-magnitude delta| (dB) between settings of
+/// the controllable elements, on oracle channels. Works on raw |H| rather
+/// than SNR so the receiver's SNR saturation cannot mask the comparison
+/// (a strong LOS link pegs every estimated profile at the 50 dB cap).
+fn los_swing(system: &PressSystem, link: &CachedLink, sounder: &press_sdr::Sounder) -> f64 {
+    let freqs = sounder.num.active_freqs_hz();
+    let space = system.array.config_space_passive_only();
+    let mut mag_profiles: Vec<Vec<f64>> = Vec::new();
+    for phase_step in 0..4usize {
+        for active_on in [false, true] {
+            let mut sys = system.clone();
+            for pe in sys.array.elements.iter_mut() {
+                if !pe.element.is_passive() {
+                    pe.element.program_active(
+                        12.0,
+                        phase_step as f64 * std::f64::consts::FRAC_PI_2,
+                        active_on,
+                    );
+                }
+            }
+            let config = Configuration::new(
+                space
+                    .states_per_element
+                    .iter()
+                    .map(|&m| phase_step.min(m - 1))
+                    .collect(),
+            );
+            let paths = link.paths(&sys, &config);
+            let h = press_propagation::frequency_response(&paths, &freqs, 0.0);
+            mag_profiles.push(h.iter().map(|x| 20.0 * x.abs().log10()).collect());
+        }
+    }
+    let mut best = 0.0f64;
+    for i in 0..mag_profiles.len() {
+        for j in 0..i {
+            for (a, b) in mag_profiles[i].iter().zip(&mag_profiles[j]) {
+                best = best.max((a - b).abs());
+            }
+        }
+    }
+    best
+}
+
+fn main() {
+    println!("# Ablation: passive-active hybrid on a line-of-sight link");
+    println!(
+        "{:>9} {:>9} {:>14} {:>12} {:>12}",
+        "passive", "active", "max swing dB", "power W", "cost USD"
+    );
+    let mut rows = Vec::new();
+    for n_active in 0..4usize {
+        let rig = fig4_los_rig(1);
+        let mut system = rig.system.clone();
+        // Replace the last `n_active` passive elements with actives at the
+        // same positions (isotropic relays with a 12 dB gain cap).
+        let n = system.array.len();
+        for i in (n - n_active)..n {
+            system.array.elements[i].element = Element::active(12.0);
+        }
+        let link = CachedLink::trace(
+            &system,
+            rig.sounder.tx.node.clone(),
+            rig.sounder.rx.node.clone(),
+        );
+        let swing = los_swing(&system, &link, &rig.sounder);
+        let elements: Vec<Element> = system
+            .array
+            .elements
+            .iter()
+            .map(|pe| pe.element.clone())
+            .collect();
+        let budget = deployment_budget(&elements);
+        println!(
+            "{:>9} {:>9} {:>14.2} {:>12.3} {:>12.0}",
+            n - n_active,
+            n_active,
+            swing,
+            budget.total_power_w,
+            budget.total_cost_usd
+        );
+        rows.push(format!(
+            "{},{n_active},{swing:.4},{:.6},{:.2}",
+            n - n_active,
+            budget.total_power_w,
+            budget.total_cost_usd
+        ));
+    }
+    write_csv(
+        "ablation_hybrid.csv",
+        "n_passive,n_active,max_swing_db,power_w,cost_usd",
+        &rows,
+    );
+    println!("\n# paper: passive-only LOS effect < 2 dB; active elements unlock LOS control");
+    println!("# at orders of magnitude more power and cost per element.");
+}

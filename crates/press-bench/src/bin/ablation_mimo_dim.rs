@@ -1,0 +1,151 @@
+//! Ablation (§3.2.3): PRESS impact vs MIMO dimension.
+//!
+//! The paper closes its MIMO study with a prediction: "we anticipate the
+//! impact of the PRESS elements to increase as the MIMO channel dimension
+//! increases past 2 × 2, as previously shown [21, 37]." This harness sweeps
+//! N×N links (N = 2, 3, 4) over the 64 PRESS configurations on oracle
+//! channels and reports how much the array can move the channel's
+//! conditioning and capacity at each dimension.
+
+use press_bench::write_csv;
+use press_core::{CachedLink, PressArray, PressSystem};
+use press_math::Complex64;
+use press_phy::mimo::MimoChannel;
+use press_phy::Numerology;
+use press_propagation::{LabConfig, LabSetup, RadioNode, Vec3};
+
+fn main() {
+    println!("# Ablation: PRESS impact vs MIMO dimension (paper's closing §3 prediction)");
+    println!("# spread = worst-best median condition number over the 64 configs,");
+    println!("# averaged across 4 bench seeds\n");
+    println!(
+        "{:>6} {:>16} {:>16} {:>14} {:>16}",
+        "N x N", "mean best cond", "mean worst cond", "spread dB", "capacity swing"
+    );
+    let mut rows = Vec::new();
+    for n in [2usize, 3, 4] {
+        let mut bests = 0.0;
+        let mut worsts = 0.0;
+        let mut spreads = 0.0;
+        let mut caps = 0.0;
+        let seeds = 4;
+        for seed in 0..seeds {
+            let (best, worst, cap_swing) = sweep(n, seed);
+            bests += best / seeds as f64;
+            worsts += worst / seeds as f64;
+            spreads += (worst - best) / seeds as f64;
+            caps += cap_swing / seeds as f64;
+        }
+        println!(
+            "{:>6} {:>13.2} dB {:>13.2} dB {:>11.2} dB {:>13.2} Mb/s",
+            format!("{n}x{n}"),
+            bests,
+            worsts,
+            spreads,
+            caps
+        );
+        rows.push(format!("{n},{bests:.4},{worsts:.4},{spreads:.4},{caps:.4}"));
+    }
+    write_csv(
+        "ablation_mimo_dim.csv",
+        "dim,best_median_cond_db,worst_median_cond_db,spread_db,capacity_swing_mbps",
+        &rows,
+    );
+    println!("\n# measured: leverage at 4x4 exceeds 2x2 (as the paper anticipates) but is");
+    println!("# not monotone — the rank-starved NLOS channel's baseline conditioning");
+    println!("# collapses faster than the array's leverage grows at 3x3. Moving an");
+    println!("# N-stream channel takes commensurate, angularly diverse control DoF.");
+}
+
+/// Builds an N×N link on the Figure 8 bench geometry and sweeps the 64
+/// PRESS configurations; returns (best, worst) median condition number (dB)
+/// and the open-loop capacity swing at 20 dB SNR.
+fn sweep(n: usize, seed: u64) -> (f64, f64, f64) {
+    let lab = LabSetup::generate(
+        &LabConfig {
+            slab_half_width: 0.45,
+            slab_z: (0.8, 2.2),
+            ..LabConfig::default()
+        },
+        seed,
+    );
+    let lambda = lab.scene.wavelength();
+    let half = lambda / 4.0;
+    // N-antenna uniform linear arrays along y at both ends.
+    let antennas = |center: Vec3| -> Vec<RadioNode> {
+        (0..n)
+            .map(|k| {
+                let offset = (k as f64 - (n as f64 - 1.0) / 2.0) * 2.0 * half;
+                RadioNode::omni_at(center + Vec3::new(0.0, offset, 0.0))
+            })
+            .collect()
+    };
+    let tx = antennas(lab.tx.position);
+    let rx = antennas(lab.rx.position);
+    // Elements scale with the array (N+2 of them) and flank it on BOTH
+    // sides for angular diversity — a low-rank colinear cluster cannot move
+    // an N-stream channel's conditioning once N outgrows it.
+    let n_elements = n + 2;
+    let positions: Vec<Vec3> = (0..n_elements)
+        .map(|k| {
+            let side = if k % 2 == 0 { 1.0 } else { -1.0 };
+            let rank = (k / 2) as f64;
+            lab.tx.position + Vec3::new(0.1 * side, side * (1.2 + rank * lambda), 0.0)
+        })
+        .collect();
+    let array = PressArray::paper_passive(&positions, lambda);
+    let system = PressSystem::new(lab.scene.clone(), array);
+    let space = system.array.config_space();
+    let num = Numerology::wifi20(press_math::consts::WIFI_CHANNEL_11_HZ);
+    let freqs = num.active_freqs_hz();
+    let spacing = num.subcarrier_spacing_hz();
+
+    let links: Vec<Vec<CachedLink>> = tx
+        .iter()
+        .map(|t| {
+            rx.iter()
+                .map(|r| CachedLink::trace(&system, t.clone(), r.clone()))
+                .collect()
+        })
+        .collect();
+
+    let mut best = f64::INFINITY;
+    let mut worst = f64::NEG_INFINITY;
+    let mut cap_min = f64::INFINITY;
+    let mut cap_max = f64::NEG_INFINITY;
+    for config in space.iter() {
+        let h: Vec<Vec<Vec<Complex64>>> = (0..n)
+            .map(|b| {
+                (0..n)
+                    .map(|a| {
+                        press_propagation::frequency_response(
+                            &links[a][b].paths(&system, &config),
+                            &freqs,
+                            0.0,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let ch = MimoChannel::from_scalar_channels(&h);
+        let cond = ch.median_condition_db().expect("square matrices");
+        // Normalize the channel to unit mean-square entry so the 20 dB SNR
+        // is a *receive* SNR and capacity differences isolate conditioning.
+        let energy: f64 = ch
+            .per_subcarrier
+            .iter()
+            .map(|m| m.frobenius_norm().powi(2))
+            .sum::<f64>()
+            / (ch.n_subcarriers() * n * n) as f64;
+        let scale = Complex64::real(1.0 / energy.sqrt());
+        let normalized = MimoChannel::new(
+            ch.per_subcarrier.iter().map(|m| m.scale(scale)).collect(),
+        );
+        let cap = normalized.capacity_bps(20.0, spacing).expect("square matrices") / 1e6;
+        best = best.min(cond);
+        worst = worst.max(cond);
+        cap_min = cap_min.min(cap);
+        cap_max = cap_max.max(cap);
+    }
+    (best, worst, cap_max - cap_min)
+}

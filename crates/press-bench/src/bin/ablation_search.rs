@@ -1,0 +1,141 @@
+//! Ablation (§4.2): navigating the M^N search space.
+//!
+//! "With N PRESS elements, each having M possible reflection coefficients,
+//! enumerating the M^N possibilities … becomes impractical. We will …
+//! apply heuristics to prune the space." This harness compares the
+//! heuristics on a realistic large array (8 elements × 9 states ≈ 43M
+//! configurations) against the exhaustive optimum of a small array, using
+//! oracle channel evaluations. Reported: solution quality vs evaluations
+//! spent — the currency that matters when every evaluation is a channel
+//! measurement inside a coherence time.
+
+use press_bench::write_csv;
+use press_core::{search, CachedLink, Configuration, GeneticParams, PlacedElement, PressArray, PressSystem};
+use press_elements::Element;
+use press_math::consts::WIFI_CHANNEL_11_HZ;
+use press_phy::Numerology;
+use press_propagation::antenna::{Antenna, Pattern};
+use press_propagation::{LabConfig, LabSetup};
+use press_sdr::{SdrRadio, Sounder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Bench {
+    system: PressSystem,
+    sounder: Sounder,
+    link: CachedLink,
+}
+
+fn build(seed: u64, n_elements: usize, n_phases: usize) -> Bench {
+    let lab = LabSetup::generate(&LabConfig::default(), seed);
+    let lambda = lab.scene.wavelength();
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E3779B97F4A7C15));
+    let positions = lab.random_element_positions(n_elements, &mut rng);
+    let aim = (lab.tx.position + lab.rx.position) * 0.5;
+    let elements: Vec<PlacedElement> = positions
+        .iter()
+        .map(|&p| PlacedElement {
+            element: Element::quantized_passive(n_phases, true, lambda),
+            position: p,
+            antenna: Antenna::new(Pattern::press_patch(), aim - p),
+        })
+        .collect();
+    let system = PressSystem::new(lab.scene.clone(), PressArray::new(elements));
+    let sounder = Sounder::new(
+        Numerology::wifi20(WIFI_CHANNEL_11_HZ),
+        SdrRadio::warp(lab.tx.clone()),
+        SdrRadio::warp(lab.rx.clone()),
+    );
+    let link = CachedLink::trace(&system, sounder.tx.node.clone(), sounder.rx.node.clone());
+    Bench { system, sounder, link }
+}
+
+fn main() {
+    println!("# Ablation: search algorithms over the configuration space\n");
+
+    // --- Small space: how close do heuristics get to the true optimum? ---
+    println!("## small array (3 elements x 4 states = 64): distance to exhaustive optimum");
+    println!("{:>12} {:>12} {:>12} {:>10}", "algorithm", "score dB", "evals", "gap dB");
+    let mut rows = vec![];
+    {
+        let b = build(1, 3, 3); // 3 phases + off = 4 states
+        let eval = |c: &Configuration| {
+            b.sounder.oracle_snr(&b.link.paths(&b.system, c), 0.0).min_db()
+        };
+        let space = b.system.array.config_space();
+        let exhaustive = search::exhaustive(&space, eval);
+        let mut report = |name: &str, r: &search::SearchResult| {
+            println!(
+                "{:>12} {:>12.2} {:>12} {:>10.2}",
+                name,
+                r.score,
+                r.evaluations,
+                exhaustive.score - r.score
+            );
+            rows.push(format!("small,{name},{:.4},{},{:.4}", r.score, r.evaluations, exhaustive.score - r.score));
+        };
+        report("exhaustive", &exhaustive);
+        report(
+            "greedy",
+            &search::greedy_coordinate(&space, Configuration::zeros(3), 8, eval),
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        report("hillclimb", &search::hill_climb(&space, 3, 20, &mut rng, eval));
+        let mut rng = StdRng::seed_from_u64(7);
+        report(
+            "annealing",
+            &search::simulated_annealing(&space, 60, 3.0, 0.05, &mut rng, eval),
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        report(
+            "genetic",
+            &search::genetic(&space, &GeneticParams::default(), &mut rng, eval),
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        report("random30", &search::random_search(&space, 30, &mut rng, eval));
+    }
+
+    // --- Large space: quality at equal evaluation budgets. ---
+    println!("\n## large array (8 elements x 9 states = 43e6): quality at ~300 evaluations");
+    println!("{:>12} {:>12} {:>12}", "algorithm", "score dB", "evals");
+    {
+        let b = build(2, 8, 8); // 8 phases + off = 9 states
+        // Raw channel magnitude (no receiver SNR cap): with 8 strong
+        // elements the SNR saturates and would blunt the comparison.
+        let freqs = b.sounder.num.active_freqs_hz();
+        let eval = |c: &Configuration| {
+            let h = press_propagation::frequency_response(&b.link.paths(&b.system, c), &freqs, 0.0);
+            h.iter()
+                .map(|x| 20.0 * x.abs().log10())
+                .fold(f64::INFINITY, f64::min)
+        };
+        let space = b.system.array.config_space();
+        let mut report = |name: &str, r: &search::SearchResult| {
+            println!("{:>12} {:>12.2} {:>12}", name, r.score, r.evaluations);
+            rows.push(format!("large,{name},{:.4},{},", r.score, r.evaluations));
+        };
+        report(
+            "greedy",
+            &search::greedy_coordinate(&space, Configuration::zeros(8), 5, eval),
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        report("hillclimb", &search::hill_climb(&space, 2, 30, &mut rng, eval));
+        let mut rng = StdRng::seed_from_u64(3);
+        report(
+            "annealing",
+            &search::simulated_annealing(&space, 300, 3.0, 0.02, &mut rng, eval),
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let gp = GeneticParams {
+            population: 30,
+            generations: 9,
+            ..GeneticParams::default()
+        };
+        report("genetic", &search::genetic(&space, &gp, &mut rng, eval));
+        let mut rng = StdRng::seed_from_u64(3);
+        report("random300", &search::random_search(&space, 300, &mut rng, eval));
+    }
+    write_csv("ablation_search.csv", "space,algorithm,score_db,evaluations,gap_db", &rows);
+    println!("\n# heuristics should sit within ~1 dB of exhaustive on the small space and");
+    println!("# beat random sampling decisively on the large one.");
+}

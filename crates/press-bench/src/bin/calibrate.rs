@@ -1,0 +1,34 @@
+//! Calibration probe: quick look at the Figure 4 campaign dynamics so the
+//! simulated physics can be tuned against the paper's headline numbers.
+
+use press::rig::fig4_rig;
+use press_core::{headline_stats, run_campaign, CampaignConfig};
+
+fn main() {
+    for seed in 0..8u64 {
+        let rig = fig4_rig(seed);
+        let campaign = CampaignConfig {
+            n_trials: 10,
+            frames_per_config: 4,
+            seed,
+            ..CampaignConfig::default()
+        };
+        let result = run_campaign(&rig.system, &rig.sounder, &campaign);
+        let h = headline_stats(&result);
+        let means = result.mean_profiles();
+        let snr_range: Vec<f64> = means.iter().map(|p| p.mean_db()).collect();
+        let lo = snr_range.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = snr_range.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let sel: f64 = means.iter().map(|p| p.selectivity_db()).sum::<f64>() / means.len() as f64;
+        println!(
+            "seed {seed}: mean-SNR range [{lo:.1},{hi:.1}] dB, avg selectivity {sel:.1} dB, \
+             max_mean_change {:.1} (paper 18.6), max_within {:.1} (26), null_move {} (9), \
+             pairs10dB {:.2} (0.38), min<20dB {:.2} (<0.09)",
+            h.max_mean_snr_change_db,
+            h.max_within_trial_change_db,
+            h.max_null_movement,
+            h.frac_pairs_10db,
+            h.frac_min_below_20db
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Figure 6: distributions of the minimum subcarrier SNR across PRESS
+//! configurations.
+//!
+//! Paper procedure (§3.2.1, data from the Figure 4(e) placement):
+//!
+//! * **Left**: complementary CDF of the change in minimum SNR (across
+//!   subcarriers) between pairs of configurations.
+//! * **Right**: complementary CDF of the minimum SNR itself over the 64
+//!   configurations — one trace per each of the 10 trials.
+//!
+//! Headlines: ~38% of configuration changes cause a ≥10 dB SNR change on at
+//! least one subcarrier; fewer than 9% of configurations have a worst
+//! subcarrier below 20 dB.
+
+use press::rig::fig4_rig;
+use press_bench::{ccdf_rows, write_csv};
+use press_core::analysis::{
+    fraction_configs_min_below, fraction_pairs_with_subcarrier_delta, min_snr_changes, min_snrs,
+};
+use press_core::{run_campaign, CampaignConfig};
+
+/// Same placement as the fig5 harness (the paper's panel (e)); pass
+/// `--seed N` to choose another.
+pub const FIG6_SEED: u64 = 2;
+
+fn seed_from_args() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(FIG6_SEED)
+}
+
+fn main() {
+    let seed = seed_from_args();
+    let rig = fig4_rig(seed);
+    let campaign = CampaignConfig {
+        n_trials: 10,
+        frames_per_config: 4,
+        seed,
+        ..CampaignConfig::default()
+    };
+    println!("# Figure 6 — min-SNR distributions, placement seed {seed}");
+    let result = run_campaign(&rig.system, &rig.sounder, &campaign);
+
+    // Left panel: pooled CCDF of |delta min SNR| over pairs, all trials.
+    let mut deltas = Vec::new();
+    for profiles in &result.profiles {
+        deltas.extend(min_snr_changes(profiles));
+    }
+    write_csv("fig6_left.csv", "delta_min_snr_db,ccdf", &ccdf_rows(&deltas));
+
+    // Right panel: per-trial CCDF of min SNR over the 64 configurations.
+    let mut right_rows = Vec::new();
+    for (trial, profiles) in result.profiles.iter().enumerate() {
+        for r in ccdf_rows(&min_snrs(profiles)) {
+            right_rows.push(format!("{trial},{r}"));
+        }
+    }
+    write_csv("fig6_right.csv", "trial,min_snr_db,ccdf", &right_rows);
+
+    // Headlines, averaged over trials as in the analysis module.
+    let mut frac10 = 0.0;
+    let mut below20 = 0.0;
+    for profiles in &result.profiles {
+        frac10 += fraction_pairs_with_subcarrier_delta(profiles, 10.0);
+        below20 += fraction_configs_min_below(profiles, 20.0);
+    }
+    let n = result.profiles.len() as f64;
+    println!("\n# fraction of configuration changes with >=10 dB on some subcarrier:");
+    println!("#   measured {:.2}   (paper: ~0.38)", frac10 / n);
+    println!("# fraction of configurations with worst subcarrier < 20 dB:");
+    println!("#   measured {:.2}   (paper: < 0.09)", below20 / n);
+    if let Some(e) = press_math::Ecdf::new(&deltas) {
+        println!("# P(|delta min SNR| > 8 dB)  = {:.3}", e.ccdf(8.0));
+        println!("# P(|delta min SNR| > 18 dB) = {:.3}", e.ccdf(18.0));
+    }
+}

@@ -1,0 +1,100 @@
+//! Figure 7: two PRESS configurations with opposite frequency selectivity.
+//!
+//! Paper procedure (§3.2.2): USRP N210 endpoints, elements with four
+//! reflective phases and no absorptive load, and "instead of randomly
+//! generated element placement, the elements and the surrounding
+//! environment were manipulated until a frequency-selective channel was
+//! found". Two configurations are then shown whose channels "exhibit clear
+//! and opposite frequency selectivity; each one favors its own half of the
+//! band" — the primitive behind the network harmonization of Figure 2.
+//!
+//! We emulate the manual manipulation by scanning lab seeds and keeping the
+//! one where the best pro-low-band and pro-high-band configurations are
+//! most strongly opposed.
+
+use press::rig::fig7_rig;
+use press_bench::{sparkline, write_csv};
+use press_core::{run_campaign, CampaignConfig};
+use press_phy::snr::SnrProfile;
+
+fn contrast_extremes(profiles: &[SnrProfile]) -> (usize, usize, f64, f64) {
+    let mut best_low = (0usize, f64::NEG_INFINITY);
+    let mut best_high = (0usize, f64::NEG_INFINITY);
+    for (i, p) in profiles.iter().enumerate() {
+        let c = p.half_band_contrast_db();
+        if c > best_low.1 {
+            best_low = (i, c);
+        }
+        if -c > best_high.1 {
+            best_high = (i, -c);
+        }
+    }
+    (best_low.0, best_high.0, best_low.1, best_high.1)
+}
+
+fn main() {
+    println!("# Figure 7 — opposite frequency selectivity (network harmonization primitive)");
+    println!("# USRP N210 endpoints, 102 active subcarriers, 4 reflective phases per element\n");
+
+    // "Manipulate the environment until a frequency-selective channel is
+    // found": scan candidate setups, keep the most opposed pair.
+    let mut best: Option<(u64, f64)> = None;
+    for seed in 0..12u64 {
+        let rig = fig7_rig(seed);
+        let campaign = CampaignConfig {
+            n_trials: 3,
+            frames_per_config: 4,
+            seed,
+            ..CampaignConfig::default()
+        };
+        let result = run_campaign(&rig.system, &rig.sounder, &campaign);
+        let means = result.mean_profiles();
+        let (_, _, c_low, c_high) = contrast_extremes(&means);
+        let opposition = c_low.min(c_high);
+        if best.map_or(true, |(_, b)| opposition > b) {
+            best = Some((seed, opposition));
+        }
+    }
+    let (seed, opposition) = best.expect("scanned seeds");
+    println!("# selected setup seed {seed} (min one-sided contrast {opposition:.1} dB)\n");
+
+    let rig = fig7_rig(seed);
+    let campaign = CampaignConfig {
+        n_trials: 10,
+        frames_per_config: 4,
+        seed,
+        ..CampaignConfig::default()
+    };
+    let result = run_campaign(&rig.system, &rig.sounder, &campaign);
+    let means = result.mean_profiles();
+    let (i_low, i_high, c_low, c_high) = contrast_extremes(&means);
+    let lambda = rig.system.lambda();
+    let label_low = rig.system.array.label_of(&result.configs[i_low], lambda);
+    let label_high = rig.system.array.label_of(&result.configs[i_high], lambda);
+
+    println!(
+        "low-band config  {label_low}: contrast {c_low:+.1} dB (favors subcarriers 1-51)"
+    );
+    println!("    {}", sparkline(&means[i_low].snr_db));
+    println!(
+        "high-band config {label_high}: contrast {:+.1} dB (favors subcarriers 52-102)",
+        -c_high
+    );
+    println!("    {}", sparkline(&means[i_high].snr_db));
+
+    let rows: Vec<String> = (0..means[i_low].len())
+        .map(|k| {
+            format!(
+                "{k},{:.3},{:.3}",
+                means[i_low].snr_db[k], means[i_high].snr_db[k]
+            )
+        })
+        .collect();
+    write_csv("fig7.csv", "subcarrier,snr_low_band_config_db,snr_high_band_config_db", &rows);
+
+    println!("\n# paper: two configurations each favoring its own half of the band;");
+    println!(
+        "# measured one-sided contrasts: {c_low:+.1} dB and {:+.1} dB",
+        -c_high
+    );
+}

@@ -1,0 +1,110 @@
+//! # press-bench
+//!
+//! Figure-regeneration harnesses and criterion benchmarks for the PRESS
+//! reproduction. Each `fig*` binary regenerates one figure of the paper's
+//! evaluation (HotNets'17, §3) as CSV series printed to stdout and written
+//! under `results/`; the `ablation_*` binaries cover the §4 design-space
+//! questions. See DESIGN.md for the experiment index and EXPERIMENTS.md for
+//! the paper-vs-measured record.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Where harnesses drop their CSV output (`<workspace>/results`).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/press-bench; results live at the root.
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    dir.push("results");
+    dir
+}
+
+/// Writes a CSV file under `results/`, creating the directory as needed.
+/// Each row is already-joined text; the header is written first.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let dir = results_dir();
+    fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(name);
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").unwrap();
+    for r in rows {
+        writeln!(f, "{r}").unwrap();
+    }
+    println!("wrote {}", path.display());
+    path
+}
+
+/// Formats an empirical CCDF as CSV rows `(x, prob)`.
+pub fn ccdf_rows(samples: &[f64]) -> Vec<String> {
+    match press_math::Ecdf::new(samples) {
+        Some(e) => e
+            .ccdf_curve()
+            .into_iter()
+            .map(|(x, p)| format!("{x:.4},{p:.6}"))
+            .collect(),
+        None => Vec::new(),
+    }
+}
+
+/// Formats an empirical CDF as CSV rows `(x, prob)`.
+pub fn cdf_rows(samples: &[f64]) -> Vec<String> {
+    match press_math::Ecdf::new(samples) {
+        Some(e) => e
+            .curve()
+            .into_iter()
+            .map(|(x, p)| format!("{x:.4},{p:.6}"))
+            .collect(),
+        None => Vec::new(),
+    }
+}
+
+/// Renders a quick ASCII sparkline of a series for terminal inspection.
+pub fn sparkline(values: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !lo.is_finite() || !hi.is_finite() || hi <= lo {
+        return "─".repeat(values.len());
+    }
+    values
+        .iter()
+        .map(|&v| {
+            let idx = ((v - lo) / (hi - lo) * 7.0).round() as usize;
+            GLYPHS[idx.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_handles_flat_series() {
+        assert_eq!(sparkline(&[1.0, 1.0, 1.0]), "───");
+    }
+
+    #[test]
+    fn sparkline_spans_range() {
+        let s = sparkline(&[0.0, 1.0]);
+        assert_eq!(s.chars().count(), 2);
+        let cs: Vec<char> = s.chars().collect();
+        assert_eq!(cs[0], '▁');
+        assert_eq!(cs[1], '█');
+    }
+
+    #[test]
+    fn ccdf_rows_shapes() {
+        let rows = ccdf_rows(&[1.0, 2.0, 3.0]);
+        assert_eq!(rows.len(), 3);
+        assert!(rows[2].ends_with("0.000000"));
+        assert!(ccdf_rows(&[]).is_empty());
+    }
+
+    #[test]
+    fn results_dir_is_under_workspace() {
+        assert!(results_dir().ends_with("results"));
+    }
+}

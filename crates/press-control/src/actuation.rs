@@ -1,0 +1,265 @@
+//! Actuation: getting a configuration onto the array, reliably, in time.
+//!
+//! A discrete-event simulation of the controller pushing a configuration to
+//! `N` elements over a [`Transport`]: batch broadcast with per-element
+//! acknowledgements and retransmission of the stragglers. The output —
+//! completion time, messages spent, retries — is what the §2 timing
+//! argument needs: can this control plane reconfigure the array inside a
+//! channel coherence time (80 ms standing, 6 ms running), or even at the
+//! paper's packet-level 1–2 ms aspiration?
+
+use crate::message::Message;
+use crate::transport::Transport;
+use rand::Rng;
+
+/// Per-element acknowledgement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckPolicy {
+    /// Fire-and-forget: no acknowledgements, no retries. Fastest, may leave
+    /// elements stale on loss.
+    None,
+    /// Every element acks; lost assignments are retransmitted (unicast) up
+    /// to the retry limit.
+    PerElement {
+        /// Maximum retransmissions per element.
+        max_retries: usize,
+    },
+}
+
+/// Result of one actuation round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActuationReport {
+    /// Time from first transmission to the last element applying its state
+    /// (or the last ack arriving, with acks), seconds.
+    pub completion_s: f64,
+    /// Total frames transmitted (commands + acks).
+    pub frames_sent: usize,
+    /// Elements that still did not apply the configuration.
+    pub failed_elements: Vec<u16>,
+    /// Retransmission rounds used.
+    pub retry_rounds: usize,
+}
+
+impl ActuationReport {
+    /// Whether every element applied the configuration.
+    pub fn complete(&self) -> bool {
+        self.failed_elements.is_empty()
+    }
+}
+
+/// Actuates `assignments` (element id → state) over the transport.
+///
+/// Broadcast transports send one [`Message::BatchSet`] to all elements per
+/// round; each element independently loses the frame with the transport's
+/// loss probability. With [`AckPolicy::PerElement`], acks are unicast back
+/// (also lossy) and un-acked elements are re-addressed in the next round
+/// with a shrinking batch.
+///
+/// `distance_m` is the worst-case controller↔element distance (latency is
+/// conservative).
+pub fn actuate<R: Rng + ?Sized>(
+    transport: &Transport,
+    assignments: &[(u16, u8)],
+    distance_m: f64,
+    policy: AckPolicy,
+    rng: &mut R,
+) -> ActuationReport {
+    let mut clock = 0.0f64;
+    let mut frames = 0usize;
+    let mut pending: Vec<(u16, u8)> = assignments.to_vec();
+    let mut seq: u16 = 1;
+    let max_rounds = match policy {
+        AckPolicy::None => 1,
+        AckPolicy::PerElement { max_retries } => max_retries + 1,
+    };
+    let mut rounds = 0usize;
+    let mut last_apply = 0.0f64;
+
+    while !pending.is_empty() && rounds < max_rounds {
+        rounds += 1;
+        let batch = Message::BatchSet {
+            seq,
+            assignments: pending.clone(),
+        };
+        seq = seq.wrapping_add(1);
+        let frame_len = batch.wire_len();
+        frames += 1;
+        // One broadcast transmission; each addressed element experiences an
+        // independent delivery trial on the shared medium.
+        let mut still_pending = Vec::new();
+        let mut round_end = clock;
+        for &(element, state) in &pending {
+            let d = transport.deliver(frame_len, distance_m, rng);
+            if d.delivered {
+                let applied_at = clock + d.latency_s;
+                last_apply = last_apply.max(applied_at);
+                match policy {
+                    AckPolicy::None => {
+                        round_end = round_end.max(applied_at);
+                    }
+                    AckPolicy::PerElement { .. } => {
+                        let ack = Message::Ack { seq };
+                        let back = transport.deliver(ack.wire_len(), distance_m, rng);
+                        frames += 1;
+                        if back.delivered {
+                            round_end = round_end.max(applied_at + back.latency_s);
+                        } else {
+                            // Applied but unconfirmed: will be retransmitted
+                            // (idempotent), counts as pending for the protocol.
+                            still_pending.push((element, state));
+                            round_end = round_end.max(applied_at + back.latency_s);
+                        }
+                    }
+                }
+            } else {
+                let wasted = clock + d.latency_s;
+                round_end = round_end.max(wasted);
+                still_pending.push((element, state));
+            }
+        }
+        clock = round_end.max(last_apply);
+        pending = still_pending;
+    }
+
+    ActuationReport {
+        completion_s: clock,
+        frames_sent: frames,
+        failed_elements: pending.iter().map(|&(e, _)| e).collect(),
+        retry_rounds: rounds.saturating_sub(1),
+    }
+}
+
+/// Convenience: does this transport/policy actuate `n_elements` within a
+/// coherence budget? Returns `(report, fits)`.
+pub fn fits_coherence<R: Rng + ?Sized>(
+    transport: &Transport,
+    n_elements: usize,
+    distance_m: f64,
+    policy: AckPolicy,
+    budget_s: f64,
+    rng: &mut R,
+) -> (ActuationReport, bool) {
+    let assignments: Vec<(u16, u8)> = (0..n_elements as u16).map(|e| (e, 1)).collect();
+    let report = actuate(transport, &assignments, distance_m, policy, rng);
+    let fits = report.complete() && report.completion_s <= budget_s;
+    (report, fits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn wired_actuation_is_submillisecond() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let assignments: Vec<(u16, u8)> = (0..64).map(|e| (e, 2)).collect();
+        let r = actuate(
+            &Transport::wired(),
+            &assignments,
+            15.0,
+            AckPolicy::PerElement { max_retries: 3 },
+            &mut rng,
+        );
+        assert!(r.complete());
+        assert!(r.completion_s < 5e-3, "completion {}", r.completion_s);
+    }
+
+    #[test]
+    fn fire_and_forget_sends_one_frame() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let assignments: Vec<(u16, u8)> = (0..10).map(|e| (e, 1)).collect();
+        let r = actuate(&Transport::wired(), &assignments, 5.0, AckPolicy::None, &mut rng);
+        assert_eq!(r.frames_sent, 1);
+        assert_eq!(r.retry_rounds, 0);
+    }
+
+    #[test]
+    fn lossy_transport_retries_and_converges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let assignments: Vec<(u16, u8)> = (0..100).map(|e| (e, 3)).collect();
+        let r = actuate(
+            &Transport::ism(),
+            &assignments,
+            10.0,
+            AckPolicy::PerElement { max_retries: 10 },
+            &mut rng,
+        );
+        assert!(r.complete(), "failed: {:?}", r.failed_elements);
+        assert!(r.frames_sent > 100, "acks must be counted");
+    }
+
+    #[test]
+    fn no_retries_on_lossy_can_fail() {
+        // With 5% loss and 200 elements, fire-and-forget almost surely
+        // leaves someone stale — quantifying why acks exist.
+        let mut rng = StdRng::seed_from_u64(4);
+        let assignments: Vec<(u16, u8)> = (0..200).map(|e| (e, 1)).collect();
+        let r = actuate(
+            &Transport::ultrasound(),
+            &assignments,
+            5.0,
+            AckPolicy::None,
+            &mut rng,
+        );
+        assert!(!r.complete(), "200 elements at 5% loss should drop some");
+    }
+
+    #[test]
+    fn ultrasound_blows_packet_timescale() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (_, fits_packet) = fits_coherence(
+            &Transport::ultrasound(),
+            64,
+            6.0,
+            AckPolicy::PerElement { max_retries: 2 },
+            2e-3,
+            &mut rng,
+        );
+        assert!(!fits_packet, "acoustics cannot hit 2 ms");
+    }
+
+    #[test]
+    fn wired_fits_packet_timescale() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (report, fits) = fits_coherence(
+            &Transport::wired(),
+            64,
+            15.0,
+            AckPolicy::PerElement { max_retries: 2 },
+            2e-3,
+            &mut rng,
+        );
+        assert!(fits, "wired 64-element actuation took {}", report.completion_s);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let assignments: Vec<(u16, u8)> = (0..20).map(|e| (e, 1)).collect();
+        let a = actuate(
+            &Transport::ism(),
+            &assignments,
+            5.0,
+            AckPolicy::PerElement { max_retries: 5 },
+            &mut StdRng::seed_from_u64(7),
+        );
+        let b = actuate(
+            &Transport::ism(),
+            &assignments,
+            5.0,
+            AckPolicy::PerElement { max_retries: 5 },
+            &mut StdRng::seed_from_u64(7),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_assignment_is_trivially_complete() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let r = actuate(&Transport::ism(), &[], 5.0, AckPolicy::None, &mut rng);
+        assert!(r.complete());
+        assert_eq!(r.frames_sent, 0);
+        assert_eq!(r.completion_s, 0.0);
+    }
+}

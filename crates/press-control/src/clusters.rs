@@ -1,0 +1,199 @@
+//! Hybrid control topologies: wireless cluster heads, wired element groups.
+//!
+//! §4.2 of the paper lists "wires between some subsets of the array
+//! elements" among the control-plane candidates. The natural hybrid is
+//! clusters: a low-rate wireless hop reaches each cluster's head, and a
+//! short wired bus fans the command out within the cluster — wiring an
+//! entire building is impractical, but wiring the elements inside one wall
+//! panel is trivial. This module computes actuation latency and message
+//! cost across the cluster-size spectrum, from fully wireless (cluster
+//! size 1) to fully wired (one cluster).
+
+use crate::actuation::{actuate, AckPolicy, ActuationReport};
+use crate::transport::Transport;
+use rand::Rng;
+
+/// A hybrid clustered control plane.
+#[derive(Debug, Clone)]
+pub struct ClusteredControl {
+    /// Transport from the controller to the cluster heads.
+    pub backbone: Transport,
+    /// Transport within each cluster (head to members).
+    pub local: Transport,
+    /// Elements per cluster.
+    pub cluster_size: usize,
+    /// Controller → head worst-case range, meters.
+    pub backbone_range_m: f64,
+    /// Head → member worst-case range, meters (one wall panel).
+    pub local_range_m: f64,
+}
+
+impl ClusteredControl {
+    /// The natural hybrid: ISM radio to the heads, wired panel buses inside.
+    pub fn ism_heads_wired_panels(cluster_size: usize) -> ClusteredControl {
+        ClusteredControl {
+            backbone: Transport::ism(),
+            local: Transport::wired(),
+            cluster_size: cluster_size.max(1),
+            backbone_range_m: 20.0,
+            local_range_m: 2.0,
+        }
+    }
+
+    /// Actuates `assignments` across the clustered topology: the backbone
+    /// delivers each cluster's batch to its head (acked, retried), then all
+    /// cluster buses run in parallel. Returns the end-to-end report with
+    /// completion = slowest backbone delivery + slowest local fan-out.
+    pub fn actuate<R: Rng + ?Sized>(
+        &self,
+        assignments: &[(u16, u8)],
+        rng: &mut R,
+    ) -> ActuationReport {
+        if assignments.is_empty() {
+            return ActuationReport {
+                completion_s: 0.0,
+                frames_sent: 0,
+                failed_elements: Vec::new(),
+                retry_rounds: 0,
+            };
+        }
+        let mut total_frames = 0usize;
+        let mut failed = Vec::new();
+        let mut backbone_worst = 0.0f64;
+        let mut local_worst = 0.0f64;
+        let mut retry_rounds = 0usize;
+
+        for chunk in assignments.chunks(self.cluster_size) {
+            // One backbone message per cluster head carrying the sub-batch.
+            let head: Vec<(u16, u8)> = vec![chunk[0]];
+            let backbone_report = actuate(
+                &self.backbone,
+                &head,
+                self.backbone_range_m,
+                AckPolicy::PerElement { max_retries: 8 },
+                rng,
+            );
+            total_frames += backbone_report.frames_sent;
+            retry_rounds = retry_rounds.max(backbone_report.retry_rounds);
+            if !backbone_report.complete() {
+                // The whole cluster is unreachable.
+                failed.extend(chunk.iter().map(|&(e, _)| e));
+                continue;
+            }
+            backbone_worst = backbone_worst.max(backbone_report.completion_s);
+
+            // Local wired fan-out inside the cluster (runs after its head
+            // got the batch; clusters run in parallel with each other).
+            let local_report = actuate(
+                &self.local,
+                chunk,
+                self.local_range_m,
+                AckPolicy::PerElement { max_retries: 4 },
+                rng,
+            );
+            total_frames += local_report.frames_sent;
+            retry_rounds = retry_rounds.max(local_report.retry_rounds);
+            failed.extend(local_report.failed_elements.iter());
+            local_worst = local_worst.max(local_report.completion_s);
+        }
+
+        ActuationReport {
+            completion_s: backbone_worst + local_worst,
+            frames_sent: total_frames,
+            failed_elements: failed,
+            retry_rounds,
+        }
+    }
+
+    /// Number of backbone endpoints (cluster heads) this topology needs for
+    /// `n` elements — the wiring cost driver.
+    pub fn n_heads(&self, n_elements: usize) -> usize {
+        n_elements.div_ceil(self.cluster_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assignments(n: u16) -> Vec<(u16, u8)> {
+        (0..n).map(|e| (e, 1)).collect()
+    }
+
+    #[test]
+    fn clustering_reduces_backbone_endpoints() {
+        let c = ClusteredControl::ism_heads_wired_panels(16);
+        assert_eq!(c.n_heads(256), 16);
+        assert_eq!(c.n_heads(257), 17);
+        let flat = ClusteredControl::ism_heads_wired_panels(1);
+        assert_eq!(flat.n_heads(256), 256);
+    }
+
+    #[test]
+    fn clustered_actuation_completes() {
+        let c = ClusteredControl::ism_heads_wired_panels(16);
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = c.actuate(&assignments(128), &mut rng);
+        assert!(r.complete(), "failed: {:?}", r.failed_elements);
+        assert!(r.completion_s > 0.0);
+    }
+
+    #[test]
+    fn bigger_clusters_fewer_backbone_messages() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let small = ClusteredControl::ism_heads_wired_panels(4)
+            .actuate(&assignments(128), &mut rng);
+        let mut rng = StdRng::seed_from_u64(2);
+        let large = ClusteredControl::ism_heads_wired_panels(32)
+            .actuate(&assignments(128), &mut rng);
+        assert!(
+            large.frames_sent < small.frames_sent,
+            "large {} vs small {}",
+            large.frames_sent,
+            small.frames_sent
+        );
+    }
+
+    #[test]
+    fn hybrid_beats_fully_wireless_on_big_arrays() {
+        // 512 elements: per-element ISM unicast vs 32-element wired panels.
+        let mut rng = StdRng::seed_from_u64(3);
+        let wireless = crate::actuation::actuate(
+            &Transport::ism(),
+            &assignments(512),
+            20.0,
+            AckPolicy::PerElement { max_retries: 8 },
+            &mut rng,
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let hybrid = ClusteredControl::ism_heads_wired_panels(32)
+            .actuate(&assignments(512), &mut rng);
+        assert!(hybrid.complete() && wireless.complete());
+        assert!(
+            hybrid.completion_s < wireless.completion_s,
+            "hybrid {} vs wireless {}",
+            hybrid.completion_s,
+            wireless.completion_s
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_trivial() {
+        let c = ClusteredControl::ism_heads_wired_panels(8);
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = c.actuate(&[], &mut rng);
+        assert!(r.complete());
+        assert_eq!(r.frames_sent, 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = ClusteredControl::ism_heads_wired_panels(8);
+        let a = c.actuate(&assignments(64), &mut StdRng::seed_from_u64(5));
+        let b = c.actuate(&assignments(64), &mut StdRng::seed_from_u64(5));
+        assert_eq!(a.completion_s, b.completion_s);
+        assert_eq!(a.frames_sent, b.frames_sent);
+    }
+}

@@ -1,0 +1,454 @@
+//! Discrete-event simulation of the control plane.
+//!
+//! The round-based [`actuate`](crate::actuation::actuate) answers "how long
+//! does a batch take"; this simulator answers the finer-grained questions a
+//! §4.2 control-plane design raises: how do ack timeouts interact with
+//! transport latency, what does the wire look like under retransmission
+//! pressure, and when do commands for the *next* reconfiguration overtake
+//! stragglers from the last one. Events are processed from a time-ordered
+//! queue; every transmission, delivery, loss, ack and timeout is traced.
+
+use crate::message::Message;
+use crate::transport::Transport;
+use rand::Rng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A traced control-plane event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// Controller put a command frame on the medium.
+    CommandSent {
+        /// Time, seconds.
+        t: f64,
+        /// Sequence number.
+        seq: u16,
+        /// Addressed element.
+        element: u16,
+        /// Attempt number (0 = first transmission).
+        attempt: usize,
+    },
+    /// An element applied its state and acked.
+    Applied {
+        /// Time, seconds.
+        t: f64,
+        /// Element id.
+        element: u16,
+        /// State applied.
+        state: u8,
+    },
+    /// The controller received an ack.
+    AckReceived {
+        /// Time, seconds.
+        t: f64,
+        /// Element id.
+        element: u16,
+    },
+    /// A frame (command or ack) was lost on the medium.
+    Lost {
+        /// Time, seconds.
+        t: f64,
+        /// Element id.
+        element: u16,
+    },
+    /// A retransmission timer fired.
+    TimerFired {
+        /// Time, seconds.
+        t: f64,
+        /// Element id.
+        element: u16,
+    },
+    /// The controller gave up on an element.
+    GaveUp {
+        /// Time, seconds.
+        t: f64,
+        /// Element id.
+        element: u16,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn time(&self) -> f64 {
+        match self {
+            TraceEvent::CommandSent { t, .. }
+            | TraceEvent::Applied { t, .. }
+            | TraceEvent::AckReceived { t, .. }
+            | TraceEvent::Lost { t, .. }
+            | TraceEvent::TimerFired { t, .. }
+            | TraceEvent::GaveUp { t, .. } => *t,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Pending {
+    CommandArrives { element: u16, state: u8, delivered: bool },
+    AckArrives { element: u16, delivered: bool },
+    Timer { element: u16 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct QueuedEvent {
+    t: f64,
+    // Tie-break for determinism when times collide.
+    seq: u64,
+    what: Pending,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert for earliest-first.
+        other
+            .t
+            .total_cmp(&self.t)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Simulator parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesConfig {
+    /// Ack timeout before retransmission, seconds.
+    pub ack_timeout_s: f64,
+    /// Maximum transmissions per element (first + retries).
+    pub max_attempts: usize,
+    /// Worst-case controller-element distance, meters.
+    pub distance_m: f64,
+    /// Element switch settling time before the ack goes out, seconds.
+    pub settle_s: f64,
+}
+
+impl Default for DesConfig {
+    fn default() -> Self {
+        DesConfig {
+            ack_timeout_s: 20e-3,
+            max_attempts: 6,
+            distance_m: 15.0,
+            settle_s: 2e-6,
+        }
+    }
+}
+
+/// Simulation outcome.
+#[derive(Debug, Clone)]
+pub struct DesReport {
+    /// Every event, time-ordered.
+    pub trace: Vec<TraceEvent>,
+    /// Time of the last element's state application (not ack), seconds.
+    pub last_apply_s: f64,
+    /// Time the controller confirmed the final ack (or gave up), seconds.
+    pub done_s: f64,
+    /// Elements the controller gave up on.
+    pub failed: Vec<u16>,
+    /// Total frames transmitted (commands + acks).
+    pub frames: usize,
+}
+
+impl DesReport {
+    /// True when every element confirmed.
+    pub fn complete(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
+
+/// Runs the event simulation for one batch actuation: each assignment is a
+/// unicast command with an ack timer; losses trigger retransmission until
+/// the attempt budget runs out. (Unicast per element models the worst case
+/// of the broadcast schemes in [`actuate`](crate::actuation::actuate).)
+pub fn simulate_actuation<R: Rng + ?Sized>(
+    transport: &Transport,
+    assignments: &[(u16, u8)],
+    cfg: &DesConfig,
+    rng: &mut R,
+) -> DesReport {
+    let mut queue: BinaryHeap<QueuedEvent> = BinaryHeap::new();
+    let mut trace = Vec::new();
+    let mut seqno: u64 = 0;
+    let mut frames = 0usize;
+
+    let n = assignments.len();
+    let mut acked = vec![false; n];
+    let mut attempts = vec![0usize; n];
+    let mut failed = Vec::new();
+    let index_of = |element: u16| assignments.iter().position(|&(e, _)| e == element);
+
+    // Helper to enqueue.
+    let push = |queue: &mut BinaryHeap<QueuedEvent>, seqno: &mut u64, t: f64, what: Pending| {
+        *seqno += 1;
+        queue.push(QueuedEvent { t, seq: *seqno, what });
+    };
+
+    // Initial transmissions: serialized back-to-back on the shared medium.
+    let mut wire_free_at = 0.0f64;
+    for (i, &(element, state)) in assignments.iter().enumerate() {
+        let msg = Message::SetState { seq: i as u16, element, state };
+        let d = transport.deliver(msg.wire_len(), cfg.distance_m, rng);
+        frames += 1;
+        trace.push(TraceEvent::CommandSent { t: wire_free_at, seq: i as u16, element, attempt: 0 });
+        attempts[i] = 1;
+        push(
+            &mut queue,
+            &mut seqno,
+            wire_free_at + d.latency_s,
+            Pending::CommandArrives { element, state, delivered: d.delivered },
+        );
+        push(&mut queue, &mut seqno, wire_free_at + cfg.ack_timeout_s, Pending::Timer { element });
+        // Serialization occupies the wire for the latency's serialization part;
+        // approximate with the full one-way latency for simplicity.
+        wire_free_at += msg.wire_len() as f64 * 8.0 / bitrate(transport);
+    }
+
+    let mut last_apply = 0.0f64;
+    let mut done = 0.0f64;
+
+    while let Some(QueuedEvent { t, what, .. }) = queue.pop() {
+        match what {
+            Pending::CommandArrives { element, state, delivered } => {
+                if !delivered {
+                    trace.push(TraceEvent::Lost { t, element });
+                    continue;
+                }
+                let i = index_of(element).expect("known element");
+                if acked[i] {
+                    continue; // duplicate of an already-confirmed command
+                }
+                trace.push(TraceEvent::Applied { t: t + cfg.settle_s, element, state });
+                last_apply = last_apply.max(t + cfg.settle_s);
+                let ack = Message::Ack { seq: element };
+                let d = transport.deliver(ack.wire_len(), cfg.distance_m, rng);
+                frames += 1;
+                if d.delivered {
+                    push(
+                        &mut queue,
+                        &mut seqno,
+                        t + cfg.settle_s + d.latency_s,
+                        Pending::AckArrives { element, delivered: true },
+                    );
+                } else {
+                    trace.push(TraceEvent::Lost { t: t + cfg.settle_s, element });
+                }
+            }
+            Pending::AckArrives { element, .. } => {
+                let i = index_of(element).expect("known element");
+                if !acked[i] {
+                    acked[i] = true;
+                    trace.push(TraceEvent::AckReceived { t, element });
+                    done = done.max(t);
+                }
+            }
+            Pending::Timer { element } => {
+                let i = index_of(element).expect("known element");
+                if acked[i] {
+                    continue;
+                }
+                trace.push(TraceEvent::TimerFired { t, element });
+                if attempts[i] >= cfg.max_attempts {
+                    trace.push(TraceEvent::GaveUp { t, element });
+                    failed.push(element);
+                    done = done.max(t);
+                    continue;
+                }
+                let state = assignments[i].1;
+                let msg = Message::SetState { seq: i as u16, element, state };
+                let d = transport.deliver(msg.wire_len(), cfg.distance_m, rng);
+                frames += 1;
+                attempts[i] += 1;
+                trace.push(TraceEvent::CommandSent {
+                    t,
+                    seq: i as u16,
+                    element,
+                    attempt: attempts[i] - 1,
+                });
+                push(
+                    &mut queue,
+                    &mut seqno,
+                    t + d.latency_s,
+                    Pending::CommandArrives { element, state, delivered: d.delivered },
+                );
+                push(&mut queue, &mut seqno, t + cfg.ack_timeout_s, Pending::Timer { element });
+            }
+        }
+    }
+
+    trace.sort_by(|a, b| a.time().total_cmp(&b.time()));
+    DesReport {
+        trace,
+        last_apply_s: last_apply,
+        done_s: done,
+        failed,
+        frames,
+    }
+}
+
+fn bitrate(t: &Transport) -> f64 {
+    match t {
+        Transport::WiredBus { bitrate_bps, .. } => *bitrate_bps,
+        Transport::IsmRadio { bitrate_bps, .. } => *bitrate_bps,
+        Transport::Ultrasound { bitrate_bps, .. } => *bitrate_bps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assignments(n: u16) -> Vec<(u16, u8)> {
+        (0..n).map(|e| (e, 2)).collect()
+    }
+
+    #[test]
+    fn wired_batch_completes_quickly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = simulate_actuation(
+            &Transport::wired(),
+            &assignments(32),
+            &DesConfig::default(),
+            &mut rng,
+        );
+        assert!(r.complete());
+        assert!(r.done_s < 10e-3, "done at {}", r.done_s);
+        assert!(r.last_apply_s <= r.done_s);
+        // One command + one ack per element, no retries on a clean wire.
+        assert_eq!(r.frames, 64);
+    }
+
+    #[test]
+    fn trace_is_time_ordered_and_consistent() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = simulate_actuation(
+            &Transport::ism(),
+            &assignments(12),
+            &DesConfig::default(),
+            &mut rng,
+        );
+        for w in r.trace.windows(2) {
+            assert!(w[0].time() <= w[1].time() + 1e-12);
+        }
+        // Every ack received must follow an application of that element.
+        for (i, ev) in r.trace.iter().enumerate() {
+            if let TraceEvent::AckReceived { element, .. } = ev {
+                let applied_before = r.trace[..i]
+                    .iter()
+                    .any(|e| matches!(e, TraceEvent::Applied { element: el, .. } if el == element));
+                assert!(applied_before, "ack without application for {element}");
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_transport_retransmits_on_timeout() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = simulate_actuation(
+            &Transport::ultrasound(),
+            &assignments(20),
+            &DesConfig {
+                ack_timeout_s: 80e-3,
+                max_attempts: 10,
+                ..DesConfig::default()
+            },
+            &mut rng,
+        );
+        let timers = r
+            .trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::TimerFired { .. }))
+            .count();
+        assert!(timers > 0, "5% loss over 20 elements should fire timers");
+        assert!(r.complete(), "failed: {:?}", r.failed);
+    }
+
+    #[test]
+    fn attempt_budget_exhaustion_gives_up() {
+        // A pathological transport that loses everything.
+        let black_hole = Transport::IsmRadio {
+            bitrate_bps: 250e3,
+            loss_prob: 1.0,
+            mac_latency_s: 1e-3,
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = simulate_actuation(
+            &black_hole,
+            &assignments(3),
+            &DesConfig {
+                max_attempts: 3,
+                ack_timeout_s: 5e-3,
+                ..DesConfig::default()
+            },
+            &mut rng,
+        );
+        assert_eq!(r.failed.len(), 3);
+        assert!(!r.complete());
+        // 3 attempts per element, no acks.
+        assert_eq!(r.frames, 9);
+        let gave_up = r
+            .trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::GaveUp { .. }))
+            .count();
+        assert_eq!(gave_up, 3);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            simulate_actuation(
+                &Transport::ism(),
+                &assignments(10),
+                &DesConfig::default(),
+                &mut StdRng::seed_from_u64(seed),
+            )
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a.frames, b.frames);
+        assert_eq!(a.done_s, b.done_s);
+        assert_eq!(a.trace.len(), b.trace.len());
+    }
+
+    #[test]
+    fn empty_batch_trivially_done() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = simulate_actuation(&Transport::wired(), &[], &DesConfig::default(), &mut rng);
+        assert!(r.complete());
+        assert_eq!(r.frames, 0);
+        assert_eq!(r.done_s, 0.0);
+    }
+
+    #[test]
+    fn des_and_round_model_agree_on_scale() {
+        // The DES (unicast worst case) must be within an order of magnitude
+        // of the round-based broadcast model for the same job.
+        let mut rng = StdRng::seed_from_u64(6);
+        let des = simulate_actuation(
+            &Transport::ism(),
+            &assignments(64),
+            &DesConfig::default(),
+            &mut rng,
+        );
+        let mut rng2 = StdRng::seed_from_u64(6);
+        let rounds = crate::actuation::actuate(
+            &Transport::ism(),
+            &assignments(64),
+            15.0,
+            crate::actuation::AckPolicy::PerElement { max_retries: 6 },
+            &mut rng2,
+        );
+        assert!(des.complete() && rounds.complete());
+        let ratio = des.done_s / rounds.completion_s;
+        assert!((0.1..50.0).contains(&ratio), "DES {} vs rounds {}", des.done_s, rounds.completion_s);
+    }
+}

@@ -1,0 +1,23 @@
+//! # press-control
+//!
+//! The PRESS control plane (§2, §4.2 of the paper): the channel between a
+//! (semi-)centralized controller and the wall-embedded array elements.
+//!
+//! * [`message`] — the tiny framed wire protocol (set-state, batch,
+//!   ack, ping) with checksummed encode/decode over `bytes`;
+//! * [`transport`] — the paper's three control-channel candidates as
+//!   delivery models: wired bus, low-rate ISM radio, in-room ultrasound;
+//! * [`actuation`] — event-driven batch actuation with acknowledgements and
+//!   retransmission, reporting completion time against coherence budgets.
+
+pub mod actuation;
+pub mod clusters;
+pub mod des;
+pub mod message;
+pub mod transport;
+
+pub use actuation::{actuate, fits_coherence, AckPolicy, ActuationReport};
+pub use clusters::ClusteredControl;
+pub use des::{simulate_actuation, DesConfig, DesReport, TraceEvent};
+pub use message::{CodecError, Message, MAGIC};
+pub use transport::{Delivery, Transport};

@@ -1,0 +1,306 @@
+//! Control-plane wire protocol.
+//!
+//! §2 and §4.2 of the paper call for "a mechanism by which the controller
+//! can actuate all the array elements rapidly" over a link that "does not
+//! interfere with communication in the wireless data plane". The messages a
+//! controller exchanges with elements are tiny — set-state commands and
+//! acknowledgements — and every byte costs airtime on the low-rate control
+//! channels under consideration, so the codec is explicit about its framing:
+//!
+//! ```text
+//! | magic 0xPC (1B) | type (1B) | seq (u16 BE) | payload … | checksum (1B) |
+//! ```
+//!
+//! The checksum is a simple XOR over all preceding bytes — enough to reject
+//! corruption in a simulation and cheap enough for a µW element controller.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Protocol magic byte.
+pub const MAGIC: u8 = 0xAC;
+
+/// A control-plane message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Set one element's switch state.
+    SetState {
+        /// Sequence number for ack matching.
+        seq: u16,
+        /// Target element id.
+        element: u16,
+        /// Switch state to select.
+        state: u8,
+    },
+    /// Set many elements at once (broadcast batch).
+    BatchSet {
+        /// Sequence number for ack matching.
+        seq: u16,
+        /// `(element, state)` assignments.
+        assignments: Vec<(u16, u8)>,
+    },
+    /// Element → controller acknowledgement.
+    Ack {
+        /// Sequence number being acknowledged.
+        seq: u16,
+    },
+    /// Controller liveness probe.
+    Ping {
+        /// Sequence number.
+        seq: u16,
+    },
+}
+
+/// Decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Buffer shorter than a minimal frame.
+    Truncated,
+    /// First byte was not [`MAGIC`].
+    BadMagic(u8),
+    /// Unknown message type byte.
+    UnknownType(u8),
+    /// Checksum mismatch.
+    BadChecksum {
+        /// Checksum in the frame.
+        got: u8,
+        /// Checksum computed over the frame body.
+        expected: u8,
+    },
+    /// Batch length field disagrees with the remaining bytes.
+    BadLength,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "frame truncated"),
+            CodecError::BadMagic(b) => write!(f, "bad magic byte 0x{b:02x}"),
+            CodecError::UnknownType(t) => write!(f, "unknown message type 0x{t:02x}"),
+            CodecError::BadChecksum { got, expected } => {
+                write!(f, "checksum 0x{got:02x}, expected 0x{expected:02x}")
+            }
+            CodecError::BadLength => write!(f, "batch length disagrees with frame size"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const TYPE_SET: u8 = 1;
+const TYPE_BATCH: u8 = 2;
+const TYPE_ACK: u8 = 3;
+const TYPE_PING: u8 = 4;
+
+fn xor_checksum(bytes: &[u8]) -> u8 {
+    bytes.iter().fold(0u8, |a, b| a ^ b)
+}
+
+impl Message {
+    /// The message's sequence number.
+    pub fn seq(&self) -> u16 {
+        match self {
+            Message::SetState { seq, .. }
+            | Message::BatchSet { seq, .. }
+            | Message::Ack { seq }
+            | Message::Ping { seq } => *seq,
+        }
+    }
+
+    /// Encodes to a wire frame.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u8(MAGIC);
+        match self {
+            Message::SetState { seq, element, state } => {
+                buf.put_u8(TYPE_SET);
+                buf.put_u16(*seq);
+                buf.put_u16(*element);
+                buf.put_u8(*state);
+            }
+            Message::BatchSet { seq, assignments } => {
+                buf.put_u8(TYPE_BATCH);
+                buf.put_u16(*seq);
+                buf.put_u16(assignments.len() as u16);
+                for (element, state) in assignments {
+                    buf.put_u16(*element);
+                    buf.put_u8(*state);
+                }
+            }
+            Message::Ack { seq } => {
+                buf.put_u8(TYPE_ACK);
+                buf.put_u16(*seq);
+            }
+            Message::Ping { seq } => {
+                buf.put_u8(TYPE_PING);
+                buf.put_u16(*seq);
+            }
+        }
+        let ck = xor_checksum(&buf);
+        buf.put_u8(ck);
+        buf.freeze()
+    }
+
+    /// Decodes a wire frame.
+    ///
+    /// # Errors
+    /// Any [`CodecError`] variant; the frame is never partially interpreted.
+    pub fn decode(frame: &[u8]) -> Result<Message, CodecError> {
+        if frame.len() < 5 {
+            return Err(CodecError::Truncated);
+        }
+        let (body, ck) = frame.split_at(frame.len() - 1);
+        let expected = xor_checksum(body);
+        if ck[0] != expected {
+            return Err(CodecError::BadChecksum {
+                got: ck[0],
+                expected,
+            });
+        }
+        let mut buf = body;
+        let magic = buf.get_u8();
+        if magic != MAGIC {
+            return Err(CodecError::BadMagic(magic));
+        }
+        let mtype = buf.get_u8();
+        let seq = buf.get_u16();
+        match mtype {
+            TYPE_SET => {
+                if buf.remaining() != 3 {
+                    return Err(CodecError::BadLength);
+                }
+                let element = buf.get_u16();
+                let state = buf.get_u8();
+                Ok(Message::SetState { seq, element, state })
+            }
+            TYPE_BATCH => {
+                if buf.remaining() < 2 {
+                    return Err(CodecError::Truncated);
+                }
+                let n = buf.get_u16() as usize;
+                if buf.remaining() != n * 3 {
+                    return Err(CodecError::BadLength);
+                }
+                let assignments = (0..n)
+                    .map(|_| {
+                        let e = buf.get_u16();
+                        let s = buf.get_u8();
+                        (e, s)
+                    })
+                    .collect();
+                Ok(Message::BatchSet { seq, assignments })
+            }
+            TYPE_ACK => {
+                if buf.remaining() != 0 {
+                    return Err(CodecError::BadLength);
+                }
+                Ok(Message::Ack { seq })
+            }
+            TYPE_PING => {
+                if buf.remaining() != 0 {
+                    return Err(CodecError::BadLength);
+                }
+                Ok(Message::Ping { seq })
+            }
+            t => Err(CodecError::UnknownType(t)),
+        }
+    }
+
+    /// Encoded length in bytes (airtime accounting).
+    pub fn wire_len(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: Message) {
+        let frame = m.encode();
+        let back = Message::decode(&frame).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        roundtrip(Message::SetState { seq: 7, element: 300, state: 3 });
+        roundtrip(Message::Ack { seq: 65535 });
+        roundtrip(Message::Ping { seq: 0 });
+        roundtrip(Message::BatchSet {
+            seq: 9,
+            assignments: vec![(0, 1), (1, 3), (500, 0)],
+        });
+        roundtrip(Message::BatchSet { seq: 1, assignments: vec![] });
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(Message::decode(&[MAGIC, 1]), Err(CodecError::Truncated));
+        assert_eq!(Message::decode(&[]), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut frame = Message::SetState { seq: 1, element: 2, state: 3 }
+            .encode()
+            .to_vec();
+        frame[4] ^= 0xFF;
+        assert!(matches!(
+            Message::decode(&frame),
+            Err(CodecError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut frame = Message::Ping { seq: 1 }.encode().to_vec();
+        frame[0] = 0x00;
+        // Fix the checksum so magic is the failure detected.
+        let n = frame.len();
+        frame[n - 1] = frame[..n - 1].iter().fold(0, |a, b| a ^ b);
+        assert_eq!(Message::decode(&frame), Err(CodecError::BadMagic(0)));
+    }
+
+    #[test]
+    fn unknown_type_detected() {
+        let mut frame = vec![MAGIC, 0x77, 0, 1];
+        frame.push(frame.iter().fold(0, |a: u8, b| a ^ b));
+        assert_eq!(Message::decode(&frame), Err(CodecError::UnknownType(0x77)));
+    }
+
+    #[test]
+    fn batch_length_mismatch_detected() {
+        let good = Message::BatchSet {
+            seq: 2,
+            assignments: vec![(1, 1)],
+        }
+        .encode()
+        .to_vec();
+        // Claim 2 assignments but carry 1.
+        let mut bad = good.clone();
+        bad[5] = 2; // low byte of the count
+        let n = bad.len();
+        bad[n - 1] = bad[..n - 1].iter().fold(0, |a, b| a ^ b);
+        assert_eq!(Message::decode(&bad), Err(CodecError::BadLength));
+    }
+
+    #[test]
+    fn wire_len_scales_with_batch() {
+        let one = Message::BatchSet { seq: 0, assignments: vec![(0, 0)] }.wire_len();
+        let ten = Message::BatchSet {
+            seq: 0,
+            assignments: (0..10).map(|i| (i, 0)).collect(),
+        }
+        .wire_len();
+        assert_eq!(ten - one, 27, "3 bytes per extra assignment");
+    }
+
+    #[test]
+    fn seq_accessor() {
+        assert_eq!(Message::Ack { seq: 42 }.seq(), 42);
+        assert_eq!(
+            Message::BatchSet { seq: 7, assignments: vec![] }.seq(),
+            7
+        );
+    }
+}

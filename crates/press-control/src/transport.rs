@@ -1,0 +1,186 @@
+//! Control-plane transports: wired, low-rate ISM wireless, ultrasound.
+//!
+//! §4.2 of the paper: "Likely wireless control plane candidates are
+//! low-frequency, low-rate bands (perhaps ISM or whitespace frequencies)
+//! that penetrate walls well and travel long distances. Other candidates
+//! include ultrasound in order to easily scope the control to a single
+//! indoor room, as well as wires between some subsets of the array
+//! elements." Each candidate becomes a delivery model: serialization at a
+//! bit rate, a propagation delay, a loss probability, and whether delivery
+//! is broadcast (one transmission reaches every element) or unicast.
+
+use press_propagation::fading::gaussian;
+use rand::Rng;
+
+/// Outcome of attempting to deliver one frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delivery {
+    /// Whether the frame arrived intact.
+    pub delivered: bool,
+    /// One-way latency (serialization + propagation + stack jitter), seconds.
+    /// Meaningful even for lost frames (the airtime was still spent).
+    pub latency_s: f64,
+}
+
+/// A control-plane transport model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Transport {
+    /// A shared wire (RS-485-class bus embedded in the wall).
+    WiredBus {
+        /// Serialization rate, bits/s.
+        bitrate_bps: f64,
+        /// Per-frame loss probability (connector/EMI faults; tiny).
+        loss_prob: f64,
+    },
+    /// A sub-GHz low-rate ISM radio channel (802.15.4-class).
+    IsmRadio {
+        /// Serialization rate, bits/s.
+        bitrate_bps: f64,
+        /// Per-frame loss probability.
+        loss_prob: f64,
+        /// Mean MAC/backoff latency added per frame, seconds.
+        mac_latency_s: f64,
+    },
+    /// In-room ultrasound signalling.
+    Ultrasound {
+        /// Serialization rate, bits/s (acoustic links are slow).
+        bitrate_bps: f64,
+        /// Per-frame loss probability.
+        loss_prob: f64,
+    },
+}
+
+impl Transport {
+    /// A 1 Mb/s wall bus with negligible loss.
+    pub fn wired() -> Transport {
+        Transport::WiredBus {
+            bitrate_bps: 1e6,
+            loss_prob: 1e-6,
+        }
+    }
+
+    /// A 250 kb/s 802.15.4-class control radio with 2% loss and ~2 ms MAC.
+    pub fn ism() -> Transport {
+        Transport::IsmRadio {
+            bitrate_bps: 250e3,
+            loss_prob: 0.02,
+            mac_latency_s: 2e-3,
+        }
+    }
+
+    /// A 4 kb/s ultrasound channel with 5% loss.
+    pub fn ultrasound() -> Transport {
+        Transport::Ultrasound {
+            bitrate_bps: 4e3,
+            loss_prob: 0.05,
+        }
+    }
+
+    /// Whether one transmission reaches all elements at once.
+    pub fn is_broadcast(&self) -> bool {
+        match self {
+            Transport::WiredBus { .. } => true,
+            Transport::IsmRadio { .. } => true,
+            Transport::Ultrasound { .. } => true,
+        }
+    }
+
+    /// Propagation speed, m/s.
+    pub fn propagation_speed(&self) -> f64 {
+        match self {
+            // Signal velocity in copper ~0.66c.
+            Transport::WiredBus { .. } => 2.0e8,
+            Transport::IsmRadio { .. } => 299_792_458.0,
+            Transport::Ultrasound { .. } => 343.0,
+        }
+    }
+
+    /// Attempts delivery of a frame of `frame_len` bytes over `distance_m`.
+    pub fn deliver<R: Rng + ?Sized>(
+        &self,
+        frame_len: usize,
+        distance_m: f64,
+        rng: &mut R,
+    ) -> Delivery {
+        let bits = (frame_len * 8) as f64;
+        let (bitrate, loss, extra) = match self {
+            Transport::WiredBus { bitrate_bps, loss_prob } => (*bitrate_bps, *loss_prob, 0.0),
+            Transport::IsmRadio {
+                bitrate_bps,
+                loss_prob,
+                mac_latency_s,
+            } => {
+                // Exponential-ish MAC latency via |gaussian| around the mean.
+                let jitter = (1.0 + 0.5 * gaussian(rng).abs()) * mac_latency_s;
+                (*bitrate_bps, *loss_prob, jitter)
+            }
+            Transport::Ultrasound { bitrate_bps, loss_prob } => (*bitrate_bps, *loss_prob, 0.0),
+        };
+        let latency = bits / bitrate + distance_m / self.propagation_speed() + extra;
+        Delivery {
+            delivered: rng.gen::<f64>() >= loss,
+            latency_s: latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn wired_is_fast_and_reliable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Transport::wired().deliver(8, 10.0, &mut rng);
+        assert!(d.delivered);
+        // 64 bits at 1 Mb/s = 64 us + negligible propagation.
+        assert!((d.latency_s - 64e-6).abs() < 1e-6, "{}", d.latency_s);
+    }
+
+    #[test]
+    fn ultrasound_dominated_by_acoustics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Transport::ultrasound().deliver(8, 6.0, &mut rng);
+        // 64 bits at 4 kb/s = 16 ms serialization + 17.5 ms propagation.
+        assert!(d.latency_s > 0.03, "{}", d.latency_s);
+    }
+
+    #[test]
+    fn ism_slower_than_wire_faster_than_sound() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let wire = Transport::wired().deliver(8, 6.0, &mut rng).latency_s;
+        let ism = Transport::ism().deliver(8, 6.0, &mut rng).latency_s;
+        let sound = Transport::ultrasound().deliver(8, 6.0, &mut rng).latency_s;
+        assert!(wire < ism && ism < sound, "{wire} {ism} {sound}");
+    }
+
+    #[test]
+    fn loss_rate_statistically_matches() {
+        let t = Transport::ism();
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 20_000;
+        let lost = (0..n)
+            .filter(|_| !t.deliver(8, 5.0, &mut rng).delivered)
+            .count();
+        let rate = lost as f64 / n as f64;
+        assert!((rate - 0.02).abs() < 0.005, "loss rate {rate}");
+    }
+
+    #[test]
+    fn latency_scales_with_frame_length() {
+        let t = Transport::ultrasound();
+        let mut rng = StdRng::seed_from_u64(5);
+        let short = t.deliver(8, 1.0, &mut rng).latency_s;
+        let long = t.deliver(80, 1.0, &mut rng).latency_s;
+        assert!((long - short - 72.0 * 8.0 / 4e3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_transports_broadcast() {
+        assert!(Transport::wired().is_broadcast());
+        assert!(Transport::ism().is_broadcast());
+        assert!(Transport::ultrasound().is_broadcast());
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the control plane: codec robustness and
+//! actuation invariants for arbitrary assignments and corruption.
+
+use press_control::{actuate, AckPolicy, CodecError, Message, Transport};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn messages() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (any::<u16>(), any::<u16>(), any::<u8>())
+            .prop_map(|(seq, element, state)| Message::SetState { seq, element, state }),
+        any::<u16>().prop_map(|seq| Message::Ack { seq }),
+        any::<u16>().prop_map(|seq| Message::Ping { seq }),
+        (
+            any::<u16>(),
+            proptest::collection::vec((any::<u16>(), any::<u8>()), 0..40)
+        )
+            .prop_map(|(seq, assignments)| Message::BatchSet { seq, assignments }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn codec_roundtrip(msg in messages()) {
+        let frame = msg.encode();
+        prop_assert_eq!(Message::decode(&frame).unwrap(), msg);
+    }
+
+    #[test]
+    fn single_byte_corruption_never_yields_wrong_message(msg in messages(), pos in 0usize..512, flip in 1u8..=255) {
+        let mut frame = msg.encode().to_vec();
+        let pos = pos % frame.len();
+        frame[pos] ^= flip;
+        // Either rejected, or (only if the checksum byte itself was what
+        // changed back to consistency — impossible with a single flip) the
+        // same message. It must never decode to a *different* message.
+        match Message::decode(&frame) {
+            Err(_) => {}
+            Ok(decoded) => prop_assert_eq!(decoded, msg),
+        }
+    }
+
+    #[test]
+    fn truncation_always_rejected(msg in messages(), keep in 0usize..8) {
+        let frame = msg.encode();
+        let keep = keep.min(frame.len().saturating_sub(1));
+        let result = Message::decode(&frame[..keep]);
+        prop_assert!(result.is_err());
+        if keep < 5 {
+            prop_assert_eq!(result.unwrap_err(), CodecError::Truncated);
+        }
+    }
+
+    #[test]
+    fn actuation_completion_time_nonnegative_and_counts_frames(
+        n in 0usize..50,
+        seed in 0u64..100,
+    ) {
+        let assignments: Vec<(u16, u8)> = (0..n as u16).map(|e| (e, 1)).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = actuate(
+            &Transport::ism(),
+            &assignments,
+            10.0,
+            AckPolicy::PerElement { max_retries: 6 },
+            &mut rng,
+        );
+        prop_assert!(r.completion_s >= 0.0);
+        if n == 0 {
+            prop_assert!(r.complete());
+            prop_assert_eq!(r.frames_sent, 0);
+        } else {
+            prop_assert!(r.frames_sent >= 1);
+        }
+        // Failed elements are a subset of the addressed ones.
+        for e in &r.failed_elements {
+            prop_assert!((*e as usize) < n);
+        }
+    }
+
+    #[test]
+    fn reliable_transport_always_completes(n in 1usize..80, seed in 0u64..50) {
+        let assignments: Vec<(u16, u8)> = (0..n as u16).map(|e| (e, 2)).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = actuate(
+            &Transport::wired(),
+            &assignments,
+            20.0,
+            AckPolicy::PerElement { max_retries: 8 },
+            &mut rng,
+        );
+        prop_assert!(r.complete(), "failed: {:?}", r.failed_elements);
+    }
+
+    #[test]
+    fn more_retries_never_hurt_completion(n in 1usize..40, seed in 0u64..30) {
+        let assignments: Vec<(u16, u8)> = (0..n as u16).map(|e| (e, 1)).collect();
+        let few = actuate(
+            &Transport::ultrasound(),
+            &assignments,
+            8.0,
+            AckPolicy::PerElement { max_retries: 1 },
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let many = actuate(
+            &Transport::ultrasound(),
+            &assignments,
+            8.0,
+            AckPolicy::PerElement { max_retries: 12 },
+            &mut StdRng::seed_from_u64(seed),
+        );
+        prop_assert!(many.failed_elements.len() <= few.failed_elements.len());
+    }
+}

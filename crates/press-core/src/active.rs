@@ -1,0 +1,243 @@
+//! Continuous optimization for active (relay) elements.
+//!
+//! Passive switches give a discrete `M^N` space; active PhyCloak-class
+//! elements are continuously tunable in phase and gain (§2: an active
+//! obfuscator "can alter the wireless channel amplitudes, delays, and
+//! Doppler shifts"). This module tunes a hybrid array's active elements by
+//! cyclic coordinate descent with golden-section line search over each
+//! phase (and optionally gain), on top of whatever discrete configuration
+//! the passive elements hold.
+
+use crate::config::Configuration;
+use crate::system::{CachedLink, PressSystem};
+use press_phy::snr::SnrProfile;
+use press_sdr::Sounder;
+
+const GOLDEN: f64 = 0.618_033_988_749_894_9;
+
+/// Result of tuning the active elements.
+#[derive(Debug, Clone)]
+pub struct ActiveTuning {
+    /// `(element index, phase_rad, gain_db)` for each active element.
+    pub settings: Vec<(usize, f64, f64)>,
+    /// Final objective value.
+    pub score: f64,
+    /// Oracle evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Golden-section maximization of a unimodal-ish 1-D function on `[lo, hi]`.
+fn golden_max(mut lo: f64, mut hi: f64, iters: usize, mut f: impl FnMut(f64) -> f64) -> (f64, f64) {
+    let mut x1 = hi - GOLDEN * (hi - lo);
+    let mut x2 = lo + GOLDEN * (hi - lo);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    for _ in 0..iters {
+        if f1 < f2 {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + GOLDEN * (hi - lo);
+            f2 = f(x2);
+        } else {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - GOLDEN * (hi - lo);
+            f1 = f(x1);
+        }
+    }
+    if f1 >= f2 {
+        (x1, f1)
+    } else {
+        (x2, f2)
+    }
+}
+
+/// Tunes every active element's phase (gain pinned at `gain_db`) to
+/// maximize `objective` of the link's oracle SNR profile, holding the
+/// passive elements at `passive_config`. Runs `sweeps` rounds of coordinate
+/// descent; each coordinate gets a golden-section search over `[0, 2π)`
+/// seeded by a coarse 8-point scan (the phase response is periodic, not
+/// unimodal, so the scan picks the basin first).
+pub fn tune_active_phases(
+    system: &mut PressSystem,
+    link: &CachedLink,
+    sounder: &Sounder,
+    passive_config: &Configuration,
+    gain_db: f64,
+    sweeps: usize,
+    objective: &dyn Fn(&SnrProfile) -> f64,
+) -> ActiveTuning {
+    let active_idx: Vec<usize> = system
+        .array
+        .elements
+        .iter()
+        .enumerate()
+        .filter(|(_, pe)| !pe.element.is_passive())
+        .map(|(i, _)| i)
+        .collect();
+    let mut evaluations = 0usize;
+
+    // Enable all actives at the requested gain, phase 0.
+    for &i in &active_idx {
+        system.array.elements[i].element.program_active(gain_db, 0.0, true);
+    }
+
+    let mut score = {
+        let profile = sounder.oracle_snr(&link.paths(system, passive_config), 0.0);
+        evaluations += 1;
+        objective(&profile)
+    };
+
+    for _ in 0..sweeps.max(1) {
+        for &i in &active_idx {
+            // Coarse scan to find the best basin.
+            let mut best_phase = 0.0;
+            let mut best_val = f64::NEG_INFINITY;
+            for k in 0..8 {
+                let phase = k as f64 * std::f64::consts::TAU / 8.0;
+                system.array.elements[i].element.program_active(gain_db, phase, true);
+                let profile = sounder.oracle_snr(&link.paths(system, passive_config), 0.0);
+                evaluations += 1;
+                let v = objective(&profile);
+                if v > best_val {
+                    best_val = v;
+                    best_phase = phase;
+                }
+            }
+            // Refine within the basin.
+            let width = std::f64::consts::TAU / 8.0;
+            let (phase, val) = golden_max(best_phase - width, best_phase + width, 12, |p| {
+                system.array.elements[i].element.program_active(gain_db, p, true);
+                let profile = sounder.oracle_snr(&link.paths(system, passive_config), 0.0);
+                evaluations += 1;
+                objective(&profile)
+            });
+            system.array.elements[i]
+                .element
+                .program_active(gain_db, phase.rem_euclid(std::f64::consts::TAU), true);
+            score = val.max(best_val);
+        }
+    }
+
+    let settings = active_idx
+        .iter()
+        .map(|&i| {
+            let pe = &system.array.elements[i].element;
+            match &pe.kind {
+                press_elements::ElementKind::Active { gain_db, phase_rad, .. } => {
+                    (i, *phase_rad, *gain_db)
+                }
+                _ => unreachable!("filtered to actives"),
+            }
+        })
+        .collect();
+    ActiveTuning {
+        settings,
+        score,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::{PlacedElement, PressArray};
+    use press_elements::Element;
+    use press_math::consts::WIFI_CHANNEL_11_HZ;
+    use press_phy::Numerology;
+    use press_propagation::antenna::Antenna;
+    use press_propagation::{LabConfig, LabSetup};
+    use press_sdr::SdrRadio;
+
+    fn hybrid_setup() -> (PressSystem, Sounder) {
+        let lab = LabSetup::generate(&LabConfig::default(), 7);
+        let lambda = lab.scene.wavelength();
+        // One passive, one active element flanking the link.
+        let mid = (lab.tx.position + lab.rx.position) * 0.5;
+        let elements = vec![
+            PlacedElement {
+                element: Element::paper_passive(lambda),
+                position: mid + press_propagation::Vec3::new(0.0, 1.0, 0.0),
+                antenna: Antenna::endpoint_omni(),
+            },
+            PlacedElement {
+                element: Element::active(20.0),
+                position: mid + press_propagation::Vec3::new(0.0, -1.1, 0.0),
+                antenna: Antenna::endpoint_omni(),
+            },
+        ];
+        let system = PressSystem::new(lab.scene.clone(), PressArray::new(elements));
+        let sounder = Sounder::new(
+            Numerology::wifi20(WIFI_CHANNEL_11_HZ),
+            SdrRadio::warp(lab.tx.clone()),
+            SdrRadio::warp(lab.rx.clone()),
+        );
+        (system, sounder)
+    }
+
+    #[test]
+    fn golden_max_finds_parabola_peak() {
+        let (x, v) = golden_max(-2.0, 3.0, 40, |x| -(x - 1.3) * (x - 1.3));
+        assert!((x - 1.3).abs() < 1e-6);
+        assert!(v.abs() < 1e-10);
+    }
+
+    #[test]
+    fn tuning_improves_or_matches_phase_zero() {
+        let (mut system, sounder) = hybrid_setup();
+        let link = CachedLink::trace(&system, sounder.tx.node.clone(), sounder.rx.node.clone());
+        let passive = Configuration::new(vec![0, 0]);
+        let objective = |p: &SnrProfile| p.min_db();
+        // Baseline: active on at phase 0.
+        system.array.elements[1].element.program_active(12.0, 0.0, true);
+        let baseline = objective(&sounder.oracle_snr(&link.paths(&system, &passive), 0.0));
+        let tuned = tune_active_phases(
+            &mut system, &link, &sounder, &passive, 12.0, 2, &objective,
+        );
+        assert!(
+            tuned.score >= baseline - 1e-9,
+            "tuned {} vs phase-zero {baseline}",
+            tuned.score
+        );
+        assert_eq!(tuned.settings.len(), 1);
+        assert!(tuned.evaluations > 8);
+    }
+
+    #[test]
+    fn tuned_phase_is_applied_to_the_array() {
+        let (mut system, sounder) = hybrid_setup();
+        let link = CachedLink::trace(&system, sounder.tx.node.clone(), sounder.rx.node.clone());
+        let passive = Configuration::new(vec![0, 0]);
+        let objective = |p: &SnrProfile| p.mean_db();
+        let tuned = tune_active_phases(
+            &mut system, &link, &sounder, &passive, 10.0, 1, &objective,
+        );
+        let (idx, phase, gain) = tuned.settings[0];
+        match &system.array.elements[idx].element.kind {
+            press_elements::ElementKind::Active { gain_db, phase_rad, enabled, .. } => {
+                assert!(*enabled);
+                assert_eq!(*phase_rad, phase);
+                assert_eq!(*gain_db, gain);
+            }
+            _ => panic!("expected active element"),
+        }
+    }
+
+    #[test]
+    fn tuning_is_deterministic() {
+        let run = || {
+            let (mut system, sounder) = hybrid_setup();
+            let link =
+                CachedLink::trace(&system, sounder.tx.node.clone(), sounder.rx.node.clone());
+            let passive = Configuration::new(vec![0, 0]);
+            let objective = |p: &SnrProfile| p.min_db();
+            tune_active_phases(&mut system, &link, &sounder, &passive, 12.0, 2, &objective)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.settings, b.settings);
+        assert_eq!(a.score, b.score);
+    }
+}

@@ -1,0 +1,177 @@
+//! Interference alignment at a multi-antenna bystander.
+//!
+//! §1 of the paper: "Another instance of network harmonization is
+//! interference alignment: aligning the interference that two networks
+//! cause at a receiver in a third network, so that that receiver may remove
+//! the interference from both interfering networks in a single nulling
+//! step." At a two-antenna receiver, each interferer arrives as a complex
+//! 2-vector per subcarrier; when the two vectors are collinear, one spatial
+//! projection kills both. PRESS's job is to *make* them collinear by
+//! reshaping the interferers' multipath.
+//!
+//! This module provides the alignment metric, the optimal single-step
+//! nulling filter, and the post-nulling SINR accounting the objective
+//! ultimately answers to.
+
+use press_math::Complex64;
+
+/// A per-subcarrier channel to a two-antenna receiver.
+pub type Steering = [Complex64; 2];
+
+fn inner(a: &Steering, b: &Steering) -> Complex64 {
+    a[0].conj() * b[0] + a[1].conj() * b[1]
+}
+
+fn norm_sqr(a: &Steering) -> f64 {
+    a[0].norm_sqr() + a[1].norm_sqr()
+}
+
+/// Cosine of the angle between two interference vectors at one subcarrier:
+/// 1 = perfectly aligned (one nulling step removes both), 0 = orthogonal
+/// (nulling one leaves the other untouched).
+pub fn alignment(v1: &Steering, v2: &Steering) -> f64 {
+    let denom = (norm_sqr(v1) * norm_sqr(v2)).sqrt();
+    if denom <= 0.0 {
+        return 1.0; // a vanished interferer is trivially aligned
+    }
+    (inner(v1, v2).abs() / denom).min(1.0)
+}
+
+/// Mean alignment across subcarriers — the objective PRESS maximizes.
+pub fn mean_alignment(i1: &[Steering], i2: &[Steering]) -> f64 {
+    assert_eq!(i1.len(), i2.len(), "subcarrier counts differ");
+    if i1.is_empty() {
+        return 1.0;
+    }
+    i1.iter().zip(i2).map(|(a, b)| alignment(a, b)).sum::<f64>() / i1.len() as f64
+}
+
+/// The best single nulling filter at one subcarrier: the unit vector `w`
+/// minimizing the residual interference power `w^H R w` with
+/// `R = v1·v1^H + v2·v2^H` — i.e. the eigenvector of the smaller eigenvalue
+/// of the 2×2 Hermitian interference covariance. Returns `(w, residual)`
+/// where `residual` is the total leftover interference power.
+pub fn nulling_filter(v1: &Steering, v2: &Steering) -> (Steering, f64) {
+    // R = [[a, b], [conj(b), c]] (Hermitian PSD).
+    let a = v1[0].norm_sqr() + v2[0].norm_sqr();
+    let c = v1[1].norm_sqr() + v2[1].norm_sqr();
+    let b = v1[0] * v1[1].conj() + v2[0] * v2[1].conj();
+    let tr = a + c;
+    let det = a * c - b.norm_sqr();
+    let disc = ((tr * tr / 4.0 - det).max(0.0)).sqrt();
+    let lambda_min = (tr / 2.0 - disc).max(0.0);
+    // Eigenvector for lambda_min: (R - lambda I) w = 0.
+    // Row 1: (a - l) w0 + b w1 = 0 -> w = [-b, a - l] (or use row 2 if degenerate).
+    let cand = if (a - lambda_min).abs() + b.abs() > 1e-30 {
+        [-b, Complex64::real(a - lambda_min)]
+    } else {
+        [Complex64::real(c - lambda_min), -b.conj()]
+    };
+    let n = (cand[0].norm_sqr() + cand[1].norm_sqr()).sqrt();
+    let w = if n > 0.0 {
+        [cand[0] / n, cand[1] / n]
+    } else {
+        // R = 0: no interference at all; any unit vector nulls nothing.
+        [Complex64::ONE, Complex64::ZERO]
+    };
+    (w, lambda_min)
+}
+
+/// Post-nulling SINR per subcarrier: apply the optimal nulling filter for
+/// the two interferers and measure what remains of the desired signal
+/// against residual interference + noise.
+pub fn post_nulling_sinr_db(
+    signal: &[Steering],
+    i1: &[Steering],
+    i2: &[Steering],
+    noise_power: f64,
+) -> Vec<f64> {
+    assert!(signal.len() == i1.len() && i1.len() == i2.len());
+    signal
+        .iter()
+        .zip(i1.iter().zip(i2))
+        .map(|(s, (v1, v2))| {
+            let (w, residual) = nulling_filter(v1, v2);
+            let s_out = (w[0].conj() * s[0] + w[1].conj() * s[1]).norm_sqr();
+            10.0 * (s_out / (residual + noise_power)).max(1e-12).log10()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    #[test]
+    fn collinear_interferers_fully_aligned() {
+        let v1 = [c(1.0, 0.5), c(-0.3, 0.2)];
+        let v2 = [v1[0] * c(0.0, 2.0), v1[1] * c(0.0, 2.0)]; // complex multiple
+        assert!((alignment(&v1, &v2) - 1.0).abs() < 1e-12);
+        let (_, residual) = nulling_filter(&v1, &v2);
+        assert!(residual < 1e-12, "one step must null both: {residual}");
+    }
+
+    #[test]
+    fn orthogonal_interferers_unaligned_and_unnullable() {
+        let v1 = [c(1.0, 0.0), c(0.0, 0.0)];
+        let v2 = [c(0.0, 0.0), c(1.0, 0.0)];
+        assert!(alignment(&v1, &v2) < 1e-12);
+        let (_, residual) = nulling_filter(&v1, &v2);
+        // Both have unit power; the best single null leaves one unit behind.
+        assert!((residual - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nulling_filter_is_unit_norm_and_kills_dominant_direction() {
+        let v1 = [c(2.0, 1.0), c(0.5, -0.5)];
+        let v2 = [c(1.9, 1.1), c(0.45, -0.55)]; // nearly aligned with v1
+        let (w, residual) = nulling_filter(&v1, &v2);
+        assert!(((w[0].norm_sqr() + w[1].norm_sqr()) - 1.0).abs() < 1e-9);
+        let leak1 = (w[0].conj() * v1[0] + w[1].conj() * v1[1]).norm_sqr();
+        let leak2 = (w[0].conj() * v2[0] + w[1].conj() * v2[1]).norm_sqr();
+        assert!((leak1 + leak2 - residual).abs() < 1e-9);
+        assert!(residual < 0.05 * (norm_sqr(&v1) + norm_sqr(&v2)));
+    }
+
+    #[test]
+    fn aligned_interference_buys_sinr() {
+        // Same interference power; aligned vs orthogonal.
+        let signal = vec![[c(1.0, 0.0), c(0.5, 0.5)]; 8];
+        let i_base = [c(0.8, 0.1), c(-0.2, 0.6)];
+        let aligned1 = vec![i_base; 8];
+        let aligned2 = vec![[i_base[0] * 0.9, i_base[1] * 0.9]; 8];
+        let ortho2 = vec![[i_base[1].conj() * 0.9, -i_base[0].conj() * 0.9]; 8];
+        let noise = 1e-3;
+        let sinr_aligned = post_nulling_sinr_db(&signal, &aligned1, &aligned2, noise);
+        let sinr_ortho = post_nulling_sinr_db(&signal, &aligned1, &ortho2, noise);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&sinr_aligned) > mean(&sinr_ortho) + 10.0,
+            "aligned {} vs orthogonal {}",
+            mean(&sinr_aligned),
+            mean(&sinr_ortho)
+        );
+    }
+
+    #[test]
+    fn mean_alignment_bounds() {
+        let v = [c(1.0, 0.0), c(0.0, 1.0)];
+        let u = [c(0.3, -0.4), c(0.2, 0.9)];
+        let m = mean_alignment(&vec![v; 4], &vec![u; 4]);
+        assert!((0.0..=1.0).contains(&m));
+        assert_eq!(mean_alignment(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn zero_interferer_is_trivially_aligned() {
+        let v = [c(1.0, 0.0), c(0.5, 0.0)];
+        let z = [Complex64::ZERO, Complex64::ZERO];
+        assert_eq!(alignment(&v, &z), 1.0);
+        let (_, residual) = nulling_filter(&z, &z);
+        assert_eq!(residual, 0.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Campaign analysis: the statistics behind Figures 4–6 and the paper's
+//! headline numbers.
+//!
+//! Everything operates on per-configuration [`SnrProfile`]s so the same
+//! functions serve measured campaigns and oracle sweeps.
+
+use crate::measurement::CampaignResult;
+use press_phy::snr::{null_movement, SnrProfile};
+
+/// The paper's null-depth threshold: a subcarrier counts as "the most
+/// significant null" only when it sits ≥ 5 dB below the profile median.
+pub const NULL_THRESHOLD_DB: f64 = 5.0;
+
+/// Figure 4 pair selection: the two configurations with the largest
+/// single-subcarrier SNR difference. Returns `(i, j, delta_db)` with
+/// `i < j`; `None` with fewer than two profiles.
+pub fn extreme_pair(profiles: &[SnrProfile]) -> Option<(usize, usize, f64)> {
+    let mut best: Option<(usize, usize, f64)> = None;
+    for j in 1..profiles.len() {
+        for i in 0..j {
+            let d = profiles[i].max_abs_delta_db(&profiles[j]);
+            if best.map_or(true, |(_, _, b)| d > b) {
+                best = Some((i, j, d));
+            }
+        }
+    }
+    best
+}
+
+/// Figure 5 data: null movement (in subcarriers) for every ordered pair of
+/// configurations in one trial, counting only pairs where *both*
+/// configurations exhibit a null (the paper: "among configurations that
+/// exhibit a null"). All `n²` ordered pairs are considered, matching the
+/// paper's "all of the 64² pairs".
+pub fn null_movements(profiles: &[SnrProfile]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for a in profiles {
+        for b in profiles {
+            if let Some(m) = null_movement(a, b, NULL_THRESHOLD_DB) {
+                out.push(m);
+            }
+        }
+    }
+    out
+}
+
+/// Figure 6 (left) data: |Δ minimum-SNR| in dB for every unordered pair of
+/// configurations.
+pub fn min_snr_changes(profiles: &[SnrProfile]) -> Vec<f64> {
+    let mut out = Vec::new();
+    for j in 1..profiles.len() {
+        for i in 0..j {
+            out.push((profiles[i].min_db() - profiles[j].min_db()).abs());
+        }
+    }
+    out
+}
+
+/// Figure 6 (right) data: the minimum SNR across subcarriers of every
+/// configuration.
+pub fn min_snrs(profiles: &[SnrProfile]) -> Vec<f64> {
+    profiles.iter().map(|p| p.min_db()).collect()
+}
+
+/// Headline §3.2.1: the fraction of configuration changes (unordered pairs)
+/// that cause at least `threshold_db` of SNR change on at least one
+/// subcarrier. The paper reports ≈38% at 10 dB.
+pub fn fraction_pairs_with_subcarrier_delta(profiles: &[SnrProfile], threshold_db: f64) -> f64 {
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for j in 1..profiles.len() {
+        for i in 0..j {
+            total += 1;
+            if profiles[i].max_abs_delta_db(&profiles[j]) >= threshold_db {
+                hits += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// Headline §3.2.1: the fraction of configurations whose worst subcarrier
+/// falls below `threshold_db`. The paper reports <9% below 20 dB.
+pub fn fraction_configs_min_below(profiles: &[SnrProfile], threshold_db: f64) -> f64 {
+    if profiles.is_empty() {
+        return 0.0;
+    }
+    profiles.iter().filter(|p| p.min_db() < threshold_db).count() as f64 / profiles.len() as f64
+}
+
+/// Summary of a whole campaign against the paper's headline numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadlineStats {
+    /// Largest change in *mean* (across trials) SNR on any subcarrier
+    /// between any two configurations, dB. Paper: 18.6 dB.
+    pub max_mean_snr_change_db: f64,
+    /// Largest within-trial single-subcarrier change, dB. Paper: 26 dB.
+    pub max_within_trial_change_db: f64,
+    /// Largest null movement observed in any trial, subcarriers. Paper: 9.
+    pub max_null_movement: usize,
+    /// Fraction of pairs with ≥10 dB change on some subcarrier. Paper: ~0.38.
+    pub frac_pairs_10db: f64,
+    /// Fraction of configurations with worst subcarrier <20 dB. Paper: <0.09.
+    pub frac_min_below_20db: f64,
+}
+
+/// Computes the headline statistics of a campaign.
+pub fn headline_stats(result: &CampaignResult) -> HeadlineStats {
+    let means = result.mean_profiles();
+    let max_mean = extreme_pair(&means).map_or(0.0, |(_, _, d)| d);
+
+    let mut max_within = 0.0f64;
+    let mut max_null = 0usize;
+    let mut frac_pairs = 0.0;
+    let mut frac_below = 0.0;
+    for trial in &result.profiles {
+        if let Some((_, _, d)) = extreme_pair(trial) {
+            max_within = max_within.max(d);
+        }
+        if let Some(&m) = null_movements(trial).iter().max() {
+            max_null = max_null.max(m);
+        }
+        frac_pairs += fraction_pairs_with_subcarrier_delta(trial, 10.0);
+        frac_below += fraction_configs_min_below(trial, 20.0);
+    }
+    let n = result.profiles.len().max(1) as f64;
+    HeadlineStats {
+        max_mean_snr_change_db: max_mean,
+        max_within_trial_change_db: max_within,
+        max_null_movement: max_null,
+        frac_pairs_10db: frac_pairs / n,
+        frac_min_below_20db: frac_below / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(v: Vec<f64>) -> SnrProfile {
+        SnrProfile::new(v)
+    }
+
+    fn with_null(base: f64, at: usize, depth: f64) -> SnrProfile {
+        let mut v = vec![base; 52];
+        v[at] = base - depth;
+        profile(v)
+    }
+
+    #[test]
+    fn extreme_pair_finds_largest_gap() {
+        let profiles = vec![
+            profile(vec![30.0; 52]),
+            with_null(30.0, 10, 12.0),
+            with_null(30.0, 40, 25.0),
+        ];
+        let (i, j, d) = extreme_pair(&profiles).unwrap();
+        assert_eq!((i, j), (0, 2));
+        assert_eq!(d, 25.0);
+    }
+
+    #[test]
+    fn extreme_pair_none_for_single() {
+        assert!(extreme_pair(&[profile(vec![1.0; 4])]).is_none());
+    }
+
+    #[test]
+    fn null_movements_counts_only_dual_null_pairs() {
+        let profiles = vec![
+            with_null(30.0, 5, 10.0),
+            with_null(30.0, 14, 10.0),
+            profile(vec![30.0; 52]), // no null
+        ];
+        let moves = null_movements(&profiles);
+        // Ordered pairs among the two null-bearing profiles: (0,0),(0,1),(1,0),(1,1).
+        assert_eq!(moves.len(), 4);
+        assert_eq!(moves.iter().filter(|&&m| m == 9).count(), 2);
+        assert_eq!(moves.iter().filter(|&&m| m == 0).count(), 2);
+    }
+
+    #[test]
+    fn min_snr_changes_are_pairwise_abs() {
+        let profiles = vec![
+            profile(vec![20.0; 4]),
+            profile(vec![28.0; 4]),
+            profile(vec![15.0; 4]),
+        ];
+        let mut d = min_snr_changes(&profiles);
+        d.sort_by(f64::total_cmp);
+        assert_eq!(d, vec![5.0, 8.0, 13.0]);
+    }
+
+    #[test]
+    fn fraction_pairs_thresholds() {
+        let profiles = vec![
+            profile(vec![30.0; 52]),
+            with_null(30.0, 3, 11.0),
+            profile(vec![30.0; 52]),
+        ];
+        // Pairs: (0,1) delta 11; (0,2) delta 0; (1,2) delta 11. => 2/3.
+        let f = fraction_pairs_with_subcarrier_delta(&profiles, 10.0);
+        assert!((f - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(fraction_pairs_with_subcarrier_delta(&[], 10.0), 0.0);
+    }
+
+    #[test]
+    fn fraction_below_counts_configs() {
+        let profiles = vec![
+            with_null(30.0, 0, 15.0), // min 15 < 20
+            profile(vec![25.0; 52]),
+        ];
+        assert!((fraction_configs_min_below(&profiles, 20.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn headline_stats_from_synthetic_campaign() {
+        use crate::config::Configuration;
+        let trial: Vec<SnrProfile> = vec![
+            profile(vec![30.0; 52]),
+            with_null(30.0, 8, 20.0),
+            with_null(30.0, 17, 20.0),
+        ];
+        let result = CampaignResult {
+            configs: vec![Configuration::zeros(3); 3],
+            profiles: vec![trial.clone(), trial],
+            elapsed_s: 1.0,
+        };
+        let h = headline_stats(&result);
+        assert_eq!(h.max_mean_snr_change_db, 20.0);
+        assert_eq!(h.max_within_trial_change_db, 20.0);
+        assert_eq!(h.max_null_movement, 9);
+        assert!(h.frac_pairs_10db > 0.5);
+        assert!((h.frac_min_below_20db - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

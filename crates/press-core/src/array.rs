@@ -1,0 +1,314 @@
+//! The PRESS array: placed elements that inject controllable paths.
+//!
+//! A [`PressArray`] is the deployed instrument: each element has a position,
+//! an antenna, and switched hardware. Given a scene, two endpoints and a
+//! [`Configuration`], it produces the TX → element → RX paths whose complex
+//! coefficients the configuration controls — the handful of path-list
+//! entries that make the environment programmable.
+
+use crate::config::{ConfigSpace, Configuration};
+use press_elements::Element;
+use press_propagation::antenna::Antenna;
+use press_propagation::geometry::Vec3;
+use press_propagation::path::{PathKind, SignalPath};
+use press_propagation::scene::{RadioNode, Scene};
+use press_math::Complex64;
+
+/// One deployed element: hardware + placement + its own antenna.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacedElement {
+    /// Electrical hardware (switch bank or active relay).
+    pub element: Element,
+    /// Position in the room, meters.
+    pub position: Vec3,
+    /// The element's antenna (the paper tries both 14 dBi parabolic and
+    /// omnidirectional element antennas).
+    pub antenna: Antenna,
+}
+
+/// A deployed PRESS array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PressArray {
+    /// The deployed elements, in configuration order.
+    pub elements: Vec<PlacedElement>,
+}
+
+impl PressArray {
+    /// Builds an array from placed elements.
+    pub fn new(elements: Vec<PlacedElement>) -> Self {
+        PressArray { elements }
+    }
+
+    /// The paper's §3.2 deployment: three passive SP4T elements with
+    /// omnidirectional antennas at the given positions.
+    pub fn paper_passive(positions: &[Vec3], lambda_m: f64) -> Self {
+        PressArray {
+            elements: positions
+                .iter()
+                .map(|&p| PlacedElement {
+                    element: Element::paper_passive(lambda_m),
+                    position: p,
+                    antenna: Antenna::endpoint_omni(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Like [`paper_passive`](Self::paper_passive) but with directional
+    /// patch element antennas aimed at `aim` (normally the link midpoint) —
+    /// the paper's directional-element variant (§3.1 tried a parabolic
+    /// element antenna; §4.1 proposes PCB patches for wall embedding).
+    pub fn paper_passive_aimed(positions: &[Vec3], lambda_m: f64, aim: Vec3) -> Self {
+        use press_propagation::antenna::Pattern;
+        PressArray {
+            elements: positions
+                .iter()
+                .map(|&p| PlacedElement {
+                    element: Element::paper_passive(lambda_m),
+                    position: p,
+                    antenna: Antenna::new(Pattern::press_patch(), aim - p),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// True when the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// The configuration space treating active elements as single-state
+    /// (their gain/phase is programmed continuously via
+    /// [`Element::program_active`], not switched). Useful for hybrid arrays.
+    pub fn config_space_passive_only(&self) -> ConfigSpace {
+        ConfigSpace::new(
+            self.elements
+                .iter()
+                .map(|pe| {
+                    if pe.element.is_passive() {
+                        pe.element.n_states()
+                    } else {
+                        1
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// The discrete configuration space of this (all-passive) array.
+    ///
+    /// Panics when the array contains active elements.
+    pub fn config_space(&self) -> ConfigSpace {
+        ConfigSpace::of_elements(
+            &self
+                .elements
+                .iter()
+                .map(|pe| pe.element.clone())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// The controllable paths this array contributes between `tx` and `rx`
+    /// under `config`, through `scene` (whose obstacles attenuate the
+    /// element legs exactly as they do environment paths).
+    ///
+    /// Each element contributes one TX → element → RX bounce whose gain is
+    /// `(element antenna gain toward TX) · (element antenna gain toward RX)
+    /// · (switched response gain)` on top of the scene's two Friis legs,
+    /// and whose delay includes the termination's extra waveguide delay.
+    ///
+    /// Panics when `config` does not match the array.
+    pub fn paths(
+        &self,
+        scene: &Scene,
+        tx: &RadioNode,
+        rx: &RadioNode,
+        config: &Configuration,
+    ) -> Vec<SignalPath> {
+        assert_eq!(config.len(), self.len(), "configuration/array size mismatch");
+        (0..self.len())
+            .filter_map(|i| self.element_path(scene, tx, rx, i, config.states[i]))
+            .collect()
+    }
+
+    /// The path one element would contribute in one state (`None` when the
+    /// state reflects nothing, is invalid, or the path falls below the
+    /// tracer's floor). The building block of [`paths`](Self::paths) and of
+    /// the inverse-problem dictionary.
+    pub fn element_path(
+        &self,
+        scene: &Scene,
+        tx: &RadioNode,
+        rx: &RadioNode,
+        element_idx: usize,
+        state: usize,
+    ) -> Option<SignalPath> {
+        let pe = &self.elements[element_idx];
+        let response = pe.element.response_in_state(state).ok()?;
+        if response.gain == Complex64::ZERO {
+            return None;
+        }
+        let toward_tx = tx.position - pe.position;
+        let toward_rx = rx.position - pe.position;
+        let element_gain =
+            pe.antenna.amplitude_gain(toward_tx) * pe.antenna.amplitude_gain(toward_rx);
+        let reflect = response.gain * element_gain;
+        let mut path = scene.bounce_path(
+            tx,
+            rx,
+            pe.position,
+            reflect,
+            PathKind::PressElement { element: element_idx },
+        )?;
+        path.delay_s += response.extra_delay_s;
+        Some(path)
+    }
+
+    /// Applies a configuration to the array's own state (mutating the
+    /// switches), so subsequent state queries reflect it. Path generation via
+    /// [`paths`](Self::paths) is pure and does not require this.
+    ///
+    /// # Errors
+    /// Returns the element index that rejected its state.
+    pub fn apply(&mut self, config: &Configuration) -> Result<(), usize> {
+        assert_eq!(config.len(), self.len(), "configuration/array size mismatch");
+        for (i, (pe, &state)) in self.elements.iter_mut().zip(&config.states).enumerate() {
+            pe.element.set_state(state).map_err(|_| i)?;
+        }
+        Ok(())
+    }
+
+    /// The currently applied configuration.
+    pub fn current_config(&self) -> Configuration {
+        Configuration::new(self.elements.iter().map(|pe| pe.element.state()).collect())
+    }
+
+    /// Carrier wavelength helper for labelling.
+    pub fn label_of(&self, config: &Configuration, lambda_m: f64) -> String {
+        let elements: Vec<Element> = self.elements.iter().map(|pe| pe.element.clone()).collect();
+        config.label(&elements, lambda_m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use press_math::consts::WIFI_CHANNEL_11_HZ;
+    use press_propagation::Material;
+
+    fn lambda() -> f64 {
+        press_math::consts::wavelength(WIFI_CHANNEL_11_HZ)
+    }
+
+    fn setup() -> (Scene, RadioNode, RadioNode, PressArray) {
+        let scene = Scene::shoebox(WIFI_CHANNEL_11_HZ, 6.0, 5.0, 3.0, Material::DRYWALL);
+        let tx = RadioNode::omni_at(Vec3::new(1.5, 2.0, 1.5));
+        let rx = RadioNode::omni_at(Vec3::new(4.5, 3.0, 1.5));
+        let array = PressArray::paper_passive(
+            &[
+                Vec3::new(2.5, 1.5, 1.5),
+                Vec3::new(3.0, 3.5, 1.5),
+                Vec3::new(3.5, 2.0, 1.5),
+            ],
+            lambda(),
+        );
+        (scene, tx, rx, array)
+    }
+
+    #[test]
+    fn array_contributes_one_path_per_reflecting_element() {
+        let (scene, tx, rx, array) = setup();
+        let all_reflect = Configuration::new(vec![0, 1, 2]);
+        let paths = array.paths(&scene, &tx, &rx, &all_reflect);
+        assert_eq!(paths.len(), 3);
+        for (i, p) in paths.iter().enumerate() {
+            assert_eq!(p.kind, PathKind::PressElement { element: i });
+        }
+    }
+
+    #[test]
+    fn terminated_elements_contribute_weakly_or_not() {
+        let (scene, tx, rx, array) = setup();
+        let all_terminated = Configuration::new(vec![3, 3, 3]);
+        let reflecting = Configuration::new(vec![0, 0, 0]);
+        let p_term: f64 = array
+            .paths(&scene, &tx, &rx, &all_terminated)
+            .iter()
+            .map(|p| p.gain.norm_sqr())
+            .sum();
+        let p_refl: f64 = array
+            .paths(&scene, &tx, &rx, &reflecting)
+            .iter()
+            .map(|p| p.gain.norm_sqr())
+            .sum();
+        assert!(
+            p_term < p_refl / 100.0,
+            "terminated {p_term:.3e} vs reflecting {p_refl:.3e}"
+        );
+    }
+
+    #[test]
+    fn waveguide_states_differ_in_delay_not_magnitude() {
+        let (scene, tx, rx, array) = setup();
+        let p0 = &array.paths(&scene, &tx, &rx, &Configuration::new(vec![0, 3, 3]))[0];
+        let p2 = &array.paths(&scene, &tx, &rx, &Configuration::new(vec![2, 3, 3]))[0];
+        assert!((p0.gain.abs() - p2.gain.abs()).abs() < 1e-12);
+        let d_delay = p2.delay_s - p0.delay_s;
+        let expect = (lambda() / 2.0) / 299_792_458.0;
+        assert!((d_delay - expect).abs() < 1e-15, "{d_delay} vs {expect}");
+    }
+
+    #[test]
+    fn config_space_matches_paper() {
+        let (_, _, _, array) = setup();
+        assert_eq!(array.config_space().size(), 64);
+    }
+
+    #[test]
+    fn apply_and_read_back() {
+        let (_, _, _, mut array) = setup();
+        let c = Configuration::new(vec![1, 3, 2]);
+        array.apply(&c).unwrap();
+        assert_eq!(array.current_config(), c);
+    }
+
+    #[test]
+    fn apply_invalid_reports_element() {
+        let (_, _, _, mut array) = setup();
+        let bad = Configuration::new(vec![0, 9, 0]);
+        assert_eq!(array.apply(&bad), Err(1));
+    }
+
+    #[test]
+    fn element_paths_respect_obstacles() {
+        let (mut scene, tx, rx, array) = setup();
+        let cfg = Configuration::new(vec![0, 3, 3]); // only element 0 active
+        let clear = array.paths(&scene, &tx, &rx, &cfg)[0].gain.abs();
+        // Wall off element 0 from the TX side.
+        scene.add_obstacle(
+            press_propagation::Aabb::new(Vec3::new(1.9, 1.0, 0.0), Vec3::new(2.1, 2.5, 3.0)),
+            Material::METAL,
+        );
+        let blocked = array.paths(&scene, &tx, &rx, &cfg)[0].gain.abs();
+        assert!(blocked < clear / 10.0, "{blocked} vs {clear}");
+    }
+
+    #[test]
+    fn paper_label_roundtrip() {
+        let (_, _, _, array) = setup();
+        let c = Configuration::new(vec![2, 0, 1]);
+        assert_eq!(array.label_of(&c, lambda()), "(π, 0, 0.5π)");
+    }
+
+    #[test]
+    #[should_panic(expected = "configuration/array size mismatch")]
+    fn size_mismatch_panics() {
+        let (scene, tx, rx, array) = setup();
+        array.paths(&scene, &tx, &rx, &Configuration::zeros(2));
+    }
+}

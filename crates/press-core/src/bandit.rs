@@ -1,0 +1,228 @@
+//! Online learning over configurations: a UCB1 bandit controller.
+//!
+//! §4.2 of the paper suggests navigating the configuration space with
+//! "machine learning techniques, as Remy \[35\] has used in congestion
+//! control". For a slowly drifting room, the cleanest learning formulation
+//! is a stochastic multi-armed bandit: each configuration is an arm, each
+//! measurement a noisy reward, and the controller must balance exploring
+//! untried configurations against exploiting the best one seen — all while
+//! paying for every measurement out of the coherence-time budget.
+//!
+//! [`UcbController`] implements UCB1 with optional discounting (older
+//! observations fade, tracking slow drift). It is deliberately generic over
+//! the reward source so it can run against measured SNR, throughput, or any
+//! objective.
+
+use crate::config::{ConfigSpace, Configuration};
+
+/// UCB1 bandit over a (small) configuration space.
+#[derive(Debug, Clone)]
+pub struct UcbController {
+    space: ConfigSpace,
+    /// Exploration strength (UCB1 classic = sqrt(2)).
+    pub exploration: f64,
+    /// Per-step discount on accumulated statistics (1.0 = none). Values
+    /// slightly below 1 track slow environmental drift.
+    pub discount: f64,
+    counts: Vec<f64>,
+    sums: Vec<f64>,
+    t: f64,
+}
+
+impl UcbController {
+    /// Creates a controller over the whole space (one arm per
+    /// configuration). Sized for prototype-scale spaces (≤ a few thousand).
+    pub fn new(space: ConfigSpace) -> Self {
+        let n = space.size();
+        assert!(n <= 1 << 16, "bandit arms explode beyond prototype scale");
+        UcbController {
+            space,
+            exploration: std::f64::consts::SQRT_2,
+            counts: vec![0.0; n],
+            sums: vec![0.0; n],
+            discount: 1.0,
+            t: 0.0,
+        }
+    }
+
+    /// Number of arms.
+    pub fn n_arms(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The configuration the controller wants measured next: an untried arm
+    /// if any remain, otherwise the arm maximizing `mean + c·sqrt(ln t / n)`.
+    pub fn select(&self) -> Configuration {
+        if let Some(untried) = self.counts.iter().position(|&c| c == 0.0) {
+            return self.space.config_at(untried);
+        }
+        let log_t = self.t.max(1.0).ln();
+        let mut best = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for i in 0..self.n_arms() {
+            let mean = self.sums[i] / self.counts[i];
+            let bonus = self.exploration * (log_t / self.counts[i]).sqrt();
+            let score = mean + bonus;
+            if score > best_score {
+                best_score = score;
+                best = i;
+            }
+        }
+        self.space.config_at(best)
+    }
+
+    /// Feeds back the measured reward for a configuration.
+    pub fn observe(&mut self, config: &Configuration, reward: f64) {
+        let i = self.space.index_of(config);
+        if self.discount < 1.0 {
+            for c in self.counts.iter_mut() {
+                *c *= self.discount;
+            }
+            for s in self.sums.iter_mut() {
+                *s *= self.discount;
+            }
+            self.t *= self.discount;
+        }
+        self.counts[i] += 1.0;
+        self.sums[i] += reward;
+        self.t += 1.0;
+    }
+
+    /// The configuration with the best empirical mean (what the controller
+    /// would actuate for exploitation), with its mean. `None` before any
+    /// observation.
+    pub fn best(&self) -> Option<(Configuration, f64)> {
+        let (i, _) = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0.0)
+            .max_by(|a, b| {
+                let ma = self.sums[a.0] / a.1;
+                let mb = self.sums[b.0] / b.1;
+                ma.total_cmp(&mb)
+            })?;
+        Some((self.space.config_at(i), self.sums[i] / self.counts[i]))
+    }
+
+    /// Total observations recorded (discounted).
+    pub fn observations(&self) -> f64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use press_propagation::fading::gaussian;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::new(vec![4, 4])
+    }
+
+    /// Noisy synthetic reward with a unique best arm at (3, 1).
+    fn reward(config: &Configuration, rng: &mut StdRng) -> f64 {
+        let target = [3usize, 1];
+        let dist: f64 = config
+            .states
+            .iter()
+            .zip(&target)
+            .map(|(&s, &t)| (s as f64 - t as f64).abs())
+            .sum();
+        -dist + 0.3 * gaussian(rng)
+    }
+
+    #[test]
+    fn explores_every_arm_first() {
+        let mut ucb = UcbController::new(space());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..16 {
+            let c = ucb.select();
+            seen.insert(ucb.space.index_of(&c));
+            let r = reward(&c, &mut rng);
+            ucb.observe(&c, r);
+        }
+        assert_eq!(seen.len(), 16, "all arms tried once before any repeats");
+    }
+
+    #[test]
+    fn converges_to_the_best_arm() {
+        let mut ucb = UcbController::new(space());
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..600 {
+            let c = ucb.select();
+            let r = reward(&c, &mut rng);
+            ucb.observe(&c, r);
+        }
+        let (best, mean) = ucb.best().unwrap();
+        assert_eq!(best.states, vec![3, 1], "mean {mean}");
+    }
+
+    #[test]
+    fn beats_uniform_random_on_cumulative_reward() {
+        let mut ucb = UcbController::new(space());
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ucb_total = 0.0;
+        for _ in 0..400 {
+            let c = ucb.select();
+            let r = reward(&c, &mut rng);
+            ucb_total += r;
+            ucb.observe(&c, r);
+        }
+        let mut rng2 = StdRng::seed_from_u64(3);
+        let sp = space();
+        let mut rand_total = 0.0;
+        let mut pick_rng = StdRng::seed_from_u64(4);
+        for _ in 0..400 {
+            let c = sp.random(&mut pick_rng);
+            rand_total += reward(&c, &mut rng2);
+        }
+        assert!(
+            ucb_total > rand_total + 100.0,
+            "UCB {ucb_total} vs random {rand_total}"
+        );
+    }
+
+    #[test]
+    fn discounting_tracks_a_shifted_optimum() {
+        // Reward target moves mid-run; a discounted bandit must re-converge.
+        let mut ucb = UcbController::new(space());
+        ucb.discount = 0.97;
+        let mut rng = StdRng::seed_from_u64(5);
+        let moving_reward = |config: &Configuration, phase: usize, rng: &mut StdRng| -> f64 {
+            let target: [usize; 2] = if phase == 0 { [3, 1] } else { [0, 2] };
+            let dist: f64 = config
+                .states
+                .iter()
+                .zip(&target)
+                .map(|(&s, &t)| (s as f64 - t as f64).abs())
+                .sum();
+            -dist + 0.3 * gaussian(rng)
+        };
+        for _ in 0..500 {
+            let c = ucb.select();
+            let r = moving_reward(&c, 0, &mut rng);
+            ucb.observe(&c, r);
+        }
+        assert_eq!(ucb.best().unwrap().0.states, vec![3, 1]);
+        for _ in 0..900 {
+            let c = ucb.select();
+            let r = moving_reward(&c, 1, &mut rng);
+            ucb.observe(&c, r);
+        }
+        assert_eq!(
+            ucb.best().unwrap().0.states,
+            vec![0, 2],
+            "discounted bandit must follow the drifted optimum"
+        );
+    }
+
+    #[test]
+    fn best_is_none_before_observations() {
+        let ucb = UcbController::new(space());
+        assert!(ucb.best().is_none());
+    }
+}

@@ -1,0 +1,293 @@
+//! Configurations of a PRESS array and the space they live in.
+//!
+//! With `N` elements of `M` states each the paper's §4.2 notes the search
+//! space has `M^N` points ("enumerating the M^N possibilities ... becomes
+//! impractical"). This module is the bookkeeping for that space: dense
+//! index ↔ configuration conversion, exhaustive iteration, random sampling,
+//! Hamming-neighborhood enumeration, and the paper's Figure 4-style labels.
+
+use press_elements::format_phase_label;
+use press_elements::Element;
+use rand::Rng;
+
+/// One array configuration: the selected state of every element, in array
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Configuration {
+    /// Selected state per element.
+    pub states: Vec<usize>,
+}
+
+impl Configuration {
+    /// Builds from explicit states.
+    pub fn new(states: Vec<usize>) -> Self {
+        Configuration { states }
+    }
+
+    /// The all-zeros configuration for `n` elements.
+    pub fn zeros(n: usize) -> Self {
+        Configuration { states: vec![0; n] }
+    }
+
+    /// Number of elements configured.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True when the configuration covers zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Hamming distance to another configuration of equal length.
+    pub fn hamming(&self, other: &Configuration) -> usize {
+        assert_eq!(self.len(), other.len(), "configuration lengths differ");
+        self.states
+            .iter()
+            .zip(&other.states)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// Paper-style label, e.g. "(π, 0, 0.5π)" or "(T, T, T)", given the
+    /// elements the states refer to and the carrier wavelength.
+    pub fn label(&self, elements: &[Element], lambda_m: f64) -> String {
+        let parts: Vec<String> = self
+            .states
+            .iter()
+            .zip(elements)
+            .map(|(&s, e)| match &e.kind {
+                press_elements::ElementKind::Passive { switch } => {
+                    format_phase_label(switch.throws()[s].phase_label(lambda_m))
+                }
+                press_elements::ElementKind::Active { .. } => "A".to_string(),
+            })
+            .collect();
+        format!("({})", parts.join(", "))
+    }
+}
+
+/// The discrete configuration space of an array of switched elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigSpace {
+    /// Number of states of each element, in array order.
+    pub states_per_element: Vec<usize>,
+}
+
+impl ConfigSpace {
+    /// Builds the space from element state counts.
+    ///
+    /// Panics if any element has zero states.
+    pub fn new(states_per_element: Vec<usize>) -> Self {
+        assert!(
+            states_per_element.iter().all(|&m| m >= 1),
+            "every element needs at least one state"
+        );
+        ConfigSpace { states_per_element }
+    }
+
+    /// Builds the space for a slice of (passive) elements.
+    ///
+    /// Panics when an element is active (continuously tunable — not part of
+    /// a discrete space).
+    pub fn of_elements(elements: &[Element]) -> Self {
+        ConfigSpace::new(
+            elements
+                .iter()
+                .map(|e| {
+                    assert!(e.is_passive(), "active elements have no discrete states");
+                    e.n_states()
+                })
+                .collect(),
+        )
+    }
+
+    /// Number of elements.
+    pub fn n_elements(&self) -> usize {
+        self.states_per_element.len()
+    }
+
+    /// Total size `M₁·M₂·…·M_N`, saturating at `usize::MAX`.
+    pub fn size(&self) -> usize {
+        self.states_per_element
+            .iter()
+            .fold(1usize, |acc, &m| acc.saturating_mul(m))
+    }
+
+    /// Converts a dense index (mixed-radix, element 0 least significant) to
+    /// a configuration.
+    ///
+    /// Panics when out of range.
+    pub fn config_at(&self, mut index: usize) -> Configuration {
+        assert!(index < self.size(), "index {index} out of space");
+        let states = self
+            .states_per_element
+            .iter()
+            .map(|&m| {
+                let s = index % m;
+                index /= m;
+                s
+            })
+            .collect();
+        Configuration { states }
+    }
+
+    /// Converts a configuration back to its dense index.
+    ///
+    /// Panics on length mismatch or out-of-range state.
+    pub fn index_of(&self, config: &Configuration) -> usize {
+        assert_eq!(config.len(), self.n_elements(), "length mismatch");
+        let mut index = 0usize;
+        for (&s, &m) in config.states.iter().zip(&self.states_per_element).rev() {
+            assert!(s < m, "state {s} out of range (element has {m})");
+            index = index * m + s;
+        }
+        index
+    }
+
+    /// Iterates the whole space in dense-index order.
+    pub fn iter(&self) -> impl Iterator<Item = Configuration> + '_ {
+        (0..self.size()).map(move |i| self.config_at(i))
+    }
+
+    /// A uniformly random configuration.
+    pub fn random<R: Rng + ?Sized>(&self, rng: &mut R) -> Configuration {
+        Configuration {
+            states: self
+                .states_per_element
+                .iter()
+                .map(|&m| rng.gen_range(0..m))
+                .collect(),
+        }
+    }
+
+    /// All Hamming-distance-1 neighbors of a configuration.
+    pub fn neighbors(&self, config: &Configuration) -> Vec<Configuration> {
+        let mut out = Vec::new();
+        for (i, &m) in self.states_per_element.iter().enumerate() {
+            for s in 0..m {
+                if s != config.states[i] {
+                    let mut c = config.clone();
+                    c.states[i] = s;
+                    out.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// True when the configuration is valid in this space.
+    pub fn contains(&self, config: &Configuration) -> bool {
+        config.len() == self.n_elements()
+            && config
+                .states
+                .iter()
+                .zip(&self.states_per_element)
+                .all(|(&s, &m)| s < m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn paper_space() -> ConfigSpace {
+        ConfigSpace::new(vec![4, 4, 4])
+    }
+
+    #[test]
+    fn paper_space_has_64_configs() {
+        assert_eq!(paper_space().size(), 64);
+    }
+
+    #[test]
+    fn index_roundtrip_all() {
+        let space = paper_space();
+        for i in 0..space.size() {
+            let c = space.config_at(i);
+            assert_eq!(space.index_of(&c), i);
+            assert!(space.contains(&c));
+        }
+    }
+
+    #[test]
+    fn mixed_radix_roundtrip() {
+        let space = ConfigSpace::new(vec![2, 3, 5]);
+        assert_eq!(space.size(), 30);
+        for i in 0..30 {
+            assert_eq!(space.index_of(&space.config_at(i)), i);
+        }
+    }
+
+    #[test]
+    fn iter_visits_every_config_once() {
+        let space = paper_space();
+        let all: Vec<Configuration> = space.iter().collect();
+        assert_eq!(all.len(), 64);
+        let mut seen = std::collections::HashSet::new();
+        for c in &all {
+            assert!(seen.insert(c.clone()), "duplicate {c:?}");
+        }
+    }
+
+    #[test]
+    fn neighbors_are_hamming_one() {
+        let space = paper_space();
+        let c = space.config_at(17);
+        let ns = space.neighbors(&c);
+        assert_eq!(ns.len(), 3 * 3, "3 elements x 3 alternative states");
+        for n in &ns {
+            assert_eq!(c.hamming(n), 1);
+        }
+    }
+
+    #[test]
+    fn random_configs_are_valid_and_deterministic() {
+        let space = paper_space();
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let ca = space.random(&mut a);
+            let cb = space.random(&mut b);
+            assert_eq!(ca, cb);
+            assert!(space.contains(&ca));
+        }
+    }
+
+    #[test]
+    fn contains_rejects_bad_configs() {
+        let space = paper_space();
+        assert!(!space.contains(&Configuration::new(vec![0, 0])));
+        assert!(!space.contains(&Configuration::new(vec![0, 0, 4])));
+    }
+
+    #[test]
+    fn labels_match_paper_style() {
+        let lambda = 0.1218;
+        let elements = vec![
+            Element::paper_passive(lambda),
+            Element::paper_passive(lambda),
+            Element::paper_passive(lambda),
+        ];
+        let c = Configuration::new(vec![2, 0, 1]);
+        assert_eq!(c.label(&elements, lambda), "(π, 0, 0.5π)");
+        let t = Configuration::new(vec![3, 3, 3]);
+        assert_eq!(t.label(&elements, lambda), "(T, T, T)");
+    }
+
+    #[test]
+    fn hamming_distance() {
+        let a = Configuration::new(vec![0, 1, 2]);
+        let b = Configuration::new(vec![0, 3, 2]);
+        assert_eq!(a.hamming(&b), 1);
+        assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "index 64 out of space")]
+    fn config_at_out_of_range_panics() {
+        paper_space().config_at(64);
+    }
+}

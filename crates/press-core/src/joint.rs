@@ -1,0 +1,290 @@
+//! Joint multi-link optimization and the agility-vs-optimization trade-off.
+//!
+//! §2 of the paper: "If the current communication patterns involve multiple
+//! wireless links operating over different time or frequency slots, we
+//! would like the system to attempt to optimize them jointly and
+//! simultaneously, if possible. … a trade-off exists between agility and
+//! optimization: one might jointly optimize over a large set of likely
+//! communication links, obviating the need to change the PRESS array for
+//! each link's communication, but possibly complicating the optimization
+//! problem. On the other end of the design space, one might optimize
+//! solely over a single communication link … One can imagine hybrid
+//! tradeoffs and dynamic strategies."
+//!
+//! This module implements both ends and the comparison:
+//!
+//! * [`JointProblem`] — one configuration scored across many links
+//!   (weighted sum of per-link objectives);
+//! * [`compare_agility`] — joint-static vs per-link-switched operation of a
+//!   TDMA schedule, charging the control plane's actuation latency for
+//!   every reconfiguration, so the crossover the paper predicts is
+//!   measurable.
+
+use crate::config::Configuration;
+use crate::objective::LinkObjective;
+use crate::search::{self, SearchResult};
+use crate::system::{CachedLink, PressSystem};
+use press_sdr::Sounder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One link participating in a joint optimization.
+#[derive(Debug, Clone)]
+pub struct JointLink {
+    /// The traced link.
+    pub link: CachedLink,
+    /// The sounder (radios + numerology) used to evaluate it.
+    pub sounder: Sounder,
+    /// Relative weight in the joint objective.
+    pub weight: f64,
+    /// Per-link objective.
+    pub objective: LinkObjective,
+}
+
+/// A set of links optimized under one shared array configuration.
+#[derive(Debug, Clone)]
+pub struct JointProblem {
+    /// The participating links.
+    pub links: Vec<JointLink>,
+}
+
+impl JointProblem {
+    /// Builds a joint problem with uniform weights and a common objective.
+    pub fn uniform(
+        system: &PressSystem,
+        sounders: Vec<Sounder>,
+        objective: LinkObjective,
+    ) -> JointProblem {
+        let links = sounders
+            .into_iter()
+            .map(|sounder| {
+                let link = CachedLink::trace(
+                    system,
+                    sounder.tx.node.clone(),
+                    sounder.rx.node.clone(),
+                );
+                JointLink {
+                    link,
+                    sounder,
+                    weight: 1.0,
+                    objective,
+                }
+            })
+            .collect();
+        JointProblem { links }
+    }
+
+    /// Weighted joint score of a configuration on oracle channels.
+    pub fn oracle_score(&self, system: &PressSystem, config: &Configuration) -> f64 {
+        self.links
+            .iter()
+            .map(|jl| {
+                let profile = jl
+                    .sounder
+                    .oracle_snr(&jl.link.paths(system, config), 0.0);
+                jl.weight * jl.objective.score(&profile)
+            })
+            .sum()
+    }
+
+    /// Per-link oracle scores of a configuration.
+    pub fn per_link_scores(&self, system: &PressSystem, config: &Configuration) -> Vec<f64> {
+        self.links
+            .iter()
+            .map(|jl| {
+                let profile = jl
+                    .sounder
+                    .oracle_snr(&jl.link.paths(system, config), 0.0);
+                jl.objective.score(&profile)
+            })
+            .collect()
+    }
+
+    /// Optimizes the shared configuration by simulated annealing with the
+    /// given evaluation budget (oracle evaluations).
+    pub fn optimize(&self, system: &PressSystem, budget: usize, seed: u64) -> SearchResult {
+        let space = system.array.config_space();
+        let mut rng = StdRng::seed_from_u64(seed);
+        search::simulated_annealing(&space, budget.max(1), 3.0, 0.05, &mut rng, |c| {
+            self.oracle_score(system, c)
+        })
+    }
+
+    /// Optimizes each link separately (same budget per link) and returns
+    /// each link's own best configuration.
+    pub fn optimize_per_link(
+        &self,
+        system: &PressSystem,
+        budget: usize,
+        seed: u64,
+    ) -> Vec<SearchResult> {
+        let space = system.array.config_space();
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, jl)| {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+                search::simulated_annealing(&space, budget.max(1), 3.0, 0.05, &mut rng, |c| {
+                    let profile = jl.sounder.oracle_snr(&jl.link.paths(system, c), 0.0);
+                    jl.objective.score(&profile)
+                })
+            })
+            .collect()
+    }
+}
+
+/// Outcome of the agility-vs-optimization comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgilityReport {
+    /// TDMA slot length, seconds.
+    pub slot_s: f64,
+    /// Control-plane actuation latency charged per reconfiguration, seconds.
+    pub switch_s: f64,
+    /// Aggregate throughput with one joint configuration (no switching).
+    pub joint_mbps: f64,
+    /// Aggregate throughput switching to each link's own configuration
+    /// (airtime lost to actuation each slot).
+    pub per_link_mbps: f64,
+}
+
+impl AgilityReport {
+    /// True when per-link switching wins despite its actuation cost.
+    pub fn agility_wins(&self) -> bool {
+        self.per_link_mbps > self.joint_mbps
+    }
+}
+
+/// Compares the two ends of the paper's agility spectrum on a TDMA
+/// schedule: every link gets an equal slot; the per-link strategy actuates
+/// the array at each slot boundary (losing `switch_s` of airtime), while
+/// the joint strategy never reconfigures. Throughputs are Shannon
+/// capacities of the oracle profiles (smooth, so small per-link advantages
+/// are visible; the MCS ladder would quantize them away).
+pub fn compare_agility(
+    problem: &JointProblem,
+    system: &PressSystem,
+    budget: usize,
+    slot_s: f64,
+    switch_s: f64,
+    seed: u64,
+) -> AgilityReport {
+    assert!(slot_s > 0.0 && switch_s >= 0.0);
+    let joint = problem.optimize(system, budget, seed);
+    let per_link = problem.optimize_per_link(system, budget, seed);
+
+    let throughput = |jl: &JointLink, config: &Configuration| -> f64 {
+        let profile = jl.sounder.oracle_snr(&jl.link.paths(system, config), 0.0);
+        profile.shannon_capacity_bps(jl.sounder.num.subcarrier_spacing_hz()) / 1e6
+    };
+
+    let n = problem.links.len() as f64;
+    let joint_mbps: f64 = problem
+        .links
+        .iter()
+        .map(|jl| throughput(jl, &joint.best) / n)
+        .sum();
+    let duty = ((slot_s - switch_s) / slot_s).max(0.0);
+    let per_link_mbps: f64 = problem
+        .links
+        .iter()
+        .zip(&per_link)
+        .map(|(jl, r)| duty * throughput(jl, &r.best) / n)
+        .sum();
+
+    AgilityReport {
+        slot_s,
+        switch_s,
+        joint_mbps,
+        per_link_mbps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::PressArray;
+    use press_math::consts::WIFI_CHANNEL_11_HZ;
+    use press_phy::Numerology;
+    use press_propagation::{LabConfig, LabSetup, RadioNode, Vec3};
+    use press_sdr::SdrRadio;
+
+    fn two_link_problem() -> (PressSystem, JointProblem) {
+        let lab = LabSetup::generate(&LabConfig::default(), 6);
+        let lambda = lab.scene.wavelength();
+        let mut rng = StdRng::seed_from_u64(2);
+        let positions = lab.random_element_positions(3, &mut rng);
+        let aim = (lab.tx.position + lab.rx.position) * 0.5;
+        let array = PressArray::paper_passive_aimed(&positions, lambda, aim);
+        let system = PressSystem::new(lab.scene.clone(), array);
+        let num = Numerology::wifi20(WIFI_CHANNEL_11_HZ);
+        // Link 1: the lab's own endpoints. Link 2: a second client offset in y.
+        let s1 = Sounder::new(
+            num.clone(),
+            SdrRadio::warp(lab.tx.clone()),
+            SdrRadio::warp(lab.rx.clone()),
+        );
+        let rx2 = RadioNode::omni_at(lab.rx.position + Vec3::new(0.3, 1.2, 0.0));
+        let s2 = Sounder::new(num, SdrRadio::warp(lab.tx.clone()), SdrRadio::warp(rx2));
+        let problem = JointProblem::uniform(&system, vec![s1, s2], LinkObjective::MaxMinSnr);
+        (system, problem)
+    }
+
+    #[test]
+    fn joint_score_is_weighted_sum() {
+        let (system, problem) = two_link_problem();
+        let config = Configuration::zeros(3);
+        let per = problem.per_link_scores(&system, &config);
+        let joint = problem.oracle_score(&system, &config);
+        assert!((joint - per.iter().sum::<f64>()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_link_optima_dominate_joint_per_link() {
+        // Each link's own optimum is at least as good (for that link) as
+        // the joint compromise.
+        let (system, problem) = two_link_problem();
+        let joint = problem.optimize(&system, 80, 1);
+        let own = problem.optimize_per_link(&system, 80, 1);
+        for (i, (jl, r)) in problem.links.iter().zip(&own).enumerate() {
+            let joint_score = jl
+                .objective
+                .score(&jl.sounder.oracle_snr(&jl.link.paths(&system, &joint.best), 0.0));
+            assert!(
+                r.score >= joint_score - 0.5,
+                "link {i}: own {} vs joint {joint_score}",
+                r.score
+            );
+        }
+    }
+
+    #[test]
+    fn zero_switch_cost_favors_agility() {
+        let (system, problem) = two_link_problem();
+        let report = compare_agility(&problem, &system, 60, 2e-3, 0.0, 1);
+        // Up to search (annealing) suboptimality, free switching can only
+        // help: allow a small relative slack.
+        assert!(
+            report.per_link_mbps >= report.joint_mbps * 0.97,
+            "free switching can only help: {report:?}"
+        );
+    }
+
+    #[test]
+    fn huge_switch_cost_favors_joint() {
+        let (system, problem) = two_link_problem();
+        // Switching eats 90% of the slot: joint must win (its throughput is
+        // nonzero on this calibrated bench).
+        let report = compare_agility(&problem, &system, 60, 2e-3, 1.8e-3, 1);
+        assert!(report.joint_mbps > 0.0);
+        assert!(!report.agility_wins(), "{report:?}");
+    }
+
+    #[test]
+    fn agility_report_duty_cycle_math() {
+        let (system, problem) = two_link_problem();
+        let free = compare_agility(&problem, &system, 40, 2e-3, 0.0, 2);
+        let half = compare_agility(&problem, &system, 40, 2e-3, 1e-3, 2);
+        assert!((half.per_link_mbps - free.per_link_mbps * 0.5).abs() < 1e-9);
+        assert_eq!(half.joint_mbps, free.joint_mbps);
+    }
+}

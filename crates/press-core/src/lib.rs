@@ -1,0 +1,52 @@
+//! # press-core
+//!
+//! The paper's primary contribution: the PRESS system itself — a
+//! Programmable Radio Environment for Smart Spaces (HotNets'17).
+//!
+//! * [`config`] — array configurations and the `M^N` space (§4.2);
+//! * [`mod@array`] — deployed elements injecting controllable paths (Figure 1);
+//! * [`system`] — scene + array with cached environment tracing;
+//! * [`measurement`] — the §3.2 campaign procedure (64 configurations × 10
+//!   trials, latency-charged);
+//! * [`analysis`] — the statistics behind Figures 4–6 and the headline
+//!   numbers (null movement, min-SNR change, extreme pairs);
+//! * [`objective`] — the §1 applications as scalar objectives (link
+//!   enhancement, MIMO conditioning, harmonization, partitioning);
+//! * [`search`] — exhaustive / greedy / hill-climb / annealing / genetic
+//!   navigation of the configuration space (§4.2);
+//! * [`inverse`] — the §2 inverse problem: path extraction from CSI and
+//!   dictionary-based configuration synthesis;
+//! * [`controller`] — the closed measurement → search → actuate loop under
+//!   a coherence-time budget (§2).
+
+pub mod active;
+pub mod alignment;
+pub mod analysis;
+pub mod array;
+pub mod bandit;
+pub mod config;
+pub mod controller;
+pub mod inverse;
+pub mod joint;
+pub mod measurement;
+pub mod objective;
+pub mod placement;
+pub mod search;
+pub mod system;
+pub mod tracking;
+
+pub use active::{tune_active_phases, ActiveTuning};
+pub use alignment::{mean_alignment, nulling_filter, post_nulling_sinr_db};
+pub use analysis::{headline_stats, HeadlineStats, NULL_THRESHOLD_DB};
+pub use array::{PlacedElement, PressArray};
+pub use bandit::UcbController;
+pub use config::{ConfigSpace, Configuration};
+pub use controller::{ControlReport, Controller, Strategy, TimingModel};
+pub use inverse::{InverseSolution, InverseSolver, PressDictionary, RecoveredPath};
+pub use joint::{compare_agility, AgilityReport, JointLink, JointProblem};
+pub use measurement::{run_campaign, run_campaign_over, CampaignConfig, CampaignResult};
+pub use objective::{harmonization_score, mimo_conditioning_score, partition_score, LinkObjective};
+pub use placement::{greedy_placement, random_placement_baseline, PlacementResult};
+pub use search::{hierarchical_groups, GeneticParams, SearchResult};
+pub use system::{CachedLink, PressSystem};
+pub use tracking::{track_mobile_client, LinearPatrol, TrackingConfig, TrackingReport};

@@ -1,0 +1,398 @@
+//! Measurement campaigns: sweep every configuration, many trials.
+//!
+//! Reproduces the paper's §3.2 procedure: "Because of the latency in our
+//! experimental setup, the channel for these 64 different combinations
+//! cannot be measured within channel coherence time (it takes about
+//! 5 seconds to measure all of the combinations). To compensate, we iterate
+//! through the 64 combinations 10 times and calculate statistics on the SNR
+//! for each PRESS antenna configuration." Between trials the environment
+//! drifts slightly (equipment movement, people) — modelled by
+//! [`ChannelDrift`].
+
+use crate::config::{ConfigSpace, Configuration};
+use crate::system::{CachedLink, PressSystem};
+use press_phy::snr::SnrProfile;
+use press_propagation::fading::ChannelDrift;
+// crossbeam provides the scoped threads for the parallel campaign runner.
+use press_sdr::Sounder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Number of full sweeps over the configuration space (the paper: 10).
+    pub n_trials: usize,
+    /// Sounding frames averaged per configuration per trial.
+    pub frames_per_config: usize,
+    /// Wall-clock latency charged per configuration measurement, seconds.
+    /// The paper's prototype needed ~5 s / 64 ≈ 78 ms per configuration.
+    pub per_config_latency_s: f64,
+    /// Environment drift applied between trials.
+    pub drift: ChannelDrift,
+    /// RNG seed (campaigns are fully deterministic given this).
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            n_trials: 10,
+            frames_per_config: 4,
+            per_config_latency_s: 5.0 / 64.0,
+            drift: ChannelDrift::quiet_lab(),
+            seed: 0,
+        }
+    }
+}
+
+/// The output of a campaign: per-trial, per-configuration SNR profiles.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// The configurations measured, in sweep order.
+    pub configs: Vec<Configuration>,
+    /// `profiles[trial][config_idx]`.
+    pub profiles: Vec<Vec<SnrProfile>>,
+    /// Total emulated wall-clock time, seconds.
+    pub elapsed_s: f64,
+}
+
+impl CampaignResult {
+    /// Number of trials.
+    pub fn n_trials(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Number of configurations.
+    pub fn n_configs(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Mean SNR profile of one configuration across trials (per-subcarrier
+    /// dB mean — the paper's "mean SNR on any given subcarrier").
+    pub fn mean_profile(&self, config_idx: usize) -> SnrProfile {
+        let n_sc = self.profiles[0][config_idx].len();
+        let mut acc = vec![0.0; n_sc];
+        for trial in &self.profiles {
+            for (a, v) in acc.iter_mut().zip(&trial[config_idx].snr_db) {
+                *a += v;
+            }
+        }
+        for a in acc.iter_mut() {
+            *a /= self.n_trials() as f64;
+        }
+        SnrProfile::new(acc)
+    }
+
+    /// Mean profiles for all configurations.
+    pub fn mean_profiles(&self) -> Vec<SnrProfile> {
+        (0..self.n_configs()).map(|i| self.mean_profile(i)).collect()
+    }
+}
+
+/// Runs a full campaign: `n_trials` sweeps of every configuration in the
+/// array's space over the given link, sounding each through `sounder`.
+///
+/// The environment paths drift between trials; element paths are recomputed
+/// per configuration from the (drifted) scene geometry. Wall-clock time is
+/// charged per measurement so coherence-time analyses can reason about it.
+pub fn run_campaign(
+    system: &PressSystem,
+    sounder: &Sounder,
+    campaign: &CampaignConfig,
+) -> CampaignResult {
+    let space = system.array.config_space();
+    run_campaign_over(system, sounder, campaign, &space.iter().collect::<Vec<_>>())
+}
+
+/// Like [`run_campaign`] but over an explicit configuration list (subsets,
+/// orderings, or spaces too big to enumerate).
+pub fn run_campaign_over(
+    system: &PressSystem,
+    sounder: &Sounder,
+    campaign: &CampaignConfig,
+    configs: &[Configuration],
+) -> CampaignResult {
+    assert!(campaign.n_trials > 0, "need at least one trial");
+    let mut rng = StdRng::seed_from_u64(campaign.seed);
+    let mut link = CachedLink::trace(
+        system,
+        sounder.tx.node.clone(),
+        sounder.rx.node.clone(),
+    );
+    let mut profiles = Vec::with_capacity(campaign.n_trials);
+    let mut elapsed = 0.0;
+    for trial in 0..campaign.n_trials {
+        if trial > 0 {
+            campaign.drift.step(&mut link.environment, &mut rng);
+        }
+        let mut row = Vec::with_capacity(configs.len());
+        for config in configs {
+            let paths = link.paths(system, config);
+            let profile = sounder
+                .sound_averaged(&paths, campaign.frames_per_config, elapsed, &mut rng)
+                .expect("sounder configured with >=2 training symbols");
+            row.push(profile);
+            elapsed += campaign.per_config_latency_s;
+        }
+        profiles.push(row);
+    }
+    CampaignResult {
+        configs: configs.to_vec(),
+        profiles,
+        elapsed_s: elapsed,
+    }
+}
+
+/// Like [`run_campaign_over`] but measuring configurations in parallel
+/// across worker threads.
+///
+/// Determinism is preserved by construction: every (trial, configuration)
+/// measurement draws from its own RNG seeded by `hash(seed, trial, config)`,
+/// so results are bit-identical regardless of thread count or scheduling —
+/// though *different* from the serial runner's stream, which threads one
+/// RNG through the sweep the way the paper's sequential prototype did.
+pub fn run_campaign_parallel(
+    system: &PressSystem,
+    sounder: &Sounder,
+    campaign: &CampaignConfig,
+    configs: &[Configuration],
+    n_threads: usize,
+) -> CampaignResult {
+    assert!(campaign.n_trials > 0, "need at least one trial");
+    assert!(n_threads > 0, "need at least one thread");
+    let mut drift_rng = StdRng::seed_from_u64(campaign.seed);
+    let base_link = CachedLink::trace(
+        system,
+        sounder.tx.node.clone(),
+        sounder.rx.node.clone(),
+    );
+
+    // Evolve the environment serially (drift is a sequential random walk),
+    // keeping one snapshot per trial.
+    let mut links = Vec::with_capacity(campaign.n_trials);
+    let mut link = base_link;
+    for trial in 0..campaign.n_trials {
+        if trial > 0 {
+            campaign.drift.step(&mut link.environment, &mut drift_rng);
+        }
+        links.push(link.clone());
+    }
+
+    // SplitMix64-style per-measurement seed derivation.
+    let derive = |trial: usize, cfg: usize| -> u64 {
+        let mut z = campaign
+            .seed
+            .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(1 + trial as u64))
+            .wrapping_add(0xBF58476D1CE4E5B9u64.wrapping_mul(1 + cfg as u64));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+
+    let mut profiles: Vec<Vec<Option<SnrProfile>>> =
+        vec![vec![None; configs.len()]; campaign.n_trials];
+    // Flatten (trial, config) jobs and deal them to scoped worker threads.
+    let jobs: Vec<(usize, usize)> = (0..campaign.n_trials)
+        .flat_map(|t| (0..configs.len()).map(move |c| (t, c)))
+        .collect();
+    crossbeam::thread::scope(|scope| {
+        // Split the output grid into per-trial rows; each worker takes a
+        // strided share of the flattened jobs and writes through a raw
+        // partitioned view (disjoint by construction).
+        let results: Vec<_> = (0..n_threads)
+            .map(|w| {
+                let links = &links;
+                let jobs = &jobs;
+                scope.spawn(move |_| {
+                    let mut out = Vec::new();
+                    let mut j = w;
+                    while j < jobs.len() {
+                        let (trial, cfg_idx) = jobs[j];
+                        let mut rng = StdRng::seed_from_u64(derive(trial, cfg_idx));
+                        let paths = links[trial].paths(system, &configs[cfg_idx]);
+                        let t_s = campaign.per_config_latency_s
+                            * (trial * configs.len() + cfg_idx) as f64;
+                        let profile = sounder
+                            .sound_averaged(&paths, campaign.frames_per_config, t_s, &mut rng)
+                            .expect("sounder configured with >=2 training symbols");
+                        out.push((trial, cfg_idx, profile));
+                        j += n_threads;
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in results {
+            for (trial, cfg_idx, profile) in handle.join().expect("worker panicked") {
+                profiles[trial][cfg_idx] = Some(profile);
+            }
+        }
+    })
+    .expect("campaign scope");
+
+    CampaignResult {
+        configs: configs.to_vec(),
+        profiles: profiles
+            .into_iter()
+            .map(|row| row.into_iter().map(|p| p.expect("all jobs ran")).collect())
+            .collect(),
+        elapsed_s: campaign.per_config_latency_s * (campaign.n_trials * configs.len()) as f64,
+    }
+}
+
+/// Convenience: how long a sweep takes vs. the coherence budget. Returns
+/// `(sweep_time_s, coherence_time_s, fits)` for a given movement speed.
+pub fn coherence_check(
+    system: &PressSystem,
+    campaign: &CampaignConfig,
+    space: &ConfigSpace,
+    speed_mps: f64,
+) -> (f64, f64, bool) {
+    let sweep = campaign.per_config_latency_s * space.size() as f64;
+    let coherence = system.scene.coherence_time_s(speed_mps);
+    (sweep, coherence, sweep <= coherence)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::PressArray;
+    use press_math::consts::WIFI_CHANNEL_11_HZ;
+    use press_phy::Numerology;
+    use press_propagation::{LabConfig, LabSetup, Scene, Material, Vec3};
+    use press_sdr::SdrRadio;
+
+    fn small_system() -> (PressSystem, Sounder) {
+        let lab = LabSetup::generate(&LabConfig::default(), 42);
+        let lambda = lab.scene.wavelength();
+        let mut rng = StdRng::seed_from_u64(7);
+        let positions = lab.random_element_positions(2, &mut rng);
+        let array = PressArray::paper_passive(&positions, lambda);
+        let system = PressSystem::new(lab.scene.clone(), array);
+        let sounder = Sounder::new(
+            Numerology::wifi20(WIFI_CHANNEL_11_HZ),
+            SdrRadio::warp(lab.tx.clone()),
+            SdrRadio::warp(lab.rx.clone()),
+        );
+        (system, sounder)
+    }
+
+    fn quick_campaign() -> CampaignConfig {
+        CampaignConfig {
+            n_trials: 3,
+            frames_per_config: 2,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn campaign_shape_and_determinism() {
+        let (system, sounder) = small_system();
+        let cfg = quick_campaign();
+        let a = run_campaign(&system, &sounder, &cfg);
+        let b = run_campaign(&system, &sounder, &cfg);
+        assert_eq!(a.n_trials(), 3);
+        assert_eq!(a.n_configs(), 16, "2 elements x 4 states");
+        assert_eq!(a.profiles[0][0].snr_db, b.profiles[0][0].snr_db);
+        assert_eq!(a.profiles[2][15].snr_db, b.profiles[2][15].snr_db);
+    }
+
+    #[test]
+    fn elapsed_time_accounts_all_measurements() {
+        let (system, sounder) = small_system();
+        let cfg = quick_campaign();
+        let r = run_campaign(&system, &sounder, &cfg);
+        let expect = cfg.per_config_latency_s * 16.0 * 3.0;
+        assert!((r.elapsed_s - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn configurations_change_the_measured_channel() {
+        let (system, sounder) = small_system();
+        let r = run_campaign(&system, &sounder, &quick_campaign());
+        let means = r.mean_profiles();
+        // At least one pair of configurations must differ noticeably on some
+        // subcarrier — otherwise PRESS has no effect and the reproduction is
+        // broken at the root.
+        let mut max_delta = 0.0f64;
+        for i in 0..means.len() {
+            for j in 0..i {
+                max_delta = max_delta.max(means[i].max_abs_delta_db(&means[j]));
+            }
+        }
+        assert!(max_delta > 3.0, "max pairwise delta only {max_delta} dB");
+    }
+
+    #[test]
+    fn mean_profile_is_trial_average() {
+        let (system, sounder) = small_system();
+        let r = run_campaign(&system, &sounder, &quick_campaign());
+        let m = r.mean_profile(5);
+        let manual: f64 = (0..3).map(|t| r.profiles[t][5].snr_db[10]).sum::<f64>() / 3.0;
+        assert!((m.snr_db[10] - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coherence_check_paper_numbers() {
+        let scene = Scene::shoebox(WIFI_CHANNEL_11_HZ, 6.0, 5.0, 3.0, Material::DRYWALL);
+        let array = PressArray::paper_passive(
+            &[Vec3::new(2.0, 2.0, 1.5), Vec3::new(3.0, 3.0, 1.5), Vec3::new(2.5, 2.5, 1.5)],
+            scene.wavelength(),
+        );
+        let system = PressSystem::new(scene, array);
+        let space = system.array.config_space();
+        let campaign = CampaignConfig::default();
+        let mph = 0.44704;
+        let (sweep, coh, fits) = coherence_check(&system, &campaign, &space, 0.5 * mph);
+        // The paper: 5 s sweep cannot fit in the ~80 ms coherence time.
+        assert!((sweep - 5.0).abs() < 1e-9);
+        assert!(coh < 0.1);
+        assert!(!fits);
+    }
+
+    #[test]
+    fn parallel_campaign_is_thread_count_invariant() {
+        let (system, sounder) = small_system();
+        let cfg = quick_campaign();
+        let space = system.array.config_space();
+        let configs: Vec<Configuration> = space.iter().collect();
+        let a = run_campaign_parallel(&system, &sounder, &cfg, &configs, 1);
+        let b = run_campaign_parallel(&system, &sounder, &cfg, &configs, 4);
+        for (ta, tb) in a.profiles.iter().zip(&b.profiles) {
+            for (pa, pb) in ta.iter().zip(tb) {
+                assert_eq!(pa.snr_db, pb.snr_db);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_campaign_matches_serial_statistics() {
+        let (system, sounder) = small_system();
+        let cfg = quick_campaign();
+        let space = system.array.config_space();
+        let configs: Vec<Configuration> = space.iter().collect();
+        let serial = run_campaign_over(&system, &sounder, &cfg, &configs);
+        let parallel = run_campaign_parallel(&system, &sounder, &cfg, &configs, 4);
+        // Different RNG streams, same physics: per-config mean profiles
+        // agree within measurement noise.
+        let ms = serial.mean_profiles();
+        let mp = parallel.mean_profiles();
+        for (a, b) in ms.iter().zip(&mp) {
+            assert!(
+                (a.mean_db() - b.mean_db()).abs() < 3.0,
+                "serial {} vs parallel {}",
+                a.mean_db(),
+                b.mean_db()
+            );
+        }
+    }
+
+    #[test]
+    fn campaign_over_subset() {
+        let (system, sounder) = small_system();
+        let subset = vec![Configuration::new(vec![0, 0]), Configuration::new(vec![3, 3])];
+        let r = run_campaign_over(&system, &sounder, &quick_campaign(), &subset);
+        assert_eq!(r.n_configs(), 2);
+    }
+}

@@ -1,0 +1,194 @@
+//! Objectives: what "a better radio environment" means, per application.
+//!
+//! §1 of the paper names three applications — enhancing individual links,
+//! improving large-MIMO conditioning, and network harmonization / spatial
+//! partitioning. Each becomes a scalar score here (higher is better) that
+//! the search algorithms of [`crate::search`] maximize.
+
+use press_math::mat::MatError;
+use press_phy::mcs::expected_throughput_mbps;
+use press_phy::mimo::MimoChannel;
+use press_phy::snr::SnrProfile;
+
+/// Single-link objectives over a per-subcarrier SNR profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkObjective {
+    /// Maximize the worst subcarrier (lift the deepest null) — the paper's
+    /// link-enhancement goal.
+    MaxMinSnr,
+    /// Maximize the mean subcarrier SNR.
+    MaxMeanSnr,
+    /// Minimize frequency selectivity (peak-to-trough span): give OFDM "a
+    /// 'flatter' channel".
+    Flatness,
+    /// Maximize the MAC throughput after rate adaptation.
+    MaxThroughput,
+    /// Maximize SNR in the lower half-band while suppressing the upper —
+    /// one side of the Figure 7 harmonization experiment.
+    FavorLowBand,
+    /// The mirror image: favor the upper half-band.
+    FavorHighBand,
+}
+
+impl LinkObjective {
+    /// Scores a profile; higher is better.
+    pub fn score(&self, profile: &SnrProfile) -> f64 {
+        match self {
+            LinkObjective::MaxMinSnr => profile.min_db(),
+            LinkObjective::MaxMeanSnr => profile.mean_db(),
+            LinkObjective::Flatness => -profile.selectivity_db(),
+            LinkObjective::MaxThroughput => expected_throughput_mbps(profile),
+            LinkObjective::FavorLowBand => profile.half_band_contrast_db(),
+            LinkObjective::FavorHighBand => -profile.half_band_contrast_db(),
+        }
+    }
+}
+
+/// MIMO conditioning objective: *minimize* the median condition number in
+/// dB across subcarriers (returned negated so that higher is better).
+///
+/// # Errors
+/// Propagates [`MatError`] from the singular-value computation.
+pub fn mimo_conditioning_score(channel: &MimoChannel) -> Result<f64, MatError> {
+    Ok(-channel.median_condition_db()?)
+}
+
+/// Network-harmonization objective over two co-channel links (Figure 2 of
+/// the paper): link 1 should win the low half-band, link 2 the high
+/// half-band, and the *interference* channels should be weak everywhere.
+///
+/// `comm1`/`comm2` are the communication channels (AP1→C1, AP2→C2);
+/// `intf12`/`intf21` the cross channels (AP1→C2, AP2→C1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HarmonizationWeights {
+    /// Weight of the communication-band contrast terms.
+    pub communication: f64,
+    /// Weight of the interference suppression terms.
+    pub interference: f64,
+}
+
+impl Default for HarmonizationWeights {
+    fn default() -> Self {
+        HarmonizationWeights {
+            communication: 1.0,
+            interference: 0.5,
+        }
+    }
+}
+
+/// Scores a harmonization layout; higher is better.
+pub fn harmonization_score(
+    comm1: &SnrProfile,
+    comm2: &SnrProfile,
+    intf12: &SnrProfile,
+    intf21: &SnrProfile,
+    w: &HarmonizationWeights,
+) -> f64 {
+    // Each link's contrast toward its own half of the band…
+    let partition = comm1.half_band_contrast_db() + (-comm2.half_band_contrast_db());
+    // …while interference stays low in absolute terms.
+    let interference = intf12.mean_db() + intf21.mean_db();
+    w.communication * partition - w.interference * interference
+}
+
+/// Spatial-partitioning objective: maximize the signal-to-interference gap
+/// (mean dB) of two independent conversations sharing the space.
+pub fn partition_score(
+    comm1: &SnrProfile,
+    comm2: &SnrProfile,
+    intf12: &SnrProfile,
+    intf21: &SnrProfile,
+) -> f64 {
+    (comm1.mean_db() - intf21.mean_db()) + (comm2.mean_db() - intf12.mean_db())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use press_math::CMat;
+
+    fn flat(db: f64) -> SnrProfile {
+        SnrProfile::new(vec![db; 52])
+    }
+
+    fn sloped(lo: f64, hi: f64) -> SnrProfile {
+        SnrProfile::new((0..52).map(|k| lo + (hi - lo) * k as f64 / 51.0).collect())
+    }
+
+    #[test]
+    fn max_min_prefers_lifted_null() {
+        let mut nulled = vec![30.0; 52];
+        nulled[20] = 8.0;
+        let a = SnrProfile::new(nulled);
+        let b = flat(28.0);
+        assert!(LinkObjective::MaxMinSnr.score(&b) > LinkObjective::MaxMinSnr.score(&a));
+    }
+
+    #[test]
+    fn flatness_prefers_flat() {
+        assert!(LinkObjective::Flatness.score(&flat(20.0)) > LinkObjective::Flatness.score(&sloped(10.0, 30.0)));
+    }
+
+    #[test]
+    fn throughput_monotone_in_snr() {
+        assert!(
+            LinkObjective::MaxThroughput.score(&flat(35.0))
+                >= LinkObjective::MaxThroughput.score(&flat(12.0))
+        );
+    }
+
+    #[test]
+    fn band_objectives_are_mirrors() {
+        let s = sloped(10.0, 30.0);
+        assert!(LinkObjective::FavorHighBand.score(&s) > 0.0);
+        assert!(LinkObjective::FavorLowBand.score(&s) < 0.0);
+        assert_eq!(
+            LinkObjective::FavorLowBand.score(&s),
+            -LinkObjective::FavorHighBand.score(&s)
+        );
+    }
+
+    #[test]
+    fn conditioning_score_prefers_identity() {
+        let good = MimoChannel::new(vec![CMat::identity(2)]);
+        let skewed = MimoChannel::new(vec![CMat::from_fn(2, 2, |i, j| {
+            press_math::Complex64::real(1.0 + (i + j) as f64)
+        })]);
+        assert!(
+            mimo_conditioning_score(&good).unwrap() > mimo_conditioning_score(&skewed).unwrap()
+        );
+    }
+
+    #[test]
+    fn harmonization_rewards_opposite_selectivity() {
+        let comm1 = sloped(30.0, 10.0); // favors low band
+        let comm2 = sloped(10.0, 30.0); // favors high band
+        let quiet = flat(0.0);
+        let aligned = harmonization_score(&comm1, &comm2, &quiet, &quiet, &Default::default());
+        let wrong = harmonization_score(&comm2, &comm1, &quiet, &quiet, &Default::default());
+        assert!(aligned > 0.0);
+        assert!(wrong < aligned);
+    }
+
+    #[test]
+    fn harmonization_penalizes_interference() {
+        let comm1 = sloped(30.0, 10.0);
+        let comm2 = sloped(10.0, 30.0);
+        let quiet = flat(-5.0);
+        let loud = flat(20.0);
+        let good = harmonization_score(&comm1, &comm2, &quiet, &quiet, &Default::default());
+        let bad = harmonization_score(&comm1, &comm2, &loud, &loud, &Default::default());
+        assert!(good > bad);
+    }
+
+    #[test]
+    fn partition_score_gap() {
+        let comm = flat(30.0);
+        let weak_intf = flat(5.0);
+        let strong_intf = flat(25.0);
+        assert!(
+            partition_score(&comm, &comm, &weak_intf, &weak_intf)
+                > partition_score(&comm, &comm, &strong_intf, &strong_intf)
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! Element placement: where to put the array, not just how to switch it.
+//!
+//! §4.1 of the paper: "PRESS could use either few well-placed directional
+//! antennas or many randomly placed but less directional antennas, or
+//! anything in-between." Switching states is a per-packet decision;
+//! *placement* is a deployment-time decision over the same objective. This
+//! module provides a greedy placement optimizer over a candidate grid —
+//! each added element is chosen to maximize the objective after re-tuning
+//! the whole array's configuration — plus the random-placement baseline it
+//! must beat.
+
+use crate::array::{PlacedElement, PressArray};
+use crate::config::Configuration;
+use crate::search;
+use crate::system::{CachedLink, PressSystem};
+use press_phy::snr::SnrProfile;
+use press_propagation::geometry::Vec3;
+use press_propagation::scene::Scene;
+use press_sdr::Sounder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A factory producing the element hardware + antenna for a position
+/// (placement decides *where*; this decides *what* goes there).
+pub type ElementFactory<'a> = dyn Fn(Vec3) -> PlacedElement + 'a;
+
+/// Result of a placement run.
+#[derive(Debug, Clone)]
+pub struct PlacementResult {
+    /// The deployed array.
+    pub array: PressArray,
+    /// Objective after each element was added (length = budget).
+    pub score_trace: Vec<f64>,
+    /// Oracle evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Greedy placement: starting from an empty array, repeatedly add the
+/// candidate position that maximizes `objective(best-configuration profile)`
+/// — the inner configuration search is greedy coordinate descent on oracle
+/// channels. `objective` maps a profile to a score (higher better).
+pub fn greedy_placement(
+    scene: &Scene,
+    sounder: &Sounder,
+    candidates: &[Vec3],
+    budget: usize,
+    factory: &ElementFactory<'_>,
+    objective: &dyn Fn(&SnrProfile) -> f64,
+) -> PlacementResult {
+    assert!(budget > 0, "placement budget must be positive");
+    assert!(
+        candidates.len() >= budget,
+        "need at least as many candidates as budget"
+    );
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut score_trace = Vec::new();
+    let mut evaluations = 0usize;
+
+    for _ in 0..budget {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &pos) in candidates.iter().enumerate() {
+            if chosen.contains(&i) {
+                continue;
+            }
+            let mut positions: Vec<Vec3> = chosen.iter().map(|&j| candidates[j]).collect();
+            positions.push(pos);
+            let (score, evals) = evaluate_deployment(scene, sounder, &positions, factory, objective);
+            evaluations += evals;
+            if best.map_or(true, |(_, b)| score > b) {
+                best = Some((i, score));
+            }
+        }
+        let (idx, score) = best.expect("candidates remain");
+        chosen.push(idx);
+        score_trace.push(score);
+    }
+
+    let elements: Vec<PlacedElement> = chosen.iter().map(|&j| factory(candidates[j])).collect();
+    PlacementResult {
+        array: PressArray::new(elements),
+        score_trace,
+        evaluations,
+    }
+}
+
+/// Random placement baseline: `n_draws` random subsets, each tuned the same
+/// way as the greedy deployment; returns the mean and best final scores.
+pub fn random_placement_baseline(
+    scene: &Scene,
+    sounder: &Sounder,
+    candidates: &[Vec3],
+    budget: usize,
+    factory: &ElementFactory<'_>,
+    objective: &dyn Fn(&SnrProfile) -> f64,
+    n_draws: usize,
+    seed: u64,
+) -> (f64, f64) {
+    assert!(n_draws > 0 && candidates.len() >= budget);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut scores = Vec::with_capacity(n_draws);
+    for _ in 0..n_draws {
+        // Partial Fisher-Yates draw of `budget` distinct candidates.
+        let mut idx: Vec<usize> = (0..candidates.len()).collect();
+        for i in 0..budget {
+            let j = rng.gen_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        let positions: Vec<Vec3> = idx[..budget].iter().map(|&j| candidates[j]).collect();
+        let (score, _) = evaluate_deployment(scene, sounder, &positions, factory, objective);
+        scores.push(score);
+    }
+    let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+    let best = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    (mean, best)
+}
+
+/// Deploys elements at `positions`, tunes the configuration by greedy
+/// coordinate descent on oracle channels, returns the tuned score.
+fn evaluate_deployment(
+    scene: &Scene,
+    sounder: &Sounder,
+    positions: &[Vec3],
+    factory: &ElementFactory<'_>,
+    objective: &dyn Fn(&SnrProfile) -> f64,
+) -> (f64, usize) {
+    let elements: Vec<PlacedElement> = positions.iter().map(|&p| factory(p)).collect();
+    let system = PressSystem::new(scene.clone(), PressArray::new(elements));
+    let link = CachedLink::trace(&system, sounder.tx.node.clone(), sounder.rx.node.clone());
+    let space = system.array.config_space();
+    let result = search::greedy_coordinate(
+        &space,
+        Configuration::zeros(space.n_elements()),
+        4,
+        |c| objective(&sounder.oracle_snr(&link.paths(&system, c), 0.0)),
+    );
+    (result.score, result.evaluations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use press_elements::Element;
+    use press_math::consts::WIFI_CHANNEL_11_HZ;
+    use press_phy::Numerology;
+    use press_propagation::antenna::{Antenna, Pattern};
+    use press_propagation::{LabConfig, LabSetup};
+    use press_sdr::SdrRadio;
+
+    fn setup() -> (LabSetup, Sounder, Vec<Vec3>) {
+        let lab = LabSetup::generate(&LabConfig::default(), 4);
+        let sounder = Sounder::new(
+            Numerology::wifi20(WIFI_CHANNEL_11_HZ),
+            SdrRadio::warp(lab.tx.clone()),
+            SdrRadio::warp(lab.rx.clone()),
+        );
+        // A small candidate subset keeps the test fast.
+        let candidates: Vec<Vec3> = lab.element_grid.iter().copied().step_by(7).take(10).collect();
+        (lab, sounder, candidates)
+    }
+
+    fn factory_for(lab: &LabSetup) -> impl Fn(Vec3) -> PlacedElement + '_ {
+        let lambda = lab.scene.wavelength();
+        let aim = (lab.tx.position + lab.rx.position) * 0.5;
+        move |p: Vec3| PlacedElement {
+            element: Element::paper_passive(lambda),
+            position: p,
+            antenna: Antenna::new(Pattern::press_patch(), aim - p),
+        }
+    }
+
+    #[test]
+    fn score_trace_is_monotone() {
+        let (lab, sounder, candidates) = setup();
+        let factory = factory_for(&lab);
+        let objective = |p: &SnrProfile| p.min_db();
+        let result = greedy_placement(&lab.scene, &sounder, &candidates, 3, &factory, &objective);
+        assert_eq!(result.array.len(), 3);
+        assert_eq!(result.score_trace.len(), 3);
+        for w in result.score_trace.windows(2) {
+            assert!(
+                w[1] >= w[0] - 1e-9,
+                "adding a tunable element (with an off state) cannot hurt: {:?}",
+                result.score_trace
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_beats_mean_random_placement() {
+        let (lab, sounder, candidates) = setup();
+        let factory = factory_for(&lab);
+        let objective = |p: &SnrProfile| p.min_db();
+        let greedy = greedy_placement(&lab.scene, &sounder, &candidates, 2, &factory, &objective);
+        let (mean_random, _) = random_placement_baseline(
+            &lab.scene, &sounder, &candidates, 2, &factory, &objective, 6, 3,
+        );
+        let final_score = *greedy.score_trace.last().unwrap();
+        assert!(
+            final_score >= mean_random - 1e-9,
+            "greedy {final_score} vs random mean {mean_random}"
+        );
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let (lab, sounder, candidates) = setup();
+        let factory = factory_for(&lab);
+        let objective = |p: &SnrProfile| p.min_db();
+        let a = greedy_placement(&lab.scene, &sounder, &candidates, 2, &factory, &objective);
+        let b = greedy_placement(&lab.scene, &sounder, &candidates, 2, &factory, &objective);
+        assert_eq!(a.array.elements[0].position, b.array.elements[0].position);
+        assert_eq!(a.score_trace, b.score_trace);
+    }
+
+    #[test]
+    #[should_panic(expected = "placement budget must be positive")]
+    fn zero_budget_rejected() {
+        let (lab, sounder, candidates) = setup();
+        let factory = factory_for(&lab);
+        let objective = |p: &SnrProfile| p.min_db();
+        greedy_placement(&lab.scene, &sounder, &candidates, 0, &factory, &objective);
+    }
+}

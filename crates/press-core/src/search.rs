@@ -1,0 +1,535 @@
+//! Configuration search: navigating the `M^N` space.
+//!
+//! §4.2 of the paper: "With N PRESS elements, each having M possible
+//! reflection coefficients, enumerating the M^N possibilities in the search
+//! space for the optimal configuration becomes impractical. We will focus
+//! the search in the vicinity of intended receivers, and apply heuristics to
+//! prune the space." This module provides the exhaustive baseline plus the
+//! heuristic family the ablation benches compare: random sampling, greedy
+//! coordinate descent, hill climbing with restarts, simulated annealing, and
+//! a genetic search.
+//!
+//! Every algorithm maximizes a caller-supplied evaluator
+//! `FnMut(&Configuration) -> f64` and reports how many evaluations it spent
+//! — the currency that matters when each evaluation is a real channel
+//! measurement inside a coherence-time budget.
+
+use crate::config::{ConfigSpace, Configuration};
+use rand::Rng;
+
+/// Result of a configuration search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// The best configuration found.
+    pub best: Configuration,
+    /// Its score.
+    pub score: f64,
+    /// Number of evaluator calls spent.
+    pub evaluations: usize,
+}
+
+/// Exhaustively evaluates the whole space. Exact but `O(M^N)` — the paper's
+/// 64-configuration prototype is the only regime where this is routine.
+pub fn exhaustive<F>(space: &ConfigSpace, mut eval: F) -> SearchResult
+where
+    F: FnMut(&Configuration) -> f64,
+{
+    let mut best: Option<(Configuration, f64)> = None;
+    let mut evaluations = 0;
+    for config in space.iter() {
+        let score = eval(&config);
+        evaluations += 1;
+        if best.as_ref().map_or(true, |(_, b)| score > *b) {
+            best = Some((config, score));
+        }
+    }
+    let (best, score) = best.expect("configuration space is never empty");
+    SearchResult {
+        best,
+        score,
+        evaluations,
+    }
+}
+
+/// Uniform random sampling with a fixed evaluation budget.
+pub fn random_search<F, R>(
+    space: &ConfigSpace,
+    budget: usize,
+    rng: &mut R,
+    mut eval: F,
+) -> SearchResult
+where
+    F: FnMut(&Configuration) -> f64,
+    R: Rng + ?Sized,
+{
+    assert!(budget > 0, "budget must be positive");
+    let mut best: Option<(Configuration, f64)> = None;
+    for _ in 0..budget {
+        let c = space.random(rng);
+        let s = eval(&c);
+        if best.as_ref().map_or(true, |(_, b)| s > *b) {
+            best = Some((c, s));
+        }
+    }
+    let (best, score) = best.expect("budget > 0");
+    SearchResult {
+        best,
+        score,
+        evaluations: budget,
+    }
+}
+
+/// Greedy coordinate descent: sweep the elements in order, setting each to
+/// its best state with the others held fixed; repeat until a sweep makes no
+/// change or `max_sweeps` is hit. Cost per sweep: `Σ(Mᵢ−1) + 1` evaluations.
+///
+/// This is the natural "per-element" heuristic for PRESS because each
+/// element contributes one additive path — coordinates couple only through
+/// the shared objective, not through constraints.
+pub fn greedy_coordinate<F>(
+    space: &ConfigSpace,
+    start: Configuration,
+    max_sweeps: usize,
+    mut eval: F,
+) -> SearchResult
+where
+    F: FnMut(&Configuration) -> f64,
+{
+    assert!(space.contains(&start), "start configuration invalid");
+    let mut current = start;
+    let mut current_score = eval(&current);
+    let mut evaluations = 1;
+    for _ in 0..max_sweeps {
+        let mut improved = false;
+        for i in 0..space.n_elements() {
+            let original = current.states[i];
+            let mut best_state = original;
+            let mut best_score = current_score;
+            for s in 0..space.states_per_element[i] {
+                if s == original {
+                    continue;
+                }
+                current.states[i] = s;
+                let score = eval(&current);
+                evaluations += 1;
+                if score > best_score {
+                    best_score = score;
+                    best_state = s;
+                }
+            }
+            current.states[i] = best_state;
+            if best_state != original {
+                current_score = best_score;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    SearchResult {
+        best: current,
+        score: current_score,
+        evaluations,
+    }
+}
+
+/// Hill climbing over Hamming-1 neighborhoods with random restarts.
+pub fn hill_climb<F, R>(
+    space: &ConfigSpace,
+    restarts: usize,
+    max_steps: usize,
+    rng: &mut R,
+    mut eval: F,
+) -> SearchResult
+where
+    F: FnMut(&Configuration) -> f64,
+    R: Rng + ?Sized,
+{
+    assert!(restarts > 0, "need at least one restart");
+    let mut evaluations = 0;
+    let mut global: Option<(Configuration, f64)> = None;
+    for _ in 0..restarts {
+        let mut current = space.random(rng);
+        let mut score = eval(&current);
+        evaluations += 1;
+        for _ in 0..max_steps {
+            let mut best_neighbor: Option<(Configuration, f64)> = None;
+            for n in space.neighbors(&current) {
+                let s = eval(&n);
+                evaluations += 1;
+                if best_neighbor.as_ref().map_or(true, |(_, b)| s > *b) {
+                    best_neighbor = Some((n, s));
+                }
+            }
+            match best_neighbor {
+                Some((n, s)) if s > score => {
+                    current = n;
+                    score = s;
+                }
+                _ => break, // local optimum
+            }
+        }
+        if global.as_ref().map_or(true, |(_, b)| score > *b) {
+            global = Some((current, score));
+        }
+    }
+    let (best, score) = global.expect("restarts > 0");
+    SearchResult {
+        best,
+        score,
+        evaluations,
+    }
+}
+
+/// Simulated annealing with geometric cooling over single-element moves.
+pub fn simulated_annealing<F, R>(
+    space: &ConfigSpace,
+    iterations: usize,
+    t_start: f64,
+    t_end: f64,
+    rng: &mut R,
+    mut eval: F,
+) -> SearchResult
+where
+    F: FnMut(&Configuration) -> f64,
+    R: Rng + ?Sized,
+{
+    assert!(iterations > 0 && t_start > 0.0 && t_end > 0.0 && t_end <= t_start);
+    let mut current = space.random(rng);
+    let mut current_score = eval(&current);
+    let mut evaluations = 1;
+    let mut best = current.clone();
+    let mut best_score = current_score;
+    let cooling = (t_end / t_start).powf(1.0 / iterations as f64);
+    let mut temp = t_start;
+    for _ in 0..iterations {
+        // Single-element random move.
+        let i = rng.gen_range(0..space.n_elements());
+        let m = space.states_per_element[i];
+        if m > 1 {
+            let mut proposal = current.clone();
+            let mut s = rng.gen_range(0..m);
+            if s == proposal.states[i] {
+                s = (s + 1) % m;
+            }
+            proposal.states[i] = s;
+            let score = eval(&proposal);
+            evaluations += 1;
+            let accept = score >= current_score
+                || rng.gen::<f64>() < ((score - current_score) / temp).exp();
+            if accept {
+                current = proposal;
+                current_score = score;
+                if score > best_score {
+                    best = current.clone();
+                    best_score = score;
+                }
+            }
+        }
+        temp *= cooling;
+    }
+    SearchResult {
+        best,
+        score: best_score,
+        evaluations,
+    }
+}
+
+/// Hekaton-style hierarchical group search (§4.1: "we might divide the
+/// elements into groups, to harness diversity or power gains within each
+/// group and multiplex across groups").
+///
+/// Phase 1 tunes each group of `group_size` elements *independently* with
+/// every other element parked in `park_state` (normally the absorber), by
+/// exhaustive search over the group's sub-space. Phase 2 stitches the group
+/// optima together and runs one greedy refinement sweep over the whole
+/// array. Cost: `Σ M^g + Σ(M−1) + 1` evaluations instead of `M^N`.
+pub fn hierarchical_groups<F>(
+    space: &ConfigSpace,
+    group_size: usize,
+    park_state: usize,
+    mut eval: F,
+) -> SearchResult
+where
+    F: FnMut(&Configuration) -> f64,
+{
+    assert!(group_size >= 1, "groups need at least one element");
+    let n = space.n_elements();
+    assert!(
+        space.states_per_element.iter().all(|&m| park_state < m),
+        "park_state must be valid for every element"
+    );
+    let mut evaluations = 0usize;
+    let mut stitched = Configuration::new(vec![park_state; n]);
+
+    // Phase 1: per-group exhaustive search, others parked.
+    let mut start = 0;
+    while start < n {
+        let end = (start + group_size).min(n);
+        let group: Vec<usize> = (start..end).collect();
+        // Enumerate the group's sub-space.
+        let radices: Vec<usize> = group.iter().map(|&i| space.states_per_element[i]).collect();
+        let sub = ConfigSpace::new(radices);
+        let mut best_states: Option<(Vec<usize>, f64)> = None;
+        for sub_cfg in sub.iter() {
+            let mut candidate = Configuration::new(vec![park_state; n]);
+            for (slot, &i) in group.iter().enumerate() {
+                candidate.states[i] = sub_cfg.states[slot];
+            }
+            let score = eval(&candidate);
+            evaluations += 1;
+            if best_states
+                .as_ref()
+                .map_or(true, |(_, b)| score > *b)
+            {
+                best_states = Some((sub_cfg.states.clone(), score));
+            }
+        }
+        let (states, _) = best_states.expect("group sub-space non-empty");
+        for (slot, &i) in group.iter().enumerate() {
+            stitched.states[i] = states[slot];
+        }
+        start = end;
+    }
+
+    // Phase 2: one greedy refinement sweep over the stitched whole.
+    let refined = greedy_coordinate(space, stitched, 1, &mut eval);
+    SearchResult {
+        best: refined.best,
+        score: refined.score,
+        evaluations: evaluations + refined.evaluations,
+    }
+}
+
+/// Parameters for the genetic search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneticParams {
+    /// Population size.
+    pub population: usize,
+    /// Generations.
+    pub generations: usize,
+    /// Per-element mutation probability.
+    pub mutation_rate: f64,
+    /// Fraction of the population carried over as elites.
+    pub elite_fraction: f64,
+}
+
+impl Default for GeneticParams {
+    fn default() -> Self {
+        GeneticParams {
+            population: 24,
+            generations: 12,
+            mutation_rate: 0.15,
+            elite_fraction: 0.25,
+        }
+    }
+}
+
+/// Genetic search: tournament selection, uniform crossover, per-element
+/// mutation, elitism.
+pub fn genetic<F, R>(
+    space: &ConfigSpace,
+    params: &GeneticParams,
+    rng: &mut R,
+    mut eval: F,
+) -> SearchResult
+where
+    F: FnMut(&Configuration) -> f64,
+    R: Rng + ?Sized,
+{
+    assert!(params.population >= 2, "population must be at least 2");
+    let mut evaluations = 0;
+    let mut scored: Vec<(Configuration, f64)> = (0..params.population)
+        .map(|_| {
+            let c = space.random(rng);
+            let s = eval(&c);
+            evaluations += 1;
+            (c, s)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let elites = ((params.population as f64 * params.elite_fraction) as usize).max(1);
+
+    for _ in 0..params.generations {
+        let mut next: Vec<(Configuration, f64)> = scored[..elites].to_vec();
+        while next.len() < params.population {
+            // Binary tournaments.
+            let pick = |rng: &mut R| {
+                let a = rng.gen_range(0..scored.len());
+                let b = rng.gen_range(0..scored.len());
+                if scored[a].1 >= scored[b].1 {
+                    &scored[a].0
+                } else {
+                    &scored[b].0
+                }
+            };
+            let p1 = pick(rng).clone();
+            let p2 = pick(rng).clone();
+            // Uniform crossover + mutation.
+            let mut child = Configuration::zeros(space.n_elements());
+            for i in 0..space.n_elements() {
+                child.states[i] = if rng.gen::<bool>() {
+                    p1.states[i]
+                } else {
+                    p2.states[i]
+                };
+                if rng.gen::<f64>() < params.mutation_rate {
+                    child.states[i] = rng.gen_range(0..space.states_per_element[i]);
+                }
+            }
+            let s = eval(&child);
+            evaluations += 1;
+            next.push((child, s));
+        }
+        next.sort_by(|a, b| b.1.total_cmp(&a.1));
+        scored = next;
+    }
+    let (best, score) = scored.into_iter().next().expect("population non-empty");
+    SearchResult {
+        best,
+        score,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::new(vec![4, 4, 4])
+    }
+
+    /// A deterministic synthetic objective with a unique global optimum at
+    /// (3, 1, 2) and mild coupling between elements.
+    fn objective(c: &Configuration) -> f64 {
+        let target = [3usize, 1, 2];
+        let mut score = 0.0;
+        for (i, (&s, &t)) in c.states.iter().zip(&target).enumerate() {
+            score -= ((s as f64 - t as f64) * (i as f64 + 1.0)).powi(2);
+        }
+        // Coupling term.
+        score - ((c.states[0] + c.states[1]) % 3) as f64 * 0.1
+    }
+
+    #[test]
+    fn exhaustive_finds_global_optimum() {
+        let r = exhaustive(&space(), objective);
+        assert_eq!(r.best.states, vec![3, 1, 2]);
+        assert_eq!(r.evaluations, 64);
+    }
+
+    #[test]
+    fn greedy_reaches_optimum_on_separable_objective() {
+        let r = greedy_coordinate(&space(), Configuration::zeros(3), 10, objective);
+        assert_eq!(r.best.states, vec![3, 1, 2]);
+        assert!(r.evaluations < 64, "greedy must beat exhaustive: {}", r.evaluations);
+    }
+
+    #[test]
+    fn hill_climb_matches_exhaustive_on_small_space() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = hill_climb(&space(), 4, 20, &mut rng, objective);
+        assert_eq!(r.best.states, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn annealing_finds_good_solutions() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let r = simulated_annealing(&space(), 400, 5.0, 0.01, &mut rng, objective);
+        let optimum = objective(&Configuration::new(vec![3, 1, 2]));
+        assert!(r.score >= optimum - 1.0, "{} vs {optimum}", r.score);
+    }
+
+    #[test]
+    fn genetic_finds_good_solutions() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = genetic(&space(), &GeneticParams::default(), &mut rng, objective);
+        let optimum = objective(&Configuration::new(vec![3, 1, 2]));
+        assert!(r.score >= optimum - 1.0, "{} vs {optimum}", r.score);
+    }
+
+    #[test]
+    fn random_search_respects_budget() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = random_search(&space(), 10, &mut rng, objective);
+        assert_eq!(r.evaluations, 10);
+    }
+
+    #[test]
+    fn searches_are_deterministic_per_seed() {
+        let r1 = hill_climb(&space(), 3, 10, &mut StdRng::seed_from_u64(7), objective);
+        let r2 = hill_climb(&space(), 3, 10, &mut StdRng::seed_from_u64(7), objective);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn larger_space_heuristics_beat_random_at_equal_budget() {
+        // 8 elements x 8 states = 16.7M configs; heuristics must do better
+        // than random at a comparable evaluation budget.
+        let big = ConfigSpace::new(vec![8; 8]);
+        let target: Vec<usize> = vec![7, 0, 3, 5, 1, 6, 2, 4];
+        let obj = |c: &Configuration| -> f64 {
+            -c.states
+                .iter()
+                .zip(&target)
+                .map(|(&s, &t)| (s as f64 - t as f64).abs())
+                .sum::<f64>()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let greedy = greedy_coordinate(&big, big.random(&mut rng), 5, obj);
+        let rand_budget = greedy.evaluations;
+        let random = random_search(&big, rand_budget, &mut rng, obj);
+        assert!(
+            greedy.score > random.score,
+            "greedy {} vs random {}",
+            greedy.score,
+            random.score
+        );
+        assert_eq!(greedy.best.states, target, "separable objective is exactly solvable");
+    }
+
+    #[test]
+    fn hierarchical_groups_match_exhaustive_on_separable_objective() {
+        let space = ConfigSpace::new(vec![4, 4, 4, 4]);
+        let target = [3usize, 1, 2, 0];
+        let obj = |c: &Configuration| -> f64 {
+            -c.states
+                .iter()
+                .zip(&target)
+                .map(|(&s, &t)| (s as f64 - t as f64).powi(2))
+                .sum::<f64>()
+        };
+        let hier = hierarchical_groups(&space, 2, 0, obj);
+        assert_eq!(hier.best.states, target.to_vec());
+        // 2 groups of 4^2 + refinement sweep << 4^4 = 256 exhaustive.
+        assert!(hier.evaluations < 100, "{}", hier.evaluations);
+    }
+
+    #[test]
+    fn hierarchical_groups_near_exhaustive_on_coupled_objective() {
+        let space = ConfigSpace::new(vec![4, 4, 4]);
+        let exhaustive = super::exhaustive(&space, objective);
+        let hier = hierarchical_groups(&space, 2, 3, objective);
+        assert!(
+            hier.score >= exhaustive.score - 1.0,
+            "hier {} vs exhaustive {}",
+            hier.score,
+            exhaustive.score
+        );
+        assert!(hier.evaluations < exhaustive.evaluations);
+    }
+
+    #[test]
+    fn single_state_elements_handled() {
+        let tiny = ConfigSpace::new(vec![1, 1]);
+        let r = exhaustive(&tiny, |_| 42.0);
+        assert_eq!(r.best.states, vec![0, 0]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let r2 = simulated_annealing(&tiny, 10, 1.0, 0.1, &mut rng, |_| 1.0);
+        assert_eq!(r2.best.states, vec![0, 0]);
+    }
+}

@@ -1,0 +1,134 @@
+//! A PRESS system: scene + array, with cached environment paths.
+//!
+//! Ties the static environment (traced once per endpoint pair) to the
+//! controllable array paths (recomputed per configuration). Every harness,
+//! objective evaluation and controller loop goes through
+//! [`PressSystem::paths`].
+
+use crate::array::PressArray;
+use crate::config::Configuration;
+use press_propagation::path::SignalPath;
+use press_propagation::scene::{RadioNode, Scene};
+
+/// Scene + deployed array.
+#[derive(Debug, Clone)]
+pub struct PressSystem {
+    /// The physical environment.
+    pub scene: Scene,
+    /// The deployed PRESS array.
+    pub array: PressArray,
+}
+
+impl PressSystem {
+    /// Builds a system.
+    pub fn new(scene: Scene, array: PressArray) -> Self {
+        PressSystem { scene, array }
+    }
+
+    /// Environment-only paths between two endpooints (no PRESS contribution).
+    pub fn environment_paths(&self, tx: &RadioNode, rx: &RadioNode) -> Vec<SignalPath> {
+        self.scene.paths(tx, rx)
+    }
+
+    /// Full path set under a configuration: environment + array.
+    pub fn paths(&self, tx: &RadioNode, rx: &RadioNode, config: &Configuration) -> Vec<SignalPath> {
+        let mut paths = self.environment_paths(tx, rx);
+        paths.extend(self.array.paths(&self.scene, tx, rx, config));
+        paths
+    }
+
+    /// Carrier wavelength, meters.
+    pub fn lambda(&self) -> f64 {
+        self.scene.wavelength()
+    }
+}
+
+/// A link with its environment paths traced once.
+///
+/// Re-tracing walls and scatterers for all 64 configurations × 10 trials
+/// would dominate runtime; the environment is configuration-independent, so
+/// campaigns cache it here and only the (cheap) element paths vary.
+#[derive(Debug, Clone)]
+pub struct CachedLink {
+    /// Transmit endpoint.
+    pub tx: RadioNode,
+    /// Receive endpoint.
+    pub rx: RadioNode,
+    /// Cached environment paths (may be mutated by channel drift between
+    /// trials, which is exactly why they are stored rather than re-traced).
+    pub environment: Vec<SignalPath>,
+}
+
+impl CachedLink {
+    /// Traces and caches the environment between two endpoints.
+    pub fn trace(system: &PressSystem, tx: RadioNode, rx: RadioNode) -> Self {
+        let environment = system.environment_paths(&tx, &rx);
+        CachedLink { tx, rx, environment }
+    }
+
+    /// Full path set under a configuration, using the cached environment.
+    pub fn paths(&self, system: &PressSystem, config: &Configuration) -> Vec<SignalPath> {
+        let mut paths = self.environment.clone();
+        paths.extend(system.array.paths(&system.scene, &self.tx, &self.rx, config));
+        paths
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::PressArray;
+    use press_math::consts::WIFI_CHANNEL_11_HZ;
+    use press_propagation::path::PathKind;
+    use press_propagation::{Material, Vec3};
+
+    fn system() -> (PressSystem, RadioNode, RadioNode) {
+        let scene = Scene::shoebox(WIFI_CHANNEL_11_HZ, 6.0, 5.0, 3.0, Material::DRYWALL);
+        let lambda = scene.wavelength();
+        let array = PressArray::paper_passive(
+            &[Vec3::new(2.5, 1.5, 1.5), Vec3::new(3.0, 3.5, 1.5), Vec3::new(3.5, 2.0, 1.5)],
+            lambda,
+        );
+        let tx = RadioNode::omni_at(Vec3::new(1.5, 2.0, 1.5));
+        let rx = RadioNode::omni_at(Vec3::new(4.5, 3.0, 1.5));
+        (PressSystem::new(scene, array), tx, rx)
+    }
+
+    #[test]
+    fn paths_superpose_environment_and_array() {
+        let (sys, tx, rx) = system();
+        let env = sys.environment_paths(&tx, &rx);
+        let full = sys.paths(&tx, &rx, &Configuration::new(vec![0, 0, 0]));
+        assert_eq!(full.len(), env.len() + 3);
+        assert!(env
+            .iter()
+            .all(|p| !matches!(p.kind, PathKind::PressElement { .. })));
+    }
+
+    #[test]
+    fn cached_link_matches_direct_tracing() {
+        let (sys, tx, rx) = system();
+        let link = CachedLink::trace(&sys, tx.clone(), rx.clone());
+        let cfg = Configuration::new(vec![1, 2, 0]);
+        let direct = sys.paths(&tx, &rx, &cfg);
+        let cached = link.paths(&sys, &cfg);
+        assert_eq!(direct.len(), cached.len());
+        for (a, b) in direct.iter().zip(&cached) {
+            assert_eq!(a.gain, b.gain);
+            assert_eq!(a.delay_s, b.delay_s);
+        }
+    }
+
+    #[test]
+    fn different_configs_change_only_element_paths() {
+        let (sys, tx, rx) = system();
+        let link = CachedLink::trace(&sys, tx, rx);
+        let a = link.paths(&sys, &Configuration::new(vec![0, 0, 0]));
+        let b = link.paths(&sys, &Configuration::new(vec![2, 2, 2]));
+        let n_env = link.environment.len();
+        for k in 0..n_env {
+            assert_eq!(a[k].gain, b[k].gain, "environment path {k} must not move");
+        }
+        assert_ne!(a[n_env].delay_s, b[n_env].delay_s, "element paths must move");
+    }
+}

@@ -1,0 +1,236 @@
+//! Channel tracking for mobile endpoints.
+//!
+//! §2 of the paper: everything PRESS does must land inside the channel
+//! coherence time, and "depending on traffic patterns, PRESS will very
+//! likely reap additional performance benefits from switching strategies on
+//! packet-level timescales". This module simulates a client in motion while
+//! the controller re-optimizes the array on a fixed cadence, charging
+//! control-plane overhead as lost airtime — the machinery behind the
+//! `walking_user` example and the coherence-budget experiments.
+
+use crate::config::Configuration;
+use crate::search;
+use crate::system::{CachedLink, PressSystem};
+use press_phy::mcs::expected_throughput_mbps;
+use press_phy::numerology::Numerology;
+use press_propagation::geometry::Vec3;
+use press_propagation::scene::RadioNode;
+use press_sdr::{SdrRadio, Sounder};
+
+/// A back-and-forth linear walk: triangle-wave motion along a direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearPatrol {
+    /// Center of the patrol segment.
+    pub base: Vec3,
+    /// Direction of motion (normalized internally).
+    pub direction: Vec3,
+    /// Total peak-to-peak span, meters.
+    pub span_m: f64,
+    /// Walking speed, m/s.
+    pub speed_mps: f64,
+}
+
+impl LinearPatrol {
+    /// The position at elapsed time `t` seconds.
+    pub fn position_at(&self, t: f64) -> Vec3 {
+        let dir = self.direction.normalized().unwrap_or(Vec3::Y);
+        if self.speed_mps <= 0.0 || self.span_m <= 0.0 {
+            return self.base;
+        }
+        let progress = self.speed_mps * t;
+        // Triangle wave in [-span/2, +span/2].
+        let cycle = progress % (2.0 * self.span_m);
+        let offset = (cycle - self.span_m).abs() - self.span_m / 2.0;
+        self.base + dir * offset
+    }
+}
+
+/// Tracking-loop parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackingConfig {
+    /// Reconfiguration period, seconds (`f64::INFINITY` = configure once).
+    pub period_s: f64,
+    /// Simulation step, seconds.
+    pub dt_s: f64,
+    /// Total simulated time, seconds.
+    pub duration_s: f64,
+    /// Control-plane cost per candidate evaluated during a reconfiguration,
+    /// seconds (sounding + compute).
+    pub overhead_per_eval_s: f64,
+    /// Control-plane cost to actuate a chosen configuration, seconds.
+    pub actuation_s: f64,
+}
+
+impl Default for TrackingConfig {
+    fn default() -> Self {
+        TrackingConfig {
+            period_s: 0.5,
+            dt_s: 0.02,
+            duration_s: 6.0,
+            overhead_per_eval_s: 100e-6,
+            actuation_s: 1e-3,
+        }
+    }
+}
+
+/// Outcome of a tracking run.
+#[derive(Debug, Clone)]
+pub struct TrackingReport {
+    /// Mean MAC throughput net of control overhead, Mb/s.
+    pub mean_throughput_mbps: f64,
+    /// Reconfigurations performed.
+    pub reconfigurations: usize,
+    /// Total control-plane overhead charged, seconds.
+    pub overhead_s: f64,
+    /// Per-step gross throughput series, Mb/s.
+    pub series: Vec<f64>,
+}
+
+/// Tracks a mobile client: at every step the client moves along `patrol`;
+/// every `period_s` the controller re-runs one greedy coordinate-descent
+/// sweep on oracle channels from the current configuration and actuates the
+/// result. Returns net throughput after overhead.
+pub fn track_mobile_client(
+    system: &PressSystem,
+    tx: &SdrRadio,
+    num: &Numerology,
+    patrol: &LinearPatrol,
+    cfg: &TrackingConfig,
+) -> TrackingReport {
+    assert!(cfg.dt_s > 0.0 && cfg.duration_s > 0.0);
+    let space = system.array.config_space();
+    let mut config = Configuration::zeros(space.n_elements());
+    let mut series = Vec::new();
+    let mut since_reconf = f64::INFINITY;
+    let mut reconfigurations = 0usize;
+    let mut overhead_s = 0.0;
+
+    let steps = (cfg.duration_s / cfg.dt_s) as usize;
+    for step in 0..steps {
+        let t = step as f64 * cfg.dt_s;
+        let rx_pos = patrol.position_at(t);
+        let rx = SdrRadio::warp(RadioNode::omni_at(rx_pos));
+        let sounder = Sounder::new(num.clone(), tx.clone(), rx);
+        let link = CachedLink::trace(system, sounder.tx.node.clone(), sounder.rx.node.clone());
+
+        if since_reconf >= cfg.period_s {
+            let result = search::greedy_coordinate(&space, config.clone(), 1, |c| {
+                sounder.oracle_snr(&link.paths(system, c), 0.0).min_db()
+            });
+            overhead_s += result.evaluations as f64 * cfg.overhead_per_eval_s + cfg.actuation_s;
+            config = result.best;
+            since_reconf = 0.0;
+            reconfigurations += 1;
+        }
+        since_reconf += cfg.dt_s;
+
+        let profile = sounder.oracle_snr(&link.paths(system, &config), 0.0);
+        series.push(expected_throughput_mbps(&profile));
+    }
+    let gross = series.iter().sum::<f64>() / series.len().max(1) as f64;
+    let duty = (cfg.duration_s - overhead_s).max(0.0) / cfg.duration_s;
+    TrackingReport {
+        mean_throughput_mbps: gross * duty,
+        reconfigurations,
+        overhead_s,
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::PressArray;
+    use press_math::consts::WIFI_CHANNEL_11_HZ;
+    use press_propagation::{LabConfig, LabSetup};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (PressSystem, SdrRadio, LinearPatrol) {
+        let lab = LabSetup::generate(&LabConfig::default(), 2);
+        let lambda = lab.scene.wavelength();
+        let mut rng = StdRng::seed_from_u64(0x51);
+        let positions = lab.random_element_positions(3, &mut rng);
+        let aim = (lab.tx.position + lab.rx.position) * 0.5;
+        let array = PressArray::paper_passive_aimed(&positions, lambda, aim);
+        let system = PressSystem::new(lab.scene.clone(), array);
+        let mut tx = SdrRadio::warp(lab.tx.clone());
+        tx.tx_power_dbm = -8.0;
+        let patrol = LinearPatrol {
+            base: lab.rx.position,
+            direction: press_propagation::Vec3::Y,
+            span_m: 1.6,
+            speed_mps: 1.34, // ~3 mph
+        };
+        (system, tx, patrol)
+    }
+
+    fn quick(period: f64) -> TrackingConfig {
+        TrackingConfig {
+            period_s: period,
+            dt_s: 0.05,
+            duration_s: 2.0,
+            ..TrackingConfig::default()
+        }
+    }
+
+    #[test]
+    fn patrol_is_bounded_and_periodic() {
+        let p = LinearPatrol {
+            base: Vec3::new(1.0, 2.0, 1.5),
+            direction: Vec3::Y,
+            span_m: 2.0,
+            speed_mps: 1.0,
+        };
+        for k in 0..100 {
+            let t = k as f64 * 0.13;
+            let pos = p.position_at(t);
+            assert!((pos.y - 2.0).abs() <= 1.0 + 1e-12);
+            assert_eq!(pos.x, 1.0);
+        }
+        // One full cycle is 2*span/speed = 4 s.
+        let a = p.position_at(0.7);
+        let b = p.position_at(0.7 + 4.0);
+        assert!(a.distance(b) < 1e-9);
+    }
+
+    #[test]
+    fn zero_speed_patrol_stays_home() {
+        let p = LinearPatrol {
+            base: Vec3::new(5.0, 5.0, 1.5),
+            direction: Vec3::X,
+            span_m: 2.0,
+            speed_mps: 0.0,
+        };
+        assert_eq!(p.position_at(3.0), p.base);
+    }
+
+    #[test]
+    fn configure_once_means_one_reconfiguration() {
+        let (system, tx, patrol) = setup();
+        let num = Numerology::wifi20(WIFI_CHANNEL_11_HZ);
+        let r = track_mobile_client(&system, &tx, &num, &patrol, &quick(f64::INFINITY));
+        assert_eq!(r.reconfigurations, 1, "t=0 configuration only");
+        assert!(r.mean_throughput_mbps > 0.0);
+    }
+
+    #[test]
+    fn shorter_period_means_more_reconfigurations() {
+        let (system, tx, patrol) = setup();
+        let num = Numerology::wifi20(WIFI_CHANNEL_11_HZ);
+        let slow = track_mobile_client(&system, &tx, &num, &patrol, &quick(1.0));
+        let fast = track_mobile_client(&system, &tx, &num, &patrol, &quick(0.1));
+        assert!(fast.reconfigurations > slow.reconfigurations);
+        assert!(fast.overhead_s > slow.overhead_s);
+    }
+
+    #[test]
+    fn tracking_is_deterministic() {
+        let (system, tx, patrol) = setup();
+        let num = Numerology::wifi20(WIFI_CHANNEL_11_HZ);
+        let a = track_mobile_client(&system, &tx, &num, &patrol, &quick(0.5));
+        let b = track_mobile_client(&system, &tx, &num, &patrol, &quick(0.5));
+        assert_eq!(a.series, b.series);
+        assert_eq!(a.reconfigurations, b.reconfigurations);
+    }
+}

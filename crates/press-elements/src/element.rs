@@ -1,0 +1,358 @@
+//! PRESS elements: passive switched reflectors and active relays.
+//!
+//! §2 of the paper weighs passive backscatter-style elements (cheap, dense,
+//! weak) against active full-duplex "obfuscator" radios in the PhyCloak
+//! mold (strong, expensive, power-hungry) and "anticipate\[s\] that our
+//! eventual design will involve a mixture of both". Both live here behind
+//! one interface: *what complex coefficient does this element apply to the
+//! signal it re-radiates, and what does it cost to run*.
+
+use crate::switch::{RfSwitch, SwitchError};
+use press_math::db::db_to_amp;
+use press_math::Complex64;
+
+/// The electrical behaviour of one PRESS element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ElementKind {
+    /// A passive element: antenna + switched reflective termination.
+    /// Its re-radiation coefficient is the switch's reflection coefficient
+    /// (|Γ| ≤ 1 — passive elements can only redirect energy).
+    Passive {
+        /// The termination switch.
+        switch: RfSwitch,
+    },
+    /// An active full-duplex relay (PhyCloak-style): receives, applies a
+    /// programmable complex coefficient with gain, and retransmits.
+    Active {
+        /// Programmable amplitude gain, dB (can exceed 0 dB).
+        gain_db: f64,
+        /// Programmable phase, radians.
+        phase_rad: f64,
+        /// Whether the relay is enabled.
+        enabled: bool,
+        /// Maximum amplitude gain the hardware supports, dB.
+        max_gain_db: f64,
+    },
+}
+
+/// One deployed PRESS element (hardware only — placement and antenna
+/// pattern are attached by `press-core`, which owns the geometry).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Element {
+    /// Electrical behaviour.
+    pub kind: ElementKind,
+}
+
+impl Element {
+    /// The paper's passive prototype element: SP4T over {0, λ/4, λ/2,
+    /// absorber} waveguides.
+    pub fn paper_passive(lambda_m: f64) -> Element {
+        Element {
+            kind: ElementKind::Passive {
+                switch: RfSwitch::paper_sp4t(lambda_m),
+            },
+        }
+    }
+
+    /// The Figure 7 passive variant with four reflective phases and no off
+    /// state.
+    pub fn four_phase_passive(lambda_m: f64) -> Element {
+        Element {
+            kind: ElementKind::Passive {
+                switch: RfSwitch::four_phase_sp4t(lambda_m),
+            },
+        }
+    }
+
+    /// A passive element with `n` evenly spaced phases (+ optional off
+    /// state) for the phase-resolution ablation.
+    pub fn quantized_passive(n_phases: usize, with_off: bool, lambda_m: f64) -> Element {
+        Element {
+            kind: ElementKind::Passive {
+                switch: RfSwitch::evenly_spaced(n_phases, with_off, lambda_m),
+            },
+        }
+    }
+
+    /// An active relay element, initially disabled, with the given gain cap.
+    pub fn active(max_gain_db: f64) -> Element {
+        Element {
+            kind: ElementKind::Active {
+                gain_db: 0.0,
+                phase_rad: 0.0,
+                enabled: false,
+                max_gain_db,
+            },
+        }
+    }
+
+    /// Number of discrete states this element can take (used to size the
+    /// configuration search space, `M^N`). Active elements are treated as
+    /// continuously tunable and report `usize::MAX`.
+    pub fn n_states(&self) -> usize {
+        match &self.kind {
+            ElementKind::Passive { switch } => switch.n_throws(),
+            ElementKind::Active { .. } => usize::MAX,
+        }
+    }
+
+    /// True for passive (switched) elements.
+    pub fn is_passive(&self) -> bool {
+        matches!(self.kind, ElementKind::Passive { .. })
+    }
+
+    /// Sets a passive element's switch throw.
+    ///
+    /// # Errors
+    /// [`SwitchError::NoSuchThrow`] when out of range, or when called on an
+    /// active element (reported as a zero-throw switch).
+    pub fn set_state(&mut self, state: usize) -> Result<(), SwitchError> {
+        match &mut self.kind {
+            ElementKind::Passive { switch } => switch.select(state),
+            ElementKind::Active { .. } => Err(SwitchError::NoSuchThrow {
+                requested: state,
+                available: 0,
+            }),
+        }
+    }
+
+    /// Current state of a passive element (0 for active elements).
+    pub fn state(&self) -> usize {
+        match &self.kind {
+            ElementKind::Passive { switch } => switch.selected(),
+            ElementKind::Active { .. } => 0,
+        }
+    }
+
+    /// Programs an active element. Gain is clamped to the hardware cap.
+    /// No-op on passive elements.
+    pub fn program_active(&mut self, gain_db: f64, phase_rad: f64, on: bool) {
+        if let ElementKind::Active {
+            gain_db: g,
+            phase_rad: p,
+            enabled,
+            max_gain_db,
+        } = &mut self.kind
+        {
+            *g = gain_db.min(*max_gain_db);
+            *p = phase_rad;
+            *enabled = on;
+        }
+    }
+
+    /// The complex coefficient this element applies to what it re-radiates,
+    /// at wavelength `lambda_m`.
+    pub fn coefficient(&self, lambda_m: f64) -> Complex64 {
+        match &self.kind {
+            ElementKind::Passive { switch } => switch.reflection_coefficient(lambda_m),
+            ElementKind::Active {
+                gain_db,
+                phase_rad,
+                enabled,
+                ..
+            } => {
+                if *enabled {
+                    Complex64::from_polar(db_to_amp(*gain_db), *phase_rad)
+                } else {
+                    Complex64::ZERO
+                }
+            }
+        }
+    }
+
+    /// Coefficient a passive element *would* apply in a given state, without
+    /// mutating it.
+    ///
+    /// # Errors
+    /// [`SwitchError::NoSuchThrow`] out of range / active element.
+    pub fn coefficient_in_state(
+        &self,
+        state: usize,
+        lambda_m: f64,
+    ) -> Result<Complex64, SwitchError> {
+        match &self.kind {
+            ElementKind::Passive { switch } => switch.coefficient_of(state, lambda_m),
+            ElementKind::Active { .. } => Err(SwitchError::NoSuchThrow {
+                requested: state,
+                available: 0,
+            }),
+        }
+    }
+
+    /// The element's *wideband* response in a given state: an amplitude
+    /// coefficient plus the extra time delay its termination adds.
+    ///
+    /// A waveguide of extra length ΔL is physically extra *delay*
+    /// (`ΔL/c`), so its reflection phase varies across the band —
+    /// `2π·f·ΔL/c` equals the paper's `2π·ΔL/λ` label at the carrier but
+    /// drifts with frequency, which is part of how PRESS shapes frequency
+    /// selectivity. Channel synthesis must therefore fold the delay into the
+    /// path's `delay_s` rather than bake a fixed carrier phase into the gain.
+    ///
+    /// For active elements (`state` ignored) the gain carries the programmed
+    /// phase directly and the delay is a fixed ~50 ns processing latency.
+    pub fn response_in_state(&self, state: usize) -> Result<ElementResponse, SwitchError> {
+        match &self.kind {
+            ElementKind::Passive { switch } => {
+                let throws = switch.throws();
+                if state >= throws.len() {
+                    return Err(SwitchError::NoSuchThrow {
+                        requested: state,
+                        available: throws.len(),
+                    });
+                }
+                let through = db_to_amp(-2.0 * switch.insertion_loss_db);
+                match throws[state] {
+                    crate::termination::Termination::OpenWaveguide {
+                        extra_length_m,
+                        reflectivity,
+                    } => Ok(ElementResponse {
+                        gain: Complex64::real(reflectivity * through),
+                        extra_delay_s: extra_length_m / 299_792_458.0,
+                    }),
+                    crate::termination::Termination::Absorber { residual } => Ok(ElementResponse {
+                        gain: Complex64::real(residual * through),
+                        extra_delay_s: 0.0,
+                    }),
+                }
+            }
+            ElementKind::Active {
+                gain_db,
+                phase_rad,
+                enabled,
+                ..
+            } => Ok(ElementResponse {
+                gain: if *enabled {
+                    Complex64::from_polar(db_to_amp(*gain_db), *phase_rad)
+                } else {
+                    Complex64::ZERO
+                },
+                extra_delay_s: 50e-9,
+            }),
+        }
+    }
+}
+
+/// Wideband element response: amplitude coefficient + extra delay.
+/// See [`Element::response_in_state`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElementResponse {
+    /// Complex amplitude applied at the element (delay-free part).
+    pub gain: Complex64,
+    /// Extra delay the termination or processing adds, seconds.
+    pub extra_delay_s: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LAMBDA: f64 = 0.1218;
+
+    #[test]
+    fn paper_element_has_64_configs_for_three() {
+        let e = Element::paper_passive(LAMBDA);
+        assert_eq!(e.n_states(), 4);
+        assert_eq!(e.n_states().pow(3), 64, "the paper's 64 configurations");
+    }
+
+    #[test]
+    fn passive_coefficient_bounded_by_unity() {
+        let mut e = Element::paper_passive(LAMBDA);
+        for s in 0..e.n_states() {
+            e.set_state(s).unwrap();
+            assert!(e.coefficient(LAMBDA).abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let mut e = Element::paper_passive(LAMBDA);
+        e.set_state(2).unwrap();
+        assert_eq!(e.state(), 2);
+        assert!(e.set_state(7).is_err());
+        assert_eq!(e.state(), 2, "failed set must not change state");
+    }
+
+    #[test]
+    fn coefficient_in_state_is_pure() {
+        let e = Element::paper_passive(LAMBDA);
+        let before = e.state();
+        let c = e.coefficient_in_state(3, LAMBDA).unwrap();
+        assert!(c.abs() < 0.05, "state 3 is the absorber");
+        assert_eq!(e.state(), before);
+    }
+
+    #[test]
+    fn active_element_amplifies() {
+        let mut e = Element::active(20.0);
+        assert_eq!(e.coefficient(LAMBDA), Complex64::ZERO, "disabled => silent");
+        e.program_active(10.0, 1.0, true);
+        let c = e.coefficient(LAMBDA);
+        assert!((c.abs() - db_to_amp(10.0)).abs() < 1e-12);
+        assert!((c.arg() - 1.0).abs() < 1e-12);
+        assert!(c.abs() > 1.0, "active elements can exceed passive unity");
+    }
+
+    #[test]
+    fn active_gain_clamped_to_cap() {
+        let mut e = Element::active(12.0);
+        e.program_active(30.0, 0.0, true);
+        assert!((e.coefficient(LAMBDA).abs() - db_to_amp(12.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn active_rejects_switch_interface() {
+        let mut e = Element::active(10.0);
+        assert!(e.set_state(0).is_err());
+        assert!(e.coefficient_in_state(0, LAMBDA).is_err());
+        assert_eq!(e.n_states(), usize::MAX);
+    }
+
+    #[test]
+    fn quantized_passive_state_count() {
+        let e = Element::quantized_passive(8, true, LAMBDA);
+        assert_eq!(e.n_states(), 9, "the paper's conjectured 8 phases + off");
+    }
+
+    #[test]
+    fn response_delay_matches_carrier_phase_label() {
+        // gain * e^{-j2π f τ} at the carrier must equal the narrowband
+        // coefficient (up to conjugate phase convention).
+        let e = Element::paper_passive(LAMBDA);
+        let f_c = 299_792_458.0 / LAMBDA;
+        for s in 0..3 {
+            let narrow = e.coefficient_in_state(s, LAMBDA).unwrap();
+            let wide = e.response_in_state(s).unwrap();
+            let at_carrier =
+                wide.gain * Complex64::cis(2.0 * std::f64::consts::PI * f_c * wide.extra_delay_s);
+            assert!(
+                (at_carrier - narrow).abs() < 1e-9,
+                "state {s}: {at_carrier} vs {narrow}"
+            );
+        }
+    }
+
+    #[test]
+    fn absorber_response_has_no_delay_and_tiny_gain() {
+        let e = Element::paper_passive(LAMBDA);
+        let r = e.response_in_state(3).unwrap();
+        assert_eq!(r.extra_delay_s, 0.0);
+        assert!(r.gain.abs() < 0.05);
+    }
+
+    #[test]
+    fn active_response_carries_programmed_phase() {
+        let mut e = Element::active(20.0);
+        e.program_active(6.0, 0.7, true);
+        let r = e.response_in_state(0).unwrap();
+        assert!((r.gain.arg() - 0.7).abs() < 1e-12);
+        assert!(r.extra_delay_s > 0.0);
+    }
+
+    #[test]
+    fn response_out_of_range_errors() {
+        let e = Element::paper_passive(LAMBDA);
+        assert!(e.response_in_state(4).is_err());
+    }
+}

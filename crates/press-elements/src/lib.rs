@@ -1,0 +1,24 @@
+//! # press-elements
+//!
+//! Hardware models of PRESS array elements, matching the paper's prototype
+//! (Figure 3) and the §4.1 design space:
+//!
+//! * [`termination`] — open-waveguide and absorptive switch throws with the
+//!   paper's phase labelling (λ/4 → π/2, λ/2 → π, "T" = terminated);
+//! * [`switch`] — SP4T switch banks (PE42441-class) including the paper's
+//!   {0, π/2, π, off} and Figure 7's {0, π/2, π, 3π/2} configurations, plus
+//!   evenly spaced phase quantizers for the resolution ablation;
+//! * [`element`] — passive switched reflectors and active (PhyCloak-style)
+//!   relay elements behind one coefficient interface;
+//! * [`power`] — power/cost budgets underpinning the passive-vs-active
+//!   scaling argument.
+
+pub mod element;
+pub mod power;
+pub mod switch;
+pub mod termination;
+
+pub use element::{Element, ElementKind, ElementResponse};
+pub use power::{deployment_budget, element_budget, DeploymentBudget, ElementBudget};
+pub use switch::{RfSwitch, SwitchError};
+pub use termination::{format_phase_label, Termination};

@@ -1,0 +1,123 @@
+//! Power and cost models for PRESS deployments.
+//!
+//! §2 of the paper frames the core hardware trade-off: active radios "are
+//! relatively expensive and power-hungry, and so are unlikely to scale to
+//! deployment ... across an entire building", while passive elements "have
+//! a cost advantage, so can scale to a relatively large and dense array".
+//! §4.1 adds that "power issues for the active elements could be addressed
+//! with energy harvesting devices". This module quantifies those arguments
+//! so the hybrid-design ablation can report watts and dollars next to dB.
+
+use crate::element::{Element, ElementKind};
+
+/// Power draw and unit cost of one element.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElementBudget {
+    /// Static power draw, watts.
+    pub power_w: f64,
+    /// Unit hardware cost, USD (rough 2017 BOM-level figures).
+    pub cost_usd: f64,
+    /// Whether an indoor RF/light energy harvester (~100 µW class) can
+    /// sustain it.
+    pub harvestable: bool,
+}
+
+/// Representative budget for an element.
+///
+/// Passive: an SP4T switch + microcontroller sleep current — tens of µW,
+/// a few dollars. Active: full receive + transmit chains with mixers and a
+/// PA — watts, hundreds of dollars (the Braidio/PhyCloak-class numbers the
+/// paper cites).
+pub fn element_budget(e: &Element) -> ElementBudget {
+    match &e.kind {
+        ElementKind::Passive { switch } => ElementBudget {
+            // Switch driver + control logic; scales mildly with throw count.
+            power_w: 20e-6 + 2e-6 * switch.n_throws() as f64,
+            cost_usd: 4.0 + 0.5 * switch.n_throws() as f64,
+            harvestable: true,
+        },
+        ElementKind::Active { max_gain_db, .. } => ElementBudget {
+            // Mixers + PA; grows with the gain the PA must deliver.
+            power_w: 0.8 + 0.05 * max_gain_db.max(0.0),
+            cost_usd: 250.0 + 5.0 * max_gain_db.max(0.0),
+            harvestable: false,
+        },
+    }
+}
+
+/// Aggregate deployment budget.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DeploymentBudget {
+    /// Total power, watts.
+    pub total_power_w: f64,
+    /// Total cost, USD.
+    pub total_cost_usd: f64,
+    /// How many elements an indoor harvester could power.
+    pub harvestable_count: usize,
+    /// Element count.
+    pub n_elements: usize,
+}
+
+/// Sums budgets over a deployment.
+pub fn deployment_budget(elements: &[Element]) -> DeploymentBudget {
+    let mut total = DeploymentBudget::default();
+    for e in elements {
+        let b = element_budget(e);
+        total.total_power_w += b.power_w;
+        total.total_cost_usd += b.cost_usd;
+        if b.harvestable {
+            total.harvestable_count += 1;
+        }
+        total.n_elements += 1;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LAMBDA: f64 = 0.1218;
+
+    #[test]
+    fn passive_is_harvestable_active_is_not() {
+        assert!(element_budget(&Element::paper_passive(LAMBDA)).harvestable);
+        assert!(!element_budget(&Element::active(20.0)).harvestable);
+    }
+
+    #[test]
+    fn active_costs_orders_of_magnitude_more_power() {
+        let p = element_budget(&Element::paper_passive(LAMBDA)).power_w;
+        let a = element_budget(&Element::active(20.0)).power_w;
+        assert!(a / p > 1e3, "ratio {}", a / p);
+    }
+
+    #[test]
+    fn hundred_passive_cheaper_than_three_active() {
+        // The paper's scaling argument: "the latter significantly
+        // outnumbering the former".
+        let passive: Vec<Element> = (0..100).map(|_| Element::paper_passive(LAMBDA)).collect();
+        let active: Vec<Element> = (0..3).map(|_| Element::active(20.0)).collect();
+        let bp = deployment_budget(&passive);
+        let ba = deployment_budget(&active);
+        assert!(bp.total_cost_usd < ba.total_cost_usd);
+        assert_eq!(bp.harvestable_count, 100);
+        assert_eq!(ba.harvestable_count, 0);
+    }
+
+    #[test]
+    fn budget_sums_linearly() {
+        let es = vec![Element::paper_passive(LAMBDA), Element::active(10.0)];
+        let total = deployment_budget(&es);
+        let sum: f64 = es.iter().map(|e| element_budget(e).power_w).sum();
+        assert!((total.total_power_w - sum).abs() < 1e-15);
+        assert_eq!(total.n_elements, 2);
+    }
+
+    #[test]
+    fn empty_deployment_is_zero() {
+        let b = deployment_budget(&[]);
+        assert_eq!(b.total_power_w, 0.0);
+        assert_eq!(b.n_elements, 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! SP4T RF switch banks.
+//!
+//! Models the Peregrine PE42441 SP4T switch the paper uses: four selectable
+//! throws, a small insertion loss applied to whatever the selected throw
+//! reflects, and a finite switching time (the datasheet-level microseconds
+//! that matter when PRESS must reconfigure within a channel coherence time).
+
+use crate::termination::Termination;
+use press_math::db::db_to_amp;
+use press_math::Complex64;
+
+/// Errors from switch operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchError {
+    /// Requested throw index is out of range.
+    NoSuchThrow {
+        /// Requested index.
+        requested: usize,
+        /// Number of throws available.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for SwitchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwitchError::NoSuchThrow { requested, available } => {
+                write!(f, "throw {requested} out of range (switch has {available})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SwitchError {}
+
+/// A single-pole multi-throw RF switch with terminations on each throw.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RfSwitch {
+    /// The selectable terminations.
+    throws: Vec<Termination>,
+    /// Currently selected throw.
+    selected: usize,
+    /// Insertion loss through the switch, dB (applied twice: in and out).
+    pub insertion_loss_db: f64,
+    /// Time to change throws, seconds (PE42441-class: sub-microsecond).
+    pub switching_time_s: f64,
+}
+
+impl RfSwitch {
+    /// Builds a switch from its throws; throw 0 starts selected.
+    ///
+    /// Panics on an empty throw list.
+    pub fn new(throws: Vec<Termination>) -> Self {
+        assert!(!throws.is_empty(), "a switch needs at least one throw");
+        RfSwitch {
+            throws,
+            selected: 0,
+            insertion_loss_db: 0.4, // PE42441 datasheet-class
+            switching_time_s: 1e-6,
+        }
+    }
+
+    /// The paper's §3.2 configuration: three open waveguides differing by a
+    /// quarter wavelength (phases 0, π/2, π) plus an absorptive load.
+    pub fn paper_sp4t(lambda_m: f64) -> Self {
+        RfSwitch::new(vec![
+            Termination::open(0.0),
+            Termination::open(lambda_m / 4.0),
+            Termination::open(lambda_m / 2.0),
+            Termination::absorber(),
+        ])
+    }
+
+    /// The Figure 7 variant: "four different reflective cable lengths and no
+    /// absorptive load, to decrease the reflected phase granularity"
+    /// (phases 0, π/2, π, 3π/2).
+    pub fn four_phase_sp4t(lambda_m: f64) -> Self {
+        RfSwitch::new(vec![
+            Termination::open(0.0),
+            Termination::open(lambda_m / 4.0),
+            Termination::open(lambda_m / 2.0),
+            Termination::open(3.0 * lambda_m / 4.0),
+        ])
+    }
+
+    /// A switch with `n` evenly spaced reflection phases (plus an absorber
+    /// when `with_off`), for the §4.1 phase-resolution ablation.
+    pub fn evenly_spaced(n_phases: usize, with_off: bool, lambda_m: f64) -> Self {
+        assert!(n_phases >= 1, "need at least one phase");
+        let mut throws: Vec<Termination> = (0..n_phases)
+            .map(|k| {
+                let phase = 2.0 * std::f64::consts::PI * k as f64 / n_phases as f64;
+                Termination::with_phase(phase, lambda_m)
+            })
+            .collect();
+        if with_off {
+            throws.push(Termination::absorber());
+        }
+        RfSwitch::new(throws)
+    }
+
+    /// Number of throws.
+    pub fn n_throws(&self) -> usize {
+        self.throws.len()
+    }
+
+    /// Currently selected throw index.
+    pub fn selected(&self) -> usize {
+        self.selected
+    }
+
+    /// The selected termination.
+    pub fn selected_termination(&self) -> &Termination {
+        &self.throws[self.selected]
+    }
+
+    /// All throws.
+    pub fn throws(&self) -> &[Termination] {
+        &self.throws
+    }
+
+    /// Selects a throw.
+    ///
+    /// # Errors
+    /// [`SwitchError::NoSuchThrow`] when the index is out of range.
+    pub fn select(&mut self, throw: usize) -> Result<(), SwitchError> {
+        if throw >= self.throws.len() {
+            return Err(SwitchError::NoSuchThrow {
+                requested: throw,
+                available: self.throws.len(),
+            });
+        }
+        self.selected = throw;
+        Ok(())
+    }
+
+    /// Effective reflection coefficient of the antenna port at wavelength
+    /// `lambda_m`: the selected termination's coefficient attenuated by the
+    /// switch's round-trip insertion loss.
+    pub fn reflection_coefficient(&self, lambda_m: f64) -> Complex64 {
+        let through = db_to_amp(-2.0 * self.insertion_loss_db);
+        self.throws[self.selected].reflection_coefficient(lambda_m) * through
+    }
+
+    /// Reflection coefficient a given throw *would* produce, without
+    /// selecting it — used by search algorithms to evaluate configurations.
+    pub fn coefficient_of(&self, throw: usize, lambda_m: f64) -> Result<Complex64, SwitchError> {
+        if throw >= self.throws.len() {
+            return Err(SwitchError::NoSuchThrow {
+                requested: throw,
+                available: self.throws.len(),
+            });
+        }
+        let through = db_to_amp(-2.0 * self.insertion_loss_db);
+        Ok(self.throws[throw].reflection_coefficient(lambda_m) * through)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LAMBDA: f64 = 0.1218;
+
+    #[test]
+    fn paper_switch_has_four_throws() {
+        let s = RfSwitch::paper_sp4t(LAMBDA);
+        assert_eq!(s.n_throws(), 4);
+        assert!(s.throws()[3].is_absorber());
+        let phases: Vec<Option<f64>> = s.throws().iter().map(|t| t.phase_label(LAMBDA)).collect();
+        assert!((phases[0].unwrap() - 0.0).abs() < 1e-9);
+        assert!((phases[1].unwrap() - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+        assert!((phases[2].unwrap() - std::f64::consts::PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn four_phase_switch_has_no_absorber() {
+        let s = RfSwitch::four_phase_sp4t(LAMBDA);
+        assert_eq!(s.n_throws(), 4);
+        assert!(s.throws().iter().all(|t| !t.is_absorber()));
+    }
+
+    #[test]
+    fn select_and_reflect() {
+        let mut s = RfSwitch::paper_sp4t(LAMBDA);
+        s.select(1).unwrap();
+        let g = s.reflection_coefficient(LAMBDA);
+        assert!((g.arg() - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+        // 0.95 reflectivity * 0.8 dB round-trip insertion loss.
+        let expect = 0.95 * db_to_amp(-0.8);
+        assert!((g.abs() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn select_out_of_range_errors() {
+        let mut s = RfSwitch::paper_sp4t(LAMBDA);
+        assert_eq!(
+            s.select(4),
+            Err(SwitchError::NoSuchThrow { requested: 4, available: 4 })
+        );
+        assert!(s.coefficient_of(9, LAMBDA).is_err());
+    }
+
+    #[test]
+    fn coefficient_of_matches_select() {
+        let mut s = RfSwitch::paper_sp4t(LAMBDA);
+        let predicted = s.coefficient_of(2, LAMBDA).unwrap();
+        s.select(2).unwrap();
+        assert_eq!(s.reflection_coefficient(LAMBDA), predicted);
+    }
+
+    #[test]
+    fn evenly_spaced_phases() {
+        let s = RfSwitch::evenly_spaced(8, true, LAMBDA);
+        assert_eq!(s.n_throws(), 9);
+        let phases: Vec<f64> = s.throws()[..8]
+            .iter()
+            .map(|t| t.phase_label(LAMBDA).unwrap())
+            .collect();
+        for (k, p) in phases.iter().enumerate() {
+            let expect = 2.0 * std::f64::consts::PI * k as f64 / 8.0;
+            assert!((p - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn terminated_throw_reflects_almost_nothing() {
+        let mut s = RfSwitch::paper_sp4t(LAMBDA);
+        s.select(3).unwrap();
+        assert!(s.reflection_coefficient(LAMBDA).abs() < 0.05);
+    }
+}

@@ -1,0 +1,176 @@
+//! Switched RF terminations: open waveguides and absorptive loads.
+//!
+//! The paper's prototype element (Figure 3) attaches each PRESS antenna to a
+//! single-pole four-throw RF switch whose throws lead to "three different
+//! reflective path lengths (0, λ/4, and λ/2 additional path length) and one
+//! absorptive load". An open waveguide reflects the incident wave with a
+//! phase set by its length; the absorptive load "effectively eliminates any
+//! reflection".
+//!
+//! Phase convention: the paper labels its configurations by the phase
+//! `2π·ΔL/λ` (λ/4 → π/2, λ/2 → π), and we follow that labelling throughout.
+
+use press_math::Complex64;
+
+/// One switch throw: what terminates the antenna when selected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Termination {
+    /// An open-ended waveguide adding `extra_length` meters of path,
+    /// reflecting with phase `2π·ΔL/λ` and amplitude `reflectivity`.
+    OpenWaveguide {
+        /// Additional path length, meters.
+        extra_length_m: f64,
+        /// Reflection amplitude of the open end (≤ 1; cable and connector
+        /// losses keep it slightly below unity).
+        reflectivity: f64,
+    },
+    /// A matched absorptive load; `residual` is the small leftover
+    /// reflection amplitude of a real (imperfect) load.
+    Absorber {
+        /// Residual reflection amplitude (e.g. 0.03 ≈ −30 dB return loss).
+        residual: f64,
+    },
+}
+
+impl Termination {
+    /// An ideal-ish open waveguide with 0.95 reflectivity.
+    pub fn open(extra_length_m: f64) -> Termination {
+        Termination::OpenWaveguide {
+            extra_length_m,
+            reflectivity: 0.95,
+        }
+    }
+
+    /// A good absorptive load (−30 dB return loss).
+    pub fn absorber() -> Termination {
+        Termination::Absorber { residual: 0.0316 }
+    }
+
+    /// A waveguide whose length produces reflection phase `phase_rad` at
+    /// wavelength `lambda_m` (the paper's labelling: phase = 2π·ΔL/λ).
+    pub fn with_phase(phase_rad: f64, lambda_m: f64) -> Termination {
+        Termination::open(phase_rad / (2.0 * std::f64::consts::PI) * lambda_m)
+    }
+
+    /// Complex reflection coefficient at wavelength `lambda_m`.
+    pub fn reflection_coefficient(&self, lambda_m: f64) -> Complex64 {
+        match *self {
+            Termination::OpenWaveguide {
+                extra_length_m,
+                reflectivity,
+            } => {
+                let phase = 2.0 * std::f64::consts::PI * extra_length_m / lambda_m;
+                Complex64::from_polar(reflectivity, phase)
+            }
+            Termination::Absorber { residual } => Complex64::real(residual),
+        }
+    }
+
+    /// The paper's label for this throw: the reflection phase in radians, or
+    /// `None` for a terminated (absorber) state — printed as "T" in Figure 4.
+    pub fn phase_label(&self, lambda_m: f64) -> Option<f64> {
+        match *self {
+            Termination::OpenWaveguide { extra_length_m, .. } => Some(
+                (2.0 * std::f64::consts::PI * extra_length_m / lambda_m)
+                    .rem_euclid(2.0 * std::f64::consts::PI),
+            ),
+            Termination::Absorber { .. } => None,
+        }
+    }
+
+    /// True for the absorptive state.
+    pub fn is_absorber(&self) -> bool {
+        matches!(self, Termination::Absorber { .. })
+    }
+}
+
+/// Formats a phase label the way the paper's Figure 4 legends do:
+/// multiples of π (e.g. "0.5π"), or "T" for terminated.
+pub fn format_phase_label(label: Option<f64>) -> String {
+    match label {
+        None => "T".to_string(),
+        Some(phase) => {
+            let in_pi = phase / std::f64::consts::PI;
+            if in_pi.abs() < 1e-9 {
+                "0".to_string()
+            } else if (in_pi - 1.0).abs() < 1e-9 {
+                "π".to_string()
+            } else {
+                format!("{in_pi:.2}π")
+                    .replace(".00π", "π")
+                    .replace(".50π", ".5π")
+                    .replace(".25π", ".25π")
+                    .replace(".75π", ".75π")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LAMBDA: f64 = 0.1218; // ~2.462 GHz
+
+    #[test]
+    fn quarter_wave_gives_half_pi_phase() {
+        let t = Termination::open(LAMBDA / 4.0);
+        let g = t.reflection_coefficient(LAMBDA);
+        assert!((g.arg() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((g.abs() - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_wave_gives_pi_phase() {
+        let t = Termination::open(LAMBDA / 2.0);
+        let g = t.reflection_coefficient(LAMBDA);
+        assert!((g.arg().abs() - std::f64::consts::PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_length_reflects_in_phase() {
+        let g = Termination::open(0.0).reflection_coefficient(LAMBDA);
+        assert!((g.arg()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorber_kills_reflection() {
+        let g = Termination::absorber().reflection_coefficient(LAMBDA);
+        assert!(g.abs() < 0.05);
+        assert!(Termination::absorber().is_absorber());
+    }
+
+    #[test]
+    fn with_phase_roundtrips() {
+        for phase in [0.0, 0.5, 1.0, 2.5] {
+            let t = Termination::with_phase(phase, LAMBDA);
+            let got = t.phase_label(LAMBDA).unwrap();
+            assert!((got - phase).abs() < 1e-9, "{phase} vs {got}");
+        }
+    }
+
+    #[test]
+    fn phase_is_frequency_dependent() {
+        // A fixed waveguide produces different phases at different
+        // wavelengths — the physical source of PRESS frequency selectivity.
+        let t = Termination::open(LAMBDA / 4.0);
+        let g_low = t.reflection_coefficient(LAMBDA * 1.01);
+        let g_high = t.reflection_coefficient(LAMBDA * 0.99);
+        assert!((g_low.arg() - g_high.arg()).abs() > 1e-4);
+    }
+
+    #[test]
+    fn labels_format_like_the_paper() {
+        assert_eq!(format_phase_label(None), "T");
+        assert_eq!(format_phase_label(Some(0.0)), "0");
+        assert_eq!(format_phase_label(Some(std::f64::consts::PI)), "π");
+        assert_eq!(
+            format_phase_label(Some(std::f64::consts::FRAC_PI_2)),
+            "0.5π"
+        );
+        assert_eq!(
+            format_phase_label(Some(1.5 * std::f64::consts::PI)),
+            "1.5π"
+        );
+    }
+}

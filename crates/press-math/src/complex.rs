@@ -1,0 +1,313 @@
+//! Complex arithmetic used throughout the PRESS stack.
+//!
+//! The simulation works almost entirely with complex basebands: channel
+//! frequency responses, reflection coefficients, OFDM symbols. We implement a
+//! small, dependency-free `Complex64` instead of pulling in `num-complex`,
+//! keeping the workspace self-contained (see DESIGN.md dependency policy).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// ```
+/// use press_math::Complex64;
+/// let j = Complex64::new(0.0, 1.0);
+/// assert!((j * j + Complex64::ONE).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity, `0 + 0j`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0j`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1j`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular components.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar form `r·e^{jθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// `e^{jθ}` — a unit phasor. The workhorse of channel synthesis.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex64::new(theta.cos(), theta.sin())
+    }
+
+    /// Magnitude (absolute value).
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude. Cheaper than [`abs`](Self::abs) when comparing powers.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase angle) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64::new(self.re, -self.im)
+    }
+
+    /// Multiplicative inverse. Returns non-finite components when `self` is zero.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex64::new(self.re / d, -self.im / d)
+    }
+
+    /// Complex exponential `e^{self}`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Complex64::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        let r = self.abs();
+        let theta = self.arg();
+        Complex64::from_polar(r.sqrt(), theta / 2.0)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Complex64::new(self.re * s, self.im * s)
+    }
+
+    /// Returns `(magnitude, phase)`.
+    #[inline]
+    pub fn to_polar(self) -> (f64, f64) {
+        (self.abs(), self.arg())
+    }
+
+    /// True when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}j", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}j", self.re, -self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Complex64::real(re)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Complex64) -> Complex64 {
+        self * rhs.inv()
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex64) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Complex64::new(1.5, -2.5);
+        let b = Complex64::new(-0.25, 4.0);
+        assert!(((a + b) - b - a).abs() < EPS);
+    }
+
+    #[test]
+    fn mul_matches_polar() {
+        let a = Complex64::from_polar(2.0, 0.3);
+        let b = Complex64::from_polar(3.0, -1.1);
+        let p = a * b;
+        assert!((p.abs() - 6.0).abs() < EPS);
+        assert!((p.arg() - (0.3 - 1.1)).abs() < EPS);
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex64::new(3.0, 4.0);
+        let b = Complex64::new(-1.0, 2.0);
+        assert!(((a * b) / b - a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conj_properties() {
+        let a = Complex64::new(1.0, -7.0);
+        assert!(((a * a.conj()).im).abs() < EPS);
+        assert!(((a * a.conj()).re - a.norm_sqr()).abs() < EPS);
+    }
+
+    #[test]
+    fn cis_is_unit() {
+        for k in 0..100 {
+            let theta = k as f64 * 0.13;
+            assert!((Complex64::cis(theta).abs() - 1.0).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let a = Complex64::new(-3.0, 0.5);
+        let s = a.sqrt();
+        assert!((s * s - a).abs() < 1e-10);
+    }
+
+    #[test]
+    fn exp_of_imaginary_is_cis() {
+        let theta = 0.77;
+        let e = (Complex64::I * theta).exp();
+        assert!((e - Complex64::cis(theta)).abs() < EPS);
+    }
+
+    #[test]
+    fn inv_of_zero_is_not_finite() {
+        assert!(!Complex64::ZERO.inv().is_finite());
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Complex64 = (0..4).map(|k| Complex64::new(k as f64, 1.0)).sum();
+        assert!((total - Complex64::new(6.0, 4.0)).abs() < EPS);
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        let s = format!("{}", Complex64::new(1.0, -2.0));
+        assert!(s.contains('-'));
+    }
+}

@@ -1,0 +1,75 @@
+//! Physical constants and RF band definitions used across the stack.
+
+/// Speed of light in vacuum, m/s.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// Center frequency of Wi-Fi channel 11 (2.462 GHz) — the band used by the
+/// paper's WARP experiments.
+pub const WIFI_CHANNEL_11_HZ: f64 = 2.462e9;
+
+/// Standard 802.11 channel bandwidth used in the paper's experiments, Hz.
+pub const WIFI_BANDWIDTH_20MHZ: f64 = 20e6;
+
+/// Wavelength in meters at a carrier frequency in Hz.
+///
+/// At 2.462 GHz this is ≈ 12.2 cm; the paper's SP4T waveguides differ in
+/// length by a quarter of this.
+#[inline]
+pub fn wavelength(freq_hz: f64) -> f64 {
+    SPEED_OF_LIGHT / freq_hz
+}
+
+/// Free-space propagation delay in seconds over a distance in meters.
+#[inline]
+pub fn propagation_delay(distance_m: f64) -> f64 {
+    distance_m / SPEED_OF_LIGHT
+}
+
+/// Free-space path loss as a linear *amplitude* gain (Friis, isotropic):
+/// `λ / (4π d)`. Multiply by antenna amplitude gains for a full link budget.
+///
+/// Clamps distance to a tenth of a wavelength so near-field placements do not
+/// produce unphysical >1 gains that would destabilize the simulation.
+#[inline]
+pub fn friis_amplitude_gain(distance_m: f64, freq_hz: f64) -> f64 {
+    let lambda = wavelength(freq_hz);
+    let d = distance_m.max(lambda / 10.0);
+    lambda / (4.0 * std::f64::consts::PI * d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wavelength_at_channel_11() {
+        let l = wavelength(WIFI_CHANNEL_11_HZ);
+        assert!((l - 0.1218).abs() < 1e-3, "got {l}");
+    }
+
+    #[test]
+    fn delay_over_3m_is_10ns() {
+        assert!((propagation_delay(3.0) - 1.0007e-8).abs() < 1e-11);
+    }
+
+    #[test]
+    fn friis_decays_with_distance() {
+        let f = WIFI_CHANNEL_11_HZ;
+        let g1 = friis_amplitude_gain(1.0, f);
+        let g2 = friis_amplitude_gain(2.0, f);
+        assert!((g1 / g2 - 2.0).abs() < 1e-12, "amplitude halves when distance doubles");
+    }
+
+    #[test]
+    fn friis_power_at_1m_2_4ghz_is_about_minus_40db() {
+        let g = friis_amplitude_gain(1.0, 2.4e9);
+        let db = 20.0 * g.log10();
+        assert!((db + 40.0).abs() < 1.0, "got {db}");
+    }
+
+    #[test]
+    fn friis_clamps_near_field() {
+        let f = WIFI_CHANNEL_11_HZ;
+        assert_eq!(friis_amplitude_gain(0.0, f), friis_amplitude_gain(wavelength(f) / 10.0, f));
+    }
+}

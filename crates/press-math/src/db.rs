@@ -1,0 +1,112 @@
+//! Decibel conversions.
+//!
+//! RF work mixes linear power, linear amplitude, dB, dBm and dBi constantly;
+//! centralizing the conversions avoids the classic factor-of-two (power vs.
+//! amplitude) mistakes.
+
+/// Converts a linear *power* ratio to decibels: `10·log10(x)`.
+///
+/// Returns `-inf` for zero, NaN for negative input (power ratios are
+/// non-negative by construction; a NaN is a loud bug signal).
+#[inline]
+pub fn pow_to_db(x: f64) -> f64 {
+    10.0 * x.log10()
+}
+
+/// Converts decibels to a linear *power* ratio: `10^(x/10)`.
+#[inline]
+pub fn db_to_pow(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts a linear *amplitude* (voltage/field) ratio to decibels: `20·log10(x)`.
+#[inline]
+pub fn amp_to_db(x: f64) -> f64 {
+    20.0 * x.log10()
+}
+
+/// Converts decibels to a linear *amplitude* ratio: `10^(x/20)`.
+#[inline]
+pub fn db_to_amp(db: f64) -> f64 {
+    10f64.powf(db / 20.0)
+}
+
+/// Converts milliwatts to dBm.
+#[inline]
+pub fn mw_to_dbm(mw: f64) -> f64 {
+    pow_to_db(mw)
+}
+
+/// Converts dBm to milliwatts.
+#[inline]
+pub fn dbm_to_mw(dbm: f64) -> f64 {
+    db_to_pow(dbm)
+}
+
+/// Converts dBm to watts.
+#[inline]
+pub fn dbm_to_watts(dbm: f64) -> f64 {
+    db_to_pow(dbm) * 1e-3
+}
+
+/// Converts watts to dBm.
+#[inline]
+pub fn watts_to_dbm(w: f64) -> f64 {
+    pow_to_db(w * 1e3)
+}
+
+/// Thermal noise power in dBm for a given bandwidth (Hz) at ~290 K:
+/// `-174 dBm/Hz + 10·log10(B)`.
+///
+/// For a 20 MHz Wi-Fi channel this is ≈ −101 dBm, the noise floor used by the
+/// simulated receivers before their noise figure is applied.
+#[inline]
+pub fn thermal_noise_dbm(bandwidth_hz: f64) -> f64 {
+    -173.8 + 10.0 * bandwidth_hz.log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_roundtrip() {
+        for db in [-30.0, -3.0, 0.0, 3.0, 26.0] {
+            assert!((pow_to_db(db_to_pow(db)) - db).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn amplitude_roundtrip() {
+        for db in [-26.0, 0.0, 14.0] {
+            assert!((amp_to_db(db_to_amp(db)) - db).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn three_db_doubles_power() {
+        assert!((db_to_pow(3.0103) - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn six_db_doubles_amplitude() {
+        assert!((db_to_amp(6.0206) - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn dbm_watts() {
+        assert!((dbm_to_watts(30.0) - 1.0).abs() < 1e-12);
+        assert!((watts_to_dbm(0.001) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thermal_noise_20mhz_close_to_minus_101_dbm() {
+        let n = thermal_noise_dbm(20e6);
+        assert!((n + 100.8).abs() < 0.5, "got {n}");
+    }
+
+    #[test]
+    fn zero_power_is_neg_inf() {
+        assert!(pow_to_db(0.0).is_infinite() && pow_to_db(0.0) < 0.0);
+    }
+}

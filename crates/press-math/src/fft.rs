@@ -1,0 +1,224 @@
+//! Radix-2 fast Fourier transform.
+//!
+//! Used by the OFDM PHY (64-point and 128-point transforms) and by
+//! delay-domain analysis of channel frequency responses. Implemented from
+//! scratch — an iterative, in-place Cooley–Tukey radix-2 FFT with
+//! bit-reversal permutation. Sizes are restricted to powers of two, which is
+//! all OFDM numerologies need.
+
+use crate::complex::Complex64;
+
+/// Errors from FFT operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FftError {
+    /// The input length is not a power of two (or is zero).
+    NotPowerOfTwo(usize),
+}
+
+impl std::fmt::Display for FftError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FftError::NotPowerOfTwo(n) => {
+                write!(f, "FFT length {n} is not a nonzero power of two")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FftError {}
+
+/// Returns true when `n` is a usable FFT size.
+#[inline]
+pub fn is_valid_fft_size(n: usize) -> bool {
+    n != 0 && n.is_power_of_two()
+}
+
+fn bit_reverse_permute(data: &mut [Complex64]) {
+    let n = data.len();
+    if n < 4 {
+        // 1- and 2-point permutations are the identity; also avoids a shift
+        // overflow in the general formula below.
+        return;
+    }
+    let shift = n.leading_zeros() + 1;
+    for i in 0..n {
+        let j = i.reverse_bits() >> shift;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+}
+
+fn fft_in_place(data: &mut [Complex64], inverse: bool) {
+    let n = data.len();
+    bit_reverse_permute(data);
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex64::cis(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex64::ONE;
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// In-place forward FFT (engineering convention: `X[k] = Σ x[n]·e^{−j2πkn/N}`).
+///
+/// # Errors
+/// Returns [`FftError::NotPowerOfTwo`] when the buffer length is unusable.
+pub fn fft(data: &mut [Complex64]) -> Result<(), FftError> {
+    if !is_valid_fft_size(data.len()) {
+        return Err(FftError::NotPowerOfTwo(data.len()));
+    }
+    fft_in_place(data, false);
+    Ok(())
+}
+
+/// In-place inverse FFT, normalized by `1/N` so that `ifft(fft(x)) == x`.
+///
+/// # Errors
+/// Returns [`FftError::NotPowerOfTwo`] when the buffer length is unusable.
+pub fn ifft(data: &mut [Complex64]) -> Result<(), FftError> {
+    let n = data.len();
+    if !is_valid_fft_size(n) {
+        return Err(FftError::NotPowerOfTwo(n));
+    }
+    fft_in_place(data, true);
+    let scale = 1.0 / n as f64;
+    for x in data.iter_mut() {
+        *x = x.scale(scale);
+    }
+    Ok(())
+}
+
+/// Convenience: forward FFT of a borrowed slice into a fresh vector.
+pub fn fft_copy(data: &[Complex64]) -> Result<Vec<Complex64>, FftError> {
+    let mut out = data.to_vec();
+    fft(&mut out)?;
+    Ok(out)
+}
+
+/// Convenience: inverse FFT of a borrowed slice into a fresh vector.
+pub fn ifft_copy(data: &[Complex64]) -> Result<Vec<Complex64>, FftError> {
+    let mut out = data.to_vec();
+    ifft(&mut out)?;
+    Ok(out)
+}
+
+/// Rotates a spectrum between "DC-first" (FFT natural) and "centered"
+/// (negative frequencies first) layouts. Self-inverse for even lengths.
+pub fn fft_shift(data: &[Complex64]) -> Vec<Complex64> {
+    let n = data.len();
+    let half = n.div_ceil(2);
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(&data[half..]);
+    out.extend_from_slice(&data[..half]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex64], b: &[Complex64], eps: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((*x - *y).abs() < eps, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let mut v = vec![Complex64::ZERO; 12];
+        assert_eq!(fft(&mut v), Err(FftError::NotPowerOfTwo(12)));
+        assert_eq!(ifft(&mut v), Err(FftError::NotPowerOfTwo(12)));
+        let mut empty: Vec<Complex64> = vec![];
+        assert_eq!(fft(&mut empty), Err(FftError::NotPowerOfTwo(0)));
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut v = vec![Complex64::ZERO; 8];
+        v[0] = Complex64::ONE;
+        fft(&mut v).unwrap();
+        for x in &v {
+            assert!((*x - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_on_one_bin() {
+        let n = 64;
+        let k0 = 5;
+        let v: Vec<Complex64> = (0..n)
+            .map(|t| Complex64::cis(2.0 * std::f64::consts::PI * k0 as f64 * t as f64 / n as f64))
+            .collect();
+        let spec = fft_copy(&v).unwrap();
+        for (k, x) in spec.iter().enumerate() {
+            if k == k0 {
+                assert!((x.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(x.abs() < 1e-9, "leak at bin {k}: {}", x.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let v: Vec<Complex64> = (0..128)
+            .map(|t| Complex64::new((t as f64 * 0.37).sin(), (t as f64 * 0.11).cos()))
+            .collect();
+        let round = ifft_copy(&fft_copy(&v).unwrap()).unwrap();
+        assert_close(&v, &round, 1e-10);
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let v: Vec<Complex64> = (0..32)
+            .map(|t| Complex64::new((t as f64).sin(), (t as f64 * 2.0).cos()))
+            .collect();
+        let time_energy: f64 = v.iter().map(|x| x.norm_sqr()).sum();
+        let spec = fft_copy(&v).unwrap();
+        let freq_energy: f64 = spec.iter().map(|x| x.norm_sqr()).sum::<f64>() / 32.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<Complex64> = (0..16).map(|t| Complex64::real(t as f64)).collect();
+        let b: Vec<Complex64> = (0..16).map(|t| Complex64::new(0.0, (t * t) as f64)).collect();
+        let sum: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let fa = fft_copy(&a).unwrap();
+        let fb = fft_copy(&b).unwrap();
+        let fs = fft_copy(&sum).unwrap();
+        let fsum: Vec<Complex64> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
+        assert_close(&fs, &fsum, 1e-9);
+    }
+
+    #[test]
+    fn fft_shift_roundtrip_even() {
+        let v: Vec<Complex64> = (0..8).map(|t| Complex64::real(t as f64)).collect();
+        let shifted = fft_shift(&v);
+        assert_eq!(shifted[0].re, 4.0);
+        let back = fft_shift(&shifted);
+        assert_close(&v, &back, 1e-15);
+    }
+
+    #[test]
+    fn size_one_is_identity() {
+        let mut v = vec![Complex64::new(2.0, -3.0)];
+        fft(&mut v).unwrap();
+        assert!((v[0] - Complex64::new(2.0, -3.0)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,27 @@
+//! # press-math
+//!
+//! Self-contained numerics substrate for the PRESS reproduction
+//! ("Programmable Radio Environments for Smart Spaces", HotNets'17).
+//!
+//! Everything the rest of the workspace needs that a scientific-computing
+//! dependency would otherwise provide lives here, implemented from scratch:
+//!
+//! * [`Complex64`] — complex arithmetic (channel coefficients, phasors);
+//! * [`CMat`] — dense complex matrices with solve / least-squares / inverse;
+//! * [`svd`] — singular values and MIMO condition numbers (Figure 8);
+//! * [`fft`] — radix-2 FFT for the OFDM PHY;
+//! * [`stats`] — CDF/CCDF estimators (Figures 5, 6, 8) and summaries;
+//! * [`db`] — decibel/linear conversions;
+//! * [`consts`] — physical constants (speed of light, ISM band frequencies).
+
+pub mod complex;
+pub mod consts;
+pub mod db;
+pub mod fft;
+pub mod mat;
+pub mod stats;
+pub mod svd;
+
+pub use complex::Complex64;
+pub use mat::{CMat, MatError};
+pub use stats::Ecdf;

@@ -1,0 +1,476 @@
+//! Dense complex matrices.
+//!
+//! MIMO channels are small dense complex matrices (2×2 in the paper's
+//! experiments, up to ~8×8 in the large-MIMO ablations), and the inverse
+//! problem solves small least-squares systems. A simple row-major dense
+//! matrix is the right tool; no sparse or expression-template machinery.
+
+use crate::complex::Complex64;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// Errors from matrix operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatError {
+    /// Operand shapes are incompatible: `(rows_a, cols_a)` vs `(rows_b, cols_b)`.
+    ShapeMismatch((usize, usize), (usize, usize)),
+    /// A square matrix was required.
+    NotSquare(usize, usize),
+    /// The system is singular (or numerically so) and cannot be solved.
+    Singular,
+}
+
+impl fmt::Display for MatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatError::ShapeMismatch(a, b) => {
+                write!(f, "shape mismatch: {}x{} vs {}x{}", a.0, a.1, b.0, b.1)
+            }
+            MatError::NotSquare(r, c) => write!(f, "matrix is {r}x{c}, square required"),
+            MatError::Singular => write!(f, "matrix is singular"),
+        }
+    }
+}
+
+impl std::error::Error for MatError {}
+
+/// A dense, row-major complex matrix.
+///
+/// ```
+/// use press_math::{CMat, Complex64};
+/// let i = CMat::identity(2);
+/// let a = CMat::from_rows(&[
+///     &[Complex64::new(1.0, 0.0), Complex64::new(0.0, 1.0)],
+///     &[Complex64::new(2.0, 0.0), Complex64::new(0.0, -1.0)],
+/// ]);
+/// assert_eq!((&a * &i).unwrap(), a);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex64>,
+}
+
+impl CMat {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMat {
+            rows,
+            cols,
+            data: vec![Complex64::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex64::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices. Panics if rows have unequal lengths.
+    pub fn from_rows(rows: &[&[Complex64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        CMat { rows: r, cols: c, data }
+    }
+
+    /// Builds a matrix from a flat row-major vector. Panics on length mismatch.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<Complex64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "flat data length mismatch");
+        CMat { rows, cols, data }
+    }
+
+    /// Builds via a generator function `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Complex64) -> Self {
+        let mut m = CMat::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// True when the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow of the flat row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// Transpose (no conjugation).
+    pub fn transpose(&self) -> CMat {
+        CMat::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Conjugate (Hermitian) transpose, `A^H`.
+    pub fn hermitian(&self) -> CMat {
+        CMat::from_fn(self.cols, self.rows, |i, j| self[(j, i)].conj())
+    }
+
+    /// Element-wise conjugate.
+    pub fn conj(&self) -> CMat {
+        CMat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x.conj()).collect(),
+        }
+    }
+
+    /// Scales every entry by a complex factor.
+    pub fn scale(&self, s: Complex64) -> CMat {
+        CMat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| *x * s).collect(),
+        }
+    }
+
+    /// Matrix product. Errors when inner dimensions disagree.
+    pub fn matmul(&self, rhs: &CMat) -> Result<CMat, MatError> {
+        if self.cols != rhs.rows {
+            return Err(MatError::ShapeMismatch(self.shape(), rhs.shape()));
+        }
+        let mut out = CMat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == Complex64::ZERO {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product.
+    pub fn matvec(&self, v: &[Complex64]) -> Result<Vec<Complex64>, MatError> {
+        if self.cols != v.len() {
+            return Err(MatError::ShapeMismatch(self.shape(), (v.len(), 1)));
+        }
+        Ok((0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * v[j]).sum())
+            .collect())
+    }
+
+    /// Frobenius norm `sqrt(Σ|a_ij|²)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Trace of a square matrix.
+    pub fn trace(&self) -> Result<Complex64, MatError> {
+        if !self.is_square() {
+            return Err(MatError::NotSquare(self.rows, self.cols));
+        }
+        Ok((0..self.rows).map(|i| self[(i, i)]).sum())
+    }
+
+    /// Gram matrix `A^H·A` (always square, Hermitian positive semidefinite).
+    pub fn gram(&self) -> CMat {
+        self.hermitian()
+            .matmul(self)
+            .expect("gram dimensions always agree")
+    }
+
+    /// Solves `A·x = b` for square `A` by Gaussian elimination with partial
+    /// pivoting.
+    ///
+    /// # Errors
+    /// [`MatError::NotSquare`] for non-square `A`, [`MatError::ShapeMismatch`]
+    /// when `b` has the wrong length, [`MatError::Singular`] when a pivot
+    /// vanishes.
+    pub fn solve(&self, b: &[Complex64]) -> Result<Vec<Complex64>, MatError> {
+        if !self.is_square() {
+            return Err(MatError::NotSquare(self.rows, self.cols));
+        }
+        if b.len() != self.rows {
+            return Err(MatError::ShapeMismatch(self.shape(), (b.len(), 1)));
+        }
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut x = b.to_vec();
+        for col in 0..n {
+            // Partial pivot: largest magnitude in this column.
+            let (pivot_row, pivot_mag) = (col..n)
+                .map(|r| (r, a[(r, col)].abs()))
+                .max_by(|u, v| u.1.total_cmp(&v.1))
+                .expect("non-empty column");
+            if pivot_mag < 1e-300 {
+                return Err(MatError::Singular);
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    let tmp = a[(col, j)];
+                    a[(col, j)] = a[(pivot_row, j)];
+                    a[(pivot_row, j)] = tmp;
+                }
+                x.swap(col, pivot_row);
+            }
+            let inv = a[(col, col)].inv();
+            for r in col + 1..n {
+                let factor = a[(r, col)] * inv;
+                if factor == Complex64::ZERO {
+                    continue;
+                }
+                for j in col..n {
+                    let sub = factor * a[(col, j)];
+                    a[(r, j)] -= sub;
+                }
+                let sub = factor * x[col];
+                x[r] -= sub;
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut acc = x[col];
+            for j in col + 1..n {
+                acc -= a[(col, j)] * x[j];
+            }
+            x[col] = acc / a[(col, col)];
+        }
+        Ok(x)
+    }
+
+    /// Solves the least-squares problem `min ‖A·x − b‖₂` via the normal
+    /// equations `A^H A x = A^H b` with Tikhonov damping `λ` (pass 0 for none).
+    ///
+    /// Adequate for the small, well-scaled systems the inverse-problem solver
+    /// produces; the damping guards rank deficiency.
+    pub fn least_squares(&self, b: &[Complex64], lambda: f64) -> Result<Vec<Complex64>, MatError> {
+        if b.len() != self.rows {
+            return Err(MatError::ShapeMismatch(self.shape(), (b.len(), 1)));
+        }
+        let mut gram = self.gram();
+        for i in 0..gram.rows() {
+            gram[(i, i)] += Complex64::real(lambda);
+        }
+        let rhs = self.hermitian().matvec(b)?;
+        gram.solve(&rhs)
+    }
+
+    /// Inverse of a square matrix.
+    pub fn inverse(&self) -> Result<CMat, MatError> {
+        if !self.is_square() {
+            return Err(MatError::NotSquare(self.rows, self.cols));
+        }
+        let n = self.rows;
+        let mut cols = Vec::with_capacity(n);
+        for j in 0..n {
+            let mut e = vec![Complex64::ZERO; n];
+            e[j] = Complex64::ONE;
+            cols.push(self.solve(&e)?);
+        }
+        Ok(CMat::from_fn(n, n, |i, j| cols[j][i]))
+    }
+}
+
+impl Index<(usize, usize)> for CMat {
+    type Output = Complex64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &Complex64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &CMat {
+    type Output = CMat;
+    fn add(self, rhs: &CMat) -> CMat {
+        assert_eq!(self.shape(), rhs.shape(), "add shape mismatch");
+        CMat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a + *b).collect(),
+        }
+    }
+}
+
+impl Sub for &CMat {
+    type Output = CMat;
+    fn sub(self, rhs: &CMat) -> CMat {
+        assert_eq!(self.shape(), rhs.shape(), "sub shape mismatch");
+        CMat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a - *b).collect(),
+        }
+    }
+}
+
+impl Mul for &CMat {
+    type Output = Result<CMat, MatError>;
+    fn mul(self, rhs: &CMat) -> Result<CMat, MatError> {
+        self.matmul(rhs)
+    }
+}
+
+impl fmt::Display for CMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{}\t", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let a = CMat::from_fn(3, 3, |i, j| c(i as f64, j as f64));
+        let i = CMat::identity(3);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = CMat::zeros(2, 3);
+        let b = CMat::zeros(2, 3);
+        assert!(matches!(a.matmul(&b), Err(MatError::ShapeMismatch(_, _))));
+    }
+
+    #[test]
+    fn hermitian_of_product() {
+        // (AB)^H == B^H A^H
+        let a = CMat::from_fn(2, 3, |i, j| c(i as f64 + 1.0, j as f64 - 1.0));
+        let b = CMat::from_fn(3, 2, |i, j| c(j as f64, i as f64 * 0.5));
+        let lhs = a.matmul(&b).unwrap().hermitian();
+        let rhs = b.hermitian().matmul(&a.hermitian()).unwrap();
+        assert!((&lhs - &rhs).frobenius_norm() < 1e-12);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = CMat::from_rows(&[
+            &[c(2.0, 1.0), c(0.0, -1.0), c(1.0, 0.0)],
+            &[c(0.0, 3.0), c(1.0, 1.0), c(-2.0, 0.5)],
+            &[c(1.0, 0.0), c(4.0, -2.0), c(0.5, 0.5)],
+        ]);
+        let x_true = vec![c(1.0, -1.0), c(0.5, 2.0), c(-3.0, 0.0)];
+        let b = a.matvec(&x_true).unwrap();
+        let x = a.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((*xi - *ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_singular_reports_error() {
+        let a = CMat::from_rows(&[&[c(1.0, 0.0), c(2.0, 0.0)], &[c(2.0, 0.0), c(4.0, 0.0)]]);
+        assert_eq!(a.solve(&[c(1.0, 0.0), c(2.0, 0.0)]), Err(MatError::Singular));
+    }
+
+    #[test]
+    fn inverse_times_self_is_identity() {
+        let a = CMat::from_rows(&[
+            &[c(3.0, 1.0), c(0.0, 2.0)],
+            &[c(-1.0, 0.0), c(1.0, -1.0)],
+        ]);
+        let inv = a.inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!((&prod - &CMat::identity(2)).frobenius_norm() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_exact_when_consistent() {
+        let a = CMat::from_fn(5, 2, |i, j| c((i * (j + 1)) as f64 + 1.0, i as f64 * 0.1));
+        let x_true = vec![c(0.5, 0.5), c(-1.0, 2.0)];
+        let b = a.matvec(&x_true).unwrap();
+        let x = a.least_squares(&b, 0.0).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((*xi - *ti).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn least_squares_damped_handles_rank_deficiency() {
+        // Two identical columns: undamped normal equations are singular.
+        let a = CMat::from_fn(4, 2, |i, _| c(i as f64 + 1.0, 0.0));
+        let b = vec![c(1.0, 0.0); 4];
+        let x = a.least_squares(&b, 1e-6).unwrap();
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn gram_is_hermitian() {
+        let a = CMat::from_fn(3, 2, |i, j| c(i as f64, j as f64 + 0.5));
+        let g = a.gram();
+        assert!((&g - &g.hermitian()).frobenius_norm() < 1e-12);
+    }
+
+    #[test]
+    fn trace_requires_square() {
+        assert!(matches!(CMat::zeros(2, 3).trace(), Err(MatError::NotSquare(2, 3))));
+        let a = CMat::identity(4);
+        assert!((a.trace().unwrap() - c(4.0, 0.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn frobenius_norm_of_identity() {
+        assert!((CMat::identity(9).frobenius_norm() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = CMat::from_fn(3, 3, |i, j| c((i + j) as f64, (i * j) as f64));
+        let v = vec![c(1.0, 0.0), c(0.0, 1.0), c(2.0, -1.0)];
+        let as_mat = CMat::from_fn(3, 1, |i, _| v[i]);
+        let mv = a.matvec(&v).unwrap();
+        let mm = a.matmul(&as_mat).unwrap();
+        for i in 0..3 {
+            assert!((mv[i] - mm[(i, 0)]).abs() < 1e-12);
+        }
+    }
+}

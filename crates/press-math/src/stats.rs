@@ -1,0 +1,247 @@
+//! Descriptive statistics and empirical distributions.
+//!
+//! The paper reports its results almost entirely as CDFs and complementary
+//! CDFs (Figures 5, 6, 8); this module provides the estimators the harnesses
+//! use, plus the summary statistics (mean, median, percentiles) used in the
+//! measurement campaigns.
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population variance. Returns `None` for an empty slice.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Minimum, ignoring NaNs never (inputs are expected NaN-free).
+pub fn min(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().min_by(f64::total_cmp)
+}
+
+/// Maximum.
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().max_by(f64::total_cmp)
+}
+
+/// Index of the minimum element (first occurrence).
+pub fn argmin(xs: &[f64]) -> Option<usize> {
+    xs.iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+}
+
+/// Index of the maximum element (first occurrence).
+pub fn argmax(xs: &[f64]) -> Option<usize> {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+}
+
+/// Linear-interpolation percentile, `q ∈ [0, 100]`.
+///
+/// Uses the common "linear between closest ranks" definition (NumPy default).
+pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=100.0).contains(&q) {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let pos = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> Option<f64> {
+    percentile(xs, 50.0)
+}
+
+/// An empirical distribution, precomputed for repeated CDF/CCDF queries and
+/// for exporting plot-ready curves.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the empirical CDF of the samples. Returns `None` when empty.
+    pub fn new(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Some(Ecdf { sorted })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false by construction (empty sample sets are rejected in `new`).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X ≤ x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        // partition_point gives the count of samples <= x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// `P(X > x)` — the complementary CDF, as plotted in Figures 5 and 6.
+    pub fn ccdf(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// The underlying sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Quantile (inverse CDF) by the nearest-rank-above rule, `p ∈ [0,1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        let n = self.sorted.len();
+        let idx = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.sorted[idx]
+    }
+
+    /// Exports the curve as `(x, P(X ≤ x))` step points — one per distinct
+    /// sample — ready for plotting or CSV dumps.
+    pub fn curve(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut pts = Vec::new();
+        for (i, &x) in self.sorted.iter().enumerate() {
+            if i + 1 == self.sorted.len() || self.sorted[i + 1] != x {
+                pts.push((x, (i + 1) as f64 / n));
+            }
+        }
+        pts
+    }
+
+    /// Exports the complementary curve as `(x, P(X > x))` step points.
+    pub fn ccdf_curve(&self) -> Vec<(f64, f64)> {
+        self.curve().into_iter().map(|(x, p)| (x, 1.0 - p)).collect()
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)` with `bins` buckets; out-of-range
+/// samples clamp to the end buckets. Returns bucket counts.
+pub fn histogram(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+    assert!(bins > 0 && hi > lo, "invalid histogram spec");
+    let mut counts = vec![0usize; bins];
+    let width = (hi - lo) / bins as f64;
+    for &x in xs {
+        let idx = (((x - lo) / width).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        counts[idx] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_median_basic() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), Some(2.5));
+        assert_eq!(median(&xs), Some(2.5));
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        assert_eq!(variance(&[5.0; 10]), Some(0.0));
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let xs = [3.0, 1.0, 2.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(3.0));
+        assert_eq!(percentile(&xs, 50.0), Some(2.0));
+        assert_eq!(percentile(&xs, 101.0), None);
+    }
+
+    #[test]
+    fn argmin_argmax() {
+        let xs = [2.0, -1.0, 5.0, -1.0];
+        assert_eq!(argmin(&xs), Some(1));
+        assert_eq!(argmax(&xs), Some(2));
+        assert_eq!(argmin(&[]), None);
+    }
+
+    #[test]
+    fn ecdf_step_values() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(1.0), 0.25);
+        assert_eq!(e.cdf(2.5), 0.5);
+        assert_eq!(e.cdf(4.0), 1.0);
+        assert_eq!(e.ccdf(2.0), 0.5);
+    }
+
+    #[test]
+    fn ecdf_rejects_empty() {
+        assert!(Ecdf::new(&[]).is_none());
+    }
+
+    #[test]
+    fn ecdf_quantile_is_inverse_of_cdf() {
+        let e = Ecdf::new(&[10.0, 20.0, 30.0, 40.0, 50.0]).unwrap();
+        assert_eq!(e.quantile(0.2), 10.0);
+        assert_eq!(e.quantile(0.5), 30.0);
+        assert_eq!(e.quantile(1.0), 50.0);
+        assert_eq!(e.quantile(0.0), 10.0);
+    }
+
+    #[test]
+    fn ecdf_curve_deduplicates() {
+        let e = Ecdf::new(&[1.0, 1.0, 2.0]).unwrap();
+        let curve = e.curve();
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0], (1.0, 2.0 / 3.0));
+        assert_eq!(curve[1], (2.0, 1.0));
+    }
+
+    #[test]
+    fn ccdf_curve_complements() {
+        let e = Ecdf::new(&[1.0, 2.0]).unwrap();
+        let c = e.ccdf_curve();
+        assert_eq!(c[0], (1.0, 0.5));
+        assert_eq!(c[1], (2.0, 0.0));
+    }
+
+    #[test]
+    fn histogram_counts_and_clamps() {
+        let xs = [-1.0, 0.1, 0.9, 1.5, 10.0];
+        let h = histogram(&xs, 0.0, 2.0, 2);
+        // -1.0 clamps into bin 0; 10.0 clamps into bin 1.
+        assert_eq!(h, vec![3, 2]);
+    }
+
+    #[test]
+    fn std_dev_known_value() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&xs).unwrap() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the numerics substrate.
+
+use press_math::complex::Complex64;
+use press_math::fft::{fft_copy, ifft_copy};
+use press_math::mat::CMat;
+use press_math::stats::{percentile, Ecdf};
+use press_math::svd::{condition_number, singular_values, singular_values_2x2};
+use proptest::prelude::*;
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    -1e3..1e3f64
+}
+
+fn complex() -> impl Strategy<Value = Complex64> {
+    (finite_f64(), finite_f64()).prop_map(|(re, im)| Complex64::new(re, im))
+}
+
+fn cmat(rows: usize, cols: usize) -> impl Strategy<Value = CMat> {
+    proptest::collection::vec(complex(), rows * cols)
+        .prop_map(move |v| CMat::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #[test]
+    fn complex_mul_commutes(a in complex(), b in complex()) {
+        prop_assert!((a * b - b * a).abs() < 1e-6 * (1.0 + (a * b).abs()));
+    }
+
+    #[test]
+    fn complex_mul_magnitude(a in complex(), b in complex()) {
+        let prod = (a * b).abs();
+        prop_assert!((prod - a.abs() * b.abs()).abs() < 1e-6 * (1.0 + prod));
+    }
+
+    #[test]
+    fn complex_conj_involution(a in complex()) {
+        prop_assert_eq!(a.conj().conj(), a);
+    }
+
+    #[test]
+    fn fft_roundtrip(v in proptest::collection::vec(complex(), 64)) {
+        let round = ifft_copy(&fft_copy(&v).unwrap()).unwrap();
+        for (x, y) in v.iter().zip(&round) {
+            prop_assert!((*x - *y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fft_parseval(v in proptest::collection::vec(complex(), 32)) {
+        let t: f64 = v.iter().map(|x| x.norm_sqr()).sum();
+        let f: f64 = fft_copy(&v).unwrap().iter().map(|x| x.norm_sqr()).sum::<f64>() / 32.0;
+        prop_assert!((t - f).abs() < 1e-5 * (1.0 + t));
+    }
+
+    #[test]
+    fn solve_then_multiply_recovers_rhs(m in cmat(3, 3), b in proptest::collection::vec(complex(), 3)) {
+        if let Ok(x) = m.solve(&b) {
+            let back = m.matvec(&x).unwrap();
+            let scale = m.frobenius_norm().max(1.0);
+            for (u, v) in back.iter().zip(&b) {
+                prop_assert!((*u - *v).abs() < 1e-5 * scale.max((*v).abs() + 1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn singular_values_are_sorted_nonnegative(m in cmat(3, 3)) {
+        let sv = singular_values(&m).unwrap();
+        prop_assert!(sv.windows(2).all(|w| w[0] >= w[1] - 1e-9));
+        prop_assert!(sv.iter().all(|&s| s >= -1e-9));
+    }
+
+    #[test]
+    fn frobenius_equals_singular_value_energy(m in cmat(2, 2)) {
+        let (s1, s2) = singular_values_2x2(&m);
+        let f2 = m.frobenius_norm().powi(2);
+        prop_assert!((s1 * s1 + s2 * s2 - f2).abs() < 1e-6 * (1.0 + f2));
+    }
+
+    #[test]
+    fn condition_number_at_least_one(m in cmat(2, 2)) {
+        let k = condition_number(&m).unwrap();
+        prop_assert!(k >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn ecdf_monotone(v in proptest::collection::vec(finite_f64(), 1..50), x1 in finite_f64(), x2 in finite_f64()) {
+        let e = Ecdf::new(&v).unwrap();
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        prop_assert!(e.cdf(lo) <= e.cdf(hi));
+        prop_assert!(e.ccdf(lo) >= e.ccdf(hi));
+    }
+
+    #[test]
+    fn percentile_within_range(v in proptest::collection::vec(finite_f64(), 1..50), q in 0.0..100.0f64) {
+        let p = percentile(&v, q).unwrap();
+        let lo = v.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+    }
+}

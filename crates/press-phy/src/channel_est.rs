@@ -1,0 +1,252 @@
+//! Least-squares channel estimation from training symbols.
+//!
+//! Mirrors what the WARP reference design the paper used does: divide the
+//! received training subcarriers by the known sequence, average the repeats,
+//! and estimate the noise floor from the repeat-to-repeat differences.
+
+use crate::numerology::Numerology;
+use press_math::Complex64;
+
+/// Errors from the channel estimator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EstimatorError {
+    /// Fewer than one (for H) or two (for noise) training repeats supplied.
+    NotEnoughTraining(usize),
+    /// A received symbol's width does not match the training sequence.
+    WidthMismatch {
+        /// Expected subcarrier count.
+        expected: usize,
+        /// Received subcarrier count.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for EstimatorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EstimatorError::NotEnoughTraining(n) => {
+                write!(f, "need at least 2 training repeats, got {n}")
+            }
+            EstimatorError::WidthMismatch { expected, got } => {
+                write!(f, "training width mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EstimatorError {}
+
+/// A per-subcarrier channel estimate with noise statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelEstimate {
+    /// Estimated complex channel per active subcarrier.
+    pub h: Vec<Complex64>,
+    /// Estimated per-subcarrier noise power (variance of the complex noise).
+    pub noise_power: Vec<f64>,
+}
+
+impl ChannelEstimate {
+    /// Per-subcarrier SNR in dB: `|H_k|² / σ²_k` (training symbols are unit
+    /// power, so no separate signal-power factor appears).
+    ///
+    /// Subcarriers whose measured noise vanishes (an ideal noiseless
+    /// simulation) are clamped to `floor_db` above which SNR is meaningless
+    /// to report — matching how real hardware saturates its SNR estimates.
+    pub fn snr_db(&self, floor_db: f64) -> Vec<f64> {
+        self.h
+            .iter()
+            .zip(&self.noise_power)
+            .map(|(h, &n)| {
+                if n <= 0.0 {
+                    floor_db
+                } else {
+                    (10.0 * (h.norm_sqr() / n).log10()).min(floor_db)
+                }
+            })
+            .collect()
+    }
+
+    /// Mean channel magnitude across subcarriers (linear).
+    pub fn mean_magnitude(&self) -> f64 {
+        if self.h.is_empty() {
+            return 0.0;
+        }
+        self.h.iter().map(|h| h.abs()).sum::<f64>() / self.h.len() as f64
+    }
+}
+
+/// Least-squares estimator over repeated training symbols.
+///
+/// `training` is the transmitted sequence (length `n_active`); `received`
+/// holds one vector per training repeat. Needs ≥2 repeats so the noise can
+/// be estimated from their difference (exactly how 802.11 receivers use the
+/// two LTF symbols).
+///
+/// # Errors
+/// [`EstimatorError::NotEnoughTraining`] with fewer than 2 repeats;
+/// [`EstimatorError::WidthMismatch`] when lengths disagree.
+pub fn estimate_channel(
+    training: &[Complex64],
+    received: &[Vec<Complex64>],
+) -> Result<ChannelEstimate, EstimatorError> {
+    if received.len() < 2 {
+        return Err(EstimatorError::NotEnoughTraining(received.len()));
+    }
+    let n = training.len();
+    for r in received {
+        if r.len() != n {
+            return Err(EstimatorError::WidthMismatch {
+                expected: n,
+                got: r.len(),
+            });
+        }
+    }
+    let m = received.len();
+    let mut h = vec![Complex64::ZERO; n];
+    for r in received {
+        for k in 0..n {
+            // LS per subcarrier: divide by the known ±1 training symbol.
+            h[k] += r[k] / training[k];
+        }
+    }
+    for hk in h.iter_mut() {
+        *hk = *hk / m as f64;
+    }
+    // Noise: residual of each repeat around the mean, unbiased over m-1.
+    let mut noise = vec![0.0; n];
+    for r in received {
+        for k in 0..n {
+            let resid = r[k] / training[k] - h[k];
+            noise[k] += resid.norm_sqr();
+        }
+    }
+    for nk in noise.iter_mut() {
+        *nk /= (m - 1) as f64;
+    }
+    Ok(ChannelEstimate { h, noise_power: noise })
+}
+
+/// Smooths a per-subcarrier noise estimate by averaging across subcarriers —
+/// the thermal noise floor is flat across a 20 MHz channel, so pooling the
+/// per-subcarrier estimates sharpens them substantially (the paper's SNR
+/// plots are per-subcarrier in signal but pooled in noise).
+pub fn pool_noise(estimate: &mut ChannelEstimate) {
+    let n = estimate.noise_power.len();
+    if n == 0 {
+        return;
+    }
+    let avg = estimate.noise_power.iter().sum::<f64>() / n as f64;
+    estimate.noise_power.fill(avg);
+}
+
+/// Convenience: estimated SNR profile for a numerology, pooled-noise, with
+/// the simulator's standard 50 dB saturation.
+pub fn snr_profile(
+    _num: &Numerology,
+    training: &[Complex64],
+    received: &[Vec<Complex64>],
+) -> Result<Vec<f64>, EstimatorError> {
+    let mut est = estimate_channel(training, received)?;
+    pool_noise(&mut est);
+    Ok(est.snr_db(50.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::training_sequence;
+
+    fn apply_channel(training: &[Complex64], h: &[Complex64]) -> Vec<Complex64> {
+        training.iter().zip(h).map(|(t, hh)| *t * *hh).collect()
+    }
+
+    #[test]
+    fn noiseless_estimate_is_exact() {
+        let t = training_sequence(52);
+        let h: Vec<Complex64> = (0..52)
+            .map(|k| Complex64::from_polar(0.01 * (k + 1) as f64, k as f64 * 0.2))
+            .collect();
+        let rx = vec![apply_channel(&t, &h); 2];
+        let est = estimate_channel(&t, &rx).unwrap();
+        for (a, b) in est.h.iter().zip(&h) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+        assert!(est.noise_power.iter().all(|&n| n < 1e-20));
+    }
+
+    #[test]
+    fn saturates_snr_when_noiseless() {
+        let t = training_sequence(52);
+        let h = vec![Complex64::ONE; 52];
+        let rx = vec![apply_channel(&t, &h); 2];
+        let est = estimate_channel(&t, &rx).unwrap();
+        assert!(est.snr_db(50.0).iter().all(|&s| s == 50.0));
+    }
+
+    #[test]
+    fn rejects_single_repeat() {
+        let t = training_sequence(52);
+        let rx = vec![t.clone()];
+        assert_eq!(
+            estimate_channel(&t, &rx),
+            Err(EstimatorError::NotEnoughTraining(1))
+        );
+    }
+
+    #[test]
+    fn rejects_width_mismatch() {
+        let t = training_sequence(52);
+        let rx = vec![vec![Complex64::ONE; 51], vec![Complex64::ONE; 51]];
+        assert!(matches!(
+            estimate_channel(&t, &rx),
+            Err(EstimatorError::WidthMismatch { expected: 52, got: 51 })
+        ));
+    }
+
+    #[test]
+    fn noise_estimate_tracks_injected_noise() {
+        // Deterministic "noise": +d on repeat 1, -d on repeat 2 gives
+        // per-subcarrier variance 2|d|^2 / (m-1) ... with mean removed the
+        // residuals are +-d so variance estimate is 2|d|^2.
+        let t = training_sequence(52);
+        let h = vec![Complex64::ONE; 52];
+        let d = Complex64::new(0.01, 0.0);
+        let clean = apply_channel(&t, &h);
+        let r1: Vec<Complex64> = clean.iter().zip(&t).map(|(c, tr)| *c + *tr * d).collect();
+        let r2: Vec<Complex64> = clean.iter().zip(&t).map(|(c, tr)| *c - *tr * d).collect();
+        let est = estimate_channel(&t, &[r1, r2]).unwrap();
+        for &n in &est.noise_power {
+            assert!((n - 2.0 * d.norm_sqr()).abs() < 1e-15);
+        }
+        // SNR = 1 / 2e-4 = 37 dB.
+        let snr = est.snr_db(50.0);
+        assert!((snr[0] - 10.0 * (1.0 / 2e-4f64).log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pooling_makes_noise_flat() {
+        let t = training_sequence(4);
+        let mut est = ChannelEstimate {
+            h: vec![Complex64::ONE; 4],
+            noise_power: vec![1.0, 2.0, 3.0, 4.0],
+        };
+        let _ = &t;
+        pool_noise(&mut est);
+        assert!(est.noise_power.iter().all(|&n| (n - 2.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn averaging_repeats_reduces_noise_in_h() {
+        // With symmetric deterministic perturbations the mean cancels them.
+        let t = training_sequence(52);
+        let h = vec![Complex64::new(0.5, 0.5); 52];
+        let clean = apply_channel(&t, &h);
+        let d = Complex64::new(0.0, 0.02);
+        let r1: Vec<Complex64> = clean.iter().map(|c| *c + d).collect();
+        let r2: Vec<Complex64> = clean.iter().map(|c| *c - d).collect();
+        let est = estimate_channel(&t, &[r1, r2]).unwrap();
+        for (a, b) in est.h.iter().zip(&h) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+}

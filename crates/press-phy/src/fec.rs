@@ -1,0 +1,363 @@
+//! Forward error correction: the 802.11a/g convolutional code.
+//!
+//! The paper's promised payoff — "the OFDM modulation and channel coding
+//! operating on each link would then see a 'flatter' channel, and could
+//! offer a greater bit rate" — runs through the standard rate-1/2, K=7
+//! convolutional code (generators 133/171 octal) with puncturing to 2/3 and
+//! 3/4. This module implements the encoder, the puncturers, and a
+//! soft-decision Viterbi decoder, so the modem can measure real packet
+//! error rates instead of trusting threshold tables.
+
+/// Constraint length of the 802.11 code.
+pub const CONSTRAINT: usize = 7;
+/// Generator polynomial A (133 octal).
+pub const GEN_A: u8 = 0o133;
+/// Generator polynomial B (171 octal).
+pub const GEN_B: u8 = 0o171;
+
+const N_STATES: usize = 1 << (CONSTRAINT - 1);
+
+/// Code rates supported by the 802.11a/g rate ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodeRate {
+    /// Rate 1/2 — the mother code.
+    R12,
+    /// Rate 2/3 — puncture one of every four mother bits.
+    R23,
+    /// Rate 3/4 — puncture two of every six mother bits.
+    R34,
+}
+
+impl CodeRate {
+    /// `(k, n)` such that k info bits produce n coded bits.
+    pub fn ratio(self) -> (usize, usize) {
+        match self {
+            CodeRate::R12 => (1, 2),
+            CodeRate::R23 => (2, 3),
+            CodeRate::R34 => (3, 4),
+        }
+    }
+
+    /// Puncturing pattern over the mother-code output (A0 B0 A1 B1 ...):
+    /// `true` = transmit, `false` = puncture. One period shown.
+    fn pattern(self) -> &'static [bool] {
+        match self {
+            CodeRate::R12 => &[true, true],
+            // 802.11: r=2/3 sends A0 B0 A1 (punctures B1).
+            CodeRate::R23 => &[true, true, true, false],
+            // 802.11: r=3/4 sends A0 B0 A1 B2 (punctures B1, A2).
+            CodeRate::R34 => &[true, true, true, false, false, true],
+        }
+    }
+}
+
+fn parity(x: u8) -> bool {
+    x.count_ones() % 2 == 1
+}
+
+/// Convolutionally encodes `bits` with the mother code, appending
+/// `CONSTRAINT-1` zero tail bits to terminate the trellis, then punctures
+/// to the requested rate.
+pub fn encode(bits: &[bool], rate: CodeRate) -> Vec<bool> {
+    let mut state: u8 = 0;
+    let mut mother = Vec::with_capacity((bits.len() + CONSTRAINT) * 2);
+    for &b in bits.iter().chain(std::iter::repeat(&false).take(CONSTRAINT - 1)) {
+        let reg = ((b as u8) << (CONSTRAINT - 1)) | state;
+        mother.push(parity(reg & GEN_A));
+        mother.push(parity(reg & GEN_B));
+        state = reg >> 1;
+    }
+    // Puncture.
+    let pattern = rate.pattern();
+    mother
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| pattern[i % pattern.len()])
+        .map(|(_, b)| b)
+        .collect()
+}
+
+/// Number of coded bits `encode` produces for `n_info` info bits.
+pub fn coded_len(n_info: usize, rate: CodeRate) -> usize {
+    let mother = (n_info + CONSTRAINT - 1) * 2;
+    let pattern = rate.pattern();
+    let keep_per_period = pattern.iter().filter(|&&k| k).count();
+    let full = mother / pattern.len();
+    let rem = mother % pattern.len();
+    full * keep_per_period + pattern[..rem].iter().filter(|&&k| k).count()
+}
+
+/// Soft-decision Viterbi decoder.
+///
+/// `llrs` carries one log-likelihood ratio per *transmitted* coded bit
+/// (positive = bit more likely 1); punctured positions are reinserted as
+/// zero-confidence erasures. Returns the `n_info` decoded information bits
+/// (the zero tail is stripped).
+pub fn viterbi_decode(llrs: &[f64], n_info: usize, rate: CodeRate) -> Vec<bool> {
+    // Depuncture into mother-code LLRs.
+    let pattern = rate.pattern();
+    let n_steps = n_info + CONSTRAINT - 1;
+    let mut mother = vec![0.0f64; n_steps * 2];
+    let mut src = 0usize;
+    for (i, m) in mother.iter_mut().enumerate() {
+        if pattern[i % pattern.len()] {
+            if let Some(&l) = llrs.get(src) {
+                *m = l;
+            }
+            src += 1;
+        }
+    }
+
+    // Trellis search. Path metric: correlation with expected symbols
+    // (higher is better).
+    const NEG: f64 = f64::NEG_INFINITY;
+    let mut metric = vec![NEG; N_STATES];
+    metric[0] = 0.0;
+    // survivors[t][state] = input bit leading here, packed per step.
+    let mut survivors: Vec<Vec<(u8, bool)>> = Vec::with_capacity(n_steps);
+
+    for t in 0..n_steps {
+        let la = mother[2 * t];
+        let lb = mother[2 * t + 1];
+        let mut next = vec![NEG; N_STATES];
+        let mut step = vec![(0u8, false); N_STATES];
+        for (state, &m) in metric.iter().enumerate() {
+            if m == NEG {
+                continue;
+            }
+            for bit in [false, true] {
+                let reg = ((bit as u8) << (CONSTRAINT - 1)) | state as u8;
+                let a = parity(reg & GEN_A);
+                let b = parity(reg & GEN_B);
+                let gain = (if a { la } else { -la }) + (if b { lb } else { -lb });
+                let ns = (reg >> 1) as usize;
+                let cand = m + gain;
+                if cand > next[ns] {
+                    next[ns] = cand;
+                    step[ns] = (state as u8, bit);
+                }
+            }
+        }
+        metric = next;
+        survivors.push(step);
+    }
+
+    // Trellis is terminated: trace back from state 0.
+    let mut state = 0usize;
+    let mut decoded = vec![false; n_steps];
+    for t in (0..n_steps).rev() {
+        let (prev, bit) = survivors[t][state];
+        decoded[t] = bit;
+        state = prev as usize;
+    }
+    decoded.truncate(n_info);
+    decoded
+}
+
+/// Convenience: hard-decision decode from bits (unit-confidence LLRs).
+pub fn viterbi_decode_hard(coded: &[bool], n_info: usize, rate: CodeRate) -> Vec<bool> {
+    let llrs: Vec<f64> = coded.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+    viterbi_decode(&llrs, n_info, rate)
+}
+
+/// Rows of the block interleaver: 16 as in 802.11 when it divides
+/// `n_cbps`, otherwise the largest divisor ≤ 16 (our 52-subcarrier layouts
+/// are not multiples of 16 the way 48-data-subcarrier Wi-Fi is).
+pub fn interleaver_rows(n_cbps: usize) -> usize {
+    (1..=16).rev().find(|r| n_cbps % r == 0).expect("1 divides everything")
+}
+
+/// The 802.11a-style block interleaver over one OFDM symbol of `n_cbps`
+/// coded bits (first permutation only — adjacent coded bits land on
+/// distant subcarriers, which is what protects the code against the narrow
+/// nulls PRESS moves around).
+pub fn interleave(bits: &[bool], n_cbps: usize) -> Vec<bool> {
+    assert_eq!(bits.len() % n_cbps, 0, "partial interleaver block");
+    let rows = interleaver_rows(n_cbps);
+    let cols = n_cbps / rows;
+    let mut out = vec![false; bits.len()];
+    for (blk, chunk) in bits.chunks(n_cbps).enumerate() {
+        for (k, &b) in chunk.iter().enumerate() {
+            let i = (k % rows) * cols + k / rows;
+            out[blk * n_cbps + i] = b;
+        }
+    }
+    out
+}
+
+/// Inverse of [`interleave`].
+pub fn deinterleave(bits: &[bool], n_cbps: usize) -> Vec<bool> {
+    assert_eq!(bits.len() % n_cbps, 0, "partial interleaver block");
+    let rows = interleaver_rows(n_cbps);
+    let cols = n_cbps / rows;
+    let mut out = vec![false; bits.len()];
+    for (blk, chunk) in bits.chunks(n_cbps).enumerate() {
+        for (i, &b) in chunk.iter().enumerate() {
+            let k = (i % cols) * rows + i / cols;
+            out[blk * n_cbps + k] = b;
+        }
+    }
+    out
+}
+
+/// Deinterleaves per-bit LLRs (same permutation as [`deinterleave`]).
+pub fn deinterleave_llrs(llrs: &[f64], n_cbps: usize) -> Vec<f64> {
+    assert_eq!(llrs.len() % n_cbps, 0, "partial interleaver block");
+    let rows = interleaver_rows(n_cbps);
+    let cols = n_cbps / rows;
+    let mut out = vec![0.0; llrs.len()];
+    for (blk, chunk) in llrs.chunks(n_cbps).enumerate() {
+        for (i, &b) in chunk.iter().enumerate() {
+            let k = (i % cols) * rows + i / cols;
+            out[blk * n_cbps + k] = b;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bits(n: usize, seed: u64) -> Vec<bool> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn encode_lengths_match() {
+        for rate in [CodeRate::R12, CodeRate::R23, CodeRate::R34] {
+            for n in [24usize, 96, 100, 233] {
+                let bits = random_bits(n, 1);
+                assert_eq!(encode(&bits, rate).len(), coded_len(n, rate), "{rate:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn rate_ratios_asymptotic() {
+        // For long blocks the coded length approaches n/k * info length.
+        let n = 3000;
+        for rate in [CodeRate::R12, CodeRate::R23, CodeRate::R34] {
+            let (k, d) = rate.ratio();
+            let coded = coded_len(n, rate) as f64;
+            let expect = n as f64 * d as f64 / k as f64;
+            assert!((coded - expect).abs() / expect < 0.02, "{rate:?}");
+        }
+    }
+
+    #[test]
+    fn decode_clean_roundtrip_all_rates() {
+        for rate in [CodeRate::R12, CodeRate::R23, CodeRate::R34] {
+            let bits = random_bits(200, 7);
+            let coded = encode(&bits, rate);
+            let decoded = viterbi_decode_hard(&coded, bits.len(), rate);
+            assert_eq!(decoded, bits, "{rate:?}");
+        }
+    }
+
+    #[test]
+    fn corrects_scattered_hard_errors() {
+        let bits = random_bits(300, 3);
+        let mut coded = encode(&bits, CodeRate::R12);
+        // Flip every 40th coded bit (~2.5% BER, well within r=1/2 power).
+        for i in (0..coded.len()).step_by(40) {
+            coded[i] = !coded[i];
+        }
+        let decoded = viterbi_decode_hard(&coded, bits.len(), CodeRate::R12);
+        assert_eq!(decoded, bits);
+    }
+
+    #[test]
+    fn soft_decisions_beat_hard_decisions() {
+        // With erasure-like low-confidence errors, soft decoding must fix
+        // what hard decoding gets wrong at the same error positions.
+        let bits = random_bits(400, 9);
+        let coded = encode(&bits, CodeRate::R12);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut soft: Vec<f64> = Vec::with_capacity(coded.len());
+        let mut hard: Vec<bool> = Vec::with_capacity(coded.len());
+        for &b in &coded {
+            let sign = if b { 1.0 } else { -1.0 };
+            // 12% of bits are received flipped but with LOW confidence.
+            if rng.gen::<f64>() < 0.12 {
+                soft.push(-sign * 0.1);
+                hard.push(!b);
+            } else {
+                soft.push(sign * 1.0);
+                hard.push(b);
+            }
+        }
+        let soft_dec = viterbi_decode(&soft, bits.len(), CodeRate::R12);
+        let hard_dec = viterbi_decode_hard(&hard, bits.len(), CodeRate::R12);
+        let soft_errs = soft_dec.iter().zip(&bits).filter(|(a, b)| a != b).count();
+        let hard_errs = hard_dec.iter().zip(&bits).filter(|(a, b)| a != b).count();
+        assert_eq!(soft_errs, 0, "soft decoding should clean this up");
+        assert!(hard_errs >= soft_errs);
+    }
+
+    #[test]
+    fn punctured_rates_are_weaker() {
+        // At the same moderate BER, rate 3/4 must produce at least as many
+        // residual errors as rate 1/2 (usually strictly more).
+        let bits = random_bits(600, 11);
+        let err = |rate: CodeRate| -> usize {
+            let mut coded = encode(&bits, rate);
+            let mut rng = StdRng::seed_from_u64(13);
+            for b in coded.iter_mut() {
+                if rng.gen::<f64>() < 0.06 {
+                    *b = !*b;
+                }
+            }
+            viterbi_decode_hard(&coded, bits.len(), rate)
+                .iter()
+                .zip(&bits)
+                .filter(|(a, b)| a != b)
+                .count()
+        };
+        let e12 = err(CodeRate::R12);
+        let e34 = err(CodeRate::R34);
+        assert!(e34 >= e12, "r3/4 {e34} vs r1/2 {e12}");
+        assert_eq!(e12, 0, "r1/2 handles 6% BER");
+    }
+
+    #[test]
+    fn interleaver_roundtrip() {
+        for n_cbps in [48usize, 52, 96, 104, 192, 208, 288, 312] {
+            let bits = random_bits(n_cbps * 3, 2);
+            let inter = interleave(&bits, n_cbps);
+            assert_ne!(inter, bits, "permutation is nontrivial");
+            assert_eq!(deinterleave(&inter, n_cbps), bits);
+        }
+    }
+
+    #[test]
+    fn interleaver_spreads_adjacent_bits() {
+        let n_cbps = 96;
+        let mut bits = vec![false; n_cbps];
+        bits[10] = true;
+        bits[11] = true;
+        let inter = interleave(&bits, n_cbps);
+        let positions: Vec<usize> = inter
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(positions[1] - positions[0] >= 4, "{positions:?}");
+    }
+
+    #[test]
+    fn llr_deinterleave_matches_bit_deinterleave() {
+        let n_cbps = 48;
+        let bits = random_bits(n_cbps, 4);
+        let inter = interleave(&bits, n_cbps);
+        let llrs: Vec<f64> = inter.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+        let de = deinterleave_llrs(&llrs, n_cbps);
+        for (l, &b) in de.iter().zip(&bits) {
+            assert_eq!(*l > 0.0, b);
+        }
+    }
+}

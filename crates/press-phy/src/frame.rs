@@ -1,0 +1,261 @@
+//! OFDM frames: training preambles, payload symbols, and the time-domain
+//! modulator.
+//!
+//! The paper's sounding procedure is: "the transmitter sends one frame
+//! comprised of multiple OFDM symbols and the receiver estimates the channel
+//! state information from the training sequences in the frame." A
+//! [`Frame`] here is exactly that — a preamble of known training symbols
+//! (802.11-LTF style) followed by modulated payload symbols.
+
+use crate::modulation::Modulation;
+use crate::numerology::Numerology;
+use press_math::fft::{fft, ifft};
+use press_math::Complex64;
+
+/// The 802.11a L-LTF sign sequence for 52 active subcarriers (−26..−1,
+/// +1..+26 in ascending frequency order, as Annex I of the standard lists).
+const LTF_52: [i8; 52] = [
+    1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, // -26..-1
+    1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1, // +1..+26
+];
+
+/// Deterministic ±1 training sequence for `n` active subcarriers.
+///
+/// For 52 subcarriers this is the genuine 802.11 L-LTF; other widths use a
+/// fixed pseudo-random (LCG-generated) sign pattern so every numerology has
+/// a reproducible preamble.
+pub fn training_sequence(n: usize) -> Vec<Complex64> {
+    if n == 52 {
+        return LTF_52
+            .iter()
+            .map(|&s| Complex64::real(s as f64))
+            .collect();
+    }
+    // Deterministic LCG; constants from Numerical Recipes.
+    let mut state = 0x5DEECE66Du64;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let bit = (state >> 40) & 1;
+            Complex64::real(if bit == 1 { 1.0 } else { -1.0 })
+        })
+        .collect()
+}
+
+/// An OFDM frame in the frequency domain: per-subcarrier symbols for each
+/// OFDM symbol period.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Training symbols (each `n_active` long). Wi-Fi sends two.
+    pub training: Vec<Vec<Complex64>>,
+    /// Payload symbols (each `n_active` long).
+    pub payload: Vec<Vec<Complex64>>,
+}
+
+impl Frame {
+    /// Builds a sounding frame: `n_training` repeats of the training
+    /// sequence and no payload — all the paper's measurements need.
+    pub fn sounding(num: &Numerology, n_training: usize) -> Frame {
+        let seq = training_sequence(num.n_active());
+        Frame {
+            training: vec![seq; n_training],
+            payload: Vec::new(),
+        }
+    }
+
+    /// Builds a data frame: two training symbols plus payload bits mapped
+    /// onto every active subcarrier with the given modulation. Bits are
+    /// consumed LSB-first; the tail is zero-padded.
+    pub fn data(num: &Numerology, modulation: Modulation, bits: &[bool]) -> Frame {
+        let n = num.n_active();
+        let bps = modulation.bits_per_symbol();
+        let per_symbol = n * bps;
+        let n_symbols = bits.len().div_ceil(per_symbol);
+        let mut payload = Vec::with_capacity(n_symbols);
+        for s in 0..n_symbols {
+            let mut sym = Vec::with_capacity(n);
+            for k in 0..n {
+                let start = s * per_symbol + k * bps;
+                let mut chunk = vec![false; bps];
+                for (b, slot) in chunk.iter_mut().enumerate() {
+                    if let Some(&bit) = bits.get(start + b) {
+                        *slot = bit;
+                    }
+                }
+                sym.push(modulation.map(&chunk));
+            }
+            payload.push(sym);
+        }
+        Frame {
+            training: vec![training_sequence(n); 2],
+            payload,
+        }
+    }
+
+    /// Total OFDM symbols in the frame.
+    pub fn n_symbols(&self) -> usize {
+        self.training.len() + self.payload.len()
+    }
+
+    /// Airtime of the frame under the given numerology, seconds.
+    pub fn duration_s(&self, num: &Numerology) -> f64 {
+        self.n_symbols() as f64 * num.symbol_duration_s()
+    }
+}
+
+/// Time-domain OFDM modulator/demodulator for one numerology.
+///
+/// The sounding pipeline works in the frequency domain (per-subcarrier
+/// multiplication is exact once the cyclic prefix exceeds the delay spread),
+/// but the modulator exists so tests can verify that equivalence and so the
+/// examples can show genuine sample streams.
+#[derive(Debug, Clone)]
+pub struct OfdmModulator {
+    num: Numerology,
+}
+
+impl OfdmModulator {
+    /// Creates a modulator for a numerology.
+    pub fn new(num: Numerology) -> Self {
+        OfdmModulator { num }
+    }
+
+    /// Access to the numerology.
+    pub fn numerology(&self) -> &Numerology {
+        &self.num
+    }
+
+    /// Frequency-domain symbol (length `n_active`) → time-domain samples
+    /// (length `fft_size + cp_len`), cyclic prefix first.
+    pub fn to_time(&self, freq_symbols: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(freq_symbols.len(), self.num.n_active(), "symbol width");
+        let mut bins = vec![Complex64::ZERO; self.num.fft_size];
+        for (i, &x) in freq_symbols.iter().enumerate() {
+            bins[self.num.fft_bin(i)] = x;
+        }
+        ifft(&mut bins).expect("fft_size is a power of two");
+        let mut out = Vec::with_capacity(self.num.fft_size + self.num.cp_len);
+        out.extend_from_slice(&bins[self.num.fft_size - self.num.cp_len..]);
+        out.extend_from_slice(&bins);
+        out
+    }
+
+    /// Time-domain samples (with cyclic prefix) → frequency-domain symbol on
+    /// the active subcarriers.
+    pub fn to_freq(&self, time_samples: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(
+            time_samples.len(),
+            self.num.fft_size + self.num.cp_len,
+            "sample count"
+        );
+        let mut bins = time_samples[self.num.cp_len..].to_vec();
+        fft(&mut bins).expect("fft_size is a power of two");
+        (0..self.num.n_active())
+            .map(|i| bins[self.num.fft_bin(i)])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use press_math::consts::WIFI_CHANNEL_11_HZ;
+
+    fn num() -> Numerology {
+        Numerology::wifi20(WIFI_CHANNEL_11_HZ)
+    }
+
+    #[test]
+    fn ltf_is_pm_one_and_52_long() {
+        let seq = training_sequence(52);
+        assert_eq!(seq.len(), 52);
+        assert!(seq.iter().all(|s| (s.abs() - 1.0).abs() < 1e-15 && s.im == 0.0));
+    }
+
+    #[test]
+    fn training_deterministic_any_width() {
+        assert_eq!(training_sequence(102), training_sequence(102));
+        assert_eq!(training_sequence(102).len(), 102);
+    }
+
+    #[test]
+    fn sounding_frame_shape() {
+        let f = Frame::sounding(&num(), 2);
+        assert_eq!(f.training.len(), 2);
+        assert!(f.payload.is_empty());
+        assert_eq!(f.n_symbols(), 2);
+        assert!((f.duration_s(&num()) - 8e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn data_frame_packs_bits() {
+        let bits: Vec<bool> = (0..520).map(|i| i % 3 == 0).collect();
+        let f = Frame::data(&num(), Modulation::Qpsk, &bits);
+        // 52 subcarriers * 2 bits = 104 bits/symbol => 5 symbols for 520 bits.
+        assert_eq!(f.payload.len(), 5);
+        assert_eq!(f.payload[0].len(), 52);
+    }
+
+    #[test]
+    fn modulator_roundtrip() {
+        let m = OfdmModulator::new(num());
+        let sym = training_sequence(52);
+        let t = m.to_time(&sym);
+        assert_eq!(t.len(), 80);
+        let back = m.to_freq(&t);
+        for (a, b) in sym.iter().zip(&back) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cyclic_prefix_is_tail_copy() {
+        let m = OfdmModulator::new(num());
+        let t = m.to_time(&training_sequence(52));
+        for i in 0..16 {
+            assert!((t[i] - t[64 + i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn flat_channel_scales_symbols() {
+        // Multiplying every time sample by g must scale the recovered
+        // frequency symbols by g (linearity sanity for the sounder).
+        let m = OfdmModulator::new(num());
+        let sym = training_sequence(52);
+        let g = Complex64::from_polar(0.5, 1.0);
+        let t: Vec<Complex64> = m.to_time(&sym).into_iter().map(|x| x * g).collect();
+        let back = m.to_freq(&t);
+        for (a, b) in sym.iter().zip(&back) {
+            assert!((*a * g - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn delayed_channel_equals_frequency_domain_model() {
+        // A two-tap channel applied by cyclic time shift within the CP equals
+        // per-subcarrier multiplication by the channel frequency response.
+        let m = OfdmModulator::new(num());
+        let sym = training_sequence(52);
+        let t = m.to_time(&sym);
+        let delay = 5usize; // samples, < CP
+        let a0 = Complex64::real(1.0);
+        let a1 = Complex64::real(0.6);
+        // y[n] = a0 x[n] + a1 x[n - delay] over the extended (CP) sequence.
+        let mut y = vec![Complex64::ZERO; t.len()];
+        for n in 0..t.len() {
+            y[n] = t[n] * a0;
+            if n >= delay {
+                y[n] += t[n - delay] * a1;
+            }
+        }
+        let got = m.to_freq(&y);
+        let n_fft = 64.0;
+        for (i, g) in got.iter().enumerate() {
+            let k = m.numerology().fft_bin(i) as f64;
+            let h = a0 + a1 * Complex64::cis(-2.0 * std::f64::consts::PI * k * delay as f64 / n_fft);
+            let expect = sym[i] * h;
+            assert!((*g - expect).abs() < 1e-9, "subcarrier {i}");
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # press-phy
+//!
+//! OFDM physical layer for the PRESS reproduction: the same Wi-Fi-like
+//! numerology, frames, channel estimation and SNR machinery the paper's
+//! WARP/USRP endpoints ran, reimplemented in Rust.
+//!
+//! * [`numerology`] — 64-subcarrier / 20 MHz (Figures 4–6) and
+//!   102-subcarrier wideband (Figure 7) layouts;
+//! * [`modulation`] — BPSK..256-QAM Gray-mapped constellations;
+//! * [`frame`] — training preambles (802.11 L-LTF), payload symbols, and the
+//!   time-domain OFDM modulator;
+//! * [`channel_est`] — least-squares channel + noise estimation from
+//!   repeated training symbols;
+//! * [`snr`] — per-subcarrier SNR profiles, the paper's null definition,
+//!   effective SNR, capacity;
+//! * [`mcs`] — 802.11a/g rate adaptation from effective SNR;
+//! * [`mimo`] — per-subcarrier channel matrices, condition numbers
+//!   (Figure 8), MIMO capacity.
+
+pub mod channel_est;
+pub mod fec;
+pub mod frame;
+pub mod mcs;
+pub mod modem;
+pub mod mimo;
+pub mod modulation;
+pub mod numerology;
+pub mod pdp;
+pub mod pilot;
+pub mod snr;
+pub mod sync;
+
+pub use channel_est::{estimate_channel, ChannelEstimate, EstimatorError};
+pub use frame::{training_sequence, Frame, OfdmModulator};
+pub use mcs::{expected_throughput_mbps, select_mcs, Mcs, MCS_TABLE};
+pub use mimo::MimoChannel;
+pub use modem::{frame_survives, packet_error_rate, Modem};
+pub use modulation::Modulation;
+pub use numerology::Numerology;
+pub use snr::{null_movement, SnrProfile};
+pub use sync::{derotate, estimate_cfo_hz, unambiguous_cfo_hz};

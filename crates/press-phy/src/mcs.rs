@@ -1,0 +1,113 @@
+//! Rate adaptation: 802.11a/g-style MCS table driven by effective SNR.
+//!
+//! Converts the per-subcarrier SNR profiles PRESS manipulates into the
+//! link-level quantity the paper's introduction promises to improve: "a
+//! greater bit rate, and hence throughput, to higher layers."
+
+use crate::modulation::Modulation;
+use crate::snr::SnrProfile;
+
+/// A modulation-and-coding scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mcs {
+    /// Index in the table (0 = most robust).
+    pub index: usize,
+    /// Constellation.
+    pub modulation: Modulation,
+    /// Convolutional code rate (numerator, denominator).
+    pub code_rate: (u8, u8),
+    /// PHY rate at 20 MHz, Mb/s.
+    pub phy_rate_mbps: f64,
+    /// Minimum effective SNR (dB) for ~10% PER operation.
+    pub min_snr_db: f64,
+    /// EESM beta calibrating this MCS's sensitivity to frequency selectivity.
+    pub eesm_beta: f64,
+}
+
+/// The 802.11a/g rate ladder with standard receiver-sensitivity-derived SNR
+/// thresholds and representative EESM betas.
+pub const MCS_TABLE: [Mcs; 8] = [
+    Mcs { index: 0, modulation: Modulation::Bpsk,  code_rate: (1, 2), phy_rate_mbps: 6.0,  min_snr_db: 5.0,  eesm_beta: 1.6 },
+    Mcs { index: 1, modulation: Modulation::Bpsk,  code_rate: (3, 4), phy_rate_mbps: 9.0,  min_snr_db: 6.0,  eesm_beta: 1.8 },
+    Mcs { index: 2, modulation: Modulation::Qpsk,  code_rate: (1, 2), phy_rate_mbps: 12.0, min_snr_db: 8.0,  eesm_beta: 2.0 },
+    Mcs { index: 3, modulation: Modulation::Qpsk,  code_rate: (3, 4), phy_rate_mbps: 18.0, min_snr_db: 11.0, eesm_beta: 2.4 },
+    Mcs { index: 4, modulation: Modulation::Qam16, code_rate: (1, 2), phy_rate_mbps: 24.0, min_snr_db: 14.0, eesm_beta: 4.0 },
+    Mcs { index: 5, modulation: Modulation::Qam16, code_rate: (3, 4), phy_rate_mbps: 36.0, min_snr_db: 18.0, eesm_beta: 5.0 },
+    Mcs { index: 6, modulation: Modulation::Qam64, code_rate: (2, 3), phy_rate_mbps: 48.0, min_snr_db: 22.0, eesm_beta: 7.0 },
+    Mcs { index: 7, modulation: Modulation::Qam64, code_rate: (3, 4), phy_rate_mbps: 54.0, min_snr_db: 25.0, eesm_beta: 8.0 },
+];
+
+/// Selects the highest-rate MCS whose SNR requirement the profile meets
+/// (each MCS judged by its own EESM beta). `None` when even the most robust
+/// rate cannot operate — an outage, i.e. the paper's "dead zone".
+pub fn select_mcs(profile: &SnrProfile) -> Option<Mcs> {
+    MCS_TABLE
+        .iter()
+        .rev()
+        .find(|mcs| profile.effective_snr_db(mcs.eesm_beta) >= mcs.min_snr_db)
+        .copied()
+}
+
+/// Expected MAC-layer throughput in Mb/s for a profile: the selected MCS's
+/// PHY rate discounted by a fixed 25% protocol overhead, or 0 in outage.
+pub fn expected_throughput_mbps(profile: &SnrProfile) -> f64 {
+    select_mcs(profile).map_or(0.0, |m| m.phy_rate_mbps * 0.75)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(db: f64) -> SnrProfile {
+        SnrProfile::new(vec![db; 52])
+    }
+
+    #[test]
+    fn table_is_monotone() {
+        for w in MCS_TABLE.windows(2) {
+            assert!(w[1].phy_rate_mbps > w[0].phy_rate_mbps);
+            assert!(w[1].min_snr_db > w[0].min_snr_db);
+        }
+    }
+
+    #[test]
+    fn high_snr_selects_top_rate() {
+        let m = select_mcs(&flat(40.0)).unwrap();
+        assert_eq!(m.index, 7);
+        assert_eq!(m.phy_rate_mbps, 54.0);
+    }
+
+    #[test]
+    fn low_snr_is_outage() {
+        assert!(select_mcs(&flat(2.0)).is_none());
+        assert_eq!(expected_throughput_mbps(&flat(2.0)), 0.0);
+    }
+
+    #[test]
+    fn mid_snr_selects_mid_rate() {
+        let m = select_mcs(&flat(15.0)).unwrap();
+        assert_eq!(m.modulation, Modulation::Qam16);
+        assert_eq!(m.code_rate, (1, 2));
+    }
+
+    #[test]
+    fn deep_null_drops_rate() {
+        let clean = flat(26.0);
+        let mut v = vec![26.0; 52];
+        for x in v.iter_mut().take(30).skip(20) {
+            *x = 4.0; // a wide, deep fade
+        }
+        let faded = SnrProfile::new(v);
+        let r_clean = expected_throughput_mbps(&clean);
+        let r_faded = expected_throughput_mbps(&faded);
+        assert!(
+            r_faded < r_clean,
+            "fade must cost throughput: {r_faded} vs {r_clean}"
+        );
+    }
+
+    #[test]
+    fn throughput_includes_overhead() {
+        assert_eq!(expected_throughput_mbps(&flat(40.0)), 54.0 * 0.75);
+    }
+}

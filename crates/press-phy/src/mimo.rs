@@ -1,0 +1,221 @@
+//! MIMO channel matrices, conditioning, and capacity.
+//!
+//! The paper's Figure 8 measures the 2×2 MIMO channel matrix for each PRESS
+//! configuration and plots the CDF of its condition number (in dB) across
+//! subcarriers — "critically important to the channel capacity". This module
+//! holds per-subcarrier channel matrices and computes exactly those
+//! statistics, plus Shannon capacity so the ablations can tie conditioning
+//! back to throughput.
+
+use press_math::db::db_to_pow;
+use press_math::mat::{CMat, MatError};
+use press_math::svd;
+use press_math::Complex64;
+
+/// A MIMO channel: one `n_rx × n_tx` complex matrix per active subcarrier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MimoChannel {
+    /// Per-subcarrier channel matrices, ascending subcarrier order.
+    pub per_subcarrier: Vec<CMat>,
+}
+
+impl MimoChannel {
+    /// Wraps per-subcarrier matrices. Panics if shapes are inconsistent.
+    pub fn new(per_subcarrier: Vec<CMat>) -> Self {
+        if let Some(first) = per_subcarrier.first() {
+            let shape = first.shape();
+            assert!(
+                per_subcarrier.iter().all(|m| m.shape() == shape),
+                "inconsistent per-subcarrier shapes"
+            );
+        }
+        MimoChannel { per_subcarrier }
+    }
+
+    /// Builds from per-antenna-pair scalar channels: `h[rx][tx]` is the
+    /// per-subcarrier response from TX antenna `tx` to RX antenna `rx`.
+    ///
+    /// Panics when the grid is ragged.
+    pub fn from_scalar_channels(h: &[Vec<Vec<Complex64>>]) -> Self {
+        let n_rx = h.len();
+        let n_tx = h[0].len();
+        let n_sc = h[0][0].len();
+        for row in h {
+            assert_eq!(row.len(), n_tx, "ragged TX dimension");
+            for chan in row {
+                assert_eq!(chan.len(), n_sc, "ragged subcarrier dimension");
+            }
+        }
+        let per_subcarrier = (0..n_sc)
+            .map(|k| CMat::from_fn(n_rx, n_tx, |i, j| h[i][j][k]))
+            .collect();
+        MimoChannel { per_subcarrier }
+    }
+
+    /// Number of subcarriers.
+    pub fn n_subcarriers(&self) -> usize {
+        self.per_subcarrier.len()
+    }
+
+    /// `(n_rx, n_tx)`.
+    pub fn shape(&self) -> (usize, usize) {
+        self.per_subcarrier
+            .first()
+            .map_or((0, 0), |m| m.shape())
+    }
+
+    /// Condition number in dB per subcarrier — the Figure 8 series.
+    pub fn condition_numbers_db(&self) -> Result<Vec<f64>, MatError> {
+        self.per_subcarrier
+            .iter()
+            .map(svd::condition_number_db)
+            .collect()
+    }
+
+    /// Median condition number (dB) across subcarriers — the scalar used to
+    /// rank configurations in the Figure 8 harness.
+    pub fn median_condition_db(&self) -> Result<f64, MatError> {
+        let mut v = self.condition_numbers_db()?;
+        v.retain(|x| x.is_finite());
+        if v.is_empty() {
+            return Ok(f64::INFINITY);
+        }
+        v.sort_by(f64::total_cmp);
+        Ok(v[v.len() / 2])
+    }
+
+    /// Open-loop (equal power, no CSIT) MIMO Shannon capacity summed over
+    /// subcarriers, bits/s:
+    /// `Σ_k Δf · log2 det(I + (ρ/n_tx)·H_k·H_k^H)` with ρ the per-subcarrier
+    /// SNR (linear).
+    pub fn capacity_bps(&self, snr_db: f64, subcarrier_spacing_hz: f64) -> Result<f64, MatError> {
+        let rho = db_to_pow(snr_db);
+        let mut total = 0.0;
+        for h in &self.per_subcarrier {
+            let (_, n_tx) = h.shape();
+            // Eigenvalues of H H^H are squared singular values of H.
+            let sv = svd::singular_values(h)?;
+            let cap_k: f64 = sv
+                .iter()
+                .map(|&s| (1.0 + rho / n_tx as f64 * s * s).log2())
+                .sum();
+            total += subcarrier_spacing_hz * cap_k;
+        }
+        Ok(total)
+    }
+
+    /// Average over a set of repeated channel measurements (the Figure 8
+    /// harness averages 50 successive measurements per configuration).
+    ///
+    /// Panics when the set is empty or shapes differ.
+    pub fn average(measurements: &[MimoChannel]) -> MimoChannel {
+        assert!(!measurements.is_empty(), "no measurements to average");
+        let n_sc = measurements[0].n_subcarriers();
+        let shape = measurements[0].shape();
+        for m in measurements {
+            assert_eq!(m.n_subcarriers(), n_sc);
+            assert_eq!(m.shape(), shape);
+        }
+        let scale = Complex64::real(1.0 / measurements.len() as f64);
+        let per_subcarrier = (0..n_sc)
+            .map(|k| {
+                let mut acc = CMat::zeros(shape.0, shape.1);
+                for m in measurements {
+                    acc = &acc + &m.per_subcarrier[k];
+                }
+                acc.scale(scale)
+            })
+            .collect();
+        MimoChannel { per_subcarrier }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    fn identity_channel(n_sc: usize) -> MimoChannel {
+        MimoChannel::new(vec![CMat::identity(2); n_sc])
+    }
+
+    #[test]
+    fn identity_channel_is_0db_conditioned() {
+        let ch = identity_channel(52);
+        let k = ch.condition_numbers_db().unwrap();
+        assert_eq!(k.len(), 52);
+        assert!(k.iter().all(|&x| x.abs() < 1e-9));
+        assert!(ch.median_condition_db().unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_deficient_channel_is_infinitely_conditioned() {
+        let m = CMat::from_rows(&[&[c(1.0, 0.0), c(1.0, 0.0)], &[c(1.0, 0.0), c(1.0, 0.0)]]);
+        let ch = MimoChannel::new(vec![m]);
+        assert!(ch.condition_numbers_db().unwrap()[0].is_infinite());
+    }
+
+    #[test]
+    fn from_scalar_channels_layout() {
+        // h[rx][tx][k]
+        let h = vec![
+            vec![vec![c(1.0, 0.0); 4], vec![c(2.0, 0.0); 4]],
+            vec![vec![c(3.0, 0.0); 4], vec![c(4.0, 0.0); 4]],
+        ];
+        let ch = MimoChannel::from_scalar_channels(&h);
+        assert_eq!(ch.n_subcarriers(), 4);
+        assert_eq!(ch.shape(), (2, 2));
+        let m = &ch.per_subcarrier[0];
+        assert_eq!(m[(0, 0)], c(1.0, 0.0));
+        assert_eq!(m[(0, 1)], c(2.0, 0.0));
+        assert_eq!(m[(1, 0)], c(3.0, 0.0));
+        assert_eq!(m[(1, 1)], c(4.0, 0.0));
+    }
+
+    #[test]
+    fn capacity_prefers_well_conditioned() {
+        // Same Frobenius energy, different conditioning.
+        let good = CMat::from_rows(&[&[c(1.0, 0.0), c(0.0, 0.0)], &[c(0.0, 0.0), c(1.0, 0.0)]]);
+        let bad = CMat::from_rows(&[
+            &[c(1.4106, 0.0), c(0.1, 0.0)],
+            &[c(0.1, 0.0), c(0.0, 0.0)],
+        ]);
+        let spacing = 312_500.0;
+        let cap_good = MimoChannel::new(vec![good]).capacity_bps(20.0, spacing).unwrap();
+        let cap_bad = MimoChannel::new(vec![bad]).capacity_bps(20.0, spacing).unwrap();
+        assert!(cap_good > cap_bad, "{cap_good} vs {cap_bad}");
+    }
+
+    #[test]
+    fn capacity_2x2_identity_doubles_siso() {
+        let spacing = 312_500.0;
+        let mimo = identity_channel(1).capacity_bps(20.0, spacing).unwrap();
+        // Each of the two unit streams sees rho/2: 2*log2(1+50).
+        let expect = spacing * 2.0 * (1.0 + 100.0 / 2.0f64).log2();
+        assert!((mimo - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn averaging_reduces_to_mean() {
+        let a = MimoChannel::new(vec![CMat::identity(2)]);
+        let b = MimoChannel::new(vec![CMat::identity(2).scale(c(3.0, 0.0))]);
+        let avg = MimoChannel::average(&[a, b]);
+        assert!((avg.per_subcarrier[0][(0, 0)] - c(2.0, 0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent per-subcarrier shapes")]
+    fn inconsistent_shapes_rejected() {
+        MimoChannel::new(vec![CMat::identity(2), CMat::identity(3)]);
+    }
+
+    #[test]
+    fn median_ignores_infinities() {
+        let singular = CMat::from_rows(&[&[c(1.0, 0.0), c(1.0, 0.0)], &[c(1.0, 0.0), c(1.0, 0.0)]]);
+        let ch = MimoChannel::new(vec![CMat::identity(2), singular, CMat::identity(2)]);
+        assert!(ch.median_condition_db().unwrap().abs() < 1e-9);
+    }
+}

@@ -1,0 +1,221 @@
+//! Constellation mapping: BPSK through 256-QAM with Gray coding.
+//!
+//! Used by the OFDM frame machinery (payload symbols) and by the rate
+//! adaptation layer, which converts the per-subcarrier SNR profiles PRESS
+//! improves into the "greater bit rate, and hence throughput" the paper
+//! promises for flatter channels.
+
+use press_math::Complex64;
+
+/// Modulation schemes, in increasing spectral efficiency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Modulation {
+    /// 1 bit/symbol.
+    Bpsk,
+    /// 2 bits/symbol.
+    Qpsk,
+    /// 4 bits/symbol.
+    Qam16,
+    /// 6 bits/symbol.
+    Qam64,
+    /// 8 bits/symbol.
+    Qam256,
+}
+
+impl Modulation {
+    /// Bits carried per constellation symbol.
+    pub fn bits_per_symbol(self) -> usize {
+        match self {
+            Modulation::Bpsk => 1,
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 6,
+            Modulation::Qam256 => 8,
+        }
+    }
+
+    /// Points per axis for the square QAM constellations (1 for BPSK).
+    fn levels_per_axis(self) -> usize {
+        match self {
+            Modulation::Bpsk => 2,
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 8,
+            Modulation::Qam256 => 16,
+        }
+    }
+
+    /// Average-unit-energy normalization factor per axis.
+    fn axis_scale(self) -> f64 {
+        // For M-QAM with L levels per axis at odd integer coordinates
+        // ±1, ±3, ..., the mean symbol energy is 2(L²−1)/3.
+        match self {
+            Modulation::Bpsk => 1.0,
+            _ => {
+                let l = self.levels_per_axis() as f64;
+                (2.0 * (l * l - 1.0) / 3.0).sqrt()
+            }
+        }
+    }
+
+    /// Maps `bits_per_symbol` bits (LSB-first slice of bools) to a
+    /// unit-average-energy constellation point, Gray-coded per axis.
+    ///
+    /// Panics if `bits` has the wrong length.
+    pub fn map(self, bits: &[bool]) -> Complex64 {
+        assert_eq!(bits.len(), self.bits_per_symbol(), "wrong bit count");
+        match self {
+            Modulation::Bpsk => {
+                if bits[0] {
+                    Complex64::real(1.0)
+                } else {
+                    Complex64::real(-1.0)
+                }
+            }
+            _ => {
+                let half = self.bits_per_symbol() / 2;
+                let i = gray_to_level(&bits[..half]);
+                let q = gray_to_level(&bits[half..]);
+                let l = self.levels_per_axis() as f64;
+                let coord = |lev: usize| 2.0 * lev as f64 - (l - 1.0);
+                Complex64::new(coord(i), coord(q)) / self.axis_scale()
+            }
+        }
+    }
+
+    /// Hard-decision demap: nearest constellation point back to bits.
+    pub fn demap(self, sym: Complex64) -> Vec<bool> {
+        match self {
+            Modulation::Bpsk => vec![sym.re >= 0.0],
+            _ => {
+                let half = self.bits_per_symbol() / 2;
+                let l = self.levels_per_axis();
+                let scaled = sym * self.axis_scale();
+                let to_level = |x: f64| -> usize {
+                    let lev = ((x + (l as f64 - 1.0)) / 2.0).round();
+                    lev.clamp(0.0, l as f64 - 1.0) as usize
+                };
+                let mut bits = level_to_gray(to_level(scaled.re), half);
+                bits.extend(level_to_gray(to_level(scaled.im), half));
+                bits
+            }
+        }
+    }
+
+    /// Average symbol energy of the constellation (should be 1 by design).
+    pub fn mean_energy(self) -> f64 {
+        let n_bits = self.bits_per_symbol();
+        let count = 1usize << n_bits;
+        let mut acc = 0.0;
+        for v in 0..count {
+            let bits: Vec<bool> = (0..n_bits).map(|b| (v >> b) & 1 == 1).collect();
+            acc += self.map(&bits).norm_sqr();
+        }
+        acc / count as f64
+    }
+}
+
+/// Interprets bits (LSB-first) as a binary-reflected Gray code and returns
+/// the corresponding level index.
+fn gray_to_level(bits: &[bool]) -> usize {
+    let gray = bits
+        .iter()
+        .fold(0usize, |acc, &b| (acc << 1) | b as usize);
+    // Gray decode: b = g XOR (b >> 1) iterated.
+    let mut level = gray;
+    let mut shift = gray >> 1;
+    while shift != 0 {
+        level ^= shift;
+        shift >>= 1;
+    }
+    level
+}
+
+/// Level index back to Gray-coded bits, LSB-first, width `n`.
+fn level_to_gray(level: usize, n: usize) -> Vec<bool> {
+    let gray = level ^ (level >> 1);
+    (0..n).map(|b| (gray >> (n - 1 - b)) & 1 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Modulation; 5] = [
+        Modulation::Bpsk,
+        Modulation::Qpsk,
+        Modulation::Qam16,
+        Modulation::Qam64,
+        Modulation::Qam256,
+    ];
+
+    #[test]
+    fn map_demap_roundtrip_all_points() {
+        for m in ALL {
+            let n = m.bits_per_symbol();
+            for v in 0..(1usize << n) {
+                let bits: Vec<bool> = (0..n).map(|b| (v >> b) & 1 == 1).collect();
+                let sym = m.map(&bits);
+                assert_eq!(m.demap(sym), bits, "{m:?} value {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn unit_mean_energy() {
+        for m in ALL {
+            let e = m.mean_energy();
+            assert!((e - 1.0).abs() < 1e-12, "{m:?}: E={e}");
+        }
+    }
+
+    #[test]
+    fn qpsk_points_on_unit_circle_corners() {
+        let pts: Vec<Complex64> = (0..4)
+            .map(|v| Modulation::Qpsk.map(&[(v & 1) == 1, (v >> 1) == 1]))
+            .collect();
+        for p in &pts {
+            assert!((p.abs() - 1.0).abs() < 1e-12);
+            assert!((p.re.abs() - p.im.abs()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn demap_tolerates_noise() {
+        // A noisy 16-QAM symbol within half the minimum distance decodes OK.
+        let m = Modulation::Qam16;
+        let bits = [true, false, true, true];
+        let sym = m.map(&bits);
+        let min_dist_half = 1.0 / m.axis_scale(); // half of 2/scale
+        let noisy = sym + Complex64::new(0.8 * min_dist_half, -0.8 * min_dist_half);
+        assert_eq!(m.demap(noisy), bits.to_vec());
+    }
+
+    #[test]
+    fn gray_neighbors_differ_by_one_bit() {
+        // Adjacent I-levels in 64-QAM differ by exactly one bit (Gray property).
+        for lev in 0..7usize {
+            let a = level_to_gray(lev, 3);
+            let b = level_to_gray(lev + 1, 3);
+            let diff = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+            assert_eq!(diff, 1, "levels {lev},{}", lev + 1);
+        }
+    }
+
+    #[test]
+    fn demap_clamps_out_of_range() {
+        let m = Modulation::Qam64;
+        let far = Complex64::new(100.0, -100.0);
+        let bits = m.demap(far);
+        assert_eq!(bits.len(), 6);
+        // Must equal the demap of the nearest corner point.
+        let corner = Complex64::new(7.0, -7.0) / (2.0 * (64.0 - 1.0) / 3.0f64).sqrt();
+        assert_eq!(bits, m.demap(corner));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong bit count")]
+    fn map_panics_on_wrong_width() {
+        Modulation::Qam16.map(&[true, false]);
+    }
+}

@@ -1,0 +1,165 @@
+//! OFDM numerologies: subcarrier layouts and their absolute frequencies.
+//!
+//! The paper's WARP experiments use "Wi-Fi-like OFDM signals comprised of 64
+//! subcarriers over 20 MHz on channel 11 of the ISM band (2.462 GHz)"; the
+//! Figure 7 USRP experiment plots 102 active subcarriers of a wider channel.
+//! Both layouts live here, plus the generic machinery to map *plot index*
+//! (what the paper's x-axes show) to FFT bin and absolute frequency.
+
+/// An OFDM numerology: FFT size, active subcarriers, sample rate, carrier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Numerology {
+    /// FFT length (power of two).
+    pub fft_size: usize,
+    /// Cyclic prefix length in samples.
+    pub cp_len: usize,
+    /// Total channel bandwidth = sample rate, Hz.
+    pub bandwidth_hz: f64,
+    /// Carrier (center) frequency, Hz.
+    pub carrier_hz: f64,
+    /// Active subcarrier offsets relative to DC, in ascending order
+    /// (e.g. −26..−1, +1..+26 for 802.11a-style 20 MHz).
+    pub active: Vec<i32>,
+}
+
+impl Numerology {
+    /// 802.11a/g-style 20 MHz layout on Wi-Fi channel 11: 64-point FFT,
+    /// 52 active subcarriers (±1..±26), 16-sample cyclic prefix.
+    ///
+    /// This matches the paper's WARP configuration; its Figures 4–6 plot
+    /// "subcarrier 0..51" meaning these 52 active bins in ascending
+    /// frequency order.
+    pub fn wifi20(carrier_hz: f64) -> Numerology {
+        let mut active: Vec<i32> = (-26..=-1).collect();
+        active.extend(1..=26);
+        Numerology {
+            fft_size: 64,
+            cp_len: 16,
+            bandwidth_hz: 20e6,
+            carrier_hz,
+            active,
+        }
+    }
+
+    /// Wideband layout used for the Figure 7 harmonization experiment:
+    /// 128-point FFT over 40 MHz with 102 active subcarriers (±1..±51),
+    /// mirroring the paper's USRP N210 plot of subcarriers 1..102.
+    pub fn wideband102(carrier_hz: f64) -> Numerology {
+        let mut active: Vec<i32> = (-51..=-1).collect();
+        active.extend(1..=51);
+        Numerology {
+            fft_size: 128,
+            cp_len: 32,
+            bandwidth_hz: 40e6,
+            carrier_hz,
+            active,
+        }
+    }
+
+    /// Number of active subcarriers (the length of every per-subcarrier
+    /// series in this workspace).
+    pub fn n_active(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Subcarrier spacing, Hz.
+    pub fn subcarrier_spacing_hz(&self) -> f64 {
+        self.bandwidth_hz / self.fft_size as f64
+    }
+
+    /// OFDM symbol duration including cyclic prefix, seconds.
+    pub fn symbol_duration_s(&self) -> f64 {
+        (self.fft_size + self.cp_len) as f64 / self.bandwidth_hz
+    }
+
+    /// Absolute RF frequency of the active subcarrier at *plot index* `i`
+    /// (0-based, ascending frequency — the paper's x-axes).
+    pub fn subcarrier_freq_hz(&self, i: usize) -> f64 {
+        self.carrier_hz + self.active[i] as f64 * self.subcarrier_spacing_hz()
+    }
+
+    /// Absolute frequencies of all active subcarriers, ascending.
+    pub fn active_freqs_hz(&self) -> Vec<f64> {
+        (0..self.n_active()).map(|i| self.subcarrier_freq_hz(i)).collect()
+    }
+
+    /// FFT bin (0..fft_size) of the active subcarrier at plot index `i`,
+    /// using the standard DC-first wraparound convention.
+    pub fn fft_bin(&self, i: usize) -> usize {
+        let k = self.active[i];
+        if k >= 0 {
+            k as usize
+        } else {
+            (self.fft_size as i32 + k) as usize
+        }
+    }
+
+    /// Guard interval in seconds (cyclic prefix duration) — the maximum
+    /// excess delay spread the numerology tolerates without ISI.
+    pub fn guard_interval_s(&self) -> f64 {
+        self.cp_len as f64 / self.bandwidth_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use press_math::consts::WIFI_CHANNEL_11_HZ;
+
+    #[test]
+    fn wifi20_has_52_active() {
+        let n = Numerology::wifi20(WIFI_CHANNEL_11_HZ);
+        assert_eq!(n.n_active(), 52);
+        assert_eq!(n.fft_size, 64);
+        assert!(!n.active.contains(&0), "DC is never active");
+    }
+
+    #[test]
+    fn wideband_has_102_active() {
+        let n = Numerology::wideband102(WIFI_CHANNEL_11_HZ);
+        assert_eq!(n.n_active(), 102);
+        assert_eq!(n.fft_size, 128);
+    }
+
+    #[test]
+    fn spacing_is_312_5_khz() {
+        let n = Numerology::wifi20(WIFI_CHANNEL_11_HZ);
+        assert!((n.subcarrier_spacing_hz() - 312_500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symbol_duration_is_4us() {
+        let n = Numerology::wifi20(WIFI_CHANNEL_11_HZ);
+        assert!((n.symbol_duration_s() - 4e-6).abs() < 1e-12);
+        assert!((n.guard_interval_s() - 0.8e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequencies_ascend_and_span_band() {
+        let n = Numerology::wifi20(WIFI_CHANNEL_11_HZ);
+        let freqs = n.active_freqs_hz();
+        assert!(freqs.windows(2).all(|w| w[1] > w[0]));
+        assert!((freqs[0] - (WIFI_CHANNEL_11_HZ - 26.0 * 312_500.0)).abs() < 1.0);
+        assert!((freqs[51] - (WIFI_CHANNEL_11_HZ + 26.0 * 312_500.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn fft_bins_wrap_negative_frequencies() {
+        let n = Numerology::wifi20(WIFI_CHANNEL_11_HZ);
+        // Plot index 0 is subcarrier -26 => bin 64-26 = 38.
+        assert_eq!(n.fft_bin(0), 38);
+        // Plot index 26 is subcarrier +1 => bin 1.
+        assert_eq!(n.fft_bin(26), 1);
+        // Last index is +26 => bin 26.
+        assert_eq!(n.fft_bin(51), 26);
+    }
+
+    #[test]
+    fn bins_are_unique() {
+        let n = Numerology::wideband102(WIFI_CHANNEL_11_HZ);
+        let mut bins: Vec<usize> = (0..n.n_active()).map(|i| n.fft_bin(i)).collect();
+        bins.sort_unstable();
+        bins.dedup();
+        assert_eq!(bins.len(), 102);
+    }
+}

@@ -1,0 +1,193 @@
+//! Power-delay profiles from channel state information.
+//!
+//! The delay-domain view of a channel frequency response — how much energy
+//! arrives at which excess delay — is the standard diagnostic for multipath
+//! structure and the bridge between measured CSI and the path-based model
+//! the inverse problem works in. Computed as a windowed IFFT of the active
+//! subcarriers.
+
+use press_math::fft::ifft;
+use press_math::Complex64;
+
+/// A power-delay profile: energy per delay bin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayProfile {
+    /// Power per bin (linear).
+    pub power: Vec<f64>,
+    /// Delay resolution — seconds per bin.
+    pub bin_s: f64,
+}
+
+impl DelayProfile {
+    /// Computes the PDP of a channel sampled at `n` contiguous subcarriers
+    /// spaced `spacing_hz` apart. A Hann window tames the leakage from the
+    /// band edges. `fft_size` (power of two ≥ n) sets the interpolation.
+    pub fn from_channel(h: &[Complex64], spacing_hz: f64, fft_size: usize) -> DelayProfile {
+        assert!(fft_size >= h.len(), "fft_size must cover the samples");
+        assert!(fft_size.is_power_of_two(), "fft_size must be a power of two");
+        let n = h.len();
+        let mut bins = vec![Complex64::ZERO; fft_size];
+        for (k, &hk) in h.iter().enumerate() {
+            // Hann window over the active band.
+            let w = 0.5
+                - 0.5
+                    * (std::f64::consts::TAU * k as f64 / (n.max(2) as f64 - 1.0)).cos();
+            bins[k] = hk * w;
+        }
+        ifft(&mut bins).expect("power-of-two fft_size");
+        DelayProfile {
+            power: bins.iter().map(|x| x.norm_sqr()).collect(),
+            bin_s: 1.0 / (spacing_hz * fft_size as f64),
+        }
+    }
+
+    /// Number of delay bins.
+    pub fn len(&self) -> usize {
+        self.power.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.power.is_empty()
+    }
+
+    /// The delay (seconds) of the strongest bin.
+    pub fn peak_delay_s(&self) -> f64 {
+        let idx = self
+            .power
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        idx as f64 * self.bin_s
+    }
+
+    /// RMS delay spread of the profile (second central moment), seconds.
+    ///
+    /// Bins below `floor_fraction` of the peak are excluded (window
+    /// sidelobes and noise would otherwise dominate the tails). Bins in the
+    /// upper half of the IFFT are interpreted as *negative* delays (window
+    /// leakage around zero wraps there); the moment is taken over the
+    /// signed delay axis.
+    pub fn rms_spread_s(&self, floor_fraction: f64) -> f64 {
+        let peak = self.power.iter().cloned().fold(0.0, f64::max);
+        if peak <= 0.0 {
+            return 0.0;
+        }
+        let n = self.power.len();
+        let signed = |i: usize| -> f64 {
+            if i < n / 2 {
+                i as f64
+            } else {
+                i as f64 - n as f64
+            }
+        };
+        let floor = peak * floor_fraction;
+        let mut total = 0.0;
+        let mut mean = 0.0;
+        for (i, &p) in self.power.iter().enumerate() {
+            if p >= floor {
+                total += p;
+                mean += p * signed(i);
+            }
+        }
+        if total <= 0.0 {
+            return 0.0;
+        }
+        mean /= total;
+        let mut second = 0.0;
+        for (i, &p) in self.power.iter().enumerate() {
+            if p >= floor {
+                let d = signed(i) - mean;
+                second += p * d * d;
+            }
+        }
+        (second / total).sqrt() * self.bin_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn channel_of_paths(paths: &[(f64, f64)], n: usize, spacing: f64) -> Vec<Complex64> {
+        // paths: (amplitude, delay_s); baseband subcarriers k*spacing.
+        (0..n)
+            .map(|k| {
+                paths
+                    .iter()
+                    .map(|&(a, tau)| {
+                        Complex64::from_polar(
+                            a,
+                            -std::f64::consts::TAU * k as f64 * spacing * tau,
+                        )
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    const SPACING: f64 = 312_500.0;
+
+    #[test]
+    fn single_path_peaks_at_its_delay() {
+        let tau = 400e-9;
+        let h = channel_of_paths(&[(1.0, tau)], 52, SPACING);
+        let pdp = DelayProfile::from_channel(&h, SPACING, 256);
+        assert!(
+            (pdp.peak_delay_s() - tau).abs() < 2.0 * pdp.bin_s,
+            "peak at {} vs {tau}",
+            pdp.peak_delay_s()
+        );
+    }
+
+    #[test]
+    fn two_paths_two_peaks() {
+        let h = channel_of_paths(&[(1.0, 100e-9), (0.8, 1200e-9)], 52, SPACING);
+        let pdp = DelayProfile::from_channel(&h, SPACING, 512);
+        // Count local maxima above 30% of global peak.
+        let peak = pdp.power.iter().cloned().fold(0.0, f64::max);
+        let mut maxima = 0;
+        for i in 1..pdp.len() - 1 {
+            if pdp.power[i] > pdp.power[i - 1]
+                && pdp.power[i] >= pdp.power[i + 1]
+                && pdp.power[i] > 0.3 * peak
+            {
+                maxima += 1;
+            }
+        }
+        assert!(maxima >= 2, "found {maxima} peaks");
+    }
+
+    #[test]
+    fn wider_separation_bigger_spread() {
+        let near = channel_of_paths(&[(1.0, 0.0), (1.0, 200e-9)], 52, SPACING);
+        let far = channel_of_paths(&[(1.0, 0.0), (1.0, 1500e-9)], 52, SPACING);
+        let s_near = DelayProfile::from_channel(&near, SPACING, 512).rms_spread_s(0.05);
+        let s_far = DelayProfile::from_channel(&far, SPACING, 512).rms_spread_s(0.05);
+        assert!(s_far > s_near, "{s_far} vs {s_near}");
+    }
+
+    #[test]
+    fn flat_channel_concentrates_at_zero_delay() {
+        let h = vec![Complex64::ONE; 52];
+        let pdp = DelayProfile::from_channel(&h, SPACING, 256);
+        assert!(pdp.peak_delay_s() < 2.0 * pdp.bin_s);
+    }
+
+    #[test]
+    fn bin_resolution_matches_span() {
+        let h = vec![Complex64::ONE; 52];
+        let pdp = DelayProfile::from_channel(&h, SPACING, 256);
+        assert!((pdp.bin_s - 1.0 / (SPACING * 256.0)).abs() < 1e-18);
+        assert_eq!(pdp.len(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_fft_size() {
+        let h = vec![Complex64::ONE; 52];
+        DelayProfile::from_channel(&h, SPACING, 100);
+    }
+}

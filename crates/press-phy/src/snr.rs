@@ -1,0 +1,251 @@
+//! Per-subcarrier SNR profiles and their analysis.
+//!
+//! Everything the paper's Figures 4–6 plot is derived from per-subcarrier
+//! SNR profiles: minimum SNR across subcarriers, the location of the "most
+//! significant null" (the paper's §3.2.1 definition: the argmin subcarrier,
+//! counted only when it sits at least 5 dB below the median), and changes in
+//! these quantities between PRESS configurations.
+
+use press_math::db::db_to_pow;
+use press_math::stats;
+
+/// A per-subcarrier SNR profile in dB.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnrProfile {
+    /// SNR per active subcarrier, dB, ascending subcarrier order.
+    pub snr_db: Vec<f64>,
+}
+
+impl SnrProfile {
+    /// Wraps a dB series.
+    pub fn new(snr_db: Vec<f64>) -> Self {
+        SnrProfile { snr_db }
+    }
+
+    /// Number of subcarriers.
+    pub fn len(&self) -> usize {
+        self.snr_db.len()
+    }
+
+    /// True when the profile is empty.
+    pub fn is_empty(&self) -> bool {
+        self.snr_db.is_empty()
+    }
+
+    /// Minimum SNR across subcarriers, dB (the paper's Figure 6 metric).
+    pub fn min_db(&self) -> f64 {
+        stats::min(&self.snr_db).unwrap_or(f64::NAN)
+    }
+
+    /// Maximum SNR across subcarriers, dB.
+    pub fn max_db(&self) -> f64 {
+        stats::max(&self.snr_db).unwrap_or(f64::NAN)
+    }
+
+    /// Median SNR across subcarriers, dB.
+    pub fn median_db(&self) -> f64 {
+        stats::median(&self.snr_db).unwrap_or(f64::NAN)
+    }
+
+    /// Mean SNR across subcarriers, dB (arithmetic on dB values, as the paper
+    /// averages displayed SNR curves).
+    pub fn mean_db(&self) -> f64 {
+        stats::mean(&self.snr_db).unwrap_or(f64::NAN)
+    }
+
+    /// Subcarrier index of the deepest fade.
+    pub fn argmin(&self) -> Option<usize> {
+        stats::argmin(&self.snr_db)
+    }
+
+    /// The paper's "most significant null": the subcarrier of minimum SNR,
+    /// *only* when that minimum is at least `threshold_db` below the median
+    /// (the paper uses 5 dB). Profiles without such a dip have no null.
+    pub fn most_significant_null(&self, threshold_db: f64) -> Option<usize> {
+        let idx = self.argmin()?;
+        if self.snr_db[idx] <= self.median_db() - threshold_db {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Frequency selectivity: peak-to-trough span in dB.
+    pub fn selectivity_db(&self) -> f64 {
+        self.max_db() - self.min_db()
+    }
+
+    /// Shannon capacity of the profile in bits/s given subcarrier spacing,
+    /// `Σ Δf·log2(1 + snr_k)`.
+    pub fn shannon_capacity_bps(&self, subcarrier_spacing_hz: f64) -> f64 {
+        self.snr_db
+            .iter()
+            .map(|&s| subcarrier_spacing_hz * (1.0 + db_to_pow(s)).log2())
+            .sum()
+    }
+
+    /// Exponential effective SNR mapping (EESM): compresses the profile into
+    /// the single SNR an equivalent flat channel would need for the same
+    /// coded error rate. `beta` calibrates per modulation/code pair.
+    ///
+    /// `snr_eff = −β·ln( mean_k exp(−snr_k/β) )` (linear domain).
+    pub fn effective_snr_db(&self, beta: f64) -> f64 {
+        if self.snr_db.is_empty() {
+            return f64::NAN;
+        }
+        // Log-sum-exp for stability: at high SNR exp(-snr/beta) underflows
+        // to zero and a naive ln() would blow up to +inf.
+        let xs: Vec<f64> = self.snr_db.iter().map(|&s| db_to_pow(s) / beta).collect();
+        let x_min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mean_shifted = xs.iter().map(|&x| (-(x - x_min)).exp()).sum::<f64>() / xs.len() as f64;
+        let eff_lin = beta * (x_min - mean_shifted.ln());
+        10.0 * eff_lin.max(1e-12).log10()
+    }
+
+    /// Per-subcarrier difference `self − other` in dB.
+    ///
+    /// Panics when lengths differ (profiles from different numerologies are
+    /// never comparable).
+    pub fn delta_db(&self, other: &SnrProfile) -> Vec<f64> {
+        assert_eq!(self.len(), other.len(), "profile widths differ");
+        self.snr_db
+            .iter()
+            .zip(&other.snr_db)
+            .map(|(a, b)| a - b)
+            .collect()
+    }
+
+    /// Largest absolute per-subcarrier SNR difference against another
+    /// profile — the Figure 4 pair-selection metric ("the two configurations
+    /// that give the largest single-subcarrier SNR difference").
+    pub fn max_abs_delta_db(&self, other: &SnrProfile) -> f64 {
+        self.delta_db(other)
+            .into_iter()
+            .map(f64::abs)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean SNR over the lower half of the band minus the upper half —
+    /// positive favors low subcarriers. The Figure 7 "opposite frequency
+    /// selectivity" metric.
+    pub fn half_band_contrast_db(&self) -> f64 {
+        let n = self.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let half = n / 2;
+        let lo = stats::mean(&self.snr_db[..half]).unwrap_or(0.0);
+        let hi = stats::mean(&self.snr_db[half..]).unwrap_or(0.0);
+        lo - hi
+    }
+}
+
+/// Null movement between two profiles, in subcarriers — the Figure 5
+/// statistic. `None` unless *both* profiles exhibit a most-significant null
+/// per the paper's 5 dB rule.
+pub fn null_movement(
+    a: &SnrProfile,
+    b: &SnrProfile,
+    threshold_db: f64,
+) -> Option<usize> {
+    let na = a.most_significant_null(threshold_db)?;
+    let nb = b.most_significant_null(threshold_db)?;
+    Some(na.abs_diff(nb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(n: usize, db: f64) -> SnrProfile {
+        SnrProfile::new(vec![db; n])
+    }
+
+    fn with_null(n: usize, base: f64, null_at: usize, depth: f64) -> SnrProfile {
+        let mut v = vec![base; n];
+        v[null_at] = base - depth;
+        SnrProfile::new(v)
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let p = SnrProfile::new(vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(p.min_db(), 10.0);
+        assert_eq!(p.max_db(), 40.0);
+        assert_eq!(p.median_db(), 25.0);
+        assert_eq!(p.mean_db(), 25.0);
+        assert_eq!(p.selectivity_db(), 30.0);
+    }
+
+    #[test]
+    fn null_requires_5db_below_median() {
+        let shallow = with_null(52, 30.0, 10, 4.0);
+        assert_eq!(shallow.most_significant_null(5.0), None);
+        let deep = with_null(52, 30.0, 10, 8.0);
+        assert_eq!(deep.most_significant_null(5.0), Some(10));
+    }
+
+    #[test]
+    fn flat_profile_has_no_null() {
+        assert_eq!(flat(52, 25.0).most_significant_null(5.0), None);
+    }
+
+    #[test]
+    fn null_movement_both_required() {
+        let a = with_null(52, 30.0, 10, 10.0);
+        let b = with_null(52, 30.0, 19, 10.0);
+        assert_eq!(null_movement(&a, &b, 5.0), Some(9));
+        let c = flat(52, 30.0);
+        assert_eq!(null_movement(&a, &c, 5.0), None);
+    }
+
+    #[test]
+    fn max_abs_delta_symmetric() {
+        let a = SnrProfile::new(vec![10.0, 20.0, 30.0]);
+        let b = SnrProfile::new(vec![12.0, 5.0, 31.0]);
+        assert_eq!(a.max_abs_delta_db(&b), 15.0);
+        assert_eq!(b.max_abs_delta_db(&a), 15.0);
+    }
+
+    #[test]
+    fn effective_snr_of_flat_channel_is_itself() {
+        let p = flat(52, 20.0);
+        for beta in [1.0, 5.0, 20.0] {
+            let eff = p.effective_snr_db(beta);
+            assert!((eff - 20.0).abs() < 1e-6, "beta={beta}: {eff}");
+        }
+    }
+
+    #[test]
+    fn effective_snr_penalizes_nulls() {
+        let good = flat(52, 20.0);
+        let bad = with_null(52, 20.0, 26, 18.0);
+        assert!(bad.effective_snr_db(3.0) < good.effective_snr_db(3.0) - 0.5);
+    }
+
+    #[test]
+    fn capacity_increases_with_snr() {
+        let spacing = 312_500.0;
+        let lo = flat(52, 10.0).shannon_capacity_bps(spacing);
+        let hi = flat(52, 30.0).shannon_capacity_bps(spacing);
+        assert!(hi > lo);
+        // 52 * 312.5 kHz * log2(1+1000) ~ 162 Mbps.
+        assert!((hi / 1e6 - 162.0).abs() < 3.0, "{}", hi / 1e6);
+    }
+
+    #[test]
+    fn half_band_contrast_sign() {
+        let mut v = vec![30.0; 26];
+        v.extend(vec![10.0; 26]);
+        let p = SnrProfile::new(v);
+        assert_eq!(p.half_band_contrast_db(), 20.0);
+        let q = SnrProfile::new(p.snr_db.iter().rev().copied().collect());
+        assert_eq!(q.half_band_contrast_db(), -20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "profile widths differ")]
+    fn delta_panics_on_width_mismatch() {
+        flat(52, 0.0).delta_db(&flat(51, 0.0));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the OFDM PHY: invariants that must hold for
+//! arbitrary payloads, constellations, channels and code rates.
+
+use press_math::Complex64;
+use press_phy::fec::{self, CodeRate};
+use press_phy::frame::{training_sequence, OfdmModulator};
+use press_phy::modulation::Modulation;
+use press_phy::numerology::Numerology;
+use press_phy::snr::SnrProfile;
+use proptest::prelude::*;
+
+fn modulations() -> impl Strategy<Value = Modulation> {
+    prop_oneof![
+        Just(Modulation::Bpsk),
+        Just(Modulation::Qpsk),
+        Just(Modulation::Qam16),
+        Just(Modulation::Qam64),
+        Just(Modulation::Qam256),
+    ]
+}
+
+fn code_rates() -> impl Strategy<Value = CodeRate> {
+    prop_oneof![Just(CodeRate::R12), Just(CodeRate::R23), Just(CodeRate::R34)]
+}
+
+proptest! {
+    #[test]
+    fn constellation_roundtrip(m in modulations(), v in 0usize..256) {
+        let bps = m.bits_per_symbol();
+        let v = v % (1 << bps);
+        let bits: Vec<bool> = (0..bps).map(|b| (v >> b) & 1 == 1).collect();
+        prop_assert_eq!(m.demap(m.map(&bits)), bits);
+    }
+
+    #[test]
+    fn constellation_points_bounded(m in modulations(), v in 0usize..256) {
+        let bps = m.bits_per_symbol();
+        let v = v % (1 << bps);
+        let bits: Vec<bool> = (0..bps).map(|b| (v >> b) & 1 == 1).collect();
+        // Unit mean energy => no point further than sqrt(2)*peak/rms ~ 2.
+        prop_assert!(m.map(&bits).abs() < 2.0);
+    }
+
+    #[test]
+    fn fec_clean_roundtrip(bits in proptest::collection::vec(any::<bool>(), 1..300), rate in code_rates()) {
+        let coded = fec::encode(&bits, rate);
+        prop_assert_eq!(coded.len(), fec::coded_len(bits.len(), rate));
+        let decoded = fec::viterbi_decode_hard(&coded, bits.len(), rate);
+        prop_assert_eq!(decoded, bits);
+    }
+
+    #[test]
+    fn fec_corrects_single_error_anywhere(bits in proptest::collection::vec(any::<bool>(), 30..120), pos in 0usize..200) {
+        let mut coded = fec::encode(&bits, CodeRate::R12);
+        let pos = pos % coded.len();
+        coded[pos] = !coded[pos];
+        let decoded = fec::viterbi_decode_hard(&coded, bits.len(), CodeRate::R12);
+        prop_assert_eq!(decoded, bits, "flip at {}", pos);
+    }
+
+    #[test]
+    fn interleaver_is_a_permutation(blocks in 1usize..4, n_cbps_raw in 24usize..300) {
+        let n_cbps = n_cbps_raw;
+        let bits: Vec<bool> = (0..blocks * n_cbps).map(|i| i % 3 == 0).collect();
+        let inter = fec::interleave(&bits, n_cbps);
+        prop_assert_eq!(inter.iter().filter(|&&b| b).count(), bits.iter().filter(|&&b| b).count());
+        prop_assert_eq!(fec::deinterleave(&inter, n_cbps), bits);
+    }
+
+    #[test]
+    fn ofdm_modulator_roundtrip_arbitrary_symbols(seed in 0u64..1000) {
+        let num = Numerology::wifi20(2.462e9);
+        let modulator = OfdmModulator::new(num);
+        let sym: Vec<Complex64> = (0..52)
+            .map(|k| Complex64::cis((seed as f64 + 1.0) * k as f64 * 0.17))
+            .collect();
+        let t = modulator.to_time(&sym);
+        let back = modulator.to_freq(&t);
+        for (a, b) in sym.iter().zip(&back) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn snr_profile_invariants(v in proptest::collection::vec(-5.0..50.0f64, 2..102)) {
+        let p = SnrProfile::new(v);
+        prop_assert!(p.min_db() <= p.median_db() + 1e-12);
+        prop_assert!(p.median_db() <= p.max_db() + 1e-12);
+        prop_assert!(p.selectivity_db() >= 0.0);
+        // Effective SNR never exceeds the best subcarrier or undercuts the worst.
+        let eff = p.effective_snr_db(4.0);
+        prop_assert!(eff <= p.max_db() + 1e-9);
+        prop_assert!(eff >= p.min_db() - 1e-9);
+    }
+
+    #[test]
+    fn null_detection_consistent(v in proptest::collection::vec(5.0..45.0f64, 8..64)) {
+        let p = SnrProfile::new(v);
+        if let Some(idx) = p.most_significant_null(5.0) {
+            prop_assert_eq!(idx, p.argmin().unwrap());
+            prop_assert!(p.snr_db[idx] <= p.median_db() - 5.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn training_sequence_unit_modulus(n in 1usize..200) {
+        for s in training_sequence(n) {
+            prop_assert!((s.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+}

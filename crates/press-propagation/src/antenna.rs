@@ -1,0 +1,210 @@
+//! Antenna gain patterns.
+//!
+//! The paper's prototype uses three antenna types, all modelled here:
+//! 2 dBi omni endpoints (PulseLarsen W1030), a 14 dBi / 21°-beamwidth
+//! parabolic PRESS element (Laird GD24BP), and plain omni PRESS elements.
+//! Patterns return *amplitude* gain as a function of direction so the path
+//! tracer can multiply them straight into path coefficients.
+
+use crate::geometry::Vec3;
+use press_math::db::db_to_amp;
+
+/// An antenna's radiation pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pattern {
+    /// Ideal isotropic radiator (0 dBi everywhere). Reference pattern.
+    Isotropic,
+    /// Omnidirectional in azimuth with peak gain in dBi; mild cos² rolloff
+    /// toward the vertical, as real sleeve dipoles exhibit.
+    Omni {
+        /// Peak gain, dBi.
+        gain_dbi: f64,
+    },
+    /// Parabolic dish: Gaussian main lobe of the given −3 dB beamwidth, with
+    /// a sidelobe floor. Matches the datasheet-level behaviour the paper's
+    /// Laird GD24BP element needs (14 dBi, 21° azimuthal beamwidth).
+    Parabolic {
+        /// Boresight gain, dBi.
+        gain_dbi: f64,
+        /// Full −3 dB beamwidth, degrees.
+        beamwidth_deg: f64,
+        /// Sidelobe level relative to boresight, dB (negative).
+        sidelobe_db: f64,
+    },
+    /// Half-wave dipole: 2.15 dBi peak, toroidal sin² pattern about its axis.
+    Dipole,
+}
+
+impl Pattern {
+    /// The paper's 2 dBi omnidirectional endpoint antenna.
+    pub fn endpoint_omni() -> Pattern {
+        Pattern::Omni { gain_dbi: 2.0 }
+    }
+
+    /// The paper's 14 dBi, 21° beamwidth parabolic PRESS element antenna.
+    pub fn press_parabolic() -> Pattern {
+        Pattern::Parabolic {
+            gain_dbi: 14.0,
+            beamwidth_deg: 21.0,
+            sidelobe_db: -20.0,
+        }
+    }
+
+    /// A patch-style PRESS element antenna (the "custom PCB antennas" of
+    /// §4.1): moderate gain, wide enough beam to cover both endpoints of a
+    /// short link from 1-2 m away.
+    pub fn press_patch() -> Pattern {
+        Pattern::Parabolic {
+            gain_dbi: 9.0,
+            beamwidth_deg: 65.0,
+            sidelobe_db: -15.0,
+        }
+    }
+
+    /// Peak gain in dBi.
+    pub fn peak_gain_dbi(&self) -> f64 {
+        match self {
+            Pattern::Isotropic => 0.0,
+            Pattern::Omni { gain_dbi } => *gain_dbi,
+            Pattern::Parabolic { gain_dbi, .. } => *gain_dbi,
+            Pattern::Dipole => 2.15,
+        }
+    }
+}
+
+/// An antenna: a pattern plus an orientation (boresight for directional
+/// patterns, element axis for dipoles).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Antenna {
+    /// Radiation pattern.
+    pub pattern: Pattern,
+    /// Boresight (or dipole axis) direction; need not be normalized.
+    pub boresight: Vec3,
+}
+
+impl Antenna {
+    /// Creates an antenna pointing along `boresight`.
+    pub fn new(pattern: Pattern, boresight: Vec3) -> Self {
+        Antenna { pattern, boresight }
+    }
+
+    /// An isotropic antenna (orientation irrelevant).
+    pub fn isotropic() -> Self {
+        Antenna::new(Pattern::Isotropic, Vec3::X)
+    }
+
+    /// The paper's endpoint antenna: 2 dBi omni, vertical element.
+    pub fn endpoint_omni() -> Self {
+        Antenna::new(Pattern::endpoint_omni(), Vec3::Z)
+    }
+
+    /// Amplitude gain toward `direction` (from the antenna outward).
+    ///
+    /// Returns `sqrt(linear power gain)` so path coefficients can multiply
+    /// TX and RX gains directly.
+    pub fn amplitude_gain(&self, direction: Vec3) -> f64 {
+        let dir = match direction.normalized() {
+            Some(d) => d,
+            None => return db_to_amp(self.pattern.peak_gain_dbi()),
+        };
+        let axis = self.boresight.normalized().unwrap_or(Vec3::Z);
+        match &self.pattern {
+            Pattern::Isotropic => 1.0,
+            Pattern::Omni { gain_dbi } => {
+                // Peak in the plane orthogonal to the element axis;
+                // smooth rolloff toward the axis (elevation angle e).
+                let cos_e = dir.dot(axis).clamp(-1.0, 1.0);
+                let planar = (1.0 - cos_e * cos_e).max(0.0); // sin^2(angle to axis)
+                let power = db_to_amp(*gain_dbi).powi(2) * (0.2 + 0.8 * planar);
+                power.sqrt()
+            }
+            Pattern::Parabolic {
+                gain_dbi,
+                beamwidth_deg,
+                sidelobe_db,
+            } => {
+                let theta = dir.angle_to(axis).to_degrees();
+                let half_bw = beamwidth_deg / 2.0;
+                // Gaussian main lobe: -3 dB at theta == half beamwidth.
+                let rolloff_db = -3.0 * (theta / half_bw).powi(2);
+                let lobe_db = rolloff_db.max(*sidelobe_db);
+                db_to_amp(gain_dbi + lobe_db)
+            }
+            Pattern::Dipole => {
+                let sin_theta = {
+                    let c = dir.dot(axis).clamp(-1.0, 1.0);
+                    (1.0 - c * c).max(0.0).sqrt()
+                };
+                // sin^2 power pattern with 2.15 dBi peak; floor keeps paths finite.
+                let power = db_to_amp(2.15).powi(2) * (sin_theta * sin_theta).max(1e-4);
+                power.sqrt()
+            }
+        }
+    }
+
+    /// Convenience: gain in dB (power) toward a direction.
+    pub fn gain_db(&self, direction: Vec3) -> f64 {
+        20.0 * self.amplitude_gain(direction).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isotropic_is_unity_everywhere() {
+        let a = Antenna::isotropic();
+        for d in [Vec3::X, Vec3::Y, Vec3::Z, Vec3::new(1.0, 2.0, -3.0)] {
+            assert!((a.amplitude_gain(d) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn omni_peak_in_azimuth_plane() {
+        let a = Antenna::endpoint_omni();
+        let planar = a.gain_db(Vec3::X);
+        let axial = a.gain_db(Vec3::Z);
+        assert!((planar - 2.0).abs() < 0.01, "planar={planar}");
+        assert!(axial < planar, "axial={axial} planar={planar}");
+    }
+
+    #[test]
+    fn omni_azimuth_symmetric() {
+        let a = Antenna::endpoint_omni();
+        let g1 = a.amplitude_gain(Vec3::X);
+        let g2 = a.amplitude_gain(Vec3::Y);
+        let g3 = a.amplitude_gain(Vec3::new(1.0, 1.0, 0.0));
+        assert!((g1 - g2).abs() < 1e-12);
+        assert!((g1 - g3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parabolic_boresight_gain_and_beamwidth() {
+        let a = Antenna::new(Pattern::press_parabolic(), Vec3::X);
+        assert!((a.gain_db(Vec3::X) - 14.0).abs() < 0.01);
+        // At half the beamwidth off axis (10.5 deg) the gain is 3 dB down.
+        let off = Vec3::new((10.5f64).to_radians().cos(), (10.5f64).to_radians().sin(), 0.0);
+        assert!((a.gain_db(off) - 11.0).abs() < 0.05, "got {}", a.gain_db(off));
+    }
+
+    #[test]
+    fn parabolic_sidelobe_floor() {
+        let a = Antenna::new(Pattern::press_parabolic(), Vec3::X);
+        let back = a.gain_db(-Vec3::X);
+        assert!((back - (14.0 - 20.0)).abs() < 0.01, "back lobe {back}");
+    }
+
+    #[test]
+    fn dipole_null_along_axis() {
+        let a = Antenna::new(Pattern::Dipole, Vec3::Z);
+        assert!(a.amplitude_gain(Vec3::Z) < a.amplitude_gain(Vec3::X) / 10.0);
+        assert!((a.gain_db(Vec3::X) - 2.15).abs() < 0.05);
+    }
+
+    #[test]
+    fn zero_direction_degrades_to_peak() {
+        let a = Antenna::new(Pattern::press_parabolic(), Vec3::X);
+        assert!((a.amplitude_gain(Vec3::ZERO) - db_to_amp(14.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,230 @@
+//! Building-scale scenes: the Figure 1 vision.
+//!
+//! The paper's architecture drawing shows PRESS elements embedded in the
+//! walls of a *building*, not a single bench. This module builds a
+//! two-room office floor — an interior partition wall with a doorway —
+//! so experiments can study the regime the vision actually targets:
+//! links that cross rooms, where the doorway and the partition dominate
+//! propagation and wall-embedded elements sit exactly where the energy
+//! must turn.
+
+use crate::geometry::{Aabb, Plane, Vec3};
+use crate::material::Material;
+use crate::scene::{RadioNode, Scene, Wall};
+use press_math::consts::WIFI_CHANNEL_11_HZ;
+use press_math::Complex64;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the two-room office floor.
+#[derive(Debug, Clone)]
+pub struct OfficeConfig {
+    /// Carrier frequency, Hz.
+    pub carrier_hz: f64,
+    /// Total floor width (x), meters — split into two rooms.
+    pub floor_w: f64,
+    /// Floor depth (y), meters.
+    pub floor_d: f64,
+    /// Ceiling height, meters.
+    pub floor_h: f64,
+    /// Doorway center along y, meters.
+    pub door_y: f64,
+    /// Doorway width, meters.
+    pub door_w: f64,
+    /// Partition material.
+    pub partition: Material,
+    /// Clutter scatterers per room.
+    pub scatterers_per_room: usize,
+}
+
+impl Default for OfficeConfig {
+    fn default() -> Self {
+        OfficeConfig {
+            carrier_hz: WIFI_CHANNEL_11_HZ,
+            floor_w: 12.0,
+            floor_d: 7.0,
+            floor_h: 3.0,
+            door_y: 2.0,
+            door_w: 0.9,
+            partition: Material::DRYWALL,
+            scatterers_per_room: 10,
+        }
+    }
+}
+
+/// A generated office floor: scene + canonical AP/client placements.
+#[derive(Debug, Clone)]
+pub struct OfficeFloor {
+    /// The environment (both rooms, the partition, clutter).
+    pub scene: Scene,
+    /// An access point in room A (west).
+    pub ap: RadioNode,
+    /// A client in room B (east) — NLOS through the partition/doorway.
+    pub client: RadioNode,
+    /// The partition's x position.
+    pub partition_x: f64,
+    /// Doorway center.
+    pub door_center: Vec3,
+    /// Candidate PRESS positions flanking the doorway on both sides.
+    pub doorway_candidates: Vec<Vec3>,
+}
+
+impl OfficeFloor {
+    /// Builds the floor from a seed.
+    ///
+    /// The interior partition is modelled as both a bounded reflecting wall
+    /// (specular echoes on each side) and two blocking slabs that leave a
+    /// doorway gap (transmission/diffraction through everything else) —
+    /// the door is the energy's main way between rooms.
+    pub fn generate(config: &OfficeConfig, seed: u64) -> OfficeFloor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut scene = Scene::shoebox(
+            config.carrier_hz,
+            config.floor_w,
+            config.floor_d,
+            config.floor_h,
+            Material::DRYWALL,
+        );
+        let px = config.floor_w / 2.0;
+
+        // The partition as a reflector (both rooms see its specular bounce).
+        scene.walls.push(Wall {
+            plane: Plane::new(Vec3::new(px, 0.0, 0.0), Vec3::X),
+            material: config.partition.clone(),
+            bounds: Some(Aabb::new(
+                Vec3::new(px - 0.06, 0.0, 0.0),
+                Vec3::new(px + 0.06, config.floor_d, config.floor_h),
+            )),
+        });
+        // The partition as blockage: two slabs leaving the doorway open.
+        let door_lo = config.door_y - config.door_w / 2.0;
+        let door_hi = config.door_y + config.door_w / 2.0;
+        scene.add_obstacle(
+            Aabb::new(
+                Vec3::new(px - 0.06, 0.0, 0.0),
+                Vec3::new(px + 0.06, door_lo, config.floor_h),
+            ),
+            config.partition.clone(),
+        );
+        scene.add_obstacle(
+            Aabb::new(
+                Vec3::new(px - 0.06, door_hi, 0.0),
+                Vec3::new(px + 0.06, config.floor_d, config.floor_h),
+            ),
+            config.partition.clone(),
+        );
+        // Above the doorway a lintel remains (door is 2.1 m tall).
+        scene.add_obstacle(
+            Aabb::new(
+                Vec3::new(px - 0.06, door_lo, 2.1),
+                Vec3::new(px + 0.06, door_hi, config.floor_h),
+            ),
+            config.partition.clone(),
+        );
+
+        // Clutter in each room.
+        for room in 0..2 {
+            let x_lo = if room == 0 { 0.5 } else { px + 0.5 };
+            let x_hi = if room == 0 { px - 0.5 } else { config.floor_w - 0.5 };
+            for _ in 0..config.scatterers_per_room {
+                let pos = Vec3::new(
+                    rng.gen_range(x_lo..x_hi),
+                    rng.gen_range(0.5..config.floor_d - 0.5),
+                    rng.gen_range(0.5..config.floor_h - 0.5),
+                );
+                let mag = 3.0 * (20.0f64 / 3.0).powf(rng.gen::<f64>());
+                let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+                scene.add_scatterer(pos, Complex64::from_polar(mag, phase));
+            }
+        }
+
+        // AP deep in room A, client deep in room B, away from the door line.
+        let ap = RadioNode::omni_at(Vec3::new(px * 0.35, config.floor_d * 0.75, 2.2));
+        let client = RadioNode::omni_at(Vec3::new(
+            config.floor_w - px * 0.3,
+            config.floor_d * 0.7,
+            1.2,
+        ));
+
+        // Candidate PRESS positions: flanking the doorway at head height on
+        // both faces of the partition (wall-embedded, as Figure 1 draws).
+        let mut doorway_candidates = Vec::new();
+        for side in [-0.25f64, 0.25] {
+            let x = px + side;
+            let mut y = (door_lo - 1.2).max(0.3);
+            while y <= (door_hi + 1.2).min(config.floor_d - 0.3) {
+                for z in [1.0, 1.6, 2.2] {
+                    doorway_candidates.push(Vec3::new(x, y, z));
+                }
+                y += 0.3;
+            }
+        }
+
+        let door_center = Vec3::new(px, config.door_y, 1.2);
+        OfficeFloor {
+            scene,
+            ap,
+            client,
+            partition_x: px,
+            door_center,
+            doorway_candidates,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_geometry_sane() {
+        let floor = OfficeFloor::generate(&OfficeConfig::default(), 1);
+        assert!(floor.scene.walls.len() >= 7, "6 shell walls + partition");
+        assert_eq!(floor.scene.obstacles.len(), 3, "two slabs + lintel");
+        assert!(!floor.doorway_candidates.is_empty());
+        // AP and client on opposite sides of the partition.
+        assert!(floor.ap.position.x < floor.partition_x);
+        assert!(floor.client.position.x > floor.partition_x);
+    }
+
+    #[test]
+    fn cross_room_link_is_obstructed_but_door_is_clear() {
+        let cfg = OfficeConfig::default();
+        let floor = OfficeFloor::generate(&cfg, 1);
+        assert!(floor
+            .scene
+            .is_obstructed(floor.ap.position, floor.client.position));
+        // A ray through the middle of the doorway is clear.
+        let a = Vec3::new(2.0, cfg.door_y, 1.2);
+        let b = Vec3::new(10.0, cfg.door_y, 1.2);
+        assert!(!floor.scene.is_obstructed(a, b));
+    }
+
+    #[test]
+    fn cross_room_channel_is_weak_but_alive() {
+        let floor = OfficeFloor::generate(&OfficeConfig::default(), 2);
+        let paths = floor.scene.paths(&floor.ap, &floor.client);
+        assert!(!paths.is_empty());
+        let total: f64 = paths.iter().map(|p| p.gain.norm_sqr()).sum();
+        let db = 10.0 * total.log10();
+        // Through a drywall partition: tens of dB below a same-room link
+        // but far above the noise floor.
+        assert!((-110.0..-50.0).contains(&db), "cross-room power {db} dB");
+    }
+
+    #[test]
+    fn doorway_candidates_flank_the_partition() {
+        let floor = OfficeFloor::generate(&OfficeConfig::default(), 3);
+        for c in &floor.doorway_candidates {
+            assert!((c.x - floor.partition_x).abs() < 0.5);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = OfficeFloor::generate(&OfficeConfig::default(), 9);
+        let b = OfficeFloor::generate(&OfficeConfig::default(), 9);
+        assert_eq!(a.scene.scatterers.len(), b.scene.scatterers.len());
+        assert_eq!(a.scene.scatterers[3].position, b.scene.scatterers[3].position);
+    }
+}

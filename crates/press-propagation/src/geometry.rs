@@ -1,0 +1,359 @@
+//! 3-D vector geometry for ray/image-method propagation.
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A 3-D point or vector in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Origin / zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// Unit x.
+    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    /// Unit y.
+    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    /// Unit z.
+    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    /// Creates a vector from components.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared norm.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Distance to another point.
+    #[inline]
+    pub fn distance(self, o: Vec3) -> f64 {
+        (self - o).norm()
+    }
+
+    /// Unit vector in this direction. Returns `None` for (near-)zero vectors.
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n < 1e-12 {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Angle in radians between this vector and another, in `[0, π]`.
+    pub fn angle_to(self, o: Vec3) -> f64 {
+        let denom = self.norm() * o.norm();
+        if denom < 1e-300 {
+            return 0.0;
+        }
+        (self.dot(o) / denom).clamp(-1.0, 1.0).acos()
+    }
+
+    /// Azimuth angle (radians) of the projection onto the xy-plane, measured
+    /// from +x toward +y. Used for angle-of-departure/arrival bookkeeping.
+    pub fn azimuth(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// True when all components are finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+/// An infinite plane given by a point on it and a unit normal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plane {
+    /// Any point on the plane.
+    pub point: Vec3,
+    /// Unit normal.
+    pub normal: Vec3,
+}
+
+impl Plane {
+    /// Creates a plane; the normal is normalized (panics on zero normal).
+    pub fn new(point: Vec3, normal: Vec3) -> Self {
+        let normal = normal.normalized().expect("plane normal must be nonzero");
+        Plane { point, normal }
+    }
+
+    /// Signed distance from a point to the plane (positive on the normal side).
+    #[inline]
+    pub fn signed_distance(&self, p: Vec3) -> f64 {
+        (p - self.point).dot(self.normal)
+    }
+
+    /// Mirror image of a point across the plane — the core of the image
+    /// method for specular wall reflections.
+    pub fn mirror(&self, p: Vec3) -> Vec3 {
+        p - self.normal * (2.0 * self.signed_distance(p))
+    }
+
+    /// Intersection of the segment `a→b` with the plane, if the endpoints are
+    /// on strictly opposite sides. Returns the intersection point.
+    pub fn segment_intersection(&self, a: Vec3, b: Vec3) -> Option<Vec3> {
+        let da = self.signed_distance(a);
+        let db = self.signed_distance(b);
+        if da == 0.0 && db == 0.0 {
+            return None; // Segment lies in the plane; no specular point.
+        }
+        if (da > 0.0) == (db > 0.0) {
+            return None;
+        }
+        let t = da / (da - db);
+        Some(a + (b - a) * t)
+    }
+}
+
+/// An axis-aligned box, used for signal-blocking obstacles (the paper's NLOS
+/// experiments block the direct path with an obstruction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// Creates a box from two opposite corners (in any order).
+    pub fn new(a: Vec3, b: Vec3) -> Self {
+        Aabb {
+            min: Vec3::new(a.x.min(b.x), a.y.min(b.y), a.z.min(b.z)),
+            max: Vec3::new(a.x.max(b.x), a.y.max(b.y), a.z.max(b.z)),
+        }
+    }
+
+    /// True when the point lies inside (or on the boundary of) the box.
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// True when the open segment `a→b` passes through the box (slab method).
+    pub fn intersects_segment(&self, a: Vec3, b: Vec3) -> bool {
+        self.segment_span(a, b).is_some()
+    }
+
+    /// The `(t_enter, t_exit)` parameters of the segment's overlap with the
+    /// box, or `None` when it misses (slab method).
+    pub fn segment_span(&self, a: Vec3, b: Vec3) -> Option<(f64, f64)> {
+        self.segment_span_axes(a, b).map(|(t1, _, t2, _)| (t1, t2))
+    }
+
+    /// Like [`segment_span`](Self::segment_span) but also reports which
+    /// axis (0=x, 1=y, 2=z) bounds the entry and exit — i.e. which faces
+    /// the segment pierces. Axis `usize::MAX` means the segment starts or
+    /// ends inside the box on that side.
+    pub fn segment_span_axes(&self, a: Vec3, b: Vec3) -> Option<(f64, usize, f64, usize)> {
+        let d = b - a;
+        let mut tmin = 0.0f64;
+        let mut tmax = 1.0f64;
+        let mut axis_in = usize::MAX;
+        let mut axis_out = usize::MAX;
+        for (axis, (da, aa, lo, hi)) in [
+            (d.x, a.x, self.min.x, self.max.x),
+            (d.y, a.y, self.min.y, self.max.y),
+            (d.z, a.z, self.min.z, self.max.z),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if da.abs() < 1e-15 {
+                if aa < lo || aa > hi {
+                    return None;
+                }
+            } else {
+                let inv = 1.0 / da;
+                let (mut t1, mut t2) = ((lo - aa) * inv, (hi - aa) * inv);
+                if t1 > t2 {
+                    std::mem::swap(&mut t1, &mut t2);
+                }
+                if t1 > tmin {
+                    tmin = t1;
+                    axis_in = axis;
+                }
+                if t2 < tmax {
+                    tmax = t2;
+                    axis_out = axis;
+                }
+                if tmin > tmax {
+                    return None;
+                }
+            }
+        }
+        Some((tmin, axis_in, tmax, axis_out))
+    }
+
+    /// Center of the box.
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_cross_orthogonality() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-2.0, 0.5, 1.0);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12);
+        assert!(c.dot(b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_unit_length() {
+        let v = Vec3::new(3.0, 4.0, 12.0);
+        assert!((v.normalized().unwrap().norm() - 1.0).abs() < 1e-12);
+        assert!(Vec3::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn angle_between_axes_is_right() {
+        assert!((Vec3::X.angle_to(Vec3::Y) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!(Vec3::X.angle_to(Vec3::X).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plane_mirror_is_involution() {
+        let plane = Plane::new(Vec3::new(0.0, 2.0, 0.0), Vec3::new(0.3, 1.0, -0.2));
+        let p = Vec3::new(1.0, -1.0, 4.0);
+        let m = plane.mirror(plane.mirror(p));
+        assert!(p.distance(m) < 1e-12);
+    }
+
+    #[test]
+    fn mirror_preserves_distance_to_plane() {
+        let plane = Plane::new(Vec3::ZERO, Vec3::Y);
+        let p = Vec3::new(1.0, 3.0, -2.0);
+        let m = plane.mirror(p);
+        assert!((plane.signed_distance(p) + plane.signed_distance(m)).abs() < 1e-12);
+        assert_eq!(m, Vec3::new(1.0, -3.0, -2.0));
+    }
+
+    #[test]
+    fn segment_intersection_midpoint() {
+        let plane = Plane::new(Vec3::ZERO, Vec3::X);
+        let hit = plane
+            .segment_intersection(Vec3::new(-1.0, 0.0, 0.0), Vec3::new(1.0, 2.0, 0.0))
+            .unwrap();
+        assert!((hit.x).abs() < 1e-12);
+        assert!((hit.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_same_side_misses() {
+        let plane = Plane::new(Vec3::ZERO, Vec3::X);
+        assert!(plane
+            .segment_intersection(Vec3::new(1.0, 0.0, 0.0), Vec3::new(2.0, 5.0, 1.0))
+            .is_none());
+    }
+
+    #[test]
+    fn aabb_contains() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0));
+        assert!(b.contains(Vec3::new(0.5, 0.5, 0.5)));
+        assert!(!b.contains(Vec3::new(1.5, 0.5, 0.5)));
+    }
+
+    #[test]
+    fn aabb_segment_through_box() {
+        let b = Aabb::new(Vec3::new(-0.5, -0.5, -0.5), Vec3::new(0.5, 0.5, 0.5));
+        assert!(b.intersects_segment(Vec3::new(-2.0, 0.0, 0.0), Vec3::new(2.0, 0.0, 0.0)));
+        assert!(!b.intersects_segment(Vec3::new(-2.0, 2.0, 0.0), Vec3::new(2.0, 2.0, 0.0)));
+        // Segment ending before the box does not intersect.
+        assert!(!b.intersects_segment(Vec3::new(-2.0, 0.0, 0.0), Vec3::new(-1.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn aabb_corners_normalized() {
+        let b = Aabb::new(Vec3::new(1.0, -1.0, 2.0), Vec3::new(0.0, 3.0, -2.0));
+        assert_eq!(b.min, Vec3::new(0.0, -1.0, -2.0));
+        assert_eq!(b.max, Vec3::new(1.0, 3.0, 2.0));
+        assert_eq!(b.center(), Vec3::new(0.5, 1.0, 0.0));
+    }
+}

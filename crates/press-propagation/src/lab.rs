@@ -1,0 +1,313 @@
+//! Prebuilt scenes mirroring the paper's experimental setups.
+//!
+//! §3 of the paper describes: a controlled indoor setting; transmitter and
+//! receiver with 2 dBi omni antennas; the direct path blocked (for all
+//! passive-element experiments) to obtain a channel with significant
+//! reflected components; PRESS antennas placed at random grid positions
+//! 1–2 m from both endpoints; and a scattering environment that changes with
+//! each placement ("due to the movement of our experiment equipment").
+//!
+//! [`LabSetup`] rebuilds exactly that, with a seed in place of the lab.
+
+use crate::geometry::{Aabb, Vec3};
+use crate::material::Material;
+use crate::scene::{RadioNode, Scene};
+use press_math::consts::WIFI_CHANNEL_11_HZ;
+use press_math::Complex64;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the emulated laboratory.
+#[derive(Debug, Clone)]
+pub struct LabConfig {
+    /// Carrier frequency, Hz. The paper uses Wi-Fi channel 11.
+    pub carrier_hz: f64,
+    /// Room width (x), meters.
+    pub room_w: f64,
+    /// Room depth (y), meters.
+    pub room_d: f64,
+    /// Room height (z), meters.
+    pub room_h: f64,
+    /// Number of large flat reflecting panels (cabinet faces, whiteboards,
+    /// windows). Their specular echoes spread over one Friis length, so a
+    /// panel across the room still returns a strong, long-delay echo — the
+    /// dominant source of in-band frequency selectivity indoors.
+    pub n_panels: usize,
+    /// Number of random clutter scatterers.
+    pub n_scatterers: usize,
+    /// Scatterer reflectivity magnitude range (log-uniform).
+    pub scatter_reflectivity: (f64, f64),
+    /// Whether a metal slab blocks the direct TX→RX path (the paper's NLOS
+    /// configuration used for all passive-element experiments).
+    pub block_los: bool,
+    /// Half-width (y) of the blocking slab, meters.
+    pub slab_half_width: f64,
+    /// Vertical extent of the slab `(z_min, z_max)`, meters (clamped to the
+    /// room height).
+    pub slab_z: (f64, f64),
+}
+
+impl Default for LabConfig {
+    fn default() -> Self {
+        LabConfig {
+            carrier_hz: WIFI_CHANNEL_11_HZ,
+            // Office scale: far wall echoes arrive 30-120 ns after the short
+            // bounces, the delay spread a 20 MHz channel needs to show the
+            // frequency-selective fading the paper measured.
+            room_w: 14.0,
+            room_d: 11.0,
+            room_h: 3.0,
+            // Reflectivity is referenced to two 1 m Friis legs; for a
+            // bistatic radar cross-section sigma the equivalent is
+            // sqrt(4*pi*sigma)/lambda, i.e. ~8..25 for furniture-sized
+            // (0.05..1 m^2) clutter at 2.4 GHz.
+            n_panels: 8,
+            n_scatterers: 40,
+            scatter_reflectivity: (3.0, 10.0),
+            block_los: true,
+            slab_half_width: 0.9,
+            slab_z: (0.0, f64::MAX),
+        }
+    }
+}
+
+/// A fully instantiated laboratory: scene + endpoints + candidate grid for
+/// PRESS element placement.
+#[derive(Debug, Clone)]
+pub struct LabSetup {
+    /// The environment.
+    pub scene: Scene,
+    /// Transmitter node.
+    pub tx: RadioNode,
+    /// Receiver node.
+    pub rx: RadioNode,
+    /// Candidate PRESS element positions (the paper's placement grid,
+    /// 1–2 m from both endpoints).
+    pub element_grid: Vec<Vec3>,
+    /// The seed used, for reporting.
+    pub seed: u64,
+}
+
+impl LabSetup {
+    /// Builds the paper's exploratory-study lab from a seed.
+    ///
+    /// Endpoints sit across the room at table height (1.5 m); when
+    /// `block_los` is set a floor-to-ceiling metal slab sits between them,
+    /// exactly as the paper "blocks the direct path between the transmitter
+    /// and receiver". Scatterers land at seeded random positions with
+    /// log-uniform reflectivities and uniform phases.
+    pub fn generate(config: &LabConfig, seed: u64) -> LabSetup {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut scene = Scene::shoebox(
+            config.carrier_hz,
+            config.room_w,
+            config.room_d,
+            config.room_h,
+            Material::DRYWALL,
+        );
+
+        // A short bench link (~1.5 m) like the paper's: with the endpoints
+        // close together every environment echo must detour via the room
+        // (>= 5 m round trips) while PRESS elements sit 1-2 m away — the
+        // micro-geometry that makes element backscatter competitive with
+        // the surviving environment paths. Deliberately asymmetric in every
+        // axis so no two wall echoes arrive at the same delay.
+        let cx = config.room_w * 0.4;
+        let tx = RadioNode::omni_at(Vec3::new(cx - 0.7, config.room_d * 0.40, 1.35));
+        let rx = RadioNode::omni_at(Vec3::new(cx + 0.7, config.room_d * 0.44, 1.62));
+
+        if config.block_los {
+            // A rack-sized metal slab between the endpoints: shadows the
+            // direct ray and the short floor/ceiling bounces, leaving the
+            // longer wall echoes — the paper's NLOS channel "with significant
+            // reflected components" and strong frequency selectivity.
+            let mid = (tx.position + rx.position) * 0.5;
+            let (z_lo, z_hi) = config.slab_z;
+            scene.add_obstacle(
+                Aabb::new(
+                    Vec3::new(mid.x - 0.05, mid.y - config.slab_half_width, z_lo.max(0.0)),
+                    Vec3::new(
+                        mid.x + 0.05,
+                        mid.y + config.slab_half_width,
+                        z_hi.min(config.room_h),
+                    ),
+                ),
+                Material::METAL,
+            );
+        }
+
+        // Large flat panels at random positions, axis-aligned (cabinet rows
+        // and whiteboards hang parallel to walls), random facing, strongly
+        // reflective materials. They enter the tracer as bounded walls, so
+        // they produce first- and second-order specular echoes.
+        // The bench area around the endpoints is kept clear (panels >= 2.5 m,
+        // scatterers >= 1.5 m away): a reflector parked next to an antenna
+        // would dominate the link and flatten the channel.
+        let place = |rng: &mut StdRng, min_dist: f64| -> Vec3 {
+            loop {
+                let p = Vec3::new(
+                    rng.gen_range(0.5..config.room_w - 0.5),
+                    rng.gen_range(0.5..config.room_d - 0.5),
+                    rng.gen_range(0.5..config.room_h - 0.5),
+                );
+                if p.distance(tx.position) >= min_dist && p.distance(rx.position) >= min_dist {
+                    return p;
+                }
+            }
+        };
+
+        for _ in 0..config.n_panels {
+            let mut center = place(&mut rng, 2.5);
+            center.z = 1.5;
+            let along_x = rng.gen::<bool>();
+            let (normal, half) = if along_x {
+                (Vec3::Y, Vec3::new(0.8, 0.02, 1.0))
+            } else {
+                (Vec3::X, Vec3::new(0.02, 0.8, 1.0))
+            };
+            // A mid-room echo crosses desks, racks and people: give each
+            // panel a random excess loss on top of its intrinsic material.
+            let material = Material {
+                name: "obstructed-panel",
+                reflection_loss_db: rng.gen_range(12.0..25.0),
+                transmission_loss_db: 12.0,
+            };
+            scene.walls.push(crate::scene::Wall {
+                plane: crate::geometry::Plane::new(center, normal),
+                material,
+                bounds: Some(Aabb::new(center - half, center + half)),
+            });
+        }
+
+        for _ in 0..config.n_scatterers {
+            let pos = place(&mut rng, 1.5);
+            let (lo, hi) = config.scatter_reflectivity;
+            let mag = lo * (hi / lo).powf(rng.gen::<f64>());
+            let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+            scene.add_scatterer(pos, Complex64::from_polar(mag, phase));
+        }
+
+        // Placement grid 1–2 m from both endpoints: sample points in the room
+        // and keep the ones inside the annulus intersection, as the paper's
+        // random grid placement does.
+        let mut element_grid = Vec::new();
+        let step = 0.1;
+        let mut y = 0.5;
+        while y < config.room_d - 0.5 {
+            let mut x = 0.5;
+            while x < config.room_w - 0.5 {
+                let p = Vec3::new(x, y, 1.5);
+                let d_tx = p.distance(tx.position);
+                let d_rx = p.distance(rx.position);
+                // The experimenter places elements where they can actually
+                // reflect: clear views to both endpoints.
+                let clear = !scene.is_obstructed(p, tx.position)
+                    && !scene.is_obstructed(p, rx.position);
+                if (1.0..=2.0).contains(&d_tx) && (1.0..=2.0).contains(&d_rx) && clear {
+                    element_grid.push(p);
+                }
+                x += step;
+            }
+            y += step;
+        }
+
+        LabSetup {
+            scene,
+            tx,
+            rx,
+            element_grid,
+            seed,
+        }
+    }
+
+    /// Draws `n` distinct element positions from the placement grid.
+    ///
+    /// Panics if the grid has fewer than `n` candidates (a misconfigured
+    /// room; the default geometry yields dozens).
+    pub fn random_element_positions(&self, n: usize, rng: &mut StdRng) -> Vec<Vec3> {
+        assert!(
+            self.element_grid.len() >= n,
+            "placement grid has {} candidates, need {n}",
+            self.element_grid.len()
+        );
+        let mut indices: Vec<usize> = (0..self.element_grid.len()).collect();
+        // Partial Fisher-Yates.
+        for i in 0..n {
+            let j = rng.gen_range(i..indices.len());
+            indices.swap(i, j);
+        }
+        indices[..n].iter().map(|&i| self.element_grid[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_lab_is_nlos() {
+        let lab = LabSetup::generate(&LabConfig::default(), 1);
+        assert!(lab.scene.is_obstructed(lab.tx.position, lab.rx.position));
+    }
+
+    #[test]
+    fn los_variant_is_clear() {
+        let cfg = LabConfig {
+            block_los: false,
+            ..LabConfig::default()
+        };
+        let lab = LabSetup::generate(&cfg, 1);
+        assert!(!lab.scene.is_obstructed(lab.tx.position, lab.rx.position));
+    }
+
+    #[test]
+    fn grid_respects_annulus() {
+        let lab = LabSetup::generate(&LabConfig::default(), 2);
+        assert!(!lab.element_grid.is_empty());
+        for p in &lab.element_grid {
+            let d_tx = p.distance(lab.tx.position);
+            let d_rx = p.distance(lab.rx.position);
+            assert!((1.0..=2.0).contains(&d_tx), "d_tx={d_tx}");
+            assert!((1.0..=2.0).contains(&d_rx), "d_rx={d_rx}");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_lab() {
+        let a = LabSetup::generate(&LabConfig::default(), 99);
+        let b = LabSetup::generate(&LabConfig::default(), 99);
+        assert_eq!(a.scene.scatterers.len(), b.scene.scatterers.len());
+        for (s, t) in a.scene.scatterers.iter().zip(&b.scene.scatterers) {
+            assert_eq!(s.position, t.position);
+            assert_eq!(s.reflectivity, t.reflectivity);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = LabSetup::generate(&LabConfig::default(), 1);
+        let b = LabSetup::generate(&LabConfig::default(), 2);
+        assert_ne!(a.scene.scatterers[0].position, b.scene.scatterers[0].position);
+    }
+
+    #[test]
+    fn random_positions_distinct() {
+        let lab = LabSetup::generate(&LabConfig::default(), 5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let pts = lab.random_element_positions(3, &mut rng);
+        assert_eq!(pts.len(), 3);
+        assert_ne!(pts[0], pts[1]);
+        assert_ne!(pts[1], pts[2]);
+        assert_ne!(pts[0], pts[2]);
+    }
+
+    #[test]
+    fn scatterer_count_matches_config() {
+        let cfg = LabConfig {
+            n_scatterers: 7,
+            ..LabConfig::default()
+        };
+        let lab = LabSetup::generate(&cfg, 3);
+        assert_eq!(lab.scene.scatterers.len(), 7);
+    }
+}

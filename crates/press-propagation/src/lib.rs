@@ -1,0 +1,36 @@
+//! # press-propagation
+//!
+//! Geometric multipath propagation engine for the PRESS reproduction.
+//!
+//! The paper's measured effects — frequency nulls, null motion under
+//! reconfiguration, MIMO condition-number change — are all interference
+//! phenomena of coherently superposed propagation paths. This crate builds
+//! those paths from first principles:
+//!
+//! * [`geometry`] — 3-D vectors, planes (mirror images), AABBs (blockage);
+//! * [`material`] — reflection/transmission coefficients of building materials;
+//! * [`antenna`] — gain patterns (2 dBi omni endpoints, 14 dBi parabolic
+//!   PRESS elements, dipoles);
+//! * [`path`] — the paper's standard signal model `{φ_l, τ_l, γ_l, θ_l}` and
+//!   frequency-response synthesis;
+//! * [`scene`] — rooms, obstacles, scatterers and the image-method tracer;
+//! * [`fading`] — Doppler, coherence time, and slow channel drift;
+//! * [`lab`] — seeded rebuilds of the paper's §3 laboratory setups.
+
+pub mod antenna;
+pub mod building;
+pub mod diffraction;
+pub mod fading;
+pub mod geometry;
+pub mod lab;
+pub mod material;
+pub mod path;
+pub mod scene;
+
+pub use antenna::{Antenna, Pattern};
+pub use geometry::{Aabb, Plane, Vec3};
+pub use building::{OfficeConfig, OfficeFloor};
+pub use lab::{LabConfig, LabSetup};
+pub use material::Material;
+pub use path::{frequency_response, PathKind, SignalPath};
+pub use scene::{RadioNode, Scene, TraceConfig};

@@ -1,0 +1,119 @@
+//! Building materials and their RF interaction parameters.
+//!
+//! Values are representative 2.4 GHz figures from the indoor-propagation
+//! literature (ITU-R P.2040-class numbers, rounded). Only two scalars matter
+//! to the image-method engine: how much *amplitude* a specular reflection
+//! keeps, and how much gets through the material (for blockage modelling).
+
+use press_math::db::db_to_amp;
+
+/// RF properties of a building material at ~2.4 GHz.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Material {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Loss of a specular reflection off this material, dB (positive).
+    pub reflection_loss_db: f64,
+    /// Loss of transmission through a typical thickness, dB (positive).
+    pub transmission_loss_db: f64,
+}
+
+impl Material {
+    /// Interior drywall (gypsum over studs) in a working lab: shelving,
+    /// posters and windows break up the specular bounce, so the coherent
+    /// reflection is weak and the energy reappears as diffuse scatter.
+    pub const DRYWALL: Material = Material {
+        name: "drywall",
+        reflection_loss_db: 8.0,
+        transmission_loss_db: 3.0,
+    };
+
+    /// A lab wall lined with racks, shelves and cables: the coherent
+    /// specular bounce is largely destroyed (the energy reappears as the
+    /// diffuse scatterers modelled separately).
+    pub const CLUTTERED_WALL: Material = Material {
+        name: "cluttered-wall",
+        reflection_loss_db: 20.0,
+        transmission_loss_db: 6.0,
+    };
+
+    /// Poured concrete: strong reflector, strong attenuator.
+    pub const CONCRETE: Material = Material {
+        name: "concrete",
+        reflection_loss_db: 4.0,
+        transmission_loss_db: 18.0,
+    };
+
+    /// Window glass.
+    pub const GLASS: Material = Material {
+        name: "glass",
+        reflection_loss_db: 7.0,
+        transmission_loss_db: 2.0,
+    };
+
+    /// Sheet metal: near-perfect reflector, opaque.
+    pub const METAL: Material = Material {
+        name: "metal",
+        reflection_loss_db: 0.5,
+        transmission_loss_db: 40.0,
+    };
+
+    /// Wooden furniture / doors (and carpeted/cluttered floor, ceiling).
+    pub const WOOD: Material = Material {
+        name: "wood",
+        reflection_loss_db: 12.0,
+        transmission_loss_db: 5.0,
+    };
+
+    /// RF absorber (anechoic foam) — used to emulate terminated loads and
+    /// absorptive test fixtures.
+    pub const ABSORBER: Material = Material {
+        name: "absorber",
+        reflection_loss_db: 30.0,
+        transmission_loss_db: 30.0,
+    };
+
+    /// Reflection amplitude coefficient in `(0, 1]`.
+    pub fn reflection_amplitude(&self) -> f64 {
+        db_to_amp(-self.reflection_loss_db)
+    }
+
+    /// Transmission amplitude coefficient in `(0, 1]`.
+    pub fn transmission_amplitude(&self) -> f64 {
+        db_to_amp(-self.transmission_loss_db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coefficients_in_unit_interval() {
+        for m in [
+            Material::DRYWALL,
+            Material::CONCRETE,
+            Material::GLASS,
+            Material::METAL,
+            Material::WOOD,
+            Material::ABSORBER,
+        ] {
+            let r = m.reflection_amplitude();
+            let t = m.transmission_amplitude();
+            assert!(r > 0.0 && r <= 1.0, "{}: r={r}", m.name);
+            assert!(t > 0.0 && t <= 1.0, "{}: t={t}", m.name);
+        }
+    }
+
+    #[test]
+    fn metal_reflects_better_than_drywall() {
+        assert!(Material::METAL.reflection_amplitude() > Material::DRYWALL.reflection_amplitude());
+    }
+
+    #[test]
+    fn concrete_blocks_more_than_glass() {
+        assert!(
+            Material::CONCRETE.transmission_amplitude() < Material::GLASS.transmission_amplitude()
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! Signal paths: the standard geometric channel model.
+//!
+//! The paper (§2) adopts the standard signal model of Tse & Viswanath (ref. 31 of the paper):
+//! each path `l` is characterized by its angle of departure φ_l, propagation
+//! delay τ_l, Doppler shift γ_l, angle of arrival θ_l, and a complex gain.
+//! The wireless channel at frequency `f` is the coherent superposition
+//!
+//! `H(f) = Σ_l g_l · e^{−j 2π f τ_l}`.
+//!
+//! PRESS works by adding, removing, and re-phasing a controllable subset of
+//! these paths — so the path list is the single source of truth for
+//! everything downstream.
+
+use press_math::Complex64;
+
+/// How a path came to exist. Carried for diagnostics, for the inverse
+/// problem (which needs to know which paths are controllable), and for
+/// blocking/occlusion bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathKind {
+    /// Direct line-of-sight path.
+    LineOfSight,
+    /// Specular reflection off wall with the given index (first order).
+    WallReflection {
+        /// Index into the scene's wall list.
+        wall: usize,
+    },
+    /// Second-order reflection off two walls.
+    DoubleReflection {
+        /// First wall index.
+        first: usize,
+        /// Second wall index.
+        second: usize,
+    },
+    /// Diffuse bounce off a point scatterer.
+    Scatter {
+        /// Index into the scene's scatterer list.
+        scatterer: usize,
+    },
+    /// Path through a PRESS element (TX → element → RX). The element's
+    /// reflection coefficient multiplies this path's gain at query time.
+    PressElement {
+        /// Index of the element in the array.
+        element: usize,
+    },
+}
+
+impl PathKind {
+    /// True for paths whose coefficient PRESS can change at runtime.
+    pub fn is_controllable(&self) -> bool {
+        matches!(self, PathKind::PressElement { .. })
+    }
+}
+
+/// One propagation path between a transmitter and a receiver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignalPath {
+    /// Complex amplitude gain at the carrier: path loss × antenna gains ×
+    /// reflection losses × carrier phase. Dimensionless amplitude ratio.
+    pub gain: Complex64,
+    /// Excess propagation delay over the air, seconds.
+    pub delay_s: f64,
+    /// Doppler shift of this path, Hz (nonzero only when endpoints or
+    /// environment move).
+    pub doppler_hz: f64,
+    /// Angle of departure at the transmitter (azimuth, radians).
+    pub aod_rad: f64,
+    /// Angle of arrival at the receiver (azimuth, radians).
+    pub aoa_rad: f64,
+    /// Provenance of the path.
+    pub kind: PathKind,
+}
+
+impl SignalPath {
+    /// Contribution of this path to the channel at absolute frequency
+    /// `freq_hz`, at elapsed time `t_s` (Doppler rotates the phase over time).
+    ///
+    /// The carrier phase `e^{−j2πf·τ}` is folded in here, *not* pre-baked into
+    /// `gain`, so that sweeping subcarrier frequencies exposes the
+    /// frequency-selective fading the paper's figures revolve around.
+    #[inline]
+    pub fn response_at(&self, freq_hz: f64, t_s: f64) -> Complex64 {
+        let phase = -2.0 * std::f64::consts::PI * (freq_hz * self.delay_s - self.doppler_hz * t_s);
+        self.gain * Complex64::cis(phase)
+    }
+
+    /// Power of this path in dB relative to a 0 dB (unit-gain) path.
+    pub fn power_db(&self) -> f64 {
+        20.0 * self.gain.abs().log10()
+    }
+}
+
+/// Computes the frequency response of a set of paths at the given absolute
+/// frequencies (Hz), at time `t_s`.
+pub fn frequency_response(paths: &[SignalPath], freqs_hz: &[f64], t_s: f64) -> Vec<Complex64> {
+    freqs_hz
+        .iter()
+        .map(|&f| paths.iter().map(|p| p.response_at(f, t_s)).sum())
+        .collect()
+}
+
+/// RMS delay spread of a path set, seconds — the standard second central
+/// moment of the power-delay profile. Drives coherence *bandwidth*.
+pub fn rms_delay_spread(paths: &[SignalPath]) -> f64 {
+    let total: f64 = paths.iter().map(|p| p.gain.norm_sqr()).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mean: f64 = paths
+        .iter()
+        .map(|p| p.gain.norm_sqr() * p.delay_s)
+        .sum::<f64>()
+        / total;
+    let second: f64 = paths
+        .iter()
+        .map(|p| p.gain.norm_sqr() * (p.delay_s - mean).powi(2))
+        .sum::<f64>()
+        / total;
+    second.sqrt()
+}
+
+/// Approximate 50%-correlation coherence bandwidth, `1/(5·σ_τ)` (Rappaport).
+pub fn coherence_bandwidth_hz(paths: &[SignalPath]) -> f64 {
+    let sigma = rms_delay_spread(paths);
+    if sigma <= 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / (5.0 * sigma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(gain: f64, delay_ns: f64) -> SignalPath {
+        SignalPath {
+            gain: Complex64::real(gain),
+            delay_s: delay_ns * 1e-9,
+            doppler_hz: 0.0,
+            aod_rad: 0.0,
+            aoa_rad: 0.0,
+            kind: PathKind::LineOfSight,
+        }
+    }
+
+    #[test]
+    fn single_path_magnitude_is_flat() {
+        let p = [path(0.5, 30.0)];
+        let freqs: Vec<f64> = (0..10).map(|k| 2.4e9 + k as f64 * 1e6).collect();
+        for h in frequency_response(&p, &freqs, 0.0) {
+            assert!((h.abs() - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn two_equal_paths_produce_null() {
+        // Delay difference of 100 ns => nulls every 10 MHz; at offsets where
+        // 2*pi*f*dtau is an odd multiple of pi the paths cancel.
+        let paths = [path(1.0, 0.0), path(1.0, 100.0)];
+        // f*dtau = k + 0.5  =>  f = (k+0.5)/100ns. Pick k so f near 2.4e9.
+        let k = (2.4e9f64 * 100e-9).floor();
+        let f_null = (k + 0.5) / 100e-9;
+        let f_peak = k / 100e-9;
+        let h = frequency_response(&paths, &[f_null, f_peak], 0.0);
+        assert!(h[0].abs() < 1e-9, "null depth {}", h[0].abs());
+        assert!((h[1].abs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn doppler_rotates_phase_over_time() {
+        let mut p = path(1.0, 0.0);
+        p.doppler_hz = 10.0;
+        let h0 = p.response_at(2.4e9, 0.0);
+        let h_quarter = p.response_at(2.4e9, 0.025); // quarter period of 10 Hz
+        assert!((h0.arg() - 0.0).abs() < 1e-12);
+        assert!((h_quarter.arg() - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_spread_of_single_path_is_zero() {
+        assert_eq!(rms_delay_spread(&[path(1.0, 55.0)]), 0.0);
+    }
+
+    #[test]
+    fn delay_spread_two_equal_paths() {
+        // Two equal-power paths at 0 and 100 ns: sigma = 50 ns.
+        let paths = [path(1.0, 0.0), path(1.0, 100.0)];
+        assert!((rms_delay_spread(&paths) - 50e-9).abs() < 1e-12);
+        assert!((coherence_bandwidth_hz(&paths) - 4e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_paths_infinite_coherence() {
+        assert!(coherence_bandwidth_hz(&[]).is_infinite());
+    }
+
+    #[test]
+    fn controllability_flag() {
+        assert!(PathKind::PressElement { element: 0 }.is_controllable());
+        assert!(!PathKind::LineOfSight.is_controllable());
+        assert!(!PathKind::Scatter { scatterer: 3 }.is_controllable());
+    }
+
+    #[test]
+    fn power_db_of_unit_path_is_zero() {
+        assert!(path(1.0, 0.0).power_db().abs() < 1e-12);
+        assert!((path(0.1, 0.0).power_db() + 20.0).abs() < 1e-12);
+    }
+}

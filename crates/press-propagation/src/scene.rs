@@ -1,0 +1,638 @@
+//! Scenes: rooms, obstacles, scatterers, and the image-method path tracer.
+//!
+//! A [`Scene`] owns everything about the physical environment *except* the
+//! PRESS array (which lives in `press-core` and injects its own controllable
+//! paths via [`Scene::bounce_path`]). Given two radio endpoints it produces
+//! the list of [`SignalPath`]s connecting them: line of sight, first- and
+//! second-order specular wall reflections (image method), and diffuse point
+//! scatterers. Obstacles attenuate any leg that crosses them — blocking the
+//! direct path with a metal slab is exactly how the paper creates its NLOS
+//! setups.
+
+use crate::antenna::Antenna;
+use crate::geometry::{Aabb, Plane, Vec3};
+use crate::material::Material;
+use crate::path::{PathKind, SignalPath};
+use press_math::consts::{friis_amplitude_gain, propagation_delay, wavelength, SPEED_OF_LIGHT};
+use press_math::Complex64;
+
+/// A radio endpoint: position, antenna, and velocity (for Doppler).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadioNode {
+    /// Position, meters.
+    pub position: Vec3,
+    /// Antenna with orientation.
+    pub antenna: Antenna,
+    /// Velocity, m/s. Zero for the static measurement campaigns.
+    pub velocity: Vec3,
+}
+
+impl RadioNode {
+    /// A stationary node with the paper's 2 dBi omni endpoint antenna.
+    pub fn omni_at(position: Vec3) -> Self {
+        RadioNode {
+            position,
+            antenna: Antenna::endpoint_omni(),
+            velocity: Vec3::ZERO,
+        }
+    }
+
+    /// A stationary node with a custom antenna.
+    pub fn with_antenna(position: Vec3, antenna: Antenna) -> Self {
+        RadioNode {
+            position,
+            antenna,
+            velocity: Vec3::ZERO,
+        }
+    }
+}
+
+/// A flat reflecting surface (wall, floor, ceiling) with finite rectangular
+/// extent approximated by an AABB around the surface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Wall {
+    /// The surface plane.
+    pub plane: Plane,
+    /// Material determining reflection strength.
+    pub material: Material,
+    /// Bounding box the specular point must fall within (slightly thickened
+    /// around the plane). `None` = infinite wall.
+    pub bounds: Option<Aabb>,
+}
+
+/// A signal-blocking box (filing cabinet, metal slab, interior wall segment).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Obstacle {
+    /// Geometry.
+    pub aabb: Aabb,
+    /// Material determining how much power leaks through.
+    pub material: Material,
+}
+
+/// A diffuse point scatterer (furniture edge, fixture, lab clutter).
+///
+/// Contributes a TX → scatterer → RX path with the product of two Friis legs
+/// and this complex reflectivity. The reflectivity magnitude absorbs the
+/// radar-cross-section normalization; its phase is the random carrier phase
+/// a real scatterer imparts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scatterer {
+    /// Position, meters.
+    pub position: Vec3,
+    /// Complex amplitude reflectivity (dimensionless, referenced to 1 m legs).
+    pub reflectivity: Complex64,
+}
+
+/// Path-tracing configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceConfig {
+    /// Include the direct path (it still crosses obstacles and may be heavily
+    /// attenuated — that *is* the NLOS case).
+    pub include_los: bool,
+    /// Highest specular reflection order to trace (0, 1 or 2).
+    pub max_reflection_order: u8,
+    /// Drop paths weaker than this amplitude (keeps path lists small).
+    pub amplitude_floor: f64,
+    /// Model knife-edge diffraction around obstacle edges (the shadowed
+    /// field is then the *stronger* of leak-through and bend-around).
+    pub diffraction: bool,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            include_los: true,
+            max_reflection_order: 2,
+            amplitude_floor: 1e-9,
+            diffraction: true,
+        }
+    }
+}
+
+/// The physical environment: geometry + materials + clutter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scene {
+    /// Carrier frequency, Hz (phases and Doppler are computed against this).
+    pub carrier_hz: f64,
+    /// Reflecting surfaces.
+    pub walls: Vec<Wall>,
+    /// Blocking boxes.
+    pub obstacles: Vec<Obstacle>,
+    /// Point scatterers.
+    pub scatterers: Vec<Scatterer>,
+    /// Tracer settings.
+    pub trace: TraceConfig,
+}
+
+impl Scene {
+    /// An empty scene (free space) at the given carrier.
+    pub fn free_space(carrier_hz: f64) -> Self {
+        Scene {
+            carrier_hz,
+            walls: Vec::new(),
+            obstacles: Vec::new(),
+            scatterers: Vec::new(),
+            trace: TraceConfig::default(),
+        }
+    }
+
+    /// A shoebox room `[0,w]×[0,d]×[0,h]` with four walls, floor and ceiling
+    /// of the given material.
+    pub fn shoebox(carrier_hz: f64, w: f64, d: f64, h: f64, material: Material) -> Self {
+        let mut scene = Scene::free_space(carrier_hz);
+        let eps = 0.05; // wall bounds thickness
+        let mut add = |point: Vec3, normal: Vec3, lo: Vec3, hi: Vec3| {
+            scene.walls.push(Wall {
+                plane: Plane::new(point, normal),
+                material: material.clone(),
+                bounds: Some(Aabb::new(
+                    lo - Vec3::new(eps, eps, eps),
+                    hi + Vec3::new(eps, eps, eps),
+                )),
+            });
+        };
+        // x = 0 and x = w walls.
+        add(Vec3::ZERO, Vec3::X, Vec3::ZERO, Vec3::new(0.0, d, h));
+        add(Vec3::new(w, 0.0, 0.0), -Vec3::X, Vec3::new(w, 0.0, 0.0), Vec3::new(w, d, h));
+        // y = 0 and y = d walls.
+        add(Vec3::ZERO, Vec3::Y, Vec3::ZERO, Vec3::new(w, 0.0, h));
+        add(Vec3::new(0.0, d, 0.0), -Vec3::Y, Vec3::new(0.0, d, 0.0), Vec3::new(w, d, h));
+        // Floor (z = 0) and ceiling (z = h).
+        add(Vec3::ZERO, Vec3::Z, Vec3::ZERO, Vec3::new(w, d, 0.0));
+        add(Vec3::new(0.0, 0.0, h), -Vec3::Z, Vec3::new(0.0, 0.0, h), Vec3::new(w, d, h));
+        scene
+    }
+
+    /// Adds a blocking obstacle.
+    pub fn add_obstacle(&mut self, aabb: Aabb, material: Material) {
+        self.obstacles.push(Obstacle { aabb, material });
+    }
+
+    /// Adds a point scatterer.
+    pub fn add_scatterer(&mut self, position: Vec3, reflectivity: Complex64) {
+        self.scatterers.push(Scatterer {
+            position,
+            reflectivity,
+        });
+    }
+
+    /// Amplitude attenuation a straight segment suffers from obstacles it
+    /// crosses — 1.0 when clear. Per obstacle, the surviving field is the
+    /// stronger of (a) leak-through at the material's transmission
+    /// coefficient and (b) knife-edge diffraction around the nearest of the
+    /// four edges bounding the crossing (when enabled in [`TraceConfig`]);
+    /// multiple obstacles multiply.
+    pub fn obstruction_amplitude(&self, a: Vec3, b: Vec3) -> f64 {
+        let lambda = wavelength(self.carrier_hz);
+        let mut amp = 1.0;
+        for obs in &self.obstacles {
+            let Some((t_in, axis_in, t_out, axis_out)) = obs.aabb.segment_span_axes(a, b) else {
+                continue;
+            };
+            let through = obs.material.transmission_amplitude();
+            if !self.trace.diffraction {
+                amp *= through;
+                continue;
+            }
+            // Crossing point: middle of the clipped segment.
+            let t_mid = (t_in + t_out) / 2.0;
+            let cross = a + (b - a) * t_mid;
+            let d1 = a.distance(cross);
+            let d2 = cross.distance(b);
+            // Obstruction depth toward the four *lateral* edges — the faces
+            // the ray pierces (entry/exit axes) are not bend-around
+            // candidates.
+            let depths = [
+                (2, obs.aabb.max.z - cross.z),
+                (2, cross.z - obs.aabb.min.z),
+                (1, obs.aabb.max.y - cross.y),
+                (1, cross.y - obs.aabb.min.y),
+                (0, obs.aabb.max.x - cross.x),
+                (0, cross.x - obs.aabb.min.x),
+            ];
+            let bend = depths
+                .iter()
+                .filter(|&&(axis, h)| h > 0.0 && axis != axis_in && axis != axis_out)
+                .map(|&(_, h)| crate::diffraction::knife_edge_amplitude(h, d1, d2, lambda))
+                .fold(0.0f64, f64::max);
+            amp *= through.max(bend).min(1.0);
+        }
+        amp
+    }
+
+    /// True when at least one obstacle cuts the segment.
+    pub fn is_obstructed(&self, a: Vec3, b: Vec3) -> bool {
+        self.obstacles
+            .iter()
+            .any(|o| o.aabb.intersects_segment(a, b))
+    }
+
+    fn doppler_hz(&self, tx: &RadioNode, rx: &RadioNode, first_leg_dir: Vec3, last_leg_dir: Vec3) -> f64 {
+        // Rate of change of total path length: positive when the path is
+        // getting longer. Doppler shift is -rate/lambda.
+        let lambda = wavelength(self.carrier_hz);
+        let rate = tx.velocity.dot(-first_leg_dir) + rx.velocity.dot(last_leg_dir);
+        -rate / lambda
+    }
+
+    /// Builds a direct path between two points with the given extra amplitude
+    /// factor (antennas, materials) applied on top of Friis loss and carrier
+    /// phase. Internal building block.
+    fn leg_gain(&self, len: f64) -> f64 {
+        friis_amplitude_gain(len, self.carrier_hz)
+    }
+
+    /// Builds the TX → `point` → RX bounce path used for wall images,
+    /// scatterers *and PRESS elements* (press-core calls this with the
+    /// element's position and its antenna/switch amplitude).
+    ///
+    /// `reflect_amp` is the complex amplitude applied at the bounce point
+    /// (material coefficient, scatterer reflectivity, or PRESS element
+    /// response *excluding* its switched reflection coefficient). Obstacle
+    /// attenuation is applied to both legs. Returns `None` when the resulting
+    /// path falls below the tracer's amplitude floor.
+    pub fn bounce_path(
+        &self,
+        tx: &RadioNode,
+        rx: &RadioNode,
+        point: Vec3,
+        reflect_amp: Complex64,
+        kind: PathKind,
+    ) -> Option<SignalPath> {
+        let leg1 = point - tx.position;
+        let leg2 = rx.position - point;
+        let (d1, d2) = (leg1.norm(), leg2.norm());
+        if d1 < 1e-6 || d2 < 1e-6 {
+            return None;
+        }
+        let u1 = leg1 / d1;
+        let u2 = leg2 / d2;
+        let amp = self.leg_gain(d1)
+            * self.leg_gain(d2)
+            * tx.antenna.amplitude_gain(u1)
+            * rx.antenna.amplitude_gain(-u2)
+            * self.obstruction_amplitude(tx.position, point)
+            * self.obstruction_amplitude(point, rx.position);
+        let gain = reflect_amp * amp;
+        if gain.abs() < self.trace.amplitude_floor {
+            return None;
+        }
+        let delay = propagation_delay(d1 + d2);
+        Some(SignalPath {
+            gain,
+            delay_s: delay,
+            doppler_hz: self.doppler_hz(tx, rx, u1, u2),
+            aod_rad: u1.azimuth(),
+            aoa_rad: (-u2).azimuth(),
+            kind,
+        })
+    }
+
+    fn los_path(&self, tx: &RadioNode, rx: &RadioNode) -> Option<SignalPath> {
+        let leg = rx.position - tx.position;
+        let d = leg.norm();
+        if d < 1e-6 {
+            return None;
+        }
+        let u = leg / d;
+        let amp = self.leg_gain(d)
+            * tx.antenna.amplitude_gain(u)
+            * rx.antenna.amplitude_gain(-u)
+            * self.obstruction_amplitude(tx.position, rx.position);
+        if amp < self.trace.amplitude_floor {
+            return None;
+        }
+        Some(SignalPath {
+            gain: Complex64::real(amp),
+            delay_s: propagation_delay(d),
+            doppler_hz: self.doppler_hz(tx, rx, u, u),
+            aod_rad: u.azimuth(),
+            aoa_rad: (-u).azimuth(),
+            kind: PathKind::LineOfSight,
+        })
+    }
+
+    fn first_order_reflection(
+        &self,
+        tx: &RadioNode,
+        rx: &RadioNode,
+        wall_idx: usize,
+    ) -> Option<SignalPath> {
+        let wall = &self.walls[wall_idx];
+        // Both endpoints must be on the same side of the wall for a specular
+        // reflection to exist.
+        let da = wall.plane.signed_distance(tx.position);
+        let db = wall.plane.signed_distance(rx.position);
+        if da * db <= 0.0 {
+            return None;
+        }
+        let image = wall.plane.mirror(tx.position);
+        let specular = wall.plane.segment_intersection(image, rx.position)?;
+        if let Some(bounds) = &wall.bounds {
+            if !bounds.contains(specular) {
+                return None;
+            }
+        }
+        // Specular reflection off a large flat surface preserves wavefront
+        // curvature: one Friis spreading over the *unfolded* path length
+        // (image to receiver), unlike point scatterers' two-leg product.
+        let leg1 = specular - tx.position;
+        let leg2 = rx.position - specular;
+        let (d1, d2) = (leg1.norm(), leg2.norm());
+        if d1 < 1e-6 || d2 < 1e-6 {
+            return None;
+        }
+        let u1 = leg1 / d1;
+        let u2 = leg2 / d2;
+        let amp = self.leg_gain(d1 + d2)
+            * tx.antenna.amplitude_gain(u1)
+            * rx.antenna.amplitude_gain(-u2)
+            * wall.material.reflection_amplitude()
+            * self.obstruction_amplitude(tx.position, specular)
+            * self.obstruction_amplitude(specular, rx.position);
+        if amp < self.trace.amplitude_floor {
+            return None;
+        }
+        Some(SignalPath {
+            gain: Complex64::real(amp),
+            delay_s: propagation_delay(d1 + d2),
+            doppler_hz: self.doppler_hz(tx, rx, u1, u2),
+            aod_rad: u1.azimuth(),
+            aoa_rad: (-u2).azimuth(),
+            kind: PathKind::WallReflection { wall: wall_idx },
+        })
+    }
+
+    fn second_order_reflection(
+        &self,
+        tx: &RadioNode,
+        rx: &RadioNode,
+        first: usize,
+        second: usize,
+    ) -> Option<SignalPath> {
+        let w1 = &self.walls[first];
+        let w2 = &self.walls[second];
+        // Double image: mirror TX across wall 1, then across wall 2.
+        let image1 = w1.plane.mirror(tx.position);
+        let image2 = w2.plane.mirror(image1);
+        let p2 = w2.plane.segment_intersection(image2, rx.position)?;
+        let p1 = w1.plane.segment_intersection(image1, p2)?;
+        for (wall, p) in [(w1, p1), (w2, p2)] {
+            if let Some(bounds) = &wall.bounds {
+                if !bounds.contains(p) {
+                    return None;
+                }
+            }
+        }
+        let leg0 = p1 - tx.position;
+        let leg1 = p2 - p1;
+        let leg2 = rx.position - p2;
+        let (d0, d1, d2) = (leg0.norm(), leg1.norm(), leg2.norm());
+        if d0 < 1e-6 || d1 < 1e-6 || d2 < 1e-6 {
+            return None;
+        }
+        let total = d0 + d1 + d2;
+        let u0 = leg0 / d0;
+        let u2 = leg2 / d2;
+        let amp = friis_amplitude_gain(total, self.carrier_hz)
+            * tx.antenna.amplitude_gain(u0)
+            * rx.antenna.amplitude_gain(-u2)
+            * w1.material.reflection_amplitude()
+            * w2.material.reflection_amplitude()
+            * self.obstruction_amplitude(tx.position, p1)
+            * self.obstruction_amplitude(p1, p2)
+            * self.obstruction_amplitude(p2, rx.position);
+        if amp < self.trace.amplitude_floor {
+            return None;
+        }
+        Some(SignalPath {
+            gain: Complex64::real(amp),
+            delay_s: propagation_delay(total),
+            doppler_hz: self.doppler_hz(tx, rx, u0, u2),
+            aod_rad: u0.azimuth(),
+            aoa_rad: (-u2).azimuth(),
+            kind: PathKind::DoubleReflection { first, second },
+        })
+    }
+
+    /// Traces all environment paths (LOS, wall reflections, scatterers)
+    /// between two endpoints. PRESS element paths are *not* included — the
+    /// array (press-core) appends those itself so it can re-phase them per
+    /// configuration without re-tracing the static environment.
+    pub fn paths(&self, tx: &RadioNode, rx: &RadioNode) -> Vec<SignalPath> {
+        let mut out = Vec::new();
+        if self.trace.include_los {
+            out.extend(self.los_path(tx, rx));
+        }
+        if self.trace.max_reflection_order >= 1 {
+            for i in 0..self.walls.len() {
+                out.extend(self.first_order_reflection(tx, rx, i));
+            }
+        }
+        if self.trace.max_reflection_order >= 2 {
+            for i in 0..self.walls.len() {
+                for j in 0..self.walls.len() {
+                    if i != j {
+                        out.extend(self.second_order_reflection(tx, rx, i, j));
+                    }
+                }
+            }
+        }
+        for (s_idx, s) in self.scatterers.iter().enumerate() {
+            out.extend(self.bounce_path(
+                tx,
+                rx,
+                s.position,
+                s.reflectivity,
+                PathKind::Scatter { scatterer: s_idx },
+            ));
+        }
+        out
+    }
+
+    /// Wavelength at the scene carrier, meters.
+    pub fn wavelength(&self) -> f64 {
+        wavelength(self.carrier_hz)
+    }
+
+    /// Coherence time for an endpoint moving at `speed_mps`, by the
+    /// Tse & Viswanath convention the paper cites (`1/(8·f_d)`). The paper
+    /// quotes ~80 ms at 0.5 mph and ~6 ms at 6 mph for 2.4 GHz, which this
+    /// reproduces.
+    pub fn coherence_time_s(&self, speed_mps: f64) -> f64 {
+        let fd = speed_mps * self.carrier_hz / SPEED_OF_LIGHT;
+        crate::fading::coherence_time_s(fd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use press_math::consts::WIFI_CHANNEL_11_HZ;
+
+    fn basic_room() -> Scene {
+        Scene::shoebox(WIFI_CHANNEL_11_HZ, 6.0, 5.0, 3.0, Material::DRYWALL)
+    }
+
+    fn node(x: f64, y: f64) -> RadioNode {
+        RadioNode::omni_at(Vec3::new(x, y, 1.5))
+    }
+
+    #[test]
+    fn free_space_has_single_los_path() {
+        let scene = Scene::free_space(WIFI_CHANNEL_11_HZ);
+        let paths = scene.paths(&node(1.0, 1.0), &node(4.0, 1.0));
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].kind, PathKind::LineOfSight);
+        // 3 m: delay ~10 ns.
+        assert!((paths[0].delay_s - 1.0007e-8).abs() < 1e-10);
+    }
+
+    #[test]
+    fn shoebox_produces_reflections() {
+        let scene = basic_room();
+        let paths = scene.paths(&node(1.0, 2.0), &node(5.0, 3.0));
+        let first_order = paths
+            .iter()
+            .filter(|p| matches!(p.kind, PathKind::WallReflection { .. }))
+            .count();
+        let second_order = paths
+            .iter()
+            .filter(|p| matches!(p.kind, PathKind::DoubleReflection { .. }))
+            .count();
+        // 6 surfaces => 6 first-order images, all visible inside a convex room.
+        assert_eq!(first_order, 6);
+        assert!(second_order > 0);
+    }
+
+    #[test]
+    fn reflection_longer_than_los() {
+        let scene = basic_room();
+        let paths = scene.paths(&node(1.0, 2.0), &node(5.0, 3.0));
+        let los = paths
+            .iter()
+            .find(|p| p.kind == PathKind::LineOfSight)
+            .unwrap();
+        for p in &paths {
+            if !matches!(p.kind, PathKind::LineOfSight) {
+                assert!(p.delay_s > los.delay_s);
+                assert!(p.gain.abs() < los.gain.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn obstacle_attenuates_los() {
+        let mut scene = basic_room();
+        let tx = node(1.0, 2.5);
+        let rx = node(5.0, 2.5);
+        let clear = scene.paths(&tx, &rx);
+        let clear_los = clear.iter().find(|p| p.kind == PathKind::LineOfSight).unwrap().gain.abs();
+        scene.add_obstacle(
+            Aabb::new(Vec3::new(2.9, 1.5, 0.0), Vec3::new(3.1, 3.5, 3.0)),
+            Material::METAL,
+        );
+        let blocked_with_diffraction = scene.paths(&tx, &rx);
+        let blocked_los_diff = blocked_with_diffraction
+            .iter()
+            .find(|p| p.kind == PathKind::LineOfSight)
+            .map(|p| p.gain.abs())
+            .unwrap_or(0.0);
+        // Diffraction lets more field around than raw transmission, but the
+        // path must still be clearly attenuated.
+        let through_only = clear_los * Material::METAL.transmission_amplitude();
+        assert!(blocked_los_diff >= through_only);
+        assert!(blocked_los_diff < clear_los / 3.0);
+        // With diffraction disabled the attenuation is exactly the
+        // material's transmission coefficient.
+        scene.trace.diffraction = false;
+        let blocked = scene.paths(&tx, &rx);
+        let blocked_los = blocked
+            .iter()
+            .find(|p| p.kind == PathKind::LineOfSight)
+            .map(|p| p.gain.abs())
+            .unwrap_or(0.0);
+        assert!((blocked_los - through_only).abs() < 1e-12);
+        assert!(scene.is_obstructed(tx.position, rx.position));
+    }
+
+    #[test]
+    fn scatterer_adds_path() {
+        let mut scene = Scene::free_space(WIFI_CHANNEL_11_HZ);
+        scene.add_scatterer(Vec3::new(2.0, 3.0, 1.5), Complex64::from_polar(0.5, 1.0));
+        let paths = scene.paths(&node(1.0, 1.0), &node(4.0, 1.0));
+        assert_eq!(paths.len(), 2);
+        assert!(paths
+            .iter()
+            .any(|p| matches!(p.kind, PathKind::Scatter { scatterer: 0 })));
+    }
+
+    #[test]
+    fn image_method_delay_matches_unfolded_length() {
+        // TX and RX 1 m from a metal floor; reflection length via image.
+        let mut scene = Scene::free_space(WIFI_CHANNEL_11_HZ);
+        scene.walls.push(Wall {
+            plane: Plane::new(Vec3::ZERO, Vec3::Z),
+            material: Material::METAL,
+            bounds: None,
+        });
+        let tx = RadioNode::with_antenna(Vec3::new(0.0, 0.0, 1.0), Antenna::isotropic());
+        let rx = RadioNode::with_antenna(Vec3::new(2.0, 0.0, 1.0), Antenna::isotropic());
+        let paths = scene.paths(&tx, &rx);
+        let refl = paths
+            .iter()
+            .find(|p| matches!(p.kind, PathKind::WallReflection { .. }))
+            .unwrap();
+        // Image at (0,0,-1): distance to RX = sqrt(4 + 4) = 2.828 m.
+        let expect = 8f64.sqrt() / SPEED_OF_LIGHT;
+        assert!((refl.delay_s - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn doppler_zero_when_static() {
+        let scene = basic_room();
+        for p in scene.paths(&node(1.0, 1.0), &node(4.0, 2.0)) {
+            assert_eq!(p.doppler_hz, 0.0);
+        }
+    }
+
+    #[test]
+    fn doppler_sign_for_approaching_receiver() {
+        let scene = Scene::free_space(WIFI_CHANNEL_11_HZ);
+        let tx = node(0.0, 0.0);
+        let mut rx = node(5.0, 0.0);
+        rx.velocity = Vec3::new(-1.0, 0.0, 0.0); // moving toward TX
+        let paths = scene.paths(&tx, &rx);
+        assert!(paths[0].doppler_hz > 0.0, "approaching => positive Doppler");
+        // 1 m/s at 2.462 GHz: ~8.2 Hz.
+        assert!((paths[0].doppler_hz - 8.21).abs() < 0.1);
+    }
+
+    #[test]
+    fn coherence_time_matches_paper_quotes() {
+        let scene = basic_room();
+        let mph = 0.44704;
+        let t_slow = scene.coherence_time_s(0.5 * mph);
+        let t_run = scene.coherence_time_s(6.0 * mph);
+        assert!((0.05..0.1).contains(&t_slow), "t_slow={t_slow}");
+        assert!((0.004..0.009).contains(&t_run), "t_run={t_run}");
+        assert!(scene.coherence_time_s(0.0).is_infinite());
+    }
+
+    #[test]
+    fn bounce_path_near_endpoint_rejected() {
+        let scene = Scene::free_space(WIFI_CHANNEL_11_HZ);
+        let tx = node(1.0, 1.0);
+        let rx = node(4.0, 1.0);
+        assert!(scene
+            .bounce_path(&tx, &rx, tx.position, Complex64::ONE, PathKind::PressElement { element: 0 })
+            .is_none());
+    }
+
+    #[test]
+    fn amplitude_floor_drops_weak_paths() {
+        let mut scene = Scene::free_space(WIFI_CHANNEL_11_HZ);
+        scene.trace.amplitude_floor = 1.0; // absurdly high: everything dropped
+        assert!(scene.paths(&node(0.0, 0.0), &node(3.0, 0.0)).is_empty());
+    }
+}

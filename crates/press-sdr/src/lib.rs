@@ -1,0 +1,18 @@
+//! # press-sdr
+//!
+//! Simulated software-defined radio endpoints — the workspace's substitute
+//! for the paper's WARP v3 and USRP N210/X310 hardware (see DESIGN.md,
+//! "Hardware substitution").
+//!
+//! * [`radio`] — radio presets (TX power, noise figure, CFO/phase-noise
+//!   impairments) for the three devices the paper used;
+//! * [`sounder`] — the frame-based channel sounder: known training symbols
+//!   through a path set, AWGN and impairments added, CSI estimated with the
+//!   `press-phy` estimator. Also exposes the noiseless *oracle* channel for
+//!   fast search-algorithm ablations.
+
+pub mod radio;
+pub mod sounder;
+
+pub use radio::{Impairments, RadioModel, SdrRadio};
+pub use sounder::{Sounder, Sounding, SNR_SATURATION_DB};

@@ -1,0 +1,149 @@
+//! Simulated software-defined radios.
+//!
+//! Stand-ins for the paper's WARP v3 and USRP N210/X310 endpoints: transmit
+//! power, noise figure, and the front-end impairments (carrier frequency
+//! offset, phase noise) that make estimated channels differ from true ones
+//! the way real measurements do.
+
+use press_math::db::{db_to_pow, thermal_noise_dbm};
+use press_propagation::RadioNode;
+
+/// Front-end impairment model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Impairments {
+    /// Residual carrier frequency offset after correction, Hz.
+    pub cfo_hz: f64,
+    /// Phase-noise random-walk standard deviation per OFDM symbol, radians.
+    pub phase_noise_rad: f64,
+}
+
+impl Impairments {
+    /// A calibrated lab setup: small residual CFO, mild phase noise.
+    pub fn lab_grade() -> Impairments {
+        Impairments {
+            cfo_hz: 50.0,
+            phase_noise_rad: 0.01,
+        }
+    }
+
+    /// Ideal hardware (unit tests, oracle comparisons).
+    pub fn none() -> Impairments {
+        Impairments {
+            cfo_hz: 0.0,
+            phase_noise_rad: 0.0,
+        }
+    }
+}
+
+/// Hardware presets matching the devices in §3.1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RadioModel {
+    /// Rice WARP v3 (the Figure 4–6 endpoints).
+    WarpV3,
+    /// Ettus USRP N210 (the Figure 7 endpoints).
+    UsrpN210,
+    /// Ettus USRP X310 + UBX-160 (the Figure 8 MIMO endpoints).
+    UsrpX310,
+}
+
+/// A simulated SDR: placement + RF budget + impairments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SdrRadio {
+    /// Position, antenna and velocity.
+    pub node: RadioNode,
+    /// Total transmit power, dBm (split evenly across active subcarriers).
+    pub tx_power_dbm: f64,
+    /// Receiver noise figure, dB.
+    pub noise_figure_db: f64,
+    /// Front-end impairments.
+    pub impairments: Impairments,
+    /// Which hardware this emulates (documentation/reporting only).
+    pub model: RadioModel,
+}
+
+impl SdrRadio {
+    /// A WARP v3-class radio at the given node: 10 dBm out, 7 dB NF.
+    pub fn warp(node: RadioNode) -> SdrRadio {
+        SdrRadio {
+            node,
+            tx_power_dbm: 10.0,
+            noise_figure_db: 7.0,
+            impairments: Impairments::lab_grade(),
+            model: RadioModel::WarpV3,
+        }
+    }
+
+    /// A USRP N210-class radio: 15 dBm out, 8 dB NF.
+    pub fn usrp_n210(node: RadioNode) -> SdrRadio {
+        SdrRadio {
+            node,
+            tx_power_dbm: 15.0,
+            noise_figure_db: 8.0,
+            impairments: Impairments::lab_grade(),
+            model: RadioModel::UsrpN210,
+        }
+    }
+
+    /// A USRP X310-class radio: 15 dBm out, 6 dB NF.
+    pub fn usrp_x310(node: RadioNode) -> SdrRadio {
+        SdrRadio {
+            node,
+            tx_power_dbm: 15.0,
+            noise_figure_db: 6.0,
+            impairments: Impairments::lab_grade(),
+            model: RadioModel::UsrpX310,
+        }
+    }
+
+    /// Per-subcarrier transmit power in linear milliwatts when the total
+    /// power is split across `n_active` subcarriers.
+    pub fn subcarrier_power_mw(&self, n_active: usize) -> f64 {
+        db_to_pow(self.tx_power_dbm) / n_active.max(1) as f64
+    }
+
+    /// Receiver noise power per subcarrier in linear milliwatts for the
+    /// given subcarrier spacing: thermal floor + noise figure.
+    pub fn subcarrier_noise_mw(&self, subcarrier_spacing_hz: f64) -> f64 {
+        db_to_pow(thermal_noise_dbm(subcarrier_spacing_hz) + self.noise_figure_db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use press_propagation::Vec3;
+
+    fn node() -> RadioNode {
+        RadioNode::omni_at(Vec3::new(1.0, 1.0, 1.5))
+    }
+
+    #[test]
+    fn subcarrier_power_splits_total() {
+        let r = SdrRadio::warp(node());
+        let p_sc = r.subcarrier_power_mw(52);
+        assert!((p_sc * 52.0 - db_to_pow(10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_floor_reasonable() {
+        // 312.5 kHz spacing, 7 dB NF: about -112 dBm per subcarrier.
+        let r = SdrRadio::warp(node());
+        let n = r.subcarrier_noise_mw(312_500.0);
+        let dbm = 10.0 * n.log10();
+        assert!((-114.0..-110.0).contains(&dbm), "{dbm}");
+    }
+
+    #[test]
+    fn presets_differ() {
+        let w = SdrRadio::warp(node());
+        let u = SdrRadio::usrp_n210(node());
+        assert_ne!(w.model, u.model);
+        assert!(u.tx_power_dbm > w.tx_power_dbm);
+    }
+
+    #[test]
+    fn zero_subcarriers_does_not_divide_by_zero() {
+        let r = SdrRadio::warp(node());
+        assert!(r.subcarrier_power_mw(0).is_finite());
+    }
+}

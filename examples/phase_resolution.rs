@@ -1,0 +1,66 @@
+//! Phase resolution: testing the paper's §4.1 conjecture that "around eight
+//! phase values along with the off state may provide sufficient resolution".
+//!
+//! Rebuilds the Figure 4 rig with 2, 4, 8, 16 and 32 evenly spaced
+//! reflection phases per element (plus the off state) and measures the best
+//! worst-subcarrier SNR each resolution can reach, by exhaustive search on
+//! oracle channels.
+//!
+//! ```sh
+//! cargo run --release --example phase_resolution
+//! ```
+
+use press::core::{search, CachedLink, PressSystem};
+use press::prelude::*;
+
+fn main() {
+    println!("PRESS phase-resolution ablation (paper §4.1 conjecture)\n");
+    println!("{:>8} {:>12} {:>16} {:>14}", "phases", "configs", "best minSNR dB", "gain vs 2");
+
+    let mut base_gain = None;
+    for n_phases in [2usize, 4, 8, 16, 32] {
+        let score = best_min_snr(n_phases);
+        let baseline = *base_gain.get_or_insert(score);
+        println!(
+            "{:>8} {:>12} {:>16.2} {:>14.2}",
+            n_phases,
+            (n_phases + 1).pow(3),
+            score,
+            score - baseline
+        );
+    }
+    println!("\n(the paper conjectures ~8 phases + off suffice; diminishing returns past that)");
+}
+
+/// Best achievable worst-subcarrier SNR with `n_phases`-state elements, by
+/// exhaustive search over oracle channels on the Figure 4 bench.
+fn best_min_snr(n_phases: usize) -> f64 {
+    use rand::SeedableRng;
+    let lab = LabSetup::generate(&LabConfig::default(), 1);
+    let lambda = lab.scene.wavelength();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1u64.wrapping_mul(0x9E3779B97F4A7C15));
+    let positions = lab.random_element_positions(3, &mut rng);
+    let aim = (lab.tx.position + lab.rx.position) * 0.5;
+    let elements: Vec<press::core::PlacedElement> = positions
+        .iter()
+        .map(|&p| press::core::PlacedElement {
+            element: Element::quantized_passive(n_phases, true, lambda),
+            position: p,
+            antenna: Antenna::new(press::propagation::antenna::Pattern::press_patch(), aim - p),
+        })
+        .collect();
+    let system = PressSystem::new(lab.scene.clone(), PressArray::new(elements));
+    let sounder = Sounder::new(
+        Numerology::wifi20(press::math::consts::WIFI_CHANNEL_11_HZ),
+        SdrRadio::warp(lab.tx.clone()),
+        SdrRadio::warp(lab.rx.clone()),
+    );
+    let link = CachedLink::trace(&system, sounder.tx.node.clone(), sounder.rx.node.clone());
+    let space = system.array.config_space();
+    let result = search::exhaustive(&space, |config| {
+        sounder
+            .oracle_snr(&link.paths(&system, config), 0.0)
+            .min_db()
+    });
+    result.score
+}

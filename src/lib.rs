@@ -1,0 +1,45 @@
+//! # press
+//!
+//! Full-stack Rust reproduction of **"Programmable Radio Environments for
+//! Smart Spaces"** (PRESS, HotNets-XVI 2017) — the paper that presaged
+//! reconfigurable intelligent surfaces: wall-embedded arrays of switched
+//! antenna elements that reshape indoor multipath to improve the wireless
+//! links passing through it.
+//!
+//! This facade crate re-exports the whole workspace and provides the
+//! prebuilt experimental [`rig`]s matching the paper's §3 setups. See
+//! DESIGN.md for the system inventory and EXPERIMENTS.md for the
+//! paper-vs-measured record of every figure.
+//!
+//! ```
+//! use press::prelude::*;
+//!
+//! // The paper's Figure 4 rig: NLOS link + 3 switched passive elements.
+//! let rig = press::rig::fig4_rig(1);
+//! assert_eq!(rig.system.array.config_space().size(), 64);
+//! ```
+
+pub mod rig;
+
+pub use press_control as control;
+pub use press_core as core;
+pub use press_elements as elements;
+pub use press_math as math;
+pub use press_phy as phy;
+pub use press_propagation as propagation;
+pub use press_sdr as sdr;
+
+/// One-stop imports for examples and quick scripts.
+pub mod prelude {
+    pub use crate::rig::{fig4_los_rig, fig4_rig, fig7_rig, fig8_rig, MimoRig, Rig};
+    pub use press_control::{actuate, AckPolicy, Transport};
+    pub use press_core::{
+        headline_stats, run_campaign, CampaignConfig, ConfigSpace, Configuration, Controller,
+        LinkObjective, PressArray, PressSystem, Strategy,
+    };
+    pub use press_elements::Element;
+    pub use press_math::{CMat, Complex64, Ecdf};
+    pub use press_phy::{MimoChannel, Numerology, SnrProfile};
+    pub use press_propagation::{Antenna, LabConfig, LabSetup, RadioNode, Scene, Vec3};
+    pub use press_sdr::{SdrRadio, Sounder};
+}

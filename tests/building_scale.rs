@@ -1,0 +1,151 @@
+//! Building-scale integration: the two-room office floor and the
+//! passive-vs-active trade-off of the `through_wall` example, asserted.
+
+use press::core::{CachedLink, Configuration, PlacedElement, PressArray, PressSystem};
+use press::prelude::*;
+use press::propagation::building::{OfficeConfig, OfficeFloor};
+use press::propagation::{Material, Pattern};
+
+fn office() -> OfficeFloor {
+    OfficeFloor::generate(
+        &OfficeConfig {
+            partition: Material::CONCRETE,
+            ..OfficeConfig::default()
+        },
+        1,
+    )
+}
+
+fn cross_room_sounder(floor: &OfficeFloor) -> Sounder {
+    let mut ap = SdrRadio::warp(floor.ap.clone());
+    ap.tx_power_dbm = 0.0;
+    Sounder::new(
+        Numerology::wifi20(press::math::consts::WIFI_CHANNEL_11_HZ),
+        ap,
+        SdrRadio::warp(floor.client.clone()),
+    )
+}
+
+#[test]
+fn concrete_partition_attenuates_cross_room_link() {
+    let thin = OfficeFloor::generate(&OfficeConfig::default(), 1); // drywall
+    let thick = office(); // concrete
+    let power = |floor: &OfficeFloor| -> f64 {
+        let paths = floor.scene.paths(&floor.ap, &floor.client);
+        10.0 * paths
+            .iter()
+            .map(|p| p.gain.norm_sqr())
+            .sum::<f64>()
+            .log10()
+    };
+    assert!(
+        power(&thick) < power(&thin) - 5.0,
+        "concrete {} dB vs drywall {} dB",
+        power(&thick),
+        power(&thin)
+    );
+}
+
+#[test]
+fn passive_doorway_elements_gain_little_at_room_scale() {
+    let floor = office();
+    let sounder = cross_room_sounder(&floor);
+    let lambda = floor.scene.wavelength();
+    let aim = floor.door_center;
+    let elements: Vec<PlacedElement> = floor
+        .doorway_candidates
+        .iter()
+        .take(3)
+        .map(|&p| PlacedElement {
+            element: Element::paper_passive(lambda),
+            position: p,
+            antenna: Antenna::new(Pattern::press_patch(), aim - p),
+        })
+        .collect();
+    let system = PressSystem::new(floor.scene.clone(), PressArray::new(elements));
+    let link = CachedLink::trace(&system, floor.ap.clone(), floor.client.clone());
+    let space = system.array.config_space();
+    let mut best = f64::NEG_INFINITY;
+    let mut worst = f64::INFINITY;
+    for config in space.iter() {
+        let mean = sounder
+            .oracle_snr(&link.paths(&system, &config), 0.0)
+            .mean_db();
+        best = best.max(mean);
+        worst = worst.min(mean);
+    }
+    // Two ~4 m backscatter legs sit ~30 dB under the surviving channel:
+    // the whole configuration space moves the mean by under 2 dB.
+    assert!(
+        best - worst < 2.0,
+        "passive doorway swing should be small: {:.2} dB",
+        best - worst
+    );
+}
+
+#[test]
+fn active_doorway_relay_transforms_the_link() {
+    let floor = office();
+    let sounder = cross_room_sounder(&floor);
+
+    // Baseline: no PRESS.
+    let bare = PressSystem::new(floor.scene.clone(), PressArray::new(vec![]));
+    let bare_link = CachedLink::trace(&bare, floor.ap.clone(), floor.client.clone());
+    let before = sounder
+        .oracle_snr(&bare_link.paths(&bare, &Configuration::zeros(0)), 0.0)
+        .mean_db();
+
+    // One 50 dB relay in the doorway.
+    let mut relay = Element::active(50.0);
+    relay.program_active(50.0, 0.0, true);
+    let system = PressSystem::new(
+        floor.scene.clone(),
+        PressArray::new(vec![PlacedElement {
+            element: relay,
+            position: floor.door_center,
+            antenna: Antenna::new(Pattern::endpoint_omni(), press::propagation::Vec3::Z),
+        }]),
+    );
+    let link = CachedLink::trace(&system, floor.ap.clone(), floor.client.clone());
+    let after = sounder
+        .oracle_snr(&link.paths(&system, &Configuration::zeros(1)), 0.0)
+        .mean_db();
+    assert!(
+        after > before + 10.0,
+        "relay must dominate the partition: {before:.1} -> {after:.1} dB"
+    );
+}
+
+#[test]
+fn continuous_relay_tuning_helps_or_matches() {
+    use press::core::tune_active_phases;
+    let floor = office();
+    let sounder = cross_room_sounder(&floor);
+    let mut system = PressSystem::new(
+        floor.scene.clone(),
+        PressArray::new(vec![PlacedElement {
+            element: Element::active(30.0),
+            position: floor.door_center,
+            antenna: Antenna::new(Pattern::endpoint_omni(), press::propagation::Vec3::Z),
+        }]),
+    );
+    let link = CachedLink::trace(&system, floor.ap.clone(), floor.client.clone());
+    let passive_cfg = Configuration::zeros(1);
+    let objective = |p: &SnrProfile| p.min_db();
+    system.array.elements[0].element.program_active(30.0, 0.0, true);
+    let phase_zero = objective(&sounder.oracle_snr(&link.paths(&system, &passive_cfg), 0.0));
+    let tuned = tune_active_phases(
+        &mut system,
+        &link,
+        &sounder,
+        &passive_cfg,
+        30.0,
+        2,
+        &objective,
+    );
+    assert!(
+        tuned.score >= phase_zero - 1e-9,
+        "tuned {} vs phase-zero {phase_zero}",
+        tuned.score
+    );
+}

@@ -1,0 +1,89 @@
+//! Integration: the control plane actuating real search results, and the
+//! timing story connecting §2's budgets to §4.2's transport choices.
+
+use press::control::{actuate, AckPolicy, Message, Transport};
+use press::core::{Controller, LinkObjective, Strategy, TimingModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Search chooses a configuration; the control plane delivers it; the array
+/// ends up in exactly that configuration.
+#[test]
+fn chosen_configuration_survives_the_wire() {
+    let rig = press::rig::fig4_rig(1);
+    let controller = Controller::new(Strategy::Random { budget: 8 }, LinkObjective::MaxMeanSnr);
+    let report = controller.run_episode(&rig.system, &rig.sounder);
+
+    // Encode as a batch, push through the lossy ISM transport with acks,
+    // then decode and apply to a fresh array.
+    let assignments: Vec<(u16, u8)> = report
+        .chosen_config
+        .states
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (i as u16, s as u8))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(3);
+    let act = actuate(
+        &Transport::ism(),
+        &assignments,
+        10.0,
+        AckPolicy::PerElement { max_retries: 8 },
+        &mut rng,
+    );
+    assert!(act.complete(), "actuation failed: {:?}", act.failed_elements);
+
+    // The wire protocol round-trips the same assignment.
+    let msg = Message::BatchSet { seq: 1, assignments: assignments.clone() };
+    let decoded = Message::decode(&msg.encode()).unwrap();
+    let mut array = rig.system.array.clone();
+    if let Message::BatchSet { assignments: got, .. } = decoded {
+        for (element, state) in got {
+            array.elements[element as usize]
+                .element
+                .set_state(state as usize)
+                .unwrap();
+        }
+    } else {
+        panic!("wrong decode");
+    }
+    assert_eq!(array.current_config(), report.chosen_config);
+}
+
+/// The paper's central timing tension, end to end: the prototype cannot
+/// reconfigure within coherence, a wired fast control plane can.
+#[test]
+fn timing_budgets_differentiate_control_planes() {
+    let rig = press::rig::fig4_rig(0);
+
+    let slow = Controller::new(Strategy::Greedy { max_sweeps: 1 }, LinkObjective::MaxMinSnr);
+    let slow_report = slow.run_episode(&rig.system, &rig.sounder);
+    assert!(!slow_report.within_coherence, "paper-prototype timing must blow 80 ms");
+
+    let mut fast = Controller::new(Strategy::Greedy { max_sweeps: 1 }, LinkObjective::MaxMinSnr);
+    fast.timing = TimingModel::fast_control_plane();
+    let fast_report = fast.run_episode(&rig.system, &rig.sounder);
+    assert!(
+        fast_report.within_coherence,
+        "fast control plane must fit: {} s",
+        fast_report.elapsed_s
+    );
+    assert_eq!(slow_report.measurements, fast_report.measurements);
+}
+
+/// Actuation latency measured by the event simulation must be consistent
+/// with what the coherence budgets require of each §4.2 candidate.
+#[test]
+fn transport_latencies_order_correctly() {
+    let assignments: Vec<(u16, u8)> = (0..64).map(|e| (e, 2)).collect();
+    let mut times = Vec::new();
+    for t in [Transport::wired(), Transport::ism(), Transport::ultrasound()] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = actuate(&t, &assignments, 10.0, AckPolicy::PerElement { max_retries: 8 }, &mut rng);
+        assert!(r.complete());
+        times.push(r.completion_s);
+    }
+    assert!(times[0] < times[1] && times[1] < times[2], "{times:?}");
+    assert!(times[0] < 2e-3, "wire fits the packet timescale: {}", times[0]);
+    assert!(times[2] > 80e-3, "ultrasound blows even standing coherence: {}", times[2]);
+}

@@ -1,0 +1,218 @@
+//! End-to-end integration tests: the full measure → search → actuate
+//! pipeline across every crate in the workspace.
+
+use press::core::{
+    headline_stats, run_campaign_over, CampaignConfig, CachedLink, Configuration, Controller,
+    LinkObjective, Strategy,
+};
+
+/// A reduced Figure 4 campaign exercises propagation, elements, PHY and SDR
+/// together and must show PRESS actually changing the measured channel.
+#[test]
+fn campaign_shows_configuration_dependence() {
+    let rig = press::rig::fig4_rig(1);
+    let space = rig.system.array.config_space();
+    let subset: Vec<Configuration> = (0..16).map(|i| space.config_at(i * 4)).collect();
+    let campaign = CampaignConfig {
+        n_trials: 3,
+        frames_per_config: 2,
+        seed: 1,
+        ..CampaignConfig::default()
+    };
+    let result = run_campaign_over(&rig.system, &rig.sounder, &campaign, &subset);
+    let means = result.mean_profiles();
+    let mut max_delta = 0.0f64;
+    for i in 0..means.len() {
+        for j in 0..i {
+            max_delta = max_delta.max(means[i].max_abs_delta_db(&means[j]));
+        }
+    }
+    assert!(
+        max_delta > 5.0,
+        "PRESS must move the channel by >5 dB somewhere, got {max_delta}"
+    );
+}
+
+#[test]
+fn campaigns_are_bit_reproducible() {
+    let rig = press::rig::fig4_rig(2);
+    let space = rig.system.array.config_space();
+    let subset: Vec<Configuration> = (0..8).map(|i| space.config_at(i * 8)).collect();
+    let campaign = CampaignConfig {
+        n_trials: 2,
+        frames_per_config: 2,
+        seed: 9,
+        ..CampaignConfig::default()
+    };
+    let a = run_campaign_over(&rig.system, &rig.sounder, &campaign, &subset);
+    let b = run_campaign_over(&rig.system, &rig.sounder, &campaign, &subset);
+    for (ta, tb) in a.profiles.iter().zip(&b.profiles) {
+        for (pa, pb) in ta.iter().zip(tb) {
+            assert_eq!(pa.snr_db, pb.snr_db);
+        }
+    }
+}
+
+#[test]
+fn controller_beats_or_matches_baseline_modulo_noise() {
+    let rig = press::rig::fig4_rig(0);
+    let controller = Controller::new(Strategy::Greedy { max_sweeps: 2 }, LinkObjective::MaxMinSnr);
+    let report = controller.run_episode(&rig.system, &rig.sounder);
+    assert!(
+        report.improvement() >= 0.0,
+        "the verify-and-revert controller never regresses: {}",
+        report.improvement()
+    );
+    assert!(report.measurements > 1);
+    assert!(report.elapsed_s > 0.0);
+}
+
+#[test]
+fn headline_statistics_are_in_paper_regime() {
+    // Full 64-configuration campaign on the calibrated placement; the
+    // headline statistics must land in the paper's qualitative regime.
+    let rig = press::rig::fig4_rig(1);
+    let campaign = CampaignConfig {
+        n_trials: 4,
+        frames_per_config: 2,
+        seed: 1,
+        ..CampaignConfig::default()
+    };
+    let result = press::core::run_campaign(&rig.system, &rig.sounder, &campaign);
+    let h = headline_stats(&result);
+    assert!(
+        h.max_within_trial_change_db > 15.0,
+        "expected paper-scale swings, got {}",
+        h.max_within_trial_change_db
+    );
+    assert!(
+        h.frac_pairs_10db > 0.05,
+        "a nontrivial fraction of pairs must differ by 10 dB: {}",
+        h.frac_pairs_10db
+    );
+    assert!(h.frac_min_below_20db < 0.5, "{}", h.frac_min_below_20db);
+}
+
+#[test]
+fn los_effect_much_smaller_than_nlos() {
+    // The paper's LOS control: passive elements barely move a line-of-sight
+    // channel. Compare max pairwise oracle-magnitude deltas.
+    let nlos = press::rig::fig4_rig(1);
+    let los = press::rig::fig4_los_rig(1);
+    let effect = |rig: &press::rig::Rig| -> f64 {
+        let link = CachedLink::trace(
+            &rig.system,
+            rig.sounder.tx.node.clone(),
+            rig.sounder.rx.node.clone(),
+        );
+        let freqs = rig.sounder.num.active_freqs_hz();
+        let space = rig.system.array.config_space();
+        let mags: Vec<Vec<f64>> = (0..space.size())
+            .step_by(7)
+            .map(|i| {
+                let paths = link.paths(&rig.system, &space.config_at(i));
+                press::propagation::frequency_response(&paths, &freqs, 0.0)
+                    .iter()
+                    .map(|h| 20.0 * h.abs().log10())
+                    .collect()
+            })
+            .collect();
+        let mut max_delta = 0.0f64;
+        for i in 0..mags.len() {
+            for j in 0..i {
+                for (a, b) in mags[i].iter().zip(&mags[j]) {
+                    max_delta = max_delta.max((a - b).abs());
+                }
+            }
+        }
+        max_delta
+    };
+    let e_nlos = effect(&nlos);
+    let e_los = effect(&los);
+    assert!(
+        e_los < e_nlos / 3.0,
+        "LOS effect {e_los:.1} dB must be far below NLOS {e_nlos:.1} dB"
+    );
+    assert!(e_los < 3.0, "LOS effect should be small in absolute terms: {e_los:.1}");
+}
+
+#[test]
+fn sweep_time_exceeds_coherence_like_the_paper() {
+    let rig = press::rig::fig4_rig(0);
+    let space = rig.system.array.config_space();
+    let campaign = CampaignConfig::default();
+    let (sweep, coherence, fits) = press::core::measurement::coherence_check(
+        &rig.system,
+        &campaign,
+        &space,
+        0.5 * 0.44704, // 0.5 mph
+    );
+    assert!(!fits, "paper: 5 s sweep cannot fit {coherence} s coherence");
+    assert!((sweep - 5.0).abs() < 1e-9);
+}
+
+/// Packet-level proof of the paper's story: the same link, two PRESS
+/// configurations, real coded-OFDM frames through the real Viterbi decoder
+/// — the better configuration delivers packets the worse one drops.
+#[test]
+fn reconfiguration_changes_packet_delivery() {
+    use press::phy::modem::{packet_error_rate, Modem};
+    use press::phy::MCS_TABLE;
+    use rand::SeedableRng;
+
+    let rig = press::rig::fig4_rig(1);
+    let link = CachedLink::trace(
+        &rig.system,
+        rig.sounder.tx.node.clone(),
+        rig.sounder.rx.node.clone(),
+    );
+    let freqs = rig.sounder.num.active_freqs_hz();
+    let space = rig.system.array.config_space();
+
+    // Find the best and worst configurations by worst-subcarrier magnitude.
+    let mut scored: Vec<(usize, f64)> = (0..space.size())
+        .map(|i| {
+            let h = press::propagation::frequency_response(
+                &link.paths(&rig.system, &space.config_at(i)),
+                &freqs,
+                0.0,
+            );
+            let min = h
+                .iter()
+                .map(|x| x.abs())
+                .fold(f64::INFINITY, f64::min);
+            (i, min)
+        })
+        .collect();
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let worst = space.config_at(scored[0].0);
+    let best = space.config_at(scored[scored.len() - 1].0);
+
+    // Sweep the operating point around the fragile top rate's threshold:
+    // at some SNR the best configuration's flatter channel must deliver
+    // packets the worst configuration's fades drop. (The exact decoder
+    // cliff sits a few dB below the spec table, so we scan.)
+    let mcs = MCS_TABLE[7];
+    let modem = Modem::new(rig.sounder.num.clone(), mcs);
+    let h_best = press::propagation::frequency_response(&link.paths(&rig.system, &best), &freqs, 0.0);
+    let h_worst =
+        press::propagation::frequency_response(&link.paths(&rig.system, &worst), &freqs, 0.0);
+    let mean_mag: f64 = h_best.iter().map(|x| x.abs()).sum::<f64>() / h_best.len() as f64;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let mut separated = false;
+    for offset_db in [2.0, 0.0, -2.0, -4.0, -6.0, -8.0] {
+        let snr_lin = 10f64.powf((mcs.min_snr_db + offset_db) / 10.0);
+        let noise_sigma = (mean_mag * mean_mag / (2.0 * snr_lin)).sqrt();
+        let per_best = packet_error_rate(&modem, 200, &h_best, 1.0, noise_sigma, 15, &mut rng);
+        let per_worst = packet_error_rate(&modem, 200, &h_worst, 1.0, noise_sigma, 15, &mut rng);
+        if per_worst > per_best + 0.3 && per_best < 0.5 {
+            separated = true;
+            break;
+        }
+    }
+    assert!(
+        separated,
+        "some operating point must separate the configurations' packet delivery"
+    );
+}

@@ -1,0 +1,140 @@
+//! Reduced-size versions of every figure harness, asserting each figure's
+//! qualitative regime so regressions in the physics or the pipeline are
+//! caught by `cargo test` without running the full campaigns.
+
+use press::core::analysis::{
+    extreme_pair, fraction_configs_min_below, fraction_pairs_with_subcarrier_delta,
+    null_movements,
+};
+use press::core::{run_campaign_over, CampaignConfig, CachedLink, Configuration};
+use press::math::Complex64;
+use press::phy::mimo::MimoChannel;
+use press::prelude::*;
+use rand::SeedableRng;
+
+fn mini_campaign(seed: u64, n_configs: usize, n_trials: usize) -> press::core::CampaignResult {
+    let rig = press::rig::fig4_rig(seed);
+    let space = rig.system.array.config_space();
+    let step = (space.size() / n_configs).max(1);
+    let subset: Vec<Configuration> = (0..n_configs).map(|i| space.config_at(i * step)).collect();
+    let campaign = CampaignConfig {
+        n_trials,
+        frames_per_config: 3,
+        seed,
+        ..CampaignConfig::default()
+    };
+    run_campaign_over(&rig.system, &rig.sounder, &campaign, &subset)
+}
+
+/// Figure 4 regime: some configuration pair differs substantially on a
+/// subcarrier, and profiles stay within the receiver's representable range.
+#[test]
+fn fig4_regime() {
+    let result = mini_campaign(1, 16, 3);
+    let means = result.mean_profiles();
+    let (_, _, delta) = extreme_pair(&means).unwrap();
+    assert!(delta > 8.0, "extreme pair delta {delta} dB");
+    for p in &means {
+        assert!(p.max_db() <= press::sdr::SNR_SATURATION_DB + 1e-9);
+        assert!(p.min_db() > -20.0);
+    }
+}
+
+/// Figure 5 regime: null movements exist, mass concentrates at small moves.
+#[test]
+fn fig5_regime() {
+    let result = mini_campaign(2, 24, 2);
+    let mut all_moves = Vec::new();
+    for trial in &result.profiles {
+        all_moves.extend(null_movements(trial));
+    }
+    assert!(!all_moves.is_empty(), "some configurations must exhibit nulls");
+    let small = all_moves.iter().filter(|&&m| m <= 3).count();
+    assert!(
+        small as f64 / all_moves.len() as f64 > 0.3,
+        "a large share of pairs move the null little: {small}/{}",
+        all_moves.len()
+    );
+}
+
+/// Figure 6 regime: the two headline fractions stay in the paper's orbit.
+#[test]
+fn fig6_regime() {
+    let result = mini_campaign(2, 24, 2);
+    let mut frac10 = 0.0;
+    let mut below20 = 0.0;
+    for trial in &result.profiles {
+        frac10 += fraction_pairs_with_subcarrier_delta(trial, 10.0);
+        below20 += fraction_configs_min_below(trial, 20.0);
+    }
+    let n = result.profiles.len() as f64;
+    assert!(
+        (0.05..0.9).contains(&(frac10 / n)),
+        "pairs>=10dB fraction {}",
+        frac10 / n
+    );
+    assert!(below20 / n < 0.5, "min<20 fraction {}", below20 / n);
+}
+
+/// Figure 7 regime: on the wideband rig some pair of configurations tilts
+/// the band in opposite directions.
+#[test]
+fn fig7_regime() {
+    let rig = press::rig::fig7_rig(8);
+    let link = CachedLink::trace(
+        &rig.system,
+        rig.sounder.tx.node.clone(),
+        rig.sounder.rx.node.clone(),
+    );
+    let space = rig.system.array.config_space();
+    let mut best_low = f64::NEG_INFINITY;
+    let mut best_high = f64::NEG_INFINITY;
+    for config in space.iter() {
+        let c = rig
+            .sounder
+            .oracle_snr(&link.paths(&rig.system, &config), 0.0)
+            .half_band_contrast_db();
+        best_low = best_low.max(c);
+        best_high = best_high.max(-c);
+    }
+    assert!(
+        best_low > 1.0 && best_high > 1.0,
+        "opposite selectivity must be reachable: +{best_low:.1} / -{best_high:.1} dB"
+    );
+}
+
+/// Figure 8 regime: coherent MIMO sounding yields finite, paper-range
+/// conditioning with a nonzero PRESS spread.
+#[test]
+fn fig8_regime() {
+    let rig = press::rig::fig8_rig(0);
+    let links: Vec<Vec<CachedLink>> = (0..2)
+        .map(|a| {
+            (0..2)
+                .map(|b| CachedLink::trace(&rig.system, rig.tx[a].clone(), rig.rx[b].clone()))
+                .collect()
+        })
+        .collect();
+    let space = rig.system.array.config_space();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut medians = Vec::new();
+    for idx in (0..space.size()).step_by(4) {
+        let config = space.config_at(idx);
+        let paths: Vec<Vec<Vec<_>>> = links
+            .iter()
+            .map(|row| row.iter().map(|l| l.paths(&rig.system, &config)).collect())
+            .collect();
+        let est = rig.sounder.sound_mimo(&paths, 0.0, 0.0, &mut rng).unwrap();
+        let h: Vec<Vec<Vec<Complex64>>> = (0..2)
+            .map(|b| (0..2).map(|a| est[a][b].h.clone()).collect())
+            .collect();
+        let ch = MimoChannel::from_scalar_channels(&h);
+        medians.push(ch.median_condition_db().unwrap());
+    }
+    let lo = medians.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = medians.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    assert!(lo.is_finite() && hi.is_finite());
+    assert!((0.0..20.0).contains(&lo), "best conditioning {lo} dB");
+    assert!(hi - lo > 0.2, "PRESS must move conditioning: spread {}", hi - lo);
+    assert!(hi - lo < 15.0, "spread implausibly large: {}", hi - lo);
+}

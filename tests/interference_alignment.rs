@@ -1,0 +1,103 @@
+//! Integration: PRESS performing interference alignment (§1's third
+//! harmonization instance) through the full physics stack.
+
+use press::core::alignment::{mean_alignment, post_nulling_sinr_db, Steering};
+use press::core::{search, CachedLink, Configuration, PressArray, PressSystem};
+use press::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Oracle steering vectors (per subcarrier) from a TX to a 2-antenna RX.
+fn steering(
+    system: &PressSystem,
+    tx: &RadioNode,
+    rx: &[RadioNode; 2],
+    config: &Configuration,
+    freqs: &[f64],
+) -> Vec<Steering> {
+    let links: Vec<CachedLink> = rx
+        .iter()
+        .map(|r| CachedLink::trace(system, tx.clone(), r.clone()))
+        .collect();
+    let h0 = press::propagation::frequency_response(&links[0].paths(system, config), freqs, 0.0);
+    let h1 = press::propagation::frequency_response(&links[1].paths(system, config), freqs, 0.0);
+    h0.into_iter().zip(h1).map(|(a, b)| [a, b]).collect()
+}
+
+#[test]
+fn press_alignment_improves_post_nulling_sinr() {
+    // Scene: the calibrated lab; two interfering APs across the room, a
+    // desired AP near the bystander, a 2-antenna bystander receiver, and a
+    // PRESS array between the interferers and the bystander.
+    let lab = LabSetup::generate(&LabConfig::default(), 3);
+    let lambda = lab.scene.wavelength();
+    let num = Numerology::wifi20(press::math::consts::WIFI_CHANNEL_11_HZ);
+    let freqs = num.active_freqs_hz();
+
+    let bystander = [
+        RadioNode::omni_at(lab.rx.position + Vec3::new(0.0, -lambda / 4.0, 0.0)),
+        RadioNode::omni_at(lab.rx.position + Vec3::new(0.0, lambda / 4.0, 0.0)),
+    ];
+    let desired_ap = lab.tx.clone();
+    let intf_ap1 = RadioNode::omni_at(lab.tx.position + Vec3::new(-1.5, 2.2, 0.1));
+    let intf_ap2 = RadioNode::omni_at(lab.tx.position + Vec3::new(-1.2, -2.0, -0.1));
+
+    // Elements between interferers and the bystander.
+    let mut rng = StdRng::seed_from_u64(5);
+    let positions = lab.random_element_positions(3, &mut rng);
+    let aim = (lab.rx.position + lab.tx.position) * 0.5;
+    let array = PressArray::paper_passive_aimed(&positions, lambda, aim);
+    let system = PressSystem::new(lab.scene.clone(), array);
+    let space = system.array.config_space();
+
+    let eval_alignment = |config: &Configuration| -> f64 {
+        let i1 = steering(&system, &intf_ap1, &bystander, config, &freqs);
+        let i2 = steering(&system, &intf_ap2, &bystander, config, &freqs);
+        mean_alignment(&i1, &i2)
+    };
+
+    let baseline = Configuration::zeros(space.n_elements());
+    let base_alignment = eval_alignment(&baseline);
+    let result = search::exhaustive(&space, |c| eval_alignment(c));
+    assert!(
+        result.score >= base_alignment,
+        "search cannot do worse than its own baseline"
+    );
+
+    // The mechanism the paper names: a single nulling step removes a larger
+    // FRACTION of the total interference power when the interferers are
+    // better aligned. (Full SINR also moves the desired channel around, so
+    // the fraction is the clean monotone quantity to assert.)
+    let residual_fraction = |config: &Configuration| -> f64 {
+        let i1 = steering(&system, &intf_ap1, &bystander, config, &freqs);
+        let i2 = steering(&system, &intf_ap2, &bystander, config, &freqs);
+        let mut residual = 0.0;
+        let mut total = 0.0;
+        for (v1, v2) in i1.iter().zip(&i2) {
+            let (_, r) = press::core::alignment::nulling_filter(v1, v2);
+            residual += r;
+            total += v1[0].norm_sqr() + v1[1].norm_sqr() + v2[0].norm_sqr() + v2[1].norm_sqr();
+        }
+        residual / total
+    };
+    let frac_base = residual_fraction(&baseline);
+    let frac_aligned = residual_fraction(&result.best);
+    assert!(
+        frac_aligned < frac_base,
+        "higher alignment must leave less interference after one null: \
+         {frac_aligned:.4} vs {frac_base:.4} (alignment {base_alignment:.3} -> {:.3})",
+        result.score
+    );
+    assert!(
+        result.score > base_alignment + 0.005,
+        "PRESS must move the alignment metric: {base_alignment:.4} -> {:.4}",
+        result.score
+    );
+
+    // And the end-to-end payoff is at least computable and finite.
+    let s = steering(&system, &desired_ap, &bystander, &result.best, &freqs);
+    let i1 = steering(&system, &intf_ap1, &bystander, &result.best, &freqs);
+    let i2 = steering(&system, &intf_ap2, &bystander, &result.best, &freqs);
+    let sinr = post_nulling_sinr_db(&s, &i1, &i2, 1e-12);
+    assert!(sinr.iter().all(|v| v.is_finite()));
+}

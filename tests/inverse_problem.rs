@@ -1,0 +1,121 @@
+//! Integration tests for the §2 inverse problem against the full physics
+//! stack (not the synthetic dictionaries of the unit tests).
+
+use press::core::{CachedLink, Configuration, InverseSolver, PressDictionary};
+use press::core::inverse::{extract_dominant_paths, reconstruct};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn dictionary_forward_model_matches_tracer() {
+    // The dictionary's superposition must equal the tracer's full channel
+    // for every configuration.
+    let rig = press::rig::fig4_rig(3);
+    let freqs = rig.sounder.num.active_freqs_hz();
+    let tx = &rig.sounder.tx.node;
+    let rx = &rig.sounder.rx.node;
+    let dict = PressDictionary::from_system(&rig.system, tx, rx, &freqs);
+    let space = rig.system.array.config_space();
+    for idx in [0usize, 17, 42, 63] {
+        let config = space.config_at(idx);
+        let from_dict = dict.channel(&config);
+        let paths = rig.system.paths(tx, rx, &config);
+        let from_tracer = press::propagation::frequency_response(&paths, &freqs, 0.0);
+        for (a, b) in from_dict.iter().zip(&from_tracer) {
+            assert!((*a - *b).abs() < 1e-12, "config {idx}");
+        }
+    }
+}
+
+#[test]
+fn inverse_solver_recovers_planted_config_through_physics() {
+    let rig = press::rig::fig4_rig(5);
+    let freqs = rig.sounder.num.active_freqs_hz();
+    let dict = PressDictionary::from_system(
+        &rig.system,
+        &rig.sounder.tx.node,
+        &rig.sounder.rx.node,
+        &freqs,
+    );
+    let planted = Configuration::new(vec![2, 1, 0]);
+    let target = dict.channel(&planted);
+    let solver = InverseSolver::new(target.len());
+    let sol = solver.solve(&dict, &target);
+    assert_eq!(sol.config, planted);
+    assert!(sol.residual < 1e-12);
+}
+
+#[test]
+fn inverse_solver_tolerates_measurement_noise() {
+    // Target taken from a *sounded* (noisy) channel instead of the oracle:
+    // the solver must still land on a configuration whose channel is close.
+    let rig = press::rig::fig4_rig(5);
+    let freqs = rig.sounder.num.active_freqs_hz();
+    let tx = rig.sounder.tx.node.clone();
+    let rx = rig.sounder.rx.node.clone();
+    let dict = PressDictionary::from_system(&rig.system, &tx, &rx, &freqs);
+    let link = CachedLink::trace(&rig.system, tx, rx);
+    let planted = Configuration::new(vec![1, 3, 2]);
+    let mut rng = StdRng::seed_from_u64(8);
+    let sounding = rig
+        .sounder
+        .sound(&link.paths(&rig.system, &planted), 0.0, &mut rng)
+        .unwrap();
+    // The sounded estimate is scaled by sqrt(per-subcarrier TX power) and an
+    // unknown common phase; normalize energy before solving.
+    let est = &sounding.estimate.h;
+    let e_est: f64 = est.iter().map(|x| x.norm_sqr()).sum();
+    let oracle = dict.channel(&planted);
+    let e_oracle: f64 = oracle.iter().map(|x| x.norm_sqr()).sum();
+    let scale = (e_oracle / e_est).sqrt();
+    // Align the common phase against the oracle (a receiver would use any
+    // phase reference; the test uses the cleanest one available).
+    let corr: press::math::Complex64 = est
+        .iter()
+        .zip(&oracle)
+        .map(|(e, o)| o.conj() * *e)
+        .sum();
+    let rot = press::math::Complex64::from_polar(1.0, -corr.arg());
+    let target: Vec<press::math::Complex64> =
+        est.iter().map(|x| *x * scale * rot).collect();
+
+    let solver = InverseSolver::new(target.len());
+    let sol = solver.solve(&dict, &target);
+    // With noise the exact states may differ, but the resulting channel
+    // must be close to the planted one (within a few dB everywhere).
+    let achieved = dict.channel(&sol.config);
+    let planted_ch = dict.channel(&planted);
+    let mut worst_db = 0.0f64;
+    for (a, p) in achieved.iter().zip(&planted_ch) {
+        let d = (20.0 * a.abs().log10() - 20.0 * p.abs().log10()).abs();
+        worst_db = worst_db.max(d);
+    }
+    assert!(worst_db < 6.0, "worst magnitude error {worst_db} dB");
+}
+
+#[test]
+fn path_extraction_recovers_tracer_delays() {
+    // Extract paths from the oracle channel and check the strongest
+    // recovered delay matches a real path's delay.
+    let rig = press::rig::fig4_rig(1);
+    let tx = &rig.sounder.tx.node;
+    let rx = &rig.sounder.rx.node;
+    let paths = rig.system.environment_paths(tx, rx);
+    let freqs = rig.sounder.num.active_freqs_hz();
+    let h = press::propagation::frequency_response(&paths, &freqs, 0.0);
+    let recovered = extract_dominant_paths(&h, &freqs, 4, 200e-9, 4001, 1e-3);
+    assert!(!recovered.is_empty());
+    // The strongest recovered path must sit within the resolution limit
+    // (1/16.25 MHz ~ 60 ns) of some true path.
+    let best = recovered[0];
+    let closest = paths
+        .iter()
+        .map(|p| (p.delay_s - best.delay_s).abs())
+        .fold(f64::INFINITY, f64::min);
+    assert!(closest < 40e-9, "closest true delay {closest} s away");
+    // And the reconstruction must capture most of the channel energy.
+    let rec = reconstruct(&recovered, &freqs);
+    let err: f64 = h.iter().zip(&rec).map(|(a, b)| (*a - *b).norm_sqr()).sum();
+    let energy: f64 = h.iter().map(|x| x.norm_sqr()).sum();
+    assert!(err / energy < 0.5, "residual fraction {}", err / energy);
+}

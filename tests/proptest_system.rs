@@ -1,0 +1,112 @@
+//! Cross-crate property tests: physical invariants the whole stack must
+//! satisfy for arbitrary configurations and placements.
+
+use press::core::{CachedLink, ConfigSpace, Configuration};
+use press::propagation::{frequency_response, PathKind};
+use proptest::prelude::*;
+
+fn rig_seed() -> impl Strategy<Value = u64> {
+    0u64..6
+}
+
+fn config_index() -> impl Strategy<Value = usize> {
+    0usize..64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Energy conservation-ish: no passive configuration may produce a
+    /// channel stronger than the sum of all path magnitudes, and element
+    /// paths never exceed unity reflection.
+    #[test]
+    fn passive_elements_never_amplify(seed in rig_seed(), idx in config_index()) {
+        let rig = press::rig::fig4_rig(seed);
+        let space = rig.system.array.config_space();
+        let config = space.config_at(idx);
+        let tx = &rig.sounder.tx.node;
+        let rx = &rig.sounder.rx.node;
+        let paths = rig.system.paths(tx, rx, &config);
+        let freqs = rig.sounder.num.active_freqs_hz();
+        let h = frequency_response(&paths, &freqs, 0.0);
+        let bound: f64 = paths.iter().map(|p| p.gain.abs()).sum();
+        for hk in &h {
+            prop_assert!(hk.abs() <= bound * (1.0 + 1e-9));
+        }
+    }
+
+    /// Terminated elements contribute (almost) nothing: switching an
+    /// element to its absorber changes the channel by at most that
+    /// element's residual reflection.
+    #[test]
+    fn terminating_an_element_removes_its_influence(seed in rig_seed()) {
+        let rig = press::rig::fig4_rig(seed);
+        let tx = &rig.sounder.tx.node;
+        let rx = &rig.sounder.rx.node;
+        let all_term = Configuration::new(vec![3, 3, 3]);
+        let paths = rig.system.array.paths(&rig.system.scene, tx, rx, &all_term);
+        for p in &paths {
+            let is_element = matches!(p.kind, PathKind::PressElement { .. });
+            prop_assert!(is_element);
+            // Residual absorber reflection, two legs of Friis, patch gains:
+            // must be far below any reflective state's contribution.
+            let reflective = rig.system.array
+                .element_path(&rig.system.scene, tx, rx, match p.kind {
+                    PathKind::PressElement { element } => element,
+                    _ => unreachable!(),
+                }, 0)
+                .expect("reflective state exists");
+            prop_assert!(p.gain.abs() < reflective.gain.abs() / 10.0);
+        }
+    }
+
+    /// The dense index <-> configuration bijection holds for arbitrary
+    /// mixed-radix spaces.
+    #[test]
+    fn config_space_bijection(radices in proptest::collection::vec(1usize..6, 1..6)) {
+        let space = ConfigSpace::new(radices);
+        let n = space.size().min(200);
+        for i in 0..n {
+            let c = space.config_at(i);
+            prop_assert_eq!(space.index_of(&c), i);
+            prop_assert!(space.contains(&c));
+        }
+    }
+
+    /// Swapping a configuration changes only PRESS element paths, never the
+    /// environment (the cached link's environment is configuration-blind).
+    #[test]
+    fn environment_is_configuration_invariant(seed in rig_seed(), i in config_index(), j in config_index()) {
+        let rig = press::rig::fig4_rig(seed);
+        let link = CachedLink::trace(
+            &rig.system,
+            rig.sounder.tx.node.clone(),
+            rig.sounder.rx.node.clone(),
+        );
+        let space = rig.system.array.config_space();
+        let a = link.paths(&rig.system, &space.config_at(i));
+        let b = link.paths(&rig.system, &space.config_at(j));
+        let n_env = link.environment.len();
+        for k in 0..n_env {
+            prop_assert_eq!(a[k].gain, b[k].gain);
+            prop_assert_eq!(a[k].delay_s, b[k].delay_s);
+        }
+    }
+
+    /// Oracle SNR profiles respect the saturation cap and are finite.
+    #[test]
+    fn oracle_snr_bounded(seed in rig_seed(), idx in config_index()) {
+        let rig = press::rig::fig4_rig(seed);
+        let link = CachedLink::trace(
+            &rig.system,
+            rig.sounder.tx.node.clone(),
+            rig.sounder.rx.node.clone(),
+        );
+        let space = rig.system.array.config_space();
+        let snr = rig.sounder.oracle_snr(&link.paths(&rig.system, &space.config_at(idx)), 0.0);
+        for &s in &snr.snr_db {
+            prop_assert!(s.is_finite());
+            prop_assert!(s <= press::sdr::SNR_SATURATION_DB + 1e-9);
+        }
+    }
+}
