@@ -5,7 +5,8 @@
 //! controller's real-time budget (§2) is spent here.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use press_core::Configuration;
+use press_core::{Configuration, LinkBasis};
+use press_math::Complex64;
 use press_propagation::{frequency_response, LabConfig, LabSetup};
 use std::hint::black_box;
 
@@ -49,6 +50,85 @@ fn bench_config_evaluation(c: &mut Criterion) {
     });
 }
 
+fn bench_basis_vs_direct(c: &mut Criterion) {
+    // The tentpole comparison: a 64-config sweep evaluated by direct path
+    // re-trace + synthesis vs the precomputed link basis (O(N·K) per
+    // config). The basis build cost is excluded — it is paid once per link,
+    // amortized over every search/campaign evaluation.
+    let rig = press::rig::fig4_rig(1);
+    let link = press_core::CachedLink::trace(
+        &rig.system,
+        rig.sounder.tx.node.clone(),
+        rig.sounder.rx.node.clone(),
+    );
+    let basis = LinkBasis::for_numerology(&rig.system, &link, &rig.sounder.num);
+    let freqs = rig.sounder.num.active_freqs_hz();
+    let configs: Vec<Configuration> = basis.space().iter().collect();
+
+    let mut group = c.benchmark_group("config_sweep_64");
+    group.bench_function("direct_retrace", |b| {
+        b.iter(|| {
+            for config in &configs {
+                let paths = link.paths(&rig.system, black_box(config));
+                black_box(frequency_response(&paths, &freqs, 0.0));
+            }
+        })
+    });
+    group.bench_function("basis_cached", |b| {
+        let mut h: Vec<Complex64> = Vec::with_capacity(basis.n_subcarriers());
+        b.iter(|| {
+            for config in &configs {
+                basis.synthesize_into(black_box(config), 0.0, &mut h);
+                black_box(&h);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_incremental_vs_rebuild(c: &mut Criterion) {
+    // Single-coordinate move on an 8-element array: full O(N·K)
+    // re-synthesis vs the O(K) subtract-old/add-new column update the
+    // serial searches ride. (At 3 elements the two are a wash; the
+    // incremental win scales with N.)
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let lab = LabSetup::generate(&LabConfig::default(), 1);
+    let lambda = lab.scene.wavelength();
+    let mut rng = StdRng::seed_from_u64(5);
+    let positions = lab.random_element_positions(8, &mut rng);
+    let array = press_core::PressArray::paper_passive(&positions, lambda);
+    let system = press_core::PressSystem::new(lab.scene.clone(), array);
+    let link = press_core::CachedLink::trace(&system, lab.tx.clone(), lab.rx.clone());
+    let freqs: Vec<f64> = (0..52)
+        .map(|k| 2.462e9 + (k as f64 - 26.0) * 312_500.0)
+        .collect();
+    let basis = LinkBasis::build(&system, &link, &freqs);
+    let config = Configuration::new(vec![1, 2, 0, 3, 1, 0, 2, 1]);
+    let mut moved = config.clone();
+    moved.states[4] = 3;
+
+    let mut group = c.benchmark_group("single_move_8elem");
+    group.bench_function("full_synthesis", |b| {
+        let mut h: Vec<Complex64> = Vec::with_capacity(basis.n_subcarriers());
+        b.iter(|| {
+            basis.synthesize_into(black_box(&moved), 0.0, &mut h);
+            black_box(&h);
+        })
+    });
+    group.bench_function("incremental_move_pair", |b| {
+        // A there-and-back pair of O(K) updates, so the buffer state is
+        // iteration-invariant; halve the reported time for one move.
+        let mut h = basis.synthesize(&config, 0.0);
+        b.iter(|| {
+            basis.apply_move(&mut h, 4, black_box(1), black_box(3), 0.0);
+            basis.apply_move(&mut h, 4, black_box(3), black_box(1), 0.0);
+            black_box(&h);
+        })
+    });
+    group.finish();
+}
+
 fn bench_lab_generation(c: &mut Criterion) {
     c.bench_function("lab_generation", |b| {
         let mut seed = 0u64;
@@ -64,6 +144,8 @@ criterion_group!(
     bench_scene_trace,
     bench_frequency_response,
     bench_config_evaluation,
+    bench_basis_vs_direct,
+    bench_incremental_vs_rebuild,
     bench_lab_generation
 );
 criterion_main!(benches);

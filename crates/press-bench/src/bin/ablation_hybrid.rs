@@ -10,7 +10,7 @@
 
 use press::rig::fig4_los_rig;
 use press_bench::write_csv;
-use press_core::{CachedLink, Configuration, PressSystem};
+use press_core::{CachedLink, Configuration, LinkBasis, PressSystem};
 use press_elements::{deployment_budget, Element};
 
 /// Max |per-subcarrier channel-magnitude delta| (dB) between settings of
@@ -40,8 +40,12 @@ fn los_swing(system: &PressSystem, link: &CachedLink, sounder: &press_sdr::Sound
                     .map(|&m| phase_step.min(m - 1))
                     .collect(),
             );
-            let paths = link.paths(&sys, &config);
-            let h = press_propagation::frequency_response(&paths, &freqs, 0.0);
+            // `program_active` mutates element responses, so each variant
+            // gets a freshly-built basis (the invalidation story: mutate
+            // the array → rebuild; the sweep over configs then rides the
+            // cached columns).
+            let basis = LinkBasis::build(&sys, link, &freqs);
+            let h = basis.synthesize(&config, 0.0);
             mag_profiles.push(h.iter().map(|x| 20.0 * x.abs().log10()).collect());
         }
     }

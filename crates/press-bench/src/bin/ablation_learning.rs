@@ -11,7 +11,7 @@
 
 use press::rig::fig4_rig;
 use press_bench::write_csv;
-use press_core::{search, CachedLink, Configuration, UcbController};
+use press_core::{search, CachedLink, Configuration, LinkBasis, UcbController};
 use press_propagation::fading::ChannelDrift;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -39,15 +39,25 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(99);
         worlds.push(link.clone());
         for _ in 0..(STEPS / DRIFT_EVERY) {
-            drift.step(&mut link.environment, &mut rng);
+            link.apply_drift(&drift, &mut rng);
             worlds.push(link.clone());
         }
     }
-    let world_at = |step: usize| &worlds[step / DRIFT_EVERY];
-    let reward = |link: &CachedLink, config: &Configuration| -> f64 {
-        rig.sounder
-            .oracle_snr(&link.paths(&rig.system, config), 0.0)
-            .min_db()
+    // One basis per drift epoch: element columns are shared (cloned), only
+    // the environment response is re-derived per world.
+    let base_basis = LinkBasis::for_numerology(&rig.system, &base_link, &rig.sounder.num);
+    let bases: Vec<LinkBasis> = worlds
+        .iter()
+        .map(|world| {
+            let mut b = base_basis.clone();
+            b.ensure_fresh(world);
+            b
+        })
+        .collect();
+    let world_at = |step: usize| step / DRIFT_EVERY;
+    let reward = |world: usize, config: &Configuration| -> f64 {
+        let h = bases[world].synthesize(config, 0.0);
+        rig.sounder.snr_from_channel(&h).min_db()
     };
 
     // --- Static: exhaustive search once, never again. ---

@@ -8,7 +8,7 @@
 //! conditioning and capacity at each dimension.
 
 use press_bench::write_csv;
-use press_core::{CachedLink, PressArray, PressSystem};
+use press_core::{CachedLink, LinkBasis, PressArray, PressSystem};
 use press_math::Complex64;
 use press_phy::mimo::MimoChannel;
 use press_phy::Numerology;
@@ -108,6 +108,16 @@ fn sweep(n: usize, seed: u64) -> (f64, f64, f64) {
                 .collect()
         })
         .collect();
+    // One basis per (tx antenna, rx antenna) link: the 64-config sweep then
+    // costs O(N·K) per entry instead of a full path re-trace + synthesis.
+    let bases: Vec<Vec<LinkBasis>> = links
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|link| LinkBasis::build(&system, link, &freqs))
+                .collect()
+        })
+        .collect();
 
     let mut best = f64::INFINITY;
     let mut worst = f64::NEG_INFINITY;
@@ -117,13 +127,7 @@ fn sweep(n: usize, seed: u64) -> (f64, f64, f64) {
         let h: Vec<Vec<Vec<Complex64>>> = (0..n)
             .map(|b| {
                 (0..n)
-                    .map(|a| {
-                        press_propagation::frequency_response(
-                            &links[a][b].paths(&system, &config),
-                            &freqs,
-                            0.0,
-                        )
-                    })
+                    .map(|a| bases[a][b].synthesize(&config, 0.0))
                     .collect()
             })
             .collect();

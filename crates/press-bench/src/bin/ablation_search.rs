@@ -10,7 +10,10 @@
 //! measurement inside a coherence time.
 
 use press_bench::write_csv;
-use press_core::{search, CachedLink, Configuration, GeneticParams, PlacedElement, PressArray, PressSystem};
+use press_core::{
+    min_magnitude_db_metric, search, snr_metric, BasisEvaluator, CachedLink, Configuration,
+    GeneticParams, LinkBasis, LinkObjective, PlacedElement, PressArray, PressSystem,
+};
 use press_elements::Element;
 use press_math::consts::WIFI_CHANNEL_11_HZ;
 use press_phy::Numerology;
@@ -59,11 +62,21 @@ fn main() {
     let mut rows = vec![];
     {
         let b = build(1, 3, 3); // 3 phases + off = 4 states
-        let eval = |c: &Configuration| {
-            b.sounder.oracle_snr(&b.link.paths(&b.system, c), 0.0).min_db()
-        };
+        // Basis-cached evaluation: channels come from the precomputed link
+        // basis (O(N·K) per configuration, O(K) for single-element moves)
+        // instead of re-tracing every path per candidate.
+        let basis = LinkBasis::for_numerology(&b.system, &b.link, &b.sounder.num);
+        let params = b.sounder.snr_params();
+        let mut ev = BasisEvaluator::new(&basis, 0.0, snr_metric(params, LinkObjective::MaxMinSnr));
+        let mut eval = |c: &Configuration| ev.evaluate(c);
         let space = b.system.array.config_space();
-        let exhaustive = search::exhaustive(&space, eval);
+        // The exhaustive sweep fans out over threads; exact-mode evaluators
+        // keep the result identical at any thread count.
+        let exhaustive = search::exhaustive_parallel(&space, 4, || {
+            let mut ev =
+                BasisEvaluator::exact(&basis, 0.0, snr_metric(params, LinkObjective::MaxMinSnr));
+            move |c: &Configuration| ev.evaluate(c)
+        });
         let mut report = |name: &str, r: &search::SearchResult| {
             println!(
                 "{:>12} {:>12.2} {:>12} {:>10.2}",
@@ -77,22 +90,28 @@ fn main() {
         report("exhaustive", &exhaustive);
         report(
             "greedy",
-            &search::greedy_coordinate(&space, Configuration::zeros(3), 8, eval),
+            &search::greedy_coordinate(&space, Configuration::zeros(3), 8, &mut eval),
         );
         let mut rng = StdRng::seed_from_u64(7);
-        report("hillclimb", &search::hill_climb(&space, 3, 20, &mut rng, eval));
+        report("hillclimb", &search::hill_climb(&space, 3, 20, &mut rng, &mut eval));
         let mut rng = StdRng::seed_from_u64(7);
         report(
             "annealing",
-            &search::simulated_annealing(&space, 60, 3.0, 0.05, &mut rng, eval),
+            &search::simulated_annealing(&space, 60, 3.0, 0.05, &mut rng, &mut eval),
         );
         let mut rng = StdRng::seed_from_u64(7);
         report(
             "genetic",
-            &search::genetic(&space, &GeneticParams::default(), &mut rng, eval),
+            &search::genetic(&space, &GeneticParams::default(), &mut rng, &mut eval),
         );
         let mut rng = StdRng::seed_from_u64(7);
-        report("random30", &search::random_search(&space, 30, &mut rng, eval));
+        report("random30", &search::random_search(&space, 30, &mut rng, &mut eval));
+        drop(eval);
+        println!(
+            "# basis evaluator: {} evaluations, {} full syntheses (rest incremental/cached)",
+            ev.evaluations(),
+            ev.full_syntheses()
+        );
     }
 
     // --- Large space: quality at equal evaluation budgets. ---
@@ -102,13 +121,9 @@ fn main() {
         let b = build(2, 8, 8); // 8 phases + off = 9 states
         // Raw channel magnitude (no receiver SNR cap): with 8 strong
         // elements the SNR saturates and would blunt the comparison.
-        let freqs = b.sounder.num.active_freqs_hz();
-        let eval = |c: &Configuration| {
-            let h = press_propagation::frequency_response(&b.link.paths(&b.system, c), &freqs, 0.0);
-            h.iter()
-                .map(|x| 20.0 * x.abs().log10())
-                .fold(f64::INFINITY, f64::min)
-        };
+        let basis = LinkBasis::for_numerology(&b.system, &b.link, &b.sounder.num);
+        let mut ev = BasisEvaluator::new(&basis, 0.0, min_magnitude_db_metric());
+        let mut eval = |c: &Configuration| ev.evaluate(c);
         let space = b.system.array.config_space();
         let mut report = |name: &str, r: &search::SearchResult| {
             println!("{:>12} {:>12.2} {:>12}", name, r.score, r.evaluations);
@@ -116,14 +131,14 @@ fn main() {
         };
         report(
             "greedy",
-            &search::greedy_coordinate(&space, Configuration::zeros(8), 5, eval),
+            &search::greedy_coordinate(&space, Configuration::zeros(8), 5, &mut eval),
         );
         let mut rng = StdRng::seed_from_u64(3);
-        report("hillclimb", &search::hill_climb(&space, 2, 30, &mut rng, eval));
+        report("hillclimb", &search::hill_climb(&space, 2, 30, &mut rng, &mut eval));
         let mut rng = StdRng::seed_from_u64(3);
         report(
             "annealing",
-            &search::simulated_annealing(&space, 300, 3.0, 0.02, &mut rng, eval),
+            &search::simulated_annealing(&space, 300, 3.0, 0.02, &mut rng, &mut eval),
         );
         let mut rng = StdRng::seed_from_u64(3);
         let gp = GeneticParams {
@@ -131,9 +146,15 @@ fn main() {
             generations: 9,
             ..GeneticParams::default()
         };
-        report("genetic", &search::genetic(&space, &gp, &mut rng, eval));
+        report("genetic", &search::genetic(&space, &gp, &mut rng, &mut eval));
         let mut rng = StdRng::seed_from_u64(3);
-        report("random300", &search::random_search(&space, 300, &mut rng, eval));
+        report("random300", &search::random_search(&space, 300, &mut rng, &mut eval));
+        drop(eval);
+        println!(
+            "# basis evaluator: {} evaluations, {} full syntheses (rest incremental/cached)",
+            ev.evaluations(),
+            ev.full_syntheses()
+        );
     }
     write_csv("ablation_search.csv", "space,algorithm,score_db,evaluations,gap_db", &rows);
     println!("\n# heuristics should sit within ~1 dB of exhaustive on the small space and");

@@ -3,7 +3,7 @@
 //! measurement-noise saturation in the Figure 8 harness.
 
 use press::rig::fig8_rig;
-use press_core::CachedLink;
+use press_core::{CachedLink, LinkBasis};
 use press_math::Complex64;
 use press_phy::mimo::MimoChannel;
 
@@ -18,15 +18,22 @@ fn main() {
         })
         .collect();
     let freqs = rig.sounder.num.active_freqs_hz();
+    // Per-link bases: the 64-config sweep synthesizes channels from cached
+    // columns instead of re-tracing paths per configuration.
+    let bases: Vec<Vec<LinkBasis>> = links
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|link| LinkBasis::build(&rig.system, link, &freqs))
+                .collect()
+        })
+        .collect();
     let mut medians = Vec::new();
     for config in space.iter() {
         let h: Vec<Vec<Vec<Complex64>>> = (0..2)
             .map(|b| {
                 (0..2)
-                    .map(|a| {
-                        let paths = links[a][b].paths(&rig.system, &config);
-                        press_propagation::frequency_response(&paths, &freqs, 0.0)
-                    })
+                    .map(|a| bases[a][b].synthesize(&config, 0.0))
                     .collect()
             })
             .collect();

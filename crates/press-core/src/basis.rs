@@ -1,0 +1,701 @@
+//! Basis-cached configuration evaluation: the O(N·K) fast path.
+//!
+//! The received channel is affine in the element states: with the
+//! environment response `H_env[k]` and the per-element, per-state additive
+//! contribution `B[i][s][k]`, any configuration `c` synthesizes as
+//!
+//! `H_c[k] = H_env[k] + Σ_i B[i][c_i][k]`.
+//!
+//! Path tracing, antenna gains, and the per-subcarrier `cis()` calls all
+//! live in the basis *build*; evaluating a configuration afterwards is a
+//! pure complex accumulation over `N` cached columns of length `K` — no
+//! path re-trace, no trig, no allocation. Single-coordinate moves (the
+//! greedy / hill-climbing / annealing inner loop) are cheaper still:
+//! subtract the old column, add the new one, O(K).
+//!
+//! Time dependence is handled analytically: a path with Doppler `d` obeys
+//! `response(f, t) = response(f, 0) · e^{j2πdt}`, so each cached column
+//! carries its Doppler and is rotated by a single `cis()` per evaluation
+//! instead of `K` of them. Static paths (`d == 0`, the common case) are
+//! added verbatim, which keeps the fast path bit-identical to the direct
+//! [`press_propagation::frequency_response`] sum.
+//!
+//! Staleness is explicit: [`LinkBasis`] records the
+//! [`CachedLink::revision`] it was built from, and
+//! [`LinkBasis::ensure_fresh`] re-derives the environment response after
+//! drift ([`CachedLink::apply_drift`]) bumps it. Element-side changes
+//! (repositioned or re-programmed elements) require a full
+//! [`LinkBasis::rebuild`] — drift never touches those columns.
+
+use crate::config::{ConfigSpace, Configuration};
+use crate::objective::LinkObjective;
+use crate::system::{CachedLink, PressSystem};
+use press_math::Complex64;
+use press_phy::numerology::Numerology;
+use press_phy::snr::SnrProfile;
+use press_sdr::SnrParams;
+use press_propagation::path::SignalPath;
+use std::f64::consts::TAU;
+
+/// Precomputed per-link channel basis over a fixed frequency grid.
+#[derive(Debug, Clone)]
+pub struct LinkBasis {
+    /// Frequency grid, Hz (the numerology's active subcarriers, normally).
+    freqs_hz: Vec<f64>,
+    /// Static (zero-Doppler) environment response, summed in path order.
+    env_static: Vec<Complex64>,
+    /// Per-Doppler-path environment columns: `(doppler_hz, H_path(f, 0))`.
+    env_doppler: Vec<(f64, Vec<Complex64>)>,
+    /// Flattened `B[i][s][k]` columns, `columns[col·K .. (col+1)·K]`.
+    columns: Vec<Complex64>,
+    /// Doppler of each column's underlying path, Hz.
+    col_doppler: Vec<f64>,
+    /// Whether the column's element path exists in that state (absorber /
+    /// below-floor states contribute nothing and are skipped exactly like
+    /// the direct path-list evaluation skips them).
+    col_present: Vec<bool>,
+    /// First column index of each element (prefix sums of the radices).
+    state_offsets: Vec<usize>,
+    /// The configuration space the columns cover.
+    space: ConfigSpace,
+    /// Number of frequency points `K`.
+    n_k: usize,
+    /// The [`CachedLink::revision`] this basis reflects.
+    revision: u64,
+}
+
+/// Adds `col` (a t=0 response) into `acc`, rotated to time `t_s` by the
+/// path's Doppler. The `d == 0` / `t == 0` case adds verbatim so static
+/// scenes stay bit-identical to the direct sum.
+#[inline]
+fn add_rotated(acc: &mut [Complex64], col: &[Complex64], doppler_hz: f64, t_s: f64, subtract: bool) {
+    if doppler_hz == 0.0 || t_s == 0.0 {
+        if subtract {
+            for (a, &c) in acc.iter_mut().zip(col) {
+                *a -= c;
+            }
+        } else {
+            for (a, &c) in acc.iter_mut().zip(col) {
+                *a += c;
+            }
+        }
+    } else {
+        let rot = Complex64::cis(TAU * doppler_hz * t_s);
+        let rot = if subtract { -rot } else { rot };
+        for (a, &c) in acc.iter_mut().zip(col) {
+            *a += c * rot;
+        }
+    }
+}
+
+impl LinkBasis {
+    /// Builds the basis for a link over an explicit frequency grid.
+    ///
+    /// Cost: one [`PressArray::element_path`](crate::array::PressArray::element_path)
+    /// trace per (element, state) plus `O((L + ΣMᵢ)·K)` `cis()` calls —
+    /// paid once, then amortized over every configuration evaluated.
+    pub fn build(system: &PressSystem, link: &CachedLink, freqs_hz: &[f64]) -> Self {
+        let space = system.array.config_space_passive_only();
+        let n_k = freqs_hz.len();
+        let mut state_offsets = Vec::with_capacity(space.n_elements());
+        let mut n_cols = 0usize;
+        for &m in &space.states_per_element {
+            state_offsets.push(n_cols);
+            n_cols += m;
+        }
+        let mut columns = vec![Complex64::ZERO; n_cols * n_k];
+        let mut col_doppler = vec![0.0; n_cols];
+        let mut col_present = vec![false; n_cols];
+        for (i, &m) in space.states_per_element.iter().enumerate() {
+            for s in 0..m {
+                if let Some(path) =
+                    system.array.element_path(&system.scene, &link.tx, &link.rx, i, s)
+                {
+                    let col = state_offsets[i] + s;
+                    fill_column(&mut columns[col * n_k..(col + 1) * n_k], &path, freqs_hz);
+                    col_doppler[col] = path.doppler_hz;
+                    col_present[col] = true;
+                }
+            }
+        }
+        let (env_static, env_doppler) = build_environment(&link.environment, freqs_hz);
+        LinkBasis {
+            freqs_hz: freqs_hz.to_vec(),
+            env_static,
+            env_doppler,
+            columns,
+            col_doppler,
+            col_present,
+            state_offsets,
+            space,
+            n_k,
+            revision: link.revision,
+        }
+    }
+
+    /// Builds the basis over a numerology's active subcarriers — the grid
+    /// [`press_sdr::Sounder::oracle_channel`] evaluates on.
+    pub fn for_numerology(system: &PressSystem, link: &CachedLink, num: &Numerology) -> Self {
+        LinkBasis::build(system, link, &num.active_freqs_hz())
+    }
+
+    /// Rebuilds everything (environment *and* element columns) in place.
+    /// Needed after the system itself changes — elements re-programmed,
+    /// repositioned, endpoints moved.
+    pub fn rebuild(&mut self, system: &PressSystem, link: &CachedLink) {
+        *self = LinkBasis::build(system, link, &self.freqs_hz.clone());
+    }
+
+    /// Re-derives only the environment response from the link's (drifted)
+    /// environment paths. Element columns are untouched — drift perturbs
+    /// environment path gains only — so this costs `O(L·K)`, not a full
+    /// rebuild.
+    pub fn rebuild_environment(&mut self, link: &CachedLink) {
+        let (env_static, env_doppler) = build_environment(&link.environment, &self.freqs_hz);
+        self.env_static = env_static;
+        self.env_doppler = env_doppler;
+        self.revision = link.revision;
+    }
+
+    /// The [`CachedLink::revision`] this basis reflects.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// True when the basis still matches the link's environment.
+    pub fn is_fresh(&self, link: &CachedLink) -> bool {
+        self.revision == link.revision
+    }
+
+    /// Refreshes the environment response if the link has drifted since the
+    /// basis was built. Returns true when a rebuild happened.
+    pub fn ensure_fresh(&mut self, link: &CachedLink) -> bool {
+        if self.is_fresh(link) {
+            false
+        } else {
+            self.rebuild_environment(link);
+            true
+        }
+    }
+
+    /// The configuration space the basis covers (active elements collapse
+    /// to a single state, as in
+    /// [`config_space_passive_only`](crate::array::PressArray::config_space_passive_only)).
+    pub fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    /// The frequency grid, Hz.
+    pub fn freqs_hz(&self) -> &[f64] {
+        &self.freqs_hz
+    }
+
+    /// Number of frequency points `K`.
+    pub fn n_subcarriers(&self) -> usize {
+        self.n_k
+    }
+
+    /// The cached t=0 contribution of one (element, state), or `None` when
+    /// that state contributes no path (absorber, below trace floor, element
+    /// disabled). Feeds the inverse-problem dictionary.
+    pub fn column(&self, element: usize, state: usize) -> Option<&[Complex64]> {
+        assert!(state < self.space.states_per_element[element], "state out of range");
+        let col = self.state_offsets[element] + state;
+        if self.col_present[col] {
+            Some(&self.columns[col * self.n_k..(col + 1) * self.n_k])
+        } else {
+            None
+        }
+    }
+
+    /// The environment-only response at elapsed time `t_s` (no element
+    /// contribution), into a caller-owned buffer — the inverse problem's
+    /// "base" channel.
+    pub fn environment_into(&self, t_s: f64, out: &mut Vec<Complex64>) {
+        out.clear();
+        out.extend_from_slice(&self.env_static);
+        for (d, col) in &self.env_doppler {
+            add_rotated(out, col, *d, t_s, false);
+        }
+    }
+
+    /// Synthesizes the channel of a configuration at elapsed time `t_s`
+    /// into a caller-owned buffer: `O(N·K)` complex adds, no allocation
+    /// beyond the buffer's first growth.
+    pub fn synthesize_into(&self, config: &Configuration, t_s: f64, out: &mut Vec<Complex64>) {
+        assert_eq!(config.len(), self.space.n_elements(), "configuration/basis size mismatch");
+        self.environment_into(t_s, out);
+        for (i, &s) in config.states.iter().enumerate() {
+            assert!(s < self.space.states_per_element[i], "state out of range");
+            let col = self.state_offsets[i] + s;
+            if self.col_present[col] {
+                add_rotated(
+                    out,
+                    &self.columns[col * self.n_k..(col + 1) * self.n_k],
+                    self.col_doppler[col],
+                    t_s,
+                    false,
+                );
+            }
+        }
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`synthesize_into`](Self::synthesize_into).
+    pub fn synthesize(&self, config: &Configuration, t_s: f64) -> Vec<Complex64> {
+        let mut out = Vec::new();
+        self.synthesize_into(config, t_s, &mut out);
+        out
+    }
+
+    /// Updates a synthesized channel in place for a single-coordinate move
+    /// `element: old_state → new_state`: subtract the old column, add the
+    /// new one. O(K) — the incremental step behind greedy sweeps, hill
+    /// climbing and annealing.
+    pub fn apply_move(
+        &self,
+        h: &mut [Complex64],
+        element: usize,
+        old_state: usize,
+        new_state: usize,
+        t_s: f64,
+    ) {
+        assert_eq!(h.len(), self.n_k, "channel buffer length mismatch");
+        if old_state == new_state {
+            return;
+        }
+        let old_col = self.state_offsets[element] + old_state;
+        let new_col = self.state_offsets[element] + new_state;
+        if self.col_present[old_col] {
+            add_rotated(
+                h,
+                &self.columns[old_col * self.n_k..(old_col + 1) * self.n_k],
+                self.col_doppler[old_col],
+                t_s,
+                true,
+            );
+        }
+        if self.col_present[new_col] {
+            add_rotated(
+                h,
+                &self.columns[new_col * self.n_k..(new_col + 1) * self.n_k],
+                self.col_doppler[new_col],
+                t_s,
+                false,
+            );
+        }
+    }
+}
+
+/// Fills `out` with one path's t=0 response over the grid.
+fn fill_column(out: &mut [Complex64], path: &SignalPath, freqs_hz: &[f64]) {
+    for (o, &f) in out.iter_mut().zip(freqs_hz) {
+        *o = path.response_at(f, 0.0);
+    }
+}
+
+/// Splits the environment into the static partial sum (accumulated in path
+/// order, so zero-Doppler scenes reproduce the direct sum bit-for-bit) and
+/// one column per Doppler-shifted path.
+fn build_environment(
+    environment: &[SignalPath],
+    freqs_hz: &[f64],
+) -> (Vec<Complex64>, Vec<(f64, Vec<Complex64>)>) {
+    let mut env_static = vec![Complex64::ZERO; freqs_hz.len()];
+    let mut env_doppler = Vec::new();
+    for p in environment {
+        if p.doppler_hz == 0.0 {
+            for (h, &f) in env_static.iter_mut().zip(freqs_hz) {
+                *h = *h + p.response_at(f, 0.0);
+            }
+        } else {
+            let col = freqs_hz.iter().map(|&f| p.response_at(f, 0.0)).collect();
+            env_doppler.push((p.doppler_hz, col));
+        }
+    }
+    (env_static, env_doppler)
+}
+
+/// If `b` differs from `a` in exactly one coordinate, returns
+/// `(element, b's state)`.
+fn single_move(a: &Configuration, b: &Configuration) -> Option<(usize, usize)> {
+    if a.len() != b.len() {
+        return None;
+    }
+    let mut found = None;
+    for (i, (&sa, &sb)) in a.states.iter().zip(&b.states).enumerate() {
+        if sa != sb {
+            if found.is_some() {
+                return None;
+            }
+            found = Some((i, sb));
+        }
+    }
+    found
+}
+
+/// A stateful configuration scorer over a [`LinkBasis`]: synthesizes the
+/// channel allocation-free and feeds it to a metric closure
+/// `FnMut(&[Complex64]) -> f64`.
+///
+/// The evaluator remembers the last two (configuration, channel) pairs it
+/// produced. Search loops that probe single-coordinate moves off a base —
+/// greedy sweeps, hill climbing, simulated annealing — therefore hit the
+/// O(K) [`LinkBasis::apply_move`] path automatically: a probe one move
+/// away from the base updates incrementally, and when the search *commits*
+/// a probe (its next probes depart from it), the buffers swap in O(1). Any
+/// other configuration falls back to a full O(N·K) synthesis, so the
+/// evaluator is a drop-in `FnMut(&Configuration) -> f64` (via
+/// [`evaluate`](Self::evaluate)) for every search algorithm.
+#[derive(Debug)]
+pub struct BasisEvaluator<'a, F> {
+    basis: &'a LinkBasis,
+    metric: F,
+    t_s: f64,
+    incremental: bool,
+    current: Option<Configuration>,
+    current_h: Vec<Complex64>,
+    pending: Option<Configuration>,
+    pending_h: Vec<Complex64>,
+    evaluations: usize,
+    full_syntheses: usize,
+}
+
+impl<'a, F: FnMut(&[Complex64]) -> f64> BasisEvaluator<'a, F> {
+    /// Creates an evaluator at elapsed time `t_s` with the incremental
+    /// move fast path enabled.
+    pub fn new(basis: &'a LinkBasis, t_s: f64, metric: F) -> Self {
+        BasisEvaluator {
+            basis,
+            metric,
+            t_s,
+            incremental: true,
+            current: None,
+            current_h: Vec::with_capacity(basis.n_subcarriers()),
+            pending: None,
+            pending_h: Vec::with_capacity(basis.n_subcarriers()),
+            evaluations: 0,
+            full_syntheses: 0,
+        }
+    }
+
+    /// Creates an evaluator that always synthesizes from scratch (still
+    /// allocation-free O(N·K), just no O(K) move shortcut).
+    ///
+    /// The incremental path's floating-point result depends (at the last-ulp
+    /// level) on the *sequence* of configurations evaluated; exact mode is
+    /// history-independent, which the parallel sweeps rely on for
+    /// thread-count-invariant results.
+    pub fn exact(basis: &'a LinkBasis, t_s: f64, metric: F) -> Self {
+        let mut e = BasisEvaluator::new(basis, t_s, metric);
+        e.incremental = false;
+        e
+    }
+
+    /// Scores one configuration (see the type docs for the incremental
+    /// fast paths).
+    pub fn evaluate(&mut self, config: &Configuration) -> f64 {
+        self.evaluations += 1;
+        if !self.incremental {
+            self.full_syntheses += 1;
+            self.basis
+                .synthesize_into(config, self.t_s, &mut self.current_h);
+            return (self.metric)(&self.current_h);
+        }
+        // The probe we produced last time became the new base: swap, O(1).
+        if self.pending.as_deref_states() == Some(&config.states) {
+            std::mem::swap(&mut self.current, &mut self.pending);
+            std::mem::swap(&mut self.current_h, &mut self.pending_h);
+            self.pending = None;
+            return (self.metric)(&self.current_h);
+        }
+        if self.current.as_deref_states() == Some(&config.states) {
+            return (self.metric)(&self.current_h);
+        }
+        // One move off the base: incremental O(K) update into the probe
+        // buffer, leaving the base intact for sibling probes.
+        if let Some(cur) = &self.current {
+            if let Some((i, s_new)) = single_move(cur, config) {
+                let s_old = cur.states[i];
+                self.pending_h.clear();
+                self.pending_h.extend_from_slice(&self.current_h);
+                self.basis
+                    .apply_move(&mut self.pending_h, i, s_old, s_new, self.t_s);
+                self.pending = Some(config.clone());
+                return (self.metric)(&self.pending_h);
+            }
+        }
+        // One move off the last probe (annealing accepts without
+        // re-evaluating): commit the probe as the new base, then move.
+        if let Some(pend) = self.pending.take() {
+            if let Some((i, s_new)) = single_move(&pend, config) {
+                std::mem::swap(&mut self.current_h, &mut self.pending_h);
+                let s_old = pend.states[i];
+                self.current = Some(pend);
+                self.pending_h.clear();
+                self.pending_h.extend_from_slice(&self.current_h);
+                self.basis
+                    .apply_move(&mut self.pending_h, i, s_old, s_new, self.t_s);
+                self.pending = Some(config.clone());
+                return (self.metric)(&self.pending_h);
+            }
+        }
+        // Anywhere else in the space: full O(N·K) synthesis becomes the
+        // new base.
+        self.full_syntheses += 1;
+        self.basis
+            .synthesize_into(config, self.t_s, &mut self.current_h);
+        self.current = Some(config.clone());
+        self.pending = None;
+        (self.metric)(&self.current_h)
+    }
+
+    /// Total configurations scored.
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// How many of them needed a full synthesis (the rest were O(K)
+    /// incremental or O(1) cache hits).
+    pub fn full_syntheses(&self) -> usize {
+        self.full_syntheses
+    }
+
+    /// Moves the evaluator to a new elapsed time, dropping cached channels
+    /// (they are only valid at the time they were synthesized for).
+    pub fn set_time(&mut self, t_s: f64) {
+        if t_s != self.t_s {
+            self.t_s = t_s;
+            self.current = None;
+            self.pending = None;
+        }
+    }
+}
+
+/// Tiny helper so the hot path compares configurations without constructing
+/// anything: `Option<Configuration> → Option<&[usize]>`.
+trait AsStates {
+    fn as_deref_states(&self) -> Option<&[usize]>;
+}
+
+impl AsStates for Option<Configuration> {
+    fn as_deref_states(&self) -> Option<&[usize]> {
+        self.as_ref().map(|c| c.states.as_slice())
+    }
+}
+
+/// A reusable, allocation-free metric turning a synthesized channel into a
+/// [`LinkObjective`] score — the basis-side equivalent of
+/// `objective.score(&sounder.oracle_snr(&paths, t))`.
+pub fn snr_metric(params: SnrParams, objective: LinkObjective) -> impl FnMut(&[Complex64]) -> f64 {
+    let mut profile = SnrProfile::new(Vec::new());
+    move |h| {
+        params.profile_into(h, &mut profile.snr_db);
+        objective.score(&profile)
+    }
+}
+
+/// Worst-subcarrier channel magnitude, dB — the raw link-quality metric the
+/// large-space search ablations use when no link budget is in play.
+pub fn min_magnitude_db_metric() -> impl FnMut(&[Complex64]) -> f64 {
+    |h: &[Complex64]| {
+        h.iter()
+            .map(|hk| 20.0 * hk.abs().max(1e-30).log10())
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::PressArray;
+    use press_math::consts::WIFI_CHANNEL_11_HZ;
+    use press_propagation::path::frequency_response;
+    use press_propagation::scene::RadioNode;
+    use press_propagation::{Material, Scene, Vec3};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (PressSystem, CachedLink, Vec<f64>) {
+        let scene = Scene::shoebox(WIFI_CHANNEL_11_HZ, 6.0, 5.0, 3.0, Material::DRYWALL);
+        let lambda = scene.wavelength();
+        let array = PressArray::paper_passive(
+            &[Vec3::new(2.5, 1.5, 1.5), Vec3::new(3.0, 3.5, 1.5), Vec3::new(3.5, 2.0, 1.5)],
+            lambda,
+        );
+        let system = PressSystem::new(scene, array);
+        let tx = RadioNode::omni_at(Vec3::new(1.5, 2.0, 1.5));
+        let rx = RadioNode::omni_at(Vec3::new(4.5, 3.0, 1.5));
+        let link = CachedLink::trace(&system, tx, rx);
+        let freqs: Vec<f64> = (0..52)
+            .map(|k| WIFI_CHANNEL_11_HZ + (k as f64 - 26.0) * 312_500.0)
+            .collect();
+        (system, link, freqs)
+    }
+
+    #[test]
+    fn synthesis_matches_direct_bit_for_bit_when_static() {
+        let (system, link, freqs) = setup();
+        let basis = LinkBasis::build(&system, &link, &freqs);
+        for cfg in basis.space().clone().iter() {
+            let direct = frequency_response(&link.paths(&system, &cfg), &freqs, 0.0);
+            let fast = basis.synthesize(&cfg, 0.0);
+            assert_eq!(direct, fast, "config {:?}", cfg.states);
+        }
+    }
+
+    #[test]
+    fn static_scene_is_time_invariant_like_direct() {
+        let (system, link, freqs) = setup();
+        let basis = LinkBasis::build(&system, &link, &freqs);
+        let cfg = Configuration::new(vec![2, 0, 1]);
+        let direct = frequency_response(&link.paths(&system, &cfg), &freqs, 17.5);
+        let fast = basis.synthesize(&cfg, 17.5);
+        assert_eq!(direct, fast);
+    }
+
+    #[test]
+    fn doppler_columns_rotate_analytically() {
+        let (system, mut link, freqs) = setup();
+        for (i, p) in link.environment.iter_mut().enumerate() {
+            p.doppler_hz = 3.0 + i as f64;
+        }
+        link.mark_dirty();
+        let basis = LinkBasis::build(&system, &link, &freqs);
+        let cfg = Configuration::new(vec![1, 3, 2]);
+        let t = 0.37;
+        let direct = frequency_response(&link.paths(&system, &cfg), &freqs, t);
+        let fast = basis.synthesize(&cfg, t);
+        for (d, f) in direct.iter().zip(&fast) {
+            assert!((*d - *f).abs() <= 1e-9 * d.abs().max(1.0), "{d:?} vs {f:?}");
+        }
+    }
+
+    #[test]
+    fn apply_move_matches_full_synthesis() {
+        let (system, link, freqs) = setup();
+        let basis = LinkBasis::build(&system, &link, &freqs);
+        let mut h = basis.synthesize(&Configuration::new(vec![0, 0, 0]), 0.0);
+        basis.apply_move(&mut h, 1, 0, 3, 0.0);
+        basis.apply_move(&mut h, 0, 0, 2, 0.0);
+        let full = basis.synthesize(&Configuration::new(vec![2, 3, 0]), 0.0);
+        for (a, b) in h.iter().zip(&full) {
+            assert!((*a - *b).abs() <= 1e-12 * b.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn drift_invalidates_and_rebuild_refreshes() {
+        let (system, mut link, freqs) = setup();
+        let mut basis = LinkBasis::build(&system, &link, &freqs);
+        let cfg = Configuration::new(vec![3, 1, 0]);
+        let before = basis.synthesize(&cfg, 0.0);
+        let drift = press_propagation::fading::ChannelDrift::quiet_lab();
+        let mut rng = StdRng::seed_from_u64(5);
+        link.apply_drift(&drift, &mut rng);
+        assert!(!basis.is_fresh(&link), "drift must mark the basis stale");
+        // Stale basis still returns the old response...
+        assert_eq!(basis.synthesize(&cfg, 0.0), before);
+        // ...and refreshing re-derives the drifted one exactly.
+        assert!(basis.ensure_fresh(&link));
+        let direct = frequency_response(&link.paths(&system, &cfg), &freqs, 0.0);
+        assert_eq!(basis.synthesize(&cfg, 0.0), direct);
+        assert!(!basis.ensure_fresh(&link), "second refresh is a no-op");
+    }
+
+    #[test]
+    fn evaluator_incremental_probes_match_full_synthesis() {
+        let (system, link, freqs) = setup();
+        let basis = LinkBasis::build(&system, &link, &freqs);
+        let mut eval = BasisEvaluator::new(&basis, 0.0, min_magnitude_db_metric());
+        // A greedy-like probe pattern: base, then single moves, then commit.
+        let base = Configuration::zeros(3);
+        let s0 = eval.evaluate(&base);
+        let mut probe = base.clone();
+        probe.states[1] = 2;
+        let s1 = eval.evaluate(&probe);
+        let s1_again = eval.evaluate(&probe); // commit: O(1) swap
+        assert_eq!(s1, s1_again);
+        // Reference scores from scratch evaluators.
+        let mut fresh = BasisEvaluator::new(&basis, 0.0, min_magnitude_db_metric());
+        assert_eq!(s0, fresh.evaluate(&base));
+        let mut fresh2 = BasisEvaluator::new(&basis, 0.0, min_magnitude_db_metric());
+        assert_eq!(s1, fresh2.evaluate(&probe));
+        assert_eq!(eval.evaluations(), 3);
+        assert_eq!(eval.full_syntheses(), 1, "only the base paid full synthesis");
+    }
+
+    #[test]
+    fn evaluator_annealing_chain_stays_incremental() {
+        let (system, link, freqs) = setup();
+        let basis = LinkBasis::build(&system, &link, &freqs);
+        let mut eval = BasisEvaluator::new(&basis, 0.0, min_magnitude_db_metric());
+        // Accepted-move chain: each config is one move off the previous
+        // *probe*, never re-evaluated — the annealing accept pattern.
+        let mut c = Configuration::zeros(3);
+        let mut scores = Vec::new();
+        scores.push(eval.evaluate(&c));
+        for (i, s) in [(0usize, 1usize), (2, 3), (1, 2), (0, 3), (2, 1)] {
+            c.states[i] = s;
+            scores.push(eval.evaluate(&c));
+        }
+        assert_eq!(eval.full_syntheses(), 1, "chain must stay incremental");
+        // Every score must match a from-scratch synthesis.
+        let mut replay = Configuration::zeros(3);
+        let check = |cfg: &Configuration| {
+            let mut e = BasisEvaluator::new(&basis, 0.0, min_magnitude_db_metric());
+            e.evaluate(cfg)
+        };
+        let mut idx = 0;
+        assert!((scores[idx] - check(&replay)).abs() < 1e-9);
+        for (i, s) in [(0usize, 1usize), (2, 3), (1, 2), (0, 3), (2, 1)] {
+            replay.states[i] = s;
+            idx += 1;
+            assert!((scores[idx] - check(&replay)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn snr_metric_matches_oracle_scoring() {
+        use press_phy::Numerology;
+        use press_sdr::{SdrRadio, Sounder};
+        let (system, link, _) = setup();
+        let sounder = Sounder::new(
+            Numerology::wifi20(WIFI_CHANNEL_11_HZ),
+            SdrRadio::warp(link.tx.clone()),
+            SdrRadio::warp(link.rx.clone()),
+        );
+        let basis = LinkBasis::for_numerology(&system, &link, &sounder.num);
+        let mut metric = snr_metric(sounder.snr_params(), LinkObjective::MaxMinSnr);
+        for cfg in [Configuration::zeros(3), Configuration::new(vec![3, 1, 2])] {
+            let direct = LinkObjective::MaxMinSnr
+                .score(&sounder.oracle_snr(&link.paths(&system, &cfg), 0.0));
+            let fast = metric(&basis.synthesize(&cfg, 0.0));
+            assert_eq!(direct, fast);
+        }
+    }
+
+    #[test]
+    fn columns_are_the_per_element_path_responses() {
+        let (system, link, freqs) = setup();
+        let basis = LinkBasis::build(&system, &link, &freqs);
+        for i in 0..3 {
+            for s in 0..4 {
+                let path = system.array.element_path(&system.scene, &link.tx, &link.rx, i, s);
+                match (basis.column(i, s), path) {
+                    (Some(col), Some(p)) => {
+                        for (c, &f) in col.iter().zip(&freqs) {
+                            assert_eq!(*c, p.response_at(f, 0.0));
+                        }
+                    }
+                    (None, None) => {}
+                    (col, p) => panic!(
+                        "column presence mismatch at ({i},{s}): basis {:?} vs trace {:?}",
+                        col.is_some(),
+                        p.is_some()
+                    ),
+                }
+            }
+        }
+    }
+}

@@ -8,10 +8,12 @@
 //! wall-clock cost for every measurement, computation and actuation so the
 //! coherence budget is a real constraint, not an aspiration.
 
+use crate::basis::LinkBasis;
 use crate::config::Configuration;
 use crate::objective::LinkObjective;
 use crate::search;
 use crate::system::{CachedLink, PressSystem};
+use press_math::Complex64;
 use press_sdr::Sounder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -146,14 +148,19 @@ impl Controller {
 
         let mut measurements = 0usize;
         let mut elapsed = 0.0f64;
-        let measure = |config: &Configuration,
+        // Candidate channels come from the basis fast path (O(N·K) per
+        // configuration, no per-measurement path re-trace); the measurement
+        // noise itself still goes through the full sounding pipeline.
+        let basis = LinkBasis::for_numerology(system, &link, &sounder.num);
+        let mut h: Vec<Complex64> = Vec::with_capacity(basis.n_subcarriers());
+        let mut measure = |config: &Configuration,
                            measurements: &mut usize,
                            elapsed: &mut f64,
                            rng: &mut StdRng|
          -> f64 {
-            let paths = link.paths(system, config);
+            basis.synthesize_into(config, *elapsed, &mut h);
             let profile = sounder
-                .sound_averaged(&paths, self.frames_per_measurement, *elapsed, rng)
+                .sound_averaged_channel(&h, self.frames_per_measurement, rng)
                 .expect("sounder has >=2 training symbols");
             *measurements += 1;
             *elapsed += self.timing.measurement_s + self.timing.compute_per_eval_s;

@@ -138,6 +138,27 @@ impl PressDictionary {
         PressDictionary { base, contributions }
     }
 
+    /// Builds the dictionary from an already-constructed [`LinkBasis`] —
+    /// the columns are shared verbatim (the basis *is* the dictionary, with
+    /// absent states materialized as zero contributions), so no path is
+    /// re-traced.
+    pub fn from_basis(basis: &crate::basis::LinkBasis) -> PressDictionary {
+        let mut base = Vec::new();
+        basis.environment_into(0.0, &mut base);
+        let space = basis.space();
+        let contributions = (0..space.n_elements())
+            .map(|i| {
+                (0..space.states_per_element[i])
+                    .map(|s| match basis.column(i, s) {
+                        Some(col) => col.to_vec(),
+                        None => vec![Complex64::ZERO; basis.n_subcarriers()],
+                    })
+                    .collect()
+            })
+            .collect();
+        PressDictionary { base, contributions }
+    }
+
     /// The configuration space implied by the dictionary.
     pub fn space(&self) -> ConfigSpace {
         ConfigSpace::new(self.contributions.iter().map(|c| c.len()).collect())
@@ -145,24 +166,49 @@ impl PressDictionary {
 
     /// Forward model: the channel a configuration produces.
     pub fn channel(&self, config: &Configuration) -> Vec<Complex64> {
-        let mut h = self.base.clone();
+        let mut h = Vec::new();
+        self.channel_into(config, &mut h);
+        h
+    }
+
+    /// Like [`channel`](Self::channel) but into a caller-owned buffer, so
+    /// the solver's enumeration and refinement loops stay allocation-free.
+    pub fn channel_into(&self, config: &Configuration, out: &mut Vec<Complex64>) {
+        out.clear();
+        out.extend_from_slice(&self.base);
         for (elem, &state) in self.contributions.iter().zip(&config.states) {
-            for (hk, ck) in h.iter_mut().zip(&elem[state]) {
+            for (hk, ck) in out.iter_mut().zip(&elem[state]) {
                 *hk += *ck;
             }
         }
-        h
     }
 
     /// Weighted squared distance of a configuration's channel to a target.
     pub fn distance(&self, config: &Configuration, target: &[Complex64], weights: &[f64]) -> f64 {
-        self.channel(config)
-            .iter()
-            .zip(target)
-            .zip(weights)
-            .map(|((h, t), &w)| w * (*h - *t).norm_sqr())
-            .sum()
+        let mut scratch = Vec::new();
+        self.distance_with(config, target, weights, &mut scratch)
     }
+
+    /// [`distance`](Self::distance) with a reusable channel scratch buffer.
+    pub fn distance_with(
+        &self,
+        config: &Configuration,
+        target: &[Complex64],
+        weights: &[f64],
+        scratch: &mut Vec<Complex64>,
+    ) -> f64 {
+        self.channel_into(config, scratch);
+        weighted_residual(scratch, target, weights)
+    }
+}
+
+/// `Σ w_k |h_k − t_k|²`.
+fn weighted_residual(h: &[Complex64], target: &[Complex64], weights: &[f64]) -> f64 {
+    h.iter()
+        .zip(target)
+        .zip(weights)
+        .map(|((h, t), &w)| w * (*h - *t).norm_sqr())
+        .sum()
 }
 
 /// Solves for the configuration whose channel best matches a target.
@@ -219,9 +265,10 @@ impl InverseSolver {
 
         // Small spaces: exact enumeration is cheaper than being clever.
         if space.size() <= self.exhaustive_threshold {
+            let mut scratch = Vec::with_capacity(n_sc);
             let mut best: Option<(Configuration, f64)> = None;
             for c in space.iter() {
-                let r = dict.distance(&c, target, &self.weights);
+                let r = dict.distance_with(&c, target, &self.weights, &mut scratch);
                 if best.as_ref().map_or(true, |(_, b)| r < *b) {
                     best = Some((c, r));
                 }
@@ -279,7 +326,12 @@ impl InverseSolver {
         }
 
         // --- Stage 3: coordinate-descent refinement on the true objective. ---
-        let mut best_residual = dict.distance(&config, target, &self.weights);
+        // The candidate channel is maintained incrementally: probing state
+        // `s` for element `i` swaps one contribution column out and one in
+        // (O(K)) rather than re-synthesizing the whole channel per candidate.
+        let mut h = Vec::with_capacity(n_sc);
+        dict.channel_into(&config, &mut h);
+        let mut best_residual = weighted_residual(&h, target, &self.weights);
         for _ in 0..self.refine_sweeps {
             let mut improved = false;
             for i in 0..n_elem {
@@ -289,15 +341,26 @@ impl InverseSolver {
                     if s == original {
                         continue;
                     }
-                    config.states[i] = s;
-                    let r = dict.distance(&config, target, &self.weights);
+                    let old_col = &dict.contributions[i][original];
+                    let new_col = &dict.contributions[i][s];
+                    let r: f64 = (0..n_sc)
+                        .map(|k| {
+                            let hk = h[k] - old_col[k] + new_col[k];
+                            self.weights[k] * (hk - target[k]).norm_sqr()
+                        })
+                        .sum();
                     if r < best_residual {
                         best_residual = r;
                         best_state = s;
                     }
                 }
-                config.states[i] = best_state;
                 if best_state != original {
+                    let old_col = &dict.contributions[i][original];
+                    let new_col = &dict.contributions[i][best_state];
+                    for k in 0..n_sc {
+                        h[k] = h[k] - old_col[k] + new_col[k];
+                    }
+                    config.states[i] = best_state;
                     improved = true;
                 }
             }
@@ -474,6 +537,32 @@ mod tests {
         // The relaxation optimizes over a superset (continuous alphas), so it
         // cannot be worse than the discrete solution.
         assert!(sol.relaxed_residual <= sol.residual + 1e-9);
+    }
+
+    #[test]
+    fn dictionary_from_basis_matches_from_system() {
+        use crate::array::PressArray;
+        use crate::basis::LinkBasis;
+        use crate::system::{CachedLink, PressSystem};
+        use press_propagation::{LabConfig, LabSetup};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let lab = LabSetup::generate(&LabConfig::default(), 23);
+        let lambda = lab.scene.wavelength();
+        let mut rng = StdRng::seed_from_u64(9);
+        let positions = lab.random_element_positions(3, &mut rng);
+        let array = PressArray::paper_passive(&positions, lambda);
+        let system = PressSystem::new(lab.scene.clone(), array);
+        let link = CachedLink::trace(&system, lab.tx.clone(), lab.rx.clone());
+        let f = freqs();
+        let basis = LinkBasis::build(&system, &link, &f);
+
+        let direct = PressDictionary::from_system(&system, &lab.tx, &lab.rx, &f);
+        let cached = PressDictionary::from_basis(&basis);
+        // Static lab scenes: identical path ordering, so bit-equal.
+        assert_eq!(direct.base, cached.base);
+        assert_eq!(direct.contributions, cached.contributions);
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //! * [`objective`] — the §1 applications as scalar objectives (link
 //!   enhancement, MIMO conditioning, harmonization, partitioning);
 //! * [`search`] — exhaustive / greedy / hill-climb / annealing / genetic
-//!   navigation of the configuration space (§4.2);
+//!   navigation of the configuration space (§4.2), serial and parallel;
+//! * [`basis`] — the basis-cached O(N·K) configuration-evaluation fast
+//!   path with incremental single-move updates;
 //! * [`inverse`] — the §2 inverse problem: path extraction from CSI and
 //!   dictionary-based configuration synthesis;
 //! * [`controller`] — the closed measurement → search → actuate loop under
@@ -24,6 +26,7 @@ pub mod alignment;
 pub mod analysis;
 pub mod array;
 pub mod bandit;
+pub mod basis;
 pub mod config;
 pub mod controller;
 pub mod inverse;
@@ -40,11 +43,12 @@ pub use alignment::{mean_alignment, nulling_filter, post_nulling_sinr_db};
 pub use analysis::{headline_stats, HeadlineStats, NULL_THRESHOLD_DB};
 pub use array::{PlacedElement, PressArray};
 pub use bandit::UcbController;
+pub use basis::{min_magnitude_db_metric, snr_metric, BasisEvaluator, LinkBasis};
 pub use config::{ConfigSpace, Configuration};
 pub use controller::{ControlReport, Controller, Strategy, TimingModel};
 pub use inverse::{InverseSolution, InverseSolver, PressDictionary, RecoveredPath};
 pub use joint::{compare_agility, AgilityReport, JointLink, JointProblem};
-pub use measurement::{run_campaign, run_campaign_over, CampaignConfig, CampaignResult};
+pub use measurement::{run_campaign, run_campaign_over, run_campaign_parallel, CampaignConfig, CampaignResult};
 pub use objective::{harmonization_score, mimo_conditioning_score, partition_score, LinkObjective};
 pub use placement::{greedy_placement, random_placement_baseline, PlacementResult};
 pub use search::{hierarchical_groups, GeneticParams, SearchResult};

@@ -9,8 +9,11 @@
 //! drifts slightly (equipment movement, people) — modelled by
 //! [`ChannelDrift`].
 
+use crate::basis::LinkBasis;
 use crate::config::{ConfigSpace, Configuration};
+use crate::search::derive_stream_seed;
 use crate::system::{CachedLink, PressSystem};
+use press_math::Complex64;
 use press_phy::snr::SnrProfile;
 use press_propagation::fading::ChannelDrift;
 // crossbeam provides the scoped threads for the parallel campaign runner.
@@ -120,17 +123,24 @@ pub fn run_campaign_over(
         sounder.tx.node.clone(),
         sounder.rx.node.clone(),
     );
+    // Element paths and the environment response are shared by every
+    // measurement of a trial: precompute them once and synthesize each
+    // configuration's channel by O(N·K) accumulation instead of re-tracing
+    // and re-summing the whole path list per measurement.
+    let mut basis = LinkBasis::for_numerology(system, &link, &sounder.num);
+    let mut h: Vec<Complex64> = Vec::with_capacity(basis.n_subcarriers());
     let mut profiles = Vec::with_capacity(campaign.n_trials);
     let mut elapsed = 0.0;
     for trial in 0..campaign.n_trials {
         if trial > 0 {
-            campaign.drift.step(&mut link.environment, &mut rng);
+            link.apply_drift(&campaign.drift, &mut rng);
+            basis.ensure_fresh(&link);
         }
         let mut row = Vec::with_capacity(configs.len());
         for config in configs {
-            let paths = link.paths(system, config);
+            basis.synthesize_into(config, elapsed, &mut h);
             let profile = sounder
-                .sound_averaged(&paths, campaign.frames_per_config, elapsed, &mut rng)
+                .sound_averaged_channel(&h, campaign.frames_per_config, &mut rng)
                 .expect("sounder configured with >=2 training symbols");
             row.push(profile);
             elapsed += campaign.per_config_latency_s;
@@ -169,26 +179,24 @@ pub fn run_campaign_parallel(
     );
 
     // Evolve the environment serially (drift is a sequential random walk),
-    // keeping one snapshot per trial.
-    let mut links = Vec::with_capacity(campaign.n_trials);
+    // keeping one basis snapshot per trial: the element columns are built
+    // once and shared, only the drifted environment response is re-derived.
+    let mut bases = Vec::with_capacity(campaign.n_trials);
+    let base_basis = LinkBasis::for_numerology(system, &base_link, &sounder.num);
     let mut link = base_link;
     for trial in 0..campaign.n_trials {
         if trial > 0 {
-            campaign.drift.step(&mut link.environment, &mut drift_rng);
+            link.apply_drift(&campaign.drift, &mut drift_rng);
         }
-        links.push(link.clone());
+        let mut basis = base_basis.clone();
+        basis.ensure_fresh(&link);
+        bases.push(basis);
     }
 
-    // SplitMix64-style per-measurement seed derivation.
-    let derive = |trial: usize, cfg: usize| -> u64 {
-        let mut z = campaign
-            .seed
-            .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(1 + trial as u64))
-            .wrapping_add(0xBF58476D1CE4E5B9u64.wrapping_mul(1 + cfg as u64));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^ (z >> 31)
-    };
+    // SplitMix64-style per-measurement seed derivation (see
+    // [`derive_stream_seed`]).
+    let derive =
+        |trial: usize, cfg: usize| -> u64 { derive_stream_seed(campaign.seed, trial as u64, cfg as u64) };
 
     let mut profiles: Vec<Vec<Option<SnrProfile>>> =
         vec![vec![None; configs.len()]; campaign.n_trials];
@@ -202,19 +210,20 @@ pub fn run_campaign_parallel(
         // partitioned view (disjoint by construction).
         let results: Vec<_> = (0..n_threads)
             .map(|w| {
-                let links = &links;
+                let bases = &bases;
                 let jobs = &jobs;
                 scope.spawn(move |_| {
+                    let mut h: Vec<Complex64> = Vec::new();
                     let mut out = Vec::new();
                     let mut j = w;
                     while j < jobs.len() {
                         let (trial, cfg_idx) = jobs[j];
                         let mut rng = StdRng::seed_from_u64(derive(trial, cfg_idx));
-                        let paths = links[trial].paths(system, &configs[cfg_idx]);
                         let t_s = campaign.per_config_latency_s
                             * (trial * configs.len() + cfg_idx) as f64;
+                        bases[trial].synthesize_into(&configs[cfg_idx], t_s, &mut h);
                         let profile = sounder
-                            .sound_averaged(&paths, campaign.frames_per_config, t_s, &mut rng)
+                            .sound_averaged_channel(&h, campaign.frames_per_config, &mut rng)
                             .expect("sounder configured with >=2 training symbols");
                         out.push((trial, cfg_idx, profile));
                         j += n_threads;

@@ -15,7 +15,22 @@
 //! measurement inside a coherence-time budget.
 
 use crate::config::{ConfigSpace, Configuration};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// SplitMix64-style derivation of an independent RNG seed for stream
+/// `(a, b)` of a root `seed`. Shared by every deterministic parallel
+/// runner (campaigns, sweeps): each unit of work draws from its own
+/// derived stream, so results are bit-identical regardless of thread
+/// count or scheduling.
+pub fn derive_stream_seed(seed: u64, a: u64, b: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(1 + a))
+        .wrapping_add(0xBF58476D1CE4E5B9u64.wrapping_mul(1 + b));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
 
 /// Result of a configuration search.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +66,64 @@ where
     }
 }
 
+/// Parallel exhaustive sweep over scoped worker threads.
+///
+/// Each worker builds its own evaluator via `make_eval` (e.g. a
+/// [`crate::basis::BasisEvaluator`] over a shared [`crate::basis::LinkBasis`])
+/// and takes a strided share of the dense indices. Ties break toward the
+/// lowest dense index — exactly the configuration serial [`exhaustive`]
+/// keeps — so given a history-independent evaluator the result is
+/// bit-identical to the serial sweep and invariant to `n_threads`.
+pub fn exhaustive_parallel<E, F>(space: &ConfigSpace, n_threads: usize, make_eval: F) -> SearchResult
+where
+    E: FnMut(&Configuration) -> f64,
+    F: Fn() -> E + Sync,
+{
+    assert!(n_threads > 0, "need at least one thread");
+    let size = space.size();
+    let best = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|w| {
+                let make_eval = &make_eval;
+                scope.spawn(move |_| {
+                    let mut eval = make_eval();
+                    let mut local: Option<(usize, f64)> = None;
+                    let mut j = w;
+                    while j < size {
+                        let c = space.config_at(j);
+                        let s = eval(&c);
+                        if local.map_or(true, |(_, b)| s > b) {
+                            local = Some((j, s));
+                        }
+                        j += n_threads;
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut best: Option<(usize, f64)> = None;
+        for h in handles {
+            if let Some((idx, s)) = h.join().expect("search worker panicked") {
+                let better = match best {
+                    None => true,
+                    Some((bi, bs)) => s > bs || (s == bs && idx < bi),
+                };
+                if better {
+                    best = Some((idx, s));
+                }
+            }
+        }
+        best
+    })
+    .expect("search scope");
+    let (idx, score) = best.expect("configuration space is never empty");
+    SearchResult {
+        best: space.config_at(idx),
+        score,
+        evaluations: size,
+    }
+}
+
 /// Uniform random sampling with a fixed evaluation budget.
 pub fn random_search<F, R>(
     space: &ConfigSpace,
@@ -72,6 +145,70 @@ where
         }
     }
     let (best, score) = best.expect("budget > 0");
+    SearchResult {
+        best,
+        score,
+        evaluations: budget,
+    }
+}
+
+/// Parallel random sampling: candidate `i` draws its configuration from an
+/// RNG seeded [`derive_stream_seed`]`(seed, i, 0)`, so the sampled set —
+/// and, with a history-independent evaluator, every score — is
+/// bit-identical regardless of thread count. The stream differs from
+/// [`random_search`]'s (which threads one RNG through the draws the way
+/// the serial prototype did); ties break toward the lowest candidate
+/// index.
+pub fn random_search_parallel<E, F>(
+    space: &ConfigSpace,
+    budget: usize,
+    seed: u64,
+    n_threads: usize,
+    make_eval: F,
+) -> SearchResult
+where
+    E: FnMut(&Configuration) -> f64,
+    F: Fn() -> E + Sync,
+{
+    assert!(budget > 0, "budget must be positive");
+    assert!(n_threads > 0, "need at least one thread");
+    let best = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|w| {
+                let make_eval = &make_eval;
+                scope.spawn(move |_| {
+                    let mut eval = make_eval();
+                    let mut local: Option<(usize, Configuration, f64)> = None;
+                    let mut j = w;
+                    while j < budget {
+                        let mut rng = StdRng::seed_from_u64(derive_stream_seed(seed, j as u64, 0));
+                        let c = space.random(&mut rng);
+                        let s = eval(&c);
+                        if local.as_ref().map_or(true, |(_, _, b)| s > *b) {
+                            local = Some((j, c, s));
+                        }
+                        j += n_threads;
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut best: Option<(usize, Configuration, f64)> = None;
+        for h in handles {
+            if let Some((idx, c, s)) = h.join().expect("search worker panicked") {
+                let better = match &best {
+                    None => true,
+                    Some((bi, _, bs)) => s > *bs || (s == *bs && idx < *bi),
+                };
+                if better {
+                    best = Some((idx, c, s));
+                }
+            }
+        }
+        best
+    })
+    .expect("search scope");
+    let (_, best, score) = best.expect("budget > 0");
     SearchResult {
         best,
         score,
@@ -338,22 +475,96 @@ where
     F: FnMut(&Configuration) -> f64,
     R: Rng + ?Sized,
 {
+    genetic_core(space, params, rng, &mut |configs: &[Configuration]| {
+        configs.iter().map(&mut eval).collect()
+    })
+}
+
+/// Parallel genetic search. Breeding (all the RNG draws) stays serial on
+/// the caller's RNG; each generation's children are then *scored* as one
+/// batch dealt across scoped worker threads. Because evaluation draws
+/// nothing from the breeding RNG, this produces exactly the stream — and
+/// with a history-independent evaluator, exactly the result — of serial
+/// [`genetic`] with the same seed, at any thread count.
+pub fn genetic_parallel<E, F, R>(
+    space: &ConfigSpace,
+    params: &GeneticParams,
+    rng: &mut R,
+    n_threads: usize,
+    make_eval: F,
+) -> SearchResult
+where
+    E: FnMut(&Configuration) -> f64,
+    F: Fn() -> E + Sync,
+    R: Rng + ?Sized,
+{
+    assert!(n_threads > 0, "need at least one thread");
+    genetic_core(space, params, rng, &mut |configs: &[Configuration]| {
+        score_batch_parallel(configs, n_threads, &make_eval)
+    })
+}
+
+/// Scores a batch of configurations across scoped worker threads (strided
+/// dealing; output order matches input order, so results are independent
+/// of scheduling).
+fn score_batch_parallel<E, F>(configs: &[Configuration], n_threads: usize, make_eval: &F) -> Vec<f64>
+where
+    E: FnMut(&Configuration) -> f64,
+    F: Fn() -> E + Sync,
+{
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|w| {
+                scope.spawn(move |_| {
+                    let mut eval = make_eval();
+                    let mut out = Vec::new();
+                    let mut j = w;
+                    while j < configs.len() {
+                        out.push((j, eval(&configs[j])));
+                        j += n_threads;
+                    }
+                    out
+                })
+            })
+            .collect();
+        let mut scores = vec![0.0; configs.len()];
+        for h in handles {
+            for (j, s) in h.join().expect("search worker panicked") {
+                scores[j] = s;
+            }
+        }
+        scores
+    })
+    .expect("search scope")
+}
+
+/// The genetic algorithm over a batch scorer. Children of one generation
+/// are bred first (consuming the RNG in the same order the serial
+/// implementation always did — scoring draws nothing), then scored as one
+/// batch, which is what lets [`genetic_parallel`] fan the scoring out
+/// without perturbing determinism.
+fn genetic_core<B, R>(
+    space: &ConfigSpace,
+    params: &GeneticParams,
+    rng: &mut R,
+    score_batch: &mut B,
+) -> SearchResult
+where
+    B: FnMut(&[Configuration]) -> Vec<f64>,
+    R: Rng + ?Sized,
+{
     assert!(params.population >= 2, "population must be at least 2");
     let mut evaluations = 0;
-    let mut scored: Vec<(Configuration, f64)> = (0..params.population)
-        .map(|_| {
-            let c = space.random(rng);
-            let s = eval(&c);
-            evaluations += 1;
-            (c, s)
-        })
-        .collect();
+    let initial: Vec<Configuration> = (0..params.population).map(|_| space.random(rng)).collect();
+    let scores = score_batch(&initial);
+    evaluations += initial.len();
+    let mut scored: Vec<(Configuration, f64)> = initial.into_iter().zip(scores).collect();
     scored.sort_by(|a, b| b.1.total_cmp(&a.1));
     let elites = ((params.population as f64 * params.elite_fraction) as usize).max(1);
 
     for _ in 0..params.generations {
-        let mut next: Vec<(Configuration, f64)> = scored[..elites].to_vec();
-        while next.len() < params.population {
+        let mut children: Vec<Configuration> = Vec::with_capacity(params.population - elites);
+        while elites + children.len() < params.population {
             // Binary tournaments.
             let pick = |rng: &mut R| {
                 let a = rng.gen_range(0..scored.len());
@@ -378,10 +589,12 @@ where
                     child.states[i] = rng.gen_range(0..space.states_per_element[i]);
                 }
             }
-            let s = eval(&child);
-            evaluations += 1;
-            next.push((child, s));
+            children.push(child);
         }
+        let child_scores = score_batch(&children);
+        evaluations += children.len();
+        let mut next: Vec<(Configuration, f64)> = scored[..elites].to_vec();
+        next.extend(children.into_iter().zip(child_scores));
         next.sort_by(|a, b| b.1.total_cmp(&a.1));
         scored = next;
     }
@@ -521,6 +734,49 @@ mod tests {
             exhaustive.score
         );
         assert!(hier.evaluations < exhaustive.evaluations);
+    }
+
+    #[test]
+    fn exhaustive_parallel_matches_serial_at_any_thread_count() {
+        let serial = exhaustive(&space(), objective);
+        for n_threads in [1, 2, 3, 8] {
+            let par = exhaustive_parallel(&space(), n_threads, || objective);
+            assert_eq!(par, serial, "n_threads = {n_threads}");
+        }
+    }
+
+    #[test]
+    fn random_search_parallel_is_thread_count_invariant() {
+        let a = random_search_parallel(&space(), 17, 42, 1, || objective);
+        let b = random_search_parallel(&space(), 17, 42, 5, || objective);
+        assert_eq!(a, b);
+        assert_eq!(a.evaluations, 17);
+    }
+
+    #[test]
+    fn genetic_parallel_matches_serial_stream() {
+        let params = GeneticParams::default();
+        let serial = genetic(&space(), &params, &mut StdRng::seed_from_u64(3), objective);
+        for n_threads in [1, 4] {
+            let par = genetic_parallel(
+                &space(),
+                &params,
+                &mut StdRng::seed_from_u64(3),
+                n_threads,
+                || objective,
+            );
+            assert_eq!(par, serial, "n_threads = {n_threads}");
+        }
+    }
+
+    #[test]
+    fn derived_stream_seeds_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..50u64 {
+            for b in 0..50u64 {
+                assert!(seen.insert(derive_stream_seed(7, a, b)));
+            }
+        }
     }
 
     #[test]

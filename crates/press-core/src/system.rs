@@ -7,8 +7,10 @@
 
 use crate::array::PressArray;
 use crate::config::Configuration;
+use press_propagation::fading::ChannelDrift;
 use press_propagation::path::SignalPath;
 use press_propagation::scene::{RadioNode, Scene};
+use rand::Rng;
 
 /// Scene + deployed array.
 #[derive(Debug, Clone)]
@@ -25,7 +27,7 @@ impl PressSystem {
         PressSystem { scene, array }
     }
 
-    /// Environment-only paths between two endpooints (no PRESS contribution).
+    /// Environment-only paths between two endpoints (no PRESS contribution).
     pub fn environment_paths(&self, tx: &RadioNode, rx: &RadioNode) -> Vec<SignalPath> {
         self.scene.paths(tx, rx)
     }
@@ -57,13 +59,38 @@ pub struct CachedLink {
     /// Cached environment paths (may be mutated by channel drift between
     /// trials, which is exactly why they are stored rather than re-traced).
     pub environment: Vec<SignalPath>,
+    /// Monotonic environment revision. Bumped by
+    /// [`mark_dirty`](Self::mark_dirty) and
+    /// [`apply_drift`](Self::apply_drift) so derived caches (notably
+    /// [`crate::basis::LinkBasis`]) can detect stale environment responses
+    /// instead of silently serving them. Code that mutates `environment`
+    /// directly must call [`mark_dirty`](Self::mark_dirty) afterwards.
+    pub revision: u64,
 }
 
 impl CachedLink {
     /// Traces and caches the environment between two endpoints.
     pub fn trace(system: &PressSystem, tx: RadioNode, rx: RadioNode) -> Self {
         let environment = system.environment_paths(&tx, &rx);
-        CachedLink { tx, rx, environment }
+        CachedLink {
+            tx,
+            rx,
+            environment,
+            revision: 0,
+        }
+    }
+
+    /// Declares the cached environment changed, invalidating derived caches.
+    pub fn mark_dirty(&mut self) {
+        self.revision += 1;
+    }
+
+    /// Applies one [`ChannelDrift`] step to the cached environment paths and
+    /// bumps the revision — the invalidation-safe way to emulate the slow
+    /// environmental drift between campaign trials.
+    pub fn apply_drift<R: Rng + ?Sized>(&mut self, drift: &ChannelDrift, rng: &mut R) {
+        drift.step(&mut self.environment, rng);
+        self.mark_dirty();
     }
 
     /// Full path set under a configuration, using the cached environment.
@@ -71,6 +98,21 @@ impl CachedLink {
         let mut paths = self.environment.clone();
         paths.extend(system.array.paths(&system.scene, &self.tx, &self.rx, config));
         paths
+    }
+
+    /// Like [`paths`](Self::paths) but reusing a caller-owned buffer, so
+    /// per-measurement sweeps avoid cloning the environment path vector on
+    /// every configuration. The buffer is cleared and refilled in the same
+    /// order [`paths`](Self::paths) produces.
+    pub fn paths_into(
+        &self,
+        system: &PressSystem,
+        config: &Configuration,
+        out: &mut Vec<SignalPath>,
+    ) {
+        out.clear();
+        out.extend_from_slice(&self.environment);
+        out.extend(system.array.paths(&system.scene, &self.tx, &self.rx, config));
     }
 }
 

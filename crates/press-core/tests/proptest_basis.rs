@@ -1,0 +1,148 @@
+//! Property tests for the basis-cached configuration-evaluation fast path:
+//! for random scenes, arrays and configurations, channel synthesis from a
+//! [`LinkBasis`] must match the direct path-sum (`link.paths` +
+//! `frequency_response`) to within 1e-9 relative error — including after a
+//! drift step invalidates the basis, and for Doppler-bearing environments
+//! evaluated at nonzero elapsed time.
+
+use press_core::{CachedLink, Configuration, LinkBasis, PressArray, PressSystem};
+use press_math::Complex64;
+use press_propagation::fading::ChannelDrift;
+use press_propagation::path::{frequency_response, PathKind, SignalPath};
+use press_propagation::{LabConfig, LabSetup};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn freqs() -> Vec<f64> {
+    (0..52)
+        .map(|k| 2.462e9 + (k as f64 - 26.0) * 312_500.0)
+        .collect()
+}
+
+fn build(seed: u64, n_elements: usize) -> (PressSystem, CachedLink) {
+    let lab = LabSetup::generate(&LabConfig::default(), seed);
+    let lambda = lab.scene.wavelength();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+    let positions = lab.random_element_positions(n_elements, &mut rng);
+    let array = PressArray::paper_passive(&positions, lambda);
+    let system = PressSystem::new(lab.scene.clone(), array);
+    let link = CachedLink::trace(&system, lab.tx.clone(), lab.rx.clone());
+    (system, link)
+}
+
+/// Max per-subcarrier relative error of `a` against reference `b`.
+fn max_rel_err(a: &[Complex64], b: &[Complex64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x - *y).abs() / y.abs().max(1e-18))
+        .fold(0.0, f64::max)
+}
+
+fn pick_config(space: &press_core::ConfigSpace, raw: u64) -> Configuration {
+    space.config_at((raw % space.size() as u64) as usize)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn basis_matches_direct_synthesis(
+        seed in 0u64..500,
+        n_elements in 1usize..5,
+        raw_cfg in 0u64..1_000_000,
+    ) {
+        let (system, link) = build(seed, n_elements);
+        let f = freqs();
+        let basis = LinkBasis::build(&system, &link, &f);
+        let config = pick_config(basis.space(), raw_cfg);
+        let direct = frequency_response(&link.paths(&system, &config), &f, 0.0);
+        let cached = basis.synthesize(&config, 0.0);
+        let err = max_rel_err(&cached, &direct);
+        prop_assert!(err <= 1e-9, "relative error {err}");
+    }
+
+    #[test]
+    fn basis_matches_direct_after_drift_invalidation(
+        seed in 0u64..200,
+        n_elements in 1usize..4,
+        drift_seed in 0u64..200,
+        raw_cfg in 0u64..1_000_000,
+    ) {
+        let (system, mut link) = build(seed, n_elements);
+        let f = freqs();
+        let mut basis = LinkBasis::build(&system, &link, &f);
+        let drift = ChannelDrift { phase_sigma_rad: 0.3, amplitude_sigma: 0.05 };
+        let mut rng = StdRng::seed_from_u64(drift_seed);
+        link.apply_drift(&drift, &mut rng);
+        // The drift bumped the link revision: the basis must know it is
+        // stale, refresh, and then agree with the direct synthesis again.
+        prop_assert!(!basis.is_fresh(&link));
+        prop_assert!(basis.ensure_fresh(&link));
+        prop_assert!(basis.is_fresh(&link));
+        let config = pick_config(basis.space(), raw_cfg);
+        let direct = frequency_response(&link.paths(&system, &config), &f, 0.0);
+        let cached = basis.synthesize(&config, 0.0);
+        let err = max_rel_err(&cached, &direct);
+        prop_assert!(err <= 1e-9, "relative error {err}");
+    }
+
+    #[test]
+    fn doppler_environments_match_at_nonzero_time(
+        seed in 0u64..200,
+        n_elements in 1usize..4,
+        doppler_hz in 1.0..40.0f64,
+        t_ms in 0.0..5.0f64,
+        raw_cfg in 0u64..1_000_000,
+    ) {
+        let (system, mut link) = build(seed, n_elements);
+        // A moving scatterer: the basis must rotate its cached column
+        // analytically rather than serve the stale t=0 response.
+        link.environment.push(SignalPath {
+            gain: Complex64::from_polar(2e-4, 1.0),
+            delay_s: 40e-9,
+            doppler_hz,
+            aod_rad: 0.0,
+            aoa_rad: 0.0,
+            kind: PathKind::LineOfSight,
+        });
+        link.mark_dirty();
+        let f = freqs();
+        let basis = LinkBasis::build(&system, &link, &f);
+        let t_s = t_ms * 1e-3;
+        let config = pick_config(basis.space(), raw_cfg);
+        let direct = frequency_response(&link.paths(&system, &config), &f, t_s);
+        let cached = basis.synthesize(&config, t_s);
+        let err = max_rel_err(&cached, &direct);
+        prop_assert!(err <= 1e-9, "relative error {err}");
+    }
+
+    #[test]
+    fn incremental_moves_match_direct_synthesis(
+        seed in 0u64..200,
+        n_elements in 1usize..4,
+        raw_a in 0u64..1_000_000,
+        element_raw in 0u64..64,
+        state_raw in 0u64..64,
+    ) {
+        // A single-coordinate move applied incrementally (subtract old
+        // column, add new) must agree with the direct path-sum of the moved
+        // configuration.
+        let (system, link) = build(seed, n_elements);
+        let f = freqs();
+        let basis = LinkBasis::build(&system, &link, &f);
+        let space = basis.space().clone();
+        let config = pick_config(&space, raw_a);
+        let element = (element_raw % space.n_elements() as u64) as usize;
+        let new_state = (state_raw % space.states_per_element[element] as u64) as usize;
+        let mut moved = config.clone();
+        moved.states[element] = new_state;
+
+        let mut h = basis.synthesize(&config, 0.0);
+        basis.apply_move(&mut h, element, config.states[element], new_state, 0.0);
+        let direct = frequency_response(&link.paths(&system, &moved), &f, 0.0);
+        let err = max_rel_err(&h, &direct);
+        prop_assert!(err <= 1e-9, "relative error {err}");
+    }
+}

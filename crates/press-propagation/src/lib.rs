@@ -32,5 +32,5 @@ pub use geometry::{Aabb, Plane, Vec3};
 pub use building::{OfficeConfig, OfficeFloor};
 pub use lab::{LabConfig, LabSetup};
 pub use material::Material;
-pub use path::{frequency_response, PathKind, SignalPath};
+pub use path::{frequency_response, frequency_response_into, PathKind, SignalPath};
 pub use scene::{RadioNode, Scene, TraceConfig};

@@ -93,10 +93,28 @@ impl SignalPath {
 /// Computes the frequency response of a set of paths at the given absolute
 /// frequencies (Hz), at time `t_s`.
 pub fn frequency_response(paths: &[SignalPath], freqs_hz: &[f64], t_s: f64) -> Vec<Complex64> {
-    freqs_hz
-        .iter()
-        .map(|&f| paths.iter().map(|p| p.response_at(f, t_s)).sum())
-        .collect()
+    let mut out = Vec::new();
+    frequency_response_into(paths, freqs_hz, t_s, &mut out);
+    out
+}
+
+/// Like [`frequency_response`] but accumulating into a caller-owned buffer,
+/// so per-evaluation hot loops (campaign sweeps, basis construction) reuse
+/// one allocation. The buffer is cleared and refilled; summation order per
+/// frequency is identical to [`frequency_response`].
+pub fn frequency_response_into(
+    paths: &[SignalPath],
+    freqs_hz: &[f64],
+    t_s: f64,
+    out: &mut Vec<Complex64>,
+) {
+    out.clear();
+    out.reserve(freqs_hz.len());
+    out.extend(
+        freqs_hz
+            .iter()
+            .map(|&f| paths.iter().map(|p| p.response_at(f, t_s)).sum::<Complex64>()),
+    );
 }
 
 /// RMS delay spread of a path set, seconds — the standard second central

@@ -15,4 +15,4 @@ pub mod radio;
 pub mod sounder;
 
 pub use radio::{Impairments, RadioModel, SdrRadio};
-pub use sounder::{Sounder, Sounding, SNR_SATURATION_DB};
+pub use sounder::{SnrParams, Sounder, Sounding, SNR_SATURATION_DB};

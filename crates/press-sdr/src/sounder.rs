@@ -23,6 +23,38 @@ use rand::Rng;
 /// resolve SNR much beyond this; the paper's plots top out around 45–50 dB.
 pub const SNR_SATURATION_DB: f64 = 50.0;
 
+/// The scalar link-budget constants that turn a frequency response into a
+/// per-subcarrier SNR: everything [`Sounder::oracle_snr`] needs except the
+/// channel itself. Extracted so channel caches (the `press-core` basis fast
+/// path) can score configurations without holding a whole sounder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnrParams {
+    /// Transmit power per subcarrier, mW.
+    pub subcarrier_power_mw: f64,
+    /// Receiver noise power per subcarrier, mW.
+    pub subcarrier_noise_mw: f64,
+    /// Saturation ceiling applied to reported SNR, dB.
+    pub saturation_db: f64,
+}
+
+impl SnrParams {
+    /// SNR of one subcarrier given its channel coefficient, dB (floored at
+    /// −120 dB, saturated at the ceiling) — bit-identical to the per-entry
+    /// arithmetic of [`Sounder::oracle_snr`].
+    #[inline]
+    pub fn snr_db(&self, h: Complex64) -> f64 {
+        let s = self.subcarrier_power_mw * h.norm_sqr() / self.subcarrier_noise_mw;
+        (10.0 * s.max(1e-12).log10()).min(self.saturation_db)
+    }
+
+    /// Fills `out` with the per-subcarrier SNR profile of a channel,
+    /// reusing the buffer.
+    pub fn profile_into(&self, h: &[Complex64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(h.iter().map(|&hk| self.snr_db(hk)));
+    }
+}
+
 /// A sounding measurement: estimated CSI plus the derived SNR profile.
 #[derive(Debug, Clone)]
 pub struct Sounding {
@@ -64,20 +96,29 @@ impl Sounder {
         frequency_response(paths, &self.num.active_freqs_hz(), t_s)
     }
 
+    /// The link-budget constants of this sounder, bundled for channel-side
+    /// SNR computation (see [`SnrParams`]).
+    pub fn snr_params(&self) -> SnrParams {
+        SnrParams {
+            subcarrier_power_mw: self.tx.subcarrier_power_mw(self.num.n_active()),
+            subcarrier_noise_mw: self.rx.subcarrier_noise_mw(self.num.subcarrier_spacing_hz()),
+            saturation_db: SNR_SATURATION_DB,
+        }
+    }
+
+    /// The oracle SNR profile of an already-synthesized channel — the
+    /// channel-side half of [`oracle_snr`](Self::oracle_snr), for callers
+    /// (the basis fast path) that obtain `H` without a path list.
+    pub fn snr_from_channel(&self, h: &[Complex64]) -> SnrProfile {
+        let params = self.snr_params();
+        SnrProfile::new(h.iter().map(|&hk| params.snr_db(hk)).collect())
+    }
+
     /// The oracle per-subcarrier SNR (true channel against the analytic
     /// noise floor), saturated like the estimated profiles.
     pub fn oracle_snr(&self, paths: &[SignalPath], t_s: f64) -> SnrProfile {
         let h = self.oracle_channel(paths, t_s);
-        let p_sc = self.tx.subcarrier_power_mw(self.num.n_active());
-        let n_sc = self.rx.subcarrier_noise_mw(self.num.subcarrier_spacing_hz());
-        let snr = h
-            .iter()
-            .map(|hk| {
-                let s = p_sc * hk.norm_sqr() / n_sc;
-                (10.0 * s.max(1e-12).log10()).min(SNR_SATURATION_DB)
-            })
-            .collect();
-        SnrProfile::new(snr)
+        self.snr_from_channel(&h)
     }
 
     /// Sends one sounding frame through the given path set at elapsed time
@@ -96,9 +137,25 @@ impl Sounder {
         t_s: f64,
         rng: &mut R,
     ) -> Result<Sounding, EstimatorError> {
+        let h = self.oracle_channel(paths, t_s);
+        self.sound_channel(&h, rng)
+    }
+
+    /// Like [`sound`](Self::sound) but taking the true channel directly
+    /// instead of a path set — the channel-side entry point used by the
+    /// basis fast path, which synthesizes `H` by O(N·K) accumulation rather
+    /// than path tracing. Draws exactly the same RNG stream as
+    /// [`sound`](Self::sound), so results are bit-identical for equal `h`.
+    ///
+    /// # Errors
+    /// Propagates [`EstimatorError`] (cannot occur with `n_training ≥ 2`).
+    pub fn sound_channel<R: Rng + ?Sized>(
+        &self,
+        h: &[Complex64],
+        rng: &mut R,
+    ) -> Result<Sounding, EstimatorError> {
         let n = self.num.n_active();
         let training = training_sequence(n);
-        let h = self.oracle_channel(paths, t_s);
         let amp_tx = self.tx.subcarrier_power_mw(n).sqrt();
         let noise_sigma = (self.rx.subcarrier_noise_mw(self.num.subcarrier_spacing_hz()) / 2.0).sqrt();
 
@@ -203,10 +260,28 @@ impl Sounder {
         t_s: f64,
         rng: &mut R,
     ) -> Result<SnrProfile, EstimatorError> {
+        let h = self.oracle_channel(paths, t_s);
+        self.sound_averaged_channel(&h, n_frames, rng)
+    }
+
+    /// Channel-side variant of [`sound_averaged`](Self::sound_averaged):
+    /// averages `n_frames` soundings of an already-synthesized channel.
+    /// Draws the same RNG stream as [`sound_averaged`](Self::sound_averaged)
+    /// (the per-frame channel is time-invariant there, so hoisting it out of
+    /// the frame loop changes nothing).
+    ///
+    /// # Errors
+    /// Propagates [`EstimatorError`].
+    pub fn sound_averaged_channel<R: Rng + ?Sized>(
+        &self,
+        h: &[Complex64],
+        n_frames: usize,
+        rng: &mut R,
+    ) -> Result<SnrProfile, EstimatorError> {
         assert!(n_frames > 0, "need at least one frame");
         let mut acc = vec![0.0; self.num.n_active()];
         for _ in 0..n_frames {
-            let s = self.sound(paths, t_s, rng)?;
+            let s = self.sound_channel(h, rng)?;
             for (a, v) in acc.iter_mut().zip(&s.snr.snr_db) {
                 *a += v;
             }
