@@ -1,0 +1,214 @@
+//! Ablation: the closed control loop under transport loss, burst
+//! interference, element failures, and ack policies.
+//!
+//! Two sections, one CSV (`results/ablation_control_loop.csv`):
+//!
+//! 1. **Actuation sweep** — transport × loss regime × ack policy for a
+//!    64-element batch, 20 seeds per cell, with a [`ControlMetrics`]
+//!    registry per cell and the fraction of trials fitting each coherence
+//!    budget (80 ms standing / 6 ms walking / 2 ms packet timescale).
+//! 2. **Closed loop** — full [`Controller::run_episode`] episodes on the
+//!    Figure-4 rig with the actuation mode in the loop: the oracle path vs
+//!    a wired transport vs lossy fire-and-forget vs adaptive retry under
+//!    interference. Stale elements make the *verified* score diverge from
+//!    the oracle's — the cost of an unreliable control plane in dB.
+
+use press::rig::fig4_rig;
+use press_bench::write_csv;
+use press_control::{
+    actuate_with, AckPolicy, ControlMetrics, ElementFaults, FaultPlan, GilbertElliott, Transport,
+};
+use press_core::{ActuationMode, Controller, LinkObjective, Strategy, TransportActuation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N_ELEMENTS: u16 = 64;
+const TRIALS: u64 = 20;
+const BUDGETS: [(&str, f64); 3] =
+    [("standing_80ms", 80e-3), ("walking_6ms", 6e-3), ("packet_2ms", 2e-3)];
+
+fn regimes() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("clean", FaultPlan::none()),
+        ("interference", FaultPlan::bursty(GilbertElliott::interference())),
+        // Hostile: long jamming bursts plus broken hardware (2 dead, 2
+        // stuck elements drawn deterministically below).
+        (
+            "hostile",
+            FaultPlan {
+                burst: Some(GilbertElliott::jammed()),
+                elements: ElementFaults::seeded(
+                    N_ELEMENTS,
+                    2,
+                    2,
+                    4,
+                    &mut StdRng::seed_from_u64(99),
+                ),
+            },
+        ),
+    ]
+}
+
+fn policies() -> Vec<(&'static str, AckPolicy)> {
+    vec![
+        ("none", AckPolicy::None),
+        ("per_element_r8", AckPolicy::PerElement { max_retries: 8 }),
+        ("adaptive_r8_b16", AckPolicy::Adaptive { max_retries: 8, batch_cap: 16 }),
+    ]
+}
+
+fn main() {
+    println!("# Ablation: closed control loop — transport x loss regime x ack policy");
+    println!("# {N_ELEMENTS} elements, {TRIALS} seeds/cell; coherence budgets 80/6/2 ms\n");
+
+    let mut rows = Vec::new();
+    println!(
+        "{:>10} {:>13} {:>16} {:>9} {:>8} {:>8} {:>11} | {:>8} {:>8} {:>8}",
+        "transport",
+        "regime",
+        "policy",
+        "loss",
+        "retries",
+        "failed",
+        "unconfirmed",
+        "80ms",
+        "6ms",
+        "2ms"
+    );
+    for (tname, transport) in [
+        ("wired", Transport::wired()),
+        ("ism", Transport::ism()),
+        ("ultrasound", Transport::ultrasound()),
+    ] {
+        for (rname, plan) in regimes() {
+            for (pname, policy) in policies() {
+                let mut metrics = ControlMetrics::new();
+                let mut fits = [0u64; 3];
+                for seed in 0..TRIALS {
+                    let mut faults = plan.clone();
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let assignments: Vec<(u16, u8)> =
+                        (0..N_ELEMENTS).map(|e| (e, 1)).collect();
+                    let report = actuate_with(
+                        &transport,
+                        &assignments,
+                        15.0,
+                        policy,
+                        &mut faults,
+                        Some(&mut metrics),
+                        &mut rng,
+                    );
+                    for (slot, &(_, budget)) in fits.iter_mut().zip(&BUDGETS) {
+                        if report.complete() && report.completion_s <= budget {
+                            *slot += 1;
+                        }
+                    }
+                }
+                let frac =
+                    |k: u64| -> String { format!("{:.2}", k as f64 / TRIALS as f64) };
+                println!(
+                    "{tname:>10} {rname:>13} {pname:>16} {:>8.1}% {:>8} {:>8} {:>11} | {:>8} {:>8} {:>8}",
+                    100.0 * metrics.frame_loss_rate(),
+                    metrics.retries,
+                    metrics.failed_elements,
+                    metrics.unconfirmed_elements,
+                    frac(fits[0]),
+                    frac(fits[1]),
+                    frac(fits[2])
+                );
+                rows.push(format!(
+                    "actuation,{tname},{rname},{pname},{},{},{},{},{},,,",
+                    N_ELEMENTS,
+                    metrics.csv_row(),
+                    frac(fits[0]),
+                    frac(fits[1]),
+                    frac(fits[2])
+                ));
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Closed loop: the controller's verified score when the actuation it
+    // commands is only partially applied.
+    // -----------------------------------------------------------------
+    println!("\n# Closed loop (Figure-4 rig, exhaustive search, MaxMinSnr):");
+    println!(
+        "{:>22} {:>14} {:>14} {:>8} {:>7}",
+        "actuation", "score dB", "vs oracle dB", "stale", "frames"
+    );
+    let rig = fig4_rig(2);
+    let base = Controller::new(Strategy::Exhaustive, LinkObjective::MaxMinSnr);
+    let lossy_ism = Transport::IsmRadio { bitrate_bps: 250e3, loss_prob: 0.5, mac_latency_s: 1e-3 };
+    let modes: Vec<(&str, ActuationMode)> = vec![
+        ("oracle", ActuationMode::Oracle),
+        ("wired", ActuationMode::Transport(TransportActuation::wired())),
+        (
+            "lossy_fire_and_forget",
+            ActuationMode::Transport(TransportActuation {
+                transport: lossy_ism.clone(),
+                policy: AckPolicy::None,
+                distance_m: 15.0,
+                faults: FaultPlan::bursty(GilbertElliott::interference()),
+            }),
+        ),
+        (
+            "lossy_adaptive",
+            ActuationMode::Transport(TransportActuation {
+                transport: lossy_ism,
+                policy: AckPolicy::Adaptive { max_retries: 8, batch_cap: 16 },
+                distance_m: 15.0,
+                faults: FaultPlan::bursty(GilbertElliott::interference()),
+            }),
+        ),
+    ];
+    let episode_seeds = 0..8u64;
+    let mut oracle_mean = 0.0f64;
+    for (mname, mode) in modes {
+        let mut metrics = ControlMetrics::new();
+        let mut score_sum = 0.0f64;
+        let mut stale_sum = 0usize;
+        let mut frames_sum = 0usize;
+        for seed in episode_seeds.clone() {
+            let mut c = base.clone();
+            c.seed = seed;
+            c.actuation = mode.clone();
+            let r = c.run_episode_instrumented(&rig.system, &rig.sounder, Some(&mut metrics));
+            score_sum += r.chosen_score;
+            stale_sum += r.stale_elements;
+            frames_sum += r.actuation_frames;
+        }
+        let n = episode_seeds.clone().count() as f64;
+        let mean = score_sum / n;
+        if mname == "oracle" {
+            oracle_mean = mean;
+        }
+        println!(
+            "{mname:>22} {mean:>14.3} {:>14.3} {:>8} {:>7}",
+            mean - oracle_mean,
+            stale_sum,
+            frames_sum
+        );
+        rows.push(format!(
+            "closed_loop,{mname},interference,episode,{},{},,,,{:.4},{:.4},{}",
+            rig.system.array.elements.len(),
+            metrics.csv_row(),
+            mean,
+            mean - oracle_mean,
+            stale_sum
+        ));
+    }
+
+    write_csv(
+        "ablation_control_loop.csv",
+        &format!(
+            "section,transport,regime,policy,n_elements,{},fit_standing_80ms,fit_walking_6ms,fit_packet_2ms,score_db,delta_vs_oracle_db,stale_elements",
+            ControlMetrics::csv_header()
+        ),
+        &rows,
+    );
+    println!("\n# expectations: acks + adaptive retry keep wired/ism complete under every");
+    println!("# regime (at retransmission cost); fire-and-forget strands elements as soon");
+    println!("# as loss appears, and the closed loop shows the stranded array's verified");
+    println!("# score falling below the oracle's.");
+}

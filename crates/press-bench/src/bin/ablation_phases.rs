@@ -61,7 +61,7 @@ fn best_of_greedy(
     for _ in 0..8 {
         let start = space.random(&mut rng);
         let r = search::greedy_coordinate(space, start, 6, eval);
-        if best.as_ref().map_or(true, |b| r.score > b.score) {
+        if best.as_ref().is_none_or(|b| r.score > b.score) {
             best = Some(r);
         }
     }

@@ -106,7 +106,6 @@ fn main() {
         );
         let mut rng = StdRng::seed_from_u64(7);
         report("random30", &search::random_search(&space, 30, &mut rng, &mut eval));
-        drop(eval);
         println!(
             "# basis evaluator: {} evaluations, {} full syntheses (rest incremental/cached)",
             ev.evaluations(),
@@ -149,7 +148,6 @@ fn main() {
         report("genetic", &search::genetic(&space, &gp, &mut rng, &mut eval));
         let mut rng = StdRng::seed_from_u64(3);
         report("random300", &search::random_search(&space, 300, &mut rng, &mut eval));
-        drop(eval);
         println!(
             "# basis evaluator: {} evaluations, {} full syntheses (rest incremental/cached)",
             ev.evaluations(),

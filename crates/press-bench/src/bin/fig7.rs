@@ -51,7 +51,7 @@ fn main() {
         let means = result.mean_profiles();
         let (_, _, c_low, c_high) = contrast_extremes(&means);
         let opposition = c_low.min(c_high);
-        if best.map_or(true, |(_, b)| opposition > b) {
+        if best.is_none_or(|(_, b)| opposition > b) {
             best = Some((seed, opposition));
         }
     }

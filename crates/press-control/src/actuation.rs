@@ -1,14 +1,23 @@
 //! Actuation: getting a configuration onto the array, reliably, in time.
 //!
-//! A discrete-event simulation of the controller pushing a configuration to
+//! A round-based simulation of the controller pushing a configuration to
 //! `N` elements over a [`Transport`]: batch broadcast with per-element
 //! acknowledgements and retransmission of the stragglers. The output —
-//! completion time, messages spent, retries — is what the §2 timing
-//! argument needs: can this control plane reconfigure the array inside a
-//! channel coherence time (80 ms standing, 6 ms running), or even at the
-//! paper's packet-level 1–2 ms aspiration?
+//! completion time, messages spent, retries, which elements actually hold
+//! the new state — is what the §2 timing argument needs: can this control
+//! plane reconfigure the array inside a channel coherence time (80 ms
+//! standing, 6 ms running), or even at the paper's packet-level 1–2 ms
+//! aspiration?
+//!
+//! [`actuate_with`] is the full entry point: it accepts a
+//! [`FaultPlan`](crate::fault::FaultPlan) (burst loss, dead/stuck elements)
+//! and an optional [`ControlMetrics`](crate::metrics::ControlMetrics)
+//! registry. [`actuate`] is the fault-free, un-instrumented wrapper and is
+//! bit-identical to the historical behavior per seed.
 
+use crate::fault::FaultPlan;
 use crate::message::Message;
+use crate::metrics::ControlMetrics;
 use crate::transport::Transport;
 use rand::Rng;
 
@@ -19,11 +28,82 @@ pub enum AckPolicy {
     /// elements stale on loss.
     None,
     /// Every element acks; lost assignments are retransmitted (unicast) up
-    /// to the retry limit.
+    /// to the retry limit. Rounds are back-to-back: the controller
+    /// retransmits as soon as the previous round's acks are in.
     PerElement {
         /// Maximum retransmissions per element.
         max_retries: usize,
     },
+    /// Adaptive retransmission: the controller tracks ack round-trip times
+    /// (Jacobson/Karels EWMA), waits an RTT-derived timeout before each
+    /// retransmission round, backs that timeout off exponentially while no
+    /// progress is made (a burst eats everything), and caps retransmission
+    /// batches so one straggler round does not serialize a giant frame.
+    Adaptive {
+        /// Maximum retransmissions per element.
+        max_retries: usize,
+        /// Largest retransmission batch per frame (≥1).
+        batch_cap: usize,
+    },
+}
+
+impl AckPolicy {
+    fn max_rounds(&self) -> usize {
+        match *self {
+            AckPolicy::None => 1,
+            AckPolicy::PerElement { max_retries } | AckPolicy::Adaptive { max_retries, .. } => {
+                max_retries + 1
+            }
+        }
+    }
+
+    fn wants_acks(&self) -> bool {
+        !matches!(self, AckPolicy::None)
+    }
+}
+
+/// Controller-side smoothed round-trip-time estimator (Jacobson/Karels):
+/// `SRTT`/`RTTVAR` EWMAs with the classic `SRTT + 4·RTTVAR` retransmission
+/// timeout. Shared by the round model and the DES.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RttEstimator {
+    srtt: f64,
+    rttvar: f64,
+    initialized: bool,
+}
+
+impl RttEstimator {
+    /// A fresh estimator with no samples.
+    pub fn new() -> Self {
+        RttEstimator::default()
+    }
+
+    /// Feeds one measured ack round-trip time.
+    pub fn observe(&mut self, rtt_s: f64) {
+        if !self.initialized {
+            self.srtt = rtt_s;
+            self.rttvar = rtt_s / 2.0;
+            self.initialized = true;
+        } else {
+            self.rttvar = 0.75 * self.rttvar + 0.25 * (self.srtt - rtt_s).abs();
+            self.srtt = 0.875 * self.srtt + 0.125 * rtt_s;
+        }
+    }
+
+    /// The smoothed RTT, if any sample arrived yet.
+    pub fn srtt(&self) -> Option<f64> {
+        self.initialized.then_some(self.srtt)
+    }
+
+    /// The retransmission timeout: `SRTT + 4·RTTVAR` once samples exist,
+    /// `fallback_s` before.
+    pub fn timeout(&self, fallback_s: f64) -> f64 {
+        if self.initialized {
+            self.srtt + 4.0 * self.rttvar
+        } else {
+            fallback_s
+        }
+    }
 }
 
 /// Result of one actuation round.
@@ -34,29 +114,219 @@ pub struct ActuationReport {
     pub completion_s: f64,
     /// Total frames transmitted (commands + acks).
     pub frames_sent: usize,
-    /// Elements that still did not apply the configuration.
-    pub failed_elements: Vec<u16>,
+    /// Elements that never applied the configuration: the array is really
+    /// mis-configured there.
+    pub failed: Vec<u16>,
+    /// Elements that *applied* the configuration but whose acks were all
+    /// lost: the array is configured, the controller just cannot prove it.
+    /// (Historically these were lumped into the failed set, making
+    /// `complete()` report a mis-configured array that was actually fine.)
+    pub unconfirmed: Vec<u16>,
     /// Retransmission rounds used.
     pub retry_rounds: usize,
 }
 
 impl ActuationReport {
-    /// Whether every element applied the configuration.
+    /// Whether every element applied the configuration — the physical-array
+    /// question. Unconfirmed elements count as applied: their state is on
+    /// the wall even though the ack never made it back.
     pub fn complete(&self) -> bool {
-        self.failed_elements.is_empty()
+        self.failed.is_empty()
+    }
+
+    /// Whether every element applied *and* was acknowledged — the
+    /// controller-knowledge question.
+    pub fn confirmed(&self) -> bool {
+        self.failed.is_empty() && self.unconfirmed.is_empty()
+    }
+
+    /// Whether `element` ended the round holding the commanded state.
+    pub fn element_applied(&self, element: u16) -> bool {
+        !self.failed.contains(&element)
     }
 }
 
-/// Actuates `assignments` (element id → state) over the transport.
+/// Actuates `assignments` (element id → state) over the transport with
+/// fault injection and metrics.
 ///
-/// Broadcast transports send one [`Message::BatchSet`] to all elements per
-/// round; each element independently loses the frame with the transport's
-/// loss probability. With [`AckPolicy::PerElement`], acks are unicast back
-/// (also lossy) and un-acked elements are re-addressed in the next round
-/// with a shrinking batch.
+/// Broadcast transports send one [`Message::BatchSet`] to all addressed
+/// elements per round; each element independently loses the frame with the
+/// transport's loss probability (composed with the [`FaultPlan`]'s
+/// burst-chain loss when one is present). With acks ([`AckPolicy::PerElement`] /
+/// [`AckPolicy::Adaptive`]) each element unicasts an ack built from the
+/// delivered batch's own sequence number; the controller confirms an
+/// element only when the ack's seq matches the batch it sent. Un-acked
+/// elements are re-addressed in later rounds with shrinking (and, for
+/// `Adaptive`, capped) batches.
 ///
 /// `distance_m` is the worst-case controller↔element distance (latency is
-/// conservative).
+/// conservative). With `FaultPlan::none()` and no metrics this consumes
+/// exactly the RNG draws of the historical `actuate` loop.
+pub fn actuate_with<R: Rng + ?Sized>(
+    transport: &Transport,
+    assignments: &[(u16, u8)],
+    distance_m: f64,
+    policy: AckPolicy,
+    faults: &mut FaultPlan,
+    mut metrics: Option<&mut ControlMetrics>,
+    rng: &mut R,
+) -> ActuationReport {
+    let mut clock = 0.0f64;
+    let mut frames = 0usize;
+    let mut pending: Vec<usize> = (0..assignments.len()).collect();
+    let mut applied = vec![false; assignments.len()];
+    let mut seq: u16 = 1;
+    let max_rounds = policy.max_rounds();
+    let mut rounds = 0usize;
+    let mut last_apply = 0.0f64;
+    let mut rtt = RttEstimator::new();
+    let mut backoff_exp: u32 = 0;
+
+    while !pending.is_empty() && rounds < max_rounds {
+        rounds += 1;
+        let round_start = clock;
+        // Adaptive retransmission rounds are capped; everything else is one
+        // broadcast batch per round.
+        let chunks: Vec<Vec<usize>> = match policy {
+            AckPolicy::Adaptive { batch_cap, .. } if rounds > 1 => pending
+                .chunks(batch_cap.max(1))
+                .map(|c| c.to_vec())
+                .collect(),
+            _ => vec![pending.clone()],
+        };
+        let mut still_pending = Vec::new();
+        let mut round_end = clock;
+        let mut chunk_tx = clock;
+        let mut progressed = false;
+        for chunk in &chunks {
+            let batch = Message::BatchSet {
+                seq,
+                assignments: chunk.iter().map(|&i| assignments[i]).collect(),
+            };
+            seq = seq.wrapping_add(1);
+            let frame_len = batch.wire_len();
+            frames += 1;
+            // One broadcast transmission; each addressed element experiences
+            // an independent delivery trial on the shared medium.
+            for &i in chunk {
+                let (element, _) = assignments[i];
+                let loss = faults.frame_loss(transport.loss_prob(), rng);
+                let d = transport.deliver_with_loss(frame_len, distance_m, loss, rng);
+                if let Some(m) = metrics.as_deref_mut() {
+                    m.frames_tx += 1;
+                    m.frame_latency.observe(d.latency_s);
+                    if rounds > 1 {
+                        m.retries += 1;
+                    }
+                    if !d.delivered {
+                        m.frames_lost += 1;
+                    }
+                }
+                if d.delivered && faults.elements.responds(element) {
+                    let applied_at = chunk_tx + d.latency_s;
+                    if !applied[i] {
+                        applied[i] = true;
+                        last_apply = last_apply.max(applied_at);
+                    }
+                    if policy.wants_acks() {
+                        // The element acks the batch it received — the ack
+                        // carries *that* batch's seq, and the controller
+                        // confirms only on a seq match.
+                        let ack = batch.ack();
+                        let ack_loss = faults.frame_loss(transport.loss_prob(), rng);
+                        let back =
+                            transport.deliver_with_loss(ack.wire_len(), distance_m, ack_loss, rng);
+                        frames += 1;
+                        round_end = round_end.max(applied_at + back.latency_s);
+                        let confirmed = back.delivered && ack.seq() == batch.seq();
+                        if let Some(m) = metrics.as_deref_mut() {
+                            if confirmed {
+                                m.acks_rx += 1;
+                            } else {
+                                m.acks_lost += 1;
+                            }
+                        }
+                        if confirmed {
+                            rtt.observe(applied_at + back.latency_s - chunk_tx);
+                            progressed = true;
+                        } else {
+                            // Applied but unconfirmed: will be retransmitted
+                            // (idempotent), counts as pending for the
+                            // protocol.
+                            still_pending.push(i);
+                        }
+                    } else {
+                        round_end = round_end.max(applied_at);
+                    }
+                } else {
+                    // Frame lost on the medium, or the element is dead and
+                    // nobody received it.
+                    let wasted = chunk_tx + d.latency_s;
+                    round_end = round_end.max(wasted);
+                    still_pending.push(i);
+                }
+            }
+            chunk_tx += frame_len as f64 * 8.0 / transport.bitrate_bps();
+        }
+        clock = round_end.max(last_apply);
+        // Adaptive pacing: before retransmitting, wait out the RTT-derived
+        // ack timeout, doubled for every consecutive barren round (burst
+        // avoidance), so the wire is not hammered mid-burst.
+        if let AckPolicy::Adaptive { .. } = policy {
+            if !still_pending.is_empty() && rounds < max_rounds {
+                let fallback = 4.0 * fallback_rtt(transport, distance_m);
+                let rto = rtt.timeout(fallback) * f64::from(2u32.saturating_pow(backoff_exp));
+                clock = clock.max(round_start + rto.min(MAX_BACKOFF_S));
+            }
+            if progressed {
+                backoff_exp = 0;
+            } else {
+                backoff_exp = (backoff_exp + 1).min(MAX_BACKOFF_DOUBLINGS);
+            }
+        }
+        pending = still_pending;
+    }
+
+    let mut failed = Vec::new();
+    let mut unconfirmed = Vec::new();
+    for &i in &pending {
+        if applied[i] {
+            unconfirmed.push(assignments[i].0);
+        } else {
+            failed.push(assignments[i].0);
+        }
+    }
+    let report = ActuationReport {
+        completion_s: clock,
+        frames_sent: frames,
+        failed,
+        unconfirmed,
+        retry_rounds: rounds.saturating_sub(1),
+    };
+    if let Some(m) = metrics {
+        m.actuations += 1;
+        m.completion.observe(report.completion_s);
+        m.failed_elements += report.failed.len() as u64;
+        m.unconfirmed_elements += report.unconfirmed.len() as u64;
+    }
+    report
+}
+
+/// Ceiling on the adaptive retransmission timeout.
+const MAX_BACKOFF_S: f64 = 2.0;
+/// Ceiling on consecutive backoff doublings (2^6 = 64×).
+const MAX_BACKOFF_DOUBLINGS: u32 = 6;
+
+/// A conservative a-priori one-way latency guess for the adaptive timeout
+/// before any RTT sample exists: a small command frame's serialization plus
+/// propagation.
+fn fallback_rtt(transport: &Transport, distance_m: f64) -> f64 {
+    let small_frame_bits = 16.0 * 8.0;
+    2.0 * (small_frame_bits / transport.bitrate_bps() + distance_m / transport.propagation_speed())
+}
+
+/// Actuates without fault injection or metrics — the historical entry
+/// point, bit-identical per seed to the pre-fault-injection code.
 pub fn actuate<R: Rng + ?Sized>(
     transport: &Transport,
     assignments: &[(u16, u8)],
@@ -64,73 +334,23 @@ pub fn actuate<R: Rng + ?Sized>(
     policy: AckPolicy,
     rng: &mut R,
 ) -> ActuationReport {
-    let mut clock = 0.0f64;
-    let mut frames = 0usize;
-    let mut pending: Vec<(u16, u8)> = assignments.to_vec();
-    let mut seq: u16 = 1;
-    let max_rounds = match policy {
-        AckPolicy::None => 1,
-        AckPolicy::PerElement { max_retries } => max_retries + 1,
-    };
-    let mut rounds = 0usize;
-    let mut last_apply = 0.0f64;
-
-    while !pending.is_empty() && rounds < max_rounds {
-        rounds += 1;
-        let batch = Message::BatchSet {
-            seq,
-            assignments: pending.clone(),
-        };
-        seq = seq.wrapping_add(1);
-        let frame_len = batch.wire_len();
-        frames += 1;
-        // One broadcast transmission; each addressed element experiences an
-        // independent delivery trial on the shared medium.
-        let mut still_pending = Vec::new();
-        let mut round_end = clock;
-        for &(element, state) in &pending {
-            let d = transport.deliver(frame_len, distance_m, rng);
-            if d.delivered {
-                let applied_at = clock + d.latency_s;
-                last_apply = last_apply.max(applied_at);
-                match policy {
-                    AckPolicy::None => {
-                        round_end = round_end.max(applied_at);
-                    }
-                    AckPolicy::PerElement { .. } => {
-                        let ack = Message::Ack { seq };
-                        let back = transport.deliver(ack.wire_len(), distance_m, rng);
-                        frames += 1;
-                        if back.delivered {
-                            round_end = round_end.max(applied_at + back.latency_s);
-                        } else {
-                            // Applied but unconfirmed: will be retransmitted
-                            // (idempotent), counts as pending for the protocol.
-                            still_pending.push((element, state));
-                            round_end = round_end.max(applied_at + back.latency_s);
-                        }
-                    }
-                }
-            } else {
-                let wasted = clock + d.latency_s;
-                round_end = round_end.max(wasted);
-                still_pending.push((element, state));
-            }
-        }
-        clock = round_end.max(last_apply);
-        pending = still_pending;
-    }
-
-    ActuationReport {
-        completion_s: clock,
-        frames_sent: frames,
-        failed_elements: pending.iter().map(|&(e, _)| e).collect(),
-        retry_rounds: rounds.saturating_sub(1),
-    }
+    actuate_with(
+        transport,
+        assignments,
+        distance_m,
+        policy,
+        &mut FaultPlan::none(),
+        None,
+        rng,
+    )
 }
 
 /// Convenience: does this transport/policy actuate `n_elements` within a
 /// coherence budget? Returns `(report, fits)`.
+///
+/// `fits` judges the *applied* state — an array whose elements all hold the
+/// commanded configuration fits the budget even if some acks died on the
+/// way back.
 pub fn fits_coherence<R: Rng + ?Sized>(
     transport: &Transport,
     n_elements: usize,
@@ -148,6 +368,7 @@ pub fn fits_coherence<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{ElementFaults, GilbertElliott};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -186,7 +407,7 @@ mod tests {
             AckPolicy::PerElement { max_retries: 10 },
             &mut rng,
         );
-        assert!(r.complete(), "failed: {:?}", r.failed_elements);
+        assert!(r.complete(), "failed: {:?}", r.failed);
         assert!(r.frames_sent > 100, "acks must be counted");
     }
 
@@ -261,5 +482,218 @@ mod tests {
         assert!(r.complete());
         assert_eq!(r.frames_sent, 0);
         assert_eq!(r.completion_s, 0.0);
+    }
+
+    #[test]
+    fn ack_seq_matches_batch_seq() {
+        // Regression for the ack off-by-one: acks are constructed from the
+        // batch the element received and confirmation is seq-checked, so
+        // re-introducing "increment seq, then build the ack" leaves every
+        // element unconfirmed and this assertion fails.
+        let mut rng = StdRng::seed_from_u64(9);
+        let assignments: Vec<(u16, u8)> = (0..32).map(|e| (e, 1)).collect();
+        let r = actuate(
+            &Transport::wired(),
+            &assignments,
+            10.0,
+            AckPolicy::PerElement { max_retries: 3 },
+            &mut rng,
+        );
+        assert!(
+            r.confirmed(),
+            "wired acks must confirm every element: unconfirmed {:?}, failed {:?}",
+            r.unconfirmed,
+            r.failed
+        );
+    }
+
+    #[test]
+    fn applied_but_unconfirmed_is_not_failed() {
+        // Elements whose state applied but whose acks all died must be
+        // reported "configured but unconfirmed", never "mis-configured".
+        // Heavy symmetric loss with a single retry reliably produces both
+        // populations.
+        let lossy = Transport::IsmRadio {
+            bitrate_bps: 250e3,
+            loss_prob: 0.45,
+            mac_latency_s: 1e-3,
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let assignments: Vec<(u16, u8)> = (0..64).map(|e| (e, 1)).collect();
+        let r = actuate(
+            &lossy,
+            &assignments,
+            10.0,
+            AckPolicy::PerElement { max_retries: 1 },
+            &mut rng,
+        );
+        // Every element is in exactly one of applied/confirmed-pending sets.
+        for &(e, _) in &assignments {
+            let in_failed = r.failed.contains(&e);
+            let in_unconfirmed = r.unconfirmed.contains(&e);
+            assert!(!(in_failed && in_unconfirmed), "element {e} in both sets");
+        }
+        assert!(
+            !r.unconfirmed.is_empty(),
+            "45% loss with 1 retry must leave applied-but-unacked elements"
+        );
+        // Unconfirmed elements DID apply.
+        for &e in &r.unconfirmed {
+            assert!(r.element_applied(e));
+        }
+    }
+
+    #[test]
+    fn dead_elements_fail_stuck_elements_ack() {
+        let mut faults = FaultPlan::broken(ElementFaults::none().dead(3).stuck(5, 0));
+        let mut rng = StdRng::seed_from_u64(12);
+        let assignments: Vec<(u16, u8)> = (0..8).map(|e| (e, 2)).collect();
+        let r = actuate_with(
+            &Transport::wired(),
+            &assignments,
+            5.0,
+            AckPolicy::PerElement { max_retries: 4 },
+            &mut faults,
+            None,
+            &mut rng,
+        );
+        assert_eq!(r.failed, vec![3], "dead element must exhaust retries");
+        assert!(r.unconfirmed.is_empty());
+        // The stuck element acked (protocol thinks it applied) — the lie the
+        // controller's realized-configuration accounting has to surface.
+        assert!(r.element_applied(5));
+        assert_eq!(faults.elements.realized_state(5, 2), Some(0));
+    }
+
+    #[test]
+    fn burst_loss_degrades_fire_and_forget() {
+        // Same transport, same seed: a jammed burst chain must lose more
+        // elements than the nominal i.i.d. loss.
+        let assignments: Vec<(u16, u8)> = (0..256).map(|e| (e, 1)).collect();
+        let clean = actuate(
+            &Transport::ism(),
+            &assignments,
+            10.0,
+            AckPolicy::None,
+            &mut StdRng::seed_from_u64(13),
+        );
+        let mut faults = FaultPlan::bursty(GilbertElliott::jammed());
+        let bursty = actuate_with(
+            &Transport::ism(),
+            &assignments,
+            10.0,
+            AckPolicy::None,
+            &mut faults,
+            None,
+            &mut StdRng::seed_from_u64(13),
+        );
+        assert!(
+            bursty.failed.len() > clean.failed.len() + 10,
+            "bursty {} vs clean {}",
+            bursty.failed.len(),
+            clean.failed.len()
+        );
+    }
+
+    #[test]
+    fn adaptive_policy_converges_and_paces_retransmissions() {
+        let assignments: Vec<(u16, u8)> = (0..100).map(|e| (e, 3)).collect();
+        let adaptive = actuate(
+            &Transport::ism(),
+            &assignments,
+            10.0,
+            AckPolicy::Adaptive { max_retries: 10, batch_cap: 16 },
+            &mut StdRng::seed_from_u64(14),
+        );
+        assert!(adaptive.complete(), "failed: {:?}", adaptive.failed);
+        let eager = actuate(
+            &Transport::ism(),
+            &assignments,
+            10.0,
+            AckPolicy::PerElement { max_retries: 10 },
+            &mut StdRng::seed_from_u64(14),
+        );
+        // Pacing waits out ack timeouts, so the adaptive policy can only be
+        // slower than back-to-back rounds on a clean-ish channel…
+        assert!(adaptive.completion_s >= eager.completion_s);
+        // …but not pathologically so: the RTT estimator keeps the timeout
+        // within a small multiple of the real round trip.
+        assert!(
+            adaptive.completion_s < eager.completion_s + 1.0,
+            "adaptive {} vs eager {}",
+            adaptive.completion_s,
+            eager.completion_s
+        );
+    }
+
+    #[test]
+    fn adaptive_backoff_survives_bursts_fixed_policy_falls_behind() {
+        // Under heavy burst loss, exponential backoff waits bursts out and
+        // still converges within the retry budget.
+        let assignments: Vec<(u16, u8)> = (0..64).map(|e| (e, 1)).collect();
+        let mut faults = FaultPlan::bursty(GilbertElliott::interference());
+        let r = actuate_with(
+            &Transport::ism(),
+            &assignments,
+            10.0,
+            AckPolicy::Adaptive { max_retries: 12, batch_cap: 16 },
+            &mut faults,
+            None,
+            &mut StdRng::seed_from_u64(15),
+        );
+        assert!(
+            r.failed.len() <= 2,
+            "adaptive retry should reach almost everyone through bursts: {:?}",
+            r.failed
+        );
+    }
+
+    #[test]
+    fn metrics_account_for_frames_and_losses() {
+        let mut metrics = ControlMetrics::new();
+        let mut faults = FaultPlan::none();
+        let assignments: Vec<(u16, u8)> = (0..50).map(|e| (e, 1)).collect();
+        let mut rng = StdRng::seed_from_u64(16);
+        let r = actuate_with(
+            &Transport::ism(),
+            &assignments,
+            10.0,
+            AckPolicy::PerElement { max_retries: 8 },
+            &mut faults,
+            Some(&mut metrics),
+            &mut rng,
+        );
+        assert_eq!(metrics.actuations, 1);
+        assert_eq!(metrics.completion.count(), 1);
+        assert!(metrics.frames_tx >= 50);
+        assert_eq!(
+            metrics.acks_rx as usize,
+            50 - r.failed.len() - r.unconfirmed.len(),
+            "every confirmed element was acked exactly once"
+        );
+        assert_eq!(metrics.frame_latency.count(), metrics.frames_tx);
+        // Instrumentation must not perturb the simulation.
+        let mut rng2 = StdRng::seed_from_u64(16);
+        let bare = actuate(
+            &Transport::ism(),
+            &assignments,
+            10.0,
+            AckPolicy::PerElement { max_retries: 8 },
+            &mut rng2,
+        );
+        assert_eq!(r, bare);
+    }
+
+    #[test]
+    fn rtt_estimator_tracks_and_times_out() {
+        let mut est = RttEstimator::new();
+        assert_eq!(est.timeout(0.5), 0.5, "fallback before samples");
+        for _ in 0..50 {
+            est.observe(10e-3);
+        }
+        let srtt = est.srtt().unwrap();
+        assert!((srtt - 10e-3).abs() < 1e-4);
+        // Converged variance → timeout approaches SRTT.
+        assert!(est.timeout(0.5) < 20e-3, "timeout {}", est.timeout(0.5));
     }
 }

@@ -53,12 +53,14 @@ impl ClusteredControl {
             return ActuationReport {
                 completion_s: 0.0,
                 frames_sent: 0,
-                failed_elements: Vec::new(),
+                failed: Vec::new(),
+                unconfirmed: Vec::new(),
                 retry_rounds: 0,
             };
         }
         let mut total_frames = 0usize;
         let mut failed = Vec::new();
+        let mut unconfirmed = Vec::new();
         let mut backbone_worst = 0.0f64;
         let mut local_worst = 0.0f64;
         let mut retry_rounds = 0usize;
@@ -93,14 +95,16 @@ impl ClusteredControl {
             );
             total_frames += local_report.frames_sent;
             retry_rounds = retry_rounds.max(local_report.retry_rounds);
-            failed.extend(local_report.failed_elements.iter());
+            failed.extend(local_report.failed.iter());
+            unconfirmed.extend(local_report.unconfirmed.iter());
             local_worst = local_worst.max(local_report.completion_s);
         }
 
         ActuationReport {
             completion_s: backbone_worst + local_worst,
             frames_sent: total_frames,
-            failed_elements: failed,
+            failed,
+            unconfirmed,
             retry_rounds,
         }
     }
@@ -136,7 +140,7 @@ mod tests {
         let c = ClusteredControl::ism_heads_wired_panels(16);
         let mut rng = StdRng::seed_from_u64(1);
         let r = c.actuate(&assignments(128), &mut rng);
-        assert!(r.complete(), "failed: {:?}", r.failed_elements);
+        assert!(r.complete(), "failed: {:?}", r.failed);
         assert!(r.completion_s > 0.0);
     }
 

@@ -7,8 +7,19 @@
 //! pressure, and when do commands for the *next* reconfiguration overtake
 //! stragglers from the last one. Events are processed from a time-ordered
 //! queue; every transmission, delivery, loss, ack and timeout is traced.
+//!
+//! Retransmission timing is configurable through [`BackoffConfig`]: a fixed
+//! ack timeout (the default, matching the historical behavior exactly), an
+//! exponential per-attempt backoff, and an RTT-adaptive mode where the
+//! timeout is derived from acked round trips
+//! ([`RttEstimator`](crate::actuation::RttEstimator)) instead of a static
+//! guess. [`simulate_actuation_with`] additionally accepts fault injection
+//! ([`FaultPlan`](crate::fault::FaultPlan)) and a metrics registry.
 
+use crate::actuation::RttEstimator;
+use crate::fault::FaultPlan;
 use crate::message::Message;
+use crate::metrics::ControlMetrics;
 use crate::transport::Transport;
 use rand::Rng;
 use std::cmp::Ordering;
@@ -84,7 +95,7 @@ impl TraceEvent {
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Pending {
     CommandArrives { element: u16, state: u8, delivered: bool },
-    AckArrives { element: u16, delivered: bool },
+    AckArrives { element: u16 },
     Timer { element: u16 },
 }
 
@@ -117,10 +128,46 @@ impl Ord for QueuedEvent {
     }
 }
 
+/// Retransmission-timeout policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffConfig {
+    /// Timeout multiplier applied per prior attempt (`1.0` = fixed timeout,
+    /// `2.0` = classic exponential backoff).
+    pub multiplier: f64,
+    /// Ceiling on the per-attempt timeout, seconds.
+    pub max_timeout_s: f64,
+    /// Derive the base timeout from acked round-trip times (Jacobson/Karels
+    /// `SRTT + 4·RTTVAR`) instead of the static `ack_timeout_s`. Until the
+    /// first ack arrives the static value is used.
+    pub rtt_adaptive: bool,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig {
+            multiplier: 1.0,
+            max_timeout_s: 2.0,
+            rtt_adaptive: false,
+        }
+    }
+}
+
+impl BackoffConfig {
+    /// Classic adaptive ARQ: RTT-tracked base timeout, doubled per retry.
+    pub fn adaptive() -> Self {
+        BackoffConfig {
+            multiplier: 2.0,
+            max_timeout_s: 2.0,
+            rtt_adaptive: true,
+        }
+    }
+}
+
 /// Simulator parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DesConfig {
-    /// Ack timeout before retransmission, seconds.
+    /// Ack timeout before retransmission, seconds (the base timeout; see
+    /// [`BackoffConfig`]).
     pub ack_timeout_s: f64,
     /// Maximum transmissions per element (first + retries).
     pub max_attempts: usize,
@@ -128,6 +175,9 @@ pub struct DesConfig {
     pub distance_m: f64,
     /// Element switch settling time before the ack goes out, seconds.
     pub settle_s: f64,
+    /// Retransmission-timeout policy. The default (fixed timeout, no RTT
+    /// tracking) reproduces the historical event schedule exactly.
+    pub backoff: BackoffConfig,
 }
 
 impl Default for DesConfig {
@@ -137,6 +187,7 @@ impl Default for DesConfig {
             max_attempts: 6,
             distance_m: 15.0,
             settle_s: 2e-6,
+            backoff: BackoffConfig::default(),
         }
     }
 }
@@ -146,20 +197,31 @@ impl Default for DesConfig {
 pub struct DesReport {
     /// Every event, time-ordered.
     pub trace: Vec<TraceEvent>,
-    /// Time of the last element's state application (not ack), seconds.
+    /// Time of the last element's *first* state application (not ack),
+    /// seconds. Idempotent re-applications of retransmitted commands do not
+    /// move this.
     pub last_apply_s: f64,
     /// Time the controller confirmed the final ack (or gave up), seconds.
     pub done_s: f64,
-    /// Elements the controller gave up on.
+    /// Elements the controller gave up on that never applied their state.
     pub failed: Vec<u16>,
+    /// Elements the controller gave up on that *did* apply their state but
+    /// whose acks were all lost — configured, just not provably so.
+    pub unconfirmed: Vec<u16>,
     /// Total frames transmitted (commands + acks).
     pub frames: usize,
 }
 
 impl DesReport {
-    /// True when every element confirmed.
+    /// True when every element applied its commanded state (unconfirmed
+    /// elements count as applied).
     pub fn complete(&self) -> bool {
         self.failed.is_empty()
+    }
+
+    /// True when every element applied *and* was acknowledged.
+    pub fn confirmed(&self) -> bool {
+        self.failed.is_empty() && self.unconfirmed.is_empty()
     }
 }
 
@@ -167,10 +229,17 @@ impl DesReport {
 /// unicast command with an ack timer; losses trigger retransmission until
 /// the attempt budget runs out. (Unicast per element models the worst case
 /// of the broadcast schemes in [`actuate`](crate::actuation::actuate).)
-pub fn simulate_actuation<R: Rng + ?Sized>(
+///
+/// Fault injection: the [`FaultPlan`]'s burst chain replaces the per-frame
+/// loss probability, dead elements receive commands into the void, stuck
+/// elements ack but stay in their stuck state (the [`TraceEvent::Applied`]
+/// event records the state the hardware actually holds).
+pub fn simulate_actuation_with<R: Rng + ?Sized>(
     transport: &Transport,
     assignments: &[(u16, u8)],
     cfg: &DesConfig,
+    faults: &mut FaultPlan,
+    mut metrics: Option<&mut ControlMetrics>,
     rng: &mut R,
 ) -> DesReport {
     let mut queue: BinaryHeap<QueuedEvent> = BinaryHeap::new();
@@ -180,8 +249,15 @@ pub fn simulate_actuation<R: Rng + ?Sized>(
 
     let n = assignments.len();
     let mut acked = vec![false; n];
+    // Applied is tracked separately from acked: a retransmitted command
+    // landing while the first ack is still in flight must be idempotent —
+    // re-acked, but not re-applied.
+    let mut applied = vec![false; n];
     let mut attempts = vec![0usize; n];
+    let mut last_send = vec![0.0f64; n];
     let mut failed = Vec::new();
+    let mut unconfirmed = Vec::new();
+    let mut rtt = RttEstimator::new();
     let index_of = |element: u16| assignments.iter().position(|&(e, _)| e == element);
 
     // Helper to enqueue.
@@ -189,25 +265,49 @@ pub fn simulate_actuation<R: Rng + ?Sized>(
         *seqno += 1;
         queue.push(QueuedEvent { t, seq: *seqno, what });
     };
+    // Per-attempt retransmission timeout.
+    let timeout_for = |attempt: usize, rtt: &RttEstimator| -> f64 {
+        let base = if cfg.backoff.rtt_adaptive {
+            rtt.timeout(cfg.ack_timeout_s)
+        } else {
+            cfg.ack_timeout_s
+        };
+        (base * cfg.backoff.multiplier.powi(attempt.saturating_sub(1) as i32))
+            .min(cfg.backoff.max_timeout_s)
+    };
 
     // Initial transmissions: serialized back-to-back on the shared medium.
     let mut wire_free_at = 0.0f64;
     for (i, &(element, state)) in assignments.iter().enumerate() {
         let msg = Message::SetState { seq: i as u16, element, state };
-        let d = transport.deliver(msg.wire_len(), cfg.distance_m, rng);
+        let loss = faults.frame_loss(transport.loss_prob(), rng);
+        let d = transport.deliver_with_loss(msg.wire_len(), cfg.distance_m, loss, rng);
         frames += 1;
+        if let Some(m) = metrics.as_deref_mut() {
+            m.frames_tx += 1;
+            m.frame_latency.observe(d.latency_s);
+            if !d.delivered {
+                m.frames_lost += 1;
+            }
+        }
         trace.push(TraceEvent::CommandSent { t: wire_free_at, seq: i as u16, element, attempt: 0 });
         attempts[i] = 1;
+        last_send[i] = wire_free_at;
         push(
             &mut queue,
             &mut seqno,
             wire_free_at + d.latency_s,
             Pending::CommandArrives { element, state, delivered: d.delivered },
         );
-        push(&mut queue, &mut seqno, wire_free_at + cfg.ack_timeout_s, Pending::Timer { element });
+        push(
+            &mut queue,
+            &mut seqno,
+            wire_free_at + timeout_for(1, &rtt),
+            Pending::Timer { element },
+        );
         // Serialization occupies the wire for the latency's serialization part;
         // approximate with the full one-way latency for simplicity.
-        wire_free_at += msg.wire_len() as f64 * 8.0 / bitrate(transport);
+        wire_free_at += msg.wire_len() as f64 * 8.0 / transport.bitrate_bps();
     }
 
     let mut last_apply = 0.0f64;
@@ -224,26 +324,50 @@ pub fn simulate_actuation<R: Rng + ?Sized>(
                 if acked[i] {
                     continue; // duplicate of an already-confirmed command
                 }
-                trace.push(TraceEvent::Applied { t: t + cfg.settle_s, element, state });
-                last_apply = last_apply.max(t + cfg.settle_s);
-                let ack = Message::Ack { seq: element };
-                let d = transport.deliver(ack.wire_len(), cfg.distance_m, rng);
+                if !faults.elements.responds(element) {
+                    // Dead element: the frame arrived at a corpse. The timer
+                    // will keep firing until the attempt budget runs out.
+                    continue;
+                }
+                if !applied[i] {
+                    applied[i] = true;
+                    // Stuck elements "apply" whatever their hardware is
+                    // frozen at; the trace records the real state.
+                    let realized = faults
+                        .elements
+                        .realized_state(element, state)
+                        .expect("responding element has a realized state");
+                    trace.push(TraceEvent::Applied { t: t + cfg.settle_s, element, state: realized });
+                    last_apply = last_apply.max(t + cfg.settle_s);
+                }
+                // Ack (or re-ack, for an idempotent duplicate) the command
+                // actually received: the ack carries the command's own seq.
+                let ack = Message::SetState { seq: i as u16, element, state }.ack();
+                let ack_loss = faults.frame_loss(transport.loss_prob(), rng);
+                let d = transport.deliver_with_loss(ack.wire_len(), cfg.distance_m, ack_loss, rng);
                 frames += 1;
                 if d.delivered {
                     push(
                         &mut queue,
                         &mut seqno,
                         t + cfg.settle_s + d.latency_s,
-                        Pending::AckArrives { element, delivered: true },
+                        Pending::AckArrives { element },
                     );
                 } else {
+                    if let Some(m) = metrics.as_deref_mut() {
+                        m.acks_lost += 1;
+                    }
                     trace.push(TraceEvent::Lost { t: t + cfg.settle_s, element });
                 }
             }
-            Pending::AckArrives { element, .. } => {
+            Pending::AckArrives { element } => {
                 let i = index_of(element).expect("known element");
                 if !acked[i] {
                     acked[i] = true;
+                    rtt.observe(t - last_send[i]);
+                    if let Some(m) = metrics.as_deref_mut() {
+                        m.acks_rx += 1;
+                    }
                     trace.push(TraceEvent::AckReceived { t, element });
                     done = done.max(t);
                 }
@@ -256,15 +380,29 @@ pub fn simulate_actuation<R: Rng + ?Sized>(
                 trace.push(TraceEvent::TimerFired { t, element });
                 if attempts[i] >= cfg.max_attempts {
                     trace.push(TraceEvent::GaveUp { t, element });
-                    failed.push(element);
+                    if applied[i] {
+                        unconfirmed.push(element);
+                    } else {
+                        failed.push(element);
+                    }
                     done = done.max(t);
                     continue;
                 }
                 let state = assignments[i].1;
                 let msg = Message::SetState { seq: i as u16, element, state };
-                let d = transport.deliver(msg.wire_len(), cfg.distance_m, rng);
+                let loss = faults.frame_loss(transport.loss_prob(), rng);
+                let d = transport.deliver_with_loss(msg.wire_len(), cfg.distance_m, loss, rng);
                 frames += 1;
                 attempts[i] += 1;
+                last_send[i] = t;
+                if let Some(m) = metrics.as_deref_mut() {
+                    m.frames_tx += 1;
+                    m.retries += 1;
+                    m.frame_latency.observe(d.latency_s);
+                    if !d.delivered {
+                        m.frames_lost += 1;
+                    }
+                }
                 trace.push(TraceEvent::CommandSent {
                     t,
                     seq: i as u16,
@@ -277,32 +415,50 @@ pub fn simulate_actuation<R: Rng + ?Sized>(
                     t + d.latency_s,
                     Pending::CommandArrives { element, state, delivered: d.delivered },
                 );
-                push(&mut queue, &mut seqno, t + cfg.ack_timeout_s, Pending::Timer { element });
+                push(
+                    &mut queue,
+                    &mut seqno,
+                    t + timeout_for(attempts[i], &rtt),
+                    Pending::Timer { element },
+                );
             }
         }
     }
 
     trace.sort_by(|a, b| a.time().total_cmp(&b.time()));
-    DesReport {
+    let report = DesReport {
         trace,
         last_apply_s: last_apply,
         done_s: done,
         failed,
+        unconfirmed,
         frames,
+    };
+    if let Some(m) = metrics {
+        m.actuations += 1;
+        m.completion.observe(report.done_s);
+        m.failed_elements += report.failed.len() as u64;
+        m.unconfirmed_elements += report.unconfirmed.len() as u64;
     }
+    report
 }
 
-fn bitrate(t: &Transport) -> f64 {
-    match t {
-        Transport::WiredBus { bitrate_bps, .. } => *bitrate_bps,
-        Transport::IsmRadio { bitrate_bps, .. } => *bitrate_bps,
-        Transport::Ultrasound { bitrate_bps, .. } => *bitrate_bps,
-    }
+/// Runs the event simulation without fault injection or metrics — the
+/// historical entry point, event-identical per seed with the default
+/// [`BackoffConfig`].
+pub fn simulate_actuation<R: Rng + ?Sized>(
+    transport: &Transport,
+    assignments: &[(u16, u8)],
+    cfg: &DesConfig,
+    rng: &mut R,
+) -> DesReport {
+    simulate_actuation_with(transport, assignments, cfg, &mut FaultPlan::none(), None, rng)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{ElementFaults, GilbertElliott};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -450,5 +606,228 @@ mod tests {
         assert!(des.complete() && rounds.complete());
         let ratio = des.done_s / rounds.completion_s;
         assert!((0.1..50.0).contains(&ratio), "DES {} vs rounds {}", des.done_s, rounds.completion_s);
+    }
+
+    #[test]
+    fn duplicate_commands_apply_idempotently() {
+        // A slow transport with a short timeout: retransmissions regularly
+        // land while the first ack is still in flight. Regression for the
+        // duplicate-apply bug: each element must emit exactly one Applied
+        // event, and last_apply_s must not be inflated past the first
+        // application.
+        let mut rng = StdRng::seed_from_u64(8);
+        let r = simulate_actuation(
+            &Transport::ultrasound(),
+            &assignments(6),
+            &DesConfig {
+                // Far below the ultrasound round trip (~60+ ms): every
+                // element gets retransmitted at least once.
+                ack_timeout_s: 10e-3,
+                max_attempts: 10,
+                ..DesConfig::default()
+            },
+            &mut rng,
+        );
+        let retransmissions = r
+            .trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::CommandSent { attempt, .. } if *attempt > 0))
+            .count();
+        assert!(retransmissions > 0, "timeout must be shorter than the RTT");
+        for (e, _) in assignments(6) {
+            let applies = r
+                .trace
+                .iter()
+                .filter(|ev| matches!(ev, TraceEvent::Applied { element, .. } if *element == e))
+                .count();
+            assert_eq!(applies, 1, "element {e} applied {applies} times");
+        }
+        // The first application of the last element bounds last_apply_s;
+        // every Applied trace time must be <= it.
+        for ev in &r.trace {
+            if let TraceEvent::Applied { t, .. } = ev {
+                assert!(*t <= r.last_apply_s + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn applied_but_unacked_elements_are_unconfirmed_not_failed() {
+        // Commands get through (wired), but we choke acks by injecting a
+        // burst chain that is in a permanent burst with 100% loss after the
+        // initial good state... simplest deterministic construction: a chain
+        // that always loses (loss_good = loss_bad = 1.0) applied to *every*
+        // frame would also kill commands. Instead: heavy symmetric loss and
+        // a tiny attempt budget reliably produces both populations.
+        let lossy = Transport::IsmRadio {
+            bitrate_bps: 250e3,
+            loss_prob: 0.4,
+            mac_latency_s: 1e-3,
+        };
+        let mut rng = StdRng::seed_from_u64(21);
+        let r = simulate_actuation(
+            &lossy,
+            &assignments(40),
+            &DesConfig {
+                max_attempts: 2,
+                ack_timeout_s: 15e-3,
+                ..DesConfig::default()
+            },
+            &mut rng,
+        );
+        assert!(!r.unconfirmed.is_empty(), "40% loss, 2 attempts: some applied-unacked");
+        assert!(!r.failed.is_empty(), "40% loss, 2 attempts: some never applied");
+        // Unconfirmed elements have an Applied trace; failed ones do not.
+        for &e in &r.unconfirmed {
+            assert!(r
+                .trace
+                .iter()
+                .any(|ev| matches!(ev, TraceEvent::Applied { element, .. } if *element == e)));
+        }
+        for &e in &r.failed {
+            assert!(!r
+                .trace
+                .iter()
+                .any(|ev| matches!(ev, TraceEvent::Applied { element, .. } if *element == e)));
+        }
+    }
+
+    #[test]
+    fn dead_elements_never_apply_stuck_elements_apply_stuck_state() {
+        let mut faults = FaultPlan::broken(ElementFaults::none().dead(1).stuck(2, 0));
+        let mut rng = StdRng::seed_from_u64(9);
+        let r = simulate_actuation_with(
+            &Transport::wired(),
+            &assignments(4),
+            &DesConfig::default(),
+            &mut faults,
+            None,
+            &mut rng,
+        );
+        assert_eq!(r.failed, vec![1]);
+        // The stuck element acked; its Applied trace records the stuck
+        // hardware state, not the commanded one.
+        let stuck_apply = r
+            .trace
+            .iter()
+            .find_map(|ev| match ev {
+                TraceEvent::Applied { element: 2, state, .. } => Some(*state),
+                _ => None,
+            })
+            .expect("stuck element applies (its stuck state)");
+        assert_eq!(stuck_apply, 0, "commanded 2, hardware frozen at 0");
+    }
+
+    #[test]
+    fn exponential_backoff_spaces_out_retransmissions() {
+        let black_hole = Transport::IsmRadio {
+            bitrate_bps: 250e3,
+            loss_prob: 1.0,
+            mac_latency_s: 1e-3,
+        };
+        let run = |backoff: BackoffConfig| {
+            let mut rng = StdRng::seed_from_u64(10);
+            simulate_actuation(
+                &black_hole,
+                &assignments(1),
+                &DesConfig {
+                    max_attempts: 5,
+                    ack_timeout_s: 5e-3,
+                    backoff,
+                    ..DesConfig::default()
+                },
+                &mut rng,
+            )
+        };
+        let fixed = run(BackoffConfig::default());
+        let expo = run(BackoffConfig { multiplier: 2.0, ..BackoffConfig::default() });
+        // Fixed: timers at 5, 10, 15, 20, 25 ms. Exponential: 5, 15, 35, 75,
+        // 155 ms. Giving up happens at the last timer.
+        assert!((fixed.done_s - 25e-3).abs() < 1e-9, "fixed done {}", fixed.done_s);
+        assert!((expo.done_s - 155e-3).abs() < 1e-9, "expo done {}", expo.done_s);
+    }
+
+    #[test]
+    fn rtt_adaptive_timeout_beats_misconfigured_static_one() {
+        // An operator guessed 200 ms for a wired bus whose RTT is ~100 µs.
+        // RTT tracking should recover: after the first acks arrive, timers
+        // shrink to the real round trip and lost elements retry quickly.
+        let lossy_wire = Transport::WiredBus { bitrate_bps: 1e6, loss_prob: 0.3 };
+        let cfg_static = DesConfig {
+            ack_timeout_s: 200e-3,
+            max_attempts: 8,
+            ..DesConfig::default()
+        };
+        let cfg_adaptive = DesConfig {
+            backoff: BackoffConfig::adaptive(),
+            ..cfg_static
+        };
+        let mut a = StdRng::seed_from_u64(11);
+        let slow = simulate_actuation(&lossy_wire, &assignments(32), &cfg_static, &mut a);
+        let mut b = StdRng::seed_from_u64(11);
+        let fast = simulate_actuation(&lossy_wire, &assignments(32), &cfg_adaptive, &mut b);
+        assert!(slow.complete() && fast.complete());
+        // Every retry beyond the first one saves ~200 ms - RTT; elements lost
+        // once still pay the initial (static) timer, so the overall win is
+        // bounded by the deepest retry chain, not a fixed factor.
+        assert!(
+            fast.done_s < 0.75 * slow.done_s,
+            "adaptive {} vs static {}",
+            fast.done_s,
+            slow.done_s
+        );
+    }
+
+    #[test]
+    fn burst_loss_forces_more_retransmissions() {
+        let count_retx = |faults: &mut FaultPlan, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let r = simulate_actuation_with(
+                &Transport::ism(),
+                &assignments(48),
+                &DesConfig { max_attempts: 12, ..DesConfig::default() },
+                faults,
+                None,
+                &mut rng,
+            );
+            r.trace
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::CommandSent { attempt, .. } if *attempt > 0))
+                .count()
+        };
+        let clean = count_retx(&mut FaultPlan::none(), 13);
+        // A fast-cycling chain (enter 30%, exit 15% per frame, 95% loss in
+        // burst) so bursts reliably occur within one short actuation.
+        let chain = GilbertElliott::new(0.3, 0.15, 0.02, 0.95);
+        let bursty = count_retx(&mut FaultPlan::bursty(chain), 13);
+        assert!(
+            bursty > clean + 10,
+            "jammed bursts must force retransmissions: {bursty} vs {clean}"
+        );
+    }
+
+    #[test]
+    fn metrics_do_not_perturb_the_simulation() {
+        let mut metrics = ControlMetrics::new();
+        let mut faults = FaultPlan::none();
+        let mut a = StdRng::seed_from_u64(14);
+        let instrumented = simulate_actuation_with(
+            &Transport::ism(),
+            &assignments(24),
+            &DesConfig::default(),
+            &mut faults,
+            Some(&mut metrics),
+            &mut a,
+        );
+        let mut b = StdRng::seed_from_u64(14);
+        let bare = simulate_actuation(&Transport::ism(), &assignments(24), &DesConfig::default(), &mut b);
+        assert_eq!(instrumented.done_s, bare.done_s);
+        assert_eq!(instrumented.frames, bare.frames);
+        assert_eq!(metrics.actuations, 1);
+        assert_eq!(
+            metrics.frames_tx + metrics.acks_rx + metrics.acks_lost,
+            instrumented.frames as u64,
+            "commands + delivered acks + lost acks account for every frame"
+        );
     }
 }

@@ -1,0 +1,380 @@
+//! Fault injection for the control plane: burst loss and broken elements.
+//!
+//! The RIS engineering literature (Liu et al., arXiv:2104.14985; Basar et
+//! al., arXiv:2312.16874) singles out control-link reliability as the
+//! make-or-break problem for deployed surfaces, and independent per-frame
+//! loss is the *kindest* possible unreliability. Real control channels fail
+//! in bursts (a microwave oven, a colliding WiFi transmission, a forklift
+//! between the controller and the wall) and real elements fail outright
+//! (a stuck varactor bias line, a dead element MCU). This module supplies
+//! both:
+//!
+//! * [`GilbertElliott`] — the classic two-state burst-loss Markov chain:
+//!   a *good* state with low loss and a *bad* (burst) state with high loss,
+//!   stepped once per delivery trial;
+//! * [`ElementFaults`] — per-element failure modes: *dead* elements that
+//!   never apply or acknowledge anything, and *stuck* elements that
+//!   acknowledge commands but remain frozen in one switch state, silently
+//!   mis-configuring the array even under a perfectly reliable protocol;
+//! * [`FaultPlan`] — the bundle the actuation entry points accept.
+//!
+//! An empty plan ([`FaultPlan::none`]) draws nothing from the RNG, so
+//! un-faulted runs stay bit-identical to the pre-fault-injection code.
+
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Two-state Gilbert–Elliott burst-loss process.
+///
+/// The chain is stepped once per delivery trial; while in the *bad* state
+/// consecutive trials share the elevated loss probability, which is exactly
+/// the temporal correlation independent Bernoulli loss cannot express.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GilbertElliott {
+    /// Per-trial probability of entering a burst (good → bad).
+    pub p_enter_burst: f64,
+    /// Per-trial probability of leaving a burst (bad → good).
+    pub p_exit_burst: f64,
+    /// Frame loss probability in the good state.
+    pub loss_good: f64,
+    /// Frame loss probability inside a burst.
+    pub loss_bad: f64,
+    in_burst: bool,
+}
+
+impl GilbertElliott {
+    /// Builds a chain starting in the good state.
+    pub fn new(p_enter_burst: f64, p_exit_burst: f64, loss_good: f64, loss_bad: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_enter_burst), "p_enter_burst out of range");
+        assert!((0.0..=1.0).contains(&p_exit_burst), "p_exit_burst out of range");
+        GilbertElliott {
+            p_enter_burst,
+            p_exit_burst,
+            loss_good,
+            loss_bad,
+            in_burst: false,
+        }
+    }
+
+    /// Occasional short interference bursts: ~2% of trials in-burst,
+    /// mean burst length 5 frames, 60% loss inside a burst.
+    pub fn interference() -> Self {
+        GilbertElliott::new(0.004, 0.2, 0.005, 0.6)
+    }
+
+    /// A hostile channel: long frequent bursts (mean length 20 frames,
+    /// ~17% of trials in-burst) that drop nearly everything.
+    pub fn jammed() -> Self {
+        GilbertElliott::new(0.01, 0.05, 0.02, 0.95)
+    }
+
+    /// Whether the chain is currently inside a burst.
+    pub fn in_burst(&self) -> bool {
+        self.in_burst
+    }
+
+    /// Steps the chain one trial and returns the loss probability governing
+    /// that trial. Consumes exactly one RNG draw.
+    pub fn advance<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        let u = rng.gen::<f64>();
+        if self.in_burst {
+            if u < self.p_exit_burst {
+                self.in_burst = false;
+            }
+        } else if u < self.p_enter_burst {
+            self.in_burst = true;
+        }
+        if self.in_burst {
+            self.loss_bad
+        } else {
+            self.loss_good
+        }
+    }
+
+    /// Long-run fraction of trials spent in the burst state.
+    pub fn burst_occupancy(&self) -> f64 {
+        let denom = self.p_enter_burst + self.p_exit_burst;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        self.p_enter_burst / denom
+    }
+
+    /// Long-run average frame loss probability.
+    pub fn steady_state_loss(&self) -> f64 {
+        let pi_bad = self.burst_occupancy();
+        pi_bad * self.loss_bad + (1.0 - pi_bad) * self.loss_good
+    }
+}
+
+/// How a single element is broken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElementFaultKind {
+    /// The element's controller is dead: commands are received by nobody,
+    /// nothing is ever applied or acknowledged.
+    Dead,
+    /// The switch is stuck in one state: the element *acknowledges*
+    /// commands (its MCU is alive) but the array never leaves this state —
+    /// the protocol believes the element is configured when it is not.
+    Stuck(u8),
+}
+
+/// Per-element fault assignments, keyed by element id.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ElementFaults {
+    faults: BTreeMap<u16, ElementFaultKind>,
+}
+
+impl ElementFaults {
+    /// No broken elements.
+    pub fn none() -> Self {
+        ElementFaults::default()
+    }
+
+    /// Marks an element dead.
+    pub fn dead(mut self, element: u16) -> Self {
+        self.faults.insert(element, ElementFaultKind::Dead);
+        self
+    }
+
+    /// Marks an element stuck in `state`.
+    pub fn stuck(mut self, element: u16, state: u8) -> Self {
+        self.faults.insert(element, ElementFaultKind::Stuck(state));
+        self
+    }
+
+    /// Draws a deterministic random fault population: `n_dead` dead and
+    /// `n_stuck` stuck elements (stuck state uniform in `0..n_states`)
+    /// among element ids `0..n_elements`, without collisions.
+    pub fn seeded<R: Rng + ?Sized>(
+        n_elements: u16,
+        n_dead: usize,
+        n_stuck: usize,
+        n_states: u8,
+        rng: &mut R,
+    ) -> Self {
+        let mut faults = ElementFaults::none();
+        let mut picked = Vec::new();
+        let pick = |rng: &mut R, picked: &mut Vec<u16>| -> Option<u16> {
+            if picked.len() >= n_elements as usize {
+                return None;
+            }
+            loop {
+                let e = rng.gen_range(0..n_elements as u32) as u16;
+                if !picked.contains(&e) {
+                    picked.push(e);
+                    return Some(e);
+                }
+            }
+        };
+        for _ in 0..n_dead {
+            if let Some(e) = pick(rng, &mut picked) {
+                faults = faults.dead(e);
+            }
+        }
+        for _ in 0..n_stuck {
+            if let Some(e) = pick(rng, &mut picked) {
+                let s = rng.gen_range(0..n_states.max(1) as u32) as u8;
+                faults = faults.stuck(e, s);
+            }
+        }
+        faults
+    }
+
+    /// True when no element is broken.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of broken elements.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// The element's fault, if any.
+    pub fn get(&self, element: u16) -> Option<ElementFaultKind> {
+        self.faults.get(&element).copied()
+    }
+
+    /// Whether the element responds to commands at all (acks, applies).
+    pub fn responds(&self, element: u16) -> bool {
+        !matches!(self.faults.get(&element), Some(ElementFaultKind::Dead))
+    }
+
+    /// The switch state the element actually ends up in after being
+    /// commanded to `commanded`: `None` when the element is dead (it keeps
+    /// whatever state it had), the stuck state for stuck elements, and the
+    /// commanded state otherwise.
+    pub fn realized_state(&self, element: u16, commanded: u8) -> Option<u8> {
+        match self.faults.get(&element) {
+            Some(ElementFaultKind::Dead) => None,
+            Some(ElementFaultKind::Stuck(s)) => Some(*s),
+            None => Some(commanded),
+        }
+    }
+
+    /// Iterates `(element, fault)` pairs in element order.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, ElementFaultKind)> + '_ {
+        self.faults.iter().map(|(&e, &f)| (e, f))
+    }
+}
+
+/// The fault bundle an actuation run is subjected to.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Burst-loss process on the shared medium, if any. Stepped once per
+    /// delivery trial; its loss probability *composes* with the transport's
+    /// nominal loss (independent mechanisms: the medium can drop a frame on
+    /// its own, and interference can kill it on top).
+    pub burst: Option<GilbertElliott>,
+    /// Broken elements.
+    pub elements: ElementFaults,
+}
+
+impl FaultPlan {
+    /// No faults: draws nothing, changes nothing.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Burst loss only.
+    pub fn bursty(chain: GilbertElliott) -> Self {
+        FaultPlan {
+            burst: Some(chain),
+            elements: ElementFaults::none(),
+        }
+    }
+
+    /// Element faults only.
+    pub fn broken(elements: ElementFaults) -> Self {
+        FaultPlan {
+            burst: None,
+            elements,
+        }
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_ideal(&self) -> bool {
+        self.burst.is_none() && self.elements.is_empty()
+    }
+
+    /// The loss probability governing the next delivery trial. With a burst
+    /// chain present it is stepped (one RNG draw) and its loss composes with
+    /// the transport's nominal loss as independent drop mechanisms:
+    /// `1 − (1−nominal)·(1−burst)`. Without a chain the nominal passes
+    /// through untouched (no draw).
+    pub fn frame_loss<R: Rng + ?Sized>(&mut self, nominal: f64, rng: &mut R) -> f64 {
+        match &mut self.burst {
+            Some(chain) => {
+                let burst = chain.advance(rng);
+                1.0 - (1.0 - nominal) * (1.0 - burst)
+            }
+            None => nominal,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn steady_state_loss_matches_empirical() {
+        let mut ge = GilbertElliott::interference();
+        let expected = ge.steady_state_loss();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let mut lost = 0usize;
+        for _ in 0..n {
+            let p = ge.advance(&mut rng);
+            if rng.gen::<f64>() < p {
+                lost += 1;
+            }
+        }
+        let rate = lost as f64 / n as f64;
+        assert!(
+            (rate - expected).abs() < 0.15 * expected.max(0.01),
+            "empirical {rate} vs analytic {expected}"
+        );
+    }
+
+    #[test]
+    fn bursts_are_temporally_correlated() {
+        // Inside a burst the next trial is very likely still a burst: count
+        // bad→bad transitions vs the unconditional bad rate.
+        let mut ge = GilbertElliott::interference();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut bad_after_bad = 0usize;
+        let mut bad_total = 0usize;
+        let mut prev_bad = false;
+        let n = 100_000;
+        for _ in 0..n {
+            ge.advance(&mut rng);
+            let bad = ge.in_burst();
+            if bad {
+                bad_total += 1;
+                if prev_bad {
+                    bad_after_bad += 1;
+                }
+            }
+            prev_bad = bad;
+        }
+        let occupancy = bad_total as f64 / n as f64;
+        let persistence = bad_after_bad as f64 / bad_total.max(1) as f64;
+        assert!(
+            persistence > 3.0 * occupancy,
+            "persistence {persistence} vs occupancy {occupancy}: not bursty"
+        );
+    }
+
+    #[test]
+    fn burst_occupancy_analytic() {
+        let ge = GilbertElliott::new(0.01, 0.04, 0.0, 1.0);
+        assert!((ge.burst_occupancy() - 0.2).abs() < 1e-12);
+        assert!((ge.steady_state_loss() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn element_fault_realized_states() {
+        let f = ElementFaults::none().dead(3).stuck(5, 2);
+        assert_eq!(f.realized_state(0, 1), Some(1));
+        assert_eq!(f.realized_state(3, 1), None);
+        assert_eq!(f.realized_state(5, 1), Some(2));
+        assert!(f.responds(0) && f.responds(5));
+        assert!(!f.responds(3));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn seeded_faults_are_deterministic_and_disjoint() {
+        let a = ElementFaults::seeded(64, 3, 4, 4, &mut StdRng::seed_from_u64(7));
+        let b = ElementFaults::seeded(64, 3, 4, 4, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 7, "collisions must be re-drawn");
+    }
+
+    #[test]
+    fn burst_loss_composes_with_nominal_loss() {
+        // A bursty plan must never *reduce* the medium's own loss: the two
+        // mechanisms are independent, so the combined probability is
+        // 1 − (1−nominal)(1−burst) ≥ max(nominal, burst).
+        let mut plan = FaultPlan::bursty(GilbertElliott::new(0.0, 1.0, 0.2, 0.9));
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = plan.frame_loss(0.5, &mut rng);
+        // Chain stays in the good state (p_enter = 0): 1 − 0.5·0.8 = 0.6.
+        assert!((p - 0.6).abs() < 1e-12, "composed loss {p}");
+    }
+
+    #[test]
+    fn ideal_plan_draws_nothing() {
+        let mut plan = FaultPlan::none();
+        assert!(plan.is_ideal());
+        let mut rng = StdRng::seed_from_u64(3);
+        let before = rng.gen::<u64>();
+        let mut rng2 = StdRng::seed_from_u64(3);
+        assert_eq!(plan.frame_loss(0.05, &mut rng2), 0.05);
+        assert_eq!(rng2.gen::<u64>(), before, "no RNG draw for ideal plan");
+    }
+}

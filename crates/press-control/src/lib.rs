@@ -8,16 +8,28 @@
 //! * [`transport`] — the paper's three control-channel candidates as
 //!   delivery models: wired bus, low-rate ISM radio, in-room ultrasound;
 //! * [`actuation`] — event-driven batch actuation with acknowledgements and
-//!   retransmission, reporting completion time against coherence budgets.
+//!   retransmission, reporting completion time against coherence budgets;
+//! * [`fault`] — fault injection: Gilbert–Elliott burst loss and
+//!   stuck/dead element failure modes;
+//! * [`metrics`] — a lightweight counter/histogram registry the actuation
+//!   entry points record into, exported as CSV rows.
 
 pub mod actuation;
 pub mod clusters;
 pub mod des;
+pub mod fault;
 pub mod message;
+pub mod metrics;
 pub mod transport;
 
-pub use actuation::{actuate, fits_coherence, AckPolicy, ActuationReport};
+pub use actuation::{
+    actuate, actuate_with, fits_coherence, AckPolicy, ActuationReport, RttEstimator,
+};
 pub use clusters::ClusteredControl;
-pub use des::{simulate_actuation, DesConfig, DesReport, TraceEvent};
+pub use des::{
+    simulate_actuation, simulate_actuation_with, BackoffConfig, DesConfig, DesReport, TraceEvent,
+};
+pub use fault::{ElementFaultKind, ElementFaults, FaultPlan, GilbertElliott};
 pub use message::{CodecError, Message, MAGIC};
+pub use metrics::{ControlMetrics, Histogram};
 pub use transport::{Delivery, Transport};

@@ -106,6 +106,15 @@ impl Message {
         }
     }
 
+    /// The acknowledgement for *this* message: an [`Message::Ack`] carrying
+    /// this message's own sequence number. Elements must ack the frame they
+    /// actually received — constructing the ack from any controller-side
+    /// counter risks acknowledging a different batch (the historical
+    /// off-by-one acked the *next* batch's seq).
+    pub fn ack(&self) -> Message {
+        Message::Ack { seq: self.seq() }
+    }
+
     /// Encodes to a wire frame.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(16);
@@ -293,6 +302,16 @@ mod tests {
         }
         .wire_len();
         assert_eq!(ten - one, 27, "3 bytes per extra assignment");
+    }
+
+    #[test]
+    fn ack_carries_the_acked_messages_seq() {
+        // Regression: the ack for a batch must carry the batch's own seq,
+        // not a successor counter value.
+        let batch = Message::BatchSet { seq: 41, assignments: vec![(1, 2)] };
+        assert_eq!(batch.ack(), Message::Ack { seq: 41 });
+        let set = Message::SetState { seq: 7, element: 3, state: 1 };
+        assert_eq!(set.ack().seq(), 7);
     }
 
     #[test]

@@ -1,0 +1,343 @@
+//! Control-plane observability: counters and histograms, exported to CSV.
+//!
+//! Deployed surfaces live or die by their control-plane health, and §4.2's
+//! timing argument is a statement about *distributions* — how often does an
+//! actuation fit the coherence budget, not just whether one seeded run did.
+//! This registry is the lightweight instrument: the actuation entry points
+//! ([`actuate_with`](crate::actuation::actuate_with),
+//! [`simulate_actuation_with`](crate::des::simulate_actuation_with)) accept
+//! an optional `&mut ControlMetrics` and record every frame, loss, retry
+//! and completion into it. The registry is plain data — no atomics, no
+//! globals — so sweeps own one per scenario cell and export rows.
+
+use std::fmt;
+
+/// A fixed-bucket histogram over `f64` observations.
+///
+/// Buckets are `(-inf, bounds[0]], (bounds[0], bounds[1]], …, (last, +inf)`;
+/// the exact count, sum, min and max are tracked alongside so means are not
+/// quantized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Builds a histogram with explicit ascending bucket upper bounds.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let n = bounds.len() + 1;
+        Histogram {
+            bounds,
+            counts: vec![0; n],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Exponential bounds: `start, start·factor, …` (`n` bounds). The
+    /// default latency/completion grids use this.
+    pub fn exponential(start: f64, factor: f64, n: usize) -> Self {
+        assert!(start > 0.0 && factor > 1.0, "need positive start, factor > 1");
+        let mut bounds = Vec::with_capacity(n);
+        let mut b = start;
+        for _ in 0..n {
+            bounds.push(b);
+            b *= factor;
+        }
+        Histogram::new(bounds)
+    }
+
+    /// A latency grid: 1 µs to ~1000 s in half-decade steps.
+    pub fn latency_grid() -> Self {
+        Histogram::exponential(1e-6, 10f64.sqrt(), 18)
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+
+    /// Smallest observation (+inf when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (-inf when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Approximate quantile (0..=1) from the bucket boundaries: returns the
+    /// upper bound of the bucket containing the q-quantile (the exact max
+    /// for the overflow bucket). NaN when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram with identical bounds into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "histogram bounds differ");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// `(upper_bound, count)` pairs, the overflow bucket as `+inf`.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(f64::INFINITY))
+            .zip(self.counts.iter().copied())
+    }
+}
+
+/// The control-plane metrics registry one actuation campaign accumulates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlMetrics {
+    /// Command frames put on the medium.
+    pub frames_tx: u64,
+    /// Command frames lost before reaching their element.
+    pub frames_lost: u64,
+    /// Acks received by the controller.
+    pub acks_rx: u64,
+    /// Acks lost on the way back.
+    pub acks_lost: u64,
+    /// Retransmission attempts (frames beyond each element's first).
+    pub retries: u64,
+    /// Elements given up on with no applied state.
+    pub failed_elements: u64,
+    /// Elements that applied but were never confirmed.
+    pub unconfirmed_elements: u64,
+    /// Actuation rounds recorded.
+    pub actuations: u64,
+    /// One-way frame latency distribution, seconds.
+    pub frame_latency: Histogram,
+    /// Batch completion-time distribution, seconds.
+    pub completion: Histogram,
+}
+
+impl Default for ControlMetrics {
+    fn default() -> Self {
+        ControlMetrics::new()
+    }
+}
+
+impl ControlMetrics {
+    /// An empty registry with the default latency grids.
+    pub fn new() -> Self {
+        ControlMetrics {
+            frames_tx: 0,
+            frames_lost: 0,
+            acks_rx: 0,
+            acks_lost: 0,
+            retries: 0,
+            failed_elements: 0,
+            unconfirmed_elements: 0,
+            actuations: 0,
+            frame_latency: Histogram::latency_grid(),
+            completion: Histogram::latency_grid(),
+        }
+    }
+
+    /// Fraction of command frames lost (0 when none were sent).
+    pub fn frame_loss_rate(&self) -> f64 {
+        if self.frames_tx == 0 {
+            0.0
+        } else {
+            self.frames_lost as f64 / self.frames_tx as f64
+        }
+    }
+
+    /// Merges another registry into this one.
+    pub fn merge(&mut self, other: &ControlMetrics) {
+        self.frames_tx += other.frames_tx;
+        self.frames_lost += other.frames_lost;
+        self.acks_rx += other.acks_rx;
+        self.acks_lost += other.acks_lost;
+        self.retries += other.retries;
+        self.failed_elements += other.failed_elements;
+        self.unconfirmed_elements += other.unconfirmed_elements;
+        self.actuations += other.actuations;
+        self.frame_latency.merge(&other.frame_latency);
+        self.completion.merge(&other.completion);
+    }
+
+    /// The CSV header matching [`csv_row`](Self::csv_row).
+    pub fn csv_header() -> &'static str {
+        "frames_tx,frames_lost,loss_rate,acks_rx,acks_lost,retries,failed,unconfirmed,\
+         actuations,lat_mean_s,lat_p95_s,completion_mean_s,completion_p95_s,completion_max_s"
+    }
+
+    /// One flat CSV row of the registry's counters and summary statistics.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{:.6},{},{},{},{},{},{},{:.6e},{:.6e},{:.6e},{:.6e},{:.6e}",
+            self.frames_tx,
+            self.frames_lost,
+            self.frame_loss_rate(),
+            self.acks_rx,
+            self.acks_lost,
+            self.retries,
+            self.failed_elements,
+            self.unconfirmed_elements,
+            self.actuations,
+            zero_if_empty(self.frame_latency.count(), self.frame_latency.mean()),
+            zero_if_empty(self.frame_latency.count(), self.frame_latency.quantile(0.95)),
+            zero_if_empty(self.completion.count(), self.completion.mean()),
+            zero_if_empty(self.completion.count(), self.completion.quantile(0.95)),
+            zero_if_empty(self.completion.count(), self.completion.max()),
+        )
+    }
+}
+
+fn zero_if_empty(count: u64, v: f64) -> f64 {
+    if count == 0 {
+        0.0
+    } else {
+        v
+    }
+}
+
+impl fmt::Display for ControlMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "frames {} (lost {:.2}%), acks {}, retries {}, failed {}, unconfirmed {}, \
+             completion mean {:.3} ms / p95 {:.3} ms over {} actuations",
+            self.frames_tx,
+            100.0 * self.frame_loss_rate(),
+            self.acks_rx,
+            self.retries,
+            self.failed_elements,
+            self.unconfirmed_elements,
+            1e3 * zero_if_empty(self.completion.count(), self.completion.mean()),
+            1e3 * zero_if_empty(self.completion.count(), self.completion.quantile(0.95)),
+            self.actuations,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_and_moments() {
+        let mut h = Histogram::new(vec![1.0, 10.0, 100.0]);
+        for v in [0.5, 2.0, 5.0, 50.0, 500.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - 111.5).abs() < 1e-12);
+        assert_eq!(h.min(), 0.5);
+        assert_eq!(h.max(), 500.0);
+        let counts: Vec<u64> = h.buckets().map(|(_, c)| c).collect();
+        assert_eq!(counts, vec![1, 2, 1, 1]);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket() {
+        let mut h = Histogram::exponential(1e-3, 10.0, 5);
+        for _ in 0..90 {
+            h.observe(5e-3); // bucket <= 1e-2
+        }
+        for _ in 0..10 {
+            h.observe(5.0); // bucket <= 10
+        }
+        assert_eq!(h.quantile(0.5), 1e-2);
+        assert_eq!(h.quantile(0.95), 10.0);
+    }
+
+    #[test]
+    fn histogram_merge_adds() {
+        let mut a = Histogram::new(vec![1.0]);
+        let mut b = Histogram::new(vec![1.0]);
+        a.observe(0.5);
+        b.observe(2.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds differ")]
+    fn histogram_merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::new(vec![1.0]);
+        let b = Histogram::new(vec![2.0]);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn registry_csv_row_shape() {
+        let mut m = ControlMetrics::new();
+        m.frames_tx = 10;
+        m.frames_lost = 1;
+        m.completion.observe(1e-3);
+        let header_cols = ControlMetrics::csv_header().split(',').count();
+        let row_cols = m.csv_row().split(',').count();
+        assert_eq!(header_cols, row_cols);
+        assert!((m.frame_loss_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registry_merge() {
+        let mut a = ControlMetrics::new();
+        let mut b = ControlMetrics::new();
+        a.frames_tx = 3;
+        b.frames_tx = 4;
+        b.retries = 2;
+        a.merge(&b);
+        assert_eq!(a.frames_tx, 7);
+        assert_eq!(a.retries, 2);
+    }
+}

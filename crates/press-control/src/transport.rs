@@ -95,6 +95,24 @@ impl Transport {
         }
     }
 
+    /// The transport's nominal (steady-state) per-frame loss probability.
+    pub fn loss_prob(&self) -> f64 {
+        match self {
+            Transport::WiredBus { loss_prob, .. }
+            | Transport::IsmRadio { loss_prob, .. }
+            | Transport::Ultrasound { loss_prob, .. } => *loss_prob,
+        }
+    }
+
+    /// Serialization rate, bits/s.
+    pub fn bitrate_bps(&self) -> f64 {
+        match self {
+            Transport::WiredBus { bitrate_bps, .. }
+            | Transport::IsmRadio { bitrate_bps, .. }
+            | Transport::Ultrasound { bitrate_bps, .. } => *bitrate_bps,
+        }
+    }
+
     /// Attempts delivery of a frame of `frame_len` bytes over `distance_m`.
     pub fn deliver<R: Rng + ?Sized>(
         &self,
@@ -102,21 +120,31 @@ impl Transport {
         distance_m: f64,
         rng: &mut R,
     ) -> Delivery {
+        self.deliver_with_loss(frame_len, distance_m, self.loss_prob(), rng)
+    }
+
+    /// Like [`deliver`](Self::deliver) but with the loss probability
+    /// overridden — the hook fault injectors (burst-loss processes, jammed
+    /// rooms) use to drive the channel into a different loss regime while
+    /// keeping the transport's latency model. With `loss ==`
+    /// [`loss_prob`](Self::loss_prob) the RNG draw sequence is identical to
+    /// `deliver`, so un-faulted runs reproduce bit-for-bit.
+    pub fn deliver_with_loss<R: Rng + ?Sized>(
+        &self,
+        frame_len: usize,
+        distance_m: f64,
+        loss: f64,
+        rng: &mut R,
+    ) -> Delivery {
         let bits = (frame_len * 8) as f64;
-        let (bitrate, loss, extra) = match self {
-            Transport::WiredBus { bitrate_bps, loss_prob } => (*bitrate_bps, *loss_prob, 0.0),
-            Transport::IsmRadio {
-                bitrate_bps,
-                loss_prob,
-                mac_latency_s,
-            } => {
+        let extra = match self {
+            Transport::WiredBus { .. } | Transport::Ultrasound { .. } => 0.0,
+            Transport::IsmRadio { mac_latency_s, .. } => {
                 // Exponential-ish MAC latency via |gaussian| around the mean.
-                let jitter = (1.0 + 0.5 * gaussian(rng).abs()) * mac_latency_s;
-                (*bitrate_bps, *loss_prob, jitter)
+                (1.0 + 0.5 * gaussian(rng).abs()) * mac_latency_s
             }
-            Transport::Ultrasound { bitrate_bps, loss_prob } => (*bitrate_bps, *loss_prob, 0.0),
         };
-        let latency = bits / bitrate + distance_m / self.propagation_speed() + extra;
+        let latency = bits / self.bitrate_bps() + distance_m / self.propagation_speed() + extra;
         Delivery {
             delivered: rng.gen::<f64>() >= loss,
             latency_s: latency,
@@ -175,6 +203,32 @@ mod tests {
         let short = t.deliver(8, 1.0, &mut rng).latency_s;
         let long = t.deliver(80, 1.0, &mut rng).latency_s;
         assert!((long - short - 72.0 * 8.0 / 4e3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_override_preserves_draw_sequence() {
+        // deliver() and deliver_with_loss(nominal) must consume the same RNG
+        // draws and produce the same outcome — fault-free fault injection is
+        // a no-op.
+        for t in [Transport::wired(), Transport::ism(), Transport::ultrasound()] {
+            let mut a = StdRng::seed_from_u64(9);
+            let mut b = StdRng::seed_from_u64(9);
+            for _ in 0..50 {
+                let da = t.deliver(8, 7.0, &mut a);
+                let db = t.deliver_with_loss(8, 7.0, t.loss_prob(), &mut b);
+                assert_eq!(da, db);
+            }
+        }
+    }
+
+    #[test]
+    fn loss_override_changes_regime() {
+        let t = Transport::wired();
+        let mut rng = StdRng::seed_from_u64(10);
+        let lost = (0..1000)
+            .filter(|_| !t.deliver_with_loss(8, 5.0, 1.0, &mut rng).delivered)
+            .count();
+        assert_eq!(lost, 1000, "loss=1.0 must drop everything");
     }
 
     #[test]

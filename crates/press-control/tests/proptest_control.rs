@@ -1,7 +1,10 @@
 //! Property-based tests for the control plane: codec robustness and
 //! actuation invariants for arbitrary assignments and corruption.
 
-use press_control::{actuate, AckPolicy, CodecError, Message, Transport};
+use press_control::{
+    actuate, actuate_with, AckPolicy, CodecError, ControlMetrics, ElementFaults, FaultPlan,
+    GilbertElliott, Message, Transport,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -73,8 +76,13 @@ proptest! {
         } else {
             prop_assert!(r.frames_sent >= 1);
         }
-        // Failed elements are a subset of the addressed ones.
-        for e in &r.failed_elements {
+        // Failed and unconfirmed elements are disjoint subsets of the
+        // addressed ones.
+        for e in &r.failed {
+            prop_assert!((*e as usize) < n);
+            prop_assert!(!r.unconfirmed.contains(e));
+        }
+        for e in &r.unconfirmed {
             prop_assert!((*e as usize) < n);
         }
     }
@@ -90,7 +98,8 @@ proptest! {
             AckPolicy::PerElement { max_retries: 8 },
             &mut rng,
         );
-        prop_assert!(r.complete(), "failed: {:?}", r.failed_elements);
+        prop_assert!(r.complete(), "failed: {:?}", r.failed);
+        prop_assert!(r.confirmed(), "unconfirmed: {:?}", r.unconfirmed);
     }
 
     #[test]
@@ -110,6 +119,92 @@ proptest! {
             AckPolicy::PerElement { max_retries: 12 },
             &mut StdRng::seed_from_u64(seed),
         );
-        prop_assert!(many.failed_elements.len() <= few.failed_elements.len());
+        // Extra rounds only shrink the unacked set, and within it only move
+        // elements from failed (never applied) toward applied.
+        prop_assert!(many.failed.len() <= few.failed.len());
+        prop_assert!(
+            many.failed.len() + many.unconfirmed.len()
+                <= few.failed.len() + few.unconfirmed.len()
+        );
+    }
+
+    #[test]
+    fn ideal_fault_plan_is_rng_transparent(
+        n in 0usize..40,
+        seed in 0u64..50,
+        policy_idx in 0usize..3,
+    ) {
+        // actuate_with(FaultPlan::none(), no metrics) must be bit-identical
+        // to actuate for every policy — instrumentation and fault hooks may
+        // not perturb the simulation on the default path.
+        let assignments: Vec<(u16, u8)> = (0..n as u16).map(|e| (e, 1)).collect();
+        let policy = [
+            AckPolicy::None,
+            AckPolicy::PerElement { max_retries: 4 },
+            AckPolicy::Adaptive { max_retries: 4, batch_cap: 8 },
+        ][policy_idx];
+        let bare = actuate(
+            &Transport::ism(),
+            &assignments,
+            10.0,
+            policy,
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let mut metrics = ControlMetrics::new();
+        let hooked = actuate_with(
+            &Transport::ism(),
+            &assignments,
+            10.0,
+            policy,
+            &mut FaultPlan::none(),
+            Some(&mut metrics),
+            &mut StdRng::seed_from_u64(seed),
+        );
+        prop_assert_eq!(bare.completion_s, hooked.completion_s);
+        prop_assert_eq!(bare.frames_sent, hooked.frames_sent);
+        prop_assert_eq!(&bare.failed, &hooked.failed);
+        prop_assert_eq!(&bare.unconfirmed, &hooked.unconfirmed);
+    }
+
+    #[test]
+    fn burst_chain_loss_is_always_a_probability(
+        p_enter in 0.0f64..1.0,
+        p_exit in 0.0f64..1.0,
+        lg in 0.0f64..1.0,
+        lb in 0.0f64..1.0,
+        seed in 0u64..20,
+    ) {
+        let mut chain = GilbertElliott::new(p_enter, p_exit, lg, lb);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let loss = chain.advance(&mut rng);
+            prop_assert!((0.0..=1.0).contains(&loss));
+        }
+    }
+
+    #[test]
+    fn dead_elements_always_fail_under_any_policy(
+        n in 2usize..20,
+        dead in 0usize..2,
+        seed in 0u64..20,
+        policy_idx in 0usize..2,
+    ) {
+        let assignments: Vec<(u16, u8)> = (0..n as u16).map(|e| (e, 1)).collect();
+        let dead_id = dead as u16;
+        let policy = [
+            AckPolicy::PerElement { max_retries: 3 },
+            AckPolicy::Adaptive { max_retries: 3, batch_cap: 4 },
+        ][policy_idx];
+        let r = actuate_with(
+            &Transport::wired(),
+            &assignments,
+            10.0,
+            policy,
+            &mut FaultPlan::broken(ElementFaults::none().dead(dead_id)),
+            None,
+            &mut StdRng::seed_from_u64(seed),
+        );
+        prop_assert_eq!(&r.failed, &vec![dead_id]);
+        prop_assert!(r.unconfirmed.is_empty());
     }
 }

@@ -161,7 +161,7 @@ mod tests {
     fn mean_alignment_bounds() {
         let v = [c(1.0, 0.0), c(0.0, 1.0)];
         let u = [c(0.3, -0.4), c(0.2, 0.9)];
-        let m = mean_alignment(&vec![v; 4], &vec![u; 4]);
+        let m = mean_alignment(&[v; 4], &[u; 4]);
         assert!((0.0..=1.0).contains(&m));
         assert_eq!(mean_alignment(&[], &[]), 1.0);
     }

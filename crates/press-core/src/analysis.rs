@@ -19,7 +19,7 @@ pub fn extreme_pair(profiles: &[SnrProfile]) -> Option<(usize, usize, f64)> {
     for j in 1..profiles.len() {
         for i in 0..j {
             let d = profiles[i].max_abs_delta_db(&profiles[j]);
-            if best.map_or(true, |(_, _, b)| d > b) {
+            if best.is_none_or(|(_, _, b)| d > b) {
                 best = Some((i, j, d));
             }
         }

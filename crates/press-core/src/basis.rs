@@ -240,6 +240,40 @@ impl LinkBasis {
         }
     }
 
+    /// Synthesizes the channel a *partially applied* actuation produces:
+    /// element `i` contributes its `target` column where `applied[i]` and
+    /// its `prev` column otherwise — the array the control plane actually
+    /// left behind when some set-state commands were lost. Equivalent to
+    /// `synthesize_into(&prev.overlay(target, applied), ..)` without
+    /// building the merged configuration.
+    pub fn synthesize_partial_into(
+        &self,
+        prev: &Configuration,
+        target: &Configuration,
+        applied: &[bool],
+        t_s: f64,
+        out: &mut Vec<Complex64>,
+    ) {
+        assert_eq!(prev.len(), self.space.n_elements(), "configuration/basis size mismatch");
+        assert_eq!(target.len(), prev.len(), "configuration lengths differ");
+        assert_eq!(applied.len(), prev.len(), "applied mask length differs");
+        self.environment_into(t_s, out);
+        for (i, &done) in applied.iter().enumerate() {
+            let s = if done { target.states[i] } else { prev.states[i] };
+            assert!(s < self.space.states_per_element[i], "state out of range");
+            let col = self.state_offsets[i] + s;
+            if self.col_present[col] {
+                add_rotated(
+                    out,
+                    &self.columns[col * self.n_k..(col + 1) * self.n_k],
+                    self.col_doppler[col],
+                    t_s,
+                    false,
+                );
+            }
+        }
+    }
+
     /// Allocating convenience wrapper over
     /// [`synthesize_into`](Self::synthesize_into).
     pub fn synthesize(&self, config: &Configuration, t_s: f64) -> Vec<Complex64> {
@@ -306,7 +340,7 @@ fn build_environment(
     for p in environment {
         if p.doppler_hz == 0.0 {
             for (h, &f) in env_static.iter_mut().zip(freqs_hz) {
-                *h = *h + p.response_at(f, 0.0);
+                *h += p.response_at(f, 0.0);
             }
         } else {
             let col = freqs_hz.iter().map(|&f| p.response_at(f, 0.0)).collect();
@@ -581,6 +615,20 @@ mod tests {
         let full = basis.synthesize(&Configuration::new(vec![2, 3, 0]), 0.0);
         for (a, b) in h.iter().zip(&full) {
             assert!((*a - *b).abs() <= 1e-12 * b.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn partial_synthesis_matches_overlay_bit_for_bit() {
+        let (system, link, freqs) = setup();
+        let basis = LinkBasis::build(&system, &link, &freqs);
+        let prev = Configuration::new(vec![0, 2, 1]);
+        let target = Configuration::new(vec![3, 1, 1]);
+        for mask in [[true, true, true], [false, false, false], [true, false, true]] {
+            let mut partial = Vec::new();
+            basis.synthesize_partial_into(&prev, &target, &mask, 0.0, &mut partial);
+            let merged = basis.synthesize(&prev.overlay(&target, &mask), 0.0);
+            assert_eq!(partial, merged, "mask {mask:?}");
         }
     }
 

@@ -39,6 +39,24 @@ impl Configuration {
         self.states.is_empty()
     }
 
+    /// The configuration a partially-applied actuation physically produces:
+    /// element `i` holds `target` where `applied[i]`, and stays at `self`
+    /// (the previous configuration in force) where the control plane failed
+    /// to reach it.
+    pub fn overlay(&self, target: &Configuration, applied: &[bool]) -> Configuration {
+        assert_eq!(self.len(), target.len(), "configuration lengths differ");
+        assert_eq!(self.len(), applied.len(), "applied mask length differs");
+        Configuration {
+            states: self
+                .states
+                .iter()
+                .zip(&target.states)
+                .zip(applied)
+                .map(|((&prev, &tgt), &ok)| if ok { tgt } else { prev })
+                .collect(),
+        }
+    }
+
     /// Hamming distance to another configuration of equal length.
     pub fn hamming(&self, other: &Configuration) -> usize {
         assert_eq!(self.len(), other.len(), "configuration lengths differ");

@@ -13,6 +13,10 @@ use crate::config::Configuration;
 use crate::objective::LinkObjective;
 use crate::search;
 use crate::system::{CachedLink, PressSystem};
+use press_control::{
+    actuate_with, simulate_actuation_with, AckPolicy, ControlMetrics, DesConfig, FaultPlan,
+    Transport,
+};
 use press_math::Complex64;
 use press_sdr::Sounder;
 use rand::rngs::StdRng;
@@ -75,6 +79,85 @@ pub enum Strategy {
     },
 }
 
+/// Transport-backed actuation settings for [`ActuationMode::Transport`]:
+/// the chosen configuration is driven over a real control-plane transport
+/// with the round-based [`actuate_with`] model, and elements the protocol
+/// could not reach stay at their previous switch state.
+#[derive(Debug, Clone)]
+pub struct TransportActuation {
+    /// The control channel.
+    pub transport: Transport,
+    /// Acknowledgement / retransmission policy.
+    pub policy: AckPolicy,
+    /// Worst-case controller-element range, meters.
+    pub distance_m: f64,
+    /// Fault injection (burst loss, dead/stuck elements). Cloned per
+    /// episode so burst-chain state does not leak between episodes.
+    pub faults: FaultPlan,
+}
+
+impl TransportActuation {
+    /// A clean wired control bus with per-element acks.
+    pub fn wired() -> TransportActuation {
+        TransportActuation {
+            transport: Transport::wired(),
+            policy: AckPolicy::PerElement { max_retries: 4 },
+            distance_m: 15.0,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// A low-rate ISM radio with adaptive retry.
+    pub fn ism() -> TransportActuation {
+        TransportActuation {
+            transport: Transport::ism(),
+            policy: AckPolicy::Adaptive { max_retries: 6, batch_cap: 16 },
+            distance_m: 15.0,
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+/// Discrete-event-simulated actuation settings for [`ActuationMode::Des`].
+#[derive(Debug, Clone)]
+pub struct DesActuation {
+    /// The control channel.
+    pub transport: Transport,
+    /// Simulator parameters (timeouts, backoff, attempt budget).
+    pub cfg: DesConfig,
+    /// Fault injection, cloned per episode.
+    pub faults: FaultPlan,
+}
+
+/// How [`Controller::run_episode`] applies configurations to the array.
+#[derive(Debug, Clone)]
+pub enum ActuationMode {
+    /// Instant, perfect actuation charged at the flat
+    /// [`TimingModel::actuation_s`] cost — the historical behavior, and
+    /// bit-identical to it.
+    Oracle,
+    /// Drive the round-based [`actuate_with`] protocol over a transport;
+    /// completion time is charged as measured and unreached elements stay
+    /// at their previous state.
+    Transport(TransportActuation),
+    /// Drive the discrete-event simulator ([`simulate_actuation_with`])
+    /// instead of the round model.
+    Des(DesActuation),
+}
+
+/// What one control-plane actuation physically achieved.
+struct ActuationOutcome {
+    /// Per-element (full array): did the protocol apply this element.
+    applied: Vec<bool>,
+    /// Wall-clock cost of the actuation, seconds.
+    completion_s: f64,
+    /// Control frames spent.
+    frames: usize,
+    /// Retransmission effort (retry rounds for the round model,
+    /// retransmitted frames for the DES).
+    retries: usize,
+}
+
 /// Outcome of one control episode.
 #[derive(Debug, Clone)]
 pub struct ControlReport {
@@ -97,6 +180,18 @@ pub struct ControlReport {
     /// Whether the verification measurement rejected the search result and
     /// the controller fell back to the baseline configuration.
     pub reverted: bool,
+    /// The configuration the array is physically in at episode end. Under
+    /// [`ActuationMode::Oracle`] this equals [`chosen_config`](Self::chosen_config);
+    /// under a lossy transport, unreached elements hold their previous
+    /// state and stuck elements hold their stuck state.
+    pub realized_config: Configuration,
+    /// Elements whose realized state differs from the chosen configuration.
+    pub stale_elements: usize,
+    /// Control frames spent actuating (0 under the oracle).
+    pub actuation_frames: usize,
+    /// Retransmission effort spent actuating (retry rounds for the round
+    /// model, retransmitted frames for the DES; 0 under the oracle).
+    pub actuation_retries: usize,
 }
 
 impl ControlReport {
@@ -122,6 +217,8 @@ pub struct Controller {
     pub frames_per_measurement: usize,
     /// RNG seed.
     pub seed: u64,
+    /// How configurations are applied to the array.
+    pub actuation: ActuationMode,
 }
 
 impl Controller {
@@ -135,13 +232,27 @@ impl Controller {
             coherence_budget_s: 0.08,
             frames_per_measurement: 2,
             seed: 0,
+            actuation: ActuationMode::Oracle,
         }
     }
 
     /// Runs one control episode on a link: measure the baseline, search for
     /// a better configuration (each candidate evaluated by *measurement*,
-    /// not oracle), actuate it, and verify.
+    /// not oracle), actuate it over the configured [`ActuationMode`], and
+    /// verify against the array the control plane actually produced.
     pub fn run_episode(&self, system: &PressSystem, sounder: &Sounder) -> ControlReport {
+        self.run_episode_instrumented(system, sounder, None)
+    }
+
+    /// [`run_episode`](Self::run_episode) with an optional control-plane
+    /// metrics registry the actuations record into. Instrumentation never
+    /// perturbs the episode: the report is bit-identical with or without it.
+    pub fn run_episode_instrumented(
+        &self,
+        system: &PressSystem,
+        sounder: &Sounder,
+        mut metrics: Option<&mut ControlMetrics>,
+    ) -> ControlReport {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let link = CachedLink::trace(system, sounder.tx.node.clone(), sounder.rx.node.clone());
         let space = system.array.config_space();
@@ -194,18 +305,55 @@ impl Controller {
             }
         };
 
-        // Actuate and verify; if the verification measurement contradicts
-        // the search (it chased measurement noise), fall back to the
-        // baseline — never leave the link worse than it was found.
-        elapsed += self.timing.actuation_s;
-        let chosen_score = measure(&result.best, &mut measurements, &mut elapsed, &mut rng);
-        let (chosen_config, chosen_score, reverted) = if chosen_score < baseline_score {
-            elapsed += self.timing.actuation_s;
-            (baseline_config.clone(), baseline_score, true)
-        } else {
-            (result.best, chosen_score, false)
+        // Actuate over the control plane and verify against the array it
+        // actually produced; if the verification measurement contradicts
+        // the search (it chased measurement noise, or the actuation left
+        // the array worse), fall back to the baseline — never leave the
+        // link worse than it was found. The actuation RNG is a separate
+        // seed stream so transport randomness never perturbs the
+        // measurement stream (the oracle path stays bit-identical).
+        let mut act_rng = StdRng::seed_from_u64(self.seed.wrapping_add(2));
+        let mut faults = match &self.actuation {
+            ActuationMode::Oracle => FaultPlan::none(),
+            ActuationMode::Transport(t) => t.faults.clone(),
+            ActuationMode::Des(d) => d.faults.clone(),
         };
 
+        let outcome = self.actuate_config(
+            &baseline_config,
+            &result.best,
+            &mut faults,
+            metrics.as_deref_mut(),
+            &mut act_rng,
+        );
+        elapsed += outcome.completion_s;
+        let mut actuation_frames = outcome.frames;
+        let mut actuation_retries = outcome.retries;
+        // The array the control plane produced: applied elements hold the
+        // target (stuck ones their frozen state), unreached ones the
+        // baseline. Verification measures *this* channel, not the intent.
+        let realized = realize(&baseline_config, &result.best, &outcome.applied, &faults, &space);
+        let chosen_score = measure(&realized, &mut measurements, &mut elapsed, &mut rng);
+
+        let (chosen_config, chosen_score, reverted, realized_config) =
+            if chosen_score < baseline_score {
+                let back = self.actuate_config(
+                    &realized,
+                    &baseline_config,
+                    &mut faults,
+                    metrics,
+                    &mut act_rng,
+                );
+                elapsed += back.completion_s;
+                actuation_frames += back.frames;
+                actuation_retries += back.retries;
+                let after = realize(&realized, &baseline_config, &back.applied, &faults, &space);
+                (baseline_config.clone(), baseline_score, true, after)
+            } else {
+                (result.best, chosen_score, false, realized)
+            };
+
+        let stale_elements = realized_config.hamming(&chosen_config);
         ControlReport {
             baseline_config,
             baseline_score,
@@ -216,8 +364,111 @@ impl Controller {
             coherence_budget_s: self.coherence_budget_s,
             within_coherence: elapsed <= self.coherence_budget_s,
             reverted,
+            realized_config,
+            stale_elements,
+            actuation_frames,
+            actuation_retries,
         }
     }
+
+    /// Drives one `prev → target` transition over the configured actuation
+    /// mode. Only elements whose state actually changes are commanded.
+    fn actuate_config(
+        &self,
+        prev: &Configuration,
+        target: &Configuration,
+        faults: &mut FaultPlan,
+        metrics: Option<&mut ControlMetrics>,
+        rng: &mut StdRng,
+    ) -> ActuationOutcome {
+        let n = prev.len();
+        // Unchanged elements are trivially in place.
+        let mut applied = vec![true; n];
+        let delta: Vec<(u16, u8)> = prev
+            .states
+            .iter()
+            .zip(&target.states)
+            .enumerate()
+            .filter(|(_, (p, t))| p != t)
+            .map(|(i, (_, &t))| (i as u16, t as u8))
+            .collect();
+        match &self.actuation {
+            ActuationMode::Oracle => ActuationOutcome {
+                applied,
+                completion_s: self.timing.actuation_s,
+                frames: 0,
+                retries: 0,
+            },
+            ActuationMode::Transport(t) => {
+                let report = actuate_with(
+                    &t.transport,
+                    &delta,
+                    t.distance_m,
+                    t.policy,
+                    faults,
+                    metrics,
+                    rng,
+                );
+                for &(e, _) in &delta {
+                    applied[e as usize] = report.element_applied(e);
+                }
+                ActuationOutcome {
+                    applied,
+                    completion_s: report.completion_s,
+                    frames: report.frames_sent,
+                    retries: report.retry_rounds,
+                }
+            }
+            ActuationMode::Des(d) => {
+                let report =
+                    simulate_actuation_with(&d.transport, &delta, &d.cfg, faults, metrics, rng);
+                for &(e, _) in &delta {
+                    applied[e as usize] = !report.failed.contains(&e);
+                }
+                let retransmissions = report
+                    .trace
+                    .iter()
+                    .filter(|ev| {
+                        matches!(
+                            ev,
+                            press_control::TraceEvent::CommandSent { attempt, .. } if *attempt > 0
+                        )
+                    })
+                    .count();
+                ActuationOutcome {
+                    applied,
+                    completion_s: report.done_s,
+                    frames: report.frames,
+                    retries: retransmissions,
+                }
+            }
+        }
+    }
+}
+
+/// Merges what the control plane achieved into the physical configuration:
+/// applied elements take the target state — unless stuck, in which case the
+/// hardware holds its frozen state — and unreached elements keep `prev`.
+fn realize(
+    prev: &Configuration,
+    target: &Configuration,
+    applied: &[bool],
+    faults: &FaultPlan,
+    space: &crate::config::ConfigSpace,
+) -> Configuration {
+    let mut realized = prev.overlay(target, applied);
+    if !faults.elements.is_empty() {
+        for (i, state) in realized.states.iter_mut().enumerate() {
+            if applied[i] && prev.states[i] != target.states[i] {
+                if let Some(s) = faults.elements.realized_state(i as u16, target.states[i] as u8) {
+                    // Clamp: a stuck state outside the element's space pins
+                    // it to the highest valid switch position.
+                    *state = (s as usize).min(space.states_per_element[i] - 1);
+                }
+            }
+        }
+    }
+    realized
 }
 
 #[cfg(test)]
@@ -286,6 +537,127 @@ mod tests {
         let b = c.run_episode(&system, &sounder);
         assert_eq!(a.chosen_config, b.chosen_config);
         assert_eq!(a.measurements, b.measurements);
+    }
+
+    #[test]
+    fn wired_transport_reproduces_oracle_decision_bit_for_bit() {
+        let (system, sounder) = setup(2);
+        let oracle = Controller::new(Strategy::Random { budget: 6 }, LinkObjective::MaxMeanSnr);
+        let mut wired = oracle.clone();
+        wired.actuation = ActuationMode::Transport(TransportActuation::wired());
+        let a = oracle.run_episode(&system, &sounder);
+        let b = wired.run_episode(&system, &sounder);
+        // A clean wired control plane applies everything, so the realized
+        // array equals the chosen one and the measurement stream (a
+        // separate seed stream from the actuation RNG) is untouched.
+        assert_eq!(a.chosen_config, b.chosen_config);
+        assert_eq!(a.chosen_score, b.chosen_score);
+        assert_eq!(a.baseline_score, b.baseline_score);
+        assert_eq!(a.measurements, b.measurements);
+        assert_eq!(b.stale_elements, 0);
+        assert_eq!(b.realized_config, b.chosen_config);
+        assert!(b.actuation_frames > 0, "wired transport still spends frames");
+    }
+
+    #[test]
+    fn lossy_fire_and_forget_leaves_stale_elements_and_changes_score() {
+        use press_control::{AckPolicy, FaultPlan, Transport};
+        let (system, sounder) = setup(3);
+        let oracle = Controller::new(Strategy::Exhaustive, LinkObjective::MaxMinSnr);
+        let mut lossy = oracle.clone();
+        // Heavy loss, no acks, no retries: most commanded elements never
+        // hear their set-state.
+        lossy.actuation = ActuationMode::Transport(TransportActuation {
+            transport: Transport::IsmRadio {
+                bitrate_bps: 250e3,
+                loss_prob: 0.9,
+                mac_latency_s: 1e-3,
+            },
+            policy: AckPolicy::None,
+            distance_m: 15.0,
+            faults: FaultPlan::none(),
+        });
+        // Whether a given seed strands some, all, or none of the commanded
+        // elements is down to the loss draws, so scan a few seeds: at least
+        // one must leave a partially-applied (stale) array, and whenever the
+        // array is stale the verification score must diverge from the
+        // oracle-actuated episode's.
+        let mut saw_stale = false;
+        for seed in 0..6 {
+            let mut a = oracle.clone();
+            a.seed = seed;
+            let mut b = lossy.clone();
+            b.seed = seed;
+            let ra = a.run_episode(&system, &sounder);
+            let rb = b.run_episode(&system, &sounder);
+            // The search itself is actuation-independent; chosen_config only
+            // diverges when the stale verification triggered a revert.
+            if !rb.reverted && !ra.reverted {
+                assert_eq!(ra.chosen_config, rb.chosen_config, "seed {seed}");
+            }
+            if rb.stale_elements > 0 {
+                saw_stale = true;
+                assert_ne!(rb.realized_config, rb.chosen_config);
+                if !ra.reverted {
+                    assert_ne!(
+                        ra.chosen_score, rb.chosen_score,
+                        "verification must measure the stale array, not the intent (seed {seed})"
+                    );
+                }
+            }
+        }
+        assert!(saw_stale, "90% loss never stranded an element across 6 seeds");
+    }
+
+    #[test]
+    fn des_actuation_mode_closes_the_loop() {
+        use press_control::{DesConfig, FaultPlan, Transport};
+        let (system, sounder) = setup(2);
+        let mut c = Controller::new(Strategy::Greedy { max_sweeps: 1 }, LinkObjective::MaxMinSnr);
+        c.actuation = ActuationMode::Des(DesActuation {
+            transport: Transport::wired(),
+            cfg: DesConfig::default(),
+            faults: FaultPlan::none(),
+        });
+        let r = c.run_episode(&system, &sounder);
+        assert_eq!(r.stale_elements, 0, "clean wire applies everything");
+        assert!(r.actuation_frames > 0);
+        // The DES charges real completion time into the episode clock.
+        assert!(r.elapsed_s > 0.0);
+    }
+
+    #[test]
+    fn dead_element_faults_strand_the_commanded_state() {
+        use press_control::{ElementFaults, FaultPlan};
+        let (system, sounder) = setup(2);
+        let mut c = Controller::new(Strategy::Exhaustive, LinkObjective::MaxMinSnr);
+        let mut t = TransportActuation::wired();
+        // Every element is dead: nothing the search chooses can be applied,
+        // so the realized array is the baseline and verification reverts.
+        t.faults = FaultPlan::broken(ElementFaults::none().dead(0).dead(1));
+        c.actuation = ActuationMode::Transport(t);
+        let r = c.run_episode(&system, &sounder);
+        assert_eq!(r.realized_config, r.baseline_config);
+        if r.chosen_config != r.baseline_config {
+            assert!(r.stale_elements > 0);
+        }
+    }
+
+    #[test]
+    fn instrumented_episode_is_bit_identical_and_records() {
+        use press_control::ControlMetrics;
+        let (system, sounder) = setup(2);
+        let mut c = Controller::new(Strategy::Random { budget: 4 }, LinkObjective::MaxMeanSnr);
+        c.actuation = ActuationMode::Transport(TransportActuation::ism());
+        let bare = c.run_episode(&system, &sounder);
+        let mut metrics = ControlMetrics::new();
+        let inst = c.run_episode_instrumented(&system, &sounder, Some(&mut metrics));
+        assert_eq!(bare.chosen_config, inst.chosen_config);
+        assert_eq!(bare.chosen_score, inst.chosen_score);
+        assert_eq!(bare.elapsed_s, inst.elapsed_s);
+        assert_eq!(bare.actuation_frames, inst.actuation_frames);
+        assert!(metrics.frames_tx > 0);
+        assert!(metrics.actuations >= 1);
     }
 
     #[test]

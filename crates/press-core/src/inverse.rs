@@ -73,7 +73,7 @@ pub fn extract_dominant_paths(
                 .sum();
             let gain = corr / n;
             let metric = gain.norm_sqr();
-            if best.map_or(true, |(_, _, b)| metric > b) {
+            if best.is_none_or(|(_, _, b)| metric > b) {
                 best = Some((tau, gain, metric));
             }
         }
@@ -269,7 +269,7 @@ impl InverseSolver {
             let mut best: Option<(Configuration, f64)> = None;
             for c in space.iter() {
                 let r = dict.distance_with(&c, target, &self.weights, &mut scratch);
-                if best.as_ref().map_or(true, |(_, b)| r < *b) {
+                if best.as_ref().is_none_or(|(_, b)| r < *b) {
                     best = Some((c, r));
                 }
             }
@@ -303,10 +303,10 @@ impl InverseSolver {
 
         // --- Stage 2: project each continuous coefficient onto the states. ---
         let mut config = Configuration::zeros(n_elem);
-        for i in 0..n_elem {
+        for (i, &alpha) in alphas.iter().enumerate() {
             let desired: Vec<Complex64> = dict.contributions[i][0]
                 .iter()
-                .map(|d| alphas[i] * *d)
+                .map(|d| alpha * *d)
                 .collect();
             let mut best_state = 0;
             let mut best_dist = f64::INFINITY;
@@ -570,12 +570,12 @@ mod tests {
         let dict = synthetic_dict();
         let c = Configuration::new(vec![1, 1, 1]);
         let h = dict.channel(&c);
-        for k in 0..h.len() {
+        for (k, &hk) in h.iter().enumerate() {
             let manual = dict.base[k]
                 + dict.contributions[0][1][k]
                 + dict.contributions[1][1][k]
                 + dict.contributions[2][1][k];
-            assert!((h[k] - manual).abs() < 1e-12);
+            assert!((hk - manual).abs() < 1e-12);
         }
     }
 }

@@ -45,7 +45,10 @@ pub use array::{PlacedElement, PressArray};
 pub use bandit::UcbController;
 pub use basis::{min_magnitude_db_metric, snr_metric, BasisEvaluator, LinkBasis};
 pub use config::{ConfigSpace, Configuration};
-pub use controller::{ControlReport, Controller, Strategy, TimingModel};
+pub use controller::{
+    ActuationMode, ControlReport, Controller, DesActuation, Strategy, TimingModel,
+    TransportActuation,
+};
 pub use inverse::{InverseSolution, InverseSolver, PressDictionary, RecoveredPath};
 pub use joint::{compare_agility, AgilityReport, JointLink, JointProblem};
 pub use measurement::{run_campaign, run_campaign_over, run_campaign_parallel, CampaignConfig, CampaignResult};

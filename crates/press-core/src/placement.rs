@@ -66,7 +66,7 @@ pub fn greedy_placement(
             positions.push(pos);
             let (score, evals) = evaluate_deployment(scene, sounder, &positions, factory, objective);
             evaluations += evals;
-            if best.map_or(true, |(_, b)| score > b) {
+            if best.is_none_or(|(_, b)| score > b) {
                 best = Some((i, score));
             }
         }
@@ -85,6 +85,7 @@ pub fn greedy_placement(
 
 /// Random placement baseline: `n_draws` random subsets, each tuned the same
 /// way as the greedy deployment; returns the mean and best final scores.
+#[allow(clippy::too_many_arguments)]
 pub fn random_placement_baseline(
     scene: &Scene,
     sounder: &Sounder,

@@ -54,7 +54,7 @@ where
     for config in space.iter() {
         let score = eval(&config);
         evaluations += 1;
-        if best.as_ref().map_or(true, |(_, b)| score > *b) {
+        if best.as_ref().is_none_or(|(_, b)| score > *b) {
             best = Some((config, score));
         }
     }
@@ -92,7 +92,7 @@ where
                     while j < size {
                         let c = space.config_at(j);
                         let s = eval(&c);
-                        if local.map_or(true, |(_, b)| s > b) {
+                        if local.is_none_or(|(_, b)| s > b) {
                             local = Some((j, s));
                         }
                         j += n_threads;
@@ -140,7 +140,7 @@ where
     for _ in 0..budget {
         let c = space.random(rng);
         let s = eval(&c);
-        if best.as_ref().map_or(true, |(_, b)| s > *b) {
+        if best.as_ref().is_none_or(|(_, b)| s > *b) {
             best = Some((c, s));
         }
     }
@@ -184,7 +184,7 @@ where
                         let mut rng = StdRng::seed_from_u64(derive_stream_seed(seed, j as u64, 0));
                         let c = space.random(&mut rng);
                         let s = eval(&c);
-                        if local.as_ref().map_or(true, |(_, _, b)| s > *b) {
+                        if local.as_ref().is_none_or(|(_, _, b)| s > *b) {
                             local = Some((j, c, s));
                         }
                         j += n_threads;
@@ -295,7 +295,7 @@ where
             for n in space.neighbors(&current) {
                 let s = eval(&n);
                 evaluations += 1;
-                if best_neighbor.as_ref().map_or(true, |(_, b)| s > *b) {
+                if best_neighbor.as_ref().is_none_or(|(_, b)| s > *b) {
                     best_neighbor = Some((n, s));
                 }
             }
@@ -307,7 +307,7 @@ where
                 _ => break, // local optimum
             }
         }
-        if global.as_ref().map_or(true, |(_, b)| score > *b) {
+        if global.as_ref().is_none_or(|(_, b)| score > *b) {
             global = Some((current, score));
         }
     }
@@ -418,7 +418,7 @@ where
             evaluations += 1;
             if best_states
                 .as_ref()
-                .map_or(true, |(_, b)| score > *b)
+                .is_none_or(|(_, b)| score > *b)
             {
                 best_states = Some((sub_cfg.states.clone(), score));
             }

@@ -114,6 +114,20 @@ impl CachedLink {
         out.extend_from_slice(&self.environment);
         out.extend(system.array.paths(&system.scene, &self.tx, &self.rx, config));
     }
+
+    /// Path set of a partially-applied actuation: element `i` is traced in
+    /// its `target` state where `applied[i]` and its `prev` state otherwise.
+    /// This is the path-list counterpart of
+    /// [`LinkBasis::synthesize_partial_into`](crate::basis::LinkBasis::synthesize_partial_into).
+    pub fn paths_partial(
+        &self,
+        system: &PressSystem,
+        prev: &Configuration,
+        target: &Configuration,
+        applied: &[bool],
+    ) -> Vec<SignalPath> {
+        self.paths(system, &prev.overlay(target, applied))
+    }
 }
 
 #[cfg(test)]

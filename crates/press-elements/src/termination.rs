@@ -99,8 +99,6 @@ pub fn format_phase_label(label: Option<f64>) -> String {
                 format!("{in_pi:.2}π")
                     .replace(".00π", "π")
                     .replace(".50π", ".5π")
-                    .replace(".25π", ".25π")
-                    .replace(".75π", ".75π")
             }
         }
     }

@@ -165,6 +165,7 @@ impl Mul for Complex64 {
 impl Div for Complex64 {
     type Output = Complex64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w computed as z·w⁻¹
     fn div(self, rhs: Complex64) -> Complex64 {
         self * rhs.inv()
     }

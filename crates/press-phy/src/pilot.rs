@@ -131,13 +131,13 @@ mod tests {
         }
         // After correction, all symbols should agree with symbol 0's data
         // subcarriers (pure channel, no rotation).
-        for m in 1..symbols.len() {
+        for (m, sym) in symbols.iter().enumerate().skip(1) {
             for k in 0..52 {
                 if PILOT_INDICES_52.contains(&k) {
                     continue;
                 }
                 assert!(
-                    (symbols[m][k] - h[k]).abs() < 1e-9,
+                    (sym[k] - h[k]).abs() < 1e-9,
                     "symbol {m} subcarrier {k} still rotated"
                 );
             }

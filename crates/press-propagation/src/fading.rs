@@ -41,8 +41,8 @@ pub fn bessel_j0(x: f64) -> f64 {
         let q0 = -0.1562499995e-1
             + y * (0.1430488765e-3
                 + y * (-0.6911147651e-5 + y * (0.7621095161e-6 - y * 0.934935152e-7)));
-        let xx = ax - 0.785398164;
-        (0.636619772 / ax).sqrt() * (xx.cos() * p0 - z * xx.sin() * q0)
+        let xx = ax - std::f64::consts::FRAC_PI_4;
+        (std::f64::consts::FRAC_2_PI / ax).sqrt() * (xx.cos() * p0 - z * xx.sin() * q0)
     }
 }
 

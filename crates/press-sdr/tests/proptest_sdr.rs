@@ -18,7 +18,7 @@ fn sounder() -> Sounder {
 
 fn paths_strategy() -> impl Strategy<Value = Vec<SignalPath>> {
     proptest::collection::vec(
-        (1e-5..1e-3f64, 0.0..6.28f64, 0.0..150.0f64).prop_map(|(mag, phase, delay_ns)| SignalPath {
+        (1e-5..1e-3f64, 0.0..6.2f64, 0.0..150.0f64).prop_map(|(mag, phase, delay_ns)| SignalPath {
             gain: Complex64::from_polar(mag, phase),
             delay_s: delay_ns * 1e-9,
             doppler_hz: 0.0,

@@ -36,7 +36,7 @@ fn main() {
             .sound_averaged(&link.paths(&rig.system, &baseline), 8, 0.0, &mut rng)
             .unwrap();
         let mcs = select_mcs(&profile);
-        let bad = mcs.map_or(true, |m| m.index <= 4);
+        let bad = mcs.is_none_or(|m| m.index <= 4);
         if bad {
             victim = Some((seed, rig, link, profile));
             break;

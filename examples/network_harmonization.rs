@@ -72,7 +72,7 @@ fn main() {
         .collect();
 
     let mut eval_rng = StdRng::seed_from_u64(17);
-    let mut measure_all = |config: &Configuration, rng: &mut StdRng| -> Vec<SnrProfile> {
+    let measure_all = |config: &Configuration, rng: &mut StdRng| -> Vec<SnrProfile> {
         links
             .iter()
             .zip(&pairs)

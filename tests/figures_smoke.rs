@@ -9,7 +9,6 @@ use press::core::analysis::{
 use press::core::{run_campaign_over, CampaignConfig, CachedLink, Configuration};
 use press::math::Complex64;
 use press::phy::mimo::MimoChannel;
-use press::prelude::*;
 use rand::SeedableRng;
 
 fn mini_campaign(seed: u64, n_configs: usize, n_trials: usize) -> press::core::CampaignResult {
