@@ -7,7 +7,11 @@ use rand::SeedableRng;
 use std::hint::black_box;
 
 fn bench_codec(c: &mut Criterion) {
-    let single = Message::SetState { seq: 9, element: 300, state: 2 };
+    let single = Message::SetState {
+        seq: 9,
+        element: 300,
+        state: 2,
+    };
     let batch = Message::BatchSet {
         seq: 10,
         assignments: (0..64).map(|e| (e as u16, (e % 4) as u8)).collect(),

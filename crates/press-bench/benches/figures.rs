@@ -6,7 +6,7 @@
 //! pipeline end to end).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use press_core::{run_campaign_over, CampaignConfig, CachedLink, Configuration};
+use press_core::{run_campaign_over, CachedLink, CampaignConfig, Configuration};
 use press_math::Complex64;
 use press_phy::mimo::MimoChannel;
 use press_phy::snr::null_movement;
@@ -28,7 +28,14 @@ fn bench_fig4_unit(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures");
     group.sample_size(20);
     group.bench_function("fig4_trial_8_configs", |b| {
-        b.iter(|| black_box(run_campaign_over(&rig.system, &rig.sounder, &campaign, &subset)))
+        b.iter(|| {
+            black_box(run_campaign_over(
+                &rig.system,
+                &rig.sounder,
+                &campaign,
+                &subset,
+            ))
+        })
     });
     group.finish();
 }

@@ -15,9 +15,7 @@ use std::hint::black_box;
 fn bench_fft(c: &mut Criterion) {
     let mut group = c.benchmark_group("fft");
     for n in [64usize, 128, 1024] {
-        let data: Vec<Complex64> = (0..n)
-            .map(|k| Complex64::cis(k as f64 * 0.1))
-            .collect();
+        let data: Vec<Complex64> = (0..n).map(|k| Complex64::cis(k as f64 * 0.1)).collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
             b.iter(|| {
                 let mut v = data.clone();
@@ -71,7 +69,11 @@ fn bench_channel_estimation(c: &mut Criterion) {
 }
 
 fn bench_snr_analysis(c: &mut Criterion) {
-    let profile = SnrProfile::new((0..52).map(|k| 20.0 + 15.0 * (k as f64 * 0.4).sin()).collect());
+    let profile = SnrProfile::new(
+        (0..52)
+            .map(|k| 20.0 + 15.0 * (k as f64 * 0.4).sin())
+            .collect(),
+    );
     c.bench_function("snr_null_and_effective", |b| {
         b.iter(|| {
             black_box(profile.most_significant_null(5.0));

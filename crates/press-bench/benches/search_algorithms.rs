@@ -22,8 +22,7 @@ fn evaluator() -> (press_core::PressSystem, press_sdr::Sounder, CachedLink) {
 fn bench_small_space(c: &mut Criterion) {
     let (system, sounder, link) = evaluator();
     let space = system.array.config_space();
-    let eval =
-        |cfg: &Configuration| sounder.oracle_snr(&link.paths(&system, cfg), 0.0).min_db();
+    let eval = |cfg: &Configuration| sounder.oracle_snr(&link.paths(&system, cfg), 0.0).min_db();
 
     let mut group = c.benchmark_group("search_64_configs");
     group.sample_size(20);
@@ -43,7 +42,9 @@ fn bench_small_space(c: &mut Criterion) {
     group.bench_function("annealing_60", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(7);
-            black_box(search::simulated_annealing(&space, 60, 3.0, 0.05, &mut rng, eval))
+            black_box(search::simulated_annealing(
+                &space, 60, 3.0, 0.05, &mut rng, eval,
+            ))
         })
     });
     group.finish();
@@ -75,13 +76,20 @@ fn bench_synthetic_large_space(c: &mut Criterion) {
     group.bench_function("annealing_300", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(3);
-            black_box(search::simulated_annealing(&space, 300, 3.0, 0.02, &mut rng, eval))
+            black_box(search::simulated_annealing(
+                &space, 300, 3.0, 0.02, &mut rng, eval,
+            ))
         })
     });
     group.bench_function("genetic_default", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(3);
-            black_box(search::genetic(&space, &GeneticParams::default(), &mut rng, eval))
+            black_box(search::genetic(
+                &space,
+                &GeneticParams::default(),
+                &mut rng,
+                eval,
+            ))
         })
     });
     group.finish();

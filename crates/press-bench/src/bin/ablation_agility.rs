@@ -54,7 +54,11 @@ fn main() {
     let problem = JointProblem::uniform(&system, sounders, LinkObjective::MaxMeanSnr);
 
     let slot_s = 2e-3; // the paper's packet-level timescale
-    println!("# {} links, TDMA slot {:.1} ms\n", problem.links.len(), slot_s * 1e3);
+    println!(
+        "# {} links, TDMA slot {:.1} ms\n",
+        problem.links.len(),
+        slot_s * 1e3
+    );
     println!(
         "{:>16} {:>14} {:>16} {:>10}",
         "switch latency", "joint Mb/s", "per-link Mb/s", "winner"
@@ -62,7 +66,11 @@ fn main() {
     let mut rows = Vec::new();
     for switch_us in [0.0f64, 50.0, 100.0, 200.0, 400.0, 800.0, 1600.0] {
         let report = compare_agility(&problem, &system, 150, slot_s, switch_us * 1e-6, 3);
-        let winner = if report.agility_wins() { "per-link" } else { "joint" };
+        let winner = if report.agility_wins() {
+            "per-link"
+        } else {
+            "joint"
+        };
         println!(
             "{:>13} us {:>14.2} {:>16.2} {:>10}",
             switch_us, report.joint_mbps, report.per_link_mbps, winner

@@ -60,11 +60,7 @@ fn main() {
             );
             rows.push(format!(
                 "{name},{n},{:.6},{},{},{},{}",
-                report.completion_s,
-                report.frames_sent,
-                verdicts[0],
-                verdicts[1],
-                verdicts[2]
+                report.completion_s, report.frames_sent, verdicts[0], verdicts[1], verdicts[2]
             ));
         }
     }

@@ -24,13 +24,19 @@ use rand::SeedableRng;
 
 const N_ELEMENTS: u16 = 64;
 const TRIALS: u64 = 20;
-const BUDGETS: [(&str, f64); 3] =
-    [("standing_80ms", 80e-3), ("walking_6ms", 6e-3), ("packet_2ms", 2e-3)];
+const BUDGETS: [(&str, f64); 3] = [
+    ("standing_80ms", 80e-3),
+    ("walking_6ms", 6e-3),
+    ("packet_2ms", 2e-3),
+];
 
 fn regimes() -> Vec<(&'static str, FaultPlan)> {
     vec![
         ("clean", FaultPlan::none()),
-        ("interference", FaultPlan::bursty(GilbertElliott::interference())),
+        (
+            "interference",
+            FaultPlan::bursty(GilbertElliott::interference()),
+        ),
         // Hostile: long jamming bursts plus broken hardware (2 dead, 2
         // stuck elements drawn deterministically below).
         (
@@ -53,7 +59,13 @@ fn policies() -> Vec<(&'static str, AckPolicy)> {
     vec![
         ("none", AckPolicy::None),
         ("per_element_r8", AckPolicy::PerElement { max_retries: 8 }),
-        ("adaptive_r8_b16", AckPolicy::Adaptive { max_retries: 8, batch_cap: 16 }),
+        (
+            "adaptive_r8_b16",
+            AckPolicy::Adaptive {
+                max_retries: 8,
+                batch_cap: 16,
+            },
+        ),
     ]
 }
 
@@ -87,8 +99,7 @@ fn main() {
                 for seed in 0..TRIALS {
                     let mut faults = plan.clone();
                     let mut rng = StdRng::seed_from_u64(seed);
-                    let assignments: Vec<(u16, u8)> =
-                        (0..N_ELEMENTS).map(|e| (e, 1)).collect();
+                    let assignments: Vec<(u16, u8)> = (0..N_ELEMENTS).map(|e| (e, 1)).collect();
                     let report = actuate_with(
                         &transport,
                         &assignments,
@@ -104,8 +115,7 @@ fn main() {
                         }
                     }
                 }
-                let frac =
-                    |k: u64| -> String { format!("{:.2}", k as f64 / TRIALS as f64) };
+                let frac = |k: u64| -> String { format!("{:.2}", k as f64 / TRIALS as f64) };
                 println!(
                     "{tname:>10} {rname:>13} {pname:>16} {:>8.1}% {:>8} {:>8} {:>11} | {:>8} {:>8} {:>8}",
                     100.0 * metrics.frame_loss_rate(),
@@ -139,10 +149,17 @@ fn main() {
     );
     let rig = fig4_rig(2);
     let base = Controller::new(Strategy::Exhaustive, LinkObjective::MaxMinSnr);
-    let lossy_ism = Transport::IsmRadio { bitrate_bps: 250e3, loss_prob: 0.5, mac_latency_s: 1e-3 };
+    let lossy_ism = Transport::IsmRadio {
+        bitrate_bps: 250e3,
+        loss_prob: 0.5,
+        mac_latency_s: 1e-3,
+    };
     let modes: Vec<(&str, ActuationMode)> = vec![
         ("oracle", ActuationMode::Oracle),
-        ("wired", ActuationMode::Transport(TransportActuation::wired())),
+        (
+            "wired",
+            ActuationMode::Transport(TransportActuation::wired()),
+        ),
         (
             "lossy_fire_and_forget",
             ActuationMode::Transport(TransportActuation {
@@ -156,7 +173,10 @@ fn main() {
             "lossy_adaptive",
             ActuationMode::Transport(TransportActuation {
                 transport: lossy_ism,
-                policy: AckPolicy::Adaptive { max_retries: 8, batch_cap: 16 },
+                policy: AckPolicy::Adaptive {
+                    max_retries: 8,
+                    batch_cap: 16,
+                },
                 distance_m: 15.0,
                 faults: FaultPlan::bursty(GilbertElliott::interference()),
             }),

@@ -35,7 +35,10 @@ fn main() {
     let mut worlds = Vec::with_capacity(STEPS / DRIFT_EVERY + 1);
     {
         let mut link = base_link.clone();
-        let drift = ChannelDrift { phase_sigma_rad: 0.05, amplitude_sigma: 0.01 };
+        let drift = ChannelDrift {
+            phase_sigma_rad: 0.05,
+            amplitude_sigma: 0.01,
+        };
         let mut rng = StdRng::seed_from_u64(99);
         worlds.push(link.clone());
         for _ in 0..(STEPS / DRIFT_EVERY) {

@@ -142,10 +142,12 @@ fn sweep(n: usize, seed: u64) -> (f64, f64, f64) {
             .sum::<f64>()
             / (ch.n_subcarriers() * n * n) as f64;
         let scale = Complex64::real(1.0 / energy.sqrt());
-        let normalized = MimoChannel::new(
-            ch.per_subcarrier.iter().map(|m| m.scale(scale)).collect(),
-        );
-        let cap = normalized.capacity_bps(20.0, spacing).expect("square matrices") / 1e6;
+        let normalized =
+            MimoChannel::new(ch.per_subcarrier.iter().map(|m| m.scale(scale)).collect());
+        let cap = normalized
+            .capacity_bps(20.0, spacing)
+            .expect("square matrices")
+            / 1e6;
         best = best.min(cond);
         worst = worst.max(cond);
         cap_min = cap_min.min(cap);

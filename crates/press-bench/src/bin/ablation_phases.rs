@@ -8,7 +8,9 @@
 //! upper bound (512 phases stands in for continuum).
 
 use press_bench::write_csv;
-use press_core::{search, CachedLink, ConfigSpace, Configuration, PlacedElement, PressArray, PressSystem};
+use press_core::{
+    search, CachedLink, ConfigSpace, Configuration, PlacedElement, PressArray, PressSystem,
+};
 use press_elements::Element;
 use press_math::consts::WIFI_CHANNEL_11_HZ;
 use press_phy::Numerology;
@@ -99,7 +101,11 @@ fn main() {
         );
         rows.push(format!("{n_phases},{mean_score:.4},{mean_gain:.4}"));
     }
-    write_csv("ablation_phases.csv", "phases,best_min_snr_db,gain_db", &rows);
+    write_csv(
+        "ablation_phases.csv",
+        "phases,best_min_snr_db,gain_db",
+        &rows,
+    );
     println!("\n# continuous-phase stand-in (512) gains {continuum:.2} dB;");
     println!("# the paper's conjecture holds if 8 phases capture most of that.");
 }

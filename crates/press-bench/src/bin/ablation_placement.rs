@@ -45,9 +45,23 @@ fn main() {
     );
     let mut rows = Vec::new();
     for budget in [1usize, 2, 3, 4] {
-        let greedy = greedy_placement(&lab.scene, &sounder, &candidates, budget, &factory, &objective);
+        let greedy = greedy_placement(
+            &lab.scene,
+            &sounder,
+            &candidates,
+            budget,
+            &factory,
+            &objective,
+        );
         let (rand_mean, rand_best) = random_placement_baseline(
-            &lab.scene, &sounder, &candidates, budget, &factory, &objective, 8, 5,
+            &lab.scene,
+            &sounder,
+            &candidates,
+            budget,
+            &factory,
+            &objective,
+            8,
+            5,
         );
         let g = *greedy.score_trace.last().unwrap();
         println!("{budget:>9} {g:>14.2} {rand_mean:>16.2} {rand_best:>16.2}");

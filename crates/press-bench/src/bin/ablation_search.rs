@@ -50,7 +50,11 @@ fn build(seed: u64, n_elements: usize, n_phases: usize) -> Bench {
         SdrRadio::warp(lab.rx.clone()),
     );
     let link = CachedLink::trace(&system, sounder.tx.node.clone(), sounder.rx.node.clone());
-    Bench { system, sounder, link }
+    Bench {
+        system,
+        sounder,
+        link,
+    }
 }
 
 fn main() {
@@ -58,13 +62,16 @@ fn main() {
 
     // --- Small space: how close do heuristics get to the true optimum? ---
     println!("## small array (3 elements x 4 states = 64): distance to exhaustive optimum");
-    println!("{:>12} {:>12} {:>12} {:>10}", "algorithm", "score dB", "evals", "gap dB");
+    println!(
+        "{:>12} {:>12} {:>12} {:>10}",
+        "algorithm", "score dB", "evals", "gap dB"
+    );
     let mut rows = vec![];
     {
         let b = build(1, 3, 3); // 3 phases + off = 4 states
-        // Basis-cached evaluation: channels come from the precomputed link
-        // basis (O(N·K) per configuration, O(K) for single-element moves)
-        // instead of re-tracing every path per candidate.
+                                // Basis-cached evaluation: channels come from the precomputed link
+                                // basis (O(N·K) per configuration, O(K) for single-element moves)
+                                // instead of re-tracing every path per candidate.
         let basis = LinkBasis::for_numerology(&b.system, &b.link, &b.sounder.num);
         let params = b.sounder.snr_params();
         let mut ev = BasisEvaluator::new(&basis, 0.0, snr_metric(params, LinkObjective::MaxMinSnr));
@@ -85,7 +92,12 @@ fn main() {
                 r.evaluations,
                 exhaustive.score - r.score
             );
-            rows.push(format!("small,{name},{:.4},{},{:.4}", r.score, r.evaluations, exhaustive.score - r.score));
+            rows.push(format!(
+                "small,{name},{:.4},{},{:.4}",
+                r.score,
+                r.evaluations,
+                exhaustive.score - r.score
+            ));
         };
         report("exhaustive", &exhaustive);
         report(
@@ -93,7 +105,10 @@ fn main() {
             &search::greedy_coordinate(&space, Configuration::zeros(3), 8, &mut eval),
         );
         let mut rng = StdRng::seed_from_u64(7);
-        report("hillclimb", &search::hill_climb(&space, 3, 20, &mut rng, &mut eval));
+        report(
+            "hillclimb",
+            &search::hill_climb(&space, 3, 20, &mut rng, &mut eval),
+        );
         let mut rng = StdRng::seed_from_u64(7);
         report(
             "annealing",
@@ -105,7 +120,10 @@ fn main() {
             &search::genetic(&space, &GeneticParams::default(), &mut rng, &mut eval),
         );
         let mut rng = StdRng::seed_from_u64(7);
-        report("random30", &search::random_search(&space, 30, &mut rng, &mut eval));
+        report(
+            "random30",
+            &search::random_search(&space, 30, &mut rng, &mut eval),
+        );
         println!(
             "# basis evaluator: {} evaluations, {} full syntheses (rest incremental/cached)",
             ev.evaluations(),
@@ -118,8 +136,8 @@ fn main() {
     println!("{:>12} {:>12} {:>12}", "algorithm", "score dB", "evals");
     {
         let b = build(2, 8, 8); // 8 phases + off = 9 states
-        // Raw channel magnitude (no receiver SNR cap): with 8 strong
-        // elements the SNR saturates and would blunt the comparison.
+                                // Raw channel magnitude (no receiver SNR cap): with 8 strong
+                                // elements the SNR saturates and would blunt the comparison.
         let basis = LinkBasis::for_numerology(&b.system, &b.link, &b.sounder.num);
         let mut ev = BasisEvaluator::new(&basis, 0.0, min_magnitude_db_metric());
         let mut eval = |c: &Configuration| ev.evaluate(c);
@@ -133,7 +151,10 @@ fn main() {
             &search::greedy_coordinate(&space, Configuration::zeros(8), 5, &mut eval),
         );
         let mut rng = StdRng::seed_from_u64(3);
-        report("hillclimb", &search::hill_climb(&space, 2, 30, &mut rng, &mut eval));
+        report(
+            "hillclimb",
+            &search::hill_climb(&space, 2, 30, &mut rng, &mut eval),
+        );
         let mut rng = StdRng::seed_from_u64(3);
         report(
             "annealing",
@@ -145,16 +166,26 @@ fn main() {
             generations: 9,
             ..GeneticParams::default()
         };
-        report("genetic", &search::genetic(&space, &gp, &mut rng, &mut eval));
+        report(
+            "genetic",
+            &search::genetic(&space, &gp, &mut rng, &mut eval),
+        );
         let mut rng = StdRng::seed_from_u64(3);
-        report("random300", &search::random_search(&space, 300, &mut rng, &mut eval));
+        report(
+            "random300",
+            &search::random_search(&space, 300, &mut rng, &mut eval),
+        );
         println!(
             "# basis evaluator: {} evaluations, {} full syntheses (rest incremental/cached)",
             ev.evaluations(),
             ev.full_syntheses()
         );
     }
-    write_csv("ablation_search.csv", "space,algorithm,score_db,evaluations,gap_db", &rows);
+    write_csv(
+        "ablation_search.csv",
+        "space,algorithm,score_db,evaluations,gap_db",
+        &rows,
+    );
     println!("\n# heuristics should sit within ~1 dB of exhaustive on the small space and");
     println!("# beat random sampling decisively on the large one.");
 }

@@ -18,7 +18,11 @@ use press_core::{headline_stats, run_campaign, CampaignConfig};
 
 fn main() {
     let los = std::env::args().any(|a| a == "--los");
-    let mode = if los { "LOS control" } else { "NLOS (paper Figure 4)" };
+    let mode = if los {
+        "LOS control"
+    } else {
+        "NLOS (paper Figure 4)"
+    };
     println!("# Figure 4 — {mode}");
     println!("# 3 passive elements x 4 states = 64 configurations, 10 trials each\n");
 
@@ -27,7 +31,11 @@ fn main() {
     let mut rows = Vec::new();
 
     for (panel, seed) in (0..8u64).enumerate() {
-        let rig = if los { fig4_los_rig(seed) } else { fig4_rig(seed) };
+        let rig = if los {
+            fig4_los_rig(seed)
+        } else {
+            fig4_rig(seed)
+        };
         let campaign = CampaignConfig {
             n_trials: 10,
             frames_per_config: 4,
@@ -58,7 +66,11 @@ fn main() {
     }
 
     let name = if los { "fig4_los.csv" } else { "fig4.csv" };
-    write_csv(name, "placement,subcarrier,snr_config_a_db,snr_config_b_db", &rows);
+    write_csv(
+        name,
+        "placement,subcarrier,snr_config_a_db,snr_config_b_db",
+        &rows,
+    );
 
     println!("\n# Headlines across the eight placements:");
     println!(

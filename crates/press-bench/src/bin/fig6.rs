@@ -49,7 +49,11 @@ fn main() {
     for profiles in &result.profiles {
         deltas.extend(min_snr_changes(profiles));
     }
-    write_csv("fig6_left.csv", "delta_min_snr_db,ccdf", &ccdf_rows(&deltas));
+    write_csv(
+        "fig6_left.csv",
+        "delta_min_snr_db,ccdf",
+        &ccdf_rows(&deltas),
+    );
 
     // Right panel: per-trial CCDF of min SNR over the 64 configurations.
     let mut right_rows = Vec::new();

@@ -72,9 +72,7 @@ fn main() {
     let label_low = rig.system.array.label_of(&result.configs[i_low], lambda);
     let label_high = rig.system.array.label_of(&result.configs[i_high], lambda);
 
-    println!(
-        "low-band config  {label_low}: contrast {c_low:+.1} dB (favors subcarriers 1-51)"
-    );
+    println!("low-band config  {label_low}: contrast {c_low:+.1} dB (favors subcarriers 1-51)");
     println!("    {}", sparkline(&means[i_low].snr_db));
     println!(
         "high-band config {label_high}: contrast {:+.1} dB (favors subcarriers 52-102)",
@@ -90,7 +88,11 @@ fn main() {
             )
         })
         .collect();
-    write_csv("fig7.csv", "subcarrier,snr_low_band_config_db,snr_high_band_config_db", &rows);
+    write_csv(
+        "fig7.csv",
+        "subcarrier,snr_low_band_config_db,snr_high_band_config_db",
+        &rows,
+    );
 
     println!("\n# paper: two configurations each favoring its own half of the band;");
     println!(

@@ -29,9 +29,7 @@ fn main() {
     let links: Vec<Vec<CachedLink>> = (0..2)
         .map(|a| {
             (0..2)
-                .map(|b| {
-                    CachedLink::trace(&rig.system, rig.tx[a].clone(), rig.rx[b].clone())
-                })
+                .map(|b| CachedLink::trace(&rig.system, rig.tx[a].clone(), rig.rx[b].clone()))
                 .collect()
         })
         .collect();
@@ -58,7 +56,7 @@ fn main() {
                 .sound_mimo(&paths, lo_phase, 0.0, &mut rng)
                 .expect("two training symbols");
             lo_phase += 0.002; // slow inter-frame drift
-            // h[rx][tx][subcarrier]
+                               // h[rx][tx][subcarrier]
             let h: Vec<Vec<Vec<Complex64>>> = (0..2)
                 .map(|b| (0..2).map(|a| est[a][b].h.clone()).collect())
                 .collect();
@@ -122,5 +120,8 @@ fn main() {
             .map(|(i, m)| format!("{i},{m:.4}"))
             .collect::<Vec<_>>(),
     );
-    println!("# {} subcarriers per CDF, 50 measurements averaged per configuration", n_sc);
+    println!(
+        "# {} subcarriers per CDF, 50 measurements averaged per configuration",
+        n_sc
+    );
 }

@@ -27,10 +27,12 @@ fn probe(seed: u64) {
             p.kind
         );
     }
-    let elem = rig
-        .system
-        .array
-        .paths(&rig.system.scene, tx, rx, &Configuration::new(vec![0, 0, 0]));
+    let elem = rig.system.array.paths(
+        &rig.system.scene,
+        tx,
+        rx,
+        &Configuration::new(vec![0, 0, 0]),
+    );
     println!("element paths:");
     for p in &elem {
         println!(

@@ -7,6 +7,7 @@
 //! questions. See DESIGN.md for the experiment index and EXPERIMENTS.md for
 //! the paper-vs-measured record.
 
+#![forbid(unsafe_code)]
 use std::fs;
 use std::io::Write;
 use std::path::PathBuf;

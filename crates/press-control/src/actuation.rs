@@ -10,8 +10,8 @@
 //! aspiration?
 //!
 //! [`actuate_with`] is the full entry point: it accepts a
-//! [`FaultPlan`](crate::fault::FaultPlan) (burst loss, dead/stuck elements)
-//! and an optional [`ControlMetrics`](crate::metrics::ControlMetrics)
+//! [`FaultPlan`] (burst loss, dead/stuck elements)
+//! and an optional [`ControlMetrics`]
 //! registry. [`actuate`] is the fault-free, un-instrumented wrapper and is
 //! bit-identical to the historical behavior per seed.
 
@@ -391,7 +391,13 @@ mod tests {
     fn fire_and_forget_sends_one_frame() {
         let mut rng = StdRng::seed_from_u64(2);
         let assignments: Vec<(u16, u8)> = (0..10).map(|e| (e, 1)).collect();
-        let r = actuate(&Transport::wired(), &assignments, 5.0, AckPolicy::None, &mut rng);
+        let r = actuate(
+            &Transport::wired(),
+            &assignments,
+            5.0,
+            AckPolicy::None,
+            &mut rng,
+        );
         assert_eq!(r.frames_sent, 1);
         assert_eq!(r.retry_rounds, 0);
     }
@@ -452,7 +458,11 @@ mod tests {
             2e-3,
             &mut rng,
         );
-        assert!(fits, "wired 64-element actuation took {}", report.completion_s);
+        assert!(
+            fits,
+            "wired 64-element actuation took {}",
+            report.completion_s
+        );
     }
 
     #[test]
@@ -602,7 +612,10 @@ mod tests {
             &Transport::ism(),
             &assignments,
             10.0,
-            AckPolicy::Adaptive { max_retries: 10, batch_cap: 16 },
+            AckPolicy::Adaptive {
+                max_retries: 10,
+                batch_cap: 16,
+            },
             &mut StdRng::seed_from_u64(14),
         );
         assert!(adaptive.complete(), "failed: {:?}", adaptive.failed);
@@ -636,7 +649,10 @@ mod tests {
             &Transport::ism(),
             &assignments,
             10.0,
-            AckPolicy::Adaptive { max_retries: 12, batch_cap: 16 },
+            AckPolicy::Adaptive {
+                max_retries: 12,
+                batch_cap: 16,
+            },
             &mut faults,
             None,
             &mut StdRng::seed_from_u64(15),

@@ -147,11 +147,11 @@ mod tests {
     #[test]
     fn bigger_clusters_fewer_backbone_messages() {
         let mut rng = StdRng::seed_from_u64(2);
-        let small = ClusteredControl::ism_heads_wired_panels(4)
-            .actuate(&assignments(128), &mut rng);
+        let small =
+            ClusteredControl::ism_heads_wired_panels(4).actuate(&assignments(128), &mut rng);
         let mut rng = StdRng::seed_from_u64(2);
-        let large = ClusteredControl::ism_heads_wired_panels(32)
-            .actuate(&assignments(128), &mut rng);
+        let large =
+            ClusteredControl::ism_heads_wired_panels(32).actuate(&assignments(128), &mut rng);
         assert!(
             large.frames_sent < small.frames_sent,
             "large {} vs small {}",
@@ -172,8 +172,8 @@ mod tests {
             &mut rng,
         );
         let mut rng = StdRng::seed_from_u64(3);
-        let hybrid = ClusteredControl::ism_heads_wired_panels(32)
-            .actuate(&assignments(512), &mut rng);
+        let hybrid =
+            ClusteredControl::ism_heads_wired_panels(32).actuate(&assignments(512), &mut rng);
         assert!(hybrid.complete() && wireless.complete());
         assert!(
             hybrid.completion_s < wireless.completion_s,

@@ -12,9 +12,9 @@
 //! ack timeout (the default, matching the historical behavior exactly), an
 //! exponential per-attempt backoff, and an RTT-adaptive mode where the
 //! timeout is derived from acked round trips
-//! ([`RttEstimator`](crate::actuation::RttEstimator)) instead of a static
+//! ([`RttEstimator`]) instead of a static
 //! guess. [`simulate_actuation_with`] additionally accepts fault injection
-//! ([`FaultPlan`](crate::fault::FaultPlan)) and a metrics registry.
+//! ([`FaultPlan`]) and a metrics registry.
 
 use crate::actuation::RttEstimator;
 use crate::fault::FaultPlan;
@@ -94,9 +94,17 @@ impl TraceEvent {
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Pending {
-    CommandArrives { element: u16, state: u8, delivered: bool },
-    AckArrives { element: u16 },
-    Timer { element: u16 },
+    CommandArrives {
+        element: u16,
+        state: u8,
+        delivered: bool,
+    },
+    AckArrives {
+        element: u16,
+    },
+    Timer {
+        element: u16,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -263,7 +271,11 @@ pub fn simulate_actuation_with<R: Rng + ?Sized>(
     // Helper to enqueue.
     let push = |queue: &mut BinaryHeap<QueuedEvent>, seqno: &mut u64, t: f64, what: Pending| {
         *seqno += 1;
-        queue.push(QueuedEvent { t, seq: *seqno, what });
+        queue.push(QueuedEvent {
+            t,
+            seq: *seqno,
+            what,
+        });
     };
     // Per-attempt retransmission timeout.
     let timeout_for = |attempt: usize, rtt: &RttEstimator| -> f64 {
@@ -272,14 +284,22 @@ pub fn simulate_actuation_with<R: Rng + ?Sized>(
         } else {
             cfg.ack_timeout_s
         };
-        (base * cfg.backoff.multiplier.powi(attempt.saturating_sub(1) as i32))
-            .min(cfg.backoff.max_timeout_s)
+        (base
+            * cfg
+                .backoff
+                .multiplier
+                .powi(attempt.saturating_sub(1) as i32))
+        .min(cfg.backoff.max_timeout_s)
     };
 
     // Initial transmissions: serialized back-to-back on the shared medium.
     let mut wire_free_at = 0.0f64;
     for (i, &(element, state)) in assignments.iter().enumerate() {
-        let msg = Message::SetState { seq: i as u16, element, state };
+        let msg = Message::SetState {
+            seq: i as u16,
+            element,
+            state,
+        };
         let loss = faults.frame_loss(transport.loss_prob(), rng);
         let d = transport.deliver_with_loss(msg.wire_len(), cfg.distance_m, loss, rng);
         frames += 1;
@@ -290,14 +310,23 @@ pub fn simulate_actuation_with<R: Rng + ?Sized>(
                 m.frames_lost += 1;
             }
         }
-        trace.push(TraceEvent::CommandSent { t: wire_free_at, seq: i as u16, element, attempt: 0 });
+        trace.push(TraceEvent::CommandSent {
+            t: wire_free_at,
+            seq: i as u16,
+            element,
+            attempt: 0,
+        });
         attempts[i] = 1;
         last_send[i] = wire_free_at;
         push(
             &mut queue,
             &mut seqno,
             wire_free_at + d.latency_s,
-            Pending::CommandArrives { element, state, delivered: d.delivered },
+            Pending::CommandArrives {
+                element,
+                state,
+                delivered: d.delivered,
+            },
         );
         push(
             &mut queue,
@@ -315,7 +344,11 @@ pub fn simulate_actuation_with<R: Rng + ?Sized>(
 
     while let Some(QueuedEvent { t, what, .. }) = queue.pop() {
         match what {
-            Pending::CommandArrives { element, state, delivered } => {
+            Pending::CommandArrives {
+                element,
+                state,
+                delivered,
+            } => {
                 if !delivered {
                     trace.push(TraceEvent::Lost { t, element });
                     continue;
@@ -337,12 +370,21 @@ pub fn simulate_actuation_with<R: Rng + ?Sized>(
                         .elements
                         .realized_state(element, state)
                         .expect("responding element has a realized state");
-                    trace.push(TraceEvent::Applied { t: t + cfg.settle_s, element, state: realized });
+                    trace.push(TraceEvent::Applied {
+                        t: t + cfg.settle_s,
+                        element,
+                        state: realized,
+                    });
                     last_apply = last_apply.max(t + cfg.settle_s);
                 }
                 // Ack (or re-ack, for an idempotent duplicate) the command
                 // actually received: the ack carries the command's own seq.
-                let ack = Message::SetState { seq: i as u16, element, state }.ack();
+                let ack = Message::SetState {
+                    seq: i as u16,
+                    element,
+                    state,
+                }
+                .ack();
                 let ack_loss = faults.frame_loss(transport.loss_prob(), rng);
                 let d = transport.deliver_with_loss(ack.wire_len(), cfg.distance_m, ack_loss, rng);
                 frames += 1;
@@ -357,7 +399,10 @@ pub fn simulate_actuation_with<R: Rng + ?Sized>(
                     if let Some(m) = metrics.as_deref_mut() {
                         m.acks_lost += 1;
                     }
-                    trace.push(TraceEvent::Lost { t: t + cfg.settle_s, element });
+                    trace.push(TraceEvent::Lost {
+                        t: t + cfg.settle_s,
+                        element,
+                    });
                 }
             }
             Pending::AckArrives { element } => {
@@ -389,7 +434,11 @@ pub fn simulate_actuation_with<R: Rng + ?Sized>(
                     continue;
                 }
                 let state = assignments[i].1;
-                let msg = Message::SetState { seq: i as u16, element, state };
+                let msg = Message::SetState {
+                    seq: i as u16,
+                    element,
+                    state,
+                };
                 let loss = faults.frame_loss(transport.loss_prob(), rng);
                 let d = transport.deliver_with_loss(msg.wire_len(), cfg.distance_m, loss, rng);
                 frames += 1;
@@ -413,7 +462,11 @@ pub fn simulate_actuation_with<R: Rng + ?Sized>(
                     &mut queue,
                     &mut seqno,
                     t + d.latency_s,
-                    Pending::CommandArrives { element, state, delivered: d.delivered },
+                    Pending::CommandArrives {
+                        element,
+                        state,
+                        delivered: d.delivered,
+                    },
                 );
                 push(
                     &mut queue,
@@ -452,7 +505,14 @@ pub fn simulate_actuation<R: Rng + ?Sized>(
     cfg: &DesConfig,
     rng: &mut R,
 ) -> DesReport {
-    simulate_actuation_with(transport, assignments, cfg, &mut FaultPlan::none(), None, rng)
+    simulate_actuation_with(
+        transport,
+        assignments,
+        cfg,
+        &mut FaultPlan::none(),
+        None,
+        rng,
+    )
 }
 
 #[cfg(test)]
@@ -605,7 +665,12 @@ mod tests {
         );
         assert!(des.complete() && rounds.complete());
         let ratio = des.done_s / rounds.completion_s;
-        assert!((0.1..50.0).contains(&ratio), "DES {} vs rounds {}", des.done_s, rounds.completion_s);
+        assert!(
+            (0.1..50.0).contains(&ratio),
+            "DES {} vs rounds {}",
+            des.done_s,
+            rounds.completion_s
+        );
     }
 
     #[test]
@@ -675,8 +740,14 @@ mod tests {
             },
             &mut rng,
         );
-        assert!(!r.unconfirmed.is_empty(), "40% loss, 2 attempts: some applied-unacked");
-        assert!(!r.failed.is_empty(), "40% loss, 2 attempts: some never applied");
+        assert!(
+            !r.unconfirmed.is_empty(),
+            "40% loss, 2 attempts: some applied-unacked"
+        );
+        assert!(
+            !r.failed.is_empty(),
+            "40% loss, 2 attempts: some never applied"
+        );
         // Unconfirmed elements have an Applied trace; failed ones do not.
         for &e in &r.unconfirmed {
             assert!(r
@@ -711,7 +782,9 @@ mod tests {
             .trace
             .iter()
             .find_map(|ev| match ev {
-                TraceEvent::Applied { element: 2, state, .. } => Some(*state),
+                TraceEvent::Applied {
+                    element: 2, state, ..
+                } => Some(*state),
                 _ => None,
             })
             .expect("stuck element applies (its stuck state)");
@@ -740,11 +813,22 @@ mod tests {
             )
         };
         let fixed = run(BackoffConfig::default());
-        let expo = run(BackoffConfig { multiplier: 2.0, ..BackoffConfig::default() });
+        let expo = run(BackoffConfig {
+            multiplier: 2.0,
+            ..BackoffConfig::default()
+        });
         // Fixed: timers at 5, 10, 15, 20, 25 ms. Exponential: 5, 15, 35, 75,
         // 155 ms. Giving up happens at the last timer.
-        assert!((fixed.done_s - 25e-3).abs() < 1e-9, "fixed done {}", fixed.done_s);
-        assert!((expo.done_s - 155e-3).abs() < 1e-9, "expo done {}", expo.done_s);
+        assert!(
+            (fixed.done_s - 25e-3).abs() < 1e-9,
+            "fixed done {}",
+            fixed.done_s
+        );
+        assert!(
+            (expo.done_s - 155e-3).abs() < 1e-9,
+            "expo done {}",
+            expo.done_s
+        );
     }
 
     #[test]
@@ -752,7 +836,10 @@ mod tests {
         // An operator guessed 200 ms for a wired bus whose RTT is ~100 µs.
         // RTT tracking should recover: after the first acks arrive, timers
         // shrink to the real round trip and lost elements retry quickly.
-        let lossy_wire = Transport::WiredBus { bitrate_bps: 1e6, loss_prob: 0.3 };
+        let lossy_wire = Transport::WiredBus {
+            bitrate_bps: 1e6,
+            loss_prob: 0.3,
+        };
         let cfg_static = DesConfig {
             ack_timeout_s: 200e-3,
             max_attempts: 8,
@@ -785,7 +872,10 @@ mod tests {
             let r = simulate_actuation_with(
                 &Transport::ism(),
                 &assignments(48),
-                &DesConfig { max_attempts: 12, ..DesConfig::default() },
+                &DesConfig {
+                    max_attempts: 12,
+                    ..DesConfig::default()
+                },
                 faults,
                 None,
                 &mut rng,
@@ -820,7 +910,12 @@ mod tests {
             &mut a,
         );
         let mut b = StdRng::seed_from_u64(14);
-        let bare = simulate_actuation(&Transport::ism(), &assignments(24), &DesConfig::default(), &mut b);
+        let bare = simulate_actuation(
+            &Transport::ism(),
+            &assignments(24),
+            &DesConfig::default(),
+            &mut b,
+        );
         assert_eq!(instrumented.done_s, bare.done_s);
         assert_eq!(instrumented.frames, bare.frames);
         assert_eq!(metrics.actuations, 1);

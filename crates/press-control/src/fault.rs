@@ -45,8 +45,14 @@ pub struct GilbertElliott {
 impl GilbertElliott {
     /// Builds a chain starting in the good state.
     pub fn new(p_enter_burst: f64, p_exit_burst: f64, loss_good: f64, loss_bad: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p_enter_burst), "p_enter_burst out of range");
-        assert!((0.0..=1.0).contains(&p_exit_burst), "p_exit_burst out of range");
+        assert!(
+            (0.0..=1.0).contains(&p_enter_burst),
+            "p_enter_burst out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&p_exit_burst),
+            "p_exit_burst out of range"
+        );
         GilbertElliott {
             p_enter_burst,
             p_exit_burst,
@@ -94,6 +100,9 @@ impl GilbertElliott {
     /// Long-run fraction of trials spent in the burst state.
     pub fn burst_occupancy(&self) -> f64 {
         let denom = self.p_enter_burst + self.p_exit_burst;
+        // Exact zero guard: both probabilities zero means a frozen chain, and
+        // anything else would divide by zero below.
+        // press-lint: allow(float-ordering)
         if denom == 0.0 {
             return 0.0;
         }

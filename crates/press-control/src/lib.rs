@@ -14,6 +14,7 @@
 //! * [`metrics`] — a lightweight counter/histogram registry the actuation
 //!   entry points record into, exported as CSV rows.
 
+#![forbid(unsafe_code)]
 pub mod actuation;
 pub mod clusters;
 pub mod des;

@@ -120,7 +120,11 @@ impl Message {
         let mut buf = BytesMut::with_capacity(16);
         buf.put_u8(MAGIC);
         match self {
-            Message::SetState { seq, element, state } => {
+            Message::SetState {
+                seq,
+                element,
+                state,
+            } => {
                 buf.put_u8(TYPE_SET);
                 buf.put_u16(*seq);
                 buf.put_u16(*element);
@@ -179,7 +183,11 @@ impl Message {
                 }
                 let element = buf.get_u16();
                 let state = buf.get_u8();
-                Ok(Message::SetState { seq, element, state })
+                Ok(Message::SetState {
+                    seq,
+                    element,
+                    state,
+                })
             }
             TYPE_BATCH => {
                 if buf.remaining() < 2 {
@@ -232,14 +240,21 @@ mod tests {
 
     #[test]
     fn roundtrip_all_variants() {
-        roundtrip(Message::SetState { seq: 7, element: 300, state: 3 });
+        roundtrip(Message::SetState {
+            seq: 7,
+            element: 300,
+            state: 3,
+        });
         roundtrip(Message::Ack { seq: 65535 });
         roundtrip(Message::Ping { seq: 0 });
         roundtrip(Message::BatchSet {
             seq: 9,
             assignments: vec![(0, 1), (1, 3), (500, 0)],
         });
-        roundtrip(Message::BatchSet { seq: 1, assignments: vec![] });
+        roundtrip(Message::BatchSet {
+            seq: 1,
+            assignments: vec![],
+        });
     }
 
     #[test]
@@ -250,9 +265,13 @@ mod tests {
 
     #[test]
     fn corruption_detected() {
-        let mut frame = Message::SetState { seq: 1, element: 2, state: 3 }
-            .encode()
-            .to_vec();
+        let mut frame = Message::SetState {
+            seq: 1,
+            element: 2,
+            state: 3,
+        }
+        .encode()
+        .to_vec();
         frame[4] ^= 0xFF;
         assert!(matches!(
             Message::decode(&frame),
@@ -295,7 +314,11 @@ mod tests {
 
     #[test]
     fn wire_len_scales_with_batch() {
-        let one = Message::BatchSet { seq: 0, assignments: vec![(0, 0)] }.wire_len();
+        let one = Message::BatchSet {
+            seq: 0,
+            assignments: vec![(0, 0)],
+        }
+        .wire_len();
         let ten = Message::BatchSet {
             seq: 0,
             assignments: (0..10).map(|i| (i, 0)).collect(),
@@ -308,9 +331,16 @@ mod tests {
     fn ack_carries_the_acked_messages_seq() {
         // Regression: the ack for a batch must carry the batch's own seq,
         // not a successor counter value.
-        let batch = Message::BatchSet { seq: 41, assignments: vec![(1, 2)] };
+        let batch = Message::BatchSet {
+            seq: 41,
+            assignments: vec![(1, 2)],
+        };
         assert_eq!(batch.ack(), Message::Ack { seq: 41 });
-        let set = Message::SetState { seq: 7, element: 3, state: 1 };
+        let set = Message::SetState {
+            seq: 7,
+            element: 3,
+            state: 1,
+        };
         assert_eq!(set.ack().seq(), 7);
     }
 
@@ -318,7 +348,11 @@ mod tests {
     fn seq_accessor() {
         assert_eq!(Message::Ack { seq: 42 }.seq(), 42);
         assert_eq!(
-            Message::BatchSet { seq: 7, assignments: vec![] }.seq(),
+            Message::BatchSet {
+                seq: 7,
+                assignments: vec![]
+            }
+            .seq(),
             7
         );
     }

@@ -48,7 +48,10 @@ impl Histogram {
     /// Exponential bounds: `start, start·factor, …` (`n` bounds). The
     /// default latency/completion grids use this.
     pub fn exponential(start: f64, factor: f64, n: usize) -> Self {
-        assert!(start > 0.0 && factor > 1.0, "need positive start, factor > 1");
+        assert!(
+            start > 0.0 && factor > 1.0,
+            "need positive start, factor > 1"
+        );
         let mut bounds = Vec::with_capacity(n);
         let mut b = start;
         for _ in 0..n {
@@ -232,7 +235,10 @@ impl ControlMetrics {
             self.unconfirmed_elements,
             self.actuations,
             zero_if_empty(self.frame_latency.count(), self.frame_latency.mean()),
-            zero_if_empty(self.frame_latency.count(), self.frame_latency.quantile(0.95)),
+            zero_if_empty(
+                self.frame_latency.count(),
+                self.frame_latency.quantile(0.95)
+            ),
             zero_if_empty(self.completion.count(), self.completion.mean()),
             zero_if_empty(self.completion.count(), self.completion.quantile(0.95)),
             zero_if_empty(self.completion.count(), self.completion.max()),

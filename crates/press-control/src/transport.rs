@@ -210,7 +210,11 @@ mod tests {
         // deliver() and deliver_with_loss(nominal) must consume the same RNG
         // draws and produce the same outcome — fault-free fault injection is
         // a no-op.
-        for t in [Transport::wired(), Transport::ism(), Transport::ultrasound()] {
+        for t in [
+            Transport::wired(),
+            Transport::ism(),
+            Transport::ultrasound(),
+        ] {
             let mut a = StdRng::seed_from_u64(9);
             let mut b = StdRng::seed_from_u64(9);
             for _ in 0..50 {

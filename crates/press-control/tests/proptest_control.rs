@@ -11,8 +11,13 @@ use rand::SeedableRng;
 
 fn messages() -> impl Strategy<Value = Message> {
     prop_oneof![
-        (any::<u16>(), any::<u16>(), any::<u8>())
-            .prop_map(|(seq, element, state)| Message::SetState { seq, element, state }),
+        (any::<u16>(), any::<u16>(), any::<u8>()).prop_map(|(seq, element, state)| {
+            Message::SetState {
+                seq,
+                element,
+                state,
+            }
+        }),
         any::<u16>().prop_map(|seq| Message::Ack { seq }),
         any::<u16>().prop_map(|seq| Message::Ping { seq }),
         (

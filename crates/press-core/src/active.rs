@@ -81,7 +81,9 @@ pub fn tune_active_phases(
 
     // Enable all actives at the requested gain, phase 0.
     for &i in &active_idx {
-        system.array.elements[i].element.program_active(gain_db, 0.0, true);
+        system.array.elements[i]
+            .element
+            .program_active(gain_db, 0.0, true);
     }
 
     let mut score = {
@@ -97,7 +99,9 @@ pub fn tune_active_phases(
             let mut best_val = f64::NEG_INFINITY;
             for k in 0..8 {
                 let phase = k as f64 * std::f64::consts::TAU / 8.0;
-                system.array.elements[i].element.program_active(gain_db, phase, true);
+                system.array.elements[i]
+                    .element
+                    .program_active(gain_db, phase, true);
                 let profile = sounder.oracle_snr(&link.paths(system, passive_config), 0.0);
                 evaluations += 1;
                 let v = objective(&profile);
@@ -109,14 +113,18 @@ pub fn tune_active_phases(
             // Refine within the basin.
             let width = std::f64::consts::TAU / 8.0;
             let (phase, val) = golden_max(best_phase - width, best_phase + width, 12, |p| {
-                system.array.elements[i].element.program_active(gain_db, p, true);
+                system.array.elements[i]
+                    .element
+                    .program_active(gain_db, p, true);
                 let profile = sounder.oracle_snr(&link.paths(system, passive_config), 0.0);
                 evaluations += 1;
                 objective(&profile)
             });
-            system.array.elements[i]
-                .element
-                .program_active(gain_db, phase.rem_euclid(std::f64::consts::TAU), true);
+            system.array.elements[i].element.program_active(
+                gain_db,
+                phase.rem_euclid(std::f64::consts::TAU),
+                true,
+            );
             score = val.max(best_val);
         }
     }
@@ -126,9 +134,9 @@ pub fn tune_active_phases(
         .map(|&i| {
             let pe = &system.array.elements[i].element;
             match &pe.kind {
-                press_elements::ElementKind::Active { gain_db, phase_rad, .. } => {
-                    (i, *phase_rad, *gain_db)
-                }
+                press_elements::ElementKind::Active {
+                    gain_db, phase_rad, ..
+                } => (i, *phase_rad, *gain_db),
                 _ => unreachable!("filtered to actives"),
             }
         })
@@ -191,11 +199,11 @@ mod tests {
         let passive = Configuration::new(vec![0, 0]);
         let objective = |p: &SnrProfile| p.min_db();
         // Baseline: active on at phase 0.
-        system.array.elements[1].element.program_active(12.0, 0.0, true);
+        system.array.elements[1]
+            .element
+            .program_active(12.0, 0.0, true);
         let baseline = objective(&sounder.oracle_snr(&link.paths(&system, &passive), 0.0));
-        let tuned = tune_active_phases(
-            &mut system, &link, &sounder, &passive, 12.0, 2, &objective,
-        );
+        let tuned = tune_active_phases(&mut system, &link, &sounder, &passive, 12.0, 2, &objective);
         assert!(
             tuned.score >= baseline - 1e-9,
             "tuned {} vs phase-zero {baseline}",
@@ -211,12 +219,15 @@ mod tests {
         let link = CachedLink::trace(&system, sounder.tx.node.clone(), sounder.rx.node.clone());
         let passive = Configuration::new(vec![0, 0]);
         let objective = |p: &SnrProfile| p.mean_db();
-        let tuned = tune_active_phases(
-            &mut system, &link, &sounder, &passive, 10.0, 1, &objective,
-        );
+        let tuned = tune_active_phases(&mut system, &link, &sounder, &passive, 10.0, 1, &objective);
         let (idx, phase, gain) = tuned.settings[0];
         match &system.array.elements[idx].element.kind {
-            press_elements::ElementKind::Active { gain_db, phase_rad, enabled, .. } => {
+            press_elements::ElementKind::Active {
+                gain_db,
+                phase_rad,
+                enabled,
+                ..
+            } => {
                 assert!(*enabled);
                 assert_eq!(*phase_rad, phase);
                 assert_eq!(*gain_db, gain);
@@ -229,8 +240,7 @@ mod tests {
     fn tuning_is_deterministic() {
         let run = || {
             let (mut system, sounder) = hybrid_setup();
-            let link =
-                CachedLink::trace(&system, sounder.tx.node.clone(), sounder.rx.node.clone());
+            let link = CachedLink::trace(&system, sounder.tx.node.clone(), sounder.rx.node.clone());
             let passive = Configuration::new(vec![0, 0]);
             let objective = |p: &SnrProfile| p.min_db();
             tune_active_phases(&mut system, &link, &sounder, &passive, 12.0, 2, &objective)

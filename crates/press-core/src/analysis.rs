@@ -89,7 +89,11 @@ pub fn fraction_configs_min_below(profiles: &[SnrProfile], threshold_db: f64) ->
     if profiles.is_empty() {
         return 0.0;
     }
-    profiles.iter().filter(|p| p.min_db() < threshold_db).count() as f64 / profiles.len() as f64
+    profiles
+        .iter()
+        .filter(|p| p.min_db() < threshold_db)
+        .count() as f64
+        / profiles.len() as f64
 }
 
 /// Summary of a whole campaign against the paper's headline numbers.

@@ -8,11 +8,11 @@
 
 use crate::config::{ConfigSpace, Configuration};
 use press_elements::Element;
+use press_math::Complex64;
 use press_propagation::antenna::Antenna;
 use press_propagation::geometry::Vec3;
 use press_propagation::path::{PathKind, SignalPath};
 use press_propagation::scene::{RadioNode, Scene};
-use press_math::Complex64;
 
 /// One deployed element: hardware + placement + its own antenna.
 #[derive(Debug, Clone, PartialEq)]
@@ -130,7 +130,11 @@ impl PressArray {
         rx: &RadioNode,
         config: &Configuration,
     ) -> Vec<SignalPath> {
-        assert_eq!(config.len(), self.len(), "configuration/array size mismatch");
+        assert_eq!(
+            config.len(),
+            self.len(),
+            "configuration/array size mismatch"
+        );
         (0..self.len())
             .filter_map(|i| self.element_path(scene, tx, rx, i, config.states[i]))
             .collect()
@@ -163,7 +167,9 @@ impl PressArray {
             rx,
             pe.position,
             reflect,
-            PathKind::PressElement { element: element_idx },
+            PathKind::PressElement {
+                element: element_idx,
+            },
         )?;
         path.delay_s += response.extra_delay_s;
         Some(path)
@@ -176,7 +182,11 @@ impl PressArray {
     /// # Errors
     /// Returns the element index that rejected its state.
     pub fn apply(&mut self, config: &Configuration) -> Result<(), usize> {
-        assert_eq!(config.len(), self.len(), "configuration/array size mismatch");
+        assert_eq!(
+            config.len(),
+            self.len(),
+            "configuration/array size mismatch"
+        );
         for (i, (pe, &state)) in self.elements.iter_mut().zip(&config.states).enumerate() {
             pe.element.set_state(state).map_err(|_| i)?;
         }

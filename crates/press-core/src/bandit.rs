@@ -53,6 +53,9 @@ impl UcbController {
     /// The configuration the controller wants measured next: an untried arm
     /// if any remain, otherwise the arm maximizing `mean + c·sqrt(ln t / n)`.
     pub fn select(&self) -> Configuration {
+        // Counts are integers stored as f64 and only ever incremented by 1.0,
+        // so the exact comparison is the "never tried" test, not a tolerance.
+        // press-lint: allow(float-ordering)
         if let Some(untried) = self.counts.iter().position(|&c| c == 0.0) {
             return self.space.config_at(untried);
         }
@@ -138,7 +141,7 @@ mod tests {
     fn explores_every_arm_first() {
         let mut ucb = UcbController::new(space());
         let mut rng = StdRng::seed_from_u64(1);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..16 {
             let c = ucb.select();
             seen.insert(ucb.space.index_of(&c));

@@ -33,8 +33,8 @@ use crate::system::{CachedLink, PressSystem};
 use press_math::Complex64;
 use press_phy::numerology::Numerology;
 use press_phy::snr::SnrProfile;
-use press_sdr::SnrParams;
 use press_propagation::path::SignalPath;
+use press_sdr::SnrParams;
 use std::f64::consts::TAU;
 
 /// Precomputed per-link channel basis over a fixed frequency grid.
@@ -68,7 +68,15 @@ pub struct LinkBasis {
 /// path's Doppler. The `d == 0` / `t == 0` case adds verbatim so static
 /// scenes stay bit-identical to the direct sum.
 #[inline]
-fn add_rotated(acc: &mut [Complex64], col: &[Complex64], doppler_hz: f64, t_s: f64, subtract: bool) {
+fn add_rotated(
+    acc: &mut [Complex64],
+    col: &[Complex64],
+    doppler_hz: f64,
+    t_s: f64,
+    subtract: bool,
+) {
+    // Exact zeros select the add-verbatim fast path; see the doc comment.
+    // press-lint: allow(float-ordering)
     if doppler_hz == 0.0 || t_s == 0.0 {
         if subtract {
             for (a, &c) in acc.iter_mut().zip(col) {
@@ -109,7 +117,9 @@ impl LinkBasis {
         for (i, &m) in space.states_per_element.iter().enumerate() {
             for s in 0..m {
                 if let Some(path) =
-                    system.array.element_path(&system.scene, &link.tx, &link.rx, i, s)
+                    system
+                        .array
+                        .element_path(&system.scene, &link.tx, &link.rx, i, s)
                 {
                     let col = state_offsets[i] + s;
                     fill_column(&mut columns[col * n_k..(col + 1) * n_k], &path, freqs_hz);
@@ -199,7 +209,10 @@ impl LinkBasis {
     /// that state contributes no path (absorber, below trace floor, element
     /// disabled). Feeds the inverse-problem dictionary.
     pub fn column(&self, element: usize, state: usize) -> Option<&[Complex64]> {
-        assert!(state < self.space.states_per_element[element], "state out of range");
+        assert!(
+            state < self.space.states_per_element[element],
+            "state out of range"
+        );
         let col = self.state_offsets[element] + state;
         if self.col_present[col] {
             Some(&self.columns[col * self.n_k..(col + 1) * self.n_k])
@@ -223,7 +236,11 @@ impl LinkBasis {
     /// into a caller-owned buffer: `O(N·K)` complex adds, no allocation
     /// beyond the buffer's first growth.
     pub fn synthesize_into(&self, config: &Configuration, t_s: f64, out: &mut Vec<Complex64>) {
-        assert_eq!(config.len(), self.space.n_elements(), "configuration/basis size mismatch");
+        assert_eq!(
+            config.len(),
+            self.space.n_elements(),
+            "configuration/basis size mismatch"
+        );
         self.environment_into(t_s, out);
         for (i, &s) in config.states.iter().enumerate() {
             assert!(s < self.space.states_per_element[i], "state out of range");
@@ -254,12 +271,20 @@ impl LinkBasis {
         t_s: f64,
         out: &mut Vec<Complex64>,
     ) {
-        assert_eq!(prev.len(), self.space.n_elements(), "configuration/basis size mismatch");
+        assert_eq!(
+            prev.len(),
+            self.space.n_elements(),
+            "configuration/basis size mismatch"
+        );
         assert_eq!(target.len(), prev.len(), "configuration lengths differ");
         assert_eq!(applied.len(), prev.len(), "applied mask length differs");
         self.environment_into(t_s, out);
         for (i, &done) in applied.iter().enumerate() {
-            let s = if done { target.states[i] } else { prev.states[i] };
+            let s = if done {
+                target.states[i]
+            } else {
+                prev.states[i]
+            };
             assert!(s < self.space.states_per_element[i], "state out of range");
             let col = self.state_offsets[i] + s;
             if self.col_present[col] {
@@ -338,6 +363,9 @@ fn build_environment(
     let mut env_static = vec![Complex64::ZERO; freqs_hz.len()];
     let mut env_doppler = Vec::new();
     for p in environment {
+        // Exactly-static paths fold into the precomputed sum; any nonzero
+        // Doppler, however small, must rotate analytically instead.
+        // press-lint: allow(float-ordering)
         if p.doppler_hz == 0.0 {
             for (h, &f) in env_static.iter_mut().zip(freqs_hz) {
                 *h += p.response_at(f, 0.0);
@@ -554,7 +582,11 @@ mod tests {
         let scene = Scene::shoebox(WIFI_CHANNEL_11_HZ, 6.0, 5.0, 3.0, Material::DRYWALL);
         let lambda = scene.wavelength();
         let array = PressArray::paper_passive(
-            &[Vec3::new(2.5, 1.5, 1.5), Vec3::new(3.0, 3.5, 1.5), Vec3::new(3.5, 2.0, 1.5)],
+            &[
+                Vec3::new(2.5, 1.5, 1.5),
+                Vec3::new(3.0, 3.5, 1.5),
+                Vec3::new(3.5, 2.0, 1.5),
+            ],
             lambda,
         );
         let system = PressSystem::new(scene, array);
@@ -624,7 +656,11 @@ mod tests {
         let basis = LinkBasis::build(&system, &link, &freqs);
         let prev = Configuration::new(vec![0, 2, 1]);
         let target = Configuration::new(vec![3, 1, 1]);
-        for mask in [[true, true, true], [false, false, false], [true, false, true]] {
+        for mask in [
+            [true, true, true],
+            [false, false, false],
+            [true, false, true],
+        ] {
             let mut partial = Vec::new();
             basis.synthesize_partial_into(&prev, &target, &mask, 0.0, &mut partial);
             let merged = basis.synthesize(&prev.overlay(&target, &mask), 0.0);
@@ -670,7 +706,11 @@ mod tests {
         let mut fresh2 = BasisEvaluator::new(&basis, 0.0, min_magnitude_db_metric());
         assert_eq!(s1, fresh2.evaluate(&probe));
         assert_eq!(eval.evaluations(), 3);
-        assert_eq!(eval.full_syntheses(), 1, "only the base paid full synthesis");
+        assert_eq!(
+            eval.full_syntheses(),
+            1,
+            "only the base paid full synthesis"
+        );
     }
 
     #[test]
@@ -729,7 +769,9 @@ mod tests {
         let basis = LinkBasis::build(&system, &link, &freqs);
         for i in 0..3 {
             for s in 0..4 {
-                let path = system.array.element_path(&system.scene, &link.tx, &link.rx, i, s);
+                let path = system
+                    .array
+                    .element_path(&system.scene, &link.tx, &link.rx, i, s);
                 match (basis.column(i, s), path) {
                     (Some(col), Some(p)) => {
                         for (c, &f) in col.iter().zip(&freqs) {

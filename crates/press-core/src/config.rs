@@ -12,7 +12,10 @@ use rand::Rng;
 
 /// One array configuration: the selected state of every element, in array
 /// order.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Orders lexicographically by state vector, so configurations can live in
+/// deterministic ordered collections (`BTreeSet`/`BTreeMap`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Configuration {
     /// Selected state per element.
     pub states: Vec<usize>,
@@ -244,7 +247,7 @@ mod tests {
         let space = paper_space();
         let all: Vec<Configuration> = space.iter().collect();
         assert_eq!(all.len(), 64);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for c in &all {
             assert!(seen.insert(c.clone()), "duplicate {c:?}");
         }

@@ -111,7 +111,10 @@ impl TransportActuation {
     pub fn ism() -> TransportActuation {
         TransportActuation {
             transport: Transport::ism(),
-            policy: AckPolicy::Adaptive { max_retries: 6, batch_cap: 16 },
+            policy: AckPolicy::Adaptive {
+                max_retries: 6,
+                batch_cap: 16,
+            },
             distance_m: 15.0,
             faults: FaultPlan::none(),
         }
@@ -159,7 +162,10 @@ struct ActuationOutcome {
 }
 
 /// Outcome of one control episode.
-#[derive(Debug, Clone)]
+///
+/// Derives `PartialEq` so determinism tests can assert two same-seed
+/// episodes are bit-identical, scores included.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ControlReport {
     /// Configuration in force before the episode.
     pub baseline_config: Configuration,
@@ -285,12 +291,11 @@ impl Controller {
             Strategy::Exhaustive => search::exhaustive(&space, |c| {
                 measure(c, &mut measurements, &mut elapsed, &mut rng)
             }),
-            Strategy::Greedy { max_sweeps } => search::greedy_coordinate(
-                &space,
-                baseline_config.clone(),
-                max_sweeps,
-                |c| measure(c, &mut measurements, &mut elapsed, &mut rng),
-            ),
+            Strategy::Greedy { max_sweeps } => {
+                search::greedy_coordinate(&space, baseline_config.clone(), max_sweeps, |c| {
+                    measure(c, &mut measurements, &mut elapsed, &mut rng)
+                })
+            }
             Strategy::Random { budget } => {
                 let mut search_rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
                 search::random_search(&space, budget, &mut search_rng, |c| {
@@ -332,7 +337,13 @@ impl Controller {
         // The array the control plane produced: applied elements hold the
         // target (stuck ones their frozen state), unreached ones the
         // baseline. Verification measures *this* channel, not the intent.
-        let realized = realize(&baseline_config, &result.best, &outcome.applied, &faults, &space);
+        let realized = realize(
+            &baseline_config,
+            &result.best,
+            &outcome.applied,
+            &faults,
+            &space,
+        );
         let chosen_score = measure(&realized, &mut measurements, &mut elapsed, &mut rng);
 
         let (chosen_config, chosen_score, reverted, realized_config) =
@@ -460,7 +471,10 @@ fn realize(
     if !faults.elements.is_empty() {
         for (i, state) in realized.states.iter_mut().enumerate() {
             if applied[i] && prev.states[i] != target.states[i] {
-                if let Some(s) = faults.elements.realized_state(i as u16, target.states[i] as u8) {
+                if let Some(s) = faults
+                    .elements
+                    .realized_state(i as u16, target.states[i] as u8)
+                {
                     // Clamp: a stuck state outside the element's space pins
                     // it to the highest valid switch position.
                     *state = (s as usize).min(space.states_per_element[i] - 1);
@@ -502,7 +516,11 @@ mod tests {
         let report = c.run_episode(&system, &sounder);
         // The exhaustive search must find something at least as good as the
         // baseline up to measurement noise.
-        assert!(report.improvement() > -2.0, "improvement {}", report.improvement());
+        assert!(
+            report.improvement() > -2.0,
+            "improvement {}",
+            report.improvement()
+        );
         assert_eq!(report.measurements, 1 + 16 + 1);
     }
 
@@ -524,8 +542,7 @@ mod tests {
         assert!(
             report.within_coherence,
             "elapsed {} vs budget {}",
-            report.elapsed_s,
-            report.coherence_budget_s
+            report.elapsed_s, report.coherence_budget_s
         );
     }
 
@@ -556,7 +573,10 @@ mod tests {
         assert_eq!(a.measurements, b.measurements);
         assert_eq!(b.stale_elements, 0);
         assert_eq!(b.realized_config, b.chosen_config);
-        assert!(b.actuation_frames > 0, "wired transport still spends frames");
+        assert!(
+            b.actuation_frames > 0,
+            "wired transport still spends frames"
+        );
     }
 
     #[test]
@@ -606,7 +626,10 @@ mod tests {
                 }
             }
         }
-        assert!(saw_stale, "90% loss never stranded an element across 6 seeds");
+        assert!(
+            saw_stale,
+            "90% loss never stranded an element across 6 seeds"
+        );
     }
 
     #[test]

@@ -57,6 +57,9 @@ pub fn extract_dominant_paths(
     let mut out = Vec::new();
     for _ in 0..max_paths {
         let energy: f64 = residual.iter().map(|x| x.norm_sqr()).sum();
+        // The `== 0.0` arm guards an all-zero channel (initial_energy zero
+        // too, so the fractional stop test is vacuous).
+        // press-lint: allow(float-ordering)
         if energy <= stop_fraction * initial_energy || energy == 0.0 {
             break;
         }
@@ -67,9 +70,7 @@ pub fn extract_dominant_paths(
             let corr: Complex64 = residual
                 .iter()
                 .zip(freqs_hz)
-                .map(|(r, &f)| {
-                    *r * Complex64::cis(2.0 * std::f64::consts::PI * f * tau)
-                })
+                .map(|(r, &f)| *r * Complex64::cis(2.0 * std::f64::consts::PI * f * tau))
                 .sum();
             let gain = corr / n;
             let metric = gain.norm_sqr();
@@ -128,17 +129,23 @@ impl PressDictionary {
             .map(|i| {
                 let n_states = system.array.elements[i].element.n_states();
                 (0..n_states)
-                    .map(|s| match system.array.element_path(&system.scene, tx, rx, i, s) {
-                        Some(p) => frequency_response(&[p], freqs_hz, 0.0),
-                        None => vec![Complex64::ZERO; freqs_hz.len()],
-                    })
+                    .map(
+                        |s| match system.array.element_path(&system.scene, tx, rx, i, s) {
+                            Some(p) => frequency_response(&[p], freqs_hz, 0.0),
+                            None => vec![Complex64::ZERO; freqs_hz.len()],
+                        },
+                    )
                     .collect()
             })
             .collect();
-        PressDictionary { base, contributions }
+        PressDictionary {
+            base,
+            contributions,
+        }
     }
 
-    /// Builds the dictionary from an already-constructed [`LinkBasis`] —
+    /// Builds the dictionary from an already-constructed
+    /// [`LinkBasis`](crate::basis::LinkBasis) —
     /// the columns are shared verbatim (the basis *is* the dictionary, with
     /// absent states materialized as zero contributions), so no path is
     /// re-traced.
@@ -156,7 +163,10 @@ impl PressDictionary {
                     .collect()
             })
             .collect();
-        PressDictionary { base, contributions }
+        PressDictionary {
+            base,
+            contributions,
+        }
     }
 
     /// The configuration space implied by the dictionary.
@@ -258,7 +268,11 @@ impl InverseSolver {
     /// objective.
     pub fn solve(&self, dict: &PressDictionary, target: &[Complex64]) -> InverseSolution {
         assert_eq!(target.len(), dict.base.len(), "target width mismatch");
-        assert_eq!(self.weights.len(), dict.base.len(), "weights width mismatch");
+        assert_eq!(
+            self.weights.len(),
+            dict.base.len(),
+            "weights width mismatch"
+        );
         let n_sc = dict.base.len();
         let n_elem = dict.contributions.len();
         let space = dict.space();
@@ -288,7 +302,9 @@ impl InverseSolver {
         let b: Vec<Complex64> = (0..n_sc)
             .map(|k| (target[k] - dict.base[k]) * w_sqrt[k])
             .collect();
-        let alphas = a.least_squares(&b, 1e-9).unwrap_or(vec![Complex64::ONE; n_elem]);
+        let alphas = a
+            .least_squares(&b, 1e-9)
+            .unwrap_or(vec![Complex64::ONE; n_elem]);
 
         // Relaxed residual for reporting.
         let relaxed_residual: f64 = (0..n_sc)
@@ -403,8 +419,14 @@ mod tests {
     #[test]
     fn extract_two_paths_orders_by_power() {
         let f = freqs();
-        let p1 = RecoveredPath { delay_s: 10e-9, gain: Complex64::real(1.0) };
-        let p2 = RecoveredPath { delay_s: 80e-9, gain: Complex64::real(0.4) };
+        let p1 = RecoveredPath {
+            delay_s: 10e-9,
+            gain: Complex64::real(1.0),
+        };
+        let p2 = RecoveredPath {
+            delay_s: 80e-9,
+            gain: Complex64::real(0.4),
+        };
         let h = reconstruct(&[p1, p2], &f);
         let got = extract_dominant_paths(&h, &f, 2, 120e-9, 4001, 1e-9);
         assert_eq!(got.len(), 2);
@@ -420,9 +442,18 @@ mod tests {
     fn reconstruction_error_shrinks_with_paths() {
         let f = freqs();
         let truth = vec![
-            RecoveredPath { delay_s: 5e-9, gain: Complex64::real(0.8) },
-            RecoveredPath { delay_s: 42e-9, gain: Complex64::new(0.3, 0.3) },
-            RecoveredPath { delay_s: 95e-9, gain: Complex64::new(-0.2, 0.25) },
+            RecoveredPath {
+                delay_s: 5e-9,
+                gain: Complex64::real(0.8),
+            },
+            RecoveredPath {
+                delay_s: 42e-9,
+                gain: Complex64::new(0.3, 0.3),
+            },
+            RecoveredPath {
+                delay_s: 95e-9,
+                gain: Complex64::new(-0.2, 0.25),
+            },
         ];
         let h = reconstruct(&truth, &f);
         let err = |k: usize| -> f64 {
@@ -459,7 +490,10 @@ mod tests {
                 .collect();
             contributions.push(states);
         }
-        PressDictionary { base, contributions }
+        PressDictionary {
+            base,
+            contributions,
+        }
     }
 
     #[test]

@@ -58,11 +58,8 @@ impl JointProblem {
         let links = sounders
             .into_iter()
             .map(|sounder| {
-                let link = CachedLink::trace(
-                    system,
-                    sounder.tx.node.clone(),
-                    sounder.rx.node.clone(),
-                );
+                let link =
+                    CachedLink::trace(system, sounder.tx.node.clone(), sounder.rx.node.clone());
                 JointLink {
                     link,
                     sounder,
@@ -79,9 +76,7 @@ impl JointProblem {
         self.links
             .iter()
             .map(|jl| {
-                let profile = jl
-                    .sounder
-                    .oracle_snr(&jl.link.paths(system, config), 0.0);
+                let profile = jl.sounder.oracle_snr(&jl.link.paths(system, config), 0.0);
                 jl.weight * jl.objective.score(&profile)
             })
             .sum()
@@ -92,9 +87,7 @@ impl JointProblem {
         self.links
             .iter()
             .map(|jl| {
-                let profile = jl
-                    .sounder
-                    .oracle_snr(&jl.link.paths(system, config), 0.0);
+                let profile = jl.sounder.oracle_snr(&jl.link.paths(system, config), 0.0);
                 jl.objective.score(&profile)
             })
             .collect()
@@ -246,9 +239,10 @@ mod tests {
         let joint = problem.optimize(&system, 80, 1);
         let own = problem.optimize_per_link(&system, 80, 1);
         for (i, (jl, r)) in problem.links.iter().zip(&own).enumerate() {
-            let joint_score = jl
-                .objective
-                .score(&jl.sounder.oracle_snr(&jl.link.paths(&system, &joint.best), 0.0));
+            let joint_score = jl.objective.score(
+                &jl.sounder
+                    .oracle_snr(&jl.link.paths(&system, &joint.best), 0.0),
+            );
             assert!(
                 r.score >= joint_score - 0.5,
                 "link {i}: own {} vs joint {joint_score}",

@@ -21,6 +21,7 @@
 //! * [`controller`] — the closed measurement → search → actuate loop under
 //!   a coherence-time budget (§2).
 
+#![forbid(unsafe_code)]
 pub mod active;
 pub mod alignment;
 pub mod analysis;
@@ -51,7 +52,9 @@ pub use controller::{
 };
 pub use inverse::{InverseSolution, InverseSolver, PressDictionary, RecoveredPath};
 pub use joint::{compare_agility, AgilityReport, JointLink, JointProblem};
-pub use measurement::{run_campaign, run_campaign_over, run_campaign_parallel, CampaignConfig, CampaignResult};
+pub use measurement::{
+    run_campaign, run_campaign_over, run_campaign_parallel, CampaignConfig, CampaignResult,
+};
 pub use objective::{harmonization_score, mimo_conditioning_score, partition_score, LinkObjective};
 pub use placement::{greedy_placement, random_placement_baseline, PlacementResult};
 pub use search::{hierarchical_groups, GeneticParams, SearchResult};

@@ -89,7 +89,9 @@ impl CampaignResult {
 
     /// Mean profiles for all configurations.
     pub fn mean_profiles(&self) -> Vec<SnrProfile> {
-        (0..self.n_configs()).map(|i| self.mean_profile(i)).collect()
+        (0..self.n_configs())
+            .map(|i| self.mean_profile(i))
+            .collect()
     }
 }
 
@@ -118,11 +120,7 @@ pub fn run_campaign_over(
 ) -> CampaignResult {
     assert!(campaign.n_trials > 0, "need at least one trial");
     let mut rng = StdRng::seed_from_u64(campaign.seed);
-    let mut link = CachedLink::trace(
-        system,
-        sounder.tx.node.clone(),
-        sounder.rx.node.clone(),
-    );
+    let mut link = CachedLink::trace(system, sounder.tx.node.clone(), sounder.rx.node.clone());
     // Element paths and the environment response are shared by every
     // measurement of a trial: precompute them once and synthesize each
     // configuration's channel by O(N·K) accumulation instead of re-tracing
@@ -172,11 +170,7 @@ pub fn run_campaign_parallel(
     assert!(campaign.n_trials > 0, "need at least one trial");
     assert!(n_threads > 0, "need at least one thread");
     let mut drift_rng = StdRng::seed_from_u64(campaign.seed);
-    let base_link = CachedLink::trace(
-        system,
-        sounder.tx.node.clone(),
-        sounder.rx.node.clone(),
-    );
+    let base_link = CachedLink::trace(system, sounder.tx.node.clone(), sounder.rx.node.clone());
 
     // Evolve the environment serially (drift is a sequential random walk),
     // keeping one basis snapshot per trial: the element columns are built
@@ -195,8 +189,9 @@ pub fn run_campaign_parallel(
 
     // SplitMix64-style per-measurement seed derivation (see
     // [`derive_stream_seed`]).
-    let derive =
-        |trial: usize, cfg: usize| -> u64 { derive_stream_seed(campaign.seed, trial as u64, cfg as u64) };
+    let derive_seed = |trial: usize, cfg: usize| -> u64 {
+        derive_stream_seed(campaign.seed, trial as u64, cfg as u64)
+    };
 
     let mut profiles: Vec<Vec<Option<SnrProfile>>> =
         vec![vec![None; configs.len()]; campaign.n_trials];
@@ -218,7 +213,7 @@ pub fn run_campaign_parallel(
                     let mut j = w;
                     while j < jobs.len() {
                         let (trial, cfg_idx) = jobs[j];
-                        let mut rng = StdRng::seed_from_u64(derive(trial, cfg_idx));
+                        let mut rng = StdRng::seed_from_u64(derive_seed(trial, cfg_idx));
                         let t_s = campaign.per_config_latency_s
                             * (trial * configs.len() + cfg_idx) as f64;
                         bases[trial].synthesize_into(&configs[cfg_idx], t_s, &mut h);
@@ -269,7 +264,7 @@ mod tests {
     use crate::array::PressArray;
     use press_math::consts::WIFI_CHANNEL_11_HZ;
     use press_phy::Numerology;
-    use press_propagation::{LabConfig, LabSetup, Scene, Material, Vec3};
+    use press_propagation::{LabConfig, LabSetup, Material, Scene, Vec3};
     use press_sdr::SdrRadio;
 
     fn small_system() -> (PressSystem, Sounder) {
@@ -346,7 +341,11 @@ mod tests {
     fn coherence_check_paper_numbers() {
         let scene = Scene::shoebox(WIFI_CHANNEL_11_HZ, 6.0, 5.0, 3.0, Material::DRYWALL);
         let array = PressArray::paper_passive(
-            &[Vec3::new(2.0, 2.0, 1.5), Vec3::new(3.0, 3.0, 1.5), Vec3::new(2.5, 2.5, 1.5)],
+            &[
+                Vec3::new(2.0, 2.0, 1.5),
+                Vec3::new(3.0, 3.0, 1.5),
+                Vec3::new(2.5, 2.5, 1.5),
+            ],
             scene.wavelength(),
         );
         let system = PressSystem::new(scene, array);
@@ -400,7 +399,10 @@ mod tests {
     #[test]
     fn campaign_over_subset() {
         let (system, sounder) = small_system();
-        let subset = vec![Configuration::new(vec![0, 0]), Configuration::new(vec![3, 3])];
+        let subset = vec![
+            Configuration::new(vec![0, 0]),
+            Configuration::new(vec![3, 3]),
+        ];
         let r = run_campaign_over(&system, &sounder, &quick_campaign(), &subset);
         assert_eq!(r.n_configs(), 2);
     }

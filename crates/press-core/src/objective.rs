@@ -126,7 +126,10 @@ mod tests {
 
     #[test]
     fn flatness_prefers_flat() {
-        assert!(LinkObjective::Flatness.score(&flat(20.0)) > LinkObjective::Flatness.score(&sloped(10.0, 30.0)));
+        assert!(
+            LinkObjective::Flatness.score(&flat(20.0))
+                > LinkObjective::Flatness.score(&sloped(10.0, 30.0))
+        );
     }
 
     #[test]

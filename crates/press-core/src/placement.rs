@@ -64,7 +64,8 @@ pub fn greedy_placement(
             }
             let mut positions: Vec<Vec3> = chosen.iter().map(|&j| candidates[j]).collect();
             positions.push(pos);
-            let (score, evals) = evaluate_deployment(scene, sounder, &positions, factory, objective);
+            let (score, evals) =
+                evaluate_deployment(scene, sounder, &positions, factory, objective);
             evaluations += evals;
             if best.is_none_or(|(_, b)| score > b) {
                 best = Some((i, score));
@@ -128,12 +129,10 @@ fn evaluate_deployment(
     let system = PressSystem::new(scene.clone(), PressArray::new(elements));
     let link = CachedLink::trace(&system, sounder.tx.node.clone(), sounder.rx.node.clone());
     let space = system.array.config_space();
-    let result = search::greedy_coordinate(
-        &space,
-        Configuration::zeros(space.n_elements()),
-        4,
-        |c| objective(&sounder.oracle_snr(&link.paths(&system, c), 0.0)),
-    );
+    let result =
+        search::greedy_coordinate(&space, Configuration::zeros(space.n_elements()), 4, |c| {
+            objective(&sounder.oracle_snr(&link.paths(&system, c), 0.0))
+        });
     (result.score, result.evaluations)
 }
 
@@ -155,7 +154,13 @@ mod tests {
             SdrRadio::warp(lab.rx.clone()),
         );
         // A small candidate subset keeps the test fast.
-        let candidates: Vec<Vec3> = lab.element_grid.iter().copied().step_by(7).take(10).collect();
+        let candidates: Vec<Vec3> = lab
+            .element_grid
+            .iter()
+            .copied()
+            .step_by(7)
+            .take(10)
+            .collect();
         (lab, sounder, candidates)
     }
 
@@ -193,7 +198,14 @@ mod tests {
         let objective = |p: &SnrProfile| p.min_db();
         let greedy = greedy_placement(&lab.scene, &sounder, &candidates, 2, &factory, &objective);
         let (mean_random, _) = random_placement_baseline(
-            &lab.scene, &sounder, &candidates, 2, &factory, &objective, 6, 3,
+            &lab.scene,
+            &sounder,
+            &candidates,
+            2,
+            &factory,
+            &objective,
+            6,
+            3,
         );
         let final_score = *greedy.score_trace.last().unwrap();
         assert!(

@@ -74,7 +74,11 @@ where
 /// lowest dense index — exactly the configuration serial [`exhaustive`]
 /// keeps — so given a history-independent evaluator the result is
 /// bit-identical to the serial sweep and invariant to `n_threads`.
-pub fn exhaustive_parallel<E, F>(space: &ConfigSpace, n_threads: usize, make_eval: F) -> SearchResult
+pub fn exhaustive_parallel<E, F>(
+    space: &ConfigSpace,
+    n_threads: usize,
+    make_eval: F,
+) -> SearchResult
 where
     E: FnMut(&Configuration) -> f64,
     F: Fn() -> E + Sync,
@@ -353,8 +357,8 @@ where
             proposal.states[i] = s;
             let score = eval(&proposal);
             evaluations += 1;
-            let accept = score >= current_score
-                || rng.gen::<f64>() < ((score - current_score) / temp).exp();
+            let accept =
+                score >= current_score || rng.gen::<f64>() < ((score - current_score) / temp).exp();
             if accept {
                 current = proposal;
                 current_score = score;
@@ -416,10 +420,7 @@ where
             }
             let score = eval(&candidate);
             evaluations += 1;
-            if best_states
-                .as_ref()
-                .is_none_or(|(_, b)| score > *b)
-            {
+            if best_states.as_ref().is_none_or(|(_, b)| score > *b) {
                 best_states = Some((sub_cfg.states.clone(), score));
             }
         }
@@ -507,7 +508,11 @@ where
 /// Scores a batch of configurations across scoped worker threads (strided
 /// dealing; output order matches input order, so results are independent
 /// of scheduling).
-fn score_batch_parallel<E, F>(configs: &[Configuration], n_threads: usize, make_eval: &F) -> Vec<f64>
+fn score_batch_parallel<E, F>(
+    configs: &[Configuration],
+    n_threads: usize,
+    make_eval: &F,
+) -> Vec<f64>
 where
     E: FnMut(&Configuration) -> f64,
     F: Fn() -> E + Sync,
@@ -639,7 +644,11 @@ mod tests {
     fn greedy_reaches_optimum_on_separable_objective() {
         let r = greedy_coordinate(&space(), Configuration::zeros(3), 10, objective);
         assert_eq!(r.best.states, vec![3, 1, 2]);
-        assert!(r.evaluations < 64, "greedy must beat exhaustive: {}", r.evaluations);
+        assert!(
+            r.evaluations < 64,
+            "greedy must beat exhaustive: {}",
+            r.evaluations
+        );
     }
 
     #[test]
@@ -702,7 +711,10 @@ mod tests {
             greedy.score,
             random.score
         );
-        assert_eq!(greedy.best.states, target, "separable objective is exactly solvable");
+        assert_eq!(
+            greedy.best.states, target,
+            "separable objective is exactly solvable"
+        );
     }
 
     #[test]
@@ -771,7 +783,7 @@ mod tests {
 
     #[test]
     fn derived_stream_seeds_are_distinct() {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for a in 0..50u64 {
             for b in 0..50u64 {
                 assert!(seen.insert(derive_stream_seed(7, a, b)));

@@ -96,7 +96,11 @@ impl CachedLink {
     /// Full path set under a configuration, using the cached environment.
     pub fn paths(&self, system: &PressSystem, config: &Configuration) -> Vec<SignalPath> {
         let mut paths = self.environment.clone();
-        paths.extend(system.array.paths(&system.scene, &self.tx, &self.rx, config));
+        paths.extend(
+            system
+                .array
+                .paths(&system.scene, &self.tx, &self.rx, config),
+        );
         paths
     }
 
@@ -112,7 +116,11 @@ impl CachedLink {
     ) {
         out.clear();
         out.extend_from_slice(&self.environment);
-        out.extend(system.array.paths(&system.scene, &self.tx, &self.rx, config));
+        out.extend(
+            system
+                .array
+                .paths(&system.scene, &self.tx, &self.rx, config),
+        );
     }
 
     /// Path set of a partially-applied actuation: element `i` is traced in
@@ -142,7 +150,11 @@ mod tests {
         let scene = Scene::shoebox(WIFI_CHANNEL_11_HZ, 6.0, 5.0, 3.0, Material::DRYWALL);
         let lambda = scene.wavelength();
         let array = PressArray::paper_passive(
-            &[Vec3::new(2.5, 1.5, 1.5), Vec3::new(3.0, 3.5, 1.5), Vec3::new(3.5, 2.0, 1.5)],
+            &[
+                Vec3::new(2.5, 1.5, 1.5),
+                Vec3::new(3.0, 3.5, 1.5),
+                Vec3::new(3.5, 2.0, 1.5),
+            ],
             lambda,
         );
         let tx = RadioNode::omni_at(Vec3::new(1.5, 2.0, 1.5));
@@ -185,6 +197,9 @@ mod tests {
         for k in 0..n_env {
             assert_eq!(a[k].gain, b[k].gain, "environment path {k} must not move");
         }
-        assert_ne!(a[n_env].delay_s, b[n_env].delay_s, "element paths must move");
+        assert_ne!(
+            a[n_env].delay_s, b[n_env].delay_s,
+            "element paths must move"
+        );
     }
 }

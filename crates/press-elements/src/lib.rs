@@ -13,6 +13,7 @@
 //! * [`power`] — power/cost budgets underpinning the passive-vs-active
 //!   scaling argument.
 
+#![forbid(unsafe_code)]
 pub mod element;
 pub mod power;
 pub mod switch;

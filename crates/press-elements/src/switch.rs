@@ -24,7 +24,10 @@ pub enum SwitchError {
 impl std::fmt::Display for SwitchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SwitchError::NoSuchThrow { requested, available } => {
+            SwitchError::NoSuchThrow {
+                requested,
+                available,
+            } => {
                 write!(f, "throw {requested} out of range (switch has {available})")
             }
         }
@@ -196,7 +199,10 @@ mod tests {
         let mut s = RfSwitch::paper_sp4t(LAMBDA);
         assert_eq!(
             s.select(4),
-            Err(SwitchError::NoSuchThrow { requested: 4, available: 4 })
+            Err(SwitchError::NoSuchThrow {
+                requested: 4,
+                available: 4
+            })
         );
         assert!(s.coefficient_of(9, LAMBDA).is_err());
     }

@@ -166,9 +166,6 @@ mod tests {
             format_phase_label(Some(std::f64::consts::FRAC_PI_2)),
             "0.5π"
         );
-        assert_eq!(
-            format_phase_label(Some(1.5 * std::f64::consts::PI)),
-            "1.5π"
-        );
+        assert_eq!(format_phase_label(Some(1.5 * std::f64::consts::PI)), "1.5π");
     }
 }

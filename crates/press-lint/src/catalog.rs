@@ -1,0 +1,85 @@
+//! The PRESS lint catalog.
+//!
+//! Five lints, each guarding an invariant the control loop's reproducibility
+//! story depends on. See DESIGN.md, "Determinism invariants and the lint
+//! catalog", for the full rationale and the seed-stream convention table.
+
+use crate::diag::Severity;
+
+/// Static description of one lint.
+#[derive(Debug, Clone, Copy)]
+pub struct Lint {
+    /// Stable slug used in diagnostics and `allow(...)` comments.
+    pub slug: &'static str,
+    /// Default severity.
+    pub severity: Severity,
+    /// One-line summary for `--list`.
+    pub summary: &'static str,
+}
+
+/// L1: `HashMap`/`HashSet` in simulation crates.
+pub const NONDET_ITERATION: Lint = Lint {
+    slug: "nondeterministic-iteration",
+    severity: Severity::Warning,
+    summary:
+        "HashMap/HashSet iteration order is randomized per process; use BTreeMap/BTreeSet or sort",
+};
+
+/// L2: ambient entropy (`thread_rng`, clocks) outside press-bench.
+pub const AMBIENT_ENTROPY: Lint = Lint {
+    slug: "ambient-entropy",
+    severity: Severity::Error,
+    summary: "thread_rng/from_entropy/rand::random/Instant::now/SystemTime::now break per-seed reproducibility",
+};
+
+/// L3: RNG constructions must derive from a named seed parameter.
+pub const SEED_STREAM: Lint = Lint {
+    slug: "seed-stream-discipline",
+    severity: Severity::Warning,
+    summary:
+        "RNG seeds in library code must derive from a named seed/stream, not an ad-hoc literal",
+};
+
+/// L4: float ordering via `partial_cmp().unwrap()` or `==` on floats.
+pub const FLOAT_ORDERING: Lint = Lint {
+    slug: "float-ordering",
+    severity: Severity::Warning,
+    summary: "partial_cmp().unwrap() panics on NaN and float == is exact; use total_cmp / epsilon",
+};
+
+/// L5: arithmetic mixing dB-suffixed and linear-suffixed identifiers.
+pub const DB_LINEAR_MIXING: Lint = Lint {
+    slug: "db-linear-unit-mixing",
+    severity: Severity::Warning,
+    summary:
+        "mixing *_db with linear-unit identifiers in one expression; convert via press_math::db",
+};
+
+/// Every lint, in catalog (L1..L5) order.
+pub const ALL: &[Lint] = &[
+    NONDET_ITERATION,
+    AMBIENT_ENTROPY,
+    SEED_STREAM,
+    FLOAT_ORDERING,
+    DB_LINEAR_MIXING,
+];
+
+/// Look a lint up by slug (used to validate `allow(...)` lists).
+pub fn by_slug(slug: &str) -> Option<&'static Lint> {
+    ALL.iter().find(|l| l.slug == slug)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slugs_are_unique_and_resolvable() {
+        for (i, a) in ALL.iter().enumerate() {
+            assert!(by_slug(a.slug).is_some());
+            for b in &ALL[i + 1..] {
+                assert_ne!(a.slug, b.slug);
+            }
+        }
+    }
+}

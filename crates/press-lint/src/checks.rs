@@ -1,0 +1,557 @@
+//! The five lint passes, run over a file's token stream.
+//!
+//! Every check is a linear scan with small fixed lookahead/lookbehind — no
+//! expression trees. That keeps the analyzer trivially fast (the whole
+//! workspace lints in well under a second) and immune to macro soup, at the
+//! cost of being a heuristic: the catalog is tuned so that every rule is
+//! either precise (L1, L2, L4a) or scoped to contexts where the convention
+//! is absolute (L3 in library code, L4b outside tests, L5's suffix taint).
+
+use crate::catalog;
+use crate::context::{FileContext, TestRegions};
+use crate::diag::Diagnostic;
+use crate::lexer::{Tok, TokKind};
+
+/// Run every lint over one lexed file. Suppressions are applied by the
+/// caller; this returns raw findings.
+pub fn run_all(ctx: &FileContext, toks: &[Tok], regions: &TestRegions) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    check_nondet_iteration(ctx, toks, &mut out);
+    check_ambient_entropy(ctx, toks, &mut out);
+    check_seed_stream(ctx, toks, regions, &mut out);
+    check_float_ordering(ctx, toks, regions, &mut out);
+    check_db_linear_mixing(ctx, toks, &mut out);
+    out.sort_by(|a, b| (a.line, a.col, a.lint).cmp(&(b.line, b.col, b.lint)));
+    out
+}
+
+fn diag(lint: &'static catalog::Lint, ctx: &FileContext, t: &Tok, message: String) -> Diagnostic {
+    Diagnostic {
+        lint: lint.slug,
+        severity: lint.severity,
+        file: ctx.rel_path.clone(),
+        line: t.line,
+        col: t.col,
+        message,
+        help: lint_help(lint.slug),
+    }
+}
+
+fn lint_help(slug: &str) -> &'static str {
+    match slug {
+        "nondeterministic-iteration" => {
+            "use BTreeMap/BTreeSet, or collect and sort before iterating"
+        }
+        "ambient-entropy" => {
+            "thread all randomness from an explicit seed (StdRng::seed_from_u64) and model time \
+             inside the simulation"
+        }
+        "seed-stream-discipline" => {
+            "derive the seed from a named parameter (`seed`, `seed.wrapping_add(n)`, \
+             `derive_stream_seed(seed, ..)`) so streams stay decorrelated and reproducible"
+        }
+        "float-ordering" => "use f64::total_cmp for ordering, or an explicit epsilon for equality",
+        "db-linear-unit-mixing" => {
+            "convert explicitly via press_math::db (db_to_pow/pow_to_db/db_to_amp/amp_to_db) \
+             before mixing scales"
+        }
+        _ => "",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L1: nondeterministic-iteration
+// ---------------------------------------------------------------------------
+
+/// Flag `HashMap`/`HashSet` identifiers in simulation crates. The std hash
+/// map is seeded per process, so iteration order — and therefore anything
+/// accumulated from it — varies run to run.
+fn check_nondet_iteration(ctx: &FileContext, toks: &[Tok], out: &mut Vec<Diagnostic>) {
+    if ctx.bench_crate {
+        return;
+    }
+    for t in toks {
+        if t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            out.push(diag(
+                &catalog::NONDET_ITERATION,
+                ctx,
+                t,
+                format!(
+                    "`{}` has a per-process iteration order; simulation crates must be \
+                     bit-reproducible per seed",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L2: ambient-entropy
+// ---------------------------------------------------------------------------
+
+/// Forbid OS entropy and wall clocks outside press-bench. One `thread_rng()`
+/// anywhere in the loop and per-seed episode replay is gone.
+fn check_ambient_entropy(ctx: &FileContext, toks: &[Tok], out: &mut Vec<Diagnostic>) {
+    if ctx.bench_crate {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let flagged = match t.text.as_str() {
+            "thread_rng" | "from_entropy" => true,
+            "random" => path_prefix_is(toks, i, "rand"),
+            "now" => path_prefix_is(toks, i, "Instant") || path_prefix_is(toks, i, "SystemTime"),
+            _ => false,
+        };
+        if flagged {
+            let what = if t.text == "now" {
+                format!("`{}::now` reads the wall clock", path_head(toks, i))
+            } else if t.text == "random" {
+                String::from("`rand::random` draws from the thread-local OS-seeded RNG")
+            } else {
+                format!("`{}` draws from OS entropy", t.text)
+            };
+            out.push(diag(
+                &catalog::AMBIENT_ENTROPY,
+                ctx,
+                t,
+                format!("{what}; only press-bench may observe the outside world"),
+            ));
+        }
+    }
+}
+
+/// Is token `i` preceded by `<head> ::`?
+fn path_prefix_is(toks: &[Tok], i: usize, head: &str) -> bool {
+    i >= 2 && toks[i - 1].is_punct("::") && toks[i - 2].is_ident(head)
+}
+
+fn path_head(toks: &[Tok], i: usize) -> &str {
+    if i >= 2 && toks[i - 1].is_punct("::") {
+        &toks[i - 2].text
+    } else {
+        ""
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L3: seed-stream-discipline
+// ---------------------------------------------------------------------------
+
+/// In library code every `seed_from_u64(...)` argument must reference a named
+/// seed or stream (the `seed` / `seed+1` / `seed+2` convention from the
+/// controller). Scratch literals are fine in tests, benches and examples —
+/// there the literal *is* the experiment's name.
+fn check_seed_stream(
+    ctx: &FileContext,
+    toks: &[Tok],
+    regions: &TestRegions,
+    out: &mut Vec<Diagnostic>,
+) {
+    if ctx.bench_crate || ctx.test_file {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("seed_from_u64") || regions.contains(i) {
+            continue;
+        }
+        let Some(open) = toks.get(i + 1).filter(|n| n.is_punct("(")) else {
+            continue;
+        };
+        let _ = open;
+        let close = match matching_paren(toks, i + 1) {
+            Some(c) => c,
+            None => continue,
+        };
+        let derives_from_seed = toks[i + 2..close].iter().any(|a| {
+            a.kind == TokKind::Ident && {
+                let lower = a.text.to_lowercase();
+                lower.contains("seed") || lower.contains("stream")
+            }
+        });
+        if !derives_from_seed {
+            out.push(diag(
+                &catalog::SEED_STREAM,
+                ctx,
+                t,
+                String::from(
+                    "RNG constructed from an ad-hoc seed expression in library code; nothing \
+                     ties this stream to the episode seed",
+                ),
+            ));
+        }
+    }
+}
+
+/// Given the index of a `(`, return the index of its matching `)`.
+fn matching_paren(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// L4: float-ordering
+// ---------------------------------------------------------------------------
+
+/// Two shapes:
+/// (a) `partial_cmp(..).unwrap()` / `.expect(..)` — panics the first time a
+///     NaN reaches the comparison; `total_cmp` is total and NaN-safe.
+/// (b) `==` / `!=` against a float literal outside test code — tests assert
+///     bit-identity deliberately, production code should not.
+fn check_float_ordering(
+    ctx: &FileContext,
+    toks: &[Tok],
+    regions: &TestRegions,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (i, t) in toks.iter().enumerate() {
+        // (a) partial_cmp(..).unwrap()
+        if t.is_ident("partial_cmp") && toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            if let Some(close) = matching_paren(toks, i + 1) {
+                if toks.get(close + 1).is_some_and(|n| n.is_punct("."))
+                    && toks
+                        .get(close + 2)
+                        .is_some_and(|n| n.is_ident("unwrap") || n.is_ident("expect"))
+                {
+                    out.push(diag(
+                        &catalog::FLOAT_ORDERING,
+                        ctx,
+                        t,
+                        String::from(
+                            "`partial_cmp(..).unwrap()` panics on NaN and silently depends on \
+                             partial order",
+                        ),
+                    ));
+                }
+            }
+        }
+        // (b) float-literal equality in non-test code.
+        if t.kind == TokKind::Punct && (t.text == "==" || t.text == "!=") {
+            let in_test = ctx.bench_crate || ctx.test_file || regions.contains(i);
+            if in_test {
+                continue;
+            }
+            let float_neighbor = toks
+                .get(i.wrapping_sub(1))
+                .is_some_and(|p| p.kind == TokKind::Float)
+                || toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Float)
+                || (toks.get(i + 1).is_some_and(|n| n.is_punct("-"))
+                    && toks.get(i + 2).is_some_and(|n| n.kind == TokKind::Float));
+            if float_neighbor {
+                out.push(diag(
+                    &catalog::FLOAT_ORDERING,
+                    ctx,
+                    t,
+                    format!(
+                        "`{}` against a float literal is an exact bit comparison",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L5: db-linear-unit-mixing
+// ---------------------------------------------------------------------------
+
+/// Unit class inferred from an identifier's suffix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Unit {
+    Db,
+    Linear,
+}
+
+fn classify(name: &str) -> Option<Unit> {
+    let n = name.to_lowercase();
+    const DB: &[&str] = &["_db", "_dbm", "_dbi"];
+    const LINEAR: &[&str] = &["_linear", "_lin", "_pow", "_amp", "_mw", "_watts", "_power"];
+    if DB.iter().any(|s| n.ends_with(s)) {
+        return Some(Unit::Db);
+    }
+    if LINEAR.iter().any(|s| n.ends_with(s)) {
+        return Some(Unit::Linear);
+    }
+    None
+}
+
+/// Flag `+ - * /` whose two operand chains carry conflicting unit suffixes
+/// (`snr_db + path_gain_linear`). dB-with-dB and linear-with-linear pass;
+/// multiplying either class by a unitless scalar passes. The suffix taint is
+/// deliberately shallow — it follows the naming convention the workspace
+/// already uses (`*_db`, `*_dbm`, `*_linear`, `*_mw`, ...), and converter
+/// calls classify by their return unit (`db_to_pow` → linear, `pow_to_db` →
+/// dB) because the convention puts the unit last.
+fn check_db_linear_mixing(ctx: &FileContext, toks: &[Tok], out: &mut Vec<Diagnostic>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Punct || !matches!(t.text.as_str(), "+" | "-" | "*" | "/") {
+            continue;
+        }
+        // Binary only: the previous token must be able to end an operand.
+        let binary = toks.get(i.wrapping_sub(1)).is_some_and(|p| {
+            matches!(p.kind, TokKind::Ident | TokKind::Int | TokKind::Float)
+                || p.is_punct(")")
+                || p.is_punct("]")
+        });
+        if !binary || i == 0 {
+            continue;
+        }
+        let before = chain_unit_before(toks, i);
+        let after = chain_unit_after(toks, i);
+        if let (Some(a), Some(b)) = (before, after) {
+            if a != b {
+                out.push(diag(
+                    &catalog::DB_LINEAR_MIXING,
+                    ctx,
+                    t,
+                    format!(
+                        "arithmetic mixes a dB-scale identifier with a linear-scale identifier \
+                         across `{}`",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Unit of the operand chain ending just before token `op` (walk back over
+/// `ident`, `.`, `::`, and balanced `(..)`/`[..]` groups; classify the first
+/// classifiable identifier in that span).
+fn chain_unit_before(toks: &[Tok], op: usize) -> Option<Unit> {
+    let mut k = op; // exclusive end
+    let mut start = op;
+    while start > 0 {
+        let t = &toks[start - 1];
+        if t.is_punct(")") || t.is_punct("]") {
+            // Skip back over the balanced group.
+            let (open, close) = if t.is_punct(")") {
+                ("(", ")")
+            } else {
+                ("[", "]")
+            };
+            let mut depth = 0usize;
+            let mut j = start - 1;
+            loop {
+                if toks[j].is_punct(close) {
+                    depth += 1;
+                } else if toks[j].is_punct(open) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    return None;
+                }
+                j -= 1;
+            }
+            start = j;
+        } else if t.kind == TokKind::Ident
+            || t.kind == TokKind::Int
+            || t.kind == TokKind::Float
+            || t.is_punct(".")
+            || t.is_punct("::")
+        {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    k = k.min(toks.len());
+    toks[start..k]
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .find_map(|t| classify(&t.text))
+}
+
+/// Unit of the operand chain starting just after token `op` (skip unary
+/// prefixes, then walk `ident`, `.`, `::`, balanced groups).
+fn chain_unit_after(toks: &[Tok], op: usize) -> Option<Unit> {
+    let mut k = op + 1;
+    // Unary prefixes.
+    while k < toks.len()
+        && (toks[k].is_punct("&") || toks[k].is_punct("-") || toks[k].is_punct("!"))
+    {
+        k += 1;
+    }
+    let start = k;
+    while k < toks.len() {
+        let t = &toks[k];
+        if t.is_punct("(") || t.is_punct("[") {
+            let (open, close) = if t.is_punct("(") {
+                ("(", ")")
+            } else {
+                ("[", "]")
+            };
+            let mut depth = 0usize;
+            while k < toks.len() {
+                if toks[k].is_punct(open) {
+                    depth += 1;
+                } else if toks[k].is_punct(close) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            k += 1;
+        } else if t.kind == TokKind::Ident
+            || t.kind == TokKind::Int
+            || t.kind == TokKind::Float
+            || t.is_punct(".")
+            || t.is_punct("::")
+        {
+            k += 1;
+        } else {
+            break;
+        }
+    }
+    toks[start..k.min(toks.len())]
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .find_map(|t| classify(&t.text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::test_regions;
+    use crate::lexer::lex;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let ctx = FileContext::from_rel_path(path);
+        let lexed = lex(src);
+        let regions = test_regions(&lexed.toks);
+        run_all(&ctx, &lexed.toks, &regions)
+    }
+
+    const LIB: &str = "crates/press-core/src/x.rs";
+
+    #[test]
+    fn l1_flags_hash_collections_outside_bench() {
+        let d = run(LIB, "use std::collections::HashSet;\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].lint, "nondeterministic-iteration");
+        assert_eq!(d[0].line, 1);
+        assert!(run(
+            "crates/press-bench/src/lib.rs",
+            "use std::collections::HashMap;"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn l2_flags_entropy_and_clocks() {
+        for (src, frag) in [
+            ("let mut r = rand::thread_rng();", "thread_rng"),
+            ("let r = StdRng::from_entropy();", "from_entropy"),
+            ("let x: u8 = rand::random();", "random"),
+            ("let t = Instant::now();", "now"),
+            ("let t = SystemTime::now();", "now"),
+        ] {
+            let d = run(LIB, src);
+            assert_eq!(d.len(), 1, "{src}");
+            assert_eq!(d[0].lint, "ambient-entropy", "{src}");
+            assert!(d[0].severity == crate::diag::Severity::Error);
+            let _ = frag;
+        }
+        // `now` and `random` only flag behind the known paths.
+        assert!(run(LIB, "let t = sim.now(); let r = draw.random();").is_empty());
+    }
+
+    #[test]
+    fn l3_literal_seed_in_lib_flagged_named_seed_clean() {
+        let d = run(LIB, "let rng = StdRng::seed_from_u64(42);");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].lint, "seed-stream-discipline");
+        assert!(run(
+            LIB,
+            "let rng = StdRng::seed_from_u64(self.seed.wrapping_add(2));"
+        )
+        .is_empty());
+        assert!(run(
+            LIB,
+            "let rng = StdRng::seed_from_u64(derive_stream_seed(seed, j, 0));"
+        )
+        .is_empty());
+        // Tests and benches may use scratch literals.
+        assert!(run(
+            LIB,
+            "#[cfg(test)]\nmod tests { fn t() { let r = StdRng::seed_from_u64(7); } }"
+        )
+        .is_empty());
+        assert!(run(
+            "crates/press-bench/src/bin/fig4.rs",
+            "let r = StdRng::seed_from_u64(7);"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn l4_partial_cmp_unwrap_and_float_eq() {
+        let d = run(LIB, "xs.sort_by(|a, b| a.partial_cmp(b).unwrap());");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].lint, "float-ordering");
+        let d = run(LIB, "if x == 1.5 { }");
+        assert_eq!(d.len(), 1);
+        // A partial_cmp *definition* (the des.rs Ord impl) is clean.
+        assert!(run(
+            LIB,
+            "fn partial_cmp(&self, other: &Self) -> Option<Ordering> { Some(self.cmp(other)) }"
+        )
+        .is_empty());
+        // total_cmp and epsilon comparisons are clean.
+        assert!(run(
+            LIB,
+            "xs.sort_by(f64::total_cmp); if (x - 1.5).abs() < 1e-9 { }"
+        )
+        .is_empty());
+        // Float equality inside tests is a deliberate bit-identity assertion.
+        assert!(run(
+            LIB,
+            "#[cfg(test)]\nmod tests { fn t() { assert!(x == 1.5); } }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn l5_db_linear_mixing() {
+        let d = run(LIB, "let y = snr_db + path_gain_linear;");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].lint, "db-linear-unit-mixing");
+        let d = run(LIB, "let y = noise_mw * floor_db;");
+        assert_eq!(d.len(), 1);
+        // Same-unit arithmetic and unitless scalars are clean.
+        assert!(run(LIB, "let y = a_db - b_db; let z = gain_linear * 2.0;").is_empty());
+        // Converter calls classify by their return unit.
+        assert!(run(LIB, "let y = snr_db + pow_to_db(path_gain_linear);").is_empty());
+        let d = run(LIB, "let y = snr_db + db_to_pow(other_db);");
+        assert_eq!(d.len(), 1, "adding a linear power to a dB value");
+    }
+
+    #[test]
+    fn diagnostics_are_ordered_by_span() {
+        let d = run(
+            LIB,
+            "use std::collections::HashSet;\nlet r = rand::thread_rng();\n",
+        );
+        assert_eq!(d.len(), 2);
+        assert!(d[0].line < d[1].line);
+    }
+}

@@ -1,0 +1,222 @@
+//! Per-file analysis context: which crate a file belongs to, whether it is
+//! test/bench/example code, and which token ranges sit inside `#[cfg(test)]`
+//! or `#[test]` items.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Where a file sits in the workspace and how strictly to lint it.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// Crate the file belongs to (`press` for the facade package).
+    pub crate_name: String,
+    /// True for press-bench: the measurement harness is allowed wall clocks
+    /// and scratch seeds because its output is a report, not a simulation.
+    pub bench_crate: bool,
+    /// True when the whole file is test/bench/example surface (under a
+    /// `tests/`, `benches/` or `examples/` directory).
+    pub test_file: bool,
+}
+
+impl FileContext {
+    /// Classify a workspace-relative path.
+    pub fn from_rel_path(rel_path: &str) -> FileContext {
+        let rel = rel_path.replace('\\', "/");
+        let parts: Vec<&str> = rel.split('/').collect();
+        let crate_name = if parts.first() == Some(&"crates") && parts.len() > 1 {
+            parts[1].to_string()
+        } else {
+            // Facade package: src/, tests/, examples/ at the workspace root.
+            String::from("press")
+        };
+        let test_file = parts
+            .iter()
+            .any(|p| matches!(*p, "tests" | "benches" | "examples" | "bin"));
+        FileContext {
+            bench_crate: crate_name == "press-bench",
+            crate_name,
+            rel_path: rel,
+            test_file,
+        }
+    }
+}
+
+/// Token-index ranges (half-open) that sit inside `#[cfg(test)]` / `#[test]`
+/// items.
+#[derive(Debug, Default)]
+pub struct TestRegions {
+    ranges: Vec<(usize, usize)>,
+}
+
+impl TestRegions {
+    /// True if token index `idx` falls inside any test region.
+    pub fn contains(&self, idx: usize) -> bool {
+        self.ranges.iter().any(|&(a, b)| a <= idx && idx < b)
+    }
+}
+
+/// Find `#[cfg(test)]` / `#[test]` attributed items and mark their bodies.
+///
+/// The scan is syntactic: after a qualifying attribute we take everything up
+/// to the matching close brace of the next `{` (the `mod tests { ... }` or
+/// `fn case() { ... }` body). `cfg(not(test))` does not qualify.
+pub fn test_regions(toks: &[Tok]) -> TestRegions {
+    let mut regions = TestRegions::default();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct("#") && i + 1 < toks.len() && toks[i + 1].is_punct("[") {
+            // Collect the attribute token range: from `[` to its matching `]`.
+            let attr_start = i + 2;
+            let mut depth = 1usize;
+            let mut j = attr_start;
+            while j < toks.len() && depth > 0 {
+                if toks[j].is_punct("[") {
+                    depth += 1;
+                } else if toks[j].is_punct("]") {
+                    depth -= 1;
+                }
+                j += 1;
+            }
+            let attr_end = j.saturating_sub(1); // index of `]`
+            if attr_is_testish(&toks[attr_start..attr_end]) {
+                // Find the body: first `{` before any `;` at attribute depth.
+                let mut k = j;
+                // Skip further attributes (`#[test] #[ignore] fn ...`).
+                while k + 1 < toks.len() && toks[k].is_punct("#") && toks[k + 1].is_punct("[") {
+                    let mut d = 1usize;
+                    let mut m = k + 2;
+                    while m < toks.len() && d > 0 {
+                        if toks[m].is_punct("[") {
+                            d += 1;
+                        } else if toks[m].is_punct("]") {
+                            d -= 1;
+                        }
+                        m += 1;
+                    }
+                    k = m;
+                }
+                let mut open = None;
+                while k < toks.len() {
+                    if toks[k].is_punct("{") {
+                        open = Some(k);
+                        break;
+                    }
+                    if toks[k].is_punct(";") {
+                        break; // `#[cfg(test)] mod tests;` — out-of-line, skip
+                    }
+                    k += 1;
+                }
+                if let Some(open) = open {
+                    let mut d = 1usize;
+                    let mut m = open + 1;
+                    while m < toks.len() && d > 0 {
+                        if toks[m].is_punct("{") {
+                            d += 1;
+                        } else if toks[m].is_punct("}") {
+                            d -= 1;
+                        }
+                        m += 1;
+                    }
+                    regions.ranges.push((open, m));
+                    i = j;
+                    continue;
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Does an attribute body mark test-only code?
+///
+/// Qualifies: `test`, `cfg(test)`, `cfg(all(test, ...))`, `bench`.
+/// Does not qualify: `cfg(not(test))`.
+fn attr_is_testish(attr: &[Tok]) -> bool {
+    // Bare `#[test]` / `#[bench]`.
+    if attr.len() == 1 && (attr[0].is_ident("test") || attr[0].is_ident("bench")) {
+        return true;
+    }
+    if !attr.first().is_some_and(|t| t.is_ident("cfg")) {
+        return false;
+    }
+    // Inside cfg(...): accept an ident `test` not preceded by `not (`.
+    for (k, t) in attr.iter().enumerate() {
+        if t.kind == TokKind::Ident && t.text == "test" {
+            let negated = k >= 2 && attr[k - 2].is_ident("not") && attr[k - 1].is_punct("(");
+            if !negated {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn crate_classification() {
+        let c = FileContext::from_rel_path("crates/press-core/src/search.rs");
+        assert_eq!(c.crate_name, "press-core");
+        assert!(!c.bench_crate && !c.test_file);
+
+        let c = FileContext::from_rel_path("crates/press-bench/src/bin/fig4.rs");
+        assert!(c.bench_crate && c.test_file);
+
+        let c = FileContext::from_rel_path("examples/quickstart.rs");
+        assert_eq!(c.crate_name, "press");
+        assert!(c.test_file);
+
+        let c = FileContext::from_rel_path("src/rig.rs");
+        assert_eq!(c.crate_name, "press");
+        assert!(!c.test_file);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_region() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n fn t() { body(); }\n}\nfn after() {}";
+        let l = lex(src);
+        let r = test_regions(&l.toks);
+        let body = l.toks.iter().position(|t| t.is_ident("body")).unwrap();
+        let lib = l.toks.iter().position(|t| t.is_ident("lib")).unwrap();
+        let after = l.toks.iter().position(|t| t.is_ident("after")).unwrap();
+        assert!(r.contains(body));
+        assert!(!r.contains(lib));
+        assert!(!r.contains(after));
+    }
+
+    #[test]
+    fn test_fn_attr_is_a_region() {
+        let src = "#[test]\nfn case() { inner(); }\nfn outer() {}";
+        let l = lex(src);
+        let r = test_regions(&l.toks);
+        let inner = l.toks.iter().position(|t| t.is_ident("inner")).unwrap();
+        let outer = l.toks.iter().position(|t| t.is_ident("outer")).unwrap();
+        assert!(r.contains(inner));
+        assert!(!r.contains(outer));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_region() {
+        let src = "#[cfg(not(test))]\nmod prod { fn p() { body(); } }";
+        let l = lex(src);
+        let r = test_regions(&l.toks);
+        let body = l.toks.iter().position(|t| t.is_ident("body")).unwrap();
+        assert!(!r.contains(body));
+    }
+
+    #[test]
+    fn stacked_attributes_reach_the_body() {
+        let src = "#[test]\n#[ignore]\nfn case() { inner(); }";
+        let l = lex(src);
+        let r = test_regions(&l.toks);
+        let inner = l.toks.iter().position(|t| t.is_ident("inner")).unwrap();
+        assert!(r.contains(inner));
+    }
+}

@@ -1,0 +1,110 @@
+//! Diagnostics: severity, spans, rendering (human and JSON).
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Fails the run only under `--deny-warnings`.
+    Warning,
+    /// Always fails the run.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding, anchored to a file/line/column.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Lint slug (e.g. `nondeterministic-iteration`).
+    pub lint: &'static str,
+    /// Severity of this finding.
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What is wrong, concretely.
+    pub message: String,
+    /// How to fix it.
+    pub help: &'static str,
+}
+
+impl Diagnostic {
+    /// Render in the familiar rustc two-line style.
+    pub fn render_human(&self) -> String {
+        format!(
+            "{}[{}]: {}\n  --> {}:{}:{}\n   = help: {}\n",
+            self.severity, self.lint, self.message, self.file, self.line, self.col, self.help
+        )
+    }
+
+    /// Render as a JSON object (machine-readable CI output).
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"lint\":{},\"severity\":{},\"file\":{},\"line\":{},\"column\":{},\"message\":{},\"help\":{}}}",
+            json_str(self.lint),
+            json_str(&self.severity.to_string()),
+            json_str(&self.file),
+            self.line,
+            self.col,
+            json_str(&self.message),
+            json_str(self.help),
+        )
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn json_render_is_valid_shape() {
+        let d = Diagnostic {
+            lint: "float-ordering",
+            severity: Severity::Warning,
+            file: "src/lib.rs".into(),
+            line: 3,
+            col: 7,
+            message: "`==` on an f64".into(),
+            help: "use total_cmp or an epsilon",
+        };
+        let j = d.render_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"line\":3"));
+        assert!(j.contains("\"severity\":\"warning\""));
+    }
+}

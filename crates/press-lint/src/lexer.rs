@@ -1,0 +1,524 @@
+//! A minimal Rust lexer, just rich enough for the lint catalog.
+//!
+//! `syn` is the obvious tool for this job, but the analyzer must build with
+//! zero dependencies (it is the first thing CI runs, including in offline
+//! sandboxes), so we hand-roll a token scanner instead. The lints only need
+//! identifiers, literals, punctuation and comment text with line/column
+//! spans — no expression trees — and a lexer-level view has one real
+//! advantage: it never misparses the macro-heavy test code that trips up
+//! AST-based tools.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashSet`, `fn`, `r#async`).
+    Ident,
+    /// Integer literal (`42`, `0x9E37`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `2e-3`, `1f64`).
+    Float,
+    /// String, raw-string or byte-string literal (contents dropped).
+    Str,
+    /// Char literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Punctuation, possibly compound (`::`, `==`, `->`).
+    Punct,
+}
+
+/// One lexed token with its source span.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Source text (for `Str`/`Char` this is a placeholder, not the contents).
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column of the first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// True if this token is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is punctuation with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// A `// press-lint: allow(...)` suppression comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// True for a trailing comment (code precedes it on the same line): it
+    /// silences its own line only. A standalone comment line also silences
+    /// the line below it.
+    pub trailing: bool,
+    /// Lint slugs named in the `allow(...)` list (or `all`).
+    pub slugs: Vec<String>,
+}
+
+/// Lexer output: the token stream plus any suppression comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Suppression comments in source order.
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Lex `src` into tokens, collecting `press-lint: allow(...)` comments.
+///
+/// The scanner is forgiving: on any construct it does not understand it
+/// advances one character and carries on, so a pathological file degrades to
+/// fewer findings rather than a crash.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if b[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        let (tline, tcol) = (line, col);
+
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+
+        // Line comment (and suppression extraction).
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+            let start = i;
+            while i < b.len() && b[i] != '\n' {
+                bump!();
+            }
+            let text: String = b[start..i].iter().collect();
+            let trailing = out.toks.last().is_some_and(|t| t.line == tline);
+            if let Some(sup) = parse_suppression(&text, tline, trailing) {
+                out.suppressions.push(sup);
+            }
+            continue;
+        }
+
+        // Block comment, nested.
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                    depth += 1;
+                    bump!();
+                    bump!();
+                } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                    depth -= 1;
+                    bump!();
+                    bump!();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    bump!();
+                }
+            }
+            continue;
+        }
+
+        // Raw strings: r"..." / r#"..."# / br#"..."#  (and raw idents r#foo).
+        if c == 'r' || c == 'b' {
+            let mut j = i;
+            let mut prefix_b = false;
+            if b[j] == 'b' {
+                prefix_b = true;
+                j += 1;
+            }
+            if j < b.len() && b[j] == 'r' {
+                j += 1;
+                let mut hashes = 0usize;
+                while j < b.len() && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == '"' {
+                    // Raw (byte) string: scan to closing quote + hashes.
+                    while i < j {
+                        bump!();
+                    }
+                    bump!(); // opening quote
+                    'raw: while i < b.len() {
+                        if b[i] == '"' {
+                            let mut k = i + 1;
+                            let mut seen = 0usize;
+                            while k < b.len() && seen < hashes && b[k] == '#' {
+                                seen += 1;
+                                k += 1;
+                            }
+                            if seen == hashes {
+                                while i < k {
+                                    bump!();
+                                }
+                                break 'raw;
+                            }
+                        }
+                        bump!();
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: String::from("\"raw\""),
+                        line: tline,
+                        col: tcol,
+                    });
+                    continue;
+                } else if !prefix_b && hashes == 1 && j < b.len() && is_ident_start(b[j]) {
+                    // Raw identifier r#foo.
+                    bump!(); // r
+                    bump!(); // #
+                    let start = i;
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        bump!();
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text: b[start..i].iter().collect(),
+                        line: tline,
+                        col: tcol,
+                    });
+                    continue;
+                }
+            }
+        }
+
+        // Plain or byte string.
+        if c == '"' || (c == 'b' && i + 1 < b.len() && b[i + 1] == '"') {
+            if c == 'b' {
+                bump!();
+            }
+            bump!(); // opening quote
+            while i < b.len() {
+                if b[i] == '\\' && i + 1 < b.len() {
+                    bump!();
+                    bump!();
+                } else if b[i] == '"' {
+                    bump!();
+                    break;
+                } else {
+                    bump!();
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text: String::from("\"...\""),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // Lifetime: 'ident not followed by a closing quote.
+            if i + 1 < b.len() && is_ident_start(b[i + 1]) {
+                let mut j = i + 1;
+                while j < b.len() && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                if j < b.len() && b[j] == '\'' && j == i + 2 {
+                    // 'x' — a char literal, fall through below.
+                } else {
+                    bump!();
+                    let start = i;
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        bump!();
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: b[start..i].iter().collect(),
+                        line: tline,
+                        col: tcol,
+                    });
+                    continue;
+                }
+            }
+            bump!(); // opening quote
+            while i < b.len() {
+                if b[i] == '\\' && i + 1 < b.len() {
+                    bump!();
+                    bump!();
+                } else if b[i] == '\'' {
+                    bump!();
+                    break;
+                } else {
+                    bump!();
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Char,
+                text: String::from("'.'"),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let start = i;
+            while i < b.len() && is_ident_continue(b[i]) {
+                bump!();
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: b[start..i].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Number.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            if c == '0' && i + 1 < b.len() && matches!(b[i + 1], 'x' | 'X' | 'b' | 'B' | 'o' | 'O')
+            {
+                bump!();
+                bump!();
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    bump!();
+                }
+            } else {
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == '_') {
+                    bump!();
+                }
+                // Fractional part: a dot followed by a digit (not `..` or a
+                // method call like `1.max(2)`).
+                if i + 1 < b.len() && b[i] == '.' && b[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    bump!();
+                    while i < b.len() && (b[i].is_ascii_digit() || b[i] == '_') {
+                        bump!();
+                    }
+                } else if i < b.len()
+                    && b[i] == '.'
+                    && (i + 1 >= b.len() || (!is_ident_start(b[i + 1]) && b[i + 1] != '.'))
+                {
+                    // Trailing-dot float like `2.`.
+                    is_float = true;
+                    bump!();
+                }
+                // Exponent.
+                if i < b.len() && matches!(b[i], 'e' | 'E') {
+                    let mut j = i + 1;
+                    if j < b.len() && matches!(b[j], '+' | '-') {
+                        j += 1;
+                    }
+                    if j < b.len() && b[j].is_ascii_digit() {
+                        is_float = true;
+                        while i < j {
+                            bump!();
+                        }
+                        while i < b.len() && (b[i].is_ascii_digit() || b[i] == '_') {
+                            bump!();
+                        }
+                    }
+                }
+                // Type suffix.
+                if i < b.len() && is_ident_start(b[i]) {
+                    let sstart = i;
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        bump!();
+                    }
+                    let suffix: String = b[sstart..i].iter().collect();
+                    if suffix.starts_with('f') {
+                        is_float = true;
+                    }
+                }
+            }
+            out.toks.push(Tok {
+                kind: if is_float {
+                    TokKind::Float
+                } else {
+                    TokKind::Int
+                },
+                text: b[start..i].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Compound punctuation we care about, longest match first.
+        const COMPOUND: &[&str] = &[
+            "..=", "::", "==", "!=", "<=", ">=", "->", "=>", "..", "+=", "-=", "*=", "/=", "&&",
+            "||", "<<", ">>",
+        ];
+        let mut matched = false;
+        for p in COMPOUND {
+            let pc: Vec<char> = p.chars().collect();
+            if b[i..].starts_with(&pc[..]) {
+                for _ in 0..pc.len() {
+                    bump!();
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (*p).to_string(),
+                    line: tline,
+                    col: tcol,
+                });
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+
+        bump!();
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line: tline,
+            col: tcol,
+        });
+    }
+
+    out
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Parse `// press-lint: allow(slug, slug2)` out of a line comment.
+fn parse_suppression(comment: &str, line: u32, trailing: bool) -> Option<Suppression> {
+    let marker = "press-lint:";
+    let pos = comment.find(marker)?;
+    let rest = comment[pos + marker.len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let slugs: Vec<String> = rest[..close]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if slugs.is_empty() {
+        return None;
+    }
+    Some(Suppression {
+        line,
+        trailing,
+        slugs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_and_numbers() {
+        let l = lex("let snr_db = 3.0 + x_linear * 2;");
+        let kinds: Vec<TokKind> = l.toks.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokKind::Ident,
+                TokKind::Ident,
+                TokKind::Punct,
+                TokKind::Float,
+                TokKind::Punct,
+                TokKind::Ident,
+                TokKind::Punct,
+                TokKind::Int,
+                TokKind::Punct,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let l = lex("let s = \"HashMap thread_rng\"; /* HashSet */ // HashMap\n");
+        assert!(!l.toks.iter().any(|t| t.text.contains("HashMap")));
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        let l = lex("for i in 0..16 {}");
+        assert!(l.toks.iter().all(|t| t.kind != TokKind::Float));
+        assert!(l.toks.iter().any(|t| t.is_punct("..")));
+    }
+
+    #[test]
+    fn exponent_and_suffix_floats() {
+        for src in ["1e-3", "2.5e9", "1f64", "2."] {
+            let l = lex(src);
+            assert_eq!(l.toks[0].kind, TokKind::Float, "{src}");
+        }
+        assert_eq!(lex("1u64").toks[0].kind, TokKind::Int);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            l.toks
+                .iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn suppression_comment_parsed() {
+        let l = lex("let x = 1; // press-lint: allow(float-ordering, ambient-entropy)\n");
+        assert_eq!(l.suppressions.len(), 1);
+        assert_eq!(
+            l.suppressions[0].slugs,
+            vec!["float-ordering", "ambient-entropy"]
+        );
+        assert_eq!(l.suppressions[0].line, 1);
+    }
+
+    #[test]
+    fn line_numbers_track() {
+        let l = lex("a\nb\n  c");
+        assert_eq!(l.toks[0].line, 1);
+        assert_eq!(l.toks[1].line, 2);
+        assert_eq!(l.toks[2].line, 3);
+        assert_eq!(l.toks[2].col, 3);
+    }
+
+    #[test]
+    fn raw_strings_skipped() {
+        let l = lex("let s = r#\"HashMap \" inner\"#; let t = 1;");
+        assert!(!l.toks.iter().any(|t| t.text.contains("HashMap")));
+        assert!(l.toks.iter().any(|t| t.is_ident("t")));
+    }
+}

@@ -1,0 +1,43 @@
+//! `press-lint` — the PRESS workspace determinism & unit-safety analyzer.
+//!
+//! PRESS's closed control loop only beats the coherence-time budget if every
+//! layer is bit-for-bit reproducible per seed: the basis cache (PR 1) and the
+//! transport actuation path (PR 2) were both validated by "the wired episode
+//! reproduces the oracle episode exactly", and that style of validation dies
+//! the moment a `HashSet` iteration order or a `thread_rng()` sneaks into a
+//! simulation crate. This crate is the enforcement arm: a dependency-free
+//! static analyzer that lexes every `.rs` file in the workspace and applies
+//! the five-lint catalog described in DESIGN.md ("Determinism invariants and
+//! the lint catalog"):
+//!
+//! | lint | guards |
+//! |------|--------|
+//! | `nondeterministic-iteration` | no `HashMap`/`HashSet` in simulation crates |
+//! | `ambient-entropy` | no OS entropy / wall clocks outside press-bench |
+//! | `seed-stream-discipline` | RNG seeds derive from named seed streams |
+//! | `float-ordering` | no `partial_cmp().unwrap()`, no float `==` outside tests |
+//! | `db-linear-unit-mixing` | no arithmetic across dB / linear suffixes |
+//!
+//! Run it as a workspace binary:
+//!
+//! ```sh
+//! cargo run -p press-lint -- check                 # human-readable report
+//! cargo run -p press-lint -- check --format json   # machine-readable
+//! cargo run -p press-lint -- check --deny-warnings # CI gate: warnings fail
+//! ```
+//!
+//! Findings are suppressed (and counted) with an inline comment on the same
+//! or preceding line: `// press-lint: allow(<lint-slug>)`.
+
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+pub mod checks;
+pub mod context;
+pub mod diag;
+pub mod lexer;
+pub mod workspace;
+
+pub use catalog::{Lint, ALL};
+pub use diag::{Diagnostic, Severity};
+pub use workspace::{analyze_source, analyze_workspace, find_workspace_root, Report};

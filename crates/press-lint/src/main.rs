@@ -1,0 +1,139 @@
+//! CLI for the PRESS workspace analyzer.
+//!
+//! ```text
+//! press-lint check [--format human|json] [--deny-warnings] [--root PATH]
+//! press-lint list
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings (any error, or any warning under
+//! `--deny-warnings`), 2 usage/IO error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use press_lint::diag::{json_str, Severity};
+use press_lint::{analyze_workspace, catalog, find_workspace_root};
+
+struct Opts {
+    json: bool,
+    deny_warnings: bool,
+    root: Option<PathBuf>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: press-lint check [--format human|json] [--deny-warnings] [--root PATH]\n\
+         \u{20}      press-lint list"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "list" => {
+            for lint in catalog::ALL {
+                println!(
+                    "{:<28} {:<8} {}",
+                    lint.slug,
+                    lint.severity.to_string(),
+                    lint.summary
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "check" => {
+            let mut opts = Opts {
+                json: false,
+                deny_warnings: false,
+                root: None,
+            };
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--format" => match it.next().map(String::as_str) {
+                        Some("human") => opts.json = false,
+                        Some("json") => opts.json = true,
+                        _ => return usage(),
+                    },
+                    "--deny-warnings" => opts.deny_warnings = true,
+                    "--root" => match it.next() {
+                        Some(p) => opts.root = Some(PathBuf::from(p)),
+                        None => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            run_check(opts)
+        }
+        _ => usage(),
+    }
+}
+
+fn run_check(opts: Opts) -> ExitCode {
+    let root = match opts.root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "press-lint: could not locate a workspace root (missing [workspace] Cargo.toml)"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let report = match analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("press-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let errors = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = report.diagnostics.len() - errors;
+
+    if opts.json {
+        let mut out = String::from("{\"diagnostics\":[");
+        for (i, d) in report.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&d.render_json());
+        }
+        out.push_str(&format!(
+            "],\"files_scanned\":{},\"suppressed\":{},\"errors\":{},\"warnings\":{},\"root\":{}}}",
+            report.files,
+            report.suppressed,
+            errors,
+            warnings,
+            json_str(&root.to_string_lossy()),
+        ));
+        println!("{out}");
+    } else {
+        for d in &report.diagnostics {
+            println!("{}", d.render_human());
+        }
+        println!(
+            "press-lint: {} file(s) scanned, {} error(s), {} warning(s), {} suppressed",
+            report.files, errors, warnings, report.suppressed
+        );
+    }
+
+    if errors > 0 || (opts.deny_warnings && warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,154 @@
+//! Workspace discovery and the whole-tree analysis entry point.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::checks;
+use crate::context::{test_regions, FileContext};
+use crate::diag::Diagnostic;
+use crate::lexer;
+
+/// Result of analyzing a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files: usize,
+    /// Findings that survived suppression, in (file, line) order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings silenced by `// press-lint: allow(..)` comments.
+    pub suppressed: usize,
+}
+
+/// Analyze one source string as if it lived at `rel_path` in the workspace.
+///
+/// Returns surviving diagnostics plus the number suppressed. This is the
+/// unit the fixture tests drive directly.
+pub fn analyze_source(rel_path: &str, src: &str) -> (Vec<Diagnostic>, usize) {
+    let ctx = FileContext::from_rel_path(rel_path);
+    let lexed = lexer::lex(src);
+    let regions = test_regions(&lexed.toks);
+    let raw = checks::run_all(&ctx, &lexed.toks, &regions);
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    for d in raw {
+        let silenced = lexed.suppressions.iter().any(|s| {
+            (s.line == d.line || (!s.trailing && s.line + 1 == d.line))
+                && s.slugs.iter().any(|slug| slug == d.lint || slug == "all")
+        });
+        if silenced {
+            suppressed += 1;
+        } else {
+            kept.push(d);
+        }
+    }
+    (kept, suppressed)
+}
+
+/// Directories never scanned, wherever they appear.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "results"];
+
+/// Path suffixes excluded from the scan: the linter's own fixture corpus is
+/// deliberately violation-dense.
+const SKIP_SUFFIXES: &[&str] = &["crates/press-lint/tests/fixtures"];
+
+/// Recursively collect workspace `.rs` files in deterministic (sorted) order.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                if SKIP_DIRS.contains(&name) {
+                    continue;
+                }
+                let rel = rel_to(root, &path);
+                if SKIP_SUFFIXES.iter().any(|s| rel == *s) {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn rel_to(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Analyze every `.rs` file under `root`.
+pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    for path in collect_rs_files(root)? {
+        let src = fs::read_to_string(&path)?;
+        let rel = rel_to(root, &path);
+        let (diags, suppressed) = analyze_source(&rel, &src);
+        report.files += 1;
+        report.suppressed += suppressed;
+        report.diagnostics.extend(diags);
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    Ok(report)
+}
+
+/// Walk upward from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start.to_path_buf());
+    while let Some(dir) = cur {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        cur = dir.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_silences_same_and_next_line() {
+        let src = "\
+// press-lint: allow(nondeterministic-iteration)
+use std::collections::HashSet;
+use std::collections::HashMap; // press-lint: allow(nondeterministic-iteration)
+use std::collections::HashMap;
+";
+        let (diags, suppressed) = analyze_source("crates/press-core/src/x.rs", src);
+        assert_eq!(suppressed, 2);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 4);
+    }
+
+    #[test]
+    fn allow_all_and_unrelated_slugs() {
+        let src = "use std::collections::HashSet; // press-lint: allow(all)\n";
+        let (diags, suppressed) = analyze_source("crates/press-core/src/x.rs", src);
+        assert!(diags.is_empty());
+        assert_eq!(suppressed, 1);
+
+        let src = "use std::collections::HashSet; // press-lint: allow(float-ordering)\n";
+        let (diags, suppressed) = analyze_source("crates/press-core/src/x.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(suppressed, 0);
+    }
+}

@@ -1,0 +1,12 @@
+//! L1 fixture: hash collections in a simulation crate.
+
+use std::collections::HashMap;
+
+fn tally(xs: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    // Iteration order here varies per process: the bug L1 exists to catch.
+    counts.into_iter().collect()
+}

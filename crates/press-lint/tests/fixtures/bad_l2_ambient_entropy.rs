@@ -1,0 +1,10 @@
+//! L2 fixture: OS entropy and wall clocks in simulation code.
+
+use std::time::Instant;
+
+fn jitter() -> f64 {
+    let started = Instant::now();
+    let mut rng = rand::thread_rng();
+    let x: f64 = rand::random();
+    started.elapsed().as_secs_f64() + x + rng.gen::<f64>()
+}

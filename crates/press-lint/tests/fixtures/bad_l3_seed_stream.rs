@@ -1,0 +1,7 @@
+//! L3 fixture: an ad-hoc literal seed in library code. Nothing connects this
+//! RNG stream to the episode seed, so per-seed replay silently diverges.
+
+fn measure(n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(0xDEADBEEF);
+    (0..n).map(|_| rng.gen::<f64>()).collect()
+}

@@ -1,0 +1,9 @@
+//! L4 fixture: NaN-unsafe ordering and exact float equality.
+
+fn best(xs: &mut [f64], snr: f64) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    if snr == 20.0 {
+        return xs[0];
+    }
+    xs[xs.len() - 1]
+}

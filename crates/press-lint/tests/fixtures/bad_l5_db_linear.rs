@@ -1,0 +1,8 @@
+//! L5 fixture: dB values summed with linear-scale values. The compiler sees
+//! two f64s; the physics sees a factor-of-10^x error.
+
+fn link_budget(tx_power_dbm: f64, path_gain_linear: f64, noise_mw: f64) -> f64 {
+    let rx = tx_power_dbm + path_gain_linear;
+    let floor_db = noise_mw * 3.01;
+    rx - floor_db + noise_mw
+}

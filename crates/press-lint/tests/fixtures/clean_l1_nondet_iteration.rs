@@ -1,0 +1,11 @@
+//! L1 clean fixture: ordered collections keep iteration deterministic.
+
+use std::collections::BTreeMap;
+
+fn tally(xs: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}

@@ -1,0 +1,6 @@
+//! L2 clean fixture: explicit seeding, simulated time.
+
+fn jitter(seed: u64, sim_time_s: f64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    sim_time_s + rng.gen::<f64>()
+}

@@ -1,0 +1,8 @@
+//! L3 clean fixture: streams derive from the named seed parameter, following
+//! the controller's `seed` / `seed+1` / `seed+2` convention.
+
+fn measure(seed: u64, n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+    let mut verify_rng = StdRng::seed_from_u64(derive_stream_seed(seed, 2, 0));
+    (0..n).map(|_| rng.gen::<f64>() + verify_rng.gen::<f64>()).collect()
+}

@@ -1,0 +1,9 @@
+//! L4 clean fixture: total order and epsilon comparison.
+
+fn best(xs: &mut [f64], snr: f64) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    if (snr - 20.0).abs() < 1e-9 {
+        return xs[0];
+    }
+    xs[xs.len() - 1]
+}

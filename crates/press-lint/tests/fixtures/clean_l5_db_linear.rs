@@ -1,0 +1,7 @@
+//! L5 clean fixture: scales converted through press_math::db before mixing.
+
+fn link_budget(tx_power_dbm: f64, path_gain_linear: f64, noise_mw: f64) -> f64 {
+    let rx_dbm = tx_power_dbm + pow_to_db(path_gain_linear);
+    let floor_dbm = mw_to_dbm(noise_mw);
+    rx_dbm - floor_dbm
+}

@@ -1,0 +1,14 @@
+//! Suppression fixture: violations silenced by `press-lint: allow(..)` on
+//! the same line and on the preceding line, plus one left unsilenced.
+
+use std::collections::HashSet; // press-lint: allow(nondeterministic-iteration)
+
+fn is_origin(x: f64) -> bool {
+    // Exact zero is intentional here.
+    // press-lint: allow(float-ordering)
+    x == 0.0
+}
+
+fn leaks() -> HashSet<u32> {
+    HashSet::new()
+}

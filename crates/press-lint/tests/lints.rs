@@ -1,0 +1,152 @@
+//! Fixture-based lint tests: one known-bad and one clean snippet per lint,
+//! plus the suppression machinery. Fixtures live under `tests/fixtures/` and
+//! are analyzed as if they sat in a simulation crate (`press-core`), which is
+//! the strictest context.
+
+use press_lint::{analyze_source, Diagnostic, Severity};
+
+/// Analyze a fixture in strict (library, simulation-crate) context.
+fn lint_fixture(name: &str) -> (Vec<Diagnostic>, usize) {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    analyze_source(&format!("crates/press-core/src/{name}"), &src)
+}
+
+fn slugs(diags: &[Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.lint).collect()
+}
+
+// --- L1: nondeterministic-iteration ---------------------------------------
+
+#[test]
+fn l1_bad_fixture_is_flagged_with_spans() {
+    let (diags, _) = lint_fixture("bad_l1_nondet_iteration.rs");
+    assert!(!diags.is_empty());
+    assert!(slugs(&diags)
+        .iter()
+        .all(|s| *s == "nondeterministic-iteration"));
+    // The `use` on line 3 and both sites on line 6 carry exact spans.
+    assert_eq!(diags[0].line, 3);
+    assert_eq!(diags[0].col, 23);
+    assert!(diags.iter().any(|d| d.line == 6));
+}
+
+#[test]
+fn l1_clean_fixture_passes() {
+    let (diags, suppressed) = lint_fixture("clean_l1_nondet_iteration.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(suppressed, 0);
+}
+
+// --- L2: ambient-entropy ---------------------------------------------------
+
+#[test]
+fn l2_bad_fixture_flags_entropy_and_clock_as_errors() {
+    let (diags, _) = lint_fixture("bad_l2_ambient_entropy.rs");
+    let l2: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.lint == "ambient-entropy")
+        .collect();
+    assert_eq!(l2.len(), 3, "{diags:?}"); // Instant::now, thread_rng, rand::random
+    assert!(l2.iter().all(|d| d.severity == Severity::Error));
+    assert!(l2.iter().any(|d| d.line == 6), "Instant::now span");
+    assert!(l2.iter().any(|d| d.line == 7), "thread_rng span");
+    assert!(l2.iter().any(|d| d.line == 8), "rand::random span");
+}
+
+#[test]
+fn l2_clean_fixture_passes() {
+    let (diags, _) = lint_fixture("clean_l2_ambient_entropy.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// --- L3: seed-stream-discipline --------------------------------------------
+
+#[test]
+fn l3_bad_fixture_flags_ad_hoc_literal_seed() {
+    let (diags, _) = lint_fixture("bad_l3_seed_stream.rs");
+    assert_eq!(slugs(&diags), vec!["seed-stream-discipline"]);
+    assert_eq!(diags[0].line, 5);
+}
+
+#[test]
+fn l3_clean_fixture_passes() {
+    let (diags, _) = lint_fixture("clean_l3_seed_stream.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// --- L4: float-ordering ----------------------------------------------------
+
+#[test]
+fn l4_bad_fixture_flags_partial_cmp_unwrap_and_float_eq() {
+    let (diags, _) = lint_fixture("bad_l4_float_ordering.rs");
+    assert_eq!(slugs(&diags), vec!["float-ordering", "float-ordering"]);
+    assert_eq!(diags[0].line, 4, "partial_cmp(..).unwrap()");
+    assert_eq!(diags[1].line, 5, "snr == 20.0");
+}
+
+#[test]
+fn l4_clean_fixture_passes() {
+    let (diags, _) = lint_fixture("clean_l4_float_ordering.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// --- L5: db-linear-unit-mixing ---------------------------------------------
+
+#[test]
+fn l5_bad_fixture_flags_scale_mixing() {
+    let (diags, _) = lint_fixture("bad_l5_db_linear.rs");
+    let l5: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.lint == "db-linear-unit-mixing")
+        .collect();
+    assert!(!l5.is_empty());
+    assert!(
+        l5.iter().any(|d| d.line == 5),
+        "tx_power_dbm + path_gain_linear"
+    );
+}
+
+#[test]
+fn l5_clean_fixture_passes() {
+    let (diags, _) = lint_fixture("clean_l5_db_linear.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// --- Suppressions ----------------------------------------------------------
+
+#[test]
+fn suppression_comments_are_honored_and_counted() {
+    let (diags, suppressed) = lint_fixture("suppressed.rs");
+    // Trailing allow silences the `use` line; the standalone allow silences
+    // the comparison below it. The two HashSet mentions in `leaks` survive.
+    assert_eq!(suppressed, 2);
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(diags.iter().all(|d| d.lint == "nondeterministic-iteration"));
+    assert!(diags.iter().all(|d| d.line >= 12));
+}
+
+// --- Test-context leniency -------------------------------------------------
+
+#[test]
+fn cfg_test_code_may_use_scratch_seeds_and_float_eq() {
+    let src = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn replays() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(rng.gen::<f64>() == 0.5);
+    }
+}
+"#;
+    let (diags, _) = analyze_source("crates/press-core/src/x.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn bench_crate_is_exempt_from_entropy_and_seed_rules() {
+    let src = "fn main() { let t = Instant::now(); let r = StdRng::seed_from_u64(1); }";
+    let (diags, _) = analyze_source("crates/press-bench/src/bin/fig9.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
+}

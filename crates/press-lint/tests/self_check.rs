@@ -1,0 +1,39 @@
+//! The analyzer's most important test: the PRESS workspace itself is
+//! lint-clean. If this fails, either a violation landed or a lint regressed
+//! into a false positive — both are bugs worth failing the build over.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = press_lint::analyze_workspace(&root).expect("workspace scan");
+    assert!(
+        report.files > 100,
+        "expected to scan the whole workspace, got {} files",
+        report.files
+    );
+    let rendered: String = report
+        .diagnostics
+        .iter()
+        .map(|d| d.render_human())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace has lint findings:\n{rendered}"
+    );
+}
+
+#[test]
+fn suppressions_in_tree_are_counted() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = press_lint::analyze_workspace(&root).expect("workspace scan");
+    // The exact-zero guards in basis/bandit/fault/inverse/geometry carry
+    // documented allows; if this drops to zero the comments went stale.
+    assert!(
+        report.suppressed >= 5,
+        "expected the documented allow() sites, found {}",
+        report.suppressed
+    );
+}

@@ -57,7 +57,10 @@ mod tests {
         let f = WIFI_CHANNEL_11_HZ;
         let g1 = friis_amplitude_gain(1.0, f);
         let g2 = friis_amplitude_gain(2.0, f);
-        assert!((g1 / g2 - 2.0).abs() < 1e-12, "amplitude halves when distance doubles");
+        assert!(
+            (g1 / g2 - 2.0).abs() < 1e-12,
+            "amplitude halves when distance doubles"
+        );
     }
 
     #[test]
@@ -70,6 +73,9 @@ mod tests {
     #[test]
     fn friis_clamps_near_field() {
         let f = WIFI_CHANNEL_11_HZ;
-        assert_eq!(friis_amplitude_gain(0.0, f), friis_amplitude_gain(wavelength(f) / 10.0, f));
+        assert_eq!(
+            friis_amplitude_gain(0.0, f),
+            friis_amplitude_gain(wavelength(f) / 10.0, f)
+        );
     }
 }

@@ -197,7 +197,9 @@ mod tests {
     #[test]
     fn linearity() {
         let a: Vec<Complex64> = (0..16).map(|t| Complex64::real(t as f64)).collect();
-        let b: Vec<Complex64> = (0..16).map(|t| Complex64::new(0.0, (t * t) as f64)).collect();
+        let b: Vec<Complex64> = (0..16)
+            .map(|t| Complex64::new(0.0, (t * t) as f64))
+            .collect();
         let sum: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
         let fa = fft_copy(&a).unwrap();
         let fb = fft_copy(&b).unwrap();

@@ -14,6 +14,8 @@
 //! * [`db`] — decibel/linear conversions;
 //! * [`consts`] — physical constants (speed of light, ISM band frequencies).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 pub mod complex;
 pub mod consts;
 pub mod db;

@@ -80,7 +80,11 @@ impl CMat {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        CMat { rows: r, cols: c, data }
+        CMat {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix from a flat row-major vector. Panics on length mismatch.
@@ -322,7 +326,12 @@ impl Add for &CMat {
         CMat {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a + *b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a + *b)
+                .collect(),
         }
     }
 }
@@ -334,7 +343,12 @@ impl Sub for &CMat {
         CMat {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a - *b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a - *b)
+                .collect(),
         }
     }
 }
@@ -409,15 +423,15 @@ mod tests {
     #[test]
     fn solve_singular_reports_error() {
         let a = CMat::from_rows(&[&[c(1.0, 0.0), c(2.0, 0.0)], &[c(2.0, 0.0), c(4.0, 0.0)]]);
-        assert_eq!(a.solve(&[c(1.0, 0.0), c(2.0, 0.0)]), Err(MatError::Singular));
+        assert_eq!(
+            a.solve(&[c(1.0, 0.0), c(2.0, 0.0)]),
+            Err(MatError::Singular)
+        );
     }
 
     #[test]
     fn inverse_times_self_is_identity() {
-        let a = CMat::from_rows(&[
-            &[c(3.0, 1.0), c(0.0, 2.0)],
-            &[c(-1.0, 0.0), c(1.0, -1.0)],
-        ]);
+        let a = CMat::from_rows(&[&[c(3.0, 1.0), c(0.0, 2.0)], &[c(-1.0, 0.0), c(1.0, -1.0)]]);
         let inv = a.inverse().unwrap();
         let prod = a.matmul(&inv).unwrap();
         assert!((&prod - &CMat::identity(2)).frobenius_norm() < 1e-10);
@@ -452,7 +466,10 @@ mod tests {
 
     #[test]
     fn trace_requires_square() {
-        assert!(matches!(CMat::zeros(2, 3).trace(), Err(MatError::NotSquare(2, 3))));
+        assert!(matches!(
+            CMat::zeros(2, 3).trace(),
+            Err(MatError::NotSquare(2, 3))
+        ));
         let a = CMat::identity(4);
         assert!((a.trace().unwrap() - c(4.0, 0.0)).abs() < 1e-15);
     }

@@ -139,7 +139,10 @@ impl Ecdf {
 
     /// Exports the complementary curve as `(x, P(X > x))` step points.
     pub fn ccdf_curve(&self) -> Vec<(f64, f64)> {
-        self.curve().into_iter().map(|(x, p)| (x, 1.0 - p)).collect()
+        self.curve()
+            .into_iter()
+            .map(|(x, p)| (x, 1.0 - p))
+            .collect()
     }
 }
 

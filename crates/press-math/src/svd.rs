@@ -94,7 +94,11 @@ pub fn singular_values(a: &CMat) -> Result<Vec<f64>, MatError> {
 /// With `F = ‖A‖_F²` and `D = |det A|`:
 /// `σ² = (F ± sqrt(F² − 4D²)) / 2`.
 pub fn singular_values_2x2(a: &CMat) -> (f64, f64) {
-    assert_eq!(a.shape(), (2, 2), "singular_values_2x2 requires a 2x2 matrix");
+    assert_eq!(
+        a.shape(),
+        (2, 2),
+        "singular_values_2x2 requires a 2x2 matrix"
+    );
     // Sum |a_ij|^2 directly (not frobenius_norm()^2) so that exact inputs like
     // the identity produce an exactly-zero discriminant.
     let f: f64 = a.as_slice().iter().map(|x| x.norm_sqr()).sum();
@@ -104,11 +108,7 @@ pub fn singular_values_2x2(a: &CMat) -> (f64, f64) {
     let s1 = ((f + disc) / 2.0).max(0.0).sqrt();
     // sigma_min via sigma_max * sigma_min = |det|, which avoids the
     // cancellation in (f - disc)/2 when the matrix is well conditioned.
-    let s2 = if s1 > 0.0 {
-        d2.sqrt() / s1
-    } else {
-        0.0
-    };
+    let s2 = if s1 > 0.0 { d2.sqrt() / s1 } else { 0.0 };
     (s1, s2)
 }
 
@@ -159,10 +159,7 @@ mod tests {
 
     #[test]
     fn jacobi_matches_closed_form_2x2() {
-        let a = CMat::from_rows(&[
-            &[c(1.2, -0.7), c(0.3, 2.1)],
-            &[c(-0.5, 0.9), c(2.0, 0.4)],
-        ]);
+        let a = CMat::from_rows(&[&[c(1.2, -0.7), c(0.3, 2.1)], &[c(-0.5, 0.9), c(2.0, 0.4)]]);
         let (s1, s2) = singular_values_2x2(&a);
         // Force generic Jacobi path by embedding in a 3x3 with a zero row/col.
         let mut a3 = CMat::zeros(3, 3);
@@ -200,10 +197,7 @@ mod tests {
 
     #[test]
     fn singular_values_invariant_under_unitary_phase() {
-        let a = CMat::from_rows(&[
-            &[c(1.0, 0.5), c(0.2, -0.1)],
-            &[c(-0.3, 0.8), c(0.9, 0.0)],
-        ]);
+        let a = CMat::from_rows(&[&[c(1.0, 0.5), c(0.2, -0.1)], &[c(-0.3, 0.8), c(0.9, 0.0)]]);
         let rotated = a.scale(Complex64::cis(1.234));
         let (s1, s2) = singular_values_2x2(&a);
         let (r1, r2) = singular_values_2x2(&rotated);

@@ -123,7 +123,10 @@ pub fn estimate_channel(
     for nk in noise.iter_mut() {
         *nk /= (m - 1) as f64;
     }
-    Ok(ChannelEstimate { h, noise_power: noise })
+    Ok(ChannelEstimate {
+        h,
+        noise_power: noise,
+    })
 }
 
 /// Smooths a per-subcarrier noise estimate by averaging across subcarriers —
@@ -199,7 +202,10 @@ mod tests {
         let rx = vec![vec![Complex64::ONE; 51], vec![Complex64::ONE; 51]];
         assert!(matches!(
             estimate_channel(&t, &rx),
-            Err(EstimatorError::WidthMismatch { expected: 52, got: 51 })
+            Err(EstimatorError::WidthMismatch {
+                expected: 52,
+                got: 51
+            })
         ));
     }
 

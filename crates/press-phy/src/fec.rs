@@ -61,7 +61,10 @@ fn parity(x: u8) -> bool {
 pub fn encode(bits: &[bool], rate: CodeRate) -> Vec<bool> {
     let mut state: u8 = 0;
     let mut mother = Vec::with_capacity((bits.len() + CONSTRAINT) * 2);
-    for &b in bits.iter().chain(std::iter::repeat_n(&false, CONSTRAINT - 1)) {
+    for &b in bits
+        .iter()
+        .chain(std::iter::repeat_n(&false, CONSTRAINT - 1))
+    {
         let reg = ((b as u8) << (CONSTRAINT - 1)) | state;
         mother.push(parity(reg & GEN_A));
         mother.push(parity(reg & GEN_B));
@@ -164,7 +167,10 @@ pub fn viterbi_decode_hard(coded: &[bool], n_info: usize, rate: CodeRate) -> Vec
 /// `n_cbps`, otherwise the largest divisor ≤ 16 (our 52-subcarrier layouts
 /// are not multiples of 16 the way 48-data-subcarrier Wi-Fi is).
 pub fn interleaver_rows(n_cbps: usize) -> usize {
-    (1..=16).rev().find(|r| n_cbps.is_multiple_of(*r)).expect("1 divides everything")
+    (1..=16)
+        .rev()
+        .find(|r| n_cbps.is_multiple_of(*r))
+        .expect("1 divides everything")
 }
 
 /// The 802.11a-style block interleaver over one OFDM symbol of `n_cbps`
@@ -231,7 +237,11 @@ mod tests {
         for rate in [CodeRate::R12, CodeRate::R23, CodeRate::R34] {
             for n in [24usize, 96, 100, 233] {
                 let bits = random_bits(n, 1);
-                assert_eq!(encode(&bits, rate).len(), coded_len(n, rate), "{rate:?} n={n}");
+                assert_eq!(
+                    encode(&bits, rate).len(),
+                    coded_len(n, rate),
+                    "{rate:?} n={n}"
+                );
             }
         }
     }

@@ -15,8 +15,10 @@ use press_math::Complex64;
 /// The 802.11a L-LTF sign sequence for 52 active subcarriers (−26..−1,
 /// +1..+26 in ascending frequency order, as Annex I of the standard lists).
 const LTF_52: [i8; 52] = [
-    1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, // -26..-1
-    1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1, // +1..+26
+    1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1,
+    1, // -26..-1
+    1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1,
+    1, // +1..+26
 ];
 
 /// Deterministic ±1 training sequence for `n` active subcarriers.
@@ -26,16 +28,15 @@ const LTF_52: [i8; 52] = [
 /// a reproducible preamble.
 pub fn training_sequence(n: usize) -> Vec<Complex64> {
     if n == 52 {
-        return LTF_52
-            .iter()
-            .map(|&s| Complex64::real(s as f64))
-            .collect();
+        return LTF_52.iter().map(|&s| Complex64::real(s as f64)).collect();
     }
     // Deterministic LCG; constants from Numerical Recipes.
     let mut state = 0x5DEECE66Du64;
     (0..n)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let bit = (state >> 40) & 1;
             Complex64::real(if bit == 1 { 1.0 } else { -1.0 })
         })
@@ -169,7 +170,9 @@ mod tests {
     fn ltf_is_pm_one_and_52_long() {
         let seq = training_sequence(52);
         assert_eq!(seq.len(), 52);
-        assert!(seq.iter().all(|s| (s.abs() - 1.0).abs() < 1e-15 && s.im == 0.0));
+        assert!(seq
+            .iter()
+            .all(|s| (s.abs() - 1.0).abs() < 1e-15 && s.im == 0.0));
     }
 
     #[test]
@@ -253,7 +256,8 @@ mod tests {
         let n_fft = 64.0;
         for (i, g) in got.iter().enumerate() {
             let k = m.numerology().fft_bin(i) as f64;
-            let h = a0 + a1 * Complex64::cis(-2.0 * std::f64::consts::PI * k * delay as f64 / n_fft);
+            let h =
+                a0 + a1 * Complex64::cis(-2.0 * std::f64::consts::PI * k * delay as f64 / n_fft);
             let expect = sym[i] * h;
             assert!((*g - expect).abs() < 1e-9, "subcarrier {i}");
         }

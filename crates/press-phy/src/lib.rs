@@ -17,12 +17,13 @@
 //! * [`mimo`] — per-subcarrier channel matrices, condition numbers
 //!   (Figure 8), MIMO capacity.
 
+#![forbid(unsafe_code)]
 pub mod channel_est;
 pub mod fec;
 pub mod frame;
 pub mod mcs;
-pub mod modem;
 pub mod mimo;
+pub mod modem;
 pub mod modulation;
 pub mod numerology;
 pub mod pdp;

@@ -27,14 +27,70 @@ pub struct Mcs {
 /// The 802.11a/g rate ladder with standard receiver-sensitivity-derived SNR
 /// thresholds and representative EESM betas.
 pub const MCS_TABLE: [Mcs; 8] = [
-    Mcs { index: 0, modulation: Modulation::Bpsk,  code_rate: (1, 2), phy_rate_mbps: 6.0,  min_snr_db: 5.0,  eesm_beta: 1.6 },
-    Mcs { index: 1, modulation: Modulation::Bpsk,  code_rate: (3, 4), phy_rate_mbps: 9.0,  min_snr_db: 6.0,  eesm_beta: 1.8 },
-    Mcs { index: 2, modulation: Modulation::Qpsk,  code_rate: (1, 2), phy_rate_mbps: 12.0, min_snr_db: 8.0,  eesm_beta: 2.0 },
-    Mcs { index: 3, modulation: Modulation::Qpsk,  code_rate: (3, 4), phy_rate_mbps: 18.0, min_snr_db: 11.0, eesm_beta: 2.4 },
-    Mcs { index: 4, modulation: Modulation::Qam16, code_rate: (1, 2), phy_rate_mbps: 24.0, min_snr_db: 14.0, eesm_beta: 4.0 },
-    Mcs { index: 5, modulation: Modulation::Qam16, code_rate: (3, 4), phy_rate_mbps: 36.0, min_snr_db: 18.0, eesm_beta: 5.0 },
-    Mcs { index: 6, modulation: Modulation::Qam64, code_rate: (2, 3), phy_rate_mbps: 48.0, min_snr_db: 22.0, eesm_beta: 7.0 },
-    Mcs { index: 7, modulation: Modulation::Qam64, code_rate: (3, 4), phy_rate_mbps: 54.0, min_snr_db: 25.0, eesm_beta: 8.0 },
+    Mcs {
+        index: 0,
+        modulation: Modulation::Bpsk,
+        code_rate: (1, 2),
+        phy_rate_mbps: 6.0,
+        min_snr_db: 5.0,
+        eesm_beta: 1.6,
+    },
+    Mcs {
+        index: 1,
+        modulation: Modulation::Bpsk,
+        code_rate: (3, 4),
+        phy_rate_mbps: 9.0,
+        min_snr_db: 6.0,
+        eesm_beta: 1.8,
+    },
+    Mcs {
+        index: 2,
+        modulation: Modulation::Qpsk,
+        code_rate: (1, 2),
+        phy_rate_mbps: 12.0,
+        min_snr_db: 8.0,
+        eesm_beta: 2.0,
+    },
+    Mcs {
+        index: 3,
+        modulation: Modulation::Qpsk,
+        code_rate: (3, 4),
+        phy_rate_mbps: 18.0,
+        min_snr_db: 11.0,
+        eesm_beta: 2.4,
+    },
+    Mcs {
+        index: 4,
+        modulation: Modulation::Qam16,
+        code_rate: (1, 2),
+        phy_rate_mbps: 24.0,
+        min_snr_db: 14.0,
+        eesm_beta: 4.0,
+    },
+    Mcs {
+        index: 5,
+        modulation: Modulation::Qam16,
+        code_rate: (3, 4),
+        phy_rate_mbps: 36.0,
+        min_snr_db: 18.0,
+        eesm_beta: 5.0,
+    },
+    Mcs {
+        index: 6,
+        modulation: Modulation::Qam64,
+        code_rate: (2, 3),
+        phy_rate_mbps: 48.0,
+        min_snr_db: 22.0,
+        eesm_beta: 7.0,
+    },
+    Mcs {
+        index: 7,
+        modulation: Modulation::Qam64,
+        code_rate: (3, 4),
+        phy_rate_mbps: 54.0,
+        min_snr_db: 25.0,
+        eesm_beta: 8.0,
+    },
 ];
 
 /// Selects the highest-rate MCS whose SNR requirement the profile meets

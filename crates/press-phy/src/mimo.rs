@@ -59,9 +59,7 @@ impl MimoChannel {
 
     /// `(n_rx, n_tx)`.
     pub fn shape(&self) -> (usize, usize) {
-        self.per_subcarrier
-            .first()
-            .map_or((0, 0), |m| m.shape())
+        self.per_subcarrier.first().map_or((0, 0), |m| m.shape())
     }
 
     /// Condition number in dB per subcarrier — the Figure 8 series.
@@ -179,13 +177,14 @@ mod tests {
     fn capacity_prefers_well_conditioned() {
         // Same Frobenius energy, different conditioning.
         let good = CMat::from_rows(&[&[c(1.0, 0.0), c(0.0, 0.0)], &[c(0.0, 0.0), c(1.0, 0.0)]]);
-        let bad = CMat::from_rows(&[
-            &[c(1.4106, 0.0), c(0.1, 0.0)],
-            &[c(0.1, 0.0), c(0.0, 0.0)],
-        ]);
+        let bad = CMat::from_rows(&[&[c(1.4106, 0.0), c(0.1, 0.0)], &[c(0.1, 0.0), c(0.0, 0.0)]]);
         let spacing = 312_500.0;
-        let cap_good = MimoChannel::new(vec![good]).capacity_bps(20.0, spacing).unwrap();
-        let cap_bad = MimoChannel::new(vec![bad]).capacity_bps(20.0, spacing).unwrap();
+        let cap_good = MimoChannel::new(vec![good])
+            .capacity_bps(20.0, spacing)
+            .unwrap();
+        let cap_bad = MimoChannel::new(vec![bad])
+            .capacity_bps(20.0, spacing)
+            .unwrap();
         assert!(cap_good > cap_bad, "{cap_good} vs {cap_bad}");
     }
 

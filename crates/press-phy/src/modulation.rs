@@ -118,9 +118,7 @@ impl Modulation {
 /// Interprets bits (LSB-first) as a binary-reflected Gray code and returns
 /// the corresponding level index.
 fn gray_to_level(bits: &[bool]) -> usize {
-    let gray = bits
-        .iter()
-        .fold(0usize, |acc, &b| (acc << 1) | b as usize);
+    let gray = bits.iter().fold(0usize, |acc, &b| (acc << 1) | b as usize);
     // Gray decode: b = g XOR (b >> 1) iterated.
     let mut level = gray;
     let mut shift = gray >> 1;

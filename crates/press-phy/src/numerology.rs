@@ -80,7 +80,9 @@ impl Numerology {
 
     /// Absolute frequencies of all active subcarriers, ascending.
     pub fn active_freqs_hz(&self) -> Vec<f64> {
-        (0..self.n_active()).map(|i| self.subcarrier_freq_hz(i)).collect()
+        (0..self.n_active())
+            .map(|i| self.subcarrier_freq_hz(i))
+            .collect()
     }
 
     /// FFT bin (0..fft_size) of the active subcarrier at plot index `i`,

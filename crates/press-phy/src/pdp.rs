@@ -24,14 +24,15 @@ impl DelayProfile {
     /// band edges. `fft_size` (power of two ≥ n) sets the interpolation.
     pub fn from_channel(h: &[Complex64], spacing_hz: f64, fft_size: usize) -> DelayProfile {
         assert!(fft_size >= h.len(), "fft_size must cover the samples");
-        assert!(fft_size.is_power_of_two(), "fft_size must be a power of two");
+        assert!(
+            fft_size.is_power_of_two(),
+            "fft_size must be a power of two"
+        );
         let n = h.len();
         let mut bins = vec![Complex64::ZERO; fft_size];
         for (k, &hk) in h.iter().enumerate() {
             // Hann window over the active band.
-            let w = 0.5
-                - 0.5
-                    * (std::f64::consts::TAU * k as f64 / (n.max(2) as f64 - 1.0)).cos();
+            let w = 0.5 - 0.5 * (std::f64::consts::TAU * k as f64 / (n.max(2) as f64 - 1.0)).cos();
             bins[k] = hk * w;
         }
         ifft(&mut bins).expect("power-of-two fft_size");
@@ -118,10 +119,7 @@ mod tests {
                 paths
                     .iter()
                     .map(|&(a, tau)| {
-                        Complex64::from_polar(
-                            a,
-                            -std::f64::consts::TAU * k as f64 * spacing * tau,
-                        )
+                        Complex64::from_polar(a, -std::f64::consts::TAU * k as f64 * spacing * tau)
                     })
                     .sum()
             })

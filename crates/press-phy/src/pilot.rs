@@ -178,7 +178,7 @@ mod tests {
     #[test]
     fn pilot_polarity_alternates() {
         // Adjacent symbols must not all share the same pilot values.
-        let distinct: std::collections::HashSet<i8> = (0..16)
+        let distinct: std::collections::BTreeSet<i8> = (0..16)
             .map(|m| if pilot_values(m)[0].re > 0.0 { 1 } else { -1 })
             .collect();
         assert_eq!(distinct.len(), 2);

@@ -143,11 +143,7 @@ impl SnrProfile {
 /// Null movement between two profiles, in subcarriers — the Figure 5
 /// statistic. `None` unless *both* profiles exhibit a most-significant null
 /// per the paper's 5 dB rule.
-pub fn null_movement(
-    a: &SnrProfile,
-    b: &SnrProfile,
-    threshold_db: f64,
-) -> Option<usize> {
+pub fn null_movement(a: &SnrProfile, b: &SnrProfile, threshold_db: f64) -> Option<usize> {
     let na = a.most_significant_null(threshold_db)?;
     let nb = b.most_significant_null(threshold_db)?;
     Some(na.abs_diff(nb))

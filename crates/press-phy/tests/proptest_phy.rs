@@ -20,7 +20,11 @@ fn modulations() -> impl Strategy<Value = Modulation> {
 }
 
 fn code_rates() -> impl Strategy<Value = CodeRate> {
-    prop_oneof![Just(CodeRate::R12), Just(CodeRate::R23), Just(CodeRate::R34)]
+    prop_oneof![
+        Just(CodeRate::R12),
+        Just(CodeRate::R23),
+        Just(CodeRate::R34)
+    ]
 }
 
 proptest! {

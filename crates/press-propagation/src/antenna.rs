@@ -184,8 +184,16 @@ mod tests {
         let a = Antenna::new(Pattern::press_parabolic(), Vec3::X);
         assert!((a.gain_db(Vec3::X) - 14.0).abs() < 0.01);
         // At half the beamwidth off axis (10.5 deg) the gain is 3 dB down.
-        let off = Vec3::new((10.5f64).to_radians().cos(), (10.5f64).to_radians().sin(), 0.0);
-        assert!((a.gain_db(off) - 11.0).abs() < 0.05, "got {}", a.gain_db(off));
+        let off = Vec3::new(
+            (10.5f64).to_radians().cos(),
+            (10.5f64).to_radians().sin(),
+            0.0,
+        );
+        assert!(
+            (a.gain_db(off) - 11.0).abs() < 0.05,
+            "got {}",
+            a.gain_db(off)
+        );
     }
 
     #[test]

@@ -125,7 +125,11 @@ impl OfficeFloor {
         // Clutter in each room.
         for room in 0..2 {
             let x_lo = if room == 0 { 0.5 } else { px + 0.5 };
-            let x_hi = if room == 0 { px - 0.5 } else { config.floor_w - 0.5 };
+            let x_hi = if room == 0 {
+                px - 0.5
+            } else {
+                config.floor_w - 0.5
+            };
             for _ in 0..config.scatterers_per_room {
                 let pos = Vec3::new(
                     rng.gen_range(x_lo..x_hi),
@@ -225,6 +229,9 @@ mod tests {
         let a = OfficeFloor::generate(&OfficeConfig::default(), 9);
         let b = OfficeFloor::generate(&OfficeConfig::default(), 9);
         assert_eq!(a.scene.scatterers.len(), b.scene.scatterers.len());
-        assert_eq!(a.scene.scatterers[3].position, b.scene.scatterers[3].position);
+        assert_eq!(
+            a.scene.scatterers[3].position,
+            b.scene.scatterers[3].position
+        );
     }
 }

@@ -141,7 +141,10 @@ mod tests {
         assert!((bessel_j0(1.0) - 0.7651976866).abs() < 1e-7);
         assert!((bessel_j0(2.404825557) - 0.0).abs() < 1e-6, "first zero");
         assert!((bessel_j0(10.0) + 0.2459357645).abs() < 1e-6);
-        assert!((bessel_j0(-1.0) - bessel_j0(1.0)).abs() < 1e-12, "even function");
+        assert!(
+            (bessel_j0(-1.0) - bessel_j0(1.0)).abs() < 1e-12,
+            "even function"
+        );
     }
 
     #[test]

@@ -12,13 +12,29 @@ pub struct Vec3 {
 
 impl Vec3 {
     /// Origin / zero vector.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// Unit x.
-    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    pub const X: Vec3 = Vec3 {
+        x: 1.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// Unit y.
-    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    pub const Y: Vec3 = Vec3 {
+        x: 0.0,
+        y: 1.0,
+        z: 0.0,
+    };
     /// Unit z.
-    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+    pub const Z: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 1.0,
+    };
 
     /// Creates a vector from components.
     pub const fn new(x: f64, y: f64, z: f64) -> Self {
@@ -171,6 +187,9 @@ impl Plane {
     pub fn segment_intersection(&self, a: Vec3, b: Vec3) -> Option<Vec3> {
         let da = self.signed_distance(a);
         let db = self.signed_distance(b);
+        // Exact zeros detect the degenerate in-plane segment; a tolerance
+        // here would swallow legitimate grazing reflections.
+        // press-lint: allow(float-ordering)
         if da == 0.0 && db == 0.0 {
             return None; // Segment lies in the plane; no specular point.
         }

@@ -201,8 +201,8 @@ impl LabSetup {
                 let d_rx = p.distance(rx.position);
                 // The experimenter places elements where they can actually
                 // reflect: clear views to both endpoints.
-                let clear = !scene.is_obstructed(p, tx.position)
-                    && !scene.is_obstructed(p, rx.position);
+                let clear =
+                    !scene.is_obstructed(p, tx.position) && !scene.is_obstructed(p, rx.position);
                 if (1.0..=2.0).contains(&d_tx) && (1.0..=2.0).contains(&d_rx) && clear {
                     element_grid.push(p);
                 }
@@ -287,7 +287,10 @@ mod tests {
     fn different_seeds_differ() {
         let a = LabSetup::generate(&LabConfig::default(), 1);
         let b = LabSetup::generate(&LabConfig::default(), 2);
-        assert_ne!(a.scene.scatterers[0].position, b.scene.scatterers[0].position);
+        assert_ne!(
+            a.scene.scatterers[0].position,
+            b.scene.scatterers[0].position
+        );
     }
 
     #[test]

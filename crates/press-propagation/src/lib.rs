@@ -17,6 +17,7 @@
 //! * [`fading`] — Doppler, coherence time, and slow channel drift;
 //! * [`lab`] — seeded rebuilds of the paper's §3 laboratory setups.
 
+#![forbid(unsafe_code)]
 pub mod antenna;
 pub mod building;
 pub mod diffraction;
@@ -28,8 +29,8 @@ pub mod path;
 pub mod scene;
 
 pub use antenna::{Antenna, Pattern};
-pub use geometry::{Aabb, Plane, Vec3};
 pub use building::{OfficeConfig, OfficeFloor};
+pub use geometry::{Aabb, Plane, Vec3};
 pub use lab::{LabConfig, LabSetup};
 pub use material::Material;
 pub use path::{frequency_response, frequency_response_into, PathKind, SignalPath};

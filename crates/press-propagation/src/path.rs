@@ -110,11 +110,12 @@ pub fn frequency_response_into(
 ) {
     out.clear();
     out.reserve(freqs_hz.len());
-    out.extend(
-        freqs_hz
+    out.extend(freqs_hz.iter().map(|&f| {
+        paths
             .iter()
-            .map(|&f| paths.iter().map(|p| p.response_at(f, t_s)).sum::<Complex64>()),
-    );
+            .map(|p| p.response_at(f, t_s))
+            .sum::<Complex64>()
+    }));
 }
 
 /// RMS delay spread of a path set, seconds — the standard second central

@@ -153,13 +153,28 @@ impl Scene {
         };
         // x = 0 and x = w walls.
         add(Vec3::ZERO, Vec3::X, Vec3::ZERO, Vec3::new(0.0, d, h));
-        add(Vec3::new(w, 0.0, 0.0), -Vec3::X, Vec3::new(w, 0.0, 0.0), Vec3::new(w, d, h));
+        add(
+            Vec3::new(w, 0.0, 0.0),
+            -Vec3::X,
+            Vec3::new(w, 0.0, 0.0),
+            Vec3::new(w, d, h),
+        );
         // y = 0 and y = d walls.
         add(Vec3::ZERO, Vec3::Y, Vec3::ZERO, Vec3::new(w, 0.0, h));
-        add(Vec3::new(0.0, d, 0.0), -Vec3::Y, Vec3::new(0.0, d, 0.0), Vec3::new(w, d, h));
+        add(
+            Vec3::new(0.0, d, 0.0),
+            -Vec3::Y,
+            Vec3::new(0.0, d, 0.0),
+            Vec3::new(w, d, h),
+        );
         // Floor (z = 0) and ceiling (z = h).
         add(Vec3::ZERO, Vec3::Z, Vec3::ZERO, Vec3::new(w, d, 0.0));
-        add(Vec3::new(0.0, 0.0, h), -Vec3::Z, Vec3::new(0.0, 0.0, h), Vec3::new(w, d, h));
+        add(
+            Vec3::new(0.0, 0.0, h),
+            -Vec3::Z,
+            Vec3::new(0.0, 0.0, h),
+            Vec3::new(w, d, h),
+        );
         scene
     }
 
@@ -227,7 +242,13 @@ impl Scene {
             .any(|o| o.aabb.intersects_segment(a, b))
     }
 
-    fn doppler_hz(&self, tx: &RadioNode, rx: &RadioNode, first_leg_dir: Vec3, last_leg_dir: Vec3) -> f64 {
+    fn doppler_hz(
+        &self,
+        tx: &RadioNode,
+        rx: &RadioNode,
+        first_leg_dir: Vec3,
+        last_leg_dir: Vec3,
+    ) -> f64 {
         // Rate of change of total path length: positive when the path is
         // getting longer. Doppler shift is -rate/lambda.
         let lambda = wavelength(self.carrier_hz);
@@ -527,7 +548,12 @@ mod tests {
         let tx = node(1.0, 2.5);
         let rx = node(5.0, 2.5);
         let clear = scene.paths(&tx, &rx);
-        let clear_los = clear.iter().find(|p| p.kind == PathKind::LineOfSight).unwrap().gain.abs();
+        let clear_los = clear
+            .iter()
+            .find(|p| p.kind == PathKind::LineOfSight)
+            .unwrap()
+            .gain
+            .abs();
         scene.add_obstacle(
             Aabb::new(Vec3::new(2.9, 1.5, 0.0), Vec3::new(3.1, 3.5, 3.0)),
             Material::METAL,
@@ -625,7 +651,13 @@ mod tests {
         let tx = node(1.0, 1.0);
         let rx = node(4.0, 1.0);
         assert!(scene
-            .bounce_path(&tx, &rx, tx.position, Complex64::ONE, PathKind::PressElement { element: 0 })
+            .bounce_path(
+                &tx,
+                &rx,
+                tx.position,
+                Complex64::ONE,
+                PathKind::PressElement { element: 0 }
+            )
             .is_none());
     }
 

@@ -11,6 +11,7 @@
 //!   `press-phy` estimator. Also exposes the noiseless *oracle* channel for
 //!   fast search-algorithm ablations.
 
+#![forbid(unsafe_code)]
 pub mod radio;
 pub mod sounder;
 

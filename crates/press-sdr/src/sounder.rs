@@ -101,7 +101,9 @@ impl Sounder {
     pub fn snr_params(&self) -> SnrParams {
         SnrParams {
             subcarrier_power_mw: self.tx.subcarrier_power_mw(self.num.n_active()),
-            subcarrier_noise_mw: self.rx.subcarrier_noise_mw(self.num.subcarrier_spacing_hz()),
+            subcarrier_noise_mw: self
+                .rx
+                .subcarrier_noise_mw(self.num.subcarrier_spacing_hz()),
             saturation_db: SNR_SATURATION_DB,
         }
     }
@@ -157,7 +159,11 @@ impl Sounder {
         let n = self.num.n_active();
         let training = training_sequence(n);
         let amp_tx = self.tx.subcarrier_power_mw(n).sqrt();
-        let noise_sigma = (self.rx.subcarrier_noise_mw(self.num.subcarrier_spacing_hz()) / 2.0).sqrt();
+        let noise_sigma = (self
+            .rx
+            .subcarrier_noise_mw(self.num.subcarrier_spacing_hz())
+            / 2.0)
+            .sqrt();
 
         let sym_t = self.num.symbol_duration_s();
         let mut phase = rng.gen_range(0.0..std::f64::consts::TAU); // unknown initial LO phase
@@ -170,8 +176,7 @@ impl Sounder {
             let sym: Vec<Complex64> = (0..n)
                 .map(|k| {
                     let clean = training[k] * h[k] * amp_tx * rot;
-                    clean
-                        + Complex64::new(gaussian(rng) * noise_sigma, gaussian(rng) * noise_sigma)
+                    clean + Complex64::new(gaussian(rng) * noise_sigma, gaussian(rng) * noise_sigma)
                 })
                 .collect();
             received.push(sym);
@@ -205,8 +210,11 @@ impl Sounder {
         let n = self.num.n_active();
         let training = training_sequence(n);
         let amp_tx = self.tx.subcarrier_power_mw(n).sqrt();
-        let noise_sigma =
-            (self.rx.subcarrier_noise_mw(self.num.subcarrier_spacing_hz()) / 2.0).sqrt();
+        let noise_sigma = (self
+            .rx
+            .subcarrier_noise_mw(self.num.subcarrier_spacing_hz())
+            / 2.0)
+            .sqrt();
         let sym_t = self.num.symbol_duration_s();
         let mut phase = lo_phase;
         let mut out = Vec::with_capacity(paths.len());
@@ -214,10 +222,8 @@ impl Sounder {
         // the LO phase walking continuously across the whole sequence.
         for row in paths {
             let mut row_est = Vec::with_capacity(row.len());
-            let h_per_rx: Vec<Vec<Complex64>> = row
-                .iter()
-                .map(|p| self.oracle_channel(p, t_s))
-                .collect();
+            let h_per_rx: Vec<Vec<Complex64>> =
+                row.iter().map(|p| self.oracle_channel(p, t_s)).collect();
             let mut received: Vec<Vec<Vec<Complex64>>> =
                 vec![Vec::with_capacity(self.n_training); row.len()];
             for _ in 0..self.n_training {
@@ -373,7 +379,9 @@ mod tests {
             p.gain = p.gain * 0.1;
         }
         let mut rng = StdRng::seed_from_u64(3);
-        let hi = s.sound_averaged(&two_tap_paths(), 5, 0.0, &mut rng).unwrap();
+        let hi = s
+            .sound_averaged(&two_tap_paths(), 5, 0.0, &mut rng)
+            .unwrap();
         let lo = s.sound_averaged(&weak, 5, 0.0, &mut rng).unwrap();
         assert!(hi.mean_db() > lo.mean_db() + 15.0);
     }
@@ -382,7 +390,9 @@ mod tests {
     fn two_tap_channel_shows_frequency_selectivity() {
         let s = sounder();
         let mut rng = StdRng::seed_from_u64(9);
-        let prof = s.sound_averaged(&two_tap_paths(), 10, 0.0, &mut rng).unwrap();
+        let prof = s
+            .sound_averaged(&two_tap_paths(), 10, 0.0, &mut rng)
+            .unwrap();
         assert!(
             prof.selectivity_db() > 10.0,
             "two comparable taps 80 ns apart must produce deep fades, got {}",
@@ -423,6 +433,10 @@ mod tests {
         let s = sounder();
         let mut rng = StdRng::seed_from_u64(1);
         let prof = s.sound(&[], 0.0, &mut rng).unwrap().snr;
-        assert!(prof.mean_db() < 10.0, "no signal => near-zero SNR, got {}", prof.mean_db());
+        assert!(
+            prof.mean_db() < 10.0,
+            "no signal => near-zero SNR, got {}",
+            prof.mean_db()
+        );
     }
 }

@@ -64,7 +64,10 @@ fn main() {
     }
 
     // Ground truth from the tracer.
-    let mut truth: Vec<_> = paths.iter().map(|p| (p.delay_s, p.gain.abs(), p.kind)).collect();
+    let mut truth: Vec<_> = paths
+        .iter()
+        .map(|p| (p.delay_s, p.gain.abs(), p.kind))
+        .collect();
     truth.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("\nstrongest true paths:");
     for (tau, gain, kind) in truth.iter().take(6) {

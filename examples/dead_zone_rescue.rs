@@ -52,11 +52,18 @@ fn main() {
     let report = controller.run_episode(&rig.system, &rig.sounder);
     let after = rig
         .sounder
-        .sound_averaged(&link.paths(&rig.system, &report.chosen_config), 8, 0.0, &mut rng)
+        .sound_averaged(
+            &link.paths(&rig.system, &report.chosen_config),
+            8,
+            0.0,
+            &mut rng,
+        )
         .unwrap();
     println!(
         "\nPRESS actuates {} after {} measurements:",
-        rig.system.array.label_of(&report.chosen_config, rig.system.lambda()),
+        rig.system
+            .array
+            .label_of(&report.chosen_config, rig.system.lambda()),
         report.measurements
     );
     describe("after PRESS", &after);

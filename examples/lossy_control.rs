@@ -30,7 +30,10 @@ fn main() {
 
     let modes: Vec<(&str, ActuationMode)> = vec![
         ("oracle", ActuationMode::Oracle),
-        ("wired bus", ActuationMode::Transport(TransportActuation::wired())),
+        (
+            "wired bus",
+            ActuationMode::Transport(TransportActuation::wired()),
+        ),
         (
             "lossy, fire-and-forget",
             ActuationMode::Transport(TransportActuation {
@@ -44,7 +47,10 @@ fn main() {
             "lossy, adaptive retry",
             ActuationMode::Transport(TransportActuation {
                 transport: congested,
-                policy: AckPolicy::Adaptive { max_retries: 8, batch_cap: 16 },
+                policy: AckPolicy::Adaptive {
+                    max_retries: 8,
+                    batch_cap: 16,
+                },
                 distance_m: 15.0,
                 faults: bursts,
             }),
@@ -75,9 +81,10 @@ fn main() {
             frames += r.actuation_frames;
             retries += r.actuation_retries;
             // Keep the episode with the most stale elements as the shown run.
-            if last.as_ref().is_none_or(|p: &press::core::ControlReport| {
-                r.stale_elements >= p.stale_elements
-            }) {
+            if last
+                .as_ref()
+                .is_none_or(|p: &press::core::ControlReport| r.stale_elements >= p.stale_elements)
+            {
                 last = Some(r);
             }
         }
@@ -91,10 +98,7 @@ fn main() {
             last.realized_config.states, last.chosen_config.states
         );
         if name != "oracle" {
-            println!(
-                "{:<24} {:>+9.3} dB vs oracle",
-                "", mean - oracle_score
-            );
+            println!("{:<24} {:>+9.3} dB vs oracle", "", mean - oracle_score);
         }
     }
 

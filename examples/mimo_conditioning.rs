@@ -41,7 +41,10 @@ fn main() {
                 .iter()
                 .map(|row| row.iter().map(|l| l.paths(&rig.system, &config)).collect())
                 .collect();
-            let est = rig.sounder.sound_mimo(&paths, lo_phase, 0.0, &mut rng).unwrap();
+            let est = rig
+                .sounder
+                .sound_mimo(&paths, lo_phase, 0.0, &mut rng)
+                .unwrap();
             lo_phase += 0.002;
             let h: Vec<Vec<Vec<press::math::Complex64>>> = (0..2)
                 .map(|b| (0..2).map(|a| est[a][b].h.clone()).collect())

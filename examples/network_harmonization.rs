@@ -32,8 +32,12 @@ fn main() {
     // see all four radios.
     let mut rng = StdRng::seed_from_u64(5);
     let positions: Vec<Vec3> = [
-        (5.3, 3.4), (5.9, 3.3), (5.6, 3.0),
-        (5.3, 5.9), (5.9, 6.0), (5.6, 6.3),
+        (5.3, 3.4),
+        (5.9, 3.3),
+        (5.6, 3.0),
+        (5.3, 5.9),
+        (5.9, 6.0),
+        (5.6, 6.3),
     ]
     .iter()
     .map(|&(x, y)| Vec3::new(x + rng.gen_range(-0.05..0.05), y, 1.5))
@@ -56,9 +60,8 @@ fn main() {
     );
 
     let num = Numerology::wifi20(press::math::consts::WIFI_CHANNEL_11_HZ);
-    let mk_sounder = |tx: &SdrRadio, rx: &SdrRadio| {
-        Sounder::new(num.clone(), tx.clone(), rx.clone())
-    };
+    let mk_sounder =
+        |tx: &SdrRadio, rx: &SdrRadio| Sounder::new(num.clone(), tx.clone(), rx.clone());
     // The four channels of Figure 2: two communication, two interference.
     let pairs = [
         ("H11 AP1->C1 (comm)", mk_sounder(&ap1, &c1)),

@@ -15,7 +15,10 @@ use press::prelude::*;
 
 fn main() {
     println!("PRESS phase-resolution ablation (paper §4.1 conjecture)\n");
-    println!("{:>8} {:>12} {:>16} {:>14}", "phases", "configs", "best minSNR dB", "gain vs 2");
+    println!(
+        "{:>8} {:>12} {:>16} {:>14}",
+        "phases", "configs", "best minSNR dB", "gain vs 2"
+    );
 
     let mut base_gain = None;
     for n_phases in [2usize, 4, 8, 16, 32] {

@@ -59,13 +59,15 @@ fn main() {
 
     // What the improvement buys at the MAC layer.
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    let link = press::core::CachedLink::trace(
-        system,
-        sounder.tx.node.clone(),
-        sounder.rx.node.clone(),
-    );
+    let link =
+        press::core::CachedLink::trace(system, sounder.tx.node.clone(), sounder.rx.node.clone());
     let before = sounder
-        .sound_averaged(&link.paths(system, &report.baseline_config), 8, 0.0, &mut rng)
+        .sound_averaged(
+            &link.paths(system, &report.baseline_config),
+            8,
+            0.0,
+            &mut rng,
+        )
         .unwrap();
     let after = sounder
         .sound_averaged(&link.paths(system, &report.chosen_config), 8, 0.0, &mut rng)

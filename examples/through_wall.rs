@@ -7,7 +7,7 @@
 //! backscatter path with two 4 m legs is ~30 dB below the surviving
 //! channel. Then one *active* (PhyCloak-class) relay element at the
 //! doorway does what §4.1 promises: "a small number of active PRESS
-//! elements might replace several more passive elements." 
+//! elements might replace several more passive elements."
 //!
 //! ```sh
 //! cargo run --release --example through_wall
@@ -73,7 +73,11 @@ fn main() {
         &factory,
         &objective,
     );
-    println!("\nplaced {} wall elements (greedy, {} oracle evaluations):", placement.array.len(), placement.evaluations);
+    println!(
+        "\nplaced {} wall elements (greedy, {} oracle evaluations):",
+        placement.array.len(),
+        placement.evaluations
+    );
     for pe in &placement.array.elements {
         println!(
             "  element at ({:.2}, {:.2}, {:.2}) m",
@@ -117,17 +121,18 @@ fn main() {
     for k in 0..4 {
         let phase = k as f64 * std::f64::consts::FRAC_PI_2;
         let mut sys = hybrid.clone();
-        sys.array.elements[0].element.program_active(50.0, phase, true);
-        let profile = sounder.oracle_snr(
-            &hybrid_link.paths(&sys, &Configuration::zeros(1)),
-            0.0,
-        );
+        sys.array.elements[0]
+            .element
+            .program_active(50.0, phase, true);
+        let profile = sounder.oracle_snr(&hybrid_link.paths(&sys, &Configuration::zeros(1)), 0.0);
         if profile.mean_db() > best.1 {
             best = (phase, profile.mean_db());
         }
     }
     let mut sys = hybrid.clone();
-    sys.array.elements[0].element.program_active(50.0, best.0, true);
+    sys.array.elements[0]
+        .element
+        .program_active(50.0, best.0, true);
     let relayed = sounder.oracle_snr(&hybrid_link.paths(&sys, &Configuration::zeros(1)), 0.0);
     println!(
         "\none ACTIVE doorway relay (50 dB): mean SNR {:5.1} dB -> {:.1} Mb/s   (gain {:+.1} dB)",

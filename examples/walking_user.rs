@@ -28,7 +28,10 @@ fn main() {
     let num = Numerology::wifi20(press::math::consts::WIFI_CHANNEL_11_HZ);
 
     let mph = 0.44704;
-    for &(label, speed) in &[("standing-ish 0.5 mph", 0.5 * mph), ("walking 3 mph", 3.0 * mph)] {
+    for &(label, speed) in &[
+        ("standing-ish 0.5 mph", 0.5 * mph),
+        ("walking 3 mph", 3.0 * mph),
+    ] {
         let coherence = system.scene.coherence_time_s(speed);
         println!("== {label}: coherence time {:.0} ms", coherence * 1e3);
         println!(

@@ -19,6 +19,7 @@
 //! assert_eq!(rig.system.array.config_space().size(), 64);
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod rig;
 
 pub use press_control as control;

@@ -46,7 +46,11 @@ pub fn fig4_rig(placement_seed: u64) -> Rig {
         SdrRadio::warp(lab.tx.clone()),
         SdrRadio::warp(lab.rx.clone()),
     );
-    Rig { system, sounder, lab }
+    Rig {
+        system,
+        sounder,
+        lab,
+    }
 }
 
 /// The Figure 4 line-of-sight control: same rig with the blocking slab
@@ -68,7 +72,11 @@ pub fn fig4_los_rig(placement_seed: u64) -> Rig {
         SdrRadio::warp(lab.tx.clone()),
         SdrRadio::warp(lab.rx.clone()),
     );
-    Rig { system, sounder, lab }
+    Rig {
+        system,
+        sounder,
+        lab,
+    }
 }
 
 /// The Figure 7 rig: USRP N210 endpoints on a 102-active-subcarrier
@@ -94,10 +102,7 @@ pub fn fig7_rig(seed: u64) -> Rig {
             .map(|&p| press_core::PlacedElement {
                 element: press_elements::Element::four_phase_passive(lambda),
                 position: p,
-                antenna: Antenna::new(
-                    press_propagation::antenna::Pattern::press_patch(),
-                    aim - p,
-                ),
+                antenna: Antenna::new(press_propagation::antenna::Pattern::press_patch(), aim - p),
             })
             .collect(),
     };
@@ -107,7 +112,11 @@ pub fn fig7_rig(seed: u64) -> Rig {
         SdrRadio::usrp_n210(lab.tx.clone()),
         SdrRadio::usrp_n210(lab.rx.clone()),
     );
-    Rig { system, sounder, lab }
+    Rig {
+        system,
+        sounder,
+        lab,
+    }
 }
 
 /// The Figure 8 MIMO rig: a 2×2 link (USRP X310-class endpoints), direct

@@ -32,11 +32,7 @@ fn concrete_partition_attenuates_cross_room_link() {
     let thick = office(); // concrete
     let power = |floor: &OfficeFloor| -> f64 {
         let paths = floor.scene.paths(&floor.ap, &floor.client);
-        10.0 * paths
-            .iter()
-            .map(|p| p.gain.norm_sqr())
-            .sum::<f64>()
-            .log10()
+        10.0 * paths.iter().map(|p| p.gain.norm_sqr()).sum::<f64>().log10()
     };
     assert!(
         power(&thick) < power(&thin) - 5.0,
@@ -132,7 +128,9 @@ fn continuous_relay_tuning_helps_or_matches() {
     let link = CachedLink::trace(&system, floor.ap.clone(), floor.client.clone());
     let passive_cfg = Configuration::zeros(1);
     let objective = |p: &SnrProfile| p.min_db();
-    system.array.elements[0].element.program_active(30.0, 0.0, true);
+    system.array.elements[0]
+        .element
+        .program_active(30.0, 0.0, true);
     let phase_zero = objective(&sounder.oracle_snr(&link.paths(&system, &passive_cfg), 0.0));
     let tuned = tune_active_phases(
         &mut system,

@@ -37,10 +37,16 @@ fn chosen_configuration_survives_the_wire() {
     assert!(act.confirmed(), "unconfirmed: {:?}", act.unconfirmed);
 
     // The wire protocol round-trips the same assignment.
-    let msg = Message::BatchSet { seq: 1, assignments: assignments.clone() };
+    let msg = Message::BatchSet {
+        seq: 1,
+        assignments: assignments.clone(),
+    };
     let decoded = Message::decode(&msg.encode()).unwrap();
     let mut array = rig.system.array.clone();
-    if let Message::BatchSet { assignments: got, .. } = decoded {
+    if let Message::BatchSet {
+        assignments: got, ..
+    } = decoded
+    {
         for (element, state) in got {
             array.elements[element as usize]
                 .element
@@ -61,7 +67,10 @@ fn timing_budgets_differentiate_control_planes() {
 
     let slow = Controller::new(Strategy::Greedy { max_sweeps: 1 }, LinkObjective::MaxMinSnr);
     let slow_report = slow.run_episode(&rig.system, &rig.sounder);
-    assert!(!slow_report.within_coherence, "paper-prototype timing must blow 80 ms");
+    assert!(
+        !slow_report.within_coherence,
+        "paper-prototype timing must blow 80 ms"
+    );
 
     let mut fast = Controller::new(Strategy::Greedy { max_sweeps: 1 }, LinkObjective::MaxMinSnr);
     fast.timing = TimingModel::fast_control_plane();
@@ -106,7 +115,11 @@ fn lossy_fire_and_forget_episodes_diverge_from_oracle() {
     let oracle = Controller::new(Strategy::Exhaustive, LinkObjective::MaxMinSnr);
     let mut lossy = oracle.clone();
     lossy.actuation = ActuationMode::Transport(TransportActuation {
-        transport: Transport::IsmRadio { bitrate_bps: 250e3, loss_prob: 0.9, mac_latency_s: 1e-3 },
+        transport: Transport::IsmRadio {
+            bitrate_bps: 250e3,
+            loss_prob: 0.9,
+            mac_latency_s: 1e-3,
+        },
         policy: AckPolicy::None,
         distance_m: 15.0,
         faults: press::control::FaultPlan::none(),
@@ -125,7 +138,10 @@ fn lossy_fire_and_forget_episodes_diverge_from_oracle() {
             assert_ne!(rb.realized_config, rb.chosen_config, "seed {seed}");
         }
     }
-    assert!(saw_divergence, "90% loss never stranded elements across 6 seeds");
+    assert!(
+        saw_divergence,
+        "90% loss never stranded elements across 6 seeds"
+    );
 }
 
 /// Actuation latency measured by the event simulation must be consistent
@@ -134,13 +150,31 @@ fn lossy_fire_and_forget_episodes_diverge_from_oracle() {
 fn transport_latencies_order_correctly() {
     let assignments: Vec<(u16, u8)> = (0..64).map(|e| (e, 2)).collect();
     let mut times = Vec::new();
-    for t in [Transport::wired(), Transport::ism(), Transport::ultrasound()] {
+    for t in [
+        Transport::wired(),
+        Transport::ism(),
+        Transport::ultrasound(),
+    ] {
         let mut rng = StdRng::seed_from_u64(5);
-        let r = actuate(&t, &assignments, 10.0, AckPolicy::PerElement { max_retries: 8 }, &mut rng);
+        let r = actuate(
+            &t,
+            &assignments,
+            10.0,
+            AckPolicy::PerElement { max_retries: 8 },
+            &mut rng,
+        );
         assert!(r.complete());
         times.push(r.completion_s);
     }
     assert!(times[0] < times[1] && times[1] < times[2], "{times:?}");
-    assert!(times[0] < 2e-3, "wire fits the packet timescale: {}", times[0]);
-    assert!(times[2] > 80e-3, "ultrasound blows even standing coherence: {}", times[2]);
+    assert!(
+        times[0] < 2e-3,
+        "wire fits the packet timescale: {}",
+        times[0]
+    );
+    assert!(
+        times[2] > 80e-3,
+        "ultrasound blows even standing coherence: {}",
+        times[2]
+    );
 }

@@ -2,7 +2,7 @@
 //! pipeline across every crate in the workspace.
 
 use press::core::{
-    headline_stats, run_campaign_over, CampaignConfig, CachedLink, Configuration, Controller,
+    headline_stats, run_campaign_over, CachedLink, CampaignConfig, Configuration, Controller,
     LinkObjective, Strategy,
 };
 
@@ -133,7 +133,10 @@ fn los_effect_much_smaller_than_nlos() {
         e_los < e_nlos / 3.0,
         "LOS effect {e_los:.1} dB must be far below NLOS {e_nlos:.1} dB"
     );
-    assert!(e_los < 3.0, "LOS effect should be small in absolute terms: {e_los:.1}");
+    assert!(
+        e_los < 3.0,
+        "LOS effect should be small in absolute terms: {e_los:.1}"
+    );
 }
 
 #[test]
@@ -177,10 +180,7 @@ fn reconfiguration_changes_packet_delivery() {
                 &freqs,
                 0.0,
             );
-            let min = h
-                .iter()
-                .map(|x| x.abs())
-                .fold(f64::INFINITY, f64::min);
+            let min = h.iter().map(|x| x.abs()).fold(f64::INFINITY, f64::min);
             (i, min)
         })
         .collect();
@@ -194,7 +194,8 @@ fn reconfiguration_changes_packet_delivery() {
     // cliff sits a few dB below the spec table, so we scan.)
     let mcs = MCS_TABLE[7];
     let modem = Modem::new(rig.sounder.num.clone(), mcs);
-    let h_best = press::propagation::frequency_response(&link.paths(&rig.system, &best), &freqs, 0.0);
+    let h_best =
+        press::propagation::frequency_response(&link.paths(&rig.system, &best), &freqs, 0.0);
     let h_worst =
         press::propagation::frequency_response(&link.paths(&rig.system, &worst), &freqs, 0.0);
     let mean_mag: f64 = h_best.iter().map(|x| x.abs()).sum::<f64>() / h_best.len() as f64;

@@ -3,10 +3,9 @@
 //! caught by `cargo test` without running the full campaigns.
 
 use press::core::analysis::{
-    extreme_pair, fraction_configs_min_below, fraction_pairs_with_subcarrier_delta,
-    null_movements,
+    extreme_pair, fraction_configs_min_below, fraction_pairs_with_subcarrier_delta, null_movements,
 };
-use press::core::{run_campaign_over, CampaignConfig, CachedLink, Configuration};
+use press::core::{run_campaign_over, CachedLink, CampaignConfig, Configuration};
 use press::math::Complex64;
 use press::phy::mimo::MimoChannel;
 use rand::SeedableRng;
@@ -47,7 +46,10 @@ fn fig5_regime() {
     for trial in &result.profiles {
         all_moves.extend(null_movements(trial));
     }
-    assert!(!all_moves.is_empty(), "some configurations must exhibit nulls");
+    assert!(
+        !all_moves.is_empty(),
+        "some configurations must exhibit nulls"
+    );
     let small = all_moves.iter().filter(|&&m| m <= 3).count();
     assert!(
         small as f64 / all_moves.len() as f64 > 0.3,
@@ -134,6 +136,10 @@ fn fig8_regime() {
     let hi = medians.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     assert!(lo.is_finite() && hi.is_finite());
     assert!((0.0..20.0).contains(&lo), "best conditioning {lo} dB");
-    assert!(hi - lo > 0.2, "PRESS must move conditioning: spread {}", hi - lo);
+    assert!(
+        hi - lo > 0.2,
+        "PRESS must move conditioning: spread {}",
+        hi - lo
+    );
     assert!(hi - lo < 15.0, "spread implausibly large: {}", hi - lo);
 }

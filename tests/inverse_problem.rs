@@ -1,8 +1,8 @@
 //! Integration tests for the §2 inverse problem against the full physics
 //! stack (not the synthetic dictionaries of the unit tests).
 
-use press::core::{CachedLink, Configuration, InverseSolver, PressDictionary};
 use press::core::inverse::{extract_dominant_paths, reconstruct};
+use press::core::{CachedLink, Configuration, InverseSolver, PressDictionary};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -70,14 +70,9 @@ fn inverse_solver_tolerates_measurement_noise() {
     let scale = (e_oracle / e_est).sqrt();
     // Align the common phase against the oracle (a receiver would use any
     // phase reference; the test uses the cleanest one available).
-    let corr: press::math::Complex64 = est
-        .iter()
-        .zip(&oracle)
-        .map(|(e, o)| o.conj() * *e)
-        .sum();
+    let corr: press::math::Complex64 = est.iter().zip(&oracle).map(|(e, o)| o.conj() * *e).sum();
     let rot = press::math::Complex64::from_polar(1.0, -corr.arg());
-    let target: Vec<press::math::Complex64> =
-        est.iter().map(|x| *x * scale * rot).collect();
+    let target: Vec<press::math::Complex64> = est.iter().map(|x| *x * scale * rot).collect();
 
     let solver = InverseSolver::new(target.len());
     let sol = solver.solve(&dict, &target);
