@@ -12,7 +12,7 @@
 //! joint configuration.
 
 use press_bench::write_csv;
-use press_core::{compare_agility, JointProblem, LinkObjective, PressArray, PressSystem};
+use press_core::{compare_agility, LinkObjective, PressArray, PressSystem, SmartSpace};
 use press_math::consts::WIFI_CHANNEL_11_HZ;
 use press_phy::Numerology;
 use press_propagation::{LabConfig, LabSetup, RadioNode, Vec3};
@@ -41,22 +41,25 @@ fn main() {
         lab.rx.position + Vec3::new(2.6, 2.4, 0.0),
         lab.rx.position + Vec3::new(1.0, -3.2, 0.1),
     ];
-    let sounders: Vec<Sounder> = clients
-        .iter()
-        .map(|&c| {
-            let mut tx = SdrRadio::warp(lab.tx.clone());
-            // Low-power IoT regime: the links sit mid rate-ladder, where a
-            // compromise configuration genuinely costs throughput.
-            tx.tx_power_dbm = -8.0;
-            Sounder::new(num.clone(), tx, SdrRadio::warp(RadioNode::omni_at(c)))
-        })
-        .collect();
-    let problem = JointProblem::uniform(&system, sounders, LinkObjective::MaxMeanSnr);
+    let mut space = SmartSpace::new(system);
+    for (i, &c) in clients.iter().enumerate() {
+        let mut tx = SdrRadio::warp(lab.tx.clone());
+        // Low-power IoT regime: the links sit mid rate-ladder, where a
+        // compromise configuration genuinely costs throughput.
+        tx.tx_power_dbm = -8.0;
+        let sounder = Sounder::new(num.clone(), tx, SdrRadio::warp(RadioNode::omni_at(c)));
+        space.add_link(
+            &format!("client {i}"),
+            sounder,
+            LinkObjective::MaxMeanSnr,
+            1.0,
+        );
+    }
 
     let slot_s = 2e-3; // the paper's packet-level timescale
     println!(
         "# {} links, TDMA slot {:.1} ms\n",
-        problem.links.len(),
+        space.n_links(),
         slot_s * 1e3
     );
     println!(
@@ -65,7 +68,7 @@ fn main() {
     );
     let mut rows = Vec::new();
     for switch_us in [0.0f64, 50.0, 100.0, 200.0, 400.0, 800.0, 1600.0] {
-        let report = compare_agility(&problem, &system, 150, slot_s, switch_us * 1e-6, 3);
+        let report = compare_agility(&space, 150, slot_s, switch_us * 1e-6, 3);
         let winner = if report.agility_wins() {
             "per-link"
         } else {

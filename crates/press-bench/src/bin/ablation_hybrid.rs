@@ -7,23 +7,28 @@
 //! This harness measures the achievable per-subcarrier SNR swing on a LOS
 //! link as active (PhyCloak-style) elements join a passive array, and
 //! reports the power/cost bill of each mix.
+//!
+//! The link lives in a single-link [`SmartSpace`]: the registry owns the
+//! environment trace and the channel basis, and the per-variant element
+//! re-programming goes through the documented invalidation story (mutate
+//! the array → [`LinkBasis::rebuild`](press_core::LinkBasis::rebuild)).
 
 use press::rig::fig4_los_rig;
 use press_bench::write_csv;
-use press_core::{CachedLink, Configuration, LinkBasis, PressSystem};
+use press_core::{Configuration, LinkObjective, SmartSpace};
 use press_elements::{deployment_budget, Element};
 
 /// Max |per-subcarrier channel-magnitude delta| (dB) between settings of
 /// the controllable elements, on oracle channels. Works on raw |H| rather
 /// than SNR so the receiver's SNR saturation cannot mask the comparison
 /// (a strong LOS link pegs every estimated profile at the 50 dB cap).
-fn los_swing(system: &PressSystem, link: &CachedLink, sounder: &press_sdr::Sounder) -> f64 {
-    let freqs = sounder.num.active_freqs_hz();
-    let space = system.array.config_space_passive_only();
+fn los_swing(space: &SmartSpace) -> f64 {
+    let sl = &space.links()[0];
+    let cfg_space = space.system().array.config_space_passive_only();
     let mut mag_profiles: Vec<Vec<f64>> = Vec::new();
     for phase_step in 0..4usize {
         for active_on in [false, true] {
-            let mut sys = system.clone();
+            let mut sys = space.system().clone();
             for pe in sys.array.elements.iter_mut() {
                 if !pe.element.is_passive() {
                     pe.element.program_active(
@@ -34,17 +39,19 @@ fn los_swing(system: &PressSystem, link: &CachedLink, sounder: &press_sdr::Sound
                 }
             }
             let config = Configuration::new(
-                space
+                cfg_space
                     .states_per_element
                     .iter()
                     .map(|&m| phase_step.min(m - 1))
                     .collect(),
             );
             // `program_active` mutates element responses, so each variant
-            // gets a freshly-built basis (the invalidation story: mutate
+            // rebuilds the registry basis (the invalidation story: mutate
             // the array → rebuild; the sweep over configs then rides the
-            // cached columns).
-            let basis = LinkBasis::build(&sys, link, &freqs);
+            // cached columns). The environment trace is the registry's —
+            // walked once for the whole sweep.
+            let mut basis = sl.basis.clone();
+            basis.rebuild(&sys, &sl.link);
             let h = basis.synthesize(&config, 0.0);
             mag_profiles.push(h.iter().map(|x| 20.0 * x.abs().log10()).collect());
         }
@@ -76,13 +83,10 @@ fn main() {
         for i in (n - n_active)..n {
             system.array.elements[i].element = Element::active(12.0);
         }
-        let link = CachedLink::trace(
-            &system,
-            rig.sounder.tx.node.clone(),
-            rig.sounder.rx.node.clone(),
-        );
-        let swing = los_swing(&system, &link, &rig.sounder);
-        let elements: Vec<Element> = system
+        let space = SmartSpace::single(system, rig.sounder.clone(), LinkObjective::MaxMinSnr);
+        let swing = los_swing(&space);
+        let elements: Vec<Element> = space
+            .system()
             .array
             .elements
             .iter()

@@ -15,6 +15,7 @@
 //!   entry points record into, exported as CSV rows.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 pub mod actuation;
 pub mod clusters;
 pub mod des;
@@ -32,5 +33,5 @@ pub use des::{
 };
 pub use fault::{ElementFaultKind, ElementFaults, FaultPlan, GilbertElliott};
 pub use message::{CodecError, Message, MAGIC};
-pub use metrics::{ControlMetrics, Histogram};
+pub use metrics::{ControlMetrics, Histogram, SpaceMetrics};
 pub use transport::{Delivery, Transport};

@@ -246,6 +246,74 @@ impl ControlMetrics {
     }
 }
 
+/// Per-link control-plane metrics of one multi-link (smart-space) campaign.
+///
+/// A smart space actuates *one* shared array configuration per episode, so
+/// there is a single wire truth — recorded in [`space`](Self::space) — while
+/// every link the actuation served gets the same counters attributed to its
+/// own row. The per-link rows therefore deliberately double-count the shared
+/// wire (they answer "what control-plane behavior did this link experience",
+/// not "how many frames did this link cause"); sum the `space` rows, never
+/// the link rows, when aggregating across campaigns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpaceMetrics {
+    /// The wire truth: every frame, loss, retry and completion exactly once.
+    pub space: ControlMetrics,
+    /// Per-link attributed rows: `(link id, label, metrics)`, in link order.
+    pub links: Vec<(u32, String, ControlMetrics)>,
+}
+
+impl SpaceMetrics {
+    /// An empty registry for the given `(link id, label)` set.
+    pub fn new(links: &[(u32, String)]) -> Self {
+        SpaceMetrics {
+            space: ControlMetrics::new(),
+            links: links
+                .iter()
+                .map(|(id, label)| (*id, label.clone(), ControlMetrics::new()))
+                .collect(),
+        }
+    }
+
+    /// Records one shared actuation: merged once into the wire-truth row
+    /// and attributed to every link row.
+    pub fn record_shared(&mut self, actuation: &ControlMetrics) {
+        self.space.merge(actuation);
+        for (_, _, m) in &mut self.links {
+            m.merge(actuation);
+        }
+    }
+
+    /// Merges another registry into this one. Link rows are matched by id;
+    /// ids unknown to `self` are appended.
+    pub fn merge(&mut self, other: &SpaceMetrics) {
+        self.space.merge(&other.space);
+        for (id, label, m) in &other.links {
+            match self.links.iter_mut().find(|(i, _, _)| i == id) {
+                Some((_, _, mine)) => mine.merge(m),
+                None => self.links.push((*id, label.clone(), m.clone())),
+            }
+        }
+    }
+
+    /// The CSV header matching [`csv_rows`](Self::csv_rows).
+    pub fn csv_header() -> String {
+        format!("link_id,label,{}", ControlMetrics::csv_header())
+    }
+
+    /// One row per link plus a final `space` wire-truth row. Labels are
+    /// quoted so commas in link labels cannot shear the columns.
+    pub fn csv_rows(&self) -> Vec<String> {
+        let mut rows: Vec<String> = self
+            .links
+            .iter()
+            .map(|(id, label, m)| format!("{},\"{}\",{}", id, label, m.csv_row()))
+            .collect();
+        rows.push(format!("space,\"all links\",{}", self.space.csv_row()));
+        rows
+    }
+}
+
 fn zero_if_empty(count: u64, v: f64) -> f64 {
     if count == 0 {
         0.0
@@ -333,6 +401,41 @@ mod tests {
         let row_cols = m.csv_row().split(',').count();
         assert_eq!(header_cols, row_cols);
         assert!((m.frame_loss_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn space_metrics_attribute_shared_actuations_per_link() {
+        let mut sm = SpaceMetrics::new(&[(0, "H11".into()), (1, "H22".into())]);
+        let mut act = ControlMetrics::new();
+        act.frames_tx = 5;
+        act.actuations = 1;
+        act.completion.observe(2e-3);
+        sm.record_shared(&act);
+        // Wire truth counts once; each link row sees the shared actuation.
+        assert_eq!(sm.space.frames_tx, 5);
+        for (_, _, m) in &sm.links {
+            assert_eq!(m.frames_tx, 5);
+            assert_eq!(m.actuations, 1);
+        }
+        let header_cols = SpaceMetrics::csv_header().split(',').count();
+        for row in sm.csv_rows() {
+            assert_eq!(row.split(',').count(), header_cols, "{row}");
+        }
+        assert_eq!(sm.csv_rows().len(), 3, "2 links + 1 space row");
+        assert!(sm.csv_rows().last().unwrap().starts_with("space,"));
+    }
+
+    #[test]
+    fn space_metrics_merge_matches_ids() {
+        let mut a = SpaceMetrics::new(&[(0, "a".into())]);
+        let mut b = SpaceMetrics::new(&[(0, "a".into()), (1, "b".into())]);
+        let mut act = ControlMetrics::new();
+        act.frames_tx = 2;
+        b.record_shared(&act);
+        a.merge(&b);
+        assert_eq!(a.space.frames_tx, 2);
+        assert_eq!(a.links.len(), 2, "unknown id is appended");
+        assert_eq!(a.links[0].2.frames_tx, 2);
     }
 
     #[test]

@@ -12,10 +12,11 @@ use crate::basis::LinkBasis;
 use crate::config::Configuration;
 use crate::objective::LinkObjective;
 use crate::search;
+use crate::space::{LinkId, SmartSpace};
 use crate::system::{CachedLink, PressSystem};
 use press_control::{
     actuate_with, simulate_actuation_with, AckPolicy, ControlMetrics, DesConfig, FaultPlan,
-    Transport,
+    SpaceMetrics, Transport,
 };
 use press_math::Complex64;
 use press_sdr::Sounder;
@@ -208,6 +209,82 @@ impl ControlReport {
     }
 }
 
+/// One link's view of a multi-link episode (all scores are *measured*, on
+/// the array the control plane actually produced).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkReport {
+    /// Registry identity of the link.
+    pub id: LinkId,
+    /// The link's registry label.
+    pub label: String,
+    /// The link's weight in the space-wide objective.
+    pub weight: f64,
+    /// This link's objective score of the baseline measurement.
+    pub baseline_score: f64,
+    /// This link's objective score of the verification measurement (the
+    /// baseline values when the episode reverted).
+    pub chosen_score: f64,
+    /// Mean measured SNR of the baseline, dB.
+    pub baseline_mean_snr_db: f64,
+    /// Mean measured SNR of the verification (baseline when reverted), dB.
+    pub chosen_mean_snr_db: f64,
+}
+
+impl LinkReport {
+    /// Improvement of this link's verified score over its baseline, in the
+    /// link objective's units.
+    pub fn improvement(&self) -> f64 {
+        self.chosen_score - self.baseline_score
+    }
+}
+
+/// Outcome of one multi-link ([`SmartSpace`]) control episode.
+///
+/// The scalar fields mirror [`ControlReport`] with scores replaced by the
+/// space-wide weighted objective; [`links`](Self::links) carries each
+/// link's verified view. Derives `PartialEq` so determinism tests can
+/// assert two same-seed episodes are bit-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpaceReport {
+    /// Configuration in force before the episode.
+    pub baseline_config: Configuration,
+    /// Weighted space-wide score of the baseline.
+    pub baseline_score: f64,
+    /// Configuration chosen by the episode.
+    pub chosen_config: Configuration,
+    /// Weighted space-wide score of the verification measurement.
+    pub chosen_score: f64,
+    /// Per-link verified outcomes, in registry order.
+    pub links: Vec<LinkReport>,
+    /// Number of channel measurements spent (each link counts its own).
+    pub measurements: usize,
+    /// Total emulated wall-clock time of the episode, seconds.
+    pub elapsed_s: f64,
+    /// Coherence time the episode was budgeted against, seconds.
+    pub coherence_budget_s: f64,
+    /// Whether the episode finished within the coherence budget.
+    pub within_coherence: bool,
+    /// Whether verification rejected the search result and the controller
+    /// fell back to the baseline configuration.
+    pub reverted: bool,
+    /// The configuration the array is physically in at episode end.
+    pub realized_config: Configuration,
+    /// Elements whose realized state differs from the chosen configuration.
+    pub stale_elements: usize,
+    /// Control frames spent actuating (0 under the oracle).
+    pub actuation_frames: usize,
+    /// Retransmission effort spent actuating.
+    pub actuation_retries: usize,
+}
+
+impl SpaceReport {
+    /// Improvement of the chosen configuration over the baseline in the
+    /// weighted space objective's units.
+    pub fn improvement(&self) -> f64 {
+        self.chosen_score - self.baseline_score
+    }
+}
+
 /// The closed-loop controller.
 #[derive(Debug, Clone)]
 pub struct Controller {
@@ -370,6 +447,214 @@ impl Controller {
             baseline_score,
             chosen_config,
             chosen_score,
+            measurements,
+            elapsed_s: elapsed,
+            coherence_budget_s: self.coherence_budget_s,
+            within_coherence: elapsed <= self.coherence_budget_s,
+            reverted,
+            realized_config,
+            stale_elements,
+            actuation_frames,
+            actuation_retries,
+        }
+    }
+
+    /// Runs one control episode over a whole [`SmartSpace`]: measure every
+    /// registered link at the baseline, search for one shared configuration
+    /// maximizing the *weighted* space objective (each candidate evaluated
+    /// by measurement on every link), actuate that single configuration
+    /// through the configured [`ActuationMode`], and verify each link
+    /// against the array the control plane actually produced.
+    ///
+    /// The registry's objectives and weights drive the episode — the
+    /// controller's own [`objective`](Self::objective) field is the
+    /// single-link API and is not consulted here.
+    ///
+    /// Seed-stream discipline is the single-link episode's, unchanged:
+    /// measurement noise on `seed` (links drawing in registry order),
+    /// search on `seed + 1`, actuation on `seed + 2`. A one-link space is
+    /// therefore RNG-stream-identical to
+    /// [`run_episode`](Self::run_episode).
+    pub fn run_space_episode(&self, space: &SmartSpace) -> SpaceReport {
+        self.run_space_episode_instrumented(space, None)
+    }
+
+    /// [`run_space_episode`](Self::run_space_episode) with an optional
+    /// per-[`LinkId`]-labeled metrics registry. The shared actuation is
+    /// recorded once into the wire-truth row and attributed to every link
+    /// row ([`SpaceMetrics::record_shared`]); instrumentation never
+    /// perturbs the episode.
+    pub fn run_space_episode_instrumented(
+        &self,
+        space: &SmartSpace,
+        metrics: Option<&mut SpaceMetrics>,
+    ) -> SpaceReport {
+        assert!(
+            space.n_links() > 0,
+            "a space episode needs at least one registered link"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let config_space = space.config_space();
+
+        let mut measurements = 0usize;
+        let mut elapsed = 0.0f64;
+        let mut h: Vec<Complex64> = Vec::new();
+        // Measures one configuration on every link (registry order, one
+        // shared noise stream) and returns the weighted space score plus
+        // each link's own score and mean SNR.
+        let mut measure_space = |config: &Configuration,
+                                 measurements: &mut usize,
+                                 elapsed: &mut f64,
+                                 rng: &mut StdRng|
+         -> (f64, Vec<f64>, Vec<f64>) {
+            let mut weighted = 0.0f64;
+            let mut scores = Vec::with_capacity(space.n_links());
+            let mut means = Vec::with_capacity(space.n_links());
+            for sl in space.links() {
+                sl.basis.synthesize_into(config, *elapsed, &mut h);
+                let profile = sl
+                    .sounder
+                    .sound_averaged_channel(&h, self.frames_per_measurement, rng)
+                    .expect("sounder has >=2 training symbols");
+                *measurements += 1;
+                *elapsed += self.timing.measurement_s + self.timing.compute_per_eval_s;
+                let score = sl.objective.score(&profile);
+                weighted += sl.weight * score;
+                scores.push(score);
+                means.push(profile.mean_db());
+            }
+            (weighted, scores, means)
+        };
+
+        let baseline_config = Configuration::zeros(config_space.n_elements());
+        let (baseline_score, baseline_scores, baseline_means) =
+            measure_space(&baseline_config, &mut measurements, &mut elapsed, &mut rng);
+
+        let result = match self.strategy {
+            Strategy::Exhaustive => search::exhaustive(&config_space, |c| {
+                measure_space(c, &mut measurements, &mut elapsed, &mut rng).0
+            }),
+            Strategy::Greedy { max_sweeps } => {
+                search::greedy_coordinate(&config_space, baseline_config.clone(), max_sweeps, |c| {
+                    measure_space(c, &mut measurements, &mut elapsed, &mut rng).0
+                })
+            }
+            Strategy::Random { budget } => {
+                let mut search_rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
+                search::random_search(&config_space, budget, &mut search_rng, |c| {
+                    measure_space(c, &mut measurements, &mut elapsed, &mut rng).0
+                })
+            }
+            Strategy::Annealing { budget } => {
+                let mut search_rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
+                search::simulated_annealing(
+                    &config_space,
+                    budget,
+                    3.0,
+                    0.05,
+                    &mut search_rng,
+                    |c| measure_space(c, &mut measurements, &mut elapsed, &mut rng).0,
+                )
+            }
+        };
+
+        // One shared actuation serves every link; the RNG stream and the
+        // revert logic are the single-link episode's, with the weighted
+        // space score standing in for the link score.
+        let mut act_rng = StdRng::seed_from_u64(self.seed.wrapping_add(2));
+        let mut faults = match &self.actuation {
+            ActuationMode::Oracle => FaultPlan::none(),
+            ActuationMode::Transport(t) => t.faults.clone(),
+            ActuationMode::Des(d) => d.faults.clone(),
+        };
+
+        let mut act_metrics = ControlMetrics::new();
+        let outcome = self.actuate_config(
+            &baseline_config,
+            &result.best,
+            &mut faults,
+            Some(&mut act_metrics),
+            &mut act_rng,
+        );
+        elapsed += outcome.completion_s;
+        let mut actuation_frames = outcome.frames;
+        let mut actuation_retries = outcome.retries;
+        let realized = realize(
+            &baseline_config,
+            &result.best,
+            &outcome.applied,
+            &faults,
+            &config_space,
+        );
+        let (verified_score, verified_scores, verified_means) =
+            measure_space(&realized, &mut measurements, &mut elapsed, &mut rng);
+
+        let (chosen_config, chosen_score, chosen_scores, chosen_means, reverted, realized_config) =
+            if verified_score < baseline_score {
+                let mut back_metrics = ControlMetrics::new();
+                let back = self.actuate_config(
+                    &realized,
+                    &baseline_config,
+                    &mut faults,
+                    Some(&mut back_metrics),
+                    &mut act_rng,
+                );
+                act_metrics.merge(&back_metrics);
+                elapsed += back.completion_s;
+                actuation_frames += back.frames;
+                actuation_retries += back.retries;
+                let after = realize(
+                    &realized,
+                    &baseline_config,
+                    &back.applied,
+                    &faults,
+                    &config_space,
+                );
+                (
+                    baseline_config.clone(),
+                    baseline_score,
+                    baseline_scores.clone(),
+                    baseline_means.clone(),
+                    true,
+                    after,
+                )
+            } else {
+                (
+                    result.best,
+                    verified_score,
+                    verified_scores,
+                    verified_means,
+                    false,
+                    realized,
+                )
+            };
+
+        if let Some(m) = metrics {
+            m.record_shared(&act_metrics);
+        }
+
+        let links = space
+            .links()
+            .iter()
+            .enumerate()
+            .map(|(i, sl)| LinkReport {
+                id: sl.id,
+                label: sl.label.clone(),
+                weight: sl.weight,
+                baseline_score: baseline_scores[i],
+                chosen_score: chosen_scores[i],
+                baseline_mean_snr_db: baseline_means[i],
+                chosen_mean_snr_db: chosen_means[i],
+            })
+            .collect();
+
+        let stale_elements = realized_config.hamming(&chosen_config);
+        SpaceReport {
+            baseline_config,
+            baseline_score,
+            chosen_config,
+            chosen_score,
+            links,
             measurements,
             elapsed_s: elapsed,
             coherence_budget_s: self.coherence_budget_s,
@@ -681,6 +966,85 @@ mod tests {
         assert_eq!(bare.actuation_frames, inst.actuation_frames);
         assert!(metrics.frames_tx > 0);
         assert!(metrics.actuations >= 1);
+    }
+
+    #[test]
+    fn single_link_space_episode_matches_run_episode_bitwise() {
+        let (system, sounder) = setup(2);
+        for strategy in [
+            Strategy::Exhaustive,
+            Strategy::Random { budget: 6 },
+            Strategy::Annealing { budget: 8 },
+        ] {
+            for seed in [0u64, 7, 23] {
+                let mut c = Controller::new(strategy, LinkObjective::MaxMinSnr);
+                c.seed = seed;
+                c.actuation = ActuationMode::Transport(TransportActuation::ism());
+                let single = c.run_episode(&system, &sounder);
+                let space =
+                    SmartSpace::single(system.clone(), sounder.clone(), LinkObjective::MaxMinSnr);
+                let multi = c.run_space_episode(&space);
+                assert_eq!(single.baseline_score, multi.baseline_score, "seed {seed}");
+                assert_eq!(single.chosen_config, multi.chosen_config, "seed {seed}");
+                assert_eq!(single.chosen_score, multi.chosen_score, "seed {seed}");
+                assert_eq!(single.measurements, multi.measurements, "seed {seed}");
+                assert_eq!(single.elapsed_s, multi.elapsed_s, "seed {seed}");
+                assert_eq!(single.realized_config, multi.realized_config, "seed {seed}");
+                assert_eq!(single.reverted, multi.reverted, "seed {seed}");
+                assert_eq!(multi.links.len(), 1);
+                assert_eq!(multi.links[0].chosen_score, multi.chosen_score);
+            }
+        }
+    }
+
+    #[test]
+    fn space_episode_weights_drive_the_search() {
+        use crate::space::LinkId;
+        // Two links, the second negatively weighted: the weighted space
+        // score must equal w0·s0 + w1·s1 on both the baseline and the
+        // verification measurement.
+        let (system, sounder) = setup(2);
+        let mut space = SmartSpace::new(system);
+        space.add_link("boost", sounder.clone(), LinkObjective::MaxMeanSnr, 1.0);
+        let mut other = sounder.clone();
+        other.rx.node.position.y += 1.1;
+        space.add_link("suppress", other, LinkObjective::MaxMeanSnr, -0.5);
+        let c = Controller::new(Strategy::Random { budget: 5 }, LinkObjective::MaxMeanSnr);
+        let r = c.run_space_episode(&space);
+        assert_eq!(r.links.len(), 2);
+        assert_eq!(r.links[0].id, LinkId(0));
+        assert_eq!(r.links[1].id, LinkId(1));
+        let weighted = 1.0 * r.links[0].baseline_score - 0.5 * r.links[1].baseline_score;
+        assert!((r.baseline_score - weighted).abs() < 1e-12);
+        // 1 baseline + 5 search + 1 verification sweeps, 2 links each.
+        assert_eq!(r.measurements, 7 * 2);
+    }
+
+    #[test]
+    fn instrumented_space_episode_is_bit_identical_and_labels_links() {
+        use press_control::SpaceMetrics;
+        let (system, sounder) = setup(2);
+        let mut space = SmartSpace::new(system);
+        space.add_link("a", sounder.clone(), LinkObjective::MaxMinSnr, 1.0);
+        let mut other = sounder.clone();
+        other.rx.node.position.y += 0.9;
+        space.add_link("b", other, LinkObjective::MaxMinSnr, 1.0);
+        let mut c = Controller::new(Strategy::Random { budget: 4 }, LinkObjective::MaxMinSnr);
+        c.actuation = ActuationMode::Transport(TransportActuation::ism());
+        let bare = c.run_space_episode(&space);
+        let ids: Vec<(u32, String)> = space
+            .links()
+            .iter()
+            .map(|sl| (sl.id.0, sl.label.clone()))
+            .collect();
+        let mut metrics = SpaceMetrics::new(&ids);
+        let inst = c.run_space_episode_instrumented(&space, Some(&mut metrics));
+        assert_eq!(bare, inst);
+        assert!(metrics.space.frames_tx > 0);
+        assert_eq!(metrics.links.len(), 2);
+        for (_, _, m) in &metrics.links {
+            assert_eq!(m.frames_tx, metrics.space.frames_tx);
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Joint multi-link optimization and the agility-vs-optimization trade-off.
+//! Joint multi-link scheduling and the agility-vs-optimization trade-off.
 //!
 //! §2 of the paper: "If the current communication patterns involve multiple
 //! wireless links operating over different time or frequency slots, we
@@ -11,119 +11,90 @@
 //! solely over a single communication link … One can imagine hybrid
 //! tradeoffs and dynamic strategies."
 //!
-//! This module implements both ends and the comparison:
+//! This module is a thin *scheduler* over [`SmartSpace`]: the registry
+//! owns the traces, bases, objectives and weights; the scheduler only
+//! decides which links share a configuration and drives the search. The
+//! three strategies span the paper's design space:
 //!
-//! * [`JointProblem`] — one configuration scored across many links
-//!   (weighted sum of per-link objectives);
-//! * [`compare_agility`] — joint-static vs per-link-switched operation of a
-//!   TDMA schedule, charging the control plane's actuation latency for
-//!   every reconfiguration, so the crossover the paper predicts is
-//!   measurable.
+//! * [`optimize_joint`] — one static configuration scored across every
+//!   registered link (weighted sum);
+//! * [`optimize_per_link`] — each link gets its own configuration, actuated
+//!   at slot boundaries;
+//! * [`optimize_hybrid`] — links are partitioned into groups; each group
+//!   shares one configuration. Singleton groups recover the per-link end,
+//!   one all-links group recovers the joint end — bit-for-bit, because the
+//!   group RNG stream is seeded by the group's lowest [`LinkId`] through
+//!   [`link_stream_seed`].
+//!
+//! [`compare_agility`] runs the two ends on a TDMA schedule, charging the
+//! control plane's actuation latency for every reconfiguration, so the
+//! crossover the paper predicts is measurable.
 
 use crate::config::Configuration;
-use crate::objective::LinkObjective;
 use crate::search::{self, SearchResult};
-use crate::system::{CachedLink, PressSystem};
-use press_sdr::Sounder;
+use crate::space::{link_stream_seed, LinkId, SmartSpace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// One link participating in a joint optimization.
-#[derive(Debug, Clone)]
-pub struct JointLink {
-    /// The traced link.
-    pub link: CachedLink,
-    /// The sounder (radios + numerology) used to evaluate it.
-    pub sounder: Sounder,
-    /// Relative weight in the joint objective.
-    pub weight: f64,
-    /// Per-link objective.
-    pub objective: LinkObjective,
+/// Annealing temperature schedule shared by every scheduler strategy.
+const T0: f64 = 3.0;
+const T1: f64 = 0.05;
+
+/// Optimizes one shared configuration for the whole registry by simulated
+/// annealing under the given evaluation budget (oracle evaluations through
+/// the registry's bases). The search RNG is stream 0 of link 0 — the bare
+/// seed — so the single-link degenerate case is RNG-stream-identical to
+/// the historical single-link optimizer.
+pub fn optimize_joint(space: &SmartSpace, budget: usize, seed: u64) -> SearchResult {
+    let ids: Vec<LinkId> = space.links().iter().map(|sl| sl.id).collect();
+    optimize_group(space, &ids, budget, seed)
 }
 
-/// A set of links optimized under one shared array configuration.
-#[derive(Debug, Clone)]
-pub struct JointProblem {
-    /// The participating links.
-    pub links: Vec<JointLink>,
+/// Optimizes each link separately (same budget per link) and returns each
+/// link's own best configuration, in registry order. Link `i` searches on
+/// its own derived RNG stream (`link_stream_seed(seed, i, 0)`), so adding
+/// or removing a link never perturbs the others' searches.
+pub fn optimize_per_link(space: &SmartSpace, budget: usize, seed: u64) -> Vec<SearchResult> {
+    space
+        .links()
+        .iter()
+        .map(|sl| optimize_group(space, &[sl.id], budget, seed))
+        .collect()
 }
 
-impl JointProblem {
-    /// Builds a joint problem with uniform weights and a common objective.
-    pub fn uniform(
-        system: &PressSystem,
-        sounders: Vec<Sounder>,
-        objective: LinkObjective,
-    ) -> JointProblem {
-        let links = sounders
-            .into_iter()
-            .map(|sounder| {
-                let link =
-                    CachedLink::trace(system, sounder.tx.node.clone(), sounder.rx.node.clone());
-                JointLink {
-                    link,
-                    sounder,
-                    weight: 1.0,
-                    objective,
-                }
-            })
-            .collect();
-        JointProblem { links }
-    }
+/// Optimizes one configuration per group of links — the paper's "hybrid
+/// tradeoffs". Each group's weighted sub-objective is scored through the
+/// registry; the group's RNG stream is seeded by its lowest [`LinkId`],
+/// which makes singleton groups coincide bit-for-bit with
+/// [`optimize_per_link`] and the one-group-of-everything case with
+/// [`optimize_joint`].
+///
+/// Panics when a group is empty.
+pub fn optimize_hybrid(
+    space: &SmartSpace,
+    groups: &[Vec<LinkId>],
+    budget: usize,
+    seed: u64,
+) -> Vec<SearchResult> {
+    groups
+        .iter()
+        .map(|g| optimize_group(space, g, budget, seed))
+        .collect()
+}
 
-    /// Weighted joint score of a configuration on oracle channels.
-    pub fn oracle_score(&self, system: &PressSystem, config: &Configuration) -> f64 {
-        self.links
-            .iter()
-            .map(|jl| {
-                let profile = jl.sounder.oracle_snr(&jl.link.paths(system, config), 0.0);
-                jl.weight * jl.objective.score(&profile)
-            })
-            .sum()
-    }
-
-    /// Per-link oracle scores of a configuration.
-    pub fn per_link_scores(&self, system: &PressSystem, config: &Configuration) -> Vec<f64> {
-        self.links
-            .iter()
-            .map(|jl| {
-                let profile = jl.sounder.oracle_snr(&jl.link.paths(system, config), 0.0);
-                jl.objective.score(&profile)
-            })
-            .collect()
-    }
-
-    /// Optimizes the shared configuration by simulated annealing with the
-    /// given evaluation budget (oracle evaluations).
-    pub fn optimize(&self, system: &PressSystem, budget: usize, seed: u64) -> SearchResult {
-        let space = system.array.config_space();
-        let mut rng = StdRng::seed_from_u64(seed);
-        search::simulated_annealing(&space, budget.max(1), 3.0, 0.05, &mut rng, |c| {
-            self.oracle_score(system, c)
-        })
-    }
-
-    /// Optimizes each link separately (same budget per link) and returns
-    /// each link's own best configuration.
-    pub fn optimize_per_link(
-        &self,
-        system: &PressSystem,
-        budget: usize,
-        seed: u64,
-    ) -> Vec<SearchResult> {
-        let space = system.array.config_space();
-        self.links
-            .iter()
-            .enumerate()
-            .map(|(i, jl)| {
-                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
-                search::simulated_annealing(&space, budget.max(1), 3.0, 0.05, &mut rng, |c| {
-                    let profile = jl.sounder.oracle_snr(&jl.link.paths(system, c), 0.0);
-                    jl.objective.score(&profile)
-                })
-            })
-            .collect()
-    }
+/// The shared kernel: anneal one configuration for a set of links, scored
+/// as the registry's weighted sum over exactly those links.
+fn optimize_group(space: &SmartSpace, ids: &[LinkId], budget: usize, seed: u64) -> SearchResult {
+    let lead = *ids
+        .iter()
+        .min()
+        .expect("scheduling group must be non-empty");
+    let config_space = space.config_space();
+    let stream = link_stream_seed(seed, lead, 0);
+    let mut rng = StdRng::seed_from_u64(stream);
+    search::simulated_annealing(&config_space, budget.max(1), T0, T1, &mut rng, |c| {
+        space.oracle_score_of(ids, c)
+    })
 }
 
 /// Outcome of the agility-vs-optimization comparison.
@@ -147,6 +118,14 @@ impl AgilityReport {
     }
 }
 
+/// Oracle Shannon throughput of one link under a configuration, Mb/s.
+fn link_throughput_mbps(space: &SmartSpace, id: LinkId, config: &Configuration) -> f64 {
+    let sl = space.link(id);
+    let h = sl.basis.synthesize(config, 0.0);
+    let profile = sl.sounder.snr_from_channel(&h);
+    profile.shannon_capacity_bps(sl.sounder.num.subcarrier_spacing_hz()) / 1e6
+}
+
 /// Compares the two ends of the paper's agility spectrum on a TDMA
 /// schedule: every link gets an equal slot; the per-link strategy actuates
 /// the array at each slot boundary (losing `switch_s` of airtime), while
@@ -154,34 +133,28 @@ impl AgilityReport {
 /// capacities of the oracle profiles (smooth, so small per-link advantages
 /// are visible; the MCS ladder would quantize them away).
 pub fn compare_agility(
-    problem: &JointProblem,
-    system: &PressSystem,
+    space: &SmartSpace,
     budget: usize,
     slot_s: f64,
     switch_s: f64,
     seed: u64,
 ) -> AgilityReport {
     assert!(slot_s > 0.0 && switch_s >= 0.0);
-    let joint = problem.optimize(system, budget, seed);
-    let per_link = problem.optimize_per_link(system, budget, seed);
+    let joint = optimize_joint(space, budget, seed);
+    let per_link = optimize_per_link(space, budget, seed);
 
-    let throughput = |jl: &JointLink, config: &Configuration| -> f64 {
-        let profile = jl.sounder.oracle_snr(&jl.link.paths(system, config), 0.0);
-        profile.shannon_capacity_bps(jl.sounder.num.subcarrier_spacing_hz()) / 1e6
-    };
-
-    let n = problem.links.len() as f64;
-    let joint_mbps: f64 = problem
-        .links
+    let n = space.n_links() as f64;
+    let joint_mbps: f64 = space
+        .links()
         .iter()
-        .map(|jl| throughput(jl, &joint.best) / n)
+        .map(|sl| link_throughput_mbps(space, sl.id, &joint.best) / n)
         .sum();
     let duty = ((slot_s - switch_s) / slot_s).max(0.0);
-    let per_link_mbps: f64 = problem
-        .links
+    let per_link_mbps: f64 = space
+        .links()
         .iter()
         .zip(&per_link)
-        .map(|(jl, r)| duty * throughput(jl, &r.best) / n)
+        .map(|(sl, r)| duty * link_throughput_mbps(space, sl.id, &r.best) / n)
         .sum();
 
     AgilityReport {
@@ -196,12 +169,14 @@ pub fn compare_agility(
 mod tests {
     use super::*;
     use crate::array::PressArray;
+    use crate::objective::LinkObjective;
+    use crate::system::PressSystem;
     use press_math::consts::WIFI_CHANNEL_11_HZ;
     use press_phy::Numerology;
     use press_propagation::{LabConfig, LabSetup, RadioNode, Vec3};
-    use press_sdr::SdrRadio;
+    use press_sdr::{SdrRadio, Sounder};
 
-    fn two_link_problem() -> (PressSystem, JointProblem) {
+    fn two_link_space() -> SmartSpace {
         let lab = LabSetup::generate(&LabConfig::default(), 6);
         let lambda = lab.scene.wavelength();
         let mut rng = StdRng::seed_from_u64(2);
@@ -218,43 +193,52 @@ mod tests {
         );
         let rx2 = RadioNode::omni_at(lab.rx.position + Vec3::new(0.3, 1.2, 0.0));
         let s2 = Sounder::new(num, SdrRadio::warp(lab.tx.clone()), SdrRadio::warp(rx2));
-        let problem = JointProblem::uniform(&system, vec![s1, s2], LinkObjective::MaxMinSnr);
-        (system, problem)
-    }
-
-    #[test]
-    fn joint_score_is_weighted_sum() {
-        let (system, problem) = two_link_problem();
-        let config = Configuration::zeros(3);
-        let per = problem.per_link_scores(&system, &config);
-        let joint = problem.oracle_score(&system, &config);
-        assert!((joint - per.iter().sum::<f64>()).abs() < 1e-9);
+        let mut space = SmartSpace::new(system);
+        space.add_link("lab link", s1, LinkObjective::MaxMinSnr, 1.0);
+        space.add_link("client 2", s2, LinkObjective::MaxMinSnr, 1.0);
+        space
     }
 
     #[test]
     fn per_link_optima_dominate_joint_per_link() {
         // Each link's own optimum is at least as good (for that link) as
         // the joint compromise.
-        let (system, problem) = two_link_problem();
-        let joint = problem.optimize(&system, 80, 1);
-        let own = problem.optimize_per_link(&system, 80, 1);
-        for (i, (jl, r)) in problem.links.iter().zip(&own).enumerate() {
-            let joint_score = jl.objective.score(
-                &jl.sounder
-                    .oracle_snr(&jl.link.paths(&system, &joint.best), 0.0),
-            );
+        let space = two_link_space();
+        let joint = optimize_joint(&space, 80, 1);
+        let own = optimize_per_link(&space, 80, 1);
+        for (sl, r) in space.links().iter().zip(&own) {
+            let joint_score = space.link_oracle_score(sl.id, &joint.best);
             assert!(
                 r.score >= joint_score - 0.5,
-                "link {i}: own {} vs joint {joint_score}",
+                "link {}: own {} vs joint {joint_score}",
+                sl.id,
                 r.score
             );
         }
     }
 
     #[test]
+    fn hybrid_singletons_match_per_link_bitwise() {
+        let space = two_link_space();
+        let groups: Vec<Vec<LinkId>> = space.links().iter().map(|sl| vec![sl.id]).collect();
+        let hybrid = optimize_hybrid(&space, &groups, 60, 7);
+        let per_link = optimize_per_link(&space, 60, 7);
+        assert_eq!(hybrid, per_link);
+    }
+
+    #[test]
+    fn hybrid_single_group_matches_joint_bitwise() {
+        let space = two_link_space();
+        let all: Vec<LinkId> = space.links().iter().map(|sl| sl.id).collect();
+        let hybrid = optimize_hybrid(&space, &[all], 60, 7);
+        let joint = optimize_joint(&space, 60, 7);
+        assert_eq!(hybrid, vec![joint]);
+    }
+
+    #[test]
     fn zero_switch_cost_favors_agility() {
-        let (system, problem) = two_link_problem();
-        let report = compare_agility(&problem, &system, 60, 2e-3, 0.0, 1);
+        let space = two_link_space();
+        let report = compare_agility(&space, 60, 2e-3, 0.0, 1);
         // Up to search (annealing) suboptimality, free switching can only
         // help: allow a small relative slack.
         assert!(
@@ -265,19 +249,19 @@ mod tests {
 
     #[test]
     fn huge_switch_cost_favors_joint() {
-        let (system, problem) = two_link_problem();
+        let space = two_link_space();
         // Switching eats 90% of the slot: joint must win (its throughput is
         // nonzero on this calibrated bench).
-        let report = compare_agility(&problem, &system, 60, 2e-3, 1.8e-3, 1);
+        let report = compare_agility(&space, 60, 2e-3, 1.8e-3, 1);
         assert!(report.joint_mbps > 0.0);
         assert!(!report.agility_wins(), "{report:?}");
     }
 
     #[test]
     fn agility_report_duty_cycle_math() {
-        let (system, problem) = two_link_problem();
-        let free = compare_agility(&problem, &system, 40, 2e-3, 0.0, 2);
-        let half = compare_agility(&problem, &system, 40, 2e-3, 1e-3, 2);
+        let space = two_link_space();
+        let free = compare_agility(&space, 40, 2e-3, 0.0, 2);
+        let half = compare_agility(&space, 40, 2e-3, 1e-3, 2);
         assert!((half.per_link_mbps - free.per_link_mbps * 0.5).abs() < 1e-9);
         assert_eq!(half.joint_mbps, free.joint_mbps);
     }

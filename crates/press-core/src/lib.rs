@@ -19,9 +19,15 @@
 //! * [`inverse`] — the §2 inverse problem: path extraction from CSI and
 //!   dictionary-based configuration synthesis;
 //! * [`controller`] — the closed measurement → search → actuate loop under
-//!   a coherence-time budget (§2).
+//!   a coherence-time budget (§2);
+//! * [`space`] — the multi-link deployment layer: one scene + array serving
+//!   a registry of weighted links with shared traces and bases (§2's
+//!   network harmonization, §4.2's shared-array scheduling);
+//! * [`joint`] — joint / per-link / hybrid scheduling over a [`space`]
+//!   registry and the agility-vs-optimization comparison.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 pub mod active;
 pub mod alignment;
 pub mod analysis;
@@ -36,6 +42,7 @@ pub mod measurement;
 pub mod objective;
 pub mod placement;
 pub mod search;
+pub mod space;
 pub mod system;
 pub mod tracking;
 
@@ -47,16 +54,19 @@ pub use bandit::UcbController;
 pub use basis::{min_magnitude_db_metric, snr_metric, BasisEvaluator, LinkBasis};
 pub use config::{ConfigSpace, Configuration};
 pub use controller::{
-    ActuationMode, ControlReport, Controller, DesActuation, Strategy, TimingModel,
-    TransportActuation,
+    ActuationMode, ControlReport, Controller, DesActuation, LinkReport, SpaceReport, Strategy,
+    TimingModel, TransportActuation,
 };
 pub use inverse::{InverseSolution, InverseSolver, PressDictionary, RecoveredPath};
-pub use joint::{compare_agility, AgilityReport, JointLink, JointProblem};
+pub use joint::{
+    compare_agility, optimize_hybrid, optimize_joint, optimize_per_link, AgilityReport,
+};
 pub use measurement::{
     run_campaign, run_campaign_over, run_campaign_parallel, CampaignConfig, CampaignResult,
 };
 pub use objective::{harmonization_score, mimo_conditioning_score, partition_score, LinkObjective};
 pub use placement::{greedy_placement, random_placement_baseline, PlacementResult};
 pub use search::{hierarchical_groups, GeneticParams, SearchResult};
+pub use space::{link_stream_seed, LinkId, SmartSpace, SpaceLink};
 pub use system::{CachedLink, PressSystem};
 pub use tracking::{track_mobile_client, LinearPatrol, TrackingConfig, TrackingReport};

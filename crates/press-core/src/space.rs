@@ -1,0 +1,420 @@
+//! `SmartSpace`: the multi-link deployment layer.
+//!
+//! The paper's third application — network harmonization / spatial
+//! partitioning (§2) — is inherently *multi-link*: one PRESS array
+//! conditioning several co-channel links at once. This module makes "a
+//! space full of links" the unit of operation: one [`Scene`] + one
+//! [`PressArray`](crate::array::PressArray) + a registry mapping
+//! [`LinkId`] to the link's endpoints, cached environment trace
+//! ([`CachedLink`]), channel basis ([`LinkBasis`]), sounder, objective and
+//! weight.
+//!
+//! What is **shared** across the registry:
+//!
+//! * the scene and the array (there is one physical room and one surface);
+//! * the environment trace per *endpoint pair* — registering two links
+//!   between the same endpoints (different objectives, say) re-uses the
+//!   first trace instead of walking the scene again, and every scheduler /
+//!   controller strategy operating on the space re-uses the registry's
+//!   traces instead of re-tracing per strategy as `press_core::joint` used
+//!   to;
+//! * the per-(element, state) basis geometry per (endpoint pair,
+//!   frequency grid) — the expensive `O((L + ΣMᵢ)·K)` basis build is done
+//!   once per distinct pair/grid and cloned for duplicates.
+//!
+//! What is **per-link**: the sounder (radios + numerology), the scalar
+//! [`LinkObjective`] and its weight in the space-wide score.
+//!
+//! [`Scene`]: press_propagation::Scene
+
+use crate::basis::LinkBasis;
+use crate::config::{ConfigSpace, Configuration};
+use crate::objective::LinkObjective;
+use crate::search::derive_stream_seed;
+use crate::system::{CachedLink, PressSystem};
+use press_math::Complex64;
+use press_sdr::Sounder;
+
+/// Identity of one link in a [`SmartSpace`] registry.
+///
+/// Ids are dense and assigned in registration order starting at 0; they
+/// label per-link reports, metrics rows and CSV exports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+impl std::fmt::Display for LinkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The per-link RNG stream convention of the multi-link layer.
+///
+/// Stream `stream` of link `id` under episode seed `seed` is
+/// `derive_stream_seed(seed, id, stream + 1)` — **except** stream 0 of
+/// link 0, which is `seed` itself. That carve-out makes the single-link
+/// degenerate case bit-identical to the historical single-link code paths
+/// (which seed their primary RNG with the bare episode seed), while every
+/// other (link, stream) cell gets an independent SplitMix64-derived
+/// stream. Ad-hoc mixing (`seed ^ link_id`, `seed + i`) is what the
+/// `seed-stream-discipline` lint's link-stream rule rejects; this function
+/// is the sanctioned spelling.
+pub fn link_stream_seed(seed: u64, id: LinkId, stream: u64) -> u64 {
+    if id.0 == 0 && stream == 0 {
+        seed
+    } else {
+        derive_stream_seed(seed, id.0 as u64, stream + 1)
+    }
+}
+
+/// One registered link: identity, shared caches, and its role in the
+/// space-wide objective.
+#[derive(Debug, Clone)]
+pub struct SpaceLink {
+    /// Registry identity (dense, registration order).
+    pub id: LinkId,
+    /// Human-readable label carried into reports and CSV exports.
+    pub label: String,
+    /// The cached environment trace between the link's endpoints.
+    pub link: CachedLink,
+    /// The per-(element, state) channel basis over the link's active
+    /// subcarriers.
+    pub basis: LinkBasis,
+    /// The sounder (radios + numerology) used to evaluate the link.
+    pub sounder: Sounder,
+    /// Relative weight in the space-wide objective. Positive for links to
+    /// strengthen, negative for links to suppress (interference).
+    pub weight: f64,
+    /// Per-link scalar objective.
+    pub objective: LinkObjective,
+}
+
+/// One scene + one array + the registry of links they serve.
+///
+/// Environment traces and basis builds are de-duplicated per endpoint
+/// pair (see the module docs); [`env_traces`](Self::env_traces) and
+/// [`basis_builds`](Self::basis_builds) count the work actually done so
+/// tests can assert the sharing.
+#[derive(Debug, Clone)]
+pub struct SmartSpace {
+    system: PressSystem,
+    links: Vec<SpaceLink>,
+    env_traces: usize,
+    basis_builds: usize,
+}
+
+/// Exact-position key of an endpoint pair (f64 bit patterns, so "same
+/// place" means bitwise-identical coordinates — the only equality that is
+/// safe to dedupe on).
+fn pair_key(s: &Sounder) -> [u64; 6] {
+    let t = s.tx.node.position;
+    let r = s.rx.node.position;
+    [
+        t.x.to_bits(),
+        t.y.to_bits(),
+        t.z.to_bits(),
+        r.x.to_bits(),
+        r.y.to_bits(),
+        r.z.to_bits(),
+    ]
+}
+
+impl SmartSpace {
+    /// An empty registry over a scene + array.
+    pub fn new(system: PressSystem) -> SmartSpace {
+        SmartSpace {
+            system,
+            links: Vec::new(),
+            env_traces: 0,
+            basis_builds: 0,
+        }
+    }
+
+    /// Convenience: a space with exactly one link of weight 1.0 — the
+    /// degenerate case every single-link harness reduces to.
+    pub fn single(system: PressSystem, sounder: Sounder, objective: LinkObjective) -> SmartSpace {
+        let mut space = SmartSpace::new(system);
+        space.add_link("link", sounder, objective, 1.0);
+        space
+    }
+
+    /// Registers a link and returns its [`LinkId`].
+    ///
+    /// The environment trace and basis build are skipped when an
+    /// already-registered link shares this one's endpoint pair (and, for
+    /// the basis, its frequency grid): the caches are cloned instead, so
+    /// N-link setup walks the scene once per *pair*, not once per link or
+    /// per (pair × strategy).
+    pub fn add_link(
+        &mut self,
+        label: &str,
+        sounder: Sounder,
+        objective: LinkObjective,
+        weight: f64,
+    ) -> LinkId {
+        let id = LinkId(self.links.len() as u32);
+        let key = pair_key(&sounder);
+        let reused = self.links.iter().find(|sl| pair_key(&sl.sounder) == key);
+        let link = match reused {
+            Some(sl) => sl.link.clone(),
+            None => {
+                self.env_traces += 1;
+                CachedLink::trace(
+                    &self.system,
+                    sounder.tx.node.clone(),
+                    sounder.rx.node.clone(),
+                )
+            }
+        };
+        let basis = match reused
+            .filter(|sl| sl.basis.freqs_hz() == sounder.num.active_freqs_hz().as_slice())
+        {
+            Some(sl) => sl.basis.clone(),
+            None => {
+                self.basis_builds += 1;
+                LinkBasis::for_numerology(&self.system, &link, &sounder.num)
+            }
+        };
+        self.links.push(SpaceLink {
+            id,
+            label: label.to_string(),
+            link,
+            basis,
+            sounder,
+            weight,
+            objective,
+        });
+        id
+    }
+
+    /// The shared scene + array.
+    pub fn system(&self) -> &PressSystem {
+        &self.system
+    }
+
+    /// The registered links, in [`LinkId`] order.
+    pub fn links(&self) -> &[SpaceLink] {
+        &self.links
+    }
+
+    /// One link by id (panics on an unknown id — registry ids are dense).
+    pub fn link(&self, id: LinkId) -> &SpaceLink {
+        &self.links[id.0 as usize]
+    }
+
+    /// Number of registered links.
+    pub fn n_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The shared array's configuration space.
+    pub fn config_space(&self) -> ConfigSpace {
+        self.system.array.config_space()
+    }
+
+    /// How many scene walks registration actually performed (one per
+    /// distinct endpoint pair).
+    pub fn env_traces(&self) -> usize {
+        self.env_traces
+    }
+
+    /// How many basis builds registration actually performed (one per
+    /// distinct endpoint pair × frequency grid).
+    pub fn basis_builds(&self) -> usize {
+        self.basis_builds
+    }
+
+    /// Re-derives any basis whose underlying [`CachedLink`] environment
+    /// drifted since the build. Returns how many bases were refreshed.
+    pub fn ensure_fresh(&mut self) -> usize {
+        let mut refreshed = 0;
+        for sl in &mut self.links {
+            if sl.basis.ensure_fresh(&sl.link) {
+                refreshed += 1;
+            }
+        }
+        refreshed
+    }
+
+    /// Oracle (noise-free, t = 0) score of one link under a configuration,
+    /// synthesized through the registry's basis.
+    ///
+    /// For static scenes the basis synthesis is bit-identical to summing
+    /// the traced path list, so these scores match the historical
+    /// path-based `JointProblem` scoring exactly.
+    pub fn link_oracle_score(&self, id: LinkId, config: &Configuration) -> f64 {
+        let sl = self.link(id);
+        let mut h: Vec<Complex64> = Vec::with_capacity(sl.basis.n_subcarriers());
+        sl.basis.synthesize_into(config, 0.0, &mut h);
+        sl.objective.score(&sl.sounder.snr_from_channel(&h))
+    }
+
+    /// Per-link oracle scores of a configuration, in registry order
+    /// (unweighted).
+    pub fn per_link_oracle_scores(&self, config: &Configuration) -> Vec<f64> {
+        self.links
+            .iter()
+            .map(|sl| self.link_oracle_score(sl.id, config))
+            .collect()
+    }
+
+    /// Weighted space-wide oracle score: `Σ weightᵢ · objectiveᵢ(SNRᵢ)`,
+    /// accumulated in registry order.
+    pub fn oracle_score(&self, config: &Configuration) -> f64 {
+        self.links
+            .iter()
+            .map(|sl| sl.weight * self.link_oracle_score(sl.id, config))
+            .sum()
+    }
+
+    /// Weighted score over a subset of the registry (the grouped / hybrid
+    /// scheduling building block). Links are scored in registry order
+    /// regardless of the order ids appear in `ids`.
+    pub fn oracle_score_of(&self, ids: &[LinkId], config: &Configuration) -> f64 {
+        self.links
+            .iter()
+            .filter(|sl| ids.contains(&sl.id))
+            .map(|sl| sl.weight * self.link_oracle_score(sl.id, config))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::PressArray;
+    use press_math::consts::WIFI_CHANNEL_11_HZ;
+    use press_phy::Numerology;
+    use press_propagation::{LabConfig, LabSetup, RadioNode, Vec3};
+    use press_sdr::SdrRadio;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bench_space(n_clients: usize) -> SmartSpace {
+        let lab = LabSetup::generate(&LabConfig::default(), 6);
+        let lambda = lab.scene.wavelength();
+        let mut rng = StdRng::seed_from_u64(2);
+        let positions = lab.random_element_positions(3, &mut rng);
+        let aim = (lab.tx.position + lab.rx.position) * 0.5;
+        let array = PressArray::paper_passive_aimed(&positions, lambda, aim);
+        let system = PressSystem::new(lab.scene.clone(), array);
+        let num = Numerology::wifi20(WIFI_CHANNEL_11_HZ);
+        let mut space = SmartSpace::new(system);
+        for i in 0..n_clients {
+            let rx = RadioNode::omni_at(lab.rx.position + Vec3::new(0.3 * i as f64, 1.2, 0.0));
+            let s = Sounder::new(
+                num.clone(),
+                SdrRadio::warp(lab.tx.clone()),
+                SdrRadio::warp(rx),
+            );
+            space.add_link(&format!("client {i}"), s, LinkObjective::MaxMinSnr, 1.0);
+        }
+        space
+    }
+
+    #[test]
+    fn registration_assigns_dense_ids() {
+        let space = bench_space(3);
+        assert_eq!(space.n_links(), 3);
+        for (i, sl) in space.links().iter().enumerate() {
+            assert_eq!(sl.id, LinkId(i as u32));
+        }
+    }
+
+    #[test]
+    fn n_link_setup_traces_once_per_endpoint_pair() {
+        // Three distinct pairs: three traces, three basis builds.
+        let space = bench_space(3);
+        assert_eq!(space.env_traces(), 3);
+        assert_eq!(space.basis_builds(), 3);
+
+        // Re-registering an existing pair (a second objective on the same
+        // endpoints) must not walk the scene or rebuild the basis.
+        let mut space = bench_space(3);
+        let dup = space.links()[1].sounder.clone();
+        space.add_link("dup objective", dup, LinkObjective::Flatness, -1.0);
+        assert_eq!(space.n_links(), 4);
+        assert_eq!(space.env_traces(), 3, "duplicate pair must not re-trace");
+        assert_eq!(space.basis_builds(), 3, "duplicate pair must not rebuild");
+        // The clone really is the same trace.
+        assert_eq!(
+            space.links()[3].link.environment.len(),
+            space.links()[1].link.environment.len()
+        );
+    }
+
+    #[test]
+    fn weighted_score_is_weighted_sum_of_per_link_scores() {
+        let mut space = bench_space(2);
+        space.links[1].weight = -0.5;
+        let config = Configuration::zeros(3);
+        let per = space.per_link_oracle_scores(&config);
+        let total = space.oracle_score(&config);
+        assert!((total - (per[0] - 0.5 * per[1])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subset_score_covers_exactly_the_subset() {
+        let space = bench_space(3);
+        let config = Configuration::zeros(3);
+        let per = space.per_link_oracle_scores(&config);
+        let sub = space.oracle_score_of(&[LinkId(0), LinkId(2)], &config);
+        assert!((sub - (per[0] + per[2])).abs() < 1e-12);
+        let all: Vec<LinkId> = space.links().iter().map(|sl| sl.id).collect();
+        assert_eq!(
+            space.oracle_score_of(&all, &config),
+            space.oracle_score(&config)
+        );
+    }
+
+    #[test]
+    fn basis_scoring_matches_path_scoring_bitwise() {
+        // The registry scores through the basis; the historical joint
+        // layer scored through the traced path list. Static scenes make
+        // the two bit-identical.
+        let space = bench_space(2);
+        let config = Configuration::new(vec![1, 2, 0]);
+        for sl in space.links() {
+            let via_basis = space.link_oracle_score(sl.id, &config);
+            let via_paths = sl.objective.score(
+                &sl.sounder
+                    .oracle_snr(&sl.link.paths(space.system(), &config), 0.0),
+            );
+            assert_eq!(via_basis, via_paths, "link {}", sl.id);
+        }
+    }
+
+    #[test]
+    fn link_stream_seed_degenerate_case_is_the_bare_seed() {
+        assert_eq!(link_stream_seed(42, LinkId(0), 0), 42);
+        // Every other cell is an independent derived stream.
+        let cells = [
+            link_stream_seed(42, LinkId(0), 1),
+            link_stream_seed(42, LinkId(1), 0),
+            link_stream_seed(42, LinkId(1), 1),
+            link_stream_seed(42, LinkId(2), 0),
+        ];
+        for (i, a) in cells.iter().enumerate() {
+            assert_ne!(*a, 42u64, "cell {i} collided with the bare seed");
+            for b in &cells[i + 1..] {
+                assert_ne!(a, b, "derived streams collided");
+            }
+        }
+    }
+
+    #[test]
+    fn ensure_fresh_refreshes_drifted_bases() {
+        use press_propagation::fading::ChannelDrift;
+        let mut space = bench_space(2);
+        assert_eq!(space.ensure_fresh(), 0, "fresh registry needs no work");
+        let mut rng = StdRng::seed_from_u64(9);
+        let drift = ChannelDrift::quiet_lab();
+        space.links[0].link.apply_drift(&drift, &mut rng);
+        assert_eq!(
+            space.ensure_fresh(),
+            1,
+            "exactly the drifted link refreshes"
+        );
+        assert_eq!(space.ensure_fresh(), 0);
+    }
+}

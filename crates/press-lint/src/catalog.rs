@@ -32,12 +32,13 @@ pub const AMBIENT_ENTROPY: Lint = Lint {
     summary: "thread_rng/from_entropy/rand::random/Instant::now/SystemTime::now break per-seed reproducibility",
 };
 
-/// L3: RNG constructions must derive from a named seed parameter.
+/// L3: RNG constructions must derive from a named seed parameter, and
+/// per-link streams must be split in through `link_stream_seed`.
 pub const SEED_STREAM: Lint = Lint {
     slug: "seed-stream-discipline",
     severity: Severity::Warning,
-    summary:
-        "RNG seeds in library code must derive from a named seed/stream, not an ad-hoc literal",
+    summary: "RNG seeds in library code must derive from a named seed/stream (per-link streams \
+              via link_stream_seed), not an ad-hoc literal or hand-mixed link id",
 };
 
 /// L4: float ordering via `partial_cmp().unwrap()` or `==` on floats.

@@ -145,6 +145,12 @@ fn path_head(toks: &[Tok], i: usize) -> &str {
 /// seed or stream (the `seed` / `seed+1` / `seed+2` convention from the
 /// controller). Scratch literals are fine in tests, benches and examples —
 /// there the literal *is* the experiment's name.
+///
+/// Per-link streams have their own convention: a seed expression that mixes
+/// in a link identity must go through `link_stream_seed` (or the raw
+/// `derive_stream_seed` splitter). Ad-hoc mixes like `seed ^ link_id`
+/// correlate streams across links and collide with the scalar `seed+n`
+/// streams, so they are flagged even though a seed ident is present.
 fn check_seed_stream(
     ctx: &FileContext,
     toks: &[Tok],
@@ -166,7 +172,8 @@ fn check_seed_stream(
             Some(c) => c,
             None => continue,
         };
-        let derives_from_seed = toks[i + 2..close].iter().any(|a| {
+        let args = &toks[i + 2..close];
+        let derives_from_seed = args.iter().any(|a| {
             a.kind == TokKind::Ident && {
                 let lower = a.text.to_lowercase();
                 lower.contains("seed") || lower.contains("stream")
@@ -180,6 +187,27 @@ fn check_seed_stream(
                 String::from(
                     "RNG constructed from an ad-hoc seed expression in library code; nothing \
                      ties this stream to the episode seed",
+                ),
+            ));
+            continue;
+        }
+        // Per-link sub-rule: a link identity in the seed expression must be
+        // split in through the dedicated derivation helpers.
+        let mentions_link = args
+            .iter()
+            .any(|a| a.kind == TokKind::Ident && a.text.to_lowercase().contains("link"));
+        let uses_splitter = args
+            .iter()
+            .any(|a| a.is_ident("link_stream_seed") || a.is_ident("derive_stream_seed"));
+        if mentions_link && !uses_splitter {
+            out.push(diag(
+                &catalog::SEED_STREAM,
+                ctx,
+                t,
+                String::from(
+                    "per-link RNG stream mixed by hand; derive it with link_stream_seed \
+                     (or derive_stream_seed) so link streams neither collide with the \
+                     seed+n scalar streams nor correlate across links",
                 ),
             ));
         }

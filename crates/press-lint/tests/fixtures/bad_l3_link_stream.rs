@@ -1,0 +1,8 @@
+//! L3 fixture (per-link sub-rule): a link identity XOR-mixed into the seed
+//! by hand. `seed ^ link_id` collides with the scalar `seed+n` streams for
+//! small ids and correlates streams across links; the convention is
+//! `link_stream_seed(seed, link_id, stream)`.
+
+fn per_link_rng(seed: u64, link_id: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ link_id)
+}

@@ -1,0 +1,11 @@
+//! L3 clean fixture (per-link sub-rule): link streams split in through the
+//! dedicated helpers, so they neither collide with the scalar `seed+n`
+//! streams nor correlate across links.
+
+fn per_link_rng(seed: u64, link_id: u64) -> StdRng {
+    StdRng::seed_from_u64(link_stream_seed(seed, link_id, 0))
+}
+
+fn raw_split(seed: u64, link_id: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_stream_seed(seed, link_id, 1))
+}

@@ -1,4 +1,4 @@
-//! Network harmonization: the paper's Figure 2 scenario.
+//! Network harmonization: the paper's Figure 2 scenario, end to end.
 //!
 //! Two co-channel AP→client pairs share a room. A dynamic frequency split
 //! gives AP1/Client1 the lower half-band and AP2/Client2 the upper — but
@@ -6,11 +6,19 @@
 //! half and the cross (interference) channels are weak. PRESS "harmonizes"
 //! the four channels by reshaping the multipath they share.
 //!
+//! All four channels are registered in one [`SmartSpace`] — communication
+//! links with positive weight and band-preference objectives, interference
+//! links with negative weight — and a single closed-loop controller
+//! episode measures, searches, actuates the winning configuration over a
+//! real (lossy) control-plane transport, and verifies every link against
+//! the array the control plane actually produced. Per-[`LinkId`] verified
+//! scores and control-plane metrics land in
+//! `results/network_harmonization.csv`.
+//!
 //! ```sh
 //! cargo run --release --example network_harmonization
 //! ```
 
-use press::core::{harmonization_score, partition_score, search, CachedLink, PressSystem};
 use press::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -52,81 +60,140 @@ fn main() {
         })
         .collect();
     let system = PressSystem::new(lab.scene.clone(), PressArray::new(elements));
-    let space = system.array.config_space();
-    println!(
-        "  4 channels x {} elements x 4 phases = {} configurations",
-        system.array.len(),
-        space.size()
-    );
 
     let num = Numerology::wifi20(press::math::consts::WIFI_CHANNEL_11_HZ);
     let mk_sounder =
         |tx: &SdrRadio, rx: &SdrRadio| Sounder::new(num.clone(), tx.clone(), rx.clone());
-    // The four channels of Figure 2: two communication, two interference.
-    let pairs = [
-        ("H11 AP1->C1 (comm)", mk_sounder(&ap1, &c1)),
-        ("H22 AP2->C2 (comm)", mk_sounder(&ap2, &c2)),
-        ("H12 AP1->C2 (intf)", mk_sounder(&ap1, &c2)),
-        ("H21 AP2->C1 (intf)", mk_sounder(&ap2, &c1)),
-    ];
-    let links: Vec<CachedLink> = pairs
+
+    // The four channels of Figure 2 in one registry: communication links
+    // pushed toward their half-band (positive weight), interference links
+    // suppressed (negative weight). The environment is traced once per
+    // endpoint pair and shared by every measurement below.
+    let mut space = SmartSpace::new(system);
+    space.add_link(
+        "H11 AP1->C1 (comm)",
+        mk_sounder(&ap1, &c1),
+        LinkObjective::FavorLowBand,
+        1.0,
+    );
+    space.add_link(
+        "H22 AP2->C2 (comm)",
+        mk_sounder(&ap2, &c2),
+        LinkObjective::FavorHighBand,
+        1.0,
+    );
+    space.add_link(
+        "H12 AP1->C2 (intf)",
+        mk_sounder(&ap1, &c2),
+        LinkObjective::MaxMeanSnr,
+        -0.5,
+    );
+    space.add_link(
+        "H21 AP2->C1 (intf)",
+        mk_sounder(&ap2, &c1),
+        LinkObjective::MaxMeanSnr,
+        -0.5,
+    );
+    println!(
+        "  {} channels x {} elements x 4 phases = {} configurations",
+        space.n_links(),
+        space.system().array.len(),
+        space.config_space().size()
+    );
+
+    // One closed-loop episode: 400 measured annealing candidates, the
+    // winner actuated over a lossy ISM control radio and re-verified on
+    // every link.
+    let mut controller = Controller::new(
+        Strategy::Annealing { budget: 400 },
+        LinkObjective::MaxMeanSnr, // single-link field; the registry drives
+    );
+    controller.seed = 23;
+    controller.timing = press::core::TimingModel::fast_control_plane();
+    controller.coherence_budget_s = 0.5;
+    controller.actuation = ActuationMode::Transport(TransportActuation::ism());
+
+    let link_ids: Vec<(u32, String)> = space
+        .links()
         .iter()
-        .map(|(_, s)| CachedLink::trace(&system, s.tx.node.clone(), s.rx.node.clone()))
+        .map(|sl| (sl.id.0, sl.label.clone()))
         .collect();
+    let mut metrics = SpaceMetrics::new(&link_ids);
+    let report = controller.run_space_episode_instrumented(&space, Some(&mut metrics));
 
-    let mut eval_rng = StdRng::seed_from_u64(17);
-    let measure_all = |config: &Configuration, rng: &mut StdRng| -> Vec<SnrProfile> {
-        links
-            .iter()
-            .zip(&pairs)
-            .map(|(link, (_, sounder))| {
-                sounder
-                    .sound_averaged(&link.paths(&system, config), 4, 0.0, rng)
-                    .unwrap()
-            })
-            .collect()
-    };
-
-    let weights = Default::default();
-    let score_of = |p: &[SnrProfile]| harmonization_score(&p[0], &p[1], &p[2], &p[3], &weights);
-
-    let baseline_cfg = Configuration::zeros(space.n_elements());
-    let baseline = measure_all(&baseline_cfg, &mut eval_rng);
-    println!("\nbefore PRESS (score {:+.1}):", score_of(&baseline));
-    report(&pairs, &baseline);
-
-    // 4096 configurations: search with annealing under a measurement budget.
-    let mut search_rng = StdRng::seed_from_u64(23);
-    let result = search::simulated_annealing(&space, 400, 4.0, 0.05, &mut search_rng, |c| {
-        let profiles = measure_all(c, &mut eval_rng);
-        score_of(&profiles)
-    });
-    let tuned = measure_all(&result.best, &mut eval_rng);
     println!(
-        "\nafter PRESS {} ({} measurements, score {:+.1}):",
-        system.array.label_of(&result.best, lambda),
-        result.evaluations,
-        score_of(&tuned)
+        "\nbefore PRESS (weighted score {:+.1}):",
+        report.baseline_score
     );
-    report(&pairs, &tuned);
-
-    let part_before = baseline[0].half_band_contrast_db() - baseline[1].half_band_contrast_db();
-    let part_after = tuned[0].half_band_contrast_db() - tuned[1].half_band_contrast_db();
-    println!("\nband partition (H11 low-band preference minus H22's): {part_before:+.1} dB -> {part_after:+.1} dB");
-    let sir_before = partition_score(&baseline[0], &baseline[1], &baseline[2], &baseline[3]);
-    let sir_after = partition_score(&tuned[0], &tuned[1], &tuned[2], &tuned[3]);
-    println!(
-        "spatial partition (sum of comm-minus-interference gaps): {sir_before:+.1} dB -> {sir_after:+.1} dB"
-    );
-}
-
-fn report(pairs: &[(&str, Sounder); 4], profiles: &[SnrProfile]) {
-    for ((name, _), p) in pairs.iter().zip(profiles) {
+    for lr in &report.links {
         println!(
-            "  {name}: mean {:5.1} dB, low-half {:5.1} dB, high-half {:5.1} dB",
-            p.mean_db(),
-            p.mean_db() + p.half_band_contrast_db() / 2.0,
-            p.mean_db() - p.half_band_contrast_db() / 2.0,
+            "  {}: mean {:5.1} dB, objective {:+.1}",
+            lr.label, lr.baseline_mean_snr_db, lr.baseline_score
         );
     }
+    println!(
+        "\nafter PRESS {} ({} measurements, {} control frames, weighted score {:+.1}{}):",
+        space.system().array.label_of(&report.chosen_config, lambda),
+        report.measurements,
+        report.actuation_frames,
+        report.chosen_score,
+        if report.reverted { ", reverted" } else { "" }
+    );
+    for lr in &report.links {
+        println!(
+            "  {}: mean {:5.1} dB, objective {:+.1} ({:+.1})",
+            lr.label,
+            lr.chosen_mean_snr_db,
+            lr.chosen_score,
+            lr.improvement()
+        );
+    }
+
+    // Band partition: the comm links' half-band preferences are their own
+    // objectives (FavorLowBand = +contrast, FavorHighBand = -contrast).
+    let part_before = report.links[0].baseline_score + report.links[1].baseline_score;
+    let part_after = report.links[0].chosen_score + report.links[1].chosen_score;
+    println!(
+        "\nband partition (H11 low-band preference plus H22 high-band preference): \
+         {part_before:+.1} dB -> {part_after:+.1} dB"
+    );
+    println!(
+        "control plane: {} ({} stale elements after verification)",
+        metrics.space, report.stale_elements
+    );
+
+    // Per-LinkId rows: verified scores + attributed control-plane metrics.
+    let header = format!(
+        "link_id,label,weight,baseline_score,chosen_score,baseline_mean_snr_db,chosen_mean_snr_db,{}",
+        ControlMetrics::csv_header()
+    );
+    let mut rows: Vec<String> = report
+        .links
+        .iter()
+        .zip(&metrics.links)
+        .map(|(lr, (id, label, m))| {
+            assert_eq!(lr.id.0, *id);
+            format!(
+                "{},\"{}\",{},{:.4},{:.4},{:.4},{:.4},{}",
+                id,
+                label,
+                lr.weight,
+                lr.baseline_score,
+                lr.chosen_score,
+                lr.baseline_mean_snr_db,
+                lr.chosen_mean_snr_db,
+                m.csv_row()
+            )
+        })
+        .collect();
+    rows.push(format!(
+        "space,\"all links\",,{:.4},{:.4},,,{}",
+        report.baseline_score,
+        report.chosen_score,
+        metrics.space.csv_row()
+    ));
+    let csv = format!("{header}\n{}\n", rows.join("\n"));
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/network_harmonization.csv", csv).expect("write csv");
+    println!("wrote results/network_harmonization.csv");
 }

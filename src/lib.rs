@@ -32,14 +32,18 @@ pub use press_sdr as sdr;
 
 /// One-stop imports for examples and quick scripts.
 pub mod prelude {
-    pub use crate::rig::{fig4_los_rig, fig4_rig, fig7_rig, fig8_rig, MimoRig, Rig};
+    pub use crate::rig::{
+        fig4_los_rig, fig4_rig, fig7_rig, fig8_rig, ElementKind, ElementPlacement, MimoRig,
+        NetworkRig, PairLayout, RadioModel, Rig,
+    };
     pub use press_control::{
         actuate, simulate_actuation, AckPolicy, ControlMetrics, ElementFaults, FaultPlan,
-        GilbertElliott, Transport,
+        GilbertElliott, SpaceMetrics, Transport,
     };
     pub use press_core::{
         headline_stats, run_campaign, ActuationMode, CampaignConfig, ConfigSpace, Configuration,
-        Controller, LinkObjective, PressArray, PressSystem, Strategy, TransportActuation,
+        Controller, LinkId, LinkObjective, PressArray, PressSystem, SmartSpace, SpaceReport,
+        Strategy, TransportActuation,
     };
     pub use press_elements::Element;
     pub use press_math::{CMat, Complex64, Ecdf};

@@ -1,11 +1,13 @@
 //! Prebuilt experimental rigs matching the paper's §3 setups.
 //!
 //! Each figure in the paper corresponds to a specific bench setup —
-//! radios, numerology, element hardware, placement discipline. These
-//! builders assemble them end to end so harnesses, examples and tests
-//! share one definition of "the paper's experiment".
+//! radios, numerology, element hardware, placement discipline. One
+//! [`NetworkRig`] builder assembles any *N*-endpoint-pair deployment in a
+//! lab; the paper's single-link rigs ([`fig4_rig`], [`fig7_rig`], …) are
+//! one-line specializations of it, so harnesses, examples and tests share
+//! one definition of "the paper's experiment".
 
-use press_core::{PressArray, PressSystem};
+use press_core::{LinkObjective, PressArray, PressSystem, SmartSpace};
 use press_math::consts::WIFI_CHANNEL_11_HZ;
 use press_phy::Numerology;
 use press_propagation::{Antenna, LabConfig, LabSetup, RadioNode, Vec3};
@@ -22,101 +24,6 @@ pub struct Rig {
     pub sounder: Sounder,
     /// The lab the rig was built in (for geometry queries).
     pub lab: LabSetup,
-}
-
-/// The Figures 4–6 rig: WARP endpoints on Wi-Fi channel 11 (20 MHz, 52
-/// active subcarriers), direct path blocked, three passive SP4T elements
-/// ({0, π/2, π, terminated}) with omni antennas at seeded random positions
-/// 1–2 m from both endpoints.
-///
-/// `placement_seed` selects the element placement (the paper's Figure 4
-/// panels (a)–(h) are eight such placements); the scene itself also varies
-/// with it ("each antenna placement results in a different scattering
-/// environment due to the movement of our experiment equipment").
-pub fn fig4_rig(placement_seed: u64) -> Rig {
-    let lab = LabSetup::generate(&LabConfig::default(), placement_seed);
-    let lambda = lab.scene.wavelength();
-    let mut rng = StdRng::seed_from_u64(placement_seed.wrapping_mul(0x9E3779B97F4A7C15));
-    let positions = lab.random_element_positions(3, &mut rng);
-    let aim = (lab.tx.position + lab.rx.position) * 0.5;
-    let array = PressArray::paper_passive_aimed(&positions, lambda, aim);
-    let system = PressSystem::new(lab.scene.clone(), array);
-    let sounder = Sounder::new(
-        Numerology::wifi20(WIFI_CHANNEL_11_HZ),
-        SdrRadio::warp(lab.tx.clone()),
-        SdrRadio::warp(lab.rx.clone()),
-    );
-    Rig {
-        system,
-        sounder,
-        lab,
-    }
-}
-
-/// The Figure 4 line-of-sight control: same rig with the blocking slab
-/// removed — where the paper found "the effect … limited to less than 2 dB".
-pub fn fig4_los_rig(placement_seed: u64) -> Rig {
-    let cfg = LabConfig {
-        block_los: false,
-        ..LabConfig::default()
-    };
-    let lab = LabSetup::generate(&cfg, placement_seed);
-    let lambda = lab.scene.wavelength();
-    let mut rng = StdRng::seed_from_u64(placement_seed.wrapping_mul(0x9E3779B97F4A7C15));
-    let positions = lab.random_element_positions(3, &mut rng);
-    let aim = (lab.tx.position + lab.rx.position) * 0.5;
-    let array = PressArray::paper_passive_aimed(&positions, lambda, aim);
-    let system = PressSystem::new(lab.scene.clone(), array);
-    let sounder = Sounder::new(
-        Numerology::wifi20(WIFI_CHANNEL_11_HZ),
-        SdrRadio::warp(lab.tx.clone()),
-        SdrRadio::warp(lab.rx.clone()),
-    );
-    Rig {
-        system,
-        sounder,
-        lab,
-    }
-}
-
-/// The Figure 7 rig: USRP N210 endpoints on a 102-active-subcarrier
-/// wideband numerology, three four-phase elements (no absorber) — "the
-/// elements and the surrounding environment were manipulated until a
-/// frequency-selective channel was found", emulated by trying placements
-/// from the seed until the channel is sufficiently selective.
-pub fn fig7_rig(seed: u64) -> Rig {
-    let lab = LabSetup::generate(
-        &LabConfig {
-            n_scatterers: 16,
-            ..LabConfig::default()
-        },
-        seed,
-    );
-    let lambda = lab.scene.wavelength();
-    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
-    let positions = lab.random_element_positions(3, &mut rng);
-    let aim = (lab.tx.position + lab.rx.position) * 0.5;
-    let array = PressArray {
-        elements: positions
-            .iter()
-            .map(|&p| press_core::PlacedElement {
-                element: press_elements::Element::four_phase_passive(lambda),
-                position: p,
-                antenna: Antenna::new(press_propagation::antenna::Pattern::press_patch(), aim - p),
-            })
-            .collect(),
-    };
-    let system = PressSystem::new(lab.scene.clone(), array);
-    let sounder = Sounder::new(
-        Numerology::wideband102(WIFI_CHANNEL_11_HZ),
-        SdrRadio::usrp_n210(lab.tx.clone()),
-        SdrRadio::usrp_n210(lab.rx.clone()),
-    );
-    Rig {
-        system,
-        sounder,
-        lab,
-    }
 }
 
 /// The Figure 8 MIMO rig: a 2×2 link (USRP X310-class endpoints), direct
@@ -137,45 +44,390 @@ pub struct MimoRig {
     pub sounder: Sounder,
 }
 
+/// How a [`NetworkRigBuilder`] lays out its TX/RX endpoint pairs.
+#[derive(Debug, Clone)]
+pub enum PairLayout {
+    /// One pair: the lab's own TX and RX endpoints.
+    LabLink,
+    /// A 2×2 MIMO bench: antenna pairs at ±λ/4 along y around the lab's
+    /// endpoints, enumerated as the four TX→RX combinations
+    /// `(tx0,rx0), (tx0,rx1), (tx1,rx0), (tx1,rx1)`.
+    Mimo2x2,
+    /// One AP (the lab TX) serving clients at the given positions.
+    Clients(Vec<Vec3>),
+    /// Arbitrary endpoint pairs.
+    Explicit(Vec<(RadioNode, RadioNode)>),
+}
+
+/// How a [`NetworkRigBuilder`] places its PRESS elements.
+#[derive(Debug, Clone)]
+pub enum ElementPlacement {
+    /// Seeded random placements 1–2 m from both lab endpoints (the §3.2
+    /// discipline). The seed is taken verbatim — derive it from your
+    /// placement seed however the experiment specifies.
+    RandomInLab {
+        /// Number of elements.
+        count: usize,
+        /// Seed of the placement RNG.
+        rng_seed: u64,
+    },
+    /// Elements co-linear with the lab TX from `base_offset`, spaced
+    /// `spacing_lambda`·λ along y (the §3.2.3 MIMO discipline).
+    TxColinear {
+        /// Number of elements.
+        count: usize,
+        /// Offset of the first element from the lab TX position.
+        base_offset: Vec3,
+        /// Element spacing in wavelengths.
+        spacing_lambda: f64,
+    },
+    /// Explicit positions.
+    Explicit(Vec<Vec3>),
+}
+
+/// Which element hardware a [`NetworkRigBuilder`] deploys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElementKind {
+    /// The paper's SP4T passive elements with patch antennas aimed at the
+    /// midpoint of the first endpoint pair.
+    PaperAimed,
+    /// The paper's SP4T passive elements with omni antennas (the MIMO
+    /// bench's discipline).
+    PaperOmni,
+    /// Four-phase passive elements (no terminated throw) with aimed patch
+    /// antennas — the Figure 7 hardware.
+    FourPhaseAimed,
+}
+
+/// Which SDR model drives the endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RadioModel {
+    /// WARP (the Figures 4–6 prototype).
+    Warp,
+    /// USRP N210 (the Figure 7 wideband bench).
+    UsrpN210,
+    /// USRP X310 (the Figure 8 MIMO bench).
+    UsrpX310,
+}
+
+impl RadioModel {
+    fn radio(&self, node: RadioNode) -> SdrRadio {
+        match self {
+            RadioModel::Warp => SdrRadio::warp(node),
+            RadioModel::UsrpN210 => SdrRadio::usrp_n210(node),
+            RadioModel::UsrpX310 => SdrRadio::usrp_x310(node),
+        }
+    }
+}
+
+/// A deployed lab with *N* endpoint pairs sharing one scene + array — the
+/// buildable superset of every paper rig, and the natural seed of a
+/// [`SmartSpace`].
+#[derive(Debug, Clone)]
+pub struct NetworkRig {
+    /// Scene + array.
+    pub system: PressSystem,
+    /// One sounder per endpoint pair, in pair order.
+    pub sounders: Vec<Sounder>,
+    /// The lab the rig was built in (for geometry queries).
+    pub lab: LabSetup,
+}
+
+impl NetworkRig {
+    /// Starts a builder with the Figures 4–6 defaults: the lab link, three
+    /// randomly-placed aimed SP4T elements, WARP radios on Wi-Fi channel
+    /// 11.
+    pub fn builder() -> NetworkRigBuilder {
+        NetworkRigBuilder::default()
+    }
+
+    /// Specializes an (assumed single-pair) rig to the historical
+    /// single-link [`Rig`].
+    pub fn into_single(mut self) -> Rig {
+        assert_eq!(self.sounders.len(), 1, "into_single needs exactly one pair");
+        Rig {
+            system: self.system,
+            sounder: self.sounders.remove(0),
+            lab: self.lab,
+        }
+    }
+
+    /// Specializes a [`PairLayout::Mimo2x2`] rig to the historical
+    /// [`MimoRig`] (first pair's sounder as the per-pair template).
+    pub fn into_mimo(self) -> MimoRig {
+        assert_eq!(self.sounders.len(), 4, "into_mimo needs the 2x2 pair set");
+        let tx = [
+            self.sounders[0].tx.node.clone(),
+            self.sounders[2].tx.node.clone(),
+        ];
+        let rx = [
+            self.sounders[0].rx.node.clone(),
+            self.sounders[1].rx.node.clone(),
+        ];
+        MimoRig {
+            system: self.system,
+            tx,
+            rx,
+            sounder: self.sounders.into_iter().next().expect("four sounders"),
+        }
+    }
+
+    /// Registers every pair into a fresh [`SmartSpace`] with a common
+    /// objective and uniform weight 1.0, labeled `link 0..n`.
+    pub fn smart_space(&self, objective: LinkObjective) -> SmartSpace {
+        let mut space = SmartSpace::new(self.system.clone());
+        for (i, s) in self.sounders.iter().enumerate() {
+            space.add_link(&format!("link {i}"), s.clone(), objective, 1.0);
+        }
+        space
+    }
+}
+
+/// Builder for [`NetworkRig`]. Every knob defaults to the Figures 4–6
+/// bench; each paper rig overrides the handful that differ.
+#[derive(Debug, Clone)]
+pub struct NetworkRigBuilder {
+    lab_config: LabConfig,
+    lab_seed: u64,
+    pairs: PairLayout,
+    placement: ElementPlacement,
+    element: ElementKind,
+    radio: RadioModel,
+    numerology: Numerology,
+}
+
+impl Default for NetworkRigBuilder {
+    fn default() -> Self {
+        NetworkRigBuilder {
+            lab_config: LabConfig::default(),
+            lab_seed: 0,
+            pairs: PairLayout::LabLink,
+            placement: ElementPlacement::RandomInLab {
+                count: 3,
+                rng_seed: 0,
+            },
+            element: ElementKind::PaperAimed,
+            radio: RadioModel::Warp,
+            numerology: Numerology::wifi20(WIFI_CHANNEL_11_HZ),
+        }
+    }
+}
+
+impl NetworkRigBuilder {
+    /// Sets the lab generation config.
+    pub fn lab_config(mut self, cfg: LabConfig) -> Self {
+        self.lab_config = cfg;
+        self
+    }
+
+    /// Sets the lab generation seed.
+    pub fn lab_seed(mut self, seed: u64) -> Self {
+        self.lab_seed = seed;
+        self
+    }
+
+    /// Sets the endpoint pair layout.
+    pub fn pairs(mut self, pairs: PairLayout) -> Self {
+        self.pairs = pairs;
+        self
+    }
+
+    /// Sets the element placement discipline.
+    pub fn placement(mut self, placement: ElementPlacement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Sets the element hardware.
+    pub fn element(mut self, element: ElementKind) -> Self {
+        self.element = element;
+        self
+    }
+
+    /// Sets the endpoint SDR model.
+    pub fn radio(mut self, radio: RadioModel) -> Self {
+        self.radio = radio;
+        self
+    }
+
+    /// Sets the numerology every pair's sounder uses.
+    pub fn numerology(mut self, num: Numerology) -> Self {
+        self.numerology = num;
+        self
+    }
+
+    /// Assembles the rig: generate the lab, lay out the pairs, place and
+    /// aim the elements, and bind one sounder per pair.
+    pub fn build(self) -> NetworkRig {
+        let lab = LabSetup::generate(&self.lab_config, self.lab_seed);
+        let lambda = lab.scene.wavelength();
+
+        let pairs: Vec<(RadioNode, RadioNode)> = match &self.pairs {
+            PairLayout::LabLink => vec![(lab.tx.clone(), lab.rx.clone())],
+            PairLayout::Mimo2x2 => {
+                // Antenna pairs: lambda/2 spacing around the endpoint
+                // positions along y.
+                let half = lambda / 4.0;
+                let tx0 = RadioNode::omni_at(lab.tx.position + Vec3::new(0.0, -half, 0.0));
+                let tx1 = RadioNode::omni_at(lab.tx.position + Vec3::new(0.0, half, 0.0));
+                let rx0 = RadioNode::omni_at(lab.rx.position + Vec3::new(0.0, -half, 0.0));
+                let rx1 = RadioNode::omni_at(lab.rx.position + Vec3::new(0.0, half, 0.0));
+                vec![
+                    (tx0.clone(), rx0.clone()),
+                    (tx0, rx1.clone()),
+                    (tx1.clone(), rx0),
+                    (tx1, rx1),
+                ]
+            }
+            PairLayout::Clients(clients) => clients
+                .iter()
+                .map(|&c| (lab.tx.clone(), RadioNode::omni_at(c)))
+                .collect(),
+            PairLayout::Explicit(pairs) => pairs.clone(),
+        };
+        assert!(!pairs.is_empty(), "a network rig needs at least one pair");
+
+        let positions: Vec<Vec3> = match &self.placement {
+            ElementPlacement::RandomInLab { count, rng_seed } => {
+                let mut rng = StdRng::seed_from_u64(*rng_seed);
+                lab.random_element_positions(*count, &mut rng)
+            }
+            ElementPlacement::TxColinear {
+                count,
+                base_offset,
+                spacing_lambda,
+            } => {
+                let base = lab.tx.position + *base_offset;
+                (0..*count)
+                    .map(|k| base + Vec3::new(0.0, k as f64 * spacing_lambda * lambda, 0.0))
+                    .collect()
+            }
+            ElementPlacement::Explicit(p) => p.clone(),
+        };
+
+        // Aimed hardware points at the midpoint of the first pair — the
+        // paper's "aim at the link" discipline.
+        let aim = (pairs[0].0.position + pairs[0].1.position) * 0.5;
+        let array = match self.element {
+            ElementKind::PaperAimed => PressArray::paper_passive_aimed(&positions, lambda, aim),
+            ElementKind::PaperOmni => PressArray::paper_passive(&positions, lambda),
+            ElementKind::FourPhaseAimed => PressArray {
+                elements: positions
+                    .iter()
+                    .map(|&p| press_core::PlacedElement {
+                        element: press_elements::Element::four_phase_passive(lambda),
+                        position: p,
+                        antenna: Antenna::new(
+                            press_propagation::antenna::Pattern::press_patch(),
+                            aim - p,
+                        ),
+                    })
+                    .collect(),
+            },
+        };
+        let system = PressSystem::new(lab.scene.clone(), array);
+        let sounders = pairs
+            .into_iter()
+            .map(|(tx, rx)| {
+                Sounder::new(
+                    self.numerology.clone(),
+                    self.radio.radio(tx),
+                    self.radio.radio(rx),
+                )
+            })
+            .collect();
+        NetworkRig {
+            system,
+            sounders,
+            lab,
+        }
+    }
+}
+
+/// The Figures 4–6 rig: WARP endpoints on Wi-Fi channel 11 (20 MHz, 52
+/// active subcarriers), direct path blocked, three passive SP4T elements
+/// ({0, π/2, π, terminated}) with omni antennas at seeded random positions
+/// 1–2 m from both endpoints.
+///
+/// `placement_seed` selects the element placement (the paper's Figure 4
+/// panels (a)–(h) are eight such placements); the scene itself also varies
+/// with it ("each antenna placement results in a different scattering
+/// environment due to the movement of our experiment equipment").
+pub fn fig4_rig(placement_seed: u64) -> Rig {
+    fig4_builder(placement_seed, LabConfig::default())
+        .build()
+        .into_single()
+}
+
+/// The Figure 4 line-of-sight control: same rig with the blocking slab
+/// removed — where the paper found "the effect … limited to less than 2 dB".
+pub fn fig4_los_rig(placement_seed: u64) -> Rig {
+    let cfg = LabConfig {
+        block_los: false,
+        ..LabConfig::default()
+    };
+    fig4_builder(placement_seed, cfg).build().into_single()
+}
+
+/// The shared Figures 4–6 builder (the LOS control only flips the slab).
+fn fig4_builder(placement_seed: u64, cfg: LabConfig) -> NetworkRigBuilder {
+    NetworkRig::builder()
+        .lab_config(cfg)
+        .lab_seed(placement_seed)
+        .placement(ElementPlacement::RandomInLab {
+            count: 3,
+            rng_seed: placement_seed.wrapping_mul(0x9E3779B97F4A7C15),
+        })
+}
+
+/// The Figure 7 rig: USRP N210 endpoints on a 102-active-subcarrier
+/// wideband numerology, three four-phase elements (no absorber) — "the
+/// elements and the surrounding environment were manipulated until a
+/// frequency-selective channel was found", emulated by trying placements
+/// from the seed until the channel is sufficiently selective.
+pub fn fig7_rig(seed: u64) -> Rig {
+    NetworkRig::builder()
+        .lab_config(LabConfig {
+            n_scatterers: 16,
+            ..LabConfig::default()
+        })
+        .lab_seed(seed)
+        .placement(ElementPlacement::RandomInLab {
+            count: 3,
+            rng_seed: seed.wrapping_add(1),
+        })
+        .element(ElementKind::FourPhaseAimed)
+        .radio(RadioModel::UsrpN210)
+        .numerology(Numerology::wideband102(WIFI_CHANNEL_11_HZ))
+        .build()
+        .into_single()
+}
+
 /// Builds the Figure 8 rig.
 pub fn fig8_rig(seed: u64) -> MimoRig {
     // A cabinet-sized obstruction (rather than the full rack of the SISO
     // experiments): the 2x2 link is NLOS but the PRESS elements, extended
     // co-linear with the TX pair, keep a clear view past its edge.
-    let lab = LabSetup::generate(
-        &LabConfig {
+    NetworkRig::builder()
+        .lab_config(LabConfig {
             slab_half_width: 0.45,
             slab_z: (0.8, 2.2),
             ..LabConfig::default()
-        },
-        seed,
-    );
-    let lambda = lab.scene.wavelength();
-    // Antenna pairs: lambda/2 spacing around the endpoint positions along y.
-    let half = lambda / 4.0;
-    let tx0 = RadioNode::omni_at(lab.tx.position + Vec3::new(0.0, -half, 0.0));
-    let tx1 = RadioNode::omni_at(lab.tx.position + Vec3::new(0.0, half, 0.0));
-    let rx0 = RadioNode::omni_at(lab.rx.position + Vec3::new(0.0, -half, 0.0));
-    let rx1 = RadioNode::omni_at(lab.rx.position + Vec3::new(0.0, half, 0.0));
-    // Elements co-linear with the TX pair, lambda spacing, far enough along
-    // the array axis that their view of the receivers clears the slab.
-    let base = lab.tx.position + Vec3::new(0.0, 1.2, 0.0);
-    let positions: Vec<Vec3> = (0..3)
-        .map(|k| base + Vec3::new(0.0, k as f64 * lambda, 0.0))
-        .collect();
-    let array = PressArray::paper_passive(&positions, lambda);
-    let system = PressSystem::new(lab.scene.clone(), array);
-    let sounder = Sounder::new(
-        Numerology::wifi20(WIFI_CHANNEL_11_HZ),
-        SdrRadio::usrp_x310(tx0.clone()),
-        SdrRadio::usrp_x310(rx0.clone()),
-    );
-    MimoRig {
-        system,
-        tx: [tx0, tx1],
-        rx: [rx0, rx1],
-        sounder,
-    }
+        })
+        .lab_seed(seed)
+        .pairs(PairLayout::Mimo2x2)
+        // Elements co-linear with the TX pair, lambda spacing, far enough
+        // along the array axis that their view of the receivers clears the
+        // slab.
+        .placement(ElementPlacement::TxColinear {
+            count: 3,
+            base_offset: Vec3::new(0.0, 1.2, 0.0),
+            spacing_lambda: 1.0,
+        })
+        .element(ElementKind::PaperOmni)
+        .radio(RadioModel::UsrpX310)
+        .build()
+        .into_mimo()
 }
 
 #[cfg(test)]
@@ -246,6 +498,55 @@ mod tests {
         assert_ne!(
             a.system.array.elements[0].position,
             b.system.array.elements[0].position
+        );
+    }
+
+    #[test]
+    fn clients_layout_builds_one_sounder_per_client() {
+        let rig = NetworkRig::builder()
+            .lab_seed(6)
+            .pairs(PairLayout::Clients(vec![
+                Vec3::new(7.0, 5.0, 1.5),
+                Vec3::new(6.8, 4.0, 1.5),
+            ]))
+            .placement(ElementPlacement::RandomInLab {
+                count: 3,
+                rng_seed: 2,
+            })
+            .build();
+        assert_eq!(rig.sounders.len(), 2);
+        // All pairs share the lab TX.
+        assert_eq!(
+            rig.sounders[0].tx.node.position,
+            rig.sounders[1].tx.node.position
+        );
+        let space = rig.smart_space(LinkObjective::MaxMeanSnr);
+        assert_eq!(space.n_links(), 2);
+        assert_eq!(space.env_traces(), 2);
+    }
+
+    #[test]
+    fn mimo_layout_shares_endpoints_across_pairs() {
+        let rig = NetworkRig::builder()
+            .lab_seed(3)
+            .pairs(PairLayout::Mimo2x2)
+            .placement(ElementPlacement::TxColinear {
+                count: 3,
+                base_offset: Vec3::new(0.0, 1.2, 0.0),
+                spacing_lambda: 1.0,
+            })
+            .element(ElementKind::PaperOmni)
+            .radio(RadioModel::UsrpX310)
+            .build();
+        assert_eq!(rig.sounders.len(), 4);
+        // (tx0,rx0) and (tx0,rx1) share their TX node.
+        assert_eq!(
+            rig.sounders[0].tx.node.position,
+            rig.sounders[1].tx.node.position
+        );
+        assert_ne!(
+            rig.sounders[0].rx.node.position,
+            rig.sounders[1].rx.node.position
         );
     }
 }

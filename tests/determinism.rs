@@ -6,7 +6,11 @@
 //! HashSet→BTreeSet migration that made the workspace lint-clean.
 
 use press::control::{AckPolicy, FaultPlan, GilbertElliott, Transport};
-use press::core::{ActuationMode, Controller, LinkObjective, Strategy, TransportActuation};
+use press::core::{
+    ActuationMode, Controller, LinkObjective, SmartSpace, Strategy, TransportActuation,
+};
+use press::propagation::Vec3;
+use press::rig::{ElementPlacement, NetworkRig, PairLayout};
 
 fn lossy_controller(seed: u64) -> Controller {
     let mut c = Controller::new(Strategy::Exhaustive, LinkObjective::MaxMinSnr);
@@ -61,6 +65,38 @@ fn different_seeds_diverge_somewhere() {
         reports.windows(2).any(|w| w[0] != w[1]),
         "three distinct seeds produced identical lossy episodes"
     );
+}
+
+fn three_link_space() -> SmartSpace {
+    NetworkRig::builder()
+        .lab_seed(6)
+        .pairs(PairLayout::Clients(vec![
+            Vec3::new(7.0, 5.0, 1.5),
+            Vec3::new(6.8, 4.0, 1.5),
+            Vec3::new(5.5, 6.2, 1.3),
+        ]))
+        .placement(ElementPlacement::RandomInLab {
+            count: 3,
+            rng_seed: 2,
+        })
+        .build()
+        .smart_space(LinkObjective::MaxMeanSnr)
+}
+
+/// The multi-link loop inherits the invariant: a 3-link
+/// [`SmartSpace`] episode over the same lossy, fault-injected transport,
+/// run twice per seed, must produce bit-identical `SpaceReport`s — every
+/// per-link verified score and mean SNR included.
+#[test]
+fn same_seed_space_episode_is_bit_identical() {
+    let space = three_link_space();
+    for seed in [0u64, 3, 17] {
+        let a = lossy_controller(seed).run_space_episode(&space);
+        let b = lossy_controller(seed).run_space_episode(&space);
+        assert_eq!(a, b, "seed {seed}: lossy 3-link episode diverged");
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "seed {seed}");
+        assert_eq!(a.links.len(), 3, "every link reports");
+    }
 }
 
 /// A clean wired transport still reproduces the oracle episode's decision

@@ -1,0 +1,145 @@
+//! Integration coverage for the [`SmartSpace`] deployment layer: the
+//! single-link degenerate case must be RNG-stream-identical to the
+//! historical single-link controller, an N-link registry must trace the
+//! environment once per endpoint pair, and a multi-link transport episode
+//! must export per-LinkId metrics.
+
+use press::prelude::*;
+
+/// A single-link `SmartSpace` episode is bit-identical to the historical
+/// `Controller::run_episode` on the same rig — baseline and verified
+/// scores, configurations, measurement count and emulated clock — across
+/// strategies and seeds. This is the refactor's backward-compatibility
+/// contract at the integration level (the paper rigs ride through it).
+#[test]
+fn single_link_space_episode_reproduces_run_episode() {
+    let rig = press::rig::fig4_rig(2);
+    let space = SmartSpace::single(
+        rig.system.clone(),
+        rig.sounder.clone(),
+        LinkObjective::MaxMinSnr,
+    );
+    for strategy in [
+        Strategy::Exhaustive,
+        Strategy::Random { budget: 9 },
+        Strategy::Annealing { budget: 12 },
+    ] {
+        for seed in [1u64, 8, 42] {
+            let mut c = Controller::new(strategy, LinkObjective::MaxMinSnr);
+            c.seed = seed;
+            c.actuation = ActuationMode::Transport(TransportActuation::ism());
+            let old = c.run_episode(&rig.system, &rig.sounder);
+            let new = c.run_space_episode(&space);
+            assert_eq!(
+                old.baseline_score, new.baseline_score,
+                "{strategy:?}/{seed}"
+            );
+            assert_eq!(old.chosen_config, new.chosen_config, "{strategy:?}/{seed}");
+            assert_eq!(old.chosen_score, new.chosen_score, "{strategy:?}/{seed}");
+            assert_eq!(old.measurements, new.measurements, "{strategy:?}/{seed}");
+            assert_eq!(old.elapsed_s, new.elapsed_s, "{strategy:?}/{seed}");
+            assert_eq!(
+                old.realized_config, new.realized_config,
+                "{strategy:?}/{seed}"
+            );
+            assert_eq!(old.reverted, new.reverted, "{strategy:?}/{seed}");
+        }
+    }
+}
+
+/// Registering N links over shared endpoints traces the static environment
+/// once per distinct endpoint pair — not once per (pair × objective) or
+/// per strategy that later consumes the registry.
+#[test]
+fn registry_traces_once_per_endpoint_pair() {
+    let rig = press::rig::fig4_rig(2);
+    let mut space = SmartSpace::new(rig.system.clone());
+    // Same endpoints registered under three different objectives...
+    space.add_link("comm", rig.sounder.clone(), LinkObjective::MaxMeanSnr, 1.0);
+    space.add_link("low", rig.sounder.clone(), LinkObjective::FavorLowBand, 1.0);
+    space.add_link("intf", rig.sounder.clone(), LinkObjective::MaxMinSnr, -0.5);
+    assert_eq!(space.n_links(), 3);
+    assert_eq!(space.env_traces(), 1, "one trace for one endpoint pair");
+    assert_eq!(
+        space.basis_builds(),
+        1,
+        "one basis for one (pair, numerology)"
+    );
+
+    // ...and consuming the registry from every scheduling strategy adds no
+    // further traces: the geometry work is done at registration time.
+    let _ = press::core::optimize_joint(&space, 6, 5);
+    let _ = press::core::optimize_per_link(&space, 6, 5);
+    let _ = press::core::optimize_hybrid(
+        &space,
+        &[space.links().iter().map(|l| l.id).collect()],
+        6,
+        5,
+    );
+    assert_eq!(space.env_traces(), 1, "scheduling must not re-trace");
+}
+
+/// A 4-link harmonization episode over a real transport: every link is
+/// verified on the realized array, and the exported CSV carries one row
+/// per LinkId plus the shared space row.
+#[test]
+fn four_link_transport_episode_exports_per_link_rows() {
+    let lab = LabSetup::generate(&LabConfig::default(), 11);
+    let ap1 = SdrRadio::warp(RadioNode::omni_at(Vec3::new(4.2, 4.2, 1.4)));
+    let c1 = SdrRadio::warp(RadioNode::omni_at(Vec3::new(7.0, 5.0, 1.5)));
+    let ap2 = SdrRadio::warp(RadioNode::omni_at(Vec3::new(4.4, 5.2, 1.4)));
+    let c2 = SdrRadio::warp(RadioNode::omni_at(Vec3::new(6.8, 4.0, 1.5)));
+    let num = Numerology::wifi20(press::math::consts::WIFI_CHANNEL_11_HZ);
+    let mk = |tx: &SdrRadio, rx: &SdrRadio| Sounder::new(num.clone(), tx.clone(), rx.clone());
+
+    let positions = [Vec3::new(5.3, 3.4, 1.5), Vec3::new(5.9, 6.0, 1.5)];
+    let aim = Vec3::new(5.6, 4.7, 1.5);
+    let array = PressArray::paper_passive_aimed(&positions, lab.scene.wavelength(), aim);
+    let mut space = SmartSpace::new(PressSystem::new(lab.scene.clone(), array));
+    space.add_link("H11", mk(&ap1, &c1), LinkObjective::FavorLowBand, 1.0);
+    space.add_link("H22", mk(&ap2, &c2), LinkObjective::FavorHighBand, 1.0);
+    space.add_link("H12", mk(&ap1, &c2), LinkObjective::MaxMeanSnr, -0.5);
+    space.add_link("H21", mk(&ap2, &c1), LinkObjective::MaxMeanSnr, -0.5);
+    // Four distinct endpoint pairs: four traces, no more.
+    assert_eq!(space.env_traces(), 4);
+
+    let mut controller = Controller::new(
+        Strategy::Annealing { budget: 10 },
+        LinkObjective::MaxMeanSnr,
+    );
+    controller.seed = 23;
+    controller.actuation = ActuationMode::Transport(TransportActuation::ism());
+    let link_ids: Vec<(u32, String)> = space
+        .links()
+        .iter()
+        .map(|sl| (sl.id.0, sl.label.clone()))
+        .collect();
+    let mut metrics = SpaceMetrics::new(&link_ids);
+    let report = controller.run_space_episode_instrumented(&space, Some(&mut metrics));
+
+    assert_eq!(report.links.len(), 4);
+    for (sl, lr) in space.links().iter().zip(&report.links) {
+        assert_eq!(sl.id, lr.id, "report rows follow registry order");
+        assert_eq!(sl.label, lr.label);
+        assert!(lr.baseline_mean_snr_db.is_finite());
+        assert!(lr.chosen_mean_snr_db.is_finite());
+    }
+    assert!(
+        report.actuation_frames > 0,
+        "transport actuation really ran"
+    );
+
+    // CSV export: one row per LinkId (leading column is the id), then the
+    // wire-truth space row.
+    let rows = metrics.csv_rows();
+    assert_eq!(rows.len(), 5);
+    for (i, row) in rows[..4].iter().enumerate() {
+        assert!(
+            row.starts_with(&format!("{i},")),
+            "row {i} must lead with its LinkId: {row}"
+        );
+        let cols = row.split(',').count();
+        assert_eq!(cols, SpaceMetrics::csv_header().split(',').count());
+    }
+    assert!(rows[4].starts_with("space,"), "shared wire-truth row last");
+}
