@@ -1,7 +1,9 @@
-//! Criterion benches: control-plane codec and actuation simulation.
+//! Criterion benches: control-plane codec, actuation simulation, and the
+//! disabled-cost of episode tracing (`NullSink` must be free).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use press_control::{actuate, AckPolicy, Message, Transport};
+use press_core::{Controller, LinkObjective, Strategy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -50,5 +52,43 @@ fn bench_actuation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_codec, bench_actuation);
+/// The tracing acceptance bench: a full closed-loop episode through the
+/// public untraced entry point. After the press-trace refactor this is
+/// compared against an explicit `NullSink` tracer (and an enabled
+/// `MemorySink`) to prove the disabled cost is within noise.
+fn bench_episode(c: &mut Criterion) {
+    let rig = press::rig::fig4_rig(2);
+    let mut ctl = Controller::new(Strategy::Greedy { max_sweeps: 1 }, LinkObjective::MaxMinSnr);
+    ctl.actuation = press_core::ActuationMode::Transport(press_core::TransportActuation::ism());
+    let mut group = c.benchmark_group("episode");
+    group.bench_function("untraced", |b| {
+        b.iter(|| black_box(ctl.run_episode(&rig.system, &rig.sounder)))
+    });
+    group.bench_function("null_traced", |b| {
+        b.iter(|| {
+            let mut tracer = press_trace::Tracer::null();
+            black_box(ctl.run_episode_traced(&rig.system, &rig.sounder, None, &mut tracer))
+        })
+    });
+    group.bench_function("memory_traced", |b| {
+        b.iter(|| {
+            let mut tracer = press_trace::Tracer::new(press_trace::MemorySink::new());
+            black_box(ctl.run_episode_traced(&rig.system, &rig.sounder, None, &mut tracer))
+        })
+    });
+    // The bench harness is the one place allowed to attach a wall clock
+    // (press-lint polices every other crate), so the wall-stamped path gets
+    // its cost measured here too.
+    group.bench_function("memory_traced_wall", |b| {
+        let t0 = std::time::Instant::now();
+        b.iter(|| {
+            let mut tracer = press_trace::Tracer::new(press_trace::MemorySink::new());
+            tracer.set_wall_clock(move || t0.elapsed().as_secs_f64());
+            black_box(ctl.run_episode_traced(&rig.system, &rig.sounder, None, &mut tracer))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_actuation, bench_episode);
 criterion_main!(benches);

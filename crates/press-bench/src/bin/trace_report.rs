@@ -1,0 +1,149 @@
+//! Post-mortem analysis of a press-trace JSONL file: per-phase latency
+//! tables, transport accounting, and per-strategy convergence CSVs.
+//!
+//! ```sh
+//! cargo run --release --example lossy_control -- --trace results/lossy_control.jsonl
+//! cargo run --release -p press-bench --bin trace_report -- results/lossy_control.jsonl
+//! ```
+//!
+//! Phase durations come from `phase_start`/`phase_end` pairs on the
+//! emulated episode clock (`t_s`), so the tables are as deterministic as
+//! the trace itself. Search convergence is exported as
+//! `results/convergence_<strategy>.csv` with one row per candidate
+//! evaluation, numbered by the enclosing episode.
+
+use press_bench::write_csv;
+use press_control::Histogram;
+use press_trace::{Event, EventKind, Phase};
+use std::collections::BTreeMap;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/lossy_control.jsonl".to_string());
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let mut events: Vec<Event> = Vec::new();
+    let mut skipped = 0usize;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Event::from_jsonl(line) {
+            Some(ev) => events.push(ev),
+            None => skipped += 1,
+        }
+    }
+    println!(
+        "{path}: {} events ({} unparseable lines skipped)\n",
+        events.len(),
+        skipped
+    );
+
+    // --- per-phase latency tables -------------------------------------
+    let mut open: BTreeMap<&'static str, f64> = BTreeMap::new();
+    let mut durations: BTreeMap<&'static str, Histogram> = BTreeMap::new();
+    // Transport accounting.
+    let mut episodes = 0u64;
+    let mut frames_tx = 0u64;
+    let mut frames_lost = 0u64;
+    let mut acks = 0u64;
+    let mut backoffs = 0u64;
+    let mut bursts = 0u64;
+    let mut gave_up = 0u64;
+    let mut reverts = 0u64;
+    for ev in &events {
+        match ev.kind {
+            EventKind::EpisodeStart { .. } => episodes += 1,
+            EventKind::PhaseStart { phase } => {
+                open.insert(phase.name(), ev.t_s);
+            }
+            EventKind::PhaseEnd { phase, .. } => {
+                if let Some(t0) = open.remove(phase.name()) {
+                    durations
+                        .entry(phase.name())
+                        .or_insert_with(Histogram::latency_grid)
+                        .observe(ev.t_s - t0);
+                }
+            }
+            EventKind::FrameTx { .. } => frames_tx += 1,
+            EventKind::FrameLost { .. } => frames_lost += 1,
+            EventKind::AckRx { .. } => acks += 1,
+            EventKind::Backoff { .. } => backoffs += 1,
+            EventKind::BurstTransition { .. } => bursts += 1,
+            EventKind::GaveUp { .. } => gave_up += 1,
+            EventKind::Reverted { .. } => reverts += 1,
+            _ => {}
+        }
+    }
+
+    println!(
+        "{:<10} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "phase", "count", "mean s", "p50 est s", "p95 est s", "p99 est s", "max s"
+    );
+    // Report in episode order, not alphabetically.
+    for phase in [
+        Phase::Measure,
+        Phase::Search,
+        Phase::Actuate,
+        Phase::Verify,
+        Phase::Revert,
+    ] {
+        if let Some(h) = durations.get(phase.name()) {
+            println!(
+                "{:<10} {:>6} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
+                phase.name(),
+                h.count(),
+                h.mean(),
+                h.quantile_est(0.5),
+                h.quantile_est(0.95),
+                h.quantile_est(0.99),
+                h.max()
+            );
+        }
+    }
+
+    let loss_rate = if frames_tx > 0 {
+        frames_lost as f64 / frames_tx as f64
+    } else {
+        0.0
+    };
+    println!(
+        "\ntransport: {frames_tx} frames tx, {frames_lost} lost ({:.1}%), {acks} acks, \
+         {backoffs} backoffs, {bursts} burst transitions, {gave_up} gave up",
+        100.0 * loss_rate
+    );
+    println!("episodes: {episodes}, reverts: {reverts}");
+
+    // --- convergence CSVs ---------------------------------------------
+    // One file per strategy, one row per candidate evaluation; the episode
+    // column counts episode_start events so repeated runs of the same
+    // strategy stay distinguishable.
+    let mut convergence: BTreeMap<&'static str, Vec<String>> = BTreeMap::new();
+    let mut episode = 0u64;
+    for ev in &events {
+        match ev.kind {
+            EventKind::EpisodeStart { .. } => episode += 1,
+            EventKind::SearchStep {
+                strategy,
+                iteration,
+                score,
+                best,
+                accepted,
+            } => {
+                convergence.entry(strategy).or_default().push(format!(
+                    "{episode},{iteration},{score},{best},{}",
+                    u8::from(accepted)
+                ));
+            }
+            _ => {}
+        }
+    }
+    for (strategy, rows) in &convergence {
+        // write_csv logs the path itself.
+        write_csv(
+            &format!("convergence_{strategy}.csv"),
+            "episode,iteration,score,best,accepted",
+            rows,
+        );
+    }
+}

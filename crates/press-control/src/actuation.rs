@@ -19,6 +19,7 @@ use crate::fault::FaultPlan;
 use crate::message::Message;
 use crate::metrics::ControlMetrics;
 use crate::transport::Transport;
+use press_trace::{EventKind, TraceSink, Tracer};
 use rand::Rng;
 
 /// Per-element acknowledgement policy.
@@ -168,7 +169,39 @@ pub fn actuate_with<R: Rng + ?Sized>(
     distance_m: f64,
     policy: AckPolicy,
     faults: &mut FaultPlan,
+    metrics: Option<&mut ControlMetrics>,
+    rng: &mut R,
+) -> ActuationReport {
+    actuate_traced(
+        transport,
+        assignments,
+        distance_m,
+        policy,
+        faults,
+        metrics,
+        &mut Tracer::null(),
+        0.0,
+        rng,
+    )
+}
+
+/// [`actuate_with`] emitting per-frame trace events: `frame_tx` /
+/// `frame_lost` / `ack_rx` / `applied` per delivery trial, `backoff` when
+/// adaptive pacing stalls the sender, `burst` on every Gilbert–Elliott
+/// state transition, and `gave_up` per element that exhausts its retries.
+/// Event sim-times are `t0_s` plus the actuation's own clock, so episode
+/// traces place wire activity on the episode timeline. Tracing is purely
+/// passive — RNG draws and results are bit-identical to [`actuate_with`].
+#[allow(clippy::too_many_arguments)]
+pub fn actuate_traced<R: Rng + ?Sized, S: TraceSink>(
+    transport: &Transport,
+    assignments: &[(u16, u8)],
+    distance_m: f64,
+    policy: AckPolicy,
+    faults: &mut FaultPlan,
     mut metrics: Option<&mut ControlMetrics>,
+    tracer: &mut Tracer<S>,
+    t0_s: f64,
     rng: &mut R,
 ) -> ActuationReport {
     let mut clock = 0.0f64;
@@ -209,8 +242,25 @@ pub fn actuate_with<R: Rng + ?Sized>(
             // One broadcast transmission; each addressed element experiences
             // an independent delivery trial on the shared medium.
             for &i in chunk {
-                let (element, _) = assignments[i];
+                let (element, commanded) = assignments[i];
+                let burst_before = faults.burst.as_ref().map(|g| g.in_burst());
                 let loss = faults.frame_loss(transport.loss_prob(), rng);
+                if let Some(before) = burst_before {
+                    let now = faults.burst.as_ref().is_some_and(|g| g.in_burst());
+                    if now != before {
+                        tracer.emit(
+                            t0_s + chunk_tx,
+                            EventKind::BurstTransition { into_burst: now },
+                        );
+                    }
+                }
+                tracer.emit(
+                    t0_s + chunk_tx,
+                    EventKind::FrameTx {
+                        element,
+                        attempt: (rounds - 1) as u32,
+                    },
+                );
                 let d = transport.deliver_with_loss(frame_len, distance_m, loss, rng);
                 if let Some(m) = metrics.as_deref_mut() {
                     m.frames_tx += 1;
@@ -227,6 +277,19 @@ pub fn actuate_with<R: Rng + ?Sized>(
                     if !applied[i] {
                         applied[i] = true;
                         last_apply = last_apply.max(applied_at);
+                        // The realized state is the fault-plan truth: stuck
+                        // elements ack the command but hold their own state.
+                        let realized = faults
+                            .elements
+                            .realized_state(element, commanded)
+                            .unwrap_or(commanded);
+                        tracer.emit(
+                            t0_s + applied_at,
+                            EventKind::Applied {
+                                element,
+                                state: realized,
+                            },
+                        );
                     }
                     if policy.wants_acks() {
                         // The element acks the batch it received — the ack
@@ -247,12 +310,20 @@ pub fn actuate_with<R: Rng + ?Sized>(
                             }
                         }
                         if confirmed {
+                            tracer.emit(
+                                t0_s + applied_at + back.latency_s,
+                                EventKind::AckRx { element },
+                            );
                             rtt.observe(applied_at + back.latency_s - chunk_tx);
                             progressed = true;
                         } else {
                             // Applied but unconfirmed: will be retransmitted
                             // (idempotent), counts as pending for the
                             // protocol.
+                            tracer.emit(
+                                t0_s + applied_at + back.latency_s,
+                                EventKind::FrameLost { element },
+                            );
                             still_pending.push(i);
                         }
                     } else {
@@ -262,6 +333,7 @@ pub fn actuate_with<R: Rng + ?Sized>(
                     // Frame lost on the medium, or the element is dead and
                     // nobody received it.
                     let wasted = chunk_tx + d.latency_s;
+                    tracer.emit(t0_s + wasted, EventKind::FrameLost { element });
                     round_end = round_end.max(wasted);
                     still_pending.push(i);
                 }
@@ -276,7 +348,16 @@ pub fn actuate_with<R: Rng + ?Sized>(
             if !still_pending.is_empty() && rounds < max_rounds {
                 let fallback = 4.0 * fallback_rtt(transport, distance_m);
                 let rto = rtt.timeout(fallback) * f64::from(2u32.saturating_pow(backoff_exp));
-                clock = clock.max(round_start + rto.min(MAX_BACKOFF_S));
+                let deadline = round_start + rto.min(MAX_BACKOFF_S);
+                if deadline > clock {
+                    tracer.emit(
+                        t0_s + clock,
+                        EventKind::Backoff {
+                            wait_s: deadline - clock,
+                        },
+                    );
+                    clock = deadline;
+                }
             }
             if progressed {
                 backoff_exp = 0;
@@ -293,6 +374,12 @@ pub fn actuate_with<R: Rng + ?Sized>(
         if applied[i] {
             unconfirmed.push(assignments[i].0);
         } else {
+            tracer.emit(
+                t0_s + clock,
+                EventKind::GaveUp {
+                    element: assignments[i].0,
+                },
+            );
             failed.push(assignments[i].0);
         }
     }
@@ -698,6 +785,71 @@ mod tests {
             &mut rng2,
         );
         assert_eq!(r, bare);
+    }
+
+    #[test]
+    fn traced_actuation_is_bit_identical_and_events_are_consistent() {
+        use press_trace::MemorySink;
+
+        let lossy = Transport::IsmRadio {
+            bitrate_bps: 250e3,
+            loss_prob: 0.4,
+            mac_latency_s: 1e-3,
+        };
+        let policy = AckPolicy::Adaptive {
+            max_retries: 6,
+            batch_cap: 16,
+        };
+        let assignments: Vec<(u16, u8)> = (0..48).map(|e| (e, 1)).collect();
+        let bare = actuate_with(
+            &lossy,
+            &assignments,
+            10.0,
+            policy,
+            &mut FaultPlan::bursty(GilbertElliott::interference()),
+            None,
+            &mut StdRng::seed_from_u64(21),
+        );
+        let mut tracer = Tracer::new(MemorySink::new());
+        let traced = actuate_traced(
+            &lossy,
+            &assignments,
+            10.0,
+            policy,
+            &mut FaultPlan::bursty(GilbertElliott::interference()),
+            None,
+            &mut tracer,
+            5.0,
+            &mut StdRng::seed_from_u64(21),
+        );
+        assert_eq!(traced, bare, "tracing must not perturb the simulation");
+
+        let events = &tracer.sink().events;
+        let count = |f: &dyn Fn(&EventKind) -> bool| events.iter().filter(|e| f(&e.kind)).count();
+        // frame_tx is per *delivery trial* (each addressed element of a
+        // broadcast), so it can only exceed the per-chunk frame count; every
+        // element sees at least one trial.
+        let tx = count(&|k| matches!(k, EventKind::FrameTx { .. }));
+        assert!(tx >= assignments.len());
+        // Confirmed elements = assignments - failed - unconfirmed, acked
+        // exactly once each (a confirmed element leaves the pending set).
+        let acks = count(&|k| matches!(k, EventKind::AckRx { .. }));
+        assert_eq!(
+            acks,
+            assignments.len() - bare.failed.len() - bare.unconfirmed.len()
+        );
+        assert_eq!(
+            count(&|k| matches!(k, EventKind::GaveUp { .. })),
+            bare.failed.len()
+        );
+        // 40% composed loss over 6 retries: losses and backoffs must show up.
+        assert!(count(&|k| matches!(k, EventKind::FrameLost { .. })) > 0);
+        assert!(count(&|k| matches!(k, EventKind::Backoff { .. })) > 0);
+        assert!(count(&|k| matches!(k, EventKind::BurstTransition { .. })) > 0);
+        // Sim-times ride on the caller's episode clock offset.
+        assert!(events.iter().all(|e| e.t_s >= 5.0));
+        // Sequence numbers are monotonic.
+        assert!(events.windows(2).all(|w| w[1].seq == w[0].seq + 1));
     }
 
     #[test]

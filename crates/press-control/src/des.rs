@@ -201,7 +201,7 @@ impl Default for DesConfig {
 }
 
 /// Simulation outcome.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesReport {
     /// Every event, time-ordered.
     pub trace: Vec<TraceEvent>,
@@ -515,6 +515,45 @@ pub fn simulate_actuation<R: Rng + ?Sized>(
     )
 }
 
+/// [`simulate_actuation_with`] that additionally replays the DES trace into
+/// a [`Tracer`](press_trace::Tracer) as structured events (`frame_tx` / `applied` / `ack_rx` /
+/// `frame_lost` / `timer_fired` / `gave_up`), each stamped `t0_s` plus the
+/// event's DES time so episode traces place the wire on the episode
+/// timeline. The DES itself is untouched — the report is bit-identical to
+/// the untraced run, and the replay happens after the time-ordered trace is
+/// final, so event order matches the wire.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_actuation_traced<R: Rng + ?Sized, S: press_trace::TraceSink>(
+    transport: &Transport,
+    assignments: &[(u16, u8)],
+    cfg: &DesConfig,
+    faults: &mut FaultPlan,
+    metrics: Option<&mut ControlMetrics>,
+    tracer: &mut press_trace::Tracer<S>,
+    t0_s: f64,
+    rng: &mut R,
+) -> DesReport {
+    let report = simulate_actuation_with(transport, assignments, cfg, faults, metrics, rng);
+    for ev in &report.trace {
+        use press_trace::EventKind;
+        let kind = match *ev {
+            TraceEvent::CommandSent {
+                element, attempt, ..
+            } => EventKind::FrameTx {
+                element,
+                attempt: attempt as u32,
+            },
+            TraceEvent::Applied { element, state, .. } => EventKind::Applied { element, state },
+            TraceEvent::AckReceived { element, .. } => EventKind::AckRx { element },
+            TraceEvent::Lost { element, .. } => EventKind::FrameLost { element },
+            TraceEvent::TimerFired { element, .. } => EventKind::TimerFired { element },
+            TraceEvent::GaveUp { element, .. } => EventKind::GaveUp { element },
+        };
+        tracer.emit(t0_s + ev.time(), kind);
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -524,6 +563,49 @@ mod tests {
 
     fn assignments(n: u16) -> Vec<(u16, u8)> {
         (0..n).map(|e| (e, 2)).collect()
+    }
+
+    #[test]
+    fn traced_des_is_bit_identical_and_replays_the_trace() {
+        use press_trace::{EventKind, MemorySink, Tracer};
+
+        let a = assignments(32);
+        let cfg = DesConfig::default();
+        let bare = simulate_actuation_with(
+            &Transport::ism(),
+            &a,
+            &cfg,
+            &mut FaultPlan::bursty(GilbertElliott::interference()),
+            None,
+            &mut StdRng::seed_from_u64(31),
+        );
+        let mut tracer = Tracer::new(MemorySink::new());
+        let traced = simulate_actuation_traced(
+            &Transport::ism(),
+            &a,
+            &cfg,
+            &mut FaultPlan::bursty(GilbertElliott::interference()),
+            None,
+            &mut tracer,
+            2.0,
+            &mut StdRng::seed_from_u64(31),
+        );
+        assert_eq!(traced, bare, "tracing must not perturb the DES");
+        let events = &tracer.sink().events;
+        assert_eq!(events.len(), bare.trace.len(), "one event per DES entry");
+        // The replay preserves the DES's time order and offsets by t0.
+        for (ev, des) in events.iter().zip(&bare.trace) {
+            assert_eq!(ev.t_s, 2.0 + des.time());
+        }
+        let tx = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::FrameTx { .. }))
+            .count();
+        let acks = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::AckRx { .. }))
+            .count();
+        assert_eq!(tx + acks, bare.frames);
     }
 
     #[test]

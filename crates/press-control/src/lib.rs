@@ -25,11 +25,12 @@ pub mod metrics;
 pub mod transport;
 
 pub use actuation::{
-    actuate, actuate_with, fits_coherence, AckPolicy, ActuationReport, RttEstimator,
+    actuate, actuate_traced, actuate_with, fits_coherence, AckPolicy, ActuationReport, RttEstimator,
 };
 pub use clusters::ClusteredControl;
 pub use des::{
-    simulate_actuation, simulate_actuation_with, BackoffConfig, DesConfig, DesReport, TraceEvent,
+    simulate_actuation, simulate_actuation_traced, simulate_actuation_with, BackoffConfig,
+    DesConfig, DesReport, TraceEvent,
 };
 pub use fault::{ElementFaultKind, ElementFaults, FaultPlan, GilbertElliott};
 pub use message::{CodecError, Message, MAGIC};

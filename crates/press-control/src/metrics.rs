@@ -25,6 +25,7 @@ pub struct Histogram {
     sum: f64,
     min: f64,
     max: f64,
+    nan_count: u64,
 }
 
 impl Histogram {
@@ -42,6 +43,7 @@ impl Histogram {
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            nan_count: 0,
         }
     }
 
@@ -66,8 +68,15 @@ impl Histogram {
         Histogram::exponential(1e-6, 10f64.sqrt(), 18)
     }
 
-    /// Records one observation.
+    /// Records one observation. NaN observations are counted separately
+    /// (see [`nans`](Self::nans)) and excluded from the buckets and the
+    /// moments — before this guard a NaN fell through `position` into the
+    /// overflow bucket and poisoned `sum`/`min`/`max` permanently.
     pub fn observe(&mut self, v: f64) {
+        if v.is_nan() {
+            self.nan_count += 1;
+            return;
+        }
         let idx = self
             .bounds
             .iter()
@@ -80,9 +89,14 @@ impl Histogram {
         self.max = self.max.max(v);
     }
 
-    /// Number of observations.
+    /// Number of (non-NaN) observations.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Number of NaN observations rejected from the distribution.
+    pub fn nans(&self) -> u64 {
+        self.nan_count
     }
 
     /// Mean of the observations (NaN when empty).
@@ -122,6 +136,41 @@ impl Histogram {
         self.max
     }
 
+    /// Bucket-interpolated quantile estimate (0..=1): linear interpolation
+    /// within the bucket containing the q-quantile, with the bucket edges
+    /// clamped to the observed `min`/`max` so the estimate never leaves the
+    /// observed range. Sharper than [`quantile`](Self::quantile) (which
+    /// reports the bucket's upper bound) on wide exponential grids. NaN
+    /// when empty.
+    pub fn quantile_est(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                let lo = if i == 0 {
+                    self.min
+                } else {
+                    self.bounds[i - 1].max(self.min)
+                };
+                let hi = if i < self.bounds.len() {
+                    self.bounds[i].min(self.max)
+                } else {
+                    self.max
+                };
+                let frac = (target - seen) as f64 / c as f64;
+                return lo + (hi - lo) * frac;
+            }
+            seen += c;
+        }
+        self.max
+    }
+
     /// Merges another histogram with identical bounds into this one.
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(self.bounds, other.bounds, "histogram bounds differ");
@@ -132,6 +181,7 @@ impl Histogram {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        self.nan_count += other.nan_count;
     }
 
     /// `(upper_bound, count)` pairs, the overflow bucket as `+inf`.
@@ -215,16 +265,21 @@ impl ControlMetrics {
         self.completion.merge(&other.completion);
     }
 
-    /// The CSV header matching [`csv_row`](Self::csv_row).
+    /// The CSV header matching [`csv_row`](Self::csv_row). The trailing
+    /// `*_est` columns are bucket-interpolated tail estimates
+    /// ([`Histogram::quantile_est`]), appended after the original columns
+    /// so existing consumers keep their offsets.
     pub fn csv_header() -> &'static str {
         "frames_tx,frames_lost,loss_rate,acks_rx,acks_lost,retries,failed,unconfirmed,\
-         actuations,lat_mean_s,lat_p95_s,completion_mean_s,completion_p95_s,completion_max_s"
+         actuations,lat_mean_s,lat_p95_s,completion_mean_s,completion_p95_s,completion_max_s,\
+         lat_p50_est_s,lat_p95_est_s,lat_p99_est_s,\
+         completion_p50_est_s,completion_p95_est_s,completion_p99_est_s"
     }
 
     /// One flat CSV row of the registry's counters and summary statistics.
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{:.6},{},{},{},{},{},{},{:.6e},{:.6e},{:.6e},{:.6e},{:.6e}",
+            "{},{},{:.6},{},{},{},{},{},{},{:.6e},{:.6e},{:.6e},{:.6e},{:.6e},{:.6e},{:.6e},{:.6e},{:.6e},{:.6e},{:.6e}",
             self.frames_tx,
             self.frames_lost,
             self.frame_loss_rate(),
@@ -242,6 +297,21 @@ impl ControlMetrics {
             zero_if_empty(self.completion.count(), self.completion.mean()),
             zero_if_empty(self.completion.count(), self.completion.quantile(0.95)),
             zero_if_empty(self.completion.count(), self.completion.max()),
+            zero_if_empty(
+                self.frame_latency.count(),
+                self.frame_latency.quantile_est(0.5)
+            ),
+            zero_if_empty(
+                self.frame_latency.count(),
+                self.frame_latency.quantile_est(0.95)
+            ),
+            zero_if_empty(
+                self.frame_latency.count(),
+                self.frame_latency.quantile_est(0.99)
+            ),
+            zero_if_empty(self.completion.count(), self.completion.quantile_est(0.5)),
+            zero_if_empty(self.completion.count(), self.completion.quantile_est(0.95)),
+            zero_if_empty(self.completion.count(), self.completion.quantile_est(0.99)),
         )
     }
 }
@@ -370,6 +440,53 @@ mod tests {
         }
         assert_eq!(h.quantile(0.5), 1e-2);
         assert_eq!(h.quantile(0.95), 10.0);
+    }
+
+    #[test]
+    fn histogram_nan_observations_do_not_poison_moments() {
+        let mut h = Histogram::new(vec![1.0, 10.0]);
+        h.observe(2.0);
+        h.observe(f64::NAN);
+        h.observe(4.0);
+        // NaNs counted apart, excluded from count/buckets/moments.
+        assert_eq!(h.nans(), 2 - 1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean(), 3.0);
+        assert_eq!(h.min(), 2.0);
+        assert_eq!(h.max(), 4.0);
+        let counts: Vec<u64> = h.buckets().map(|(_, c)| c).collect();
+        assert_eq!(counts, vec![0, 2, 0], "NaN must not land in a bucket");
+        assert_eq!(h.quantile(0.95), 10.0);
+
+        // Merging carries the NaN tally along.
+        let mut other = Histogram::new(vec![1.0, 10.0]);
+        other.observe(f64::NAN);
+        h.merge(&other);
+        assert_eq!(h.nans(), 2);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn quantile_est_interpolates_within_buckets() {
+        let mut h = Histogram::new(vec![0.0, 10.0, 100.0]);
+        // 10 observations uniform in (0, 10]: bucket 1 holds all of them.
+        for i in 1..=10 {
+            h.observe(i as f64);
+        }
+        // Coarse quantile can only answer the bucket's upper bound...
+        assert_eq!(h.quantile(0.5), 10.0);
+        // ...while the interpolated estimate splits the bucket: target rank 5
+        // of 10 → lo + (hi-lo)·(5/10) with lo=min=1, hi=10.
+        assert!((h.quantile_est(0.5) - 5.5).abs() < 1e-12);
+        assert!((h.quantile_est(1.0) - 10.0).abs() < 1e-12);
+        // Estimates never leave the observed range.
+        assert!(h.quantile_est(0.01) >= h.min());
+        assert!(h.quantile_est(0.99) <= h.max());
+        // Overflow bucket estimate is bounded by the observed max.
+        h.observe(1e6);
+        assert_eq!(h.quantile_est(1.0), 1e6);
+        // Empty histogram: NaN, matching quantile().
+        assert!(Histogram::new(vec![1.0]).quantile_est(0.5).is_nan());
     }
 
     #[test]

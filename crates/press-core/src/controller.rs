@@ -15,13 +15,15 @@ use crate::search;
 use crate::space::{LinkId, SmartSpace};
 use crate::system::{CachedLink, PressSystem};
 use press_control::{
-    actuate_with, simulate_actuation_with, AckPolicy, ControlMetrics, DesConfig, FaultPlan,
+    actuate_traced, simulate_actuation_traced, AckPolicy, ControlMetrics, DesConfig, FaultPlan,
     SpaceMetrics, Transport,
 };
 use press_math::Complex64;
 use press_sdr::Sounder;
+use press_trace::{Event, EventKind, Phase, TraceSink, Tracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::cell::Cell;
 
 /// Wall-clock cost model of the control loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -80,9 +82,21 @@ pub enum Strategy {
     },
 }
 
+impl Strategy {
+    /// Stable lowercase label used in trace events and convergence CSVs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::Exhaustive => "exhaustive",
+            Strategy::Greedy { .. } => "greedy",
+            Strategy::Random { .. } => "random",
+            Strategy::Annealing { .. } => "annealing",
+        }
+    }
+}
+
 /// Transport-backed actuation settings for [`ActuationMode::Transport`]:
 /// the chosen configuration is driven over a real control-plane transport
-/// with the round-based [`actuate_with`] model, and elements the protocol
+/// with the round-based [`press_control::actuate_with`] model, and elements the protocol
 /// could not reach stay at their previous switch state.
 #[derive(Debug, Clone)]
 pub struct TransportActuation {
@@ -140,13 +154,32 @@ pub enum ActuationMode {
     /// [`TimingModel::actuation_s`] cost — the historical behavior, and
     /// bit-identical to it.
     Oracle,
-    /// Drive the round-based [`actuate_with`] protocol over a transport;
+    /// Drive the round-based [`press_control::actuate_with`] protocol over a transport;
     /// completion time is charged as measured and unreached elements stay
     /// at their previous state.
     Transport(TransportActuation),
-    /// Drive the discrete-event simulator ([`simulate_actuation_with`])
+    /// Drive the discrete-event simulator ([`press_control::simulate_actuation_with`])
     /// instead of the round model.
     Des(DesActuation),
+}
+
+/// Post-mortem captured when a *traced* episode reverts: the flight
+/// recorder's last events (wall-clock stripped) plus the configuration the
+/// search wanted and the one the control plane actually produced.
+///
+/// Only the traced entry points with a live flight recorder populate this —
+/// the silent paths run a capacity-0 recorder and leave the field `None`,
+/// so instrumented-vs-bare bitwise comparisons still hold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PostMortem {
+    /// The flight recorder's snapshot at the moment of the revert,
+    /// oldest event first.
+    pub events: Vec<Event>,
+    /// The configuration the search chose (what actuation attempted).
+    pub attempted: Configuration,
+    /// The configuration the array was actually in when verification
+    /// rejected it.
+    pub realized: Configuration,
 }
 
 /// What one control-plane actuation physically achieved.
@@ -199,6 +232,9 @@ pub struct ControlReport {
     /// Retransmission effort spent actuating (retry rounds for the round
     /// model, retransmitted frames for the DES; 0 under the oracle).
     pub actuation_retries: usize,
+    /// Flight-recorder post-mortem, populated only when a traced episode
+    /// with a live flight recorder reverted.
+    pub post_mortem: Option<PostMortem>,
 }
 
 impl ControlReport {
@@ -275,6 +311,9 @@ pub struct SpaceReport {
     pub actuation_frames: usize,
     /// Retransmission effort spent actuating.
     pub actuation_retries: usize,
+    /// Flight-recorder post-mortem, populated only when a traced episode
+    /// with a live flight recorder reverted.
+    pub post_mortem: Option<PostMortem>,
 }
 
 impl SpaceReport {
@@ -334,58 +373,158 @@ impl Controller {
         &self,
         system: &PressSystem,
         sounder: &Sounder,
+        metrics: Option<&mut ControlMetrics>,
+    ) -> ControlReport {
+        self.run_episode_traced(system, sounder, metrics, &mut Tracer::null())
+    }
+
+    /// [`run_episode`](Self::run_episode) with full structured tracing: the
+    /// episode emits [`press_trace`] events (phase spans, per-candidate
+    /// search steps, transport frames, actuation summaries) into the given
+    /// [`Tracer`]. This *is* the episode implementation — the silent entry
+    /// points delegate here with a [`Tracer::null`], whose disabled cost is
+    /// a sequence-counter increment per event.
+    ///
+    /// Tracing never perturbs the episode: events are emitted outside the
+    /// RNG streams, so the report is bit-identical across sinks (the
+    /// [`post_mortem`](ControlReport::post_mortem) field aside, which only a
+    /// live flight recorder populates).
+    pub fn run_episode_traced<S: TraceSink>(
+        &self,
+        system: &PressSystem,
+        sounder: &Sounder,
         mut metrics: Option<&mut ControlMetrics>,
+        tracer: &mut Tracer<S>,
     ) -> ControlReport {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let link = CachedLink::trace(system, sounder.tx.node.clone(), sounder.rx.node.clone());
         let space = system.array.config_space();
 
-        let mut measurements = 0usize;
-        let mut elapsed = 0.0f64;
+        // Shared interior-mutable counters: the measure closure advances
+        // them while trace emission reads the episode clock between calls.
+        let measurements = Cell::new(0usize);
+        let elapsed = Cell::new(0.0f64);
+
+        tracer.flight_mut().clear();
+        tracer.emit(
+            0.0,
+            EventKind::EpisodeStart {
+                seed: self.seed,
+                links: 1,
+                strategy: self.strategy.label(),
+            },
+        );
+
         // Candidate channels come from the basis fast path (O(N·K) per
         // configuration, no per-measurement path re-trace); the measurement
         // noise itself still goes through the full sounding pipeline.
         let basis = LinkBasis::for_numerology(system, &link, &sounder.num);
+        tracer.emit(
+            0.0,
+            EventKind::BasisBuild {
+                link: 0,
+                elements: space.n_elements() as u32,
+                subcarriers: basis.n_subcarriers() as u32,
+                revision: basis.revision(),
+            },
+        );
         let mut h: Vec<Complex64> = Vec::with_capacity(basis.n_subcarriers());
-        let mut measure = |config: &Configuration,
-                           measurements: &mut usize,
-                           elapsed: &mut f64,
-                           rng: &mut StdRng|
-         -> f64 {
-            basis.synthesize_into(config, *elapsed, &mut h);
+        let mut measure = |config: &Configuration, rng: &mut StdRng| -> f64 {
+            basis.synthesize_into(config, elapsed.get(), &mut h);
             let profile = sounder
                 .sound_averaged_channel(&h, self.frames_per_measurement, rng)
                 .expect("sounder has >=2 training symbols");
-            *measurements += 1;
-            *elapsed += self.timing.measurement_s + self.timing.compute_per_eval_s;
+            measurements.set(measurements.get() + 1);
+            elapsed.set(elapsed.get() + self.timing.measurement_s + self.timing.compute_per_eval_s);
             self.objective.score(&profile)
         };
 
+        tracer.emit(
+            0.0,
+            EventKind::PhaseStart {
+                phase: Phase::Measure,
+            },
+        );
         let baseline_config = Configuration::zeros(space.n_elements());
-        let baseline_score = measure(&baseline_config, &mut measurements, &mut elapsed, &mut rng);
+        let baseline_score = measure(&baseline_config, &mut rng);
+        tracer.emit(
+            elapsed.get(),
+            EventKind::Measurement {
+                link: 0,
+                score: baseline_score,
+            },
+        );
+        tracer.emit(
+            elapsed.get(),
+            EventKind::PhaseEnd {
+                phase: Phase::Measure,
+                measurements: measurements.get() as u32,
+            },
+        );
 
-        let result = match self.strategy {
-            Strategy::Exhaustive => search::exhaustive(&space, |c| {
-                measure(c, &mut measurements, &mut elapsed, &mut rng)
-            }),
-            Strategy::Greedy { max_sweeps } => {
-                search::greedy_coordinate(&space, baseline_config.clone(), max_sweeps, |c| {
-                    measure(c, &mut measurements, &mut elapsed, &mut rng)
-                })
-            }
-            Strategy::Random { budget } => {
-                let mut search_rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
-                search::random_search(&space, budget, &mut search_rng, |c| {
-                    measure(c, &mut measurements, &mut elapsed, &mut rng)
-                })
-            }
-            Strategy::Annealing { budget } => {
-                let mut search_rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
-                search::simulated_annealing(&space, budget, 3.0, 0.05, &mut search_rng, |c| {
-                    measure(c, &mut measurements, &mut elapsed, &mut rng)
-                })
+        tracer.emit(
+            elapsed.get(),
+            EventKind::PhaseStart {
+                phase: Phase::Search,
+            },
+        );
+        let search_start = measurements.get();
+        let result = {
+            let label = self.strategy.label();
+            let mut on_step = |s: &search::SearchStep| {
+                tracer.emit(
+                    elapsed.get(),
+                    EventKind::SearchStep {
+                        strategy: label,
+                        iteration: s.iteration as u32,
+                        score: s.score,
+                        best: s.best,
+                        accepted: s.accepted,
+                    },
+                );
+            };
+            match self.strategy {
+                Strategy::Exhaustive => {
+                    search::exhaustive_observed(&space, |c| measure(c, &mut rng), &mut on_step)
+                }
+                Strategy::Greedy { max_sweeps } => search::greedy_coordinate_observed(
+                    &space,
+                    baseline_config.clone(),
+                    max_sweeps,
+                    |c| measure(c, &mut rng),
+                    &mut on_step,
+                ),
+                Strategy::Random { budget } => {
+                    let mut search_rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
+                    search::random_search_observed(
+                        &space,
+                        budget,
+                        &mut search_rng,
+                        |c| measure(c, &mut rng),
+                        &mut on_step,
+                    )
+                }
+                Strategy::Annealing { budget } => {
+                    let mut search_rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
+                    search::simulated_annealing_observed(
+                        &space,
+                        budget,
+                        3.0,
+                        0.05,
+                        &mut search_rng,
+                        |c| measure(c, &mut rng),
+                        &mut on_step,
+                    )
+                }
             }
         };
+        tracer.emit(
+            elapsed.get(),
+            EventKind::PhaseEnd {
+                phase: Phase::Search,
+                measurements: (measurements.get() - search_start) as u32,
+            },
+        );
 
         // Actuate over the control plane and verify against the array it
         // actually produced; if the verification measurement contradicts
@@ -401,14 +540,29 @@ impl Controller {
             ActuationMode::Des(d) => d.faults.clone(),
         };
 
+        tracer.emit(
+            elapsed.get(),
+            EventKind::PhaseStart {
+                phase: Phase::Actuate,
+            },
+        );
         let outcome = self.actuate_config(
             &baseline_config,
             &result.best,
             &mut faults,
             metrics.as_deref_mut(),
+            tracer,
+            elapsed.get(),
             &mut act_rng,
         );
-        elapsed += outcome.completion_s;
+        elapsed.set(elapsed.get() + outcome.completion_s);
+        tracer.emit(
+            elapsed.get(),
+            EventKind::PhaseEnd {
+                phase: Phase::Actuate,
+                measurements: 0,
+            },
+        );
         let mut actuation_frames = outcome.frames;
         let mut actuation_retries = outcome.retries;
         // The array the control plane produced: applied elements hold the
@@ -421,25 +575,87 @@ impl Controller {
             &faults,
             &space,
         );
-        let chosen_score = measure(&realized, &mut measurements, &mut elapsed, &mut rng);
+        tracer.emit(
+            elapsed.get(),
+            EventKind::PhaseStart {
+                phase: Phase::Verify,
+            },
+        );
+        let chosen_score = measure(&realized, &mut rng);
+        tracer.emit(
+            elapsed.get(),
+            EventKind::Measurement {
+                link: 0,
+                score: chosen_score,
+            },
+        );
+        tracer.emit(
+            elapsed.get(),
+            EventKind::PhaseEnd {
+                phase: Phase::Verify,
+                measurements: 1,
+            },
+        );
 
+        let mut post_mortem = None;
         let (chosen_config, chosen_score, reverted, realized_config) =
             if chosen_score < baseline_score {
+                tracer.emit(
+                    elapsed.get(),
+                    EventKind::Reverted {
+                        baseline_score,
+                        verified_score: chosen_score,
+                    },
+                );
+                // Freeze the black box *before* the revert actuation floods
+                // the ring with its own frames: the post-mortem should show
+                // what led to the rejection, not the recovery.
+                if tracer.flight().capacity() > 0 {
+                    post_mortem = Some(PostMortem {
+                        events: tracer.flight().snapshot(),
+                        attempted: result.best.clone(),
+                        realized: realized.clone(),
+                    });
+                }
+                tracer.emit(
+                    elapsed.get(),
+                    EventKind::PhaseStart {
+                        phase: Phase::Revert,
+                    },
+                );
                 let back = self.actuate_config(
                     &realized,
                     &baseline_config,
                     &mut faults,
                     metrics,
+                    tracer,
+                    elapsed.get(),
                     &mut act_rng,
                 );
-                elapsed += back.completion_s;
+                elapsed.set(elapsed.get() + back.completion_s);
                 actuation_frames += back.frames;
                 actuation_retries += back.retries;
+                tracer.emit(
+                    elapsed.get(),
+                    EventKind::PhaseEnd {
+                        phase: Phase::Revert,
+                        measurements: 0,
+                    },
+                );
                 let after = realize(&realized, &baseline_config, &back.applied, &faults, &space);
                 (baseline_config.clone(), baseline_score, true, after)
             } else {
                 (result.best, chosen_score, false, realized)
             };
+
+        tracer.emit(
+            elapsed.get(),
+            EventKind::EpisodeEnd {
+                score: chosen_score,
+                measurements: measurements.get() as u32,
+                reverted,
+            },
+        );
 
         let stale_elements = realized_config.hamming(&chosen_config);
         ControlReport {
@@ -447,15 +663,16 @@ impl Controller {
             baseline_score,
             chosen_config,
             chosen_score,
-            measurements,
-            elapsed_s: elapsed,
+            measurements: measurements.get(),
+            elapsed_s: elapsed.get(),
             coherence_budget_s: self.coherence_budget_s,
-            within_coherence: elapsed <= self.coherence_budget_s,
+            within_coherence: elapsed.get() <= self.coherence_budget_s,
             reverted,
             realized_config,
             stale_elements,
             actuation_frames,
             actuation_retries,
+            post_mortem,
         }
     }
 
@@ -489,6 +706,21 @@ impl Controller {
         space: &SmartSpace,
         metrics: Option<&mut SpaceMetrics>,
     ) -> SpaceReport {
+        self.run_space_episode_traced(space, metrics, &mut Tracer::null())
+    }
+
+    /// [`run_space_episode`](Self::run_space_episode) with full structured
+    /// tracing, mirroring [`run_episode_traced`](Self::run_episode_traced):
+    /// per-link basis and measurement events, per-candidate search steps,
+    /// transport frames, actuation summaries and phase spans all flow into
+    /// the given [`Tracer`]. The silent entry points delegate here with a
+    /// [`Tracer::null`]; tracing never perturbs the episode.
+    pub fn run_space_episode_traced<S: TraceSink>(
+        &self,
+        space: &SmartSpace,
+        metrics: Option<&mut SpaceMetrics>,
+        tracer: &mut Tracer<S>,
+    ) -> SpaceReport {
         assert!(
             space.n_links() > 0,
             "a space episode needs at least one registered link"
@@ -496,67 +728,148 @@ impl Controller {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let config_space = space.config_space();
 
-        let mut measurements = 0usize;
-        let mut elapsed = 0.0f64;
+        let measurements = Cell::new(0usize);
+        let elapsed = Cell::new(0.0f64);
+
+        tracer.flight_mut().clear();
+        tracer.emit(
+            0.0,
+            EventKind::EpisodeStart {
+                seed: self.seed,
+                links: space.n_links() as u32,
+                strategy: self.strategy.label(),
+            },
+        );
+        for sl in space.links() {
+            tracer.emit(
+                0.0,
+                EventKind::BasisBuild {
+                    link: sl.id.0,
+                    elements: config_space.n_elements() as u32,
+                    subcarriers: sl.basis.n_subcarriers() as u32,
+                    revision: sl.basis.revision(),
+                },
+            );
+        }
+
         let mut h: Vec<Complex64> = Vec::new();
         // Measures one configuration on every link (registry order, one
         // shared noise stream) and returns the weighted space score plus
         // each link's own score and mean SNR.
-        let mut measure_space = |config: &Configuration,
-                                 measurements: &mut usize,
-                                 elapsed: &mut f64,
-                                 rng: &mut StdRng|
-         -> (f64, Vec<f64>, Vec<f64>) {
-            let mut weighted = 0.0f64;
-            let mut scores = Vec::with_capacity(space.n_links());
-            let mut means = Vec::with_capacity(space.n_links());
-            for sl in space.links() {
-                sl.basis.synthesize_into(config, *elapsed, &mut h);
-                let profile = sl
-                    .sounder
-                    .sound_averaged_channel(&h, self.frames_per_measurement, rng)
-                    .expect("sounder has >=2 training symbols");
-                *measurements += 1;
-                *elapsed += self.timing.measurement_s + self.timing.compute_per_eval_s;
-                let score = sl.objective.score(&profile);
-                weighted += sl.weight * score;
-                scores.push(score);
-                means.push(profile.mean_db());
-            }
-            (weighted, scores, means)
-        };
+        let mut measure_space =
+            |config: &Configuration, rng: &mut StdRng| -> (f64, Vec<f64>, Vec<f64>) {
+                let mut weighted = 0.0f64;
+                let mut scores = Vec::with_capacity(space.n_links());
+                let mut means = Vec::with_capacity(space.n_links());
+                for sl in space.links() {
+                    sl.basis.synthesize_into(config, elapsed.get(), &mut h);
+                    let profile = sl
+                        .sounder
+                        .sound_averaged_channel(&h, self.frames_per_measurement, rng)
+                        .expect("sounder has >=2 training symbols");
+                    measurements.set(measurements.get() + 1);
+                    elapsed.set(
+                        elapsed.get() + self.timing.measurement_s + self.timing.compute_per_eval_s,
+                    );
+                    let score = sl.objective.score(&profile);
+                    weighted += sl.weight * score;
+                    scores.push(score);
+                    means.push(profile.mean_db());
+                }
+                (weighted, scores, means)
+            };
 
+        tracer.emit(
+            0.0,
+            EventKind::PhaseStart {
+                phase: Phase::Measure,
+            },
+        );
         let baseline_config = Configuration::zeros(config_space.n_elements());
         let (baseline_score, baseline_scores, baseline_means) =
-            measure_space(&baseline_config, &mut measurements, &mut elapsed, &mut rng);
+            measure_space(&baseline_config, &mut rng);
+        for (sl, &score) in space.links().iter().zip(&baseline_scores) {
+            tracer.emit(
+                elapsed.get(),
+                EventKind::Measurement {
+                    link: sl.id.0,
+                    score,
+                },
+            );
+        }
+        tracer.emit(
+            elapsed.get(),
+            EventKind::PhaseEnd {
+                phase: Phase::Measure,
+                measurements: measurements.get() as u32,
+            },
+        );
 
-        let result = match self.strategy {
-            Strategy::Exhaustive => search::exhaustive(&config_space, |c| {
-                measure_space(c, &mut measurements, &mut elapsed, &mut rng).0
-            }),
-            Strategy::Greedy { max_sweeps } => {
-                search::greedy_coordinate(&config_space, baseline_config.clone(), max_sweeps, |c| {
-                    measure_space(c, &mut measurements, &mut elapsed, &mut rng).0
-                })
-            }
-            Strategy::Random { budget } => {
-                let mut search_rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
-                search::random_search(&config_space, budget, &mut search_rng, |c| {
-                    measure_space(c, &mut measurements, &mut elapsed, &mut rng).0
-                })
-            }
-            Strategy::Annealing { budget } => {
-                let mut search_rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
-                search::simulated_annealing(
+        tracer.emit(
+            elapsed.get(),
+            EventKind::PhaseStart {
+                phase: Phase::Search,
+            },
+        );
+        let search_start = measurements.get();
+        let result = {
+            let label = self.strategy.label();
+            let mut on_step = |s: &search::SearchStep| {
+                tracer.emit(
+                    elapsed.get(),
+                    EventKind::SearchStep {
+                        strategy: label,
+                        iteration: s.iteration as u32,
+                        score: s.score,
+                        best: s.best,
+                        accepted: s.accepted,
+                    },
+                );
+            };
+            match self.strategy {
+                Strategy::Exhaustive => search::exhaustive_observed(
                     &config_space,
-                    budget,
-                    3.0,
-                    0.05,
-                    &mut search_rng,
-                    |c| measure_space(c, &mut measurements, &mut elapsed, &mut rng).0,
-                )
+                    |c| measure_space(c, &mut rng).0,
+                    &mut on_step,
+                ),
+                Strategy::Greedy { max_sweeps } => search::greedy_coordinate_observed(
+                    &config_space,
+                    baseline_config.clone(),
+                    max_sweeps,
+                    |c| measure_space(c, &mut rng).0,
+                    &mut on_step,
+                ),
+                Strategy::Random { budget } => {
+                    let mut search_rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
+                    search::random_search_observed(
+                        &config_space,
+                        budget,
+                        &mut search_rng,
+                        |c| measure_space(c, &mut rng).0,
+                        &mut on_step,
+                    )
+                }
+                Strategy::Annealing { budget } => {
+                    let mut search_rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
+                    search::simulated_annealing_observed(
+                        &config_space,
+                        budget,
+                        3.0,
+                        0.05,
+                        &mut search_rng,
+                        |c| measure_space(c, &mut rng).0,
+                        &mut on_step,
+                    )
+                }
             }
         };
+        tracer.emit(
+            elapsed.get(),
+            EventKind::PhaseEnd {
+                phase: Phase::Search,
+                measurements: (measurements.get() - search_start) as u32,
+            },
+        );
 
         // One shared actuation serves every link; the RNG stream and the
         // revert logic are the single-link episode's, with the weighted
@@ -568,15 +881,30 @@ impl Controller {
             ActuationMode::Des(d) => d.faults.clone(),
         };
 
+        tracer.emit(
+            elapsed.get(),
+            EventKind::PhaseStart {
+                phase: Phase::Actuate,
+            },
+        );
         let mut act_metrics = ControlMetrics::new();
         let outcome = self.actuate_config(
             &baseline_config,
             &result.best,
             &mut faults,
             Some(&mut act_metrics),
+            tracer,
+            elapsed.get(),
             &mut act_rng,
         );
-        elapsed += outcome.completion_s;
+        elapsed.set(elapsed.get() + outcome.completion_s);
+        tracer.emit(
+            elapsed.get(),
+            EventKind::PhaseEnd {
+                phase: Phase::Actuate,
+                measurements: 0,
+            },
+        );
         let mut actuation_frames = outcome.frames;
         let mut actuation_retries = outcome.retries;
         let realized = realize(
@@ -586,23 +914,76 @@ impl Controller {
             &faults,
             &config_space,
         );
-        let (verified_score, verified_scores, verified_means) =
-            measure_space(&realized, &mut measurements, &mut elapsed, &mut rng);
+        tracer.emit(
+            elapsed.get(),
+            EventKind::PhaseStart {
+                phase: Phase::Verify,
+            },
+        );
+        let (verified_score, verified_scores, verified_means) = measure_space(&realized, &mut rng);
+        for (sl, &score) in space.links().iter().zip(&verified_scores) {
+            tracer.emit(
+                elapsed.get(),
+                EventKind::Measurement {
+                    link: sl.id.0,
+                    score,
+                },
+            );
+        }
+        tracer.emit(
+            elapsed.get(),
+            EventKind::PhaseEnd {
+                phase: Phase::Verify,
+                measurements: space.n_links() as u32,
+            },
+        );
 
+        let mut post_mortem = None;
         let (chosen_config, chosen_score, chosen_scores, chosen_means, reverted, realized_config) =
             if verified_score < baseline_score {
+                tracer.emit(
+                    elapsed.get(),
+                    EventKind::Reverted {
+                        baseline_score,
+                        verified_score,
+                    },
+                );
+                // Freeze the black box before the revert actuation floods
+                // the ring with its own frames.
+                if tracer.flight().capacity() > 0 {
+                    post_mortem = Some(PostMortem {
+                        events: tracer.flight().snapshot(),
+                        attempted: result.best.clone(),
+                        realized: realized.clone(),
+                    });
+                }
+                tracer.emit(
+                    elapsed.get(),
+                    EventKind::PhaseStart {
+                        phase: Phase::Revert,
+                    },
+                );
                 let mut back_metrics = ControlMetrics::new();
                 let back = self.actuate_config(
                     &realized,
                     &baseline_config,
                     &mut faults,
                     Some(&mut back_metrics),
+                    tracer,
+                    elapsed.get(),
                     &mut act_rng,
                 );
                 act_metrics.merge(&back_metrics);
-                elapsed += back.completion_s;
+                elapsed.set(elapsed.get() + back.completion_s);
                 actuation_frames += back.frames;
                 actuation_retries += back.retries;
+                tracer.emit(
+                    elapsed.get(),
+                    EventKind::PhaseEnd {
+                        phase: Phase::Revert,
+                        measurements: 0,
+                    },
+                );
                 let after = realize(
                     &realized,
                     &baseline_config,
@@ -628,6 +1009,15 @@ impl Controller {
                     realized,
                 )
             };
+
+        tracer.emit(
+            elapsed.get(),
+            EventKind::EpisodeEnd {
+                score: chosen_score,
+                measurements: measurements.get() as u32,
+                reverted,
+            },
+        );
 
         if let Some(m) = metrics {
             m.record_shared(&act_metrics);
@@ -655,26 +1045,33 @@ impl Controller {
             chosen_config,
             chosen_score,
             links,
-            measurements,
-            elapsed_s: elapsed,
+            measurements: measurements.get(),
+            elapsed_s: elapsed.get(),
             coherence_budget_s: self.coherence_budget_s,
-            within_coherence: elapsed <= self.coherence_budget_s,
+            within_coherence: elapsed.get() <= self.coherence_budget_s,
             reverted,
             realized_config,
             stale_elements,
             actuation_frames,
             actuation_retries,
+            post_mortem,
         }
     }
 
     /// Drives one `prev → target` transition over the configured actuation
     /// mode. Only elements whose state actually changes are commanded.
-    fn actuate_config(
+    /// Transport-level events (frames, losses, acks, backoffs) flow into
+    /// `tracer` timestamped relative to `t0_s`, followed by one
+    /// [`EventKind::ActuationDone`] summary.
+    #[allow(clippy::too_many_arguments)]
+    fn actuate_config<S: TraceSink>(
         &self,
         prev: &Configuration,
         target: &Configuration,
         faults: &mut FaultPlan,
         metrics: Option<&mut ControlMetrics>,
+        tracer: &mut Tracer<S>,
+        t0_s: f64,
         rng: &mut StdRng,
     ) -> ActuationOutcome {
         let n = prev.len();
@@ -688,7 +1085,7 @@ impl Controller {
             .filter(|(_, (p, t))| p != t)
             .map(|(i, (_, &t))| (i as u16, t as u8))
             .collect();
-        match &self.actuation {
+        let outcome = match &self.actuation {
             ActuationMode::Oracle => ActuationOutcome {
                 applied,
                 completion_s: self.timing.actuation_s,
@@ -696,13 +1093,15 @@ impl Controller {
                 retries: 0,
             },
             ActuationMode::Transport(t) => {
-                let report = actuate_with(
+                let report = actuate_traced(
                     &t.transport,
                     &delta,
                     t.distance_m,
                     t.policy,
                     faults,
                     metrics,
+                    tracer,
+                    t0_s,
                     rng,
                 );
                 for &(e, _) in &delta {
@@ -716,8 +1115,16 @@ impl Controller {
                 }
             }
             ActuationMode::Des(d) => {
-                let report =
-                    simulate_actuation_with(&d.transport, &delta, &d.cfg, faults, metrics, rng);
+                let report = simulate_actuation_traced(
+                    &d.transport,
+                    &delta,
+                    &d.cfg,
+                    faults,
+                    metrics,
+                    tracer,
+                    t0_s,
+                    rng,
+                );
                 for &(e, _) in &delta {
                     applied[e as usize] = !report.failed.contains(&e);
                 }
@@ -738,7 +1145,21 @@ impl Controller {
                     retries: retransmissions,
                 }
             }
-        }
+        };
+        let failed = delta
+            .iter()
+            .filter(|&&(e, _)| !outcome.applied[e as usize])
+            .count();
+        tracer.emit(
+            t0_s + outcome.completion_s,
+            EventKind::ActuationDone {
+                frames: outcome.frames as u32,
+                retries: outcome.retries as u32,
+                completion_s: outcome.completion_s,
+                failed: failed as u32,
+            },
+        );
+        outcome
     }
 }
 
@@ -1045,6 +1466,107 @@ mod tests {
         for (_, _, m) in &metrics.links {
             assert_eq!(m.frames_tx, metrics.space.frames_tx);
         }
+    }
+
+    #[test]
+    fn traced_episode_is_bit_identical_and_emits_phases() {
+        use press_trace::MemorySink;
+        let (system, sounder) = setup(2);
+        let mut c = Controller::new(Strategy::Annealing { budget: 6 }, LinkObjective::MaxMinSnr);
+        c.actuation = ActuationMode::Transport(TransportActuation::ism());
+        let bare = c.run_episode(&system, &sounder);
+        let mut tracer = Tracer::new(MemorySink::new());
+        let mut traced = c.run_episode_traced(&system, &sounder, None, &mut tracer);
+        // post_mortem is the only field a live flight recorder may add.
+        traced.post_mortem = None;
+        assert_eq!(bare, traced);
+        let events = &tracer.sink().events;
+        assert!(matches!(
+            events[0].kind,
+            EventKind::EpisodeStart { links: 1, .. }
+        ));
+        assert!(matches!(
+            events.last().unwrap().kind,
+            EventKind::EpisodeEnd { .. }
+        ));
+        // Every phase opens before it closes.
+        for phase in [Phase::Measure, Phase::Search, Phase::Actuate, Phase::Verify] {
+            let start = events
+                .iter()
+                .position(|e| e.kind == EventKind::PhaseStart { phase })
+                .unwrap_or_else(|| panic!("{phase:?} never started"));
+            let end = events
+                .iter()
+                .position(|e| matches!(e.kind, EventKind::PhaseEnd { phase: p, .. } if p == phase))
+                .unwrap_or_else(|| panic!("{phase:?} never ended"));
+            assert!(start < end, "{phase:?}");
+        }
+        // One search step per annealer evaluation (initial + budget), each
+        // labeled with the strategy.
+        let steps = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::SearchStep {
+                        strategy: "annealing",
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(steps, 1 + 6);
+        for w in events.windows(2) {
+            assert_eq!(w[1].seq, w[0].seq + 1, "seq must be gapless");
+        }
+    }
+
+    #[test]
+    fn traced_revert_attaches_a_post_mortem() {
+        use press_control::{ElementFaults, FaultPlan};
+        use press_trace::MemorySink;
+        let (system, sounder) = setup(2);
+        // Every element dead: the realized array is always the baseline, so
+        // verification re-measures the baseline channel under fresh noise
+        // and roughly half the seeds reject the (unapplied) search result.
+        let mut saw_revert = false;
+        for seed in 0..12u64 {
+            let mut c = Controller::new(Strategy::Exhaustive, LinkObjective::MaxMinSnr);
+            c.seed = seed;
+            let mut t = TransportActuation::wired();
+            t.faults = FaultPlan::broken(ElementFaults::none().dead(0).dead(1));
+            c.actuation = ActuationMode::Transport(t);
+            let mut tracer = Tracer::new(MemorySink::new());
+            let r = c.run_episode_traced(&system, &sounder, None, &mut tracer);
+            if !r.reverted {
+                assert!(r.post_mortem.is_none(), "seed {seed}");
+                continue;
+            }
+            saw_revert = true;
+            let pm = r
+                .post_mortem
+                .as_ref()
+                .expect("traced revert keeps a post-mortem");
+            assert!(!pm.events.is_empty());
+            assert!(pm.events.iter().all(|e| e.wall_s.is_none()));
+            assert_eq!(pm.realized, r.baseline_config, "dead array never moves");
+            let events = &tracer.sink().events;
+            assert!(events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::Reverted { .. })));
+            assert!(events.iter().any(|e| matches!(
+                e.kind,
+                EventKind::PhaseStart {
+                    phase: Phase::Revert
+                }
+            )));
+            // The silent paths attach nothing, yet agree on every other field.
+            let mut bare = c.run_episode(&system, &sounder);
+            assert!(bare.post_mortem.is_none());
+            bare.post_mortem = r.post_mortem.clone();
+            assert_eq!(bare, r, "seed {seed}");
+        }
+        assert!(saw_revert, "no seed in 0..12 triggered a revert");
     }
 
     #[test]

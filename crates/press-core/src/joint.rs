@@ -31,7 +31,7 @@
 //! crossover the paper predicts is measurable.
 
 use crate::config::Configuration;
-use crate::search::{self, SearchResult};
+use crate::search::{self, SearchResult, SearchStep};
 use crate::space::{link_stream_seed, LinkId, SmartSpace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -47,7 +47,23 @@ const T1: f64 = 0.05;
 /// the historical single-link optimizer.
 pub fn optimize_joint(space: &SmartSpace, budget: usize, seed: u64) -> SearchResult {
     let ids: Vec<LinkId> = space.links().iter().map(|sl| sl.id).collect();
-    optimize_group(space, &ids, budget, seed)
+    optimize_group(space, &ids, budget, seed, |_| {})
+}
+
+/// [`optimize_joint`] with a per-evaluation [`SearchStep`] observer — the
+/// convergence-telemetry entry point. Results are bit-identical to the
+/// silent variant.
+pub fn optimize_joint_observed<O>(
+    space: &SmartSpace,
+    budget: usize,
+    seed: u64,
+    on_step: O,
+) -> SearchResult
+where
+    O: FnMut(&SearchStep),
+{
+    let ids: Vec<LinkId> = space.links().iter().map(|sl| sl.id).collect();
+    optimize_group(space, &ids, budget, seed, on_step)
 }
 
 /// Optimizes each link separately (same budget per link) and returns each
@@ -58,7 +74,25 @@ pub fn optimize_per_link(space: &SmartSpace, budget: usize, seed: u64) -> Vec<Se
     space
         .links()
         .iter()
-        .map(|sl| optimize_group(space, &[sl.id], budget, seed))
+        .map(|sl| optimize_group(space, &[sl.id], budget, seed, |_| {}))
+        .collect()
+}
+
+/// [`optimize_per_link`] with a per-evaluation observer; the observer also
+/// receives the [`LinkId`] whose search emitted the step.
+pub fn optimize_per_link_observed<O>(
+    space: &SmartSpace,
+    budget: usize,
+    seed: u64,
+    mut on_step: O,
+) -> Vec<SearchResult>
+where
+    O: FnMut(LinkId, &SearchStep),
+{
+    space
+        .links()
+        .iter()
+        .map(|sl| optimize_group(space, &[sl.id], budget, seed, |s| on_step(sl.id, s)))
         .collect()
 }
 
@@ -78,13 +112,41 @@ pub fn optimize_hybrid(
 ) -> Vec<SearchResult> {
     groups
         .iter()
-        .map(|g| optimize_group(space, g, budget, seed))
+        .map(|g| optimize_group(space, g, budget, seed, |_| {}))
+        .collect()
+}
+
+/// [`optimize_hybrid`] with a per-evaluation observer; the observer also
+/// receives the index of the group whose search emitted the step.
+pub fn optimize_hybrid_observed<O>(
+    space: &SmartSpace,
+    groups: &[Vec<LinkId>],
+    budget: usize,
+    seed: u64,
+    mut on_step: O,
+) -> Vec<SearchResult>
+where
+    O: FnMut(usize, &SearchStep),
+{
+    groups
+        .iter()
+        .enumerate()
+        .map(|(gi, g)| optimize_group(space, g, budget, seed, |s| on_step(gi, s)))
         .collect()
 }
 
 /// The shared kernel: anneal one configuration for a set of links, scored
 /// as the registry's weighted sum over exactly those links.
-fn optimize_group(space: &SmartSpace, ids: &[LinkId], budget: usize, seed: u64) -> SearchResult {
+fn optimize_group<O>(
+    space: &SmartSpace,
+    ids: &[LinkId],
+    budget: usize,
+    seed: u64,
+    on_step: O,
+) -> SearchResult
+where
+    O: FnMut(&SearchStep),
+{
     let lead = *ids
         .iter()
         .min()
@@ -92,9 +154,15 @@ fn optimize_group(space: &SmartSpace, ids: &[LinkId], budget: usize, seed: u64) 
     let config_space = space.config_space();
     let stream = link_stream_seed(seed, lead, 0);
     let mut rng = StdRng::seed_from_u64(stream);
-    search::simulated_annealing(&config_space, budget.max(1), T0, T1, &mut rng, |c| {
-        space.oracle_score_of(ids, c)
-    })
+    search::simulated_annealing_observed(
+        &config_space,
+        budget.max(1),
+        T0,
+        T1,
+        &mut rng,
+        |c| space.oracle_score_of(ids, c),
+        on_step,
+    )
 }
 
 /// Outcome of the agility-vs-optimization comparison.
@@ -233,6 +301,25 @@ mod tests {
         let hybrid = optimize_hybrid(&space, &[all], 60, 7);
         let joint = optimize_joint(&space, 60, 7);
         assert_eq!(hybrid, vec![joint]);
+    }
+
+    #[test]
+    fn observed_scheduler_matches_silent_bitwise() {
+        let space = two_link_space();
+        let mut steps = Vec::new();
+        let silent = optimize_joint(&space, 60, 7);
+        let observed = optimize_joint_observed(&space, 60, 7, |s| steps.push(*s));
+        assert_eq!(silent, observed);
+        assert!(!steps.is_empty());
+
+        let mut link_steps = Vec::new();
+        let silent = optimize_per_link(&space, 40, 3);
+        let observed = optimize_per_link_observed(&space, 40, 3, |id, s| link_steps.push((id, *s)));
+        assert_eq!(silent, observed);
+        // Both links reported convergence under their own ids.
+        for sl in space.links() {
+            assert!(link_steps.iter().any(|(id, _)| *id == sl.id));
+        }
     }
 
     #[test]

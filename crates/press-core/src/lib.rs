@@ -54,19 +54,20 @@ pub use bandit::UcbController;
 pub use basis::{min_magnitude_db_metric, snr_metric, BasisEvaluator, LinkBasis};
 pub use config::{ConfigSpace, Configuration};
 pub use controller::{
-    ActuationMode, ControlReport, Controller, DesActuation, LinkReport, SpaceReport, Strategy,
-    TimingModel, TransportActuation,
+    ActuationMode, ControlReport, Controller, DesActuation, LinkReport, PostMortem, SpaceReport,
+    Strategy, TimingModel, TransportActuation,
 };
 pub use inverse::{InverseSolution, InverseSolver, PressDictionary, RecoveredPath};
 pub use joint::{
-    compare_agility, optimize_hybrid, optimize_joint, optimize_per_link, AgilityReport,
+    compare_agility, optimize_hybrid, optimize_hybrid_observed, optimize_joint,
+    optimize_joint_observed, optimize_per_link, optimize_per_link_observed, AgilityReport,
 };
 pub use measurement::{
     run_campaign, run_campaign_over, run_campaign_parallel, CampaignConfig, CampaignResult,
 };
 pub use objective::{harmonization_score, mimo_conditioning_score, partition_score, LinkObjective};
 pub use placement::{greedy_placement, random_placement_baseline, PlacementResult};
-pub use search::{hierarchical_groups, GeneticParams, SearchResult};
+pub use search::{hierarchical_groups, GeneticParams, SearchResult, SearchStep};
 pub use space::{link_stream_seed, LinkId, SmartSpace, SpaceLink};
 pub use system::{CachedLink, PressSystem};
 pub use tracking::{track_mobile_client, LinearPatrol, TrackingConfig, TrackingReport};

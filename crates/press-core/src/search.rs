@@ -43,20 +43,53 @@ pub struct SearchResult {
     pub evaluations: usize,
 }
 
+/// One observed search evaluation — the convergence-telemetry unit emitted
+/// by the `*_observed` search variants. Observation is purely passive: the
+/// observed variants consume the RNG and the evaluator in exactly the order
+/// of their silent counterparts, so results stay bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchStep {
+    /// Zero-based index of the evaluation within this search.
+    pub iteration: usize,
+    /// Score of the configuration evaluated at this step.
+    pub score: f64,
+    /// Best score seen so far, including this step.
+    pub best: f64,
+    /// Whether this step's configuration was adopted (new best for the
+    /// improvement-driven searches, annealing acceptance for annealing).
+    pub accepted: bool,
+}
+
 /// Exhaustively evaluates the whole space. Exact but `O(M^N)` — the paper's
 /// 64-configuration prototype is the only regime where this is routine.
-pub fn exhaustive<F>(space: &ConfigSpace, mut eval: F) -> SearchResult
+pub fn exhaustive<F>(space: &ConfigSpace, eval: F) -> SearchResult
 where
     F: FnMut(&Configuration) -> f64,
+{
+    exhaustive_observed(space, eval, |_| {})
+}
+
+/// [`exhaustive`] with a per-evaluation [`SearchStep`] observer.
+pub fn exhaustive_observed<F, O>(space: &ConfigSpace, mut eval: F, mut on_step: O) -> SearchResult
+where
+    F: FnMut(&Configuration) -> f64,
+    O: FnMut(&SearchStep),
 {
     let mut best: Option<(Configuration, f64)> = None;
     let mut evaluations = 0;
     for config in space.iter() {
         let score = eval(&config);
         evaluations += 1;
-        if best.as_ref().is_none_or(|(_, b)| score > *b) {
+        let accepted = best.as_ref().is_none_or(|(_, b)| score > *b);
+        if accepted {
             best = Some((config, score));
         }
+        on_step(&SearchStep {
+            iteration: evaluations - 1,
+            score,
+            best: best.as_ref().map(|(_, b)| *b).expect("just set"),
+            accepted,
+        });
     }
     let (best, score) = best.expect("configuration space is never empty");
     SearchResult {
@@ -129,24 +162,42 @@ where
 }
 
 /// Uniform random sampling with a fixed evaluation budget.
-pub fn random_search<F, R>(
-    space: &ConfigSpace,
-    budget: usize,
-    rng: &mut R,
-    mut eval: F,
-) -> SearchResult
+pub fn random_search<F, R>(space: &ConfigSpace, budget: usize, rng: &mut R, eval: F) -> SearchResult
 where
     F: FnMut(&Configuration) -> f64,
     R: Rng + ?Sized,
 {
+    random_search_observed(space, budget, rng, eval, |_| {})
+}
+
+/// [`random_search`] with a per-evaluation [`SearchStep`] observer.
+pub fn random_search_observed<F, R, O>(
+    space: &ConfigSpace,
+    budget: usize,
+    rng: &mut R,
+    mut eval: F,
+    mut on_step: O,
+) -> SearchResult
+where
+    F: FnMut(&Configuration) -> f64,
+    R: Rng + ?Sized,
+    O: FnMut(&SearchStep),
+{
     assert!(budget > 0, "budget must be positive");
     let mut best: Option<(Configuration, f64)> = None;
-    for _ in 0..budget {
+    for iteration in 0..budget {
         let c = space.random(rng);
         let s = eval(&c);
-        if best.as_ref().is_none_or(|(_, b)| s > *b) {
+        let accepted = best.as_ref().is_none_or(|(_, b)| s > *b);
+        if accepted {
             best = Some((c, s));
         }
+        on_step(&SearchStep {
+            iteration,
+            score: s,
+            best: best.as_ref().map(|(_, b)| *b).expect("just set"),
+            accepted,
+        });
     }
     let (best, score) = best.expect("budget > 0");
     SearchResult {
@@ -231,15 +282,36 @@ pub fn greedy_coordinate<F>(
     space: &ConfigSpace,
     start: Configuration,
     max_sweeps: usize,
-    mut eval: F,
+    eval: F,
 ) -> SearchResult
 where
     F: FnMut(&Configuration) -> f64,
+{
+    greedy_coordinate_observed(space, start, max_sweeps, eval, |_| {})
+}
+
+/// [`greedy_coordinate`] with a per-evaluation [`SearchStep`] observer.
+pub fn greedy_coordinate_observed<F, O>(
+    space: &ConfigSpace,
+    start: Configuration,
+    max_sweeps: usize,
+    mut eval: F,
+    mut on_step: O,
+) -> SearchResult
+where
+    F: FnMut(&Configuration) -> f64,
+    O: FnMut(&SearchStep),
 {
     assert!(space.contains(&start), "start configuration invalid");
     let mut current = start;
     let mut current_score = eval(&current);
     let mut evaluations = 1;
+    on_step(&SearchStep {
+        iteration: 0,
+        score: current_score,
+        best: current_score,
+        accepted: true,
+    });
     for _ in 0..max_sweeps {
         let mut improved = false;
         for i in 0..space.n_elements() {
@@ -253,10 +325,17 @@ where
                 current.states[i] = s;
                 let score = eval(&current);
                 evaluations += 1;
-                if score > best_score {
+                let accepted = score > best_score;
+                if accepted {
                     best_score = score;
                     best_state = s;
                 }
+                on_step(&SearchStep {
+                    iteration: evaluations - 1,
+                    score,
+                    best: best_score,
+                    accepted,
+                });
             }
             current.states[i] = best_state;
             if best_state != original {
@@ -330,11 +409,32 @@ pub fn simulated_annealing<F, R>(
     t_start: f64,
     t_end: f64,
     rng: &mut R,
-    mut eval: F,
+    eval: F,
 ) -> SearchResult
 where
     F: FnMut(&Configuration) -> f64,
     R: Rng + ?Sized,
+{
+    simulated_annealing_observed(space, iterations, t_start, t_end, rng, eval, |_| {})
+}
+
+/// [`simulated_annealing`] with a per-evaluation [`SearchStep`] observer.
+/// Iterations whose element has a single state evaluate nothing and emit
+/// nothing, matching the silent variant's evaluation count.
+#[allow(clippy::too_many_arguments)]
+pub fn simulated_annealing_observed<F, R, O>(
+    space: &ConfigSpace,
+    iterations: usize,
+    t_start: f64,
+    t_end: f64,
+    rng: &mut R,
+    mut eval: F,
+    mut on_step: O,
+) -> SearchResult
+where
+    F: FnMut(&Configuration) -> f64,
+    R: Rng + ?Sized,
+    O: FnMut(&SearchStep),
 {
     assert!(iterations > 0 && t_start > 0.0 && t_end > 0.0 && t_end <= t_start);
     let mut current = space.random(rng);
@@ -342,6 +442,12 @@ where
     let mut evaluations = 1;
     let mut best = current.clone();
     let mut best_score = current_score;
+    on_step(&SearchStep {
+        iteration: 0,
+        score: current_score,
+        best: best_score,
+        accepted: true,
+    });
     let cooling = (t_end / t_start).powf(1.0 / iterations as f64);
     let mut temp = t_start;
     for _ in 0..iterations {
@@ -367,6 +473,12 @@ where
                     best_score = score;
                 }
             }
+            on_step(&SearchStep {
+                iteration: evaluations - 1,
+                score,
+                best: best_score,
+                accepted: accept,
+            });
         }
         temp *= cooling;
     }
@@ -789,6 +901,81 @@ mod tests {
                 assert!(seen.insert(derive_stream_seed(7, a, b)));
             }
         }
+    }
+
+    #[test]
+    fn observed_variants_match_silent_bitwise() {
+        let sp = space();
+        let mut steps = Vec::new();
+        let silent = exhaustive(&sp, objective);
+        let observed = exhaustive_observed(&sp, objective, |s| steps.push(*s));
+        assert_eq!(silent, observed);
+        assert_eq!(steps.len(), silent.evaluations);
+
+        steps.clear();
+        let silent = greedy_coordinate(&sp, Configuration::zeros(3), 4, objective);
+        let observed =
+            greedy_coordinate_observed(&sp, Configuration::zeros(3), 4, objective, |s| {
+                steps.push(*s)
+            });
+        assert_eq!(silent, observed);
+        assert_eq!(steps.len(), silent.evaluations);
+
+        steps.clear();
+        let silent = random_search(&sp, 13, &mut StdRng::seed_from_u64(9), objective);
+        let observed =
+            random_search_observed(&sp, 13, &mut StdRng::seed_from_u64(9), objective, |s| {
+                steps.push(*s)
+            });
+        assert_eq!(silent, observed);
+        assert_eq!(steps.len(), 13);
+
+        steps.clear();
+        let silent = simulated_annealing(
+            &sp,
+            50,
+            3.0,
+            0.05,
+            &mut StdRng::seed_from_u64(11),
+            objective,
+        );
+        let observed = simulated_annealing_observed(
+            &sp,
+            50,
+            3.0,
+            0.05,
+            &mut StdRng::seed_from_u64(11),
+            objective,
+            |s| steps.push(*s),
+        );
+        assert_eq!(silent, observed);
+        assert_eq!(steps.len(), silent.evaluations);
+    }
+
+    #[test]
+    fn observed_steps_have_monotone_best_and_sequential_iterations() {
+        let sp = space();
+        let mut steps = Vec::new();
+        simulated_annealing_observed(
+            &sp,
+            80,
+            3.0,
+            0.05,
+            &mut StdRng::seed_from_u64(4),
+            objective,
+            |s| steps.push(*s),
+        );
+        for (i, w) in steps.windows(2).enumerate() {
+            assert_eq!(w[1].iteration, w[0].iteration + 1, "step {i}");
+            assert!(w[1].best >= w[0].best, "best must be a running max");
+        }
+        assert_eq!(steps[0].iteration, 0);
+        assert!(steps[0].accepted, "initial point is always adopted");
+        // The final reported score is the last step's best.
+        let last = steps.last().unwrap();
+        let again =
+            simulated_annealing(&sp, 80, 3.0, 0.05, &mut StdRng::seed_from_u64(4), objective);
+        assert_eq!(last.best, again.score);
     }
 
     #[test]

@@ -102,6 +102,9 @@ fn check_ambient_entropy(ctx: &FileContext, toks: &[Tok], out: &mut Vec<Diagnost
         }
         let flagged = match t.text.as_str() {
             "thread_rng" | "from_entropy" => true,
+            // Attaching a wall clock to a tracer stamps nondeterministic
+            // wall_s fields into otherwise byte-reproducible JSONL.
+            "set_wall_clock" => true,
             "random" => path_prefix_is(toks, i, "rand"),
             "now" => path_prefix_is(toks, i, "Instant") || path_prefix_is(toks, i, "SystemTime"),
             _ => false,
@@ -111,6 +114,8 @@ fn check_ambient_entropy(ctx: &FileContext, toks: &[Tok], out: &mut Vec<Diagnost
                 format!("`{}::now` reads the wall clock", path_head(toks, i))
             } else if t.text == "random" {
                 String::from("`rand::random` draws from the thread-local OS-seeded RNG")
+            } else if t.text == "set_wall_clock" {
+                String::from("`set_wall_clock` attaches wall-clock stamps to the trace stream")
             } else {
                 format!("`{}` draws from OS entropy", t.text)
             };

@@ -1,0 +1,5 @@
+//! Bad: attaches a wall clock to a tracer inside a simulation crate.
+
+pub fn attach(tracer: &mut press_trace::Tracer<press_trace::NullSink>) {
+    tracer.set_wall_clock(|| 0.0);
+}

@@ -1,0 +1,11 @@
+//! Clean: events carry the emulated episode clock only; no wall clock is
+//! ever attached outside press-bench.
+
+pub fn emit(tracer: &mut press_trace::Tracer<press_trace::MemorySink>, t_s: f64) {
+    tracer.emit(
+        t_s,
+        press_trace::EventKind::PhaseStart {
+            phase: press_trace::Phase::Measure,
+        },
+    );
+}

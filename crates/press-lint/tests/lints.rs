@@ -55,6 +55,43 @@ fn l2_bad_fixture_flags_entropy_and_clock_as_errors() {
 }
 
 #[test]
+fn l2_wall_clock_attachment_is_flagged() {
+    let (diags, _) = lint_fixture("bad_l2_wall_clock.rs");
+    let l2: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.lint == "ambient-entropy")
+        .collect();
+    assert_eq!(l2.len(), 1, "{diags:?}");
+    assert_eq!(l2[0].severity, Severity::Error);
+    assert_eq!(l2[0].line, 4);
+    assert!(
+        l2[0].message.contains("set_wall_clock"),
+        "{}",
+        l2[0].message
+    );
+}
+
+#[test]
+fn l2_wall_clock_clean_fixture_passes() {
+    let (diags, suppressed) = lint_fixture("clean_l2_wall_clock.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn l2_wall_clock_is_allowed_in_bench_context() {
+    // The same source analyzed as a press-bench file is exempt: benches own
+    // the only legitimate wall-clock attachment point.
+    let path = format!(
+        "{}/tests/fixtures/bad_l2_wall_clock.rs",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let src = std::fs::read_to_string(&path).unwrap();
+    let (diags, _) = analyze_source("crates/press-bench/src/bin/trace_capture.rs", &src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
 fn l2_clean_fixture_passes() {
     let (diags, _) = lint_fixture("clean_l2_ambient_entropy.rs");
     assert!(diags.is_empty(), "{diags:?}");

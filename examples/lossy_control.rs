@@ -10,12 +10,131 @@
 //!
 //! ```sh
 //! cargo run --release --example lossy_control
+//! cargo run --release --example lossy_control -- --trace results/lossy_control.jsonl
 //! ```
+//!
+//! With `--trace <path>` the example instead records one lossy episode per
+//! search strategy (plus a joint-annealing space schedule) into a
+//! structured JSONL trace — feed it to the `trace_report` bin for phase
+//! latency tables and convergence CSVs. No wall clock is attached, so the
+//! file is byte-identical across runs.
 
 use press::control::Transport;
 use press::prelude::*;
+use press::propagation::Vec3;
+use press::rig::{ElementPlacement, NetworkRig, PairLayout};
+use press::trace::{EventKind, JsonlSink};
+
+/// The congested ISM control plane every traced episode runs over.
+fn lossy_mode() -> ActuationMode {
+    ActuationMode::Transport(TransportActuation {
+        transport: Transport::IsmRadio {
+            bitrate_bps: 250e3,
+            loss_prob: 0.5,
+            mac_latency_s: 1e-3,
+        },
+        policy: AckPolicy::Adaptive {
+            max_retries: 8,
+            batch_cap: 16,
+        },
+        distance_m: 15.0,
+        faults: FaultPlan::bursty(GilbertElliott::interference()),
+    })
+}
+
+/// Traced mode: one seeded lossy episode per strategy, all into one JSONL
+/// file, then a joint-annealing schedule over a 3-link space bracketed by
+/// hand-emitted episode markers.
+fn run_traced(path: &str) {
+    let file = std::fs::File::create(path).unwrap_or_else(|e| panic!("create {path}: {e}"));
+    let mut tracer = Tracer::new(JsonlSink::new(std::io::BufWriter::new(file)));
+
+    let rig = press::rig::fig4_rig(2);
+    println!("tracing lossy episodes to {path}\n");
+    for strategy in [
+        Strategy::Exhaustive,
+        Strategy::Greedy { max_sweeps: 2 },
+        Strategy::Random { budget: 48 },
+        Strategy::Annealing { budget: 48 },
+    ] {
+        let mut c = Controller::new(strategy, LinkObjective::MaxMinSnr);
+        c.seed = 3;
+        c.actuation = lossy_mode();
+        let r = c.run_episode_traced(&rig.system, &rig.sounder, None, &mut tracer);
+        println!(
+            "{:<12} score {:+8.3} dB, {:>3} measurements, reverted: {}{}",
+            strategy.label(),
+            r.chosen_score,
+            r.measurements,
+            r.reverted,
+            if r.post_mortem.is_some() {
+                " (flight-recorder post-mortem attached)"
+            } else {
+                ""
+            }
+        );
+    }
+
+    // Joint annealing optimizes a shared 3-link space with the oracle
+    // objective — no controller episode wraps it, so bracket the steps with
+    // hand-emitted markers for the report's episode accounting.
+    let space = NetworkRig::builder()
+        .lab_seed(6)
+        .pairs(PairLayout::Clients(vec![
+            Vec3::new(7.0, 5.0, 1.5),
+            Vec3::new(6.8, 4.0, 1.5),
+            Vec3::new(5.5, 6.2, 1.3),
+        ]))
+        .placement(ElementPlacement::RandomInLab {
+            count: 3,
+            rng_seed: 2,
+        })
+        .build()
+        .smart_space(LinkObjective::MaxMeanSnr);
+    tracer.emit(
+        0.0,
+        EventKind::EpisodeStart {
+            seed: 3,
+            links: space.n_links() as u32,
+            strategy: "joint-annealing",
+        },
+    );
+    let result = press::core::optimize_joint_observed(&space, 48, 3, |s| {
+        tracer.emit(
+            0.0,
+            EventKind::SearchStep {
+                strategy: "joint-annealing",
+                iteration: s.iteration as u32,
+                score: s.score,
+                best: s.best,
+                accepted: s.accepted,
+            },
+        );
+    });
+    tracer.emit(
+        0.0,
+        EventKind::EpisodeEnd {
+            score: result.score,
+            measurements: result.evaluations as u32,
+            reverted: false,
+        },
+    );
+    println!(
+        "joint-annealing (3 links): score {:+8.3}, {} evaluations",
+        result.score, result.evaluations
+    );
+    let events = tracer.seq();
+    drop(tracer);
+    println!("\n{events} events written to {path}");
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        let default = "results/lossy_control.jsonl".to_string();
+        run_traced(args.get(i + 1).unwrap_or(&default));
+        return;
+    }
     let rig = press::rig::fig4_rig(2);
     let base = Controller::new(Strategy::Exhaustive, LinkObjective::MaxMinSnr);
 

@@ -29,6 +29,7 @@ pub use press_math as math;
 pub use press_phy as phy;
 pub use press_propagation as propagation;
 pub use press_sdr as sdr;
+pub use press_trace as trace;
 
 /// One-stop imports for examples and quick scripts.
 pub mod prelude {
@@ -50,4 +51,7 @@ pub mod prelude {
     pub use press_phy::{MimoChannel, Numerology, SnrProfile};
     pub use press_propagation::{Antenna, LabConfig, LabSetup, RadioNode, Scene, Vec3};
     pub use press_sdr::{SdrRadio, Sounder};
+    pub use press_trace::{
+        Event, EventKind, FlightRecorder, JsonlSink, MemorySink, NullSink, Phase, TraceSink, Tracer,
+    };
 }

@@ -99,6 +99,28 @@ fn same_seed_space_episode_is_bit_identical() {
     }
 }
 
+/// The trace stream inherits the invariant: the same lossy episode traced
+/// twice serializes to byte-identical JSONL (the full suite lives in
+/// `tests/trace_determinism.rs`; this assertion keeps the core invariant
+/// next to its siblings).
+#[test]
+fn same_seed_episode_traces_byte_identical_jsonl() {
+    use press::trace::{MemorySink, Tracer};
+    let rig = press::rig::fig4_rig(2);
+    for seed in [0u64, 3, 17] {
+        let mut ta = Tracer::new(MemorySink::new());
+        let mut tb = Tracer::new(MemorySink::new());
+        let a = lossy_controller(seed).run_episode_traced(&rig.system, &rig.sounder, None, &mut ta);
+        let b = lossy_controller(seed).run_episode_traced(&rig.system, &rig.sounder, None, &mut tb);
+        assert_eq!(a, b, "seed {seed}");
+        assert_eq!(
+            ta.sink().to_jsonl_without_wall().as_bytes(),
+            tb.sink().to_jsonl_without_wall().as_bytes(),
+            "seed {seed}: trace bytes diverged"
+        );
+    }
+}
+
 /// A clean wired transport still reproduces the oracle episode's decision
 /// exactly (the PR 2 invariant, re-pinned here after the BTreeSet
 /// migration).
