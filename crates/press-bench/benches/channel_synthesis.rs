@@ -129,6 +129,63 @@ fn bench_incremental_vs_rebuild(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_exhaustive_scoring(c: &mut Criterion) {
+    // The perf-trajectory headline: scoring a 4096-configuration exhaustive
+    // sweep (6 paper elements × 4 states) per-candidate through
+    // `synthesize_into` vs in batches through the SoA `BatchEvaluator`.
+    // The batch kernel re-accumulates only the columns below each sorted
+    // candidate's shared prefix (~M/(M-1) per candidate on a full sweep
+    // instead of N), so this is where the prefix stack pays off; the
+    // two paths are bitwise-equal by contract (asserted in press-core's
+    // tests), so the ratio is pure throughput.
+    use press_core::{min_magnitude_db_metric, BatchEvaluator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let lab = LabSetup::generate(&LabConfig::default(), 1);
+    let lambda = lab.scene.wavelength();
+    let mut rng = StdRng::seed_from_u64(5);
+    let positions = lab.random_element_positions(6, &mut rng);
+    let array = press_core::PressArray::paper_passive(&positions, lambda);
+    let system = press_core::PressSystem::new(lab.scene.clone(), array);
+    let link = press_core::CachedLink::trace(&system, lab.tx.clone(), lab.rx.clone());
+    let freqs: Vec<f64> = (0..52)
+        .map(|k| 2.462e9 + (k as f64 - 26.0) * 312_500.0)
+        .collect();
+    let basis = LinkBasis::build(&system, &link, &freqs);
+    let configs: Vec<Configuration> = basis.space().iter().collect();
+    assert_eq!(configs.len(), 4096);
+
+    let mut group = c.benchmark_group("exhaustive_scoring_4096");
+    group.bench_function("scalar", |b| {
+        let mut metric = min_magnitude_db_metric();
+        let mut h: Vec<Complex64> = Vec::with_capacity(basis.n_subcarriers());
+        b.iter(|| {
+            let mut best = f64::NEG_INFINITY;
+            for config in &configs {
+                basis.synthesize_into(black_box(config), 0.0, &mut h);
+                best = best.max(metric(&h));
+            }
+            black_box(best)
+        })
+    });
+    group.bench_function("batched", |b| {
+        // Whole-sweep batch: evaluator scratch is (N+1)·K rows regardless
+        // of batch size, and bigger batches mean longer shared prefixes.
+        let mut metric = min_magnitude_db_metric();
+        let mut evaluator = BatchEvaluator::new(&basis);
+        let mut scores: Vec<f64> = Vec::new();
+        b.iter(|| {
+            let mut best = f64::NEG_INFINITY;
+            evaluator.scores_into(black_box(&configs), 0.0, &mut metric, &mut scores);
+            for &s in &scores {
+                best = best.max(s);
+            }
+            black_box(best)
+        })
+    });
+    group.finish();
+}
+
 fn bench_lab_generation(c: &mut Criterion) {
     c.bench_function("lab_generation", |b| {
         let mut seed = 0u64;
@@ -146,6 +203,7 @@ criterion_group!(
     bench_config_evaluation,
     bench_basis_vs_direct,
     bench_incremental_vs_rebuild,
+    bench_exhaustive_scoring,
     bench_lab_generation
 );
 criterion_main!(benches);

@@ -95,6 +95,71 @@ fn bench_synthetic_large_space(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_genetic_batched(c: &mut Criterion) {
+    // Genetic search over real basis-cached channel evaluations: scoring
+    // each candidate alone through `synthesize_into` vs scoring every
+    // generation as one batch through the SoA `BatchEvaluator`. Identical
+    // RNG streams and bitwise-identical scores (the batch contract), so
+    // the delta is the shared-prefix reuse across each sorted generation.
+    use press_core::{min_magnitude_db_metric, BatchEvaluator, LinkBasis, SearchScratch};
+    use press_math::Complex64;
+    use press_propagation::{LabConfig, LabSetup};
+    let lab = LabSetup::generate(&LabConfig::default(), 1);
+    let lambda = lab.scene.wavelength();
+    let mut rng = StdRng::seed_from_u64(5);
+    let positions = lab.random_element_positions(6, &mut rng);
+    let array = press_core::PressArray::paper_passive(&positions, lambda);
+    let system = press_core::PressSystem::new(lab.scene.clone(), array);
+    let link = CachedLink::trace(&system, lab.tx.clone(), lab.rx.clone());
+    let freqs: Vec<f64> = (0..52)
+        .map(|k| 2.462e9 + (k as f64 - 26.0) * 312_500.0)
+        .collect();
+    let basis = LinkBasis::build(&system, &link, &freqs);
+    let space = basis.space().clone();
+    let params = GeneticParams {
+        population: 48,
+        generations: 20,
+        ..GeneticParams::default()
+    };
+
+    let mut group = c.benchmark_group("genetic_basis_6elem");
+    group.sample_size(20);
+    group.bench_function("scalar", |b| {
+        b.iter(|| {
+            let mut metric = min_magnitude_db_metric();
+            let mut h: Vec<Complex64> = Vec::with_capacity(basis.n_subcarriers());
+            let mut rng = StdRng::seed_from_u64(7);
+            black_box(search::genetic(
+                &space,
+                &params,
+                &mut rng,
+                |cfg: &Configuration| {
+                    basis.synthesize_into(cfg, 0.0, &mut h);
+                    metric(&h)
+                },
+            ))
+        })
+    });
+    group.bench_function("batched", |b| {
+        let mut scratch = SearchScratch::new();
+        b.iter(|| {
+            let mut metric = min_magnitude_db_metric();
+            let mut evaluator = BatchEvaluator::new(&basis);
+            let mut rng = StdRng::seed_from_u64(7);
+            black_box(search::genetic_batched(
+                &space,
+                &params,
+                &mut rng,
+                &mut scratch,
+                &mut |configs: &[Configuration], out: &mut Vec<f64>| {
+                    evaluator.scores_into(configs, 0.0, &mut metric, out)
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
 fn bench_inverse_solver(c: &mut Criterion) {
     let (system, sounder, _) = evaluator();
     let freqs = sounder.num.active_freqs_hz();
@@ -122,6 +187,7 @@ criterion_group!(
     benches,
     bench_small_space,
     bench_synthetic_large_space,
+    bench_genetic_batched,
     bench_inverse_solver
 );
 criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! `press-bench` — the perf-trajectory CLI.
+//!
+//! ```sh
+//! cargo bench -p press-bench --bench channel_synthesis
+//! cargo bench -p press-bench --bench search_algorithms
+//! cargo run --release -p press-bench --bin press-bench -- distill
+//! cargo run --release -p press-bench --bin press-bench -- check
+//! ```
+//!
+//! `distill` reduces the latest criterion run under `target/criterion` into
+//! the checked-in `BENCH_*.json` snapshots at the workspace root; `check`
+//! re-distills and gates the dimensionless speedup ratios against those
+//! snapshots (hard floors plus a >10% regression tolerance). See
+//! `press_bench::perf` for the format and the gating policy.
+
+use press_bench::perf::{check_against, distill_suite, suite_specs, Snapshot};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    dir
+}
+
+struct Opts {
+    criterion_dir: PathBuf,
+    tolerance: f64,
+    absolute: bool,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        criterion_dir: workspace_root().join("target").join("criterion"),
+        tolerance: 0.10,
+        absolute: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--criterion-dir" => {
+                let v = it.next().ok_or("--criterion-dir needs a path")?;
+                opts.criterion_dir = PathBuf::from(v);
+            }
+            "--tolerance" => {
+                let v = it.next().ok_or("--tolerance needs a fraction")?;
+                opts.tolerance = v
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --tolerance `{v}`: {e}"))?;
+            }
+            "--absolute" => opts.absolute = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn print_snapshot(s: &Snapshot) {
+    println!("  suite {}", s.suite);
+    for e in &s.entries {
+        println!("    {:<44} {:>12.1} ns", e.id, e.median_ns);
+    }
+    for r in &s.ratios {
+        println!("    {:<44} {:>11.2}x  (floor {:.2}x)", r.id, r.value, r.min);
+    }
+}
+
+fn distill(opts: &Opts) -> Result<(), String> {
+    let root = workspace_root();
+    for spec in suite_specs() {
+        let snap = distill_suite(&opts.criterion_dir, &spec)?;
+        let path = root.join(snap.file_name());
+        std::fs::write(&path, snap.render()).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+        print_snapshot(&snap);
+    }
+    Ok(())
+}
+
+fn check(opts: &Opts) -> Result<Vec<String>, String> {
+    let root = workspace_root();
+    let mut failures = Vec::new();
+    for spec in suite_specs() {
+        let path = root.join(format!("BENCH_{}.json", spec.suite));
+        let src = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let baseline = Snapshot::parse(&src).map_err(|e| format!("{}: {e}", path.display()))?;
+        let current = distill_suite(&opts.criterion_dir, &spec)?;
+        println!("current run:");
+        print_snapshot(&current);
+        println!("checked-in snapshot ({}):", path.display());
+        print_snapshot(&baseline);
+        failures.extend(check_against(
+            &baseline,
+            &current,
+            opts.tolerance,
+            opts.absolute,
+        ));
+    }
+    Ok(failures)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!(
+            "usage: press-bench <distill|check> [--criterion-dir DIR] [--tolerance F] [--absolute]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("press-bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match cmd.as_str() {
+        "distill" => distill(&opts).map(|()| Vec::new()),
+        "check" => check(&opts),
+        other => Err(format!("unknown subcommand `{other}`")),
+    };
+    match outcome {
+        Ok(failures) if failures.is_empty() => {
+            if cmd == "check" {
+                println!("perf gate: PASS");
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(failures) => {
+            println!("perf gate: FAIL");
+            for f in &failures {
+                println!("  {f}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("press-bench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

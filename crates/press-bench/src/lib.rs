@@ -8,6 +8,9 @@
 //! the paper-vs-measured record.
 
 #![forbid(unsafe_code)]
+
+pub mod perf;
+
 use std::fs;
 use std::io::Write;
 use std::path::PathBuf;

@@ -1,0 +1,672 @@
+//! The perf trajectory: distilling criterion output into checked-in
+//! `BENCH_*.json` snapshots and gating regressions against them.
+//!
+//! Criterion writes per-benchmark medians under
+//! `target/criterion/<group>/<bench>/new/estimates.json`. The `press-bench`
+//! binary's `distill` subcommand reduces those to one small JSON snapshot
+//! per suite (format `press-bench-snapshot/v1`), and `check` compares a
+//! fresh run against the checked-in snapshots.
+//!
+//! ## What gates, what informs
+//!
+//! Absolute medians are **informational**: they are measured on whatever
+//! machine produced the snapshot and CI runners differ, so nanoseconds do
+//! not travel. What gates is the **dimensionless ratios** — batched vs
+//! scalar throughput, basis vs direct re-trace — which divide out the
+//! hardware. `check` fails when a ratio falls below its recorded floor
+//! (`min`) or regresses more than the tolerance (default 10%) against the
+//! snapshot's value. An `--absolute` flag adds the raw-median gate for
+//! same-machine comparisons.
+//!
+//! Everything here is hand-rolled (a ~100-line JSON parser included)
+//! because the workspace takes no serde dependency.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Snapshot format tag; bump on breaking layout changes.
+pub const FORMAT: &str = "press-bench-snapshot/v1";
+
+// ---------------------------------------------------------------------------
+// Minimal JSON
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Objects keep insertion order (no hash maps — the
+/// snapshot files are diffed by humans and written deterministically).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, as f64.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document. Strict enough for criterion estimates and our
+/// own snapshots; not a general-purpose validator.
+pub fn parse_json(src: &str) -> Result<Json, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(String::from("unexpected end of input")),
+        Some(b'n') => expect(b, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let value = parse_value(b, pos)?;
+                members.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos).map(Json::Num),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {}", *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    // \uXXXX and the rare escapes never appear in bench ids;
+                    // keep them as-is rather than decode surrogates.
+                    other => {
+                        out.push('\\');
+                        out.push(other as char);
+                    }
+                }
+            }
+            _ => out.push(c as char),
+        }
+    }
+    Err(String::from("unterminated string"))
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+/// One benchmark's distilled result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Criterion id, `group/function`.
+    pub id: String,
+    /// Median wall time per iteration, nanoseconds.
+    pub median_ns: f64,
+}
+
+/// One dimensionless speedup ratio (`num`'s median over `den`'s median —
+/// num is the slow/reference side, so values above 1 are wins).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatioEntry {
+    /// Ratio id for reports, e.g. `exhaustive_scoring_4096/batched_vs_scalar`.
+    pub id: String,
+    /// Entry id of the numerator (reference / scalar side).
+    pub num: String,
+    /// Entry id of the denominator (optimized side).
+    pub den: String,
+    /// The measured ratio, `median(num) / median(den)`.
+    pub value: f64,
+    /// Hard floor: `check` fails when the current ratio drops below this,
+    /// regardless of what the snapshot recorded.
+    pub min: f64,
+}
+
+/// One suite's perf snapshot (one `BENCH_*.json` file).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Suite name (the criterion bench target), e.g. `channel_synthesis`.
+    pub suite: String,
+    /// Absolute medians, informational.
+    pub entries: Vec<BenchEntry>,
+    /// Dimensionless ratios, gating.
+    pub ratios: Vec<RatioEntry>,
+}
+
+impl Snapshot {
+    /// The checked-in filename for this suite.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.suite)
+    }
+
+    /// Looks an entry median up by id.
+    pub fn median(&self, id: &str) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|e| e.id == id)
+            .map(|e| e.median_ns)
+    }
+
+    /// Renders the snapshot as deterministic, human-diffable JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"format\": \"{FORMAT}\",");
+        let _ = writeln!(out, "  \"suite\": \"{}\",", self.suite);
+        let _ = writeln!(out, "  \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{ \"id\": \"{}\", \"median_ns\": {:.1} }}{comma}",
+                e.id, e.median_ns
+            );
+        }
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(out, "  \"ratios\": [");
+        for (i, r) in self.ratios.iter().enumerate() {
+            let comma = if i + 1 < self.ratios.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{ \"id\": \"{}\", \"num\": \"{}\", \"den\": \"{}\", \
+                 \"value\": {:.2}, \"min\": {:.2} }}{comma}",
+                r.id, r.num, r.den, r.value, r.min
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Parses a snapshot rendered by [`render`](Self::render) (or hand
+    /// edited — any `press-bench-snapshot/v1` document).
+    pub fn parse(src: &str) -> Result<Snapshot, String> {
+        let v = parse_json(src)?;
+        let format = v.get("format").and_then(Json::as_str).unwrap_or("");
+        if format != FORMAT {
+            return Err(format!("unknown snapshot format `{format}`"));
+        }
+        let suite = v
+            .get("suite")
+            .and_then(Json::as_str)
+            .ok_or("missing suite")?
+            .to_string();
+        let mut entries = Vec::new();
+        for e in v.get("entries").and_then(Json::as_arr).unwrap_or(&[]) {
+            entries.push(BenchEntry {
+                id: e
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .ok_or("entry missing id")?
+                    .to_string(),
+                median_ns: e
+                    .get("median_ns")
+                    .and_then(Json::as_f64)
+                    .ok_or("entry missing median_ns")?,
+            });
+        }
+        let mut ratios = Vec::new();
+        for r in v.get("ratios").and_then(Json::as_arr).unwrap_or(&[]) {
+            ratios.push(RatioEntry {
+                id: r
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .ok_or("ratio missing id")?
+                    .to_string(),
+                num: r
+                    .get("num")
+                    .and_then(Json::as_str)
+                    .ok_or("ratio missing num")?
+                    .to_string(),
+                den: r
+                    .get("den")
+                    .and_then(Json::as_str)
+                    .ok_or("ratio missing den")?
+                    .to_string(),
+                value: r
+                    .get("value")
+                    .and_then(Json::as_f64)
+                    .ok_or("ratio missing value")?,
+                min: r
+                    .get("min")
+                    .and_then(Json::as_f64)
+                    .ok_or("ratio missing min")?,
+            });
+        }
+        Ok(Snapshot {
+            suite,
+            entries,
+            ratios,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Suite definitions
+// ---------------------------------------------------------------------------
+
+/// Static shape of one suite: which criterion ids to distill and which
+/// ratios gate.
+#[derive(Debug, Clone)]
+pub struct SuiteSpec {
+    /// Suite / bench-target name.
+    pub suite: &'static str,
+    /// Criterion ids (`group/function`) captured as entries.
+    pub entry_ids: &'static [&'static str],
+    /// Gating ratios: `(id, num, den, min)`.
+    pub ratio_specs: &'static [(&'static str, &'static str, &'static str, f64)],
+}
+
+/// The suites the perf trajectory tracks.
+pub fn suite_specs() -> Vec<SuiteSpec> {
+    vec![
+        SuiteSpec {
+            suite: "channel_synthesis",
+            entry_ids: &[
+                "config_sweep_64/direct_retrace",
+                "config_sweep_64/basis_cached",
+                "single_move_8elem/full_synthesis",
+                "single_move_8elem/incremental_move_pair",
+                "exhaustive_scoring_4096/scalar",
+                "exhaustive_scoring_4096/batched",
+            ],
+            ratio_specs: &[
+                // Measured ~2x on the reference run; the floor sits below
+                // the run-to-run noise band so it only trips on genuine
+                // kernel regressions (the 10% snapshot tolerance does the
+                // fine-grained gating).
+                (
+                    "exhaustive_scoring_4096/batched_vs_scalar",
+                    "exhaustive_scoring_4096/scalar",
+                    "exhaustive_scoring_4096/batched",
+                    1.6,
+                ),
+                (
+                    "config_sweep_64/basis_vs_direct",
+                    "config_sweep_64/direct_retrace",
+                    "config_sweep_64/basis_cached",
+                    5.0,
+                ),
+            ],
+        },
+        SuiteSpec {
+            suite: "search",
+            entry_ids: &["genetic_basis_6elem/scalar", "genetic_basis_6elem/batched"],
+            // Generation-sized batches (population 48) share shorter
+            // prefixes than a full sweep, so the genetic win is ~1.3x
+            // measured; floor below the noise band.
+            ratio_specs: &[(
+                "genetic_basis_6elem/batched_vs_scalar",
+                "genetic_basis_6elem/scalar",
+                "genetic_basis_6elem/batched",
+                1.1,
+            )],
+        },
+    ]
+}
+
+/// Reads one benchmark's median (ns) from criterion's estimates file under
+/// `criterion_dir` (normally `target/criterion`).
+pub fn criterion_median_ns(criterion_dir: &Path, id: &str) -> Result<f64, String> {
+    let path = criterion_dir.join(id).join("new").join("estimates.json");
+    let src = std::fs::read_to_string(&path)
+        .map_err(|e| format!("{}: {e} (run the benches first)", path.display()))?;
+    median_from_estimates(&src).ok_or_else(|| format!("{}: no median estimate", path.display()))
+}
+
+/// Extracts `median.point_estimate` from a criterion estimates document.
+pub fn median_from_estimates(src: &str) -> Option<f64> {
+    parse_json(src)
+        .ok()?
+        .get("median")?
+        .get("point_estimate")?
+        .as_f64()
+}
+
+/// Distills one suite's current criterion output into a snapshot.
+pub fn distill_suite(criterion_dir: &Path, spec: &SuiteSpec) -> Result<Snapshot, String> {
+    let mut entries = Vec::new();
+    for id in spec.entry_ids {
+        entries.push(BenchEntry {
+            id: (*id).to_string(),
+            median_ns: criterion_median_ns(criterion_dir, id)?,
+        });
+    }
+    let snapshot = Snapshot {
+        suite: spec.suite.to_string(),
+        entries,
+        ratios: Vec::new(),
+    };
+    let ratios = spec
+        .ratio_specs
+        .iter()
+        .map(|(id, num, den, min)| {
+            let n = snapshot
+                .median(num)
+                .ok_or_else(|| format!("no entry {num}"))?;
+            let d = snapshot
+                .median(den)
+                .ok_or_else(|| format!("no entry {den}"))?;
+            Ok(RatioEntry {
+                id: (*id).to_string(),
+                num: (*num).to_string(),
+                den: (*den).to_string(),
+                value: n / d,
+                min: *min,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(Snapshot { ratios, ..snapshot })
+}
+
+// ---------------------------------------------------------------------------
+// The regression gate
+// ---------------------------------------------------------------------------
+
+/// Compares a fresh run against the checked-in baseline. Returns the list
+/// of failures (empty = gate passes).
+///
+/// * Every baseline ratio must exist in the current run, clear its hard
+///   floor (`min`), and sit within `tolerance` (fractional, e.g. `0.10`)
+///   of the baseline value — a batched-vs-scalar speedup that decays from
+///   2.6× to 2.2× is a >10% median regression even though both beat 2×.
+/// * Absolute medians gate only when `absolute` is set (same-machine
+///   comparisons); cross-machine they are informational.
+pub fn check_against(
+    baseline: &Snapshot,
+    current: &Snapshot,
+    tolerance: f64,
+    absolute: bool,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for r in &baseline.ratios {
+        let Some(cur) = current.ratios.iter().find(|c| c.id == r.id) else {
+            failures.push(format!(
+                "{}: ratio `{}` missing from run",
+                baseline.suite, r.id
+            ));
+            continue;
+        };
+        if cur.value < r.min {
+            failures.push(format!(
+                "{}: `{}` = {:.2}x fell below its floor of {:.2}x",
+                baseline.suite, r.id, cur.value, r.min
+            ));
+        }
+        if cur.value < r.value * (1.0 - tolerance) {
+            failures.push(format!(
+                "{}: `{}` regressed {:.2}x -> {:.2}x (>{:.0}% below snapshot)",
+                baseline.suite,
+                r.id,
+                r.value,
+                cur.value,
+                tolerance * 100.0
+            ));
+        }
+    }
+    if absolute {
+        for e in &baseline.entries {
+            let Some(cur) = current.median(&e.id) else {
+                failures.push(format!(
+                    "{}: entry `{}` missing from run",
+                    baseline.suite, e.id
+                ));
+                continue;
+            };
+            if cur > e.median_ns * (1.0 + tolerance) {
+                failures.push(format!(
+                    "{}: `{}` regressed {:.0}ns -> {:.0}ns (>{:.0}% above snapshot)",
+                    baseline.suite,
+                    e.id,
+                    e.median_ns,
+                    cur,
+                    tolerance * 100.0
+                ));
+            }
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> Snapshot {
+        Snapshot {
+            suite: "channel_synthesis".to_string(),
+            entries: vec![
+                BenchEntry {
+                    id: "g/scalar".to_string(),
+                    median_ns: 1000.0,
+                },
+                BenchEntry {
+                    id: "g/batched".to_string(),
+                    median_ns: 400.0,
+                },
+            ],
+            ratios: vec![RatioEntry {
+                id: "g/batched_vs_scalar".to_string(),
+                num: "g/scalar".to_string(),
+                den: "g/batched".to_string(),
+                value: 2.5,
+                min: 2.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let s = snapshot();
+        let parsed = Snapshot::parse(&s.render()).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn parse_rejects_other_formats() {
+        assert!(Snapshot::parse("{\"format\": \"v0\", \"suite\": \"x\"}").is_err());
+        assert!(Snapshot::parse("not json").is_err());
+    }
+
+    #[test]
+    fn json_parser_handles_nested_documents() {
+        let v = parse_json(
+            "{\"median\": {\"confidence_interval\": {\"lower_bound\": 1.5e3}, \
+             \"point_estimate\": 2048.25}, \"slope\": null, \"ok\": true, \
+             \"tags\": [\"a\", \"b\"]}",
+        )
+        .unwrap();
+        assert_eq!(
+            v.get("median")
+                .unwrap()
+                .get("point_estimate")
+                .unwrap()
+                .as_f64(),
+            Some(2048.25)
+        );
+        assert_eq!(v.get("slope"), Some(&Json::Null));
+        assert_eq!(v.get("tags").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn median_extraction_matches_criterion_layout() {
+        let src = "{\"mean\": {\"point_estimate\": 9.0}, \
+                   \"median\": {\"point_estimate\": 1234.5, \"standard_error\": 3.0}}";
+        assert_eq!(median_from_estimates(src), Some(1234.5));
+        assert_eq!(median_from_estimates("{}"), None);
+    }
+
+    #[test]
+    fn gate_passes_when_ratios_hold() {
+        let base = snapshot();
+        let mut current = snapshot();
+        // A small improvement passes.
+        current.ratios[0].value = 2.6;
+        assert!(check_against(&base, &current, 0.10, false).is_empty());
+        // A small in-tolerance decay passes too.
+        current.ratios[0].value = 2.3;
+        assert!(check_against(&base, &current, 0.10, false).is_empty());
+    }
+
+    #[test]
+    fn gate_fails_on_ratio_regression_or_floor() {
+        let base = snapshot();
+        // 2.5 -> 2.1: above the 2.0 floor but >10% below the snapshot.
+        let mut current = snapshot();
+        current.ratios[0].value = 2.1;
+        let failures = check_against(&base, &current, 0.10, false);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("regressed"), "{failures:?}");
+        // 1.8: below the hard floor as well.
+        current.ratios[0].value = 1.8;
+        let failures = check_against(&base, &current, 0.10, false);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures[0].contains("floor"), "{failures:?}");
+    }
+
+    #[test]
+    fn absolute_gate_is_opt_in() {
+        let base = snapshot();
+        let mut current = snapshot();
+        current.entries[0].median_ns = 1500.0; // 50% slower scalar...
+        current.ratios[0].value = 3.75; // ...which *helps* the ratio
+        assert!(check_against(&base, &current, 0.10, false).is_empty());
+        let failures = check_against(&base, &current, 0.10, true);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("g/scalar"), "{failures:?}");
+    }
+
+    #[test]
+    fn suite_specs_reference_their_own_entries() {
+        for spec in suite_specs() {
+            for (_, num, den, min) in spec.ratio_specs {
+                assert!(spec.entry_ids.contains(num), "{num}");
+                assert!(spec.entry_ids.contains(den), "{den}");
+                assert!(*min >= 1.0, "a ratio floor below 1x gates nothing");
+            }
+        }
+    }
+}

@@ -26,6 +26,30 @@
 //! drift ([`CachedLink::apply_drift`]) bumps it. Element-side changes
 //! (repositioned or re-programmed elements) require a full
 //! [`LinkBasis::rebuild`] — drift never touches those columns.
+//!
+//! # Structure-of-arrays layout and the batch kernel
+//!
+//! Element columns are stored as two separate `f64` planes (`col_re`,
+//! `col_im`) rather than an interleaved `Vec<Complex64>`. Complex addition
+//! is componentwise and the rotated multiply-accumulate decomposes into
+//! the same four real multiplies and two adds per point either way, so the
+//! split changes *nothing* numerically — every synthesis stays bitwise
+//! identical to the interleaved layout — while letting the kernels stream
+//! each plane through fixed-width lanes (`LANES` `f64`s at a time via
+//! `chunks_exact`, no external SIMD deps).
+//!
+//! [`BatchEvaluator`] scores a whole slice of candidate configurations
+//! through a shared prefix stack: candidates are visited in lexicographic
+//! state order, partial sums `env + col₀ + … + col_{d-1}` are kept per
+//! element depth, and only the columns below each candidate's longest
+//! common prefix with its predecessor are re-accumulated (duplicates are
+//! scored once). Each candidate's own accumulation order stays exactly
+//! the scalar order (environment first, then elements `0..N`), and lanes
+//! are elementwise over the frequency axis — there is **no cross-lane
+//! reduction** anywhere in the kernel — which is what makes batch scores
+//! bitwise-equal to the per-candidate [`LinkBasis::synthesize_into`] path
+//! (enforced by test and by press-lint's `kernel-reduction` rule; see
+//! DESIGN.md).
 
 use crate::config::{ConfigSpace, Configuration};
 use crate::objective::LinkObjective;
@@ -46,8 +70,11 @@ pub struct LinkBasis {
     env_static: Vec<Complex64>,
     /// Per-Doppler-path environment columns: `(doppler_hz, H_path(f, 0))`.
     env_doppler: Vec<(f64, Vec<Complex64>)>,
-    /// Flattened `B[i][s][k]` columns, `columns[col·K .. (col+1)·K]`.
-    columns: Vec<Complex64>,
+    /// Real plane of the flattened `B[i][s][k]` columns,
+    /// `col_re[col·K .. (col+1)·K]` (structure-of-arrays; see module docs).
+    col_re: Vec<f64>,
+    /// Imaginary plane, same layout as `col_re`.
+    col_im: Vec<f64>,
     /// Doppler of each column's underlying path, Hz.
     col_doppler: Vec<f64>,
     /// Whether the column's element path exists in that state (absorber /
@@ -96,6 +123,202 @@ fn add_rotated(
     }
 }
 
+/// Fixed lane width of the manual SIMD-style kernels below: four `f64`s
+/// fill one 256-bit vector register, and `chunks_exact` hands the
+/// optimizer a constant-trip inner loop it can keep in registers. Lanes
+/// are *elementwise over the frequency axis* — lane `l` owns subcarrier
+/// `base + l` exclusively and nothing is ever summed across lanes — so the
+/// results are bitwise identical to the scalar loop at any lane width.
+/// That no-cross-lane-reduction contract is what press-lint's
+/// `kernel-reduction` rule pins down (see DESIGN.md).
+const LANES: usize = 4;
+
+/// `acc[k] += (col_re[k], col_im[k])` — the verbatim static-path add, from
+/// split planes into an interleaved accumulator.
+#[inline]
+fn lanes_add(acc: &mut [Complex64], col_re: &[f64], col_im: &[f64]) {
+    let mut a = acc.chunks_exact_mut(LANES);
+    let mut cr = col_re.chunks_exact(LANES);
+    let mut ci = col_im.chunks_exact(LANES);
+    for ((a, cr), ci) in (&mut a).zip(&mut cr).zip(&mut ci) {
+        for l in 0..LANES {
+            a[l].re += cr[l];
+            a[l].im += ci[l];
+        }
+    }
+    for (a, (&re, &im)) in a
+        .into_remainder()
+        .iter_mut()
+        .zip(cr.remainder().iter().zip(ci.remainder()))
+    {
+        a.re += re;
+        a.im += im;
+    }
+}
+
+/// `acc[k] -= (col_re[k], col_im[k])` — the incremental-move subtract.
+#[inline]
+fn lanes_sub(acc: &mut [Complex64], col_re: &[f64], col_im: &[f64]) {
+    let mut a = acc.chunks_exact_mut(LANES);
+    let mut cr = col_re.chunks_exact(LANES);
+    let mut ci = col_im.chunks_exact(LANES);
+    for ((a, cr), ci) in (&mut a).zip(&mut cr).zip(&mut ci) {
+        for l in 0..LANES {
+            a[l].re -= cr[l];
+            a[l].im -= ci[l];
+        }
+    }
+    for (a, (&re, &im)) in a
+        .into_remainder()
+        .iter_mut()
+        .zip(cr.remainder().iter().zip(ci.remainder()))
+    {
+        a.re -= re;
+        a.im -= im;
+    }
+}
+
+/// `acc[k] += (col_re[k], col_im[k]) · rot` — the Doppler-rotated complex
+/// multiply-accumulate, written out as the same four multiplies and two
+/// adds `Complex64::mul` performs so the result is bit-identical to the
+/// interleaved `*a += c * rot`.
+#[inline]
+fn lanes_mac(acc: &mut [Complex64], col_re: &[f64], col_im: &[f64], rot: Complex64) {
+    let mut a = acc.chunks_exact_mut(LANES);
+    let mut cr = col_re.chunks_exact(LANES);
+    let mut ci = col_im.chunks_exact(LANES);
+    for ((a, cr), ci) in (&mut a).zip(&mut cr).zip(&mut ci) {
+        for l in 0..LANES {
+            let pr = cr[l] * rot.re - ci[l] * rot.im;
+            let pi = cr[l] * rot.im + ci[l] * rot.re;
+            a[l].re += pr;
+            a[l].im += pi;
+        }
+    }
+    for (a, (&re, &im)) in a
+        .into_remainder()
+        .iter_mut()
+        .zip(cr.remainder().iter().zip(ci.remainder()))
+    {
+        let pr = re * rot.re - im * rot.im;
+        let pi = re * rot.im + im * rot.re;
+        a.re += pr;
+        a.im += pi;
+    }
+}
+
+/// Adds one split-plane column into an interleaved accumulator, rotated to
+/// time `t_s` by the path's Doppler — [`add_rotated`]'s twin over the SoA
+/// column layout, with the same exact-zero fast path.
+#[inline]
+fn add_rotated_split(
+    acc: &mut [Complex64],
+    col_re: &[f64],
+    col_im: &[f64],
+    doppler_hz: f64,
+    t_s: f64,
+    subtract: bool,
+) {
+    // Exact zeros select the add-verbatim fast path; see add_rotated.
+    // press-lint: allow(float-ordering)
+    if doppler_hz == 0.0 || t_s == 0.0 {
+        if subtract {
+            lanes_sub(acc, col_re, col_im);
+        } else {
+            lanes_add(acc, col_re, col_im);
+        }
+    } else {
+        let rot = Complex64::cis(TAU * doppler_hz * t_s);
+        let rot = if subtract { -rot } else { rot };
+        lanes_mac(acc, col_re, col_im, rot);
+    }
+}
+
+/// `dst[k] = base[k] + (col_re[k], col_im[k])` — the fused seed-plus-add
+/// the batch prefix stack uses to extend a shared partial row into the
+/// next one. One pass instead of copy-then-add, and the single `+` per
+/// component is the same operation the in-place [`lanes_add`] performs, so
+/// the bits match.
+#[inline]
+fn lanes_sum(dst: &mut [Complex64], base: &[Complex64], col_re: &[f64], col_im: &[f64]) {
+    let mut d = dst.chunks_exact_mut(LANES);
+    let mut b = base.chunks_exact(LANES);
+    let mut cr = col_re.chunks_exact(LANES);
+    let mut ci = col_im.chunks_exact(LANES);
+    for (((d, b), cr), ci) in (&mut d).zip(&mut b).zip(&mut cr).zip(&mut ci) {
+        for l in 0..LANES {
+            d[l].re = b[l].re + cr[l];
+            d[l].im = b[l].im + ci[l];
+        }
+    }
+    for ((d, b), (&re, &im)) in d
+        .into_remainder()
+        .iter_mut()
+        .zip(b.remainder())
+        .zip(cr.remainder().iter().zip(ci.remainder()))
+    {
+        d.re = b.re + re;
+        d.im = b.im + im;
+    }
+}
+
+/// `dst[k] = base[k] + (col_re[k], col_im[k])·rot` — the rotated twin of
+/// [`lanes_sum`], with [`lanes_mac`]'s exact 4-mult/2-add product order.
+#[inline]
+fn lanes_sum_mac(
+    dst: &mut [Complex64],
+    base: &[Complex64],
+    col_re: &[f64],
+    col_im: &[f64],
+    rot: Complex64,
+) {
+    let mut d = dst.chunks_exact_mut(LANES);
+    let mut b = base.chunks_exact(LANES);
+    let mut cr = col_re.chunks_exact(LANES);
+    let mut ci = col_im.chunks_exact(LANES);
+    for (((d, b), cr), ci) in (&mut d).zip(&mut b).zip(&mut cr).zip(&mut ci) {
+        for l in 0..LANES {
+            let pr = cr[l] * rot.re - ci[l] * rot.im;
+            let pi = cr[l] * rot.im + ci[l] * rot.re;
+            d[l].re = b[l].re + pr;
+            d[l].im = b[l].im + pi;
+        }
+    }
+    for ((d, b), (&re, &im)) in d
+        .into_remainder()
+        .iter_mut()
+        .zip(b.remainder())
+        .zip(cr.remainder().iter().zip(ci.remainder()))
+    {
+        let pr = re * rot.re - im * rot.im;
+        let pi = re * rot.im + im * rot.re;
+        d.re = b.re + pr;
+        d.im = b.im + pi;
+    }
+}
+
+/// Writes `base + column·rot(t_s)` into `dst` without touching `base` —
+/// the batch prefix-stack step, with [`add_rotated`]'s exact-zero fast
+/// path.
+#[inline]
+fn write_rotated_split(
+    dst: &mut [Complex64],
+    base: &[Complex64],
+    col_re: &[f64],
+    col_im: &[f64],
+    doppler_hz: f64,
+    t_s: f64,
+) {
+    // Exact zeros select the add-verbatim fast path; see add_rotated.
+    // press-lint: allow(float-ordering)
+    if doppler_hz == 0.0 || t_s == 0.0 {
+        lanes_sum(dst, base, col_re, col_im);
+    } else {
+        let rot = Complex64::cis(TAU * doppler_hz * t_s);
+        lanes_sum_mac(dst, base, col_re, col_im, rot);
+    }
+}
+
 impl LinkBasis {
     /// Builds the basis for a link over an explicit frequency grid.
     ///
@@ -103,6 +326,13 @@ impl LinkBasis {
     /// trace per (element, state) plus `O((L + ΣMᵢ)·K)` `cis()` calls —
     /// paid once, then amortized over every configuration evaluated.
     pub fn build(system: &PressSystem, link: &CachedLink, freqs_hz: &[f64]) -> Self {
+        LinkBasis::build_owned(system, link, freqs_hz.to_vec())
+    }
+
+    /// As [`build`](Self::build), taking ownership of the grid — the
+    /// [`rebuild`](Self::rebuild) path hands its existing allocation back
+    /// instead of cloning it.
+    pub fn build_owned(system: &PressSystem, link: &CachedLink, freqs_hz: Vec<f64>) -> Self {
         let space = system.array.config_space_passive_only();
         let n_k = freqs_hz.len();
         let mut state_offsets = Vec::with_capacity(space.n_elements());
@@ -111,7 +341,8 @@ impl LinkBasis {
             state_offsets.push(n_cols);
             n_cols += m;
         }
-        let mut columns = vec![Complex64::ZERO; n_cols * n_k];
+        let mut col_re = vec![0.0; n_cols * n_k];
+        let mut col_im = vec![0.0; n_cols * n_k];
         let mut col_doppler = vec![0.0; n_cols];
         let mut col_present = vec![false; n_cols];
         for (i, &m) in space.states_per_element.iter().enumerate() {
@@ -122,18 +353,24 @@ impl LinkBasis {
                         .element_path(&system.scene, &link.tx, &link.rx, i, s)
                 {
                     let col = state_offsets[i] + s;
-                    fill_column(&mut columns[col * n_k..(col + 1) * n_k], &path, freqs_hz);
+                    fill_column(
+                        &mut col_re[col * n_k..(col + 1) * n_k],
+                        &mut col_im[col * n_k..(col + 1) * n_k],
+                        &path,
+                        &freqs_hz,
+                    );
                     col_doppler[col] = path.doppler_hz;
                     col_present[col] = true;
                 }
             }
         }
-        let (env_static, env_doppler) = build_environment(&link.environment, freqs_hz);
+        let (env_static, env_doppler) = build_environment(&link.environment, &freqs_hz);
         LinkBasis {
-            freqs_hz: freqs_hz.to_vec(),
+            freqs_hz,
             env_static,
             env_doppler,
-            columns,
+            col_re,
+            col_im,
             col_doppler,
             col_present,
             state_offsets,
@@ -153,7 +390,7 @@ impl LinkBasis {
     /// Needed after the system itself changes — elements re-programmed,
     /// repositioned, endpoints moved.
     pub fn rebuild(&mut self, system: &PressSystem, link: &CachedLink) {
-        *self = LinkBasis::build(system, link, &self.freqs_hz.clone());
+        *self = LinkBasis::build_owned(system, link, std::mem::take(&mut self.freqs_hz));
     }
 
     /// Re-derives only the environment response from the link's (drifted)
@@ -205,17 +442,25 @@ impl LinkBasis {
         self.n_k
     }
 
-    /// The cached t=0 contribution of one (element, state), or `None` when
-    /// that state contributes no path (absorber, below trace floor, element
-    /// disabled). Feeds the inverse-problem dictionary.
-    pub fn column(&self, element: usize, state: usize) -> Option<&[Complex64]> {
+    /// The cached t=0 contribution of one (element, state), interleaved
+    /// from the split planes into a fresh buffer, or `None` when that
+    /// state contributes no path (absorber, below trace floor, element
+    /// disabled). Cold path — feeds the inverse-problem dictionary build.
+    pub fn column(&self, element: usize, state: usize) -> Option<Vec<Complex64>> {
         assert!(
             state < self.space.states_per_element[element],
             "state out of range"
         );
         let col = self.state_offsets[element] + state;
         if self.col_present[col] {
-            Some(&self.columns[col * self.n_k..(col + 1) * self.n_k])
+            let r = col * self.n_k..(col + 1) * self.n_k;
+            Some(
+                self.col_re[r.clone()]
+                    .iter()
+                    .zip(&self.col_im[r])
+                    .map(|(&re, &im)| Complex64::new(re, im))
+                    .collect(),
+            )
         } else {
             None
         }
@@ -246,9 +491,11 @@ impl LinkBasis {
             assert!(s < self.space.states_per_element[i], "state out of range");
             let col = self.state_offsets[i] + s;
             if self.col_present[col] {
-                add_rotated(
+                let r = col * self.n_k..(col + 1) * self.n_k;
+                add_rotated_split(
                     out,
-                    &self.columns[col * self.n_k..(col + 1) * self.n_k],
+                    &self.col_re[r.clone()],
+                    &self.col_im[r],
                     self.col_doppler[col],
                     t_s,
                     false,
@@ -288,9 +535,11 @@ impl LinkBasis {
             assert!(s < self.space.states_per_element[i], "state out of range");
             let col = self.state_offsets[i] + s;
             if self.col_present[col] {
-                add_rotated(
+                let r = col * self.n_k..(col + 1) * self.n_k;
+                add_rotated_split(
                     out,
-                    &self.columns[col * self.n_k..(col + 1) * self.n_k],
+                    &self.col_re[r.clone()],
+                    &self.col_im[r],
                     self.col_doppler[col],
                     t_s,
                     false,
@@ -302,7 +551,7 @@ impl LinkBasis {
     /// Allocating convenience wrapper over
     /// [`synthesize_into`](Self::synthesize_into).
     pub fn synthesize(&self, config: &Configuration, t_s: f64) -> Vec<Complex64> {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.n_k);
         self.synthesize_into(config, t_s, &mut out);
         out
     }
@@ -326,18 +575,22 @@ impl LinkBasis {
         let old_col = self.state_offsets[element] + old_state;
         let new_col = self.state_offsets[element] + new_state;
         if self.col_present[old_col] {
-            add_rotated(
+            let r = old_col * self.n_k..(old_col + 1) * self.n_k;
+            add_rotated_split(
                 h,
-                &self.columns[old_col * self.n_k..(old_col + 1) * self.n_k],
+                &self.col_re[r.clone()],
+                &self.col_im[r],
                 self.col_doppler[old_col],
                 t_s,
                 true,
             );
         }
         if self.col_present[new_col] {
-            add_rotated(
+            let r = new_col * self.n_k..(new_col + 1) * self.n_k;
+            add_rotated_split(
                 h,
-                &self.columns[new_col * self.n_k..(new_col + 1) * self.n_k],
+                &self.col_re[r.clone()],
+                &self.col_im[r],
                 self.col_doppler[new_col],
                 t_s,
                 false,
@@ -346,10 +599,13 @@ impl LinkBasis {
     }
 }
 
-/// Fills `out` with one path's t=0 response over the grid.
-fn fill_column(out: &mut [Complex64], path: &SignalPath, freqs_hz: &[f64]) {
-    for (o, &f) in out.iter_mut().zip(freqs_hz) {
-        *o = path.response_at(f, 0.0);
+/// Fills one column's split planes with a path's t=0 response over the
+/// grid.
+fn fill_column(out_re: &mut [f64], out_im: &mut [f64], path: &SignalPath, freqs_hz: &[f64]) {
+    for ((re, im), &f) in out_re.iter_mut().zip(out_im.iter_mut()).zip(freqs_hz) {
+        let r = path.response_at(f, 0.0);
+        *re = r.re;
+        *im = r.im;
     }
 }
 
@@ -546,6 +802,256 @@ impl AsStates for Option<Configuration> {
     }
 }
 
+/// Scores a whole batch of candidate configurations through a shared
+/// prefix stack — the throughput path behind batched exhaustive sweeps
+/// and genetic generations.
+///
+/// Candidates are visited in lexicographic state order, and the evaluator
+/// keeps one partial row per element depth: row `d` holds `env +
+/// col(0, s₀) + … + col(d-1, s_{d-1})` for the prefix currently on the
+/// stack. Consecutive candidates in sorted order share their longest
+/// common prefix, so each shared prefix row is computed exactly once and
+/// only the `N - prefix` differing columns are re-accumulated per
+/// candidate; exact duplicates reuse the previous score outright. A batch
+/// drawn from a contiguous exhaustive sweep re-accumulates ~`M/(M-1)`
+/// columns per candidate instead of `N`.
+///
+/// Each candidate's value is still built by exactly the scalar chain —
+/// environment first, then elements `0..N` in order, with the same
+/// fused-add bit pattern — and the lane kernels have no cross-lane
+/// reduction, so every score is **bitwise identical** to scoring that
+/// candidate alone through [`LinkBasis::synthesize_into`] (enforced by
+/// unit test and proptest). The only observable difference is the order
+/// (and, for duplicates, the count) of metric invocations, so the metric
+/// must be a pure function of the channel it is handed.
+///
+/// All buffers are owned by the evaluator and reused across calls: after
+/// the first batch of a given shape, scoring allocates nothing.
+#[derive(Debug)]
+pub struct BatchEvaluator<'a> {
+    basis: &'a LinkBasis,
+    env: Vec<Complex64>,
+    /// `(N + 1) × K` interleaved rows; row `d` is the depth-`d` prefix sum.
+    partials: Vec<Complex64>,
+    /// Candidate visit order (indices into the batch), lexicographic —
+    /// only populated on the wide-space fallback path.
+    order: Vec<u32>,
+    /// Sorted `(packed states << 32) | batch index` keys when a candidate
+    /// packs into 32 bits; one `u64` sort then drives both the visit order
+    /// and the common-prefix computation (by XOR of adjacent keys) without
+    /// ever touching the state slices again.
+    keys: Vec<u64>,
+    /// Counting-sort bucket offsets over the packed-state domain.
+    counts: Vec<u32>,
+    /// Counting-sort scatter target, swapped with `keys`.
+    sorted: Vec<u64>,
+}
+
+impl<'a> BatchEvaluator<'a> {
+    /// A batch evaluator over one basis. Buffers grow to the largest batch
+    /// scored and are reused from then on.
+    pub fn new(basis: &'a LinkBasis) -> Self {
+        BatchEvaluator {
+            basis,
+            env: Vec::with_capacity(basis.n_subcarriers()),
+            partials: Vec::new(),
+            order: Vec::new(),
+            keys: Vec::new(),
+            counts: Vec::new(),
+            sorted: Vec::new(),
+        }
+    }
+
+    /// Bits per element state when packing a whole candidate into the high
+    /// 32 bits of a combined sort key, or `None` when the space is too wide
+    /// and sorting must fall back to slice comparison.
+    fn pack_bits(&self) -> Option<u32> {
+        let bits = self
+            .basis
+            .space
+            .states_per_element
+            .iter()
+            .map(|&m| (usize::BITS - m.saturating_sub(1).leading_zeros()).max(1))
+            .max()
+            .unwrap_or(1);
+        (bits as usize * self.basis.space.n_elements() <= 32).then_some(bits)
+    }
+
+    /// Synthesizes every candidate's channel at elapsed time `t_s` and
+    /// writes `metric(H_c)` per candidate to `out` (cleared first; output
+    /// order matches `configs` order). Metric invocation order follows the
+    /// internal lexicographic visit order, and duplicate configurations
+    /// share one invocation.
+    pub fn scores_into<F>(
+        &mut self,
+        configs: &[Configuration],
+        t_s: f64,
+        metric: &mut F,
+        out: &mut Vec<f64>,
+    ) where
+        F: FnMut(&[Complex64]) -> f64,
+    {
+        out.clear();
+        if configs.is_empty() {
+            return;
+        }
+        let k = self.basis.n_k;
+        let n = self.basis.space.n_elements();
+        assert!(configs.len() <= u32::MAX as usize, "batch too large");
+        let pack_bits = self.pack_bits();
+        match pack_bits {
+            Some(bits) => {
+                // Validation rides along with key packing: one walk over
+                // each candidate's states builds the combined key.
+                self.keys.clear();
+                self.keys.extend(configs.iter().enumerate().map(|(i, c)| {
+                    assert_eq!(c.len(), n, "configuration/basis size mismatch");
+                    let packed = c
+                        .states
+                        .iter()
+                        .zip(&self.basis.space.states_per_element)
+                        .fold(0u64, |key, (&s, &m)| {
+                            assert!(s < m, "state out of range");
+                            (key << bits) | s as u64
+                        });
+                    (packed << 32) | i as u64
+                }));
+                let total_bits = bits as usize * n;
+                if total_bits <= 13 && (1usize << total_bits) <= 4 * self.keys.len() {
+                    // Dense enough for a counting sort over the packed-state
+                    // domain: the batch is re-sorted on every call, so the
+                    // O(K + 2^bits) stable scatter beats the comparison sort
+                    // on the hot sweep shapes. Stability keeps ties in batch
+                    // order — the same total order `sort_unstable` produces,
+                    // since the low index bits make every key distinct.
+                    self.counts.clear();
+                    self.counts.resize(1usize << total_bits, 0);
+                    for &key in &self.keys {
+                        self.counts[(key >> 32) as usize] += 1;
+                    }
+                    let mut run = 0u32;
+                    for c in &mut self.counts {
+                        run += std::mem::replace(c, run);
+                    }
+                    self.sorted.clear();
+                    self.sorted.resize(self.keys.len(), 0);
+                    for &key in &self.keys {
+                        let bucket = (key >> 32) as usize;
+                        self.sorted[self.counts[bucket] as usize] = key;
+                        self.counts[bucket] += 1;
+                    }
+                    std::mem::swap(&mut self.keys, &mut self.sorted);
+                } else {
+                    self.keys.sort_unstable();
+                }
+            }
+            None => {
+                for config in configs {
+                    assert_eq!(config.len(), n, "configuration/basis size mismatch");
+                    for (i, &s) in config.states.iter().enumerate() {
+                        assert!(
+                            s < self.basis.space.states_per_element[i],
+                            "state out of range"
+                        );
+                    }
+                }
+                self.order.clear();
+                self.order.extend(0..configs.len() as u32);
+                self.order.sort_unstable_by(|&a, &b| {
+                    configs[a as usize]
+                        .states
+                        .cmp(&configs[b as usize].states)
+                        .then(a.cmp(&b))
+                });
+            }
+        }
+        // Row 0 of the prefix stack is the shared environment response.
+        self.basis.environment_into(t_s, &mut self.env);
+        self.partials.resize((n + 1) * k, Complex64::new(0.0, 0.0));
+        self.partials[..k].copy_from_slice(&self.env);
+        out.resize(configs.len(), 0.0);
+        let mut prev_states: Option<&[usize]> = None;
+        let mut last = 0.0f64;
+        for j in 0..configs.len() {
+            // Batch index of the j-th candidate in visit order, and the
+            // length of the prefix it shares with its predecessor — from
+            // one XOR on adjacent keys (the highest differing bit locates
+            // the first differing element), or a state-slice walk on the
+            // wide-space fallback path.
+            let (oi, cp) = match pack_bits {
+                Some(bits) => {
+                    let key = self.keys[j];
+                    let oi = (key & 0xFFFF_FFFF) as usize;
+                    let cp = if j == 0 {
+                        0
+                    } else {
+                        let xor = (self.keys[j - 1] ^ key) >> 32;
+                        if xor == 0 {
+                            n
+                        } else {
+                            n - 1 - ((63 - xor.leading_zeros()) / bits) as usize
+                        }
+                    };
+                    (oi, cp)
+                }
+                None => {
+                    let oi = self.order[j] as usize;
+                    let cp = match prev_states {
+                        Some(prev) => prev
+                            .iter()
+                            .zip(&configs[oi].states)
+                            .take_while(|(a, b)| a == b)
+                            .count(),
+                        None => 0,
+                    };
+                    (oi, cp)
+                }
+            };
+            if cp == n {
+                // Exact duplicate of the previous candidate.
+                out[oi] = last;
+                continue;
+            }
+            let states = configs[oi].states.as_slice();
+            // Rebuild only the rows below the shared prefix, in scalar
+            // accumulation order.
+            for d in cp..n {
+                let (lo, hi) = self.partials.split_at_mut((d + 1) * k);
+                let base = &lo[d * k..];
+                let dst = &mut hi[..k];
+                let col = self.basis.state_offsets[d] + states[d];
+                if self.basis.col_present[col] {
+                    let r = col * k..(col + 1) * k;
+                    write_rotated_split(
+                        dst,
+                        base,
+                        &self.basis.col_re[r.clone()],
+                        &self.basis.col_im[r],
+                        self.basis.col_doppler[col],
+                        t_s,
+                    );
+                } else {
+                    dst.copy_from_slice(base);
+                }
+            }
+            last = metric(&self.partials[n * k..(n + 1) * k]);
+            out[oi] = last;
+            prev_states = Some(states);
+        }
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`scores_into`](Self::scores_into).
+    pub fn scores<F>(&mut self, configs: &[Configuration], t_s: f64, metric: &mut F) -> Vec<f64>
+    where
+        F: FnMut(&[Complex64]) -> f64,
+    {
+        let mut out = Vec::with_capacity(configs.len());
+        self.scores_into(configs, t_s, metric, &mut out);
+        out
+    }
+}
+
 /// A reusable, allocation-free metric turning a synthesized channel into a
 /// [`LinkObjective`] score — the basis-side equivalent of
 /// `objective.score(&sounder.oracle_snr(&paths, t))`.
@@ -559,11 +1065,26 @@ pub fn snr_metric(params: SnrParams, objective: LinkObjective) -> impl FnMut(&[C
 
 /// Worst-subcarrier channel magnitude, dB — the raw link-quality metric the
 /// large-space search ablations use when no link budget is in play.
+///
+/// Selects the worst subcarrier by squared magnitude — `sqrt` and `log10`
+/// are monotone, so the minimum in `|H|²` is the minimum in dB — and pays
+/// the `hypot`/`log10` pair once per call instead of once per subcarrier.
 pub fn min_magnitude_db_metric() -> impl FnMut(&[Complex64]) -> f64 {
     |h: &[Complex64]| {
-        h.iter()
-            .map(|hk| 20.0 * hk.abs().max(1e-30).log10())
-            .fold(f64::INFINITY, f64::min)
+        let mut min_ns = f64::INFINITY;
+        let mut min_hk = None;
+        for &hk in h {
+            let ns = hk.norm_sqr();
+            // press-lint: allow(float-ordering)
+            if ns < min_ns {
+                min_ns = ns;
+                min_hk = Some(hk);
+            }
+        }
+        match min_hk {
+            Some(hk) => 20.0 * hk.abs().max(1e-30).log10(),
+            None => f64::INFINITY,
+        }
     }
 }
 
@@ -761,6 +1282,114 @@ mod tests {
             let fast = metric(&basis.synthesize(&cfg, 0.0));
             assert_eq!(direct, fast);
         }
+    }
+
+    #[test]
+    fn batch_scores_match_scalar_bitwise_across_batch_sizes() {
+        let (system, link, freqs) = setup();
+        let basis = LinkBasis::build(&system, &link, &freqs);
+        let all: Vec<Configuration> = basis.space().clone().iter().collect();
+        // Scalar reference: per-candidate synthesize_into + metric.
+        let mut metric = min_magnitude_db_metric();
+        let mut h = Vec::new();
+        let reference: Vec<f64> = all
+            .iter()
+            .map(|c| {
+                basis.synthesize_into(c, 0.0, &mut h);
+                metric(&h)
+            })
+            .collect();
+        let mut batch = BatchEvaluator::new(&basis);
+        for chunk_len in [1usize, 3, 7, 64] {
+            let mut got = Vec::new();
+            let mut scores = Vec::new();
+            for chunk in all.chunks(chunk_len) {
+                batch.scores_into(chunk, 0.0, &mut min_magnitude_db_metric(), &mut scores);
+                got.extend_from_slice(&scores);
+            }
+            assert_eq!(got, reference, "chunk_len {chunk_len}");
+        }
+    }
+
+    #[test]
+    fn batch_scores_match_scalar_bitwise_under_doppler() {
+        let (system, mut link, freqs) = setup();
+        for (i, p) in link.environment.iter_mut().enumerate() {
+            p.doppler_hz = 2.0 + i as f64;
+        }
+        link.mark_dirty();
+        let basis = LinkBasis::build(&system, &link, &freqs);
+        let all: Vec<Configuration> = basis.space().clone().iter().collect();
+        let t = 0.41;
+        let mut metric = min_magnitude_db_metric();
+        let mut h = Vec::new();
+        let reference: Vec<f64> = all
+            .iter()
+            .map(|c| {
+                basis.synthesize_into(c, t, &mut h);
+                metric(&h)
+            })
+            .collect();
+        let mut batch = BatchEvaluator::new(&basis);
+        let got = batch.scores(&all, t, &mut min_magnitude_db_metric());
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn batch_channels_match_scalar_channels_bitwise() {
+        // Down to the synthesized channel itself, not just the score: feed
+        // a metric that captures every H it sees. Invocation order is the
+        // evaluator's internal (lexicographic) order, so match channels by
+        // content rather than position.
+        let (system, link, freqs) = setup();
+        let basis = LinkBasis::build(&system, &link, &freqs);
+        let configs: Vec<Configuration> = (0..64)
+            .step_by(5)
+            .map(|i| basis.space().config_at(i))
+            .collect();
+        let mut captured: Vec<Vec<Complex64>> = Vec::new();
+        let mut batch = BatchEvaluator::new(&basis);
+        let mut capture = |h: &[Complex64]| {
+            captured.push(h.to_vec());
+            0.0
+        };
+        batch.scores(&configs, 0.0, &mut capture);
+        assert_eq!(captured.len(), configs.len(), "distinct configs, no dedup");
+        for c in &configs {
+            let want = basis.synthesize(c, 0.0);
+            assert!(
+                captured.contains(&want),
+                "missing channel for config {:?}",
+                c.states
+            );
+        }
+    }
+
+    #[test]
+    fn batch_dedups_exact_duplicates_and_scores_them_identically() {
+        let (system, link, freqs) = setup();
+        let basis = LinkBasis::build(&system, &link, &freqs);
+        let a = basis.space().config_at(17);
+        let b = basis.space().config_at(42);
+        let configs = vec![a.clone(), b.clone(), a.clone(), a.clone(), b.clone()];
+        let mut calls = 0usize;
+        let mut metric = min_magnitude_db_metric();
+        let mut batch = BatchEvaluator::new(&basis);
+        let mut counting = |h: &[Complex64]| {
+            calls += 1;
+            metric(h)
+        };
+        let got = batch.scores(&configs, 0.0, &mut counting);
+        assert_eq!(calls, 2, "two distinct configs → two metric calls");
+        assert_eq!(got[0], got[2]);
+        assert_eq!(got[0], got[3]);
+        assert_eq!(got[1], got[4]);
+        let mut scalar_metric = min_magnitude_db_metric();
+        let mut h = Vec::new();
+        basis.synthesize_into(&a, 0.0, &mut h);
+        assert_eq!(got[0], scalar_metric(&h));
+        basis.synthesize_into(&b, 0.0, &mut h);
+        assert_eq!(got[1], scalar_metric(&h));
     }
 
     #[test]

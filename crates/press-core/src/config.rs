@@ -153,6 +153,21 @@ impl ConfigSpace {
         Configuration { states }
     }
 
+    /// As [`config_at`](Self::config_at), writing into a caller-owned
+    /// configuration instead of allocating — the enumeration step of the
+    /// allocation-free search loops.
+    ///
+    /// Panics when out of range.
+    pub fn config_at_into(&self, mut index: usize, out: &mut Configuration) {
+        assert!(index < self.size(), "index {index} out of space");
+        out.states.clear();
+        out.states.extend(self.states_per_element.iter().map(|&m| {
+            let s = index % m;
+            index /= m;
+            s
+        }));
+    }
+
     /// Converts a configuration back to its dense index.
     ///
     /// Panics on length mismatch or out-of-range state.
@@ -180,6 +195,15 @@ impl ConfigSpace {
                 .map(|&m| rng.gen_range(0..m))
                 .collect(),
         }
+    }
+
+    /// As [`random`](Self::random), writing into a caller-owned
+    /// configuration. Draws from the RNG in exactly [`random`](Self::random)'s order, so
+    /// the two are interchangeable without perturbing a seeded stream.
+    pub fn random_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut Configuration) {
+        out.states.clear();
+        out.states
+            .extend(self.states_per_element.iter().map(|&m| rng.gen_range(0..m)));
     }
 
     /// All Hamming-distance-1 neighbors of a configuration.
@@ -243,6 +267,16 @@ mod tests {
     }
 
     #[test]
+    fn config_at_into_matches_config_at() {
+        let space = ConfigSpace::new(vec![2, 3, 5]);
+        let mut buf = Configuration::zeros(0);
+        for i in 0..space.size() {
+            space.config_at_into(i, &mut buf);
+            assert_eq!(buf, space.config_at(i));
+        }
+    }
+
+    #[test]
     fn iter_visits_every_config_once() {
         let space = paper_space();
         let all: Vec<Configuration> = space.iter().collect();
@@ -274,6 +308,19 @@ mod tests {
             let cb = space.random(&mut b);
             assert_eq!(ca, cb);
             assert!(space.contains(&ca));
+        }
+    }
+
+    #[test]
+    fn random_into_matches_random_stream() {
+        let space = paper_space();
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        let mut buf = Configuration::zeros(0);
+        for _ in 0..10 {
+            let ca = space.random(&mut a);
+            space.random_into(&mut b, &mut buf);
+            assert_eq!(ca, buf);
         }
     }
 

@@ -157,7 +157,7 @@ impl PressDictionary {
             .map(|i| {
                 (0..space.states_per_element[i])
                     .map(|s| match basis.column(i, s) {
-                        Some(col) => col.to_vec(),
+                        Some(col) => col,
                         None => vec![Complex64::ZERO; basis.n_subcarriers()],
                     })
                     .collect()

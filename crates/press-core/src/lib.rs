@@ -13,9 +13,11 @@
 //! * [`objective`] — the §1 applications as scalar objectives (link
 //!   enhancement, MIMO conditioning, harmonization, partitioning);
 //! * [`search`] — exhaustive / greedy / hill-climb / annealing / genetic
-//!   navigation of the configuration space (§4.2), serial and parallel;
+//!   navigation of the configuration space (§4.2), serial, parallel and
+//!   batched, with allocation-free scratch-arena inner loops;
 //! * [`basis`] — the basis-cached O(N·K) configuration-evaluation fast
-//!   path with incremental single-move updates;
+//!   path with incremental single-move updates and a structure-of-arrays
+//!   batch kernel scoring whole candidate batches in one column pass;
 //! * [`inverse`] — the §2 inverse problem: path extraction from CSI and
 //!   dictionary-based configuration synthesis;
 //! * [`controller`] — the closed measurement → search → actuate loop under
@@ -51,7 +53,7 @@ pub use alignment::{mean_alignment, nulling_filter, post_nulling_sinr_db};
 pub use analysis::{headline_stats, HeadlineStats, NULL_THRESHOLD_DB};
 pub use array::{PlacedElement, PressArray};
 pub use bandit::UcbController;
-pub use basis::{min_magnitude_db_metric, snr_metric, BasisEvaluator, LinkBasis};
+pub use basis::{min_magnitude_db_metric, snr_metric, BasisEvaluator, BatchEvaluator, LinkBasis};
 pub use config::{ConfigSpace, Configuration};
 pub use controller::{
     ActuationMode, ControlReport, Controller, DesActuation, LinkReport, PostMortem, SpaceReport,
@@ -67,7 +69,11 @@ pub use measurement::{
 };
 pub use objective::{harmonization_score, mimo_conditioning_score, partition_score, LinkObjective};
 pub use placement::{greedy_placement, random_placement_baseline, PlacementResult};
-pub use search::{hierarchical_groups, GeneticParams, SearchResult, SearchStep};
-pub use space::{link_stream_seed, LinkId, SmartSpace, SpaceLink};
+pub use search::{
+    exhaustive_batched, exhaustive_parallel_batched, genetic_batched, hierarchical_groups,
+    hierarchical_groups_scratch, simulated_annealing_scratch, GeneticParams, SearchResult,
+    SearchScratch, SearchStep,
+};
+pub use space::{link_stream_seed, LinkId, SmartSpace, SpaceBatchScorer, SpaceLink};
 pub use system::{CachedLink, PressSystem};
 pub use tracking::{track_mobile_client, LinearPatrol, TrackingConfig, TrackingReport};

@@ -32,6 +32,50 @@ pub fn derive_stream_seed(seed: u64, a: u64, b: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Caller-owned scratch arena for the search inner loops.
+///
+/// The annealing, hierarchical and genetic strategies used to clone
+/// configurations (and, for genetic, rebuild population vectors) inside
+/// their hot loops. The `*_scratch` variants thread this arena through
+/// instead: buffers grow on first use and are reused from then on, so a
+/// warm loop performs no allocation per iteration. The plain entry points
+/// construct a temporary arena and stay bit-identical per seed — the
+/// scratch rework only changes *where* bytes live, never which values are
+/// computed or in what order the RNG is consumed.
+#[derive(Debug)]
+pub struct SearchScratch {
+    /// Proposal / child configuration buffer.
+    candidate: Configuration,
+    /// Current-point / sub-space configuration buffer.
+    current: Configuration,
+    /// Best-so-far configuration buffer.
+    best: Configuration,
+    /// Batch of configurations (genetic children, exhaustive chunks).
+    batch: Vec<Configuration>,
+    /// Batch scores, parallel to `batch`.
+    scores: Vec<f64>,
+}
+
+impl SearchScratch {
+    /// An empty arena; buffers grow to the search's working-set size on
+    /// first use.
+    pub fn new() -> Self {
+        SearchScratch {
+            candidate: Configuration::zeros(0),
+            current: Configuration::zeros(0),
+            best: Configuration::zeros(0),
+            batch: Vec::new(),
+            scores: Vec::new(),
+        }
+    }
+}
+
+impl Default for SearchScratch {
+    fn default() -> Self {
+        SearchScratch::new()
+    }
+}
+
 /// Result of a configuration search.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SearchResult {
@@ -133,6 +177,137 @@ where
                             local = Some((j, s));
                         }
                         j += n_threads;
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut best: Option<(usize, f64)> = None;
+        for h in handles {
+            if let Some((idx, s)) = h.join().expect("search worker panicked") {
+                let better = match best {
+                    None => true,
+                    Some((bi, bs)) => s > bs || (s == bs && idx < bi),
+                };
+                if better {
+                    best = Some((idx, s));
+                }
+            }
+        }
+        best
+    })
+    .expect("search scope");
+    let (idx, score) = best.expect("configuration space is never empty");
+    SearchResult {
+        best: space.config_at(idx),
+        score,
+        evaluations: size,
+    }
+}
+
+/// Exhaustive sweep scored in contiguous batches of `batch` dense indices
+/// — the shape [`crate::basis::BatchEvaluator`] exploits through its
+/// shared-prefix stack (bigger batches mean longer shared prefixes, and
+/// evaluator scratch is independent of batch size, so prefer sweep-sized
+/// batches). Ties break toward the lowest dense index, exactly like
+/// [`exhaustive`], so with a batch scorer whose scores equal the scalar
+/// evaluator's bitwise (the `BatchEvaluator` contract) the result is
+/// bit-identical to the serial sweep.
+///
+/// The batch scorer receives a slice of configurations and must leave one
+/// score per configuration in its output vector (clearing it first), in
+/// input order.
+pub fn exhaustive_batched<B>(
+    space: &ConfigSpace,
+    batch: usize,
+    scratch: &mut SearchScratch,
+    score_batch: &mut B,
+) -> SearchResult
+where
+    B: FnMut(&[Configuration], &mut Vec<f64>),
+{
+    assert!(batch > 0, "batch must be positive");
+    let size = space.size();
+    let mut best: Option<(usize, f64)> = None;
+    let mut start = 0usize;
+    while start < size {
+        let end = (start + batch).min(size);
+        let n = end - start;
+        while scratch.batch.len() < n {
+            scratch.batch.push(Configuration::zeros(0));
+        }
+        for (slot, idx) in (start..end).enumerate() {
+            space.config_at_into(idx, &mut scratch.batch[slot]);
+        }
+        score_batch(&scratch.batch[..n], &mut scratch.scores);
+        for (slot, &s) in scratch.scores[..n].iter().enumerate() {
+            let idx = start + slot;
+            if best.is_none_or(|(_, b)| s > b) {
+                best = Some((idx, s));
+            }
+        }
+        start = end;
+    }
+    let (idx, score) = best.expect("configuration space is never empty");
+    SearchResult {
+        best: space.config_at(idx),
+        score,
+        evaluations: size,
+    }
+}
+
+/// Parallel batched exhaustive sweep: workers take strided *chunks* of
+/// `batch` contiguous dense indices and score each chunk through their own
+/// batch scorer (e.g. one [`crate::basis::BatchEvaluator`] per worker over
+/// a shared basis). Ties break toward the lowest dense index, so with a
+/// history-independent batch scorer the result is bit-identical to serial
+/// [`exhaustive`] — and to [`exhaustive_batched`] — at any thread count.
+pub fn exhaustive_parallel_batched<B, F>(
+    space: &ConfigSpace,
+    n_threads: usize,
+    batch: usize,
+    make_scorer: F,
+) -> SearchResult
+where
+    B: FnMut(&[Configuration], &mut Vec<f64>),
+    F: Fn() -> B + Sync,
+{
+    assert!(n_threads > 0, "need at least one thread");
+    assert!(batch > 0, "batch must be positive");
+    let size = space.size();
+    let n_chunks = size.div_ceil(batch);
+    let best = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|w| {
+                let make_scorer = &make_scorer;
+                scope.spawn(move |_| {
+                    let mut score_batch = make_scorer();
+                    let mut configs: Vec<Configuration> = Vec::new();
+                    let mut scores: Vec<f64> = Vec::new();
+                    let mut local: Option<(usize, f64)> = None;
+                    let mut chunk = w;
+                    while chunk < n_chunks {
+                        let start = chunk * batch;
+                        let end = (start + batch).min(size);
+                        let n = end - start;
+                        while configs.len() < n {
+                            configs.push(Configuration::zeros(0));
+                        }
+                        for (slot, idx) in (start..end).enumerate() {
+                            space.config_at_into(idx, &mut configs[slot]);
+                        }
+                        score_batch(&configs[..n], &mut scores);
+                        for (slot, &s) in scores[..n].iter().enumerate() {
+                            let idx = start + slot;
+                            let better = match local {
+                                None => true,
+                                Some((bi, bs)) => s > bs || (s == bs && idx < bi),
+                            };
+                            if better {
+                                local = Some((idx, s));
+                            }
+                        }
+                        chunk += n_threads;
                     }
                     local
                 })
@@ -428,6 +603,40 @@ pub fn simulated_annealing_observed<F, R, O>(
     t_start: f64,
     t_end: f64,
     rng: &mut R,
+    eval: F,
+    on_step: O,
+) -> SearchResult
+where
+    F: FnMut(&Configuration) -> f64,
+    R: Rng + ?Sized,
+    O: FnMut(&SearchStep),
+{
+    let mut scratch = SearchScratch::new();
+    simulated_annealing_scratch(
+        space,
+        iterations,
+        t_start,
+        t_end,
+        rng,
+        &mut scratch,
+        eval,
+        on_step,
+    )
+}
+
+/// [`simulated_annealing_observed`] over a caller-owned [`SearchScratch`]:
+/// the proposal / current / best buffers live in the arena, so a warm
+/// annealing loop allocates nothing per iteration (the accepted-move
+/// commit is a buffer swap, not a clone). Bit-identical per seed to the
+/// plain variants.
+#[allow(clippy::too_many_arguments)]
+pub fn simulated_annealing_scratch<F, R, O>(
+    space: &ConfigSpace,
+    iterations: usize,
+    t_start: f64,
+    t_end: f64,
+    rng: &mut R,
+    scratch: &mut SearchScratch,
     mut eval: F,
     mut on_step: O,
 ) -> SearchResult
@@ -437,10 +646,10 @@ where
     O: FnMut(&SearchStep),
 {
     assert!(iterations > 0 && t_start > 0.0 && t_end > 0.0 && t_end <= t_start);
-    let mut current = space.random(rng);
-    let mut current_score = eval(&current);
+    space.random_into(rng, &mut scratch.current);
+    let mut current_score = eval(&scratch.current);
     let mut evaluations = 1;
-    let mut best = current.clone();
+    scratch.best.states.clone_from(&scratch.current.states);
     let mut best_score = current_score;
     on_step(&SearchStep {
         iteration: 0,
@@ -455,21 +664,21 @@ where
         let i = rng.gen_range(0..space.n_elements());
         let m = space.states_per_element[i];
         if m > 1 {
-            let mut proposal = current.clone();
+            scratch.candidate.states.clone_from(&scratch.current.states);
             let mut s = rng.gen_range(0..m);
-            if s == proposal.states[i] {
+            if s == scratch.candidate.states[i] {
                 s = (s + 1) % m;
             }
-            proposal.states[i] = s;
-            let score = eval(&proposal);
+            scratch.candidate.states[i] = s;
+            let score = eval(&scratch.candidate);
             evaluations += 1;
             let accept =
                 score >= current_score || rng.gen::<f64>() < ((score - current_score) / temp).exp();
             if accept {
-                current = proposal;
+                std::mem::swap(&mut scratch.current, &mut scratch.candidate);
                 current_score = score;
                 if score > best_score {
-                    best = current.clone();
+                    scratch.best.states.clone_from(&scratch.current.states);
                     best_score = score;
                 }
             }
@@ -483,7 +692,7 @@ where
         temp *= cooling;
     }
     SearchResult {
-        best,
+        best: scratch.best.clone(),
         score: best_score,
         evaluations,
     }
@@ -502,6 +711,25 @@ pub fn hierarchical_groups<F>(
     space: &ConfigSpace,
     group_size: usize,
     park_state: usize,
+    eval: F,
+) -> SearchResult
+where
+    F: FnMut(&Configuration) -> f64,
+{
+    let mut scratch = SearchScratch::new();
+    hierarchical_groups_scratch(space, group_size, park_state, &mut scratch, eval)
+}
+
+/// [`hierarchical_groups`] over a caller-owned [`SearchScratch`]: the
+/// per-candidate park-and-overlay buffer and the sub-space enumeration
+/// both reuse arena buffers, so phase 1's inner loop allocates nothing.
+/// Bit-identical to the plain variant (same evaluation order, same
+/// earliest-wins tie-break on the group optimum).
+pub fn hierarchical_groups_scratch<F>(
+    space: &ConfigSpace,
+    group_size: usize,
+    park_state: usize,
+    scratch: &mut SearchScratch,
     mut eval: F,
 ) -> SearchResult
 where
@@ -520,25 +748,27 @@ where
     let mut start = 0;
     while start < n {
         let end = (start + group_size).min(n);
-        let group: Vec<usize> = (start..end).collect();
-        // Enumerate the group's sub-space.
-        let radices: Vec<usize> = group.iter().map(|&i| space.states_per_element[i]).collect();
-        let sub = ConfigSpace::new(radices);
-        let mut best_states: Option<(Vec<usize>, f64)> = None;
-        for sub_cfg in sub.iter() {
-            let mut candidate = Configuration::new(vec![park_state; n]);
-            for (slot, &i) in group.iter().enumerate() {
-                candidate.states[i] = sub_cfg.states[slot];
+        // Enumerate the group's sub-space by dense index, tracking the
+        // best index instead of cloning the best state vector.
+        let sub = ConfigSpace::new(space.states_per_element[start..end].to_vec());
+        let mut best_sub: Option<(usize, f64)> = None;
+        for idx in 0..sub.size() {
+            sub.config_at_into(idx, &mut scratch.current);
+            scratch.candidate.states.clear();
+            scratch.candidate.states.resize(n, park_state);
+            for (slot, i) in (start..end).enumerate() {
+                scratch.candidate.states[i] = scratch.current.states[slot];
             }
-            let score = eval(&candidate);
+            let score = eval(&scratch.candidate);
             evaluations += 1;
-            if best_states.as_ref().is_none_or(|(_, b)| score > *b) {
-                best_states = Some((sub_cfg.states.clone(), score));
+            if best_sub.is_none_or(|(_, b)| score > b) {
+                best_sub = Some((idx, score));
             }
         }
-        let (states, _) = best_states.expect("group sub-space non-empty");
-        for (slot, &i) in group.iter().enumerate() {
-            stitched.states[i] = states[slot];
+        let (best_idx, _) = best_sub.expect("group sub-space non-empty");
+        sub.config_at_into(best_idx, &mut scratch.current);
+        for (slot, i) in (start..end).enumerate() {
+            stitched.states[i] = scratch.current.states[slot];
         }
         start = end;
     }
@@ -588,9 +818,36 @@ where
     F: FnMut(&Configuration) -> f64,
     R: Rng + ?Sized,
 {
-    genetic_core(space, params, rng, &mut |configs: &[Configuration]| {
-        configs.iter().map(&mut eval).collect()
-    })
+    let mut scratch = SearchScratch::new();
+    genetic_core(
+        space,
+        params,
+        rng,
+        &mut scratch,
+        &mut |configs: &[Configuration], out: &mut Vec<f64>| {
+            out.clear();
+            out.extend(configs.iter().map(&mut eval));
+        },
+    )
+}
+
+/// Genetic search over a caller-supplied *batch* scorer and scratch arena
+/// — the natural fit for [`crate::basis::BatchEvaluator`], which scores
+/// each generation through its shared-prefix stack. With a batch scorer
+/// whose scores equal the scalar evaluator's bitwise, the result is
+/// bit-identical to [`genetic`] with the same seed.
+pub fn genetic_batched<B, R>(
+    space: &ConfigSpace,
+    params: &GeneticParams,
+    rng: &mut R,
+    scratch: &mut SearchScratch,
+    score_batch: &mut B,
+) -> SearchResult
+where
+    B: FnMut(&[Configuration], &mut Vec<f64>),
+    R: Rng + ?Sized,
+{
+    genetic_core(space, params, rng, scratch, score_batch)
 }
 
 /// Parallel genetic search. Breeding (all the RNG draws) stays serial on
@@ -612,20 +869,27 @@ where
     R: Rng + ?Sized,
 {
     assert!(n_threads > 0, "need at least one thread");
-    genetic_core(space, params, rng, &mut |configs: &[Configuration]| {
-        score_batch_parallel(configs, n_threads, &make_eval)
-    })
+    let mut scratch = SearchScratch::new();
+    genetic_core(
+        space,
+        params,
+        rng,
+        &mut scratch,
+        &mut |configs: &[Configuration], out: &mut Vec<f64>| {
+            score_batch_parallel(configs, n_threads, &make_eval, out);
+        },
+    )
 }
 
 /// Scores a batch of configurations across scoped worker threads (strided
 /// dealing; output order matches input order, so results are independent
-/// of scheduling).
+/// of scheduling). Scores land in `out` (cleared first).
 fn score_batch_parallel<E, F>(
     configs: &[Configuration],
     n_threads: usize,
     make_eval: &F,
-) -> Vec<f64>
-where
+    out: &mut Vec<f64>,
+) where
     E: FnMut(&Configuration) -> f64,
     F: Fn() -> E + Sync,
 {
@@ -633,24 +897,24 @@ where
         let handles: Vec<_> = (0..n_threads)
             .map(|w| {
                 scope.spawn(move |_| {
+                    let mut local = Vec::with_capacity(configs.len().div_ceil(n_threads));
                     let mut eval = make_eval();
-                    let mut out = Vec::new();
                     let mut j = w;
                     while j < configs.len() {
-                        out.push((j, eval(&configs[j])));
+                        local.push((j, eval(&configs[j])));
                         j += n_threads;
                     }
-                    out
+                    local
                 })
             })
             .collect();
-        let mut scores = vec![0.0; configs.len()];
+        out.clear();
+        out.resize(configs.len(), 0.0);
         for h in handles {
             for (j, s) in h.join().expect("search worker panicked") {
-                scores[j] = s;
+                out[j] = s;
             }
         }
-        scores
     })
     .expect("search scope")
 }
@@ -664,56 +928,70 @@ fn genetic_core<B, R>(
     space: &ConfigSpace,
     params: &GeneticParams,
     rng: &mut R,
+    scratch: &mut SearchScratch,
     score_batch: &mut B,
 ) -> SearchResult
 where
-    B: FnMut(&[Configuration]) -> Vec<f64>,
+    B: FnMut(&[Configuration], &mut Vec<f64>),
     R: Rng + ?Sized,
 {
     assert!(params.population >= 2, "population must be at least 2");
     let mut evaluations = 0;
     let initial: Vec<Configuration> = (0..params.population).map(|_| space.random(rng)).collect();
-    let scores = score_batch(&initial);
+    score_batch(&initial, &mut scratch.scores);
     evaluations += initial.len();
-    let mut scored: Vec<(Configuration, f64)> = initial.into_iter().zip(scores).collect();
+    let mut scored: Vec<(Configuration, f64)> = initial
+        .into_iter()
+        .zip(scratch.scores.iter().copied())
+        .collect();
     scored.sort_by(|a, b| b.1.total_cmp(&a.1));
     let elites = ((params.population as f64 * params.elite_fraction) as usize).max(1);
+    let n_children = params.population - elites;
+    // Children are bred into the scratch pool, so generations after the
+    // first allocate nothing.
+    while scratch.batch.len() < n_children {
+        scratch.batch.push(Configuration::zeros(0));
+    }
 
     for _ in 0..params.generations {
-        let mut children: Vec<Configuration> = Vec::with_capacity(params.population - elites);
-        while elites + children.len() < params.population {
-            // Binary tournaments.
+        for c in 0..n_children {
+            // Binary tournaments, by index (same draws as cloning the
+            // winners, without the clones).
             let pick = |rng: &mut R| {
                 let a = rng.gen_range(0..scored.len());
                 let b = rng.gen_range(0..scored.len());
                 if scored[a].1 >= scored[b].1 {
-                    &scored[a].0
+                    a
                 } else {
-                    &scored[b].0
+                    b
                 }
             };
-            let p1 = pick(rng).clone();
-            let p2 = pick(rng).clone();
-            // Uniform crossover + mutation.
-            let mut child = Configuration::zeros(space.n_elements());
+            let p1 = pick(rng);
+            let p2 = pick(rng);
+            // Uniform crossover + mutation, written straight into the pool.
+            scratch.batch[c].states.clear();
             for i in 0..space.n_elements() {
-                child.states[i] = if rng.gen::<bool>() {
-                    p1.states[i]
+                let mut s = if rng.gen::<bool>() {
+                    scored[p1].0.states[i]
                 } else {
-                    p2.states[i]
+                    scored[p2].0.states[i]
                 };
                 if rng.gen::<f64>() < params.mutation_rate {
-                    child.states[i] = rng.gen_range(0..space.states_per_element[i]);
+                    s = rng.gen_range(0..space.states_per_element[i]);
                 }
+                scratch.batch[c].states.push(s);
             }
-            children.push(child);
         }
-        let child_scores = score_batch(&children);
-        evaluations += children.len();
-        let mut next: Vec<(Configuration, f64)> = scored[..elites].to_vec();
-        next.extend(children.into_iter().zip(child_scores));
-        next.sort_by(|a, b| b.1.total_cmp(&a.1));
-        scored = next;
+        score_batch(&scratch.batch[..n_children], &mut scratch.scores);
+        evaluations += n_children;
+        // Overwrite the non-elite tail in place; the stable sort of
+        // (elites in order) ++ (children in breeding order) matches the
+        // old collect-and-sort rebuild exactly.
+        for (slot, c) in (elites..params.population).zip(0..n_children) {
+            scored[slot].0.states.clone_from(&scratch.batch[c].states);
+            scored[slot].1 = scratch.scores[c];
+        }
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
     }
     let (best, score) = scored.into_iter().next().expect("population non-empty");
     SearchResult {
@@ -986,5 +1264,99 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let r2 = simulated_annealing(&tiny, 10, 1.0, 0.1, &mut rng, |_| 1.0);
         assert_eq!(r2.best.states, vec![0, 0]);
+    }
+
+    /// Wraps the scalar objective as a write-into batch scorer.
+    fn batch_objective(configs: &[Configuration], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(configs.iter().map(objective));
+    }
+
+    #[test]
+    fn exhaustive_batched_matches_serial_at_any_batch_size() {
+        let sp = space();
+        let serial = exhaustive(&sp, objective);
+        let mut scratch = SearchScratch::new();
+        for batch in [1, 3, 7, 64, 100] {
+            let batched = exhaustive_batched(&sp, batch, &mut scratch, &mut batch_objective);
+            assert_eq!(batched, serial, "batch = {batch}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_parallel_batched_matches_serial_bitwise() {
+        let sp = space();
+        let serial = exhaustive(&sp, objective);
+        for n_threads in [1, 2, 3, 8] {
+            for batch in [1, 5, 16, 64] {
+                let par = exhaustive_parallel_batched(&sp, n_threads, batch, || batch_objective);
+                assert_eq!(par, serial, "n_threads = {n_threads}, batch = {batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn genetic_batched_matches_genetic_same_seed() {
+        let params = GeneticParams::default();
+        let scalar = genetic(&space(), &params, &mut StdRng::seed_from_u64(3), objective);
+        let mut scratch = SearchScratch::new();
+        let batched = genetic_batched(
+            &space(),
+            &params,
+            &mut StdRng::seed_from_u64(3),
+            &mut scratch,
+            &mut batch_objective,
+        );
+        assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn annealing_scratch_reuse_is_bit_identical() {
+        // One warm arena reused across runs must reproduce each fresh-arena
+        // run exactly — leftover buffer contents never leak into results.
+        let sp = space();
+        let mut scratch = SearchScratch::new();
+        for seed in [2u64, 11, 29] {
+            let fresh = simulated_annealing(
+                &sp,
+                120,
+                4.0,
+                0.02,
+                &mut StdRng::seed_from_u64(seed),
+                objective,
+            );
+            let reused = simulated_annealing_scratch(
+                &sp,
+                120,
+                4.0,
+                0.02,
+                &mut StdRng::seed_from_u64(seed),
+                &mut scratch,
+                objective,
+                |_| {},
+            );
+            assert_eq!(reused, fresh, "seed = {seed}");
+        }
+    }
+
+    #[test]
+    fn hierarchical_scratch_reuse_is_bit_identical() {
+        let sp = ConfigSpace::new(vec![4, 4, 4, 4]);
+        let mut scratch = SearchScratch::new();
+        for (group, park) in [(2, 0), (3, 3), (1, 1)] {
+            let fresh = hierarchical_groups(&sp, group, park, objective4);
+            let reused = hierarchical_groups_scratch(&sp, group, park, &mut scratch, objective4);
+            assert_eq!(reused, fresh, "group = {group}, park = {park}");
+        }
+    }
+
+    /// 4-element variant of [`objective`] for the hierarchical tests.
+    fn objective4(c: &Configuration) -> f64 {
+        let target = [3usize, 1, 2, 0];
+        let mut score = 0.0;
+        for (i, (&s, &t)) in c.states.iter().zip(&target).enumerate() {
+            score -= ((s as f64 - t as f64) * (i as f64 + 1.0)).powi(2);
+        }
+        score - ((c.states[0] + c.states[3]) % 3) as f64 * 0.1
     }
 }

@@ -277,6 +277,106 @@ impl SmartSpace {
             .map(|sl| sl.weight * self.link_oracle_score(sl.id, config))
             .sum()
     }
+
+    /// A reusable batch scorer over the registry — the multi-link face of
+    /// [`BatchEvaluator`](crate::basis::BatchEvaluator).
+    pub fn batch_scorer(&self) -> SpaceBatchScorer<'_> {
+        SpaceBatchScorer::new(self)
+    }
+}
+
+/// Scores batches of candidate configurations against the weighted
+/// space-wide oracle objective: one [`BatchEvaluator`](crate::basis::BatchEvaluator)
+/// plus one allocation-free [`snr_metric`](crate::basis::snr_metric) per
+/// registered link, each batch scored
+/// in a single pass over that link's basis columns.
+///
+/// Scores are **bitwise identical** to calling
+/// [`SmartSpace::oracle_score`] (or [`SmartSpace::oracle_score_of`]) per
+/// candidate: every link's batch scores equal its scalar scores bitwise
+/// (the `BatchEvaluator` contract, plus [`snr_metric`](crate::basis::snr_metric) computing exactly
+/// the SNR values `Sounder::snr_from_channel` produces), and the weighted
+/// accumulation visits links in registry order starting from `0.0` — the
+/// same fold the scalar path's iterator sum performs.
+///
+/// All buffers are owned by the scorer and reused across calls, so a warm
+/// scorer allocates nothing per batch — ready to slot into
+/// [`exhaustive_batched`](crate::search::exhaustive_batched) or
+/// [`genetic_batched`](crate::search::genetic_batched) as the space-wide
+/// batch objective.
+pub struct SpaceBatchScorer<'a> {
+    links: Vec<LinkBatchScorer<'a>>,
+    /// Per-link batch scores scratch, reused across links and calls.
+    link_scores: Vec<f64>,
+}
+
+/// One link's slice of a [`SpaceBatchScorer`].
+struct LinkBatchScorer<'a> {
+    id: LinkId,
+    weight: f64,
+    eval: crate::basis::BatchEvaluator<'a>,
+    metric: Box<dyn FnMut(&[Complex64]) -> f64 + 'a>,
+}
+
+impl<'a> SpaceBatchScorer<'a> {
+    /// A batch scorer over every link currently registered in `space`.
+    pub fn new(space: &'a SmartSpace) -> Self {
+        SpaceBatchScorer {
+            links: space
+                .links()
+                .iter()
+                .map(|sl| LinkBatchScorer {
+                    id: sl.id,
+                    weight: sl.weight,
+                    eval: crate::basis::BatchEvaluator::new(&sl.basis),
+                    metric: Box::new(crate::basis::snr_metric(
+                        sl.sounder.snr_params(),
+                        sl.objective,
+                    )),
+                })
+                .collect(),
+            link_scores: Vec::new(),
+        }
+    }
+
+    /// Weighted space-wide oracle scores of a batch of candidates, one per
+    /// configuration in input order (`out` is cleared first). Bitwise equal
+    /// to [`SmartSpace::oracle_score`] per candidate.
+    pub fn oracle_scores_into(&mut self, configs: &[Configuration], out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(configs.len(), 0.0);
+        for lb in &mut self.links {
+            lb.eval
+                .scores_into(configs, 0.0, &mut lb.metric, &mut self.link_scores);
+            for (acc, &s) in out.iter_mut().zip(&self.link_scores) {
+                *acc += lb.weight * s;
+            }
+        }
+    }
+
+    /// As [`oracle_scores_into`](Self::oracle_scores_into) over a subset of
+    /// the registry, visiting links in registry order regardless of the
+    /// order ids appear in `ids` — bitwise equal to
+    /// [`SmartSpace::oracle_score_of`] per candidate.
+    pub fn oracle_scores_of_into(
+        &mut self,
+        ids: &[LinkId],
+        configs: &[Configuration],
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.resize(configs.len(), 0.0);
+        for lb in &mut self.links {
+            if !ids.contains(&lb.id) {
+                continue;
+            }
+            lb.eval
+                .scores_into(configs, 0.0, &mut lb.metric, &mut self.link_scores);
+            for (acc, &s) in out.iter_mut().zip(&self.link_scores) {
+                *acc += lb.weight * s;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -399,6 +499,41 @@ mod tests {
             for b in &cells[i + 1..] {
                 assert_ne!(a, b, "derived streams collided");
             }
+        }
+    }
+
+    #[test]
+    fn batch_scorer_matches_oracle_score_bitwise() {
+        let mut space = bench_space(3);
+        space.links[1].weight = -0.5;
+        space.links[2].weight = 2.0;
+        let sp = space.config_space();
+        let configs: Vec<Configuration> = (0..sp.size()).map(|i| sp.config_at(i)).collect();
+        let mut scorer = space.batch_scorer();
+        let mut out = Vec::new();
+        // Odd batch sizes exercise ragged final chunks.
+        for chunk in configs.chunks(7) {
+            scorer.oracle_scores_into(chunk, &mut out);
+            assert_eq!(out.len(), chunk.len());
+            for (c, &s) in chunk.iter().zip(&out) {
+                assert_eq!(s, space.oracle_score(c), "config {:?}", c.states);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_scorer_subset_matches_oracle_score_of_bitwise() {
+        let space = bench_space(3);
+        let sp = space.config_space();
+        let configs: Vec<Configuration> = (0..16).map(|i| sp.config_at(i * 3)).collect();
+        let mut scorer = space.batch_scorer();
+        let mut out = Vec::new();
+        // Ids deliberately out of registry order: scoring must still visit
+        // links in registry order.
+        let ids = [LinkId(2), LinkId(0)];
+        scorer.oracle_scores_of_into(&ids, &configs, &mut out);
+        for (c, &s) in configs.iter().zip(&out) {
+            assert_eq!(s, space.oracle_score_of(&ids, c), "config {:?}", c.states);
         }
     }
 

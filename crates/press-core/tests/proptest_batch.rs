@@ -1,0 +1,195 @@
+//! Property tests for the structure-of-arrays batch kernel: for random
+//! scenes, arrays, configurations and batch shapes, [`BatchEvaluator`]
+//! scores must be **bitwise identical** to scoring each candidate alone
+//! through [`LinkBasis::synthesize_into`] — the contract that lets every
+//! batched search entry point claim bit-identity with its scalar
+//! counterpart. The same holds for the batched exhaustive sweeps (serial
+//! and parallel, at any thread count) and for same-seed batched genetic
+//! runs.
+
+use press_core::search::{
+    exhaustive, exhaustive_batched, exhaustive_parallel_batched, genetic, genetic_batched,
+    GeneticParams, SearchScratch,
+};
+use press_core::{
+    min_magnitude_db_metric, BatchEvaluator, CachedLink, Configuration, LinkBasis, PressArray,
+    PressSystem,
+};
+use press_math::Complex64;
+use press_propagation::path::{PathKind, SignalPath};
+use press_propagation::{LabConfig, LabSetup};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn freqs() -> Vec<f64> {
+    (0..52)
+        .map(|k| 2.462e9 + (k as f64 - 26.0) * 312_500.0)
+        .collect()
+}
+
+fn build(seed: u64, n_elements: usize) -> (PressSystem, CachedLink) {
+    let lab = LabSetup::generate(&LabConfig::default(), seed);
+    let lambda = lab.scene.wavelength();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+    let positions = lab.random_element_positions(n_elements, &mut rng);
+    let array = PressArray::paper_passive(&positions, lambda);
+    let system = PressSystem::new(lab.scene.clone(), array);
+    let link = CachedLink::trace(&system, lab.tx.clone(), lab.rx.clone());
+    (system, link)
+}
+
+/// `count` configurations drawn (with wraparound) from the space's dense
+/// enumeration, starting at a random offset — covers ragged batch tails
+/// and repeated states without caring about the space's actual size.
+fn pick_configs(space: &press_core::ConfigSpace, raw: u64, count: usize) -> Vec<Configuration> {
+    (0..count)
+        .map(|i| space.config_at((raw as usize + i * 7) % space.size()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batch_scores_are_bitwise_equal_to_scalar_scoring(
+        seed in 0u64..400,
+        n_elements in 1usize..5,
+        raw_cfg in 0u64..1_000_000,
+        batch in 1usize..40,
+    ) {
+        let (system, link) = build(seed, n_elements);
+        let f = freqs();
+        let basis = LinkBasis::build(&system, &link, &f);
+        let configs = pick_configs(basis.space(), raw_cfg, batch);
+
+        let mut metric = min_magnitude_db_metric();
+        let mut h: Vec<Complex64> = Vec::new();
+        let scalar: Vec<f64> = configs
+            .iter()
+            .map(|c| {
+                basis.synthesize_into(c, 0.0, &mut h);
+                metric(&h)
+            })
+            .collect();
+
+        let mut evaluator = BatchEvaluator::new(&basis);
+        let batched = evaluator.scores(&configs, 0.0, &mut metric);
+        prop_assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn batch_scores_are_bitwise_equal_under_doppler(
+        seed in 0u64..200,
+        n_elements in 1usize..4,
+        doppler_hz in 1.0..40.0f64,
+        t_ms in 0.0..5.0f64,
+        raw_cfg in 0u64..1_000_000,
+        batch in 1usize..24,
+    ) {
+        let (system, mut link) = build(seed, n_elements);
+        link.environment.push(SignalPath {
+            gain: Complex64::from_polar(2e-4, 1.0),
+            delay_s: 40e-9,
+            doppler_hz,
+            aod_rad: 0.0,
+            aoa_rad: 0.0,
+            kind: PathKind::LineOfSight,
+        });
+        link.mark_dirty();
+        let f = freqs();
+        let basis = LinkBasis::build(&system, &link, &f);
+        let t_s = t_ms * 1e-3;
+        let configs = pick_configs(basis.space(), raw_cfg, batch);
+
+        let mut metric = min_magnitude_db_metric();
+        let mut h: Vec<Complex64> = Vec::new();
+        let scalar: Vec<f64> = configs
+            .iter()
+            .map(|c| {
+                basis.synthesize_into(c, t_s, &mut h);
+                metric(&h)
+            })
+            .collect();
+
+        let mut evaluator = BatchEvaluator::new(&basis);
+        let batched = evaluator.scores(&configs, t_s, &mut metric);
+        prop_assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn batched_exhaustive_sweeps_match_scalar_bitwise(
+        seed in 0u64..200,
+        n_elements in 1usize..4,
+        batch in 1usize..48,
+        n_threads in 1usize..5,
+    ) {
+        let (system, link) = build(seed, n_elements);
+        let f = freqs();
+        let basis = LinkBasis::build(&system, &link, &f);
+        let space = basis.space().clone();
+
+        let mut metric = min_magnitude_db_metric();
+        let mut h: Vec<Complex64> = Vec::new();
+        let serial = exhaustive(&space, |c: &Configuration| {
+            basis.synthesize_into(c, 0.0, &mut h);
+            metric(&h)
+        });
+
+        let mut scratch = SearchScratch::new();
+        let mut evaluator = BatchEvaluator::new(&basis);
+        let mut m = min_magnitude_db_metric();
+        let batched = exhaustive_batched(&space, batch, &mut scratch, &mut |configs, out| {
+            evaluator.scores_into(configs, 0.0, &mut m, out)
+        });
+        prop_assert_eq!(&batched, &serial);
+
+        let parallel = exhaustive_parallel_batched(&space, n_threads, batch, || {
+            let mut evaluator = BatchEvaluator::new(&basis);
+            let mut m = min_magnitude_db_metric();
+            move |configs: &[Configuration], out: &mut Vec<f64>| {
+                evaluator.scores_into(configs, 0.0, &mut m, out)
+            }
+        });
+        prop_assert_eq!(&parallel, &serial);
+    }
+
+    #[test]
+    fn batched_genetic_matches_scalar_same_seed(
+        seed in 0u64..200,
+        n_elements in 2usize..4,
+        rng_seed in 0u64..1_000,
+    ) {
+        let (system, link) = build(seed, n_elements);
+        let f = freqs();
+        let basis = LinkBasis::build(&system, &link, &f);
+        let space = basis.space().clone();
+        let params = GeneticParams { population: 8, generations: 4, ..GeneticParams::default() };
+
+        let mut metric = min_magnitude_db_metric();
+        let mut h: Vec<Complex64> = Vec::new();
+        let scalar = genetic(
+            &space,
+            &params,
+            &mut StdRng::seed_from_u64(rng_seed),
+            |c: &Configuration| {
+                basis.synthesize_into(c, 0.0, &mut h);
+                metric(&h)
+            },
+        );
+
+        let mut scratch = SearchScratch::new();
+        let mut evaluator = BatchEvaluator::new(&basis);
+        let mut m = min_magnitude_db_metric();
+        let batched = genetic_batched(
+            &space,
+            &params,
+            &mut StdRng::seed_from_u64(rng_seed),
+            &mut scratch,
+            &mut |configs: &[Configuration], out: &mut Vec<f64>| {
+                evaluator.scores_into(configs, 0.0, &mut m, out)
+            },
+        );
+        prop_assert_eq!(batched, scalar);
+    }
+}

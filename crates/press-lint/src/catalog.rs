@@ -1,6 +1,6 @@
 //! The PRESS lint catalog.
 //!
-//! Five lints, each guarding an invariant the control loop's reproducibility
+//! Six lints, each guarding an invariant the control loop's reproducibility
 //! story depends on. See DESIGN.md, "Determinism invariants and the lint
 //! catalog", for the full rationale and the seed-stream convention table.
 
@@ -56,13 +56,22 @@ pub const DB_LINEAR_MIXING: Lint = Lint {
         "mixing *_db with linear-unit identifiers in one expression; convert via press_math::db",
 };
 
-/// Every lint, in catalog (L1..L5) order.
+/// L6: hidden reduction order in lane-kernel files.
+pub const KERNEL_REDUCTION: Lint = Lint {
+    slug: "kernel-reduction",
+    severity: Severity::Warning,
+    summary: "iterator `.sum()` hides its accumulation order; lane-kernel files must spell \
+              reductions as explicit in-order folds so bit-identity survives refactors",
+};
+
+/// Every lint, in catalog (L1..L6) order.
 pub const ALL: &[Lint] = &[
     NONDET_ITERATION,
     AMBIENT_ENTROPY,
     SEED_STREAM,
     FLOAT_ORDERING,
     DB_LINEAR_MIXING,
+    KERNEL_REDUCTION,
 ];
 
 /// Look a lint up by slug (used to validate `allow(...)` lists).

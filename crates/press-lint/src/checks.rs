@@ -1,4 +1,4 @@
-//! The five lint passes, run over a file's token stream.
+//! The six lint passes, run over a file's token stream.
 //!
 //! Every check is a linear scan with small fixed lookahead/lookbehind — no
 //! expression trees. That keeps the analyzer trivially fast (the whole
@@ -21,6 +21,7 @@ pub fn run_all(ctx: &FileContext, toks: &[Tok], regions: &TestRegions) -> Vec<Di
     check_seed_stream(ctx, toks, regions, &mut out);
     check_float_ordering(ctx, toks, regions, &mut out);
     check_db_linear_mixing(ctx, toks, &mut out);
+    check_kernel_reduction(ctx, toks, regions, &mut out);
     out.sort_by(|a, b| (a.line, a.col, a.lint).cmp(&(b.line, b.col, b.lint)));
     out
 }
@@ -54,6 +55,10 @@ fn lint_help(slug: &str) -> &'static str {
         "db-linear-unit-mixing" => {
             "convert explicitly via press_math::db (db_to_pow/pow_to_db/db_to_amp/amp_to_db) \
              before mixing scales"
+        }
+        "kernel-reduction" => {
+            "write the reduction as an explicit in-order loop or fold so the accumulation \
+             order is visible and stays fixed"
         }
         _ => "",
     }
@@ -461,6 +466,48 @@ fn chain_unit_after(toks: &[Tok], op: usize) -> Option<Unit> {
         .find_map(|t| classify(&t.text))
 }
 
+// ---------------------------------------------------------------------------
+// L6: kernel-reduction
+// ---------------------------------------------------------------------------
+
+/// In a file that contains a fixed-width lane kernel (detected by the
+/// `chunks_exact` idiom the SoA batch kernel is built on), flag method-call
+/// `.sum` reductions outside test code. `Iterator::sum` is free to be
+/// re-associated by future refactors (and hides its accumulation order
+/// today); the kernel's bit-identity contract requires every
+/// floating-point reduction to be an explicit in-order loop or fold whose
+/// order a reviewer can see. Benches and tests may still `.sum()` — they
+/// measure or assert, they are not the contract.
+fn check_kernel_reduction(
+    ctx: &FileContext,
+    toks: &[Tok],
+    regions: &TestRegions,
+    out: &mut Vec<Diagnostic>,
+) {
+    if ctx.bench_crate || ctx.test_file {
+        return;
+    }
+    let is_kernel_file = toks
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text == "chunks_exact");
+    if !is_kernel_file {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("sum") && i >= 1 && toks[i - 1].is_punct(".") && !regions.contains(i) {
+            out.push(diag(
+                &catalog::KERNEL_REDUCTION,
+                ctx,
+                t,
+                String::from(
+                    "iterator `.sum()` in a lane-kernel file hides the accumulation order the \
+                     kernel's bit-identity contract depends on",
+                ),
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -576,6 +623,48 @@ mod tests {
         assert!(run(LIB, "let y = snr_db + pow_to_db(path_gain_linear);").is_empty());
         let d = run(LIB, "let y = snr_db + db_to_pow(other_db);");
         assert_eq!(d.len(), 1, "adding a linear power to a dB value");
+    }
+
+    #[test]
+    fn l6_kernel_files_must_spell_reductions() {
+        // A `.sum()` in a file with a lane kernel is flagged...
+        let d = run(
+            LIB,
+            "fn k(a: &mut [f64], c: &[f64]) { for ch in c.chunks_exact(4) {} }\n\
+             fn total(xs: &[f64]) -> f64 { xs.iter().sum() }",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].lint, "kernel-reduction");
+        // ...but the same `.sum()` without a kernel in the file is not.
+        assert!(run(LIB, "fn total(xs: &[f64]) -> f64 { xs.iter().sum() }").is_empty());
+        // Explicit folds in kernel files are the sanctioned spelling.
+        assert!(run(
+            LIB,
+            "fn k(c: &[f64]) -> f64 { let mut acc = 0.0; for ch in c.chunks_exact(4) { \
+             for l in 0..4 { acc += ch[l]; } } acc }"
+        )
+        .is_empty());
+        // Test modules inside a kernel file may still assert with `.sum()`.
+        assert!(run(
+            LIB,
+            "fn k(c: &[f64]) { for ch in c.chunks_exact(4) {} }\n\
+             #[cfg(test)]\nmod tests { fn t(xs: &[f64]) -> f64 { xs.iter().sum() } }"
+        )
+        .is_empty());
+        // Bench crates measure, they are not the contract.
+        assert!(run(
+            "crates/press-bench/src/bin/fig4.rs",
+            "fn k(c: &[f64]) { for ch in c.chunks_exact(4) {} }\n\
+             fn total(xs: &[f64]) -> f64 { xs.iter().sum() }"
+        )
+        .is_empty());
+        // A `sum` ident that is not a method call (field, fn name) is fine.
+        assert!(run(
+            LIB,
+            "fn k(c: &[f64]) { for ch in c.chunks_exact(4) {} }\n\
+             fn sum(a: f64, b: f64) -> f64 { let sum = a + b; sum }"
+        )
+        .is_empty());
     }
 
     #[test]

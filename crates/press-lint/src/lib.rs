@@ -7,7 +7,7 @@
 //! the moment a `HashSet` iteration order or a `thread_rng()` sneaks into a
 //! simulation crate. This crate is the enforcement arm: a dependency-free
 //! static analyzer that lexes every `.rs` file in the workspace and applies
-//! the five-lint catalog described in DESIGN.md ("Determinism invariants and
+//! the six-lint catalog described in DESIGN.md ("Determinism invariants and
 //! the lint catalog"):
 //!
 //! | lint | guards |
@@ -17,6 +17,7 @@
 //! | `seed-stream-discipline` | RNG seeds derive from named seed streams |
 //! | `float-ordering` | no `partial_cmp().unwrap()`, no float `==` outside tests |
 //! | `db-linear-unit-mixing` | no arithmetic across dB / linear suffixes |
+//! | `kernel-reduction` | no hidden-order `.sum()` reductions in lane-kernel files |
 //!
 //! Run it as a workspace binary:
 //!

@@ -1,0 +1,13 @@
+//! L6 fixture: a lane-kernel file whose reduction hides its order.
+
+fn lanes_add(acc: &mut [f64], col: &[f64]) {
+    for (a, c) in acc.chunks_exact_mut(4).zip(col.chunks_exact(4)) {
+        for l in 0..4 {
+            a[l] += c[l];
+        }
+    }
+}
+
+fn total_power(h: &[f64]) -> f64 {
+    h.iter().map(|x| x * x).sum()
+}

@@ -1,0 +1,17 @@
+//! L6 clean fixture: the same kernel with an explicit in-order fold.
+
+fn lanes_add(acc: &mut [f64], col: &[f64]) {
+    for (a, c) in acc.chunks_exact_mut(4).zip(col.chunks_exact(4)) {
+        for l in 0..4 {
+            a[l] += c[l];
+        }
+    }
+}
+
+fn total_power(h: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in h {
+        acc += x * x;
+    }
+    acc
+}

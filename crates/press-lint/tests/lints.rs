@@ -164,6 +164,22 @@ fn l5_clean_fixture_passes() {
     assert!(diags.is_empty(), "{diags:?}");
 }
 
+// --- L6: kernel-reduction ---------------------------------------------------
+
+#[test]
+fn l6_bad_fixture_flags_hidden_reduction_in_kernel_file() {
+    let (diags, _) = lint_fixture("bad_l6_kernel_reduction.rs");
+    assert_eq!(slugs(&diags), vec!["kernel-reduction"]);
+    assert_eq!(diags[0].line, 12, "h.iter().map(..).sum()");
+}
+
+#[test]
+fn l6_clean_fixture_passes() {
+    let (diags, suppressed) = lint_fixture("clean_l6_kernel_reduction.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(suppressed, 0);
+}
+
 // --- Suppressions ----------------------------------------------------------
 
 #[test]
