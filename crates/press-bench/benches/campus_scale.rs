@@ -1,0 +1,119 @@
+//! Criterion benches: campus-scale sharded harmonization and churn.
+//!
+//! The tentpole claims behind `BENCH_campus.json`:
+//!
+//! * **Near-linear scaling in link count.** Two campuses with the same
+//!   floor plan and array (4 floors × 5 rooms, 64 elements) but half vs
+//!   full client population (240 vs 500 links) are sharded and optimized
+//!   under the same per-shard budget. Per-shard search cost is linear in
+//!   the links a shard serves, so the half-size run should land near 0.5×
+//!   the full run; the gated floor (0.30) trips when sharding degrades
+//!   toward superlinear whole-campus behavior.
+//! * **Churn re-association is a cache hit.** Re-adding a departed
+//!   endpoint pair must be decisively cheaper than associating a fresh
+//!   pair (which walks the scene and builds a basis); the gated ratio is
+//!   the speedup of the pair-cache hit over the cold path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use press_core::{optimize_sharded_parallel, shard_space, LinkObjective, SmartSpace};
+use press_propagation::{Campus, CampusConfig, Vec3};
+use std::hint::black_box;
+
+/// Couplings at or above this (element energy relative to the static
+/// environment) tie a link to an element. Calibrated in press-core's
+/// joint tests: same-floor couplings sit well above, concrete-slab-
+/// attenuated cross-floor ones well below, so campuses shard per floor.
+const COUPLING_FLOOR_DB: f64 = -75.0;
+const SHARD_BUDGET: usize = 24;
+const THREADS: usize = 4;
+
+/// A 4-floor, 5-room-per-floor campus (64 doorway elements) populated
+/// with `clients_per_room` links per room.
+fn campus_space(clients_per_room: usize) -> SmartSpace {
+    let config = CampusConfig {
+        floors: 4,
+        rooms_per_floor: 5,
+        clients_per_room,
+        scatterers_per_room: 2,
+        ..CampusConfig::default()
+    };
+    SmartSpace::campus(&Campus::generate(&config, 1), LinkObjective::MaxMeanSnr)
+}
+
+fn bench_sharded_scaling(c: &mut Criterion) {
+    let half = campus_space(12); // 240 links
+    let full = campus_space(25); // 500 links
+    assert_eq!(full.n_links(), 500);
+    let half_shards = shard_space(&half, COUPLING_FLOOR_DB, 0.0);
+    let full_shards = shard_space(&full, COUPLING_FLOOR_DB, 0.0);
+
+    let mut group = c.benchmark_group("campus_scale");
+    group.sample_size(10);
+    group.bench_function("sharded_240", |b| {
+        b.iter(|| {
+            black_box(optimize_sharded_parallel(
+                &half,
+                &half_shards,
+                SHARD_BUDGET,
+                1,
+                THREADS,
+            ))
+        })
+    });
+    group.bench_function("sharded_500", |b| {
+        b.iter(|| {
+            black_box(optimize_sharded_parallel(
+                &full,
+                &full_shards,
+                SHARD_BUDGET,
+                1,
+                THREADS,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_churn_registry(c: &mut Criterion) {
+    // Churn rides the default (small) campus: the costs under test —
+    // scene walk + basis build vs pair-cache clone — are per link, not
+    // per campus.
+    let mut space = SmartSpace::campus(
+        &Campus::generate(&CampusConfig::default(), 1),
+        LinkObjective::MaxMeanSnr,
+    );
+    let ids = space.link_ids();
+    let template = space.link(ids[1]).sounder.clone();
+
+    let mut group = c.benchmark_group("campus_scale");
+    group.sample_size(10);
+    group.bench_function("readd_known_pair", |b| {
+        let mut cur = ids[0];
+        b.iter(|| {
+            let sl = space.remove_link(cur);
+            cur = space.add_link(&sl.label, sl.sounder, sl.objective, sl.weight);
+            black_box(cur);
+        })
+    });
+    group.bench_function("add_new_pair", |b| {
+        // Each iteration associates a genuinely new endpoint pair: the
+        // client position steps by a counter so no pair key ever repeats
+        // (and neither the live registry nor the pair cache can serve it).
+        let mut counter = 0u64;
+        b.iter(|| {
+            counter += 1;
+            let mut s = template.clone();
+            s.rx.node.position = Vec3::new(
+                1.0 + (counter % 40) as f64 * 0.1,
+                1.0 + (counter / 40) as f64 * 1e-4,
+                1.2,
+            );
+            let id = space.add_link("fresh", s, LinkObjective::MaxMeanSnr, 1.0);
+            black_box(space.remove_link(id));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_scaling, bench_churn_registry);
+criterion_main!(benches);

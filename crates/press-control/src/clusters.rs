@@ -116,6 +116,84 @@ impl ClusteredControl {
     }
 }
 
+/// RF-coupling graph over abstract node indices, partitioned into
+/// connected components by union-find.
+///
+/// [`ClusteredControl`] partitions elements by *wiring* — who shares a
+/// panel bus. Campus-scale scheduling needs the orthogonal cut: who is
+/// *RF-coupled* to whom. Callers add one node per unit of work (links,
+/// elements — the graph is index-based and deliberately knows nothing
+/// about either) and an edge per coupling relation (shared reachable
+/// array element, co-channel proximity); [`components`](Self::components)
+/// then yields the independent shards a scheduler may optimize in
+/// parallel.
+///
+/// Determinism: components are returned sorted by their smallest member,
+/// members ascending — a pure function of the edge *set*, independent of
+/// the order edges were added.
+#[derive(Debug, Clone)]
+pub struct CouplingGraph {
+    /// Union-find parent per node (path-halving on find).
+    parent: Vec<usize>,
+}
+
+impl CouplingGraph {
+    /// A graph of `n` isolated nodes.
+    pub fn new(n: usize) -> CouplingGraph {
+        CouplingGraph {
+            parent: (0..n).collect(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.parent.len()
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Declares nodes `a` and `b` RF-coupled (undirected). Panics if
+    /// either index is out of range.
+    pub fn couple(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Root toward the smaller index so component identity is
+            // stable regardless of edge insertion order.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+
+    /// Whether `a` and `b` currently share a component.
+    pub fn coupled(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// The connected components, sorted by smallest member, members
+    /// ascending. Isolated nodes come back as singleton components.
+    pub fn components(&mut self) -> Vec<Vec<usize>> {
+        let n = self.n_nodes();
+        let mut by_root: Vec<(usize, usize)> = (0..n).map(|x| (self.find(x), x)).collect();
+        by_root.sort_unstable();
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        for (root, node) in by_root {
+            match out.last_mut() {
+                // Roots are always the smallest member of their component,
+                // so a new root starts a new (already ordered) group.
+                Some(group) if group[0] == root => group.push(node),
+                _ => out.push(vec![node]),
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +202,37 @@ mod tests {
 
     fn assignments(n: u16) -> Vec<(u16, u8)> {
         (0..n).map(|e| (e, 1)).collect()
+    }
+
+    #[test]
+    fn isolated_nodes_are_singleton_components() {
+        let mut g = CouplingGraph::new(3);
+        assert_eq!(g.components(), vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn components_are_transitive_and_sorted() {
+        let mut g = CouplingGraph::new(6);
+        g.couple(4, 1);
+        g.couple(1, 5);
+        g.couple(3, 2);
+        assert!(g.coupled(4, 5), "coupling is transitive");
+        assert!(!g.coupled(0, 1));
+        assert_eq!(g.components(), vec![vec![0], vec![1, 4, 5], vec![2, 3]]);
+    }
+
+    #[test]
+    fn components_are_independent_of_edge_order() {
+        let edges = [(0usize, 3usize), (3, 7), (2, 5), (5, 6), (1, 4)];
+        let mut fwd = CouplingGraph::new(8);
+        for &(a, b) in &edges {
+            fwd.couple(a, b);
+        }
+        let mut rev = CouplingGraph::new(8);
+        for &(a, b) in edges.iter().rev() {
+            rev.couple(b, a);
+        }
+        assert_eq!(fwd.components(), rev.components());
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod transport;
 pub use actuation::{
     actuate, actuate_traced, actuate_with, fits_coherence, AckPolicy, ActuationReport, RttEstimator,
 };
-pub use clusters::ClusteredControl;
+pub use clusters::{ClusteredControl, CouplingGraph};
 pub use des::{
     simulate_actuation, simulate_actuation_traced, simulate_actuation_with, BackoffConfig,
     DesConfig, DesReport, TraceEvent,

@@ -354,6 +354,39 @@ impl SpaceMetrics {
         }
     }
 
+    /// Registers a link row mid-campaign (a client associating under
+    /// churn). A fresh zeroed row is appended; if the id is already
+    /// present the call only refreshes its label, so replaying a churn
+    /// schedule over a warm registry is idempotent. Earlier shared
+    /// actuations are *not* back-attributed — the new row records only
+    /// the control-plane behavior the link actually experienced.
+    pub fn add_link(&mut self, id: u32, label: &str) {
+        match self.links.iter_mut().find(|(i, _, _)| *i == id) {
+            Some((_, l, _)) => {
+                if l != label {
+                    *l = label.to_string();
+                }
+            }
+            None => self
+                .links
+                .push((id, label.to_string(), ControlMetrics::new())),
+        }
+    }
+
+    /// Records one shared actuation for a subset of the registry: merged
+    /// once into the wire-truth row but attributed only to the link rows
+    /// whose ids appear in `ids` — the churn-aware variant of
+    /// [`record_shared`](Self::record_shared), for episodes where some
+    /// registered rows belong to links that had already left the space.
+    pub fn record_shared_for(&mut self, ids: &[u32], actuation: &ControlMetrics) {
+        self.space.merge(actuation);
+        for (id, _, m) in &mut self.links {
+            if ids.contains(id) {
+                m.merge(actuation);
+            }
+        }
+    }
+
     /// Merges another registry into this one. Link rows are matched by id;
     /// ids unknown to `self` are appended.
     pub fn merge(&mut self, other: &SpaceMetrics) {
@@ -540,6 +573,34 @@ mod tests {
         }
         assert_eq!(sm.csv_rows().len(), 3, "2 links + 1 space row");
         assert!(sm.csv_rows().last().unwrap().starts_with("space,"));
+    }
+
+    #[test]
+    fn space_metrics_survive_churn() {
+        let mut sm = SpaceMetrics::new(&[(0, "a".into()), (1, "b".into())]);
+        let mut act = ControlMetrics::new();
+        act.frames_tx = 3;
+        act.actuations = 1;
+        sm.record_shared(&act);
+
+        // Link 1 leaves, a new client gets the next id.
+        sm.add_link(2, "c");
+        assert_eq!(sm.links.len(), 3);
+        // No back-attribution: the newcomer's row starts zeroed.
+        assert_eq!(sm.links[2].2.frames_tx, 0);
+
+        // The next episode serves only the survivors.
+        sm.record_shared_for(&[0, 2], &act);
+        assert_eq!(sm.space.frames_tx, 6, "wire truth counts every frame");
+        assert_eq!(sm.links[0].2.frames_tx, 6);
+        assert_eq!(sm.links[1].2.frames_tx, 3, "departed link's row froze");
+        assert_eq!(sm.links[2].2.frames_tx, 3);
+
+        // Re-adding an existing id is a label refresh, not a reset.
+        sm.add_link(0, "a-roamed");
+        assert_eq!(sm.links.len(), 3);
+        assert_eq!(sm.links[0].1, "a-roamed");
+        assert_eq!(sm.links[0].2.frames_tx, 6);
     }
 
     #[test]

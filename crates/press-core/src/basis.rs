@@ -466,6 +466,39 @@ impl LinkBasis {
         }
     }
 
+    /// RF coupling of one element to this link: the energy of the
+    /// element's strongest state column relative to the static environment
+    /// energy, in dB.
+    ///
+    /// This is the reachability measure campus sharding partitions on — an
+    /// element behind a concrete slab contributes tens of dB less than the
+    /// environment and can be handed to another shard without moving the
+    /// link's score. Returns `-inf` for an element whose every state is
+    /// absent (absorber-only, below the trace floor) and `+inf` in the
+    /// degenerate zero-environment case where any reachable element
+    /// dominates.
+    pub fn element_coupling_db(&self, element: usize) -> f64 {
+        let mut env_energy = 0.0f64;
+        for h in &self.env_static {
+            env_energy += h.norm_sqr();
+        }
+        let m = self.space.states_per_element[element];
+        let mut strongest = 0.0f64;
+        for s in 0..m {
+            let col = self.state_offsets[element] + s;
+            if !self.col_present[col] {
+                continue;
+            }
+            let r = col * self.n_k..(col + 1) * self.n_k;
+            let mut e = 0.0f64;
+            for (&re, &im) in self.col_re[r.clone()].iter().zip(&self.col_im[r]) {
+                e += re * re + im * im;
+            }
+            strongest = strongest.max(e);
+        }
+        10.0 * (strongest / env_energy).log10()
+    }
+
     /// The environment-only response at elapsed time `t_s` (no element
     /// contribution), into a caller-owned buffer — the inverse problem's
     /// "base" channel.

@@ -32,7 +32,8 @@
 
 use crate::config::Configuration;
 use crate::search::{self, SearchResult, SearchStep};
-use crate::space::{link_stream_seed, LinkId, SmartSpace};
+use crate::space::{link_stream_seed, LinkId, SmartSpace, SpaceScratch};
+use press_control::CouplingGraph;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -154,15 +155,245 @@ where
     let config_space = space.config_space();
     let stream = link_stream_seed(seed, lead, 0);
     let mut rng = StdRng::seed_from_u64(stream);
+    let mut scratch = SpaceScratch::new();
     search::simulated_annealing_observed(
         &config_space,
         budget.max(1),
         T0,
         T1,
         &mut rng,
-        |c| space.oracle_score_of(ids, c),
+        |c| space.oracle_score_of_scratch(ids, c, &mut scratch),
         on_step,
     )
+}
+
+/// One RF-coupled cluster of a campus-scale space: the links it scores
+/// and the array elements it owns. Produced by [`shard_space`], consumed
+/// by [`optimize_sharded`] / [`optimize_sharded_parallel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shard {
+    /// The shard's links, ascending by id. Never empty.
+    pub links: Vec<LinkId>,
+    /// Array element indices this shard owns (ascending). Disjoint across
+    /// shards by construction; possibly empty when no element couples to
+    /// the shard's links above the floor.
+    pub elements: Vec<usize>,
+}
+
+/// Partitions the registry into RF-coupled shards over shared-array /
+/// shared-band reachability, via the
+/// [`CouplingGraph`] partitioner.
+///
+/// Two coupling relations feed the graph:
+///
+/// * **shared array** — element `e` couples to link `l` when the
+///   element's strongest state column carries at least
+///   `coupling_floor_db` (relative to the link's environment energy,
+///   see [`LinkBasis::element_coupling_db`](crate::basis::LinkBasis::element_coupling_db)).
+///   Links reaching a common element are transitively merged, and each
+///   reachable element is owned by exactly one shard.
+/// * **shared band** — two links on the *same frequency grid* whose
+///   endpoints come within `co_channel_reach_m` meters are merged even
+///   without a shared element (the conservative co-channel guard; pass
+///   `0.0` to disable).
+///
+/// Shards come back ordered by their lowest link id, links and elements
+/// ascending — a pure function of the registry, independent of any
+/// insertion order. Elements below the floor for *every* link belong to
+/// no shard and stay at the merge base state.
+pub fn shard_space(
+    space: &SmartSpace,
+    coupling_floor_db: f64,
+    co_channel_reach_m: f64,
+) -> Vec<Shard> {
+    let links = space.links();
+    let n_links = links.len();
+    let n_elements = space.config_space().n_elements();
+    // Bipartite union-find: link nodes first, element nodes after.
+    let mut graph = CouplingGraph::new(n_links + n_elements);
+    for (li, sl) in links.iter().enumerate() {
+        for e in 0..n_elements {
+            if sl.basis.element_coupling_db(e) >= coupling_floor_db {
+                graph.couple(li, n_links + e);
+            }
+        }
+    }
+    if co_channel_reach_m > 0.0 {
+        for (a, sa) in links.iter().enumerate() {
+            for (b, sb) in links.iter().enumerate().skip(a + 1) {
+                if sa.basis.freqs_hz() != sb.basis.freqs_hz() {
+                    continue;
+                }
+                let (atx, arx) = (sa.sounder.tx.node.position, sa.sounder.rx.node.position);
+                let (btx, brx) = (sb.sounder.tx.node.position, sb.sounder.rx.node.position);
+                let d = (atx - btx)
+                    .norm()
+                    .min((atx - brx).norm())
+                    .min((arx - btx).norm())
+                    .min((arx - brx).norm());
+                if d <= co_channel_reach_m {
+                    graph.couple(a, b);
+                }
+            }
+        }
+    }
+    graph
+        .components()
+        .into_iter()
+        .filter(|comp| comp[0] < n_links)
+        .map(|comp| {
+            let mut shard = Shard {
+                links: Vec::new(),
+                elements: Vec::new(),
+            };
+            for m in comp {
+                if m < n_links {
+                    shard.links.push(links[m].id);
+                } else {
+                    shard.elements.push(m - n_links);
+                }
+            }
+            shard
+        })
+        .collect()
+}
+
+/// Outcome of a sharded optimization: the per-shard searches plus the
+/// merged full-array configuration they stitch into.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedResult {
+    /// Per-shard search results, in shard order. Each `best` is a
+    /// full-width configuration with the shard's non-owned elements at
+    /// the merge base (state 0).
+    pub per_shard: Vec<SearchResult>,
+    /// The merged configuration: each element takes its owning shard's
+    /// state; unowned elements stay at state 0.
+    pub merged: Configuration,
+    /// Full-registry weighted oracle score of `merged` — directly
+    /// comparable to [`optimize_joint`]'s score.
+    pub merged_score: f64,
+}
+
+/// Optimizes each shard independently — the campus-scale scheduler.
+///
+/// Each shard anneals over *its own elements only* (every other element
+/// pinned at state 0), scoring its own links through the registry, on the
+/// RNG stream `link_stream_seed(seed, lowest link id, 0)` — the same
+/// stream discipline [`optimize_hybrid`] uses, so shard results do not
+/// depend on how many other shards exist. The per-shard bests are then
+/// stitched by element ownership into one full-array configuration.
+///
+/// The degenerate single-shard case (all links, all elements) is
+/// bit-identical to [`optimize_joint`].
+pub fn optimize_sharded(
+    space: &SmartSpace,
+    shards: &[Shard],
+    budget: usize,
+    seed: u64,
+) -> ShardedResult {
+    let per_shard: Vec<SearchResult> = shards
+        .iter()
+        .map(|sh| optimize_shard(space, sh, budget, seed))
+        .collect();
+    merge_sharded(space, shards, per_shard)
+}
+
+/// [`optimize_sharded`] over `n_threads` scoped worker threads, shards
+/// dealt round-robin. Shard searches are already independent (own RNG
+/// stream, own scratch), so the result is **bit-identical** to the serial
+/// scheduler at any thread count.
+pub fn optimize_sharded_parallel(
+    space: &SmartSpace,
+    shards: &[Shard],
+    budget: usize,
+    seed: u64,
+    n_threads: usize,
+) -> ShardedResult {
+    assert!(n_threads > 0, "need at least one thread");
+    let mut per_shard: Vec<Option<SearchResult>> = vec![None; shards.len()];
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads.min(shards.len().max(1)))
+            .map(|w| {
+                scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    let mut si = w;
+                    while si < shards.len() {
+                        local.push((si, optimize_shard(space, &shards[si], budget, seed)));
+                        si += n_threads;
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (si, r) in h.join().expect("shard worker panicked") {
+                per_shard[si] = Some(r);
+            }
+        }
+    })
+    .expect("shard scope");
+    let per_shard = per_shard
+        .into_iter()
+        .map(|r| r.expect("every shard optimized"))
+        .collect();
+    merge_sharded(space, shards, per_shard)
+}
+
+/// Anneals one shard over its owned elements on its own RNG stream.
+fn optimize_shard(space: &SmartSpace, shard: &Shard, budget: usize, seed: u64) -> SearchResult {
+    let lead = *shard
+        .links
+        .iter()
+        .min()
+        .expect("shard must own at least one link");
+    let config_space = space.config_space();
+    let base = Configuration::zeros(config_space.n_elements());
+    let mut space_scratch = SpaceScratch::new();
+    if shard.elements.is_empty() {
+        // Nothing to tune: the shard rides the base configuration.
+        let score = space.oracle_score_of_scratch(&shard.links, &base, &mut space_scratch);
+        return SearchResult {
+            best: base,
+            score,
+            evaluations: 1,
+        };
+    }
+    let stream = link_stream_seed(seed, lead, 0);
+    let mut rng = StdRng::seed_from_u64(stream);
+    let mut scratch = search::SearchScratch::new();
+    search::simulated_annealing_embedded(
+        &config_space,
+        &shard.elements,
+        &base,
+        budget.max(1),
+        T0,
+        T1,
+        &mut rng,
+        &mut scratch,
+        |c| space.oracle_score_of_scratch(&shard.links, c, &mut space_scratch),
+        |_| {},
+    )
+}
+
+/// Stitches per-shard bests into the merged configuration by element
+/// ownership and scores it over the full registry.
+fn merge_sharded(
+    space: &SmartSpace,
+    shards: &[Shard],
+    per_shard: Vec<SearchResult>,
+) -> ShardedResult {
+    let mut merged = Configuration::zeros(space.config_space().n_elements());
+    for (shard, result) in shards.iter().zip(&per_shard) {
+        for &e in &shard.elements {
+            merged.states[e] = result.best.states[e];
+        }
+    }
+    let merged_score = space.oracle_score(&merged);
+    ShardedResult {
+        per_shard,
+        merged,
+        merged_score,
+    }
 }
 
 /// Outcome of the agility-vs-optimization comparison.
@@ -342,6 +573,109 @@ mod tests {
         let report = compare_agility(&space, 60, 2e-3, 1.8e-3, 1);
         assert!(report.joint_mbps > 0.0);
         assert!(!report.agility_wins(), "{report:?}");
+    }
+
+    /// The default 2-floor campus, one space. The −75 dB coupling floor
+    /// sits between the same-floor couplings (−34…−76 dB on this seed)
+    /// and the concrete-slab-attenuated cross-floor ones (−80 dB and
+    /// below), so the graph decomposes exactly per floor.
+    fn campus_space() -> SmartSpace {
+        use press_propagation::{Campus, CampusConfig};
+        let campus = Campus::generate(&CampusConfig::default(), 1);
+        SmartSpace::campus(&campus, LinkObjective::MaxMeanSnr)
+    }
+    const CAMPUS_FLOOR_DB: f64 = -75.0;
+
+    #[test]
+    fn campus_shards_decompose_per_floor() {
+        let space = campus_space();
+        let shards = shard_space(&space, CAMPUS_FLOOR_DB, 0.0);
+        assert_eq!(shards.len(), 2, "{shards:?}");
+        for (shard, floor) in shards.iter().zip(["f0", "f1"]) {
+            assert_eq!(shard.links.len(), 6);
+            for &id in &shard.links {
+                assert!(
+                    space.link(id).label.starts_with(floor),
+                    "link {id} ({}) landed in the {floor} shard",
+                    space.link(id).label
+                );
+            }
+        }
+        // Element ownership is disjoint and covers the array.
+        assert_eq!(shards[0].elements, (0..8).collect::<Vec<_>>());
+        assert_eq!(shards[1].elements, (8..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn co_channel_reach_merges_same_band_shards() {
+        let space = campus_space();
+        assert_eq!(shard_space(&space, CAMPUS_FLOOR_DB, 0.0).len(), 2);
+        // Every campus link shares the Wi-Fi 20 MHz grid, so an
+        // unbounded co-channel reach collapses the partition.
+        let merged = shard_space(&space, CAMPUS_FLOOR_DB, 1e6);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].links.len(), space.n_links());
+    }
+
+    #[test]
+    fn sharded_single_shard_matches_joint_bitwise() {
+        let space = two_link_space();
+        let shard = Shard {
+            links: space.link_ids(),
+            elements: (0..space.config_space().n_elements()).collect(),
+        };
+        let sharded = optimize_sharded(&space, &[shard], 60, 7);
+        let joint = optimize_joint(&space, 60, 7);
+        assert_eq!(sharded.per_shard, vec![joint.clone()]);
+        assert_eq!(sharded.merged, joint.best);
+        assert_eq!(sharded.merged_score, joint.score);
+    }
+
+    #[test]
+    fn sharded_parallel_matches_serial_at_any_thread_count() {
+        let space = campus_space();
+        let shards = shard_space(&space, CAMPUS_FLOOR_DB, 0.0);
+        let serial = optimize_sharded(&space, &shards, 40, 3);
+        for threads in [1, 2, 5] {
+            assert_eq!(
+                optimize_sharded_parallel(&space, &shards, 40, 3, threads),
+                serial,
+                "thread count {threads} perturbed the sharded result"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_harmonization_within_5pct_of_unsharded_oracle() {
+        // The ISSUE's acceptance bar: per-shard local search (equal total
+        // budget) harmonizes within 5% of the joint full-array anneal.
+        let space = campus_space();
+        let shards = shard_space(&space, CAMPUS_FLOOR_DB, 0.0);
+        let budget = 150;
+        let sharded = optimize_sharded_parallel(&space, &shards, budget, 5, 4);
+        let joint = optimize_joint(&space, budget * shards.len(), 5);
+        assert!(
+            sharded.merged_score >= joint.score - 0.05 * joint.score.abs(),
+            "sharded {} vs joint {}",
+            sharded.merged_score,
+            joint.score
+        );
+    }
+
+    #[test]
+    fn elementless_shard_rides_the_base_configuration() {
+        let space = two_link_space();
+        let shard = Shard {
+            links: space.link_ids(),
+            elements: Vec::new(),
+        };
+        let r = optimize_sharded(&space, std::slice::from_ref(&shard), 50, 1);
+        let base = Configuration::zeros(space.config_space().n_elements());
+        assert_eq!(r.merged, base);
+        assert_eq!(
+            r.per_shard[0].score,
+            space.oracle_score_of(&shard.links, &base)
+        );
     }
 
     #[test]

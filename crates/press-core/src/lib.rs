@@ -62,7 +62,8 @@ pub use controller::{
 pub use inverse::{InverseSolution, InverseSolver, PressDictionary, RecoveredPath};
 pub use joint::{
     compare_agility, optimize_hybrid, optimize_hybrid_observed, optimize_joint,
-    optimize_joint_observed, optimize_per_link, optimize_per_link_observed, AgilityReport,
+    optimize_joint_observed, optimize_per_link, optimize_per_link_observed, optimize_sharded,
+    optimize_sharded_parallel, shard_space, AgilityReport, Shard, ShardedResult,
 };
 pub use measurement::{
     run_campaign, run_campaign_over, run_campaign_parallel, CampaignConfig, CampaignResult,
@@ -71,9 +72,11 @@ pub use objective::{harmonization_score, mimo_conditioning_score, partition_scor
 pub use placement::{greedy_placement, random_placement_baseline, PlacementResult};
 pub use search::{
     exhaustive_batched, exhaustive_parallel_batched, genetic_batched, hierarchical_groups,
-    hierarchical_groups_scratch, simulated_annealing_scratch, GeneticParams, SearchResult,
-    SearchScratch, SearchStep,
+    hierarchical_groups_scratch, simulated_annealing_embedded, simulated_annealing_scratch,
+    GeneticParams, SearchResult, SearchScratch, SearchStep,
 };
-pub use space::{link_stream_seed, LinkId, SmartSpace, SpaceBatchScorer, SpaceLink};
+pub use space::{
+    link_stream_seed, ChurnEvent, LinkId, SmartSpace, SpaceBatchScorer, SpaceLink, SpaceScratch,
+};
 pub use system::{CachedLink, PressSystem};
 pub use tracking::{track_mobile_client, LinearPatrol, TrackingConfig, TrackingReport};

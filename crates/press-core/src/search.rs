@@ -698,6 +698,67 @@ where
     }
 }
 
+/// [`simulated_annealing_scratch`] restricted to the sub-space spanned by
+/// `dims` of `space`: moves mutate only the listed elements, every other
+/// element stays pinned at `base`'s state, and the evaluator always sees
+/// a full-width configuration (as does the returned best).
+///
+/// With `dims` covering every element in ascending order this is
+/// bit-identical to the unrestricted annealer — the degenerate case the
+/// sharded scheduler pins in its tests: the sub-space has the same
+/// radices, so the RNG is consumed identically, and the embedding is the
+/// identity. With a strict subset it is the shard-local search: the whole
+/// budget explores only the dimensions the shard owns.
+///
+/// `dims` must be non-empty and free of duplicates; indices must be in
+/// range for `space`.
+#[allow(clippy::too_many_arguments)]
+pub fn simulated_annealing_embedded<F, R, O>(
+    space: &ConfigSpace,
+    dims: &[usize],
+    base: &Configuration,
+    iterations: usize,
+    t_start: f64,
+    t_end: f64,
+    rng: &mut R,
+    scratch: &mut SearchScratch,
+    mut eval: F,
+    on_step: O,
+) -> SearchResult
+where
+    F: FnMut(&Configuration) -> f64,
+    R: Rng + ?Sized,
+    O: FnMut(&SearchStep),
+{
+    assert!(!dims.is_empty(), "embedded search needs at least one dim");
+    assert_eq!(base.len(), space.n_elements(), "base/space size mismatch");
+    let sub = ConfigSpace::new(dims.iter().map(|&d| space.states_per_element[d]).collect());
+    let mut full = base.clone();
+    let result = simulated_annealing_scratch(
+        &sub,
+        iterations,
+        t_start,
+        t_end,
+        rng,
+        scratch,
+        |c| {
+            for (k, &d) in dims.iter().enumerate() {
+                full.states[d] = c.states[k];
+            }
+            eval(&full)
+        },
+        on_step,
+    );
+    for (k, &d) in dims.iter().enumerate() {
+        full.states[d] = result.best.states[k];
+    }
+    SearchResult {
+        best: full,
+        score: result.score,
+        evaluations: result.evaluations,
+    }
+}
+
 /// Hekaton-style hierarchical group search (§4.1: "we might divide the
 /// elements into groups, to harness diversity or power gains within each
 /// group and multiplex across groups").
@@ -1337,6 +1398,64 @@ mod tests {
             );
             assert_eq!(reused, fresh, "seed = {seed}");
         }
+    }
+
+    #[test]
+    fn embedded_annealing_with_all_dims_matches_plain_bitwise() {
+        // Identity embedding: `dims` covering every element in order gives
+        // the same sub-space radices, so the RNG stream and every accept
+        // decision replay exactly.
+        let sp = space();
+        let mut scratch = SearchScratch::new();
+        for seed in [2u64, 11, 29] {
+            let plain = simulated_annealing(
+                &sp,
+                120,
+                4.0,
+                0.02,
+                &mut StdRng::seed_from_u64(seed),
+                objective,
+            );
+            let embedded = simulated_annealing_embedded(
+                &sp,
+                &[0, 1, 2],
+                &Configuration::zeros(3),
+                120,
+                4.0,
+                0.02,
+                &mut StdRng::seed_from_u64(seed),
+                &mut scratch,
+                objective,
+                |_| {},
+            );
+            assert_eq!(embedded, plain, "seed = {seed}");
+        }
+    }
+
+    #[test]
+    fn embedded_annealing_pins_excluded_dims_to_base() {
+        let sp = ConfigSpace::new(vec![4, 4, 4, 4]);
+        let base = Configuration::new(vec![1, 0, 3, 0]);
+        let mut scratch = SearchScratch::new();
+        let r = simulated_annealing_embedded(
+            &sp,
+            &[1, 3],
+            &base,
+            80,
+            4.0,
+            0.02,
+            &mut StdRng::seed_from_u64(9),
+            &mut scratch,
+            |c| {
+                assert_eq!(c.states[0], 1, "pinned dim 0 moved");
+                assert_eq!(c.states[2], 3, "pinned dim 2 moved");
+                objective4(c)
+            },
+            |_| {},
+        );
+        assert_eq!(r.best.states[0], 1);
+        assert_eq!(r.best.states[2], 3);
+        assert_eq!(r.best.len(), 4);
     }
 
     #[test]

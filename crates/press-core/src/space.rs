@@ -33,12 +33,16 @@ use crate::objective::LinkObjective;
 use crate::search::derive_stream_seed;
 use crate::system::{CachedLink, PressSystem};
 use press_math::Complex64;
+use press_propagation::RadioNode;
 use press_sdr::Sounder;
 
 /// Identity of one link in a [`SmartSpace`] registry.
 ///
-/// Ids are dense and assigned in registration order starting at 0; they
-/// label per-link reports, metrics rows and CSV exports.
+/// Ids are assigned in registration order starting at 0 and are **stable
+/// across churn**: removing a link never renumbers the others, and a
+/// departed id is never reissued. They label per-link reports, metrics
+/// rows and CSV exports. Resolution from id to registry slot goes through
+/// the space's id→index map — never index `links()[id.0]` directly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkId(pub u32);
 
@@ -71,7 +75,8 @@ pub fn link_stream_seed(seed: u64, id: LinkId, stream: u64) -> u64 {
 /// space-wide objective.
 #[derive(Debug, Clone)]
 pub struct SpaceLink {
-    /// Registry identity (dense, registration order).
+    /// Registry identity: issued in registration order, stable across
+    /// churn, never reissued (ids of removed links stay retired).
     pub id: LinkId,
     /// Human-readable label carried into reports and CSV exports.
     pub label: String,
@@ -95,12 +100,37 @@ pub struct SpaceLink {
 /// pair (see the module docs); [`env_traces`](Self::env_traces) and
 /// [`basis_builds`](Self::basis_builds) count the work actually done so
 /// tests can assert the sharing.
+///
+/// The registry survives **churn**: [`remove_link`](Self::remove_link)
+/// keeps every other id stable (the id→index map absorbs the shift), and
+/// the departed link's environment trace + basis are stashed in a pair
+/// cache so re-association to a known endpoint pair clones them back
+/// instead of re-walking the scene. Invalidation stays *incremental*: a
+/// cached basis carries the [`CachedLink::revision`] it was built from,
+/// so only entries whose environment actually drifted are re-derived
+/// (by [`ensure_fresh`](Self::ensure_fresh)) — never the whole space.
 #[derive(Debug, Clone)]
 pub struct SmartSpace {
     system: PressSystem,
+    /// Live links, ascending by id (removal preserves order, ids are
+    /// issued monotonically).
     links: Vec<SpaceLink>,
+    /// id.0 → dense index into `links`; `None` once the id departed.
+    /// `index.len()` is the next id to issue.
+    index: Vec<Option<usize>>,
+    /// Traces + bases of departed endpoint pairs, for re-association.
+    pair_cache: Vec<PairEntry>,
     env_traces: usize,
     basis_builds: usize,
+}
+
+/// One departed endpoint pair's reusable caches.
+#[derive(Debug, Clone)]
+struct PairEntry {
+    key: [u64; 6],
+    link: CachedLink,
+    /// One basis per frequency grid this pair was ever sounded on.
+    bases: Vec<(Vec<f64>, LinkBasis)>,
 }
 
 /// Exact-position key of an endpoint pair (f64 bit patterns, so "same
@@ -125,6 +155,8 @@ impl SmartSpace {
         SmartSpace {
             system,
             links: Vec::new(),
+            index: Vec::new(),
+            pair_cache: Vec::new(),
             env_traces: 0,
             basis_builds: 0,
         }
@@ -138,13 +170,59 @@ impl SmartSpace {
         space
     }
 
+    /// Assembles the campus deployment: one PRESS array spanning every
+    /// doorway candidate (paper passive elements aimed at the candidates'
+    /// centroid), one WARP AP→client link per campus client on the
+    /// campus carrier's Wi-Fi 20 MHz grid, weight 1.0, labelled
+    /// `f<floor> r<room> c<client>`. Registration runs in (floor, room,
+    /// client) order, so ids follow
+    /// [`Campus::links`](press_propagation::Campus::links) order.
+    pub fn campus(campus: &press_propagation::Campus, objective: LinkObjective) -> SmartSpace {
+        use crate::array::PressArray;
+        use press_propagation::Vec3;
+        use press_sdr::SdrRadio;
+
+        let lambda = campus.scene.wavelength();
+        let n = campus.doorway_candidates.len().max(1) as f64;
+        let mut centroid = Vec3::new(0.0, 0.0, 0.0);
+        for p in &campus.doorway_candidates {
+            centroid = centroid + *p;
+        }
+        let aim = centroid * (1.0 / n);
+        let array = PressArray::paper_passive_aimed(&campus.doorway_candidates, lambda, aim);
+        let system = PressSystem::new(campus.scene.clone(), array);
+        let num = press_phy::Numerology::wifi20(campus.scene.carrier_hz);
+        let mut space = SmartSpace::new(system);
+        for room in &campus.rooms {
+            for (ci, client) in room.clients.iter().enumerate() {
+                let s = Sounder::new(
+                    num.clone(),
+                    SdrRadio::warp(room.ap.clone()),
+                    SdrRadio::warp(client.clone()),
+                );
+                space.add_link(
+                    &format!("f{} r{} c{}", room.floor, room.room, ci),
+                    s,
+                    objective,
+                    1.0,
+                );
+            }
+        }
+        space
+    }
+
     /// Registers a link and returns its [`LinkId`].
     ///
     /// The environment trace and basis build are skipped when an
     /// already-registered link shares this one's endpoint pair (and, for
     /// the basis, its frequency grid): the caches are cloned instead, so
     /// N-link setup walks the scene once per *pair*, not once per link or
-    /// per (pair × strategy).
+    /// per (pair × strategy). A departed pair's caches survive in the
+    /// pair cache, so re-association to a known pair is just as cheap —
+    /// `env_traces`/`basis_builds` do not grow.
+    ///
+    /// A live link takes precedence over the pair cache (it carries any
+    /// drift applied since the cached copy was stashed).
     pub fn add_link(
         &mut self,
         label: &str,
@@ -152,12 +230,17 @@ impl SmartSpace {
         objective: LinkObjective,
         weight: f64,
     ) -> LinkId {
-        let id = LinkId(self.links.len() as u32);
+        let id = LinkId(self.index.len() as u32);
         let key = pair_key(&sounder);
         let reused = self.links.iter().find(|sl| pair_key(&sl.sounder) == key);
-        let link = match reused {
-            Some(sl) => sl.link.clone(),
-            None => {
+        let cached = match reused {
+            Some(_) => None,
+            None => self.pair_cache.iter().find(|e| e.key == key),
+        };
+        let link = match (reused, cached) {
+            (Some(sl), _) => sl.link.clone(),
+            (None, Some(e)) => e.link.clone(),
+            (None, None) => {
                 self.env_traces += 1;
                 CachedLink::trace(
                     &self.system,
@@ -166,15 +249,22 @@ impl SmartSpace {
                 )
             }
         };
-        let basis = match reused
-            .filter(|sl| sl.basis.freqs_hz() == sounder.num.active_freqs_hz().as_slice())
-        {
-            Some(sl) => sl.basis.clone(),
-            None => {
+        let freqs = sounder.num.active_freqs_hz();
+        let live_basis = reused.filter(|sl| sl.basis.freqs_hz() == freqs.as_slice());
+        let cached_basis = cached.and_then(|e| {
+            e.bases
+                .iter()
+                .find(|(f, _)| f.as_slice() == freqs.as_slice())
+        });
+        let basis = match (live_basis, cached_basis) {
+            (Some(sl), _) => sl.basis.clone(),
+            (None, Some((_, b))) => b.clone(),
+            (None, None) => {
                 self.basis_builds += 1;
                 LinkBasis::for_numerology(&self.system, &link, &sounder.num)
             }
         };
+        self.index.push(Some(self.links.len()));
         self.links.push(SpaceLink {
             id,
             label: label.to_string(),
@@ -187,19 +277,89 @@ impl SmartSpace {
         id
     }
 
+    /// Deregisters a link, returning it. Every other id stays valid and
+    /// keeps its registry order; the departed id is never reissued.
+    ///
+    /// The link's environment trace and basis move into the pair cache,
+    /// so a later re-association to the same endpoint pair (a client
+    /// roaming back, say) clones them instead of re-walking the scene. A
+    /// cached basis keeps the `CachedLink` revision it was built from, so
+    /// staleness is detected per entry (`ensure_fresh`), not by flushing
+    /// the space. Panics on an unknown or already-removed id.
+    pub fn remove_link(&mut self, id: LinkId) -> SpaceLink {
+        let idx = self
+            .index
+            .get(id.0 as usize)
+            .copied()
+            .flatten()
+            .unwrap_or_else(|| panic!("link {id} is not registered (unknown or removed)"));
+        let sl = self.links.remove(idx);
+        self.index[id.0 as usize] = None;
+        for (i, live) in self.links.iter().enumerate().skip(idx) {
+            self.index[live.id.0 as usize] = Some(i);
+        }
+        let key = pair_key(&sl.sounder);
+        let freqs = sl.basis.freqs_hz().to_vec();
+        match self.pair_cache.iter_mut().find(|e| e.key == key) {
+            Some(e) => {
+                e.link = sl.link.clone();
+                match e.bases.iter_mut().find(|(f, _)| f == &freqs) {
+                    Some((_, b)) => b.clone_from(&sl.basis),
+                    None => e.bases.push((freqs, sl.basis.clone())),
+                }
+            }
+            None => self.pair_cache.push(PairEntry {
+                key,
+                link: sl.link.clone(),
+                bases: vec![(freqs, sl.basis.clone())],
+            }),
+        }
+        sl
+    }
+
+    /// Re-associates a link at a new client endpoint: deregisters `id`
+    /// and registers the same label / radios / numerology / objective /
+    /// weight against `to`, returning the fresh id. The node's velocity
+    /// carries into the new sounder, so a roaming client keeps its
+    /// Doppler signature.
+    pub fn roam_link(&mut self, id: LinkId, to: RadioNode) -> LinkId {
+        let old = self.remove_link(id);
+        let mut sounder = old.sounder;
+        sounder.rx.node = to;
+        self.add_link(&old.label, sounder, old.objective, old.weight)
+    }
+
     /// The shared scene + array.
     pub fn system(&self) -> &PressSystem {
         &self.system
     }
 
-    /// The registered links, in [`LinkId`] order.
+    /// The registered links, in [`LinkId`] order. Under churn the ids are
+    /// ascending but not necessarily dense — resolve ids through
+    /// [`link`](Self::link) / [`try_link`](Self::try_link), not by
+    /// indexing this slice with `id.0`.
     pub fn links(&self) -> &[SpaceLink] {
         &self.links
     }
 
-    /// One link by id (panics on an unknown id — registry ids are dense).
+    /// The live link ids, ascending.
+    pub fn link_ids(&self) -> Vec<LinkId> {
+        self.links.iter().map(|sl| sl.id).collect()
+    }
+
+    /// One link by id, resolved through the id→index map. Ids stay valid
+    /// across removal of *other* links; panics on an id that was never
+    /// issued or has been removed (see [`try_link`](Self::try_link) for
+    /// the non-panicking form).
     pub fn link(&self, id: LinkId) -> &SpaceLink {
-        &self.links[id.0 as usize]
+        self.try_link(id)
+            .unwrap_or_else(|| panic!("link {id} is not registered (unknown or removed)"))
+    }
+
+    /// One link by id, or `None` for an unknown / removed id.
+    pub fn try_link(&self, id: LinkId) -> Option<&SpaceLink> {
+        let idx = self.index.get(id.0 as usize).copied().flatten()?;
+        Some(&self.links[idx])
     }
 
     /// Number of registered links.
@@ -243,39 +403,96 @@ impl SmartSpace {
     /// the traced path list, so these scores match the historical
     /// path-based `JointProblem` scoring exactly.
     pub fn link_oracle_score(&self, id: LinkId, config: &Configuration) -> f64 {
+        self.link_oracle_score_scratch(id, config, &mut SpaceScratch::new())
+    }
+
+    /// [`link_oracle_score`](Self::link_oracle_score) over a caller-owned
+    /// [`SpaceScratch`]: the synthesis buffer lives in the arena, so a
+    /// warm scoring loop allocates nothing per call. Bit-identical to the
+    /// plain entry point.
+    pub fn link_oracle_score_scratch(
+        &self,
+        id: LinkId,
+        config: &Configuration,
+        scratch: &mut SpaceScratch,
+    ) -> f64 {
         let sl = self.link(id);
-        let mut h: Vec<Complex64> = Vec::with_capacity(sl.basis.n_subcarriers());
-        sl.basis.synthesize_into(config, 0.0, &mut h);
-        sl.objective.score(&sl.sounder.snr_from_channel(&h))
+        score_space_link(sl, config, scratch)
     }
 
     /// Per-link oracle scores of a configuration, in registry order
     /// (unweighted).
     pub fn per_link_oracle_scores(&self, config: &Configuration) -> Vec<f64> {
-        self.links
-            .iter()
-            .map(|sl| self.link_oracle_score(sl.id, config))
-            .collect()
+        let mut out = Vec::with_capacity(self.links.len());
+        self.per_link_oracle_scores_into(config, &mut SpaceScratch::new(), &mut out);
+        out
+    }
+
+    /// [`per_link_oracle_scores`](Self::per_link_oracle_scores) into
+    /// caller-owned buffers (`out` is cleared first). Allocation-free
+    /// when warm, bit-identical to the plain entry point.
+    pub fn per_link_oracle_scores_into(
+        &self,
+        config: &Configuration,
+        scratch: &mut SpaceScratch,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        for sl in &self.links {
+            out.push(score_space_link(sl, config, scratch));
+        }
     }
 
     /// Weighted space-wide oracle score: `Σ weightᵢ · objectiveᵢ(SNRᵢ)`,
     /// accumulated in registry order.
     pub fn oracle_score(&self, config: &Configuration) -> f64 {
-        self.links
-            .iter()
-            .map(|sl| sl.weight * self.link_oracle_score(sl.id, config))
-            .sum()
+        self.oracle_score_scratch(config, &mut SpaceScratch::new())
+    }
+
+    /// [`oracle_score`](Self::oracle_score) over a caller-owned
+    /// [`SpaceScratch`] — the inner-loop spelling every scalar searcher
+    /// threads its arena through. Bit-identical to the plain entry point.
+    pub fn oracle_score_scratch(&self, config: &Configuration, scratch: &mut SpaceScratch) -> f64 {
+        let mut acc = 0.0;
+        for sl in &self.links {
+            acc += sl.weight * score_space_link(sl, config, scratch);
+        }
+        acc
     }
 
     /// Weighted score over a subset of the registry (the grouped / hybrid
     /// scheduling building block). Links are scored in registry order
-    /// regardless of the order ids appear in `ids`.
+    /// regardless of the order ids appear in `ids`; duplicate ids count
+    /// once and unknown / removed ids are ignored.
     pub fn oracle_score_of(&self, ids: &[LinkId], config: &Configuration) -> f64 {
-        self.links
-            .iter()
-            .filter(|sl| ids.contains(&sl.id))
-            .map(|sl| sl.weight * self.link_oracle_score(sl.id, config))
-            .sum()
+        self.oracle_score_of_scratch(ids, config, &mut SpaceScratch::new())
+    }
+
+    /// [`oracle_score_of`](Self::oracle_score_of) over a caller-owned
+    /// [`SpaceScratch`]. Ids resolve through the id→index map into a
+    /// sorted dense-index list (`O((L_sub) log L_sub)`) instead of the
+    /// historical `O(links × ids)` membership scan; the visit order is
+    /// still registry order, so scores are bit-identical.
+    pub fn oracle_score_of_scratch(
+        &self,
+        ids: &[LinkId],
+        config: &Configuration,
+        scratch: &mut SpaceScratch,
+    ) -> f64 {
+        scratch.idx.clear();
+        for id in ids {
+            if let Some(i) = self.index.get(id.0 as usize).copied().flatten() {
+                scratch.idx.push(i);
+            }
+        }
+        scratch.idx.sort_unstable();
+        scratch.idx.dedup();
+        let mut acc = 0.0;
+        for k in 0..scratch.idx.len() {
+            let sl = &self.links[scratch.idx[k]];
+            acc += sl.weight * score_space_link(sl, config, scratch);
+        }
+        acc
     }
 
     /// A reusable batch scorer over the registry — the multi-link face of
@@ -283,6 +500,93 @@ impl SmartSpace {
     pub fn batch_scorer(&self) -> SpaceBatchScorer<'_> {
         SpaceBatchScorer::new(self)
     }
+
+    /// Applies one churn event to the registry, returning the affected
+    /// link's id: the freshly issued id for `Associate` / `Roam`, the
+    /// departed id for `Leave`.
+    pub fn apply_churn(&mut self, event: &ChurnEvent) -> LinkId {
+        match event {
+            ChurnEvent::Associate {
+                label,
+                sounder,
+                objective,
+                weight,
+            } => self.add_link(label, sounder.clone(), *objective, *weight),
+            ChurnEvent::Roam { id, to } => self.roam_link(*id, to.clone()),
+            ChurnEvent::Leave { id } => self.remove_link(*id).id,
+        }
+    }
+}
+
+/// Caller-owned scratch arena for the scalar space-scoring loops — the
+/// multi-link sibling of [`SearchScratch`](crate::search::SearchScratch).
+///
+/// `link_oracle_score` used to allocate a fresh synthesis buffer per
+/// call, which meant N allocations per candidate inside every scalar
+/// search loop. The `*_scratch` entry points thread this arena through
+/// instead: buffers grow on first use and are reused from then on. The
+/// plain entry points construct a temporary arena and stay bit-identical
+/// — the arena changes where bytes live, never which values are computed
+/// or in what order.
+#[derive(Debug, Default)]
+pub struct SpaceScratch {
+    /// Channel synthesis buffer (one link's `H[k]` at a time).
+    h: Vec<Complex64>,
+    /// Resolved dense-index buffer for subset scoring.
+    idx: Vec<usize>,
+}
+
+impl SpaceScratch {
+    /// An empty arena; buffers grow to the registry's working-set size on
+    /// first use.
+    pub fn new() -> Self {
+        SpaceScratch::default()
+    }
+}
+
+/// Scores one registered link under `config` through the arena's
+/// synthesis buffer — the shared kernel of every scalar scoring entry
+/// point.
+fn score_space_link(sl: &SpaceLink, config: &Configuration, scratch: &mut SpaceScratch) -> f64 {
+    sl.basis.synthesize_into(config, 0.0, &mut scratch.h);
+    sl.objective.score(&sl.sounder.snr_from_channel(&scratch.h))
+}
+
+/// One event in a churn schedule: the association dynamics of a campus —
+/// clients arriving, roaming between rooms (carrying their Doppler
+/// velocity), and leaving. Applied by [`SmartSpace::apply_churn`] and
+/// replayed deterministically by the controller's churn episodes.
+// Associate carries a whole Sounder; events are rare schedule data (a
+// handful per episode), so the size skew never matters and boxing would
+// only complicate construction.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum ChurnEvent {
+    /// A new client associates: register a link.
+    Associate {
+        /// Label for reports and CSV exports.
+        label: String,
+        /// The new link's sounder (radios + numerology).
+        sounder: Sounder,
+        /// Per-link scalar objective.
+        objective: LinkObjective,
+        /// Weight in the space-wide objective.
+        weight: f64,
+    },
+    /// An existing client re-associates at a new endpoint (same radios,
+    /// numerology, objective and weight; fresh id). The node's velocity
+    /// is the Doppler mobility input.
+    Roam {
+        /// The link to re-associate.
+        id: LinkId,
+        /// The client's new endpoint node (position + velocity).
+        to: RadioNode,
+    },
+    /// A client leaves: deregister its link.
+    Leave {
+        /// The link to deregister.
+        id: LinkId,
+    },
 }
 
 /// Scores batches of candidate configurations against the weighted
@@ -308,14 +612,19 @@ pub struct SpaceBatchScorer<'a> {
     links: Vec<LinkBatchScorer<'a>>,
     /// Per-link batch scores scratch, reused across links and calls.
     link_scores: Vec<f64>,
+    /// Sorted subset-id scratch, reused across calls.
+    wanted: Vec<u32>,
 }
+
+/// Boxed per-link batch metric: channel samples in, objective score out.
+type BatchMetric<'a> = Box<dyn FnMut(&[Complex64]) -> f64 + 'a>;
 
 /// One link's slice of a [`SpaceBatchScorer`].
 struct LinkBatchScorer<'a> {
     id: LinkId,
     weight: f64,
     eval: crate::basis::BatchEvaluator<'a>,
-    metric: Box<dyn FnMut(&[Complex64]) -> f64 + 'a>,
+    metric: BatchMetric<'a>,
 }
 
 impl<'a> SpaceBatchScorer<'a> {
@@ -336,6 +645,7 @@ impl<'a> SpaceBatchScorer<'a> {
                 })
                 .collect(),
             link_scores: Vec::new(),
+            wanted: Vec::new(),
         }
     }
 
@@ -357,17 +667,23 @@ impl<'a> SpaceBatchScorer<'a> {
     /// As [`oracle_scores_into`](Self::oracle_scores_into) over a subset of
     /// the registry, visiting links in registry order regardless of the
     /// order ids appear in `ids` — bitwise equal to
-    /// [`SmartSpace::oracle_score_of`] per candidate.
+    /// [`SmartSpace::oracle_score_of`] per candidate. Membership is a
+    /// binary search over a sorted scratch copy of `ids`, not a linear
+    /// scan per link.
     pub fn oracle_scores_of_into(
         &mut self,
         ids: &[LinkId],
         configs: &[Configuration],
         out: &mut Vec<f64>,
     ) {
+        self.wanted.clear();
+        self.wanted.extend(ids.iter().map(|id| id.0));
+        self.wanted.sort_unstable();
+        self.wanted.dedup();
         out.clear();
         out.resize(configs.len(), 0.0);
         for lb in &mut self.links {
-            if !ids.contains(&lb.id) {
+            if self.wanted.binary_search(&lb.id.0).is_err() {
                 continue;
             }
             lb.eval
@@ -551,5 +867,146 @@ mod tests {
             "exactly the drifted link refreshes"
         );
         assert_eq!(space.ensure_fresh(), 0);
+    }
+
+    #[test]
+    fn removal_keeps_ids_stable_and_never_reissues() {
+        let mut space = bench_space(3);
+        let gone = space.remove_link(LinkId(1));
+        assert_eq!(gone.id, LinkId(1));
+        assert_eq!(space.n_links(), 2);
+        assert_eq!(space.link_ids(), vec![LinkId(0), LinkId(2)]);
+        // Survivors resolve to themselves; the departed id is rejected.
+        assert_eq!(space.link(LinkId(2)).id, LinkId(2));
+        assert!(space.try_link(LinkId(1)).is_none());
+        // A new registration gets a fresh id, not the departed one.
+        let readd = space.add_link("back", gone.sounder, gone.objective, gone.weight);
+        assert_eq!(readd, LinkId(3));
+        assert_eq!(space.link(readd).id, LinkId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn link_panics_on_removed_id() {
+        let mut space = bench_space(2);
+        space.remove_link(LinkId(0));
+        let _ = space.link(LinkId(0));
+    }
+
+    #[test]
+    fn reassociation_to_known_pair_does_not_regrow_caches() {
+        let mut space = bench_space(3);
+        assert_eq!((space.env_traces(), space.basis_builds()), (3, 3));
+        // Leave and come back: the pair cache hands the trace + basis
+        // back, so neither counter moves.
+        let gone = space.remove_link(LinkId(1));
+        let back = space.add_link("rejoined", gone.sounder.clone(), gone.objective, 1.0);
+        assert_eq!(
+            (space.env_traces(), space.basis_builds()),
+            (3, 3),
+            "re-association to a known endpoint pair must not re-trace or rebuild"
+        );
+        // And the clone really is the same trace.
+        assert_eq!(
+            space.link(back).link.environment.len(),
+            gone.link.environment.len()
+        );
+        // Roaming to a *new* position is a genuinely new pair: one more
+        // trace, one more basis.
+        let roamed = space.roam_link(
+            back,
+            RadioNode::omni_at(
+                space.link(back).sounder.rx.node.position + Vec3::new(0.9, 0.0, 0.0),
+            ),
+        );
+        assert_eq!((space.env_traces(), space.basis_builds()), (4, 4));
+        // Roaming straight back is a cache hit again.
+        let home = gone.sounder.rx.node.clone();
+        space.roam_link(roamed, home);
+        assert_eq!((space.env_traces(), space.basis_builds()), (4, 4));
+    }
+
+    #[test]
+    fn subset_scoring_is_bitwise_equal_to_a_membership_scan() {
+        // The sorted-index subset path must reproduce the historical
+        // `ids.contains` filter bit for bit — including out-of-order,
+        // duplicate and unknown ids.
+        let mut space = bench_space(4);
+        space.links[2].weight = -0.75;
+        let config = Configuration::new(vec![1, 0, 2]);
+        let cases: Vec<Vec<LinkId>> = vec![
+            vec![LinkId(2), LinkId(0)],
+            vec![LinkId(3), LinkId(3), LinkId(1)],
+            vec![LinkId(9), LinkId(1)],
+            vec![],
+        ];
+        for ids in &cases {
+            let reference: f64 = space
+                .links()
+                .iter()
+                .filter(|sl| ids.contains(&sl.id))
+                .map(|sl| sl.weight * space.link_oracle_score(sl.id, &config))
+                .sum();
+            assert_eq!(
+                space.oracle_score_of(ids, &config),
+                reference,
+                "ids {ids:?}"
+            );
+        }
+        // After churn the same contract holds over the survivors.
+        space.remove_link(LinkId(1));
+        let ids = vec![LinkId(3), LinkId(1), LinkId(0)];
+        let reference: f64 = space
+            .links()
+            .iter()
+            .filter(|sl| ids.contains(&sl.id))
+            .map(|sl| sl.weight * space.link_oracle_score(sl.id, &config))
+            .sum();
+        assert_eq!(space.oracle_score_of(&ids, &config), reference);
+    }
+
+    #[test]
+    fn warm_scratch_scoring_matches_plain_bitwise() {
+        let mut space = bench_space(3);
+        space.links[1].weight = -0.5;
+        let sp = space.config_space();
+        let mut scratch = SpaceScratch::new();
+        let mut per = Vec::new();
+        let ids = [LinkId(2), LinkId(0)];
+        for i in 0..sp.size() {
+            let c = sp.config_at(i);
+            assert_eq!(
+                space.oracle_score_scratch(&c, &mut scratch),
+                space.oracle_score(&c)
+            );
+            assert_eq!(
+                space.oracle_score_of_scratch(&ids, &c, &mut scratch),
+                space.oracle_score_of(&ids, &c)
+            );
+            space.per_link_oracle_scores_into(&c, &mut scratch, &mut per);
+            assert_eq!(per, space.per_link_oracle_scores(&c));
+        }
+    }
+
+    #[test]
+    fn churn_events_drive_the_registry() {
+        let mut space = bench_space(2);
+        let sounder = space.links()[0].sounder.clone();
+        let joined = space.apply_churn(&ChurnEvent::Associate {
+            label: "guest".into(),
+            sounder,
+            objective: LinkObjective::MaxMeanSnr,
+            weight: 1.0,
+        });
+        assert_eq!(joined, LinkId(2));
+        assert_eq!(space.env_traces(), 2, "guest shares link 0's pair");
+        let roamed = space.apply_churn(&ChurnEvent::Roam {
+            id: joined,
+            to: RadioNode::omni_at(Vec3::new(3.0, 2.0, 1.4)),
+        });
+        assert_eq!(roamed, LinkId(3));
+        assert_eq!(space.link(roamed).label, "guest");
+        space.apply_churn(&ChurnEvent::Leave { id: roamed });
+        assert_eq!(space.link_ids(), vec![LinkId(0), LinkId(1)]);
     }
 }

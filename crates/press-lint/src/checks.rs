@@ -201,11 +201,15 @@ fn check_seed_stream(
             ));
             continue;
         }
-        // Per-link sub-rule: a link identity in the seed expression must be
-        // split in through the dedicated derivation helpers.
-        let mentions_link = args
-            .iter()
-            .any(|a| a.kind == TokKind::Ident && a.text.to_lowercase().contains("link"));
+        // Per-link / per-shard sub-rule: a link or shard identity in the
+        // seed expression must be split in through the dedicated
+        // derivation helpers.
+        let mentions_link = args.iter().any(|a| {
+            a.kind == TokKind::Ident && {
+                let lower = a.text.to_lowercase();
+                lower.contains("link") || lower.contains("shard")
+            }
+        });
         let uses_splitter = args
             .iter()
             .any(|a| a.is_ident("link_stream_seed") || a.is_ident("derive_stream_seed"));
@@ -215,9 +219,10 @@ fn check_seed_stream(
                 ctx,
                 t,
                 String::from(
-                    "per-link RNG stream mixed by hand; derive it with link_stream_seed \
-                     (or derive_stream_seed) so link streams neither collide with the \
-                     seed+n scalar streams nor correlate across links",
+                    "per-link/per-shard RNG stream mixed by hand; derive it with \
+                     link_stream_seed (or derive_stream_seed) so these streams neither \
+                     collide with the seed+n scalar streams nor correlate across links \
+                     or shards",
                 ),
             ));
         }
@@ -581,6 +586,26 @@ mod tests {
             "let r = StdRng::seed_from_u64(7);"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn l3_hand_mixed_link_or_shard_stream_flagged_helpers_clean() {
+        for src in [
+            "let rng = StdRng::seed_from_u64(seed ^ link_id);",
+            "let rng = StdRng::seed_from_u64(seed + shard_idx);",
+        ] {
+            let d = run(LIB, src);
+            assert_eq!(d.len(), 1, "{src}");
+            assert_eq!(d[0].lint, "seed-stream-discipline", "{src}");
+            assert!(d[0].message.contains("link_stream_seed"), "{src}");
+        }
+        for src in [
+            "let rng = StdRng::seed_from_u64(link_stream_seed(seed, link_id, 0));",
+            "let rng = StdRng::seed_from_u64(link_stream_seed(seed, shard_lead, 0));",
+            "let rng = StdRng::seed_from_u64(derive_stream_seed(seed, shard_idx, 4));",
+        ] {
+            assert!(run(LIB, src).is_empty(), "{src}");
+        }
     }
 
     #[test]

@@ -1,0 +1,8 @@
+//! L3 fixture (per-shard sub-rule): a shard identity folded into the seed
+//! by hand. `seed + shard_idx` collides with the scalar `seed+n` streams
+//! outright; the convention is `link_stream_seed(seed, lead_link, stream)`
+//! keyed on the shard's lead link (or a raw `derive_stream_seed` split).
+
+fn per_shard_rng(seed: u64, shard_idx: u64) -> StdRng {
+    StdRng::seed_from_u64(seed + shard_idx)
+}

@@ -1,0 +1,12 @@
+//! L3 clean fixture (per-shard sub-rule): shard streams keyed to the
+//! shard's lead link through the dedicated helpers, the discipline the
+//! sharded scheduler follows — a shard's stream depends only on its own
+//! membership, never on its position in the shard list.
+
+fn per_shard_rng(seed: u64, shard_lead_link: u64) -> StdRng {
+    StdRng::seed_from_u64(link_stream_seed(seed, shard_lead_link, 0))
+}
+
+fn raw_split(seed: u64, shard_idx: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_stream_seed(seed, shard_idx, 4))
+}

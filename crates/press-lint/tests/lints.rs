@@ -126,6 +126,20 @@ fn l3_clean_link_stream_fixture_passes() {
     assert!(diags.is_empty(), "{diags:?}");
 }
 
+#[test]
+fn l3_bad_fixture_flags_hand_mixed_shard_stream() {
+    let (diags, _) = lint_fixture("bad_l3_shard_stream.rs");
+    assert_eq!(slugs(&diags), vec!["seed-stream-discipline"]);
+    assert_eq!(diags[0].line, 7, "seed + shard_idx");
+    assert!(diags[0].message.contains("link_stream_seed"), "{diags:?}");
+}
+
+#[test]
+fn l3_clean_shard_stream_fixture_passes() {
+    let (diags, _) = lint_fixture("clean_l3_shard_stream.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
 // --- L4: float-ordering ----------------------------------------------------
 
 #[test]

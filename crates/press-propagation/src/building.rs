@@ -176,6 +176,249 @@ impl OfficeFloor {
     }
 }
 
+/// Parameters of the multi-floor campus: floors × rooms × arrays ×
+/// client population.
+#[derive(Debug, Clone)]
+pub struct CampusConfig {
+    /// Carrier frequency, Hz.
+    pub carrier_hz: f64,
+    /// Number of floors stacked in z.
+    pub floors: usize,
+    /// Rooms per floor, laid out along x.
+    pub rooms_per_floor: usize,
+    /// Width of each room (x), meters.
+    pub room_w: f64,
+    /// Floor depth (y), meters.
+    pub floor_d: f64,
+    /// Per-floor ceiling height, meters.
+    pub floor_h: f64,
+    /// Doorway center along y in each interior partition, meters.
+    pub door_y: f64,
+    /// Doorway width, meters.
+    pub door_w: f64,
+    /// Interior partition material.
+    pub partition: Material,
+    /// Inter-floor slab material (the RF isolation between floors).
+    pub slab: Material,
+    /// Clutter scatterers per room.
+    pub scatterers_per_room: usize,
+    /// Client population per room.
+    pub clients_per_room: usize,
+    /// Wall-embedded PRESS candidate positions per interior doorway.
+    pub elements_per_doorway: usize,
+}
+
+impl Default for CampusConfig {
+    fn default() -> Self {
+        CampusConfig {
+            carrier_hz: WIFI_CHANNEL_11_HZ,
+            floors: 2,
+            rooms_per_floor: 3,
+            room_w: 6.0,
+            floor_d: 7.0,
+            floor_h: 3.0,
+            door_y: 2.0,
+            door_w: 0.9,
+            partition: Material::DRYWALL,
+            slab: Material::CONCRETE,
+            scatterers_per_room: 4,
+            clients_per_room: 2,
+            elements_per_doorway: 4,
+        }
+    }
+}
+
+/// One room of a generated [`Campus`]: its AP and client population.
+#[derive(Debug, Clone)]
+pub struct CampusRoom {
+    /// Floor index (0 = ground).
+    pub floor: usize,
+    /// Room index along x on its floor.
+    pub room: usize,
+    /// The room's access point, near the ceiling.
+    pub ap: RadioNode,
+    /// Client endpoints scattered through the room.
+    pub clients: Vec<RadioNode>,
+}
+
+/// A generated multi-floor campus: the scene, the per-room population, and
+/// the wall-embedded PRESS candidate positions.
+///
+/// This is [`OfficeFloor`] grown to ROADMAP scale: `floors ×
+/// rooms_per_floor` rooms, each with an AP and `clients_per_room` clients,
+/// interior partitions with doorways on every floor, and concrete slabs
+/// between floors. The slabs are what makes campus *sharding* physical:
+/// elements on one floor contribute negligibly to links on another, so the
+/// RF-coupling graph decomposes per floor.
+#[derive(Debug, Clone)]
+pub struct Campus {
+    /// The environment (all floors, partitions, slabs, clutter).
+    pub scene: Scene,
+    /// Rooms in (floor, room) lexicographic order.
+    pub rooms: Vec<CampusRoom>,
+    /// Candidate PRESS positions flanking every interior doorway, in
+    /// (floor, partition) order.
+    pub doorway_candidates: Vec<Vec3>,
+}
+
+impl Campus {
+    /// Builds the campus from a seed. One `StdRng` drives every draw in
+    /// (floor, room) order, so the result is a pure function of
+    /// `(config, seed)`.
+    pub fn generate(config: &CampusConfig, seed: u64) -> Campus {
+        assert!(config.floors >= 1 && config.rooms_per_floor >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let total_w = config.room_w * config.rooms_per_floor as f64;
+        let total_h = config.floor_h * config.floors as f64;
+        let mut scene = Scene::shoebox(
+            config.carrier_hz,
+            total_w,
+            config.floor_d,
+            total_h,
+            Material::DRYWALL,
+        );
+
+        // Concrete slabs between floors: reflector (each floor sees its
+        // ceiling/floor bounce) + full-footprint blockage.
+        for f in 1..config.floors {
+            let z = config.floor_h * f as f64;
+            scene.walls.push(Wall {
+                plane: Plane::new(Vec3::new(0.0, 0.0, z), Vec3::Z),
+                material: config.slab.clone(),
+                bounds: Some(Aabb::new(
+                    Vec3::new(0.0, 0.0, z - 0.1),
+                    Vec3::new(total_w, config.floor_d, z + 0.1),
+                )),
+            });
+            scene.add_obstacle(
+                Aabb::new(
+                    Vec3::new(0.0, 0.0, z - 0.1),
+                    Vec3::new(total_w, config.floor_d, z + 0.1),
+                ),
+                config.slab.clone(),
+            );
+        }
+
+        // Interior partitions with doorways, per floor — the OfficeFloor
+        // construction repeated at every (floor, partition).
+        let door_lo = config.door_y - config.door_w / 2.0;
+        let door_hi = config.door_y + config.door_w / 2.0;
+        let mut doorway_candidates = Vec::new();
+        for f in 0..config.floors {
+            let z0 = config.floor_h * f as f64;
+            let z1 = z0 + config.floor_h;
+            for p in 1..config.rooms_per_floor {
+                let px = config.room_w * p as f64;
+                scene.walls.push(Wall {
+                    plane: Plane::new(Vec3::new(px, 0.0, 0.0), Vec3::X),
+                    material: config.partition.clone(),
+                    bounds: Some(Aabb::new(
+                        Vec3::new(px - 0.06, 0.0, z0),
+                        Vec3::new(px + 0.06, config.floor_d, z1),
+                    )),
+                });
+                scene.add_obstacle(
+                    Aabb::new(
+                        Vec3::new(px - 0.06, 0.0, z0),
+                        Vec3::new(px + 0.06, door_lo, z1),
+                    ),
+                    config.partition.clone(),
+                );
+                scene.add_obstacle(
+                    Aabb::new(
+                        Vec3::new(px - 0.06, door_hi, z0),
+                        Vec3::new(px + 0.06, config.floor_d, z1),
+                    ),
+                    config.partition.clone(),
+                );
+                scene.add_obstacle(
+                    Aabb::new(
+                        Vec3::new(px - 0.06, door_lo, z0 + 2.1),
+                        Vec3::new(px + 0.06, door_hi, z1),
+                    ),
+                    config.partition.clone(),
+                );
+                // Wall-embedded candidates flanking this doorway: sides
+                // alternate, heights cycle a fixed ladder.
+                for k in 0..config.elements_per_doorway {
+                    let side = if k % 2 == 0 { -0.25 } else { 0.25 };
+                    let z = z0 + [1.0, 1.6, 2.2][(k / 2) % 3];
+                    let y = config.door_y + 0.35 * (k / 6) as f64;
+                    doorway_candidates.push(Vec3::new(px + side, y, z));
+                }
+            }
+        }
+
+        // Population: clutter, AP and clients per room, in (floor, room)
+        // order so the draw sequence is deterministic.
+        let mut rooms = Vec::with_capacity(config.floors * config.rooms_per_floor);
+        for f in 0..config.floors {
+            let z0 = config.floor_h * f as f64;
+            for p in 0..config.rooms_per_floor {
+                let x_lo = config.room_w * p as f64 + 0.5;
+                let x_hi = config.room_w * (p + 1) as f64 - 0.5;
+                for _ in 0..config.scatterers_per_room {
+                    let pos = Vec3::new(
+                        rng.gen_range(x_lo..x_hi),
+                        rng.gen_range(0.5..config.floor_d - 0.5),
+                        rng.gen_range(z0 + 0.5..z0 + config.floor_h - 0.5),
+                    );
+                    let mag = 3.0 * (20.0f64 / 3.0).powf(rng.gen::<f64>());
+                    let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+                    scene.add_scatterer(pos, Complex64::from_polar(mag, phase));
+                }
+                let ap = RadioNode::omni_at(Vec3::new(
+                    config.room_w * (p as f64 + 0.5),
+                    config.floor_d * 0.75,
+                    z0 + 2.2,
+                ));
+                let clients = (0..config.clients_per_room)
+                    .map(|_| {
+                        RadioNode::omni_at(Vec3::new(
+                            rng.gen_range(x_lo + 0.3..x_hi - 0.3),
+                            rng.gen_range(0.8..config.floor_d - 0.8),
+                            z0 + rng.gen_range(0.9..1.5),
+                        ))
+                    })
+                    .collect();
+                rooms.push(CampusRoom {
+                    floor: f,
+                    room: p,
+                    ap,
+                    clients,
+                });
+            }
+        }
+
+        Campus {
+            scene,
+            rooms,
+            doorway_candidates,
+        }
+    }
+
+    /// Total AP→client links the population implies (one per client).
+    pub fn n_links(&self) -> usize {
+        let mut n = 0;
+        for r in &self.rooms {
+            n += r.clients.len();
+        }
+        n
+    }
+
+    /// AP→client endpoint pairs in (floor, room, client) order — the
+    /// registration order a campus `SmartSpace` uses.
+    pub fn links(&self) -> Vec<(RadioNode, RadioNode)> {
+        let mut out = Vec::with_capacity(self.n_links());
+        for r in &self.rooms {
+            for c in &r.clients {
+                out.push((r.ap.clone(), c.clone()));
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +475,67 @@ mod tests {
         assert_eq!(
             a.scene.scatterers[3].position,
             b.scene.scatterers[3].position
+        );
+    }
+
+    #[test]
+    fn campus_geometry_and_population_sane() {
+        let cfg = CampusConfig::default();
+        let campus = Campus::generate(&cfg, 1);
+        assert_eq!(campus.rooms.len(), cfg.floors * cfg.rooms_per_floor);
+        assert_eq!(
+            campus.n_links(),
+            cfg.floors * cfg.rooms_per_floor * cfg.clients_per_room
+        );
+        // 6 shell walls + 1 slab + 2 partitions per floor.
+        assert_eq!(
+            campus.scene.walls.len(),
+            6 + (cfg.floors - 1) + cfg.floors * (cfg.rooms_per_floor - 1)
+        );
+        assert_eq!(
+            campus.doorway_candidates.len(),
+            cfg.floors * (cfg.rooms_per_floor - 1) * cfg.elements_per_doorway
+        );
+        // Every room's population stays inside the room's box.
+        for r in &campus.rooms {
+            let (x_lo, x_hi) = (cfg.room_w * r.room as f64, cfg.room_w * (r.room + 1) as f64);
+            let (z_lo, z_hi) = (
+                cfg.floor_h * r.floor as f64,
+                cfg.floor_h * (r.floor + 1) as f64,
+            );
+            for n in std::iter::once(&r.ap).chain(&r.clients) {
+                assert!((x_lo..x_hi).contains(&n.position.x), "{:?}", n.position);
+                assert!((z_lo..z_hi).contains(&n.position.z), "{:?}", n.position);
+            }
+        }
+    }
+
+    #[test]
+    fn campus_cross_floor_is_concrete_blocked() {
+        let campus = Campus::generate(&CampusConfig::default(), 2);
+        let ground = &campus.rooms[0];
+        let upstairs = campus.rooms.iter().find(|r| r.floor == 1).unwrap();
+        assert!(campus
+            .scene
+            .is_obstructed(ground.ap.position, upstairs.ap.position));
+    }
+
+    #[test]
+    fn campus_deterministic_per_seed() {
+        let cfg = CampusConfig::default();
+        let a = Campus::generate(&cfg, 7);
+        let b = Campus::generate(&cfg, 7);
+        assert_eq!(a.scene.scatterers.len(), b.scene.scatterers.len());
+        for (ra, rb) in a.rooms.iter().zip(&b.rooms) {
+            assert_eq!(ra.ap.position, rb.ap.position);
+            for (ca, cb) in ra.clients.iter().zip(&rb.clients) {
+                assert_eq!(ca.position, cb.position);
+            }
+        }
+        let c = Campus::generate(&cfg, 8);
+        assert_ne!(
+            a.rooms[0].clients[0].position, c.rooms[0].clients[0].position,
+            "different seeds should move the population"
         );
     }
 }

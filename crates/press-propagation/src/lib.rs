@@ -29,7 +29,7 @@ pub mod path;
 pub mod scene;
 
 pub use antenna::{Antenna, Pattern};
-pub use building::{OfficeConfig, OfficeFloor};
+pub use building::{Campus, CampusConfig, CampusRoom, OfficeConfig, OfficeFloor};
 pub use geometry::{Aabb, Plane, Vec3};
 pub use lab::{LabConfig, LabSetup};
 pub use material::Material;

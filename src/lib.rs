@@ -42,14 +42,17 @@ pub mod prelude {
         GilbertElliott, SpaceMetrics, Transport,
     };
     pub use press_core::{
-        headline_stats, run_campaign, ActuationMode, CampaignConfig, ConfigSpace, Configuration,
-        Controller, LinkId, LinkObjective, PressArray, PressSystem, SmartSpace, SpaceReport,
-        Strategy, TransportActuation,
+        headline_stats, optimize_sharded, optimize_sharded_parallel, run_campaign, shard_space,
+        ActuationMode, CampaignConfig, ChurnEvent, ConfigSpace, Configuration, Controller, LinkId,
+        LinkObjective, PressArray, PressSystem, Shard, SmartSpace, SpaceReport, Strategy,
+        TransportActuation,
     };
     pub use press_elements::Element;
     pub use press_math::{CMat, Complex64, Ecdf};
     pub use press_phy::{MimoChannel, Numerology, SnrProfile};
-    pub use press_propagation::{Antenna, LabConfig, LabSetup, RadioNode, Scene, Vec3};
+    pub use press_propagation::{
+        Antenna, Campus, CampusConfig, LabConfig, LabSetup, RadioNode, Scene, Vec3,
+    };
     pub use press_sdr::{SdrRadio, Sounder};
     pub use press_trace::{
         Event, EventKind, FlightRecorder, JsonlSink, MemorySink, NullSink, Phase, TraceSink, Tracer,
