@@ -1,0 +1,56 @@
+//! Criterion bench: the analyzer over the real workspace, cold vs warm.
+//!
+//! The claim behind `BENCH_lint.json`: the incremental cache makes warm
+//! re-lints decisively cheaper than cold ones. A warm run hashes every
+//! file and serves pass 1 from the content-hash cache; only pass 2 (the
+//! workspace model lints) runs in full. The gated floor is a 5× speedup —
+//! if a change to the cache key or the serializer silently turns hits into
+//! misses, the ratio collapses and CI catches it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use press_lint::workspace::analyze_workspace_with;
+use press_lint::Options;
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn bench_lint_workspace(c: &mut Criterion) {
+    let root = workspace_root();
+    let cache = std::env::temp_dir().join("press-lint-bench.cache");
+    let _ = std::fs::remove_file(&cache);
+
+    let mut group = c.benchmark_group("lint_workspace");
+    group.sample_size(10);
+
+    // Cold: no cache at all — every file is lexed and linted.
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            black_box(analyze_workspace_with(&root, &Options::default()).expect("workspace scan"))
+        })
+    });
+
+    // Warm: prime the cache once, then every iteration serves pass 1
+    // entirely from it (including the cache write-back, as the CLI does).
+    let opts = Options {
+        cache_path: Some(cache.clone()),
+        ..Options::default()
+    };
+    let primed = analyze_workspace_with(&root, &opts).expect("prime cache");
+    assert!(primed.cache_misses > 0);
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            let report = analyze_workspace_with(&root, &opts).expect("workspace scan");
+            assert_eq!(report.cache_misses, 0, "bench must measure a warm cache");
+            black_box(report)
+        })
+    });
+
+    group.finish();
+    let _ = std::fs::remove_file(&cache);
+}
+
+criterion_group!(benches, bench_lint_workspace);
+criterion_main!(benches);

@@ -8,6 +8,7 @@
 //! the paper-vs-measured record.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod perf;
 

@@ -457,6 +457,20 @@ pub fn suite_specs() -> Vec<SuiteSpec> {
                 ),
             ],
         },
+        SuiteSpec {
+            suite: "lint",
+            entry_ids: &["lint_workspace/cold", "lint_workspace/warm"],
+            // A warm analyzer run serves pass 1 from the content-hash
+            // cache; only hashing + the model pass remain. Measured well
+            // above 5x on the reference run; the floor trips when cache
+            // hits silently regress into misses.
+            ratio_specs: &[(
+                "lint_workspace/warm_speedup",
+                "lint_workspace/cold",
+                "lint_workspace/warm",
+                5.0,
+            )],
+        },
     ]
 }
 

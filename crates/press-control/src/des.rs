@@ -353,7 +353,7 @@ pub fn simulate_actuation_with<R: Rng + ?Sized>(
                     trace.push(TraceEvent::Lost { t, element });
                     continue;
                 }
-                let i = index_of(element).expect("known element");
+                let i = index_of(element).expect("known element"); // press-lint: allow(panic-freedom) — the schedule only references registered elements
                 if acked[i] {
                     continue; // duplicate of an already-confirmed command
                 }
@@ -369,7 +369,7 @@ pub fn simulate_actuation_with<R: Rng + ?Sized>(
                     let realized = faults
                         .elements
                         .realized_state(element, state)
-                        .expect("responding element has a realized state");
+                        .expect("responding element has a realized state"); // press-lint: allow(panic-freedom) — responds() above guarantees a realized state
                     trace.push(TraceEvent::Applied {
                         t: t + cfg.settle_s,
                         element,
@@ -406,7 +406,7 @@ pub fn simulate_actuation_with<R: Rng + ?Sized>(
                 }
             }
             Pending::AckArrives { element } => {
-                let i = index_of(element).expect("known element");
+                let i = index_of(element).expect("known element"); // press-lint: allow(panic-freedom) — the schedule only references registered elements
                 if !acked[i] {
                     acked[i] = true;
                     rtt.observe(t - last_send[i]);
@@ -418,7 +418,7 @@ pub fn simulate_actuation_with<R: Rng + ?Sized>(
                 }
             }
             Pending::Timer { element } => {
-                let i = index_of(element).expect("known element");
+                let i = index_of(element).expect("known element"); // press-lint: allow(panic-freedom) — the schedule only references registered elements
                 if acked[i] {
                     continue;
                 }

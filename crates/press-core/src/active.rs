@@ -137,7 +137,7 @@ pub fn tune_active_phases(
                 press_elements::ElementKind::Active {
                     gain_db, phase_rad, ..
                 } => (i, *phase_rad, *gain_db),
-                _ => unreachable!("filtered to actives"),
+                _ => unreachable!("filtered to actives"), // press-lint: allow(panic-freedom) — filtered to Active variants above
             }
         })
         .collect();

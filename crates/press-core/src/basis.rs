@@ -524,11 +524,11 @@ impl LinkBasis {
             assert!(s < self.space.states_per_element[i], "state out of range");
             let col = self.state_offsets[i] + s;
             if self.col_present[col] {
-                let r = col * self.n_k..(col + 1) * self.n_k;
+                let (lo, hi) = (col * self.n_k, (col + 1) * self.n_k);
                 add_rotated_split(
                     out,
-                    &self.col_re[r.clone()],
-                    &self.col_im[r],
+                    &self.col_re[lo..hi],
+                    &self.col_im[lo..hi],
                     self.col_doppler[col],
                     t_s,
                     false,
@@ -568,11 +568,11 @@ impl LinkBasis {
             assert!(s < self.space.states_per_element[i], "state out of range");
             let col = self.state_offsets[i] + s;
             if self.col_present[col] {
-                let r = col * self.n_k..(col + 1) * self.n_k;
+                let (lo, hi) = (col * self.n_k, (col + 1) * self.n_k);
                 add_rotated_split(
                     out,
-                    &self.col_re[r.clone()],
-                    &self.col_im[r],
+                    &self.col_re[lo..hi],
+                    &self.col_im[lo..hi],
                     self.col_doppler[col],
                     t_s,
                     false,
@@ -1054,12 +1054,12 @@ impl<'a> BatchEvaluator<'a> {
                 let dst = &mut hi[..k];
                 let col = self.basis.state_offsets[d] + states[d];
                 if self.basis.col_present[col] {
-                    let r = col * k..(col + 1) * k;
+                    let (lo, hi) = (col * k, (col + 1) * k);
                     write_rotated_split(
                         dst,
                         base,
-                        &self.basis.col_re[r.clone()],
-                        &self.basis.col_im[r],
+                        &self.basis.col_re[lo..hi],
+                        &self.basis.col_im[lo..hi],
                         self.basis.col_doppler[col],
                         t_s,
                     );

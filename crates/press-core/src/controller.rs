@@ -433,7 +433,7 @@ impl Controller {
             basis.synthesize_into(config, elapsed.get(), &mut h);
             let profile = sounder
                 .sound_averaged_channel(&h, self.frames_per_measurement, rng)
-                .expect("sounder has >=2 training symbols");
+                .expect("sounder has >=2 training symbols"); // press-lint: allow(panic-freedom) — infallible with >=2 training symbols
             measurements.set(measurements.get() + 1);
             elapsed.set(elapsed.get() + self.timing.measurement_s + self.timing.compute_per_eval_s);
             self.objective.score(&profile)
@@ -766,7 +766,7 @@ impl Controller {
                     let profile = sl
                         .sounder
                         .sound_averaged_channel(&h, self.frames_per_measurement, rng)
-                        .expect("sounder has >=2 training symbols");
+                        .expect("sounder has >=2 training symbols"); // press-lint: allow(panic-freedom) — infallible with >=2 training symbols
                     measurements.set(measurements.get() + 1);
                     elapsed.set(
                         elapsed.get() + self.timing.measurement_s + self.timing.compute_per_eval_s,

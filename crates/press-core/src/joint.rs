@@ -151,7 +151,7 @@ where
     let lead = *ids
         .iter()
         .min()
-        .expect("scheduling group must be non-empty");
+        .expect("scheduling group must be non-empty"); // press-lint: allow(panic-freedom) — scheduling groups are built non-empty
     let config_space = space.config_space();
     let stream = link_stream_seed(seed, lead, 0);
     let mut rng = StdRng::seed_from_u64(stream);
@@ -326,15 +326,16 @@ pub fn optimize_sharded_parallel(
             })
             .collect();
         for h in handles {
+            // press-lint: allow(panic-freedom) — join only re-raises a worker panic
             for (si, r) in h.join().expect("shard worker panicked") {
                 per_shard[si] = Some(r);
             }
         }
     })
-    .expect("shard scope");
+    .expect("shard scope"); // press-lint: allow(panic-freedom) — Err only when a worker panicked, surfaced at join above
     let per_shard = per_shard
         .into_iter()
-        .map(|r| r.expect("every shard optimized"))
+        .map(|r| r.expect("every shard optimized")) // press-lint: allow(panic-freedom) — every shard index is written exactly once by its worker
         .collect();
     merge_sharded(space, shards, per_shard)
 }
@@ -345,7 +346,7 @@ fn optimize_shard(space: &SmartSpace, shard: &Shard, budget: usize, seed: u64) -
         .links
         .iter()
         .min()
-        .expect("shard must own at least one link");
+        .expect("shard must own at least one link"); // press-lint: allow(panic-freedom) — shards own >=1 link by construction
     let config_space = space.config_space();
     let base = Configuration::zeros(config_space.n_elements());
     let mut space_scratch = SpaceScratch::new();

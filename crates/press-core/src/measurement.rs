@@ -139,7 +139,7 @@ pub fn run_campaign_over(
             basis.synthesize_into(config, elapsed, &mut h);
             let profile = sounder
                 .sound_averaged_channel(&h, campaign.frames_per_config, &mut rng)
-                .expect("sounder configured with >=2 training symbols");
+                .expect("sounder configured with >=2 training symbols"); // press-lint: allow(panic-freedom) — infallible with >=2 training symbols
             row.push(profile);
             elapsed += campaign.per_config_latency_s;
         }
@@ -219,7 +219,7 @@ pub fn run_campaign_parallel(
                         bases[trial].synthesize_into(&configs[cfg_idx], t_s, &mut h);
                         let profile = sounder
                             .sound_averaged_channel(&h, campaign.frames_per_config, &mut rng)
-                            .expect("sounder configured with >=2 training symbols");
+                            .expect("sounder configured with >=2 training symbols"); // press-lint: allow(panic-freedom) — infallible with >=2 training symbols
                         out.push((trial, cfg_idx, profile));
                         j += n_threads;
                     }
@@ -228,18 +228,19 @@ pub fn run_campaign_parallel(
             })
             .collect();
         for handle in results {
+            // press-lint: allow(panic-freedom) — join only re-raises a worker panic
             for (trial, cfg_idx, profile) in handle.join().expect("worker panicked") {
                 profiles[trial][cfg_idx] = Some(profile);
             }
         }
     })
-    .expect("campaign scope");
+    .expect("campaign scope"); // press-lint: allow(panic-freedom) — Err only when a worker panicked, surfaced at join above
 
     CampaignResult {
         configs: configs.to_vec(),
         profiles: profiles
             .into_iter()
-            .map(|row| row.into_iter().map(|p| p.expect("all jobs ran")).collect())
+            .map(|row| row.into_iter().map(|p| p.expect("all jobs ran")).collect()) // press-lint: allow(panic-freedom) — every (trial, config) slot is written by exactly one worker
             .collect(),
         elapsed_s: campaign.per_config_latency_s * (campaign.n_trials * configs.len()) as f64,
     }

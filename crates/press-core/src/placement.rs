@@ -71,7 +71,7 @@ pub fn greedy_placement(
                 best = Some((i, score));
             }
         }
-        let (idx, score) = best.expect("candidates remain");
+        let (idx, score) = best.expect("candidates remain"); // press-lint: allow(panic-freedom) — the candidate list shrinks by one per round and starts non-empty
         chosen.push(idx);
         score_trace.push(score);
     }

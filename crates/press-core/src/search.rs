@@ -131,11 +131,11 @@ where
         on_step(&SearchStep {
             iteration: evaluations - 1,
             score,
-            best: best.as_ref().map(|(_, b)| *b).expect("just set"),
+            best: best.as_ref().map(|(_, b)| *b).expect("just set"), // press-lint: allow(panic-freedom) — set on the accepting branch just above
             accepted,
         });
     }
-    let (best, score) = best.expect("configuration space is never empty");
+    let (best, score) = best.expect("configuration space is never empty"); // press-lint: allow(panic-freedom) — the configuration space is never empty
     SearchResult {
         best,
         score,
@@ -184,6 +184,7 @@ where
             .collect();
         let mut best: Option<(usize, f64)> = None;
         for h in handles {
+            // press-lint: allow(panic-freedom) — join only re-raises a worker panic
             if let Some((idx, s)) = h.join().expect("search worker panicked") {
                 let better = match best {
                     None => true,
@@ -196,8 +197,8 @@ where
         }
         best
     })
-    .expect("search scope");
-    let (idx, score) = best.expect("configuration space is never empty");
+    .expect("search scope"); // press-lint: allow(panic-freedom) — Err only when a worker panicked, surfaced at join above
+    let (idx, score) = best.expect("configuration space is never empty"); // press-lint: allow(panic-freedom) — the configuration space is never empty
     SearchResult {
         best: space.config_at(idx),
         score,
@@ -248,8 +249,10 @@ where
         }
         start = end;
     }
-    let (idx, score) = best.expect("configuration space is never empty");
+    let (idx, score) = best.expect("configuration space is never empty"); // press-lint: allow(panic-freedom) — the configuration space is never empty
     SearchResult {
+        // Result materialization, once per sweep — the hot loop above is
+        // allocation-free. press-lint: allow(kernel-allocation)
         best: space.config_at(idx),
         score,
         evaluations: size,
@@ -282,7 +285,10 @@ where
                 let make_scorer = &make_scorer;
                 scope.spawn(move |_| {
                     let mut score_batch = make_scorer();
+                    // Per-worker scratch, allocated once per sweep before
+                    // the chunk loop. press-lint: allow(kernel-allocation)
                     let mut configs: Vec<Configuration> = Vec::new();
+                    // press-lint: allow(kernel-allocation) -- same: one-time worker scratch
                     let mut scores: Vec<f64> = Vec::new();
                     let mut local: Option<(usize, f64)> = None;
                     let mut chunk = w;
@@ -312,9 +318,12 @@ where
                     local
                 })
             })
+            // One JoinHandle per worker, at spawn time — not in the
+            // scoring loop. press-lint: allow(kernel-allocation)
             .collect();
         let mut best: Option<(usize, f64)> = None;
         for h in handles {
+            // press-lint: allow(panic-freedom) — join only re-raises a worker panic
             if let Some((idx, s)) = h.join().expect("search worker panicked") {
                 let better = match best {
                     None => true,
@@ -327,9 +336,11 @@ where
         }
         best
     })
-    .expect("search scope");
-    let (idx, score) = best.expect("configuration space is never empty");
+    .expect("search scope"); // press-lint: allow(panic-freedom) — Err only when a worker panicked, surfaced at join above
+    let (idx, score) = best.expect("configuration space is never empty"); // press-lint: allow(panic-freedom) — the configuration space is never empty
     SearchResult {
+        // Result materialization, once per sweep — the workers' chunk
+        // loops are allocation-free. press-lint: allow(kernel-allocation)
         best: space.config_at(idx),
         score,
         evaluations: size,
@@ -370,11 +381,11 @@ where
         on_step(&SearchStep {
             iteration,
             score: s,
-            best: best.as_ref().map(|(_, b)| *b).expect("just set"),
+            best: best.as_ref().map(|(_, b)| *b).expect("just set"), // press-lint: allow(panic-freedom) — set on the accepting branch just above
             accepted,
         });
     }
-    let (best, score) = best.expect("budget > 0");
+    let (best, score) = best.expect("budget > 0"); // press-lint: allow(panic-freedom) — budget > 0, so the loop always sets best
     SearchResult {
         best,
         score,
@@ -425,6 +436,7 @@ where
             .collect();
         let mut best: Option<(usize, Configuration, f64)> = None;
         for h in handles {
+            // press-lint: allow(panic-freedom) — join only re-raises a worker panic
             if let Some((idx, c, s)) = h.join().expect("search worker panicked") {
                 let better = match &best {
                     None => true,
@@ -437,8 +449,8 @@ where
         }
         best
     })
-    .expect("search scope");
-    let (_, best, score) = best.expect("budget > 0");
+    .expect("search scope"); // press-lint: allow(panic-freedom) — Err only when a worker panicked, surfaced at join above
+    let (_, best, score) = best.expect("budget > 0"); // press-lint: allow(panic-freedom) — budget > 0, so some worker proposes
     SearchResult {
         best,
         score,
@@ -569,7 +581,7 @@ where
             global = Some((current, score));
         }
     }
-    let (best, score) = global.expect("restarts > 0");
+    let (best, score) = global.expect("restarts > 0"); // press-lint: allow(panic-freedom) — restarts > 0, so the loop always sets global
     SearchResult {
         best,
         score,
@@ -692,6 +704,8 @@ where
         temp *= cooling;
     }
     SearchResult {
+        // Result materialization, once per run — the annealing loop swaps
+        // and clone_froms scratch only. press-lint: allow(kernel-allocation)
         best: scratch.best.clone(),
         score: best_score,
         evaluations,
@@ -803,6 +817,8 @@ where
         "park_state must be valid for every element"
     );
     let mut evaluations = 0usize;
+    // One stitched configuration per call, before any search loop runs.
+    // press-lint: allow(kernel-allocation)
     let mut stitched = Configuration::new(vec![park_state; n]);
 
     // Phase 1: per-group exhaustive search, others parked.
@@ -810,7 +826,9 @@ where
     while start < n {
         let end = (start + group_size).min(n);
         // Enumerate the group's sub-space by dense index, tracking the
-        // best index instead of cloning the best state vector.
+        // best index instead of cloning the best state vector. The sub-space
+        // itself is built once per *group*, not per evaluation.
+        // press-lint: allow(kernel-allocation)
         let sub = ConfigSpace::new(space.states_per_element[start..end].to_vec());
         let mut best_sub: Option<(usize, f64)> = None;
         for idx in 0..sub.size() {
@@ -826,7 +844,7 @@ where
                 best_sub = Some((idx, score));
             }
         }
-        let (best_idx, _) = best_sub.expect("group sub-space non-empty");
+        let (best_idx, _) = best_sub.expect("group sub-space non-empty"); // press-lint: allow(panic-freedom) — group sub-spaces are non-empty
         sub.config_at_into(best_idx, &mut scratch.current);
         for (slot, i) in (start..end).enumerate() {
             stitched.states[i] = scratch.current.states[slot];
@@ -908,6 +926,9 @@ where
     B: FnMut(&[Configuration], &mut Vec<f64>),
     R: Rng + ?Sized,
 {
+    // genetic_core allocates its initial population once; every later
+    // generation breeds into the caller's scratch pool.
+    // press-lint: allow(kernel-allocation)
     genetic_core(space, params, rng, scratch, score_batch)
 }
 
@@ -972,12 +993,13 @@ fn score_batch_parallel<E, F>(
         out.clear();
         out.resize(configs.len(), 0.0);
         for h in handles {
+            // press-lint: allow(panic-freedom) — join only re-raises a worker panic
             for (j, s) in h.join().expect("search worker panicked") {
                 out[j] = s;
             }
         }
     })
-    .expect("search scope")
+    .expect("search scope") // press-lint: allow(panic-freedom) — Err only when a worker panicked, surfaced at join above
 }
 
 /// The genetic algorithm over a batch scorer. Children of one generation
@@ -1054,7 +1076,7 @@ where
         }
         scored.sort_by(|a, b| b.1.total_cmp(&a.1));
     }
-    let (best, score) = scored.into_iter().next().expect("population non-empty");
+    let (best, score) = scored.into_iter().next().expect("population non-empty"); // press-lint: allow(panic-freedom) — the population is sized >= 1 at construction
     SearchResult {
         best,
         score,

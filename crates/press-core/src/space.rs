@@ -33,6 +33,7 @@ use crate::objective::LinkObjective;
 use crate::search::derive_stream_seed;
 use crate::system::{CachedLink, PressSystem};
 use press_math::Complex64;
+use press_phy::snr::SnrProfile;
 use press_propagation::RadioNode;
 use press_sdr::Sounder;
 
@@ -292,7 +293,7 @@ impl SmartSpace {
             .get(id.0 as usize)
             .copied()
             .flatten()
-            .unwrap_or_else(|| panic!("link {id} is not registered (unknown or removed)"));
+            .unwrap_or_else(|| panic!("link {id} is not registered (unknown or removed)")); // press-lint: allow(panic-freedom) — documented contract; try_link is the non-panicking form
         let sl = self.links.remove(idx);
         self.index[id.0 as usize] = None;
         for (i, live) in self.links.iter().enumerate().skip(idx) {
@@ -353,6 +354,7 @@ impl SmartSpace {
     /// the non-panicking form).
     pub fn link(&self, id: LinkId) -> &SpaceLink {
         self.try_link(id)
+            // press-lint: allow(panic-freedom) — documented contract; try_link is the non-panicking form
             .unwrap_or_else(|| panic!("link {id} is not registered (unknown or removed)"))
     }
 
@@ -534,6 +536,8 @@ pub struct SpaceScratch {
     h: Vec<Complex64>,
     /// Resolved dense-index buffer for subset scoring.
     idx: Vec<usize>,
+    /// Reusable SNR profile (one link's per-subcarrier SNR at a time).
+    snr: SnrProfile,
 }
 
 impl SpaceScratch {
@@ -549,7 +553,9 @@ impl SpaceScratch {
 /// point.
 fn score_space_link(sl: &SpaceLink, config: &Configuration, scratch: &mut SpaceScratch) -> f64 {
     sl.basis.synthesize_into(config, 0.0, &mut scratch.h);
-    sl.objective.score(&sl.sounder.snr_from_channel(&scratch.h))
+    sl.sounder
+        .snr_from_channel_into(&scratch.h, &mut scratch.snr);
+    sl.objective.score(&scratch.snr)
 }
 
 /// One event in a churn schedule: the association dynamics of a campus —

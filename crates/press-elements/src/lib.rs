@@ -14,6 +14,7 @@
 //!   scaling argument.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 pub mod element;
 pub mod power;
 pub mod switch;

@@ -1,0 +1,236 @@
+//! The accepted-findings baseline.
+//!
+//! Turning a new lint on over a mature tree produces findings the team has
+//! not triaged yet; failing CI on all of them at once just gets the lint
+//! turned off. The baseline is the middle path: a checked-in file of
+//! *accepted, existing* findings that the analyzer subtracts from its
+//! report, so CI only fails on findings that are new relative to the
+//! baseline. Entries are keyed by (lint, file, hash-of-trimmed-line, count)
+//! — the line-content hash, not the line number, so findings keep matching
+//! when unrelated edits shift the file, and the count caps how many
+//! identical findings one entry can absorb (a baselined `.clone()` cannot
+//! silently grow into five).
+//!
+//! Entries that no longer match anything are *stale*: the analyzer reports
+//! them so the baseline only ever shrinks — the intended end state for this
+//! workspace is the empty baseline the repo checks in (`press-lint.baseline`
+//! holds the header and no entries; new findings are fixed or `allow`ed
+//! with a written rationale instead of accumulating here).
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::diag::Diagnostic;
+
+const HEADER: &str = "press-lint-baseline/v1";
+
+/// One baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Lint slug.
+    pub lint: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// FNV-1a 64 of the trimmed source line the finding sits on.
+    pub line_hash: u64,
+    /// How many identical findings this entry absorbs.
+    pub count: usize,
+}
+
+/// A loaded baseline.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String, u64), usize>,
+}
+
+impl Baseline {
+    /// Number of distinct baselined (lint, file, line-hash) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the baseline absorbs nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Parse a baseline file. Unlike the cache, a malformed baseline is an
+    /// error: silently ignoring it would un-suppress (or worse, keep
+    /// suppressing) findings without anyone noticing.
+    pub fn load(path: &Path) -> io::Result<Baseline> {
+        let text = fs::read_to_string(path)?;
+        Baseline::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Parse baseline text.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(HEADER) {
+            return Err(format!("baseline must start with `{HEADER}`"));
+        }
+        let mut bl = Baseline::default();
+        for (n, line) in lines.enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            let [lint, file, hash, count] = fields[..] else {
+                return Err(format!(
+                    "baseline line {}: expected 4 tab-separated fields",
+                    n + 2
+                ));
+            };
+            let hash = u64::from_str_radix(hash, 16)
+                .map_err(|_| format!("baseline line {}: bad line hash", n + 2))?;
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count", n + 2))?;
+            *bl.entries
+                .entry((lint.to_string(), file.to_string(), hash))
+                .or_insert(0) += count;
+        }
+        Ok(bl)
+    }
+
+    /// Split `diags` into (surviving, absorbed-count), consuming entry
+    /// counts as findings match, and report entries left with unconsumed
+    /// counts as stale. `line_key` maps (file, line) to the trimmed-line
+    /// hash for the finding's anchor line.
+    pub fn filter(
+        &self,
+        diags: Vec<Diagnostic>,
+        mut line_key: impl FnMut(&str, u32) -> u64,
+    ) -> FilterResult {
+        let mut remaining = self.entries.clone();
+        let mut kept = Vec::new();
+        let mut baselined = 0usize;
+        for d in diags {
+            let key = (
+                d.lint.to_string(),
+                d.file.clone(),
+                line_key(&d.file, d.line),
+            );
+            match remaining.get_mut(&key) {
+                Some(count) if *count > 0 => {
+                    *count -= 1;
+                    baselined += 1;
+                }
+                _ => kept.push(d),
+            }
+        }
+        let stale = remaining
+            .into_iter()
+            .filter(|&(_, count)| count > 0)
+            .map(|((lint, file, line_hash), count)| Entry {
+                lint,
+                file,
+                line_hash,
+                count,
+            })
+            .collect();
+        FilterResult {
+            kept,
+            baselined,
+            stale,
+        }
+    }
+}
+
+/// Output of [`Baseline::filter`].
+#[derive(Debug)]
+pub struct FilterResult {
+    /// Findings not absorbed by the baseline.
+    pub kept: Vec<Diagnostic>,
+    /// Number of findings absorbed.
+    pub baselined: usize,
+    /// Entries (with residual counts) that matched nothing — candidates for
+    /// deletion.
+    pub stale: Vec<Entry>,
+}
+
+/// Render a baseline that would absorb exactly `diags` (the
+/// `--write-baseline` output). Deterministic: sorted by key.
+pub fn render(diags: &[Diagnostic], mut line_key: impl FnMut(&str, u32) -> u64) -> String {
+    let mut counts: BTreeMap<(String, String, u64), usize> = BTreeMap::new();
+    for d in diags {
+        *counts
+            .entry((
+                d.lint.to_string(),
+                d.file.clone(),
+                line_key(&d.file, d.line),
+            ))
+            .or_insert(0) += 1;
+    }
+    let mut out = String::from(HEADER);
+    out.push('\n');
+    for ((lint, file, hash), count) in counts {
+        out.push_str(&format!("{lint}\t{file}\t{hash:016x}\t{count}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn d(lint: &'static str, file: &str, line: u32) -> Diagnostic {
+        Diagnostic {
+            lint,
+            severity: Severity::Warning,
+            file: file.into(),
+            line,
+            col: 1,
+            message: String::new(),
+            help: "",
+        }
+    }
+
+    #[test]
+    fn filter_absorbs_up_to_count_and_reports_stale() {
+        let diags = vec![
+            d("panic-freedom", "src/a.rs", 3),
+            d("panic-freedom", "src/a.rs", 9), // same trimmed content as line 3
+            d("float-ordering", "src/b.rs", 1),
+        ];
+        // Key every a.rs line to the same hash; entry count 1 absorbs only one.
+        let text = format!(
+            "{HEADER}\npanic-freedom\tsrc/a.rs\t{:016x}\t1\nkernel-allocation\tsrc/z.rs\t00ff\t2\n",
+            42u64
+        );
+        let bl = Baseline::parse(&text).unwrap();
+        let r = bl.filter(diags, |file, _| if file == "src/a.rs" { 42 } else { 7 });
+        assert_eq!(r.baselined, 1);
+        assert_eq!(r.kept.len(), 2);
+        assert_eq!(r.stale.len(), 1);
+        assert_eq!(r.stale[0].file, "src/z.rs");
+        assert_eq!(r.stale[0].count, 2);
+    }
+
+    #[test]
+    fn render_then_parse_absorbs_everything() {
+        let diags = vec![
+            d("panic-freedom", "src/a.rs", 3),
+            d("panic-freedom", "src/a.rs", 3),
+            d("float-ordering", "src/b.rs", 1),
+        ];
+        let key = |file: &str, line: u32| crate::hash::fnv1a64(format!("{file}:{line}").as_bytes());
+        let text = render(&diags, key);
+        let bl = Baseline::parse(&text).unwrap();
+        let r = bl.filter(diags, key);
+        assert_eq!(r.baselined, 3);
+        assert!(r.kept.is_empty());
+        assert!(r.stale.is_empty());
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(Baseline::parse("nonsense\n").is_err());
+        assert!(Baseline::parse(&format!("{HEADER}\nonly\ttwo\n")).is_err());
+        // Comments and blank lines are fine.
+        assert!(Baseline::parse(&format!("{HEADER}\n# note\n\n")).is_ok());
+    }
+}

@@ -1,0 +1,443 @@
+//! The incremental result cache.
+//!
+//! A cold run lexes every file in the workspace; that is the expensive pass.
+//! But between two lint runs almost nothing changes, so the analyzer caches
+//! the complete per-file pass-1 output — raw local diagnostics, suppression
+//! comments, and the [`crate::model::FileSummary`] the workspace model is
+//! rebuilt from — keyed by an FNV-1a hash of the file's bytes. A warm run
+//! re-reads file contents (cheap, and required anyway to compute baseline
+//! line keys), matches hashes, and only re-lexes files whose bytes changed.
+//! Pass 2 (the model lints) always re-runs over the rebuilt model: it is
+//! microseconds of pure lookup work, and re-running it is what makes a
+//! cached file still able to *receive* new cross-file findings when one of
+//! its callees changed.
+//!
+//! The cache is a plain tab-separated text file (default
+//! `target/press-lint.cache`), versioned by a header that folds in the lint
+//! catalog: adding or changing a lint invalidates every entry at once. A
+//! missing, unreadable, or stale-format cache degrades to a cold run —
+//! the cache can never change *what* is reported, only how fast.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::catalog;
+use crate::checks::lint_help;
+use crate::diag::Diagnostic;
+use crate::lexer::Suppression;
+use crate::model::{AllocSite, CallSite, FileSummary, FnInfo, SeedCall};
+
+/// One file's cached pass-1 analysis.
+#[derive(Debug, Clone, Default)]
+pub struct FileAnalysis {
+    /// FNV-1a 64 of the file bytes this analysis was computed from.
+    pub hash: u64,
+    /// Raw local (L1–L6, L9) findings, before suppression filtering.
+    pub diags: Vec<Diagnostic>,
+    /// Suppression comments found in the file.
+    pub suppressions: Vec<Suppression>,
+    /// The pass-1 symbol summary.
+    pub summary: FileSummary,
+}
+
+/// The whole cache: rel_path → analysis.
+#[derive(Debug, Default)]
+pub struct Cache {
+    /// Entries keyed by workspace-relative path.
+    pub entries: BTreeMap<String, FileAnalysis>,
+}
+
+/// Format version plus a fingerprint of the lint catalog: any catalog change
+/// (new lint, renamed slug) makes old entries unusable, so it participates
+/// in the header and stale headers drop the whole cache.
+fn header() -> String {
+    let slugs: Vec<&str> = catalog::ALL.iter().map(|l| l.slug).collect();
+    format!("press-lint-cache/v2 {}", slugs.join(","))
+}
+
+impl Cache {
+    /// Load a cache file. Any problem — missing file, bad header, torn
+    /// write — returns an empty cache; correctness never depends on it.
+    pub fn load(path: &Path) -> Cache {
+        let Ok(text) = fs::read_to_string(path) else {
+            return Cache::default();
+        };
+        let mut lines = text.lines();
+        if lines.next() != Some(header().as_str()) {
+            return Cache::default();
+        }
+        let mut cache = Cache::default();
+        let mut cur: Option<(String, FileAnalysis)> = None;
+        for line in lines {
+            let mut f = line.split('\t');
+            let Some(tag) = f.next() else { continue };
+            let fields: Vec<&str> = f.collect();
+            match tag {
+                "file" => {
+                    if let Some((path, fa)) = cur.take() {
+                        cache.entries.insert(path, fa);
+                    }
+                    let [path, hash] = fields[..] else {
+                        return Cache::default();
+                    };
+                    let Ok(hash) = u64::from_str_radix(hash, 16) else {
+                        return Cache::default();
+                    };
+                    cur = Some((
+                        unescape(path),
+                        FileAnalysis {
+                            hash,
+                            ..FileAnalysis::default()
+                        },
+                    ));
+                }
+                _ => {
+                    let Some((path, fa)) = cur.as_mut() else {
+                        return Cache::default();
+                    };
+                    if !parse_record(tag, &fields, path, fa) {
+                        return Cache::default();
+                    }
+                }
+            }
+        }
+        if let Some((path, fa)) = cur.take() {
+            cache.entries.insert(path, fa);
+        }
+        cache
+    }
+
+    /// Write the cache. Failures are ignored (e.g. read-only checkout): the
+    /// next run is merely cold.
+    pub fn store(&self, path: &Path) {
+        let mut out = String::new();
+        out.push_str(&header());
+        out.push('\n');
+        for (rel, fa) in &self.entries {
+            render_file(&mut out, rel, fa);
+        }
+        if let Some(dir) = path.parent() {
+            let _ = fs::create_dir_all(dir);
+        }
+        let _ = write_atomic(path, &out);
+    }
+}
+
+/// Write via a temp file + rename so a crashed run can't leave a torn cache.
+fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let tmp = path.with_extension("cache.tmp");
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path)
+}
+
+fn render_file(out: &mut String, rel: &str, fa: &FileAnalysis) {
+    use std::fmt::Write;
+    let _ = writeln!(out, "file\t{}\t{:016x}", escape(rel), fa.hash);
+    for d in &fa.diags {
+        let _ = writeln!(
+            out,
+            "diag\t{}\t{}\t{}\t{}",
+            d.lint,
+            d.line,
+            d.col,
+            escape(&d.message)
+        );
+    }
+    for s in &fa.suppressions {
+        let _ = writeln!(
+            out,
+            "supp\t{}\t{}\t{}",
+            s.line,
+            s.trailing as u8,
+            s.slugs.join(",")
+        );
+    }
+    for func in &fa.summary.fns {
+        let _ = writeln!(
+            out,
+            "fn\t{}\t{}\t{}\t{}{}{}{}",
+            func.name,
+            func.line,
+            func.col,
+            func.in_test as u8,
+            func.kernel as u8,
+            func.seed_param as u8,
+            func.uses_seed_param as u8
+        );
+        for c in &func.calls {
+            let _ = writeln!(out, "call\t{}\t{}\t{}", c.name, c.line, c.col);
+        }
+        for a in &func.allocs {
+            let _ = writeln!(out, "alloc\t{}\t{}\t{}", escape(&a.what), a.line, a.col);
+        }
+    }
+    for sc in &fa.summary.seed_calls {
+        let _ = writeln!(
+            out,
+            "seed\t{}\t{}\t{}\t{}\t{}\t{}",
+            sc.line,
+            sc.col,
+            sc.in_test as u8,
+            sc.derives_locally as u8,
+            escape(&sc.enclosing),
+            escape(&sc.stream_expr)
+        );
+        for c in &sc.arg_calls {
+            let _ = writeln!(out, "seedcall\t{}\t{}\t{}", c.name, c.line, c.col);
+        }
+    }
+    for c in &fa.summary.consts {
+        let _ = writeln!(out, "const\t{}", c);
+    }
+}
+
+/// Parse one non-`file` record into the current entry. Returns false on any
+/// malformed field (which drops the whole cache).
+fn parse_record(tag: &str, fields: &[&str], rel_path: &str, fa: &mut FileAnalysis) -> bool {
+    let int = |s: &str| s.parse::<u32>().ok();
+    let flag = |s: u8| s == b'1';
+    match tag {
+        "diag" => {
+            let [slug, line, col, message] = fields[..] else {
+                return false;
+            };
+            let Some(lint) = catalog::by_slug(slug) else {
+                return false;
+            };
+            let (Some(line), Some(col)) = (int(line), int(col)) else {
+                return false;
+            };
+            fa.diags.push(Diagnostic {
+                lint: lint.slug,
+                severity: lint.severity,
+                file: rel_path.to_string(),
+                line,
+                col,
+                message: unescape(message),
+                help: lint_help(lint.slug),
+            });
+            true
+        }
+        "supp" => {
+            let [line, trailing, slugs] = fields[..] else {
+                return false;
+            };
+            let Some(line) = int(line) else { return false };
+            fa.suppressions.push(Suppression {
+                line,
+                trailing: trailing == "1",
+                slugs: if slugs.is_empty() {
+                    Vec::new()
+                } else {
+                    slugs.split(',').map(str::to_string).collect()
+                },
+            });
+            true
+        }
+        "fn" => {
+            let [name, line, col, bits] = fields[..] else {
+                return false;
+            };
+            let (Some(line), Some(col)) = (int(line), int(col)) else {
+                return false;
+            };
+            let b = bits.as_bytes();
+            if b.len() != 4 {
+                return false;
+            }
+            fa.summary.fns.push(FnInfo {
+                name: name.to_string(),
+                line,
+                col,
+                in_test: flag(b[0]),
+                kernel: flag(b[1]),
+                seed_param: flag(b[2]),
+                uses_seed_param: flag(b[3]),
+                calls: Vec::new(),
+                allocs: Vec::new(),
+            });
+            true
+        }
+        "call" | "alloc" => {
+            let [name, line, col] = fields[..] else {
+                return false;
+            };
+            let (Some(line), Some(col)) = (int(line), int(col)) else {
+                return false;
+            };
+            let Some(func) = fa.summary.fns.last_mut() else {
+                return false;
+            };
+            if tag == "call" {
+                func.calls.push(CallSite {
+                    name: name.to_string(),
+                    line,
+                    col,
+                });
+            } else {
+                func.allocs.push(AllocSite {
+                    what: unescape(name),
+                    line,
+                    col,
+                });
+            }
+            true
+        }
+        "seed" => {
+            let [line, col, in_test, derives, enclosing, expr] = fields[..] else {
+                return false;
+            };
+            let (Some(line), Some(col)) = (int(line), int(col)) else {
+                return false;
+            };
+            fa.summary.seed_calls.push(SeedCall {
+                line,
+                col,
+                in_test: in_test == "1",
+                derives_locally: derives == "1",
+                enclosing: unescape(enclosing),
+                stream_expr: unescape(expr),
+                arg_calls: Vec::new(),
+            });
+            true
+        }
+        "seedcall" => {
+            let [name, line, col] = fields[..] else {
+                return false;
+            };
+            let (Some(line), Some(col)) = (int(line), int(col)) else {
+                return false;
+            };
+            let Some(sc) = fa.summary.seed_calls.last_mut() else {
+                return false;
+            };
+            sc.arg_calls.push(CallSite {
+                name: name.to_string(),
+                line,
+                col,
+            });
+            true
+        }
+        "const" => {
+            let [name] = fields[..] else { return false };
+            fa.summary.consts.push(name.to_string());
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Escape tabs/newlines/backslashes so free text survives the record format.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{test_regions, FileContext};
+    use crate::lexer::lex;
+    use crate::model::summarize;
+
+    fn analyze(rel: &str, src: &str) -> FileAnalysis {
+        let ctx = FileContext::from_rel_path(rel);
+        let lexed = lex(src);
+        let regions = test_regions(&lexed.toks);
+        let summary = summarize(&lexed, &regions);
+        FileAnalysis {
+            hash: crate::hash::fnv1a64(src.as_bytes()),
+            diags: crate::checks::run_all(&ctx, &lexed.toks, &regions),
+            suppressions: lexed.suppressions,
+            summary,
+        }
+    }
+
+    #[test]
+    fn round_trips_a_real_analysis() {
+        let src = "\
+// press-lint: allow(nondeterministic-iteration)
+use std::collections::HashSet;
+pub const DEFAULT_SEED: u64 = 7;
+fn synth_into(out: &mut [f64]) { let v = vec![0.0]; out[0] = v[0]; helper(out); }
+fn helper(seed: u64) -> u64 { seed.wrapping_add(1) }
+fn run(seed: u64) { let r = StdRng::seed_from_u64(derive_stream_seed(seed, 1, 0)); }
+";
+        let fa = analyze("crates/press-core/src/x.rs", src);
+        assert!(!fa.diags.is_empty());
+        assert!(!fa.summary.fns.is_empty());
+        assert_eq!(fa.summary.seed_calls.len(), 1);
+
+        let dir = std::env::temp_dir().join("press-lint-cache-test-rt");
+        let path = dir.join("c.cache");
+        let mut cache = Cache::default();
+        cache
+            .entries
+            .insert("crates/press-core/src/x.rs".into(), fa.clone());
+        cache.store(&path);
+        let loaded = Cache::load(&path);
+        let got = &loaded.entries["crates/press-core/src/x.rs"];
+
+        assert_eq!(got.hash, fa.hash);
+        assert_eq!(got.summary, fa.summary);
+        assert_eq!(got.diags.len(), fa.diags.len());
+        for (a, b) in got.diags.iter().zip(&fa.diags) {
+            assert_eq!(
+                (a.lint, a.line, a.col, &a.message, a.severity, a.help),
+                (b.lint, b.line, b.col, &b.message, b.severity, b.help)
+            );
+        }
+        assert_eq!(got.suppressions.len(), fa.suppressions.len());
+        assert_eq!(got.suppressions[0].slugs, fa.suppressions[0].slugs);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_or_stale_cache_is_empty() {
+        let missing = Path::new("/definitely/not/here/press-lint.cache");
+        assert!(Cache::load(missing).entries.is_empty());
+
+        let dir = std::env::temp_dir().join("press-lint-cache-test-stale");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("c.cache");
+        std::fs::write(&path, "press-lint-cache/v1 old\nfile\tx\t00\n").unwrap();
+        assert!(Cache::load(&path).entries.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn escaping_survives_hostile_text() {
+        assert_eq!(unescape(&escape("a\tb\nc\\d")), "a\tb\nc\\d");
+    }
+}

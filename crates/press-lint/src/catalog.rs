@@ -1,8 +1,11 @@
 //! The PRESS lint catalog.
 //!
-//! Six lints, each guarding an invariant the control loop's reproducibility
-//! story depends on. See DESIGN.md, "Determinism invariants and the lint
-//! catalog", for the full rationale and the seed-stream convention table.
+//! Nine lints, each guarding an invariant the control loop's reproducibility
+//! or robustness story depends on. L1–L6 are per-file token lints; L7 and L8
+//! are model lints that need the pass-1 workspace symbol model ([`crate::model`]);
+//! L9 is a per-file lint with documented carve-outs. See DESIGN.md,
+//! "Determinism invariants and the lint catalog", for the full rationale and
+//! the generated seed-stream table.
 
 use crate::diag::Severity;
 
@@ -64,7 +67,34 @@ pub const KERNEL_REDUCTION: Lint = Lint {
               reductions as explicit in-order folds so bit-identity survives refactors",
 };
 
-/// Every lint, in catalog (L1..L6) order.
+/// L7: seed streams must provenance-trace through the call graph to a
+/// named seed-table entry (model lint; needs the workspace symbol model).
+pub const SEED_PROVENANCE: Lint = Lint {
+    slug: "seed-stream-provenance",
+    severity: Severity::Warning,
+    summary: "every RNG stream must trace through the call graph to a named seed-table entry \
+              (DESIGN.md); helpers that claim to derive a stream must actually consume a seed",
+};
+
+/// L8: hot kernels (`*_into`/`*_scratch`/`*_batched` or `// press-lint:
+/// kernel`) and their transitive callees must not allocate (model lint).
+pub const KERNEL_ALLOCATION: Lint = Lint {
+    slug: "kernel-allocation",
+    severity: Severity::Warning,
+    summary: "hot kernels (*_into/*_scratch/*_batched or `// press-lint: kernel`) and their \
+              callees must not allocate; vec!/collect/clone/Box::new break the zero-alloc \
+              steady-state contract",
+};
+
+/// L9: library code must not panic.
+pub const PANIC_FREEDOM: Lint = Lint {
+    slug: "panic-freedom",
+    severity: Severity::Warning,
+    summary: "unwrap/expect/panic! in non-test library code aborts the whole control loop; \
+              return a Result or document the invariant with an allow",
+};
+
+/// Every lint, in catalog (L1..L9) order.
 pub const ALL: &[Lint] = &[
     NONDET_ITERATION,
     AMBIENT_ENTROPY,
@@ -72,6 +102,9 @@ pub const ALL: &[Lint] = &[
     FLOAT_ORDERING,
     DB_LINEAR_MIXING,
     KERNEL_REDUCTION,
+    SEED_PROVENANCE,
+    KERNEL_ALLOCATION,
+    PANIC_FREEDOM,
 ];
 
 /// Look a lint up by slug (used to validate `allow(...)` lists).

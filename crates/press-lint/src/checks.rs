@@ -22,6 +22,7 @@ pub fn run_all(ctx: &FileContext, toks: &[Tok], regions: &TestRegions) -> Vec<Di
     check_float_ordering(ctx, toks, regions, &mut out);
     check_db_linear_mixing(ctx, toks, &mut out);
     check_kernel_reduction(ctx, toks, regions, &mut out);
+    check_panic_freedom(ctx, toks, regions, &mut out);
     out.sort_by(|a, b| (a.line, a.col, a.lint).cmp(&(b.line, b.col, b.lint)));
     out
 }
@@ -38,7 +39,7 @@ fn diag(lint: &'static catalog::Lint, ctx: &FileContext, t: &Tok, message: Strin
     }
 }
 
-fn lint_help(slug: &str) -> &'static str {
+pub(crate) fn lint_help(slug: &str) -> &'static str {
     match slug {
         "nondeterministic-iteration" => {
             "use BTreeMap/BTreeSet, or collect and sort before iterating"
@@ -59,6 +60,10 @@ fn lint_help(slug: &str) -> &'static str {
         "kernel-reduction" => {
             "write the reduction as an explicit in-order loop or fold so the accumulation \
              order is visible and stays fixed"
+        }
+        "panic-freedom" => {
+            "return a Result, use a checked accessor, or document the invariant that makes \
+             the panic unreachable with `// press-lint: allow(panic-freedom)`"
         }
         _ => "",
     }
@@ -513,6 +518,101 @@ fn check_kernel_reduction(
     }
 }
 
+// ---------------------------------------------------------------------------
+// L9: panic-freedom
+// ---------------------------------------------------------------------------
+
+/// Flag `.unwrap()` / `.expect(..)` method calls and the panicking macros
+/// (`panic!`, `unreachable!`, `todo!`, `unimplemented!`) in non-test library
+/// code. The pressd daemon direction (ROADMAP) turns every library panic
+/// into a whole-control-loop abort, so panics must either become `Result`s
+/// or carry a documented `allow` naming the invariant that rules them out.
+///
+/// Deliberate carve-outs:
+/// - `partial_cmp(..).unwrap()` is L4's finding (float-ordering), not L9's —
+///   double-reporting one token helps nobody.
+/// - Slice indexing (`xs[i]`) is not flagged: the lexer has no types, so it
+///   cannot tell a bounds-checked hot-loop index (ubiquitous in the kernels,
+///   panic-free by construction) from a fallible map lookup. A lint that
+///   fires on every kernel line would be allowed into silence immediately.
+/// - `assert!`/`debug_assert!` are contract checks, not control flow — an
+///   assert that fires is a bug found, which is the point of having it.
+fn check_panic_freedom(
+    ctx: &FileContext,
+    toks: &[Tok],
+    regions: &TestRegions,
+    out: &mut Vec<Diagnostic>,
+) {
+    if ctx.bench_crate || ctx.test_file {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || regions.contains(i) {
+            continue;
+        }
+        match t.text.as_str() {
+            "unwrap" | "expect" => {
+                // Method call only: `.unwrap(` / `.expect(`.
+                if !(i >= 1
+                    && toks[i - 1].is_punct(".")
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct("(")))
+                {
+                    continue;
+                }
+                // `partial_cmp(..).unwrap()` belongs to L4.
+                if i >= 2 && toks[i - 2].is_punct(")") {
+                    if let Some(open) = matching_paren_backward(toks, i - 2) {
+                        if open >= 1 && toks[open - 1].is_ident("partial_cmp") {
+                            continue;
+                        }
+                    }
+                }
+                out.push(diag(
+                    &catalog::PANIC_FREEDOM,
+                    ctx,
+                    t,
+                    format!(
+                        "`.{}()` in library code panics at runtime; a daemonized control \
+                         loop cannot absorb an abort",
+                        t.text
+                    ),
+                ));
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if toks.get(i + 1).is_some_and(|n| n.is_punct("!")) =>
+            {
+                out.push(diag(
+                    &catalog::PANIC_FREEDOM,
+                    ctx,
+                    t,
+                    format!("`{}!` aborts the control loop in library code", t.text),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Given the index of a `)`, return the index of its matching `(`.
+fn matching_paren_backward(toks: &[Tok], close: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut j = close;
+    loop {
+        if toks[j].is_punct(")") {
+            depth += 1;
+        } else if toks[j].is_punct("(") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -690,6 +790,47 @@ mod tests {
              fn sum(a: f64, b: f64) -> f64 { let sum = a + b; sum }"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn l9_flags_panic_sites_in_library_code() {
+        let d = run(LIB, "fn f(x: Option<u8>) -> u8 { x.unwrap() }");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].lint, "panic-freedom");
+        let d = run(LIB, "fn f(x: Option<u8>) -> u8 { x.expect(\"present\") }");
+        assert_eq!(d.len(), 1);
+        let d = run(LIB, "fn f() { panic!(\"boom\"); }");
+        assert_eq!(d.len(), 1);
+        let d = run(
+            LIB,
+            "fn f(k: u8) { match k { 0 => {} _ => unreachable!() } }",
+        );
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn l9_carve_outs_do_not_fire() {
+        // partial_cmp().unwrap() is L4's single finding, not an L9 double.
+        let d = run(LIB, "xs.sort_by(|a, b| a.partial_cmp(b).unwrap());");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].lint, "float-ordering");
+        // unwrap_or / unwrap_or_else / asserts / indexing are fine.
+        assert!(run(
+            LIB,
+            "fn f(x: Option<u8>, xs: &[u8]) -> u8 { assert!(!xs.is_empty()); \
+             x.unwrap_or(0) + x.unwrap_or_else(|| xs[0]) }"
+        )
+        .is_empty());
+        // Tests, benches and test regions may panic freely.
+        assert!(run(
+            LIB,
+            "#[cfg(test)]\nmod t { fn f() { None::<u8>.unwrap(); } }"
+        )
+        .is_empty());
+        assert!(run("crates/press-core/tests/t.rs", "fn f() { x.unwrap(); }").is_empty());
+        assert!(run("crates/press-bench/src/lib.rs", "fn f() { x.unwrap(); }").is_empty());
+        // A field or fn named panic without `!` is not a macro.
+        assert!(run(LIB, "fn f(p: &P) -> bool { p.panic }").is_empty());
     }
 
     #[test]

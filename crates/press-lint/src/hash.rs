@@ -1,0 +1,49 @@
+//! FNV-1a 64-bit hashing.
+//!
+//! Used for two independent keys that both want a stable, dependency-free,
+//! cheap content hash:
+//! - the incremental cache keys each file's analysis by its content hash, and
+//! - the baseline keys each finding by the hash of its (trimmed) source line,
+//!   so baselined findings survive the file shifting around them.
+//!
+//! FNV-1a is not cryptographic and does not need to be: a collision merely
+//! serves one stale cached analysis or matches one extra baseline entry, and
+//! at 64 bits over a few hundred files that is a non-event.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hash a byte string.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Hash the trimmed content of a source line — the baseline key. Trimming
+/// means re-indenting a block does not invalidate its baseline entries.
+pub fn line_key(line: &str) -> u64 {
+    fnv1a64(line.trim().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn line_key_ignores_indentation() {
+        assert_eq!(line_key("  x.unwrap();"), line_key("\t\tx.unwrap();  "));
+        assert_ne!(line_key("x.unwrap();"), line_key("y.unwrap();"));
+    }
+}

@@ -72,6 +72,11 @@ pub struct Lexed {
     pub toks: Vec<Tok>,
     /// Suppression comments in source order.
     pub suppressions: Vec<Suppression>,
+    /// Lines carrying a `// press-lint: kernel` marker. The marker promotes
+    /// the next `fn` item (or the one on the same line) into the hot-kernel
+    /// set that L8 holds allocation-free, for kernels whose names don't
+    /// match the `*_into`/`*_scratch`/`*_batched` idiom.
+    pub kernel_markers: Vec<u32>,
 }
 
 /// Lex `src` into tokens, collecting `press-lint: allow(...)` comments.
@@ -118,6 +123,9 @@ pub fn lex(src: &str) -> Lexed {
             let trailing = out.toks.last().is_some_and(|t| t.line == tline);
             if let Some(sup) = parse_suppression(&text, tline, trailing) {
                 out.suppressions.push(sup);
+            }
+            if is_kernel_marker(&text) {
+                out.kernel_markers.push(tline);
             }
             continue;
         }
@@ -413,6 +421,16 @@ fn is_ident_continue(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
 }
 
+/// Is this line comment a `// press-lint: kernel` hot-path marker?
+fn is_kernel_marker(comment: &str) -> bool {
+    let marker = "press-lint:";
+    let Some(pos) = comment.find(marker) else {
+        return false;
+    };
+    let rest = comment[pos + marker.len()..].trim_start();
+    rest == "kernel" || rest.starts_with("kernel ") || rest.starts_with("kernel(")
+}
+
 /// Parse `// press-lint: allow(slug, slug2)` out of a line comment.
 fn parse_suppression(comment: &str, line: u32, trailing: bool) -> Option<Suppression> {
     let marker = "press-lint:";
@@ -513,6 +531,18 @@ mod tests {
         assert_eq!(l.toks[1].line, 2);
         assert_eq!(l.toks[2].line, 3);
         assert_eq!(l.toks[2].col, 3);
+    }
+
+    #[test]
+    fn kernel_markers_collected() {
+        let l = lex(
+            "// press-lint: kernel\nfn fast(a: &[f64]) {}\nfn slow() {} // press-lint: kernel\n",
+        );
+        assert_eq!(l.kernel_markers, vec![1, 3]);
+        // An allow comment is not a kernel marker, and vice versa.
+        let l = lex("// press-lint: allow(kernel-allocation)\n// press-lint: kernelish\n");
+        assert!(l.kernel_markers.is_empty());
+        assert_eq!(l.suppressions.len(), 1);
     }
 
     #[test]

@@ -6,9 +6,11 @@
 //! reproduces the oracle episode exactly", and that style of validation dies
 //! the moment a `HashSet` iteration order or a `thread_rng()` sneaks into a
 //! simulation crate. This crate is the enforcement arm: a dependency-free
-//! static analyzer that lexes every `.rs` file in the workspace and applies
-//! the six-lint catalog described in DESIGN.md ("Determinism invariants and
-//! the lint catalog"):
+//! static analyzer (hand-rolled lexer, no `syn`) that runs in two passes.
+//! Pass 1 lexes every `.rs` file in parallel, runs the local lints, and
+//! summarizes each file into a workspace symbol model ([`model`]); pass 2
+//! runs the dataflow lints over that model. The catalog (DESIGN.md,
+//! "Determinism invariants and the lint catalog"):
 //!
 //! | lint | guards |
 //! |------|--------|
@@ -18,27 +20,46 @@
 //! | `float-ordering` | no `partial_cmp().unwrap()`, no float `==` outside tests |
 //! | `db-linear-unit-mixing` | no arithmetic across dB / linear suffixes |
 //! | `kernel-reduction` | no hidden-order `.sum()` reductions in lane-kernel files |
+//! | `seed-stream-provenance` | streams trace through the call graph to a seed-table entry |
+//! | `kernel-allocation` | hot kernels and their callees never touch the allocator |
+//! | `panic-freedom` | no `unwrap`/`expect`/`panic!` in non-test library code |
 //!
 //! Run it as a workspace binary:
 //!
 //! ```sh
-//! cargo run -p press-lint -- check                 # human-readable report
-//! cargo run -p press-lint -- check --format json   # machine-readable
-//! cargo run -p press-lint -- check --deny-warnings # CI gate: warnings fail
+//! cargo run -p press-lint -- check                    # human-readable report
+//! cargo run -p press-lint -- check --format json      # machine-readable
+//! cargo run -p press-lint -- check --format sarif     # GitHub code scanning
+//! cargo run -p press-lint -- check --deny-warnings    # CI gate: warnings fail
+//! cargo run -p press-lint -- check --baseline FILE    # subtract accepted findings
+//! cargo run -p press-lint -- emit seed-table          # the generated DESIGN.md table
 //! ```
 //!
-//! Findings are suppressed (and counted) with an inline comment on the same
-//! or preceding line: `// press-lint: allow(<lint-slug>)`.
+//! Re-lints are incremental: pass-1 results are cached per content hash in
+//! `target/press-lint.cache` (`--no-cache` to disable), so a warm run only
+//! re-lexes files whose bytes changed while pass 2 still sees the whole
+//! model. Findings are suppressed (and counted) with an inline comment on
+//! the same or preceding line: `// press-lint: allow(<lint-slug>)`.
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
+pub mod cache;
 pub mod catalog;
 pub mod checks;
 pub mod context;
 pub mod diag;
+pub mod hash;
 pub mod lexer;
+pub mod model;
+pub mod modelcheck;
+pub mod sarif;
+pub mod seedtable;
 pub mod workspace;
 
 pub use catalog::{Lint, ALL};
 pub use diag::{Diagnostic, Severity};
-pub use workspace::{analyze_source, analyze_workspace, find_workspace_root, Report};
+pub use workspace::{
+    analyze_set, analyze_source, analyze_workspace, analyze_workspace_with, find_workspace_root,
+    Options, Report,
+};

@@ -1,12 +1,16 @@
 //! CLI for the PRESS workspace analyzer.
 //!
 //! ```text
-//! press-lint check [--format human|json] [--deny-warnings] [--root PATH]
+//! press-lint check [--format human|json|sarif] [--deny-warnings] [--root PATH]
+//!                  [--baseline FILE] [--write-baseline FILE]
+//!                  [--cache FILE | --no-cache] [--jobs N]
+//! press-lint emit seed-table [--root PATH]
 //! press-lint list
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings (any error, or any warning under
-//! `--deny-warnings`), 2 usage/IO error.
+//! `--deny-warnings`), 2 usage/IO error. Stale baseline entries count as
+//! findings under `--deny-warnings`: the baseline only ever shrinks.
 
 #![forbid(unsafe_code)]
 
@@ -14,17 +18,33 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use press_lint::diag::{json_str, Severity};
-use press_lint::{analyze_workspace, catalog, find_workspace_root};
+use press_lint::workspace::{analyze_workspace_with, build_model, Options};
+use press_lint::{baseline, catalog, find_workspace_root, hash, sarif, seedtable};
+
+#[derive(PartialEq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
 
 struct Opts {
-    json: bool,
+    format: Format,
     deny_warnings: bool,
     root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    cache: Option<PathBuf>,
+    no_cache: bool,
+    jobs: usize,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: press-lint check [--format human|json] [--deny-warnings] [--root PATH]\n\
+        "usage: press-lint check [--format human|json|sarif] [--deny-warnings] [--root PATH]\n\
+         \u{20}                       [--baseline FILE] [--write-baseline FILE]\n\
+         \u{20}                       [--cache FILE | --no-cache] [--jobs N]\n\
+         \u{20}      press-lint emit seed-table [--root PATH]\n\
          \u{20}      press-lint list"
     );
     ExitCode::from(2)
@@ -47,25 +67,70 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        "emit" => {
+            if args.get(1).map(String::as_str) != Some("seed-table") {
+                return usage();
+            }
+            let mut root = None;
+            let mut it = args[2..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--root" => match it.next() {
+                        Some(p) => root = Some(PathBuf::from(p)),
+                        None => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            let Some(root) = locate_root(root) else {
+                return ExitCode::from(2);
+            };
+            match build_model(&root) {
+                Ok(model) => {
+                    print!("{}", seedtable::emit(&model));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("press-lint: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
         "check" => {
             let mut opts = Opts {
-                json: false,
+                format: Format::Human,
                 deny_warnings: false,
                 root: None,
+                baseline: None,
+                write_baseline: None,
+                cache: None,
+                no_cache: false,
+                jobs: 0,
             };
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--format" => match it.next().map(String::as_str) {
-                        Some("human") => opts.json = false,
-                        Some("json") => opts.json = true,
+                        Some("human") => opts.format = Format::Human,
+                        Some("json") => opts.format = Format::Json,
+                        Some("sarif") => opts.format = Format::Sarif,
                         _ => return usage(),
                     },
                     "--deny-warnings" => opts.deny_warnings = true,
-                    "--root" => match it.next() {
-                        Some(p) => opts.root = Some(PathBuf::from(p)),
-                        None => return usage(),
-                    },
+                    "--no-cache" => opts.no_cache = true,
+                    "--root" | "--baseline" | "--write-baseline" | "--cache" | "--jobs" => {
+                        let Some(v) = it.next() else { return usage() };
+                        match a.as_str() {
+                            "--root" => opts.root = Some(PathBuf::from(v)),
+                            "--baseline" => opts.baseline = Some(PathBuf::from(v)),
+                            "--write-baseline" => opts.write_baseline = Some(PathBuf::from(v)),
+                            "--cache" => opts.cache = Some(PathBuf::from(v)),
+                            _ => match v.parse() {
+                                Ok(n) => opts.jobs = n,
+                                Err(_) => return usage(),
+                            },
+                        }
+                    }
                     _ => return usage(),
                 }
             }
@@ -75,21 +140,36 @@ fn main() -> ExitCode {
     }
 }
 
-fn run_check(opts: Opts) -> ExitCode {
-    let root = match opts.root.or_else(|| {
+fn locate_root(explicit: Option<PathBuf>) -> Option<PathBuf> {
+    let root = explicit.or_else(|| {
         std::env::current_dir()
             .ok()
             .and_then(|d| find_workspace_root(&d))
-    }) {
-        Some(r) => r,
-        None => {
-            eprintln!(
-                "press-lint: could not locate a workspace root (missing [workspace] Cargo.toml)"
-            );
-            return ExitCode::from(2);
-        }
+    });
+    if root.is_none() {
+        eprintln!("press-lint: could not locate a workspace root (missing [workspace] Cargo.toml)");
+    }
+    root
+}
+
+fn run_check(opts: Opts) -> ExitCode {
+    let Some(root) = locate_root(opts.root) else {
+        return ExitCode::from(2);
     };
-    let report = match analyze_workspace(&root) {
+    let cache_path = if opts.no_cache {
+        None
+    } else {
+        Some(
+            opts.cache
+                .unwrap_or_else(|| root.join("target").join("press-lint.cache")),
+        )
+    };
+    let options = Options {
+        cache_path,
+        jobs: opts.jobs,
+        baseline: opts.baseline,
+    };
+    let report = match analyze_workspace_with(&root, &options) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("press-lint: {e}");
@@ -97,41 +177,91 @@ fn run_check(opts: Opts) -> ExitCode {
         }
     };
 
+    if let Some(path) = &opts.write_baseline {
+        // A baseline absorbing exactly the current (post-suppression)
+        // findings. Keyed by trimmed-line hash, so we re-read the sources.
+        let text = baseline::render(&report.diagnostics, |file, line| {
+            std::fs::read_to_string(root.join(file))
+                .ok()
+                .and_then(|src| {
+                    src.lines()
+                        .nth(line.saturating_sub(1) as usize)
+                        .map(hash::line_key)
+                })
+                .unwrap_or(0)
+        });
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("press-lint: writing baseline: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "press-lint: wrote baseline ({} finding(s)) to {}",
+            report.diagnostics.len(),
+            path.display()
+        );
+    }
+
     let errors = report
         .diagnostics
         .iter()
         .filter(|d| d.severity == Severity::Error)
         .count();
     let warnings = report.diagnostics.len() - errors;
+    let stale = report.stale_baseline.len();
 
-    if opts.json {
-        let mut out = String::from("{\"diagnostics\":[");
-        for (i, d) in report.diagnostics.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
+    match opts.format {
+        Format::Json => {
+            let mut out = String::from("{\"diagnostics\":[");
+            for (i, d) in report.diagnostics.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&d.render_json());
             }
-            out.push_str(&d.render_json());
+            out.push_str(&format!(
+                "],\"files_scanned\":{},\"suppressed\":{},\"baselined\":{},\
+                 \"stale_baseline\":{},\"cache_hits\":{},\"cache_misses\":{},\
+                 \"errors\":{},\"warnings\":{},\"root\":{}}}",
+                report.files,
+                report.suppressed,
+                report.baselined,
+                stale,
+                report.cache_hits,
+                report.cache_misses,
+                errors,
+                warnings,
+                json_str(&root.to_string_lossy()),
+            ));
+            println!("{out}");
         }
-        out.push_str(&format!(
-            "],\"files_scanned\":{},\"suppressed\":{},\"errors\":{},\"warnings\":{},\"root\":{}}}",
-            report.files,
-            report.suppressed,
-            errors,
-            warnings,
-            json_str(&root.to_string_lossy()),
-        ));
-        println!("{out}");
-    } else {
-        for d in &report.diagnostics {
-            println!("{}", d.render_human());
+        Format::Sarif => {
+            println!("{}", sarif::render(&report.diagnostics));
         }
-        println!(
-            "press-lint: {} file(s) scanned, {} error(s), {} warning(s), {} suppressed",
-            report.files, errors, warnings, report.suppressed
-        );
+        Format::Human => {
+            for d in &report.diagnostics {
+                println!("{}", d.render_human());
+            }
+            for e in &report.stale_baseline {
+                println!(
+                    "stale baseline entry: {} in {} (x{}) no longer matches anything — delete it\n",
+                    e.lint, e.file, e.count
+                );
+            }
+            println!(
+                "press-lint: {} file(s) scanned ({} cached, {} linted), {} error(s), \
+                 {} warning(s), {} suppressed, {} baselined",
+                report.files,
+                report.cache_hits,
+                report.cache_misses,
+                errors,
+                warnings,
+                report.suppressed,
+                report.baselined
+            );
+        }
     }
 
-    if errors > 0 || (opts.deny_warnings && warnings > 0) {
+    if errors > 0 || (opts.deny_warnings && (warnings > 0 || stale > 0)) {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -1,0 +1,693 @@
+//! Pass 1: the workspace symbol model.
+//!
+//! The original analyzer was a per-file token scanner, which is enough for
+//! lints whose evidence sits on one line (`HashSet`, `thread_rng`). The
+//! invariants that matter most now are *cross-file*: a seed stream derived
+//! in `press-core/src/space.rs` is consumed in `joint.rs`, and the
+//! allocation-freedom of `synthesize_into` depends on everything it calls.
+//! This module lifts the lexer output into a small symbol model — per-file
+//! `fn` items with parameter names, call edges, allocation sites and
+//! seed-derivation facts — that pass 2 (the model lints, L7/L8) walks.
+//!
+//! The model is deliberately name-resolved, not type-resolved: a call edge
+//! `caller -> callee` exists when `callee(` appears in `caller`'s body and
+//! exactly one non-test `fn callee` exists in the workspace. Ambiguous
+//! names (every `new`, `len`, ...) resolve to nothing and contribute no
+//! edges — the walk prefers precision over recall, which is the right
+//! trade for a zero-dependency lexer-level tool: every edge it does follow
+//! is real.
+
+use crate::context::{FileContext, TestRegions};
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// One call site inside a `fn` body: `name(..)`, `recv.name(..)` or
+/// `path::name(..)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Callee identifier.
+    pub name: String,
+    /// 1-based line of the callee token.
+    pub line: u32,
+    /// 1-based column of the callee token.
+    pub col: u32,
+}
+
+/// One direct allocation inside a `fn` body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocSite {
+    /// What allocated, e.g. `vec!`, `Vec::new`, `.collect`, `.clone`.
+    pub what: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// One `seed_from_u64(..)` construction site, with the provenance facts
+/// pass 2 and the seed-table emitter need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeedCall {
+    /// 1-based line of the `seed_from_u64` token.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// True when the site sits inside a `#[cfg(test)]`/`#[test]` region.
+    pub in_test: bool,
+    /// Name of the enclosing `fn` (empty at module scope).
+    pub enclosing: String,
+    /// The argument expression, normalized for the seed table (local
+    /// variables substituted one `let` level deep, `self.` stripped).
+    pub stream_expr: String,
+    /// Workspace functions invoked inside the (substituted) argument.
+    pub arg_calls: Vec<CallSite>,
+    /// True when the (substituted) argument references a seed/stream-named
+    /// identifier — the local fact L3 already checks.
+    pub derives_locally: bool,
+}
+
+/// One `fn` item and the facts the model lints need about it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnInfo {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based column of the `fn` keyword.
+    pub col: u32,
+    /// True when the item sits inside a test region.
+    pub in_test: bool,
+    /// True when the function is a hot kernel: name matches the
+    /// `*_into`/`*_scratch`/`*_batched` idiom or a `// press-lint: kernel`
+    /// marker precedes it.
+    pub kernel: bool,
+    /// True when a parameter is seed/stream-named.
+    pub seed_param: bool,
+    /// True when the body references that seed/stream parameter.
+    pub uses_seed_param: bool,
+    /// Call sites in the body, in source order.
+    pub calls: Vec<CallSite>,
+    /// Direct allocation sites in the body, in source order.
+    pub allocs: Vec<AllocSite>,
+}
+
+/// Everything the model keeps about one file. This is what the incremental
+/// cache persists per content hash: rebuilding the workspace model from
+/// summaries costs microseconds, so a warm re-lint skips the lexer (the
+/// expensive pass) for every unchanged file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FileSummary {
+    /// `fn` items in source order.
+    pub fns: Vec<FnInfo>,
+    /// `seed_from_u64` sites in source order.
+    pub seed_calls: Vec<SeedCall>,
+    /// `const`/`static` names defined at any scope.
+    pub consts: Vec<String>,
+}
+
+const KERNEL_SUFFIXES: &[&str] = &["_into", "_scratch", "_batched"];
+
+/// Keywords that look like calls when followed by `(`.
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "fn" | "if"
+            | "while"
+            | "for"
+            | "match"
+            | "loop"
+            | "return"
+            | "let"
+            | "in"
+            | "as"
+            | "mut"
+            | "ref"
+            | "move"
+            | "unsafe"
+            | "where"
+            | "impl"
+            | "dyn"
+            | "pub"
+            | "use"
+            | "mod"
+            | "struct"
+            | "enum"
+            | "trait"
+            | "type"
+            | "const"
+            | "static"
+            | "else"
+            | "break"
+            | "continue"
+    )
+}
+
+fn is_seedish(name: &str) -> bool {
+    let lower = name.to_lowercase();
+    lower.contains("seed") || lower.contains("stream")
+}
+
+/// Find the index of the token matching an opening delimiter at `open`.
+fn matching(toks: &[Tok], open: usize, open_s: &str, close_s: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(open_s) {
+            depth += 1;
+        } else if t.is_punct(close_s) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Summarize one lexed file into the model facts. `regions` marks test
+/// code; `lexed.kernel_markers` promotes marked fns into the kernel set.
+pub fn summarize(lexed: &Lexed, regions: &TestRegions) -> FileSummary {
+    let toks = &lexed.toks;
+    let mut summary = FileSummary::default();
+
+    // --- fn items: name, params, body range --------------------------------
+    // Collected first so call/alloc/seed sites can be attributed to their
+    // innermost enclosing fn by body token range.
+    struct RawFn {
+        info: FnInfo,
+        body: (usize, usize), // half-open token range
+        params: Vec<String>,
+    }
+    let mut raw: Vec<RawFn> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("fn") {
+            // `const NAME` / `static NAME` definitions for the seed table.
+            if (toks[i].is_ident("const") || toks[i].is_ident("static"))
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|n| n.kind == TokKind::Ident && n.text != "fn")
+            {
+                summary.consts.push(toks[i + 1].text.clone());
+            }
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+            i += 1;
+            continue;
+        };
+        // Skip generics between the name and the parameter list.
+        let mut j = i + 2;
+        if toks.get(j).is_some_and(|t| t.is_punct("<")) {
+            let mut depth = 0i64;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "<" | "<<" if toks[j].kind == TokKind::Punct => {
+                        depth += toks[j].text.len() as i64;
+                    }
+                    ">" | ">>" if toks[j].kind == TokKind::Punct => {
+                        depth -= toks[j].text.len() as i64;
+                    }
+                    "->" | "=>" => {}
+                    _ => {}
+                }
+                j += 1;
+                if depth <= 0 {
+                    break;
+                }
+            }
+        }
+        let Some(popen) = toks.get(j).filter(|t| t.is_punct("(")).map(|_| j) else {
+            i += 1;
+            continue;
+        };
+        let Some(pclose) = matching(toks, popen, "(", ")") else {
+            i += 1;
+            continue;
+        };
+        // Parameter names: idents at paren depth 1 immediately followed by
+        // `:` (skips pattern internals and nested fn-pointer types).
+        let mut params = Vec::new();
+        let mut depth = 0usize;
+        for k in popen..=pclose {
+            if toks[k].is_punct("(") {
+                depth += 1;
+            } else if toks[k].is_punct(")") {
+                depth -= 1;
+            } else if depth == 1
+                && toks[k].kind == TokKind::Ident
+                && toks.get(k + 1).is_some_and(|n| n.is_punct(":"))
+            {
+                params.push(toks[k].text.clone());
+            }
+        }
+        // Body: the first `{` before a `;` at brace depth 0.
+        let mut k = pclose + 1;
+        let mut body = None;
+        while k < toks.len() {
+            if toks[k].is_punct("{") {
+                let close = matching(toks, k, "{", "}").unwrap_or(toks.len());
+                body = Some((k, close + 1));
+                break;
+            }
+            if toks[k].is_punct(";") {
+                break; // trait method declaration — no body
+            }
+            k += 1;
+        }
+        let kernel_named = KERNEL_SUFFIXES
+            .iter()
+            .any(|s| name_tok.text.ends_with(s) && name_tok.text.len() > s.len());
+        let fn_line = toks[i].line;
+        let kernel_marked = lexed
+            .kernel_markers
+            .iter()
+            .any(|&m| m == fn_line || (m < fn_line && nearest_fn_after(toks, m) == Some(i)));
+        raw.push(RawFn {
+            info: FnInfo {
+                name: name_tok.text.clone(),
+                line: fn_line,
+                col: toks[i].col,
+                in_test: regions.contains(i),
+                kernel: kernel_named || kernel_marked,
+                seed_param: params.iter().any(|p| is_seedish(p)),
+                uses_seed_param: false,
+                calls: Vec::new(),
+                allocs: Vec::new(),
+            },
+            body: body.unwrap_or((pclose + 1, pclose + 1)),
+            params,
+        });
+        i = popen;
+    }
+
+    // Innermost enclosing fn for a token index (body ranges copied out so
+    // the lookup doesn't hold a borrow of `raw` while we mutate it).
+    let bodies: Vec<(usize, usize)> = raw.iter().map(|f| f.body).collect();
+    let enclosing = |idx: usize| -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (fi, &(b0, b1)) in bodies.iter().enumerate() {
+            if b0 < idx && idx < b1 {
+                let better = match best {
+                    None => true,
+                    Some(b) => (b1 - b0) < (bodies[b].1 - bodies[b].0),
+                };
+                if better {
+                    best = Some(fi);
+                }
+            }
+        }
+        best
+    };
+
+    // --- body facts: calls, allocations, seed-param usage ------------------
+    for idx in 0..toks.len() {
+        let t = &toks[idx];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let Some(fi) = enclosing(idx) else { continue };
+        // Seed-parameter usage.
+        if raw[fi].info.seed_param && raw[fi].params.contains(&t.text) && is_seedish(&t.text) {
+            raw[fi].info.uses_seed_param = true;
+        }
+        // Allocation sites.
+        if let Some(what) = alloc_at(toks, idx) {
+            raw[fi].info.allocs.push(AllocSite {
+                what,
+                line: t.line,
+                col: t.col,
+            });
+            continue;
+        }
+        // Call sites: `name(` that is not a definition, keyword or macro.
+        if toks.get(idx + 1).is_some_and(|n| n.is_punct("("))
+            && !is_keyword(&t.text)
+            && !(idx >= 1 && toks[idx - 1].is_ident("fn"))
+        {
+            raw[fi].info.calls.push(CallSite {
+                name: t.text.clone(),
+                line: t.line,
+                col: t.col,
+            });
+        }
+    }
+
+    // --- seed_from_u64 sites ----------------------------------------------
+    for idx in 0..toks.len() {
+        if !toks[idx].is_ident("seed_from_u64") {
+            continue;
+        }
+        let Some(close) = toks
+            .get(idx + 1)
+            .filter(|n| n.is_punct("("))
+            .and_then(|_| matching(toks, idx + 1, "(", ")"))
+        else {
+            continue;
+        };
+        let fi = enclosing(idx);
+        let args: Vec<Tok> = toks[idx + 2..close].to_vec();
+        // One level of local dataflow: a lone-identifier argument is
+        // substituted by its `let <ident> = <expr>;` initializer from the
+        // enclosing body, so `seed_from_u64(stream)` resolves to the
+        // expression that actually built the stream.
+        let args = if let (Some(fi), [only]) = (fi, &args[..]) {
+            if only.kind == TokKind::Ident {
+                substitute_local(toks, raw[fi].body, idx, &only.text).unwrap_or(args)
+            } else {
+                args
+            }
+        } else {
+            args
+        };
+        let mut arg_calls = Vec::new();
+        for (k, a) in args.iter().enumerate() {
+            if a.kind == TokKind::Ident
+                && args.get(k + 1).is_some_and(|n| n.is_punct("("))
+                && !is_keyword(&a.text)
+            {
+                arg_calls.push(CallSite {
+                    name: a.text.clone(),
+                    line: a.line,
+                    col: a.col,
+                });
+            }
+        }
+        let derives_locally = args
+            .iter()
+            .any(|a| a.kind == TokKind::Ident && is_seedish(&a.text));
+        summary.seed_calls.push(SeedCall {
+            line: toks[idx].line,
+            col: toks[idx].col,
+            in_test: regions.contains(idx),
+            enclosing: fi.map(|f| raw[f].info.name.clone()).unwrap_or_default(),
+            stream_expr: render_expr(&args),
+            arg_calls,
+            derives_locally,
+        });
+    }
+
+    summary.fns = raw.into_iter().map(|r| r.info).collect();
+    summary
+}
+
+/// Token index of the first `fn` keyword on a line strictly after `line`,
+/// with nothing but attributes/other fns between — used to attach
+/// standalone `// press-lint: kernel` markers. Returns the index of the
+/// nearest following `fn` token.
+fn nearest_fn_after(toks: &[Tok], line: u32) -> Option<usize> {
+    toks.iter().position(|t| t.line > line && t.is_ident("fn"))
+}
+
+/// Find `let <name> = <expr> ;` (or `let mut <name> = ...`) inside `body`
+/// before token `before`, returning the initializer tokens.
+fn substitute_local(
+    toks: &[Tok],
+    body: (usize, usize),
+    before: usize,
+    name: &str,
+) -> Option<Vec<Tok>> {
+    let mut found: Option<Vec<Tok>> = None;
+    let mut k = body.0;
+    while k < before.min(body.1) {
+        if toks[k].is_ident("let") {
+            let mut n = k + 1;
+            if toks.get(n).is_some_and(|t| t.is_ident("mut")) {
+                n += 1;
+            }
+            if toks.get(n).is_some_and(|t| t.is_ident(name))
+                && toks.get(n + 1).is_some_and(|t| t.is_punct("="))
+            {
+                // Initializer runs to the `;` at delimiter depth 0.
+                let start = n + 2;
+                let mut depth = 0i64;
+                let mut end = start;
+                while end < toks.len() {
+                    let t = &toks[end];
+                    if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                        depth += 1;
+                    } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                        depth -= 1;
+                    } else if t.is_punct(";") && depth == 0 {
+                        break;
+                    }
+                    end += 1;
+                }
+                found = Some(toks[start..end].to_vec()); // last assignment before use wins
+            }
+        }
+        k += 1;
+    }
+    found
+}
+
+/// Render an argument token slice as a normalized expression string for
+/// the seed table: `self.` receivers stripped, canonical spacing.
+pub fn render_expr(args: &[Tok]) -> String {
+    let mut out = String::new();
+    let mut toks: Vec<&Tok> = args.iter().collect();
+    // Strip a leading `self .`.
+    if toks.len() >= 2 && toks[0].is_ident("self") && toks[1].is_punct(".") {
+        toks.drain(0..2);
+    }
+    let operator = |s: &str| matches!(s, "+" | "-" | "*" | "/" | "^" | "%" | "<<" | ">>" | "as");
+    for (k, t) in toks.iter().enumerate() {
+        let text = t.text.as_str();
+        let prev = if k > 0 { toks[k - 1].text.as_str() } else { "" };
+        let prev2 = if k > 1 { toks[k - 2].text.as_str() } else { "" };
+        // A `*` at expression start or after a delimiter/operator is a
+        // deref, not a multiply: render it tight against its operand.
+        let prev_is_deref =
+            prev == "*" && (prev2.is_empty() || matches!(prev2, "(" | ",") || operator(prev2));
+        let space = match text {
+            "," => false,
+            "(" | ")" | "." | "::" | "!" => false,
+            _ if prev.is_empty() => false,
+            _ => !matches!(prev, "(" | "." | "::" | "!" | "&" | "-") && !prev_is_deref,
+        };
+        if space && (prev == "," || operator(text) || operator(prev)) {
+            out.push(' ');
+        }
+        out.push_str(text);
+    }
+    out
+}
+
+/// Allocation classification for token `idx`; returns the display name.
+fn alloc_at(toks: &[Tok], idx: usize) -> Option<String> {
+    let t = &toks[idx];
+    let next_is = |s: &str| toks.get(idx + 1).is_some_and(|n| n.is_punct(s));
+    let prev_is = |s: &str| idx >= 1 && toks[idx - 1].is_punct(s);
+    match t.text.as_str() {
+        // Macros that allocate.
+        "vec" | "format" if next_is("!") => Some(format!("{}!", t.text)),
+        // Constructor paths.
+        "new" | "with_capacity" | "from"
+            if prev_is("::")
+                && idx >= 2
+                && matches!(
+                    toks[idx - 2].text.as_str(),
+                    "Vec" | "Box" | "String" | "VecDeque"
+                ) =>
+        {
+            Some(format!("{}::{}", toks[idx - 2].text, t.text))
+        }
+        // Allocating method calls.
+        "collect" | "to_vec" | "to_owned" | "clone"
+            if prev_is(".") && (next_is("(") || next_is("::")) =>
+        {
+            Some(format!(".{}", t.text))
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The workspace model (pass 2 input)
+// ---------------------------------------------------------------------------
+
+/// One file's summary plus its lint context.
+#[derive(Debug, Clone)]
+pub struct ModelFile {
+    /// Lint context (crate, bench/test classification).
+    pub ctx: FileContext,
+    /// The pass-1 facts.
+    pub summary: FileSummary,
+}
+
+/// The whole-workspace symbol model.
+#[derive(Debug, Default)]
+pub struct Model {
+    /// Files in deterministic (path-sorted) order.
+    pub files: Vec<ModelFile>,
+}
+
+/// A resolved function: (file index, fn index).
+pub type FnRef = (usize, usize);
+
+impl Model {
+    /// Build the model from per-file summaries.
+    pub fn new(files: Vec<ModelFile>) -> Model {
+        Model { files }
+    }
+
+    /// Resolve a callee name to the unique non-test library `fn` with that
+    /// name, if exactly one exists. Definitions in test files and in the
+    /// bench crate never resolve: the model lints reason over library code
+    /// only, and a bench helper that happens to share a name with a std
+    /// method (`fn expect`, say) must not donate call edges to kernels.
+    pub fn resolve_unique(&self, name: &str) -> Option<FnRef> {
+        let mut found: Option<FnRef> = None;
+        for (pi, f) in self.files.iter().enumerate() {
+            if f.ctx.bench_crate || f.ctx.test_file {
+                continue;
+            }
+            for (fi, func) in f.summary.fns.iter().enumerate() {
+                if func.name == name && !func.in_test {
+                    if found.is_some() {
+                        return None; // ambiguous
+                    }
+                    found = Some((pi, fi));
+                }
+            }
+        }
+        found
+    }
+
+    /// Look a function up by reference.
+    pub fn func(&self, r: FnRef) -> &FnInfo {
+        &self.files[r.0].summary.fns[r.1]
+    }
+
+    /// True when a `const`/`static` with this name exists anywhere in the
+    /// workspace model.
+    pub fn has_const(&self, name: &str) -> bool {
+        self.files
+            .iter()
+            .any(|f| f.summary.consts.iter().any(|c| c == name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::test_regions;
+    use crate::lexer::lex;
+
+    fn summarize_src(src: &str) -> FileSummary {
+        let lexed = lex(src);
+        let regions = test_regions(&lexed.toks);
+        summarize(&lexed, &regions)
+    }
+
+    #[test]
+    fn fn_items_params_and_kernel_idiom() {
+        let s = summarize_src(
+            "pub fn synthesize_into(&self, cfg: &Config, out: &mut Vec<C>) {}\n\
+             fn helper(seed: u64, n: usize) -> u64 { seed.wrapping_add(n as u64) }\n\
+             // press-lint: kernel\n\
+             fn score4(h: &[f64]) -> f64 { 0.0 }\n",
+        );
+        assert_eq!(s.fns.len(), 3);
+        assert!(s.fns[0].kernel, "suffix idiom");
+        assert!(!s.fns[0].seed_param);
+        assert!(s.fns[1].seed_param && s.fns[1].uses_seed_param);
+        assert!(!s.fns[1].kernel);
+        assert!(s.fns[2].kernel, "marker comment");
+    }
+
+    #[test]
+    fn seed_param_present_but_unused_is_recorded() {
+        let s = summarize_src("fn bogus_seed(seed: u64) -> u64 { 12345 }\n");
+        assert!(s.fns[0].seed_param);
+        assert!(!s.fns[0].uses_seed_param);
+    }
+
+    #[test]
+    fn calls_and_allocs_attributed_to_innermost_fn() {
+        let s = summarize_src(
+            "fn outer(a: &[f64]) -> Vec<f64> {\n\
+                 let v: Vec<f64> = a.iter().map(|x| x + 1.0).collect();\n\
+                 fn inner(b: f64) -> f64 { helper(b) }\n\
+                 score(&v);\n\
+                 v\n\
+             }\n",
+        );
+        let outer = &s.fns[0];
+        let inner = &s.fns[1];
+        assert_eq!(outer.name, "outer");
+        assert!(outer.allocs.iter().any(|a| a.what == ".collect"));
+        assert!(outer.calls.iter().any(|c| c.name == "score"));
+        assert!(!outer.calls.iter().any(|c| c.name == "helper"));
+        assert!(inner.calls.iter().any(|c| c.name == "helper"));
+    }
+
+    #[test]
+    fn alloc_kinds_detected_clone_from_is_not() {
+        let s = summarize_src(
+            "fn k_into(out: &mut Vec<f64>) {\n\
+                 let a = vec![1.0];\n\
+                 let b = Vec::with_capacity(4);\n\
+                 let c = Box::new(1);\n\
+                 let d = a.clone();\n\
+                 out.clone_from(&d);\n\
+                 let e = a.to_vec();\n\
+             }\n",
+        );
+        let whats: Vec<&str> = s.fns[0].allocs.iter().map(|a| a.what.as_str()).collect();
+        assert!(whats.contains(&"vec!"));
+        assert!(whats.contains(&"Vec::with_capacity"));
+        assert!(whats.contains(&"Box::new"));
+        assert!(whats.contains(&".clone"));
+        assert!(whats.contains(&".to_vec"));
+        assert!(!whats.iter().any(|w| w.contains("clone_from")));
+    }
+
+    #[test]
+    fn seed_call_captures_local_substitution() {
+        let s = summarize_src(
+            "fn run(seed: u64, lead: u64) {\n\
+                 let stream = link_stream_seed(seed, lead, 0);\n\
+                 let mut rng = StdRng::seed_from_u64(stream);\n\
+             }\n",
+        );
+        assert_eq!(s.seed_calls.len(), 1);
+        let c = &s.seed_calls[0];
+        assert_eq!(c.stream_expr, "link_stream_seed(seed, lead, 0)");
+        assert_eq!(c.arg_calls.len(), 1);
+        assert_eq!(c.arg_calls[0].name, "link_stream_seed");
+        assert!(c.derives_locally);
+        assert_eq!(c.enclosing, "run");
+    }
+
+    #[test]
+    fn seed_call_renders_wrapping_add_and_self() {
+        let s = summarize_src(
+            "impl C { fn go(&self) { let r = StdRng::seed_from_u64(self.seed.wrapping_add(2)); } }\n",
+        );
+        assert_eq!(s.seed_calls[0].stream_expr, "seed.wrapping_add(2)");
+    }
+
+    #[test]
+    fn consts_are_collected() {
+        let s = summarize_src("pub const DEFAULT_SEED: u64 = 7;\nstatic OTHER: u8 = 0;\n");
+        assert_eq!(s.consts, vec!["DEFAULT_SEED", "OTHER"]);
+    }
+
+    #[test]
+    fn resolve_unique_rejects_ambiguous_names() {
+        let mk = |src: &str, path: &str| ModelFile {
+            ctx: FileContext::from_rel_path(path),
+            summary: summarize_src(src),
+        };
+        let model = Model::new(vec![
+            mk(
+                "fn solo(x: u64) -> u64 { x }\nfn dup() {}\n",
+                "crates/press-core/src/a.rs",
+            ),
+            mk("fn dup() {}\n", "crates/press-core/src/b.rs"),
+        ]);
+        assert!(model.resolve_unique("solo").is_some());
+        assert!(model.resolve_unique("dup").is_none());
+        assert!(model.resolve_unique("missing").is_none());
+    }
+}

@@ -1,0 +1,414 @@
+//! Pass 2: the model lints (L7 seed-stream provenance, L8 hot-kernel
+//! allocation-freedom).
+//!
+//! These two rules are the reason the analyzer grew a workspace model: both
+//! need facts that live in a *different* function — often a different file —
+//! than the line they fire on. L7 asks "does the expression feeding this
+//! `seed_from_u64` ultimately consume the episode seed?", which requires
+//! knowing what the called helper does with its parameters. L8 asks "does
+//! this kernel, or anything it calls, allocate?", which requires the call
+//! graph.
+
+use crate::catalog;
+use crate::diag::Diagnostic;
+use crate::model::{FnRef, Model};
+
+/// Functions that are roots of the seed-stream convention: DESIGN.md names
+/// them as the sanctioned splitters, so a stream produced by one is derived
+/// by construction.
+pub const SEED_ROOTS: &[&str] = &["derive_stream_seed", "link_stream_seed"];
+
+/// Run both model lints, appending raw findings (the caller applies
+/// suppressions and sorts).
+pub fn run_model(model: &Model, out: &mut Vec<Diagnostic>) {
+    check_seed_provenance(model, out);
+    check_kernel_allocation(model, out);
+}
+
+// ---------------------------------------------------------------------------
+// L7: seed-stream-provenance
+// ---------------------------------------------------------------------------
+
+/// A seed expression is *provenance-clean* when it traces to the seed table:
+/// it calls a sanctioned splitter, calls a helper that demonstrably consumes
+/// a seed/stream parameter, or references a seed/stream-named value directly
+/// (the local fact L3 already enforces). The new failure mode this lint
+/// catches — which no per-file scan can — is the *bogus derivation helper*:
+/// a function that looks like a splitter at the call site but ignores its
+/// seed, silently collapsing every "derived" stream onto one constant.
+fn check_seed_provenance(model: &Model, out: &mut Vec<Diagnostic>) {
+    for file in &model.files {
+        if file.ctx.bench_crate || file.ctx.test_file {
+            continue;
+        }
+        for call in &file.summary.seed_calls {
+            if call.in_test {
+                continue;
+            }
+            let mut trusted = false;
+            let mut bogus: Option<(&str, &str)> = None; // (helper, why)
+            for arg in &call.arg_calls {
+                if SEED_ROOTS.contains(&arg.name.as_str()) {
+                    trusted = true;
+                    break;
+                }
+                if let Some(r) = model.resolve_unique(&arg.name) {
+                    let f = model.func(r);
+                    if f.seed_param && f.uses_seed_param {
+                        trusted = true;
+                        break;
+                    }
+                    bogus = Some((
+                        &f.name,
+                        if f.seed_param {
+                            "takes a seed parameter but never uses it"
+                        } else {
+                            "has no seed/stream parameter at all"
+                        },
+                    ));
+                }
+            }
+            if trusted {
+                continue;
+            }
+            if let Some((helper, why)) = bogus {
+                out.push(Diagnostic {
+                    lint: catalog::SEED_PROVENANCE.slug,
+                    severity: catalog::SEED_PROVENANCE.severity,
+                    file: file.ctx.rel_path.clone(),
+                    line: call.line,
+                    col: call.col,
+                    message: format!(
+                        "stream `{}` is built by `{}`, which {} — every stream it returns \
+                         is the same stream, untied to the episode seed",
+                        call.stream_expr, helper, why
+                    ),
+                    help: HELP_L7,
+                });
+                continue;
+            }
+            // No resolvable helper: fall back to the local fact. L3 already
+            // flags literal seeds; L7 only adds a finding when the
+            // expression neither derives locally nor names a known const.
+            let is_known_const = call
+                .stream_expr
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_')
+                && model.has_const(&call.stream_expr);
+            if !call.derives_locally && !is_known_const && call.arg_calls.is_empty() {
+                out.push(Diagnostic {
+                    lint: catalog::SEED_PROVENANCE.slug,
+                    severity: catalog::SEED_PROVENANCE.severity,
+                    file: file.ctx.rel_path.clone(),
+                    line: call.line,
+                    col: call.col,
+                    message: format!(
+                        "stream `{}` does not trace to any seed-table entry: no splitter \
+                         call, no seed/stream-named value, no workspace const",
+                        call.stream_expr
+                    ),
+                    help: HELP_L7,
+                });
+            }
+        }
+    }
+}
+
+const HELP_L7: &str = "derive the stream with derive_stream_seed/link_stream_seed or another \
+                       helper that consumes the episode seed; the generated seed table in \
+                       DESIGN.md lists every sanctioned stream";
+
+// ---------------------------------------------------------------------------
+// L8: kernel-allocation
+// ---------------------------------------------------------------------------
+
+/// First allocation reachable from a function: either a direct site or the
+/// call edge that leads to one.
+#[derive(Debug, Clone)]
+enum Reach {
+    Clean,
+    /// (what, file rel_path, line) of the allocation this fn reaches.
+    Alloc(String, String, u32),
+}
+
+/// Hot kernels must be allocation-free, transitively. Direct allocations are
+/// flagged at the allocation site; an allocation inside a callee is flagged
+/// at the *call site in the kernel*, naming where the allocation actually
+/// lives — the kernel author sees the edge they own, with a pointer to the
+/// line they don't.
+fn check_kernel_allocation(model: &Model, out: &mut Vec<Diagnostic>) {
+    let mut memo: std::collections::BTreeMap<FnRef, Reach> = std::collections::BTreeMap::new();
+    for (pi, file) in model.files.iter().enumerate() {
+        if file.ctx.bench_crate || file.ctx.test_file {
+            continue;
+        }
+        for (fi, f) in file.summary.fns.iter().enumerate() {
+            if !f.kernel || f.in_test {
+                continue;
+            }
+            // Direct allocations: flagged where they happen.
+            for a in &f.allocs {
+                out.push(Diagnostic {
+                    lint: catalog::KERNEL_ALLOCATION.slug,
+                    severity: catalog::KERNEL_ALLOCATION.severity,
+                    file: file.ctx.rel_path.clone(),
+                    line: a.line,
+                    col: a.col,
+                    message: format!(
+                        "allocation (`{}`) inside hot kernel `{}`; the zero-alloc contract \
+                         says steady-state calls must not touch the allocator",
+                        a.what, f.name
+                    ),
+                    help: HELP_L8,
+                });
+            }
+            // Transitive allocations: flagged at the call edge.
+            for call in &f.calls {
+                let Some(r) = model.resolve_unique(&call.name) else {
+                    continue;
+                };
+                if r == (pi, fi) {
+                    continue; // self-recursion
+                }
+                let mut visiting = std::collections::BTreeSet::new();
+                visiting.insert((pi, fi));
+                if let Reach::Alloc(what, where_file, where_line) =
+                    reaches_alloc(model, r, &mut memo, &mut visiting)
+                {
+                    out.push(Diagnostic {
+                        lint: catalog::KERNEL_ALLOCATION.slug,
+                        severity: catalog::KERNEL_ALLOCATION.severity,
+                        file: file.ctx.rel_path.clone(),
+                        line: call.line,
+                        col: call.col,
+                        message: format!(
+                            "hot kernel `{}` calls `{}`, which reaches an allocation \
+                             (`{}` at {}:{})",
+                            f.name, call.name, what, where_file, where_line
+                        ),
+                        help: HELP_L8,
+                    });
+                }
+            }
+        }
+    }
+}
+
+const HELP_L8: &str = "hoist the allocation into a setup/plan path, reuse caller-provided \
+                       scratch, or — for one-time setup inside the kernel — document it \
+                       with `// press-lint: allow(kernel-allocation)`";
+
+/// Memoized DFS: does `r` (or anything it calls) allocate?
+fn reaches_alloc(
+    model: &Model,
+    r: FnRef,
+    memo: &mut std::collections::BTreeMap<FnRef, Reach>,
+    visiting: &mut std::collections::BTreeSet<FnRef>,
+) -> Reach {
+    if let Some(cached) = memo.get(&r) {
+        return cached.clone();
+    }
+    if !visiting.insert(r) {
+        return Reach::Clean; // cycle: charged to the first entry
+    }
+    let f = model.func(r);
+    let result = if let Some(a) = f.allocs.first() {
+        Reach::Alloc(
+            a.what.clone(),
+            model.files[r.0].ctx.rel_path.clone(),
+            a.line,
+        )
+    } else {
+        let mut found = Reach::Clean;
+        for call in &f.calls {
+            if let Some(callee) = model.resolve_unique(&call.name) {
+                if let Reach::Alloc(w, p, l) = reaches_alloc(model, callee, memo, visiting) {
+                    found = Reach::Alloc(w, p, l);
+                    break;
+                }
+            }
+        }
+        found
+    };
+    visiting.remove(&r);
+    memo.insert(r, result.clone());
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{test_regions, FileContext};
+    use crate::lexer::lex;
+    use crate::model::{summarize, ModelFile};
+
+    fn build(files: &[(&str, &str)]) -> Model {
+        Model::new(
+            files
+                .iter()
+                .map(|(path, src)| {
+                    let lexed = lex(src);
+                    let regions = test_regions(&lexed.toks);
+                    ModelFile {
+                        ctx: FileContext::from_rel_path(path),
+                        summary: summarize(&lexed, &regions),
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    fn lint(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let model = build(files);
+        let mut out = Vec::new();
+        run_model(&model, &mut out);
+        out
+    }
+
+    const A: &str = "crates/press-core/src/a.rs";
+    const B: &str = "crates/press-core/src/b.rs";
+
+    #[test]
+    fn l7_bogus_helper_without_seed_param_flagged() {
+        let d = lint(&[(
+            A,
+            "fn fresh_stream(n: u64) -> u64 { n.wrapping_mul(3) }\n\
+             fn run() { let r = StdRng::seed_from_u64(fresh_stream(7)); }\n",
+        )]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].lint, "seed-stream-provenance");
+        assert!(d[0].message.contains("no seed/stream parameter"));
+    }
+
+    #[test]
+    fn l7_helper_that_ignores_its_seed_flagged() {
+        let d = lint(&[(
+            A,
+            "fn derive(seed: u64, k: u64) -> u64 { k.wrapping_mul(31) }\n\
+             fn run(base: u64, k: u64) { let r = StdRng::seed_from_u64(derive(base, k)); }\n",
+        )]);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("never uses it"));
+    }
+
+    #[test]
+    fn l7_cross_file_trusted_helper_is_clean() {
+        let d = lint(&[
+            (A, "pub fn split(seed: u64, k: u64) -> u64 { seed ^ k }\n"),
+            (
+                B,
+                "fn run(base: u64) { let r = StdRng::seed_from_u64(split(base, 2)); }\n",
+            ),
+        ]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn l7_cross_file_bogus_helper_is_flagged() {
+        let d = lint(&[
+            (A, "pub fn split(seed: u64, k: u64) -> u64 { k }\n"),
+            (
+                B,
+                "fn run(base: u64) { let r = StdRng::seed_from_u64(split(base, 2)); }\n",
+            ),
+        ]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].file, B);
+    }
+
+    #[test]
+    fn l7_roots_and_local_derivation_are_clean() {
+        let d = lint(&[(
+            A,
+            "fn run(seed: u64) {\n\
+                 let a = StdRng::seed_from_u64(derive_stream_seed(seed, 1, 0));\n\
+                 let b = StdRng::seed_from_u64(seed.wrapping_add(2));\n\
+             }\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn l7_test_code_and_bench_are_exempt() {
+        let d = lint(&[
+            (
+                A,
+                "#[cfg(test)]\nmod t { fn f() { let r = StdRng::seed_from_u64(mix(7)); } }\n\
+                 fn mix(n: u64) -> u64 { n }\n",
+            ),
+            (
+                "crates/press-bench/src/lib.rs",
+                "fn f() { let r = StdRng::seed_from_u64(mix(9)); }\n",
+            ),
+        ]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn l8_direct_allocation_in_kernel_flagged_at_site() {
+        let d = lint(&[(
+            A,
+            "fn synth_into(out: &mut [f64]) {\n\
+                 let tmp = vec![0.0; 4];\n\
+                 out[0] = tmp[0];\n\
+             }\n",
+        )]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].lint, "kernel-allocation");
+        assert_eq!(d[0].line, 2);
+        assert!(d[0].message.contains("vec!"));
+    }
+
+    #[test]
+    fn l8_transitive_allocation_flagged_at_call_edge() {
+        let d = lint(&[
+            (A, "pub fn helper(n: usize) -> f64 { let v = Vec::with_capacity(n); v.len() as f64 }\n"),
+            (
+                B,
+                "fn score_batched(out: &mut [f64]) {\n\
+                     out[0] = helper(4);\n\
+                 }\n",
+            ),
+        ]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].file, B, "flagged at the call edge, not in the helper");
+        assert_eq!(d[0].line, 2);
+        assert!(d[0].message.contains("helper"));
+        assert!(d[0].message.contains("Vec::with_capacity"));
+        assert!(d[0].message.contains("a.rs:1"));
+    }
+
+    #[test]
+    fn l8_marker_comment_promotes_a_fn_into_the_kernel_set() {
+        let d = lint(&[(
+            A,
+            "// press-lint: kernel\n\
+             fn score4(h: &[f64]) -> f64 { let v = h.to_vec(); v[0] }\n",
+        )]);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("score4"));
+    }
+
+    #[test]
+    fn l8_clean_kernel_and_non_kernel_allocs_pass() {
+        let d = lint(&[(
+            A,
+            "fn synth_into(out: &mut [f64], scratch: &mut [f64]) {\n\
+                 for i in 0..out.len() { out[i] = scratch[i] * 2.0; }\n\
+             }\n\
+             fn plan(n: usize) -> Vec<f64> { vec![0.0; n] }\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn l8_recursion_terminates() {
+        let d = lint(&[(
+            A,
+            "fn ping(n: u64) -> u64 { if n == 0 { 0 } else { pong(n - 1) } }\n\
+             fn pong(n: u64) -> u64 { ping(n) }\n\
+             fn drive_into(out: &mut [u64]) { out[0] = ping(3); }\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

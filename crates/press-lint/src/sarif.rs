@@ -1,0 +1,101 @@
+//! SARIF 2.1.0 output.
+//!
+//! SARIF (Static Analysis Results Interchange Format) is the format GitHub
+//! code scanning ingests: upload the file from CI and findings appear as
+//! annotations on the PR diff, with the lint catalog rendered as a rule
+//! index. Only the small stable core of the spec is emitted — one run, one
+//! tool, rules from the catalog, one result per diagnostic with a physical
+//! location — which is exactly the subset every SARIF consumer understands.
+
+use crate::catalog;
+use crate::diag::{json_str, Diagnostic, Severity};
+
+/// Render a full SARIF 2.1.0 log for `diags`.
+///
+/// Deterministic: rule order is catalog order, result order is the caller's
+/// (already (file, line, col)-sorted) diagnostic order.
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut out = String::with_capacity(4096 + diags.len() * 256);
+    out.push_str("{\"version\":\"2.1.0\",");
+    out.push_str(
+        "\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",",
+    );
+    out.push_str("\"runs\":[{\"tool\":{\"driver\":{\"name\":\"press-lint\",");
+    out.push_str("\"informationUri\":\"DESIGN.md\",\"rules\":[");
+    for (i, lint) in catalog::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":{},\"shortDescription\":{{\"text\":{}}},\"defaultConfiguration\":{{\"level\":{}}}}}",
+            json_str(lint.slug),
+            json_str(lint.summary),
+            json_str(level(lint.severity)),
+        ));
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"ruleId\":{},\"level\":{},\"message\":{{\"text\":{}}},\
+             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":{}}},\
+             \"region\":{{\"startLine\":{},\"startColumn\":{}}}}}}}]}}",
+            json_str(d.lint),
+            json_str(level(d.severity)),
+            json_str(&format!("{} (help: {})", d.message, d.help)),
+            json_str(&d.file),
+            d.line,
+            d.col,
+        ));
+    }
+    out.push_str("]}]}");
+    out
+}
+
+fn level(s: Severity) -> &'static str {
+    match s {
+        Severity::Warning => "warning",
+        Severity::Error => "error",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_escaping() {
+        let diags = vec![Diagnostic {
+            lint: "panic-freedom",
+            severity: Severity::Warning,
+            file: "crates/press-core/src/space.rs".into(),
+            line: 12,
+            col: 9,
+            message: "`panic!` aborts \"everything\"".into(),
+            help: "return a Result",
+        }];
+        let s = render(&diags);
+        assert!(s.starts_with("{\"version\":\"2.1.0\""));
+        assert!(s.ends_with("]}]}"));
+        assert!(s.contains("\"ruleId\":\"panic-freedom\""));
+        assert!(s.contains("\"startLine\":12"));
+        assert!(s.contains("\\\"everything\\\""));
+        // Every catalog rule is in the rule index.
+        for lint in catalog::ALL {
+            assert!(s.contains(&format!("\"id\":\"{}\"", lint.slug)));
+        }
+        // Balanced braces/brackets (cheap well-formedness check).
+        let bal = |open: char, close: char| {
+            s.chars().filter(|&c| c == open).count() == s.chars().filter(|&c| c == close).count()
+        };
+        assert!(bal('{', '}') && bal('[', ']'));
+    }
+
+    #[test]
+    fn empty_report_is_still_a_valid_log() {
+        let s = render(&[]);
+        assert!(s.contains("\"results\":[]"));
+    }
+}

@@ -1,48 +1,63 @@
-//! Workspace discovery and the whole-tree analysis entry point.
+//! Workspace discovery and the two-pass analysis entry point.
+//!
+//! Pass 1 runs per file and is embarrassingly parallel: lex, run the local
+//! lints (L1–L6, L9), summarize the file into the symbol model
+//! ([`crate::model::FileSummary`]). Results come back in path order
+//! regardless of thread count — files are dealt to workers as contiguous
+//! chunks of the sorted list and stitched back by position — so the
+//! diagnostic stream is byte-identical at `--jobs 1` and `--jobs 16`.
+//! Pass 1 is also where the incremental cache hooks in: a file whose
+//! content hash matches the cache skips the lexer entirely.
+//!
+//! Pass 2 assembles the [`crate::model::Model`] from every file's summary
+//! and runs the model lints (L7 seed-stream provenance, L8 kernel
+//! allocation-freedom). Suppression comments are applied *after* pass 2, so
+//! `// press-lint: allow(..)` works uniformly for local and model lints.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
+use crate::baseline::{Baseline, Entry};
+use crate::cache::{Cache, FileAnalysis};
 use crate::checks;
 use crate::context::{test_regions, FileContext};
 use crate::diag::Diagnostic;
+use crate::hash::{fnv1a64, line_key};
 use crate::lexer;
+use crate::model::{summarize, Model, ModelFile};
+use crate::modelcheck;
+
+/// How to run the analyzer.
+#[derive(Debug, Default)]
+pub struct Options {
+    /// Cache file to read/write; `None` disables the cache.
+    pub cache_path: Option<PathBuf>,
+    /// Worker threads for the per-file pass; 0 = one per available core.
+    pub jobs: usize,
+    /// Baseline file to subtract from the report.
+    pub baseline: Option<PathBuf>,
+}
 
 /// Result of analyzing a set of files.
 #[derive(Debug, Default)]
 pub struct Report {
     /// Number of `.rs` files scanned.
     pub files: usize,
-    /// Findings that survived suppression, in (file, line) order.
+    /// Findings that survived suppression and baseline, in (file, line,
+    /// col, lint) order.
     pub diagnostics: Vec<Diagnostic>,
     /// Findings silenced by `// press-lint: allow(..)` comments.
     pub suppressed: usize,
-}
-
-/// Analyze one source string as if it lived at `rel_path` in the workspace.
-///
-/// Returns surviving diagnostics plus the number suppressed. This is the
-/// unit the fixture tests drive directly.
-pub fn analyze_source(rel_path: &str, src: &str) -> (Vec<Diagnostic>, usize) {
-    let ctx = FileContext::from_rel_path(rel_path);
-    let lexed = lexer::lex(src);
-    let regions = test_regions(&lexed.toks);
-    let raw = checks::run_all(&ctx, &lexed.toks, &regions);
-    let mut kept = Vec::new();
-    let mut suppressed = 0usize;
-    for d in raw {
-        let silenced = lexed.suppressions.iter().any(|s| {
-            (s.line == d.line || (!s.trailing && s.line + 1 == d.line))
-                && s.slugs.iter().any(|slug| slug == d.lint || slug == "all")
-        });
-        if silenced {
-            suppressed += 1;
-        } else {
-            kept.push(d);
-        }
-    }
-    (kept, suppressed)
+    /// Findings absorbed by the baseline.
+    pub baselined: usize,
+    /// Baseline entries that matched nothing — candidates for deletion.
+    pub stale_baseline: Vec<Entry>,
+    /// Files whose pass-1 analysis was served from the cache.
+    pub cache_hits: usize,
+    /// Files that were (re-)lexed this run.
+    pub cache_misses: usize,
 }
 
 /// Directories never scanned, wherever they appear.
@@ -88,21 +103,262 @@ fn rel_to(root: &Path, path: &Path) -> String {
         .replace('\\', "/")
 }
 
-/// Analyze every `.rs` file under `root`.
-pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
-    let mut report = Report::default();
-    for path in collect_rs_files(root)? {
-        let src = fs::read_to_string(&path)?;
-        let rel = rel_to(root, &path);
-        let (diags, suppressed) = analyze_source(&rel, &src);
-        report.files += 1;
-        report.suppressed += suppressed;
-        report.diagnostics.extend(diags);
+/// Run pass 1 on one file's source.
+fn analyze_file(rel_path: &str, src: &str) -> FileAnalysis {
+    let ctx = FileContext::from_rel_path(rel_path);
+    let lexed = lexer::lex(src);
+    let regions = test_regions(&lexed.toks);
+    let summary = summarize(&lexed, &regions);
+    FileAnalysis {
+        hash: fnv1a64(src.as_bytes()),
+        diags: checks::run_all(&ctx, &lexed.toks, &regions),
+        suppressions: lexed.suppressions,
+        summary,
     }
-    report
-        .diagnostics
-        .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+}
+
+/// Analyze an in-memory set of (rel_path, source) files as one workspace:
+/// pass 1 per file, pass 2 over the joint model, suppressions applied last.
+/// This is the unit the fixture tests drive (single- and cross-file).
+pub fn analyze_set(files: &[(&str, &str)]) -> Report {
+    let analyses: Vec<(String, FileAnalysis)> = files
+        .iter()
+        .map(|(rel, src)| (rel.to_string(), analyze_file(rel, src)))
+        .collect();
+    assemble(analyses, &Options::default(), |_, _| 0).0
+}
+
+/// Analyze one source string as if it lived at `rel_path` in the workspace.
+///
+/// Returns surviving diagnostics plus the number suppressed — the
+/// single-file compatibility wrapper around [`analyze_set`].
+pub fn analyze_source(rel_path: &str, src: &str) -> (Vec<Diagnostic>, usize) {
+    let report = analyze_set(&[(rel_path, src)]);
+    (report.diagnostics, report.suppressed)
+}
+
+/// Pass 2 + suppression + sorting over completed pass-1 analyses. The
+/// `line_key` closure maps (rel_path, line) to the baseline key for that
+/// line. Returns the report and the analyses (for cache write-back).
+fn assemble(
+    analyses: Vec<(String, FileAnalysis)>,
+    options: &Options,
+    line_key: impl FnMut(&str, u32) -> u64,
+) -> (Report, Vec<(String, FileAnalysis)>) {
+    let mut report = Report {
+        files: analyses.len(),
+        ..Report::default()
+    };
+
+    // Pass 2: the model lints over the joint symbol model.
+    let model = Model::new(
+        analyses
+            .iter()
+            .map(|(rel, fa)| ModelFile {
+                ctx: FileContext::from_rel_path(rel),
+                summary: fa.summary.clone(),
+            })
+            .collect(),
+    );
+    let mut model_diags = Vec::new();
+    modelcheck::run_model(&model, &mut model_diags);
+
+    // Suppression filtering, uniform across local and model findings.
+    let mut kept = Vec::new();
+    for (rel, fa) in &analyses {
+        let local = fa.diags.iter().cloned();
+        let modeled = model_diags.iter().filter(|d| &d.file == rel).cloned();
+        for d in local.chain(modeled) {
+            let silenced = fa.suppressions.iter().any(|s| {
+                (s.line == d.line || (!s.trailing && s.line + 1 == d.line))
+                    && s.slugs.iter().any(|slug| slug == d.lint || slug == "all")
+            });
+            if silenced {
+                report.suppressed += 1;
+            } else {
+                kept.push(d);
+            }
+        }
+    }
+    kept.sort_by(|a, b| (&a.file, a.line, a.col, a.lint).cmp(&(&b.file, b.line, b.col, b.lint)));
+
+    // Baseline subtraction.
+    if let Some(path) = &options.baseline {
+        match Baseline::load(path) {
+            Ok(bl) => {
+                let r = bl.filter(kept, line_key);
+                report.baselined = r.baselined;
+                report.stale_baseline = r.stale;
+                kept = r.kept;
+            }
+            Err(e) => {
+                // A bad baseline must not silently pass the gate: surface it
+                // as a synthetic error-severity diagnostic.
+                kept.push(Diagnostic {
+                    lint: "baseline",
+                    severity: crate::diag::Severity::Error,
+                    file: path.to_string_lossy().into_owned(),
+                    line: 1,
+                    col: 1,
+                    message: format!("could not load baseline: {e}"),
+                    help: "fix or regenerate with --write-baseline",
+                });
+            }
+        }
+    }
+
+    report.diagnostics = kept;
+    (report, analyses)
+}
+
+/// Analyze every `.rs` file under `root` with the given options.
+pub fn analyze_workspace_with(root: &Path, options: &Options) -> io::Result<Report> {
+    let paths = collect_rs_files(root)?;
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(paths.len());
+    for path in &paths {
+        sources.push((rel_to(root, path), fs::read_to_string(path)?));
+    }
+
+    let cache = options
+        .cache_path
+        .as_deref()
+        .map(Cache::load)
+        .unwrap_or_default();
+
+    // Pass 1: cache hits resolve immediately; misses lex in parallel.
+    let mut slots: Vec<Option<FileAnalysis>> = Vec::with_capacity(sources.len());
+    let mut misses: Vec<usize> = Vec::new();
+    let mut hits = 0usize;
+    for (i, (rel, src)) in sources.iter().enumerate() {
+        let hash = fnv1a64(src.as_bytes());
+        match cache.entries.get(rel).filter(|fa| fa.hash == hash) {
+            Some(fa) => {
+                slots.push(Some(fa.clone()));
+                hits += 1;
+            }
+            None => {
+                slots.push(None);
+                misses.push(i);
+            }
+        }
+    }
+    let miss_count = misses.len();
+    run_pass1(&sources, &misses, &mut slots, options.jobs);
+
+    // Every slot is filled by pass 1; re-lint serially as a panic-free
+    // fallback should that invariant ever break.
+    let analyses: Vec<(String, FileAnalysis)> = sources
+        .iter()
+        .zip(slots)
+        .map(|((rel, src), fa)| {
+            let fa = fa.unwrap_or_else(|| analyze_file(rel, src));
+            (rel.clone(), fa)
+        })
+        .collect();
+
+    // Baseline keys need line content; index sources by rel path.
+    let by_rel: std::collections::BTreeMap<&str, &str> = sources
+        .iter()
+        .map(|(rel, src)| (rel.as_str(), src.as_str()))
+        .collect();
+    let key_fn = |file: &str, line: u32| -> u64 {
+        by_rel
+            .get(file)
+            .and_then(|src| src.lines().nth(line.saturating_sub(1) as usize))
+            .map(line_key)
+            .unwrap_or(0)
+    };
+
+    let (mut report, analyses) = assemble(analyses, options, key_fn);
+    report.cache_hits = hits;
+    report.cache_misses = miss_count;
+
+    if let Some(path) = &options.cache_path {
+        let mut out = Cache::default();
+        for (rel, fa) in analyses {
+            out.entries.insert(rel, fa);
+        }
+        out.store(path);
+    }
     Ok(report)
+}
+
+/// Lex-and-lint the missed files across worker threads. Work is dealt as
+/// contiguous chunks of the (sorted) miss list and written back by index,
+/// so the output is independent of scheduling.
+fn run_pass1(
+    sources: &[(String, String)],
+    misses: &[usize],
+    slots: &mut [Option<FileAnalysis>],
+    jobs: usize,
+) {
+    if misses.is_empty() {
+        return;
+    }
+    let jobs = if jobs == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        jobs
+    }
+    .min(misses.len());
+
+    if jobs <= 1 {
+        for &i in misses {
+            let (rel, src) = &sources[i];
+            slots[i] = Some(analyze_file(rel, src));
+        }
+        return;
+    }
+
+    let done: Mutex<Vec<(usize, FileAnalysis)>> = Mutex::new(Vec::with_capacity(misses.len()));
+    let chunk = misses.len().div_ceil(jobs);
+    std::thread::scope(|scope| {
+        for part in misses.chunks(chunk) {
+            let done = &done;
+            scope.spawn(move || {
+                let mut local = Vec::with_capacity(part.len());
+                for &i in part {
+                    let (rel, src) = &sources[i];
+                    local.push((i, analyze_file(rel, src)));
+                }
+                // Poison recovery: workers only ever extend with complete
+                // per-file results, so the list stays consistent even if a
+                // sibling worker panicked mid-run.
+                done.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .extend(local);
+            });
+        }
+    });
+    let done = done
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    for (i, fa) in done {
+        slots[i] = Some(fa);
+    }
+}
+
+/// Analyze every `.rs` file under `root` with default options (no cache, no
+/// baseline, auto parallelism) — the compatibility entry point.
+pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
+    analyze_workspace_with(root, &Options::default())
+}
+
+/// Build the workspace symbol model for `root` (no linting) — the
+/// `--emit seed-table` path.
+pub fn build_model(root: &Path) -> io::Result<Model> {
+    let mut files = Vec::new();
+    for path in collect_rs_files(root)? {
+        let rel = rel_to(root, &path);
+        let src = fs::read_to_string(&path)?;
+        let lexed = lexer::lex(&src);
+        let regions = test_regions(&lexed.toks);
+        files.push(ModelFile {
+            ctx: FileContext::from_rel_path(&rel),
+            summary: summarize(&lexed, &regions),
+        });
+    }
+    Ok(Model::new(files))
 }
 
 /// Walk upward from `start` to the first directory whose `Cargo.toml`
@@ -150,5 +406,56 @@ use std::collections::HashMap;
         let (diags, suppressed) = analyze_source("crates/press-core/src/x.rs", src);
         assert_eq!(diags.len(), 1);
         assert_eq!(suppressed, 0);
+    }
+
+    #[test]
+    fn model_lints_run_in_analyze_set_and_respect_allows() {
+        // Cross-file: the bogus helper lives in a.rs, the finding in b.rs.
+        // The helper's seedish name satisfies L3's local scan — only the
+        // model lint can see that it never consumes its seed.
+        const HELPER: (&str, &str) = (
+            "crates/press-core/src/a.rs",
+            "pub fn stream_for(seed: u64, k: u64) -> u64 { k }\n",
+        );
+        let report = analyze_set(&[
+            HELPER,
+            (
+                "crates/press-core/src/b.rs",
+                "fn run(base: u64) { let r = StdRng::seed_from_u64(stream_for(base, 2)); }\n",
+            ),
+        ]);
+        assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+        assert_eq!(report.diagnostics[0].lint, "seed-stream-provenance");
+        assert_eq!(report.diagnostics[0].file, "crates/press-core/src/b.rs");
+
+        // The same finding is suppressible like any local lint.
+        let report = analyze_set(&[
+            HELPER,
+            (
+                "crates/press-core/src/b.rs",
+                "fn run(base: u64) {\n\
+                 // press-lint: allow(seed-stream-provenance)\n\
+                 let r = StdRng::seed_from_u64(stream_for(base, 2));\n\
+                 }\n",
+            ),
+        ]);
+        assert!(report.diagnostics.is_empty());
+        assert_eq!(report.suppressed, 1);
+    }
+
+    #[test]
+    fn diagnostics_sorted_across_files() {
+        let report = analyze_set(&[
+            (
+                "crates/press-core/src/b.rs",
+                "use std::collections::HashSet;\n",
+            ),
+            (
+                "crates/press-core/src/a.rs",
+                "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+            ),
+        ]);
+        assert_eq!(report.diagnostics.len(), 2);
+        assert!(report.diagnostics[0].file < report.diagnostics[1].file);
     }
 }

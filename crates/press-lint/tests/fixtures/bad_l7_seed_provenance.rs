@@ -1,0 +1,20 @@
+//! L7 fixture: seed "derivations" that look disciplined but do not actually
+//! flow the episode seed anywhere. Each helper has a seedish name, so the
+//! local L3 rule is satisfied — only the workspace call-graph pass can see
+//! that the provenance chain is broken.
+
+/// Takes a seed and throws it away: every "stream" is the same stream.
+fn stream_for(seed: u64, k: u64) -> u64 {
+    k.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// No seed parameter at all: the stream is invented from thin air.
+fn fresh_stream(k: u64) -> u64 {
+    k.wrapping_add(41)
+}
+
+fn run_trials(seed: u64, n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(stream_for(seed, 2));
+    let mut rng2 = StdRng::seed_from_u64(fresh_stream(7));
+    (0..n).map(|_| rng.gen::<f64>() + rng2.gen::<f64>()).collect()
+}

@@ -1,0 +1,15 @@
+//! L8 fixture: hot kernels that allocate. `synthesize_row_into` matches the
+//! kernel naming idiom; `fast_score` is promoted by an explicit marker.
+
+fn synthesize_row_into(n: usize, out: &mut Vec<f64>) {
+    // The temporary defeats the whole point of the `_into` contract.
+    let tmp: Vec<f64> = (0..n).map(|k| k as f64).collect();
+    out.clear();
+    out.extend_from_slice(&tmp);
+}
+
+// press-lint: kernel
+fn fast_score(xs: &[f64]) -> f64 {
+    let doubled = vec![0.0; xs.len()];
+    xs.iter().sum::<f64>() + doubled.len() as f64
+}

@@ -1,0 +1,18 @@
+//! L9 fixture: aborts reachable from library code. A daemonized control
+//! loop cannot absorb any of these.
+
+fn pick_best(xs: &[(usize, f64)]) -> usize {
+    let first = xs.first().unwrap();
+    let named = xs.last().expect("non-empty");
+    if first.1 < 0.0 {
+        panic!("negative score");
+    }
+    first.0 + named.0
+}
+
+fn dispatch(kind: u8) -> f64 {
+    match kind {
+        0 => 1.0,
+        _ => unreachable!(),
+    }
+}

@@ -1,0 +1,13 @@
+//! L8 clean fixture: the kernel writes in place; its setup-time sibling may
+//! allocate freely because it does not match the hot-kernel idiom.
+
+fn synthesize_row_into(n: usize, out: &mut [f64]) {
+    for (k, slot) in out.iter_mut().enumerate().take(n) {
+        *slot = k as f64;
+    }
+}
+
+/// Setup-time: builds the scratch the kernel fills. Allocation is fine here.
+fn make_buffer(n: usize) -> Vec<f64> {
+    vec![0.0; n]
+}

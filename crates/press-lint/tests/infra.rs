@@ -1,0 +1,246 @@
+//! Infrastructure tests: the incremental cache, the baseline gate, and the
+//! determinism guarantees of the parallel pass. Each test builds a tiny
+//! throwaway workspace under `CARGO_TARGET_TMPDIR`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use press_lint::workspace::{analyze_workspace_with, Options};
+use press_lint::Report;
+
+/// A fresh scratch workspace directory for one test.
+fn scratch_root(name: &str) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if root.exists() {
+        fs::remove_dir_all(&root).unwrap();
+    }
+    fs::create_dir_all(&root).unwrap();
+    root
+}
+
+/// A two-file workspace: one clean file, one with a deliberate L9 finding.
+fn write_two_files(root: &Path) {
+    fs::create_dir_all(root.join("crates/press-core/src")).unwrap();
+    fs::write(
+        root.join("crates/press-core/src/clean.rs"),
+        "pub fn double(x: f64) -> f64 {\n    x * 2.0\n}\n",
+    )
+    .unwrap();
+    fs::write(
+        root.join("crates/press-core/src/dirty.rs"),
+        "pub fn head(xs: &[f64]) -> f64 {\n    *xs.first().unwrap()\n}\n",
+    )
+    .unwrap();
+}
+
+fn rendered(report: &Report) -> String {
+    report
+        .diagnostics
+        .iter()
+        .map(|d| d.render_human())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn warm_cache_skips_unchanged_files_and_preserves_output() {
+    let root = scratch_root("warm_cache");
+    write_two_files(&root);
+    let opts = Options {
+        cache_path: Some(root.join("lint.cache")),
+        ..Options::default()
+    };
+
+    let cold = analyze_workspace_with(&root, &opts).unwrap();
+    assert_eq!(cold.files, 2);
+    assert_eq!((cold.cache_hits, cold.cache_misses), (0, 2));
+    assert_eq!(cold.diagnostics.len(), 1, "{}", rendered(&cold));
+
+    let warm = analyze_workspace_with(&root, &opts).unwrap();
+    assert_eq!((warm.cache_hits, warm.cache_misses), (2, 0));
+    assert_eq!(
+        rendered(&cold),
+        rendered(&warm),
+        "warm output must be byte-identical to cold"
+    );
+}
+
+#[test]
+fn editing_one_file_relints_only_that_file() {
+    let root = scratch_root("edit_one");
+    write_two_files(&root);
+    let opts = Options {
+        cache_path: Some(root.join("lint.cache")),
+        ..Options::default()
+    };
+    analyze_workspace_with(&root, &opts).unwrap();
+
+    // Touch only the clean file; the dirty one must come from the cache.
+    fs::write(
+        root.join("crates/press-core/src/clean.rs"),
+        "pub fn triple(x: f64) -> f64 {\n    x * 3.0\n}\n",
+    )
+    .unwrap();
+    let after = analyze_workspace_with(&root, &opts).unwrap();
+    assert_eq!((after.cache_hits, after.cache_misses), (1, 1));
+    assert_eq!(after.diagnostics.len(), 1, "{}", rendered(&after));
+}
+
+#[test]
+fn cached_model_summaries_still_feed_the_cross_file_lints() {
+    // A kernel in one file reaches an allocation in another. On a fully
+    // warm cache, pass 2 runs over round-tripped summaries — the finding
+    // must survive the serialization.
+    let root = scratch_root("warm_model");
+    fs::create_dir_all(root.join("crates/press-core/src")).unwrap();
+    fs::write(
+        root.join("crates/press-core/src/kern.rs"),
+        "pub fn scores_into(xs: &[f64], out: &mut [f64]) {\n    for (s, x) in out.iter_mut().zip(xs) {\n        *s = helper(*x);\n    }\n}\n",
+    )
+    .unwrap();
+    fs::write(
+        root.join("crates/press-core/src/util.rs"),
+        "pub fn helper(x: f64) -> f64 {\n    let v = vec![x; 2];\n    v[0] + v[1]\n}\n",
+    )
+    .unwrap();
+    let opts = Options {
+        cache_path: Some(root.join("lint.cache")),
+        ..Options::default()
+    };
+    let cold = analyze_workspace_with(&root, &opts).unwrap();
+    let warm = analyze_workspace_with(&root, &opts).unwrap();
+    assert_eq!(warm.cache_misses, 0);
+    assert_eq!(rendered(&cold), rendered(&warm));
+    assert!(
+        rendered(&warm).contains("kernel-allocation"),
+        "{}",
+        rendered(&warm)
+    );
+}
+
+#[test]
+fn jobs_count_does_not_change_the_diagnostic_stream() {
+    let root = scratch_root("jobs_det");
+    write_two_files(&root);
+    // A few more files so the chunking actually splits.
+    for i in 0..6 {
+        fs::write(
+            root.join(format!("crates/press-core/src/extra{i}.rs")),
+            format!("pub fn f{i}(xs: &[f64]) -> f64 {{\n    *xs.last().unwrap()\n}}\n"),
+        )
+        .unwrap();
+    }
+    let serial = analyze_workspace_with(
+        &root,
+        &Options {
+            jobs: 1,
+            ..Options::default()
+        },
+    )
+    .unwrap();
+    let parallel = analyze_workspace_with(
+        &root,
+        &Options {
+            jobs: 4,
+            ..Options::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(serial.diagnostics.len(), 7);
+    assert_eq!(rendered(&serial), rendered(&parallel));
+}
+
+#[test]
+fn baseline_absorbs_known_findings_and_reports_stale_entries() {
+    let root = scratch_root("baseline");
+    write_two_files(&root);
+
+    // Build a baseline that absorbs the one known finding.
+    let report = analyze_workspace_with(&root, &Options::default()).unwrap();
+    assert_eq!(report.diagnostics.len(), 1);
+    let text = press_lint::baseline::render(&report.diagnostics, |file, line| {
+        let src = fs::read_to_string(root.join(file)).unwrap();
+        press_lint::hash::line_key(src.lines().nth(line as usize - 1).unwrap())
+    });
+    let bl_path = root.join("lint.baseline");
+    fs::write(&bl_path, text).unwrap();
+
+    let opts = Options {
+        baseline: Some(bl_path.clone()),
+        ..Options::default()
+    };
+    let gated = analyze_workspace_with(&root, &opts).unwrap();
+    assert!(gated.diagnostics.is_empty(), "{}", rendered(&gated));
+    assert_eq!(gated.baselined, 1);
+    assert!(gated.stale_baseline.is_empty());
+
+    // Reindenting the flagged line keeps the baseline entry matched (keys
+    // are trimmed-line hashes).
+    fs::write(
+        root.join("crates/press-core/src/dirty.rs"),
+        "pub fn head(xs: &[f64]) -> f64 {\n        *xs.first().unwrap()\n}\n",
+    )
+    .unwrap();
+    let shifted = analyze_workspace_with(&root, &opts).unwrap();
+    assert!(shifted.diagnostics.is_empty(), "{}", rendered(&shifted));
+    assert_eq!(shifted.baselined, 1);
+
+    // Fix the finding: the baseline entry goes stale and is reported.
+    fs::write(
+        root.join("crates/press-core/src/dirty.rs"),
+        "pub fn head(xs: &[f64]) -> Option<f64> {\n    xs.first().copied()\n}\n",
+    )
+    .unwrap();
+    let fixed = analyze_workspace_with(&root, &opts).unwrap();
+    assert!(fixed.diagnostics.is_empty(), "{}", rendered(&fixed));
+    assert_eq!(fixed.baselined, 0);
+    assert_eq!(fixed.stale_baseline.len(), 1);
+    assert_eq!(fixed.stale_baseline[0].lint, "panic-freedom");
+}
+
+#[test]
+fn malformed_baseline_is_an_error_not_a_silent_pass() {
+    let root = scratch_root("bad_baseline");
+    write_two_files(&root);
+    let bl_path = root.join("lint.baseline");
+    fs::write(&bl_path, "not a baseline header\ngarbage\n").unwrap();
+    let report = analyze_workspace_with(
+        &root,
+        &Options {
+            baseline: Some(bl_path),
+            ..Options::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.lint == "baseline" && d.severity == press_lint::Severity::Error),
+        "{}",
+        rendered(&report)
+    );
+}
+
+#[test]
+fn catalog_change_invalidates_the_whole_cache() {
+    // The cache header folds in the lint catalog; a cache written under a
+    // doctored header must be discarded wholesale.
+    let root = scratch_root("cache_header");
+    write_two_files(&root);
+    let cache_path = root.join("lint.cache");
+    let opts = Options {
+        cache_path: Some(cache_path.clone()),
+        ..Options::default()
+    };
+    analyze_workspace_with(&root, &opts).unwrap();
+
+    let cached = fs::read_to_string(&cache_path).unwrap();
+    let mut lines: Vec<&str> = cached.lines().collect();
+    let doctored = format!("{}-older", lines[0]);
+    lines[0] = &doctored;
+    fs::write(&cache_path, lines.join("\n")).unwrap();
+
+    let rerun = analyze_workspace_with(&root, &opts).unwrap();
+    assert_eq!((rerun.cache_hits, rerun.cache_misses), (0, 2));
+}

@@ -102,8 +102,13 @@ fn l2_clean_fixture_passes() {
 #[test]
 fn l3_bad_fixture_flags_ad_hoc_literal_seed() {
     let (diags, _) = lint_fixture("bad_l3_seed_stream.rs");
-    assert_eq!(slugs(&diags), vec!["seed-stream-discipline"]);
-    assert_eq!(diags[0].line, 5);
+    // A literal seed breaks both the local discipline rule (L3) and the
+    // workspace provenance rule (L7): nothing ties it to the episode seed.
+    assert_eq!(
+        slugs(&diags),
+        vec!["seed-stream-discipline", "seed-stream-provenance"]
+    );
+    assert!(diags.iter().all(|d| d.line == 5), "{diags:?}");
 }
 
 #[test]
@@ -230,4 +235,126 @@ fn bench_crate_is_exempt_from_entropy_and_seed_rules() {
     let src = "fn main() { let t = Instant::now(); let r = StdRng::seed_from_u64(1); }";
     let (diags, _) = analyze_source("crates/press-bench/src/bin/fig9.rs", src);
     assert!(diags.is_empty(), "{diags:?}");
+}
+
+// --- L7: seed-stream-provenance ---------------------------------------------
+
+#[test]
+fn l7_bad_fixture_flags_helpers_that_break_the_seed_chain() {
+    let (diags, _) = lint_fixture("bad_l7_seed_provenance.rs");
+    let l7: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.lint == "seed-stream-provenance")
+        .collect();
+    assert_eq!(l7.len(), 2, "{diags:?}");
+    assert!(
+        l7[0].message.contains("never uses it"),
+        "stream_for drops its seed: {}",
+        l7[0].message
+    );
+    assert!(
+        l7[1].message.contains("no seed/stream parameter"),
+        "fresh_stream has no seed: {}",
+        l7[1].message
+    );
+}
+
+#[test]
+fn l7_clean_fixture_passes() {
+    let (diags, _) = lint_fixture("clean_l7_seed_provenance.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn l7_provenance_crosses_file_boundaries() {
+    // The helper lives in another file; only the joint model can see that
+    // it genuinely mixes (clean) or drops (bad) the seed.
+    let helper_good = "pub fn trial_stream_seed(seed: u64, t: u64) -> u64 { seed ^ t }\n";
+    let helper_bad = "pub fn trial_stream_seed(seed: u64, t: u64) -> u64 { t }\n";
+    let caller = "fn run(seed: u64) -> u64 {\n    let mut rng = StdRng::seed_from_u64(trial_stream_seed(seed, 1));\n    rng.gen()\n}\n";
+
+    let clean = press_lint::analyze_set(&[
+        ("crates/press-core/src/streams.rs", helper_good),
+        ("crates/press-core/src/run.rs", caller),
+    ]);
+    assert!(clean.diagnostics.is_empty(), "{:?}", clean.diagnostics);
+
+    let dirty = press_lint::analyze_set(&[
+        ("crates/press-core/src/streams.rs", helper_bad),
+        ("crates/press-core/src/run.rs", caller),
+    ]);
+    assert_eq!(slugs(&dirty.diagnostics), vec!["seed-stream-provenance"]);
+    assert_eq!(dirty.diagnostics[0].file, "crates/press-core/src/run.rs");
+}
+
+// --- L8: kernel-allocation ---------------------------------------------------
+
+#[test]
+fn l8_bad_fixture_flags_allocating_kernels() {
+    let (diags, _) = lint_fixture("bad_l8_kernel_alloc.rs");
+    let l8: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.lint == "kernel-allocation")
+        .collect();
+    assert_eq!(l8.len(), 2, "{diags:?}");
+    assert!(l8[0].message.contains("synthesize_row_into"), "{diags:?}");
+    assert!(
+        l8[1].message.contains("fast_score"),
+        "marker-promoted kernel: {diags:?}"
+    );
+}
+
+#[test]
+fn l8_clean_fixture_passes() {
+    let (diags, _) = lint_fixture("clean_l8_kernel_alloc.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn l8_transitive_allocation_crosses_file_boundaries() {
+    // The kernel itself is clean; its callee (in another file) allocates.
+    let kernel = "fn scores_into(xs: &[f64], out: &mut [f64]) {\n    for (s, x) in out.iter_mut().zip(xs) {\n        *s = helper(*x);\n    }\n}\n";
+    let callee_bad =
+        "pub fn helper(x: f64) -> f64 {\n    let v = vec![x; 2];\n    v[0] + v[1]\n}\n";
+    let callee_good = "pub fn helper(x: f64) -> f64 {\n    x * 2.0\n}\n";
+
+    let dirty = press_lint::analyze_set(&[
+        ("crates/press-core/src/kern.rs", kernel),
+        ("crates/press-core/src/util.rs", callee_bad),
+    ]);
+    assert_eq!(slugs(&dirty.diagnostics), vec!["kernel-allocation"]);
+    assert!(
+        dirty.diagnostics[0]
+            .message
+            .contains("reaches an allocation"),
+        "{:?}",
+        dirty.diagnostics
+    );
+
+    let clean = press_lint::analyze_set(&[
+        ("crates/press-core/src/kern.rs", kernel),
+        ("crates/press-core/src/util.rs", callee_good),
+    ]);
+    assert!(clean.diagnostics.is_empty(), "{:?}", clean.diagnostics);
+}
+
+// --- L9: panic-freedom -------------------------------------------------------
+
+#[test]
+fn l9_bad_fixture_flags_every_abort_path() {
+    let (diags, _) = lint_fixture("bad_l9_panic.rs");
+    let l9: Vec<&Diagnostic> = diags.iter().filter(|d| d.lint == "panic-freedom").collect();
+    // unwrap, expect, panic!, unreachable! — one finding each.
+    assert_eq!(l9.len(), 4, "{diags:?}");
+    assert_eq!(l9[0].line, 5, "first.unwrap()");
+    assert_eq!(l9[1].line, 6, ".expect(..)");
+    assert_eq!(l9[2].line, 8, "panic!");
+    assert_eq!(l9[3].line, 16, "unreachable!");
+}
+
+#[test]
+fn l9_clean_fixture_passes_with_one_documented_allow() {
+    let (diags, suppressed) = lint_fixture("clean_l9_panic.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(suppressed, 1, "the documented expect carries an allow");
 }

@@ -1,0 +1,28 @@
+//! The generated seed-table section of `DESIGN.md` must match the code.
+//!
+//! `DESIGN.md` carries, between `<!-- press-lint:seed-table:begin/end -->`
+//! markers, the output of `press-lint emit seed-table`: every library
+//! `seed_from_u64` site grouped by stream expression. This test regenerates
+//! the table from the live workspace model and fails on any drift — add a
+//! seed stream without re-running the emitter and CI reminds you.
+
+use std::path::Path;
+
+#[test]
+fn design_md_seed_table_matches_the_workspace() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let doc = std::fs::read_to_string(root.join("DESIGN.md")).expect("DESIGN.md");
+    let documented = press_lint::seedtable::extract_section(&doc)
+        .expect("DESIGN.md is missing the press-lint:seed-table markers");
+
+    let model = press_lint::workspace::build_model(&root).expect("workspace model");
+    let generated = press_lint::seedtable::emit(&model);
+
+    assert_eq!(
+        documented.trim(),
+        generated.trim(),
+        "DESIGN.md seed table drifted from the code — regenerate it with\n\
+         `cargo run -p press-lint -- emit seed-table` and paste the output\n\
+         between the markers"
+    );
+}

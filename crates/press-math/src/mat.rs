@@ -209,7 +209,7 @@ impl CMat {
     pub fn gram(&self) -> CMat {
         self.hermitian()
             .matmul(self)
-            .expect("gram dimensions always agree")
+            .expect("gram dimensions always agree") // press-lint: allow(panic-freedom) — gram dimensions agree by construction
     }
 
     /// Solves `A·x = b` for square `A` by Gaussian elimination with partial
@@ -234,7 +234,7 @@ impl CMat {
             let (pivot_row, pivot_mag) = (col..n)
                 .map(|r| (r, a[(r, col)].abs()))
                 .max_by(|u, v| u.1.total_cmp(&v.1))
-                .expect("non-empty column");
+                .expect("non-empty column"); // press-lint: allow(panic-freedom) — col..n is non-empty for col < n
             if pivot_mag < 1e-300 {
                 return Err(MatError::Singular);
             }

@@ -170,7 +170,7 @@ pub fn interleaver_rows(n_cbps: usize) -> usize {
     (1..=16)
         .rev()
         .find(|r| n_cbps.is_multiple_of(*r))
-        .expect("1 divides everything")
+        .unwrap_or(1)
 }
 
 /// The 802.11a-style block interleaver over one OFDM symbol of `n_cbps`

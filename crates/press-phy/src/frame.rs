@@ -134,7 +134,7 @@ impl OfdmModulator {
         for (i, &x) in freq_symbols.iter().enumerate() {
             bins[self.num.fft_bin(i)] = x;
         }
-        ifft(&mut bins).expect("fft_size is a power of two");
+        ifft(&mut bins).expect("fft_size is a power of two"); // press-lint: allow(panic-freedom) — Numerology guarantees a power-of-two fft_size
         let mut out = Vec::with_capacity(self.num.fft_size + self.num.cp_len);
         out.extend_from_slice(&bins[self.num.fft_size - self.num.cp_len..]);
         out.extend_from_slice(&bins);
@@ -150,7 +150,7 @@ impl OfdmModulator {
             "sample count"
         );
         let mut bins = time_samples[self.num.cp_len..].to_vec();
-        fft(&mut bins).expect("fft_size is a power of two");
+        fft(&mut bins).expect("fft_size is a power of two"); // press-lint: allow(panic-freedom) — Numerology guarantees a power-of-two fft_size
         (0..self.num.n_active())
             .map(|i| bins[self.num.fft_bin(i)])
             .collect()

@@ -18,6 +18,7 @@
 //!   (Figure 8), MIMO capacity.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 pub mod channel_est;
 pub mod fec;
 pub mod frame;

@@ -20,7 +20,7 @@ fn code_rate_of(mcs: &Mcs) -> CodeRate {
         (1, 2) => CodeRate::R12,
         (2, 3) => CodeRate::R23,
         (3, 4) => CodeRate::R34,
-        other => panic!("unsupported code rate {other:?}"),
+        other => panic!("unsupported code rate {other:?}"), // press-lint: allow(panic-freedom) — the MCS table only carries the three mother-code punctures
     }
 }
 

@@ -35,7 +35,7 @@ impl DelayProfile {
             let w = 0.5 - 0.5 * (std::f64::consts::TAU * k as f64 / (n.max(2) as f64 - 1.0)).cos();
             bins[k] = hk * w;
         }
-        ifft(&mut bins).expect("power-of-two fft_size");
+        ifft(&mut bins).expect("power-of-two fft_size"); // press-lint: allow(panic-freedom) — fft_size asserted to be a power of two above
         DelayProfile {
             power: bins.iter().map(|x| x.norm_sqr()).collect(),
             bin_s: 1.0 / (spacing_hz * fft_size as f64),

@@ -10,7 +10,7 @@ use press_math::db::db_to_pow;
 use press_math::stats;
 
 /// A per-subcarrier SNR profile in dB.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SnrProfile {
     /// SNR per active subcarrier, dB, ascending subcarrier order.
     pub snr_db: Vec<f64>,
@@ -94,10 +94,20 @@ impl SnrProfile {
             return f64::NAN;
         }
         // Log-sum-exp for stability: at high SNR exp(-snr/beta) underflows
-        // to zero and a naive ln() would blow up to +inf.
-        let xs: Vec<f64> = self.snr_db.iter().map(|&s| db_to_pow(s) / beta).collect();
-        let x_min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
-        let mean_shifted = xs.iter().map(|&x| (-(x - x_min)).exp()).sum::<f64>() / xs.len() as f64;
+        // to zero and a naive ln() would blow up to +inf. Two passes over the
+        // profile keep this allocation-free on the scoring hot path.
+        let x_of = |s: f64| db_to_pow(s) / beta;
+        let x_min = self
+            .snr_db
+            .iter()
+            .map(|&s| x_of(s))
+            .fold(f64::INFINITY, f64::min);
+        let mean_shifted = self
+            .snr_db
+            .iter()
+            .map(|&s| (-(x_of(s) - x_min)).exp())
+            .sum::<f64>()
+            / self.snr_db.len() as f64;
         let eff_lin = beta * (x_min - mean_shifted.ln());
         10.0 * eff_lin.max(1e-12).log10()
     }

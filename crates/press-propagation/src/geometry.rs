@@ -5,8 +5,11 @@ use std::ops::{Add, Div, Mul, Neg, Sub};
 /// A 3-D point or vector in meters.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Vec3 {
+    /// x component (m).
     pub x: f64,
+    /// y component (m).
     pub y: f64,
+    /// z component (m).
     pub z: f64,
 }
 
@@ -166,7 +169,7 @@ pub struct Plane {
 impl Plane {
     /// Creates a plane; the normal is normalized (panics on zero normal).
     pub fn new(point: Vec3, normal: Vec3) -> Self {
-        let normal = normal.normalized().expect("plane normal must be nonzero");
+        let normal = normal.normalized().expect("plane normal must be nonzero"); // press-lint: allow(panic-freedom) — documented contract; a zero normal is a caller bug
         Plane { point, normal }
     }
 

@@ -18,6 +18,7 @@
 //! * [`lab`] — seeded rebuilds of the paper's §3 laboratory setups.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 pub mod antenna;
 pub mod building;
 pub mod diffraction;

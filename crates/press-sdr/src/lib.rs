@@ -12,6 +12,7 @@
 //!   fast search-algorithm ablations.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 pub mod radio;
 pub mod sounder;
 

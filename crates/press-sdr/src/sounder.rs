@@ -116,6 +116,15 @@ impl Sounder {
         SnrProfile::new(h.iter().map(|&hk| params.snr_db(hk)).collect())
     }
 
+    /// Allocation-free variant of [`snr_from_channel`](Self::snr_from_channel):
+    /// refills `out`'s profile in place. The space-registry scalar scoring
+    /// kernel calls this once per candidate, so it must not allocate.
+    pub fn snr_from_channel_into(&self, h: &[Complex64], out: &mut SnrProfile) {
+        let params = self.snr_params();
+        out.snr_db.clear();
+        out.snr_db.extend(h.iter().map(|&hk| params.snr_db(hk)));
+    }
+
     /// The oracle per-subcarrier SNR (true channel against the analytic
     /// noise floor), saturated like the estimated profiles.
     pub fn oracle_snr(&self, paths: &[SignalPath], t_s: f64) -> SnrProfile {

@@ -154,7 +154,7 @@ impl NetworkRig {
 
     /// Specializes a [`PairLayout::Mimo2x2`] rig to the historical
     /// [`MimoRig`] (first pair's sounder as the per-pair template).
-    pub fn into_mimo(self) -> MimoRig {
+    pub fn into_mimo(mut self) -> MimoRig {
         assert_eq!(self.sounders.len(), 4, "into_mimo needs the 2x2 pair set");
         let tx = [
             self.sounders[0].tx.node.clone(),
@@ -168,7 +168,7 @@ impl NetworkRig {
             system: self.system,
             tx,
             rx,
-            sounder: self.sounders.into_iter().next().expect("four sounders"),
+            sounder: self.sounders.remove(0),
         }
     }
 
