@@ -1,0 +1,84 @@
+//! Criterion bench: the pressd event loop, protocol to episode.
+//!
+//! The claim behind `BENCH_daemon.json`: the daemon adds negligible
+//! overhead around the episode engine. Three rungs of the ladder are
+//! measured — pure protocol parse/render over a representative command
+//! bundle, a full loop dispatch of a snapshot command (parse + engine +
+//! JSONL render, no episode), and the replay of a small recorded session
+//! whose cost is dominated by its one real optimization episode. The gated
+//! floor is the replay-vs-dispatch ratio: if command dispatch (the
+//! daemon's own bookkeeping) ever grows to a meaningful fraction of an
+//! episode, the ratio collapses and CI catches it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pressd::{parse_line, render_command, replay_log, EventLoop, Line};
+use std::hint::black_box;
+
+/// A representative command bundle: every verb, all three churn variants,
+/// faults with float payloads.
+const COMMANDS: &[&str] = &[
+    "measure",
+    "episode",
+    "snapshot",
+    "churn assoc label=lab obj=max-min-snr w=1 tx=7,5,1.5 rx=6.8,4,1.5@0.8,0,0 carrier=2462000000",
+    "churn assoc label=guest obj=flatness w=0.5 tx=5.5,6.2,1.3 rx=6.1,5.4,1.4 carrier=2412000000",
+    "churn roam id=1 to=6.1,5.4,1.4@0.8,0,0",
+    "churn leave id=0",
+    "fault burst=0.004,0.2,0.005,0.6 dead=0,1 stuck=4:1,5:0",
+    "fault clear",
+];
+
+/// A small session: one link, one exhaustive episode over the default
+/// 2-element space, plus the cheap bookkeeping commands around it.
+const SESSION: &str = "\
+space lab-seed=17 elements=2 element-seed=4
+controller strategy=exhaustive objective=max-min-snr seed=3 budget-s=0.08 frames=2 actuation=oracle
+churn assoc label=lab obj=max-min-snr w=1 tx=7,5,1.5 rx=6.8,4,1.5 carrier=2462000000
+measure
+episode
+snapshot
+";
+
+fn bench_event_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_loop");
+    group.sample_size(10);
+
+    // Pure protocol: parse every bundle line, render the command back.
+    group.bench_function("parse_render", |b| {
+        b.iter(|| {
+            let mut bytes = 0usize;
+            for line in COMMANDS {
+                if let Ok(Line::Command(cmd)) = parse_line(line) {
+                    bytes += render_command(&cmd).len();
+                }
+            }
+            black_box(bytes)
+        })
+    });
+
+    // Full loop dispatch without an episode: parse, engine snapshot, JSONL
+    // render — the daemon's per-command overhead.
+    group.bench_function("snapshot_command", |b| {
+        let mut el = EventLoop::new();
+        let mut out = Vec::new();
+        el.handle_line(
+            "churn assoc label=lab obj=max-min-snr w=1 tx=7,5,1.5 rx=6.8,4,1.5 carrier=2462000000",
+            &mut out,
+        );
+        b.iter(|| {
+            let mut out = Vec::new();
+            el.handle_line("snapshot", &mut out);
+            black_box(out)
+        })
+    });
+
+    // A whole recorded session, episode included.
+    group.bench_function("replay_small_session", |b| {
+        b.iter(|| black_box(replay_log(SESSION)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_loop);
+criterion_main!(benches);

@@ -458,6 +458,25 @@ pub fn suite_specs() -> Vec<SuiteSpec> {
             ],
         },
         SuiteSpec {
+            suite: "daemon",
+            entry_ids: &[
+                "event_loop/parse_render",
+                "event_loop/snapshot_command",
+                "event_loop/replay_small_session",
+            ],
+            // Replaying a one-episode session must stay decisively more
+            // expensive than dispatching a single no-episode command: the
+            // daemon's own bookkeeping (parse, render, tail ring) is noise
+            // next to an episode. The floor trips if dispatch overhead
+            // ever grows toward episode cost.
+            ratio_specs: &[(
+                "event_loop/replay_vs_dispatch",
+                "event_loop/replay_small_session",
+                "event_loop/snapshot_command",
+                2.0,
+            )],
+        },
+        SuiteSpec {
             suite: "lint",
             entry_ids: &["lint_workspace/cold", "lint_workspace/warm"],
             // A warm analyzer run serves pass 1 from the content-hash

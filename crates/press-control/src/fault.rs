@@ -283,11 +283,112 @@ impl FaultPlan {
     }
 }
 
+/// Parameters of a [`GilbertElliott`] chain in plain-data form, as carried
+/// by fault-injection commands on the daemon wire protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstSpec {
+    /// Per-trial probability of entering a burst (good → bad).
+    pub p_enter_burst: f64,
+    /// Per-trial probability of leaving a burst (bad → good).
+    pub p_exit_burst: f64,
+    /// Frame loss probability in the good state.
+    pub loss_good: f64,
+    /// Frame loss probability inside a burst.
+    pub loss_bad: f64,
+}
+
+impl BurstSpec {
+    /// The chain these parameters describe, starting in the good state.
+    pub fn to_chain(self) -> GilbertElliott {
+        GilbertElliott::new(
+            self.p_enter_burst,
+            self.p_exit_burst,
+            self.loss_good,
+            self.loss_bad,
+        )
+    }
+}
+
+impl From<&GilbertElliott> for BurstSpec {
+    fn from(chain: &GilbertElliott) -> BurstSpec {
+        BurstSpec {
+            p_enter_burst: chain.p_enter_burst,
+            p_exit_burst: chain.p_exit_burst,
+            loss_good: chain.loss_good,
+            loss_bad: chain.loss_bad,
+        }
+    }
+}
+
+/// A [`FaultPlan`] in plain-data form: the payload of a fault-injection
+/// command. Unlike the plan it builds, a spec is `PartialEq`-comparable and
+/// carries no chain state, so it round-trips losslessly through a wire
+/// protocol.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSpec {
+    /// Burst-loss chain parameters, if any.
+    pub burst: Option<BurstSpec>,
+    /// Elements whose controllers are dead.
+    pub dead: Vec<u16>,
+    /// `(element, state)` pairs of stuck switches.
+    pub stuck: Vec<(u16, u8)>,
+}
+
+impl FaultSpec {
+    /// A spec injecting nothing.
+    pub fn none() -> FaultSpec {
+        FaultSpec::default()
+    }
+
+    /// True when the spec injects nothing.
+    pub fn is_ideal(&self) -> bool {
+        self.burst.is_none() && self.dead.is_empty() && self.stuck.is_empty()
+    }
+
+    /// Builds the runnable plan. Dead markings win over stuck markings for
+    /// an element listed in both (matching `ElementFaults` builder order).
+    pub fn to_plan(&self) -> FaultPlan {
+        let mut elements = ElementFaults::none();
+        for &(e, s) in &self.stuck {
+            elements = elements.stuck(e, s);
+        }
+        for &e in &self.dead {
+            elements = elements.dead(e);
+        }
+        FaultPlan {
+            burst: self.burst.map(BurstSpec::to_chain),
+            elements,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn fault_spec_builds_the_plan_it_describes() {
+        let spec = FaultSpec {
+            burst: Some(BurstSpec {
+                p_enter_burst: 0.004,
+                p_exit_burst: 0.2,
+                loss_good: 0.005,
+                loss_bad: 0.6,
+            }),
+            dead: vec![3],
+            stuck: vec![(5, 2), (3, 1)],
+        };
+        assert!(!spec.is_ideal());
+        let plan = spec.to_plan();
+        assert_eq!(plan.burst, Some(GilbertElliott::interference()));
+        // Element 3 is listed both stuck and dead: dead wins.
+        assert_eq!(plan.elements.get(3), Some(ElementFaultKind::Dead));
+        assert_eq!(plan.elements.get(5), Some(ElementFaultKind::Stuck(2)));
+        assert!(FaultSpec::none().is_ideal());
+        assert!(FaultSpec::none().to_plan().is_ideal());
+    }
 
     #[test]
     fn steady_state_loss_matches_empirical() {

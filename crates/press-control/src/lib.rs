@@ -32,7 +32,7 @@ pub use des::{
     simulate_actuation, simulate_actuation_traced, simulate_actuation_with, BackoffConfig,
     DesConfig, DesReport, TraceEvent,
 };
-pub use fault::{ElementFaultKind, ElementFaults, FaultPlan, GilbertElliott};
+pub use fault::{BurstSpec, ElementFaultKind, ElementFaults, FaultPlan, FaultSpec, GilbertElliott};
 pub use message::{CodecError, Message, MAGIC};
 pub use metrics::{ControlMetrics, Histogram, SpaceMetrics};
 pub use transport::{Delivery, Transport};

@@ -1,0 +1,807 @@
+//! The generic episode engine: one traced Measure→Search→Actuate→Verify→
+//! Revert state machine that every controller entry point runs through,
+//! plus the command/event API a long-running daemon drives it with.
+//!
+//! The single-link and space episodes differ only in *what a measurement
+//! observes* (one score vs. a weighted score with per-link breakdowns) and
+//! in the trace events bracketing those observations. [`EpisodeModel`]
+//! captures exactly that difference; [`Controller::run_engine`] owns
+//! everything else — the RNG stream discipline (measurement on `seed`,
+//! search on `seed + 1`, actuation on `seed + 2`), the phase spans, the
+//! verify-or-revert decision and the flight-recorder post-mortem. Both
+//! historical flows are reproduced bit for bit: the engine changes where
+//! the loop's code lives, never which values it computes or in what order.
+
+use crate::config::{ConfigSpace, Configuration};
+use crate::search;
+use crate::space::{ChurnEvent, LinkId, SmartSpace};
+use press_control::{
+    actuate_traced, simulate_actuation_traced, ControlMetrics, FaultPlan, FaultSpec, SpaceMetrics,
+};
+use press_trace::{EventKind, Phase, TraceSink, Tracer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cell::Cell;
+
+use super::{ActuationMode, Controller, PostMortem, SpaceReport, Strategy, TimingModel};
+
+/// The interior-mutable episode clock the measure closures advance while
+/// trace emission reads it between calls: a measurement counter and the
+/// emulated wall-clock, exactly the two `Cell`s the monolith used.
+pub(super) struct EpisodeClock {
+    /// Channel measurements spent so far.
+    pub measurements: Cell<usize>,
+    /// Emulated wall-clock time elapsed so far, seconds.
+    pub elapsed: Cell<f64>,
+}
+
+impl EpisodeClock {
+    fn new() -> EpisodeClock {
+        EpisodeClock {
+            measurements: Cell::new(0),
+            elapsed: Cell::new(0.0),
+        }
+    }
+
+    /// Charges one measurement against the clock.
+    pub fn charge(&self, timing: &TimingModel) {
+        self.measurements.set(self.measurements.get() + 1);
+        self.elapsed
+            .set(self.elapsed.get() + timing.measurement_s + timing.compute_per_eval_s);
+    }
+}
+
+/// What makes a single-link episode different from a space episode: the
+/// shape of one observation and the trace events that surround it. The
+/// engine drives a model through the phase sequence; the model never sees
+/// the phases.
+pub(super) trait EpisodeModel {
+    /// One full observation of a configuration: the single-link model's
+    /// score, or the space model's `(weighted, per-link scores, per-link
+    /// mean SNRs)` triple.
+    type Obs: Clone;
+
+    /// How many links one observation measures (1 for the single-link
+    /// model); used for the `EpisodeStart` and verify-phase accounting.
+    fn n_links(&self) -> u32;
+
+    /// Emits the pre-measure trace prelude (the `BasisBuild` events).
+    fn emit_prelude<S: TraceSink>(&self, config_space: &ConfigSpace, tracer: &mut Tracer<S>);
+
+    /// Measures one configuration, drawing noise from `rng` and charging
+    /// the clock once per link measured.
+    fn measure(
+        &mut self,
+        config: &Configuration,
+        rng: &mut StdRng,
+        clock: &EpisodeClock,
+    ) -> Self::Obs;
+
+    /// The scalar the search maximizes and the revert decision compares.
+    fn score(obs: &Self::Obs) -> f64;
+
+    /// Emits the per-link `Measurement` events for one observation (only
+    /// the baseline and verification observations are emitted).
+    fn emit_measurements<S: TraceSink>(&self, obs: &Self::Obs, t_s: f64, tracer: &mut Tracer<S>);
+}
+
+/// Where actuation metrics flow: the single-link entry points thread the
+/// caller's optional registry straight through both actuations, while the
+/// space entry points accumulate into a local row (always on, reverts
+/// merged in) and attribute it to the caller's registry afterwards.
+#[allow(clippy::large_enum_variant)] // short-lived, stack-only, one per episode
+pub(super) enum MetricsPlan<'a> {
+    /// Thread the caller's registry through directly.
+    Direct(Option<&'a mut ControlMetrics>),
+    /// Accumulate locally; the caller attributes the row afterwards.
+    Shared(ControlMetrics),
+}
+
+/// What one control-plane actuation physically achieved.
+pub(super) struct ActuationOutcome {
+    /// Per-element (full array): did the protocol apply this element.
+    pub applied: Vec<bool>,
+    /// Wall-clock cost of the actuation, seconds.
+    pub completion_s: f64,
+    /// Control frames spent.
+    pub frames: usize,
+    /// Retransmission effort (retry rounds for the round model,
+    /// retransmitted frames for the DES).
+    pub retries: usize,
+}
+
+/// Everything one engine pass produced; the wrappers project this into
+/// [`ControlReport`](super::ControlReport) / [`SpaceReport`].
+pub(super) struct EngineRun<O> {
+    /// Configuration in force before the episode.
+    pub baseline_config: Configuration,
+    /// The baseline observation.
+    pub baseline: O,
+    /// Scalar score of the baseline.
+    pub baseline_score: f64,
+    /// Configuration chosen by the episode (baseline when reverted).
+    pub chosen_config: Configuration,
+    /// The verified observation standing for the chosen configuration
+    /// (the baseline observation when reverted).
+    pub chosen: O,
+    /// Scalar score of the chosen observation.
+    pub chosen_score: f64,
+    /// Channel measurements spent.
+    pub measurements: usize,
+    /// Emulated wall-clock time of the episode, seconds.
+    pub elapsed_s: f64,
+    /// Whether verification rejected the search result.
+    pub reverted: bool,
+    /// The configuration the array is physically in at episode end.
+    pub realized_config: Configuration,
+    /// Elements whose realized state differs from the chosen configuration.
+    pub stale_elements: usize,
+    /// Control frames spent actuating.
+    pub actuation_frames: usize,
+    /// Retransmission effort spent actuating.
+    pub actuation_retries: usize,
+    /// Flight-recorder post-mortem (live flight recorder + revert only).
+    pub post_mortem: Option<PostMortem>,
+}
+
+impl Controller {
+    /// Runs the generic episode state machine over a model. This *is* the
+    /// episode implementation — every `run_*episode*` entry point builds a
+    /// model, calls this, and projects the [`EngineRun`] into its report.
+    pub(super) fn run_engine<M: EpisodeModel, S: TraceSink>(
+        &self,
+        model: &mut M,
+        config_space: &ConfigSpace,
+        metrics: &mut MetricsPlan<'_>,
+        tracer: &mut Tracer<S>,
+    ) -> EngineRun<M::Obs> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let clock = EpisodeClock::new();
+
+        tracer.flight_mut().clear();
+        tracer.emit(
+            0.0,
+            EventKind::EpisodeStart {
+                seed: self.seed,
+                links: model.n_links(),
+                strategy: self.strategy.label(),
+            },
+        );
+        model.emit_prelude(config_space, tracer);
+
+        tracer.emit(
+            0.0,
+            EventKind::PhaseStart {
+                phase: Phase::Measure,
+            },
+        );
+        let baseline_config = Configuration::zeros(config_space.n_elements());
+        let baseline = model.measure(&baseline_config, &mut rng, &clock);
+        let baseline_score = M::score(&baseline);
+        model.emit_measurements(&baseline, clock.elapsed.get(), tracer);
+        tracer.emit(
+            clock.elapsed.get(),
+            EventKind::PhaseEnd {
+                phase: Phase::Measure,
+                measurements: clock.measurements.get() as u32,
+            },
+        );
+
+        tracer.emit(
+            clock.elapsed.get(),
+            EventKind::PhaseStart {
+                phase: Phase::Search,
+            },
+        );
+        let search_start = clock.measurements.get();
+        let result = {
+            let label = self.strategy.label();
+            let mut on_step = |s: &search::SearchStep| {
+                tracer.emit(
+                    clock.elapsed.get(),
+                    EventKind::SearchStep {
+                        strategy: label,
+                        iteration: s.iteration as u32,
+                        score: s.score,
+                        best: s.best,
+                        accepted: s.accepted,
+                    },
+                );
+            };
+            let mut measure =
+                |c: &Configuration, rng: &mut StdRng| M::score(&model.measure(c, rng, &clock));
+            match self.strategy {
+                Strategy::Exhaustive => search::exhaustive_observed(
+                    config_space,
+                    |c| measure(c, &mut rng),
+                    &mut on_step,
+                ),
+                Strategy::Greedy { max_sweeps } => search::greedy_coordinate_observed(
+                    config_space,
+                    baseline_config.clone(),
+                    max_sweeps,
+                    |c| measure(c, &mut rng),
+                    &mut on_step,
+                ),
+                Strategy::Random { budget } => {
+                    let mut search_rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
+                    search::random_search_observed(
+                        config_space,
+                        budget,
+                        &mut search_rng,
+                        |c| measure(c, &mut rng),
+                        &mut on_step,
+                    )
+                }
+                Strategy::Annealing { budget } => {
+                    let mut search_rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
+                    search::simulated_annealing_observed(
+                        config_space,
+                        budget,
+                        3.0,
+                        0.05,
+                        &mut search_rng,
+                        |c| measure(c, &mut rng),
+                        &mut on_step,
+                    )
+                }
+            }
+        };
+        tracer.emit(
+            clock.elapsed.get(),
+            EventKind::PhaseEnd {
+                phase: Phase::Search,
+                measurements: (clock.measurements.get() - search_start) as u32,
+            },
+        );
+
+        // Actuate over the control plane and verify against the array it
+        // actually produced; if the verification measurement contradicts
+        // the search (it chased measurement noise, or the actuation left
+        // the array worse), fall back to the baseline — never leave the
+        // space worse than it was found. The actuation RNG is a separate
+        // seed stream so transport randomness never perturbs the
+        // measurement stream (the oracle path stays bit-identical).
+        let mut act_rng = StdRng::seed_from_u64(self.seed.wrapping_add(2));
+        let mut faults = match &self.actuation {
+            ActuationMode::Oracle => FaultPlan::none(),
+            ActuationMode::Transport(t) => t.faults.clone(),
+            ActuationMode::Des(d) => d.faults.clone(),
+        };
+
+        tracer.emit(
+            clock.elapsed.get(),
+            EventKind::PhaseStart {
+                phase: Phase::Actuate,
+            },
+        );
+        let forward_metrics = match metrics {
+            MetricsPlan::Direct(m) => m.as_deref_mut(),
+            MetricsPlan::Shared(act) => Some(act),
+        };
+        let outcome = self.actuate_config(
+            &baseline_config,
+            &result.best,
+            &mut faults,
+            forward_metrics,
+            tracer,
+            clock.elapsed.get(),
+            &mut act_rng,
+        );
+        clock
+            .elapsed
+            .set(clock.elapsed.get() + outcome.completion_s);
+        tracer.emit(
+            clock.elapsed.get(),
+            EventKind::PhaseEnd {
+                phase: Phase::Actuate,
+                measurements: 0,
+            },
+        );
+        let mut actuation_frames = outcome.frames;
+        let mut actuation_retries = outcome.retries;
+        // The array the control plane produced: applied elements hold the
+        // target (stuck ones their frozen state), unreached ones the
+        // baseline. Verification measures *this* channel, not the intent.
+        let realized = realize(
+            &baseline_config,
+            &result.best,
+            &outcome.applied,
+            &faults,
+            config_space,
+        );
+        tracer.emit(
+            clock.elapsed.get(),
+            EventKind::PhaseStart {
+                phase: Phase::Verify,
+            },
+        );
+        let verified = model.measure(&realized, &mut rng, &clock);
+        let verified_score = M::score(&verified);
+        model.emit_measurements(&verified, clock.elapsed.get(), tracer);
+        tracer.emit(
+            clock.elapsed.get(),
+            EventKind::PhaseEnd {
+                phase: Phase::Verify,
+                measurements: model.n_links(),
+            },
+        );
+
+        let mut post_mortem = None;
+        let (chosen_config, chosen, reverted, realized_config) = if verified_score < baseline_score
+        {
+            tracer.emit(
+                clock.elapsed.get(),
+                EventKind::Reverted {
+                    baseline_score,
+                    verified_score,
+                },
+            );
+            // Freeze the black box *before* the revert actuation floods
+            // the ring with its own frames: the post-mortem should show
+            // what led to the rejection, not the recovery.
+            if tracer.flight().capacity() > 0 {
+                post_mortem = Some(PostMortem {
+                    events: tracer.flight().snapshot(),
+                    attempted: result.best.clone(),
+                    realized: realized.clone(),
+                });
+            }
+            tracer.emit(
+                clock.elapsed.get(),
+                EventKind::PhaseStart {
+                    phase: Phase::Revert,
+                },
+            );
+            let back = match metrics {
+                MetricsPlan::Direct(m) => self.actuate_config(
+                    &realized,
+                    &baseline_config,
+                    &mut faults,
+                    m.as_deref_mut(),
+                    tracer,
+                    clock.elapsed.get(),
+                    &mut act_rng,
+                ),
+                MetricsPlan::Shared(act) => {
+                    let mut back_metrics = ControlMetrics::new();
+                    let back = self.actuate_config(
+                        &realized,
+                        &baseline_config,
+                        &mut faults,
+                        Some(&mut back_metrics),
+                        tracer,
+                        clock.elapsed.get(),
+                        &mut act_rng,
+                    );
+                    act.merge(&back_metrics);
+                    back
+                }
+            };
+            clock.elapsed.set(clock.elapsed.get() + back.completion_s);
+            actuation_frames += back.frames;
+            actuation_retries += back.retries;
+            tracer.emit(
+                clock.elapsed.get(),
+                EventKind::PhaseEnd {
+                    phase: Phase::Revert,
+                    measurements: 0,
+                },
+            );
+            let after = realize(
+                &realized,
+                &baseline_config,
+                &back.applied,
+                &faults,
+                config_space,
+            );
+            (baseline_config.clone(), baseline.clone(), true, after)
+        } else {
+            (result.best, verified, false, realized)
+        };
+        let chosen_score = M::score(&chosen);
+
+        tracer.emit(
+            clock.elapsed.get(),
+            EventKind::EpisodeEnd {
+                score: chosen_score,
+                measurements: clock.measurements.get() as u32,
+                reverted,
+            },
+        );
+
+        let stale_elements = realized_config.hamming(&chosen_config);
+        EngineRun {
+            baseline_config,
+            baseline,
+            baseline_score,
+            chosen_config,
+            chosen,
+            chosen_score,
+            measurements: clock.measurements.get(),
+            elapsed_s: clock.elapsed.get(),
+            reverted,
+            realized_config,
+            stale_elements,
+            actuation_frames,
+            actuation_retries,
+            post_mortem,
+        }
+    }
+
+    /// Drives one `prev → target` transition over the configured actuation
+    /// mode. Only elements whose state actually changes are commanded.
+    /// Transport-level events (frames, losses, acks, backoffs) flow into
+    /// `tracer` timestamped relative to `t0_s`, followed by one
+    /// [`EventKind::ActuationDone`] summary.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn actuate_config<S: TraceSink>(
+        &self,
+        prev: &Configuration,
+        target: &Configuration,
+        faults: &mut FaultPlan,
+        metrics: Option<&mut ControlMetrics>,
+        tracer: &mut Tracer<S>,
+        t0_s: f64,
+        rng: &mut StdRng,
+    ) -> ActuationOutcome {
+        let n = prev.len();
+        // Unchanged elements are trivially in place.
+        let mut applied = vec![true; n];
+        let delta: Vec<(u16, u8)> = prev
+            .states
+            .iter()
+            .zip(&target.states)
+            .enumerate()
+            .filter(|(_, (p, t))| p != t)
+            .map(|(i, (_, &t))| (i as u16, t as u8))
+            .collect();
+        let outcome = match &self.actuation {
+            ActuationMode::Oracle => ActuationOutcome {
+                applied,
+                completion_s: self.timing.actuation_s,
+                frames: 0,
+                retries: 0,
+            },
+            ActuationMode::Transport(t) => {
+                let report = actuate_traced(
+                    &t.transport,
+                    &delta,
+                    t.distance_m,
+                    t.policy,
+                    faults,
+                    metrics,
+                    tracer,
+                    t0_s,
+                    rng,
+                );
+                for &(e, _) in &delta {
+                    applied[e as usize] = report.element_applied(e);
+                }
+                ActuationOutcome {
+                    applied,
+                    completion_s: report.completion_s,
+                    frames: report.frames_sent,
+                    retries: report.retry_rounds,
+                }
+            }
+            ActuationMode::Des(d) => {
+                let report = simulate_actuation_traced(
+                    &d.transport,
+                    &delta,
+                    &d.cfg,
+                    faults,
+                    metrics,
+                    tracer,
+                    t0_s,
+                    rng,
+                );
+                for &(e, _) in &delta {
+                    applied[e as usize] = !report.failed.contains(&e);
+                }
+                let retransmissions = report
+                    .trace
+                    .iter()
+                    .filter(|ev| {
+                        matches!(
+                            ev,
+                            press_control::TraceEvent::CommandSent { attempt, .. } if *attempt > 0
+                        )
+                    })
+                    .count();
+                ActuationOutcome {
+                    applied,
+                    completion_s: report.done_s,
+                    frames: report.frames,
+                    retries: retransmissions,
+                }
+            }
+        };
+        let failed = delta
+            .iter()
+            .filter(|&&(e, _)| !outcome.applied[e as usize])
+            .count();
+        tracer.emit(
+            t0_s + outcome.completion_s,
+            EventKind::ActuationDone {
+                frames: outcome.frames as u32,
+                retries: outcome.retries as u32,
+                completion_s: outcome.completion_s,
+                failed: failed as u32,
+            },
+        );
+        outcome
+    }
+}
+
+/// Merges what the control plane achieved into the physical configuration:
+/// applied elements take the target state — unless stuck, in which case the
+/// hardware holds its frozen state — and unreached elements keep `prev`.
+pub(super) fn realize(
+    prev: &Configuration,
+    target: &Configuration,
+    applied: &[bool],
+    faults: &FaultPlan,
+    space: &ConfigSpace,
+) -> Configuration {
+    let mut realized = prev.overlay(target, applied);
+    if !faults.elements.is_empty() {
+        for (i, state) in realized.states.iter_mut().enumerate() {
+            if applied[i] && prev.states[i] != target.states[i] {
+                if let Some(s) = faults
+                    .elements
+                    .realized_state(i as u16, target.states[i] as u8)
+                {
+                    // Clamp: a stuck state outside the element's space pins
+                    // it to the highest valid switch position.
+                    *state = (s as usize).min(space.states_per_element[i] - 1);
+                }
+            }
+        }
+    }
+    realized
+}
+
+/// One command a daemon (or test harness) feeds the engine. The variants
+/// mirror the wire protocol `pressd` parses; the engine itself never does
+/// I/O and never reads a clock, so a command stream replays bit-identically.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)]
+pub enum EngineCommand {
+    /// Take an oracle measurement of every registered link on the current
+    /// realized configuration (no episode, no clock charge).
+    Measurement,
+    /// Apply one registry churn event (associate / roam / leave).
+    Churn(ChurnEvent),
+    /// Run one space episode under the next derived round seed.
+    RunEpisode,
+    /// Arm a fault plan on the controller's actuation mode.
+    InjectFault(FaultSpec),
+    /// Report the engine's state.
+    Snapshot,
+}
+
+/// What the engine answered a command with. `EpisodeDone` carries the full
+/// [`SpaceReport`] plus the episode's [`SpaceMetrics`] so a daemon can
+/// stream both to its sinks without re-running anything.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // one event per command; boxing would tax every consumer
+pub enum EngineEvent {
+    /// Per-link oracle scores on the current realized configuration.
+    MeasurementReport {
+        /// `(link, score)` in registry order.
+        scores: Vec<(LinkId, f64)>,
+    },
+    /// A churn event was applied to the registry.
+    ChurnApplied {
+        /// The link the event created, moved or removed.
+        link: LinkId,
+        /// Links remaining after the event.
+        live_links: usize,
+    },
+    /// An episode ran to completion.
+    EpisodeDone {
+        /// Zero-based engine episode index (also the seed-stream round).
+        episode: u64,
+        /// The full episode report.
+        report: SpaceReport,
+        /// Control-plane metrics of the episode's actuations.
+        metrics: SpaceMetrics,
+    },
+    /// A fault plan was armed on the actuation mode.
+    FaultArmed {
+        /// Whether the armed plan injects nothing.
+        ideal: bool,
+    },
+    /// The engine's state.
+    Snapshot(EngineSnapshot),
+    /// The command could not be applied; the engine state is unchanged
+    /// (beyond the command counter). Invalid input is reported, never
+    /// panicked on.
+    Rejected {
+        /// Human-readable diagnostic.
+        reason: String,
+    },
+}
+
+/// Point-in-time state of an [`EpisodeEngine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineSnapshot {
+    /// Commands handled so far (including rejected ones).
+    pub commands: u64,
+    /// Episodes completed so far.
+    pub episodes: u64,
+    /// `(id, label, weight)` of every registered link, registry order.
+    pub live_links: Vec<(LinkId, String, f64)>,
+    /// Verified score of the last episode, if any ran.
+    pub last_score: Option<f64>,
+    /// Whether the last episode fit its coherence budget.
+    pub last_within_coherence: Option<bool>,
+    /// Whether the armed fault plan injects nothing (true under the oracle).
+    pub faults_ideal: bool,
+    /// The controller's coherence budget, seconds.
+    pub coherence_budget_s: f64,
+    /// The controller's strategy label.
+    pub strategy: &'static str,
+}
+
+/// A long-lived episode engine owning a [`SmartSpace`] across commands —
+/// the deterministic core `pressd` wraps an event loop around.
+///
+/// Each `RunEpisode` command runs under its own derived controller seed,
+/// `derive_stream_seed(seed, episode_index, 4)` — stream index 4 extends
+/// the episode discipline (measurement `seed`, search `seed + 1`, actuation
+/// `seed + 2`, churn rounds stream 3) without colliding with it — so a
+/// replayed command stream is a pure function of `(controller, initial
+/// space, commands)` and reproduces every report and trace event
+/// bit-identically.
+#[derive(Debug, Clone)]
+pub struct EpisodeEngine {
+    controller: Controller,
+    space: SmartSpace,
+    current: Configuration,
+    commands: u64,
+    episodes: u64,
+    last: Option<(f64, bool)>,
+}
+
+impl EpisodeEngine {
+    /// Builds an engine owning `space`, starting from the all-zeros
+    /// configuration (the episode baseline).
+    pub fn new(controller: Controller, space: SmartSpace) -> EpisodeEngine {
+        let current = Configuration::zeros(space.config_space().n_elements());
+        EpisodeEngine {
+            controller,
+            space,
+            current,
+            commands: 0,
+            episodes: 0,
+            last: None,
+        }
+    }
+
+    /// The engine's controller (the base seed and actuation mode live here).
+    pub fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
+    /// The registry the engine owns.
+    pub fn space(&self) -> &SmartSpace {
+        &self.space
+    }
+
+    /// The realized configuration the array is currently in.
+    pub fn current_config(&self) -> &Configuration {
+        &self.current
+    }
+
+    /// Episodes completed so far.
+    pub fn episodes(&self) -> u64 {
+        self.episodes
+    }
+
+    /// Handles one command, emitting any episode trace into `tracer` and
+    /// returning the engine's answer. Invalid commands (unknown link ids,
+    /// episodes on an empty registry, faults on an oracle actuation) are
+    /// answered with [`EngineEvent::Rejected`] — the engine never panics on
+    /// input.
+    pub fn handle<S: TraceSink>(
+        &mut self,
+        cmd: EngineCommand,
+        tracer: &mut Tracer<S>,
+    ) -> EngineEvent {
+        self.commands += 1;
+        match cmd {
+            EngineCommand::Measurement => {
+                let scores = self
+                    .space
+                    .links()
+                    .iter()
+                    .map(|sl| (sl.id, self.space.link_oracle_score(sl.id, &self.current)))
+                    .collect();
+                EngineEvent::MeasurementReport { scores }
+            }
+            EngineCommand::Churn(event) => {
+                match &event {
+                    ChurnEvent::Roam { id, .. } | ChurnEvent::Leave { id }
+                        if self.space.try_link(*id).is_none() =>
+                    {
+                        return EngineEvent::Rejected {
+                            reason: format!("churn references unknown link {id}"),
+                        };
+                    }
+                    _ => {}
+                }
+                let link = self.space.apply_churn(&event);
+                EngineEvent::ChurnApplied {
+                    link,
+                    live_links: self.space.n_links(),
+                }
+            }
+            EngineCommand::RunEpisode => {
+                if self.space.n_links() == 0 {
+                    return EngineEvent::Rejected {
+                        reason: "episode on an empty registry (associate a link first)".to_string(),
+                    };
+                }
+                let mut round = self.controller.clone();
+                round.seed = search::derive_stream_seed(self.controller.seed, self.episodes, 4);
+                let ids: Vec<(u32, String)> = self
+                    .space
+                    .links()
+                    .iter()
+                    .map(|sl| (sl.id.0, sl.label.clone()))
+                    .collect();
+                let mut metrics = SpaceMetrics::new(&ids);
+                let report =
+                    round.run_space_episode_traced(&self.space, Some(&mut metrics), tracer);
+                let episode = self.episodes;
+                self.episodes += 1;
+                self.current = report.realized_config.clone();
+                self.last = Some((report.chosen_score, report.within_coherence));
+                EngineEvent::EpisodeDone {
+                    episode,
+                    report,
+                    metrics,
+                }
+            }
+            EngineCommand::InjectFault(spec) => match &mut self.controller.actuation {
+                ActuationMode::Oracle => EngineEvent::Rejected {
+                    reason: "oracle actuation has no fault path (use a transport or DES mode)"
+                        .to_string(),
+                },
+                ActuationMode::Transport(t) => {
+                    t.faults = spec.to_plan();
+                    EngineEvent::FaultArmed {
+                        ideal: t.faults.is_ideal(),
+                    }
+                }
+                ActuationMode::Des(d) => {
+                    d.faults = spec.to_plan();
+                    EngineEvent::FaultArmed {
+                        ideal: d.faults.is_ideal(),
+                    }
+                }
+            },
+            EngineCommand::Snapshot => EngineEvent::Snapshot(EngineSnapshot {
+                commands: self.commands,
+                episodes: self.episodes,
+                live_links: self
+                    .space
+                    .links()
+                    .iter()
+                    .map(|sl| (sl.id, sl.label.clone(), sl.weight))
+                    .collect(),
+                last_score: self.last.map(|(s, _)| s),
+                last_within_coherence: self.last.map(|(_, w)| w),
+                faults_ideal: match &self.controller.actuation {
+                    ActuationMode::Oracle => true,
+                    ActuationMode::Transport(t) => t.faults.is_ideal(),
+                    ActuationMode::Des(d) => d.faults.is_ideal(),
+                },
+                coherence_budget_s: self.controller.coherence_budget_s,
+                strategy: self.controller.strategy.label(),
+            }),
+        }
+    }
+}

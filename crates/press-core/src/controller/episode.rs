@@ -1,0 +1,139 @@
+//! The single-link episode: the historical `run_episode` entry family,
+//! expressed as a thin [`EpisodeModel`] over the generic engine.
+
+use crate::basis::LinkBasis;
+use crate::config::{ConfigSpace, Configuration};
+use crate::system::{CachedLink, PressSystem};
+use press_control::ControlMetrics;
+use press_math::Complex64;
+use press_sdr::Sounder;
+use press_trace::{EventKind, TraceSink, Tracer};
+use rand::rngs::StdRng;
+
+use super::engine::{EpisodeClock, EpisodeModel, MetricsPlan};
+use super::{ControlReport, Controller};
+
+/// One sounded link: candidate channels come from the basis fast path
+/// (O(N·K) per configuration, no per-measurement path re-trace); the
+/// measurement noise itself still goes through the full sounding pipeline.
+struct SingleLinkModel<'a> {
+    ctl: &'a Controller,
+    sounder: &'a Sounder,
+    basis: LinkBasis,
+    h: Vec<Complex64>,
+}
+
+impl EpisodeModel for SingleLinkModel<'_> {
+    type Obs = f64;
+
+    fn n_links(&self) -> u32 {
+        1
+    }
+
+    fn emit_prelude<S: TraceSink>(&self, config_space: &ConfigSpace, tracer: &mut Tracer<S>) {
+        tracer.emit(
+            0.0,
+            EventKind::BasisBuild {
+                link: 0,
+                elements: config_space.n_elements() as u32,
+                subcarriers: self.basis.n_subcarriers() as u32,
+                revision: self.basis.revision(),
+            },
+        );
+    }
+
+    fn measure(&mut self, config: &Configuration, rng: &mut StdRng, clock: &EpisodeClock) -> f64 {
+        self.basis
+            .synthesize_into(config, clock.elapsed.get(), &mut self.h);
+        let profile = self
+            .sounder
+            .sound_averaged_channel(&self.h, self.ctl.frames_per_measurement, rng)
+            .expect("sounder has >=2 training symbols"); // press-lint: allow(panic-freedom) — infallible with >=2 training symbols
+        clock.charge(&self.ctl.timing);
+        self.ctl.objective.score(&profile)
+    }
+
+    fn score(obs: &f64) -> f64 {
+        *obs
+    }
+
+    fn emit_measurements<S: TraceSink>(&self, obs: &f64, t_s: f64, tracer: &mut Tracer<S>) {
+        tracer.emit(
+            t_s,
+            EventKind::Measurement {
+                link: 0,
+                score: *obs,
+            },
+        );
+    }
+}
+
+impl Controller {
+    /// Runs one control episode on a link: measure the baseline, search for
+    /// a better configuration (each candidate evaluated by *measurement*,
+    /// not oracle), actuate it over the configured
+    /// [`ActuationMode`](super::ActuationMode), and verify against the
+    /// array the control plane actually produced.
+    pub fn run_episode(&self, system: &PressSystem, sounder: &Sounder) -> ControlReport {
+        self.run_episode_instrumented(system, sounder, None)
+    }
+
+    /// [`run_episode`](Self::run_episode) with an optional control-plane
+    /// metrics registry the actuations record into. Instrumentation never
+    /// perturbs the episode: the report is bit-identical with or without it.
+    pub fn run_episode_instrumented(
+        &self,
+        system: &PressSystem,
+        sounder: &Sounder,
+        metrics: Option<&mut ControlMetrics>,
+    ) -> ControlReport {
+        self.run_episode_traced(system, sounder, metrics, &mut Tracer::null())
+    }
+
+    /// [`run_episode`](Self::run_episode) with full structured tracing: the
+    /// episode emits [`press_trace`] events (phase spans, per-candidate
+    /// search steps, transport frames, actuation summaries) into the given
+    /// [`Tracer`]. This *is* the episode implementation — the silent entry
+    /// points delegate here with a [`Tracer::null`], whose disabled cost is
+    /// a sequence-counter increment per event.
+    ///
+    /// Tracing never perturbs the episode: events are emitted outside the
+    /// RNG streams, so the report is bit-identical across sinks (the
+    /// [`post_mortem`](ControlReport::post_mortem) field aside, which only a
+    /// live flight recorder populates).
+    pub fn run_episode_traced<S: TraceSink>(
+        &self,
+        system: &PressSystem,
+        sounder: &Sounder,
+        metrics: Option<&mut ControlMetrics>,
+        tracer: &mut Tracer<S>,
+    ) -> ControlReport {
+        let link = CachedLink::trace(system, sounder.tx.node.clone(), sounder.rx.node.clone());
+        let config_space = system.array.config_space();
+        let basis = LinkBasis::for_numerology(system, &link, &sounder.num);
+        let mut model = SingleLinkModel {
+            ctl: self,
+            sounder,
+            h: Vec::with_capacity(basis.n_subcarriers()),
+            basis,
+        };
+        let mut plan = MetricsPlan::Direct(metrics);
+        let run = self.run_engine(&mut model, &config_space, &mut plan, tracer);
+        ControlReport {
+            baseline_config: run.baseline_config,
+            baseline_score: run.baseline_score,
+            chosen_config: run.chosen_config,
+            chosen_score: run.chosen_score,
+            measurements: run.measurements,
+            elapsed_s: run.elapsed_s,
+            coherence_budget_s: self.coherence_budget_s,
+            within_coherence: run.elapsed_s <= self.coherence_budget_s,
+            reverted: run.reverted,
+            realized_config: run.realized_config,
+            stale_elements: run.stale_elements,
+            actuation_frames: run.actuation_frames,
+            actuation_retries: run.actuation_retries,
+            post_mortem: run.post_mortem,
+        }
+    }
+}

@@ -1,0 +1,890 @@
+//! The closed-loop PRESS controller.
+//!
+//! §2 of the paper lists the three actuation tasks: (1) gather channel
+//! information, (2) navigate the configuration space quickly, (3) apply the
+//! chosen configuration — all "during the channel coherence time", and
+//! ideally on packet-level timescales of one to two milliseconds. The
+//! [`Controller`] here runs that loop against the simulated system, charging
+//! wall-clock cost for every measurement, computation and actuation so the
+//! coherence budget is a real constraint, not an aspiration.
+//!
+//! The module is split along the phase machinery:
+//!
+//! * [`engine`] — the one generic Measure→Search→Actuate→Verify→Revert
+//!   state machine every entry point runs through, plus the command/event
+//!   API ([`EngineCommand`] / [`EngineEvent`] / [`EpisodeEngine`]) a
+//!   long-running daemon drives;
+//! * [`episode`] — the single-link model and the historical
+//!   `run_episode{,_instrumented,_traced}` entry points;
+//! * [`space`] — the multi-link [`SmartSpace`](crate::space::SmartSpace)
+//!   model and `run_space_episode{,_instrumented,_traced}`;
+//! * [`churn`] — `run_churn_episode`, the per-round seed-stream replay of
+//!   an association/roam/leave schedule.
+//!
+//! Every pre-split entry point keeps its signature and produces
+//! bit-identical reports and trace streams (pinned by
+//! `tests/determinism.rs`' golden hashes): the engine changes where the
+//! loop's code lives, never which values it computes or in what order.
+
+pub mod churn;
+pub mod engine;
+pub mod episode;
+pub mod space;
+
+pub use engine::{EngineCommand, EngineEvent, EngineSnapshot, EpisodeEngine};
+
+use crate::config::Configuration;
+use crate::objective::LinkObjective;
+use crate::space::LinkId;
+use press_control::{AckPolicy, DesConfig, FaultPlan, Transport};
+use press_trace::Event;
+
+/// Wall-clock cost model of the control loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingModel {
+    /// Cost of one channel measurement (frame airtime + CSI processing +
+    /// feedback to the controller), seconds.
+    pub measurement_s: f64,
+    /// Cost of actuating one array configuration over the control plane,
+    /// seconds.
+    pub actuation_s: f64,
+    /// Controller compute per candidate evaluated, seconds.
+    pub compute_per_eval_s: f64,
+}
+
+impl TimingModel {
+    /// The paper's prototype: ~78 ms per measured configuration (5 s / 64),
+    /// with actuation folded into that figure.
+    pub fn paper_prototype() -> TimingModel {
+        TimingModel {
+            measurement_s: 5.0 / 64.0,
+            actuation_s: 0.0,
+            compute_per_eval_s: 1e-5,
+        }
+    }
+
+    /// A production-grade target: per-packet sounding (~100 µs), 1 ms-class
+    /// control-plane actuation, microsecond compute.
+    pub fn fast_control_plane() -> TimingModel {
+        TimingModel {
+            measurement_s: 100e-6,
+            actuation_s: 1e-3,
+            compute_per_eval_s: 1e-6,
+        }
+    }
+}
+
+/// Which search strategy the controller runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Strategy {
+    /// Measure every configuration (only feasible for small arrays).
+    Exhaustive,
+    /// Greedy coordinate descent with the given sweep limit.
+    Greedy {
+        /// Maximum sweeps.
+        max_sweeps: usize,
+    },
+    /// Random sampling with a fixed measurement budget.
+    Random {
+        /// Number of configurations measured.
+        budget: usize,
+    },
+    /// Simulated annealing with the given measurement budget.
+    Annealing {
+        /// Number of configurations measured.
+        budget: usize,
+    },
+}
+
+impl Strategy {
+    /// Stable lowercase label used in trace events and convergence CSVs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::Exhaustive => "exhaustive",
+            Strategy::Greedy { .. } => "greedy",
+            Strategy::Random { .. } => "random",
+            Strategy::Annealing { .. } => "annealing",
+        }
+    }
+}
+
+/// Transport-backed actuation settings for [`ActuationMode::Transport`]:
+/// the chosen configuration is driven over a real control-plane transport
+/// with the round-based [`press_control::actuate_with`] model, and elements the protocol
+/// could not reach stay at their previous switch state.
+#[derive(Debug, Clone)]
+pub struct TransportActuation {
+    /// The control channel.
+    pub transport: Transport,
+    /// Acknowledgement / retransmission policy.
+    pub policy: AckPolicy,
+    /// Worst-case controller-element range, meters.
+    pub distance_m: f64,
+    /// Fault injection (burst loss, dead/stuck elements). Cloned per
+    /// episode so burst-chain state does not leak between episodes.
+    pub faults: FaultPlan,
+}
+
+impl TransportActuation {
+    /// A clean wired control bus with per-element acks.
+    pub fn wired() -> TransportActuation {
+        TransportActuation {
+            transport: Transport::wired(),
+            policy: AckPolicy::PerElement { max_retries: 4 },
+            distance_m: 15.0,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// A low-rate ISM radio with adaptive retry.
+    pub fn ism() -> TransportActuation {
+        TransportActuation {
+            transport: Transport::ism(),
+            policy: AckPolicy::Adaptive {
+                max_retries: 6,
+                batch_cap: 16,
+            },
+            distance_m: 15.0,
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+/// Discrete-event-simulated actuation settings for [`ActuationMode::Des`].
+#[derive(Debug, Clone)]
+pub struct DesActuation {
+    /// The control channel.
+    pub transport: Transport,
+    /// Simulator parameters (timeouts, backoff, attempt budget).
+    pub cfg: DesConfig,
+    /// Fault injection, cloned per episode.
+    pub faults: FaultPlan,
+}
+
+/// How [`Controller::run_episode`](crate::controller::Controller::run_episode)
+/// applies configurations to the array.
+#[derive(Debug, Clone)]
+pub enum ActuationMode {
+    /// Instant, perfect actuation charged at the flat
+    /// [`TimingModel::actuation_s`] cost — the historical behavior, and
+    /// bit-identical to it.
+    Oracle,
+    /// Drive the round-based [`press_control::actuate_with`] protocol over a transport;
+    /// completion time is charged as measured and unreached elements stay
+    /// at their previous state.
+    Transport(TransportActuation),
+    /// Drive the discrete-event simulator ([`press_control::simulate_actuation_with`])
+    /// instead of the round model.
+    Des(DesActuation),
+}
+
+/// Post-mortem captured when a *traced* episode reverts: the flight
+/// recorder's last events (wall-clock stripped) plus the configuration the
+/// search wanted and the one the control plane actually produced.
+///
+/// Only the traced entry points with a live flight recorder populate this —
+/// the silent paths run a capacity-0 recorder and leave the field `None`,
+/// so instrumented-vs-bare bitwise comparisons still hold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PostMortem {
+    /// The flight recorder's snapshot at the moment of the revert,
+    /// oldest event first.
+    pub events: Vec<Event>,
+    /// The configuration the search chose (what actuation attempted).
+    pub attempted: Configuration,
+    /// The configuration the array was actually in when verification
+    /// rejected it.
+    pub realized: Configuration,
+}
+
+/// Outcome of one control episode.
+///
+/// Derives `PartialEq` so determinism tests can assert two same-seed
+/// episodes are bit-identical, scores included.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlReport {
+    /// Configuration in force before the episode.
+    pub baseline_config: Configuration,
+    /// Objective score of the baseline.
+    pub baseline_score: f64,
+    /// Configuration chosen by the episode.
+    pub chosen_config: Configuration,
+    /// Objective score of the chosen configuration (verification measurement).
+    pub chosen_score: f64,
+    /// Number of channel measurements spent.
+    pub measurements: usize,
+    /// Total emulated wall-clock time of the episode, seconds.
+    pub elapsed_s: f64,
+    /// Coherence time the episode was budgeted against, seconds.
+    pub coherence_budget_s: f64,
+    /// Whether the episode finished within the coherence budget.
+    pub within_coherence: bool,
+    /// Whether the verification measurement rejected the search result and
+    /// the controller fell back to the baseline configuration.
+    pub reverted: bool,
+    /// The configuration the array is physically in at episode end. Under
+    /// [`ActuationMode::Oracle`] this equals [`chosen_config`](Self::chosen_config);
+    /// under a lossy transport, unreached elements hold their previous
+    /// state and stuck elements hold their stuck state.
+    pub realized_config: Configuration,
+    /// Elements whose realized state differs from the chosen configuration.
+    pub stale_elements: usize,
+    /// Control frames spent actuating (0 under the oracle).
+    pub actuation_frames: usize,
+    /// Retransmission effort spent actuating (retry rounds for the round
+    /// model, retransmitted frames for the DES; 0 under the oracle).
+    pub actuation_retries: usize,
+    /// Flight-recorder post-mortem, populated only when a traced episode
+    /// with a live flight recorder reverted.
+    pub post_mortem: Option<PostMortem>,
+}
+
+impl ControlReport {
+    /// Improvement of the chosen configuration over the baseline, in the
+    /// objective's units (dB for the SNR objectives).
+    pub fn improvement(&self) -> f64 {
+        self.chosen_score - self.baseline_score
+    }
+}
+
+/// One link's view of a multi-link episode (all scores are *measured*, on
+/// the array the control plane actually produced).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkReport {
+    /// Registry identity of the link.
+    pub id: LinkId,
+    /// The link's registry label.
+    pub label: String,
+    /// The link's weight in the space-wide objective.
+    pub weight: f64,
+    /// This link's objective score of the baseline measurement.
+    pub baseline_score: f64,
+    /// This link's objective score of the verification measurement (the
+    /// baseline values when the episode reverted).
+    pub chosen_score: f64,
+    /// Mean measured SNR of the baseline, dB.
+    pub baseline_mean_snr_db: f64,
+    /// Mean measured SNR of the verification (baseline when reverted), dB.
+    pub chosen_mean_snr_db: f64,
+}
+
+impl LinkReport {
+    /// Improvement of this link's verified score over its baseline, in the
+    /// link objective's units.
+    pub fn improvement(&self) -> f64 {
+        self.chosen_score - self.baseline_score
+    }
+}
+
+/// Outcome of one multi-link ([`SmartSpace`](crate::space::SmartSpace))
+/// control episode.
+///
+/// The scalar fields mirror [`ControlReport`] with scores replaced by the
+/// space-wide weighted objective; [`links`](Self::links) carries each
+/// link's verified view. Derives `PartialEq` so determinism tests can
+/// assert two same-seed episodes are bit-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpaceReport {
+    /// Configuration in force before the episode.
+    pub baseline_config: Configuration,
+    /// Weighted space-wide score of the baseline.
+    pub baseline_score: f64,
+    /// Configuration chosen by the episode.
+    pub chosen_config: Configuration,
+    /// Weighted space-wide score of the verification measurement.
+    pub chosen_score: f64,
+    /// Per-link verified outcomes, in registry order.
+    pub links: Vec<LinkReport>,
+    /// Number of channel measurements spent (each link counts its own).
+    pub measurements: usize,
+    /// Total emulated wall-clock time of the episode, seconds.
+    pub elapsed_s: f64,
+    /// Coherence time the episode was budgeted against, seconds.
+    pub coherence_budget_s: f64,
+    /// Whether the episode finished within the coherence budget.
+    pub within_coherence: bool,
+    /// Whether verification rejected the search result and the controller
+    /// fell back to the baseline configuration.
+    pub reverted: bool,
+    /// The configuration the array is physically in at episode end.
+    pub realized_config: Configuration,
+    /// Elements whose realized state differs from the chosen configuration.
+    pub stale_elements: usize,
+    /// Control frames spent actuating (0 under the oracle).
+    pub actuation_frames: usize,
+    /// Retransmission effort spent actuating.
+    pub actuation_retries: usize,
+    /// Flight-recorder post-mortem, populated only when a traced episode
+    /// with a live flight recorder reverted.
+    pub post_mortem: Option<PostMortem>,
+}
+
+impl SpaceReport {
+    /// Improvement of the chosen configuration over the baseline in the
+    /// weighted space objective's units.
+    pub fn improvement(&self) -> f64 {
+        self.chosen_score - self.baseline_score
+    }
+}
+
+/// The closed-loop controller.
+#[derive(Debug, Clone)]
+pub struct Controller {
+    /// Search strategy.
+    pub strategy: Strategy,
+    /// Cost model.
+    pub timing: TimingModel,
+    /// Objective to maximize.
+    pub objective: LinkObjective,
+    /// Coherence budget to judge the episode against (seconds).
+    pub coherence_budget_s: f64,
+    /// Sounding frames averaged per measurement.
+    pub frames_per_measurement: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// How configurations are applied to the array.
+    pub actuation: ActuationMode,
+}
+
+impl Controller {
+    /// A controller with the paper-prototype timing and a standing-user
+    /// coherence budget (~80 ms).
+    pub fn new(strategy: Strategy, objective: LinkObjective) -> Controller {
+        Controller {
+            strategy,
+            timing: TimingModel::paper_prototype(),
+            objective,
+            coherence_budget_s: 0.08,
+            frames_per_measurement: 2,
+            seed: 0,
+            actuation: ActuationMode::Oracle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::PressArray;
+    use crate::objective::LinkObjective;
+    use crate::space::SmartSpace;
+    use crate::system::PressSystem;
+    use press_math::consts::WIFI_CHANNEL_11_HZ;
+    use press_phy::Numerology;
+    use press_propagation::{LabConfig, LabSetup};
+    use press_sdr::{SdrRadio, Sounder};
+    use press_trace::{EventKind, Phase, Tracer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(n_elements: usize) -> (PressSystem, Sounder) {
+        let lab = LabSetup::generate(&LabConfig::default(), 17);
+        let lambda = lab.scene.wavelength();
+        let mut rng = StdRng::seed_from_u64(4);
+        let positions = lab.random_element_positions(n_elements, &mut rng);
+        let array = PressArray::paper_passive(&positions, lambda);
+        let system = PressSystem::new(lab.scene.clone(), array);
+        let sounder = Sounder::new(
+            Numerology::wifi20(WIFI_CHANNEL_11_HZ),
+            SdrRadio::warp(lab.tx.clone()),
+            SdrRadio::warp(lab.rx.clone()),
+        );
+        (system, sounder)
+    }
+
+    #[test]
+    fn exhaustive_episode_improves_or_matches_baseline() {
+        let (system, sounder) = setup(2);
+        let c = Controller::new(Strategy::Exhaustive, LinkObjective::MaxMinSnr);
+        let report = c.run_episode(&system, &sounder);
+        // The exhaustive search must find something at least as good as the
+        // baseline up to measurement noise.
+        assert!(
+            report.improvement() > -2.0,
+            "improvement {}",
+            report.improvement()
+        );
+        assert_eq!(report.measurements, 1 + 16 + 1);
+    }
+
+    #[test]
+    fn paper_prototype_blows_coherence_budget() {
+        let (system, sounder) = setup(2);
+        let c = Controller::new(Strategy::Exhaustive, LinkObjective::MaxMinSnr);
+        let report = c.run_episode(&system, &sounder);
+        // 18 measurements x 78 ms >> 80 ms: the paper's own latency problem.
+        assert!(!report.within_coherence);
+    }
+
+    #[test]
+    fn fast_control_plane_fits_budget_with_greedy() {
+        let (system, sounder) = setup(2);
+        let mut c = Controller::new(Strategy::Greedy { max_sweeps: 1 }, LinkObjective::MaxMinSnr);
+        c.timing = TimingModel::fast_control_plane();
+        let report = c.run_episode(&system, &sounder);
+        assert!(
+            report.within_coherence,
+            "elapsed {} vs budget {}",
+            report.elapsed_s, report.coherence_budget_s
+        );
+    }
+
+    #[test]
+    fn episodes_are_deterministic() {
+        let (system, sounder) = setup(2);
+        let c = Controller::new(Strategy::Random { budget: 6 }, LinkObjective::MaxMeanSnr);
+        let a = c.run_episode(&system, &sounder);
+        let b = c.run_episode(&system, &sounder);
+        assert_eq!(a.chosen_config, b.chosen_config);
+        assert_eq!(a.measurements, b.measurements);
+    }
+
+    #[test]
+    fn wired_transport_reproduces_oracle_decision_bit_for_bit() {
+        let (system, sounder) = setup(2);
+        let oracle = Controller::new(Strategy::Random { budget: 6 }, LinkObjective::MaxMeanSnr);
+        let mut wired = oracle.clone();
+        wired.actuation = ActuationMode::Transport(TransportActuation::wired());
+        let a = oracle.run_episode(&system, &sounder);
+        let b = wired.run_episode(&system, &sounder);
+        // A clean wired control plane applies everything, so the realized
+        // array equals the chosen one and the measurement stream (a
+        // separate seed stream from the actuation RNG) is untouched.
+        assert_eq!(a.chosen_config, b.chosen_config);
+        assert_eq!(a.chosen_score, b.chosen_score);
+        assert_eq!(a.baseline_score, b.baseline_score);
+        assert_eq!(a.measurements, b.measurements);
+        assert_eq!(b.stale_elements, 0);
+        assert_eq!(b.realized_config, b.chosen_config);
+        assert!(
+            b.actuation_frames > 0,
+            "wired transport still spends frames"
+        );
+    }
+
+    #[test]
+    fn lossy_fire_and_forget_leaves_stale_elements_and_changes_score() {
+        use press_control::{AckPolicy, FaultPlan, Transport};
+        let (system, sounder) = setup(3);
+        let oracle = Controller::new(Strategy::Exhaustive, LinkObjective::MaxMinSnr);
+        let mut lossy = oracle.clone();
+        // Heavy loss, no acks, no retries: most commanded elements never
+        // hear their set-state.
+        lossy.actuation = ActuationMode::Transport(TransportActuation {
+            transport: Transport::IsmRadio {
+                bitrate_bps: 250e3,
+                loss_prob: 0.9,
+                mac_latency_s: 1e-3,
+            },
+            policy: AckPolicy::None,
+            distance_m: 15.0,
+            faults: FaultPlan::none(),
+        });
+        // Whether a given seed strands some, all, or none of the commanded
+        // elements is down to the loss draws, so scan a few seeds: at least
+        // one must leave a partially-applied (stale) array, and whenever the
+        // array is stale the verification score must diverge from the
+        // oracle-actuated episode's.
+        let mut saw_stale = false;
+        for seed in 0..6 {
+            let mut a = oracle.clone();
+            a.seed = seed;
+            let mut b = lossy.clone();
+            b.seed = seed;
+            let ra = a.run_episode(&system, &sounder);
+            let rb = b.run_episode(&system, &sounder);
+            // The search itself is actuation-independent; chosen_config only
+            // diverges when the stale verification triggered a revert.
+            if !rb.reverted && !ra.reverted {
+                assert_eq!(ra.chosen_config, rb.chosen_config, "seed {seed}");
+            }
+            if rb.stale_elements > 0 {
+                saw_stale = true;
+                assert_ne!(rb.realized_config, rb.chosen_config);
+                if !ra.reverted {
+                    assert_ne!(
+                        ra.chosen_score, rb.chosen_score,
+                        "verification must measure the stale array, not the intent (seed {seed})"
+                    );
+                }
+            }
+        }
+        assert!(
+            saw_stale,
+            "90% loss never stranded an element across 6 seeds"
+        );
+    }
+
+    #[test]
+    fn des_actuation_mode_closes_the_loop() {
+        use press_control::{DesConfig, FaultPlan, Transport};
+        let (system, sounder) = setup(2);
+        let mut c = Controller::new(Strategy::Greedy { max_sweeps: 1 }, LinkObjective::MaxMinSnr);
+        c.actuation = ActuationMode::Des(DesActuation {
+            transport: Transport::wired(),
+            cfg: DesConfig::default(),
+            faults: FaultPlan::none(),
+        });
+        let r = c.run_episode(&system, &sounder);
+        assert_eq!(r.stale_elements, 0, "clean wire applies everything");
+        assert!(r.actuation_frames > 0);
+        // The DES charges real completion time into the episode clock.
+        assert!(r.elapsed_s > 0.0);
+    }
+
+    #[test]
+    fn dead_element_faults_strand_the_commanded_state() {
+        use press_control::{ElementFaults, FaultPlan};
+        let (system, sounder) = setup(2);
+        let mut c = Controller::new(Strategy::Exhaustive, LinkObjective::MaxMinSnr);
+        let mut t = TransportActuation::wired();
+        // Every element is dead: nothing the search chooses can be applied,
+        // so the realized array is the baseline and verification reverts.
+        t.faults = FaultPlan::broken(ElementFaults::none().dead(0).dead(1));
+        c.actuation = ActuationMode::Transport(t);
+        let r = c.run_episode(&system, &sounder);
+        assert_eq!(r.realized_config, r.baseline_config);
+        if r.chosen_config != r.baseline_config {
+            assert!(r.stale_elements > 0);
+        }
+    }
+
+    #[test]
+    fn instrumented_episode_is_bit_identical_and_records() {
+        use press_control::ControlMetrics;
+        let (system, sounder) = setup(2);
+        let mut c = Controller::new(Strategy::Random { budget: 4 }, LinkObjective::MaxMeanSnr);
+        c.actuation = ActuationMode::Transport(TransportActuation::ism());
+        let bare = c.run_episode(&system, &sounder);
+        let mut metrics = ControlMetrics::new();
+        let inst = c.run_episode_instrumented(&system, &sounder, Some(&mut metrics));
+        assert_eq!(bare.chosen_config, inst.chosen_config);
+        assert_eq!(bare.chosen_score, inst.chosen_score);
+        assert_eq!(bare.elapsed_s, inst.elapsed_s);
+        assert_eq!(bare.actuation_frames, inst.actuation_frames);
+        assert!(metrics.frames_tx > 0);
+        assert!(metrics.actuations >= 1);
+    }
+
+    #[test]
+    fn single_link_space_episode_matches_run_episode_bitwise() {
+        let (system, sounder) = setup(2);
+        for strategy in [
+            Strategy::Exhaustive,
+            Strategy::Random { budget: 6 },
+            Strategy::Annealing { budget: 8 },
+        ] {
+            for seed in [0u64, 7, 23] {
+                let mut c = Controller::new(strategy, LinkObjective::MaxMinSnr);
+                c.seed = seed;
+                c.actuation = ActuationMode::Transport(TransportActuation::ism());
+                let single = c.run_episode(&system, &sounder);
+                let space =
+                    SmartSpace::single(system.clone(), sounder.clone(), LinkObjective::MaxMinSnr);
+                let multi = c.run_space_episode(&space);
+                assert_eq!(single.baseline_score, multi.baseline_score, "seed {seed}");
+                assert_eq!(single.chosen_config, multi.chosen_config, "seed {seed}");
+                assert_eq!(single.chosen_score, multi.chosen_score, "seed {seed}");
+                assert_eq!(single.measurements, multi.measurements, "seed {seed}");
+                assert_eq!(single.elapsed_s, multi.elapsed_s, "seed {seed}");
+                assert_eq!(single.realized_config, multi.realized_config, "seed {seed}");
+                assert_eq!(single.reverted, multi.reverted, "seed {seed}");
+                assert_eq!(multi.links.len(), 1);
+                assert_eq!(multi.links[0].chosen_score, multi.chosen_score);
+            }
+        }
+    }
+
+    #[test]
+    fn space_episode_weights_drive_the_search() {
+        use crate::space::LinkId;
+        // Two links, the second negatively weighted: the weighted space
+        // score must equal w0·s0 + w1·s1 on both the baseline and the
+        // verification measurement.
+        let (system, sounder) = setup(2);
+        let mut space = SmartSpace::new(system);
+        space.add_link("boost", sounder.clone(), LinkObjective::MaxMeanSnr, 1.0);
+        let mut other = sounder.clone();
+        other.rx.node.position.y += 1.1;
+        space.add_link("suppress", other, LinkObjective::MaxMeanSnr, -0.5);
+        let c = Controller::new(Strategy::Random { budget: 5 }, LinkObjective::MaxMeanSnr);
+        let r = c.run_space_episode(&space);
+        assert_eq!(r.links.len(), 2);
+        assert_eq!(r.links[0].id, LinkId(0));
+        assert_eq!(r.links[1].id, LinkId(1));
+        let weighted = 1.0 * r.links[0].baseline_score - 0.5 * r.links[1].baseline_score;
+        assert!((r.baseline_score - weighted).abs() < 1e-12);
+        // 1 baseline + 5 search + 1 verification sweeps, 2 links each.
+        assert_eq!(r.measurements, 7 * 2);
+    }
+
+    #[test]
+    fn instrumented_space_episode_is_bit_identical_and_labels_links() {
+        use press_control::SpaceMetrics;
+        let (system, sounder) = setup(2);
+        let mut space = SmartSpace::new(system);
+        space.add_link("a", sounder.clone(), LinkObjective::MaxMinSnr, 1.0);
+        let mut other = sounder.clone();
+        other.rx.node.position.y += 0.9;
+        space.add_link("b", other, LinkObjective::MaxMinSnr, 1.0);
+        let mut c = Controller::new(Strategy::Random { budget: 4 }, LinkObjective::MaxMinSnr);
+        c.actuation = ActuationMode::Transport(TransportActuation::ism());
+        let bare = c.run_space_episode(&space);
+        let ids: Vec<(u32, String)> = space
+            .links()
+            .iter()
+            .map(|sl| (sl.id.0, sl.label.clone()))
+            .collect();
+        let mut metrics = SpaceMetrics::new(&ids);
+        let inst = c.run_space_episode_instrumented(&space, Some(&mut metrics));
+        assert_eq!(bare, inst);
+        assert!(metrics.space.frames_tx > 0);
+        assert_eq!(metrics.links.len(), 2);
+        for (_, _, m) in &metrics.links {
+            assert_eq!(m.frames_tx, metrics.space.frames_tx);
+        }
+    }
+
+    #[test]
+    fn traced_episode_is_bit_identical_and_emits_phases() {
+        use press_trace::MemorySink;
+        let (system, sounder) = setup(2);
+        let mut c = Controller::new(Strategy::Annealing { budget: 6 }, LinkObjective::MaxMinSnr);
+        c.actuation = ActuationMode::Transport(TransportActuation::ism());
+        let bare = c.run_episode(&system, &sounder);
+        let mut tracer = Tracer::new(MemorySink::new());
+        let mut traced = c.run_episode_traced(&system, &sounder, None, &mut tracer);
+        // post_mortem is the only field a live flight recorder may add.
+        traced.post_mortem = None;
+        assert_eq!(bare, traced);
+        let events = &tracer.sink().events;
+        assert!(matches!(
+            events[0].kind,
+            EventKind::EpisodeStart { links: 1, .. }
+        ));
+        assert!(matches!(
+            events.last().unwrap().kind,
+            EventKind::EpisodeEnd { .. }
+        ));
+        // Every phase opens before it closes.
+        for phase in [Phase::Measure, Phase::Search, Phase::Actuate, Phase::Verify] {
+            let start = events
+                .iter()
+                .position(|e| e.kind == EventKind::PhaseStart { phase })
+                .unwrap_or_else(|| panic!("{phase:?} never started"));
+            let end = events
+                .iter()
+                .position(|e| matches!(e.kind, EventKind::PhaseEnd { phase: p, .. } if p == phase))
+                .unwrap_or_else(|| panic!("{phase:?} never ended"));
+            assert!(start < end, "{phase:?}");
+        }
+        // One search step per annealer evaluation (initial + budget), each
+        // labeled with the strategy.
+        let steps = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::SearchStep {
+                        strategy: "annealing",
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(steps, 1 + 6);
+        for w in events.windows(2) {
+            assert_eq!(w[1].seq, w[0].seq + 1, "seq must be gapless");
+        }
+    }
+
+    #[test]
+    fn traced_revert_attaches_a_post_mortem() {
+        use press_control::{ElementFaults, FaultPlan};
+        use press_trace::MemorySink;
+        let (system, sounder) = setup(2);
+        // Every element dead: the realized array is always the baseline, so
+        // verification re-measures the baseline channel under fresh noise
+        // and roughly half the seeds reject the (unapplied) search result.
+        let mut saw_revert = false;
+        for seed in 0..12u64 {
+            let mut c = Controller::new(Strategy::Exhaustive, LinkObjective::MaxMinSnr);
+            c.seed = seed;
+            let mut t = TransportActuation::wired();
+            t.faults = FaultPlan::broken(ElementFaults::none().dead(0).dead(1));
+            c.actuation = ActuationMode::Transport(t);
+            let mut tracer = Tracer::new(MemorySink::new());
+            let r = c.run_episode_traced(&system, &sounder, None, &mut tracer);
+            if !r.reverted {
+                assert!(r.post_mortem.is_none(), "seed {seed}");
+                continue;
+            }
+            saw_revert = true;
+            let pm = r
+                .post_mortem
+                .as_ref()
+                .expect("traced revert keeps a post-mortem");
+            assert!(!pm.events.is_empty());
+            assert!(pm.events.iter().all(|e| e.wall_s.is_none()));
+            assert_eq!(pm.realized, r.baseline_config, "dead array never moves");
+            let events = &tracer.sink().events;
+            assert!(events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::Reverted { .. })));
+            assert!(events.iter().any(|e| matches!(
+                e.kind,
+                EventKind::PhaseStart {
+                    phase: Phase::Revert
+                }
+            )));
+            // The silent paths attach nothing, yet agree on every other field.
+            let mut bare = c.run_episode(&system, &sounder);
+            assert!(bare.post_mortem.is_none());
+            bare.post_mortem = r.post_mortem.clone();
+            assert_eq!(bare, r, "seed {seed}");
+        }
+        assert!(saw_revert, "no seed in 0..12 triggered a revert");
+    }
+
+    #[test]
+    fn greedy_uses_fewer_measurements_than_exhaustive() {
+        let (system, sounder) = setup(3);
+        let ex = Controller::new(Strategy::Exhaustive, LinkObjective::MaxMinSnr)
+            .run_episode(&system, &sounder);
+        let gr = Controller::new(Strategy::Greedy { max_sweeps: 2 }, LinkObjective::MaxMinSnr)
+            .run_episode(&system, &sounder);
+        assert!(gr.measurements < ex.measurements);
+    }
+
+    #[test]
+    fn engine_runs_episodes_under_derived_round_seeds() {
+        use crate::search::derive_stream_seed;
+        let (system, sounder) = setup(2);
+        let space = SmartSpace::single(system, sounder, LinkObjective::MaxMinSnr);
+        let mut c = Controller::new(Strategy::Random { budget: 4 }, LinkObjective::MaxMinSnr);
+        c.seed = 9;
+        let mut engine = EpisodeEngine::new(c.clone(), space.clone());
+        let ev0 = engine.handle(EngineCommand::RunEpisode, &mut Tracer::null());
+        let ev1 = engine.handle(EngineCommand::RunEpisode, &mut Tracer::null());
+        // Each engine episode is the plain space episode under the derived
+        // per-round seed — bit-identical to running it by hand.
+        for (i, ev) in [(0u64, ev0), (1u64, ev1)] {
+            let mut round = c.clone();
+            round.seed = derive_stream_seed(c.seed, i, 4);
+            let expect = round.run_space_episode(&space);
+            match ev {
+                EngineEvent::EpisodeDone {
+                    episode,
+                    report,
+                    metrics,
+                } => {
+                    assert_eq!(episode, i);
+                    assert_eq!(report, expect, "round {i}");
+                    assert_eq!(metrics.links.len(), 1);
+                }
+                other => panic!("expected EpisodeDone, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn engine_rejects_instead_of_panicking() {
+        let (system, sounder) = setup(2);
+        let space = SmartSpace::new(system.clone());
+        let c = Controller::new(Strategy::Exhaustive, LinkObjective::MaxMinSnr);
+        let mut engine = EpisodeEngine::new(c, space);
+        // Empty registry: an episode has nothing to run on.
+        let ev = engine.handle(EngineCommand::RunEpisode, &mut Tracer::null());
+        assert!(matches!(ev, EngineEvent::Rejected { .. }), "{ev:?}");
+        // Unknown link ids in churn commands are rejected, not panicked on.
+        let ev = engine.handle(
+            EngineCommand::Churn(crate::space::ChurnEvent::Leave {
+                id: crate::space::LinkId(7),
+            }),
+            &mut Tracer::null(),
+        );
+        assert!(matches!(ev, EngineEvent::Rejected { .. }), "{ev:?}");
+        // A valid association is applied and reported.
+        let ev = engine.handle(
+            EngineCommand::Churn(crate::space::ChurnEvent::Associate {
+                label: "guest".into(),
+                sounder,
+                objective: LinkObjective::MaxMinSnr,
+                weight: 1.0,
+            }),
+            &mut Tracer::null(),
+        );
+        match ev {
+            EngineEvent::ChurnApplied { link, live_links } => {
+                assert_eq!(link, crate::space::LinkId(0));
+                assert_eq!(live_links, 1);
+            }
+            other => panic!("expected ChurnApplied, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn engine_snapshot_and_measurement_reflect_state() {
+        let (system, sounder) = setup(2);
+        let space = SmartSpace::single(system, sounder, LinkObjective::MaxMinSnr);
+        let c = Controller::new(Strategy::Random { budget: 3 }, LinkObjective::MaxMinSnr);
+        let mut engine = EpisodeEngine::new(c, space);
+        let snap = match engine.handle(EngineCommand::Snapshot, &mut Tracer::null()) {
+            EngineEvent::Snapshot(s) => s,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(snap.episodes, 0);
+        assert_eq!(snap.live_links.len(), 1);
+        let before = match engine.handle(EngineCommand::Measurement, &mut Tracer::null()) {
+            EngineEvent::MeasurementReport { scores } => scores,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(before.len(), 1);
+        engine.handle(EngineCommand::RunEpisode, &mut Tracer::null());
+        let snap = match engine.handle(EngineCommand::Snapshot, &mut Tracer::null()) {
+            EngineEvent::Snapshot(s) => s,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(snap.episodes, 1);
+        assert!(snap.last_score.is_some());
+        // Measurement now reads the realized post-episode configuration.
+        let after = match engine.handle(EngineCommand::Measurement, &mut Tracer::null()) {
+            EngineEvent::MeasurementReport { scores } => scores,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(after.len(), 1);
+    }
+
+    #[test]
+    fn engine_fault_injection_arms_transport_faults() {
+        use press_control::FaultSpec;
+        let (system, sounder) = setup(2);
+        let space = SmartSpace::single(system, sounder, LinkObjective::MaxMinSnr);
+        let mut c = Controller::new(Strategy::Exhaustive, LinkObjective::MaxMinSnr);
+        c.actuation = ActuationMode::Transport(TransportActuation::wired());
+        let mut engine = EpisodeEngine::new(c, space);
+        let spec = FaultSpec {
+            burst: None,
+            dead: vec![0, 1],
+            stuck: vec![],
+        };
+        let ev = engine.handle(EngineCommand::InjectFault(spec), &mut Tracer::null());
+        assert!(matches!(ev, EngineEvent::FaultArmed { ideal: false }));
+        match &engine.controller().actuation {
+            ActuationMode::Transport(t) => {
+                assert_eq!(t.faults.elements.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Oracle actuation has no fault path: the command is rejected.
+        let (system2, sounder2) = setup(2);
+        let space2 = SmartSpace::single(system2, sounder2, LinkObjective::MaxMinSnr);
+        let oracle = Controller::new(Strategy::Exhaustive, LinkObjective::MaxMinSnr);
+        let mut engine2 = EpisodeEngine::new(oracle, space2);
+        let ev = engine2.handle(
+            EngineCommand::InjectFault(FaultSpec::none()),
+            &mut Tracer::null(),
+        );
+        assert!(matches!(ev, EngineEvent::Rejected { .. }), "{ev:?}");
+    }
+}

@@ -1,0 +1,187 @@
+//! The multi-link episode: the historical `run_space_episode` entry
+//! family, expressed as a thin [`EpisodeModel`] over the generic engine.
+
+use crate::config::{ConfigSpace, Configuration};
+use crate::space::SmartSpace;
+use press_control::{ControlMetrics, SpaceMetrics};
+use press_math::Complex64;
+use press_trace::{EventKind, TraceSink, Tracer};
+use rand::rngs::StdRng;
+
+use super::engine::{EpisodeClock, EpisodeModel, MetricsPlan};
+use super::{Controller, LinkReport, SpaceReport};
+
+/// Every registered link of a [`SmartSpace`], measured in registry order on
+/// one shared noise stream. An observation is the weighted space score plus
+/// each link's own score and mean SNR.
+struct SpaceEpisodeModel<'a> {
+    ctl: &'a Controller,
+    space: &'a SmartSpace,
+    h: Vec<Complex64>,
+}
+
+impl EpisodeModel for SpaceEpisodeModel<'_> {
+    type Obs = (f64, Vec<f64>, Vec<f64>);
+
+    fn n_links(&self) -> u32 {
+        self.space.n_links() as u32
+    }
+
+    fn emit_prelude<S: TraceSink>(&self, config_space: &ConfigSpace, tracer: &mut Tracer<S>) {
+        for sl in self.space.links() {
+            tracer.emit(
+                0.0,
+                EventKind::BasisBuild {
+                    link: sl.id.0,
+                    elements: config_space.n_elements() as u32,
+                    subcarriers: sl.basis.n_subcarriers() as u32,
+                    revision: sl.basis.revision(),
+                },
+            );
+        }
+    }
+
+    fn measure(
+        &mut self,
+        config: &Configuration,
+        rng: &mut StdRng,
+        clock: &EpisodeClock,
+    ) -> Self::Obs {
+        let mut weighted = 0.0f64;
+        let mut scores = Vec::with_capacity(self.space.n_links());
+        let mut means = Vec::with_capacity(self.space.n_links());
+        for sl in self.space.links() {
+            sl.basis
+                .synthesize_into(config, clock.elapsed.get(), &mut self.h);
+            let profile = sl
+                .sounder
+                .sound_averaged_channel(&self.h, self.ctl.frames_per_measurement, rng)
+                .expect("sounder has >=2 training symbols"); // press-lint: allow(panic-freedom) — infallible with >=2 training symbols
+            clock.charge(&self.ctl.timing);
+            let score = sl.objective.score(&profile);
+            weighted += sl.weight * score;
+            scores.push(score);
+            means.push(profile.mean_db());
+        }
+        (weighted, scores, means)
+    }
+
+    fn score(obs: &Self::Obs) -> f64 {
+        obs.0
+    }
+
+    fn emit_measurements<S: TraceSink>(&self, obs: &Self::Obs, t_s: f64, tracer: &mut Tracer<S>) {
+        for (sl, &score) in self.space.links().iter().zip(&obs.1) {
+            tracer.emit(
+                t_s,
+                EventKind::Measurement {
+                    link: sl.id.0,
+                    score,
+                },
+            );
+        }
+    }
+}
+
+impl Controller {
+    /// Runs one control episode over a whole [`SmartSpace`]: measure every
+    /// registered link at the baseline, search for one shared configuration
+    /// maximizing the *weighted* space objective (each candidate evaluated
+    /// by measurement on every link), actuate that single configuration
+    /// through the configured [`ActuationMode`](super::ActuationMode), and
+    /// verify each link against the array the control plane actually
+    /// produced.
+    ///
+    /// The registry's objectives and weights drive the episode — the
+    /// controller's own [`objective`](Self::objective) field is the
+    /// single-link API and is not consulted here.
+    ///
+    /// Seed-stream discipline is the single-link episode's, unchanged:
+    /// measurement noise on `seed` (links drawing in registry order),
+    /// search on `seed + 1`, actuation on `seed + 2`. A one-link space is
+    /// therefore RNG-stream-identical to
+    /// [`run_episode`](Self::run_episode).
+    pub fn run_space_episode(&self, space: &SmartSpace) -> SpaceReport {
+        self.run_space_episode_instrumented(space, None)
+    }
+
+    /// [`run_space_episode`](Self::run_space_episode) with an optional
+    /// per-[`LinkId`](crate::space::LinkId)-labeled metrics registry. The
+    /// shared actuation is recorded once into the wire-truth row and
+    /// attributed to every link row ([`SpaceMetrics::record_shared`]);
+    /// instrumentation never perturbs the episode.
+    pub fn run_space_episode_instrumented(
+        &self,
+        space: &SmartSpace,
+        metrics: Option<&mut SpaceMetrics>,
+    ) -> SpaceReport {
+        self.run_space_episode_traced(space, metrics, &mut Tracer::null())
+    }
+
+    /// [`run_space_episode`](Self::run_space_episode) with full structured
+    /// tracing, mirroring [`run_episode_traced`](Self::run_episode_traced):
+    /// per-link basis and measurement events, per-candidate search steps,
+    /// transport frames, actuation summaries and phase spans all flow into
+    /// the given [`Tracer`]. The silent entry points delegate here with a
+    /// [`Tracer::null`]; tracing never perturbs the episode.
+    pub fn run_space_episode_traced<S: TraceSink>(
+        &self,
+        space: &SmartSpace,
+        metrics: Option<&mut SpaceMetrics>,
+        tracer: &mut Tracer<S>,
+    ) -> SpaceReport {
+        assert!(
+            space.n_links() > 0,
+            "a space episode needs at least one registered link"
+        );
+        let config_space = space.config_space();
+        let mut model = SpaceEpisodeModel {
+            ctl: self,
+            space,
+            h: Vec::new(),
+        };
+        // One shared actuation serves every link; metrics accumulate into a
+        // local wire-truth row (reverts merged in) and are attributed to
+        // the caller's registry after the run.
+        let mut plan = MetricsPlan::Shared(ControlMetrics::new());
+        let run = self.run_engine(&mut model, &config_space, &mut plan, tracer);
+        if let MetricsPlan::Shared(act) = plan {
+            if let Some(m) = metrics {
+                m.record_shared(&act);
+            }
+        }
+
+        let links = space
+            .links()
+            .iter()
+            .enumerate()
+            .map(|(i, sl)| LinkReport {
+                id: sl.id,
+                label: sl.label.clone(),
+                weight: sl.weight,
+                baseline_score: run.baseline.1[i],
+                chosen_score: run.chosen.1[i],
+                baseline_mean_snr_db: run.baseline.2[i],
+                chosen_mean_snr_db: run.chosen.2[i],
+            })
+            .collect();
+
+        SpaceReport {
+            baseline_config: run.baseline_config,
+            baseline_score: run.baseline_score,
+            chosen_config: run.chosen_config,
+            chosen_score: run.chosen_score,
+            links,
+            measurements: run.measurements,
+            elapsed_s: run.elapsed_s,
+            coherence_budget_s: self.coherence_budget_s,
+            within_coherence: run.elapsed_s <= self.coherence_budget_s,
+            reverted: run.reverted,
+            realized_config: run.realized_config,
+            stale_elements: run.stale_elements,
+            actuation_frames: run.actuation_frames,
+            actuation_retries: run.actuation_retries,
+            post_mortem: run.post_mortem,
+        }
+    }
+}

@@ -56,8 +56,9 @@ pub use bandit::UcbController;
 pub use basis::{min_magnitude_db_metric, snr_metric, BasisEvaluator, BatchEvaluator, LinkBasis};
 pub use config::{ConfigSpace, Configuration};
 pub use controller::{
-    ActuationMode, ControlReport, Controller, DesActuation, LinkReport, PostMortem, SpaceReport,
-    Strategy, TimingModel, TransportActuation,
+    ActuationMode, ControlReport, Controller, DesActuation, EngineCommand, EngineEvent,
+    EngineSnapshot, EpisodeEngine, LinkReport, PostMortem, SpaceReport, Strategy, TimingModel,
+    TransportActuation,
 };
 pub use inverse::{InverseSolution, InverseSolver, PressDictionary, RecoveredPath};
 pub use joint::{

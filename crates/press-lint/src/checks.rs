@@ -100,10 +100,12 @@ fn check_nondet_iteration(ctx: &FileContext, toks: &[Tok], out: &mut Vec<Diagnos
 // L2: ambient-entropy
 // ---------------------------------------------------------------------------
 
-/// Forbid OS entropy and wall clocks outside press-bench. One `thread_rng()`
-/// anywhere in the loop and per-seed episode replay is gone.
+/// Forbid OS entropy and wall clocks outside press-bench and the pressd
+/// daemon shell (`pressd`'s `main.rs`/`shell.rs`, which may time I/O for
+/// stderr diagnostics). One `thread_rng()` anywhere in the loop and
+/// per-seed episode replay is gone.
 fn check_ambient_entropy(ctx: &FileContext, toks: &[Tok], out: &mut Vec<Diagnostic>) {
-    if ctx.bench_crate {
+    if ctx.bench_crate || ctx.daemon_shell {
         return;
     }
     for (i, t) in toks.iter().enumerate() {
@@ -133,7 +135,10 @@ fn check_ambient_entropy(ctx: &FileContext, toks: &[Tok], out: &mut Vec<Diagnost
                 &catalog::AMBIENT_ENTROPY,
                 ctx,
                 t,
-                format!("{what}; only press-bench may observe the outside world"),
+                format!(
+                    "{what}; only press-bench and the pressd I/O shell may observe the \
+                     outside world"
+                ),
             ));
         }
     }

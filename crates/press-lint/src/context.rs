@@ -14,6 +14,11 @@ pub struct FileContext {
     /// True for press-bench: the measurement harness is allowed wall clocks
     /// and scratch seeds because its output is a report, not a simulation.
     pub bench_crate: bool,
+    /// True for the `pressd` daemon's I/O shell (`main.rs` / `shell.rs`
+    /// only): the shell may read the wall clock for stderr diagnostics.
+    /// The daemon's pure modules (protocol, event loop, replay) stay under
+    /// the full ambient-entropy ban — byte-identical replay depends on it.
+    pub daemon_shell: bool,
     /// True when the whole file is test/bench/example surface (under a
     /// `tests/`, `benches/` or `examples/` directory).
     pub test_file: bool,
@@ -33,8 +38,11 @@ impl FileContext {
         let test_file = parts
             .iter()
             .any(|p| matches!(*p, "tests" | "benches" | "examples" | "bin"));
+        let daemon_shell =
+            crate_name == "pressd" && matches!(parts.last(), Some(&"main.rs") | Some(&"shell.rs"));
         FileContext {
             bench_crate: crate_name == "press-bench",
+            daemon_shell,
             crate_name,
             rel_path: rel,
             test_file,
@@ -176,6 +184,30 @@ mod tests {
         let c = FileContext::from_rel_path("src/rig.rs");
         assert_eq!(c.crate_name, "press");
         assert!(!c.test_file);
+    }
+
+    #[test]
+    fn daemon_shell_carve_out_is_crate_and_stem_scoped() {
+        for shell in ["crates/pressd/src/main.rs", "crates/pressd/src/shell.rs"] {
+            let c = FileContext::from_rel_path(shell);
+            assert_eq!(c.crate_name, "pressd");
+            assert!(c.daemon_shell, "{shell} is the daemon's I/O shell");
+        }
+        // The daemon's pure modules are not the shell…
+        for pure in [
+            "crates/pressd/src/eventloop.rs",
+            "crates/pressd/src/protocol.rs",
+            "crates/pressd/src/replay.rs",
+            "crates/pressd/src/lib.rs",
+        ] {
+            assert!(
+                !FileContext::from_rel_path(pure).daemon_shell,
+                "{pure} must stay under the ambient-entropy ban"
+            );
+        }
+        // …and a shell-named file in a simulation crate gets no carve-out.
+        assert!(!FileContext::from_rel_path("crates/press-core/src/shell.rs").daemon_shell);
+        assert!(!FileContext::from_rel_path("src/main.rs").daemon_shell);
     }
 
     #[test]

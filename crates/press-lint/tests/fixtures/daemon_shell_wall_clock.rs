@@ -1,0 +1,12 @@
+//! Fixture: wall-clock use that is legal in the pressd I/O shell and
+//! illegal everywhere else. Analyzed under several rel-paths by the L2
+//! carve-out tests.
+use std::time::Instant;
+
+pub fn run_with_heartbeat() {
+    let started = Instant::now();
+    serve();
+    eprintln!("served in {:?}", started.elapsed());
+}
+
+fn serve() {}

@@ -78,6 +78,32 @@ fn l2_wall_clock_clean_fixture_passes() {
     assert_eq!(suppressed, 0);
 }
 
+/// The same wall-clock-using source, analyzed under different paths: legal
+/// in the pressd I/O shell (`main.rs`/`shell.rs`), an error in the
+/// daemon's pure modules and in every other crate.
+#[test]
+fn l2_daemon_shell_carve_out_is_path_scoped() {
+    let path = format!(
+        "{}/tests/fixtures/daemon_shell_wall_clock.rs",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let l2_count = |rel: &str| {
+        let (diags, _) = press_lint::analyze_source(rel, &src);
+        diags.iter().filter(|d| d.lint == "ambient-entropy").count()
+    };
+    // The shell files may time their I/O…
+    assert_eq!(l2_count("crates/pressd/src/shell.rs"), 0);
+    assert_eq!(l2_count("crates/pressd/src/main.rs"), 0);
+    // …the pure daemon modules may not (replay depends on it)…
+    assert_eq!(l2_count("crates/pressd/src/eventloop.rs"), 1);
+    assert_eq!(l2_count("crates/pressd/src/protocol.rs"), 1);
+    // …and the carve-out does not leak into simulation crates, even for a
+    // file that happens to be called shell.rs.
+    assert_eq!(l2_count("crates/press-core/src/shell.rs"), 1);
+    assert_eq!(l2_count("crates/press-control/src/main.rs"), 1);
+}
+
 #[test]
 fn l2_wall_clock_is_allowed_in_bench_context() {
     // The same source analyzed as a press-bench file is exempt: benches own

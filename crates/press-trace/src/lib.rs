@@ -591,6 +591,104 @@ impl<W: Write> TraceSink for JsonlSink<W> {
     }
 }
 
+/// Bounded ring over the most recent events in *serialized* JSONL form:
+/// the `trace-tail` sink a long-running daemon answers operator queries
+/// from without retaining an unbounded session trace.
+///
+/// Unlike [`FlightRecorder`] (which holds structured [`Event`]s for
+/// post-mortems), this holds the exact bytes a [`JsonlSink`] would have
+/// written, so a tail query returns the live stream's own lines.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TailSink {
+    lines: Vec<String>,
+    next: usize,
+    cap: usize,
+}
+
+impl TailSink {
+    /// A tail retaining the last `capacity` lines (0 disables retention).
+    pub fn new(capacity: usize) -> Self {
+        TailSink {
+            lines: Vec::with_capacity(capacity),
+            next: 0,
+            cap: capacity,
+        }
+    }
+
+    /// Maximum retained lines.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Lines currently held.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// The retained JSONL lines, oldest first.
+    pub fn tail(&self) -> Vec<String> {
+        let mut out = Vec::with_capacity(self.lines.len());
+        if self.lines.len() < self.cap {
+            out.extend(self.lines.iter().cloned());
+        } else {
+            for i in 0..self.cap {
+                out.push(self.lines[(self.next + i) % self.cap].clone());
+            }
+        }
+        out
+    }
+
+    /// Drops every retained line.
+    pub fn clear(&mut self) {
+        self.lines.clear();
+        self.next = 0;
+    }
+}
+
+impl TraceSink for TailSink {
+    fn record(&mut self, ev: &Event) {
+        if self.cap == 0 {
+            return;
+        }
+        let line = ev.to_jsonl();
+        if self.lines.len() < self.cap {
+            self.lines.push(line);
+        } else {
+            self.lines[self.next] = line;
+        }
+        self.next = (self.next + 1) % self.cap;
+    }
+}
+
+/// Fans each event out to two sinks in order — e.g. a live [`JsonlSink`]
+/// stream plus a bounded [`TailSink`] for operator queries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TeeSink<A: TraceSink, B: TraceSink> {
+    /// First sink; records before `b`.
+    pub a: A,
+    /// Second sink.
+    pub b: B,
+}
+
+impl<A: TraceSink, B: TraceSink> TeeSink<A, B> {
+    /// Fans out to `a` then `b`.
+    pub fn new(a: A, b: B) -> Self {
+        TeeSink { a, b }
+    }
+}
+
+impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
+    fn record(&mut self, ev: &Event) {
+        self.a.record(ev);
+        self.b.record(ev);
+    }
+}
+
 /// Bounded ring buffer over the most recent events (wall-time stripped).
 ///
 /// The controller keeps one of these per episode and snapshots it into the
@@ -852,6 +950,50 @@ mod tests {
                 kind,
             })
             .collect()
+    }
+
+    #[test]
+    fn tail_sink_keeps_the_last_lines_in_stream_order() {
+        let mut tail = TailSink::new(4);
+        assert!(tail.is_empty());
+        for ev in sample_events() {
+            tail.record(&ev);
+        }
+        let lines = tail.tail();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(tail.len(), 4);
+        // The last four events of the stream, oldest first, byte-equal to
+        // what a JsonlSink would have written.
+        let all = sample_events();
+        for (line, ev) in lines.iter().zip(&all[all.len() - 4..]) {
+            assert_eq!(*line, ev.to_jsonl());
+        }
+        tail.clear();
+        assert!(tail.is_empty());
+        // Capacity 0 disables retention entirely.
+        let mut off = TailSink::new(0);
+        off.record(&all[0]);
+        assert!(off.tail().is_empty());
+    }
+
+    #[test]
+    fn tee_sink_fans_out_to_both_sinks() {
+        let mut tee = TeeSink::new(MemorySink::new(), TailSink::new(2));
+        for ev in sample_events() {
+            tee.record(&ev);
+        }
+        assert_eq!(tee.a.events.len(), sample_events().len());
+        assert_eq!(tee.b.len(), 2);
+        let jsonl_tail: Vec<String> = tee
+            .a
+            .events
+            .iter()
+            .rev()
+            .take(2)
+            .rev()
+            .map(Event::to_jsonl)
+            .collect();
+        assert_eq!(tee.b.tail(), jsonl_tail);
     }
 
     #[test]

@@ -1,0 +1,411 @@
+//! The deterministic event loop at the heart of `pressd`.
+//!
+//! [`EventLoop`] owns one [`EpisodeEngine`] session: protocol lines go in
+//! (already split, one per call), JSONL lines come out. Everything in this
+//! module is pure state-machine code — no I/O, no wall clock, no ambient
+//! entropy — so feeding the same line sequence always produces the same
+//! byte sequence. `pressd replay` is exactly that: the daemon shell feeds
+//! a recorded log through a fresh `EventLoop` and prints what comes out.
+//!
+//! # Scheduling
+//!
+//! Episodes are scheduled on a slot grid of width `coherence_budget_s` in
+//! emulated time. An episode always runs to completion — phases are never
+//! interleaved with later commands. If it overruns its slot (the report
+//! says `within_coherence = false`), the next episode's start is pushed
+//! past the overrun and every skipped slot counts as a deferral; the
+//! daemon queues behind the overrun rather than interleaving work into it.
+
+use std::fmt::Write as _;
+
+use press_control::SpaceMetrics;
+use press_core::{
+    EngineCommand, EngineEvent, EngineSnapshot, EpisodeEngine, PressArray, PressSystem, SmartSpace,
+    SpaceReport,
+};
+use press_propagation::{LabConfig, LabSetup};
+use press_trace::{MemorySink, TailSink, TraceSink, Tracer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::protocol::{
+    objective_label, parse_line, ControllerSpec, Diagnostic, Line, Query, SpaceSpec,
+};
+
+/// Trace lines retained for `trace-tail` by default.
+pub const DEFAULT_TAIL_CAPACITY: usize = 256;
+
+/// Builds the session's smart space from its plain-data recipe: seeded lab
+/// geometry, seeded element placement, the paper's passive elements. Links
+/// arrive later, through `churn assoc` commands.
+pub fn build_space(spec: &SpaceSpec) -> SmartSpace {
+    let lab = LabSetup::generate(&LabConfig::default(), spec.lab_seed);
+    let lambda = lab.scene.wavelength();
+    let mut rng = StdRng::seed_from_u64(spec.element_seed);
+    let positions = lab.random_element_positions(spec.elements, &mut rng);
+    let array = PressArray::paper_passive(&positions, lambda);
+    SmartSpace::new(PressSystem::new(lab.scene.clone(), array))
+}
+
+/// One `pressd` session: an engine, a slot scheduler, and a trace tail.
+///
+/// Deterministic by construction — the only inputs are protocol lines.
+#[derive(Debug)]
+pub struct EventLoop {
+    space_spec: SpaceSpec,
+    controller_spec: ControllerSpec,
+    engine: EpisodeEngine,
+    tracer: Tracer<MemorySink>,
+    tail: TailSink,
+    /// Next free episode slot on the coherence grid.
+    next_slot: u64,
+    /// Emulated session clock, seconds.
+    now_s: f64,
+    /// Episode slots skipped because a previous episode overran its budget.
+    deferred: u64,
+    lines_in: u64,
+    errors: u64,
+}
+
+impl Default for EventLoop {
+    fn default() -> Self {
+        EventLoop::new()
+    }
+}
+
+impl EventLoop {
+    /// A fresh session over the default space and controller specs.
+    pub fn new() -> EventLoop {
+        EventLoop::with_tail_capacity(DEFAULT_TAIL_CAPACITY)
+    }
+
+    /// A fresh session retaining the last `capacity` trace lines.
+    pub fn with_tail_capacity(capacity: usize) -> EventLoop {
+        let space_spec = SpaceSpec::default();
+        let controller_spec = ControllerSpec::default();
+        let engine = EpisodeEngine::new(controller_spec.build(), build_space(&space_spec));
+        EventLoop {
+            space_spec,
+            controller_spec,
+            engine,
+            tracer: Tracer::new(MemorySink::new()),
+            tail: TailSink::new(capacity),
+            next_slot: 0,
+            now_s: 0.0,
+            deferred: 0,
+            lines_in: 0,
+            errors: 0,
+        }
+    }
+
+    /// The engine (read side) — used by tests and the operator shell.
+    pub fn engine(&self) -> &EpisodeEngine {
+        &self.engine
+    }
+
+    /// Episode slots skipped so far because an episode blew its budget.
+    pub fn deferred(&self) -> u64 {
+        self.deferred
+    }
+
+    /// Emulated session clock, seconds.
+    pub fn now_s(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Protocol lines seen (including blanks and malformed ones).
+    pub fn lines_in(&self) -> u64 {
+        self.lines_in
+    }
+
+    /// Malformed lines rejected with a diagnostic.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Processes one raw protocol line, appending every output JSONL line
+    /// to `out`. Never panics: malformed input becomes an error line.
+    pub fn handle_line(&mut self, raw: &str, out: &mut Vec<String>) {
+        self.lines_in += 1;
+        match parse_line(raw) {
+            Err(d) => self.push_error(&d, out),
+            Ok(Line::Blank) => {}
+            Ok(Line::Space(spec)) => {
+                self.space_spec = spec;
+                self.rebuild();
+                out.push(format!(
+                    "{{\"ok\":\"space\",\"lab_seed\":{},\"elements\":{},\"element_seed\":{}}}",
+                    spec.lab_seed, spec.elements, spec.element_seed
+                ));
+            }
+            Ok(Line::Controller(spec)) => {
+                self.controller_spec = spec;
+                self.rebuild();
+                out.push(format!(
+                    "{{\"ok\":\"controller\",\"strategy\":{},\"objective\":{},\"seed\":{},\
+                     \"budget_s\":{},\"frames\":{},\"actuation\":{}}}",
+                    json_string(self.engine.controller().strategy.label()),
+                    json_string(objective_label(spec.objective)),
+                    spec.seed,
+                    spec.coherence_budget_s,
+                    spec.frames_per_measurement,
+                    json_string(match spec.actuation {
+                        crate::protocol::ActuationKind::Oracle => "oracle",
+                        crate::protocol::ActuationKind::Wired => "wired",
+                        crate::protocol::ActuationKind::Ism => "ism",
+                    })
+                ));
+            }
+            Ok(Line::Query(q)) => self.handle_query(q, out),
+            Ok(Line::Command(cmd)) => self.handle_command(cmd, out),
+        }
+    }
+
+    /// A setup directive resets the session: fresh engine, fresh schedule.
+    /// The trace tail and line counters survive so an operator can still
+    /// inspect what led up to the reset.
+    fn rebuild(&mut self) {
+        self.engine =
+            EpisodeEngine::new(self.controller_spec.build(), build_space(&self.space_spec));
+        self.next_slot = 0;
+        self.now_s = 0.0;
+        self.deferred = 0;
+    }
+
+    fn push_error(&mut self, d: &Diagnostic, out: &mut Vec<String>) {
+        self.errors += 1;
+        out.push(format!("{{\"error\":{}}}", json_string(&d.message)));
+    }
+
+    fn handle_query(&mut self, q: Query, out: &mut Vec<String>) {
+        match q {
+            Query::Status => {
+                // Status is the snapshot command by another name; it counts
+                // as an engine command so live and replayed sessions agree.
+                let ev = self.handle_engine(EngineCommand::Snapshot, out);
+                out.push(self.render_event(&ev));
+            }
+            Query::Links => {
+                let mut s = String::from("{\"ev\":\"links\",\"links\":[");
+                let config = self.engine.current_config().clone();
+                for (i, sl) in self.engine.space().links().iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let score = self.engine.space().link_oracle_score(sl.id, &config);
+                    let _ = write!(
+                        s,
+                        "[{},{},{},{}]",
+                        sl.id.0,
+                        json_string(&sl.label),
+                        sl.weight,
+                        score
+                    );
+                }
+                s.push_str("]}");
+                out.push(s);
+            }
+            Query::TraceTail(n) => {
+                let lines = self.tail.tail();
+                let skip = lines.len().saturating_sub(n);
+                out.extend(lines.into_iter().skip(skip));
+            }
+        }
+    }
+
+    fn handle_command(&mut self, cmd: EngineCommand, out: &mut Vec<String>) {
+        // Episodes are slot-scheduled; everything else is instantaneous in
+        // emulated time.
+        let slot = match cmd {
+            EngineCommand::RunEpisode => Some(self.next_slot),
+            _ => None,
+        };
+        let ev = self.handle_engine(cmd, out);
+        if let (
+            Some(slot),
+            EngineEvent::EpisodeDone {
+                episode,
+                report,
+                metrics,
+            },
+        ) = (slot, &ev)
+        {
+            let start = slot as f64 * self.engine.controller().coherence_budget_s;
+            self.advance_schedule(slot, report.elapsed_s);
+            out.push(self.render_episode(*episode, report, metrics, slot, start));
+        } else {
+            out.push(self.render_event(&ev));
+        }
+    }
+
+    /// Runs one engine command, streaming any trace it produced to `out`
+    /// and into the tail ring.
+    fn handle_engine(&mut self, cmd: EngineCommand, out: &mut Vec<String>) -> EngineEvent {
+        let ev = self.engine.handle(cmd, &mut self.tracer);
+        let events = std::mem::take(&mut self.tracer.sink_mut().events);
+        for tev in &events {
+            self.tail.record(tev);
+            out.push(tev.to_jsonl());
+        }
+        ev
+    }
+
+    /// Moves the session clock past a completed episode and books any slots
+    /// the overrun swallowed as deferrals.
+    fn advance_schedule(&mut self, slot: u64, elapsed_s: f64) {
+        let budget = self.engine.controller().coherence_budget_s;
+        let start = slot as f64 * budget;
+        let end = start + elapsed_s;
+        let mut next = slot + 1;
+        while (next as f64) * budget < end {
+            next += 1;
+        }
+        self.deferred += next - (slot + 1);
+        self.next_slot = next;
+        self.now_s = end;
+    }
+
+    fn render_event(&self, ev: &EngineEvent) -> String {
+        match ev {
+            EngineEvent::MeasurementReport { scores } => {
+                let mut s = String::from("{\"ev\":\"measure\",\"scores\":[");
+                for (i, (id, score)) in scores.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "[{},{}]", id.0, score);
+                }
+                s.push_str("]}");
+                s
+            }
+            EngineEvent::ChurnApplied { link, live_links } => format!(
+                "{{\"ev\":\"churn\",\"link\":{},\"live_links\":{}}}",
+                link.0, live_links
+            ),
+            EngineEvent::EpisodeDone {
+                episode,
+                report,
+                metrics,
+            } => {
+                // Only `handle_command` produces episodes, and it renders
+                // them with their true slot; this fallback reconstructs the
+                // start from the recorded clock.
+                self.render_episode(
+                    *episode,
+                    report,
+                    metrics,
+                    self.next_slot,
+                    self.now_s - report.elapsed_s,
+                )
+            }
+            EngineEvent::FaultArmed { ideal } => {
+                format!("{{\"ev\":\"fault\",\"ideal\":{ideal}}}")
+            }
+            EngineEvent::Snapshot(snap) => render_snapshot(snap),
+            EngineEvent::Rejected { reason } => {
+                format!("{{\"error\":{}}}", json_string(reason))
+            }
+        }
+    }
+
+    fn render_episode(
+        &self,
+        episode: u64,
+        report: &SpaceReport,
+        metrics: &SpaceMetrics,
+        slot: u64,
+        start_s: f64,
+    ) -> String {
+        let mut s = String::with_capacity(256);
+        let _ = write!(
+            s,
+            "{{\"ev\":\"episode\",\"episode\":{},\"slot\":{},\"start_s\":{},\"elapsed_s\":{},\
+             \"within_coherence\":{},\"deferred_total\":{}",
+            episode, slot, start_s, report.elapsed_s, report.within_coherence, self.deferred,
+        );
+        let _ = write!(
+            s,
+            ",\"baseline_score\":{},\"chosen_score\":{},\"measurements\":{},\"reverted\":{},\
+             \"stale_elements\":{},\"actuation_frames\":{},\"actuation_retries\":{}",
+            report.baseline_score,
+            report.chosen_score,
+            report.measurements,
+            report.reverted,
+            report.stale_elements,
+            report.actuation_frames,
+            report.actuation_retries,
+        );
+        let m = &metrics.space;
+        let _ = write!(
+            s,
+            ",\"frames_tx\":{},\"frames_lost\":{},\"acks_rx\":{},\"retries\":{},\
+             \"failed_elements\":{}}}",
+            m.frames_tx, m.frames_lost, m.acks_rx, m.retries, m.failed_elements,
+        );
+        s
+    }
+}
+
+fn render_snapshot(snap: &EngineSnapshot) -> String {
+    let mut s = String::with_capacity(192);
+    let _ = write!(
+        s,
+        "{{\"ev\":\"snapshot\",\"commands\":{},\"episodes\":{},\"live_links\":[",
+        snap.commands, snap.episodes
+    );
+    for (i, (id, label, score)) in snap.live_links.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "[{},{},{}]", id.0, json_string(label), score);
+    }
+    let _ = write!(
+        s,
+        "],\"last_score\":{},\"last_within_coherence\":{},\"faults_ideal\":{},\
+         \"coherence_budget_s\":{},\"strategy\":{}}}",
+        match snap.last_score {
+            Some(v) => v.to_string(),
+            None => "null".to_string(),
+        },
+        match snap.last_within_coherence {
+            Some(v) => v.to_string(),
+            None => "null".to_string(),
+        },
+        snap.faults_ideal,
+        snap.coherence_budget_s,
+        json_string(snap.strategy),
+    );
+    s
+}
+
+/// JSON string literal with the usual escapes.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Convenience shared by `replay` and the shell's stdin mode: feeds every
+/// line through a session, returning all output lines in order.
+pub fn run_session<'a>(lines: impl IntoIterator<Item = &'a str>) -> Vec<String> {
+    let mut el = EventLoop::new();
+    let mut out = Vec::new();
+    for line in lines {
+        el.handle_line(line, &mut out);
+    }
+    out
+}

@@ -1,0 +1,28 @@
+//! # pressd
+//!
+//! The PRESS control daemon: a long-running, event-driven shell around the
+//! pure [`press_core::EpisodeEngine`].
+//!
+//! * [`protocol`] — the line-delimited wire grammar (parse + render, no
+//!   panics on malformed input);
+//! * [`eventloop`] — the deterministic session core: commands in, JSONL
+//!   out, episodes scheduled on the coherence-budget slot grid;
+//! * [`replay`] — byte-identical reproduction of a recorded session;
+//! * [`shell`] — the only impure layer: stdin/stdout, Unix socket, and
+//!   stderr wall-clock diagnostics (the press-lint `daemon_shell`
+//!   carve-out).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eventloop;
+pub mod protocol;
+pub mod replay;
+pub mod shell;
+
+pub use eventloop::{build_space, run_session, EventLoop, DEFAULT_TAIL_CAPACITY};
+pub use protocol::{
+    objective_label, parse_line, render_command, render_controller, render_space, ActuationKind,
+    ControllerSpec, Diagnostic, Line, Query, SpaceSpec,
+};
+pub use replay::{replay_lines, replay_log};

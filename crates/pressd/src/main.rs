@@ -1,0 +1,152 @@
+//! `pressd` — the PRESS control daemon and its operator CLI.
+//!
+//! With no subcommand the daemon runs a session over stdin/stdout (or,
+//! with `--socket`, serves a persistent session on a Unix socket). The
+//! operator subcommands are one-shot clients of a running daemon; `replay`
+//! needs no daemon at all — it reproduces a recorded session's output
+//! byte-for-byte from the pure core.
+//!
+//! Like `shell.rs`, this file sits in the press-lint `daemon_shell`
+//! carve-out: it may touch the wall clock and process environment, which
+//! the pure modules may not.
+
+use std::path::{Path, PathBuf};
+
+use pressd::replay::replay_log;
+use pressd::shell;
+
+const USAGE: &str = "\
+pressd — PRESS control daemon
+
+usage:
+  pressd [--verbose]                 run a session over stdin/stdout
+  pressd --socket PATH [--verbose]   serve a persistent session on a Unix socket
+  pressd replay FILE                 reproduce a recorded session (no daemon needed)
+  pressd status --socket PATH        engine snapshot from a running daemon
+  pressd links --socket PATH         registered links and their current scores
+  pressd episode --socket PATH       run one optimization episode
+  pressd trace-tail [N] --socket PATH   last N retained trace lines
+  pressd fault-inject ARGS... --socket PATH   arm a fault plan (fault-line syntax)
+  pressd quit --socket PATH          shut a running daemon down
+
+The wire protocol (one command per line) is documented in DESIGN.md.";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(run(&args));
+}
+
+fn run(args: &[String]) -> i32 {
+    let mut socket: Option<PathBuf> = None;
+    let mut verbose = false;
+    let mut positional: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => socket = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("pressd: --socket needs a path\n{USAGE}");
+                        return 2;
+                    }
+                }
+            }
+            "--verbose" => verbose = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return 0;
+            }
+            other => positional.push(other),
+        }
+        i += 1;
+    }
+
+    match positional.split_first() {
+        None => {
+            let res = match &socket {
+                Some(path) => shell::run_socket(path, verbose),
+                None => shell::run_stdin(verbose),
+            };
+            fail_on(res)
+        }
+        Some((&"replay", rest)) => match rest {
+            [file] => match std::fs::read_to_string(file) {
+                Ok(log) => {
+                    for line in replay_log(&log) {
+                        println!("{line}");
+                    }
+                    0
+                }
+                Err(e) => {
+                    eprintln!("pressd: cannot read {file}: {e}");
+                    1
+                }
+            },
+            _ => {
+                eprintln!("pressd: replay takes exactly one log file\n{USAGE}");
+                2
+            }
+        },
+        Some((&"status", [])) => client(socket.as_deref(), "status"),
+        Some((&"links", [])) => client(socket.as_deref(), "links"),
+        Some((&"episode", [])) => client(socket.as_deref(), "episode"),
+        Some((&"trace-tail", rest)) => match rest {
+            [] => client(socket.as_deref(), "trace-tail"),
+            [n] => client(socket.as_deref(), &format!("trace-tail {n}")),
+            _ => {
+                eprintln!("pressd: trace-tail takes at most one count\n{USAGE}");
+                2
+            }
+        },
+        Some((&"fault-inject", rest)) => {
+            let mut line = "fault".to_string();
+            for arg in rest {
+                line.push(' ');
+                line.push_str(arg);
+            }
+            client(socket.as_deref(), &line)
+        }
+        Some((&"quit", [])) => match &socket {
+            Some(path) => fail_on(shell::send_quit(path)),
+            None => {
+                eprintln!("pressd: quit needs --socket <path>");
+                2
+            }
+        },
+        Some((other, _)) => {
+            eprintln!("pressd: unknown subcommand `{other}`\n{USAGE}");
+            2
+        }
+    }
+}
+
+fn client(socket: Option<&Path>, line: &str) -> i32 {
+    let Some(path) = socket else {
+        eprintln!("pressd: this subcommand needs --socket <path>");
+        return 2;
+    };
+    match shell::send(path, line) {
+        Ok(lines) => {
+            for l in lines {
+                println!("{l}");
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("pressd: {e}");
+            1
+        }
+    }
+}
+
+fn fail_on(res: std::io::Result<()>) -> i32 {
+    match res {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("pressd: {e}");
+            1
+        }
+    }
+}

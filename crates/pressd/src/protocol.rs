@@ -1,0 +1,622 @@
+//! The `pressd` wire protocol: line-delimited commands in, JSONL out.
+//!
+//! One text line is one protocol unit. A line is either a *setup directive*
+//! (`space …`, `controller …`) configuring the session, an *engine command*
+//! (`measure`, `episode`, `snapshot`, `churn …`, `fault …`) mapped onto
+//! [`EngineCommand`], or a *loop query* (`status`, `links`,
+//! `trace-tail [n]`) answered by the event loop without touching the
+//! engine. Blank lines and `#` comments are ignored.
+//!
+//! The grammar is `verb [key=value]…` with whitespace-separated tokens;
+//! vectors are `x,y,z` or `x,y,z@vx,vy,vz`, floats use Rust's shortest
+//! round-trip notation, so [`render_command`] followed by [`parse_line`]
+//! is lossless (the round-trip property the protocol proptests pin).
+//! Malformed input produces a [`Diagnostic`] — the parser never panics.
+//!
+//! This module is pure: no I/O, no clock, no ambient entropy. That is what
+//! makes `pressd replay` byte-identical to the live session that recorded
+//! the command log.
+
+use press_control::{BurstSpec, FaultSpec};
+use press_core::{
+    ActuationMode, ChurnEvent, Controller, EngineCommand, LinkId, LinkObjective, Strategy,
+    TransportActuation,
+};
+use press_phy::Numerology;
+use press_propagation::{RadioNode, Vec3};
+use press_sdr::{SdrRadio, Sounder};
+
+/// A parse failure: what was wrong with the line. Diagnostics are data —
+/// the event loop turns them into error JSONL, and nothing ever panics on
+/// protocol input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl Diagnostic {
+    fn new(message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// How the daemon's lab space is generated: the same deterministic recipe
+/// the controller test rigs use (seeded lab geometry, seeded element
+/// placement, the paper's passive 2-state elements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpaceSpec {
+    /// Seed of the generated lab scene.
+    pub lab_seed: u64,
+    /// Number of array elements placed.
+    pub elements: usize,
+    /// Seed of the element-placement draw.
+    pub element_seed: u64,
+}
+
+impl Default for SpaceSpec {
+    fn default() -> SpaceSpec {
+        SpaceSpec {
+            lab_seed: 17,
+            elements: 2,
+            element_seed: 4,
+        }
+    }
+}
+
+/// Which actuation mode the session's controller drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActuationKind {
+    /// Instant perfect actuation (no fault path).
+    Oracle,
+    /// Clean wired control bus with per-element acks.
+    Wired,
+    /// Low-rate ISM radio with adaptive retry.
+    Ism,
+}
+
+/// The session controller in plain-data form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerSpec {
+    /// Search strategy.
+    pub strategy: Strategy,
+    /// Single-link objective (space links carry their own).
+    pub objective: LinkObjective,
+    /// Base engine seed.
+    pub seed: u64,
+    /// Coherence budget per episode, seconds.
+    pub coherence_budget_s: f64,
+    /// Sounding frames averaged per measurement.
+    pub frames_per_measurement: usize,
+    /// Actuation mode.
+    pub actuation: ActuationKind,
+}
+
+impl Default for ControllerSpec {
+    fn default() -> ControllerSpec {
+        ControllerSpec {
+            strategy: Strategy::Random { budget: 6 },
+            objective: LinkObjective::MaxMinSnr,
+            seed: 0,
+            coherence_budget_s: 0.08,
+            frames_per_measurement: 2,
+            actuation: ActuationKind::Oracle,
+        }
+    }
+}
+
+impl ControllerSpec {
+    /// Builds the runnable controller.
+    pub fn build(&self) -> Controller {
+        let mut c = Controller::new(self.strategy, self.objective);
+        c.seed = self.seed;
+        c.coherence_budget_s = self.coherence_budget_s;
+        c.frames_per_measurement = self.frames_per_measurement;
+        c.actuation = match self.actuation {
+            ActuationKind::Oracle => ActuationMode::Oracle,
+            ActuationKind::Wired => ActuationMode::Transport(TransportActuation::wired()),
+            ActuationKind::Ism => ActuationMode::Transport(TransportActuation::ism()),
+        };
+        c
+    }
+}
+
+/// A loop-level query: answered from the event loop's own state (engine
+/// snapshot, trace tail) without mutating the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Query {
+    /// Full engine snapshot.
+    Status,
+    /// Registered links only.
+    Links,
+    /// The last `n` retained trace lines.
+    TraceTail(usize),
+}
+
+/// One successfully parsed protocol line.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)]
+pub enum Line {
+    /// Blank line or comment: nothing to do.
+    Blank,
+    /// Rebuild the session space.
+    Space(SpaceSpec),
+    /// Rebuild the session controller.
+    Controller(ControllerSpec),
+    /// An engine command.
+    Command(EngineCommand),
+    /// A loop query.
+    Query(Query),
+}
+
+// ---------------------------------------------------------------------------
+// field helpers
+// ---------------------------------------------------------------------------
+
+fn split_fields<'a>(
+    verb: &str,
+    tokens: &[&'a str],
+    known: &[&str],
+) -> Result<Vec<(&'a str, &'a str)>, Diagnostic> {
+    let mut out = Vec::with_capacity(tokens.len());
+    for tok in tokens {
+        let (k, v) = tok
+            .split_once('=')
+            .ok_or_else(|| Diagnostic::new(format!("{verb}: expected key=value, got `{tok}`")))?;
+        if !known.contains(&k) {
+            return Err(Diagnostic::new(format!(
+                "{verb}: unknown field `{k}` (expected one of {})",
+                known.join(", ")
+            )));
+        }
+        out.push((k, v));
+    }
+    Ok(out)
+}
+
+fn get<'a>(verb: &str, fields: &[(&'a str, &'a str)], key: &str) -> Result<&'a str, Diagnostic> {
+    fields
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| *v)
+        .ok_or_else(|| Diagnostic::new(format!("{verb}: missing field `{key}`")))
+}
+
+fn opt<'a>(fields: &[(&'a str, &'a str)], key: &str) -> Option<&'a str> {
+    fields.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+}
+
+fn parse_f64(verb: &str, key: &str, s: &str) -> Result<f64, Diagnostic> {
+    let v: f64 = s
+        .parse()
+        .map_err(|_| Diagnostic::new(format!("{verb}: `{key}` is not a number: `{s}`")))?;
+    if !v.is_finite() {
+        return Err(Diagnostic::new(format!(
+            "{verb}: `{key}` must be finite, got `{s}`"
+        )));
+    }
+    Ok(v)
+}
+
+fn parse_int<T: std::str::FromStr>(verb: &str, key: &str, s: &str) -> Result<T, Diagnostic> {
+    s.parse()
+        .map_err(|_| Diagnostic::new(format!("{verb}: `{key}` is not a valid integer: `{s}`")))
+}
+
+fn parse_triple(verb: &str, key: &str, s: &str) -> Result<Vec3, Diagnostic> {
+    let mut it = s.split(',');
+    let mut next = |axis: &str| -> Result<f64, Diagnostic> {
+        let part = it.next().ok_or_else(|| {
+            Diagnostic::new(format!("{verb}: `{key}` needs x,y,z (missing {axis})"))
+        })?;
+        parse_f64(verb, key, part)
+    };
+    let v = Vec3::new(next("x")?, next("y")?, next("z")?);
+    if it.next().is_some() {
+        return Err(Diagnostic::new(format!(
+            "{verb}: `{key}` has more than three components: `{s}`"
+        )));
+    }
+    Ok(v)
+}
+
+fn parse_node(verb: &str, key: &str, s: &str) -> Result<RadioNode, Diagnostic> {
+    let (pos, vel) = match s.split_once('@') {
+        Some((p, v)) => (parse_triple(verb, key, p)?, parse_triple(verb, key, v)?),
+        None => (parse_triple(verb, key, s)?, Vec3::ZERO),
+    };
+    let mut node = RadioNode::omni_at(pos);
+    node.velocity = vel;
+    Ok(node)
+}
+
+fn render_node(node: &RadioNode) -> String {
+    let p = node.position;
+    let v = node.velocity;
+    if v == Vec3::ZERO {
+        format!("{},{},{}", p.x, p.y, p.z)
+    } else {
+        format!("{},{},{}@{},{},{}", p.x, p.y, p.z, v.x, v.y, v.z)
+    }
+}
+
+/// Stable wire label of an objective.
+pub fn objective_label(obj: LinkObjective) -> &'static str {
+    match obj {
+        LinkObjective::MaxMinSnr => "max-min-snr",
+        LinkObjective::MaxMeanSnr => "max-mean-snr",
+        LinkObjective::Flatness => "flatness",
+        LinkObjective::MaxThroughput => "max-throughput",
+        LinkObjective::FavorLowBand => "favor-low-band",
+        LinkObjective::FavorHighBand => "favor-high-band",
+    }
+}
+
+fn parse_objective(verb: &str, s: &str) -> Result<LinkObjective, Diagnostic> {
+    match s {
+        "max-min-snr" => Ok(LinkObjective::MaxMinSnr),
+        "max-mean-snr" => Ok(LinkObjective::MaxMeanSnr),
+        "flatness" => Ok(LinkObjective::Flatness),
+        "max-throughput" => Ok(LinkObjective::MaxThroughput),
+        "favor-low-band" => Ok(LinkObjective::FavorLowBand),
+        "favor-high-band" => Ok(LinkObjective::FavorHighBand),
+        other => Err(Diagnostic::new(format!(
+            "{verb}: unknown objective `{other}`"
+        ))),
+    }
+}
+
+fn render_strategy(strategy: Strategy) -> String {
+    match strategy {
+        Strategy::Exhaustive => "exhaustive".to_string(),
+        Strategy::Greedy { max_sweeps } => format!("greedy:{max_sweeps}"),
+        Strategy::Random { budget } => format!("random:{budget}"),
+        Strategy::Annealing { budget } => format!("annealing:{budget}"),
+    }
+}
+
+fn parse_strategy(verb: &str, s: &str) -> Result<Strategy, Diagnostic> {
+    let (name, arg) = match s.split_once(':') {
+        Some((n, a)) => (n, Some(a)),
+        None => (s, None),
+    };
+    let need = |what: &str| -> Result<usize, Diagnostic> {
+        let a = arg
+            .ok_or_else(|| Diagnostic::new(format!("{verb}: strategy `{name}` needs `:{what}`")))?;
+        parse_int(verb, "strategy", a)
+    };
+    match name {
+        "exhaustive" => match arg {
+            None => Ok(Strategy::Exhaustive),
+            Some(_) => Err(Diagnostic::new(format!(
+                "{verb}: strategy `exhaustive` takes no argument"
+            ))),
+        },
+        "greedy" => Ok(Strategy::Greedy {
+            max_sweeps: need("max-sweeps")?,
+        }),
+        "random" => Ok(Strategy::Random {
+            budget: need("budget")?,
+        }),
+        "annealing" => Ok(Strategy::Annealing {
+            budget: need("budget")?,
+        }),
+        other => Err(Diagnostic::new(format!(
+            "{verb}: unknown strategy `{other}`"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// parse
+// ---------------------------------------------------------------------------
+
+/// Parses one protocol line. Never panics: malformed input becomes a
+/// [`Diagnostic`].
+pub fn parse_line(raw: &str) -> Result<Line, Diagnostic> {
+    let line = raw.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(Line::Blank);
+    }
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let (verb, rest) = match tokens.split_first() {
+        Some((v, r)) => (*v, r),
+        None => return Ok(Line::Blank),
+    };
+    match verb {
+        "measure" => expect_bare(verb, rest, Line::Command(EngineCommand::Measurement)),
+        "episode" => expect_bare(verb, rest, Line::Command(EngineCommand::RunEpisode)),
+        "snapshot" => expect_bare(verb, rest, Line::Command(EngineCommand::Snapshot)),
+        "status" => expect_bare(verb, rest, Line::Query(Query::Status)),
+        "links" => expect_bare(verb, rest, Line::Query(Query::Links)),
+        "trace-tail" => match rest {
+            [] => Ok(Line::Query(Query::TraceTail(usize::MAX))),
+            [n] => Ok(Line::Query(Query::TraceTail(parse_int(verb, "n", n)?))),
+            _ => Err(Diagnostic::new("trace-tail: expected at most one argument")),
+        },
+        "space" => {
+            let fields = split_fields(verb, rest, &["lab-seed", "elements", "element-seed"])?;
+            let mut spec = SpaceSpec::default();
+            if let Some(v) = opt(&fields, "lab-seed") {
+                spec.lab_seed = parse_int(verb, "lab-seed", v)?;
+            }
+            if let Some(v) = opt(&fields, "elements") {
+                spec.elements = parse_int(verb, "elements", v)?;
+            }
+            if let Some(v) = opt(&fields, "element-seed") {
+                spec.element_seed = parse_int(verb, "element-seed", v)?;
+            }
+            if spec.elements == 0 {
+                return Err(Diagnostic::new("space: `elements` must be at least 1"));
+            }
+            Ok(Line::Space(spec))
+        }
+        "controller" => {
+            let fields = split_fields(
+                verb,
+                rest,
+                &[
+                    "strategy",
+                    "objective",
+                    "seed",
+                    "budget-s",
+                    "frames",
+                    "actuation",
+                ],
+            )?;
+            let mut spec = ControllerSpec::default();
+            if let Some(v) = opt(&fields, "strategy") {
+                spec.strategy = parse_strategy(verb, v)?;
+            }
+            if let Some(v) = opt(&fields, "objective") {
+                spec.objective = parse_objective(verb, v)?;
+            }
+            if let Some(v) = opt(&fields, "seed") {
+                spec.seed = parse_int(verb, "seed", v)?;
+            }
+            if let Some(v) = opt(&fields, "budget-s") {
+                spec.coherence_budget_s = parse_f64(verb, "budget-s", v)?;
+                if spec.coherence_budget_s <= 0.0 {
+                    return Err(Diagnostic::new("controller: `budget-s` must be positive"));
+                }
+            }
+            if let Some(v) = opt(&fields, "frames") {
+                spec.frames_per_measurement = parse_int(verb, "frames", v)?;
+                if spec.frames_per_measurement < 2 {
+                    return Err(Diagnostic::new("controller: `frames` must be at least 2"));
+                }
+            }
+            if let Some(v) = opt(&fields, "actuation") {
+                spec.actuation = match v {
+                    "oracle" => ActuationKind::Oracle,
+                    "wired" => ActuationKind::Wired,
+                    "ism" => ActuationKind::Ism,
+                    other => {
+                        return Err(Diagnostic::new(format!(
+                            "controller: unknown actuation `{other}` (oracle, wired, ism)"
+                        )))
+                    }
+                };
+            }
+            Ok(Line::Controller(spec))
+        }
+        "churn" => parse_churn(rest),
+        "fault" => parse_fault(rest),
+        other => Err(Diagnostic::new(format!(
+            "unknown command `{other}` (measure, episode, snapshot, status, links, \
+             trace-tail, space, controller, churn, fault)"
+        ))),
+    }
+}
+
+fn expect_bare(verb: &str, rest: &[&str], line: Line) -> Result<Line, Diagnostic> {
+    if rest.is_empty() {
+        Ok(line)
+    } else {
+        Err(Diagnostic::new(format!("{verb}: takes no arguments")))
+    }
+}
+
+fn parse_churn(rest: &[&str]) -> Result<Line, Diagnostic> {
+    let (kind, rest) = match rest.split_first() {
+        Some((k, r)) => (*k, r),
+        None => {
+            return Err(Diagnostic::new(
+                "churn: expected a sub-verb (assoc, roam, leave)",
+            ))
+        }
+    };
+    match kind {
+        "assoc" => {
+            let verb = "churn assoc";
+            let fields = split_fields(verb, rest, &["label", "obj", "w", "tx", "rx", "carrier"])?;
+            let label = get(verb, &fields, "label")?.to_string();
+            let objective = parse_objective(verb, get(verb, &fields, "obj")?)?;
+            let weight = parse_f64(verb, "w", get(verb, &fields, "w")?)?;
+            let tx = parse_node(verb, "tx", get(verb, &fields, "tx")?)?;
+            let rx = parse_node(verb, "rx", get(verb, &fields, "rx")?)?;
+            let carrier = parse_f64(verb, "carrier", get(verb, &fields, "carrier")?)?;
+            if carrier <= 0.0 {
+                return Err(Diagnostic::new("churn assoc: `carrier` must be positive"));
+            }
+            let sounder = Sounder::new(
+                Numerology::wifi20(carrier),
+                SdrRadio::warp(tx),
+                SdrRadio::warp(rx),
+            );
+            Ok(Line::Command(EngineCommand::Churn(ChurnEvent::Associate {
+                label,
+                sounder,
+                objective,
+                weight,
+            })))
+        }
+        "roam" => {
+            let verb = "churn roam";
+            let fields = split_fields(verb, rest, &["id", "to"])?;
+            let id: u32 = parse_int(verb, "id", get(verb, &fields, "id")?)?;
+            let to = parse_node(verb, "to", get(verb, &fields, "to")?)?;
+            Ok(Line::Command(EngineCommand::Churn(ChurnEvent::Roam {
+                id: LinkId(id),
+                to,
+            })))
+        }
+        "leave" => {
+            let verb = "churn leave";
+            let fields = split_fields(verb, rest, &["id"])?;
+            let id: u32 = parse_int(verb, "id", get(verb, &fields, "id")?)?;
+            Ok(Line::Command(EngineCommand::Churn(ChurnEvent::Leave {
+                id: LinkId(id),
+            })))
+        }
+        other => Err(Diagnostic::new(format!(
+            "churn: unknown sub-verb `{other}` (assoc, roam, leave)"
+        ))),
+    }
+}
+
+fn parse_fault(rest: &[&str]) -> Result<Line, Diagnostic> {
+    let verb = "fault";
+    if rest == ["clear"] || rest.is_empty() {
+        return Ok(Line::Command(EngineCommand::InjectFault(FaultSpec::none())));
+    }
+    let fields = split_fields(verb, rest, &["burst", "dead", "stuck"])?;
+    let mut spec = FaultSpec::none();
+    if let Some(v) = opt(&fields, "burst") {
+        let parts: Vec<&str> = v.split(',').collect();
+        if parts.len() != 4 {
+            return Err(Diagnostic::new(
+                "fault: `burst` needs p-enter,p-exit,loss-good,loss-bad",
+            ));
+        }
+        let burst = BurstSpec {
+            p_enter_burst: parse_f64(verb, "burst", parts[0])?,
+            p_exit_burst: parse_f64(verb, "burst", parts[1])?,
+            loss_good: parse_f64(verb, "burst", parts[2])?,
+            loss_bad: parse_f64(verb, "burst", parts[3])?,
+        };
+        for (name, p) in [
+            ("p-enter", burst.p_enter_burst),
+            ("p-exit", burst.p_exit_burst),
+            ("loss-good", burst.loss_good),
+            ("loss-bad", burst.loss_bad),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(Diagnostic::new(format!(
+                    "fault: burst `{name}` must be a probability in [0, 1], got {p}"
+                )));
+            }
+        }
+        spec.burst = Some(burst);
+    }
+    if let Some(v) = opt(&fields, "dead") {
+        for part in v.split(',') {
+            spec.dead.push(parse_int(verb, "dead", part)?);
+        }
+    }
+    if let Some(v) = opt(&fields, "stuck") {
+        for part in v.split(',') {
+            let (e, s) = part.split_once(':').ok_or_else(|| {
+                Diagnostic::new(format!(
+                    "fault: `stuck` entries are element:state, got `{part}`"
+                ))
+            })?;
+            spec.stuck
+                .push((parse_int(verb, "stuck", e)?, parse_int(verb, "stuck", s)?));
+        }
+    }
+    Ok(Line::Command(EngineCommand::InjectFault(spec)))
+}
+
+// ---------------------------------------------------------------------------
+// render
+// ---------------------------------------------------------------------------
+
+/// Serializes an engine command back to its wire line. Round-trips through
+/// [`parse_line`] losslessly (floats use shortest round-trip notation).
+pub fn render_command(cmd: &EngineCommand) -> String {
+    match cmd {
+        EngineCommand::Measurement => "measure".to_string(),
+        EngineCommand::RunEpisode => "episode".to_string(),
+        EngineCommand::Snapshot => "snapshot".to_string(),
+        EngineCommand::Churn(ChurnEvent::Associate {
+            label,
+            sounder,
+            objective,
+            weight,
+        }) => format!(
+            "churn assoc label={} obj={} w={} tx={} rx={} carrier={}",
+            label,
+            objective_label(*objective),
+            weight,
+            render_node(&sounder.tx.node),
+            render_node(&sounder.rx.node),
+            sounder.num.carrier_hz,
+        ),
+        EngineCommand::Churn(ChurnEvent::Roam { id, to }) => {
+            format!("churn roam id={} to={}", id.0, render_node(to))
+        }
+        EngineCommand::Churn(ChurnEvent::Leave { id }) => format!("churn leave id={}", id.0),
+        EngineCommand::InjectFault(spec) => render_fault(spec),
+    }
+}
+
+fn render_fault(spec: &FaultSpec) -> String {
+    if spec.is_ideal() {
+        return "fault clear".to_string();
+    }
+    let mut s = "fault".to_string();
+    if let Some(b) = &spec.burst {
+        s.push_str(&format!(
+            " burst={},{},{},{}",
+            b.p_enter_burst, b.p_exit_burst, b.loss_good, b.loss_bad
+        ));
+    }
+    if !spec.dead.is_empty() {
+        let ids: Vec<String> = spec.dead.iter().map(|e| e.to_string()).collect();
+        s.push_str(&format!(" dead={}", ids.join(",")));
+    }
+    if !spec.stuck.is_empty() {
+        let pairs: Vec<String> = spec
+            .stuck
+            .iter()
+            .map(|(e, st)| format!("{e}:{st}"))
+            .collect();
+        s.push_str(&format!(" stuck={}", pairs.join(",")));
+    }
+    s
+}
+
+/// Serializes a space directive.
+pub fn render_space(spec: &SpaceSpec) -> String {
+    format!(
+        "space lab-seed={} elements={} element-seed={}",
+        spec.lab_seed, spec.elements, spec.element_seed
+    )
+}
+
+/// Serializes a controller directive.
+pub fn render_controller(spec: &ControllerSpec) -> String {
+    let actuation = match spec.actuation {
+        ActuationKind::Oracle => "oracle",
+        ActuationKind::Wired => "wired",
+        ActuationKind::Ism => "ism",
+    };
+    format!(
+        "controller strategy={} objective={} seed={} budget-s={} frames={} actuation={}",
+        render_strategy(spec.strategy),
+        objective_label(spec.objective),
+        spec.seed,
+        spec.coherence_budget_s,
+        spec.frames_per_measurement,
+        actuation
+    )
+}

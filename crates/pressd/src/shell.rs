@@ -1,0 +1,127 @@
+//! The daemon's I/O shell: the only impure layer of `pressd`.
+//!
+//! Everything below this module ([`eventloop`](crate::eventloop),
+//! [`protocol`](crate::protocol), [`replay`](crate::replay)) is pure; the
+//! shell owns stdin/stdout, the Unix socket, and the wall clock (used only
+//! for stderr diagnostics — wall time never reaches the output stream, or
+//! replay could not be byte-identical). This file and `main.rs` are the
+//! press-lint `daemon_shell` carve-out: ambient time sources are allowed
+//! here and nowhere else in the workspace's library code.
+//!
+//! Shell-level niceties that are deliberately *not* protocol: end-of-input
+//! terminates a stdin session; the line `quit` over the socket shuts the
+//! daemon down; each socket response batch is terminated by a lone `.` so
+//! one-shot operator clients know when to stop reading.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::time::Instant;
+
+use crate::eventloop::EventLoop;
+
+/// Runs a session over stdin/stdout until end of input. With `verbose`, a
+/// wall-clock summary goes to stderr (never stdout).
+pub fn run_stdin(verbose: bool) -> io::Result<()> {
+    let started = Instant::now();
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut sink = stdout.lock();
+    let mut el = EventLoop::new();
+    let mut out = Vec::new();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        el.handle_line(&line, &mut out);
+        for l in out.drain(..) {
+            writeln!(sink, "{l}")?;
+        }
+        sink.flush()?;
+    }
+    if verbose {
+        eprintln!(
+            "pressd: {} lines in, {} errors, {:.3}s wall",
+            el.lines_in(),
+            el.errors(),
+            started.elapsed().as_secs_f64()
+        );
+    }
+    Ok(())
+}
+
+/// Binds `path` and serves connections sequentially until a client sends
+/// `quit`. Session state persists across connections — that is the point
+/// of the daemon: operators attach, issue a command or two, detach.
+pub fn run_socket(path: &Path, verbose: bool) -> io::Result<()> {
+    let started = Instant::now();
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    let mut el = EventLoop::new();
+    for stream in listener.incoming() {
+        let quit = serve_connection(stream?, &mut el)?;
+        if verbose {
+            eprintln!(
+                "pressd: connection done ({} lines in, {} errors, {:.3}s wall)",
+                el.lines_in(),
+                el.errors(),
+                started.elapsed().as_secs_f64()
+            );
+        }
+        if quit {
+            break;
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+/// Serves one connection. Returns `true` when the client asked the daemon
+/// to shut down.
+fn serve_connection(stream: UnixStream, el: &mut EventLoop) -> io::Result<bool> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut line = String::new();
+    let mut out = Vec::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(false);
+        }
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed == "quit" {
+            return Ok(true);
+        }
+        el.handle_line(trimmed, &mut out);
+        for l in out.drain(..) {
+            writeln!(writer, "{l}")?;
+        }
+        writeln!(writer, ".")?;
+        writer.flush()?;
+    }
+}
+
+/// One-shot operator client: sends a single protocol line to a running
+/// daemon and returns its response batch (the lines before the `.`
+/// terminator).
+pub fn send(path: &Path, line: &str) -> io::Result<Vec<String>> {
+    let stream = UnixStream::connect(path)?;
+    let mut writer = stream.try_clone()?;
+    writeln!(writer, "{line}")?;
+    writer.flush()?;
+    let reader = BufReader::new(stream);
+    let mut out = Vec::new();
+    for l in reader.lines() {
+        let l = l?;
+        if l == "." {
+            break;
+        }
+        out.push(l);
+    }
+    Ok(out)
+}
+
+/// Asks a running daemon to shut down.
+pub fn send_quit(path: &Path) -> io::Result<()> {
+    let mut stream = UnixStream::connect(path)?;
+    writeln!(stream, "quit")?;
+    stream.flush()
+}

@@ -1,0 +1,209 @@
+//! Wire-protocol properties: render→parse→render is a fixpoint for every
+//! engine command (all three churn variants, float payloads included), and
+//! the parser turns arbitrary garbage into diagnostics — never panics.
+
+use press_control::FaultSpec;
+use press_core::{ChurnEvent, EngineCommand, LinkId};
+use press_phy::Numerology;
+use press_propagation::{RadioNode, Vec3};
+use press_sdr::{SdrRadio, Sounder};
+use pressd::{parse_line, render_command, Line};
+use proptest::prelude::*;
+
+fn positions() -> impl Strategy<Value = Vec3> {
+    (-50.0..50.0f64, -50.0..50.0f64, 0.0..10.0f64).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn velocities() -> impl Strategy<Value = Vec3> {
+    (-5.0..5.0f64, -5.0..5.0f64, -1.0..1.0f64).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn nodes() -> impl Strategy<Value = RadioNode> {
+    (positions(), velocities(), any::<bool>()).prop_map(|(p, v, moving)| {
+        let mut node = RadioNode::omni_at(p);
+        if moving {
+            node.velocity = v;
+        }
+        node
+    })
+}
+
+fn labels() -> impl Strategy<Value = String> {
+    (0usize..5).prop_map(|i| ["lab", "guest", "ap1", "client-2", "x_9"][i].to_string())
+}
+
+fn objectives() -> impl Strategy<Value = press_core::LinkObjective> {
+    use press_core::LinkObjective::*;
+    (0usize..6).prop_map(|i| {
+        [
+            MaxMinSnr,
+            MaxMeanSnr,
+            Flatness,
+            MaxThroughput,
+            FavorLowBand,
+            FavorHighBand,
+        ][i]
+    })
+}
+
+fn fault_specs() -> impl Strategy<Value = FaultSpec> {
+    (
+        (
+            any::<bool>(),
+            (0.0..1.0f64, 0.0..1.0f64),
+            (0.0..1.0f64, 0.0..1.0f64),
+        ),
+        proptest::collection::vec(any::<u16>(), 0..4),
+        proptest::collection::vec((any::<u16>(), any::<u8>()), 0..4),
+    )
+        .prop_map(|((bursty, (pe, px), (lg, lb)), dead, stuck)| {
+            let mut spec = FaultSpec::none();
+            if bursty {
+                spec.burst = Some(press_control::BurstSpec {
+                    p_enter_burst: pe,
+                    p_exit_burst: px,
+                    loss_good: lg,
+                    loss_bad: lb,
+                });
+            }
+            spec.dead = dead;
+            spec.stuck = stuck;
+            spec
+        })
+}
+
+fn commands() -> impl Strategy<Value = EngineCommand> {
+    prop_oneof![
+        Just(EngineCommand::Measurement),
+        Just(EngineCommand::RunEpisode),
+        Just(EngineCommand::Snapshot),
+        (
+            (labels(), objectives(), 0.1..10.0f64),
+            (nodes(), nodes(), 1.0e9..6.0e9f64)
+        )
+            .prop_map(|((label, objective, weight), (tx, rx, carrier))| {
+                EngineCommand::Churn(ChurnEvent::Associate {
+                    label,
+                    sounder: Sounder::new(
+                        Numerology::wifi20(carrier),
+                        SdrRadio::warp(tx),
+                        SdrRadio::warp(rx),
+                    ),
+                    objective,
+                    weight,
+                })
+            }),
+        (any::<u32>(), nodes())
+            .prop_map(|(id, to)| { EngineCommand::Churn(ChurnEvent::Roam { id: LinkId(id), to }) }),
+        any::<u32>().prop_map(|id| EngineCommand::Churn(ChurnEvent::Leave { id: LinkId(id) })),
+        fault_specs().prop_map(EngineCommand::InjectFault),
+    ]
+}
+
+proptest! {
+    /// Serialize → parse → serialize is a fixpoint: floats (positions,
+    /// velocities, weights, carriers, burst probabilities) survive via
+    /// shortest round-trip notation, and every command variant maps back
+    /// onto itself.
+    #[test]
+    fn render_parse_render_is_a_fixpoint(cmd in commands()) {
+        let wire = render_command(&cmd);
+        let parsed = parse_line(&wire);
+        let reparsed = match parsed {
+            Ok(Line::Command(c)) => c,
+            other => panic!("`{wire}` did not parse back to a command: {other:?}"),
+        };
+        prop_assert_eq!(&wire, &render_command(&reparsed), "wire line not a fixpoint");
+        // The reparsed command is semantically the command we rendered
+        // (EngineCommand carries no PartialEq because sounders don't; the
+        // full-precision Debug rendering is the equality we can check).
+        prop_assert_eq!(format!("{cmd:?}"), format!("{reparsed:?}"));
+    }
+
+    /// The parser is total: arbitrary bytes (lossily decoded) never panic,
+    /// they parse or produce a diagnostic.
+    #[test]
+    fn arbitrary_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..80)) {
+        let line = String::from_utf8_lossy(&bytes);
+        let _ = parse_line(&line);
+    }
+
+    /// Same totality through the event loop: malformed lines become error
+    /// JSONL, state survives, nothing panics.
+    #[test]
+    fn event_loop_survives_garbage_lines(bytes in proptest::collection::vec(any::<u8>(), 0..80)) {
+        let mut el = pressd::EventLoop::new();
+        let mut out = Vec::new();
+        let line = String::from_utf8_lossy(&bytes);
+        el.handle_line(&line, &mut out);
+        el.handle_line("snapshot", &mut out);
+        prop_assert!(out.iter().any(|l| l.contains("\"ev\":\"snapshot\"")));
+    }
+}
+
+/// A gallery of malformed lines, each answered with a diagnostic naming
+/// the problem — not a panic, not a silent accept.
+#[test]
+fn malformed_lines_produce_diagnostics() {
+    let cases = [
+        "bogus",
+        "measure now",
+        "episode 3",
+        "churn",
+        "churn warp id=1",
+        "churn roam id=banana to=1,2,3",
+        "churn roam id=1 to=1,2",
+        "churn roam id=1 to=1,2,3,4",
+        "churn roam id=1",
+        "churn leave",
+        "churn assoc label=x obj=nope w=1 tx=1,2,3 rx=4,5,6 carrier=2.4e9",
+        "churn assoc label=x obj=flatness w=1 tx=1,2,3 rx=4,5,6 carrier=-5",
+        "churn assoc label=x obj=flatness w=inf tx=1,2,3 rx=4,5,6 carrier=2.4e9",
+        "fault burst=0.1,0.2,0.3",
+        "fault burst=0.1,0.2,0.3,1.5",
+        "fault stuck=3",
+        "fault dead=x",
+        "controller strategy=warp",
+        "controller strategy=greedy",
+        "controller strategy=exhaustive:4",
+        "controller budget-s=0",
+        "controller frames=1",
+        "controller turbo=1",
+        "space elements=0",
+        "space lab-seed",
+        "trace-tail 4 5",
+    ];
+    for case in cases {
+        let res = parse_line(case);
+        assert!(res.is_err(), "`{case}` should be rejected, got {res:?}");
+    }
+}
+
+/// The documented happy-path lines all parse.
+#[test]
+fn canonical_lines_parse() {
+    let cases = [
+        "",
+        "   ",
+        "# comment",
+        "measure",
+        "episode",
+        "snapshot",
+        "status",
+        "links",
+        "trace-tail",
+        "trace-tail 16",
+        "space lab-seed=17 elements=2 element-seed=4",
+        "controller strategy=annealing:40 objective=flatness seed=7 budget-s=0.25 frames=4 actuation=ism",
+        "churn assoc label=lab obj=max-min-snr w=1 tx=7,5,1.5 rx=6.8,4,1.5@0.8,0,0 carrier=2462000000",
+        "churn roam id=0 to=6.1,5.4,1.4",
+        "churn leave id=0",
+        "fault",
+        "fault clear",
+        "fault burst=0.004,0.2,0.005,0.6 dead=0,1 stuck=4:1,5:0",
+    ];
+    for case in cases {
+        let res = parse_line(case);
+        assert!(res.is_ok(), "`{case}` should parse, got {res:?}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Budget-aware scheduling: episodes live on a slot grid of width
+//! `coherence_budget_s`. An episode that blows its budget is reported
+//! `within_coherence = false` and the daemon *defers* the next episode
+//! past the overrun — it never interleaves a new episode's phases into a
+//! running one.
+
+use pressd::EventLoop;
+
+const ASSOC: &str =
+    "churn assoc label=lab obj=max-min-snr w=1 tx=7,5,1.5 rx=6.8,4,1.5 carrier=2462000000";
+
+fn session(controller: &str) -> EventLoop {
+    let mut el = EventLoop::new();
+    let mut out = Vec::new();
+    el.handle_line(controller, &mut out);
+    el.handle_line(ASSOC, &mut out);
+    assert!(
+        !out.iter().any(|l| l.contains("\"error\"")),
+        "setup rejected: {out:?}"
+    );
+    el
+}
+
+fn episode_line(el: &mut EventLoop) -> String {
+    let mut out = Vec::new();
+    el.handle_line("episode", &mut out);
+    out.iter()
+        .rev()
+        .find(|l| l.contains("\"ev\":\"episode\""))
+        .expect("episode command must produce an episode line")
+        .clone()
+}
+
+/// The paper-prototype timing model cannot finish a random-search episode
+/// inside an 80 ms coherence budget: the report must say so, and the next
+/// episode must be pushed past every slot the overrun swallowed.
+#[test]
+fn blown_budget_defers_the_next_slot_instead_of_interleaving() {
+    let mut el = session(
+        "controller strategy=random:6 objective=max-min-snr seed=1 budget-s=0.08 frames=2 actuation=oracle",
+    );
+
+    let ep1 = episode_line(&mut el);
+    assert!(ep1.contains("\"slot\":0"), "{ep1}");
+    assert!(ep1.contains("\"within_coherence\":false"), "{ep1}");
+    let deferred = el.deferred();
+    assert!(
+        deferred > 0,
+        "an episode that overran its slot must book deferrals"
+    );
+
+    let ep2 = episode_line(&mut el);
+    // Queued behind the overrun: the next episode starts on the first slot
+    // boundary after the previous one *finished*, skipping `deferred`
+    // slots, rather than starting inside the still-running episode.
+    assert!(
+        ep2.contains(&format!("\"slot\":{}", deferred + 1)),
+        "expected slot {} in {ep2}",
+        deferred + 1
+    );
+    assert!(ep2.contains("\"episode\":1"), "{ep2}");
+    assert_eq!(el.engine().episodes(), 2, "episodes ran strictly in order");
+}
+
+/// With a generous budget the same session fits: episodes are within
+/// coherence and occupy adjacent slots with no deferrals.
+#[test]
+fn episodes_within_budget_occupy_adjacent_slots() {
+    let mut el = session(
+        "controller strategy=random:6 objective=max-min-snr seed=1 budget-s=10 frames=2 actuation=oracle",
+    );
+
+    let ep1 = episode_line(&mut el);
+    assert!(ep1.contains("\"slot\":0"), "{ep1}");
+    assert!(ep1.contains("\"within_coherence\":true"), "{ep1}");
+    assert_eq!(el.deferred(), 0);
+
+    let ep2 = episode_line(&mut el);
+    assert!(ep2.contains("\"slot\":1"), "{ep2}");
+    assert!(ep2.contains("\"within_coherence\":true"), "{ep2}");
+    assert_eq!(el.deferred(), 0);
+}
+
+/// The emulated session clock is the sum of episode spans — directives
+/// reset it together with the schedule.
+#[test]
+fn directives_reset_the_schedule() {
+    let mut el = session(
+        "controller strategy=random:6 objective=max-min-snr seed=1 budget-s=0.08 frames=2 actuation=oracle",
+    );
+    let _ = episode_line(&mut el);
+    assert!(el.now_s() > 0.0);
+    assert!(el.deferred() > 0);
+
+    let mut out = Vec::new();
+    el.handle_line("space lab-seed=17 elements=2 element-seed=4", &mut out);
+    assert_eq!(el.now_s(), 0.0);
+    assert_eq!(el.deferred(), 0);
+    assert_eq!(el.engine().episodes(), 0, "directives reset the engine");
+}

@@ -172,6 +172,146 @@ fn same_seed_episode_traces_byte_identical_jsonl() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Golden pins: the legacy entry points, frozen byte-for-byte.
+// ---------------------------------------------------------------------------
+
+/// FNV-1a 64 over a byte string — tiny, dependency-free, and stable.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Hashes pinned immediately before the controller monolith was split into
+/// the `controller/{engine,episode,space,churn}` modules. The refactor's
+/// contract is that every legacy entry point stays *bitwise identical* —
+/// same reports, same trace bytes — so these constants must never change
+/// without a deliberate, documented behavior change.
+///
+/// Rows are `(seed, episode, traced_jsonl, space, space_jsonl, churn)`;
+/// report hashes are FNV-1a over the full-precision `Debug` rendering,
+/// jsonl hashes over `MemorySink::to_jsonl_without_wall` bytes. The traced
+/// variants must also render identically to their untraced siblings.
+const GOLDEN_PINS: [(u64, u64, u64, u64, u64, u64); 3] = [
+    (
+        0,
+        0xb388047435f3d842,
+        0x54d8782f0c656b03,
+        0x2bd0e5f3938f96d9,
+        0xe1b1ce512ed2adce,
+        0xe8adb60ed062f381,
+    ),
+    (
+        3,
+        0xed6d72d5db3ff989,
+        0x056df6d4113e0de0,
+        0xb94c36b305c82c7f,
+        0x2542ae7941b5c948,
+        0xda3208c9c54c9597,
+    ),
+    (
+        17,
+        0x80c6d154af083dc8,
+        0xc72aca9b6826d945,
+        0xc03721ef63599aec,
+        0x97a685d118491b17,
+        0xc275f7b6195c3a44,
+    ),
+];
+
+fn churn_schedule(space: &mut SmartSpace) -> Vec<ChurnEvent> {
+    let ids = space.link_ids();
+    let victim = ids[1];
+    let rejoin = space.link(victim).sounder.clone();
+    vec![
+        ChurnEvent::Leave { id: victim },
+        ChurnEvent::Associate {
+            label: "rejoin".to_string(),
+            sounder: rejoin,
+            objective: LinkObjective::MaxMeanSnr,
+            weight: 1.0,
+        },
+        ChurnEvent::Roam {
+            id: ids[2],
+            to: RadioNode {
+                position: Vec3::new(6.1, 5.4, 1.4),
+                antenna: RadioNode::omni_at(Vec3::ZERO).antenna,
+                velocity: Vec3::new(0.8, 0.0, 0.0),
+            },
+        },
+    ]
+}
+
+/// `run_episode` and `run_episode_traced` reproduce their pre-refactor
+/// outputs exactly, report bytes and trace bytes both.
+#[test]
+fn legacy_single_link_entry_points_match_pre_refactor_pins() {
+    use press::trace::{MemorySink, Tracer};
+    let rig = press::rig::fig4_rig(2);
+    for (seed, episode_pin, jsonl_pin, _, _, _) in GOLDEN_PINS {
+        let c = lossy_controller(seed);
+        let ep = c.run_episode(&rig.system, &rig.sounder);
+        assert_eq!(
+            fnv1a(format!("{ep:?}").as_bytes()),
+            episode_pin,
+            "seed {seed}: run_episode drifted from its pre-refactor pin"
+        );
+        let mut tracer = Tracer::new(MemorySink::new());
+        let tr = c.run_episode_traced(&rig.system, &rig.sounder, None, &mut tracer);
+        assert_eq!(
+            fnv1a(format!("{tr:?}").as_bytes()),
+            episode_pin,
+            "seed {seed}: traced report disagrees with the untraced pin"
+        );
+        assert_eq!(
+            fnv1a(tracer.sink().to_jsonl_without_wall().as_bytes()),
+            jsonl_pin,
+            "seed {seed}: run_episode_traced JSONL drifted from its pin"
+        );
+    }
+}
+
+/// `run_space_episode{,_traced}` and `run_churn_episode` reproduce their
+/// pre-refactor outputs exactly.
+#[test]
+fn legacy_space_and_churn_entry_points_match_pre_refactor_pins() {
+    use press::trace::{MemorySink, Tracer};
+    let space = three_link_space();
+    for (seed, _, _, space_pin, space_jsonl_pin, churn_pin) in GOLDEN_PINS {
+        let c = lossy_controller(seed);
+        let sp = c.run_space_episode(&space);
+        assert_eq!(
+            fnv1a(format!("{sp:?}").as_bytes()),
+            space_pin,
+            "seed {seed}: run_space_episode drifted from its pre-refactor pin"
+        );
+        let mut tracer = Tracer::new(MemorySink::new());
+        let sptr = c.run_space_episode_traced(&space, None, &mut tracer);
+        assert_eq!(
+            fnv1a(format!("{sptr:?}").as_bytes()),
+            space_pin,
+            "seed {seed}: traced space report disagrees with the untraced pin"
+        );
+        assert_eq!(
+            fnv1a(tracer.sink().to_jsonl_without_wall().as_bytes()),
+            space_jsonl_pin,
+            "seed {seed}: run_space_episode_traced JSONL drifted from its pin"
+        );
+        let mut churn_space = three_link_space();
+        let events = churn_schedule(&mut churn_space);
+        let churn = c.run_churn_episode(&mut churn_space, &events);
+        assert_eq!(
+            fnv1a(format!("{churn:?}").as_bytes()),
+            churn_pin,
+            "seed {seed}: run_churn_episode drifted from its pre-refactor pin"
+        );
+    }
+}
+
 /// A clean wired transport still reproduces the oracle episode's decision
 /// exactly (the PR 2 invariant, re-pinned here after the BTreeSet
 /// migration).
