@@ -1,0 +1,75 @@
+//! Criterion bench: the metrics hub's cost next to an episode.
+//!
+//! The claim behind `BENCH_metrics.json`: a live [`MetricsHub`] is free at
+//! episode granularity. Three rungs are measured — a whole recorded
+//! session replayed through the event loop with its live hub attached
+//! (episode included), the pure trace→metrics fold over the same
+//! session's event stream, and one full Prometheus-text render of the
+//! populated hub. The gated floor is the episode-vs-fold ratio: metrics
+//! observation must stay under 2% of episode cost (ratio ≥ 50), or the
+//! "observability is free" claim has quietly broken.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use press_metrics::{MetricsHub, TraceAggregator};
+use press_trace::Event;
+use pressd::replay_log;
+use std::hint::black_box;
+
+/// A small session: one link, one exhaustive episode over the default
+/// 2-element space — the same shape `event_loop.rs` replays, so the
+/// episode rung here is directly comparable to `BENCH_daemon.json`.
+const SESSION: &str = "\
+space lab-seed=17 elements=2 element-seed=4
+controller strategy=exhaustive objective=max-min-snr seed=3 budget-s=0.08 frames=2 actuation=oracle
+churn assoc label=lab obj=max-min-snr w=1 tx=7,5,1.5 rx=6.8,4,1.5 carrier=2462000000
+measure
+episode
+snapshot
+";
+
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics_overhead");
+    group.sample_size(10);
+
+    // The session's event stream, recovered once from a replay: this is
+    // exactly what the live hub observes while the episode runs.
+    let events: Vec<Event> = replay_log(SESSION)
+        .iter()
+        .filter_map(|line| Event::from_jsonl(line))
+        .collect();
+    assert!(
+        events.len() > 10,
+        "the session must emit a real event stream"
+    );
+
+    // A whole recorded session through the event loop, live hub attached.
+    group.bench_function("episode_with_live_hub", |b| {
+        b.iter(|| black_box(replay_log(SESSION)))
+    });
+
+    // The pure trace→metrics fold over the same stream: registration plus
+    // one observe call per event, no engine.
+    group.bench_function("hub_observe_session", |b| {
+        b.iter(|| {
+            let mut hub = MetricsHub::new();
+            let mut agg = TraceAggregator::new(&mut hub);
+            for ev in &events {
+                agg.observe(&mut hub, ev);
+            }
+            black_box(hub)
+        })
+    });
+
+    // One full exposition render of the populated hub.
+    let mut hub = MetricsHub::new();
+    let mut agg = TraceAggregator::new(&mut hub);
+    for ev in &events {
+        agg.observe(&mut hub, ev);
+    }
+    group.bench_function("render_exposition", |b| b.iter(|| black_box(hub.render())));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics_overhead);
+criterion_main!(benches);

@@ -4,23 +4,37 @@
 //! ```sh
 //! cargo run --release --example lossy_control -- --trace results/lossy_control.jsonl
 //! cargo run --release -p press-bench --bin trace_report -- results/lossy_control.jsonl
+//! cargo run --release -p press-bench --bin trace_report -- results/lossy_control.jsonl --metrics
 //! ```
 //!
-//! Phase durations come from `phase_start`/`phase_end` pairs on the
-//! emulated episode clock (`t_s`), so the tables are as deterministic as
-//! the trace itself. Search convergence is exported as
-//! `results/convergence_<strategy>.csv` with one row per candidate
-//! evaluation, numbered by the enclosing episode.
+//! Aggregation is routed through the shared [`press_metrics::TraceAggregator`]
+//! — the same fold the daemon's live hub and the trace→metrics rebuild
+//! use — so there is exactly one quantile code path
+//! (`Histogram::quantile_est`) and one event-counting truth in the
+//! stack. Phase durations come from `phase_start`/`phase_end` pairs on
+//! the emulated episode clock (`t_s`), so the tables are as deterministic
+//! as the trace itself. With `--metrics` the report prints the Prometheus
+//! text exposition instead — a pure function of the log, so rendering the
+//! same file twice must be byte-identical (CI diffs exactly that). Search
+//! convergence is exported as `results/convergence_<strategy>.csv` with
+//! one row per candidate evaluation, numbered by the enclosing episode.
 
 use press_bench::write_csv;
-use press_control::Histogram;
-use press_trace::{Event, EventKind, Phase};
+use press_metrics::{MetricsHub, TraceAggregator, PHASES};
+use press_trace::{Event, EventKind};
 use std::collections::BTreeMap;
 
 fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "results/lossy_control.jsonl".to_string());
+    let mut path: Option<String> = None;
+    let mut metrics_only = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--metrics" {
+            metrics_only = true;
+        } else {
+            path = Some(arg);
+        }
+    }
+    let path = path.unwrap_or_else(|| "results/lossy_control.jsonl".to_string());
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
     let mut events: Vec<Event> = Vec::new();
     let mut skipped = 0usize;
@@ -33,6 +47,21 @@ fn main() {
             None => skipped += 1,
         }
     }
+
+    // One aggregation truth: the same fold the daemon's live hub and the
+    // trace→metrics rebuild use.
+    let mut hub = MetricsHub::new();
+    let mut agg = TraceAggregator::new(&mut hub);
+    for ev in &events {
+        agg.observe(&mut hub, ev);
+    }
+
+    if metrics_only {
+        // Exposition only: a pure function of the log, fit for byte-diffing.
+        print!("{}", hub.render());
+        return;
+    }
+
     println!(
         "{path}: {} events ({} unparseable lines skipped)\n",
         events.len(),
@@ -40,55 +69,14 @@ fn main() {
     );
 
     // --- per-phase latency tables -------------------------------------
-    let mut open: BTreeMap<&'static str, f64> = BTreeMap::new();
-    let mut durations: BTreeMap<&'static str, Histogram> = BTreeMap::new();
-    // Transport accounting.
-    let mut episodes = 0u64;
-    let mut frames_tx = 0u64;
-    let mut frames_lost = 0u64;
-    let mut acks = 0u64;
-    let mut backoffs = 0u64;
-    let mut bursts = 0u64;
-    let mut gave_up = 0u64;
-    let mut reverts = 0u64;
-    for ev in &events {
-        match ev.kind {
-            EventKind::EpisodeStart { .. } => episodes += 1,
-            EventKind::PhaseStart { phase } => {
-                open.insert(phase.name(), ev.t_s);
-            }
-            EventKind::PhaseEnd { phase, .. } => {
-                if let Some(t0) = open.remove(phase.name()) {
-                    durations
-                        .entry(phase.name())
-                        .or_insert_with(Histogram::latency_grid)
-                        .observe(ev.t_s - t0);
-                }
-            }
-            EventKind::FrameTx { .. } => frames_tx += 1,
-            EventKind::FrameLost { .. } => frames_lost += 1,
-            EventKind::AckRx { .. } => acks += 1,
-            EventKind::Backoff { .. } => backoffs += 1,
-            EventKind::BurstTransition { .. } => bursts += 1,
-            EventKind::GaveUp { .. } => gave_up += 1,
-            EventKind::Reverted { .. } => reverts += 1,
-            _ => {}
-        }
-    }
-
     println!(
         "{:<10} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "phase", "count", "mean s", "p50 est s", "p95 est s", "p99 est s", "max s"
     );
     // Report in episode order, not alphabetically.
-    for phase in [
-        Phase::Measure,
-        Phase::Search,
-        Phase::Actuate,
-        Phase::Verify,
-        Phase::Revert,
-    ] {
-        if let Some(h) = durations.get(phase.name()) {
+    for phase in PHASES {
+        let h = agg.phase_seconds(&hub, phase);
+        if h.count() > 0 {
             println!(
                 "{:<10} {:>6} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
                 phase.name(),
@@ -102,17 +90,27 @@ fn main() {
         }
     }
 
+    let frames_tx = agg.frames_tx(&hub);
+    let frames_lost = agg.frames_lost(&hub);
     let loss_rate = if frames_tx > 0 {
         frames_lost as f64 / frames_tx as f64
     } else {
         0.0
     };
     println!(
-        "\ntransport: {frames_tx} frames tx, {frames_lost} lost ({:.1}%), {acks} acks, \
-         {backoffs} backoffs, {bursts} burst transitions, {gave_up} gave up",
-        100.0 * loss_rate
+        "\ntransport: {frames_tx} frames tx, {frames_lost} lost ({:.1}%), {} acks, \
+         {} backoffs, {} burst transitions, {} gave up",
+        100.0 * loss_rate,
+        agg.acks_rx(&hub),
+        agg.backoffs(&hub),
+        agg.burst_transitions(&hub),
+        agg.gave_up(&hub)
     );
-    println!("episodes: {episodes}, reverts: {reverts}");
+    println!(
+        "episodes: {}, reverts: {}",
+        agg.episodes(&hub),
+        agg.reverts(&hub)
+    );
 
     // --- convergence CSVs ---------------------------------------------
     // One file per strategy, one row per candidate evaluation; the episode

@@ -477,6 +477,26 @@ pub fn suite_specs() -> Vec<SuiteSpec> {
             )],
         },
         SuiteSpec {
+            suite: "metrics",
+            entry_ids: &[
+                "metrics_overhead/episode_with_live_hub",
+                "metrics_overhead/hub_observe_session",
+                "metrics_overhead/render_exposition",
+            ],
+            // A live hub must stay free at episode granularity: folding a
+            // session's whole event stream into the hub has to cost under
+            // 2% of replaying the session itself (episode included). The
+            // floor trips if per-event observation ever grows from
+            // pre-resolved handle updates into something with lookups or
+            // allocation on the hot path.
+            ratio_specs: &[(
+                "metrics_overhead/episode_vs_hub_observe",
+                "metrics_overhead/episode_with_live_hub",
+                "metrics_overhead/hub_observe_session",
+                50.0,
+            )],
+        },
+        SuiteSpec {
             suite: "lint",
             entry_ids: &["lint_workspace/cold", "lint_workspace/warm"],
             // A warm analyzer run serves pass 1 from the content-hash

@@ -104,6 +104,13 @@ impl Histogram {
         self.sum / self.count as f64
     }
 
+    /// Exact sum of all (non-NaN) observations. Zero when empty — the
+    /// Prometheus `_sum` sample, alongside [`count`](Self::count)'s
+    /// `_count`.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
     /// Smallest observation (+inf when empty).
     pub fn min(&self) -> f64 {
         self.min
@@ -542,6 +549,16 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "bounds differ")]
+    fn histogram_merge_rejects_mismatched_bound_counts() {
+        // Different bucket *counts*, not just different values — the
+        // assert must catch a coarser grid, not only a shifted one.
+        let mut a = Histogram::new(vec![1.0, 2.0]);
+        let b = Histogram::new(vec![1.0]);
+        a.merge(&b);
+    }
+
+    #[test]
     fn registry_csv_row_shape() {
         let mut m = ControlMetrics::new();
         m.frames_tx = 10;
@@ -614,6 +631,35 @@ mod tests {
         assert_eq!(a.space.frames_tx, 2);
         assert_eq!(a.links.len(), 2, "unknown id is appended");
         assert_eq!(a.links[0].2.frames_tx, 2);
+    }
+
+    #[test]
+    fn space_metrics_merge_keeps_departed_rows_frozen() {
+        // Shard `a` saw link 1 depart mid-campaign: its row froze at the
+        // pre-departure counters. Shard `b` never knew link 1 at all.
+        let mut a = SpaceMetrics::new(&[(0, "stay".into()), (1, "gone".into())]);
+        let mut act = ControlMetrics::new();
+        act.frames_tx = 3;
+        act.actuations = 1;
+        a.record_shared(&act); // both rows: 3 frames
+        a.record_shared_for(&[0], &act); // link 1 already departed
+
+        let mut b = SpaceMetrics::new(&[(0, "stay".into())]);
+        b.record_shared(&act);
+
+        a.merge(&b);
+        // The survivor accumulates across shards; the departed row stays
+        // frozen because no shard attributed new traffic to it.
+        assert_eq!(a.links[0].2.frames_tx, 9);
+        assert_eq!(a.links[1].2.frames_tx, 3, "departed row must stay frozen");
+        assert_eq!(a.space.frames_tx, 9, "wire truth sums both shards");
+
+        // Merging the other way appends the frozen row untouched.
+        let mut c = SpaceMetrics::new(&[(0, "stay".into())]);
+        c.merge(&a);
+        assert_eq!(c.links.len(), 2, "frozen row is appended by id");
+        assert_eq!(c.links[1].0, 1);
+        assert_eq!(c.links[1].2.frames_tx, 3);
     }
 
     #[test]

@@ -4,8 +4,8 @@
 //!
 //! The single-link and space episodes differ only in *what a measurement
 //! observes* (one score vs. a weighted score with per-link breakdowns) and
-//! in the trace events bracketing those observations. [`EpisodeModel`]
-//! captures exactly that difference; [`Controller::run_engine`] owns
+//! in the trace events bracketing those observations. `EpisodeModel`
+//! captures exactly that difference; `Controller::run_engine` owns
 //! everything else — the RNG stream discipline (measurement on `seed`,
 //! search on `seed + 1`, actuation on `seed + 2`), the phase spans, the
 //! verify-or-revert decision and the flight-recorder post-mortem. Both

@@ -1,5 +1,5 @@
 //! The single-link episode: the historical `run_episode` entry family,
-//! expressed as a thin [`EpisodeModel`] over the generic engine.
+//! expressed as a thin `EpisodeModel` over the generic engine.
 
 use crate::basis::LinkBasis;
 use crate::config::{ConfigSpace, Configuration};

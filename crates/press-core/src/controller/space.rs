@@ -1,5 +1,5 @@
 //! The multi-link episode: the historical `run_space_episode` entry
-//! family, expressed as a thin [`EpisodeModel`] over the generic engine.
+//! family, expressed as a thin `EpisodeModel` over the generic engine.
 
 use crate::config::{ConfigSpace, Configuration};
 use crate::space::SmartSpace;

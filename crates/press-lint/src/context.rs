@@ -187,6 +187,25 @@ mod tests {
     }
 
     #[test]
+    fn metrics_crate_is_a_strict_sim_crate() {
+        // The exposition layer gets no carve-out: byte-identical
+        // live-vs-rebuilt rendering depends on the full wall-clock and
+        // ambient-entropy ban, so press-metrics lints exactly like the
+        // simulation crates it observes.
+        for path in [
+            "crates/press-metrics/src/lib.rs",
+            "crates/press-metrics/src/aggregate.rs",
+            "crates/press-metrics/src/slo.rs",
+            "crates/pressd/src/metrics.rs",
+        ] {
+            let c = FileContext::from_rel_path(path);
+            assert!(!c.bench_crate, "{path} is not the measurement harness");
+            assert!(!c.daemon_shell, "{path} must stay under the entropy ban");
+            assert!(!c.test_file, "{path} is library surface");
+        }
+    }
+
+    #[test]
     fn daemon_shell_carve_out_is_crate_and_stem_scoped() {
         for shell in ["crates/pressd/src/main.rs", "crates/pressd/src/shell.rs"] {
             let c = FileContext::from_rel_path(shell);

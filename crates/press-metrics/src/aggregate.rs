@@ -1,0 +1,550 @@
+//! The trace→metrics aggregator: folds [`press_trace::Event`]s into a
+//! [`MetricsHub`].
+//!
+//! This is what makes the metrics layer *trustworthy*: the live daemon
+//! observes structured events as the engine emits them, and a rebuild
+//! parses the recorded JSONL back into the very same observe calls — the
+//! two hubs must render byte-identical exposition. To guarantee that even
+//! for series that never fired, every family (including every strategy
+//! and phase label) is registered up front in the constructor, so an
+//! empty live hub and an empty rebuilt hub agree on the full series set.
+
+use press_control::Histogram;
+use press_trace::{Event, EventKind, Phase};
+
+use crate::{MetricsHub, SeriesId};
+
+/// Family name: episodes completed (`EpisodeEnd` events).
+pub const EPISODES_TOTAL: &str = "press_episodes_total";
+/// Family name: episodes that reverted to baseline after verification.
+pub const EPISODE_REVERTS_TOTAL: &str = "press_episode_reverts_total";
+/// Family name: episode duration histogram (sim seconds, start→end).
+pub const EPISODE_SECONDS: &str = "press_episode_seconds";
+/// Family name: link bases built or fetched.
+pub const BASIS_BUILDS_TOTAL: &str = "press_basis_builds_total";
+/// Family name: elements in the most recently built basis (gauge).
+pub const BASIS_ELEMENTS: &str = "press_basis_elements";
+/// Family name: channel measurements consumed.
+pub const MEASUREMENTS_TOTAL: &str = "press_measurements_total";
+/// Family name: search iterations, labelled by `strategy`.
+pub const SEARCH_STEPS_TOTAL: &str = "press_search_steps_total";
+/// Family name: control-plane frames, labelled by `event` (tx/lost/ack).
+pub const FRAMES_TOTAL: &str = "press_frames_total";
+/// Family name: element state applications.
+pub const APPLIED_TOTAL: &str = "press_applied_total";
+/// Family name: retransmission timers fired (DES actuation).
+pub const TIMER_FIRED_TOTAL: &str = "press_timer_fired_total";
+/// Family name: adaptive-pacing backoffs.
+pub const BACKOFFS_TOTAL: &str = "press_backoffs_total";
+/// Family name: Gilbert–Elliott burst-state transitions.
+pub const BURST_TRANSITIONS_TOTAL: &str = "press_burst_transitions_total";
+/// Family name: elements whose retries were exhausted.
+pub const GAVE_UP_TOTAL: &str = "press_gave_up_total";
+/// Family name: actuation round-trips completed.
+pub const ACTUATIONS_TOTAL: &str = "press_actuations_total";
+/// Family name: elements that failed to apply during actuation.
+pub const ACTUATION_FAILED_TOTAL: &str = "press_actuation_failed_elements_total";
+/// Family name: actuation wire-completion histogram (sim seconds).
+pub const ACTUATION_SECONDS: &str = "press_actuation_seconds";
+/// Family name: per-phase duration histogram, labelled by `phase`.
+pub const PHASE_SECONDS: &str = "press_phase_seconds";
+/// Family name: final score of the most recent episode (gauge).
+pub const LAST_EPISODE_SCORE: &str = "press_last_episode_score";
+
+/// Every strategy label [`press_trace`] can intern, in its own order.
+/// Registering all of them up front keeps the exposition's series set
+/// independent of which strategies a particular session happened to run.
+pub const STRATEGIES: [&str; 6] = [
+    "exhaustive",
+    "greedy",
+    "random",
+    "annealing",
+    "joint-annealing",
+    "unknown",
+];
+
+/// Episode phases in execution order — the `phase` label set.
+pub const PHASES: [Phase; 5] = [
+    Phase::Measure,
+    Phase::Search,
+    Phase::Actuate,
+    Phase::Verify,
+    Phase::Revert,
+];
+
+fn phase_index(phase: Phase) -> usize {
+    match phase {
+        Phase::Measure => 0,
+        Phase::Search => 1,
+        Phase::Actuate => 2,
+        Phase::Verify => 3,
+        Phase::Revert => 4,
+    }
+}
+
+fn strategy_index(strategy: &str) -> usize {
+    STRATEGIES
+        .iter()
+        .position(|s| *s == strategy)
+        .unwrap_or(STRATEGIES.len() - 1)
+}
+
+/// Folds trace events into a [`MetricsHub`].
+///
+/// Construction registers the complete family/series set (see module
+/// docs); [`observe`](Self::observe) then updates through pre-resolved
+/// [`SeriesId`] handles — no lookups, no allocation per event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceAggregator {
+    episodes: SeriesId,
+    reverts: SeriesId,
+    episode_seconds: SeriesId,
+    basis_builds: SeriesId,
+    basis_elements: SeriesId,
+    measurements: SeriesId,
+    search_steps: [SeriesId; STRATEGIES.len()],
+    frames_tx: SeriesId,
+    frames_lost: SeriesId,
+    frames_ack: SeriesId,
+    applied: SeriesId,
+    timer_fired: SeriesId,
+    backoffs: SeriesId,
+    burst_transitions: SeriesId,
+    gave_up: SeriesId,
+    actuations: SeriesId,
+    actuation_failed: SeriesId,
+    actuation_seconds: SeriesId,
+    phase_seconds: [SeriesId; PHASES.len()],
+    last_score: SeriesId,
+    /// `t_s` of the open episode, if one is running.
+    episode_open: Option<f64>,
+    /// `t_s` of each open phase (indexed by [`phase_index`]).
+    phase_open: [Option<f64>; PHASES.len()],
+    /// Elements in the most recent basis build (mirrors the gauge, kept
+    /// here so integer consumers don't round-trip through `f64`).
+    last_basis_elements: u64,
+}
+
+impl TraceAggregator {
+    /// Registers the full family set on `hub` and returns the handle
+    /// bundle. Safe to call on a hub that already carries the families —
+    /// registration is idempotent.
+    pub fn new(hub: &mut MetricsHub) -> TraceAggregator {
+        let episodes = hub.counter(EPISODES_TOTAL, "Controller episodes completed.", &[]);
+        let reverts = hub.counter(
+            EPISODE_REVERTS_TOTAL,
+            "Episodes that reverted to baseline after verification.",
+            &[],
+        );
+        let episode_seconds = hub.histogram(
+            EPISODE_SECONDS,
+            "Episode duration in sim seconds.",
+            &[],
+            Histogram::latency_grid(),
+        );
+        let basis_builds = hub.counter(BASIS_BUILDS_TOTAL, "Link bases built or fetched.", &[]);
+        let basis_elements = hub.gauge(
+            BASIS_ELEMENTS,
+            "Elements in the most recently built link basis.",
+            &[],
+        );
+        let measurements = hub.counter(MEASUREMENTS_TOTAL, "Channel measurements consumed.", &[]);
+        let search_steps = STRATEGIES.map(|s| {
+            hub.counter(
+                SEARCH_STEPS_TOTAL,
+                "Search iterations by strategy.",
+                &[("strategy", s)],
+            )
+        });
+        let frames_help = "Control-plane frames by event (tx, lost, ack).";
+        let frames_tx = hub.counter(FRAMES_TOTAL, frames_help, &[("event", "tx")]);
+        let frames_lost = hub.counter(FRAMES_TOTAL, frames_help, &[("event", "lost")]);
+        let frames_ack = hub.counter(FRAMES_TOTAL, frames_help, &[("event", "ack")]);
+        let applied = hub.counter(APPLIED_TOTAL, "Element state applications.", &[]);
+        let timer_fired = hub.counter(TIMER_FIRED_TOTAL, "Retransmission timers fired.", &[]);
+        let backoffs = hub.counter(BACKOFFS_TOTAL, "Adaptive-pacing backoffs.", &[]);
+        let burst_transitions = hub.counter(
+            BURST_TRANSITIONS_TOTAL,
+            "Gilbert-Elliott burst-state transitions.",
+            &[],
+        );
+        let gave_up = hub.counter(GAVE_UP_TOTAL, "Elements whose retries were exhausted.", &[]);
+        let actuations = hub.counter(ACTUATIONS_TOTAL, "Actuation round-trips completed.", &[]);
+        let actuation_failed = hub.counter(
+            ACTUATION_FAILED_TOTAL,
+            "Elements that failed to apply during actuation.",
+            &[],
+        );
+        let actuation_seconds = hub.histogram(
+            ACTUATION_SECONDS,
+            "Actuation wire-completion time in sim seconds.",
+            &[],
+            Histogram::latency_grid(),
+        );
+        let phase_seconds = PHASES.map(|p| {
+            hub.histogram(
+                PHASE_SECONDS,
+                "Per-phase duration in sim seconds.",
+                &[("phase", p.name())],
+                Histogram::latency_grid(),
+            )
+        });
+        let last_score = hub.gauge(
+            LAST_EPISODE_SCORE,
+            "Final score of the most recent episode.",
+            &[],
+        );
+        TraceAggregator {
+            episodes,
+            reverts,
+            episode_seconds,
+            basis_builds,
+            basis_elements,
+            measurements,
+            search_steps,
+            frames_tx,
+            frames_lost,
+            frames_ack,
+            applied,
+            timer_fired,
+            backoffs,
+            burst_transitions,
+            gave_up,
+            actuations,
+            actuation_failed,
+            actuation_seconds,
+            phase_seconds,
+            last_score,
+            episode_open: None,
+            phase_open: [None; PHASES.len()],
+            last_basis_elements: 0,
+        }
+    }
+
+    /// Folds one event into `hub`. Must be fed events in stream order —
+    /// phase/episode durations pair each `*Start` with the next matching
+    /// `*End`.
+    pub fn observe(&mut self, hub: &mut MetricsHub, ev: &Event) {
+        match ev.kind {
+            EventKind::EpisodeStart { .. } => self.episode_open = Some(ev.t_s),
+            EventKind::BasisBuild { elements, .. } => {
+                hub.inc(self.basis_builds);
+                hub.set(self.basis_elements, elements as f64);
+                self.last_basis_elements = elements as u64;
+            }
+            EventKind::PhaseStart { phase } => {
+                self.phase_open[phase_index(phase)] = Some(ev.t_s);
+            }
+            EventKind::PhaseEnd { phase, .. } => {
+                if let Some(t0) = self.phase_open[phase_index(phase)].take() {
+                    hub.observe(self.phase_seconds[phase_index(phase)], ev.t_s - t0);
+                }
+            }
+            EventKind::Measurement { .. } => hub.inc(self.measurements),
+            EventKind::SearchStep { strategy, .. } => {
+                hub.inc(self.search_steps[strategy_index(strategy)]);
+            }
+            EventKind::FrameTx { .. } => hub.inc(self.frames_tx),
+            EventKind::FrameLost { .. } => hub.inc(self.frames_lost),
+            EventKind::AckRx { .. } => hub.inc(self.frames_ack),
+            EventKind::Applied { .. } => hub.inc(self.applied),
+            EventKind::TimerFired { .. } => hub.inc(self.timer_fired),
+            EventKind::Backoff { .. } => hub.inc(self.backoffs),
+            EventKind::BurstTransition { .. } => hub.inc(self.burst_transitions),
+            EventKind::GaveUp { .. } => hub.inc(self.gave_up),
+            EventKind::ActuationDone {
+                failed,
+                completion_s,
+                ..
+            } => {
+                hub.inc(self.actuations);
+                hub.add(self.actuation_failed, failed as u64);
+                hub.observe(self.actuation_seconds, completion_s);
+            }
+            // Reverts are counted from `EpisodeEnd`'s flag; counting the
+            // `Reverted` event too would double-book every revert.
+            EventKind::Reverted { .. } => {}
+            EventKind::EpisodeEnd {
+                score, reverted, ..
+            } => {
+                hub.inc(self.episodes);
+                if reverted {
+                    hub.inc(self.reverts);
+                }
+                hub.set(self.last_score, score);
+                if let Some(t0) = self.episode_open.take() {
+                    hub.observe(self.episode_seconds, ev.t_s - t0);
+                }
+            }
+        }
+    }
+
+    /// Episodes completed so far.
+    pub fn episodes(&self, hub: &MetricsHub) -> u64 {
+        hub.counter_value(self.episodes)
+    }
+
+    /// Episodes that reverted so far.
+    pub fn reverts(&self, hub: &MetricsHub) -> u64 {
+        hub.counter_value(self.reverts)
+    }
+
+    /// Frames transmitted so far.
+    pub fn frames_tx(&self, hub: &MetricsHub) -> u64 {
+        hub.counter_value(self.frames_tx)
+    }
+
+    /// Frames (or acks) lost so far.
+    pub fn frames_lost(&self, hub: &MetricsHub) -> u64 {
+        hub.counter_value(self.frames_lost)
+    }
+
+    /// Acks received so far.
+    pub fn acks_rx(&self, hub: &MetricsHub) -> u64 {
+        hub.counter_value(self.frames_ack)
+    }
+
+    /// Pacing backoffs so far.
+    pub fn backoffs(&self, hub: &MetricsHub) -> u64 {
+        hub.counter_value(self.backoffs)
+    }
+
+    /// Burst transitions so far.
+    pub fn burst_transitions(&self, hub: &MetricsHub) -> u64 {
+        hub.counter_value(self.burst_transitions)
+    }
+
+    /// Retry exhaustions so far.
+    pub fn gave_up(&self, hub: &MetricsHub) -> u64 {
+        hub.counter_value(self.gave_up)
+    }
+
+    /// Elements in the most recent basis build (0 before any build).
+    pub fn last_basis_elements(&self) -> u64 {
+        self.last_basis_elements
+    }
+
+    /// The duration histogram of one phase.
+    pub fn phase_seconds<'h>(&self, hub: &'h MetricsHub, phase: Phase) -> &'h Histogram {
+        hub.histogram_value(self.phase_seconds[phase_index(phase)])
+            .unwrap_or_else(|| {
+                // press-lint: allow(panic-freedom) — the constructor registered this series as a histogram
+                unreachable!("phase series registered as histogram")
+            })
+    }
+}
+
+/// Aggregates a whole JSONL trace into a fresh hub. Lines that do not
+/// parse as trace events are skipped — a recorded session log interleaves
+/// events with episode summaries and protocol replies.
+pub fn hub_from_jsonl(text: &str) -> MetricsHub {
+    let mut hub = MetricsHub::new();
+    let mut agg = TraceAggregator::new(&mut hub);
+    for line in text.lines() {
+        if let Some(ev) = Event::from_jsonl(line) {
+            agg.observe(&mut hub, &ev);
+        }
+    }
+    hub
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(seq: u64, t_s: f64, kind: EventKind) -> Event {
+        Event {
+            seq,
+            t_s,
+            wall_s: None,
+            kind,
+        }
+    }
+
+    fn sample_stream() -> Vec<Event> {
+        vec![
+            event(
+                0,
+                0.0,
+                EventKind::EpisodeStart {
+                    seed: 1,
+                    links: 1,
+                    strategy: "greedy",
+                },
+            ),
+            event(
+                1,
+                0.0,
+                EventKind::BasisBuild {
+                    link: 0,
+                    elements: 4,
+                    subcarriers: 64,
+                    revision: 1,
+                },
+            ),
+            event(
+                2,
+                0.0,
+                EventKind::PhaseStart {
+                    phase: Phase::Search,
+                },
+            ),
+            event(
+                3,
+                0.001,
+                EventKind::SearchStep {
+                    strategy: "greedy",
+                    iteration: 0,
+                    score: 1.0,
+                    best: 1.0,
+                    accepted: true,
+                },
+            ),
+            event(
+                4,
+                0.002,
+                EventKind::PhaseEnd {
+                    phase: Phase::Search,
+                    measurements: 2,
+                },
+            ),
+            event(
+                5,
+                0.002,
+                EventKind::Measurement {
+                    link: 0,
+                    score: 1.5,
+                },
+            ),
+            event(
+                6,
+                0.003,
+                EventKind::FrameTx {
+                    element: 0,
+                    attempt: 0,
+                },
+            ),
+            event(7, 0.003, EventKind::FrameLost { element: 0 }),
+            event(8, 0.004, EventKind::AckRx { element: 0 }),
+            event(
+                9,
+                0.004,
+                EventKind::Applied {
+                    element: 0,
+                    state: 1,
+                },
+            ),
+            event(
+                10,
+                0.005,
+                EventKind::ActuationDone {
+                    frames: 3,
+                    retries: 1,
+                    completion_s: 0.002,
+                    failed: 1,
+                },
+            ),
+            event(
+                11,
+                0.006,
+                EventKind::EpisodeEnd {
+                    score: 2.5,
+                    measurements: 3,
+                    reverted: true,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn counters_and_durations_accumulate() {
+        let mut hub = MetricsHub::new();
+        let mut agg = TraceAggregator::new(&mut hub);
+        for ev in sample_stream() {
+            agg.observe(&mut hub, &ev);
+        }
+        assert_eq!(agg.episodes(&hub), 1);
+        assert_eq!(agg.reverts(&hub), 1);
+        assert_eq!(agg.frames_tx(&hub), 1);
+        assert_eq!(agg.frames_lost(&hub), 1);
+        assert_eq!(agg.acks_rx(&hub), 1);
+        assert_eq!(agg.last_basis_elements(), 4);
+        assert_eq!(hub.counter_named(APPLIED_TOTAL, &[]), Some(1));
+        assert_eq!(hub.counter_named(ACTUATION_FAILED_TOTAL, &[]), Some(1));
+        assert_eq!(
+            hub.counter_named(SEARCH_STEPS_TOTAL, &[("strategy", "greedy")]),
+            Some(1)
+        );
+        assert_eq!(
+            hub.counter_named(SEARCH_STEPS_TOTAL, &[("strategy", "random")]),
+            Some(0)
+        );
+        assert_eq!(hub.gauge_named(BASIS_ELEMENTS, &[]), Some(4.0));
+        assert_eq!(hub.gauge_named(LAST_EPISODE_SCORE, &[]), Some(2.5));
+        let search = agg.phase_seconds(&hub, Phase::Search);
+        assert_eq!(search.count(), 1);
+        assert!((search.sum() - 0.002).abs() < 1e-12);
+        let episode = hub.histogram_named(EPISODE_SECONDS, &[]).unwrap();
+        assert_eq!(episode.count(), 1);
+        assert!((episode.sum() - 0.006).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebuilt_hub_renders_byte_identical_exposition() {
+        let mut live = MetricsHub::new();
+        let mut agg = TraceAggregator::new(&mut live);
+        let mut jsonl = String::new();
+        for ev in sample_stream() {
+            agg.observe(&mut live, &ev);
+            jsonl.push_str(&ev.to_jsonl());
+            jsonl.push('\n');
+        }
+        // Interleave a non-event line, as a recorded session log would.
+        jsonl.push_str("{\"ok\":\"controller\"}\n");
+        assert_eq!(hub_from_jsonl(&jsonl).render(), live.render());
+    }
+
+    #[test]
+    fn empty_hubs_agree_on_the_full_series_set() {
+        let mut a = MetricsHub::new();
+        TraceAggregator::new(&mut a);
+        let b = hub_from_jsonl("");
+        assert_eq!(a.render(), b.render());
+        // Every strategy and phase label is present even with no traffic.
+        for s in STRATEGIES {
+            assert_eq!(
+                a.counter_named(SEARCH_STEPS_TOTAL, &[("strategy", s)]),
+                Some(0)
+            );
+        }
+        for p in PHASES {
+            assert!(a
+                .histogram_named(PHASE_SECONDS, &[("phase", p.name())])
+                .is_some());
+        }
+    }
+
+    #[test]
+    fn unknown_strategies_fold_into_the_unknown_label() {
+        let mut hub = MetricsHub::new();
+        let mut agg = TraceAggregator::new(&mut hub);
+        agg.observe(
+            &mut hub,
+            &event(
+                0,
+                0.0,
+                EventKind::SearchStep {
+                    strategy: "unknown",
+                    iteration: 0,
+                    score: 0.0,
+                    best: 0.0,
+                    accepted: false,
+                },
+            ),
+        );
+        assert_eq!(
+            hub.counter_named(SEARCH_STEPS_TOTAL, &[("strategy", "unknown")]),
+            Some(1)
+        );
+    }
+}

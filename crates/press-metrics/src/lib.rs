@@ -1,0 +1,724 @@
+//! Deterministic metrics for the PRESS stack: a registry, a trace→metrics
+//! aggregator, SLO derivation, and a Prometheus-text-format renderer.
+//!
+//! The control loop's operational invariants — does an episode fit the
+//! coherence budget, how often does verification revert, how stale is the
+//! surface — are *distributional* statements, and a long-running daemon
+//! needs them as a live telemetry surface, not a post-hoc CSV. This crate
+//! is that surface, built under the same discipline as the rest of the
+//! simulation stack:
+//!
+//! 1. **No ambient anything.** No wall clock, no atomics, no globals. The
+//!    [`MetricsHub`] is plain owned data; every timestamp it ever sees is
+//!    sim-time supplied by the caller.
+//! 2. **Exposition is a pure function of recorded values.** Families render
+//!    in `BTreeMap` name order, series in label order, floats in Rust's
+//!    shortest round-trip notation — two hubs that recorded the same values
+//!    render byte-identical text, regardless of registration order. The
+//!    format is fixpoint-tested like the pressd protocol:
+//!    [`parse_exposition`] ∘ [`render_exposition`] is the identity on
+//!    rendered output.
+//! 3. **One histogram implementation.** Distributions reuse
+//!    [`press_control::Histogram`] (exact count/sum/min/max alongside
+//!    fixed buckets) rather than duplicating quantile machinery.
+//!
+//! The hot path is handle-based: observers resolve a [`SeriesId`] once at
+//! registration and update through it without any lookups or allocation,
+//! so a live hub stays well under the press-trace overhead budget.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use press_control::Histogram;
+
+pub mod aggregate;
+pub mod slo;
+
+pub use aggregate::{
+    hub_from_jsonl, TraceAggregator, ACTUATIONS_TOTAL, ACTUATION_FAILED_TOTAL, ACTUATION_SECONDS,
+    APPLIED_TOTAL, BACKOFFS_TOTAL, BASIS_BUILDS_TOTAL, BASIS_ELEMENTS, BURST_TRANSITIONS_TOTAL,
+    EPISODES_TOTAL, EPISODE_REVERTS_TOTAL, EPISODE_SECONDS, FRAMES_TOTAL, GAVE_UP_TOTAL,
+    LAST_EPISODE_SCORE, MEASUREMENTS_TOTAL, PHASES, PHASE_SECONDS, SEARCH_STEPS_TOTAL, STRATEGIES,
+    TIMER_FIRED_TOTAL,
+};
+pub use slo::{SloInputs, SloSet};
+
+/// What a metric family measures: its Prometheus `# TYPE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing `u64`.
+    Counter,
+    /// A settable `f64` level.
+    Gauge,
+    /// A [`Histogram`] of `f64` observations.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Stable lowercase label used on `# TYPE` lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+
+    /// Inverse of [`label`](Self::label).
+    pub fn from_label(s: &str) -> Option<MetricKind> {
+        Some(match s {
+            "counter" => MetricKind::Counter,
+            "gauge" => MetricKind::Gauge,
+            "histogram" => MetricKind::Histogram,
+            _ => return None,
+        })
+    }
+}
+
+/// One recorded value.
+#[derive(Debug, Clone, PartialEq)]
+enum MetricValue {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Histogram),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Family {
+    name: String,
+    help: String,
+    kind: MetricKind,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Series {
+    family: usize,
+    labels: Vec<(String, String)>,
+    value: MetricValue,
+}
+
+/// Stable handle to one registered series. Obtained once at registration;
+/// updates through it are index lookups, no name hashing, no allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesId(usize);
+
+/// The deterministic metrics registry.
+///
+/// Families (name + help + kind) and series (family + label set + value)
+/// are registered up front and updated through [`SeriesId`] handles.
+/// [`render`](Self::render) produces the Prometheus text exposition as a
+/// pure function of the recorded values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsHub {
+    families: Vec<Family>,
+    series: Vec<Series>,
+}
+
+impl MetricsHub {
+    /// An empty registry.
+    pub fn new() -> MetricsHub {
+        MetricsHub::default()
+    }
+
+    /// Number of registered series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    fn register(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        value: MetricValue,
+    ) -> SeriesId {
+        let family = match self.families.iter().position(|f| f.name == name) {
+            Some(i) => {
+                assert!(
+                    self.families[i].kind == kind,
+                    "metric family `{name}` re-registered with a different kind"
+                );
+                i
+            }
+            None => {
+                self.families.push(Family {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    kind,
+                });
+                self.families.len() - 1
+            }
+        };
+        let owned: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        if let Some(i) = self
+            .series
+            .iter()
+            .position(|s| s.family == family && s.labels == owned)
+        {
+            return SeriesId(i);
+        }
+        self.series.push(Series {
+            family,
+            labels: owned,
+            value,
+        });
+        SeriesId(self.series.len() - 1)
+    }
+
+    /// Registers (or finds) a counter series starting at 0.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)]) -> SeriesId {
+        self.register(
+            name,
+            help,
+            labels,
+            MetricKind::Counter,
+            MetricValue::Counter(0),
+        )
+    }
+
+    /// Registers (or finds) a gauge series starting at 0.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)]) -> SeriesId {
+        self.register(
+            name,
+            help,
+            labels,
+            MetricKind::Gauge,
+            MetricValue::Gauge(0.0),
+        )
+    }
+
+    /// Registers (or finds) a histogram series with the given empty
+    /// prototype (normally [`Histogram::latency_grid`]).
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        proto: Histogram,
+    ) -> SeriesId {
+        self.register(
+            name,
+            help,
+            labels,
+            MetricKind::Histogram,
+            MetricValue::Histogram(proto),
+        )
+    }
+
+    /// Increments a counter by 1.
+    pub fn inc(&mut self, id: SeriesId) {
+        self.add(id, 1);
+    }
+
+    /// Increments a counter by `n`.
+    pub fn add(&mut self, id: SeriesId, n: u64) {
+        match &mut self.series[id.0].value {
+            MetricValue::Counter(c) => *c += n,
+            // press-lint: allow(panic-freedom) — a SeriesId is only minted by the typed register_* constructors, so a kind mismatch is a caller bug, not runtime input
+            _ => panic!("add() on a non-counter series"),
+        }
+    }
+
+    /// Sets a gauge.
+    pub fn set(&mut self, id: SeriesId, v: f64) {
+        match &mut self.series[id.0].value {
+            MetricValue::Gauge(g) => *g = v,
+            // press-lint: allow(panic-freedom) — same invariant as add(): handles are typed at registration
+            _ => panic!("set() on a non-gauge series"),
+        }
+    }
+
+    /// Records one histogram observation.
+    pub fn observe(&mut self, id: SeriesId, v: f64) {
+        match &mut self.series[id.0].value {
+            MetricValue::Histogram(h) => h.observe(v),
+            // press-lint: allow(panic-freedom) — same invariant as add(): handles are typed at registration
+            _ => panic!("observe() on a non-histogram series"),
+        }
+    }
+
+    /// Current value of a counter series.
+    pub fn counter_value(&self, id: SeriesId) -> u64 {
+        match &self.series[id.0].value {
+            MetricValue::Counter(c) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Current value of a gauge series.
+    pub fn gauge_value(&self, id: SeriesId) -> f64 {
+        match &self.series[id.0].value {
+            MetricValue::Gauge(g) => *g,
+            _ => 0.0,
+        }
+    }
+
+    /// The histogram behind a series, if it is one.
+    pub fn histogram_value(&self, id: SeriesId) -> Option<&Histogram> {
+        match &self.series[id.0].value {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Looks a series up by family name and exact label set.
+    pub fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<SeriesId> {
+        let family = self.families.iter().position(|f| f.name == name)?;
+        self.series
+            .iter()
+            .position(|s| {
+                s.family == family
+                    && s.labels.len() == labels.len()
+                    && s.labels
+                        .iter()
+                        .zip(labels)
+                        .all(|((k, v), (lk, lv))| k == lk && v == lv)
+            })
+            .map(SeriesId)
+    }
+
+    /// Counter value by name/labels (`None` when not registered).
+    pub fn counter_named(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.find(name, labels).map(|id| self.counter_value(id))
+    }
+
+    /// Gauge value by name/labels (`None` when not registered).
+    pub fn gauge_named(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.find(name, labels).map(|id| self.gauge_value(id))
+    }
+
+    /// Histogram by name/labels (`None` when not registered).
+    pub fn histogram_named(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Histogram> {
+        self.find(name, labels)
+            .and_then(|id| self.histogram_value(id))
+    }
+
+    /// Renders the Prometheus text exposition: families in name order,
+    /// series in label order, one `# HELP`/`# TYPE` pair per family.
+    /// A pure function of the recorded values — registration order never
+    /// shows through.
+    pub fn render(&self) -> String {
+        // Family names are unique (register() reuses by name), so the map
+        // is name → (family index, series indices).
+        let mut by_name: BTreeMap<&str, (usize, Vec<usize>)> = BTreeMap::new();
+        for (i, f) in self.families.iter().enumerate() {
+            by_name.insert(&f.name, (i, Vec::new()));
+        }
+        for (si, s) in self.series.iter().enumerate() {
+            if let Some((_, list)) = by_name.get_mut(self.families[s.family].name.as_str()) {
+                list.push(si);
+            }
+        }
+        let mut out = String::new();
+        for (name, (fi, mut sids)) in by_name {
+            let fam = &self.families[fi];
+            sids.sort_by(|a, b| self.series[*a].labels.cmp(&self.series[*b].labels));
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(&fam.help));
+            let _ = writeln!(out, "# TYPE {name} {}", fam.kind.label());
+            for si in sids {
+                let s = &self.series[si];
+                match &s.value {
+                    MetricValue::Counter(c) => {
+                        let _ = writeln!(out, "{name}{} {c}", render_labels(&s.labels, None));
+                    }
+                    MetricValue::Gauge(g) => {
+                        let _ = writeln!(out, "{name}{} {g}", render_labels(&s.labels, None));
+                    }
+                    MetricValue::Histogram(h) => {
+                        let mut cumulative = 0u64;
+                        for (bound, count) in h.buckets() {
+                            cumulative += count;
+                            let le = if bound.is_infinite() {
+                                "+Inf".to_string()
+                            } else {
+                                format!("{bound}")
+                            };
+                            let _ = writeln!(
+                                out,
+                                "{name}_bucket{} {cumulative}",
+                                render_labels(&s.labels, Some(&le))
+                            );
+                        }
+                        let _ = writeln!(
+                            out,
+                            "{name}_sum{} {}",
+                            render_labels(&s.labels, None),
+                            h.sum()
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{name}_count{} {}",
+                            render_labels(&s.labels, None),
+                            h.count()
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `{k="v",…}` with an optional trailing `le` label; empty string when
+/// there are no labels at all.
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut s = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{k}=\"{}\"", escape_label(v));
+    }
+    if let Some(le) = le {
+        if !labels.is_empty() {
+            s.push(',');
+        }
+        let _ = write!(s, "le=\"{le}\"");
+    }
+    s.push('}');
+    s
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Prometheus help-text escaping: backslash and newline.
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Exposition fixpoint: parse + re-render
+// ---------------------------------------------------------------------------
+
+/// A parsed sample value, keeping the integer/float distinction so
+/// re-rendering reproduces the original bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// Rendered as a bare `u64` (counters, bucket/count samples).
+    Int(u64),
+    /// Rendered with `f64` shortest round-trip `Display`.
+    Float(f64),
+}
+
+/// One parsed exposition line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExpoLine {
+    /// `# HELP name text`
+    Help {
+        /// Family name.
+        name: String,
+        /// Help text (still escaped form).
+        help: String,
+    },
+    /// `# TYPE name kind`
+    Type {
+        /// Family name.
+        name: String,
+        /// Family kind.
+        kind: MetricKind,
+    },
+    /// `name{labels} value`
+    Sample {
+        /// Series name (family name plus any `_bucket`/`_sum`/`_count`
+        /// suffix).
+        name: String,
+        /// Label pairs, in source order, values still escaped.
+        labels: Vec<(String, String)>,
+        /// The sample value.
+        value: SampleValue,
+    },
+}
+
+/// Parses a text exposition produced by [`MetricsHub::render`]. Returns
+/// `None` on any line that does not fit the grammar — the fixpoint tests
+/// treat that as a rendering bug.
+pub fn parse_exposition(text: &str) -> Option<Vec<ExpoLine>> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ')?;
+            out.push(ExpoLine::Help {
+                name: name.to_string(),
+                help: help.to_string(),
+            });
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest.split_once(' ')?;
+            out.push(ExpoLine::Type {
+                name: name.to_string(),
+                kind: MetricKind::from_label(kind)?,
+            });
+        } else {
+            out.push(parse_sample(line)?);
+        }
+    }
+    Some(out)
+}
+
+fn parse_sample(line: &str) -> Option<ExpoLine> {
+    let (head, value) = line.rsplit_once(' ')?;
+    let (name, labels) = match head.split_once('{') {
+        None => (head.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let inner = rest.strip_suffix('}')?;
+            let mut labels = Vec::new();
+            let mut rest = inner;
+            while !rest.is_empty() {
+                let (k, after) = rest.split_once("=\"")?;
+                // Label values are escaped, so a bare `"` terminates.
+                let mut end = None;
+                let mut prev_backslash = false;
+                for (i, c) in after.char_indices() {
+                    if c == '"' && !prev_backslash {
+                        end = Some(i);
+                        break;
+                    }
+                    prev_backslash = c == '\\' && !prev_backslash;
+                }
+                let end = end?;
+                labels.push((k.to_string(), after[..end].to_string()));
+                let tail = &after[end + 1..];
+                rest = match tail.strip_prefix(',') {
+                    Some(t) => t,
+                    None if tail.is_empty() => tail,
+                    None => return None, // missing comma between labels
+                };
+            }
+            (name.to_string(), labels)
+        }
+    };
+    let value = if value.bytes().all(|b| b.is_ascii_digit()) {
+        SampleValue::Int(value.parse().ok()?)
+    } else {
+        SampleValue::Float(value.parse().ok()?)
+    };
+    Some(ExpoLine::Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+/// Renders parsed exposition lines back to text. For any output of
+/// [`MetricsHub::render`], `render_exposition(&parse_exposition(text)?)`
+/// reproduces `text` byte-for-byte — the format's fixpoint property.
+pub fn render_exposition(lines: &[ExpoLine]) -> String {
+    let mut out = String::new();
+    for line in lines {
+        match line {
+            ExpoLine::Help { name, help } => {
+                let _ = writeln!(out, "# HELP {name} {help}");
+            }
+            ExpoLine::Type { name, kind } => {
+                let _ = writeln!(out, "# TYPE {name} {}", kind.label());
+            }
+            ExpoLine::Sample {
+                name,
+                labels,
+                value,
+            } => {
+                let rendered = if labels.is_empty() {
+                    String::new()
+                } else {
+                    let mut s = String::from("{");
+                    for (i, (k, v)) in labels.iter().enumerate() {
+                        if i > 0 {
+                            s.push(',');
+                        }
+                        let _ = write!(s, "{k}=\"{v}\"");
+                    }
+                    s.push('}');
+                    s
+                };
+                match value {
+                    SampleValue::Int(v) => {
+                        let _ = writeln!(out, "{name}{rendered} {v}");
+                    }
+                    SampleValue::Float(v) => {
+                        let _ = writeln!(out, "{name}{rendered} {v}");
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated_hub() -> MetricsHub {
+        let mut hub = MetricsHub::new();
+        let c = hub.counter("z_frames_total", "Frames on the wire.", &[("event", "tx")]);
+        let c2 = hub.counter(
+            "z_frames_total",
+            "Frames on the wire.",
+            &[("event", "lost")],
+        );
+        let g = hub.gauge("a_level", "Some level.", &[]);
+        let h = hub.histogram(
+            "m_latency_seconds",
+            "Latency distribution.",
+            &[],
+            Histogram::exponential(1e-3, 10.0, 3),
+        );
+        hub.add(c, 41);
+        hub.inc(c);
+        hub.inc(c2);
+        hub.set(g, 0.125);
+        for v in [5e-4, 5e-3, 0.05, 5.0] {
+            hub.observe(h, v);
+        }
+        hub
+    }
+
+    #[test]
+    fn families_render_in_name_order_with_sorted_series() {
+        let text = populated_hub().render();
+        let a = text.find("a_level").unwrap();
+        let m = text.find("m_latency_seconds").unwrap();
+        let z = text.find("z_frames_total").unwrap();
+        assert!(a < m && m < z, "{text}");
+        // Series within a family sort by label value, not insertion order.
+        let lost = text.find("event=\"lost\"").unwrap();
+        let tx = text.find("event=\"tx\"").unwrap();
+        assert!(lost < tx, "{text}");
+    }
+
+    #[test]
+    fn exposition_is_independent_of_registration_order() {
+        let mut other = MetricsHub::new();
+        let h = other.histogram(
+            "m_latency_seconds",
+            "Latency distribution.",
+            &[],
+            Histogram::exponential(1e-3, 10.0, 3),
+        );
+        let g = other.gauge("a_level", "Some level.", &[]);
+        let c2 = other.counter(
+            "z_frames_total",
+            "Frames on the wire.",
+            &[("event", "lost")],
+        );
+        let c = other.counter("z_frames_total", "Frames on the wire.", &[("event", "tx")]);
+        for v in [5e-4, 5e-3, 0.05, 5.0] {
+            other.observe(h, v);
+        }
+        other.set(g, 0.125);
+        other.add(c, 42);
+        other.inc(c2);
+        assert_eq!(populated_hub().render(), other.render());
+    }
+
+    #[test]
+    fn histogram_samples_are_cumulative_with_inf_bucket() {
+        let text = populated_hub().render();
+        let lines: Vec<String> = text
+            .lines()
+            .filter(|l| l.starts_with("m_latency_seconds"))
+            .map(|l| l.to_string())
+            .collect();
+        let sum = 5e-4 + 5e-3 + 0.05 + 5.0;
+        assert_eq!(
+            lines,
+            vec![
+                "m_latency_seconds_bucket{le=\"0.001\"} 1".to_string(),
+                "m_latency_seconds_bucket{le=\"0.01\"} 2".to_string(),
+                "m_latency_seconds_bucket{le=\"0.1\"} 3".to_string(),
+                "m_latency_seconds_bucket{le=\"+Inf\"} 4".to_string(),
+                format!("m_latency_seconds_sum {sum}"),
+                "m_latency_seconds_count 4".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn exposition_fixpoint_parse_then_render_is_identity() {
+        let text = populated_hub().render();
+        let parsed = parse_exposition(&text).expect("exposition must parse");
+        assert_eq!(render_exposition(&parsed), text);
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_lookups_agree() {
+        let mut hub = MetricsHub::new();
+        let a = hub.counter("x_total", "X.", &[("k", "v")]);
+        let b = hub.counter("x_total", "X.", &[("k", "v")]);
+        assert_eq!(a, b);
+        hub.inc(a);
+        hub.inc(b);
+        assert_eq!(hub.counter_value(a), 2);
+        assert_eq!(hub.counter_named("x_total", &[("k", "v")]), Some(2));
+        assert_eq!(hub.counter_named("x_total", &[]), None);
+        assert_eq!(hub.counter_named("y_total", &[]), None);
+        assert_eq!(hub.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn family_kind_conflicts_are_rejected() {
+        let mut hub = MetricsHub::new();
+        hub.counter("x_total", "X.", &[]);
+        hub.gauge("x_total", "X.", &[]);
+    }
+
+    #[test]
+    fn label_escaping_round_trips() {
+        let mut hub = MetricsHub::new();
+        let c = hub.counter("esc_total", "Escapes.", &[("who", "a\"b\\c\nd")]);
+        hub.inc(c);
+        let text = hub.render();
+        assert!(text.contains("who=\"a\\\"b\\\\c\\nd\""), "{text}");
+        let parsed = parse_exposition(&text).expect("escaped labels must parse");
+        assert_eq!(render_exposition(&parsed), text);
+    }
+
+    #[test]
+    fn empty_hub_renders_empty_exposition() {
+        assert_eq!(MetricsHub::new().render(), "");
+        assert_eq!(parse_exposition(""), Some(vec![]));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert_eq!(parse_exposition("no_value_here"), None);
+        assert_eq!(parse_exposition("x{unterminated 1"), None);
+        assert_eq!(parse_exposition("# TYPE x sparkline"), None);
+        assert_eq!(parse_exposition("x nan_is_not_a_number_spelling"), None);
+    }
+}

@@ -1,0 +1,136 @@
+//! Derived SLO series: the operational invariants of §4 of the paper as
+//! live gauges.
+//!
+//! The control loop's contract is distributional — *most* episodes fit the
+//! coherence budget, *few* revert, the surface stays *mostly* fresh — so
+//! the SLO layer publishes ratios derived from session counters rather
+//! than raw counts. Ratios with an empty denominator render as `0`, so a
+//! fresh session exposes the complete series set from its first scrape.
+
+use crate::{MetricsHub, SeriesId};
+
+/// Family name: fraction of episodes that finished within the coherence
+/// budget.
+pub const COHERENCE_RATIO: &str = "press_slo_coherence_compliance_ratio";
+/// Family name: episode slots skipped because an episode overran its
+/// budget (the slot scheduler's `deferred_total`).
+pub const DEFERRED_SLOTS: &str = "press_slo_deferred_slots";
+/// Family name: fraction of episodes that reverted to baseline.
+pub const REVERT_RATIO: &str = "press_slo_revert_ratio";
+/// Family name: stale elements per element-episode — how much of the
+/// surface each episode leaves out of the chosen configuration.
+pub const STALE_FRACTION: &str = "press_slo_stale_element_fraction";
+
+/// Raw inputs the SLO gauges are derived from. All cumulative except
+/// `deferred_slots`, which is the scheduler's running total.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SloInputs {
+    /// Episodes summarized so far.
+    pub episodes: u64,
+    /// Episodes that finished within the coherence budget.
+    pub within_coherence: u64,
+    /// Episodes that reverted to baseline.
+    pub reverts: u64,
+    /// Slot-scheduler deferrals booked so far.
+    pub deferred_slots: u64,
+    /// Stale elements summed over all episodes.
+    pub stale_elements: u64,
+    /// Σ per-episode element counts — the stale-fraction denominator.
+    pub element_episodes: u64,
+}
+
+/// Handle bundle for the four SLO gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloSet {
+    coherence: SeriesId,
+    deferred: SeriesId,
+    revert: SeriesId,
+    stale: SeriesId,
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl SloSet {
+    /// Registers the SLO gauge families on `hub`. Idempotent, like every
+    /// hub registration.
+    pub fn register(hub: &mut MetricsHub) -> SloSet {
+        SloSet {
+            coherence: hub.gauge(
+                COHERENCE_RATIO,
+                "Fraction of episodes that fit the coherence budget.",
+                &[],
+            ),
+            deferred: hub.gauge(
+                DEFERRED_SLOTS,
+                "Episode slots skipped because an episode overran its budget.",
+                &[],
+            ),
+            revert: hub.gauge(
+                REVERT_RATIO,
+                "Fraction of episodes that reverted to baseline.",
+                &[],
+            ),
+            stale: hub.gauge(STALE_FRACTION, "Stale elements per element-episode.", &[]),
+        }
+    }
+
+    /// Recomputes every gauge from the given inputs. Pure in the inputs:
+    /// the same `SloInputs` always yields the same four gauge values.
+    pub fn update(&self, hub: &mut MetricsHub, inputs: &SloInputs) {
+        hub.set(
+            self.coherence,
+            ratio(inputs.within_coherence, inputs.episodes),
+        );
+        hub.set(self.deferred, inputs.deferred_slots as f64);
+        hub.set(self.revert, ratio(inputs.reverts, inputs.episodes));
+        hub.set(
+            self.stale,
+            ratio(inputs.stale_elements, inputs.element_episodes),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_default_to_zero_without_episodes() {
+        let mut hub = MetricsHub::new();
+        let slo = SloSet::register(&mut hub);
+        slo.update(&mut hub, &SloInputs::default());
+        assert_eq!(hub.gauge_named(COHERENCE_RATIO, &[]), Some(0.0));
+        assert_eq!(hub.gauge_named(REVERT_RATIO, &[]), Some(0.0));
+        assert_eq!(hub.gauge_named(STALE_FRACTION, &[]), Some(0.0));
+        assert_eq!(hub.gauge_named(DEFERRED_SLOTS, &[]), Some(0.0));
+    }
+
+    #[test]
+    fn gauges_are_pure_in_the_inputs() {
+        let inputs = SloInputs {
+            episodes: 8,
+            within_coherence: 6,
+            reverts: 2,
+            deferred_slots: 3,
+            stale_elements: 4,
+            element_episodes: 32,
+        };
+        let mut hub = MetricsHub::new();
+        let slo = SloSet::register(&mut hub);
+        slo.update(&mut hub, &inputs);
+        assert_eq!(hub.gauge_named(COHERENCE_RATIO, &[]), Some(0.75));
+        assert_eq!(hub.gauge_named(DEFERRED_SLOTS, &[]), Some(3.0));
+        assert_eq!(hub.gauge_named(REVERT_RATIO, &[]), Some(0.25));
+        assert_eq!(hub.gauge_named(STALE_FRACTION, &[]), Some(0.125));
+        // Re-applying the same inputs changes nothing (idempotent update).
+        let before = hub.render();
+        slo.update(&mut hub, &inputs);
+        assert_eq!(hub.render(), before);
+    }
+}

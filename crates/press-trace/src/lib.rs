@@ -371,7 +371,7 @@ impl Event {
     /// Parses one JSON line produced by [`Event::to_jsonl`]. Returns `None`
     /// on anything malformed or with an unknown `kind`.
     pub fn from_jsonl(line: &str) -> Option<Event> {
-        let fields = parse_flat_object(line.trim())?;
+        let fields = parse_flat_json(line.trim())?;
         let get = |k: &str| {
             fields
                 .iter()
@@ -474,7 +474,13 @@ impl Event {
 /// Splits a flat one-level JSON object (no nesting, no escapes — all our
 /// string values are static labels) into `(key, raw_value)` pairs with string
 /// quotes stripped from values.
-fn parse_flat_object(line: &str) -> Option<Vec<(String, String)>> {
+///
+/// This is the stack's shared line-oriented JSON reader: [`Event::from_jsonl`]
+/// is built on it, and downstream consumers (the press-metrics trace
+/// aggregator, pressd session rebuilds) use it to pick fields out of summary
+/// lines that are not trace events. Returns `None` on anything that is not a
+/// single flat object.
+pub fn parse_flat_json(line: &str) -> Option<Vec<(String, String)>> {
     let inner = line.strip_prefix('{')?.strip_suffix('}')?;
     let mut out = Vec::new();
     let mut rest = inner;

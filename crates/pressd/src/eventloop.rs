@@ -28,6 +28,7 @@ use press_trace::{MemorySink, TailSink, TraceSink, Tracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::metrics::{EpisodeObs, SessionMetrics};
 use crate::protocol::{
     objective_label, parse_line, ControllerSpec, Diagnostic, Line, Query, SpaceSpec,
 };
@@ -65,6 +66,9 @@ pub struct EventLoop {
     deferred: u64,
     lines_in: u64,
     errors: u64,
+    /// Live metrics: fed the same structured observations a log rebuild
+    /// parses back out of the session output.
+    metrics: SessionMetrics,
 }
 
 impl Default for EventLoop {
@@ -95,6 +99,7 @@ impl EventLoop {
             deferred: 0,
             lines_in: 0,
             errors: 0,
+            metrics: SessionMetrics::new(),
         }
     }
 
@@ -121,6 +126,17 @@ impl EventLoop {
     /// Malformed lines rejected with a diagnostic.
     pub fn errors(&self) -> u64 {
         self.errors
+    }
+
+    /// The session's metrics state (read side).
+    pub fn metrics(&self) -> &SessionMetrics {
+        &self.metrics
+    }
+
+    /// The current Prometheus text exposition — what the `metrics` verb
+    /// returns.
+    pub fn metrics_exposition(&self) -> String {
+        self.metrics.render()
     }
 
     /// Processes one raw protocol line, appending every output JSONL line
@@ -162,8 +178,8 @@ impl EventLoop {
     }
 
     /// A setup directive resets the session: fresh engine, fresh schedule.
-    /// The trace tail and line counters survive so an operator can still
-    /// inspect what led up to the reset.
+    /// The trace tail, line counters, and metrics hub survive so an
+    /// operator can still inspect what led up to the reset.
     fn rebuild(&mut self) {
         self.engine =
             EpisodeEngine::new(self.controller_spec.build(), build_space(&self.space_spec));
@@ -174,6 +190,7 @@ impl EventLoop {
 
     fn push_error(&mut self, d: &Diagnostic, out: &mut Vec<String>) {
         self.errors += 1;
+        self.metrics.observe_error();
         out.push(format!("{{\"error\":{}}}", json_string(&d.message)));
     }
 
@@ -210,6 +227,9 @@ impl EventLoop {
                 let skip = lines.len().saturating_sub(n);
                 out.extend(lines.into_iter().skip(skip));
             }
+            Query::Metrics => {
+                out.extend(self.metrics.render().lines().map(str::to_string));
+            }
         }
     }
 
@@ -232,8 +252,19 @@ impl EventLoop {
         {
             let start = slot as f64 * self.engine.controller().coherence_budget_s;
             self.advance_schedule(slot, report.elapsed_s);
+            self.metrics.observe_episode(&EpisodeObs {
+                within_coherence: report.within_coherence,
+                reverted: report.reverted,
+                stale_elements: report.stale_elements as u64,
+                deferred_total: self.deferred,
+            });
             out.push(self.render_episode(*episode, report, metrics, slot, start));
         } else {
+            match &ev {
+                EngineEvent::ChurnApplied { .. } => self.metrics.observe_churn(),
+                EngineEvent::Rejected { .. } => self.metrics.observe_error(),
+                _ => {}
+            }
             out.push(self.render_event(&ev));
         }
     }
@@ -245,6 +276,7 @@ impl EventLoop {
         let events = std::mem::take(&mut self.tracer.sink_mut().events);
         for tev in &events {
             self.tail.record(tev);
+            self.metrics.observe_event(tev);
             out.push(tev.to_jsonl());
         }
         ev
@@ -301,7 +333,7 @@ impl EventLoop {
             EngineEvent::FaultArmed { ideal } => {
                 format!("{{\"ev\":\"fault\",\"ideal\":{ideal}}}")
             }
-            EngineEvent::Snapshot(snap) => render_snapshot(snap),
+            EngineEvent::Snapshot(snap) => self.render_snapshot(snap),
             EngineEvent::Rejected { reason } => {
                 format!("{{\"error\":{}}}", json_string(reason))
             }
@@ -344,38 +376,43 @@ impl EventLoop {
         );
         s
     }
-}
 
-fn render_snapshot(snap: &EngineSnapshot) -> String {
-    let mut s = String::with_capacity(192);
-    let _ = write!(
-        s,
-        "{{\"ev\":\"snapshot\",\"commands\":{},\"episodes\":{},\"live_links\":[",
-        snap.commands, snap.episodes
-    );
-    for (i, (id, label, score)) in snap.live_links.iter().enumerate() {
-        if i > 0 {
-            s.push(',');
+    /// Status/snapshot line. Engine state first, then scheduler health:
+    /// `deferred_total` (slots lost to overruns) and `trace_seq` (events
+    /// emitted so far — the dedup cursor a metrics rebuild gates on).
+    fn render_snapshot(&self, snap: &EngineSnapshot) -> String {
+        let mut s = String::with_capacity(192);
+        let _ = write!(
+            s,
+            "{{\"ev\":\"snapshot\",\"commands\":{},\"episodes\":{},\"live_links\":[",
+            snap.commands, snap.episodes
+        );
+        for (i, (id, label, score)) in snap.live_links.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "[{},{},{}]", id.0, json_string(label), score);
         }
-        let _ = write!(s, "[{},{},{}]", id.0, json_string(label), score);
+        let _ = write!(
+            s,
+            "],\"last_score\":{},\"last_within_coherence\":{},\"faults_ideal\":{},\
+             \"coherence_budget_s\":{},\"strategy\":{},\"deferred_total\":{},\"trace_seq\":{}}}",
+            match snap.last_score {
+                Some(v) => v.to_string(),
+                None => "null".to_string(),
+            },
+            match snap.last_within_coherence {
+                Some(v) => v.to_string(),
+                None => "null".to_string(),
+            },
+            snap.faults_ideal,
+            snap.coherence_budget_s,
+            json_string(snap.strategy),
+            self.deferred,
+            self.tracer.seq(),
+        );
+        s
     }
-    let _ = write!(
-        s,
-        "],\"last_score\":{},\"last_within_coherence\":{},\"faults_ideal\":{},\
-         \"coherence_budget_s\":{},\"strategy\":{}}}",
-        match snap.last_score {
-            Some(v) => v.to_string(),
-            None => "null".to_string(),
-        },
-        match snap.last_within_coherence {
-            Some(v) => v.to_string(),
-            None => "null".to_string(),
-        },
-        snap.faults_ideal,
-        snap.coherence_budget_s,
-        json_string(snap.strategy),
-    );
-    s
 }
 
 /// JSON string literal with the usual escapes.

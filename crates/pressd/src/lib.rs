@@ -7,6 +7,8 @@
 //!   panics on malformed input);
 //! * [`eventloop`] — the deterministic session core: commands in, JSONL
 //!   out, episodes scheduled on the coherence-budget slot grid;
+//! * [`metrics`] — the session [`press_metrics::MetricsHub`]: live
+//!   observation and byte-identical rebuild from recorded output;
 //! * [`replay`] — byte-identical reproduction of a recorded session;
 //! * [`shell`] — the only impure layer: stdin/stdout, Unix socket, and
 //!   stderr wall-clock diagnostics (the press-lint `daemon_shell`
@@ -16,11 +18,13 @@
 #![warn(missing_docs)]
 
 pub mod eventloop;
+pub mod metrics;
 pub mod protocol;
 pub mod replay;
 pub mod shell;
 
 pub use eventloop::{build_space, run_session, EventLoop, DEFAULT_TAIL_CAPACITY};
+pub use metrics::{EpisodeObs, SessionMetrics};
 pub use protocol::{
     objective_label, parse_line, render_command, render_controller, render_space, ActuationKind,
     ControllerSpec, Diagnostic, Line, Query, SpaceSpec,

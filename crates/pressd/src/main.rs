@@ -26,6 +26,7 @@ usage:
   pressd links --socket PATH         registered links and their current scores
   pressd episode --socket PATH       run one optimization episode
   pressd trace-tail [N] --socket PATH   last N retained trace lines
+  pressd metrics --socket PATH       Prometheus text exposition of session metrics
   pressd fault-inject ARGS... --socket PATH   arm a fault plan (fault-line syntax)
   pressd quit --socket PATH          shut a running daemon down
 
@@ -91,6 +92,7 @@ fn run(args: &[String]) -> i32 {
         },
         Some((&"status", [])) => client(socket.as_deref(), "status"),
         Some((&"links", [])) => client(socket.as_deref(), "links"),
+        Some((&"metrics", [])) => client(socket.as_deref(), "metrics"),
         Some((&"episode", [])) => client(socket.as_deref(), "episode"),
         Some((&"trace-tail", rest)) => match rest {
             [] => client(socket.as_deref(), "trace-tail"),

@@ -1,0 +1,261 @@
+//! Session-level metrics: the daemon's [`MetricsHub`] plus the glue that
+//! keeps a live hub and a log-rebuilt hub byte-identical.
+//!
+//! Two code paths feed the same observe calls:
+//!
+//! * **Live** — the event loop hands over every trace event it drains from
+//!   the engine, every episode summary it renders, every churn round and
+//!   every error line, as structured data, in output order.
+//! * **Rebuild** — [`SessionMetrics::from_session_output`] parses a
+//!   recorded session's *output* lines back into those same calls.
+//!
+//! Because both paths start from the same pre-registered series set (the
+//! [`TraceAggregator`] and [`SloSet`] constructors register every family
+//! up front) and make identical observe calls in identical order, the two
+//! hubs render byte-identical Prometheus text — the replay-consistency
+//! property PR 9 established for event output, extended to metrics.
+//!
+//! One wrinkle: a `trace-tail` query copies retained trace lines into the
+//! session output, so a rebuild would see those events twice. Trace
+//! sequence numbers are session-monotonic (the tracer survives engine
+//! rebuilds), so [`observe_event`](SessionMetrics::observe_event) simply
+//! skips any event whose `seq` it has already consumed.
+
+use press_metrics::{MetricsHub, SeriesId, SloInputs, SloSet, TraceAggregator};
+use press_trace::{parse_flat_json, Event};
+
+/// Family name: protocol lines rejected with an error reply.
+pub const SESSION_ERRORS_TOTAL: &str = "press_session_errors_total";
+/// Family name: link churn rounds applied.
+pub const CHURN_ROUNDS_TOTAL: &str = "press_churn_rounds_total";
+
+/// One episode summary, as the event loop renders it (the subset the SLO
+/// derivation needs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpisodeObs {
+    /// Did the episode fit the coherence budget?
+    pub within_coherence: bool,
+    /// Did verification revert it?
+    pub reverted: bool,
+    /// Elements left stale (realized ≠ chosen).
+    pub stale_elements: u64,
+    /// The scheduler's running deferral total at summary time.
+    pub deferred_total: u64,
+}
+
+/// The daemon's metrics state: hub, aggregator, SLO set, and the seq gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionMetrics {
+    hub: MetricsHub,
+    agg: TraceAggregator,
+    slo: SloSet,
+    errors: SeriesId,
+    churn_rounds: SeriesId,
+    /// First trace sequence number not yet consumed — the dedup gate for
+    /// `trace-tail` replays of already-observed events.
+    next_seq: u64,
+    inputs: SloInputs,
+}
+
+impl Default for SessionMetrics {
+    fn default() -> Self {
+        SessionMetrics::new()
+    }
+}
+
+impl SessionMetrics {
+    /// A fresh metrics state with the complete series set registered (all
+    /// zeros). Two fresh instances render identical exposition.
+    pub fn new() -> SessionMetrics {
+        let mut hub = MetricsHub::new();
+        let agg = TraceAggregator::new(&mut hub);
+        let slo = SloSet::register(&mut hub);
+        let errors = hub.counter(
+            SESSION_ERRORS_TOTAL,
+            "Protocol lines rejected with an error reply.",
+            &[],
+        );
+        let churn_rounds = hub.counter(CHURN_ROUNDS_TOTAL, "Link churn rounds applied.", &[]);
+        let mut m = SessionMetrics {
+            hub,
+            agg,
+            slo,
+            errors,
+            churn_rounds,
+            next_seq: 0,
+            inputs: SloInputs::default(),
+        };
+        m.slo.update(&mut m.hub, &m.inputs);
+        m
+    }
+
+    /// Folds one trace event in. Events whose `seq` was already consumed
+    /// (trace-tail replays) are skipped.
+    pub fn observe_event(&mut self, ev: &Event) {
+        if ev.seq < self.next_seq {
+            return;
+        }
+        self.next_seq = ev.seq + 1;
+        self.agg.observe(&mut self.hub, ev);
+    }
+
+    /// Folds one episode summary in and refreshes the SLO gauges.
+    pub fn observe_episode(&mut self, obs: &EpisodeObs) {
+        self.inputs.episodes += 1;
+        self.inputs.within_coherence += u64::from(obs.within_coherence);
+        self.inputs.reverts += u64::from(obs.reverted);
+        self.inputs.stale_elements += obs.stale_elements;
+        self.inputs.element_episodes += self.agg.last_basis_elements();
+        self.inputs.deferred_slots = obs.deferred_total;
+        self.slo.update(&mut self.hub, &self.inputs);
+    }
+
+    /// Counts one applied churn round.
+    pub fn observe_churn(&mut self) {
+        self.hub.inc(self.churn_rounds);
+    }
+
+    /// Counts one rejected protocol line (parse error or engine refusal).
+    pub fn observe_error(&mut self) {
+        self.hub.inc(self.errors);
+    }
+
+    /// The Prometheus text exposition of everything observed so far.
+    pub fn render(&self) -> String {
+        self.hub.render()
+    }
+
+    /// The hub (read side) — for tests and the SLO getters.
+    pub fn hub(&self) -> &MetricsHub {
+        &self.hub
+    }
+
+    /// Rebuilds the metrics state from a recorded session's *output*
+    /// lines. Renders byte-identically to the live hub that produced the
+    /// output (see module docs).
+    pub fn from_session_output<'a>(lines: impl IntoIterator<Item = &'a str>) -> SessionMetrics {
+        let mut m = SessionMetrics::new();
+        for line in lines {
+            m.observe_output_line(line);
+        }
+        m
+    }
+
+    /// Folds one recorded output line into the rebuild. Lines that carry
+    /// no metrics signal (snapshots, link lists, ok acknowledgements,
+    /// exposition text) are ignored.
+    pub fn observe_output_line(&mut self, line: &str) {
+        if let Some(ev) = Event::from_jsonl(line) {
+            self.observe_event(&ev);
+        } else if line.starts_with("{\"ev\":\"episode\"") {
+            if let Some(obs) = parse_episode_line(line) {
+                self.observe_episode(&obs);
+            }
+        } else if line.starts_with("{\"ev\":\"churn\"") {
+            self.observe_churn();
+        } else if line.starts_with("{\"error\"") {
+            self.observe_error();
+        }
+    }
+}
+
+/// Picks the SLO-relevant fields out of a rendered episode summary line.
+fn parse_episode_line(line: &str) -> Option<EpisodeObs> {
+    let fields = parse_flat_json(line)?;
+    let get = |k: &str| {
+        fields
+            .iter()
+            .find(|(key, _)| key == k)
+            .map(|(_, v)| v.as_str())
+    };
+    Some(EpisodeObs {
+        within_coherence: get("within_coherence")?.parse().ok()?,
+        reverted: get("reverted")?.parse().ok()?,
+        stale_elements: get("stale_elements")?.parse().ok()?,
+        deferred_total: get("deferred_total")?.parse().ok()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use press_metrics::{slo, EPISODES_TOTAL, FRAMES_TOTAL};
+    use press_trace::EventKind;
+
+    fn frame_event(seq: u64) -> Event {
+        Event {
+            seq,
+            t_s: 0.0,
+            wall_s: None,
+            kind: EventKind::FrameTx {
+                element: 0,
+                attempt: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn fresh_instances_render_identically() {
+        assert_eq!(
+            SessionMetrics::new().render(),
+            SessionMetrics::new().render()
+        );
+        assert!(!SessionMetrics::new().render().is_empty());
+    }
+
+    #[test]
+    fn seq_gate_skips_replayed_events() {
+        let mut m = SessionMetrics::new();
+        m.observe_event(&frame_event(0));
+        m.observe_event(&frame_event(1));
+        // A trace-tail replay re-delivers the same lines; both are gated.
+        m.observe_event(&frame_event(0));
+        m.observe_event(&frame_event(1));
+        m.observe_event(&frame_event(2));
+        assert_eq!(
+            m.hub().counter_named(FRAMES_TOTAL, &[("event", "tx")]),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn episode_summaries_drive_the_slo_gauges() {
+        let mut m = SessionMetrics::new();
+        m.observe_episode(&EpisodeObs {
+            within_coherence: true,
+            reverted: false,
+            stale_elements: 0,
+            deferred_total: 0,
+        });
+        m.observe_episode(&EpisodeObs {
+            within_coherence: false,
+            reverted: true,
+            stale_elements: 1,
+            deferred_total: 2,
+        });
+        assert_eq!(m.hub().gauge_named(slo::COHERENCE_RATIO, &[]), Some(0.5));
+        assert_eq!(m.hub().gauge_named(slo::REVERT_RATIO, &[]), Some(0.5));
+        assert_eq!(m.hub().gauge_named(slo::DEFERRED_SLOTS, &[]), Some(2.0));
+    }
+
+    #[test]
+    fn rebuild_parses_summary_churn_and_error_lines() {
+        let output = [
+            "{\"seq\":0,\"t_s\":0,\"kind\":\"episode_start\",\"seed\":1,\"links\":1,\"strategy\":\"greedy\"}",
+            "{\"seq\":1,\"t_s\":0.5,\"kind\":\"episode_end\",\"score\":2,\"measurements\":4,\"reverted\":false}",
+            "{\"ev\":\"episode\",\"episode\":0,\"slot\":0,\"start_s\":0,\"elapsed_s\":0.5,\
+             \"within_coherence\":true,\"deferred_total\":0,\"baseline_score\":1,\"chosen_score\":2,\
+             \"measurements\":4,\"reverted\":false,\"stale_elements\":0,\"actuation_frames\":0,\
+             \"actuation_retries\":0,\"frames_tx\":0,\"frames_lost\":0,\"acks_rx\":0,\"retries\":0,\
+             \"failed_elements\":0}",
+            "{\"ev\":\"churn\",\"link\":0,\"live_links\":1}",
+            "{\"error\":\"unknown command `bogus`\"}",
+            "{\"ok\":\"space\",\"lab_seed\":17,\"elements\":2,\"element_seed\":4}",
+        ];
+        let m = SessionMetrics::from_session_output(output.iter().copied());
+        assert_eq!(m.hub().counter_named(EPISODES_TOTAL, &[]), Some(1));
+        assert_eq!(m.hub().counter_named(CHURN_ROUNDS_TOTAL, &[]), Some(1));
+        assert_eq!(m.hub().counter_named(SESSION_ERRORS_TOTAL, &[]), Some(1));
+        assert_eq!(m.hub().gauge_named(slo::COHERENCE_RATIO, &[]), Some(1.0));
+    }
+}

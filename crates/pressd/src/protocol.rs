@@ -4,8 +4,8 @@
 //! (`space …`, `controller …`) configuring the session, an *engine command*
 //! (`measure`, `episode`, `snapshot`, `churn …`, `fault …`) mapped onto
 //! [`EngineCommand`], or a *loop query* (`status`, `links`,
-//! `trace-tail [n]`) answered by the event loop without touching the
-//! engine. Blank lines and `#` comments are ignored.
+//! `trace-tail [n]`, `metrics`) answered by the event loop without
+//! touching the engine. Blank lines and `#` comments are ignored.
 //!
 //! The grammar is `verb [key=value]…` with whitespace-separated tokens;
 //! vectors are `x,y,z` or `x,y,z@vx,vy,vz`, floats use Rust's shortest
@@ -139,6 +139,8 @@ pub enum Query {
     Links,
     /// The last `n` retained trace lines.
     TraceTail(usize),
+    /// The Prometheus text exposition of the session metrics.
+    Metrics,
 }
 
 /// One successfully parsed protocol line.
@@ -337,6 +339,7 @@ pub fn parse_line(raw: &str) -> Result<Line, Diagnostic> {
         "snapshot" => expect_bare(verb, rest, Line::Command(EngineCommand::Snapshot)),
         "status" => expect_bare(verb, rest, Line::Query(Query::Status)),
         "links" => expect_bare(verb, rest, Line::Query(Query::Links)),
+        "metrics" => expect_bare(verb, rest, Line::Query(Query::Metrics)),
         "trace-tail" => match rest {
             [] => Ok(Line::Query(Query::TraceTail(usize::MAX))),
             [n] => Ok(Line::Query(Query::TraceTail(parse_int(verb, "n", n)?))),
@@ -412,7 +415,7 @@ pub fn parse_line(raw: &str) -> Result<Line, Diagnostic> {
         "fault" => parse_fault(rest),
         other => Err(Diagnostic::new(format!(
             "unknown command `{other}` (measure, episode, snapshot, status, links, \
-             trace-tail, space, controller, churn, fault)"
+             trace-tail, metrics, space, controller, churn, fault)"
         ))),
     }
 }

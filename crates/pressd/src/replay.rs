@@ -1,7 +1,7 @@
 //! Deterministic replay: a recorded command log in, the session's exact
 //! output stream back out.
 //!
-//! Because [`EventLoop`](crate::eventloop::EventLoop) is pure — no wall
+//! Because [`EventLoop`] is pure — no wall
 //! clock, no ambient entropy, no I/O — replaying a log reproduces the
 //! live session's JSONL byte-for-byte. CI pins this by running the same
 //! log twice and diffing the outputs.

@@ -1,0 +1,134 @@
+//! The metrics surface: the `metrics` verb renders deterministic
+//! Prometheus text, and a hub rebuilt from a recorded session's output
+//! renders byte-identically to the live hub that produced it.
+
+use pressd::{EventLoop, SessionMetrics};
+
+const SETUP: &[&str] = &[
+    "space lab-seed=17 elements=3 element-seed=4",
+    "controller strategy=exhaustive objective=max-min-snr seed=3 budget-s=0.08 frames=2 actuation=ism",
+    "churn assoc label=lab obj=max-min-snr w=1 tx=7,5,1.5 rx=6.8,4,1.5 carrier=2462000000",
+];
+
+fn run(lines: &[&str]) -> (EventLoop, Vec<String>) {
+    let mut el = EventLoop::new();
+    let mut out = Vec::new();
+    for line in lines {
+        el.handle_line(line, &mut out);
+    }
+    (el, out)
+}
+
+#[test]
+fn metrics_verb_renders_deterministic_ordered_exposition() {
+    let mut lines = SETUP.to_vec();
+    lines.extend(["measure", "episode", "metrics"]);
+    let (_, out_a) = run(&lines);
+    let (_, out_b) = run(&lines);
+    assert_eq!(out_a, out_b, "metrics output must be deterministic");
+    // The exposition is the block after the episode summary line.
+    let start = out_a
+        .iter()
+        .position(|l| l.starts_with("# HELP"))
+        .expect("metrics verb must render HELP lines");
+    let expo: Vec<&String> = out_a[start..].iter().collect();
+    // Families arrive in BTreeMap name order.
+    let family_lines: Vec<&str> = expo
+        .iter()
+        .filter(|l| l.starts_with("# TYPE "))
+        .map(|l| l.as_str())
+        .collect();
+    let mut sorted = family_lines.clone();
+    sorted.sort_unstable();
+    assert_eq!(family_lines, sorted, "families must render in name order");
+    // The episode actually registered.
+    assert!(
+        expo.iter().any(|l| l.as_str() == "press_episodes_total 1"),
+        "{expo:?}"
+    );
+}
+
+#[test]
+fn live_exposition_matches_rebuild_from_recorded_output() {
+    for seed_line in [
+        "controller strategy=exhaustive objective=max-min-snr seed=0 budget-s=0.08 frames=2 actuation=ism",
+        "controller strategy=random:6 objective=max-min-snr seed=3 budget-s=0.08 frames=2 actuation=wired",
+        "controller strategy=annealing:8 objective=flatness seed=17 budget-s=10 frames=2 actuation=ism",
+    ] {
+        let lines = vec![
+            SETUP[0],
+            seed_line,
+            SETUP[2],
+            "measure",
+            "episode",
+            "episode",
+            "status",
+            "trace-tail 8", // replays already-observed events into the output
+            "bogus-verb",   // error lines count in both paths
+            "episode",
+        ];
+        let (el, out) = run(&lines);
+        let rebuilt = SessionMetrics::from_session_output(out.iter().map(String::as_str));
+        assert_eq!(
+            el.metrics_exposition(),
+            rebuilt.render(),
+            "live and rebuilt exposition diverged for `{seed_line}`"
+        );
+    }
+}
+
+#[test]
+fn trace_tail_replay_does_not_double_count() {
+    let mut lines = SETUP.to_vec();
+    lines.extend(["episode", "metrics"]);
+    let (el_plain, _) = run(&lines);
+
+    let mut with_tail = SETUP.to_vec();
+    with_tail.extend(["episode", "trace-tail", "trace-tail", "metrics"]);
+    let (el_tail, out) = run(&with_tail);
+
+    // Tail queries change the output stream but not the metrics.
+    assert_eq!(el_plain.metrics_exposition(), el_tail.metrics_exposition());
+    // And the rebuild over the tail-bearing output still matches.
+    let rebuilt = SessionMetrics::from_session_output(out.iter().map(String::as_str));
+    assert_eq!(el_tail.metrics_exposition(), rebuilt.render());
+}
+
+#[test]
+fn metrics_survive_setup_directives_like_the_tail() {
+    let mut lines = SETUP.to_vec();
+    lines.extend([
+        "episode",
+        "space lab-seed=17 elements=2 element-seed=4",
+        "metrics",
+    ]);
+    let (el, out) = run(&lines);
+    assert!(
+        el.metrics_exposition().contains("press_episodes_total 1"),
+        "a directive reset must not wipe the metrics hub"
+    );
+    let rebuilt = SessionMetrics::from_session_output(out.iter().map(String::as_str));
+    assert_eq!(el.metrics_exposition(), rebuilt.render());
+}
+
+#[test]
+fn status_line_carries_scheduler_health_fields() {
+    let mut lines = SETUP.to_vec();
+    lines.extend(["episode", "status"]);
+    let (el, out) = run(&lines);
+    let status = out
+        .iter()
+        .rev()
+        .find(|l| l.starts_with("{\"ev\":\"snapshot\""))
+        .expect("status must render a snapshot line");
+    assert!(
+        status.contains(&format!("\"deferred_total\":{}", el.deferred())),
+        "{status}"
+    );
+    let trace_seq: u64 = status
+        .split("\"trace_seq\":")
+        .nth(1)
+        .and_then(|s| s.trim_end_matches('}').parse().ok())
+        .expect("snapshot must carry trace_seq");
+    assert!(trace_seq > 0, "an episode must have emitted trace events");
+}

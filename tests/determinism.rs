@@ -312,6 +312,102 @@ fn legacy_space_and_churn_entry_points_match_pre_refactor_pins() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Metrics exposition: a pure function of the recorded stream.
+// ---------------------------------------------------------------------------
+
+/// The trace→metrics aggregator inherits the invariant: the same lossy
+/// episode traced twice must rebuild into hubs whose Prometheus text
+/// exposition is byte-identical — the metrics layer adds no
+/// nondeterminism of its own on top of the trace bytes it consumes.
+#[test]
+fn same_seed_trace_rebuilds_byte_identical_exposition() {
+    use press::trace::{MemorySink, Tracer};
+    use press_metrics::hub_from_jsonl;
+    let rig = press::rig::fig4_rig(2);
+    for seed in [0u64, 3, 17] {
+        let mut ta = Tracer::new(MemorySink::new());
+        let mut tb = Tracer::new(MemorySink::new());
+        lossy_controller(seed).run_episode_traced(&rig.system, &rig.sounder, None, &mut ta);
+        lossy_controller(seed).run_episode_traced(&rig.system, &rig.sounder, None, &mut tb);
+        let expo_a = hub_from_jsonl(&ta.sink().to_jsonl_without_wall()).render();
+        let expo_b = hub_from_jsonl(&tb.sink().to_jsonl_without_wall()).render();
+        assert_eq!(
+            expo_a.as_bytes(),
+            expo_b.as_bytes(),
+            "seed {seed}: exposition bytes diverged"
+        );
+        assert!(
+            expo_a.contains("press_episodes_total 1"),
+            "seed {seed}: the episode must register in the rebuilt hub"
+        );
+    }
+}
+
+/// The daemon's live hub and a hub rebuilt from the session's recorded
+/// output render byte-identical exposition across seeds — closing the
+/// loop between live observation and post-mortem aggregation through the
+/// full pressd session surface (directives, queries, error lines and
+/// trace-tail replays included).
+#[test]
+fn live_session_exposition_matches_trace_rebuilt_exposition() {
+    use pressd::{EventLoop, SessionMetrics};
+    for seed in [0u64, 3, 17] {
+        let controller = format!(
+            "controller strategy=exhaustive objective=max-min-snr seed={seed} \
+             budget-s=0.08 frames=2 actuation=ism"
+        );
+        let lines = [
+            "space lab-seed=17 elements=3 element-seed=4",
+            controller.as_str(),
+            "churn assoc label=lab obj=max-min-snr w=1 tx=7,5,1.5 rx=6.8,4,1.5 carrier=2462000000",
+            "measure",
+            "episode",
+            "trace-tail 6",
+            "episode",
+            "status",
+        ];
+        let mut el = EventLoop::new();
+        let mut out = Vec::new();
+        for line in lines {
+            el.handle_line(line, &mut out);
+        }
+        let rebuilt = SessionMetrics::from_session_output(out.iter().map(String::as_str));
+        assert_eq!(
+            el.metrics_exposition().as_bytes(),
+            rebuilt.render().as_bytes(),
+            "seed {seed}: live and trace-rebuilt exposition diverged"
+        );
+    }
+}
+
+/// `echo metrics | pressd` renders deterministic Prometheus text with
+/// series in BTreeMap name order — the exposition is a pure function of
+/// the recorded values, run to run.
+#[test]
+fn metrics_verb_renders_deterministic_ordered_series() {
+    use pressd::replay_log;
+    let session = "space lab-seed=17 elements=3 element-seed=4\n\
+                   controller strategy=exhaustive objective=max-min-snr seed=3 budget-s=0.08 frames=2 actuation=ism\n\
+                   churn assoc label=lab obj=max-min-snr w=1 tx=7,5,1.5 rx=6.8,4,1.5 carrier=2462000000\n\
+                   episode\nmetrics\n";
+    let a = replay_log(session);
+    let b = replay_log(session);
+    assert_eq!(
+        a, b,
+        "metrics verb output must be byte-identical run to run"
+    );
+    let families: Vec<&str> = a
+        .iter()
+        .filter(|l| l.starts_with("# TYPE "))
+        .map(String::as_str)
+        .collect();
+    assert!(!families.is_empty(), "exposition must carry TYPE lines");
+    let mut sorted = families.clone();
+    sorted.sort_unstable();
+    assert_eq!(families, sorted, "families must render in name order");
+}
+
 /// A clean wired transport still reproduces the oracle episode's decision
 /// exactly (the PR 2 invariant, re-pinned here after the BTreeSet
 /// migration).
